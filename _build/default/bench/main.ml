@@ -1,0 +1,1200 @@
+(* Experiment harness: regenerates every table and figure of the paper
+   (see DESIGN.md section 4 for the experiment index).
+
+   Usage:
+     dune exec bench/main.exe                     # everything, default scale
+     dune exec bench/main.exe -- table2 --scale 1 # one experiment, full size
+     dune exec bench/main.exe -- micro            # bechamel kernels
+
+   Commands: table1 fig2 fig3 fig4 fig5 table2 table3 scaling
+             ablation-truncation ablation-v ablation-routing sweep-fabric
+             micro all *)
+
+module Params = Leqa_fabric.Params
+module Geometry = Leqa_fabric.Geometry
+module Qodg = Leqa_qodg.Qodg
+module Critical_path = Leqa_qodg.Critical_path
+module Iig = Leqa_iig.Iig
+module Decompose = Leqa_circuit.Decompose
+module Ft_circuit = Leqa_circuit.Ft_circuit
+module Estimator = Leqa_core.Estimator
+module Config = Leqa_core.Config
+module Coverage = Leqa_core.Coverage
+module Qspr = Leqa_qspr.Qspr
+module Scheduler = Leqa_qspr.Scheduler
+module Suite = Leqa_benchmarks.Suite
+module Stats = Leqa_util.Stats
+module Timing = Leqa_util.Timing
+module Table = Leqa_util.Table
+module Rng = Leqa_util.Rng
+module Mm1 = Leqa_queueing.Mm1
+module Json = Leqa_util.Json
+
+let header title =
+  Printf.printf "\n=== %s ===\n\n" title
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: physical parameters                                        *)
+(* ------------------------------------------------------------------ *)
+
+let table1 () =
+  header "Table 1: physical parameters of the TQA";
+  Format.printf "%a@." Params.pp Params.default;
+  Printf.printf
+    "\nCalibrated mapper speed (Section 3.2 tuning knob): v = %g\n\
+     (the paper tuned v = 0.001 against its QSPR; this repository's QSPR\n\
+     calibrates to v = %g — see EXPERIMENTS.md)\n"
+    Params.calibrated.Params.v Params.calibrated.Params.v
+
+(* ------------------------------------------------------------------ *)
+(* Figure 2: ham3 walk-through                                         *)
+(* ------------------------------------------------------------------ *)
+
+let fig2 () =
+  header "Figure 2: ham3 circuit and its QODG";
+  let circ = Leqa_benchmarks.Hamming.ham3 () in
+  Format.printf "%a@." Leqa_circuit.Circuit.pp_summary circ;
+  let ft = Decompose.to_ft circ in
+  Format.printf "%a@." Ft_circuit.pp_summary ft;
+  let qodg = Qodg.of_ft_circuit ft in
+  Format.printf "%a@." Qodg.pp_summary qodg;
+  Printf.printf "logical depth: %d\n" (Critical_path.depth qodg);
+  Printf.printf "\nQODG adjacency (op nodes 1..%d, 0 = start, %d = end):\n"
+    (Qodg.num_nodes qodg - 2)
+    (Qodg.finish_node qodg);
+  let dag = Qodg.dag qodg in
+  List.iter
+    (fun node ->
+      let g = Qodg.gate_exn qodg node in
+      Printf.printf "  %2d %-12s -> %s\n" node
+        (Leqa_circuit.Ft_gate.to_string g)
+        (String.concat ","
+           (List.map string_of_int
+              (List.sort compare (Leqa_qodg.Dag.succs dag node)))))
+    (Qodg.op_nodes qodg)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 3: presence zones and congestion                             *)
+(* ------------------------------------------------------------------ *)
+
+let fig3 () =
+  header "Figure 3: five random presence zones on a 20x12 fabric";
+  let width = 20 and height = 12 in
+  let rng = Rng.create ~seed:1303 in
+  let zones =
+    List.init 5 (fun _ ->
+        let side = 3 + Rng.int rng ~bound:3 in
+        let x = 1 + Rng.int rng ~bound:(width - side + 1) in
+        let y = 1 + Rng.int rng ~bound:(height - side + 1) in
+        (x, y, side))
+  in
+  let overlap x y =
+    List.length
+      (List.filter
+         (fun (zx, zy, side) ->
+           x >= zx && x < zx + side && y >= zy && y < zy + side)
+         zones)
+  in
+  for y = 1 to height do
+    for x = 1 to width do
+      let c = overlap x y in
+      print_char (if c = 0 then '.' else Char.chr (Char.code '0' + c))
+    done;
+    print_newline ()
+  done;
+  let most = ref 0 in
+  for y = 1 to height do
+    for x = 1 to width do
+      most := max !most (overlap x y)
+    done
+  done;
+  Printf.printf
+    "\nmax overlap: %d zones (the paper's 'highly congested' area)\n" !most;
+  (* analytic counterpart: E[S_q] for 5 zones of the average side *)
+  let avg_area =
+    Stats.mean
+      (Array.of_list (List.map (fun (_, _, s) -> float_of_int (s * s)) zones))
+  in
+  let surfaces =
+    Coverage.expected_surfaces ~topology:Leqa_fabric.Params.Grid ~avg_area ~width ~height ~qubits:5 ~terms:5
+  in
+  Printf.printf "\nE[S_q] for 5 zones of average area %.1f:\n" avg_area;
+  Array.iteri
+    (fun i s -> Printf.printf "  q=%d: %7.2f ULBs\n" (i + 1) s)
+    surfaces
+
+(* ------------------------------------------------------------------ *)
+(* Figure 4: P_{x,y}                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let fig4 () =
+  header "Figure 4: coverage probability P(x,y) (Eq 5)";
+  let width = 60 and height = 60 and avg_area = 25.0 in
+  let s = Coverage.zone_side ~avg_area ~width ~height in
+  Printf.printf "fabric %dx%d, zone side ceil(sqrt(%.0f)) = %d\n\n" width
+    height avg_area s;
+  Printf.printf "P(x, 30) profile along the middle row:\n";
+  List.iter
+    (fun x ->
+      let p = Coverage.coverage_probability ~topology:Leqa_fabric.Params.Grid ~avg_area ~width ~height ~x ~y:30 in
+      Printf.printf "  x=%2d: %.6f%s\n" x p
+        (if x <= s then "   (boundary ramp)" else ""))
+    [ 1; 2; 3; 4; 5; 6; 10; 20; 30 ];
+  (* Eq 3 cross-check *)
+  let qubits = 20 in
+  let surfaces =
+    Coverage.expected_surfaces ~topology:Leqa_fabric.Params.Grid ~avg_area ~width ~height ~qubits ~terms:qubits
+  in
+  let total =
+    Coverage.expected_uncovered ~topology:Leqa_fabric.Params.Grid ~avg_area ~width ~height ~qubits
+    +. Array.fold_left ( +. ) 0.0 surfaces
+  in
+  Printf.printf
+    "\nEq-3 constraint with Q=%d zones: sum_q E[S_q] = %.4f (A = %d)\n" qubits
+    total (width * height)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 5: the M/M/1 channel model                                   *)
+(* ------------------------------------------------------------------ *)
+
+let fig5 () =
+  header "Figure 5: routing-channel congestion model (Eq 8 vs simulation)";
+  let nc = Params.default.Params.nc in
+  let d_uncong = 800.0 in
+  let table =
+    Table.create
+      ~columns:
+        [
+          ("q (qubits in channel)", Table.Right);
+          ("d_q closed form (us)", Table.Right);
+          ("M/M/c sim sojourn (us)", Table.Right);
+        ]
+  in
+  List.iter
+    (fun q ->
+      let closed = Mm1.congestion_delay ~nc ~d_uncong ~q in
+      (* simulate a capacity-nc channel at the arrival rate Eq 10 implies *)
+      let sim =
+        if q = 0 then d_uncong /. float_of_int nc
+        else begin
+          let mu_per_server = 1.0 /. d_uncong in
+          let lambda =
+            Mm1.lambda_of_queue_length ~queue_length:(float_of_int q)
+              ~mu:(float_of_int nc *. mu_per_server)
+          in
+          let rng = Rng.create ~seed:(500 + q) in
+          let r =
+            Leqa_queueing.Simulate.run_multi_server ~rng ~lambda
+              ~mu_per_server ~servers:nc ~horizon:2_000_000.0
+          in
+          r.Leqa_queueing.Simulate.avg_sojourn_time
+        end
+      in
+      Table.add_row table
+        [
+          string_of_int q;
+          Printf.sprintf "%.0f" closed;
+          (if q = 0 then "-" else Printf.sprintf "%.0f" sim);
+        ])
+    [ 0; 1; 2; 3; 5; 6; 8; 10; 15; 20 ];
+  Table.print table;
+  Printf.printf
+    "\nuncongested while q <= N_c = %d; beyond that Eq 8 pipelines at\n\
+     (1+q)/N_c x d_uncong.  The discrete-event column simulates the same\n\
+     channel as %d exponential servers.\n"
+    nc nc;
+  (* empirical side: the detailed mapper's measured channel wait as the
+     fabric's capacity shrinks *)
+  let qodg =
+    Qodg.of_ft_circuit
+      (Decompose.to_ft (Leqa_benchmarks.Gf2_mult.circuit ~n:16 ()))
+  in
+  let table =
+    Table.create
+      ~columns:
+        [
+          ("N_c", Table.Right);
+          ("QSPR latency (s)", Table.Right);
+          ("wait per hop (us)", Table.Right);
+        ]
+  in
+  List.iter
+    (fun nc ->
+      let params = { Params.default with Params.nc } in
+      let r =
+        Qspr.run ~config:{ Qspr.default_config with Qspr.params } qodg
+      in
+      let s = r.Qspr.stats in
+      Table.add_row table
+        [
+          string_of_int nc;
+          Printf.sprintf "%.4f" r.Qspr.latency_s;
+          Printf.sprintf "%.2f"
+            (s.Scheduler.channel_wait /. float_of_int (max 1 s.Scheduler.hops));
+        ])
+    [ 1; 2; 3; 5; 10 ];
+  Printf.printf "\nempirical (gf2^16mult under the detailed mapper):\n";
+  Table.print table;
+  Printf.printf
+    "\nmeasured channel waits are tiny even at N_c = 1: the deferral\n\
+     scheduler and A* router dodge congestion, so the uncongested branch\n\
+     of Eq 8 dominates in practice — the same reason the K = 20 E[S_q]\n\
+     truncation is the right operating point (see ablation-truncation).\n"
+
+(* ------------------------------------------------------------------ *)
+(* Tables 2 and 3: the 18-benchmark comparison                         *)
+(* ------------------------------------------------------------------ *)
+
+type row = {
+  name : string;
+  qubits : int;
+  ops : int;
+  actual_s : float;
+  estimated_s : float;
+  error : float;
+  qspr_runtime : float;
+  leqa_runtime : float;
+}
+
+let run_suite ~scale =
+  List.map
+    (fun entry ->
+      let circ = Suite.build_scaled entry ~scale in
+      let ft = Decompose.to_ft circ in
+      (* the QODG is the *input* of both tools (Algorithm 1 takes it as an
+         argument; QSPR maps it), so its construction — like the shared
+         parsers of Section 4.1 — is excluded from both runtimes *)
+      let qodg = Qodg.of_ft_circuit ft in
+      let actual, qspr_t = Timing.time (fun () -> Qspr.run qodg) in
+      let estimated, leqa_t =
+        Timing.time (fun () ->
+            Estimator.estimate ~params:Params.calibrated qodg)
+      in
+      {
+        name = entry.Suite.name;
+        qubits = Ft_circuit.num_qubits ft;
+        ops = Ft_circuit.num_gates ft;
+        actual_s = actual.Qspr.latency_s;
+        estimated_s = estimated.Estimator.latency_s;
+        error =
+          Stats.relative_error ~actual:actual.Qspr.latency_s
+            ~estimated:estimated.Estimator.latency_s;
+        qspr_runtime = qspr_t;
+        leqa_runtime = leqa_t;
+      })
+    Suite.all
+
+let table2 rows ~scale =
+  header
+    (Printf.sprintf
+       "Table 2: actual (QSPR) vs estimated (LEQA) latency   [scale %.2f]"
+       scale);
+  let table =
+    Table.create
+      ~columns:
+        [
+          ("Benchmark", Table.Left);
+          ("Actual Delay (sec)", Table.Right);
+          ("Estimated Delay (sec)", Table.Right);
+          ("Absolute Error (%)", Table.Right);
+        ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row table
+        [
+          r.name;
+          Printf.sprintf "%.3E" r.actual_s;
+          Printf.sprintf "%.3E" r.estimated_s;
+          Printf.sprintf "%.2f" (100.0 *. r.error);
+        ])
+    rows;
+  Table.print table;
+  let errors = Array.of_list (List.map (fun r -> 100.0 *. r.error) rows) in
+  Printf.printf "\naverage error: %.2f%%   max error: %.2f%%\n"
+    (Stats.mean errors)
+    (Array.fold_left Float.max 0.0 errors);
+  Printf.printf "(paper: average 2.11%%, max 8.29%%)\n"
+
+let rows_to_json rows ~scale =
+  Json.Obj
+    [
+      ("scale", Json.Float scale);
+      ("v_calibrated", Json.Float Params.calibrated.Params.v);
+      ( "rows",
+        Json.List
+          (List.map
+             (fun r ->
+               Json.Obj
+                 [
+                   ("benchmark", Json.String r.name);
+                   ("qubits", Json.Int r.qubits);
+                   ("operations", Json.Int r.ops);
+                   ("actual_s", Json.Float r.actual_s);
+                   ("estimated_s", Json.Float r.estimated_s);
+                   ("error", Json.Float r.error);
+                   ("qspr_runtime_s", Json.Float r.qspr_runtime);
+                   ("leqa_runtime_s", Json.Float r.leqa_runtime);
+                 ])
+             rows) );
+    ]
+
+let table3 rows ~scale =
+  header
+    (Printf.sprintf
+       "Table 3: benchmark sizes and tool runtimes   [scale %.2f]" scale);
+  let table =
+    Table.create
+      ~columns:
+        [
+          ("Benchmark", Table.Left);
+          ("Qubit Count", Table.Right);
+          ("Operation Count", Table.Right);
+          ("QSPR Runtime (sec)", Table.Right);
+          ("LEQA Runtime (sec)", Table.Right);
+          ("Speedup (X)", Table.Right);
+        ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row table
+        [
+          r.name;
+          string_of_int r.qubits;
+          string_of_int r.ops;
+          Printf.sprintf "%.3f" r.qspr_runtime;
+          Printf.sprintf "%.4f" r.leqa_runtime;
+          Printf.sprintf "%.1f" (r.qspr_runtime /. r.leqa_runtime);
+        ])
+    rows;
+  Table.print table;
+  (* the Section 4.2 scaling claim, from the suite itself; fit only the
+     asymptotic rows — tiny benchmarks measure constant overhead, not
+     scaling *)
+  let usable =
+    List.filter
+      (fun r -> r.ops >= 5000 && r.qspr_runtime > 1e-4 && r.leqa_runtime > 1e-4)
+      rows
+  in
+  if List.length usable >= 3 then begin
+    let points f = List.map (fun r -> (float_of_int r.ops, f r)) usable in
+    let _, k_qspr = Stats.fit_power_law (points (fun r -> r.qspr_runtime)) in
+    let _, k_leqa = Stats.fit_power_law (points (fun r -> r.leqa_runtime)) in
+    Printf.printf
+      "\nfitted runtime scaling: QSPR ~ ops^%.2f, LEQA ~ ops^%.2f\n\
+       (paper: QSPR degree ~1.5, LEQA linear)\n"
+      k_qspr k_leqa
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Section 4.2 scaling study + Shor extrapolation                      *)
+(* ------------------------------------------------------------------ *)
+
+let scaling () =
+  header "Section 4.2: runtime scaling on the gf2^n family";
+  let sizes = [ 16; 24; 32; 48; 64; 96; 128 ] in
+  let table =
+    Table.create
+      ~columns:
+        [
+          ("n", Table.Right);
+          ("FT ops", Table.Right);
+          ("QSPR (s)", Table.Right);
+          ("LEQA (s)", Table.Right);
+          ("speedup", Table.Right);
+        ]
+  in
+  let qspr_points = ref [] and leqa_points = ref [] in
+  List.iter
+    (fun n ->
+      let qodg =
+        Qodg.of_ft_circuit
+          (Decompose.to_ft (Leqa_benchmarks.Gf2_mult.circuit ~n ()))
+      in
+      let ops = float_of_int (Qodg.num_nodes qodg - 2) in
+      let _, qspr_t = Timing.time (fun () -> Qspr.run qodg) in
+      let _, leqa_t =
+        Timing.time (fun () ->
+            Estimator.estimate ~params:Params.calibrated qodg)
+      in
+      qspr_points := (ops, qspr_t) :: !qspr_points;
+      leqa_points := (ops, leqa_t) :: !leqa_points;
+      Table.add_row table
+        [
+          string_of_int n;
+          Printf.sprintf "%.0f" ops;
+          Printf.sprintf "%.3f" qspr_t;
+          Printf.sprintf "%.4f" leqa_t;
+          Printf.sprintf "%.1f" (qspr_t /. leqa_t);
+        ])
+    sizes;
+  Table.print table;
+  let c_qspr, k_qspr = Stats.fit_power_law !qspr_points in
+  let c_leqa, k_leqa = Stats.fit_power_law !leqa_points in
+  Printf.printf "\nQSPR ~ %.2e * ops^%.2f, LEQA ~ %.2e * ops^%.2f\n" c_qspr
+    k_qspr c_leqa k_leqa;
+  let shor_ops = 1.35e10 in
+  Printf.printf
+    "Shor-1024 extrapolation (%.2e logical ops):\n\
+    \  QSPR: %.1f days     LEQA: %.1f hours\n\
+     (paper: ~2 years vs 16.5 hours on 2010-era hardware)\n"
+    shor_ops
+    (c_qspr *. (shor_ops ** k_qspr) /. 86_400.0)
+    (c_leqa *. (shor_ops ** k_leqa) /. 3_600.0)
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let ablation_benchmarks ~scale =
+  List.filter_map
+    (fun name ->
+      Option.map
+        (fun e ->
+          let circ = Suite.build_scaled e ~scale in
+          let qodg = Qodg.of_ft_circuit (Decompose.to_ft circ) in
+          let actual = (Qspr.run qodg).Qspr.latency_s in
+          (name, qodg, actual))
+        (Suite.find name))
+    [ "8bitadder"; "gf2^16mult"; "hwb15ps"; "ham15"; "gf2^64mult"; "hwb50ps" ]
+
+let ablation_truncation ~scale:_ =
+  header
+    "Ablation: E[S_q] truncation (the paper computes only the first 20 terms)";
+  (* truncation only matters when many zones overlap, i.e. at high qubit
+     counts relative to the fabric — so this ablation always runs the three
+     largest benchmarks at full (paper) size, whatever --scale says *)
+  let prepared =
+    List.filter_map
+      (fun name ->
+        Option.map
+          (fun e ->
+            let circ = Suite.build_scaled e ~scale:1.0 in
+            let qodg = Qodg.of_ft_circuit (Decompose.to_ft circ) in
+            let actual = (Qspr.run qodg).Qspr.latency_s in
+            (name, qodg, actual))
+          (Suite.find name))
+      [ "gf2^128mult"; "hwb200ps"; "gf2^256mult" ]
+  in
+  let table =
+    Table.create
+      ~columns:
+        [
+          ("K (terms)", Table.Right);
+          ("avg error (%)", Table.Right);
+          ("max error (%)", Table.Right);
+          ("LEQA time (s)", Table.Right);
+        ]
+  in
+  List.iter
+    (fun terms ->
+      let config = { Config.truncation_terms = terms } in
+      let errors, times =
+        List.split
+          (List.map
+             (fun (_, qodg, actual) ->
+               let est, t =
+                 Timing.time (fun () ->
+                     Estimator.estimate ~config ~params:Params.calibrated qodg)
+               in
+               ( Stats.relative_error ~actual
+                   ~estimated:est.Estimator.latency_s,
+                 t ))
+             prepared)
+      in
+      let errors = Array.of_list (List.map (fun e -> 100.0 *. e) errors) in
+      Table.add_row table
+        [
+          string_of_int terms;
+          Printf.sprintf "%.2f" (Stats.mean errors);
+          Printf.sprintf "%.2f" (Array.fold_left Float.max 0.0 errors);
+          Printf.sprintf "%.4f"
+            (List.fold_left ( +. ) 0.0 times);
+        ])
+    [ 1; 5; 10; 20; 40; 60; 100; 200; 3200 ];
+  Table.print table;
+  Printf.printf
+    "\nthe paper's choice K = 20 balances both tails: too few terms miss\n\
+     congestion mass (underestimate), the exact series overweights the\n\
+     M/M/1 pipeline penalty (overestimate) and costs linearly more time.\n"
+
+let ablation_v ~scale =
+  header "Ablation: the mapper-tuning parameter v (Section 3.2)";
+  let prepared = ablation_benchmarks ~scale in
+  let table =
+    Table.create
+      ~columns:
+        [
+          ("v", Table.Right);
+          ("avg error (%)", Table.Right);
+          ("max error (%)", Table.Right);
+        ]
+  in
+  List.iter
+    (fun v ->
+      let params = { Params.default with Params.v } in
+      let errors =
+        Array.of_list
+          (List.map
+             (fun (_, qodg, actual) ->
+               let est = Estimator.estimate ~params qodg in
+               100.0
+               *. Stats.relative_error ~actual
+                    ~estimated:est.Estimator.latency_s)
+             prepared)
+      in
+      Table.add_row table
+        [
+          Printf.sprintf "%.4f" v;
+          Printf.sprintf "%.2f" (Stats.mean errors);
+          Printf.sprintf "%.2f" (Array.fold_left Float.max 0.0 errors);
+        ])
+    [ 0.0005; 0.001; 0.002; 0.003; 0.005; 0.008; 0.01; 0.02 ];
+  Table.print table;
+  Printf.printf
+    "\nv = %.4g is this repository's calibration (Params.calibrated); the\n\
+     paper used 0.001 for its own mapper.\n"
+    Params.calibrated.Params.v
+
+let ablation_routing ~scale =
+  header "Ablation: QSPR router (congestion-aware A* vs dimension-order XY)";
+  let table =
+    Table.create
+      ~columns:
+        [
+          ("Benchmark", Table.Left);
+          ("lat A*/XY", Table.Right);
+          ("A* time (s)", Table.Right);
+          ("XY time (s)", Table.Right);
+          ("A* nodes explored", Table.Right);
+        ]
+  in
+  List.iter
+    (fun name ->
+      match Suite.find name with
+      | None -> ()
+      | Some e ->
+        let qodg =
+          Qodg.of_ft_circuit (Decompose.to_ft (Suite.build_scaled e ~scale))
+        in
+        let astar, astar_t = Timing.time (fun () -> Qspr.run qodg) in
+        let xy, xy_t =
+          Timing.time (fun () ->
+              Qspr.run
+                ~config:
+                  { Qspr.default_config with Qspr.routing = Leqa_qspr.Router.Xy }
+                qodg)
+        in
+        Table.add_row table
+          [
+            name;
+            Printf.sprintf "%.3f" (astar.Qspr.latency_s /. xy.Qspr.latency_s);
+            Printf.sprintf "%.3f" astar_t;
+            Printf.sprintf "%.3f" xy_t;
+            string_of_int astar.Qspr.stats.Scheduler.search_nodes;
+          ])
+    [ "gf2^16mult"; "hwb15ps"; "gf2^64mult"; "hwb100ps"; "gf2^128mult" ];
+  Table.print table;
+  Printf.printf
+    "\nwith the deferral scheduler traffic stays light enough that both\n\
+     routers find Manhattan-length paths (latency ratio ~1); the search\n\
+     effort is what separates them — the cost a detailed mapper pays per\n\
+     route, and exactly what LEQA avoids paying per operation.\n"
+
+let ablation_topology ~scale =
+  header "Extension: grid vs torus channel topology";
+  let table =
+    Table.create
+      ~columns:
+        [
+          ("Benchmark", Table.Left);
+          ("grid actual (s)", Table.Right);
+          ("torus actual (s)", Table.Right);
+          ("grid LEQA (s)", Table.Right);
+          ("torus LEQA (s)", Table.Right);
+          ("torus err (%)", Table.Right);
+        ]
+  in
+  List.iter
+    (fun name ->
+      match Suite.find name with
+      | None -> ()
+      | Some e ->
+        let qodg =
+          Qodg.of_ft_circuit (Decompose.to_ft (Suite.build_scaled e ~scale))
+        in
+        let torus_params =
+          { Params.default with Params.topology = Params.Torus }
+        in
+        let grid_actual = Qspr.run qodg in
+        let torus_actual =
+          Qspr.run
+            ~config:{ Qspr.default_config with Qspr.params = torus_params }
+            qodg
+        in
+        let grid_est = Estimator.estimate ~params:Params.calibrated qodg in
+        let torus_est =
+          Estimator.estimate
+            ~params:{ Params.calibrated with Params.topology = Params.Torus }
+            qodg
+        in
+        let err =
+          Stats.relative_error ~actual:torus_actual.Qspr.latency_s
+            ~estimated:torus_est.Estimator.latency_s
+        in
+        Table.add_row table
+          [
+            name;
+            Printf.sprintf "%.4f" grid_actual.Qspr.latency_s;
+            Printf.sprintf "%.4f" torus_actual.Qspr.latency_s;
+            Printf.sprintf "%.4f" grid_est.Estimator.latency_s;
+            Printf.sprintf "%.4f" torus_est.Estimator.latency_s;
+            Printf.sprintf "%.2f" (100.0 *. err);
+          ])
+    [ "8bitadder"; "gf2^16mult"; "hwb15ps"; "gf2^64mult" ];
+  Table.print table;
+  Printf.printf
+    "\nthe torus coverage model (uniform P = s^2/A, no Eq-5 boundary term)\n\
+     tracks the torus mapper as well as the grid pair tracks each other.\n"
+
+let ablation_mappers ~scale =
+  header
+    "Extension: tuning LEQA to a different mapper (Section 3.2's v knob)";
+  let table =
+    Table.create
+      ~columns:
+        [
+          ("Benchmark", Table.Left);
+          ("channel actual (s)", Table.Right);
+          ("LEQA@v_chan err (%)", Table.Right);
+          ("SWAP actual (s)", Table.Right);
+          ("LEQA@v_swap err (%)", Table.Right);
+        ]
+  in
+  List.iter
+    (fun name ->
+      match Suite.find name with
+      | None -> ()
+      | Some e ->
+        let qodg =
+          Qodg.of_ft_circuit (Decompose.to_ft (Suite.build_scaled e ~scale))
+        in
+        let channel = Qspr.run qodg in
+        let swap =
+          Leqa_qspr.Swap_mapper.run ~params:Params.default
+            ~placement:Leqa_qspr.Placement.Spread qodg
+        in
+        let est_chan = Estimator.estimate ~params:Params.calibrated qodg in
+        let est_swap =
+          Estimator.estimate
+            ~params:
+              {
+                Params.default with
+                Params.v = Leqa_qspr.Swap_mapper.calibrated_v;
+              }
+            qodg
+        in
+        let err actual est =
+          100.0
+          *. Stats.relative_error ~actual ~estimated:est.Estimator.latency_s
+        in
+        Table.add_row table
+          [
+            name;
+            Printf.sprintf "%.3f" channel.Qspr.latency_s;
+            Printf.sprintf "%.2f" (err channel.Qspr.latency_s est_chan);
+            Printf.sprintf "%.3f" (Leqa_qspr.Swap_mapper.latency_s swap);
+            Printf.sprintf "%.2f"
+              (err (Leqa_qspr.Swap_mapper.latency_s swap) est_swap);
+          ])
+    [ "8bitadder"; "gf2^16mult"; "hwb15ps"; "ham15"; "gf2^50mult" ];
+  Table.print table;
+  Printf.printf
+    "\nthe same estimator tracks two structurally different mappers through\n\
+     the single knob v (channel mapper: v = %.3g; SWAP mapper: v = %.3g).\n\
+     accuracy on the SWAP mapper is visibly coarser: its bimodal step\n\
+     costs (cheap shuttles vs 3-CNOT exchanges) strain LEQA's single-speed\n\
+     channel abstraction.\n"
+    Params.calibrated.Params.v Leqa_qspr.Swap_mapper.calibrated_v
+
+let ablation_deferral ~scale =
+  header
+    "Ablation: the deferral (rescheduling) step of the detailed mapper";
+  let table =
+    Table.create
+      ~columns:
+        [
+          ("Benchmark", Table.Left);
+          ("with deferral (s)", Table.Right);
+          ("greedy commit (s)", Table.Right);
+          ("ratio", Table.Right);
+        ]
+  in
+  List.iter
+    (fun name ->
+      match Suite.find name with
+      | None -> ()
+      | Some e ->
+        let qodg =
+          Qodg.of_ft_circuit (Decompose.to_ft (Suite.build_scaled e ~scale))
+        in
+        let run defer =
+          (Scheduler.run ~defer ~params:Params.default
+             ~placement:Leqa_qspr.Placement.Spread qodg)
+            .Scheduler.latency /. 1e6
+        in
+        let deferred = run true and greedy = run false in
+        Table.add_row table
+          [
+            name;
+            Printf.sprintf "%.4f" deferred;
+            Printf.sprintf "%.4f" greedy;
+            Printf.sprintf "%.3f" (deferred /. greedy);
+          ])
+    [ "8bitadder"; "gf2^16mult"; "hwb15ps"; "gf2^64mult"; "gf2^128mult" ];
+  Table.print table;
+  Printf.printf
+    "\nthe paper: 'the operation should be deferred by one or more\n\
+     scheduling steps'.  In this mapper the ratio sits at ~1.000: the\n\
+     radius-2 tile search already dodges almost every hot spot, so the\n\
+     deferral path rarely fires — a null result worth recording, since it\n\
+     says the latency gains attributed to rescheduling can come from\n\
+     better tile choice instead.\n"
+
+let complexity () =
+  header "Eq 17: LEQA runtime = a*(|V|+|E|) + b*(A*K*logQ)";
+  let table =
+    Table.create
+      ~columns:
+        [
+          ("Benchmark", Table.Left);
+          ("V+E (1e3)", Table.Right);
+          ("A*K*logQ (1e6)", Table.Right);
+          ("runtime (ms)", Table.Right);
+        ]
+  in
+  let samples = ref [] in
+  List.iter
+    (fun e ->
+      let qodg =
+        Qodg.of_ft_circuit (Decompose.to_ft (Suite.build_scaled e ~scale:0.5))
+      in
+      let q = float_of_int (Qodg.num_qubits qodg) in
+      let graph_cost = float_of_int (Qodg.num_nodes qodg + Qodg.num_edges qodg) in
+      (* the paper truncates the q-loop at K = 20 terms *)
+      let coverage_cost =
+        Float.min q 20.0 *. float_of_int (Params.area Params.default)
+        *. Float.max 1.0 (log q)
+      in
+      let _, dt =
+        Timing.time (fun () ->
+            Estimator.estimate ~params:Params.calibrated qodg)
+      in
+      samples := (graph_cost, coverage_cost, dt) :: !samples;
+      Table.add_row table
+        [
+          e.Suite.name;
+          Printf.sprintf "%.1f" (graph_cost /. 1e3);
+          Printf.sprintf "%.2f" (coverage_cost /. 1e6);
+          Printf.sprintf "%.2f" (dt *. 1e3);
+        ])
+    Suite.all;
+  Table.print table;
+  (* two-term least squares t = a*x + b*y (no intercept) *)
+  let sxx = ref 0.0 and syy = ref 0.0 and sxy = ref 0.0 in
+  let sxt = ref 0.0 and syt = ref 0.0 in
+  List.iter
+    (fun (x, y, t) ->
+      sxx := !sxx +. (x *. x);
+      syy := !syy +. (y *. y);
+      sxy := !sxy +. (x *. y);
+      sxt := !sxt +. (x *. t);
+      syt := !syt +. (y *. t))
+    !samples;
+  let det = (!sxx *. !syy) -. (!sxy *. !sxy) in
+  if abs_float det > 1e-9 then begin
+    let a = ((!syy *. !sxt) -. (!sxy *. !syt)) /. det in
+    let b = ((!sxx *. !syt) -. (!sxy *. !sxt)) /. det in
+    let ss_res = ref 0.0 and ss_tot = ref 0.0 in
+    let mean_t =
+      List.fold_left (fun acc (_, _, t) -> acc +. t) 0.0 !samples
+      /. float_of_int (List.length !samples)
+    in
+    List.iter
+      (fun (x, y, t) ->
+        let p = (a *. x) +. (b *. y) in
+        ss_res := !ss_res +. ((t -. p) ** 2.0);
+        ss_tot := !ss_tot +. ((t -. mean_t) ** 2.0))
+      !samples;
+    Printf.printf
+      "\nfit: runtime = %.0f ns * (V+E)  +  %.2f ns * (A*K*logQ)    R^2 = %.3f\n\
+       the two-term linear model of Eq 17 explains the estimator's runtime;\n\
+       the graph term costs far more per unit than the coverage term, which\n\
+       is why truncating K keeps LEQA effectively linear in the circuit.\n"
+      (a *. 1e9) (b *. 1e9)
+      (1.0 -. (!ss_res /. Float.max 1e-12 !ss_tot))
+  end
+
+let ablation_placement ~scale =
+  header
+    "Ablation: initial placement (LEQA's Eq-5 assumes random zone sites)";
+  let table =
+    Table.create
+      ~columns:
+        [
+          ("Benchmark", Table.Left);
+          ("spread (s)", Table.Right);
+          ("random (s)", Table.Right);
+          ("clustered (s)", Table.Right);
+          ("LEQA (s)", Table.Right);
+        ]
+  in
+  List.iter
+    (fun name ->
+      match Suite.find name with
+      | None -> ()
+      | Some e ->
+        let qodg =
+          Qodg.of_ft_circuit (Decompose.to_ft (Suite.build_scaled e ~scale))
+        in
+        let iig = Iig.of_qodg qodg in
+        let run placement =
+          (Qspr.run ~config:{ Qspr.default_config with Qspr.placement } qodg)
+            .Qspr.latency_s
+        in
+        let est = Estimator.estimate ~params:Params.calibrated qodg in
+        Table.add_row table
+          [
+            name;
+            Printf.sprintf "%.4f" (run Leqa_qspr.Placement.Spread);
+            Printf.sprintf "%.4f" (run (Leqa_qspr.Placement.Random 11));
+            Printf.sprintf "%.4f"
+              (run (Leqa_qspr.Placement.Clustered iig));
+            Printf.sprintf "%.4f" est.Estimator.latency_s;
+          ])
+    [ "8bitadder"; "gf2^16mult"; "hwb15ps"; "ham15" ];
+  Table.print table;
+  Printf.printf
+    "\nplacement barely moves the total latency here because ULB gate\n\
+     delays dominate routing on this fabric — the regime in which the\n\
+     paper's random-placement assumption is safe.  LEQA tracks all three.\n"
+
+let table1_designed () =
+  header "Table 1 provenance: the ULB fabric designer";
+  let d = Leqa_ulb.Designer.design () in
+  let table =
+    Table.create
+      ~columns:
+        [
+          ("FT op", Table.Left);
+          ("gate (us)", Table.Right);
+          ("EC (us)", Table.Right);
+          ("designed (us)", Table.Right);
+          ("Table 1 (us)", Table.Right);
+        ]
+  in
+  List.iter2
+    (fun (name, gate, ec) paper ->
+      Table.add_row table
+        [
+          name;
+          Printf.sprintf "%.0f" gate;
+          Printf.sprintf "%.0f" ec;
+          Printf.sprintf "%.0f" (gate +. ec);
+          Printf.sprintf "%.0f" paper;
+        ])
+    (Leqa_ulb.Designer.report d)
+    [ 5440.0; 10940.0; 5240.0; 5240.0; 4930.0 ];
+  Table.print table;
+  Printf.printf
+    "t_move = %.0f us (Table 1: 100)\n\
+     \nthe paper treats these delays as given outputs of a 'ULB fabric\n\
+     designer tool'; the leqa_ulb library rebuilds that tool from native\n\
+     ion-trap instructions and the Steane [[7,1,3]] code.\n"
+    d.Leqa_ulb.Designer.t_move
+
+let sweep_fabric () =
+  header "Fabric-size sweep (Section 3.3: size is an input to optimise)";
+  let qodg =
+    Qodg.of_ft_circuit
+      (Decompose.to_ft (Leqa_benchmarks.Gf2_mult.circuit ~n:16 ()))
+  in
+  let table =
+    Table.create
+      ~columns:
+        [
+          ("fabric", Table.Left);
+          ("LEQA D (s)", Table.Right);
+          ("L_CNOT (us)", Table.Right);
+          ("B (ULB^2)", Table.Right);
+        ]
+  in
+  List.iter
+    (fun side ->
+      let params =
+        Params.with_fabric Params.calibrated ~width:side ~height:side
+      in
+      let est = Estimator.estimate ~params qodg in
+      Table.add_row table
+        [
+          Printf.sprintf "%dx%d" side side;
+          Printf.sprintf "%.4f" est.Estimator.latency_s;
+          Printf.sprintf "%.1f" est.Estimator.l_cnot_avg;
+          Printf.sprintf "%.1f" est.Estimator.avg_zone_area;
+        ])
+    [ 8; 10; 15; 20; 30; 40; 60; 80; 120 ];
+  Table.print table
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one kernel per table/figure              *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  header "Bechamel micro-benchmarks (one kernel per table/figure)";
+  let open Bechamel in
+  let ham3_qodg =
+    Qodg.of_ft_circuit (Decompose.to_ft (Leqa_benchmarks.Hamming.ham3 ()))
+  in
+  let gf2_circ = Leqa_benchmarks.Gf2_mult.circuit ~n:16 () in
+  let gf2_ft = Decompose.to_ft gf2_circ in
+  let gf2_qodg = Qodg.of_ft_circuit gf2_ft in
+  let gf2_iig = Iig.of_qodg gf2_qodg in
+  let tests =
+    [
+      (* Table 2 kernels *)
+      Test.make ~name:"table2/leqa-estimate-gf2^16"
+        (Staged.stage (fun () ->
+             Estimator.estimate ~params:Params.calibrated gf2_qodg));
+      Test.make ~name:"table2/qspr-map-ham3"
+        (Staged.stage (fun () -> Qspr.run ham3_qodg));
+      (* Table 3 kernel: what LEQA spends per op *)
+      Test.make ~name:"table3/qodg-build-gf2^16"
+        (Staged.stage (fun () -> Qodg.of_ft_circuit gf2_ft));
+      Test.make ~name:"table3/critical-path-gf2^16"
+        (Staged.stage (fun () ->
+             Critical_path.compute gf2_qodg
+               ~delay:(Params.gate_delay Params.default)));
+      Test.make ~name:"table3/decompose-gf2^16"
+        (Staged.stage (fun () -> Decompose.to_ft gf2_circ));
+      (* Figure 3/4 kernel *)
+      Test.make ~name:"fig4/coverage-E[Sq]-60x60"
+        (Staged.stage (fun () ->
+             Coverage.expected_surfaces ~topology:Leqa_fabric.Params.Grid ~avg_area:25.0 ~width:60 ~height:60
+               ~qubits:48 ~terms:20));
+      (* Figure 5 kernel *)
+      Test.make ~name:"fig5/mm1-congestion-curve"
+        (Staged.stage (fun () ->
+             for q = 0 to 50 do
+               ignore (Mm1.congestion_delay ~nc:5 ~d_uncong:800.0 ~q)
+             done));
+      (* Eq 15 kernel *)
+      Test.make ~name:"eq15/d-uncongested-gf2^16"
+        (Staged.stage (fun () ->
+             Leqa_core.Routing_latency.d_uncongested ~v:0.005 gf2_iig));
+      (* IIG kernel (Algorithm 1, line 1) *)
+      Test.make ~name:"alg1/iig-build-gf2^16"
+        (Staged.stage (fun () -> Iig.of_qodg gf2_qodg));
+    ]
+  in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.4) () in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let table =
+    Table.create
+      ~columns:[ ("kernel", Table.Left); ("time/run", Table.Right) ]
+  in
+  let raw =
+    Benchmark.all cfg
+      Toolkit.Instance.[ monotonic_clock ]
+      (Test.make_grouped ~name:"leqa" tests)
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ ns ] -> rows := (name, ns) :: !rows
+      | _ -> ())
+    results;
+  let pretty ns =
+    if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+    else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+    else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+    else Printf.sprintf "%.0f ns" ns
+  in
+  List.iter
+    (fun (name, ns) -> Table.add_row table [ name; pretty ns ])
+    (List.sort compare !rows);
+  Table.print table
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let workloads ~scale =
+  header
+    (Printf.sprintf "Workload characterisation   [scale %.2f]" scale);
+  let table =
+    Table.create
+      ~columns:
+        [
+          ("Benchmark", Table.Left);
+          ("qubits", Table.Right);
+          ("ops", Table.Right);
+          ("depth", Table.Right);
+          ("par avg", Table.Right);
+          ("par peak", Table.Right);
+          ("CNOT %", Table.Right);
+          ("B", Table.Right);
+        ]
+  in
+  List.iter
+    (fun e ->
+      let qodg =
+        Qodg.of_ft_circuit (Decompose.to_ft (Suite.build_scaled e ~scale))
+      in
+      let m = Leqa_qodg.Metrics.compute qodg in
+      let iig = Iig.of_qodg qodg in
+      Table.add_row table
+        [
+          e.Suite.name;
+          string_of_int m.Leqa_qodg.Metrics.qubits;
+          string_of_int m.Leqa_qodg.Metrics.operations;
+          string_of_int m.Leqa_qodg.Metrics.depth;
+          Printf.sprintf "%.1f" m.Leqa_qodg.Metrics.average_parallelism;
+          string_of_int m.Leqa_qodg.Metrics.peak_parallelism;
+          Printf.sprintf "%.0f" (100.0 *. m.Leqa_qodg.Metrics.cnot_fraction);
+          Printf.sprintf "%.1f" (Leqa_core.Presence_zone.average_area iig);
+        ])
+    Suite.all;
+  Table.print table;
+  Printf.printf
+    "\nB is the average presence-zone area (Eq 7): the gf2 family's dense\n\
+     interaction graphs produce the large zones that stress the coverage\n\
+     model, hwb's MCT ancillas produce many low-degree qubits.\n"
+
+let tornado () =
+  header "Parameter sensitivity (tornado, gf2^16mult, calibrated params)";
+  let qodg =
+    Qodg.of_ft_circuit
+      (Decompose.to_ft (Leqa_benchmarks.Gf2_mult.circuit ~n:16 ()))
+  in
+  let table =
+    Table.create
+      ~columns:
+        [
+          ("parameter", Table.Left);
+          ("base value", Table.Right);
+          ("elasticity (%D / %param)", Table.Right);
+        ]
+  in
+  List.iter
+    (fun e ->
+      Table.add_row table
+        [
+          e.Leqa_core.Sensitivity.parameter;
+          Printf.sprintf "%g" e.Leqa_core.Sensitivity.base_value;
+          Printf.sprintf "%+.3f" e.Leqa_core.Sensitivity.elasticity;
+        ])
+    (Leqa_core.Sensitivity.tornado ~params:Params.calibrated qodg);
+  Table.print table;
+  Printf.printf
+    "\neach row cost two estimator calls; a QECC designer reads this as\n\
+     'which physical parameter buys the most latency if improved'.\n"
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let scale = ref 0.5 in
+  let command = ref "all" in
+  let json_path = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--scale" :: v :: rest ->
+      (match float_of_string_opt v with
+      | Some s when s > 0.0 -> scale := s
+      | _ -> prerr_endline "invalid --scale"; exit 2);
+      parse rest
+    | "--full" :: rest ->
+      scale := 1.0;
+      parse rest
+    | "--json" :: path :: rest ->
+      json_path := Some path;
+      parse rest
+    | cmd :: rest ->
+      command := cmd;
+      parse rest
+  in
+  (match args with _ :: rest -> parse rest | [] -> ());
+  let scale = !scale in
+  let maybe_dump rows =
+    match !json_path with
+    | None -> ()
+    | Some path ->
+      Json.write_file path (rows_to_json rows ~scale);
+      Printf.printf "\n[wrote %s]\n" path
+  in
+  match !command with
+  | "table1" -> table1 ()
+  | "fig2" -> fig2 ()
+  | "fig3" -> fig3 ()
+  | "fig4" -> fig4 ()
+  | "fig5" -> fig5 ()
+  | "table2" ->
+    workloads ~scale;
+    let rows = run_suite ~scale in
+    table2 rows ~scale;
+    maybe_dump rows
+  | "table3" ->
+    let rows = run_suite ~scale in
+    table3 rows ~scale;
+    maybe_dump rows
+  | "scaling" -> scaling ()
+  | "ablation-truncation" -> ablation_truncation ~scale
+  | "ablation-v" -> ablation_v ~scale
+  | "ablation-routing" -> ablation_routing ~scale
+  | "ablation-topology" -> ablation_topology ~scale
+  | "ablation-mappers" -> ablation_mappers ~scale
+  | "ablation-placement" -> ablation_placement ~scale
+  | "ablation-deferral" -> ablation_deferral ~scale
+  | "complexity" -> complexity ()
+  | "table1-designed" -> table1_designed ()
+  | "sweep-fabric" -> sweep_fabric ()
+  | "tornado" -> tornado ()
+  | "workloads" -> workloads ~scale
+  | "micro" -> micro ()
+  | "all" ->
+    table1 ();
+    fig2 ();
+    fig3 ();
+    fig4 ();
+    fig5 ();
+    workloads ~scale;
+    let rows = run_suite ~scale in
+    table2 rows ~scale;
+    table3 rows ~scale;
+    maybe_dump rows;
+    scaling ();
+    ablation_truncation ~scale;
+    ablation_v ~scale;
+    ablation_routing ~scale;
+    ablation_topology ~scale;
+    ablation_mappers ~scale;
+    ablation_placement ~scale;
+    ablation_deferral ~scale;
+    complexity ();
+    table1_designed ();
+    sweep_fabric ();
+    tornado ();
+    micro ()
+  | other ->
+    Printf.eprintf
+      "unknown command %S\n\
+       commands: table1 fig2 fig3 fig4 fig5 table2 table3 scaling\n\
+      \          ablation-truncation ablation-v ablation-routing\n\
+      \          ablation-topology ablation-mappers ablation-placement\n\
+      \          ablation-deferral complexity table1-designed\n\
+      \          sweep-fabric tornado workloads micro all\n\
+       options: [--scale S | --full] [--json PATH]\n"
+      other;
+    exit 2

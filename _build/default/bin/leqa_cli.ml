@@ -1,0 +1,400 @@
+(* leqa — command-line front end.
+
+   Subcommands:
+     estimate     LEQA latency estimate of a circuit (Algorithm 1)
+     simulate     detailed QSPR mapping of a circuit
+     compare      both tools side by side with error and speedup
+     sweep-fabric LEQA estimate across fabric sizes
+     gen          write a generated benchmark circuit as a .tfc netlist
+     info         parse a circuit and print its statistics
+
+   Circuits come either from a .tfc file (--file) or a named generator
+   (--bench, e.g. "gf2^16mult" or any Table 2/3 name).  Two more
+   subcommands wrap the surrounding tooling:
+     design       run the ULB fabric designer (FT delays from native ops)
+     select-qecc  pick the cheapest feasible QECC level via LEQA *)
+
+open Cmdliner
+module Params = Leqa_fabric.Params
+module Qodg = Leqa_qodg.Qodg
+module Decompose = Leqa_circuit.Decompose
+module Ft_circuit = Leqa_circuit.Ft_circuit
+module Estimator = Leqa_core.Estimator
+module Qspr = Leqa_qspr.Qspr
+
+(* ---------------- circuit sources ---------------- *)
+
+let load_circuit ~file ~bench ~scale =
+  match (file, bench) with
+  | Some _, Some _ -> Error "--file and --bench are mutually exclusive"
+  | None, None -> Error "one of --file or --bench is required"
+  | Some path, None -> begin
+    match Leqa_circuit.Parser.parse_file path with
+    | Ok c -> Ok c
+    | Error e -> Error (path ^ ": " ^ e)
+    | exception Sys_error msg -> Error msg
+  end
+  | None, Some name -> begin
+    (* extension families use a family:size syntax *)
+    let scaled n = max 2 (int_of_float (float_of_int n *. scale)) in
+    match String.split_on_char ':' name with
+    | [ "qft"; n ] when int_of_string_opt n <> None ->
+      Ok (Leqa_benchmarks.Qft.circuit ~n:(scaled (int_of_string n)) ())
+    | [ "qft-adder"; n ] when int_of_string_opt n <> None ->
+      Ok (Leqa_benchmarks.Qft_adder.circuit ~n:(scaled (int_of_string n)) ())
+    | [ "grover"; n ] when int_of_string_opt n <> None ->
+      let bits = max 3 (scaled (int_of_string n)) in
+      Ok (Leqa_benchmarks.Grover.circuit ~n:bits ~marked:0 ())
+    | _ -> begin
+      match Leqa_benchmarks.Suite.find name with
+      | Some entry -> Ok (Leqa_benchmarks.Suite.build_scaled entry ~scale)
+      | None ->
+        Error
+          (Printf.sprintf
+             "unknown benchmark %S (try a Table-2 name like %s, or qft:N, \
+              qft-adder:N, grover:N)"
+             name
+             (String.concat ", "
+                (List.filteri
+                   (fun i _ -> i < 3)
+                   (List.map
+                      (fun e -> e.Leqa_benchmarks.Suite.name)
+                      Leqa_benchmarks.Suite.all))))
+    end
+  end
+
+let prepare ~file ~bench ~scale =
+  Result.map
+    (fun circ ->
+      let ft = Decompose.to_ft circ in
+      (circ, ft, Qodg.of_ft_circuit ft))
+    (load_circuit ~file ~bench ~scale)
+
+(* ---------------- common options ---------------- *)
+
+let file_arg =
+  let doc = "Read the circuit from a .tfc netlist file." in
+  Arg.(value & opt (some string) None & info [ "f"; "file" ] ~docv:"PATH" ~doc)
+
+let bench_arg =
+  let doc = "Generate a named benchmark circuit (a Table 2/3 name)." in
+  Arg.(value & opt (some string) None & info [ "b"; "bench" ] ~docv:"NAME" ~doc)
+
+let scale_arg =
+  let doc = "Scale factor for generated benchmarks (1.0 = paper size)." in
+  Arg.(value & opt float 1.0 & info [ "scale" ] ~docv:"S" ~doc)
+
+let width_arg =
+  let doc = "Fabric width in ULBs." in
+  Arg.(value & opt int Params.default.Params.width & info [ "width" ] ~docv:"A" ~doc)
+
+let height_arg =
+  let doc = "Fabric height in ULBs." in
+  Arg.(value & opt int Params.default.Params.height & info [ "height" ] ~docv:"B" ~doc)
+
+let v_arg =
+  let doc =
+    "Qubit channel speed v (the Section 3.2 mapper-tuning knob).  Defaults \
+     to the value calibrated against this repository's QSPR."
+  in
+  Arg.(value & opt float Params.calibrated.Params.v & info [ "v" ] ~docv:"V" ~doc)
+
+let terms_arg =
+  let doc = "Number of E(S_q) terms to evaluate (the paper uses 20)." in
+  Arg.(value & opt int 20 & info [ "terms" ] ~docv:"K" ~doc)
+
+let params_of ~width ~height ~v =
+  match
+    Params.validate { Params.calibrated with Params.width; height; v }
+  with
+  | Ok () -> Ok { Params.calibrated with Params.width; height; v }
+  | Error e -> Error e
+
+let or_die = function
+  | Ok x -> x
+  | Error msg ->
+    prerr_endline ("leqa: " ^ msg);
+    exit 1
+
+(* ---------------- subcommands ---------------- *)
+
+let estimate_cmd =
+  let run file bench scale width height v terms =
+    let _, ft, qodg = or_die (prepare ~file ~bench ~scale) in
+    let params = or_die (params_of ~width ~height ~v) in
+    let config = { Leqa_core.Config.truncation_terms = terms } in
+    let est, dt =
+      Leqa_util.Timing.time (fun () ->
+          Estimator.estimate ~config ~params qodg)
+    in
+    Format.printf "%a@." Ft_circuit.pp_summary ft;
+    Format.printf "B (avg zone area)  = %.2f@." est.Estimator.avg_zone_area;
+    Format.printf "d_uncongested      = %.1f us@." est.Estimator.d_uncong;
+    Format.printf "L_CNOT^avg         = %.1f us@." est.Estimator.l_cnot_avg;
+    Format.printf "L_1q^avg           = %.1f us@." est.Estimator.l_single_avg;
+    Format.printf "estimated latency  = %.6f s@." est.Estimator.latency_s;
+    Format.printf "estimator runtime  = %.4f s@." dt;
+    Format.printf "@.critical-path contributions:@.";
+    List.iter
+      (fun r ->
+        Format.printf "  %-5s x%-6d gate %10.0f us   routing %10.0f us@."
+          r.Estimator.label r.Estimator.count r.Estimator.gate_time
+          r.Estimator.routing_time)
+      (Estimator.contributions ~params est)
+  in
+  let term =
+    Term.(
+      const run $ file_arg $ bench_arg $ scale_arg $ width_arg $ height_arg
+      $ v_arg $ terms_arg)
+  in
+  Cmd.v (Cmd.info "estimate" ~doc:"LEQA latency estimate (Algorithm 1)") term
+
+let simulate_cmd =
+  let run file bench scale width height =
+    let _, ft, qodg = or_die (prepare ~file ~bench ~scale) in
+    let params =
+      or_die (params_of ~width ~height ~v:Params.default.Params.v)
+    in
+    let config = { Qspr.default_config with Qspr.params } in
+    let r, dt = Leqa_util.Timing.time (fun () -> Qspr.run ~config qodg) in
+    Format.printf "%a@." Ft_circuit.pp_summary ft;
+    Format.printf "actual latency   = %.6f s@." r.Qspr.latency_s;
+    Format.printf "channel hops     = %d@." r.Qspr.stats.Leqa_qspr.Scheduler.hops;
+    Format.printf "channel wait     = %.1f us@."
+      r.Qspr.stats.Leqa_qspr.Scheduler.channel_wait;
+    Format.printf "avg CNOT routing = %.1f us@."
+      (Leqa_qspr.Scheduler.avg_cnot_routing r.Qspr.stats);
+    Format.printf "mapper runtime   = %.4f s@." dt
+  in
+  let term =
+    Term.(const run $ file_arg $ bench_arg $ scale_arg $ width_arg $ height_arg)
+  in
+  Cmd.v (Cmd.info "simulate" ~doc:"detailed QSPR mapping (the baseline)") term
+
+let compare_cmd =
+  let run file bench scale width height v =
+    let _, ft, qodg = or_die (prepare ~file ~bench ~scale) in
+    let params = or_die (params_of ~width ~height ~v) in
+    let qspr_config =
+      { Qspr.default_config with Qspr.params = { params with Params.v = Params.default.Params.v } }
+    in
+    let actual, qspr_t =
+      Leqa_util.Timing.time (fun () -> Qspr.run ~config:qspr_config qodg)
+    in
+    let est, leqa_t =
+      Leqa_util.Timing.time (fun () -> Estimator.estimate ~params qodg)
+    in
+    let err =
+      Leqa_util.Stats.relative_error ~actual:actual.Qspr.latency_s
+        ~estimated:est.Estimator.latency_s
+    in
+    Format.printf "%a@." Ft_circuit.pp_summary ft;
+    Format.printf "actual (QSPR)    = %.6f s   [%.4f s runtime]@."
+      actual.Qspr.latency_s qspr_t;
+    Format.printf "estimated (LEQA) = %.6f s   [%.4f s runtime]@."
+      est.Estimator.latency_s leqa_t;
+    Format.printf "absolute error   = %.2f%%@." (100.0 *. err);
+    Format.printf "speedup          = %.1fx@." (qspr_t /. leqa_t)
+  in
+  let term =
+    Term.(
+      const run $ file_arg $ bench_arg $ scale_arg $ width_arg $ height_arg
+      $ v_arg)
+  in
+  Cmd.v (Cmd.info "compare" ~doc:"QSPR vs LEQA side by side") term
+
+let sweep_fabric_cmd =
+  let run file bench scale v sizes =
+    let _, _, qodg = or_die (prepare ~file ~bench ~scale) in
+    let table =
+      Leqa_util.Table.create
+        ~columns:
+          [
+            ("fabric", Leqa_util.Table.Left);
+            ("LEQA D (s)", Leqa_util.Table.Right);
+            ("L_CNOT (us)", Leqa_util.Table.Right);
+          ]
+    in
+    List.iter
+      (fun side ->
+        let params = or_die (params_of ~width:side ~height:side ~v) in
+        let est = Estimator.estimate ~params qodg in
+        Leqa_util.Table.add_row table
+          [
+            Printf.sprintf "%dx%d" side side;
+            Printf.sprintf "%.6f" est.Estimator.latency_s;
+            Printf.sprintf "%.1f" est.Estimator.l_cnot_avg;
+          ])
+      sizes;
+    Leqa_util.Table.print table
+  in
+  let sizes_arg =
+    let doc = "Square fabric sizes to sweep." in
+    Arg.(
+      value
+      & opt (list int) [ 10; 20; 30; 40; 60; 80; 100 ]
+      & info [ "sizes" ] ~docv:"N,..." ~doc)
+  in
+  let term =
+    Term.(const run $ file_arg $ bench_arg $ scale_arg $ v_arg $ sizes_arg)
+  in
+  Cmd.v
+    (Cmd.info "sweep-fabric"
+       ~doc:"estimate latency across fabric sizes (Section 3.3)")
+    term
+
+let gen_cmd =
+  let run bench scale output ft =
+    let circ =
+      or_die (load_circuit ~file:None ~bench:(Some bench) ~scale)
+    in
+    let circ =
+      if ft then begin
+        let ft_circ = Decompose.to_ft circ in
+        let logical = Leqa_circuit.Circuit.create () in
+        Ft_circuit.iter
+          (fun g ->
+            Leqa_circuit.Circuit.add logical (Leqa_circuit.Ft_gate.to_gate g))
+          ft_circ;
+        logical
+      end
+      else circ
+    in
+    match output with
+    | None -> print_string (Leqa_circuit.Parser.to_string circ)
+    | Some path ->
+      Leqa_circuit.Parser.write_file path circ;
+      Printf.printf "wrote %s (%d qubits, %d gates)\n" path
+        (Leqa_circuit.Circuit.num_qubits circ)
+        (Leqa_circuit.Circuit.num_gates circ)
+  in
+  let bench_req =
+    let doc = "Benchmark to generate (a Table 2/3 name)." in
+    Arg.(required & opt (some string) None & info [ "b"; "bench" ] ~docv:"NAME" ~doc)
+  in
+  let output_arg =
+    let doc = "Output path (defaults to stdout)." in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"PATH" ~doc)
+  in
+  let ft_arg =
+    let doc = "Emit the fault-tolerant decomposition instead of logical gates." in
+    Arg.(value & flag & info [ "ft" ] ~doc)
+  in
+  let term = Term.(const run $ bench_req $ scale_arg $ output_arg $ ft_arg) in
+  Cmd.v (Cmd.info "gen" ~doc:"write a generated benchmark as a .tfc netlist") term
+
+let info_cmd =
+  let run file bench scale =
+    let circ, ft, qodg = or_die (prepare ~file ~bench ~scale) in
+    Format.printf "%a@." Leqa_circuit.Circuit.pp_summary circ;
+    Format.printf "%a@." Ft_circuit.pp_summary ft;
+    Format.printf "%a@." Qodg.pp_summary qodg;
+    Format.printf "logical depth: %d@."
+      (Leqa_qodg.Critical_path.depth qodg);
+    let iig = Leqa_iig.Iig.of_qodg qodg in
+    Format.printf "%a@." Leqa_iig.Iig.pp_summary iig
+  in
+  let term = Term.(const run $ file_arg $ bench_arg $ scale_arg) in
+  Cmd.v (Cmd.info "info" ~doc:"parse a circuit and print statistics") term
+
+let design_cmd =
+  let run rounds lanes =
+    let native = { Leqa_ulb.Native.default with Leqa_ulb.Native.lanes } in
+    let d = Leqa_ulb.Designer.design ~native ~rounds () in
+    let table =
+      Leqa_util.Table.create
+        ~columns:
+          [
+            ("FT op", Leqa_util.Table.Left);
+            ("gate (us)", Leqa_util.Table.Right);
+            ("EC (us)", Leqa_util.Table.Right);
+            ("total (us)", Leqa_util.Table.Right);
+          ]
+    in
+    List.iter
+      (fun (name, gate, ec) ->
+        Leqa_util.Table.add_row table
+          [
+            name;
+            Printf.sprintf "%.0f" gate;
+            Printf.sprintf "%.0f" ec;
+            Printf.sprintf "%.0f" (gate +. ec);
+          ])
+      (Leqa_ulb.Designer.report d);
+    Leqa_util.Table.print table;
+    Printf.printf "t_move = %.0f us\n" d.Leqa_ulb.Designer.t_move
+  in
+  let rounds_arg =
+    let doc = "Syndrome-repetition rounds per EC phase." in
+    Arg.(value & opt int 3 & info [ "rounds" ] ~docv:"R" ~doc)
+  in
+  let lanes_arg =
+    let doc = "Parallel interaction lanes per ULB." in
+    Arg.(value & opt int Leqa_ulb.Native.default.Leqa_ulb.Native.lanes
+         & info [ "lanes" ] ~docv:"L" ~doc)
+  in
+  let term = Term.(const run $ rounds_arg $ lanes_arg) in
+  Cmd.v
+    (Cmd.info "design" ~doc:"price FT operations from native instructions")
+    term
+
+let select_qecc_cmd =
+  let run file bench scale target =
+    let _, ft, qodg = or_die (prepare ~file ~bench ~scale) in
+    let requirement =
+      {
+        Leqa_qecc.Selection.default_requirement with
+        Leqa_qecc.Selection.target_failure = target;
+      }
+    in
+    let candidates, chosen =
+      Leqa_qecc.Selection.select ~params:Params.calibrated ~requirement
+        ~per_level_delay:20.0 qodg
+    in
+    Format.printf "%a@." Ft_circuit.pp_summary ft;
+    let table =
+      Leqa_util.Table.create
+        ~columns:
+          [
+            ("code", Leqa_util.Table.Left);
+            ("latency (s)", Leqa_util.Table.Right);
+            ("p_fail", Leqa_util.Table.Right);
+            ("feasible", Leqa_util.Table.Left);
+          ]
+    in
+    List.iter
+      (fun c ->
+        Leqa_util.Table.add_row table
+          [
+            Leqa_qecc.Code.name c.Leqa_qecc.Selection.code;
+            Printf.sprintf "%.4f" c.Leqa_qecc.Selection.latency_s;
+            Printf.sprintf "%.2e" c.Leqa_qecc.Selection.failure_probability;
+            (if c.Leqa_qecc.Selection.feasible then "yes" else "no");
+          ])
+      candidates;
+    Leqa_util.Table.print table;
+    match chosen with
+    | Some c ->
+      Printf.printf "chosen: %s\n" (Leqa_qecc.Code.name c.Leqa_qecc.Selection.code)
+    | None -> Printf.printf "no feasible code within 4 levels\n"
+  in
+  let target_arg =
+    let doc = "Acceptable whole-program failure probability." in
+    Arg.(value & opt float 0.01 & info [ "target" ] ~docv:"P" ~doc)
+  in
+  let term = Term.(const run $ file_arg $ bench_arg $ scale_arg $ target_arg) in
+  Cmd.v
+    (Cmd.info "select-qecc"
+       ~doc:"choose the cheapest feasible QECC level with LEQA")
+    term
+
+let () =
+  let doc = "latency estimation for quantum algorithms on a tiled fabric" in
+  let info = Cmd.info "leqa" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            estimate_cmd; simulate_cmd; compare_cmd; sweep_fabric_cmd; gen_cmd;
+            info_cmd; design_cmd; select_qecc_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/coding_comparison.ml: Leqa_benchmarks Leqa_circuit Leqa_core Leqa_fabric Leqa_qodg Leqa_util List Printf

@@ -1,0 +1,1 @@
+examples/coding_comparison.mli:

@@ -1,0 +1,1 @@
+examples/fabric_sizing.ml: Format Leqa_benchmarks Leqa_circuit Leqa_core Leqa_fabric Leqa_qodg Leqa_qspr Leqa_util List Printf

@@ -1,0 +1,1 @@
+examples/fabric_sizing.mli:

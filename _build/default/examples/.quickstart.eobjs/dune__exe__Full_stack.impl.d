@@ -1,0 +1,1 @@
+examples/full_stack.ml: Format Leqa_benchmarks Leqa_circuit Leqa_qecc Leqa_qodg Leqa_ulb Leqa_util List Printf

@@ -1,0 +1,1 @@
+examples/mapper_anatomy.ml: Format Leqa_benchmarks Leqa_circuit Leqa_core Leqa_fabric Leqa_qodg Leqa_qspr List Printf

@@ -1,0 +1,1 @@
+examples/mapper_anatomy.mli:

@@ -1,0 +1,1 @@
+examples/qecc_exploration.ml: Format Leqa_benchmarks Leqa_circuit Leqa_core Leqa_fabric Leqa_qodg Leqa_util List Printf

@@ -1,0 +1,1 @@
+examples/qecc_exploration.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Leqa_benchmarks Leqa_circuit Leqa_core Leqa_fabric Leqa_iig Leqa_qodg Leqa_qspr Leqa_util

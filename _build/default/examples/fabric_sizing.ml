@@ -1,0 +1,53 @@
+(* Fabric sizing: Section 3.3 notes the fabric size is an input "changed to
+   find the optimal size ... which results in the minimum delay".  This
+   example sweeps square fabrics for one benchmark and reports the LEQA
+   latency at each size, then cross-checks the chosen size with QSPR.
+
+   Run with: dune exec examples/fabric_sizing.exe *)
+
+module Params = Leqa_fabric.Params
+module Table = Leqa_util.Table
+
+let () =
+  let circ = Leqa_benchmarks.Gf2_mult.circuit ~n:16 () in
+  let ft = Leqa_circuit.Decompose.to_ft circ in
+  let qodg = Leqa_qodg.Qodg.of_ft_circuit ft in
+  Format.printf "Workload: gf2^16mult — %a@.@."
+    Leqa_circuit.Ft_circuit.pp_summary ft;
+  let sizes = [ 10; 15; 20; 30; 40; 60; 80; 100 ] in
+  let table =
+    Table.create
+      ~columns:
+        [
+          ("fabric", Table.Left);
+          ("LEQA D (s)", Table.Right);
+          ("L_CNOT (us)", Table.Right);
+        ]
+  in
+  let best = ref None in
+  List.iter
+    (fun side ->
+      let params = Params.with_fabric Params.default ~width:side ~height:side in
+      let est = Leqa_core.Estimator.estimate ~params qodg in
+      (* keep the smallest fabric within a hair of the minimum: extra ULBs
+         are expensive hardware *)
+      (match !best with
+      | Some (_, d) when d <= est.latency_s +. 1e-6 -> ()
+      | _ -> best := Some (side, est.latency_s));
+      Table.add_row table
+        [
+          Printf.sprintf "%dx%d" side side;
+          Printf.sprintf "%.4f" est.latency_s;
+          Printf.sprintf "%.1f" est.l_cnot_avg;
+        ])
+    sizes;
+  Table.print table;
+  match !best with
+  | None -> ()
+  | Some (side, d) ->
+    Format.printf "@.LEQA's pick: %dx%d (%.4f s). Cross-checking with QSPR...@."
+      side side d;
+    let params = Params.with_fabric Params.default ~width:side ~height:side in
+    let config = { Leqa_qspr.Qspr.default_config with params } in
+    let actual = Leqa_qspr.Qspr.run ~config qodg in
+    Format.printf "QSPR actual at %dx%d: %.4f s@." side side actual.latency_s

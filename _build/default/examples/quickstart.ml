@@ -1,0 +1,57 @@
+(* Quickstart: the Figure 2 walk-through.
+
+   Builds the ham3 circuit, decomposes it to fault-tolerant gates,
+   constructs the QODG, and compares the LEQA latency estimate against the
+   detailed QSPR mapper on the default Table 1 fabric.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Circuit = Leqa_circuit.Circuit
+module Decompose = Leqa_circuit.Decompose
+module Ft_circuit = Leqa_circuit.Ft_circuit
+module Qodg = Leqa_qodg.Qodg
+module Critical_path = Leqa_qodg.Critical_path
+module Iig = Leqa_iig.Iig
+module Params = Leqa_fabric.Params
+
+let () =
+  (* 1. A synthesized reversible circuit (Figure 2a). *)
+  let ham3 = Leqa_benchmarks.Hamming.ham3 () in
+  Format.printf "Logical circuit: %a@." Circuit.pp_summary ham3;
+  Circuit.iteri
+    (fun i g -> Format.printf "  %2d: %a@." (i + 1) Leqa_circuit.Gate.pp g)
+    ham3;
+
+  (* 2. Decompose to the fault-tolerant gate set. *)
+  let ft = Decompose.to_ft ham3 in
+  Format.printf "@.%a@." Ft_circuit.pp_summary ft;
+
+  (* 3. Build the QODG (Figure 2b) and inspect it. *)
+  let qodg = Qodg.of_ft_circuit ft in
+  Format.printf "%a@." Qodg.pp_summary qodg;
+  Format.printf "Logical depth (unit delays): %d@." (Critical_path.depth qodg);
+
+  (* 4. The interaction intensity graph driving the presence zones. *)
+  let iig = Iig.of_qodg qodg in
+  Format.printf "%a@." Iig.pp_summary iig;
+
+  (* 5. LEQA estimate on the default Table 1 fabric. *)
+  let params = Params.default in
+  let est = Leqa_core.Estimator.estimate ~params qodg in
+  Format.printf "@.LEQA estimate:@.";
+  Format.printf "  avg zone area B        = %.2f ULB^2@." est.avg_zone_area;
+  Format.printf "  d_uncongested          = %.1f us@." est.d_uncong;
+  Format.printf "  L_CNOT^avg             = %.1f us@." est.l_cnot_avg;
+  Format.printf "  estimated latency      = %.4f s@." est.latency_s;
+
+  (* 6. Detailed QSPR mapping for comparison. *)
+  let actual = Leqa_qspr.Qspr.run qodg in
+  Format.printf "@.QSPR detailed mapping:@.";
+  Format.printf "  actual latency         = %.4f s@." actual.latency_s;
+  Format.printf "  channel hops           = %d@."
+    actual.stats.Leqa_qspr.Scheduler.hops;
+  let err =
+    Leqa_util.Stats.relative_error ~actual:actual.latency_s
+      ~estimated:est.latency_s
+  in
+  Format.printf "  estimation error       = %.2f%%@." (100.0 *. err)

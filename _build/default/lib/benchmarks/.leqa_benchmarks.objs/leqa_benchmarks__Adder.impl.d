@@ -1,0 +1,1 @@
+lib/benchmarks/adder.ml: Leqa_circuit List

@@ -1,0 +1,1 @@
+lib/benchmarks/adder.mli: Leqa_circuit

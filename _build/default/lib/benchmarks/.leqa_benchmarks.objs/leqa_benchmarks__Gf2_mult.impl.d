@@ -1,0 +1,1 @@
+lib/benchmarks/gf2_mult.ml: Array Hashtbl Leqa_circuit List Option

@@ -1,0 +1,1 @@
+lib/benchmarks/gf2_mult.mli: Leqa_circuit

@@ -1,0 +1,1 @@
+lib/benchmarks/grover.ml: Float Leqa_circuit List

@@ -1,0 +1,1 @@
+lib/benchmarks/grover.mli: Leqa_circuit

@@ -1,0 +1,1 @@
+lib/benchmarks/hamming.ml: Leqa_circuit List

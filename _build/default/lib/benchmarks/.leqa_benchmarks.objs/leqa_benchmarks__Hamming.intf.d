@@ -1,0 +1,1 @@
+lib/benchmarks/hamming.mli: Leqa_circuit

@@ -1,0 +1,1 @@
+lib/benchmarks/hwb.ml: Hashtbl Leqa_circuit Leqa_util

@@ -1,0 +1,1 @@
+lib/benchmarks/hwb.mli: Leqa_circuit

@@ -1,0 +1,1 @@
+lib/benchmarks/qft.ml: Leqa_circuit List

@@ -1,0 +1,1 @@
+lib/benchmarks/qft_adder.ml: Leqa_circuit List Qft

@@ -1,0 +1,1 @@
+lib/benchmarks/qft_adder.mli: Leqa_circuit

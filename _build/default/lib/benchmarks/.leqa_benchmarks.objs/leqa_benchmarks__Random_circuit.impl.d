@@ -1,0 +1,1 @@
+lib/benchmarks/random_circuit.ml: Array Leqa_circuit Leqa_util

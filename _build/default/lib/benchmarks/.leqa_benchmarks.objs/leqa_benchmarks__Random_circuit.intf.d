@@ -1,0 +1,1 @@
+lib/benchmarks/random_circuit.mli: Leqa_circuit Leqa_util

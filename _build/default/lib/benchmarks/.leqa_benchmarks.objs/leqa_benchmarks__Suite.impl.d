@@ -1,0 +1,1 @@
+lib/benchmarks/suite.ml: Adder Gf2_mult Hamming Hwb Leqa_circuit List

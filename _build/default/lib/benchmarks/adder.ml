@@ -1,0 +1,94 @@
+module Circuit = Leqa_circuit.Circuit
+module Gate = Leqa_circuit.Gate
+
+let carry ~c_in ~a ~b ~c_out =
+  Gate.
+    [
+      Toffoli { c1 = a; c2 = b; target = c_out };
+      Cnot { control = a; target = b };
+      Toffoli { c1 = c_in; c2 = b; target = c_out };
+    ]
+
+let carry_inverse ~c_in ~a ~b ~c_out = List.rev (carry ~c_in ~a ~b ~c_out)
+
+let sum ~c_in ~a ~b =
+  Gate.[ Cnot { control = a; target = b }; Cnot { control = c_in; target = b } ]
+
+let ripple_carry ~n =
+  if n < 1 then invalid_arg "Adder.ripple_carry: n must be >= 1";
+  let carry_wire i = i
+  and a_wire i = n + i
+  and b_wire i = (2 * n) + i in
+  let circ = Circuit.create ~num_qubits:((3 * n) + 1) () in
+  (* forward carry chain; the top carry-out lands in the overflow bit b_n *)
+  for i = 0 to n - 1 do
+    let c_out = if i = n - 1 then b_wire n else carry_wire (i + 1) in
+    Circuit.add_all circ
+      (carry ~c_in:(carry_wire i) ~a:(a_wire i) ~b:(b_wire i) ~c_out)
+  done;
+  Circuit.add circ
+    (Gate.Cnot { control = a_wire (n - 1); target = b_wire (n - 1) });
+  Circuit.add_all circ
+    (sum ~c_in:(carry_wire (n - 1)) ~a:(a_wire (n - 1)) ~b:(b_wire (n - 1)));
+  for i = n - 2 downto 0 do
+    Circuit.add_all circ
+      (carry_inverse ~c_in:(carry_wire i) ~a:(a_wire i) ~b:(b_wire i)
+         ~c_out:(carry_wire (i + 1)));
+    Circuit.add_all circ (sum ~c_in:(carry_wire i) ~a:(a_wire i) ~b:(b_wire i))
+  done;
+  circ
+
+(* Appends [src]'s gates into [dst] with wires shifted by [offset]. *)
+let append_shifted dst src ~offset =
+  let shift_gate g =
+    let s q = q + offset in
+    match g with
+    | Gate.Single (k, q) -> Gate.Single (k, s q)
+    | Gate.Cnot { control; target } ->
+      Gate.Cnot { control = s control; target = s target }
+    | Gate.Toffoli { c1; c2; target } ->
+      Gate.Toffoli { c1 = s c1; c2 = s c2; target = s target }
+    | Gate.Fredkin { control; t1; t2 } ->
+      Gate.Fredkin { control = s control; t1 = s t1; t2 = s t2 }
+    | Gate.Mct { controls; target } ->
+      Gate.Mct { controls = List.map s controls; target = s target }
+    | Gate.Mcf { controls; t1; t2 } ->
+      Gate.Mcf { controls = List.map s controls; t1 = s t1; t2 = s t2 }
+  in
+  Circuit.iter (fun g -> Circuit.add dst (shift_gate g)) src
+
+let modular ~n =
+  if n < 2 then invalid_arg "Adder.modular: n must be >= 2";
+  let base = ripple_carry ~n in
+  let width = Circuit.num_qubits base in
+  (* extra wires: the modulus register N (n wires) and a comparison flag *)
+  let flag = width + n in
+  let circ = Circuit.create ~num_qubits:(flag + 1) () in
+  let n_wire i = width + i in
+  let b_wire i = (2 * n) + i in
+  (* VBE modular-addition skeleton: ADD(a,b); SUB(N,b); flag ← sign via a
+     wide MCT over b; controlled re-ADD(N,b); ADD/SUB(a,b) cleanup pair.
+     The three "adder passes over (N,b)" reuse the same ripple structure. *)
+  let add_pass () = append_shifted circ base ~offset:0 in
+  add_pass ();
+  add_pass ();
+  (* comparison: flag flips when the high half of b is all ones *)
+  let controls = List.init (min n 8) (fun i -> b_wire (n - 1 - i)) in
+  (match controls with
+  | [ c ] -> Circuit.add circ (Gate.Cnot { control = c; target = flag })
+  | [ c1; c2 ] -> Circuit.add circ (Gate.Toffoli { c1; c2; target = flag })
+  | _ -> Circuit.add circ (Gate.Mct { controls; target = flag }));
+  (* controlled modulus re-addition: flag-controlled Toffolis into b *)
+  for i = 0 to n - 1 do
+    Circuit.add circ
+      (Gate.Toffoli { c1 = flag; c2 = n_wire i; target = b_wire i })
+  done;
+  add_pass ();
+  (* uncompute the flag *)
+  (match controls with
+  | [ c ] -> Circuit.add circ (Gate.Cnot { control = c; target = flag })
+  | [ c1; c2 ] -> Circuit.add circ (Gate.Toffoli { c1; c2; target = flag })
+  | _ -> Circuit.add circ (Gate.Mct { controls; target = flag }));
+  add_pass ();
+  add_pass ();
+  circ

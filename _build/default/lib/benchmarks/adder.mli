@@ -1,0 +1,27 @@
+(** Ripple-carry adders after Vedral, Barenco & Ekert (VBE) — the
+    [8bitadder] and [mod1048576adder] rows of Tables 2-3.
+
+    Plain adder wires: carries [c₀..c_{n-1}] (0..n-1), summand
+    [a₀..a_{n-1}] (n..2n-1), summand/result [b₀..b_n] (2n..3n): 3n+1
+    qubits; [b] gains the overflow bit. *)
+
+val carry : c_in:int -> a:int -> b:int -> c_out:int -> Leqa_circuit.Gate.t list
+(** The VBE CARRY block: Toffoli(a,b,c_out) · CNOT(a,b) ·
+    Toffoli(c_in,b,c_out). *)
+
+val carry_inverse :
+  c_in:int -> a:int -> b:int -> c_out:int -> Leqa_circuit.Gate.t list
+
+val sum : c_in:int -> a:int -> b:int -> Leqa_circuit.Gate.t list
+(** CNOT(a,b) · CNOT(c_in,b). *)
+
+val ripple_carry : n:int -> Leqa_circuit.Circuit.t
+(** Full n-bit adder: b ← a + b (with overflow).
+    @raise Invalid_argument for [n < 1]. *)
+
+val modular : n:int -> Leqa_circuit.Circuit.t
+(** VBE-style modular adder b ← (a + b) mod N skeleton for an n-bit
+    modulus: five ripple-carry adder passes around a comparison flag
+    computed with wide MCT gates — the construction that gives the
+    [modNadder] benchmarks their large ancilla counts once MCTs are
+    decomposed without sharing. *)

@@ -1,0 +1,88 @@
+module Circuit = Leqa_circuit.Circuit
+module Gate = Leqa_circuit.Gate
+
+type reduction = [ `Fold | `Polynomial ]
+
+(* Low-order exponents (besides x^0) of sparse irreducible polynomials for
+   the field sizes used by the benchmark suite; NIST / standard choices. *)
+let tabulated_taps =
+  [
+    (16, [ 5; 3; 1 ]);
+    (18, [ 3 ]);
+    (19, [ 5; 2; 1 ]);
+    (20, [ 3 ]);
+    (50, [ 4; 3; 2 ]);
+    (64, [ 4; 3; 1 ]);
+    (100, [ 15 ]);
+    (128, [ 7; 2; 1 ]);
+    (256, [ 10; 5; 2 ]);
+  ]
+
+let reduction_taps ~n =
+  match List.assoc_opt n tabulated_taps with
+  | Some taps -> 0 :: taps
+  | None -> [ 0; 1 ]
+
+(* reduce.(m) = exponents < n that x^m reduces to, for m in [0, 2n-2]. *)
+let reduction_table ~n ~taps =
+  let table = Array.make ((2 * n) - 1) [] in
+  for m = 0 to n - 1 do
+    table.(m) <- [ m ]
+  done;
+  for m = n to (2 * n) - 2 do
+    (* x^m = x^(m-n) · Σ_{k∈taps} x^k, each term already reduced *)
+    let terms =
+      List.concat_map (fun k -> table.(m - n + k)) taps
+    in
+    (* GF(2): cancel duplicate exponents pairwise *)
+    let counts = Hashtbl.create 8 in
+    List.iter
+      (fun e ->
+        let c = Option.value ~default:0 (Hashtbl.find_opt counts e) in
+        Hashtbl.replace counts e (c + 1))
+      terms;
+    table.(m) <-
+      List.sort compare
+        (Hashtbl.fold (fun e c acc -> if c mod 2 = 1 then e :: acc else acc)
+           counts [])
+  done;
+  table
+
+let circuit ?(reduction = `Fold) ~n () =
+  if n < 2 then invalid_arg "Gf2_mult.circuit: n must be >= 2";
+  let c = Circuit.create ~num_qubits:(3 * n) () in
+  let a i = i and b j = n + j and acc t = (2 * n) + t in
+  (match reduction with
+  | `Fold ->
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        Circuit.add c
+          (Gate.Toffoli { c1 = a i; c2 = b j; target = acc ((i + j) mod n) })
+      done
+    done
+  | `Polynomial ->
+    let taps = reduction_taps ~n in
+    let table = reduction_table ~n ~taps in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        List.iter
+          (fun e ->
+            Circuit.add c (Gate.Toffoli { c1 = a i; c2 = b j; target = acc e }))
+          table.(i + j)
+      done
+    done);
+  c
+
+let toffoli_count ?(reduction = `Fold) ~n () =
+  match reduction with
+  | `Fold -> n * n
+  | `Polynomial ->
+    let taps = reduction_taps ~n in
+    let table = reduction_table ~n ~taps in
+    let total = ref 0 in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        total := !total + List.length table.(i + j)
+      done
+    done;
+    !total

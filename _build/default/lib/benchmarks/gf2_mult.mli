@@ -1,0 +1,27 @@
+(** GF(2^n) multiplier circuits — the [gf2^Nmult] family of Tables 2-3.
+
+    Wires: [a₀..a_{n-1}] (inputs 0..n-1), [b₀..b_{n-1}] (n..2n-1) and the
+    product accumulator [c₀..c_{n-1}] (2n..3n-1): 3n qubits, matching the
+    paper's qubit counts (e.g. gf2^256mult = 768 qubits).
+
+    Two reduction styles:
+    - [`Fold]: partial product a_i·b_j accumulates into c_{(i+j) mod n}
+      (multiplication in GF(2)[x]/(xⁿ+1)); exactly n² Toffolis, which
+      matches the published operation counts (n²·15 FT gates, e.g.
+      983,040 ≈ the paper's 983,805 for n = 256).
+    - [`Polynomial]: true field multiplication modulo a sparse irreducible
+      polynomial (trinomial/pentanomial table); overflow terms fan out to
+      the reduction taps, costing extra Toffolis. *)
+
+type reduction = [ `Fold | `Polynomial ]
+
+val circuit : ?reduction:reduction -> n:int -> unit -> Leqa_circuit.Circuit.t
+(** @raise Invalid_argument for [n < 2]. *)
+
+val reduction_taps : n:int -> int list
+(** Exponents of the low-order terms of the irreducible polynomial used by
+    [`Polynomial] for this [n] (from a small built-in table, falling back
+    to x^n + x + 1 shape when [n] is not tabulated). *)
+
+val toffoli_count : ?reduction:reduction -> n:int -> unit -> int
+(** Closed-form Toffoli count (tested against the generated circuit). *)

@@ -1,0 +1,54 @@
+module Circuit = Leqa_circuit.Circuit
+module Gate = Leqa_circuit.Gate
+
+let optimal_iterations ~n =
+  max 1
+    (int_of_float (Float.pi /. 4.0 *. sqrt (2.0 ** float_of_int n)))
+
+(* multi-controlled Z on wires [0..n-1] = H(target) · MCT · H(target) with
+   the last wire as target *)
+let controlled_z ~n =
+  let target = n - 1 in
+  let controls = List.init (n - 1) (fun i -> i) in
+  let flip =
+    match controls with
+    | [ c ] -> [ Gate.Cnot { control = c; target } ]
+    | [ c1; c2 ] -> [ Gate.Toffoli { c1; c2; target } ]
+    | _ -> [ Gate.Mct { controls; target } ]
+  in
+  (Gate.Single (Gate.H, target) :: flip) @ [ Gate.Single (Gate.H, target) ]
+
+let oracle ~n ~marked =
+  (* flip phase of |marked>: X the zero bits, controlled-Z, undo *)
+  let masks =
+    List.filter_map
+      (fun i -> if marked land (1 lsl i) = 0 then Some (Gate.Single (Gate.X, i)) else None)
+      (List.init n (fun i -> i))
+  in
+  masks @ controlled_z ~n @ masks
+
+let diffusion ~n =
+  let all_h = List.init n (fun i -> Gate.Single (Gate.H, i)) in
+  let all_x = List.init n (fun i -> Gate.Single (Gate.X, i)) in
+  all_h @ all_x @ controlled_z ~n @ all_x @ all_h
+
+let circuit ?iterations ~n ~marked () =
+  if n < 3 then invalid_arg "Grover.circuit: n must be >= 3";
+  if marked < 0 || marked >= 1 lsl (min n 30) then
+    invalid_arg "Grover.circuit: marked pattern out of range";
+  let iterations =
+    match iterations with
+    | None -> optimal_iterations ~n
+    | Some k when k > 0 -> k
+    | Some _ -> invalid_arg "Grover.circuit: non-positive iterations"
+  in
+  let circ = Circuit.create ~num_qubits:n () in
+  (* uniform superposition *)
+  for i = 0 to n - 1 do
+    Circuit.add circ (Gate.Single (Gate.H, i))
+  done;
+  for _ = 1 to iterations do
+    Circuit.add_all circ (oracle ~n ~marked);
+    Circuit.add_all circ (diffusion ~n)
+  done;
+  circ

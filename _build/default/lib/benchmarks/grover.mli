@@ -1,0 +1,16 @@
+(** Grover-search circuits — a second extension family beyond the paper's
+    suite.  Each iteration is an oracle (a multi-controlled phase flip on
+    the marked pattern) followed by the diffusion operator
+    [H^n · X^n · MCZ · X^n · H^n]; both sides are realised with the MCT +
+    ancilla machinery of {!Leqa_circuit.Decompose}, so Grover circuits are
+    MCT-heavy the way the hwb family is. *)
+
+val circuit : ?iterations:int -> n:int -> marked:int -> unit ->
+  Leqa_circuit.Circuit.t
+(** [circuit ~n ~marked ()] searches an n-bit space for the bit pattern
+    [marked]; [iterations] defaults to ⌊(π/4)·√(2ⁿ)⌋.
+    @raise Invalid_argument for [n < 3], out-of-range [marked], or
+    non-positive [iterations]. *)
+
+val optimal_iterations : n:int -> int
+(** ⌊(π/4)·√(2ⁿ)⌋, at least 1. *)

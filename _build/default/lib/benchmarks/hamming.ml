@@ -1,0 +1,54 @@
+module Circuit = Leqa_circuit.Circuit
+module Gate = Leqa_circuit.Gate
+
+let ham3 () =
+  Circuit.of_gates ~num_qubits:3
+    Gate.
+      [
+        Toffoli { c1 = 0; c2 = 1; target = 2 };
+        Cnot { control = 2; target = 1 };
+        Cnot { control = 0; target = 2 };
+        Cnot { control = 1; target = 0 };
+        Cnot { control = 2; target = 0 };
+      ]
+
+let parity_positions ~n =
+  let rec powers acc p = if p > n then List.rev acc else powers (p :: acc) (2 * p) in
+  powers [] 1
+
+let circuit ~n () =
+  if n < 3 then invalid_arg "Hamming.circuit: n must be >= 3";
+  let circ = Circuit.create ~num_qubits:n () in
+  let parities = parity_positions ~n in
+  (* encoding: each parity position accumulates the XOR of the data
+     positions it covers (1-based Hamming rule: position p covers i when
+     i land p <> 0) *)
+  List.iter
+    (fun p ->
+      for i = 1 to n do
+        if i <> p && i land p <> 0 then
+          Circuit.add circ (Gate.Cnot { control = i - 1; target = p - 1 })
+      done)
+    parities;
+  (* correction: per data wire, a syndrome-controlled flip from all parity
+     wires (an MCT when there are >= 3 parities) *)
+  let parity_wires = List.map (fun p -> p - 1) parities in
+  for i = 1 to n do
+    if not (List.mem i parities) then begin
+      let controls = List.filter (fun w -> w <> i - 1) parity_wires in
+      match controls with
+      | [] -> ()
+      | [ control ] -> Circuit.add circ (Gate.Cnot { control; target = i - 1 })
+      | [ c1; c2 ] -> Circuit.add circ (Gate.Toffoli { c1; c2; target = i - 1 })
+      | _ -> Circuit.add circ (Gate.Mct { controls; target = i - 1 })
+    end
+  done;
+  (* decode pass: undo the parity accumulation *)
+  List.iter
+    (fun p ->
+      for i = n downto 1 do
+        if i <> p && i land p <> 0 then
+          Circuit.add circ (Gate.Cnot { control = i - 1; target = p - 1 })
+      done)
+    (List.rev parities);
+  circ

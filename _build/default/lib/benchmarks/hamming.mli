@@ -1,0 +1,16 @@
+(** Hamming-code circuits: the exact [ham3] of Figure 2 and generated
+    [hamN] encoders/correctors (the [ham15] row of Tables 2-3). *)
+
+val ham3 : unit -> Leqa_circuit.Circuit.t
+(** The size-3 Hamming optimal-coding circuit of Figure 2(a): one
+    3-input Toffoli plus four CNOTs over 3 qubits — 19 FT operations
+    after decomposition, matching the 19 QODG nodes of Figure 2(b). *)
+
+val circuit : n:int -> unit -> Leqa_circuit.Circuit.t
+(** [hamN]-style encoder/corrector over [n] data wires: parity-check
+    CNOT fans plus one wide MCT corrector per data wire (deterministic).
+    @raise Invalid_argument for [n < 3]. *)
+
+val parity_positions : n:int -> int list
+(** 1-based positions that are powers of two (the parity bits of a
+    Hamming code of length [n]). *)

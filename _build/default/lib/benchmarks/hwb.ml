@@ -1,0 +1,61 @@
+module Circuit = Leqa_circuit.Circuit
+module Gate = Leqa_circuit.Gate
+module Rng = Leqa_util.Rng
+
+(* Draw k distinct wires from [0, n). *)
+let distinct_wires rng ~n ~k =
+  let chosen = Hashtbl.create k in
+  let rec draw acc remaining =
+    if remaining = 0 then acc
+    else begin
+      let w = Rng.int rng ~bound:n in
+      if Hashtbl.mem chosen w then draw acc remaining
+      else begin
+        Hashtbl.add chosen w ();
+        draw (w :: acc) (remaining - 1)
+      end
+    end
+  in
+  draw [] k
+
+let circuit ?(ops_per_wire = 24) ~n () =
+  if n < 4 then invalid_arg "Hwb.circuit: n must be >= 4";
+  if ops_per_wire < 1 then invalid_arg "Hwb.circuit: ops_per_wire must be >= 1";
+  let rng = Rng.create ~seed:(0x4857 + n) in
+  let circ = Circuit.create ~num_qubits:n () in
+  let stages = ops_per_wire * n in
+  for _ = 1 to stages do
+    let roll = Rng.int rng ~bound:100 in
+    if roll < 20 then begin
+      match distinct_wires rng ~n ~k:2 with
+      | [ control; target ] -> Circuit.add circ (Gate.Cnot { control; target })
+      | _ -> assert false
+    end
+    else if roll < 70 then begin
+      match distinct_wires rng ~n ~k:3 with
+      | [ c1; c2; target ] -> Circuit.add circ (Gate.Toffoli { c1; c2; target })
+      | _ -> assert false
+    end
+    else if roll < 90 then begin
+      (* small MCT, the ancilla driver; arity capped by the wire count *)
+      let k = min (3 + Rng.int rng ~bound:3) (n - 1) in
+      match distinct_wires rng ~n ~k:(k + 1) with
+      | target :: controls when k >= 3 ->
+        Circuit.add circ (Gate.Mct { controls; target })
+      | target :: c1 :: c2 :: _ ->
+        Circuit.add circ (Gate.Toffoli { c1; c2; target })
+      | _ -> assert false
+    end
+    else begin
+      let q = Rng.int rng ~bound:n in
+      let kind =
+        match Rng.int rng ~bound:4 with
+        | 0 -> Gate.H
+        | 1 -> Gate.T
+        | 2 -> Gate.Tdg
+        | _ -> Gate.X
+      in
+      Circuit.add circ (Gate.Single (kind, q))
+    end
+  done;
+  circ

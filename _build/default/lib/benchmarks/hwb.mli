@@ -1,0 +1,15 @@
+(** Hidden-weighted-bit style benchmarks — the [hwbNps] rows of
+    Tables 2-3.
+
+    The published netlists are syntheses of the HWB function dominated by
+    wide multi-controlled Toffoli cascades; after ancilla-unshared MCT
+    decomposition their qubit counts grow to ≈ 10-16× the input count.
+    We generate structurally equivalent circuits: a deterministic
+    (seed = n) pseudo-random cascade of CNOT / Toffoli / small-MCT stages
+    over n primary wires, sized to the same order of FT-operation count
+    (≈ 500·n). *)
+
+val circuit : ?ops_per_wire:int -> n:int -> unit -> Leqa_circuit.Circuit.t
+(** [ops_per_wire] controls the pre-decomposition stage count
+    (default 24, which lands near the published post-decomposition sizes).
+    @raise Invalid_argument for [n < 4]. *)

@@ -1,0 +1,72 @@
+module Circuit = Leqa_circuit.Circuit
+module Gate = Leqa_circuit.Gate
+
+(* controlled-R_k via the T-conjugation pattern:
+     Rz(theta/2) on control, CNOT, Rz(-theta/2) on target, CNOT,
+     Rz(theta/2) on target
+   with the Rz slots filled from the discrete {Z, S, T} family the FT set
+   offers (the approximation the fabric executes anyway). *)
+let rotation_for k q =
+  if k <= 1 then Gate.Single (Gate.Z, q)
+  else if k = 2 then Gate.Single (Gate.S, q)
+  else Gate.Single (Gate.T, q)
+
+let rotation_inverse_for k q =
+  if k <= 1 then Gate.Single (Gate.Z, q)
+  else if k = 2 then Gate.Single (Gate.Sdg, q)
+  else Gate.Single (Gate.Tdg, q)
+
+let controlled_phase ~k ~control ~target =
+  [
+    rotation_for k control;
+    Gate.Cnot { control; target };
+    rotation_inverse_for k target;
+    Gate.Cnot { control; target };
+    rotation_for k target;
+  ]
+
+let controlled_phase_gates ~k ~control ~target ~inverse =
+  if inverse then
+    List.rev_map
+      (fun g ->
+        match g with
+        | Gate.Single (Gate.T, q) -> Gate.Single (Gate.Tdg, q)
+        | Gate.Single (Gate.Tdg, q) -> Gate.Single (Gate.T, q)
+        | Gate.Single (Gate.S, q) -> Gate.Single (Gate.Sdg, q)
+        | Gate.Single (Gate.Sdg, q) -> Gate.Single (Gate.S, q)
+        | other -> other)
+      (controlled_phase ~k ~control ~target)
+  else controlled_phase ~k ~control ~target
+
+let circuit ?(bandwidth = 8) ~n () =
+  if n < 2 then invalid_arg "Qft.circuit: n must be >= 2";
+  if bandwidth < 1 then invalid_arg "Qft.circuit: bandwidth must be >= 1";
+  let circ = Circuit.create ~num_qubits:n () in
+  for i = 0 to n - 1 do
+    Circuit.add circ (Gate.Single (Gate.H, i));
+    let upper = min (n - 1) (i + bandwidth) in
+    for j = i + 1 to upper do
+      Circuit.add_all circ
+        (controlled_phase ~k:(j - i + 1) ~control:j ~target:i)
+    done
+  done;
+  (* final wire reversal with swap = 3 CNOTs *)
+  for i = 0 to (n / 2) - 1 do
+    let a = i and b = n - 1 - i in
+    Circuit.add_all circ
+      Gate.
+        [
+          Cnot { control = a; target = b };
+          Cnot { control = b; target = a };
+          Cnot { control = a; target = b };
+        ]
+  done;
+  circ
+
+let gate_count ?(bandwidth = 8) ~n () =
+  if n < 2 then invalid_arg "Qft.gate_count: n must be >= 2";
+  let phases = ref 0 in
+  for i = 0 to n - 1 do
+    phases := !phases + (min (n - 1) (i + bandwidth) - i)
+  done;
+  n (* H *) + (5 * !phases) + (3 * (n / 2))

@@ -1,0 +1,21 @@
+(** Approximate quantum Fourier transform circuits over the FT gate set —
+    an extension benchmark family beyond the paper's suite (the QFT is the
+    kernel of the Shor workload the paper extrapolates to in Section 4.2).
+
+    The controlled-phase ladder is realised with the standard
+    CNOT/T-conjugation pattern; rotations finer than [2π/2^bandwidth] are
+    dropped (the usual approximate-QFT cut-off), so gate count is
+    [O(n · bandwidth)]. *)
+
+val circuit : ?bandwidth:int -> n:int -> unit -> Leqa_circuit.Circuit.t
+(** [circuit ~n ()] builds an n-qubit approximate QFT ([bandwidth]
+    defaults to 8).  @raise Invalid_argument for [n < 2] or
+    [bandwidth < 1]. *)
+
+val gate_count : ?bandwidth:int -> n:int -> unit -> int
+(** Closed-form logical gate count, tested against the builder. *)
+
+val controlled_phase_gates :
+  k:int -> control:int -> target:int -> inverse:bool -> Leqa_circuit.Gate.t list
+(** The controlled-[R_k] block (5 gates: two CNOTs conjugating discrete
+    rotations), or its inverse — shared with {!Qft_adder}. *)

@@ -1,0 +1,46 @@
+module Circuit = Leqa_circuit.Circuit
+module Gate = Leqa_circuit.Gate
+
+let wires ~n = 2 * n
+
+let invert_gate = function
+  | Gate.Single (Gate.T, q) -> Gate.Single (Gate.Tdg, q)
+  | Gate.Single (Gate.Tdg, q) -> Gate.Single (Gate.T, q)
+  | Gate.Single (Gate.S, q) -> Gate.Single (Gate.Sdg, q)
+  | Gate.Single (Gate.Sdg, q) -> Gate.Single (Gate.S, q)
+  (* H, X, Y, Z, CNOT are self-inverse; the multi-qubit reversible gates
+     do not occur in QFT circuits *)
+  | other -> other
+
+(* the forward approximate QFT gate list over the b register *)
+let qft_body ~n ~bandwidth =
+  let b i = n + i in
+  List.concat_map
+    (fun i ->
+      Gate.Single (Gate.H, b i)
+      :: List.concat_map
+           (fun d ->
+             let j = i + 1 + d in
+             Qft.controlled_phase_gates ~k:(j - i + 1) ~control:(b j)
+               ~target:(b i) ~inverse:false)
+           (List.init (min (n - 1 - i) bandwidth) (fun d -> d)))
+    (List.init n (fun i -> i))
+
+let circuit ?(bandwidth = 8) ~n () =
+  if n < 2 then invalid_arg "Qft_adder.circuit: n must be >= 2";
+  if bandwidth < 1 then invalid_arg "Qft_adder.circuit: bandwidth must be >= 1";
+  let circ = Circuit.create ~num_qubits:(wires ~n) () in
+  let a i = i and b i = n + i in
+  let forward = qft_body ~n ~bandwidth in
+  Circuit.add_all circ forward;
+  (* phase ladder from the a register into the transformed b register *)
+  for i = 0 to n - 1 do
+    for j = i to min (n - 1) (i + bandwidth) do
+      Circuit.add_all circ
+        (Qft.controlled_phase_gates ~k:(j - i + 1) ~control:(a j)
+           ~target:(b i) ~inverse:false)
+    done
+  done;
+  (* inverse QFT: reversed, gate-wise conjugated forward body *)
+  Circuit.add_all circ (List.rev_map invert_gate forward);
+  circ

@@ -1,0 +1,16 @@
+(** Draper's QFT adder — a structurally different coding of addition from
+    the VBE ripple-carry adder of {!Adder}, built on {!Qft}.
+
+    b ← a + b via: QFT(b) · controlled-phase ladder from a · QFT⁻¹(b).
+    No carry ancillas (2n wires vs the VBE's 3n+1), but a much denser
+    two-qubit interaction pattern — exactly the kind of coding trade-off
+    the paper's introduction wants LEQA to arbitrate quickly. *)
+
+val circuit : ?bandwidth:int -> n:int -> unit -> Leqa_circuit.Circuit.t
+(** [circuit ~n ()] adds two n-bit registers (wires a = 0..n-1,
+    b = n..2n-1); [bandwidth] truncates the phase ladders like
+    {!Qft.circuit} (default 8).
+    @raise Invalid_argument for [n < 2] or [bandwidth < 1]. *)
+
+val wires : n:int -> int
+(** 2n — no ancillas. *)

@@ -1,0 +1,82 @@
+module Ft_circuit = Leqa_circuit.Ft_circuit
+module Ft_gate = Leqa_circuit.Ft_gate
+module Circuit = Leqa_circuit.Circuit
+module Gate = Leqa_circuit.Gate
+module Rng = Leqa_util.Rng
+
+let single_kinds = Array.of_list Ft_gate.all_single_kinds
+
+let random_single rng q =
+  let kind = single_kinds.(Rng.int rng ~bound:(Array.length single_kinds)) in
+  Ft_gate.Single (kind, q)
+
+let ft ~rng ~qubits ~gates ~cnot_fraction =
+  if qubits < 2 then invalid_arg "Random_circuit.ft: need >= 2 qubits";
+  if cnot_fraction < 0.0 || cnot_fraction > 1.0 then
+    invalid_arg "Random_circuit.ft: fraction out of range";
+  let circ = Ft_circuit.create ~num_qubits:qubits () in
+  for _ = 1 to gates do
+    if Rng.float rng < cnot_fraction then begin
+      let control = Rng.int rng ~bound:qubits in
+      let target =
+        let t = Rng.int rng ~bound:(qubits - 1) in
+        if t >= control then t + 1 else t
+      in
+      Ft_circuit.add circ (Ft_gate.Cnot { control; target })
+    end
+    else Ft_circuit.add circ (random_single rng (Rng.int rng ~bound:qubits))
+  done;
+  circ
+
+let logical ~rng ~qubits ~gates =
+  if qubits < 3 then invalid_arg "Random_circuit.logical: need >= 3 qubits";
+  let circ = Circuit.create ~num_qubits:qubits () in
+  let three_distinct () =
+    let a = Rng.int rng ~bound:qubits in
+    let b =
+      let x = Rng.int rng ~bound:(qubits - 1) in
+      if x >= a then x + 1 else x
+    in
+    let rec third () =
+      let x = Rng.int rng ~bound:qubits in
+      if x = a || x = b then third () else x
+    in
+    (a, b, third ())
+  in
+  for _ = 1 to gates do
+    match Rng.int rng ~bound:4 with
+    | 0 ->
+      let q = Rng.int rng ~bound:qubits in
+      Circuit.add circ (Gate.Single (Gate.H, q))
+    | 1 ->
+      let a, b, _ = three_distinct () in
+      Circuit.add circ (Gate.Cnot { control = a; target = b })
+    | 2 ->
+      let a, b, c = three_distinct () in
+      Circuit.add circ (Gate.Toffoli { c1 = a; c2 = b; target = c })
+    | _ ->
+      let a, b, c = three_distinct () in
+      Circuit.add circ (Gate.Fredkin { control = a; t1 = b; t2 = c })
+  done;
+  circ
+
+let local_ft ~rng ~qubits ~gates ~window =
+  if qubits < 2 then invalid_arg "Random_circuit.local_ft: need >= 2 qubits";
+  if window < 1 then invalid_arg "Random_circuit.local_ft: window must be >= 1";
+  let circ = Ft_circuit.create ~num_qubits:qubits () in
+  for _ = 1 to gates do
+    if Rng.bool rng then begin
+      let control = Rng.int rng ~bound:qubits in
+      let lo = max 0 (control - window)
+      and hi = min (qubits - 1) (control + window) in
+      let rec partner () =
+        let t = lo + Rng.int rng ~bound:(hi - lo + 1) in
+        if t = control then partner () else t
+      in
+      if hi > lo then
+        Ft_circuit.add circ (Ft_gate.Cnot { control; target = partner () })
+      else Ft_circuit.add circ (random_single rng control)
+    end
+    else Ft_circuit.add circ (random_single rng (Rng.int rng ~bound:qubits))
+  done;
+  circ

@@ -1,0 +1,23 @@
+(** Random circuit generators for tests and property-based testing. *)
+
+val ft : rng:Leqa_util.Rng.t -> qubits:int -> gates:int -> cnot_fraction:float ->
+  Leqa_circuit.Ft_circuit.t
+(** Random FT circuit: each gate is a CNOT with probability
+    [cnot_fraction] (uniform distinct operands) or a uniform one-qubit
+    gate.  @raise Invalid_argument for [qubits < 2] or a fraction outside
+    [0,1]. *)
+
+val logical :
+  rng:Leqa_util.Rng.t -> qubits:int -> gates:int -> Leqa_circuit.Circuit.t
+(** Random logical circuit mixing one-qubit gates, CNOT, Toffoli and
+    Fredkin. @raise Invalid_argument for [qubits < 3]. *)
+
+val local_ft :
+  rng:Leqa_util.Rng.t ->
+  qubits:int ->
+  gates:int ->
+  window:int ->
+  Leqa_circuit.Ft_circuit.t
+(** Locality-biased FT circuit: CNOT partners are drawn within a
+    [window]-wide index neighbourhood — produces low-degree IIGs (small
+    presence zones), the regime where LEQA's congestion term is benign. *)

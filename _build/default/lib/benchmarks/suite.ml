@@ -1,0 +1,66 @@
+type entry = {
+  name : string;
+  family : string;
+  parameter : int;
+  build : int -> Leqa_circuit.Circuit.t;
+}
+
+let gf2 name parameter =
+  { name; family = "gf2mult"; parameter; build = (fun n -> Gf2_mult.circuit ~n ()) }
+
+let hwb name parameter =
+  { name; family = "hwb"; parameter; build = (fun n -> Hwb.circuit ~n ()) }
+
+let all =
+  [
+    {
+      name = "8bitadder";
+      family = "adder";
+      parameter = 8;
+      build = (fun n -> Adder.ripple_carry ~n);
+    };
+    gf2 "gf2^16mult" 16;
+    hwb "hwb15ps" 15;
+    hwb "hwb16ps" 16;
+    gf2 "gf2^18mult" 18;
+    gf2 "gf2^19mult" 19;
+    gf2 "gf2^20mult" 20;
+    {
+      name = "ham15";
+      family = "ham";
+      parameter = 15;
+      build = (fun n -> Hamming.circuit ~n ());
+    };
+    hwb "hwb20ps" 20;
+    hwb "hwb50ps" 50;
+    gf2 "gf2^50mult" 50;
+    {
+      name = "mod1048576adder";
+      family = "modadder";
+      parameter = 20;
+      build = (fun n -> Adder.modular ~n);
+    };
+    gf2 "gf2^64mult" 64;
+    hwb "hwb100ps" 100;
+    gf2 "gf2^100mult" 100;
+    hwb "hwb200ps" 200;
+    gf2 "gf2^128mult" 128;
+    gf2 "gf2^256mult" 256;
+  ]
+
+let find name = List.find_opt (fun e -> e.name = name) all
+
+let family_minimum = function
+  | "hwb" -> 4
+  | "ham" -> 3
+  | "adder" | "modadder" -> 2
+  | _ -> 2
+
+let scaled_parameter e ~scale =
+  if scale <= 0.0 then invalid_arg "Suite.scaled_parameter: non-positive scale";
+  max (family_minimum e.family)
+    (int_of_float (float_of_int e.parameter *. scale))
+
+let build_scaled e ~scale = e.build (scaled_parameter e ~scale)
+
+let ft_of = Leqa_circuit.Decompose.to_ft

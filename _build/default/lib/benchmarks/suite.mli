@@ -1,0 +1,26 @@
+(** The 18-benchmark suite of Tables 2-3, in the paper's row order.
+
+    Each entry generates its logical circuit on demand; a [scale] factor
+    shrinks the family parameter (e.g. gf2^256mult at scale 0.25 becomes a
+    GF(2^64) multiplier) so the full comparison harness can run quickly,
+    with [scale = 1.0] reproducing the full-size workloads. *)
+
+type entry = {
+  name : string;  (** the paper's benchmark name *)
+  family : string;  (** "gf2mult" | "hwb" | "adder" | "modadder" | "ham" *)
+  parameter : int;  (** family size parameter at scale 1.0 *)
+  build : int -> Leqa_circuit.Circuit.t;  (** build at a given parameter *)
+}
+
+val all : entry list
+(** Table 2/3 order: 8bitadder .. gf2^256mult. *)
+
+val find : string -> entry option
+
+val scaled_parameter : entry -> scale:float -> int
+(** [max floor(parameter·scale) family_minimum]. *)
+
+val build_scaled : entry -> scale:float -> Leqa_circuit.Circuit.t
+
+val ft_of : Leqa_circuit.Circuit.t -> Leqa_circuit.Ft_circuit.t
+(** Shorthand for {!Leqa_circuit.Decompose.to_ft}. *)

@@ -1,0 +1,1 @@
+lib/circuit/compose.ml: Ft_circuit Ft_gate List

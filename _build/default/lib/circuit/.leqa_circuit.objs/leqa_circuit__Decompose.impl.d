@@ -1,0 +1,1 @@
+lib/circuit/decompose.ml: Circuit Ft_circuit Ft_gate Gate List

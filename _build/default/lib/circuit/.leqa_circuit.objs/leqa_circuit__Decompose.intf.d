@@ -1,0 +1,1 @@
+lib/circuit/decompose.mli: Circuit Ft_circuit Ft_gate Gate

@@ -1,0 +1,1 @@
+lib/circuit/ft_circuit.ml: Array Circuit Format Ft_gate Gate List

@@ -1,0 +1,1 @@
+lib/circuit/ft_circuit.mli: Circuit Format Ft_gate

@@ -1,0 +1,1 @@
+lib/circuit/ft_gate.ml: Format Gate List

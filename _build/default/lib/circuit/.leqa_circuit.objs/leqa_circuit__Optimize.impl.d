@@ -1,0 +1,1 @@
+lib/circuit/optimize.ml: Array Ft_circuit Ft_gate Gate List

@@ -1,0 +1,1 @@
+lib/circuit/parser.ml: Buffer Circuit Gate Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/circuit/statevector.ml: Array Float Ft_circuit Ft_gate Gate

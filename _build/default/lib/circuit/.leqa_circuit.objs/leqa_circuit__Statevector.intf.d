@@ -1,0 +1,1 @@
+lib/circuit/statevector.mli: Ft_circuit Ft_gate

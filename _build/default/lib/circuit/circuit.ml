@@ -1,0 +1,99 @@
+type t = {
+  mutable wires : int;
+  mutable data : Gate.t array;
+  mutable size : int;
+}
+
+let create ?(num_qubits = 0) () =
+  if num_qubits < 0 then invalid_arg "Circuit.create: negative wire count";
+  { wires = num_qubits; data = [||]; size = 0 }
+
+let grow c =
+  let capacity = Array.length c.data in
+  if c.size = capacity then begin
+    let filler = c.data.(0) in
+    let fresh = Array.make (max 16 (2 * capacity)) filler in
+    Array.blit c.data 0 fresh 0 c.size;
+    c.data <- fresh
+  end
+
+let add c g =
+  (match Gate.validate g with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Circuit.add: " ^ msg));
+  if Array.length c.data = 0 then c.data <- Array.make 16 g else grow c;
+  c.data.(c.size) <- g;
+  c.size <- c.size + 1;
+  c.wires <- max c.wires (Gate.max_qubit g + 1)
+
+let add_all c gs = List.iter (add c) gs
+
+let num_qubits c = c.wires
+
+let num_gates c = c.size
+
+let gate c i =
+  if i < 0 || i >= c.size then invalid_arg "Circuit.gate: index out of range";
+  c.data.(i)
+
+let gates c = Array.sub c.data 0 c.size
+
+let iter f c =
+  for i = 0 to c.size - 1 do
+    f c.data.(i)
+  done
+
+let iteri f c =
+  for i = 0 to c.size - 1 do
+    f i c.data.(i)
+  done
+
+let fold f init c =
+  let acc = ref init in
+  iter (fun g -> acc := f !acc g) c;
+  !acc
+
+let of_gates ?num_qubits gs =
+  let c = create ?num_qubits () in
+  add_all c gs;
+  c
+
+type counts = {
+  singles : int;
+  cnots : int;
+  toffolis : int;
+  fredkins : int;
+  mcts : int;
+  mcfs : int;
+}
+
+let counts c =
+  fold
+    (fun acc g ->
+      match g with
+      | Gate.Single _ -> { acc with singles = acc.singles + 1 }
+      | Gate.Cnot _ -> { acc with cnots = acc.cnots + 1 }
+      | Gate.Toffoli _ -> { acc with toffolis = acc.toffolis + 1 }
+      | Gate.Fredkin _ -> { acc with fredkins = acc.fredkins + 1 }
+      | Gate.Mct _ -> { acc with mcts = acc.mcts + 1 }
+      | Gate.Mcf _ -> { acc with mcfs = acc.mcfs + 1 })
+    { singles = 0; cnots = 0; toffolis = 0; fredkins = 0; mcts = 0; mcfs = 0 }
+    c
+
+let two_qubit_pairs c =
+  List.rev
+    (fold
+       (fun acc g ->
+         match g with
+         | Gate.Cnot { control; target } -> (control, target) :: acc
+         | Gate.Single _ | Gate.Toffoli _ | Gate.Fredkin _ | Gate.Mct _
+         | Gate.Mcf _ ->
+           acc)
+       [] c)
+
+let pp_summary ppf c =
+  let k = counts c in
+  Format.fprintf ppf
+    "circuit: %d qubits, %d gates (1q=%d cnot=%d tof=%d fre=%d mct=%d mcf=%d)"
+    (num_qubits c) (num_gates c) k.singles k.cnots k.toffolis k.fredkins
+    k.mcts k.mcfs

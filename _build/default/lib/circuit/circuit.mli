@@ -1,0 +1,50 @@
+(** A reversible circuit: an ordered gate list over a fixed wire count.
+
+    The builder grows the wire count automatically when a gate touches a
+    fresh index (decompositions allocate ancilla wires this way). *)
+
+type t
+
+val create : ?num_qubits:int -> unit -> t
+(** Empty circuit; [num_qubits] pre-declares wires (default 0). *)
+
+val add : t -> Gate.t -> unit
+(** Append a gate.  @raise Invalid_argument if {!Gate.validate} fails. *)
+
+val add_all : t -> Gate.t list -> unit
+
+val num_qubits : t -> int
+
+val num_gates : t -> int
+
+val gate : t -> int -> Gate.t
+(** [gate c i] is the i-th gate in program order. *)
+
+val gates : t -> Gate.t array
+(** Copy of the gate sequence. *)
+
+val iter : (Gate.t -> unit) -> t -> unit
+
+val iteri : (int -> Gate.t -> unit) -> t -> unit
+
+val fold : ('a -> Gate.t -> 'a) -> 'a -> t -> 'a
+
+val of_gates : ?num_qubits:int -> Gate.t list -> t
+
+type counts = {
+  singles : int;
+  cnots : int;
+  toffolis : int;
+  fredkins : int;
+  mcts : int;
+  mcfs : int;
+}
+
+val counts : t -> counts
+
+val two_qubit_pairs : t -> (int * int) list
+(** For each CNOT, its (control, target) pair in program order — the raw
+    material of the interaction intensity graph. *)
+
+val pp_summary : Format.formatter -> t -> unit
+(** One-line summary: wires, gates, per-kind counts. *)

@@ -1,0 +1,55 @@
+let append a b =
+  let result =
+    Ft_circuit.create
+      ~num_qubits:(max (Ft_circuit.num_qubits a) (Ft_circuit.num_qubits b))
+      ()
+  in
+  Ft_circuit.iter (Ft_circuit.add result) a;
+  Ft_circuit.iter (Ft_circuit.add result) b;
+  result
+
+let repeat ~times circ =
+  if times < 0 then invalid_arg "Compose.repeat: negative times";
+  let result = Ft_circuit.create ~num_qubits:(Ft_circuit.num_qubits circ) () in
+  for _ = 1 to times do
+    Ft_circuit.iter (Ft_circuit.add result) circ
+  done;
+  result
+
+let map_wires ~f circ =
+  let result = Ft_circuit.create () in
+  Ft_circuit.iter
+    (fun g ->
+      let remapped =
+        match g with
+        | Ft_gate.Single (k, q) -> Ft_gate.Single (k, f q)
+        | Ft_gate.Cnot { control; target } ->
+          Ft_gate.Cnot { control = f control; target = f target }
+      in
+      (match remapped with
+      | Ft_gate.Cnot { control; target } when control = target ->
+        invalid_arg "Compose.map_wires: operands collide"
+      | _ -> ());
+      if List.exists (fun q -> q < 0) (Ft_gate.qubits remapped) then
+        invalid_arg "Compose.map_wires: negative wire";
+      Ft_circuit.add result remapped)
+    circ;
+  result
+
+let parallel a b =
+  let offset = Ft_circuit.num_qubits a in
+  append a (map_wires ~f:(fun q -> q + offset) b)
+
+let invert_gate = function
+  | Ft_gate.Single (Ft_gate.T, q) -> Ft_gate.Single (Ft_gate.Tdg, q)
+  | Ft_gate.Single (Ft_gate.Tdg, q) -> Ft_gate.Single (Ft_gate.T, q)
+  | Ft_gate.Single (Ft_gate.S, q) -> Ft_gate.Single (Ft_gate.Sdg, q)
+  | Ft_gate.Single (Ft_gate.Sdg, q) -> Ft_gate.Single (Ft_gate.S, q)
+  | (Ft_gate.Single ((Ft_gate.X | Ft_gate.Y | Ft_gate.Z | Ft_gate.H), _) as g)
+  | (Ft_gate.Cnot _ as g) ->
+    g
+
+let inverse circ =
+  let gates = ref [] in
+  Ft_circuit.iter (fun g -> gates := invert_gate g :: !gates) circ;
+  Ft_circuit.of_gates ~num_qubits:(Ft_circuit.num_qubits circ) !gates

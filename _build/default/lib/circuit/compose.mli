@@ -1,0 +1,29 @@
+(** Circuit combinators: sequencing, repetition, wire remapping and exact
+    inversion of FT circuits.  These are the building blocks the
+    benchmark generators and coding-comparison experiments assemble
+    programs from. *)
+
+val append : Ft_circuit.t -> Ft_circuit.t -> Ft_circuit.t
+(** [append a b] runs [a] then [b]; the result has
+    [max (num_qubits a) (num_qubits b)] wires. *)
+
+val repeat : times:int -> Ft_circuit.t -> Ft_circuit.t
+(** Sequential repetition.  @raise Invalid_argument for negative
+    [times]; [times = 0] yields an empty circuit on the same wires. *)
+
+val map_wires : f:(int -> int) -> Ft_circuit.t -> Ft_circuit.t
+(** Relabel every wire through [f].
+    @raise Invalid_argument if [f] sends any wire below 0 or maps two
+    operands of one gate together. *)
+
+val parallel : Ft_circuit.t -> Ft_circuit.t -> Ft_circuit.t
+(** [parallel a b]: [b]'s wires are shifted above [a]'s so the two
+    programs act on disjoint registers; gates interleave [a]-first. *)
+
+val invert_gate : Ft_gate.t -> Ft_gate.t
+(** T ↔ T†, S ↔ S†; H, Paulis and CNOT are self-inverse. *)
+
+val inverse : Ft_circuit.t -> Ft_circuit.t
+(** Exact unitary inverse: reversed order, gate-wise inverted.
+    [append c (inverse c)] is the identity (tested by state-vector
+    equivalence). *)

@@ -1,0 +1,111 @@
+(* The standard T-depth-unoptimised Toffoli network (Shende & Markov 2009,
+   also Nielsen & Chuang Fig. 4.9): 15 FT gates = 2 H + 4 T + 3 T† + 6 CNOT. *)
+let toffoli_ft_network ~c1 ~c2 ~target =
+  Ft_gate.
+    [
+      Single (H, target);
+      Cnot { control = c2; target };
+      Single (Tdg, target);
+      Cnot { control = c1; target };
+      Single (T, target);
+      Cnot { control = c2; target };
+      Single (Tdg, target);
+      Cnot { control = c1; target };
+      Single (T, c2);
+      Single (T, target);
+      Single (H, target);
+      Cnot { control = c1; target = c2 };
+      Single (T, c1);
+      Single (Tdg, c2);
+      Cnot { control = c1; target = c2 };
+    ]
+
+let fredkin_to_toffoli ~control ~t1 ~t2 =
+  Gate.
+    [
+      Cnot { control = t2; target = t1 };
+      Toffoli { c1 = control; c2 = t1; target = t2 };
+      Cnot { control = t2; target = t1 };
+    ]
+
+(* n-controlled NOT via an AND-chain into n-2 fresh ancillas:
+     a1 = c1 ∧ c2; a2 = a1 ∧ c3; …; a_{n-2} = a_{n-3} ∧ c_{n-1};
+     Toffoli(a_{n-2}, c_n, target); then uncompute in reverse. *)
+let mct_to_toffoli ~controls ~target ~fresh_ancilla =
+  let n = List.length controls in
+  if n < 3 then invalid_arg "Decompose.mct_to_toffoli: needs >= 3 controls";
+  match controls with
+  | c1 :: c2 :: rest ->
+    let rec build acc prev = function
+      | [] -> invalid_arg "Decompose.mct_to_toffoli: unreachable"
+      | [ last ] ->
+        (* act on the target with the final control *)
+        let act = Gate.Toffoli { c1 = prev; c2 = last; target } in
+        let uncompute =
+          List.filter_map
+            (function
+              | Gate.Toffoli _ as g -> Some g
+              | Gate.Single _ | Gate.Cnot _ | Gate.Fredkin _ | Gate.Mct _
+              | Gate.Mcf _ ->
+                None)
+            acc
+        in
+        List.rev acc @ [ act ] @ uncompute
+      | c :: more ->
+        let a = fresh_ancilla () in
+        let g = Gate.Toffoli { c1 = prev; c2 = c; target = a } in
+        build (g :: acc) a more
+    in
+    let a1 = fresh_ancilla () in
+    let first = Gate.Toffoli { c1; c2; target = a1 } in
+    build [ first ] a1 rest
+  | _ -> assert false
+
+let to_ft circ =
+  let out = Ft_circuit.create ~num_qubits:(Circuit.num_qubits circ) () in
+  let next_ancilla = ref (Circuit.num_qubits circ) in
+  let fresh_ancilla () =
+    let a = !next_ancilla in
+    incr next_ancilla;
+    a
+  in
+  let emit_toffoli ~c1 ~c2 ~target =
+    List.iter (Ft_circuit.add out) (toffoli_ft_network ~c1 ~c2 ~target)
+  in
+  let rec emit g =
+    match g with
+    | Gate.Single (k, q) -> Ft_circuit.add out (Ft_gate.Single (k, q))
+    | Gate.Cnot { control; target } ->
+      Ft_circuit.add out (Ft_gate.Cnot { control; target })
+    | Gate.Toffoli { c1; c2; target } -> emit_toffoli ~c1 ~c2 ~target
+    | Gate.Fredkin { control; t1; t2 } ->
+      List.iter emit (fredkin_to_toffoli ~control ~t1 ~t2)
+    | Gate.Mct { controls; target } ->
+      List.iter emit (mct_to_toffoli ~controls ~target ~fresh_ancilla)
+    | Gate.Mcf { controls; t1; t2 } ->
+      (* controlled swap = CNOT(t2→t1) · MCT(controls∪{t1}→t2) · CNOT(t2→t1);
+         with |controls∪{t1}| ≥ 3 the MCT branch applies, with exactly 2 it
+         is a plain Toffoli. *)
+      let all_controls = controls @ [ t1 ] in
+      emit (Gate.Cnot { control = t2; target = t1 });
+      (match all_controls with
+      | [ c1; c2 ] -> emit (Gate.Toffoli { c1; c2; target = t2 })
+      | _ -> emit (Gate.Mct { controls = all_controls; target = t2 }));
+      emit (Gate.Cnot { control = t2; target = t1 })
+  in
+  Circuit.iter emit circ;
+  out
+
+let ft_gate_overhead g =
+  match g with
+  | Gate.Single _ | Gate.Cnot _ -> 1
+  | Gate.Toffoli _ -> 15
+  | Gate.Fredkin _ -> 2 + 15
+  | Gate.Mct { controls; _ } ->
+    (* 2(n-2)-1 compute/uncompute Toffolis + 1 acting Toffoli = 2n-3 *)
+    let n = List.length controls in
+    ((2 * n) - 3) * 15
+  | Gate.Mcf { controls; _ } ->
+    let n = List.length controls + 1 in
+    let toffolis = if n = 2 then 1 else (2 * n) - 3 in
+    2 + (toffolis * 15)

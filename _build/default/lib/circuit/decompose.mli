@@ -1,0 +1,29 @@
+(** Decomposition pipeline from synthesized reversible gates down to the
+    fault-tolerant gate set, following Section 4.1 of the paper:
+
+    - n-controlled Toffoli / Fredkin (n > 2) → 3-input Toffoli / Fredkin
+      via the simple ancilla construction of Nielsen & Chuang, with fresh
+      (unshared) ancilla wires per gate, exactly as the paper states;
+    - 3-input Fredkin → CNOT · Toffoli · CNOT;
+    - 3-input Toffoli → the 15-gate {H, T, T†, CNOT} network of
+      Shende & Markov (the network drawn in Figure 2(a)). *)
+
+val toffoli_ft_network : c1:int -> c2:int -> target:int -> Ft_gate.t list
+(** The 15-gate Toffoli realisation: 2 H, 4 T, 3 T†, 6 CNOT. *)
+
+val fredkin_to_toffoli : control:int -> t1:int -> t2:int -> Gate.t list
+(** CNOT(t2→t1) · Toffoli(control,t1→t2) · CNOT(t2→t1). *)
+
+val mct_to_toffoli :
+  controls:int list -> target:int -> fresh_ancilla:(unit -> int) -> Gate.t list
+(** Expand an n-controlled NOT (n ≥ 3) into 2(n−2)+1 ... Toffoli chain with
+    n−2 fresh ancilla wires (compute / act / uncompute).
+    @raise Invalid_argument below 3 controls. *)
+
+val to_ft : Circuit.t -> Ft_circuit.t
+(** Full pipeline.  Ancilla wires are appended after the circuit's original
+    wires; no sharing between decomposed gates. *)
+
+val ft_gate_overhead : Gate.t -> int
+(** Number of FT gates [to_ft] produces for a single logical gate (with
+    unshared ancillas); used by benchmark-size accounting and tests. *)

@@ -1,0 +1,98 @@
+type t = {
+  mutable wires : int;
+  mutable data : Ft_gate.t array;
+  mutable size : int;
+}
+
+let create ?(num_qubits = 0) () =
+  if num_qubits < 0 then invalid_arg "Ft_circuit.create: negative wire count";
+  { wires = num_qubits; data = [||]; size = 0 }
+
+let grow c =
+  let capacity = Array.length c.data in
+  if c.size = capacity then begin
+    let filler = c.data.(0) in
+    let fresh = Array.make (max 16 (2 * capacity)) filler in
+    Array.blit c.data 0 fresh 0 c.size;
+    c.data <- fresh
+  end
+
+let add c g =
+  (match g with
+  | Ft_gate.Cnot { control; target } when control = target ->
+    invalid_arg "Ft_circuit.add: CNOT control equals target"
+  | Ft_gate.Cnot _ | Ft_gate.Single _ -> ());
+  if List.exists (fun q -> q < 0) (Ft_gate.qubits g) then
+    invalid_arg "Ft_circuit.add: negative qubit index";
+  if Array.length c.data = 0 then c.data <- Array.make 16 g else grow c;
+  c.data.(c.size) <- g;
+  c.size <- c.size + 1;
+  c.wires <- max c.wires (Ft_gate.max_qubit g + 1)
+
+let of_gates ?num_qubits gs =
+  let c = create ?num_qubits () in
+  List.iter (add c) gs;
+  c
+
+let num_qubits c = c.wires
+
+let num_gates c = c.size
+
+let gate c i =
+  if i < 0 || i >= c.size then
+    invalid_arg "Ft_circuit.gate: index out of range";
+  c.data.(i)
+
+let iter f c =
+  for i = 0 to c.size - 1 do
+    f c.data.(i)
+  done
+
+let iteri f c =
+  for i = 0 to c.size - 1 do
+    f i c.data.(i)
+  done
+
+let of_circuit circ =
+  let result = create ~num_qubits:(Circuit.num_qubits circ) () in
+  let offender = ref None in
+  Circuit.iter
+    (fun g ->
+      match (!offender, Ft_gate.of_gate g) with
+      | None, Some ft -> add result ft
+      | None, None -> offender := Some g
+      | Some _, _ -> ())
+    circ;
+  match !offender with
+  | None -> Ok result
+  | Some g -> Error ("not a fault-tolerant gate: " ^ Gate.to_string g)
+
+type stats = {
+  num_qubits : int;
+  num_gates : int;
+  cnot_count : int;
+  single_counts : int array;
+}
+
+let stats c =
+  let single_counts = Array.make (List.length Ft_gate.all_single_kinds) 0 in
+  let cnot_count = ref 0 in
+  iter
+    (fun g ->
+      match g with
+      | Ft_gate.Cnot _ -> incr cnot_count
+      | Ft_gate.Single (k, _) ->
+        let i = Ft_gate.single_kind_index k in
+        single_counts.(i) <- single_counts.(i) + 1)
+    c;
+  {
+    num_qubits = num_qubits c;
+    num_gates = num_gates c;
+    cnot_count = !cnot_count;
+    single_counts;
+  }
+
+let pp_summary ppf c =
+  let s = stats c in
+  Format.fprintf ppf "FT circuit: %d qubits, %d gates (%d CNOT, %d one-qubit)"
+    s.num_qubits s.num_gates s.cnot_count (s.num_gates - s.cnot_count)

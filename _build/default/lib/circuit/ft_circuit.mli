@@ -1,0 +1,36 @@
+(** A fully fault-tolerant circuit: only {!Ft_gate.t} operations.  This is
+    the form the QODG is built from and the form both LEQA and the QSPR
+    baseline consume. *)
+
+type t
+
+val create : ?num_qubits:int -> unit -> t
+
+val add : t -> Ft_gate.t -> unit
+
+val of_gates : ?num_qubits:int -> Ft_gate.t list -> t
+
+val num_qubits : t -> int
+
+val num_gates : t -> int
+
+val gate : t -> int -> Ft_gate.t
+
+val iter : (Ft_gate.t -> unit) -> t -> unit
+
+val iteri : (int -> Ft_gate.t -> unit) -> t -> unit
+
+val of_circuit : Circuit.t -> (t, string) result
+(** Succeeds iff every gate of the logical circuit is already in the FT
+    set; otherwise reports the first offender (use {!Decompose.to_ft}). *)
+
+type stats = {
+  num_qubits : int;
+  num_gates : int;
+  cnot_count : int;
+  single_counts : int array;  (** indexed by {!Ft_gate.single_kind_index} *)
+}
+
+val stats : t -> stats
+
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,38 @@
+type single_kind = Gate.single_kind = X | Y | Z | H | S | Sdg | T | Tdg
+
+type t =
+  | Single of single_kind * int
+  | Cnot of { control : int; target : int }
+
+let qubits = function
+  | Single (_, q) -> [ q ]
+  | Cnot { control; target } -> [ control; target ]
+
+let max_qubit g = List.fold_left max 0 (qubits g)
+
+let is_cnot = function Cnot _ -> true | Single _ -> false
+
+let to_gate = function
+  | Single (k, q) -> Gate.Single (k, q)
+  | Cnot { control; target } -> Gate.Cnot { control; target }
+
+let of_gate = function
+  | Gate.Single (k, q) -> Some (Single (k, q))
+  | Gate.Cnot { control; target } -> Some (Cnot { control; target })
+  | Gate.Toffoli _ | Gate.Fredkin _ | Gate.Mct _ | Gate.Mcf _ -> None
+
+let to_string g = Gate.to_string (to_gate g)
+
+let pp ppf g = Format.pp_print_string ppf (to_string g)
+
+let all_single_kinds = [ X; Y; Z; H; S; Sdg; T; Tdg ]
+
+let single_kind_index = function
+  | X -> 0
+  | Y -> 1
+  | Z -> 2
+  | H -> 3
+  | S -> 4
+  | Sdg -> 5
+  | T -> 6
+  | Tdg -> 7

@@ -1,0 +1,31 @@
+(** Fault-tolerant quantum operations — the gate set a ULB executes
+    (Section 2): the one-qubit gates {H, T, T†, S, S†, X, Y, Z} and CNOT,
+    the only two-qubit operation. *)
+
+type single_kind = Gate.single_kind = X | Y | Z | H | S | Sdg | T | Tdg
+
+type t =
+  | Single of single_kind * int
+  | Cnot of { control : int; target : int }
+
+val qubits : t -> int list
+
+val max_qubit : t -> int
+
+val is_cnot : t -> bool
+
+val to_gate : t -> Gate.t
+(** Embed into the logical gate type. *)
+
+val of_gate : Gate.t -> t option
+(** [Some] for gates already in the FT set, [None] for Toffoli-and-above. *)
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+val all_single_kinds : single_kind list
+(** The eight one-qubit FT kinds, in a fixed order used by delay tables. *)
+
+val single_kind_index : single_kind -> int
+(** Position of a kind inside [all_single_kinds]. *)

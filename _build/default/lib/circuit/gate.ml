@@ -1,0 +1,67 @@
+type single_kind = X | Y | Z | H | S | Sdg | T | Tdg
+
+type t =
+  | Single of single_kind * int
+  | Cnot of { control : int; target : int }
+  | Toffoli of { c1 : int; c2 : int; target : int }
+  | Fredkin of { control : int; t1 : int; t2 : int }
+  | Mct of { controls : int list; target : int }
+  | Mcf of { controls : int list; t1 : int; t2 : int }
+
+let qubits = function
+  | Single (_, q) -> [ q ]
+  | Cnot { control; target } -> [ control; target ]
+  | Toffoli { c1; c2; target } -> [ c1; c2; target ]
+  | Fredkin { control; t1; t2 } -> [ control; t1; t2 ]
+  | Mct { controls; target } -> controls @ [ target ]
+  | Mcf { controls; t1; t2 } -> controls @ [ t1; t2 ]
+
+let max_qubit g = List.fold_left max 0 (qubits g)
+
+let rec has_duplicate = function
+  | [] -> false
+  | q :: rest -> List.mem q rest || has_duplicate rest
+
+let validate g =
+  let operands = qubits g in
+  if List.exists (fun q -> q < 0) operands then Error "negative qubit index"
+  else if has_duplicate operands then Error "duplicate operand wire"
+  else
+    match g with
+    | Mct { controls; _ } when List.length controls < 3 ->
+      Error "MCT requires >= 3 controls (use Cnot/Toffoli below that)"
+    | Mcf { controls; _ } when List.length controls < 2 ->
+      Error "MCF requires >= 2 controls (use Fredkin below that)"
+    | Single _ | Cnot _ | Toffoli _ | Fredkin _ | Mct _ | Mcf _ -> Ok ()
+
+let arity g = List.length (qubits g)
+
+let is_two_qubit = function
+  | Cnot _ -> true
+  | Single _ | Toffoli _ | Fredkin _ | Mct _ | Mcf _ -> false
+
+let single_kind_to_string = function
+  | X -> "X"
+  | Y -> "Y"
+  | Z -> "Z"
+  | H -> "H"
+  | S -> "S"
+  | Sdg -> "S†"
+  | T -> "T"
+  | Tdg -> "T†"
+
+let wire_list qs = String.concat "," (List.map (fun q -> "q" ^ string_of_int q) qs)
+
+let to_string = function
+  | Single (k, q) -> Printf.sprintf "%s q%d" (single_kind_to_string k) q
+  | Cnot { control; target } -> Printf.sprintf "CNOT q%d,q%d" control target
+  | Toffoli { c1; c2; target } ->
+    Printf.sprintf "TOF q%d,q%d,q%d" c1 c2 target
+  | Fredkin { control; t1; t2 } ->
+    Printf.sprintf "FRE q%d,q%d,q%d" control t1 t2
+  | Mct { controls; target } ->
+    Printf.sprintf "MCT %s" (wire_list (controls @ [ target ]))
+  | Mcf { controls; t1; t2 } ->
+    Printf.sprintf "MCF %s" (wire_list (controls @ [ t1; t2 ]))
+
+let pp ppf g = Format.pp_print_string ppf (to_string g)

@@ -1,0 +1,40 @@
+(** Logical reversible gates as produced by quantum logic synthesis
+    (Section 2 of the paper): NOT/CNOT/Toffoli plus the fault-tolerant
+    one-qubit set, multi-controlled Toffoli (MCT) and Fredkin.
+
+    Qubit operands are non-negative integers indexing wires of the
+    enclosing {!Circuit.t}. *)
+
+type single_kind = X | Y | Z | H | S | Sdg | T | Tdg
+
+type t =
+  | Single of single_kind * int
+  | Cnot of { control : int; target : int }
+  | Toffoli of { c1 : int; c2 : int; target : int }
+  | Fredkin of { control : int; t1 : int; t2 : int }
+  | Mct of { controls : int list; target : int }
+      (** n-controlled NOT with n ≥ 3 controls. *)
+  | Mcf of { controls : int list; t1 : int; t2 : int }
+      (** n-controlled swap with n ≥ 2 controls. *)
+
+val qubits : t -> int list
+(** All distinct operand wires, in operand order. *)
+
+val max_qubit : t -> int
+
+val validate : t -> (unit, string) result
+(** Checks operand distinctness (no-cloning: a wire may appear once) and
+    MCT/MCF arity. *)
+
+val arity : t -> int
+(** Number of operand wires. *)
+
+val is_two_qubit : t -> bool
+(** True exactly for [Cnot] — the only two-qubit gate of the FT set. *)
+
+val single_kind_to_string : single_kind -> string
+
+val to_string : t -> string
+(** Human-readable rendering, e.g. ["CNOT q0,q3"]. *)
+
+val pp : Format.formatter -> t -> unit

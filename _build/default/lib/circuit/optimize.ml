@@ -1,0 +1,88 @@
+(* One simplification pass works per wire: for each gate, find the previous
+   gate that touched any of its wires; if the pair is reducible and they
+   share exactly the same wire footprint, rewrite.  Passes repeat until no
+   rule fires. *)
+
+let inverse_pair a b =
+  match (a, b) with
+  | Ft_gate.Single (ka, qa), Ft_gate.Single (kb, qb) when qa = qb -> begin
+    match (ka, kb) with
+    | Gate.X, Gate.X | Gate.Y, Gate.Y | Gate.Z, Gate.Z | Gate.H, Gate.H
+    | Gate.S, Gate.Sdg | Gate.Sdg, Gate.S | Gate.T, Gate.Tdg
+    | Gate.Tdg, Gate.T ->
+      true
+    | _ -> false
+  end
+  | Ft_gate.Cnot a, Ft_gate.Cnot b -> a.control = b.control && a.target = b.target
+  | _ -> false
+
+let fuse_pair a b =
+  match (a, b) with
+  | Ft_gate.Single (Gate.T, qa), Ft_gate.Single (Gate.T, qb) when qa = qb ->
+    Some (Ft_gate.Single (Gate.S, qa))
+  | Ft_gate.Single (Gate.Tdg, qa), Ft_gate.Single (Gate.Tdg, qb) when qa = qb ->
+    Some (Ft_gate.Single (Gate.Sdg, qa))
+  | Ft_gate.Single (Gate.S, qa), Ft_gate.Single (Gate.S, qb) when qa = qb ->
+    Some (Ft_gate.Single (Gate.Z, qa))
+  | Ft_gate.Single (Gate.Sdg, qa), Ft_gate.Single (Gate.Sdg, qb) when qa = qb ->
+    Some (Ft_gate.Single (Gate.Z, qa))
+  | _ -> None
+
+(* one pass: scan left to right, keeping per-wire the index of the last
+   surviving gate whose footprint is exactly that wire-set *)
+let pass gates =
+  let n = Array.length gates in
+  let alive = Array.make n true in
+  let changed = ref false in
+  (* last.(w) = index of the last surviving gate touching wire w *)
+  let max_wire =
+    Array.fold_left (fun acc g -> max acc (Ft_gate.max_qubit g)) 0 gates
+  in
+  let last = Array.make (max_wire + 1) (-1) in
+  let footprint g = List.sort compare (Ft_gate.qubits g) in
+  for i = 0 to n - 1 do
+    if alive.(i) then begin
+      let wires = Ft_gate.qubits gates.(i) in
+      (* candidate: the previous survivor on each of this gate's wires; a
+         legal peephole partner must be the last toucher of *every* wire *)
+      let prevs = List.sort_uniq compare (List.map (fun w -> last.(w)) wires) in
+      (match prevs with
+      | [ j ] when j >= 0 && footprint gates.(j) = footprint gates.(i) ->
+        if inverse_pair gates.(j) gates.(i) then begin
+          alive.(j) <- false;
+          alive.(i) <- false;
+          changed := true;
+          (* the wires' last toucher reverts to unknown; conservatively
+             reset so later gates do not cancel across the hole *)
+          List.iter (fun w -> last.(w) <- -1) wires
+        end
+        else begin
+          match fuse_pair gates.(j) gates.(i) with
+          | Some fused ->
+            gates.(j) <- fused;
+            alive.(i) <- false;
+            changed := true
+          | None -> List.iter (fun w -> last.(w) <- i) wires
+        end
+      | _ -> List.iter (fun w -> last.(w) <- i) wires)
+    end
+  done;
+  let survivors = ref [] in
+  for i = n - 1 downto 0 do
+    if alive.(i) then survivors := gates.(i) :: !survivors
+  done;
+  (!changed, !survivors)
+
+let simplify circ =
+  let rec fixpoint gates =
+    let changed, survivors = pass (Array.of_list gates) in
+    if changed then fixpoint survivors else survivors
+  in
+  let initial = ref [] in
+  Ft_circuit.iter (fun g -> initial := g :: !initial) circ;
+  Ft_circuit.of_gates
+    ~num_qubits:(Ft_circuit.num_qubits circ)
+    (fixpoint (List.rev !initial))
+
+let removed_gates ~before ~after =
+  Ft_circuit.num_gates before - Ft_circuit.num_gates after

@@ -1,0 +1,21 @@
+(** Peephole simplification of FT circuits.
+
+    The paper motivates LEQA as a tool for "quickly comparing the latency of
+    different software coding techniques"; this module supplies the coding
+    transformations to compare: cancellation of adjacent inverse pairs and
+    fusion of rotation sequences, applied to fixpoint.
+
+    Rules (sound on the FT gate set):
+    - X·X = Y·Y = Z·Z = H·H = identity
+    - S·S† = S†·S = T·T† = T†·T = identity
+    - T·T = S and T†·T† = S† (halves the expensive non-transversal T count)
+    - CNOT·CNOT (same operands) = identity
+
+    Gates on a wire commute past gates on disjoint wires, so cancellation
+    looks through interleaved unrelated gates. *)
+
+val simplify : Ft_circuit.t -> Ft_circuit.t
+(** Apply all rules to fixpoint.  The result computes the same unitary. *)
+
+val removed_gates : before:Ft_circuit.t -> after:Ft_circuit.t -> int
+(** Convenience: gate-count reduction. *)

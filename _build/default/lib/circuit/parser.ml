@@ -1,0 +1,183 @@
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let tokenize line =
+  line |> String.split_on_char ' '
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun s -> s <> "")
+
+let split_wires s = String.split_on_char ',' s |> List.filter (fun w -> w <> "")
+
+type state = {
+  mutable names : (string, int) Hashtbl.t;
+  mutable next : int;
+  circuit : Circuit.t;
+  mutable in_body : bool;
+  mutable ended : bool;
+}
+
+let wire_id st name =
+  match Hashtbl.find_opt st.names name with
+  | Some i -> i
+  | None ->
+    let i = st.next in
+    Hashtbl.add st.names name i;
+    st.next <- st.next + 1;
+    i
+
+let gate_of_tokens st mnemonic operands =
+  let wires = List.map (wire_id st) operands in
+  let single kind =
+    match wires with
+    | [ q ] -> Ok (Gate.Single (kind, q))
+    | _ -> Error "one-qubit gate takes exactly one wire"
+  in
+  match (String.lowercase_ascii mnemonic, wires) with
+  | "t1", [ q ] -> Ok (Gate.Single (Gate.X, q))
+  | "t2", [ control; target ] -> Ok (Gate.Cnot { control; target })
+  | "t3", [ c1; c2; target ] -> Ok (Gate.Toffoli { c1; c2; target })
+  | "f3", [ control; t1; t2 ] -> Ok (Gate.Fredkin { control; t1; t2 })
+  | "x", _ -> single Gate.X
+  | "y", _ -> single Gate.Y
+  | "z", _ -> single Gate.Z
+  | "h", _ -> single Gate.H
+  | "s", _ -> single Gate.S
+  | "sdg", _ -> single Gate.Sdg
+  | "t", _ -> single Gate.T
+  | "tdg", _ -> single Gate.Tdg
+  | m, _ when String.length m >= 2 && (m.[0] = 't' || m.[0] = 'f') -> begin
+    match int_of_string_opt (String.sub m 1 (String.length m - 1)) with
+    | Some n when n >= 2 && List.length wires = n -> begin
+      match (m.[0], List.rev wires) with
+      | 't', target :: rev_controls ->
+        Ok (Gate.Mct { controls = List.rev rev_controls; target })
+      | 'f', t2 :: t1 :: rev_controls ->
+        Ok (Gate.Mcf { controls = List.rev rev_controls; t1; t2 })
+      | _ -> Error "malformed multi-controlled gate"
+    end
+    | Some n -> Error (Printf.sprintf "%s expects %d wires" m n)
+    | None -> Error ("unknown mnemonic: " ^ mnemonic)
+  end
+  | _ -> Error ("unknown mnemonic: " ^ mnemonic)
+
+let parse_line st lineno line =
+  let line = String.trim (strip_comment line) in
+  if line = "" then Ok ()
+  else
+    let fail msg = Error (Printf.sprintf "line %d: %s" lineno msg) in
+    match tokenize line with
+    | [] -> Ok ()
+    | keyword :: rest -> begin
+      match String.lowercase_ascii keyword with
+      | _ when st.ended -> fail "content after END"
+      | ".v" ->
+        let wires = List.concat_map split_wires rest in
+        List.iter (fun w -> ignore (wire_id st w)) wires;
+        Ok ()
+      | ".i" | ".o" | ".c" | ".ol" -> Ok () (* io annotations: ignored *)
+      | "begin" ->
+        st.in_body <- true;
+        Ok ()
+      | "end" ->
+        st.ended <- true;
+        Ok ()
+      | _ when not st.in_body -> fail "gate before BEGIN"
+      | mnemonic -> begin
+        let operands = List.concat_map split_wires rest in
+        match gate_of_tokens st mnemonic operands with
+        | Ok g -> begin
+          match Gate.validate g with
+          | Ok () ->
+            Circuit.add st.circuit g;
+            Ok ()
+          | Error msg -> fail msg
+        end
+        | Error msg -> fail msg
+      end
+    end
+
+let parse_string input =
+  let st =
+    {
+      names = Hashtbl.create 64;
+      next = 0;
+      circuit = Circuit.create ();
+      in_body = false;
+      ended = false;
+    }
+  in
+  let lines = String.split_on_char '\n' input in
+  let rec walk lineno = function
+    | [] ->
+      if st.ended then Ok () else Error "missing END"
+    | line :: rest -> begin
+      match parse_line st lineno line with
+      | Ok () -> walk (lineno + 1) rest
+      | Error _ as e -> e
+    end
+  in
+  match walk 1 lines with
+  | Ok () ->
+    (* declared-but-unused wires still count *)
+    let declared = st.next in
+    let c = st.circuit in
+    if Circuit.num_qubits c < declared then begin
+      let padded = Circuit.create ~num_qubits:declared () in
+      Circuit.iter (Circuit.add padded) c;
+      Ok padded
+    end
+    else Ok c
+  | Error _ as e -> e
+
+let parse_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let contents = really_input_string ic len in
+  close_in ic;
+  parse_string contents
+
+let wire q = "q" ^ string_of_int q
+
+let gate_line g =
+  let joined qs = String.concat "," (List.map wire qs) in
+  match g with
+  | Gate.Single (Gate.X, q) -> "t1 " ^ wire q
+  | Gate.Single (k, q) ->
+    String.lowercase_ascii
+      (match k with
+      | Gate.X -> "x"
+      | Gate.Y -> "y"
+      | Gate.Z -> "z"
+      | Gate.H -> "h"
+      | Gate.S -> "s"
+      | Gate.Sdg -> "sdg"
+      | Gate.T -> "t"
+      | Gate.Tdg -> "tdg")
+    ^ " " ^ wire q
+  | Gate.Cnot { control; target } -> "t2 " ^ joined [ control; target ]
+  | Gate.Toffoli { c1; c2; target } -> "t3 " ^ joined [ c1; c2; target ]
+  | Gate.Fredkin { control; t1; t2 } -> "f3 " ^ joined [ control; t1; t2 ]
+  | Gate.Mct { controls; target } ->
+    Printf.sprintf "t%d %s"
+      (List.length controls + 1)
+      (joined (controls @ [ target ]))
+  | Gate.Mcf { controls; t1; t2 } ->
+    Printf.sprintf "f%d %s"
+      (List.length controls + 2)
+      (joined (controls @ [ t1; t2 ]))
+
+let to_string c =
+  let buf = Buffer.create 1024 in
+  let wires = List.init (Circuit.num_qubits c) wire in
+  Buffer.add_string buf (".v " ^ String.concat "," wires ^ "\n");
+  Buffer.add_string buf "BEGIN\n";
+  Circuit.iter (fun g -> Buffer.add_string buf (gate_line g ^ "\n")) c;
+  Buffer.add_string buf "END\n";
+  Buffer.contents buf
+
+let write_file path c =
+  let oc = open_out path in
+  output_string oc (to_string c);
+  close_out oc

@@ -1,0 +1,26 @@
+(** Reader/writer for a [.tfc]-style netlist format (the format of the
+    Maslov reversible-benchmark suite the paper draws from [12]), extended
+    with the one-qubit FT gates so decomposed circuits round-trip.
+
+    Grammar (case-insensitive keywords, [#] comments):
+    {v
+    .v q0,q1,q2          # wire declaration (names are arbitrary tokens)
+    BEGIN
+    t1 q0                # NOT
+    t2 q0,q1             # CNOT   (control first, target last)
+    t3 q0,q1,q2          # Toffoli
+    t5 a,b,c,d,e         # 4-controlled NOT, last wire is the target
+    f3 q0,q1,q2          # Fredkin (control, swap pair)
+    h q0 / s q0 / sdg q0 / t q0 / tdg q0 / x q0 / y q0 / z q0
+    END
+    v} *)
+
+val parse_string : string -> (Circuit.t, string) result
+(** Parse a whole netlist.  Errors carry a line number. *)
+
+val parse_file : string -> (Circuit.t, string) result
+
+val to_string : Circuit.t -> string
+(** Render in the same format (wires named [q0..qN-1]). *)
+
+val write_file : string -> Circuit.t -> unit

@@ -1,0 +1,138 @@
+type t = { n : int; re : float array; im : float array }
+
+let max_qubits = 20
+
+let create ~num_qubits ~basis =
+  if num_qubits < 1 || num_qubits > max_qubits then
+    invalid_arg "Statevector.create: qubit count out of range";
+  let dim = 1 lsl num_qubits in
+  if basis < 0 || basis >= dim then
+    invalid_arg "Statevector.create: basis out of range";
+  let re = Array.make dim 0.0 and im = Array.make dim 0.0 in
+  re.(basis) <- 1.0;
+  { n = num_qubits; re; im }
+
+let num_qubits t = t.n
+
+let isq2 = 1.0 /. sqrt 2.0
+
+let cos_pi4 = cos (Float.pi /. 4.0)
+
+let sin_pi4 = sin (Float.pi /. 4.0)
+
+let apply_single state kind q =
+  let dim = Array.length state.re in
+  let bit = 1 lsl q in
+  for i = 0 to dim - 1 do
+    if i land bit = 0 then begin
+      let j = i lor bit in
+      let re0 = state.re.(i) and im0 = state.im.(i) in
+      let re1 = state.re.(j) and im1 = state.im.(j) in
+      match (kind : Gate.single_kind) with
+      | Gate.X ->
+        state.re.(i) <- re1;
+        state.im.(i) <- im1;
+        state.re.(j) <- re0;
+        state.im.(j) <- im0
+      | Gate.Y ->
+        (* Y|0⟩ = i|1⟩, Y|1⟩ = −i|0⟩ *)
+        state.re.(i) <- im1;
+        state.im.(i) <- -.re1;
+        state.re.(j) <- -.im0;
+        state.im.(j) <- re0
+      | Gate.Z ->
+        state.re.(j) <- -.re1;
+        state.im.(j) <- -.im1
+      | Gate.H ->
+        state.re.(i) <- isq2 *. (re0 +. re1);
+        state.im.(i) <- isq2 *. (im0 +. im1);
+        state.re.(j) <- isq2 *. (re0 -. re1);
+        state.im.(j) <- isq2 *. (im0 -. im1)
+      | Gate.S ->
+        state.re.(j) <- -.im1;
+        state.im.(j) <- re1
+      | Gate.Sdg ->
+        state.re.(j) <- im1;
+        state.im.(j) <- -.re1
+      | Gate.T ->
+        state.re.(j) <- (cos_pi4 *. re1) -. (sin_pi4 *. im1);
+        state.im.(j) <- (sin_pi4 *. re1) +. (cos_pi4 *. im1)
+      | Gate.Tdg ->
+        state.re.(j) <- (cos_pi4 *. re1) +. (sin_pi4 *. im1);
+        state.im.(j) <- (cos_pi4 *. im1) -. (sin_pi4 *. re1)
+    end
+  done
+
+let apply_cnot state ~control ~target =
+  let dim = Array.length state.re in
+  let cbit = 1 lsl control and tbit = 1 lsl target in
+  for i = 0 to dim - 1 do
+    if i land cbit <> 0 && i land tbit = 0 then begin
+      let j = i lor tbit in
+      let re = state.re.(i) and im = state.im.(i) in
+      state.re.(i) <- state.re.(j);
+      state.im.(i) <- state.im.(j);
+      state.re.(j) <- re;
+      state.im.(j) <- im
+    end
+  done
+
+let apply state = function
+  | Ft_gate.Single (k, q) ->
+    if q >= state.n then invalid_arg "Statevector.apply: wire out of range";
+    apply_single state k q
+  | Ft_gate.Cnot { control; target } ->
+    if control >= state.n || target >= state.n then
+      invalid_arg "Statevector.apply: wire out of range";
+    apply_cnot state ~control ~target
+
+let run state circ = Ft_circuit.iter (apply state) circ
+
+let amplitude state basis =
+  if basis < 0 || basis >= Array.length state.re then
+    invalid_arg "Statevector.amplitude: basis out of range";
+  (state.re.(basis), state.im.(basis))
+
+let probability state basis =
+  let re, im = amplitude state basis in
+  (re *. re) +. (im *. im)
+
+let norm state =
+  let total = ref 0.0 in
+  for i = 0 to Array.length state.re - 1 do
+    total := !total +. (state.re.(i) *. state.re.(i))
+             +. (state.im.(i) *. state.im.(i))
+  done;
+  !total
+
+let fidelity a b =
+  if a.n <> b.n then invalid_arg "Statevector.fidelity: size mismatch";
+  let re = ref 0.0 and im = ref 0.0 in
+  for i = 0 to Array.length a.re - 1 do
+    (* ⟨a|b⟩ = Σ conj(a_i)·b_i *)
+    re := !re +. (a.re.(i) *. b.re.(i)) +. (a.im.(i) *. b.im.(i));
+    im := !im +. (a.re.(i) *. b.im.(i)) -. (a.im.(i) *. b.re.(i))
+  done;
+  (!re *. !re) +. (!im *. !im)
+
+let measure_basis state =
+  let dim = Array.length state.re in
+  let rec find i =
+    if i >= dim then None
+    else if probability state i > 1.0 -. 1e-9 then Some i
+    else find (i + 1)
+  in
+  find 0
+
+let equivalent_on_basis ~num_qubits a b =
+  let dim = 1 lsl num_qubits in
+  let rec check basis =
+    if basis >= dim then true
+    else begin
+      let sa = create ~num_qubits ~basis and sb = create ~num_qubits ~basis in
+      run sa a;
+      run sb b;
+      fidelity sa sb > 1.0 -. 1e-9 && check (basis + 1)
+    end
+  in
+  check 0

@@ -1,0 +1,47 @@
+(** Dense state-vector simulation of FT circuits.
+
+    Exponential in qubit count — this is a *verification* tool for small
+    circuits (decomposition identities, optimizer soundness), not an
+    execution engine; the paper is explicit that tracing operations, not
+    simulating amplitudes, is all a latency tool can afford.  Capped at
+    {!max_qubits} qubits. *)
+
+type t
+
+val max_qubits : int
+(** 20 (16 MB of amplitudes). *)
+
+val create : num_qubits:int -> basis:int -> t
+(** |basis⟩ on [num_qubits] wires.
+    @raise Invalid_argument if out of range. *)
+
+val num_qubits : t -> int
+
+val apply : t -> Ft_gate.t -> unit
+(** Apply one FT gate in place. *)
+
+val run : t -> Ft_circuit.t -> unit
+(** Apply a whole circuit. *)
+
+val amplitude : t -> int -> float * float
+(** (re, im) of a basis state. *)
+
+val probability : t -> int -> float
+(** |amplitude|². *)
+
+val norm : t -> float
+(** Σ probabilities — 1.0 up to rounding (unitarity check). *)
+
+val fidelity : t -> t -> float
+(** |⟨a|b⟩|² of two states on the same wire count.
+    @raise Invalid_argument on mismatched sizes. *)
+
+val measure_basis : t -> int option
+(** If the state is (numerically) a computational basis state, its index. *)
+
+val equivalent_on_basis :
+  num_qubits:int -> Ft_circuit.t -> Ft_circuit.t -> bool
+(** True iff the two circuits act identically (up to global phase) on
+    every computational basis input — an exact unitary-equivalence check
+    for [num_qubits ≤ max_qubits] circuits whose outputs are compared via
+    fidelity. *)

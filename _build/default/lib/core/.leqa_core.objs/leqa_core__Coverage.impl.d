@@ -1,0 +1,1 @@
+lib/core/coverage.ml: Array Leqa_fabric Leqa_util

@@ -1,0 +1,1 @@
+lib/core/estimator.ml: Array Config Coverage Leqa_circuit Leqa_fabric Leqa_iig Leqa_qodg List Presence_zone Routing_latency

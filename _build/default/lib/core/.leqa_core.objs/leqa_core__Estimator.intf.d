@@ -1,0 +1,1 @@
+lib/core/estimator.mli: Config Leqa_circuit Leqa_fabric Leqa_qodg

@@ -1,0 +1,1 @@
+lib/core/presence_zone.ml: Array Leqa_iig

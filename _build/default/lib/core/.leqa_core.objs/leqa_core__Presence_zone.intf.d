@@ -1,0 +1,1 @@
+lib/core/presence_zone.mli: Leqa_iig

@@ -1,0 +1,1 @@
+lib/core/routing_latency.ml: Array Leqa_iig Leqa_queueing Leqa_tsp Presence_zone

@@ -1,0 +1,1 @@
+lib/core/routing_latency.mli: Leqa_iig

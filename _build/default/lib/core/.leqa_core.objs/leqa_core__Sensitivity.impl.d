@@ -1,0 +1,1 @@
+lib/core/sensitivity.ml: Estimator Leqa_fabric List

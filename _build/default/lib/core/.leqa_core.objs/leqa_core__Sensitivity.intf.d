@@ -1,0 +1,1 @@
+lib/core/sensitivity.mli: Config Leqa_fabric Leqa_qodg

@@ -1,0 +1,1 @@
+lib/core/validation.ml: Array Coverage Float Leqa_util

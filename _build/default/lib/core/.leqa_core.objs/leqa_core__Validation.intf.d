@@ -1,0 +1,1 @@
+lib/core/validation.mli: Leqa_util

@@ -1,0 +1,9 @@
+type t = { truncation_terms : int }
+
+let default = { truncation_terms = 20 }
+
+let exact ~qubits = { truncation_terms = max qubits 1 }
+
+let validate t =
+  if t.truncation_terms <= 0 then Error "truncation_terms must be positive"
+  else Ok ()

@@ -1,0 +1,16 @@
+(** Estimator knobs. *)
+
+type t = {
+  truncation_terms : int;
+      (** Number of leading [E(S_q)] terms of Eq (4) to evaluate.  The paper
+          uses 20 ("only the first 20 terms are calculated in practice");
+          the ablation bench sweeps this. *)
+}
+
+val default : t
+(** [truncation_terms = 20]. *)
+
+val exact : qubits:int -> t
+(** No truncation: evaluate all [Q] terms. *)
+
+val validate : t -> (unit, string) result

@@ -1,0 +1,77 @@
+let zone_side ~avg_area ~width ~height =
+  if avg_area < 1.0 then invalid_arg "Coverage.zone_side: area below 1";
+  if width <= 0 || height <= 0 then invalid_arg "Coverage.zone_side: empty fabric";
+  let s = int_of_float (ceil (sqrt avg_area)) in
+  max 1 (min s (min width height))
+
+let check_coord ~width ~height ~x ~y =
+  if x < 1 || x > width || y < 1 || y > height then
+    invalid_arg "Coverage: coordinate outside the fabric"
+
+(* Eq (5).  The numerator counts anchor positions of an s×s zone that
+   cover (x,y) in each axis independently; the denominator counts all
+   anchor positions.  On a torus every position is equivalent: a zone
+   covers s² of the A cells wherever it lands, so P = s²/A uniformly. *)
+let coverage_probability ~topology ~avg_area
+    ~width ~height ~x ~y =
+  check_coord ~width ~height ~x ~y;
+  let s = zone_side ~avg_area ~width ~height in
+  match topology with
+  | Leqa_fabric.Params.Torus ->
+    float_of_int (s * s) /. float_of_int (width * height)
+  | Leqa_fabric.Params.Grid ->
+    let min4 a b c d = min (min a b) (min c d) in
+    let nx = min4 x (width - x + 1) s (width - s + 1) in
+    let ny = min4 y (height - y + 1) s (height - s + 1) in
+    let denom = (width - s + 1) * (height - s + 1) in
+    float_of_int (nx * ny) /. float_of_int denom
+
+let probability_grid ~topology ~avg_area ~width ~height =
+  let grid = Array.make (width * height) 0.0 in
+  for y = 1 to height do
+    for x = 1 to width do
+      grid.(((y - 1) * width) + (x - 1)) <-
+        coverage_probability ~topology ~avg_area ~width ~height ~x ~y
+    done
+  done;
+  grid
+
+(* Eq (4), log-space per cell.  For each ULB we need
+   C(Q,q)·P^q·(1−P)^(Q−q) for q = 1..terms; the log-binomial prefix is
+   shared across cells, so precompute it once per q. *)
+let expected_surfaces ~topology ~avg_area ~width ~height ~qubits ~terms =
+  if qubits < 0 then invalid_arg "Coverage.expected_surfaces: negative Q";
+  if terms <= 0 then invalid_arg "Coverage.expected_surfaces: terms must be positive";
+  let kmax = min terms qubits in
+  let grid = probability_grid ~topology ~avg_area ~width ~height in
+  let log_choose = Array.make (kmax + 1) 0.0 in
+  for q = 1 to kmax do
+    log_choose.(q) <- Leqa_util.Binomial.log_choose qubits q
+  done;
+  let result = Array.make kmax 0.0 in
+  Array.iter
+    (fun p ->
+      if p > 0.0 then begin
+        let log_p = log p in
+        let log_1mp = if p >= 1.0 then neg_infinity else log1p (-.p) in
+        for q = 1 to kmax do
+          let log_term =
+            log_choose.(q)
+            +. (float_of_int q *. log_p)
+            +.
+            if qubits - q = 0 then 0.0
+            else float_of_int (qubits - q) *. log_1mp
+          in
+          if log_term > neg_infinity then
+            result.(q - 1) <- result.(q - 1) +. exp log_term
+        done
+      end)
+    grid;
+  result
+
+let expected_uncovered ~topology ~avg_area ~width ~height ~qubits =
+  let grid = probability_grid ~topology ~avg_area ~width ~height in
+  Array.fold_left
+    (fun acc p ->
+      acc +. exp (Leqa_util.Binomial.log_pmf ~n:qubits ~k:0 ~p))
+    0.0 grid

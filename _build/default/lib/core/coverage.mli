@@ -1,0 +1,37 @@
+(** Zone-coverage statistics: [P_{x,y}] (Eq 5, Figure 4) and the expected
+    surface [E(S_q)] covered by exactly [q] presence zones (Eq 4). *)
+
+val zone_side : avg_area:float -> width:int -> height:int -> int
+(** ⌈√B⌉, clamped to the fabric's smaller dimension so a zone always fits
+    (the paper's equations presuppose it does). *)
+
+val coverage_probability :
+  topology:Leqa_fabric.Params.topology ->
+  avg_area:float -> width:int -> height:int -> x:int -> y:int -> float
+(** Eq (5): probability that a uniformly placed ⌈√B⌉×⌈√B⌉ zone covers the
+    ULB at (x, y); coordinates are 1-based.  On a [Torus]
+    there is no boundary: every ULB has the same probability s²/A.
+    @raise Invalid_argument outside the fabric. *)
+
+val probability_grid :
+  topology:Leqa_fabric.Params.topology ->
+  avg_area:float -> width:int -> height:int -> float array
+(** All [P_{x,y}] in row-major order (an [a·b] array). *)
+
+val expected_surfaces :
+  topology:Leqa_fabric.Params.topology ->
+  avg_area:float ->
+  width:int ->
+  height:int ->
+  qubits:int ->
+  terms:int ->
+  float array
+(** Eq (4) for [q = 1 .. min terms qubits]: element [q-1] is [E(S_q)].
+    Evaluated in log space (see DESIGN.md). *)
+
+val expected_uncovered :
+  topology:Leqa_fabric.Params.topology ->
+  avg_area:float -> width:int -> height:int -> qubits:int -> float
+(** [E(S_0)] — the part of the fabric no zone covers.  Together with the
+    full (untruncated) [expected_surfaces] this satisfies the Eq (3)
+    constraint [Σ_{q=0}^{Q} E(S_q) = A]. *)

@@ -1,0 +1,133 @@
+module Params = Leqa_fabric.Params
+module Qodg = Leqa_qodg.Qodg
+module Critical_path = Leqa_qodg.Critical_path
+module Ft_gate = Leqa_circuit.Ft_gate
+module Iig = Leqa_iig.Iig
+
+type breakdown = {
+  avg_zone_area : float;
+  d_uncong : float;
+  expected_surfaces : float array;
+  congested_delays : float array;
+  l_cnot_avg : float;
+  l_single_avg : float;
+  critical : Critical_path.result;
+  latency_us : float;
+  latency_s : float;
+  qubits : int;
+  operations : int;
+}
+
+let eq1_latency ~params ~l_cnot_avg ~counts =
+  let open Critical_path in
+  let l_single = Params.l_single_avg params in
+  let cnot_part =
+    float_of_int counts.cnots *. (params.Params.d_cnot +. l_cnot_avg)
+  in
+  let single_part = ref 0.0 in
+  List.iter
+    (fun kind ->
+      let n = counts.singles.(Ft_gate.single_kind_index kind) in
+      if n > 0 then
+        single_part :=
+          !single_part
+          +. (float_of_int n *. (Params.single_delay params kind +. l_single)))
+    Ft_gate.all_single_kinds;
+  cnot_part +. !single_part
+
+let estimate ?(config = Config.default) ~params qodg =
+  (match Config.validate config with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Estimator.estimate: " ^ msg));
+  (match Params.validate params with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Estimator.estimate: " ^ msg));
+  let width = params.Params.width and height = params.Params.height in
+  (* Lines 1-3: IIG, per-qubit zones, average zone area B. *)
+  let iig = Iig.of_qodg qodg in
+  let qubits = Iig.num_qubits iig in
+  let avg_zone_area = Presence_zone.average_area iig in
+  (* Lines 4-8: per-qubit uncongested latencies and their weighted mean. *)
+  let d_uncong = Routing_latency.d_uncongested ~v:params.Params.v iig in
+  (* Lines 9-17: coverage probabilities, E(S_q) and d_q (first K terms). *)
+  let terms = config.Config.truncation_terms in
+  let expected_surfaces =
+    if qubits = 0 then [||]
+    else
+      Coverage.expected_surfaces ~topology:params.Params.topology
+        ~avg_area:avg_zone_area ~width ~height ~qubits ~terms
+  in
+  let congested_delays =
+    if Array.length expected_surfaces = 0 then [||]
+    else
+      Routing_latency.congested_delays ~d_uncong ~nc:params.Params.nc
+        ~qmax:(Array.length expected_surfaces)
+  in
+  (* Line 18: L_CNOT^avg. *)
+  let l_cnot_avg =
+    if Array.length expected_surfaces = 0 then 0.0
+    else Routing_latency.l_cnot_avg ~expected_surfaces ~delays:congested_delays
+  in
+  let l_single_avg = Params.l_single_avg params in
+  (* Line 19: routing-augmented critical path. *)
+  let delay g =
+    Params.gate_delay params g
+    +. match g with Ft_gate.Cnot _ -> l_cnot_avg | Ft_gate.Single _ -> l_single_avg
+  in
+  let critical = Critical_path.compute qodg ~delay in
+  (* Line 20: Eq (1).  Identical to the critical-path length because the
+     node weights already include the routing terms. *)
+  let latency_us = eq1_latency ~params ~l_cnot_avg ~counts:critical.counts in
+  {
+    avg_zone_area;
+    d_uncong;
+    expected_surfaces;
+    congested_delays;
+    l_cnot_avg;
+    l_single_avg;
+    critical;
+    latency_us;
+    latency_s = latency_us /. 1e6;
+    qubits;
+    operations = Qodg.num_nodes qodg - 2;
+  }
+
+type contribution = {
+  label : string;
+  count : int;
+  gate_time : float;
+  routing_time : float;
+}
+
+let contributions ~params b =
+  let counts = b.critical.Critical_path.counts in
+  let cnot_row =
+    {
+      label = "CNOT";
+      count = counts.Critical_path.cnots;
+      gate_time = float_of_int counts.Critical_path.cnots *. params.Params.d_cnot;
+      routing_time = float_of_int counts.Critical_path.cnots *. b.l_cnot_avg;
+    }
+  in
+  let single_rows =
+    List.map
+      (fun kind ->
+        let count =
+          counts.Critical_path.singles.(Ft_gate.single_kind_index kind)
+        in
+        {
+          label = Leqa_circuit.Gate.single_kind_to_string kind;
+          count;
+          gate_time = float_of_int count *. Params.single_delay params kind;
+          routing_time = float_of_int count *. b.l_single_avg;
+        })
+      Ft_gate.all_single_kinds
+  in
+  List.filter (fun r -> r.count > 0) (cnot_row :: single_rows)
+  |> List.sort (fun a b ->
+         compare
+           (b.gate_time +. b.routing_time)
+           (a.gate_time +. a.routing_time))
+
+let estimate_circuit ?config ~params circ =
+  estimate ?config ~params (Qodg.of_ft_circuit circ)

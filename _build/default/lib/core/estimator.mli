@@ -1,0 +1,57 @@
+(** LEQA — Algorithm 1 of the paper, end to end.
+
+    Input: a QODG, the fabric dimensions and physical parameters.
+    Output: the estimated program latency [D] of Eq (1) plus every
+    intermediate quantity, so experiments and tests can inspect the
+    model's internals. *)
+
+type breakdown = {
+  avg_zone_area : float;  (** B, Eq 7 *)
+  d_uncong : float;  (** Eq 12, µs *)
+  expected_surfaces : float array;  (** E(S_q), q = 1..K (Eq 4) *)
+  congested_delays : float array;  (** d_q, q = 1..K (Eq 8) *)
+  l_cnot_avg : float;  (** Eq 2, µs *)
+  l_single_avg : float;  (** 2·T_move, µs *)
+  critical : Leqa_qodg.Critical_path.result;
+      (** critical path under routing-augmented delays (line 19) *)
+  latency_us : float;  (** D, Eq 1 *)
+  latency_s : float;  (** D in seconds (Table 2's unit) *)
+  qubits : int;
+  operations : int;
+}
+
+val estimate :
+  ?config:Config.t ->
+  params:Leqa_fabric.Params.t ->
+  Leqa_qodg.Qodg.t ->
+  breakdown
+(** Run LEQA.  @raise Invalid_argument on invalid parameters/config. *)
+
+val estimate_circuit :
+  ?config:Config.t ->
+  params:Leqa_fabric.Params.t ->
+  Leqa_circuit.Ft_circuit.t ->
+  breakdown
+(** Convenience: build the QODG first. *)
+
+type contribution = {
+  label : string;  (** "CNOT" or a one-qubit kind name *)
+  count : int;  (** occurrences on the critical path *)
+  gate_time : float;  (** Σ operation delay, µs *)
+  routing_time : float;  (** Σ routing latency, µs *)
+}
+
+val contributions :
+  params:Leqa_fabric.Params.t -> breakdown -> contribution list
+(** Decompose D into per-operation-type critical-path contributions
+    (gate vs routing share); the rows sum to [latency_us].  Sorted by
+    descending total contribution; zero-count types omitted. *)
+
+val eq1_latency :
+  params:Leqa_fabric.Params.t ->
+  l_cnot_avg:float ->
+  counts:Leqa_qodg.Critical_path.counts ->
+  float
+(** Eq (1) evaluated from critical-path counts; [estimate] uses the
+    identical quantity (exposed for tests, which check both formulations
+    agree). *)

@@ -1,0 +1,22 @@
+module Iig = Leqa_iig.Iig
+
+let area ~m =
+  if m < 0 then invalid_arg "Presence_zone.area: negative degree";
+  (* Eq (6): √(M+1) × √(M+1); the M_i interaction partners plus the qubit
+     itself each notionally occupy one ULB. *)
+  float_of_int (m + 1)
+
+let side ~m = sqrt (area ~m)
+
+let per_qubit_areas iig =
+  Array.init (Iig.num_qubits iig) (fun i -> area ~m:(Iig.degree iig i))
+
+let average_area iig =
+  let q = Iig.num_qubits iig in
+  let num = ref 0.0 and den = ref 0.0 in
+  for i = 0 to q - 1 do
+    let w = float_of_int (Iig.adjacent_weight_sum iig i) in
+    num := !num +. (w *. area ~m:(Iig.degree iig i));
+    den := !den +. w
+  done;
+  if !den = 0.0 then 1.0 else !num /. !den

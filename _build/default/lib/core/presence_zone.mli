@@ -1,0 +1,20 @@
+(** Presence zones (Section 3.1, Figure 3 and Eqs 6-7).
+
+    Qubit [i] interacts with its [M_i] IIG-neighbours inside a hypothetical
+    square zone of area [B_i = (√(M_i+1))² = M_i + 1]; the fabric-wide
+    average area [B] weighs each zone by the qubit's two-qubit-operation
+    involvement [Σ_j w(e_ij)]. *)
+
+val area : m:int -> float
+(** Eq (6): [B_i] for a qubit of IIG degree [m].
+    @raise Invalid_argument on negative [m]. *)
+
+val side : m:int -> float
+(** Zone side length [√(B_i)]. *)
+
+val average_area : Leqa_iig.Iig.t -> float
+(** Eq (7).  Falls back to 1.0 (a single-ULB zone) when the circuit has no
+    two-qubit operation at all, so downstream equations stay defined. *)
+
+val per_qubit_areas : Leqa_iig.Iig.t -> float array
+(** [B_i] for every qubit. *)

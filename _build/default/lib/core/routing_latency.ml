@@ -1,0 +1,42 @@
+module Iig = Leqa_iig.Iig
+
+let expected_hamiltonian_length ~m =
+  if m < 0 then invalid_arg "Routing_latency: negative degree";
+  Leqa_tsp.Bounds.hamiltonian_path_estimate ~points:(m + 1)
+    ~side:(Presence_zone.side ~m)
+
+let d_uncongested_for ~m ~v =
+  if v <= 0.0 then invalid_arg "Routing_latency: v must be positive";
+  if m <= 0 then 0.0
+  else expected_hamiltonian_length ~m /. (v *. float_of_int m)
+
+let d_uncongested ~v iig =
+  let q = Iig.num_qubits iig in
+  let num = ref 0.0 and den = ref 0.0 in
+  for i = 0 to q - 1 do
+    let w = float_of_int (Iig.adjacent_weight_sum iig i) in
+    if w > 0.0 then begin
+      num := !num +. (w *. d_uncongested_for ~m:(Iig.degree iig i) ~v);
+      den := !den +. w
+    end
+  done;
+  if !den = 0.0 then 0.0 else !num /. !den
+
+let congested_delays ~d_uncong ~nc ~qmax =
+  if qmax <= 0 then invalid_arg "Routing_latency: qmax must be positive";
+  if d_uncong < 0.0 then invalid_arg "Routing_latency: negative d_uncong";
+  if d_uncong = 0.0 then Array.make qmax 0.0
+  else
+    Array.init qmax (fun i ->
+        Leqa_queueing.Mm1.congestion_delay ~nc ~d_uncong ~q:(i + 1))
+
+let l_cnot_avg ~expected_surfaces ~delays =
+  if Array.length expected_surfaces <> Array.length delays then
+    invalid_arg "Routing_latency.l_cnot_avg: length mismatch";
+  let num = ref 0.0 and den = ref 0.0 in
+  Array.iteri
+    (fun i s ->
+      num := !num +. (s *. delays.(i));
+      den := !den +. s)
+    expected_surfaces;
+  if !den = 0.0 then 0.0 else !num /. !den

@@ -1,0 +1,28 @@
+(** The CNOT routing-latency chain of Section 3: Eqs 15-16 (per-qubit
+    uncongested latency), Eq 12 (weighted average [d_uncong]), Eq 8
+    (congestion scaling [d_q]) and Eq 2 (the final [L_CNOT^avg]). *)
+
+val expected_hamiltonian_length : m:int -> float
+(** Eq (15): [E(l_ham,i)] for a qubit of IIG degree [m] — the expected
+    shortest Hamiltonian path through [m+1] random points in its
+    presence zone.  0 for [m ≤ 1]. *)
+
+val d_uncongested_for : m:int -> v:float -> float
+(** Eq (16): [E(l_ham,i) / (v · M_i)], the per-operation uncongested
+    routing latency of one qubit.  0 for [m = 0] (no interactions).
+    @raise Invalid_argument for non-positive [v]. *)
+
+val d_uncongested : v:float -> Leqa_iig.Iig.t -> float
+(** Eq (12): weighted average of [d_uncongested_for] over all qubits,
+    weighted by adjacent edge-weight sums.  0 when there are no
+    two-qubit operations. *)
+
+val congested_delays :
+  d_uncong:float -> nc:int -> qmax:int -> float array
+(** Eq (8) for [q = 1 .. qmax]: element [q-1] is [d_q]. *)
+
+val l_cnot_avg :
+  expected_surfaces:float array -> delays:float array -> float
+(** Eq (2): [Σ E(S_q)·d_q / Σ E(S_q)] over the truncated range.  0 when
+    the total covered surface is zero (no zones, no CNOTs).
+    @raise Invalid_argument on array length mismatch. *)

@@ -1,0 +1,53 @@
+module Params = Leqa_fabric.Params
+
+type entry = { parameter : string; base_value : float; elasticity : float }
+
+let parameters = [ "d_h"; "d_t"; "d_s"; "d_pauli"; "d_cnot"; "v"; "t_move" ]
+
+let read (p : Params.t) = function
+  | "d_h" -> p.Params.d_h
+  | "d_t" -> p.Params.d_t
+  | "d_s" -> p.Params.d_s
+  | "d_pauli" -> p.Params.d_pauli
+  | "d_cnot" -> p.Params.d_cnot
+  | "v" -> p.Params.v
+  | "t_move" -> p.Params.t_move
+  | name -> invalid_arg ("Sensitivity: unknown parameter " ^ name)
+
+let write (p : Params.t) name value =
+  match name with
+  | "d_h" -> { p with Params.d_h = value }
+  | "d_t" -> { p with Params.d_t = value }
+  | "d_s" -> { p with Params.d_s = value }
+  | "d_pauli" -> { p with Params.d_pauli = value }
+  | "d_cnot" -> { p with Params.d_cnot = value }
+  | "v" -> { p with Params.v = value }
+  | "t_move" -> { p with Params.t_move = value }
+  | _ -> invalid_arg ("Sensitivity: unknown parameter " ^ name)
+
+let elasticity ?config ?(step = 0.05) ~params ~parameter qodg =
+  if step <= 0.0 || step >= 1.0 then
+    invalid_arg "Sensitivity.elasticity: step out of (0,1)";
+  let base = read params parameter in
+  let latency p =
+    (Estimator.estimate ?config ~params:p qodg).Estimator.latency_us
+  in
+  let up = latency (write params parameter (base *. (1.0 +. step))) in
+  let down = latency (write params parameter (base *. (1.0 -. step))) in
+  let d0 = latency params in
+  if d0 = 0.0 then 0.0 else (up -. down) /. (2.0 *. step *. d0)
+
+let tornado ?config ?step ~params qodg =
+  let entries =
+    List.map
+      (fun parameter ->
+        {
+          parameter;
+          base_value = read params parameter;
+          elasticity = elasticity ?config ?step ~params ~parameter qodg;
+        })
+      parameters
+  in
+  List.sort
+    (fun a b -> compare (abs_float b.elasticity) (abs_float a.elasticity))
+    entries

@@ -1,0 +1,36 @@
+(** Parameter-sensitivity analysis of the latency estimate.
+
+    LEQA's speed makes finite-difference sensitivities affordable: each
+    derivative costs two estimator calls.  QECC and fabric designers read
+    this as a tornado chart — which physical parameter buys the most
+    latency if improved by X percent.  Elasticity is the standard
+    dimensionless form: [(∂D/D) / (∂p/p)], i.e. the % change in latency
+    per % change in the parameter. *)
+
+type entry = {
+  parameter : string;
+  base_value : float;
+  elasticity : float;
+}
+
+val parameters : string list
+(** The perturbable parameters: ["d_h"; "d_t"; "d_s"; "d_pauli";
+    "d_cnot"; "v"; "t_move"]. *)
+
+val elasticity :
+  ?config:Config.t ->
+  ?step:float ->
+  params:Leqa_fabric.Params.t ->
+  parameter:string ->
+  Leqa_qodg.Qodg.t ->
+  float
+(** Central finite difference with relative [step] (default 0.05).
+    @raise Invalid_argument for an unknown parameter name. *)
+
+val tornado :
+  ?config:Config.t ->
+  ?step:float ->
+  params:Leqa_fabric.Params.t ->
+  Leqa_qodg.Qodg.t ->
+  entry list
+(** All parameters, sorted by descending |elasticity|. *)

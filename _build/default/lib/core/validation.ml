@@ -1,0 +1,45 @@
+type result = {
+  empirical_surfaces : float array;
+  empirical_uncovered : float;
+}
+
+let measure ~rng ~avg_area ~width ~height ~qubits ~trials ~qmax =
+  if trials <= 0 then invalid_arg "Validation.measure: trials <= 0";
+  if qmax <= 0 then invalid_arg "Validation.measure: qmax <= 0";
+  if qubits < 0 then invalid_arg "Validation.measure: negative qubits";
+  let side = Coverage.zone_side ~avg_area ~width ~height in
+  let anchors_x = width - side + 1 and anchors_y = height - side + 1 in
+  let counts = Array.make (width * height) 0 in
+  let surfaces = Array.make qmax 0.0 in
+  let uncovered = ref 0.0 in
+  for _ = 1 to trials do
+    Array.fill counts 0 (Array.length counts) 0;
+    for _ = 1 to qubits do
+      let ax = Leqa_util.Rng.int rng ~bound:anchors_x in
+      let ay = Leqa_util.Rng.int rng ~bound:anchors_y in
+      for dy = 0 to side - 1 do
+        for dx = 0 to side - 1 do
+          let idx = ((ay + dy) * width) + ax + dx in
+          counts.(idx) <- counts.(idx) + 1
+        done
+      done
+    done;
+    Array.iter
+      (fun c ->
+        if c = 0 then uncovered := !uncovered +. 1.0
+        else if c <= qmax then surfaces.(c - 1) <- surfaces.(c - 1) +. 1.0)
+      counts
+  done;
+  let scale = 1.0 /. float_of_int trials in
+  {
+    empirical_surfaces = Array.map (fun s -> s *. scale) surfaces;
+    empirical_uncovered = !uncovered *. scale;
+  }
+
+let max_abs_deviation ~expected ~empirical =
+  let n = min (Array.length expected) (Array.length empirical) in
+  let worst = ref 0.0 in
+  for i = 0 to n - 1 do
+    worst := Float.max !worst (abs_float (expected.(i) -. empirical.(i)))
+  done;
+  !worst

@@ -1,0 +1,30 @@
+(** Monte-Carlo validation of the coverage model.
+
+    Eq (4) is an analytic expectation over random zone placements; this
+    module measures the same quantity empirically — drop [qubits] square
+    zones uniformly at random, count per-ULB overlaps — so tests and the
+    experiment harness can quantify the model's own accuracy separately
+    from the end-to-end latency error. *)
+
+type result = {
+  empirical_surfaces : float array;
+      (** mean surface covered by exactly q zones, q = 1..qmax *)
+  empirical_uncovered : float;  (** mean surface covered by no zone *)
+}
+
+val measure :
+  rng:Leqa_util.Rng.t ->
+  avg_area:float ->
+  width:int ->
+  height:int ->
+  qubits:int ->
+  trials:int ->
+  qmax:int ->
+  result
+(** Zones have side [Coverage.zone_side ~avg_area] and land uniformly among
+    the in-bounds anchor positions, exactly the distribution Eq (5)
+    assumes.  @raise Invalid_argument for non-positive trials/qmax. *)
+
+val max_abs_deviation :
+  expected:float array -> empirical:float array -> float
+(** [max_q |expected - empirical|] over the shared prefix. *)

@@ -1,0 +1,1 @@
+lib/fabric/channel.ml: Array Float Geometry Hashtbl List Option Params

@@ -1,0 +1,1 @@
+lib/fabric/channel.mli: Geometry Params

@@ -1,0 +1,1 @@
+lib/fabric/params.ml: Format Leqa_circuit

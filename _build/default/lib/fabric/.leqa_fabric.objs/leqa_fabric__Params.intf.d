@@ -1,0 +1,1 @@
+lib/fabric/params.mli: Format Leqa_circuit

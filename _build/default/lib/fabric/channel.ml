@@ -1,0 +1,106 @@
+(* Per-segment server pool.  Segments are keyed by the row-major indices of
+   their two endpoint ULBs (smaller first).  Each segment keeps the
+   [free_at] times of its [capacity] servers; a reservation takes the
+   earliest server.  This is O(capacity) per hop with capacity = N_c = 5,
+   i.e. constant. *)
+
+type t = {
+  width : int;
+  height : int;
+  capacity : int;
+  topology : Params.topology;
+  segments : (int * int, float array) Hashtbl.t;
+  counts : (int * int, int) Hashtbl.t;
+  mutable reservations : int;
+  mutable wait : float;
+}
+
+let create ?(topology = Params.Grid) ~width ~height ~capacity () =
+  if width <= 0 || height <= 0 then invalid_arg "Channel.create: empty fabric";
+  if capacity <= 0 then invalid_arg "Channel.create: non-positive capacity";
+  {
+    width;
+    height;
+    capacity;
+    topology;
+    segments = Hashtbl.create 1024;
+    counts = Hashtbl.create 1024;
+    reservations = 0;
+    wait = 0.0;
+  }
+
+let key t a b =
+  let ia = Geometry.index ~width:t.width a
+  and ib = Geometry.index ~width:t.width b in
+  if ia < ib then (ia, ib) else (ib, ia)
+
+let check_adjacent t a b =
+  if
+    (not (Geometry.in_bounds ~width:t.width ~height:t.height a))
+    || not (Geometry.in_bounds ~width:t.width ~height:t.height b)
+  then invalid_arg "Channel: coordinate out of bounds";
+  let adjacent =
+    match t.topology with
+    | Params.Grid -> Geometry.manhattan a b = 1
+    | Params.Torus ->
+      Geometry.torus_adjacent ~width:t.width ~height:t.height a b
+  in
+  if not adjacent then invalid_arg "Channel: ULBs are not adjacent"
+
+let servers t a b =
+  let k = key t a b in
+  match Hashtbl.find_opt t.segments k with
+  | Some arr -> arr
+  | None ->
+    let arr = Array.make t.capacity 0.0 in
+    Hashtbl.add t.segments k arr;
+    arr
+
+let reserve t ~src ~dst ~arrival ~t_move =
+  check_adjacent t src dst;
+  if t_move <= 0.0 then invalid_arg "Channel.reserve: non-positive t_move";
+  let pool = servers t src dst in
+  let best = ref 0 in
+  for i = 1 to t.capacity - 1 do
+    if pool.(i) < pool.(!best) then best := i
+  done;
+  let start = Float.max arrival pool.(!best) in
+  t.wait <- t.wait +. (start -. arrival);
+  pool.(!best) <- start +. t_move;
+  t.reservations <- t.reservations + 1;
+  let k = key t src dst in
+  Hashtbl.replace t.counts k
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.counts k));
+  start +. t_move
+
+let busy_until t ~src ~dst =
+  check_adjacent t src dst;
+  match Hashtbl.find_opt t.segments (key t src dst) with
+  | None -> 0.0
+  | Some pool -> Array.fold_left Float.max 0.0 pool
+
+let earliest_free t ~src ~dst =
+  check_adjacent t src dst;
+  match Hashtbl.find_opt t.segments (key t src dst) with
+  | None -> 0.0
+  | Some pool -> Array.fold_left Float.min pool.(0) pool
+
+let total_reservations t = t.reservations
+
+let total_wait t = t.wait
+
+let segment_loads t =
+  Hashtbl.fold
+    (fun (ia, ib) count acc ->
+      ( (Geometry.of_index ~width:t.width ia, Geometry.of_index ~width:t.width ib),
+        count )
+      :: acc)
+    t.counts []
+  |> List.sort (fun ((a1, a2), ca) ((b1, b2), cb) ->
+         compare (cb, b1, b2) (ca, a1, a2))
+
+let reset t =
+  Hashtbl.reset t.segments;
+  Hashtbl.reset t.counts;
+  t.reservations <- 0;
+  t.wait <- 0.0

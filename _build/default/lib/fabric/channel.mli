@@ -1,0 +1,42 @@
+(** Routing-channel state for the detailed (QSPR) simulator.
+
+    Each undirected channel segment between two adjacent ULBs behaves as
+    [N_c] parallel servers: a qubit hopping across the segment occupies one
+    server for [T_move] microseconds.  When all servers are busy the qubit
+    waits for the earliest release — exactly the pipelining behaviour the
+    paper's M/M/1 abstraction (Figure 5) models statistically. *)
+
+type t
+
+val create :
+  ?topology:Params.topology -> width:int -> height:int -> capacity:int ->
+  unit -> t
+(** One segment per pair of von-Neumann-adjacent ULBs; [Torus] also
+    provides the opposite-edge wrap segments (default [Grid]). *)
+
+val reserve : t -> src:Geometry.coord -> dst:Geometry.coord ->
+  arrival:float -> t_move:float -> float
+(** [reserve ch ~src ~dst ~arrival ~t_move] books the earliest possible
+    crossing of the segment [src-dst] starting no earlier than [arrival];
+    returns the crossing's completion time ([start + t_move]).
+    @raise Invalid_argument if the ULBs are not adjacent. *)
+
+val busy_until : t -> src:Geometry.coord -> dst:Geometry.coord -> float
+(** Latest booked completion on the segment (0 when never used). *)
+
+val earliest_free : t -> src:Geometry.coord -> dst:Geometry.coord -> float
+(** Earliest time a server of the segment is available (0 when unused) —
+    the congestion signal the A* router steers around. *)
+
+val total_reservations : t -> int
+
+val total_wait : t -> float
+(** Cumulative time qubits spent waiting for a free server — the
+    congestion the estimator abstracts with Eq (8). *)
+
+val segment_loads : t -> ((Geometry.coord * Geometry.coord) * int) list
+(** Per-segment reservation counts, busiest first — the channel-side
+    congestion census (the ULB-side counterpart lives in the mapper's
+    trace).  Segment endpoints are reported in index order. *)
+
+val reset : t -> unit

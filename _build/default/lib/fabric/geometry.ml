@@ -1,0 +1,103 @@
+type coord = { x : int; y : int }
+
+let manhattan a b = abs (a.x - b.x) + abs (a.y - b.y)
+
+let chebyshev a b = max (abs (a.x - b.x)) (abs (a.y - b.y))
+
+let in_bounds ~width ~height c =
+  c.x >= 1 && c.x <= width && c.y >= 1 && c.y <= height
+
+let index ~width c = ((c.y - 1) * width) + (c.x - 1)
+
+let of_index ~width i = { x = (i mod width) + 1; y = (i / width) + 1 }
+
+let neighbors4 ~width ~height c =
+  List.filter
+    (in_bounds ~width ~height)
+    [
+      { c with x = c.x - 1 };
+      { c with x = c.x + 1 };
+      { c with y = c.y - 1 };
+      { c with y = c.y + 1 };
+    ]
+
+let midpoint a b = { x = (a.x + b.x) / 2; y = (a.y + b.y) / 2 }
+
+let xy_route ~src ~dst =
+  let step a b = if a < b then a + 1 else a - 1 in
+  let rec walk_x c acc =
+    if c.x = dst.x then walk_y c acc
+    else
+      let c' = { c with x = step c.x dst.x } in
+      walk_x c' (c' :: acc)
+  and walk_y c acc =
+    if c.y = dst.y then List.rev acc
+    else
+      let c' = { c with y = step c.y dst.y } in
+      walk_y c' (c' :: acc)
+  in
+  walk_x src []
+
+let pp ppf c = Format.fprintf ppf "(%d,%d)" c.x c.y
+
+(* --- torus variants --- *)
+
+let axis_delta ~extent a b =
+  let direct = abs (a - b) in
+  min direct (extent - direct)
+
+let torus_manhattan ~width ~height a b =
+  axis_delta ~extent:width a.x b.x + axis_delta ~extent:height a.y b.y
+
+let torus_adjacent ~width ~height a b = torus_manhattan ~width ~height a b = 1
+
+let wrap ~extent v = if v < 1 then v + extent else if v > extent then v - extent else v
+
+let torus_neighbors4 ~width ~height c =
+  List.sort_uniq compare
+    (List.filter
+       (fun n -> n <> c)
+       [
+         { c with x = wrap ~extent:width (c.x - 1) };
+         { c with x = wrap ~extent:width (c.x + 1) };
+         { c with y = wrap ~extent:height (c.y - 1) };
+         { c with y = wrap ~extent:height (c.y + 1) };
+       ])
+
+(* step one unit toward [b] along the shorter arc of an axis *)
+let torus_step ~extent a b =
+  if a = b then a
+  else begin
+    let direct = abs (a - b) in
+    let forward = if a < b then 1 else -1 in
+    let step = if direct * 2 <= extent then forward else -forward in
+    wrap ~extent (a + step)
+  end
+
+let torus_route ~width ~height ~src ~dst =
+  let rec walk_x c acc =
+    if c.x = dst.x then walk_y c acc
+    else begin
+      let c' = { c with x = torus_step ~extent:width c.x dst.x } in
+      walk_x c' (c' :: acc)
+    end
+  and walk_y c acc =
+    if c.y = dst.y then List.rev acc
+    else begin
+      let c' = { c with y = torus_step ~extent:height c.y dst.y } in
+      walk_y c' (c' :: acc)
+    end
+  in
+  walk_x src []
+
+let torus_midpoint ~width ~height a b =
+  let axis ~extent u v =
+    let direct = abs (u - v) in
+    if direct * 2 <= extent then (u + v) / 2
+    else begin
+      (* midpoint of the wrapping arc *)
+      let hi = max u v and span = extent - direct in
+      wrap ~extent (hi + (span / 2))
+    end
+  in
+  { x = axis ~extent:width a.x b.x; y = axis ~extent:height a.y b.y }

@@ -1,0 +1,51 @@
+(** Grid geometry of the TQA: ULBs are unit squares at integer coordinates
+    [(x, y)] with [1 ≤ x ≤ width], [1 ≤ y ≤ height] (the paper's Figure 4
+    uses 1-based coordinates; we keep them). *)
+
+type coord = { x : int; y : int }
+
+val manhattan : coord -> coord -> int
+
+val chebyshev : coord -> coord -> int
+
+val in_bounds : width:int -> height:int -> coord -> bool
+
+val index : width:int -> coord -> int
+(** Row-major linearisation, 0-based. *)
+
+val of_index : width:int -> int -> coord
+
+val neighbors4 : width:int -> height:int -> coord -> coord list
+(** In-bounds von-Neumann neighbours. *)
+
+val midpoint : coord -> coord -> coord
+(** Component-wise midpoint (rounded down) — the default CNOT meeting tile. *)
+
+val xy_route : src:coord -> dst:coord -> coord list
+(** Dimension-order (X then Y) route, excluding [src], including [dst];
+    empty when [src = dst]. *)
+
+val pp : Format.formatter -> coord -> unit
+
+(** {2 Torus geometry}
+
+    Wraparound variants used when the fabric's routing channels close
+    into a torus (an architectural extension; the paper's fabric is a
+    plain grid).  All functions assume in-bounds inputs. *)
+
+val torus_manhattan : width:int -> height:int -> coord -> coord -> int
+(** Shortest wrap-aware distance. *)
+
+val torus_adjacent : width:int -> height:int -> coord -> coord -> bool
+(** True for grid-adjacent tiles and for opposite-edge wrap pairs. *)
+
+val torus_neighbors4 : width:int -> height:int -> coord -> coord list
+(** Always four neighbours (wrapping); duplicates removed on degenerate
+    1-wide fabrics. *)
+
+val torus_route : width:int -> height:int -> src:coord -> dst:coord -> coord list
+(** Dimension-order route taking the shorter arc per axis; same
+    conventions as {!xy_route}. *)
+
+val torus_midpoint : width:int -> height:int -> coord -> coord -> coord
+(** Midpoint along the shorter arc of each axis. *)

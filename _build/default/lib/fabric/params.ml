@@ -1,0 +1,96 @@
+module Ft_gate = Leqa_circuit.Ft_gate
+
+type topology = Grid | Torus
+
+type t = {
+  d_h : float;
+  d_t : float;
+  d_s : float;
+  d_pauli : float;
+  d_cnot : float;
+  nc : int;
+  v : float;
+  width : int;
+  height : int;
+  t_move : float;
+  topology : topology;
+}
+
+let default =
+  {
+    d_h = 5440.0;
+    d_t = 10940.0;
+    d_s = 5240.0;
+    d_pauli = 5240.0;
+    d_cnot = 4930.0;
+    nc = 5;
+    v = 0.001;
+    width = 60;
+    height = 60;
+    t_move = 100.0;
+    topology = Grid;
+  }
+
+let calibrated = { default with v = 0.005 }
+
+let area p = p.width * p.height
+
+let single_delay p = function
+  | Ft_gate.H -> p.d_h
+  | Ft_gate.T | Ft_gate.Tdg -> p.d_t
+  | Ft_gate.S | Ft_gate.Sdg -> p.d_s
+  | Ft_gate.X | Ft_gate.Y | Ft_gate.Z -> p.d_pauli
+
+let gate_delay p = function
+  | Ft_gate.Cnot _ -> p.d_cnot
+  | Ft_gate.Single (k, _) -> single_delay p k
+
+let l_single_avg p = 2.0 *. p.t_move
+
+let with_fabric p ~width ~height =
+  if width <= 0 || height <= 0 then
+    invalid_arg "Params.with_fabric: non-positive dimension";
+  { p with width; height }
+
+let scale_qecc p ~factor =
+  if factor <= 0.0 then invalid_arg "Params.scale_qecc: non-positive factor";
+  {
+    p with
+    d_h = p.d_h *. factor;
+    d_t = p.d_t *. factor;
+    d_s = p.d_s *. factor;
+    d_pauli = p.d_pauli *. factor;
+    d_cnot = p.d_cnot *. factor;
+    t_move = p.t_move *. factor;
+  }
+
+let validate p =
+  let positive name x = if x <= 0.0 then Error (name ^ " must be positive") else Ok () in
+  let ( >>= ) r f = match r with Ok () -> f () | Error _ as e -> e in
+  positive "d_h" p.d_h >>= fun () ->
+  positive "d_t" p.d_t >>= fun () ->
+  positive "d_s" p.d_s >>= fun () ->
+  positive "d_pauli" p.d_pauli >>= fun () ->
+  positive "d_cnot" p.d_cnot >>= fun () ->
+  positive "v" p.v >>= fun () ->
+  positive "t_move" p.t_move >>= fun () ->
+  if p.nc <= 0 then Error "nc must be positive"
+  else if p.width <= 0 || p.height <= 0 then Error "fabric must be non-empty"
+  else Ok ()
+
+let pp ppf p =
+  Format.fprintf ppf
+    "@[<v>TQA parameters:@,\
+     d_H      = %.0f us@,\
+     d_T/T+   = %.0f us@,\
+     d_S      = %.0f us@,\
+     d_X/Y/Z  = %.0f us@,\
+     d_CNOT   = %.0f us@,\
+     N_c      = %d@,\
+     v        = %g ULB/us@,\
+     fabric   = %dx%d (A = %d)@,\
+     T_move   = %.0f us@,\
+     topology = %s@]"
+    p.d_h p.d_t p.d_s p.d_pauli p.d_cnot p.nc p.v p.width p.height (area p)
+    p.t_move
+    (match p.topology with Grid -> "grid" | Torus -> "torus")

@@ -1,0 +1,1 @@
+lib/iig/iig.ml: Array Format Hashtbl Leqa_circuit Leqa_qodg List

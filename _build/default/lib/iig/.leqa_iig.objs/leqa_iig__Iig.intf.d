@@ -1,0 +1,1 @@
+lib/iig/iig.mli: Format Leqa_circuit Leqa_qodg

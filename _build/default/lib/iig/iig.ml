@@ -1,0 +1,98 @@
+module Ft_gate = Leqa_circuit.Ft_gate
+module Ft_circuit = Leqa_circuit.Ft_circuit
+
+type t = {
+  qubits : int;
+  adjacency : (int, int) Hashtbl.t array;
+      (* adjacency.(i): partner -> weight, mirrored for both endpoints *)
+  mutable edges : int;
+  mutable total : int;
+}
+
+let create qubits =
+  {
+    qubits;
+    adjacency = Array.init (max qubits 1) (fun _ -> Hashtbl.create 4);
+    edges = 0;
+    total = 0;
+  }
+
+let record t i j =
+  if i = j then invalid_arg "Iig.record: self-loop";
+  let bump a b =
+    let table = t.adjacency.(a) in
+    match Hashtbl.find_opt table b with
+    | Some w -> Hashtbl.replace table b (w + 1)
+    | None ->
+      Hashtbl.add table b 1;
+      if a < b then t.edges <- t.edges + 1
+  in
+  bump i j;
+  bump j i;
+  t.total <- t.total + 1
+
+let of_ft_circuit circ =
+  let t = create (Ft_circuit.num_qubits circ) in
+  Ft_circuit.iter
+    (fun g ->
+      match g with
+      | Ft_gate.Cnot { control; target } -> record t control target
+      | Ft_gate.Single _ -> ())
+    circ;
+  t
+
+let of_qodg qodg =
+  let t = create (Leqa_qodg.Qodg.num_qubits qodg) in
+  Leqa_qodg.Qodg.iter_ops
+    (fun _ g ->
+      match g with
+      | Ft_gate.Cnot { control; target } -> record t control target
+      | Ft_gate.Single _ -> ())
+    qodg;
+  t
+
+let num_qubits t = t.qubits
+
+let num_edges t = t.edges
+
+let total_weight t = t.total
+
+let check t i =
+  if i < 0 || i >= t.qubits then invalid_arg "Iig: qubit out of range"
+
+let degree t i =
+  check t i;
+  Hashtbl.length t.adjacency.(i)
+
+let weight t i j =
+  check t i;
+  check t j;
+  match Hashtbl.find_opt t.adjacency.(i) j with Some w -> w | None -> 0
+
+let adjacent_weight_sum t i =
+  check t i;
+  Hashtbl.fold (fun _ w acc -> acc + w) t.adjacency.(i) 0
+
+let neighbors t i =
+  check t i;
+  List.sort compare (Hashtbl.fold (fun j _ acc -> j :: acc) t.adjacency.(i) [])
+
+let iter_edges f t =
+  for i = 0 to t.qubits - 1 do
+    Hashtbl.iter (fun j w -> if i < j then f i j w) t.adjacency.(i)
+  done
+
+let max_degree t =
+  let best = ref 0 in
+  for i = 0 to t.qubits - 1 do
+    best := max !best (degree t i)
+  done;
+  !best
+
+let isolated_qubits t =
+  List.filter (fun i -> degree t i = 0) (List.init t.qubits (fun i -> i))
+
+let pp_summary ppf t =
+  Format.fprintf ppf
+    "IIG: %d qubits, %d edges, total weight %d, max degree %d" t.qubits
+    t.edges t.total (max_degree t)

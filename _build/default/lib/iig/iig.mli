@@ -1,0 +1,44 @@
+(** Interaction intensity graph IIG(V,E) of Section 3.1.
+
+    Nodes are logical qubits; an undirected edge {i,j} with weight
+    [w(e_ij)] counts the two-qubit operations between qubits i and j.
+    There are no self-loops (one-qubit operations add no edge).
+    The quantities LEQA reads off the IIG are the degree [M_i = deg(n_i)]
+    and the adjacent-weight sum [Σ_j w(e_ij)]. *)
+
+type t
+
+val of_ft_circuit : Leqa_circuit.Ft_circuit.t -> t
+
+val of_qodg : Leqa_qodg.Qodg.t -> t
+(** Same graph, read from the QODG's operation nodes. *)
+
+val num_qubits : t -> int
+
+val num_edges : t -> int
+(** Distinct interacting pairs. *)
+
+val total_weight : t -> int
+(** Total two-qubit operation count = Σ over edges of w. *)
+
+val degree : t -> int -> int
+(** [M_i]: number of distinct interaction partners of qubit [i]. *)
+
+val weight : t -> int -> int -> int
+(** [w(e_ij)]; 0 when the qubits never interact.  Symmetric. *)
+
+val adjacent_weight_sum : t -> int -> int
+(** [Σ_{j ∈ adj(i)} w(e_ij)] — qubit i's total two-qubit-op involvement. *)
+
+val neighbors : t -> int -> int list
+(** Sorted distinct partners of qubit [i]. *)
+
+val iter_edges : (int -> int -> int -> unit) -> t -> unit
+(** [f i j w] once per undirected edge with [i < j]. *)
+
+val max_degree : t -> int
+
+val isolated_qubits : t -> int list
+(** Qubits with [M_i = 0] (only one-qubit gates, or untouched wires). *)
+
+val pp_summary : Format.formatter -> t -> unit

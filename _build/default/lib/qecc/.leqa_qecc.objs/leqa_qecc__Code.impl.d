@@ -1,0 +1,1 @@
+lib/qecc/code.ml: Printf

@@ -1,0 +1,1 @@
+lib/qecc/selection.ml: Code Float Leqa_core Leqa_fabric Leqa_qodg List

@@ -1,0 +1,1 @@
+lib/qecc/selection.mli: Code Leqa_fabric Leqa_qodg

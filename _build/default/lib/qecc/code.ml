@@ -1,0 +1,31 @@
+type t = { levels : int }
+
+let steane ~levels =
+  if levels < 0 then invalid_arg "Code.steane: negative levels";
+  { levels }
+
+let levels t = t.levels
+
+let name t =
+  if t.levels = 0 then "bare (no QECC)"
+  else Printf.sprintf "Steane[[7,1,3]] x%d" t.levels
+
+let physical_per_logical t =
+  let rec power acc n = if n = 0 then acc else power (acc * 7) (n - 1) in
+  power 1 t.levels
+
+let delay_factor t ~per_level =
+  if per_level <= 0.0 then invalid_arg "Code.delay_factor: non-positive factor";
+  per_level ** float_of_int (t.levels - 1)
+
+let logical_error_rate t ~physical_error_rate ~threshold =
+  if physical_error_rate <= 0.0 then
+    invalid_arg "Code.logical_error_rate: non-positive error rate";
+  if threshold <= 0.0 || threshold >= 1.0 then
+    invalid_arg "Code.logical_error_rate: threshold out of (0,1)";
+  if t.levels = 0 then physical_error_rate
+  else begin
+    (* threshold theorem: ε_L = ε_th (ε/ε_th)^(2^ℓ) *)
+    let exponent = 2.0 ** float_of_int t.levels in
+    threshold *. ((physical_error_rate /. threshold) ** exponent)
+  end

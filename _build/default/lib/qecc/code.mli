@@ -1,0 +1,36 @@
+(** Concatenated quantum error-correction codes and their cost model.
+
+    The paper's evaluation fixes one code (the [[7,1,3]] Steane code);
+    its introduction, however, motivates LEQA as the tool that closes the
+    loop between code choice and latency ("there is a complex
+    inter-dependency between the quantum algorithm and its latency on one
+    hand and the QECC used on the other hand").  This module provides the
+    code side of that loop: concatenation levels of the Steane code with
+    the standard threshold-theorem error suppression
+    [ε_L = ε_th · (ε/ε_th)^(2^ℓ)] and geometric delay growth. *)
+
+type t
+
+val steane : levels:int -> t
+(** [levels ≥ 0]; level 0 means bare physical qubits (no code).
+    @raise Invalid_argument on negative levels. *)
+
+val levels : t -> int
+
+val name : t -> string
+(** e.g. ["Steane[[7,1,3]] x2"]. *)
+
+val physical_per_logical : t -> int
+(** 7^levels. *)
+
+val delay_factor : t -> per_level:float -> float
+(** FT-operation delay multiplier relative to one level of encoding:
+    [per_level^(levels-1)] for [levels ≥ 1].  Level 0 returns
+    [1 / per_level] (bare gates are cheaper than one encoded level by the
+    same geometric law). *)
+
+val logical_error_rate :
+  t -> physical_error_rate:float -> threshold:float -> float
+(** Per-operation logical failure probability.
+    @raise Invalid_argument unless [0 < physical_error_rate] and
+    [0 < threshold < 1]. *)

@@ -1,0 +1,60 @@
+module Params = Leqa_fabric.Params
+module Qodg = Leqa_qodg.Qodg
+
+type requirement = {
+  physical_error_rate : float;
+  threshold : float;
+  target_failure : float;
+  idle_period : float;
+}
+
+let default_requirement =
+  {
+    physical_error_rate = 1e-4;
+    threshold = 1e-2;
+    target_failure = 0.01;
+    idle_period = 5000.0;
+  }
+
+type candidate = {
+  code : Code.t;
+  latency_s : float;
+  failure_probability : float;
+  feasible : bool;
+}
+
+let evaluate ~params ~requirement ~per_level_delay ~code qodg =
+  if requirement.target_failure <= 0.0 then
+    invalid_arg "Selection.evaluate: non-positive failure target";
+  if requirement.idle_period <= 0.0 then
+    invalid_arg "Selection.evaluate: non-positive idle period";
+  let factor = Code.delay_factor code ~per_level:per_level_delay in
+  let scaled = Params.scale_qecc params ~factor in
+  let est = Leqa_core.Estimator.estimate ~params:scaled qodg in
+  let ops = float_of_int est.Leqa_core.Estimator.operations in
+  let qubits = float_of_int est.Leqa_core.Estimator.qubits in
+  let epsilon =
+    Code.logical_error_rate code
+      ~physical_error_rate:requirement.physical_error_rate
+      ~threshold:requirement.threshold
+  in
+  let idle_steps =
+    est.Leqa_core.Estimator.latency_us /. requirement.idle_period
+  in
+  let failure = epsilon *. (ops +. (qubits *. idle_steps)) in
+  {
+    code;
+    latency_s = est.Leqa_core.Estimator.latency_s;
+    failure_probability = Float.min 1.0 failure;
+    feasible = failure <= requirement.target_failure;
+  }
+
+let select ?(max_levels = 4) ~params ~requirement ~per_level_delay qodg =
+  if max_levels < 0 then invalid_arg "Selection.select: negative max_levels";
+  let candidates =
+    List.init (max_levels + 1) (fun levels ->
+        evaluate ~params ~requirement ~per_level_delay
+          ~code:(Code.steane ~levels) qodg)
+  in
+  let chosen = List.find_opt (fun c -> c.feasible) candidates in
+  (candidates, chosen)

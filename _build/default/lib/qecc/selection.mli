@@ -1,0 +1,55 @@
+(** Closing the QECC ⟷ latency loop with LEQA.
+
+    The introduction's motivating workflow: the latency of a program
+    decides how much error it accumulates, which decides how strong a code
+    it needs — and the code strength feeds back into the latency.  Each
+    candidate level therefore needs a latency estimate; LEQA makes every
+    iteration of the loop cost milliseconds instead of a full mapping.
+
+    Failure model per candidate code: every operation fails with the
+    code's per-operation logical error rate, and every qubit also accrues
+    idle (decoherence) error for the whole program duration:
+
+    [p_fail ≈ N_ops · ε_L  +  Q · (D / τ_idle) · ε_L]
+
+    where [D] is the LEQA-estimated latency and [τ_idle] the idle-error
+    accrual period (one EC cycle).  This is deliberately coarse — it is
+    the *shape* of the interdependency the paper describes, with both
+    terms depending on the code. *)
+
+type requirement = {
+  physical_error_rate : float;  (** per native operation, e.g. 1e-4 *)
+  threshold : float;  (** code threshold ε_th, e.g. 1e-2 *)
+  target_failure : float;  (** acceptable whole-program failure, e.g. 0.01 *)
+  idle_period : float;  (** µs per idle error-accrual step, e.g. 5000 *)
+}
+
+val default_requirement : requirement
+
+type candidate = {
+  code : Code.t;
+  latency_s : float;  (** LEQA estimate under this code's delays *)
+  failure_probability : float;
+  feasible : bool;
+}
+
+val evaluate :
+  params:Leqa_fabric.Params.t ->
+  requirement:requirement ->
+  per_level_delay:float ->
+  code:Code.t ->
+  Leqa_qodg.Qodg.t ->
+  candidate
+(** Price one candidate code: scale the fabric delays by the code's
+    {!Code.delay_factor} (with [per_level_delay] as the geometric ratio,
+    ~20 for concatenated Steane), run LEQA, evaluate the failure model. *)
+
+val select :
+  ?max_levels:int ->
+  params:Leqa_fabric.Params.t ->
+  requirement:requirement ->
+  per_level_delay:float ->
+  Leqa_qodg.Qodg.t ->
+  candidate list * candidate option
+(** Evaluate levels 0..max_levels (default 4) and return all candidates
+    plus the cheapest feasible one (fewest levels, hence lowest latency). *)

@@ -1,0 +1,1 @@
+lib/qodg/critical_path.ml: Array Dag Leqa_circuit List Qodg

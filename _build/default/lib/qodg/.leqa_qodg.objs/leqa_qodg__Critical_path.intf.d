@@ -1,0 +1,1 @@
+lib/qodg/critical_path.mli: Leqa_circuit Qodg

@@ -1,0 +1,1 @@
+lib/qodg/dag.ml: Array List Queue

@@ -1,0 +1,1 @@
+lib/qodg/export.ml: Buffer Dag Leqa_circuit List Printf Qodg String

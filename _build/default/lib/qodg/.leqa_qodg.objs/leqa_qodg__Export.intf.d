@@ -1,0 +1,1 @@
+lib/qodg/export.mli: Qodg

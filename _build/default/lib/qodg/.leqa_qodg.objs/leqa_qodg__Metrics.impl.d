@@ -1,0 +1,1 @@
+lib/qodg/metrics.ml: Dag Format Hashtbl Leqa_circuit Option Qodg Schedule

@@ -1,0 +1,1 @@
+lib/qodg/metrics.mli: Format Qodg

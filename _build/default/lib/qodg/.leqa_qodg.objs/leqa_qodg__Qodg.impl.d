@@ -1,0 +1,1 @@
+lib/qodg/qodg.ml: Array Dag Format Leqa_circuit List

@@ -1,0 +1,1 @@
+lib/qodg/qodg.mli: Dag Format Leqa_circuit

@@ -1,0 +1,1 @@
+lib/qodg/schedule.ml: Array Dag Float Leqa_circuit List Qodg

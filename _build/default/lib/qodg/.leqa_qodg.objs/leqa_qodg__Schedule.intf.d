@@ -1,0 +1,1 @@
+lib/qodg/schedule.mli: Leqa_circuit Qodg

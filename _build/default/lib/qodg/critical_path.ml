@@ -1,0 +1,57 @@
+module Ft_gate = Leqa_circuit.Ft_gate
+
+type counts = { cnots : int; singles : int array }
+
+type result = { length : float; path : int list; counts : counts }
+
+(* QODG nodes are numbered in topological order by construction (start = 0,
+   gates in program order, finish last), so the longest path needs only one
+   ascending sweep over the preds lists — no Kahn queue, no succs walk. *)
+let longest_path_indexed dag ~weight ~nodes =
+  let dist = Array.make nodes neg_infinity in
+  let parent = Array.make nodes (-1) in
+  dist.(0) <- weight 0;
+  for v = 1 to nodes - 1 do
+    let best = ref neg_infinity and best_pred = ref (-1) in
+    List.iter
+      (fun p ->
+        if dist.(p) > !best then begin
+          best := dist.(p);
+          best_pred := p
+        end)
+      (Dag.preds dag v);
+    if !best_pred >= 0 then begin
+      dist.(v) <- !best +. weight v;
+      parent.(v) <- !best_pred
+    end
+  done;
+  let rec rebuild v acc =
+    if v = 0 then 0 :: acc else rebuild parent.(v) (v :: acc)
+  in
+  (dist.(nodes - 1), rebuild (nodes - 1) [])
+
+let compute qodg ~delay =
+  let weight node =
+    match Qodg.kind qodg node with
+    | Qodg.Start | Qodg.Finish -> 0.0
+    | Qodg.Op g -> delay g
+  in
+  let length, path =
+    longest_path_indexed (Qodg.dag qodg) ~weight ~nodes:(Qodg.num_nodes qodg)
+  in
+  let singles = Array.make (List.length Ft_gate.all_single_kinds) 0 in
+  let cnots = ref 0 in
+  List.iter
+    (fun node ->
+      match Qodg.kind qodg node with
+      | Qodg.Start | Qodg.Finish -> ()
+      | Qodg.Op (Ft_gate.Cnot _) -> incr cnots
+      | Qodg.Op (Ft_gate.Single (k, _)) ->
+        let i = Ft_gate.single_kind_index k in
+        singles.(i) <- singles.(i) + 1)
+    path;
+  { length; path; counts = { cnots = !cnots; singles } }
+
+let depth qodg =
+  let r = compute qodg ~delay:(fun _ -> 1.0) in
+  int_of_float (r.length +. 0.5)

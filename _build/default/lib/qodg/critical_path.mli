@@ -1,0 +1,25 @@
+(** Critical path of a QODG under a per-operation delay model.
+
+    LEQA's Eq (1) needs the critical path computed with *routing-augmented*
+    delays (operation delay + average routing latency), and then the counts
+    [N_CNOT^crit] and [N_g^crit] of each operation type along that path. *)
+
+type counts = {
+  cnots : int;
+  singles : int array;
+      (** indexed by {!Leqa_circuit.Ft_gate.single_kind_index} *)
+}
+
+type result = {
+  length : float;  (** total critical-path delay, same unit as the model *)
+  path : int list;  (** node ids, start first, finish last *)
+  counts : counts;
+}
+
+val compute :
+  Qodg.t -> delay:(Leqa_circuit.Ft_gate.t -> float) -> result
+(** Longest start→finish path where an operation node weighs
+    [delay gate] and the dummy start/finish nodes weigh zero. *)
+
+val depth : Qodg.t -> int
+(** Critical path length under a unit delay model — the logical depth. *)

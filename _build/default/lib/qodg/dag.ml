@@ -1,0 +1,87 @@
+type t = {
+  succs : int list array;
+  preds : int list array;
+  mutable edges : int;
+}
+
+let create n =
+  if n < 0 then invalid_arg "Dag.create: negative node count";
+  { succs = Array.make n []; preds = Array.make n []; edges = 0 }
+
+let num_nodes g = Array.length g.succs
+
+let num_edges g = g.edges
+
+let check_node g v =
+  if v < 0 || v >= num_nodes g then invalid_arg "Dag: node out of range"
+
+let add_edge g ~src ~dst =
+  check_node g src;
+  check_node g dst;
+  if src = dst then invalid_arg "Dag.add_edge: self-loop";
+  g.succs.(src) <- dst :: g.succs.(src);
+  g.preds.(dst) <- src :: g.preds.(dst);
+  g.edges <- g.edges + 1
+
+let succs g v =
+  check_node g v;
+  g.succs.(v)
+
+let preds g v =
+  check_node g v;
+  g.preds.(v)
+
+let in_degree g v = List.length (preds g v)
+
+let out_degree g v = List.length (succs g v)
+
+let topological_order g =
+  let n = num_nodes g in
+  let indeg = Array.init n (fun v -> List.length g.preds.(v)) in
+  let queue = Queue.create () in
+  Array.iteri (fun v d -> if d = 0 then Queue.push v queue) indeg;
+  let order = Array.make n 0 in
+  let filled = ref 0 in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    order.(!filled) <- v;
+    incr filled;
+    List.iter
+      (fun w ->
+        indeg.(w) <- indeg.(w) - 1;
+        if indeg.(w) = 0 then Queue.push w queue)
+      g.succs.(v)
+  done;
+  if !filled = n then Some order else None
+
+let is_acyclic g = topological_order g <> None
+
+let longest_path g ~weight ~source ~sink =
+  check_node g source;
+  check_node g sink;
+  let order =
+    match topological_order g with
+    | Some o -> o
+    | None -> invalid_arg "Dag.longest_path: graph has a cycle"
+  in
+  let dist = Array.make (num_nodes g) neg_infinity in
+  let parent = Array.make (num_nodes g) (-1) in
+  dist.(source) <- weight source;
+  Array.iter
+    (fun v ->
+      if dist.(v) > neg_infinity then
+        List.iter
+          (fun w ->
+            let cand = dist.(v) +. weight w in
+            if cand > dist.(w) then begin
+              dist.(w) <- cand;
+              parent.(w) <- v
+            end)
+          g.succs.(v))
+    order;
+  if dist.(sink) = neg_infinity then
+    invalid_arg "Dag.longest_path: sink unreachable from source";
+  let rec rebuild v acc =
+    if v = source then source :: acc else rebuild parent.(v) (v :: acc)
+  in
+  (dist.(sink), rebuild sink [])

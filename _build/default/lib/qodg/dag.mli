@@ -1,0 +1,37 @@
+(** Minimal directed-acyclic-graph container with the operations the QODG
+    needs: edge insertion, topological ordering and node-weighted longest
+    path.  Nodes are dense integers [0 .. n-1]. *)
+
+type t
+
+val create : int -> t
+(** [create n] makes a graph with [n] nodes and no edges. *)
+
+val num_nodes : t -> int
+
+val num_edges : t -> int
+
+val add_edge : t -> src:int -> dst:int -> unit
+(** Adds a directed edge.  Duplicates are the caller's concern (the QODG
+    builder merges parallel edges before insertion, per the paper).
+    @raise Invalid_argument on out-of-range endpoints or self-loops. *)
+
+val succs : t -> int -> int list
+
+val preds : t -> int -> int list
+
+val in_degree : t -> int -> int
+
+val out_degree : t -> int -> int
+
+val topological_order : t -> int array option
+(** Kahn's algorithm; [None] if the graph has a cycle. *)
+
+val is_acyclic : t -> bool
+
+val longest_path :
+  t -> weight:(int -> float) -> source:int -> sink:int -> float * int list
+(** Node-weighted longest path from [source] to [sink]; the length includes
+    both endpoint weights, and the path is returned source-first.
+    @raise Invalid_argument if the graph is cyclic or [sink] is unreachable
+    from [source]. *)

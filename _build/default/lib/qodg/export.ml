@@ -1,0 +1,49 @@
+let node_label qodg node =
+  match Qodg.kind qodg node with
+  | Qodg.Start -> "start"
+  | Qodg.Finish -> "end"
+  | Qodg.Op g -> Leqa_circuit.Ft_gate.to_string g
+
+let escape s =
+  String.concat ""
+    (List.map
+       (fun c -> match c with '"' -> "\\\"" | _ -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let qodg_to_dot ?(highlight = []) qodg =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph qodg {\n  rankdir=TB;\n";
+  let emit_node node =
+    let shape =
+      match Qodg.kind qodg node with
+      | Qodg.Start | Qodg.Finish -> "box"
+      | Qodg.Op _ -> "ellipse"
+    in
+    let style = if List.mem node highlight then ", style=bold" else "" in
+    Buffer.add_string buf
+      (Printf.sprintf "  n%d [label=\"%s\", shape=%s%s];\n" node
+         (escape (node_label qodg node))
+         shape style)
+  in
+  for node = 0 to Qodg.num_nodes qodg - 1 do
+    emit_node node
+  done;
+  let dag = Qodg.dag qodg in
+  for node = 0 to Qodg.num_nodes qodg - 1 do
+    List.iter
+      (fun succ ->
+        let bold =
+          if List.mem node highlight && List.mem succ highlight then
+            " [style=bold]"
+          else ""
+        in
+        Buffer.add_string buf (Printf.sprintf "  n%d -> n%d%s;\n" node succ bold))
+      (List.sort compare (Dag.succs dag node))
+  done;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_qodg ?highlight path qodg =
+  let oc = open_out path in
+  output_string oc (qodg_to_dot ?highlight qodg);
+  close_out oc

@@ -1,0 +1,9 @@
+(** Graphviz (DOT) export of the QODG and related graphs, for rendering
+    figures like the paper's Figure 2(b). *)
+
+val qodg_to_dot : ?highlight:int list -> Qodg.t -> string
+(** DOT digraph: start/finish as boxes, operations as labelled ellipses;
+    [highlight] nodes (e.g. the critical path) are drawn bold. *)
+
+val write_qodg : ?highlight:int list -> string -> Qodg.t -> unit
+(** Write the DOT text to a file. *)

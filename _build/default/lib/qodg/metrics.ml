@@ -1,0 +1,55 @@
+module Ft_gate = Leqa_circuit.Ft_gate
+
+type t = {
+  operations : int;
+  edges : int;
+  qubits : int;
+  depth : int;
+  average_parallelism : float;
+  peak_parallelism : int;
+  cnot_fraction : float;
+  average_fanout : float;
+}
+
+let compute qodg =
+  let operations = Qodg.num_nodes qodg - 2 in
+  let schedule = Schedule.compute qodg ~delay:(fun _ -> 1.0) in
+  let depth = int_of_float (Schedule.makespan schedule +. 0.5) in
+  (* ASAP level occupancy: level of an op = its unit-delay start time *)
+  let levels = Hashtbl.create 64 in
+  let cnots = ref 0 in
+  let fanout = ref 0 in
+  Qodg.iter_ops
+    (fun node g ->
+      let level = int_of_float (Schedule.asap schedule node +. 0.5) in
+      Hashtbl.replace levels level
+        (1 + Option.value ~default:0 (Hashtbl.find_opt levels level));
+      (match g with Ft_gate.Cnot _ -> incr cnots | Ft_gate.Single _ -> ());
+      fanout := !fanout + Dag.out_degree (Qodg.dag qodg) node)
+    qodg;
+  let peak = Hashtbl.fold (fun _ c acc -> max acc c) levels 0 in
+  {
+    operations;
+    edges = Qodg.num_edges qodg;
+    qubits = Qodg.num_qubits qodg;
+    depth;
+    average_parallelism =
+      (if depth = 0 then 0.0
+       else float_of_int operations /. float_of_int depth);
+    peak_parallelism = peak;
+    cnot_fraction =
+      (if operations = 0 then 0.0
+       else float_of_int !cnots /. float_of_int operations);
+    average_fanout =
+      (if operations = 0 then 0.0
+       else float_of_int !fanout /. float_of_int operations);
+  }
+
+let pp ppf m =
+  Format.fprintf ppf
+    "ops=%d edges=%d qubits=%d depth=%d par(avg)=%.1f par(peak)=%d \
+     cnot%%=%.0f fanout=%.2f"
+    m.operations m.edges m.qubits m.depth m.average_parallelism
+    m.peak_parallelism
+    (100.0 *. m.cnot_fraction)
+    m.average_fanout

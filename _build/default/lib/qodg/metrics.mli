@@ -1,0 +1,20 @@
+(** Workload characterisation of a QODG — the structural quantities that
+    drive LEQA's model: size, depth, parallelism, and dependency shape.
+    The experiment harness prints these next to each benchmark so readers
+    can connect a workload's structure to its estimation error. *)
+
+type t = {
+  operations : int;
+  edges : int;
+  qubits : int;
+  depth : int;  (** unit-delay critical-path length *)
+  average_parallelism : float;  (** operations / depth *)
+  peak_parallelism : int;  (** widest ASAP level *)
+  cnot_fraction : float;  (** two-qubit share of operations *)
+  average_fanout : float;  (** mean out-degree of operation nodes *)
+}
+
+val compute : Qodg.t -> t
+(** Single pass over the graph plus one unit-delay schedule. *)
+
+val pp : Format.formatter -> t -> unit

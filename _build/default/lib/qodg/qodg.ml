@@ -1,0 +1,72 @@
+module Ft_gate = Leqa_circuit.Ft_gate
+module Ft_circuit = Leqa_circuit.Ft_circuit
+
+type node_kind = Start | Finish | Op of Ft_gate.t
+
+type t = {
+  dag : Dag.t;
+  gates : Ft_gate.t array; (* gates.(i) backs node i+1 *)
+  qubits : int;
+}
+
+(* Node numbering: 0 = start, 1..n = gates in program order, n+1 = finish.
+   Program order is a topological order by construction. *)
+let of_ft_circuit circ =
+  let n = Ft_circuit.num_gates circ in
+  let q = Ft_circuit.num_qubits circ in
+  let dag = Dag.create (n + 2) in
+  let start = 0 and finish = n + 1 in
+  let last = Array.make (max q 1) start in
+  Ft_circuit.iteri
+    (fun i g ->
+      let node = i + 1 in
+      let producers =
+        List.sort_uniq compare
+          (List.map (fun wire -> last.(wire)) (Ft_gate.qubits g))
+      in
+      List.iter (fun src -> Dag.add_edge dag ~src ~dst:node) producers;
+      List.iter (fun wire -> last.(wire) <- node) (Ft_gate.qubits g))
+    circ;
+  (* merge parallel edges into the finish node too *)
+  let sinks = List.sort_uniq compare (Array.to_list (Array.sub last 0 q)) in
+  let sinks = if sinks = [] then [ start ] else sinks in
+  List.iter (fun src -> Dag.add_edge dag ~src ~dst:finish) sinks;
+  let gates = Array.init n (Ft_circuit.gate circ) in
+  { dag; gates; qubits = q }
+
+let num_nodes t = Dag.num_nodes t.dag
+
+let num_edges t = Dag.num_edges t.dag
+
+let num_qubits t = t.qubits
+
+let start_node _ = 0
+
+let finish_node t = num_nodes t - 1
+
+let kind t node =
+  if node = 0 then Start
+  else if node = num_nodes t - 1 then Finish
+  else Op t.gates.(node - 1)
+
+let gate_exn t node =
+  match kind t node with
+  | Op g -> g
+  | Start | Finish -> invalid_arg "Qodg.gate_exn: start/finish node"
+
+let dag t = t.dag
+
+let op_nodes t = List.init (Array.length t.gates) (fun i -> i + 1)
+
+let iter_ops f t = Array.iteri (fun i g -> f (i + 1) g) t.gates
+
+let to_ft_circuit t =
+  let circ = Ft_circuit.create ~num_qubits:t.qubits () in
+  Array.iter (Ft_circuit.add circ) t.gates;
+  circ
+
+let pp_summary ppf t =
+  Format.fprintf ppf "QODG: %d nodes (%d ops), %d edges, %d qubits"
+    (num_nodes t)
+    (Array.length t.gates)
+    (num_edges t) t.qubits

@@ -1,0 +1,45 @@
+(** Quantum operation dependency graph (Section 2, Figure 2(b)).
+
+    Nodes are FT operations plus a dummy [start] and [end] node; an edge
+    means a data dependency through a qubit.  Parallel edges (a CNOT whose
+    both operands come from the same producer) are merged, fan-out is
+    impossible by construction (no-cloning), and the gate order of the
+    synthesized circuit is preserved, all as the paper specifies. *)
+
+type node_kind = Start | Finish | Op of Leqa_circuit.Ft_gate.t
+
+type t
+
+val of_ft_circuit : Leqa_circuit.Ft_circuit.t -> t
+
+val num_nodes : t -> int
+(** Operation count + 2. *)
+
+val num_edges : t -> int
+
+val num_qubits : t -> int
+
+val start_node : t -> int
+(** Always node 0. *)
+
+val finish_node : t -> int
+(** Always the last node. *)
+
+val kind : t -> int -> node_kind
+
+val gate_exn : t -> int -> Leqa_circuit.Ft_gate.t
+(** @raise Invalid_argument on the start/finish nodes. *)
+
+val dag : t -> Dag.t
+(** The underlying dependency structure (shared, do not mutate). *)
+
+val op_nodes : t -> int list
+(** All operation nodes in program (= topological) order. *)
+
+val iter_ops : (int -> Leqa_circuit.Ft_gate.t -> unit) -> t -> unit
+
+val to_ft_circuit : t -> Leqa_circuit.Ft_circuit.t
+(** Reconstruct the program (gates in node order, which is a valid
+    topological order); [of_ft_circuit] and [to_ft_circuit] round-trip. *)
+
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,68 @@
+module Ft_gate = Leqa_circuit.Ft_gate
+
+type t = {
+  qodg : Qodg.t;
+  durations : float array; (* per node *)
+  asap_times : float array; (* earliest start *)
+  alap_times : float array; (* latest start *)
+}
+
+(* Nodes are in topological index order by construction (see Qodg), so one
+   forward sweep gives ASAP and one backward sweep gives ALAP. *)
+let compute qodg ~delay =
+  let n = Qodg.num_nodes qodg in
+  let dag = Qodg.dag qodg in
+  let durations =
+    Array.init n (fun node ->
+        match Qodg.kind qodg node with
+        | Qodg.Start | Qodg.Finish -> 0.0
+        | Qodg.Op g -> delay g)
+  in
+  let asap_times = Array.make n 0.0 in
+  for v = 1 to n - 1 do
+    List.iter
+      (fun p ->
+        asap_times.(v) <-
+          Float.max asap_times.(v) (asap_times.(p) +. durations.(p)))
+      (Dag.preds dag v)
+  done;
+  let makespan = asap_times.(n - 1) in
+  let alap_times = Array.make n makespan in
+  for v = n - 2 downto 0 do
+    List.iter
+      (fun s ->
+        alap_times.(v) <-
+          Float.min alap_times.(v) (alap_times.(s) -. durations.(v)))
+      (Dag.succs dag v)
+  done;
+  { qodg; durations; asap_times; alap_times }
+
+let asap t node = t.asap_times.(node)
+
+let alap t node = t.alap_times.(node)
+
+let slack t node = t.alap_times.(node) -. t.asap_times.(node)
+
+let makespan t = t.asap_times.(Array.length t.asap_times - 1)
+
+let critical_nodes t =
+  List.filter
+    (fun node -> abs_float (slack t node) < 1e-9)
+    (Qodg.op_nodes t.qodg)
+
+let parallelism_profile t ~bins =
+  if bins <= 0 then invalid_arg "Schedule.parallelism_profile: bins <= 0";
+  let total = makespan t in
+  let histogram = Array.make bins 0 in
+  if total > 0.0 then
+    List.iter
+      (fun node ->
+        let start = t.asap_times.(node) in
+        let finish = start +. t.durations.(node) in
+        let first = int_of_float (start /. total *. float_of_int bins) in
+        let last = int_of_float (finish /. total *. float_of_int bins) in
+        for b = max 0 first to min (bins - 1) last do
+          histogram.(b) <- histogram.(b) + 1
+        done)
+      (Qodg.op_nodes t.qodg);
+  histogram

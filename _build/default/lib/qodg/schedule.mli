@@ -1,0 +1,30 @@
+(** ASAP / ALAP levels and scheduling slack over a QODG.
+
+    The paper notes that routing latencies "change the scheduling slacks and
+    hence may change the critical path of the entire graph"; this module
+    exposes those slacks so experiments (and downstream mappers) can see
+    which operations are timing-critical under a given delay model. *)
+
+type t
+
+val compute : Qodg.t -> delay:(Leqa_circuit.Ft_gate.t -> float) -> t
+
+val asap : t -> int -> float
+(** Earliest start time of a node (0 for the start node). *)
+
+val alap : t -> int -> float
+(** Latest start time that keeps the overall latency minimal. *)
+
+val slack : t -> int -> float
+(** [alap - asap]; 0 exactly on critical operations. *)
+
+val makespan : t -> float
+(** Total schedule length — equals the critical-path length. *)
+
+val critical_nodes : t -> int list
+(** Operation nodes with zero slack, in topological order. *)
+
+val parallelism_profile : t -> bins:int -> int array
+(** Histogram of how many operations are active (per their ASAP schedule)
+    in each of [bins] equal time slices — the workload's parallelism
+    shape.  @raise Invalid_argument for non-positive [bins]. *)

@@ -1,0 +1,1 @@
+lib/qspr/placement.ml: Array Leqa_fabric Leqa_iig Leqa_util List

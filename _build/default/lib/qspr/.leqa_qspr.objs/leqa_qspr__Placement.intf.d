@@ -1,0 +1,1 @@
+lib/qspr/placement.mli: Leqa_fabric Leqa_iig

@@ -1,0 +1,1 @@
+lib/qspr/qspr.ml: Leqa_fabric Leqa_qodg Placement Router Scheduler

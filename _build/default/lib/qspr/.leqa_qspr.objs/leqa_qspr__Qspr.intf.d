@@ -1,0 +1,1 @@
+lib/qspr/qspr.mli: Leqa_circuit Leqa_fabric Leqa_qodg Placement Router Scheduler Trace

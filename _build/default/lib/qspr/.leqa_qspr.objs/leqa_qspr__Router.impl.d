@@ -1,0 +1,1 @@
+lib/qspr/router.ml: Float Hashtbl Leqa_fabric Leqa_util List

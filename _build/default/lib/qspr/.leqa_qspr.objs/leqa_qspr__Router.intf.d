@@ -1,0 +1,1 @@
+lib/qspr/router.mli: Leqa_fabric

@@ -1,0 +1,1 @@
+lib/qspr/scheduler.ml: Array Float Leqa_circuit Leqa_fabric Leqa_qodg Leqa_util List Placement Router Trace

@@ -1,0 +1,1 @@
+lib/qspr/scheduler.mli: Leqa_fabric Leqa_qodg Placement Router Trace

@@ -1,0 +1,1 @@
+lib/qspr/swap_mapper.ml: Array Float Leqa_circuit Leqa_fabric Leqa_qodg Leqa_util List Placement

@@ -1,0 +1,1 @@
+lib/qspr/swap_mapper.mli: Leqa_fabric Leqa_qodg Placement

@@ -1,0 +1,1 @@
+lib/qspr/trace.ml: Array Buffer Char Float Hashtbl Leqa_circuit Leqa_fabric List Option

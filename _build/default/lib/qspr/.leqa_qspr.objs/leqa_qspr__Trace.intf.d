@@ -1,0 +1,1 @@
+lib/qspr/trace.mli: Leqa_circuit Leqa_fabric

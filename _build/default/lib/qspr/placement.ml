@@ -1,0 +1,96 @@
+module Geometry = Leqa_fabric.Geometry
+module Iig = Leqa_iig.Iig
+
+type strategy =
+  | Spread
+  | Row_major
+  | Random of int
+  | Center_out
+  | Clustered of Iig.t
+
+(* centre-out tile order shared by Center_out and Clustered *)
+let center_out_tiles ~width ~height =
+  let centre = Geometry.{ x = (width + 1) / 2; y = (height + 1) / 2 } in
+  let cells = Array.init (width * height) (fun i -> Geometry.of_index ~width i) in
+  Array.sort
+    (fun a b ->
+      compare
+        (Geometry.manhattan a centre, Geometry.index ~width a)
+        (Geometry.manhattan b centre, Geometry.index ~width b))
+    cells;
+  cells
+
+(* qubit visiting order: repeated weight-greedy BFS over the IIG — start
+   from the heaviest unvisited qubit, then always expand the frontier edge
+   of largest weight *)
+let clustered_order iig =
+  let n = Iig.num_qubits iig in
+  let visited = Array.make n false in
+  let order = ref [] in
+  let heaviest_unvisited () =
+    let best = ref (-1) and best_w = ref (-1) in
+    for q = 0 to n - 1 do
+      if (not visited.(q)) && Iig.adjacent_weight_sum iig q > !best_w then begin
+        best := q;
+        best_w := Iig.adjacent_weight_sum iig q
+      end
+    done;
+    !best
+  in
+  let frontier = ref [] in
+  let visit q =
+    visited.(q) <- true;
+    order := q :: !order;
+    List.iter
+      (fun partner ->
+        if not visited.(partner) then
+          frontier := (Iig.weight iig q partner, partner) :: !frontier)
+      (Iig.neighbors iig q)
+  in
+  let rec drain () =
+    let unvisited = List.filter (fun (_, q) -> not visited.(q)) !frontier in
+    frontier := unvisited;
+    match List.sort (fun (wa, qa) (wb, qb) -> compare (wb, qa) (wa, qb)) unvisited with
+    | (_, q) :: _ ->
+      visit q;
+      drain ()
+    | [] -> begin
+      match heaviest_unvisited () with
+      | -1 -> ()
+      | q ->
+        visit q;
+        drain ()
+    end
+  in
+  drain ();
+  List.rev !order
+
+let place strategy ~num_qubits ~width ~height =
+  if width <= 0 || height <= 0 then invalid_arg "Placement.place: empty fabric";
+  if num_qubits < 0 then invalid_arg "Placement.place: negative qubit count";
+  let area = width * height in
+  let cell i = Geometry.of_index ~width (i mod area) in
+  match strategy with
+  | Row_major -> Array.init num_qubits cell
+  | Spread ->
+    (* even stride so q qubits cover the whole fabric *)
+    let stride = max 1 (area / max num_qubits 1) in
+    Array.init num_qubits (fun i -> cell (i * stride))
+  | Random seed ->
+    let rng = Leqa_util.Rng.create ~seed in
+    let cells = Array.init area (fun i -> i) in
+    Leqa_util.Rng.shuffle rng cells;
+    Array.init num_qubits (fun i -> cell cells.(i mod area))
+  | Center_out ->
+    let cells = center_out_tiles ~width ~height in
+    Array.init num_qubits (fun i -> cells.(i mod area))
+  | Clustered iig ->
+    if Iig.num_qubits iig < num_qubits then
+      invalid_arg "Placement.place: IIG smaller than the qubit count";
+    let cells = center_out_tiles ~width ~height in
+    let positions = Array.make num_qubits cells.(0) in
+    List.iteri
+      (fun rank q ->
+        if q < num_qubits then positions.(q) <- cells.(rank mod area))
+      (clustered_order iig);
+    positions

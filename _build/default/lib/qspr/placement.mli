@@ -1,0 +1,26 @@
+(** Initial placement of logical qubits onto the ULB grid.
+
+    The detailed mapper needs a starting position per qubit; qubits then
+    move dynamically as the schedule executes (Section 3.1 notes the
+    "dynamically moveable cells" difference from VLSI placement). *)
+
+type strategy =
+  | Spread  (** deterministic even spacing across the fabric (default) *)
+  | Row_major  (** qubit i at the i-th ULB in row-major order *)
+  | Random of int  (** uniform random distinct ULBs from the given seed *)
+  | Center_out  (** ULBs sorted by distance from the fabric centre *)
+  | Clustered of Leqa_iig.Iig.t
+      (** interaction-aware: qubits ordered by a weight-greedy BFS over
+          the IIG land on centre-out tiles, so heavy interaction pairs sit
+          close.  LEQA's Eq-5 model assumes *random* zone placement; this
+          strategy probes that assumption (see the placement ablation). *)
+
+val place :
+  strategy ->
+  num_qubits:int ->
+  width:int ->
+  height:int ->
+  Leqa_fabric.Geometry.coord array
+(** Positions for qubits 0..n-1.  ULBs are reused (wrap-around) when the
+    qubit count exceeds the fabric area.
+    @raise Invalid_argument on a non-positive fabric. *)

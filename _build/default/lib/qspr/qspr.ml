@@ -1,0 +1,32 @@
+type config = {
+  params : Leqa_fabric.Params.t;
+  placement : Placement.strategy;
+  routing : Router.mode;
+}
+
+let default_config =
+  {
+    params = Leqa_fabric.Params.default;
+    placement = Placement.Spread;
+    routing = Router.Astar;
+  }
+
+type result = {
+  latency_us : float;
+  latency_s : float;
+  stats : Scheduler.stats;
+}
+
+let run ?(config = default_config) ?trace qodg =
+  let stats =
+    Scheduler.run ~routing:config.routing ?trace ~params:config.params
+      ~placement:config.placement qodg
+  in
+  {
+    latency_us = stats.Scheduler.latency;
+    latency_s = stats.Scheduler.latency /. 1e6;
+    stats;
+  }
+
+let run_circuit ?config ?trace circ =
+  run ?config ?trace (Leqa_qodg.Qodg.of_ft_circuit circ)

@@ -1,0 +1,26 @@
+(** QSPR — the detailed quantum scheduling/placement/routing baseline the
+    paper compares LEQA against (reference [20], rebuilt here on the tiled
+    architecture of Figure 1).  Expensive but "exact": it simulates every
+    qubit movement.  See DESIGN.md for the substitution notes. *)
+
+type config = {
+  params : Leqa_fabric.Params.t;
+  placement : Placement.strategy;
+  routing : Router.mode;
+}
+
+val default_config : config
+(** Table 1 parameters, [Spread] placement, A* routing. *)
+
+type result = {
+  latency_us : float;  (** actual program latency, µs *)
+  latency_s : float;  (** same, seconds (Table 2's unit) *)
+  stats : Scheduler.stats;
+}
+
+val run : ?config:config -> ?trace:Trace.t -> Leqa_qodg.Qodg.t -> result
+(** Pass [trace] to record every executed operation (see {!Trace}). *)
+
+val run_circuit :
+  ?config:config -> ?trace:Trace.t -> Leqa_circuit.Ft_circuit.t -> result
+(** Builds the QODG and runs. *)

@@ -1,0 +1,145 @@
+module Geometry = Leqa_fabric.Geometry
+module Channel = Leqa_fabric.Channel
+module Params = Leqa_fabric.Params
+module Heap = Leqa_util.Heap
+
+type mode = Astar | Xy
+
+type t = {
+  params : Params.t;
+  channels : Channel.t;
+  route_mode : mode;
+  mutable explored : int;
+}
+
+let create ?(mode = Astar) (params : Params.t) =
+  {
+    params;
+    channels =
+      Channel.create ~topology:params.Params.topology
+        ~width:params.Params.width ~height:params.Params.height
+        ~capacity:params.Params.nc ();
+    route_mode = mode;
+    explored = 0;
+  }
+
+let mode t = t.route_mode
+
+let channels t = t.channels
+
+(* topology-aware geometry helpers *)
+let distance t a b =
+  match t.params.Params.topology with
+  | Params.Grid -> Geometry.manhattan a b
+  | Params.Torus ->
+    Geometry.torus_manhattan ~width:t.params.Params.width
+      ~height:t.params.Params.height a b
+
+let neighbors t c =
+  match t.params.Params.topology with
+  | Params.Grid ->
+    Geometry.neighbors4 ~width:t.params.Params.width
+      ~height:t.params.Params.height c
+  | Params.Torus ->
+    Geometry.torus_neighbors4 ~width:t.params.Params.width
+      ~height:t.params.Params.height c
+
+let direct_route t ~src ~dst =
+  match t.params.Params.topology with
+  | Params.Grid -> Geometry.xy_route ~src ~dst
+  | Params.Torus ->
+    Geometry.torus_route ~width:t.params.Params.width
+      ~height:t.params.Params.height ~src ~dst
+
+let reserve_along t ~path ~src ~depart =
+  let t_move = t.params.Params.t_move in
+  let rec hop current clock = function
+    | [] -> clock
+    | next :: rest ->
+      let arrival =
+        Channel.reserve t.channels ~src:current ~dst:next ~arrival:clock
+          ~t_move
+      in
+      hop next arrival rest
+  in
+  hop src depart path
+
+(* Congestion-aware A*: g = estimated arrival time at a tile, h = remaining
+   Manhattan distance × T_move.  Hop cost = T_move + expected wait for a
+   free server on the segment given the tentative arrival time. *)
+let astar_path t ~src ~dst ~depart =
+  let width = t.params.Params.width in
+  let t_move = t.params.Params.t_move in
+  let idx c = Geometry.index ~width c in
+  let open_set = Heap.create () in
+  let g = Hashtbl.create 64 in
+  let parent = Hashtbl.create 64 in
+  let closed = Hashtbl.create 64 in
+  let h c = float_of_int (distance t c dst) *. t_move in
+  Hashtbl.replace g (idx src) depart;
+  Heap.add open_set ~priority:(depart +. h src) src;
+  let rec search () =
+    match Heap.pop open_set with
+    | None -> None
+    | Some (_, current) when Hashtbl.mem closed (idx current) -> search ()
+    | Some (_, current) when current = dst -> Some current
+    | Some (_, current) ->
+      begin
+        Hashtbl.replace closed (idx current) ();
+        t.explored <- t.explored + 1;
+        let g_cur = Hashtbl.find g (idx current) in
+        List.iter
+          (fun next ->
+            if not (Hashtbl.mem closed (idx next)) then begin
+              let wait =
+                Float.max 0.0
+                  (Channel.earliest_free t.channels ~src:current ~dst:next
+                  -. g_cur)
+              in
+              let tentative = g_cur +. wait +. t_move in
+              let better =
+                match Hashtbl.find_opt g (idx next) with
+                | Some known -> tentative < known
+                | None -> true
+              in
+              if better then begin
+                Hashtbl.replace g (idx next) tentative;
+                Hashtbl.replace parent (idx next) current;
+                Heap.add open_set ~priority:(tentative +. h next) next
+              end
+            end)
+          (neighbors t current)
+      end;
+      search ()
+  in
+  match search () with
+  | None -> None
+  | Some _ ->
+    let rec rebuild c acc =
+      if c = src then acc
+      else rebuild (Hashtbl.find parent (idx c)) (c :: acc)
+    in
+    Some (rebuild dst [])
+
+let route t ~src ~dst ~depart =
+  if src = dst then depart
+  else
+    let path =
+      match t.route_mode with
+      | Xy -> direct_route t ~src ~dst
+      | Astar -> begin
+        match astar_path t ~src ~dst ~depart with
+        | Some p -> p
+        | None -> direct_route t ~src ~dst (* unreachable on a grid *)
+      end
+    in
+    reserve_along t ~path ~src ~depart
+
+let estimate t ~src ~dst =
+  float_of_int (distance t src dst) *. t.params.Params.t_move
+
+let hops_taken t = Channel.total_reservations t.channels
+
+let total_wait t = Channel.total_wait t.channels
+
+let nodes_explored t = t.explored

@@ -1,0 +1,50 @@
+(** Qubit routing over the TQA channels for the detailed mapper.
+
+    Two route-search modes:
+    - [Astar] (default): congestion-aware A* over the ULB grid — each hop
+      costs [T_move] plus the expected wait on the channel segment, with a
+      Manhattan·[T_move] heuristic.  This is what a detailed mapper does,
+      and its per-route search cost is what makes QSPR runtime grow
+      superlinearly with operation count (Section 4.2).
+    - [Xy]: dimension-ordered routing, O(distance) per route.
+
+    Every hop of the chosen path books a server slot on the corresponding
+    channel segment, so congestion emerges from contention on the shared
+    {!Leqa_fabric.Channel.t}. *)
+
+type mode = Astar | Xy
+
+type t
+
+val create : ?mode:mode -> Leqa_fabric.Params.t -> t
+
+val mode : t -> mode
+
+val channels : t -> Leqa_fabric.Channel.t
+
+val route :
+  t ->
+  src:Leqa_fabric.Geometry.coord ->
+  dst:Leqa_fabric.Geometry.coord ->
+  depart:float ->
+  float
+(** Move a qubit from [src] to [dst], leaving no earlier than [depart];
+    returns the arrival time at [dst] ([depart] itself when [src = dst]).
+    Side effect: channel reservations along the chosen path. *)
+
+val estimate :
+  t ->
+  src:Leqa_fabric.Geometry.coord ->
+  dst:Leqa_fabric.Geometry.coord ->
+  float
+(** Congestion-free travel time: [manhattan · T_move]. *)
+
+val hops_taken : t -> int
+(** Total hops booked so far. *)
+
+val total_wait : t -> float
+(** Total congestion wait accumulated on all channels. *)
+
+val nodes_explored : t -> int
+(** Cumulative A* search effort (0 in [Xy] mode) — the mapper's own
+    work metric. *)

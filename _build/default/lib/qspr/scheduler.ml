@@ -1,0 +1,277 @@
+module Geometry = Leqa_fabric.Geometry
+module Params = Leqa_fabric.Params
+module Qodg = Leqa_qodg.Qodg
+module Dag = Leqa_qodg.Dag
+module Ft_gate = Leqa_circuit.Ft_gate
+module Heap = Leqa_util.Heap
+
+type stats = {
+  latency : float;
+  ops_executed : int;
+  hops : int;
+  channel_wait : float;
+  cnot_count : int;
+  cnot_routing_total : float;
+  single_count : int;
+  single_routing_total : float;
+  search_nodes : int;
+  top_segments : ((Geometry.coord * Geometry.coord) * int) list;
+}
+
+let avg_cnot_routing s =
+  if s.cnot_count = 0 then 0.0
+  else s.cnot_routing_total /. float_of_int s.cnot_count
+
+let avg_single_routing s =
+  if s.single_count = 0 then 0.0
+  else s.single_routing_total /. float_of_int s.single_count
+
+type state = {
+  params : Params.t;
+  router : Router.t;
+  trace : Trace.t option;
+  positions : Geometry.coord array;
+  qubit_free : float array;
+  ulb_free : float array;
+  mutable cnots : int;
+  mutable cnot_routing : float;
+  mutable singles : int;
+  mutable single_routing : float;
+  mutable executed : int;
+}
+
+let ulb_index st c = Geometry.index ~width:st.params.Params.width c
+
+(* Earliest-start heuristic over a small candidate set: congestion-free
+   travel estimate + ULB availability.  Returns the chosen tile. *)
+let choose_tile st ~ready ~arrive_est candidates =
+  let score tile =
+    Float.max (ready +. arrive_est tile) st.ulb_free.(ulb_index st tile)
+  in
+  match candidates with
+  | [] -> invalid_arg "Scheduler.choose_tile: no candidates"
+  | first :: rest ->
+    let best = ref first and best_score = ref (score first) in
+    List.iter
+      (fun tile ->
+        let s = score tile in
+        if s < !best_score then begin
+          best := tile;
+          best_score := s
+        end)
+      rest;
+    !best
+
+let in_bounds st tile =
+  Geometry.in_bounds ~width:st.params.Params.width
+    ~height:st.params.Params.height tile
+
+(* All in-bounds tiles within Manhattan radius [r] of [c], nearest first. *)
+let tiles_within st c r =
+  let acc = ref [] in
+  for dy = r downto -r do
+    for dx = r downto -r do
+      if abs dx + abs dy <= r then begin
+        let tile = Geometry.{ x = c.x + dx; y = c.y + dy } in
+        if in_bounds st tile then acc := tile :: !acc
+      end
+    done
+  done;
+  List.stable_sort
+    (fun a b ->
+      compare (Geometry.manhattan a c) (Geometry.manhattan b c))
+    !acc
+
+(* Planning is separated from committing so the scheduler can *defer* an
+   operation whose chosen ULB will not be ready in time — the rescheduling
+   loop the paper describes ("the operation should be deferred by one or
+   more scheduling steps").  A plan books nothing; committing routes the
+   qubits and reserves the channels. *)
+type plan = {
+  tile : Geometry.coord;
+  predicted_start : float;  (** congestion-free prediction *)
+  travel_estimate : float;
+}
+
+let plan_single st ~ready q =
+  let p = st.positions.(q) in
+  let arrive_est tile = Router.estimate st.router ~src:p ~dst:tile in
+  let tile = choose_tile st ~ready ~arrive_est (tiles_within st p 2) in
+  let travel = arrive_est tile in
+  {
+    tile;
+    predicted_start =
+      Float.max (ready +. travel) st.ulb_free.(ulb_index st tile);
+    travel_estimate = travel;
+  }
+
+let record_event st ~node ~gate ~tile ~became_ready ~start ~finish =
+  match st.trace with
+  | None -> ()
+  | Some trace ->
+    Trace.record trace
+      { Trace.node; gate; tile; ready = became_ready; start; finish }
+
+let commit_single st ~ready ~became_ready ~node kind q plan =
+  let p = st.positions.(q) in
+  let arrival =
+    if plan.tile = p then ready
+    else Router.route st.router ~src:p ~dst:plan.tile ~depart:ready
+  in
+  let start = Float.max arrival st.ulb_free.(ulb_index st plan.tile) in
+  let finish = start +. Params.single_delay st.params kind in
+  record_event st ~node ~gate:(Ft_gate.Single (kind, q)) ~tile:plan.tile
+    ~became_ready ~start ~finish;
+  st.positions.(q) <- plan.tile;
+  st.qubit_free.(q) <- finish;
+  st.ulb_free.(ulb_index st plan.tile) <- finish;
+  st.singles <- st.singles + 1;
+  st.single_routing <- st.single_routing +. (start -. became_ready);
+  finish
+
+let plan_cnot st ~ready ~control ~target =
+  let pc = st.positions.(control) and pt = st.positions.(target) in
+  let mid =
+    match st.params.Params.topology with
+    | Params.Grid -> Geometry.midpoint pc pt
+    | Params.Torus ->
+      Geometry.torus_midpoint ~width:st.params.Params.width
+        ~height:st.params.Params.height pc pt
+  in
+  let candidates = (pc :: pt :: tiles_within st mid 2 : Geometry.coord list) in
+  let arrive_est tile =
+    Float.max
+      (Router.estimate st.router ~src:pc ~dst:tile)
+      (Router.estimate st.router ~src:pt ~dst:tile)
+  in
+  let tile = choose_tile st ~ready ~arrive_est candidates in
+  let travel = arrive_est tile in
+  {
+    tile;
+    predicted_start =
+      Float.max (ready +. travel) st.ulb_free.(ulb_index st tile);
+    travel_estimate = travel;
+  }
+
+let commit_cnot st ~ready ~became_ready ~node ~control ~target plan =
+  let pc = st.positions.(control) and pt = st.positions.(target) in
+  let arr_control = Router.route st.router ~src:pc ~dst:plan.tile ~depart:ready in
+  let arr_target = Router.route st.router ~src:pt ~dst:plan.tile ~depart:ready in
+  let start =
+    Float.max
+      (Float.max arr_control arr_target)
+      st.ulb_free.(ulb_index st plan.tile)
+  in
+  let finish = start +. st.params.Params.d_cnot in
+  record_event st ~node ~gate:(Ft_gate.Cnot { control; target }) ~tile:plan.tile
+    ~became_ready ~start ~finish;
+  st.positions.(control) <- plan.tile;
+  st.positions.(target) <- plan.tile;
+  st.qubit_free.(control) <- finish;
+  st.qubit_free.(target) <- finish;
+  st.ulb_free.(ulb_index st plan.tile) <- finish;
+  st.cnots <- st.cnots + 1;
+  st.cnot_routing <- st.cnot_routing +. (start -. became_ready);
+  finish
+
+let run ?(routing = Router.Astar) ?(defer = true) ?trace ~params ~placement
+    qodg =
+  (match Params.validate params with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Scheduler.run: " ^ msg));
+  let width = params.Params.width and height = params.Params.height in
+  let q = Qodg.num_qubits qodg in
+  let st =
+    {
+      params;
+      router = Router.create ~mode:routing params;
+      trace;
+      positions = Placement.place placement ~num_qubits:q ~width ~height;
+      qubit_free = Array.make (max q 1) 0.0;
+      ulb_free = Array.make (width * height) 0.0;
+      cnots = 0;
+      cnot_routing = 0.0;
+      singles = 0;
+      single_routing = 0.0;
+      executed = 0;
+    }
+  in
+  let dag = Qodg.dag qodg in
+  let n = Qodg.num_nodes qodg in
+  let pending = Array.init n (Dag.in_degree dag) in
+  let ready_time = Array.make n 0.0 in
+  let completion = Array.make n 0.0 in
+  let events = Heap.create () in
+  let retries = Array.make n 0 in
+  Heap.add events ~priority:0.0 (Qodg.start_node qodg);
+  let relax node finish =
+    completion.(node) <- finish;
+    List.iter
+      (fun succ ->
+        ready_time.(succ) <- Float.max ready_time.(succ) finish;
+        pending.(succ) <- pending.(succ) - 1;
+        if pending.(succ) = 0 then
+          Heap.add events ~priority:ready_time.(succ) succ)
+      (Dag.succs dag node)
+  in
+  (* Deferral (the paper's rescheduling step): if the chosen ULB will not
+     be free by the time the operands could reach it, requeue the op for
+     when it frees instead of committing reservations now.  Retries are
+     capped to guarantee progress; the cap is generous enough that it only
+     bites in pathological hot spots. *)
+  let max_retries = 64 in
+  let slack = st.params.Params.t_move in
+  let defer_or_commit node t plan commit =
+    let departure = plan.predicted_start -. plan.travel_estimate in
+    if defer && departure > t +. slack && retries.(node) < max_retries
+    then begin
+      retries.(node) <- retries.(node) + 1;
+      Heap.add events ~priority:departure node;
+      None
+    end
+    else Some (commit ())
+  in
+  let rec drain () =
+    match Heap.pop events with
+    | None -> ()
+    | Some (t, node) ->
+      (match Qodg.kind qodg node with
+      | Qodg.Start -> relax node 0.0
+      | Qodg.Finish -> completion.(node) <- t
+      | Qodg.Op g ->
+        let outcome =
+          match g with
+          | Ft_gate.Single (k, wire) ->
+            let plan = plan_single st ~ready:t wire in
+            defer_or_commit node t plan (fun () ->
+                commit_single st ~ready:t ~became_ready:ready_time.(node)
+                  ~node k wire plan)
+          | Ft_gate.Cnot { control; target } ->
+            let plan = plan_cnot st ~ready:t ~control ~target in
+            defer_or_commit node t plan (fun () ->
+                commit_cnot st ~ready:t ~became_ready:ready_time.(node)
+                  ~node ~control ~target plan)
+        in
+        (match outcome with
+        | None -> () (* deferred; the node will pop again later *)
+        | Some finish ->
+          st.executed <- st.executed + 1;
+          relax node finish));
+      drain ()
+  in
+  drain ();
+  {
+    latency = completion.(Qodg.finish_node qodg);
+    ops_executed = st.executed;
+    hops = Router.hops_taken st.router;
+    channel_wait = Router.total_wait st.router;
+    cnot_count = st.cnots;
+    cnot_routing_total = st.cnot_routing;
+    single_count = st.singles;
+    single_routing_total = st.single_routing;
+    search_nodes = Router.nodes_explored st.router;
+    top_segments =
+      List.filteri
+        (fun i _ -> i < 10)
+        (Leqa_fabric.Channel.segment_loads (Router.channels st.router));
+  }

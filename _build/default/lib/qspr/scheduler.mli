@@ -1,0 +1,46 @@
+(** Event-driven list scheduler — the core of the QSPR detailed mapper.
+
+    Operations of the QODG are executed as soon as their dependencies
+    complete: one-qubit gates run in (or next to) the qubit's current ULB,
+    CNOTs route both operands to a meeting ULB chosen to minimise the
+    later arrival; channel congestion and ULB occupancy arise from shared
+    reservation state.  The finish-node completion time is the program
+    latency the paper calls the "actual delay". *)
+
+type stats = {
+  latency : float;  (** µs, completion time of the QODG finish node *)
+  ops_executed : int;
+  hops : int;  (** total channel-segment crossings *)
+  channel_wait : float;  (** µs spent waiting on busy channels *)
+  cnot_count : int;
+  cnot_routing_total : float;
+      (** Σ over CNOTs of (op start − ready time): the measured routing
+          latency that LEQA's [L_CNOT^avg] estimates *)
+  single_count : int;
+  single_routing_total : float;
+  search_nodes : int;
+      (** cumulative A* exploration effort (0 under XY routing) *)
+  top_segments :
+    ((Leqa_fabric.Geometry.coord * Leqa_fabric.Geometry.coord) * int) list;
+      (** the ten busiest channel segments (crossings), busiest first *)
+}
+
+val avg_cnot_routing : stats -> float
+(** Measured counterpart of [L_CNOT^avg] (0 when no CNOT executed). *)
+
+val avg_single_routing : stats -> float
+
+val run :
+  ?routing:Router.mode ->
+  ?defer:bool ->
+  ?trace:Trace.t ->
+  params:Leqa_fabric.Params.t ->
+  placement:Placement.strategy ->
+  Leqa_qodg.Qodg.t ->
+  stats
+(** [routing] defaults to {!Router.Astar}; [defer] (default true) enables
+    the paper's rescheduling step — operations whose target ULB is not
+    ready are requeued instead of committing channel reservations early;
+    pass [trace] to record every executed operation (see {!Trace}).
+    @raise Invalid_argument if the parameter set fails
+    {!Leqa_fabric.Params.validate}. *)

@@ -1,0 +1,227 @@
+module Geometry = Leqa_fabric.Geometry
+module Params = Leqa_fabric.Params
+module Qodg = Leqa_qodg.Qodg
+module Dag = Leqa_qodg.Dag
+module Ft_gate = Leqa_circuit.Ft_gate
+module Heap = Leqa_util.Heap
+
+type stats = {
+  latency : float;
+  ops_executed : int;
+  swaps : int;
+  shuttles : int;
+  cnot_count : int;
+  cnot_routing_total : float;
+  single_count : int;
+  single_routing_total : float;
+}
+
+let avg_cnot_routing s =
+  if s.cnot_count = 0 then 0.0
+  else s.cnot_routing_total /. float_of_int s.cnot_count
+
+let latency_s s = s.latency /. 1e6
+
+let suggested_v (p : Params.t) =
+  Params.calibrated.Params.v *. p.Params.t_move /. (3.0 *. p.Params.d_cnot)
+
+let calibrated_v = 6e-5
+
+type state = {
+  params : Params.t;
+  positions : Geometry.coord array; (* qubit -> tile *)
+  occupancy : int array; (* tile index -> qubit or -1 *)
+  qubit_free : float array;
+  ulb_free : float array;
+  mutable swaps : int;
+  mutable shuttles : int;
+  mutable cnots : int;
+  mutable cnot_routing : float;
+  mutable singles : int;
+  mutable single_routing : float;
+  mutable executed : int;
+}
+
+let idx st c = Geometry.index ~width:st.params.Params.width c
+
+let distance st a b =
+  match st.params.Params.topology with
+  | Params.Grid -> Geometry.manhattan a b
+  | Params.Torus ->
+    Geometry.torus_manhattan ~width:st.params.Params.width
+      ~height:st.params.Params.height a b
+
+let neighbors st c =
+  match st.params.Params.topology with
+  | Params.Grid ->
+    Geometry.neighbors4 ~width:st.params.Params.width
+      ~height:st.params.Params.height c
+  | Params.Torus ->
+    Geometry.torus_neighbors4 ~width:st.params.Params.width
+      ~height:st.params.Params.height c
+
+(* swap (or shuttle) qubit [q] from its tile into neighbouring tile [n],
+   no earlier than [ready]; returns the completion time *)
+let step_qubit st ~ready q n =
+  let from = st.positions.(q) in
+  let other = st.occupancy.(idx st n) in
+  let base =
+    Float.max ready
+      (Float.max st.qubit_free.(q)
+         (Float.max st.ulb_free.(idx st from) st.ulb_free.(idx st n)))
+  in
+  let start =
+    if other >= 0 then Float.max base st.qubit_free.(other) else base
+  in
+  let cost =
+    if other >= 0 then 3.0 *. st.params.Params.d_cnot
+    else st.params.Params.t_move
+  in
+  let finish = start +. cost in
+  (* exchange occupants *)
+  st.occupancy.(idx st from) <- other;
+  st.occupancy.(idx st n) <- q;
+  st.positions.(q) <- n;
+  st.qubit_free.(q) <- finish;
+  if other >= 0 then begin
+    st.positions.(other) <- from;
+    st.qubit_free.(other) <- finish;
+    st.swaps <- st.swaps + 1
+  end
+  else st.shuttles <- st.shuttles + 1;
+  st.ulb_free.(idx st from) <- finish;
+  st.ulb_free.(idx st n) <- finish;
+  finish
+
+let execute_single st ~ready kind q =
+  let tile = st.positions.(q) in
+  let start =
+    Float.max ready (Float.max st.qubit_free.(q) st.ulb_free.(idx st tile))
+  in
+  let finish = start +. Params.single_delay st.params kind in
+  st.qubit_free.(q) <- finish;
+  st.ulb_free.(idx st tile) <- finish;
+  st.singles <- st.singles + 1;
+  st.single_routing <- st.single_routing +. (start -. ready);
+  finish
+
+let execute_cnot st ~ready ~control ~target =
+  (* walk the control toward the target until adjacent; prefer empty
+     neighbours (cheap shuttles) over occupied ones at equal progress *)
+  let clock = ref ready in
+  while distance st st.positions.(control) st.positions.(target) > 1 do
+    let pc = st.positions.(control) and pt = st.positions.(target) in
+    let candidates =
+      List.filter (fun n -> distance st n pt < distance st pc pt) (neighbors st pc)
+    in
+    let best =
+      match
+        List.stable_sort
+          (fun a b ->
+            let occupied tile = if st.occupancy.(idx st tile) >= 0 then 1 else 0 in
+            compare
+              (occupied a, st.ulb_free.(idx st a), idx st a)
+              (occupied b, st.ulb_free.(idx st b), idx st b))
+          candidates
+      with
+      | best :: _ -> best
+      | [] -> invalid_arg "Swap_mapper: no progress neighbour (corrupt state)"
+    in
+    clock := step_qubit st ~ready:!clock control best
+  done;
+  let pc = st.positions.(control) and pt = st.positions.(target) in
+  let start =
+    Float.max !clock
+      (Float.max
+         (Float.max st.qubit_free.(control) st.qubit_free.(target))
+         (Float.max st.ulb_free.(idx st pc) st.ulb_free.(idx st pt)))
+  in
+  let finish = start +. st.params.Params.d_cnot in
+  st.qubit_free.(control) <- finish;
+  st.qubit_free.(target) <- finish;
+  st.ulb_free.(idx st pc) <- finish;
+  st.ulb_free.(idx st pt) <- finish;
+  st.cnots <- st.cnots + 1;
+  st.cnot_routing <- st.cnot_routing +. (start -. ready);
+  finish
+
+let run ~params ~placement qodg =
+  (match Params.validate params with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Swap_mapper.run: " ^ msg));
+  let width = params.Params.width and height = params.Params.height in
+  let q = Qodg.num_qubits qodg in
+  if q > width * height then
+    invalid_arg "Swap_mapper.run: fabric too small for one qubit per ULB";
+  let positions = Placement.place placement ~num_qubits:q ~width ~height in
+  (* the one-per-ULB invariant must hold at the start *)
+  let occupancy = Array.make (width * height) (-1) in
+  Array.iteri
+    (fun qi tile ->
+      let i = Geometry.index ~width tile in
+      if occupancy.(i) >= 0 then
+        invalid_arg "Swap_mapper.run: placement maps two qubits to one ULB";
+      occupancy.(i) <- qi)
+    positions;
+  let st =
+    {
+      params;
+      positions;
+      occupancy;
+      qubit_free = Array.make (max q 1) 0.0;
+      ulb_free = Array.make (width * height) 0.0;
+      swaps = 0;
+      shuttles = 0;
+      cnots = 0;
+      cnot_routing = 0.0;
+      singles = 0;
+      single_routing = 0.0;
+      executed = 0;
+    }
+  in
+  let dag = Qodg.dag qodg in
+  let n = Qodg.num_nodes qodg in
+  let pending = Array.init n (Dag.in_degree dag) in
+  let ready_time = Array.make n 0.0 in
+  let completion = Array.make n 0.0 in
+  let events = Heap.create () in
+  Heap.add events ~priority:0.0 (Qodg.start_node qodg);
+  let relax node finish =
+    completion.(node) <- finish;
+    List.iter
+      (fun succ ->
+        ready_time.(succ) <- Float.max ready_time.(succ) finish;
+        pending.(succ) <- pending.(succ) - 1;
+        if pending.(succ) = 0 then
+          Heap.add events ~priority:ready_time.(succ) succ)
+      (Dag.succs dag node)
+  in
+  let rec drain () =
+    match Heap.pop events with
+    | None -> ()
+    | Some (t, node) ->
+      (match Qodg.kind qodg node with
+      | Qodg.Start -> relax node 0.0
+      | Qodg.Finish -> completion.(node) <- t
+      | Qodg.Op g ->
+        let finish =
+          match g with
+          | Ft_gate.Single (k, wire) -> execute_single st ~ready:t k wire
+          | Ft_gate.Cnot { control; target } ->
+            execute_cnot st ~ready:t ~control ~target
+        in
+        st.executed <- st.executed + 1;
+        relax node finish);
+      drain ()
+  in
+  drain ();
+  {
+    latency = completion.(Qodg.finish_node qodg);
+    ops_executed = st.executed;
+    swaps = st.swaps;
+    shuttles = st.shuttles;
+    cnot_count = st.cnots;
+    cnot_routing_total = st.cnot_routing;
+    single_count = st.singles;
+    single_routing_total = st.single_routing;
+  }

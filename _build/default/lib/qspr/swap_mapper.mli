@@ -1,0 +1,55 @@
+(** A second detailed mapper: SWAP-chain routing with pinned tiles.
+
+    Section 2 of the paper surveys *several* mapping heuristics
+    ([9][10][13][14]) and Section 3.2 says the estimator's [v] parameter
+    "can be used for tuning the LEQA with different quantum mappers".
+    This module provides a genuinely different mapper to tune against:
+    instead of shuttling qubits through dedicated routing channels (the
+    {!Scheduler} model), qubits live one-per-ULB and CNOT operands are
+    brought together by chains of SWAP gates — the standard model of
+    superconducting-style compilers.
+
+    Cost model: a SWAP with an occupied neighbour costs three CNOT
+    durations; shuttling into an *empty* neighbouring ULB costs one
+    [T_move].  A CNOT executes across adjacent ULBs.  All resources
+    (qubits and ULBs) are availability-tracked, so congestion appears as
+    serialisation on busy tiles. *)
+
+type stats = {
+  latency : float;  (** µs *)
+  ops_executed : int;
+  swaps : int;  (** occupied-neighbour exchanges *)
+  shuttles : int;  (** moves into empty ULBs *)
+  cnot_count : int;
+  cnot_routing_total : float;
+      (** Σ (op start − ready): measured routing latency per CNOT *)
+  single_count : int;
+  single_routing_total : float;
+}
+
+val avg_cnot_routing : stats -> float
+
+val run :
+  params:Leqa_fabric.Params.t ->
+  placement:Placement.strategy ->
+  Leqa_qodg.Qodg.t ->
+  stats
+(** @raise Invalid_argument on invalid parameters, or when the fabric is
+    too small to hold every logical qubit one-per-ULB. *)
+
+val latency_s : stats -> float
+
+val suggested_v : Leqa_fabric.Params.t -> float
+(** The first-order [v] calibration for this mapper: one grid step costs
+    ≈ 3·d_CNOT (a SWAP) instead of [T_move], so
+    [v ≈ v_channel · T_move / (3·d_CNOT)] scaled from the channel
+    mapper's calibrated value. *)
+
+val calibrated_v : float
+(** The empirically scanned global [v] for this mapper (6e-5), the same
+    procedure that produced {!Leqa_fabric.Params.calibrated} for the
+    channel mapper.  LEQA's residual error against the SWAP mapper is
+    ≈ 20% — an order of magnitude worse than against the channel mapper
+    it was designed for, because SWAP routing costs are bimodal (cheap
+    shuttles into empty ULBs vs three-CNOT exchanges) and violate the
+    single-speed channel abstraction.  See EXPERIMENTS.md. *)

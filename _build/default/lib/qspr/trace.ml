@@ -1,0 +1,78 @@
+module Geometry = Leqa_fabric.Geometry
+
+type event = {
+  node : int;
+  gate : Leqa_circuit.Ft_gate.t;
+  tile : Geometry.coord;
+  ready : float;
+  start : float;
+  finish : float;
+}
+
+type t = { mutable events : event list; mutable count : int }
+
+let create () = { events = []; count = 0 }
+
+let record t e =
+  t.events <- e :: t.events;
+  t.count <- t.count + 1
+
+let events t = List.rev t.events
+
+let length t = t.count
+
+let utilization_map t ~width ~height =
+  let map = Array.make (width * height) 0.0 in
+  List.iter
+    (fun e ->
+      let idx = Geometry.index ~width e.tile in
+      if idx >= 0 && idx < Array.length map then
+        map.(idx) <- map.(idx) +. (e.finish -. e.start))
+    t.events;
+  ignore height;
+  map
+
+let busiest_tiles t ~width ~top =
+  if top < 0 then invalid_arg "Trace.busiest_tiles: negative top";
+  let totals = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      let idx = Geometry.index ~width e.tile in
+      let prev = Option.value ~default:0.0 (Hashtbl.find_opt totals idx) in
+      Hashtbl.replace totals idx (prev +. (e.finish -. e.start)))
+    t.events;
+  let all = Hashtbl.fold (fun idx busy acc -> (idx, busy) :: acc) totals [] in
+  let sorted =
+    List.sort (fun (_, a) (_, b) -> compare (b : float) a) all
+  in
+  List.filteri (fun i _ -> i < top) sorted
+  |> List.map (fun (idx, busy) -> (Geometry.of_index ~width idx, busy))
+
+let occupancy_ascii t ~width ~height =
+  let map = utilization_map t ~width ~height in
+  let hottest = Array.fold_left Float.max 0.0 map in
+  let buf = Buffer.create (width * height) in
+  for y = 1 to height do
+    for x = 1 to width do
+      let busy = map.(Geometry.index ~width { Geometry.x; y }) in
+      let c =
+        if busy <= 0.0 || hottest <= 0.0 then '.'
+        else begin
+          let decile = int_of_float (busy /. hottest *. 9.0) in
+          Char.chr (Char.code '0' + min 9 decile)
+        end
+      in
+      Buffer.add_char buf c
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let total_busy_time t =
+  List.fold_left (fun acc e -> acc +. (e.finish -. e.start)) 0.0 t.events
+
+let average_routing_delay t =
+  if t.count = 0 then 0.0
+  else
+    List.fold_left (fun acc e -> acc +. (e.start -. e.ready)) 0.0 t.events
+    /. float_of_int t.count

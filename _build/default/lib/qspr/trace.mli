@@ -1,0 +1,46 @@
+(** Execution traces of the detailed mapper.
+
+    Section 2: detailed mappers "produce the mapping solution with the
+    details of every qubit movement on the TQA" — the very output LEQA
+    exists to avoid computing.  When that detail *is* wanted (debugging
+    the mapper, visualising hot spots, validating LEQA's congestion
+    abstraction), this module records per-operation events and derives
+    fabric-utilisation statistics from them. *)
+
+type event = {
+  node : int;  (** QODG node id *)
+  gate : Leqa_circuit.Ft_gate.t;
+  tile : Leqa_fabric.Geometry.coord;  (** ULB where the op executed *)
+  ready : float;  (** dependencies satisfied, µs *)
+  start : float;  (** execution began, µs *)
+  finish : float;  (** execution completed, µs *)
+}
+
+type t
+
+val create : unit -> t
+
+val record : t -> event -> unit
+
+val events : t -> event list
+(** In recording (scheduling) order. *)
+
+val length : t -> int
+
+val busiest_tiles :
+  t -> width:int -> top:int -> (Leqa_fabric.Geometry.coord * float) list
+(** The [top] ULBs by total busy time, descending — the hot spots whose
+    statistical counterpart is the presence-zone overlap of Figure 3. *)
+
+val utilization_map : t -> width:int -> height:int -> float array
+(** Per-ULB busy time (row-major), µs. *)
+
+val occupancy_ascii : t -> width:int -> height:int -> string
+(** Coarse ASCII heat map of [utilization_map]: '.' idle through '9'
+    hottest (deciles of the maximum). *)
+
+val total_busy_time : t -> float
+
+val average_routing_delay : t -> float
+(** Mean of [start - ready] over all events — the measured quantity the
+    paper's L^avg terms estimate. *)

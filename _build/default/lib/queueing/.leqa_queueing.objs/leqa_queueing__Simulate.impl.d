@@ -1,0 +1,1 @@
+lib/queueing/simulate.ml: Leqa_util Queue

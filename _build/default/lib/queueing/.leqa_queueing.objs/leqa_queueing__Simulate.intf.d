@@ -1,0 +1,1 @@
+lib/queueing/simulate.mli: Leqa_util

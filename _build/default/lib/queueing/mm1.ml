@@ -1,0 +1,37 @@
+type t = { lambda : float; mu : float }
+
+let make ~lambda ~mu =
+  if lambda <= 0.0 then invalid_arg "Mm1.make: lambda must be positive";
+  if mu <= lambda then invalid_arg "Mm1.make: requires mu > lambda (stability)";
+  { lambda; mu }
+
+let utilization t = t.lambda /. t.mu
+
+let avg_queue_length t = t.lambda /. (t.mu -. t.lambda)
+
+let avg_waiting_time t = avg_queue_length t /. t.lambda
+
+let lambda_of_queue_length ~queue_length ~mu =
+  if queue_length < 0.0 then
+    invalid_arg "Mm1.lambda_of_queue_length: negative queue length";
+  if mu <= 0.0 then invalid_arg "Mm1.lambda_of_queue_length: mu must be positive";
+  (* L = λ/(μ−λ)  ⇒  λ = L·μ/(1+L) *)
+  queue_length *. mu /. (1.0 +. queue_length)
+
+let service_rate ~nc ~d_uncong =
+  if nc <= 0 then invalid_arg "Mm1.service_rate: nc must be positive";
+  if d_uncong <= 0.0 then invalid_arg "Mm1.service_rate: d_uncong must be positive";
+  float_of_int nc /. d_uncong
+
+let waiting_time_little ~nc ~d_uncong ~q =
+  if q < 0 then invalid_arg "Mm1.waiting_time_little: negative q";
+  ignore (service_rate ~nc ~d_uncong);
+  (1.0 +. float_of_int q) *. d_uncong /. float_of_int nc
+
+let congestion_delay ~nc ~d_uncong ~q =
+  if q < 0 then invalid_arg "Mm1.congestion_delay: negative q";
+  if q <= nc then begin
+    ignore (service_rate ~nc ~d_uncong);
+    d_uncong
+  end
+  else waiting_time_little ~nc ~d_uncong ~q

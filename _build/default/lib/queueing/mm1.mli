@@ -1,0 +1,38 @@
+(** The M/M/1-based routing-channel congestion model of Section 3.1
+    (Eqs 8-11 and Figure 5 of the paper).
+
+    A routing channel of capacity [nc] serves qubits with mean service time
+    [d_uncong] per batch of [nc]; the service rate is [μ = nc / d_uncong].
+    Given an observed average queue population [q], Eq (10) recovers the
+    arrival rate [λ = q·nc / ((1+q)·d_uncong)] and Little's formula yields
+    the average waiting time [W = (1+q)·d_uncong / nc] (Eq 11).  Eq (8)
+    then says a channel is uncongested while [q ≤ nc]. *)
+
+type t = { lambda : float; mu : float }
+(** Arrival and service rates of a stable M/M/1 queue. *)
+
+val make : lambda:float -> mu:float -> t
+(** @raise Invalid_argument unless [0 < lambda < mu] (stability). *)
+
+val utilization : t -> float
+(** ρ = λ/μ. *)
+
+val avg_queue_length : t -> float
+(** L = λ/(μ−λ), Eq (9). *)
+
+val avg_waiting_time : t -> float
+(** W = L/λ by Little's formula. *)
+
+val lambda_of_queue_length : queue_length:float -> mu:float -> float
+(** Invert Eq (9): λ such that L(λ,μ) = queue_length (Eq 10 shape). *)
+
+val service_rate : nc:int -> d_uncong:float -> float
+(** μ = nc / d_uncong. *)
+
+val congestion_delay : nc:int -> d_uncong:float -> q:int -> float
+(** Eq (8): routing delay seen by a qubit when [q] qubits populate the
+    channel — [d_uncong] when [q ≤ nc], [(1+q)·d_uncong/nc] otherwise. *)
+
+val waiting_time_little : nc:int -> d_uncong:float -> q:int -> float
+(** Eq (11) closed form [(1+q)·d_uncong/nc], regardless of congestion;
+    equals [congestion_delay] in the congested regime. *)

@@ -1,0 +1,76 @@
+type result = {
+  avg_queue_length : float;
+  avg_sojourn_time : float;
+  customers_served : int;
+}
+
+(* Event-driven M/M/c simulation.  State: clock, number in system, FIFO of
+   arrival stamps for sojourn accounting, and per-server busy-until times
+   folded into a next-departure heap. *)
+let run_multi_server ~rng ~lambda ~mu_per_server ~servers ~horizon =
+  if lambda <= 0.0 then invalid_arg "Simulate: lambda must be positive";
+  if mu_per_server <= 0.0 then invalid_arg "Simulate: mu must be positive";
+  if servers <= 0 then invalid_arg "Simulate: servers must be positive";
+  if horizon <= 0.0 then invalid_arg "Simulate: horizon must be positive";
+  let events : [ `Arrival | `Departure ] Leqa_util.Heap.t =
+    Leqa_util.Heap.create ()
+  in
+  let arrivals_fifo = Queue.create () in
+  let clock = ref 0.0 in
+  let in_system = ref 0 in
+  let busy_servers = ref 0 in
+  let waiting = Queue.create () in
+  let area = ref 0.0 in
+  let served = ref 0 in
+  let total_sojourn = ref 0.0 in
+  let advance_to t =
+    area := !area +. (float_of_int !in_system *. (t -. !clock));
+    clock := t
+  in
+  let schedule_arrival () =
+    let dt = Leqa_util.Rng.exponential rng ~rate:lambda in
+    Leqa_util.Heap.add events ~priority:(!clock +. dt) `Arrival
+  in
+  let start_service () =
+    incr busy_servers;
+    let dt = Leqa_util.Rng.exponential rng ~rate:mu_per_server in
+    Leqa_util.Heap.add events ~priority:(!clock +. dt) `Departure
+  in
+  schedule_arrival ();
+  let rec loop () =
+    match Leqa_util.Heap.pop events with
+    | None -> ()
+    | Some (t, _) when t > horizon -> advance_to horizon
+    | Some (t, `Arrival) ->
+      advance_to t;
+      incr in_system;
+      Queue.push t arrivals_fifo;
+      if !busy_servers < servers then start_service ()
+      else Queue.push t waiting;
+      schedule_arrival ();
+      loop ()
+    | Some (t, `Departure) ->
+      advance_to t;
+      decr in_system;
+      decr busy_servers;
+      incr served;
+      (match Queue.take_opt arrivals_fifo with
+      | Some arrival -> total_sojourn := !total_sojourn +. (t -. arrival)
+      | None -> ());
+      if not (Queue.is_empty waiting) then begin
+        ignore (Queue.take waiting);
+        start_service ()
+      end;
+      loop ()
+  in
+  loop ();
+  {
+    avg_queue_length = !area /. horizon;
+    avg_sojourn_time =
+      (if !served = 0 then 0.0 else !total_sojourn /. float_of_int !served);
+    customers_served = !served;
+  }
+
+let run ~rng ~lambda ~mu ~horizon =
+  if mu <= lambda then invalid_arg "Simulate.run: requires mu > lambda";
+  run_multi_server ~rng ~lambda ~mu_per_server:mu ~servers:1 ~horizon

@@ -1,0 +1,30 @@
+(** Discrete-event simulation of a single queue, used to validate the
+    closed-form M/M/1 results of {!Mm1} empirically (the Figure 5 model).
+
+    The simulator draws Poisson arrivals and exponential services from a
+    deterministic {!Leqa_util.Rng.t}, so results are reproducible. *)
+
+type result = {
+  avg_queue_length : float;  (** time-averaged number in system *)
+  avg_sojourn_time : float;  (** mean time from arrival to departure *)
+  customers_served : int;
+}
+
+val run :
+  rng:Leqa_util.Rng.t ->
+  lambda:float ->
+  mu:float ->
+  horizon:float ->
+  result
+(** Simulate an M/M/1 queue over [0, horizon] time units.
+    @raise Invalid_argument unless [0 < lambda < mu] and [horizon > 0]. *)
+
+val run_multi_server :
+  rng:Leqa_util.Rng.t ->
+  lambda:float ->
+  mu_per_server:float ->
+  servers:int ->
+  horizon:float ->
+  result
+(** M/M/c variant mirroring a capacity-[c] routing channel: [c] parallel
+    servers, each with rate [mu_per_server]. *)

@@ -1,0 +1,1 @@
+lib/tsp/heuristic.ml: Array Leqa_util

@@ -1,0 +1,1 @@
+lib/tsp/heuristic.mli: Leqa_util

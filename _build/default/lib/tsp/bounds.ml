@@ -1,0 +1,26 @@
+let check_n n = if n < 1 then invalid_arg "Tsp.Bounds: n must be >= 1"
+
+let tour_lower_bound ~n =
+  check_n n;
+  (0.708 *. sqrt (float_of_int n)) +. 0.551
+
+let tour_upper_bound ~n =
+  check_n n;
+  (0.718 *. sqrt (float_of_int n)) +. 0.731
+
+let tour_estimate ~n =
+  check_n n;
+  (0.713 *. sqrt (float_of_int n)) +. 0.641
+
+let hamiltonian_path_estimate ~points ~side =
+  if side < 0.0 then invalid_arg "Tsp.Bounds: negative side";
+  if points <= 1 then 0.0
+  else
+    let n = float_of_int points in
+    (* A tour over n points has n edges; dropping the longest-free one edge
+       leaves a Hamiltonian path of n-1 edges: factor (n-1)/n.  In the
+       paper's notation n = M_i+1, so the factor reads (M_i-1)/M_i when an
+       extra edge is also discounted for the return to the start; we follow
+       the paper exactly: ((n-2)/(n-1)) with n = points matches
+       (M_i-1)/M_i. *)
+    side *. tour_estimate ~n:points *. ((n -. 2.0) /. (n -. 1.0))

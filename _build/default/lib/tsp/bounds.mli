@@ -1,0 +1,24 @@
+(** Closed-form estimates for random Euclidean TSP tours and Hamiltonian
+    paths (Eqs 13-15 of the paper).
+
+    For [n ≫ 1] points uniform in the unit square, the expected optimal TSP
+    tour length is bracketed by [0.708·√n + 0.551] (lower) and
+    [0.718·√n + 0.731] (upper); the paper averages the two and rescales. *)
+
+val tour_lower_bound : n:int -> float
+(** Eq (13). @raise Invalid_argument if [n < 1]. *)
+
+val tour_upper_bound : n:int -> float
+(** Eq (14). *)
+
+val tour_estimate : n:int -> float
+(** Midpoint of the two bounds: [0.713·√n + 0.641]. *)
+
+val hamiltonian_path_estimate : points:int -> side:float -> float
+(** Eq (15) generalised: expected shortest Hamiltonian path through
+    [points] uniform points in a [side × side] square, i.e.
+    [side · tour_estimate · (points−2)/(points−1)] where the last factor
+    removes one tour edge.  In the paper [points = M_i + 1] and
+    [side = √B_i], giving the [(M_i−1)/M_i] factor.  Returns 0 for
+    [points ≤ 2] at [side 0]-degenerate cases: for [points ≤ 1] the path is
+    empty, so 0. *)

@@ -1,0 +1,50 @@
+let max_points = 20
+
+let dist points i j =
+  let xi, yi = points.(i) and xj, yj = points.(j) in
+  sqrt (((xi -. xj) ** 2.0) +. ((yi -. yj) ** 2.0))
+
+(* Held-Karp over bitmask subsets.  dp.(mask).(last) = best length of a
+   path visiting exactly [mask], ending at [last].  Paths are rooted at
+   point 0 for tours; for open paths every root is tried by symmetry of
+   the formulation below (start chosen via the singleton masks). *)
+let held_karp points ~closed =
+  let n = Array.length points in
+  if n > max_points then invalid_arg "Tsp.Exact: too many points";
+  if n < 2 then 0.0
+  else begin
+    let full = (1 lsl n) - 1 in
+    let dp = Array.make_matrix (full + 1) n infinity in
+    if closed then dp.(1).(0) <- 0.0
+    else
+      for s = 0 to n - 1 do
+        dp.(1 lsl s).(s) <- 0.0
+      done;
+    for mask = 1 to full do
+      for last = 0 to n - 1 do
+        if dp.(mask).(last) < infinity then
+          for next = 0 to n - 1 do
+            if mask land (1 lsl next) = 0 then begin
+              let mask' = mask lor (1 lsl next) in
+              let cand = dp.(mask).(last) +. dist points last next in
+              if cand < dp.(mask').(next) then dp.(mask').(next) <- cand
+            end
+          done
+      done
+    done;
+    let best = ref infinity in
+    for last = 0 to n - 1 do
+      if dp.(full).(last) < infinity then begin
+        let total =
+          if closed then dp.(full).(last) +. dist points last 0
+          else dp.(full).(last)
+        in
+        if total < !best then best := total
+      end
+    done;
+    !best
+  end
+
+let shortest_tour points = held_karp points ~closed:true
+
+let shortest_path points = held_karp points ~closed:false

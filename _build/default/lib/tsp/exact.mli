@@ -1,0 +1,14 @@
+(** Exact shortest Hamiltonian path / TSP tour via Held-Karp dynamic
+    programming.  Exponential in the point count, so limited to small
+    instances; used only to validate {!Bounds} and {!Heuristic}. *)
+
+val max_points : int
+(** Hard limit on instance size (20). *)
+
+val shortest_tour : (float * float) array -> float
+(** Length of the optimal closed tour.  0 for fewer than 2 points.
+    @raise Invalid_argument beyond [max_points]. *)
+
+val shortest_path : (float * float) array -> float
+(** Length of the optimal open Hamiltonian path (any endpoints).
+    0 for fewer than 2 points. *)

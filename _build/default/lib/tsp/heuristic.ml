@@ -1,0 +1,88 @@
+let dist points i j =
+  let xi, yi = points.(i) and xj, yj = points.(j) in
+  sqrt (((xi -. xj) ** 2.0) +. ((yi -. yj) ** 2.0))
+
+let nearest_neighbor_order points =
+  let n = Array.length points in
+  let visited = Array.make n false in
+  let order = Array.make n 0 in
+  visited.(0) <- true;
+  let current = ref 0 in
+  for step = 1 to n - 1 do
+    let best = ref (-1) and best_d = ref infinity in
+    for j = 0 to n - 1 do
+      if (not visited.(j)) && dist points !current j < !best_d then begin
+        best := j;
+        best_d := dist points !current j
+      end
+    done;
+    visited.(!best) <- true;
+    order.(step) <- !best;
+    current := !best
+  done;
+  order
+
+let path_length points order =
+  let total = ref 0.0 in
+  for i = 0 to Array.length order - 2 do
+    total := !total +. dist points order.(i) order.(i + 1)
+  done;
+  !total
+
+let nearest_neighbor_path points =
+  if Array.length points < 2 then 0.0
+  else path_length points (nearest_neighbor_order points)
+
+(* 2-opt on an open path: reversing order[i..j] changes only the two
+   boundary edges, so the improvement test is O(1) per candidate pair. *)
+let two_opt points order =
+  let n = Array.length order in
+  let improved = ref true in
+  while !improved do
+    improved := false;
+    for i = 0 to n - 3 do
+      for j = i + 1 to n - 2 do
+        let a = order.(i) and b = order.(i + 1) in
+        let c = order.(j) and d = order.(j + 1) in
+        let before = dist points a b +. dist points c d in
+        let after = dist points a c +. dist points b d in
+        if after +. 1e-12 < before then begin
+          (* reverse order[i+1 .. j] *)
+          let lo = ref (i + 1) and hi = ref j in
+          while !lo < !hi do
+            let tmp = order.(!lo) in
+            order.(!lo) <- order.(!hi);
+            order.(!hi) <- tmp;
+            incr lo;
+            decr hi
+          done;
+          improved := true
+        end
+      done
+    done
+  done
+
+let two_opt_path points =
+  if Array.length points < 2 then 0.0
+  else begin
+    let order = nearest_neighbor_order points in
+    two_opt points order;
+    path_length points order
+  end
+
+let monte_carlo_path_length ~rng ~points ~side ~trials =
+  if trials <= 0 then invalid_arg "Heuristic: trials must be positive";
+  if points < 0 then invalid_arg "Heuristic: negative point count";
+  if points < 2 then 0.0
+  else begin
+    let total = ref 0.0 in
+    for _ = 1 to trials do
+      let instance =
+        Array.init points (fun _ ->
+            ( Leqa_util.Rng.float_range rng ~lo:0.0 ~hi:side,
+              Leqa_util.Rng.float_range rng ~lo:0.0 ~hi:side ))
+      in
+      total := !total +. two_opt_path instance
+    done;
+    !total /. float_of_int trials
+  end

@@ -1,0 +1,15 @@
+(** Tour-construction heuristics for larger instances; used with
+    {!Leqa_util.Rng} Monte-Carlo sampling to validate the Eq (15)
+    closed-form Hamiltonian-path estimate empirically. *)
+
+val nearest_neighbor_path : (float * float) array -> float
+(** Open Hamiltonian path built greedily from point 0. *)
+
+val two_opt_path : (float * float) array -> float
+(** Nearest-neighbour path improved with 2-opt until a local optimum. *)
+
+val monte_carlo_path_length :
+  rng:Leqa_util.Rng.t -> points:int -> side:float -> trials:int -> float
+(** Mean 2-opt Hamiltonian-path length over [trials] instances of
+    [points] uniform points in a [side × side] square — the empirical
+    counterpart of {!Bounds.hamiltonian_path_estimate}. *)

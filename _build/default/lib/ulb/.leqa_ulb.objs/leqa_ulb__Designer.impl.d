@@ -1,0 +1,1 @@
+lib/ulb/designer.ml: Leqa_circuit Leqa_fabric Native Steane

@@ -1,0 +1,1 @@
+lib/ulb/designer.mli: Leqa_fabric Native

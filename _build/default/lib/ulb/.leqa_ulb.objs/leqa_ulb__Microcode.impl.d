@@ -1,0 +1,1 @@
+lib/ulb/microcode.ml: Array Float Hashtbl List Native Option Steane

@@ -1,0 +1,1 @@
+lib/ulb/native.mli:

@@ -1,0 +1,1 @@
+lib/ulb/steane.ml: Ft_circuit Ft_gate Leqa_circuit List

@@ -1,0 +1,1 @@
+lib/ulb/steane.mli: Leqa_circuit

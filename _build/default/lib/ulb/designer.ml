@@ -1,0 +1,114 @@
+module Ft_gate = Leqa_circuit.Ft_gate
+
+type breakdown = { gate_phase : float; correction_phase : float }
+
+let total b = b.gate_phase +. b.correction_phase
+
+type design = {
+  d_h : breakdown;
+  d_t : breakdown;
+  d_s : breakdown;
+  d_pauli : breakdown;
+  d_cnot : breakdown;
+  t_move : float;
+}
+
+(* One syndrome-extraction round: per stabilizer an ancilla is prepared
+   (init + 1q basis change), interacts with the 4 support qubits (4
+   two-qubit gates, inherently sequential on the shared ancilla) and is
+   measured.  Distinct stabilizers use distinct ancillas, so they run
+   [lanes]-wide. *)
+let syndrome_round native =
+  let per_stabilizer =
+    Native.duration native Native.Init
+    +. Native.duration native Native.One_qubit
+    +. (4.0 *. Native.duration native Native.Two_qubit)
+    +. Native.duration native Native.Measure
+  in
+  let stabilizers = float_of_int Steane.syndrome_bits in
+  let lanes = float_of_int native.Native.lanes in
+  ceil (stabilizers /. lanes) *. per_stabilizer
+
+let ec_phase native ~rounds =
+  if rounds < 1 then invalid_arg "Designer.ec_phase: rounds < 1";
+  (* [rounds] syndrome repetitions + one corrective transversal gate *)
+  (float_of_int rounds *. syndrome_round native)
+  +. Native.phase_time native Native.One_qubit ~count:Steane.physical_qubits
+
+(* transversal single-qubit gate: 7 rotations, lanes-wide *)
+let transversal_1q native =
+  Native.phase_time native Native.One_qubit ~count:Steane.physical_qubits
+
+(* transversal CNOT: pairwise align the two blocks (split, shuttle, merge
+   per pair) then 7 two-qubit gates, plus recooling after transport *)
+let transversal_cnot native =
+  let pairs = Steane.physical_qubits in
+  Native.phase_time native Native.Split_merge ~count:pairs
+  +. Native.phase_time native Native.Move ~count:pairs
+  +. Native.phase_time native Native.Two_qubit ~count:pairs
+  +. Native.phase_time native Native.Cool ~count:pairs
+
+(* |A>-state ancilla block: encode (3 H + 9 CNOT within the block), one
+   verification syndrome round and its measurement *)
+let magic_state_preparation native ~rounds =
+  ignore rounds;
+  Native.phase_time native Native.Init ~count:Steane.physical_qubits
+  +. Native.phase_time native Native.One_qubit ~count:3
+  +. Native.phase_time native Native.Two_qubit ~count:Steane.encode_cnot_count
+  +. syndrome_round native
+
+(* T via magic-state injection: prepare |A>, transversal CNOT into it,
+   measure the data block transversally, apply the conditional S fixup *)
+let t_gate_phase native ~rounds =
+  magic_state_preparation native ~rounds
+  +. transversal_cnot native
+  +. Native.phase_time native Native.Measure ~count:Steane.physical_qubits
+  +. transversal_1q native
+
+let design ?(native = Native.default) ?(rounds = 3) () =
+  (match Native.validate native with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Designer.design: " ^ msg));
+  if rounds < 1 then invalid_arg "Designer.design: rounds < 1";
+  let ec = ec_phase native ~rounds in
+  let breakdown gate_phase = { gate_phase; correction_phase = ec } in
+  {
+    (* H needs an extra echo rotation per ion to compensate transport
+       phases: twice the plain transversal cost *)
+    d_h = breakdown (2.0 *. transversal_1q native);
+    d_t = breakdown (t_gate_phase native ~rounds);
+    d_s = breakdown (transversal_1q native);
+    d_pauli = breakdown (transversal_1q native);
+    d_cnot = breakdown (transversal_cnot native);
+    (* moving a whole logical block one ULB over: split, 7 shuttles
+       lanes-wide, merge, recool *)
+    t_move =
+      (2.0 *. Native.duration native Native.Split_merge)
+      +. Native.phase_time native Native.Move ~count:Steane.physical_qubits
+      +. Native.duration native Native.Cool;
+  }
+
+let to_params ?native ?rounds ~width ~height ~nc ~v () =
+  let d = design ?native ?rounds () in
+  {
+    Leqa_fabric.Params.d_h = total d.d_h;
+    d_t = total d.d_t;
+    d_s = total d.d_s;
+    d_pauli = total d.d_pauli;
+    d_cnot = total d.d_cnot;
+    nc;
+    v;
+    width;
+    height;
+    t_move = d.t_move;
+    topology = Leqa_fabric.Params.Grid;
+  }
+
+let report d =
+  [
+    ("H", d.d_h.gate_phase, d.d_h.correction_phase);
+    ("T/T+", d.d_t.gate_phase, d.d_t.correction_phase);
+    ("S", d.d_s.gate_phase, d.d_s.correction_phase);
+    ("X/Y/Z", d.d_pauli.gate_phase, d.d_pauli.correction_phase);
+    ("CNOT", d.d_cnot.gate_phase, d.d_cnot.correction_phase);
+  ]

@@ -1,0 +1,61 @@
+(** The ULB fabric-designer tool.
+
+    Section 3 of the paper: the FT operation delays "are the output of a
+    ULB fabric designer tool which has a very low runtime execution ...
+    and produces exact results which can be used for any algorithms.
+    Hence, values of these parameters for all types of FT operations are
+    assumed to be given."  The paper *assumes* them; this module rebuilds
+    the tool: it assembles each fault-tolerant operation on a Steane-coded
+    ULB from native ion-trap instructions ({!Native}) and prices it.
+
+    Cost model per FT operation:
+    - a {b gate phase}: transversal native gates across the 7-qubit block
+      (plus inter-block transport for CNOT, or a full magic-state ancilla
+      protocol for the non-transversal T/T†), executed [lanes]-wide;
+    - an {b error-correction phase}: [rounds] repetitions of extracting
+      all 6 syndrome bits (ancilla init+H, 4 two-qubit gates, measurement
+      per stabilizer) followed by a corrective transversal gate — the
+      fault-tolerant repetition that dominates every delay. *)
+
+type breakdown = {
+  gate_phase : float;  (** µs spent performing the logical gate itself *)
+  correction_phase : float;  (** µs spent on syndrome extraction + fixup *)
+}
+
+val total : breakdown -> float
+
+type design = {
+  d_h : breakdown;
+  d_t : breakdown;  (** magic-state injection path *)
+  d_s : breakdown;
+  d_pauli : breakdown;
+  d_cnot : breakdown;
+  t_move : float;  (** one inter-ULB hop of a whole logical block *)
+}
+
+val design : ?native:Native.params -> ?rounds:int -> unit -> design
+(** [rounds] is the number of syndrome-repetition rounds per EC phase
+    (default 3, the usual distance-3 fault-tolerance choice).
+    @raise Invalid_argument on invalid native parameters or
+    [rounds < 1]. *)
+
+val ec_phase : Native.params -> rounds:int -> float
+(** Cost of one error-correction phase on one logical block. *)
+
+val magic_state_preparation : Native.params -> rounds:int -> float
+(** Cost of preparing and verifying one encoded T ancilla block. *)
+
+val to_params :
+  ?native:Native.params ->
+  ?rounds:int ->
+  width:int ->
+  height:int ->
+  nc:int ->
+  v:float ->
+  unit ->
+  Leqa_fabric.Params.t
+(** Package a design as the TQA parameter set LEQA and QSPR consume —
+    the generated counterpart of the paper's Table 1. *)
+
+val report : design -> (string * float * float) list
+(** [(name, gate_phase, correction_phase)] rows for printing. *)

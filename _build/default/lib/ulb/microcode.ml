@@ -1,0 +1,222 @@
+type instruction = { kind : Native.kind; operands : int list }
+
+type task = { id : int; instruction : instruction; deps : int list }
+
+type schedule = {
+  tasks : task array;
+  start_times : float array;
+  finish_times : float array;
+  makespan : float;
+}
+
+(* builder state: fresh task ids *)
+type builder = { mutable next : int; mutable acc : task list }
+
+let builder () = { next = 0; acc = [] }
+
+let emit b ~kind ~operands ~deps =
+  let id = b.next in
+  b.next <- b.next + 1;
+  b.acc <- { id; instruction = { kind; operands }; deps } :: b.acc;
+  id
+
+let finish b = List.rev b.acc
+
+let block_a = List.init Steane.physical_qubits (fun i -> i)
+
+let block_b = List.init Steane.physical_qubits (fun i -> 7 + i)
+
+let transversal_1q () =
+  let b = builder () in
+  List.iter
+    (fun q -> ignore (emit b ~kind:Native.One_qubit ~operands:[ q ] ~deps:[]))
+    block_a;
+  finish b
+
+(* one syndrome round over block A; ancilla ids start at [ancilla_base];
+   [after] are task ids every measurement chain must wait for *)
+let syndrome_round b ~ancilla_base ~after =
+  List.concat
+    (List.mapi
+       (fun s stabilizer ->
+         let ancilla = ancilla_base + s in
+         let prep = emit b ~kind:Native.Init ~operands:[ ancilla ] ~deps:after in
+         let basis =
+           emit b ~kind:Native.One_qubit ~operands:[ ancilla ] ~deps:[ prep ]
+         in
+         let last =
+           List.fold_left
+             (fun prev data ->
+               emit b ~kind:Native.Two_qubit ~operands:[ ancilla; data ]
+                 ~deps:[ prev ])
+             basis stabilizer.Steane.support
+         in
+         [ emit b ~kind:Native.Measure ~operands:[ ancilla ] ~deps:[ last ] ])
+       Steane.stabilizers)
+
+let syndrome_extraction ~rounds =
+  if rounds < 1 then invalid_arg "Microcode.syndrome_extraction: rounds < 1";
+  let b = builder () in
+  let after = ref [] in
+  for r = 0 to rounds - 1 do
+    after := syndrome_round b ~ancilla_base:(20 + (6 * r)) ~after:!after
+  done;
+  (* corrective transversal rotation awaits the final round *)
+  List.iter
+    (fun q ->
+      ignore (emit b ~kind:Native.One_qubit ~operands:[ q ] ~deps:!after))
+    block_a;
+  finish b
+
+let transversal_cnot () =
+  let b = builder () in
+  List.iter2
+    (fun qa qb ->
+      let split = emit b ~kind:Native.Split_merge ~operands:[ qa ] ~deps:[] in
+      let move = emit b ~kind:Native.Move ~operands:[ qa ] ~deps:[ split ] in
+      let gate =
+        emit b ~kind:Native.Two_qubit ~operands:[ qa; qb ] ~deps:[ move ]
+      in
+      ignore (emit b ~kind:Native.Cool ~operands:[ qa; qb ] ~deps:[ gate ]))
+    block_a block_b;
+  finish b
+
+let magic_state_t ~rounds =
+  ignore rounds;
+  let b = builder () in
+  let magic = List.init Steane.physical_qubits (fun i -> 40 + i) in
+  (* encode |A>: init every qubit, rotate the three pivots, entangle *)
+  let inits =
+    List.map (fun q -> emit b ~kind:Native.Init ~operands:[ q ] ~deps:[]) magic
+  in
+  let pivots =
+    List.filteri (fun i _ -> i < 3) magic
+    |> List.map (fun q ->
+           ignore inits;
+           emit b ~kind:Native.One_qubit ~operands:[ q ] ~deps:inits)
+  in
+  let encode_last =
+    (* 9 encoding CNOTs, chained through the block *)
+    let rec chain prev count acc =
+      if count = 0 then acc
+      else begin
+        let src = List.nth magic (count mod 3) in
+        let dst = List.nth magic (3 + (count mod 4)) in
+        let t =
+          emit b ~kind:Native.Two_qubit ~operands:[ src; dst ] ~deps:[ prev ]
+        in
+        chain t (count - 1) [ t ]
+      end
+    in
+    match pivots with
+    | first :: _ -> chain first Steane.encode_cnot_count []
+    | [] -> []
+  in
+  (* verification measurement on one ancilla *)
+  let verify_anc = 60 in
+  let vprep =
+    emit b ~kind:Native.Init ~operands:[ verify_anc ] ~deps:encode_last
+  in
+  let ventangle =
+    emit b ~kind:Native.Two_qubit
+      ~operands:[ verify_anc; List.hd magic ]
+      ~deps:[ vprep ]
+  in
+  let verify =
+    emit b ~kind:Native.Measure ~operands:[ verify_anc ] ~deps:[ ventangle ]
+  in
+  (* transversal CNOT from data block A into the magic block *)
+  let cnots =
+    List.map2
+      (fun qa qm ->
+        emit b ~kind:Native.Two_qubit ~operands:[ qa; qm ] ~deps:[ verify ])
+      block_a magic
+  in
+  (* measure the data block, then the conditional fixup rotation *)
+  let measures =
+    List.map
+      (fun qa -> emit b ~kind:Native.Measure ~operands:[ qa ] ~deps:cnots)
+      block_a
+  in
+  List.iter
+    (fun qm ->
+      ignore (emit b ~kind:Native.One_qubit ~operands:[ qm ] ~deps:measures))
+    magic;
+  finish b
+
+let schedule native tasks =
+  (match Native.validate native with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Microcode.schedule: " ^ msg));
+  let tasks = Array.of_list tasks in
+  let n = Array.length tasks in
+  let start_times = Array.make n 0.0 in
+  let finish_times = Array.make n 0.0 in
+  let qubit_free = Hashtbl.create 64 in
+  let lanes = Array.make native.Native.lanes 0.0 in
+  Array.iteri
+    (fun i t ->
+      if t.id <> i then invalid_arg "Microcode.schedule: ids must be dense";
+      let ready =
+        List.fold_left
+          (fun acc d ->
+            if d >= i then
+              invalid_arg "Microcode.schedule: forward dependency";
+            Float.max acc finish_times.(d))
+          0.0 t.deps
+      in
+      let ready =
+        List.fold_left
+          (fun acc q ->
+            Float.max acc
+              (Option.value ~default:0.0 (Hashtbl.find_opt qubit_free q)))
+          ready t.instruction.operands
+      in
+      (* earliest lane *)
+      let lane = ref 0 in
+      for l = 1 to Array.length lanes - 1 do
+        if lanes.(l) < lanes.(!lane) then lane := l
+      done;
+      let start = Float.max ready lanes.(!lane) in
+      let finish = start +. Native.duration native t.instruction.kind in
+      start_times.(i) <- start;
+      finish_times.(i) <- finish;
+      lanes.(!lane) <- finish;
+      List.iter
+        (fun q -> Hashtbl.replace qubit_free q finish)
+        t.instruction.operands)
+    tasks;
+  {
+    tasks;
+    start_times;
+    finish_times;
+    makespan = Array.fold_left Float.max 0.0 finish_times;
+  }
+
+let ft_op_makespan native ~rounds op =
+  let gate_program =
+    match op with
+    | `H ->
+      (* two rotations per ion: the echo pair of Designer.design *)
+      transversal_1q () @ transversal_1q ()
+      |> List.mapi (fun i t ->
+             (* re-number the second pass so ids stay dense *)
+             { t with id = i; deps = (if i >= 7 then [ i - 7 ] else []) })
+    | `S | `Pauli -> transversal_1q ()
+    | `Cnot -> transversal_cnot ()
+    | `T -> magic_state_t ~rounds
+  in
+  let gate = (schedule native gate_program).makespan in
+  let ec = (schedule native (syndrome_extraction ~rounds)).makespan in
+  gate +. ec
+
+let utilization s ~lanes =
+  if lanes <= 0 then invalid_arg "Microcode.utilization: lanes <= 0";
+  if s.makespan <= 0.0 then 0.0
+  else begin
+    let busy = ref 0.0 in
+    Array.iteri
+      (fun i _ -> busy := !busy +. (s.finish_times.(i) -. s.start_times.(i)))
+      s.tasks;
+    !busy /. (float_of_int lanes *. s.makespan)
+  end

@@ -1,0 +1,68 @@
+(** Instruction-level microcode for fault-tolerant operations on a ULB.
+
+    {!Designer} prices FT operations with closed-form phase arithmetic;
+    this module builds the actual native-instruction programs and
+    schedules them under the ULB's real resource constraints — each
+    physical qubit is exclusive, and at most [lanes] instructions run
+    concurrently.  The paper describes the fabric-designer tool as
+    producing "exact results"; the scheduler is that exactness, and the
+    tests check the closed forms against it. *)
+
+type instruction = {
+  kind : Native.kind;
+  operands : int list;
+      (** physical-qubit ids; instructions with overlapping operands are
+          serialised by the scheduler *)
+}
+
+type task = {
+  id : int;
+  instruction : instruction;
+  deps : int list;  (** task ids that must finish first *)
+}
+
+type schedule = {
+  tasks : task array;
+  start_times : float array;
+  finish_times : float array;
+  makespan : float;
+}
+
+(** {2 Program builders}
+
+    Physical-qubit numbering: data block A = 0..6, data block B = 7..13,
+    syndrome ancillas and magic-state qubits from 20 upward. *)
+
+val transversal_1q : unit -> task list
+(** 7 independent one-qubit rotations on block A. *)
+
+val syndrome_extraction : rounds:int -> task list
+(** [rounds] repetitions of extracting all 6 Steane stabilizers of block
+    A (ancilla init + basis change + 4 entangling gates + measurement per
+    stabilizer), rounds strictly ordered, followed by the transversal
+    corrective rotation.  @raise Invalid_argument for [rounds < 1]. *)
+
+val transversal_cnot : unit -> task list
+(** Pairwise align blocks A and B (split, shuttle, entangle, recool per
+    pair). *)
+
+val magic_state_t : rounds:int -> task list
+(** The full T-gate protocol: encode a magic block, verify it, CNOT it
+    into the data, measure, fix up. *)
+
+(** {2 Scheduling} *)
+
+val schedule : Native.params -> task list -> schedule
+(** Greedy list scheduling in dependency order: a task starts when its
+    dependencies have finished, all its operand qubits are free, and a
+    lane is available.  @raise Invalid_argument on malformed dependencies
+    (forward references) or invalid native parameters. *)
+
+val ft_op_makespan :
+  Native.params -> rounds:int -> [ `H | `T | `S | `Pauli | `Cnot ] -> float
+(** Gate program + error-correction phase, scheduled end to end — the
+    instruction-exact counterpart of {!Designer.design}'s totals. *)
+
+val utilization : schedule -> lanes:int -> float
+(** Busy lane-time divided by [lanes × makespan] — how full the ULB's
+    interaction zones run. *)

@@ -1,0 +1,63 @@
+type kind =
+  | Init
+  | One_qubit
+  | Two_qubit
+  | Measure
+  | Move
+  | Split_merge
+  | Cool
+
+type params = {
+  t_init : float;
+  t_one_qubit : float;
+  t_two_qubit : float;
+  t_measure : float;
+  t_move : float;
+  t_split_merge : float;
+  t_cool : float;
+  lanes : int;
+}
+
+let default =
+  {
+    t_init = 50.0;
+    t_one_qubit = 1.0;
+    t_two_qubit = 10.0;
+    t_measure = 490.0;
+    t_move = 5.0;
+    t_split_merge = 10.0;
+    t_cool = 60.0;
+    lanes = 2;
+  }
+
+let duration p = function
+  | Init -> p.t_init
+  | One_qubit -> p.t_one_qubit
+  | Two_qubit -> p.t_two_qubit
+  | Measure -> p.t_measure
+  | Move -> p.t_move
+  | Split_merge -> p.t_split_merge
+  | Cool -> p.t_cool
+
+let validate p =
+  let fields =
+    [
+      ("t_init", p.t_init);
+      ("t_one_qubit", p.t_one_qubit);
+      ("t_two_qubit", p.t_two_qubit);
+      ("t_measure", p.t_measure);
+      ("t_move", p.t_move);
+      ("t_split_merge", p.t_split_merge);
+      ("t_cool", p.t_cool);
+    ]
+  in
+  match List.find_opt (fun (_, v) -> v <= 0.0) fields with
+  | Some (name, _) -> Error (name ^ " must be positive")
+  | None -> if p.lanes < 1 then Error "lanes must be >= 1" else Ok ()
+
+let phase_time p kind ~count =
+  if count < 0 then invalid_arg "Native.phase_time: negative count";
+  if count = 0 then 0.0
+  else
+    let waves = (count + p.lanes - 1) / p.lanes in
+    float_of_int waves *. duration p kind

@@ -1,0 +1,46 @@
+(** Native instruction set of the ion-trap quantum fabric.
+
+    Section 2 of the paper: "Each quantum fabric is natively capable of
+    performing a universal set of one and two-qubit instructions (also
+    called native quantum instructions). ... Each FT quantum operation can
+    be implemented by using a composition of these native quantum
+    instructions."  These are the physical primitives the ULB designer
+    ({!Designer}) schedules; durations are per-instruction microseconds,
+    defaulted to representative trapped-ion values. *)
+
+type kind =
+  | Init  (** prepare a fresh physical qubit in |0⟩ *)
+  | One_qubit  (** any single-ion rotation *)
+  | Two_qubit  (** a two-ion entangling (Mølmer–Sørensen style) gate *)
+  | Measure  (** fluorescence readout *)
+  | Move  (** shuttle an ion between adjacent trap zones *)
+  | Split_merge  (** split or merge an ion chain *)
+  | Cool  (** sympathetic recooling after transport *)
+
+type params = {
+  t_init : float;
+  t_one_qubit : float;
+  t_two_qubit : float;
+  t_measure : float;
+  t_move : float;
+  t_split_merge : float;
+  t_cool : float;
+  lanes : int;
+      (** independent interaction zones inside one ULB: native
+          instructions on disjoint ions proceed [lanes]-wide *)
+}
+
+val default : params
+(** Representative trapped-ion timings (µs): slow readout (≈ 490),
+    moderately slow two-qubit gates (≈ 10), fast rotations (≈ 1),
+    transport ≈ 5 per zone, 2 interaction lanes per ULB. *)
+
+val duration : params -> kind -> float
+
+val validate : params -> (unit, string) result
+(** All durations positive and [lanes ≥ 1]. *)
+
+val phase_time : params -> kind -> count:int -> float
+(** Time for [count] identical independent instructions executed
+    [lanes]-wide: ⌈count/lanes⌉ · duration.  0 for [count = 0].
+    @raise Invalid_argument for negative [count]. *)

@@ -1,0 +1,80 @@
+let physical_qubits = 7
+
+let distance = 3
+
+type pauli_kind = X_type | Z_type
+
+type stabilizer = { kind : pauli_kind; support : int list }
+
+(* Hamming [7,4] parity checks: qubit i (1-based position p = i+1) is in
+   check b when p land (1 lsl b) <> 0 — supports {1,3,5,7}, {2,3,6,7},
+   {4,5,6,7} in positions, i.e. {0,2,4,6}, {1,2,5,6}, {3,4,5,6} 0-based. *)
+let parity_supports =
+  List.map
+    (fun bit ->
+      List.filter
+        (fun i -> (i + 1) land (1 lsl bit) <> 0)
+        (List.init physical_qubits (fun i -> i)))
+    [ 0; 1; 2 ]
+
+let stabilizers =
+  List.map (fun support -> { kind = X_type; support }) parity_supports
+  @ List.map (fun support -> { kind = Z_type; support }) parity_supports
+
+let weight s = List.length s.support
+
+let commute a b =
+  match (a.kind, b.kind) with
+  | X_type, X_type | Z_type, Z_type -> true
+  | X_type, Z_type | Z_type, X_type ->
+    let overlap =
+      List.length (List.filter (fun q -> List.mem q b.support) a.support)
+    in
+    overlap mod 2 = 0
+
+let logical_x_support = List.init physical_qubits (fun i -> i)
+
+let logical_z_support = List.init physical_qubits (fun i -> i)
+
+let is_transversal = function
+  | Leqa_circuit.Ft_gate.X | Leqa_circuit.Ft_gate.Y | Leqa_circuit.Ft_gate.Z
+  | Leqa_circuit.Ft_gate.H | Leqa_circuit.Ft_gate.S
+  | Leqa_circuit.Ft_gate.Sdg ->
+    true
+  | Leqa_circuit.Ft_gate.T | Leqa_circuit.Ft_gate.Tdg -> false
+
+let syndrome_bits = List.length stabilizers
+
+(* standard Steane |0>_L preparation: 3 H on the X-check pivots + 9 CNOTs *)
+let encode_cnot_count = 9
+
+(* pivots: the power-of-two Hamming positions 1,2,4 -> wires 0,1,3; each
+   X-type generator fans out from its pivot to the rest of its support *)
+let encode_circuit () =
+  let open Leqa_circuit in
+  let circ = Ft_circuit.create ~num_qubits:physical_qubits () in
+  let x_checks =
+    List.filter (fun s -> s.kind = X_type) stabilizers
+  in
+  let pivots = [ 0; 1; 3 ] in
+  List.iter
+    (fun p -> Ft_circuit.add circ (Ft_gate.Single (Ft_gate.H, p)))
+    pivots;
+  List.iter2
+    (fun pivot s ->
+      List.iter
+        (fun q ->
+          if q <> pivot then
+            Ft_circuit.add circ (Ft_gate.Cnot { control = pivot; target = q }))
+        s.support)
+    pivots x_checks;
+  circ
+
+let stabilizer_circuit s =
+  let open Leqa_circuit in
+  let circ = Ft_circuit.create ~num_qubits:physical_qubits () in
+  let kind = match s.kind with X_type -> Ft_gate.X | Z_type -> Ft_gate.Z in
+  List.iter
+    (fun q -> Ft_circuit.add circ (Ft_gate.Single (kind, q)))
+    s.support;
+  circ

@@ -1,0 +1,56 @@
+(** The [[7,1,3]] Steane code — the encoding the paper's evaluation uses.
+
+    One logical qubit is carried by 7 physical qubits; the stabilizer
+    group has 6 generators (3 X-type + 3 Z-type) read off the parity-check
+    matrix of the classical Hamming [7,4] code.  The code is a CSS code,
+    so H, the Paulis, S (up to a Pauli correction) and CNOT are
+    transversal; T is not (the paper: delays of T/T† "which are
+    non-transversal in this coding, are higher than the others"). *)
+
+val physical_qubits : int
+(** 7. *)
+
+val distance : int
+(** 3 — corrects any single physical error. *)
+
+type pauli_kind = X_type | Z_type
+
+type stabilizer = {
+  kind : pauli_kind;
+  support : int list;  (** physical-qubit indices (0-based), sorted *)
+}
+
+val stabilizers : stabilizer list
+(** The 6 generators; each has weight 4 (Hamming parity sets). *)
+
+val weight : stabilizer -> int
+
+val commute : stabilizer -> stabilizer -> bool
+(** CSS commutation: same-type generators always commute; X/Z pairs
+    commute iff their supports overlap evenly. *)
+
+val logical_x_support : int list
+(** Support of the logical X operator (all 7 qubits). *)
+
+val logical_z_support : int list
+
+val is_transversal : Leqa_circuit.Ft_gate.single_kind -> bool
+(** Per-gate transversality in the Steane code: true for X, Y, Z, H, S,
+    S†; false for T, T†. *)
+
+val syndrome_bits : int
+(** Number of syndrome bits per extraction round = 6. *)
+
+val encode_cnot_count : int
+(** Two-qubit gates in the standard |0⟩_L encoding circuit (used by the
+    designer to cost ancilla-block preparation). *)
+
+val encode_circuit : unit -> Leqa_circuit.Ft_circuit.t
+(** The |0⟩_L preparation circuit on 7 wires: H on the three parity
+    pivots, then one CNOT fan per X-type stabilizer.  The tests verify by
+    state-vector simulation that the output is a +1 eigenstate of all six
+    stabilizer generators and of logical Z. *)
+
+val stabilizer_circuit : stabilizer -> Leqa_circuit.Ft_circuit.t
+(** The generator as a gate sequence on 7 wires (X or Z on its support) —
+    apply to a state to test stabilizer membership. *)

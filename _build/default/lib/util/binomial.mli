@@ -1,0 +1,23 @@
+(** Binomial coefficients and binomial-distribution terms.
+
+    Eq (4) of the paper needs [C(Q,q) · P^q · (1-P)^(Q-q)] with Q up to a few
+    thousand, which overflows naive arithmetic; [log_pmf] evaluates it in
+    log space.  The incremental recurrence of Eq (18) of the supplemental
+    material is provided as [coefficients_upto] and kept exact for small Q. *)
+
+val log_choose : int -> int -> float
+(** [log_choose n k] = ln C(n,k); [neg_infinity] outside [0 ≤ k ≤ n]. *)
+
+val choose : int -> int -> float
+(** C(n,k) as a float (may be [infinity] for huge n). *)
+
+val coefficients_upto : n:int -> kmax:int -> float array
+(** Eq (18): [|C(n,0); C(n,1); …; C(n,kmax)|] via the constant-time
+    recurrence [f(n,k) = f(n,k-1)·(n-k+1)/k]. *)
+
+val log_pmf : n:int -> k:int -> p:float -> float
+(** ln of the Binomial(n,p) probability mass at k.  Handles the p = 0 and
+    p = 1 boundary cases exactly. *)
+
+val pmf : n:int -> k:int -> p:float -> float
+(** Binomial(n,p) mass at k, computed via [log_pmf]. *)

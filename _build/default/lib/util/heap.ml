@@ -1,0 +1,96 @@
+(* Array-backed binary min-heap with FIFO tie-breaking via a sequence
+   number, so that equal-time events pop in insertion order. *)
+
+type 'a entry = { priority : float; seq : int; value : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { data = [||]; size = 0; next_seq = 0 }
+
+let length h = h.size
+
+let is_empty h = h.size = 0
+
+let less a b =
+  a.priority < b.priority || (a.priority = b.priority && a.seq < b.seq)
+
+let swap h i j =
+  let tmp = h.data.(i) in
+  h.data.(i) <- h.data.(j);
+  h.data.(j) <- tmp
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if less h.data.(i) h.data.(parent) then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < h.size && less h.data.(l) h.data.(!smallest) then smallest := l;
+  if r < h.size && less h.data.(r) h.data.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap h i !smallest;
+    sift_down h !smallest
+  end
+
+let grow h =
+  let capacity = Array.length h.data in
+  if h.size = capacity then begin
+    let entry = h.data.(0) in
+    let fresh = Array.make (max 8 (2 * capacity)) entry in
+    Array.blit h.data 0 fresh 0 h.size;
+    h.data <- fresh
+  end
+
+let add h ~priority value =
+  let entry = { priority; seq = h.next_seq; value } in
+  h.next_seq <- h.next_seq + 1;
+  if Array.length h.data = 0 then h.data <- Array.make 8 entry else grow h;
+  h.data.(h.size) <- entry;
+  h.size <- h.size + 1;
+  sift_up h (h.size - 1)
+
+let min_priority h = if h.size = 0 then None else Some h.data.(0).priority
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let top = h.data.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.data.(0) <- h.data.(h.size);
+      sift_down h 0
+    end;
+    Some (top.priority, top.value)
+  end
+
+let pop_exn h =
+  match pop h with
+  | Some r -> r
+  | None -> invalid_arg "Heap.pop_exn: empty heap"
+
+let clear h =
+  h.size <- 0;
+  h.next_seq <- 0
+
+let to_sorted_list h =
+  let copy =
+    {
+      data = Array.sub h.data 0 (max 1 (Array.length h.data));
+      size = h.size;
+      next_seq = h.next_seq;
+    }
+  in
+  let rec drain acc =
+    match pop copy with None -> List.rev acc | Some p -> drain (p :: acc)
+  in
+  if h.size = 0 then [] else drain []

@@ -1,0 +1,31 @@
+(** Imperative binary min-heap, ordered by a caller-supplied priority.
+
+    Used as the event queue of the QSPR discrete-event simulator and by the
+    routing layer.  Priorities are [float] (simulation timestamps); ties are
+    broken by insertion order so simulations are deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+(** Fresh empty heap. *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val add : 'a t -> priority:float -> 'a -> unit
+(** [add h ~priority x] inserts [x]. O(log n). *)
+
+val min_priority : 'a t -> float option
+(** Priority of the minimum element, if any. O(1). *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the minimum-priority element. O(log n). *)
+
+val pop_exn : 'a t -> float * 'a
+(** @raise Invalid_argument on an empty heap. *)
+
+val clear : 'a t -> unit
+
+val to_sorted_list : 'a t -> (float * 'a) list
+(** Drains a copy of the heap in priority order (for tests). *)

@@ -1,0 +1,20 @@
+(** Minimal JSON emitter (no parser) for machine-readable experiment
+    results — enough for the bench harness to dump its tables without an
+    external dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact rendering.  Strings are escaped per RFC 8259; non-finite
+    floats render as [null] (JSON has no NaN/inf). *)
+
+val to_channel : out_channel -> t -> unit
+
+val write_file : string -> t -> unit

@@ -1,0 +1,50 @@
+(* splitmix64: tiny, fast, passes BigCrush for this use; chosen over
+   Stdlib.Random to guarantee identical streams across OCaml versions. *)
+
+type t = { mutable state : int64 }
+
+let create ~seed = { state = Int64.of_int seed }
+
+let next_state s =
+  s.state <- Int64.add s.state 0x9E3779B97F4A7C15L;
+  s.state
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int64 s = mix (next_state s)
+
+let split s =
+  let seed = Int64.to_int (int64 s) in
+  { state = Int64.of_int seed }
+
+let int s ~bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* keep 62 bits so the value fits OCaml's 63-bit native int *)
+  let mask = 0x3FFFFFFFFFFFFFFFL in
+  let v = Int64.to_int (Int64.logand (int64 s) mask) in
+  v mod bound
+
+let float s =
+  (* 53 high bits -> uniform in [0,1). *)
+  let bits = Int64.shift_right_logical (int64 s) 11 in
+  Int64.to_float bits /. 9007199254740992.0
+
+let float_range s ~lo ~hi = lo +. ((hi -. lo) *. float s)
+
+let bool s = Int64.logand (int64 s) 1L = 1L
+
+let exponential s ~rate =
+  if rate <= 0.0 then invalid_arg "Rng.exponential: rate must be positive";
+  let u = 1.0 -. float s in
+  -.log u /. rate
+
+let shuffle s a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int s ~bound:(i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

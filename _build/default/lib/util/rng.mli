@@ -1,0 +1,31 @@
+(** Deterministic splitmix64 pseudo-random number generator.
+
+    Every stochastic component of the repository (placement, Monte-Carlo
+    validation, synthetic benchmark generation) draws from an explicit [t]
+    so that runs are reproducible and independent streams never interfere. *)
+
+type t
+
+val create : seed:int -> t
+
+val split : t -> t
+(** Derive an independent stream (for parallel sub-experiments). *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> bound:int -> int
+(** Uniform integer in [\[0, bound)]. [bound] must be positive. *)
+
+val float : t -> float
+(** Uniform float in [\[0, 1)]. *)
+
+val float_range : t -> lo:float -> hi:float -> float
+
+val bool : t -> bool
+
+val exponential : t -> rate:float -> float
+(** Sample from Exp(rate); used by the queueing-model validation. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)

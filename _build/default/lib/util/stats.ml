@@ -1,0 +1,75 @@
+let mean a =
+  if Array.length a = 0 then invalid_arg "Stats.mean: empty array";
+  Array.fold_left ( +. ) 0.0 a /. float_of_int (Array.length a)
+
+let variance a =
+  let m = mean a in
+  let sum = Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 a in
+  sum /. float_of_int (Array.length a)
+
+let stddev a = sqrt (variance a)
+
+let weighted_mean ~weights ~values =
+  if Array.length weights <> Array.length values then
+    invalid_arg "Stats.weighted_mean: length mismatch";
+  let num = ref 0.0 and den = ref 0.0 in
+  Array.iteri
+    (fun i w ->
+      num := !num +. (w *. values.(i));
+      den := !den +. w)
+    weights;
+  if !den <= 0.0 then invalid_arg "Stats.weighted_mean: non-positive weight";
+  !num /. !den
+
+let percentile a ~p =
+  if Array.length a = 0 then invalid_arg "Stats.percentile: empty array";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (floor rank) and hi = int_of_float (ceil rank) in
+  let frac = rank -. floor rank in
+  (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+
+let relative_error ~actual ~estimated =
+  if actual = 0.0 then invalid_arg "Stats.relative_error: zero actual";
+  abs_float (estimated -. actual) /. abs_float actual
+
+let linear_regression xys =
+  match xys with
+  | [] | [ _ ] -> invalid_arg "Stats.linear_regression: need >= 2 points"
+  | _ ->
+    let n = float_of_int (List.length xys) in
+    let sx = List.fold_left (fun acc (x, _) -> acc +. x) 0.0 xys in
+    let sy = List.fold_left (fun acc (_, y) -> acc +. y) 0.0 xys in
+    let sxx = List.fold_left (fun acc (x, _) -> acc +. (x *. x)) 0.0 xys in
+    let sxy = List.fold_left (fun acc (x, y) -> acc +. (x *. y)) 0.0 xys in
+    let denom = (n *. sxx) -. (sx *. sx) in
+    if denom = 0.0 then invalid_arg "Stats.linear_regression: degenerate x";
+    let b = ((n *. sxy) -. (sx *. sy)) /. denom in
+    let a = (sy -. (b *. sx)) /. n in
+    (a, b)
+
+let fit_power_law xys =
+  let log_points =
+    List.map
+      (fun (x, y) ->
+        if x <= 0.0 || y <= 0.0 then
+          invalid_arg "Stats.fit_power_law: non-positive point"
+        else (log x, log y))
+      xys
+  in
+  let log_c, k = linear_regression log_points in
+  (exp log_c, k)
+
+let geometric_mean a =
+  if Array.length a = 0 then invalid_arg "Stats.geometric_mean: empty array";
+  let sum_logs =
+    Array.fold_left
+      (fun acc x ->
+        if x <= 0.0 then invalid_arg "Stats.geometric_mean: non-positive value"
+        else acc +. log x)
+      0.0 a
+  in
+  exp (sum_logs /. float_of_int (Array.length a))

@@ -1,0 +1,31 @@
+(** Small statistics toolkit used across the estimator, the experiment
+    harness and the tests: summary statistics, weighted means (Eqs 7 and 12
+    of the paper are weighted means), relative errors (Table 2), and
+    power-law fits (the QSPR-scales-as-ops^1.5 claim of Section 4.2). *)
+
+val mean : float array -> float
+(** Arithmetic mean. @raise Invalid_argument on an empty array. *)
+
+val variance : float array -> float
+(** Population variance. *)
+
+val stddev : float array -> float
+
+val weighted_mean : weights:float array -> values:float array -> float
+(** [Σ wᵢ vᵢ / Σ wᵢ]. Skips zero-weight entries; raises [Invalid_argument]
+    if the arrays differ in length or total weight is not positive. *)
+
+val percentile : float array -> p:float -> float
+(** Linear-interpolation percentile, [p] in [\[0,100\]]. *)
+
+val relative_error : actual:float -> estimated:float -> float
+(** [|estimated - actual| / |actual|], as used in Table 2. *)
+
+val fit_power_law : (float * float) list -> float * float
+(** [fit_power_law xys] least-squares fit of [y = c · x^k] in log-log space;
+    returns [(c, k)]. Points with non-positive coordinates are rejected. *)
+
+val linear_regression : (float * float) list -> float * float
+(** Least-squares [y = a + b·x]; returns [(a, b)]. *)
+
+val geometric_mean : float array -> float

@@ -1,0 +1,18 @@
+(** Plain-text table rendering for the experiment harness (Tables 1-3 of
+    the paper are reprinted through this module). *)
+
+type align = Left | Right
+
+type t
+
+val create : columns:(string * align) list -> t
+(** Header row; every subsequent row must have the same arity. *)
+
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument if the row arity differs from the header. *)
+
+val render : t -> string
+(** Box-drawing-free ASCII rendering with aligned columns. *)
+
+val print : t -> unit
+(** [render] followed by a newline on stdout. *)

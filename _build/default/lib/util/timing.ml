@@ -1,0 +1,19 @@
+let time f =
+  let start = Unix.gettimeofday () in
+  let result = f () in
+  (result, Unix.gettimeofday () -. start)
+
+let time_seconds f = snd (time f)
+
+let repeat_median ~runs f =
+  if runs <= 0 then invalid_arg "Timing.repeat_median: runs must be positive";
+  let samples = Array.make runs 0.0 in
+  let last = ref None in
+  for i = 0 to runs - 1 do
+    let r, dt = time f in
+    last := Some r;
+    samples.(i) <- dt
+  done;
+  Array.sort compare samples;
+  let median = samples.(runs / 2) in
+  match !last with Some r -> (r, median) | None -> assert false

@@ -1,0 +1,12 @@
+(** Wall-clock timing of experiment phases (Table 3 reports tool runtimes). *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] and returns its result together with the elapsed
+    wall-clock seconds. *)
+
+val time_seconds : (unit -> unit) -> float
+(** Elapsed seconds only. *)
+
+val repeat_median : runs:int -> (unit -> 'a) -> 'a * float
+(** Runs [f] [runs] times; returns the last result and the median elapsed
+    time, to damp scheduler noise in the runtime comparison tables. *)

@@ -1,0 +1,1 @@
+test/test_benchmarks.ml: Adder Alcotest Array Gf2_mult Hamming Hwb Leqa_benchmarks Leqa_circuit List Option Printf Suite

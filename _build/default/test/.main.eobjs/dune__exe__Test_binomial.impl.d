@@ -1,0 +1,1 @@
+test/test_binomial.ml: Alcotest Array Binomial Float Leqa_util List Printf

@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Array Circuit Ft_circuit Ft_gate Gate Leqa_circuit List Result

@@ -1,0 +1,1 @@
+test/test_compose.ml: Alcotest Compose Ft_circuit Ft_gate Leqa_benchmarks Leqa_circuit Leqa_qodg Leqa_qspr Leqa_util List Statevector

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Config Coverage Estimator Float Leqa_benchmarks Leqa_circuit Leqa_core Leqa_fabric Leqa_iig Leqa_qodg Leqa_util List Presence_zone Printf Result Routing_latency

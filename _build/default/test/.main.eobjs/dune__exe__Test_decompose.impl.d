@@ -1,0 +1,1 @@
+test/test_decompose.ml: Alcotest Array Circuit Decompose Float Ft_circuit Ft_gate Gate Leqa_circuit List Printf

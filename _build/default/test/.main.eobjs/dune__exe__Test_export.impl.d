@@ -1,0 +1,1 @@
+test/test_export.ml: Alcotest Critical_path Export Filename Fun Leqa_benchmarks Leqa_circuit Leqa_fabric Leqa_qodg List Qodg String Sys

@@ -1,0 +1,1 @@
+test/test_fabric.ml: Alcotest Channel Geometry Leqa_circuit Leqa_fabric List Params Result

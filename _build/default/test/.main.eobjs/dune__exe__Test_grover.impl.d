@@ -1,0 +1,1 @@
+test/test_grover.ml: Alcotest Grover Leqa_benchmarks Leqa_circuit Leqa_core Leqa_fabric Leqa_qodg

@@ -1,0 +1,1 @@
+test/test_heap.ml: Alcotest Heap Leqa_util List Rng

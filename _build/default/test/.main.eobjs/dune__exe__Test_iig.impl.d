@@ -1,0 +1,1 @@
+test/test_iig.ml: Alcotest Iig Leqa_benchmarks Leqa_circuit Leqa_iig Leqa_qodg Leqa_util List

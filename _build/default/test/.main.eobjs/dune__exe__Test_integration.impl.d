@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Leqa_benchmarks Leqa_circuit Leqa_core Leqa_fabric Leqa_qodg Leqa_qspr Leqa_util List

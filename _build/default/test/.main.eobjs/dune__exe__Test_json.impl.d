@@ -1,0 +1,1 @@
+test/test_json.ml: Alcotest Filename Float Fun Json Leqa_util Sys

@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Leqa_benchmarks Leqa_circuit Leqa_qodg Metrics Qodg

@@ -1,0 +1,1 @@
+test/test_microcode.ml: Alcotest Array Designer Leqa_ulb List Microcode Native Printf

@@ -1,0 +1,1 @@
+test/test_optimize.ml: Alcotest Array Ft_circuit Ft_gate Leqa_benchmarks Leqa_circuit Leqa_util List Optimize Printf String

@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Circuit Filename Fun Gate Leqa_benchmarks Leqa_circuit Parser String Sys

@@ -1,0 +1,1 @@
+test/test_properties.ml: Array Leqa_benchmarks Leqa_circuit Leqa_core Leqa_fabric Leqa_iig Leqa_qodg Leqa_qspr Leqa_queueing Leqa_tsp Leqa_util List QCheck QCheck_alcotest

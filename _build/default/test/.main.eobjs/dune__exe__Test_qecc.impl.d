@@ -1,0 +1,1 @@
+test/test_qecc.ml: Alcotest Code Lazy Leqa_benchmarks Leqa_circuit Leqa_fabric Leqa_qecc Leqa_qodg List Selection

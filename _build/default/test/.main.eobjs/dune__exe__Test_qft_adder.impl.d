@@ -1,0 +1,1 @@
+test/test_qft_adder.ml: Adder Alcotest Leqa_benchmarks Leqa_circuit Leqa_core Leqa_fabric Leqa_iig Leqa_qodg Qft_adder

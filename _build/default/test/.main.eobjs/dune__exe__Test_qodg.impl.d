@@ -1,0 +1,1 @@
+test/test_qodg.ml: Alcotest Array Critical_path Dag Leqa_benchmarks Leqa_circuit Leqa_qodg Leqa_util List Printf Qodg

@@ -1,0 +1,1 @@
+test/test_qspr.ml: Alcotest Array Hashtbl Leqa_benchmarks Leqa_circuit Leqa_fabric Leqa_iig Leqa_qodg Leqa_qspr Leqa_util List Placement Printf Qspr Router Scheduler

@@ -1,0 +1,1 @@
+test/test_queueing.ml: Alcotest Leqa_queueing Leqa_util List Mm1 Printf Simulate

@@ -1,0 +1,1 @@
+test/test_schedule.ml: Alcotest Array Critical_path Leqa_benchmarks Leqa_circuit Leqa_fabric Leqa_qodg Leqa_util List Printf Qodg Schedule

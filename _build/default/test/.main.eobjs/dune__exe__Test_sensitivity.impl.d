@@ -1,0 +1,1 @@
+test/test_sensitivity.ml: Alcotest Leqa_benchmarks Leqa_circuit Leqa_core Leqa_fabric Leqa_qodg List Printf Sensitivity

@@ -1,0 +1,1 @@
+test/test_statevector.ml: Alcotest Decompose Ft_circuit Ft_gate Leqa_benchmarks Leqa_circuit Leqa_util Optimize Printf Statevector

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Leqa_util List Stats

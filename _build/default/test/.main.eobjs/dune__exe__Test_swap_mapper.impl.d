@@ -1,0 +1,1 @@
+test/test_swap_mapper.ml: Alcotest Leqa_benchmarks Leqa_circuit Leqa_core Leqa_fabric Leqa_qodg Leqa_qspr Leqa_util Placement Qspr Swap_mapper

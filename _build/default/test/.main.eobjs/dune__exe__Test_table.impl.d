@@ -1,0 +1,1 @@
+test/test_table.ml: Alcotest Leqa_util List String Table

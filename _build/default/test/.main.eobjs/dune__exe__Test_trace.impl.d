@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Array Leqa_benchmarks Leqa_circuit Leqa_fabric Leqa_qodg Leqa_qspr List Qspr Scheduler Trace

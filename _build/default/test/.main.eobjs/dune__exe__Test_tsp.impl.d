@@ -1,0 +1,1 @@
+test/test_tsp.ml: Alcotest Array Bounds Exact Heuristic Leqa_tsp Leqa_util List Printf

@@ -1,0 +1,1 @@
+test/test_ulb.ml: Alcotest Designer Leqa_benchmarks Leqa_circuit Leqa_core Leqa_fabric Leqa_qodg Leqa_qspr Leqa_ulb Leqa_util List Native Result Steane

@@ -1,0 +1,1 @@
+test/test_validation.ml: Alcotest Array Coverage Leqa_core Leqa_fabric Leqa_util Printf Validation

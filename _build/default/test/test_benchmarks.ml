@@ -1,0 +1,263 @@
+open Leqa_benchmarks
+module Circuit = Leqa_circuit.Circuit
+module Gate = Leqa_circuit.Gate
+module Ft_circuit = Leqa_circuit.Ft_circuit
+
+(* classical bit-level simulation shared with decomposition tests *)
+let run_classical circ input =
+  let bits = Array.copy input in
+  Circuit.iter
+    (fun g ->
+      match g with
+      | Gate.Single (Gate.X, q) -> bits.(q) <- not bits.(q)
+      | Gate.Single (_, _) -> ()
+      | Gate.Cnot { control; target } ->
+        if bits.(control) then bits.(target) <- not bits.(target)
+      | Gate.Toffoli { c1; c2; target } ->
+        if bits.(c1) && bits.(c2) then bits.(target) <- not bits.(target)
+      | Gate.Fredkin { control; t1; t2 } ->
+        if bits.(control) then begin
+          let tmp = bits.(t1) in
+          bits.(t1) <- bits.(t2);
+          bits.(t2) <- tmp
+        end
+      | Gate.Mct { controls; target } ->
+        if List.for_all (fun c -> bits.(c)) controls then
+          bits.(target) <- not bits.(target)
+      | Gate.Mcf { controls; t1; t2 } ->
+        if List.for_all (fun c -> bits.(c)) controls then begin
+          let tmp = bits.(t1) in
+          bits.(t1) <- bits.(t2);
+          bits.(t2) <- tmp
+        end)
+    circ;
+  bits
+
+(* --- gf2 multiplier --- *)
+
+let test_gf2_structure () =
+  let n = 16 in
+  let c = Gf2_mult.circuit ~n () in
+  Alcotest.(check int) "3n qubits" (3 * n) (Circuit.num_qubits c);
+  let k = Circuit.counts c in
+  Alcotest.(check int) "n^2 toffolis" (n * n) k.Circuit.toffolis;
+  Alcotest.(check int) "toffoli count helper" (Gf2_mult.toffoli_count ~n ())
+    k.Circuit.toffolis
+
+let test_gf2_paper_op_counts () =
+  (* gf2^256mult: 256² × 15 = 983,040 FT ops ≈ the paper's 983,805;
+     768 qubits exactly *)
+  let c = Gf2_mult.circuit ~n:256 () in
+  let ft = Leqa_circuit.Decompose.to_ft c in
+  Alcotest.(check int) "qubits" 768 (Ft_circuit.num_qubits ft);
+  Alcotest.(check int) "FT ops" 983_040 (Ft_circuit.num_gates ft)
+
+let test_gf2_fold_multiplies () =
+  (* functional check in GF(2)[x]/(x^n+1): c = a(x)·b(x) mod (x^n+1) *)
+  let n = 5 in
+  let c = Gf2_mult.circuit ~n () in
+  let cases = [ (1, 1); (3, 5); (31, 31); (0, 7); (9, 12) ] in
+  List.iter
+    (fun (a, b) ->
+      let input = Array.make (3 * n) false in
+      for i = 0 to n - 1 do
+        input.(i) <- a land (1 lsl i) <> 0;
+        input.(n + i) <- b land (1 lsl i) <> 0
+      done;
+      let output = run_classical c input in
+      (* expected product mod x^n+1 *)
+      let expected = Array.make n false in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          if a land (1 lsl i) <> 0 && b land (1 lsl j) <> 0 then begin
+            let t = (i + j) mod n in
+            expected.(t) <- not expected.(t)
+          end
+        done
+      done;
+      for t = 0 to n - 1 do
+        Alcotest.(check bool)
+          (Printf.sprintf "a=%d b=%d bit %d" a b t)
+          expected.(t)
+          output.((2 * n) + t)
+      done;
+      (* inputs preserved (reversible) *)
+      for i = 0 to (2 * n) - 1 do
+        Alcotest.(check bool) "inputs untouched" input.(i) output.(i)
+      done)
+    cases
+
+let test_gf2_polynomial_reduction () =
+  let n = 16 in
+  let fold = Gf2_mult.toffoli_count ~n () in
+  let poly = Gf2_mult.toffoli_count ~reduction:`Polynomial ~n () in
+  Alcotest.(check bool) "polynomial costs more" true (poly > fold);
+  let c = Gf2_mult.circuit ~reduction:`Polynomial ~n () in
+  Alcotest.(check int) "count matches" poly (Circuit.counts c).Circuit.toffolis
+
+let test_gf2_taps () =
+  Alcotest.(check (list int)) "tabulated n=16" [ 0; 5; 3; 1 ]
+    (Gf2_mult.reduction_taps ~n:16);
+  Alcotest.(check (list int)) "fallback" [ 0; 1 ] (Gf2_mult.reduction_taps ~n:23)
+
+let test_gf2_invalid () =
+  Alcotest.check_raises "n=1" (Invalid_argument "Gf2_mult.circuit: n must be >= 2")
+    (fun () -> ignore (Gf2_mult.circuit ~n:1 ()))
+
+(* --- adders --- *)
+
+let test_adder_adds () =
+  let n = 6 in
+  let circ = Adder.ripple_carry ~n in
+  List.iter
+    (fun (a, b) ->
+      let input = Array.make ((3 * n) + 1) false in
+      for i = 0 to n - 1 do
+        input.(n + i) <- a land (1 lsl i) <> 0;
+        input.((2 * n) + i) <- b land (1 lsl i) <> 0
+      done;
+      let output = run_classical circ input in
+      let sum = a + b in
+      for i = 0 to n do
+        Alcotest.(check bool)
+          (Printf.sprintf "%d+%d bit %d" a b i)
+          (sum land (1 lsl i) <> 0)
+          output.((2 * n) + i)
+      done;
+      (* carries restored to zero *)
+      for i = 0 to n - 1 do
+        Alcotest.(check bool) "carry clean" false output.(i)
+      done;
+      (* a unchanged *)
+      for i = 0 to n - 1 do
+        Alcotest.(check bool) "a preserved" (a land (1 lsl i) <> 0) output.(n + i)
+      done)
+    [ (0, 0); (1, 1); (63, 1); (21, 42); (63, 63); (32, 31) ]
+
+let test_adder_structure () =
+  let n = 8 in
+  let circ = Adder.ripple_carry ~n in
+  Alcotest.(check int) "3n+1 qubits" ((3 * n) + 1) (Circuit.num_qubits circ);
+  let k = Circuit.counts circ in
+  Alcotest.(check int) "4n-2 toffolis" ((4 * n) - 2) k.Circuit.toffolis;
+  Alcotest.(check int) "4n cnots" (4 * n) k.Circuit.cnots
+
+let test_carry_blocks_inverse () =
+  let fwd = Adder.carry ~c_in:0 ~a:1 ~b:2 ~c_out:3 in
+  let bwd = Adder.carry_inverse ~c_in:0 ~a:1 ~b:2 ~c_out:3 in
+  let circ = Circuit.of_gates ~num_qubits:4 (fwd @ bwd) in
+  for basis = 0 to 15 do
+    let input = Array.init 4 (fun i -> basis land (1 lsl i) <> 0) in
+    Alcotest.(check (array bool))
+      (Printf.sprintf "identity on %d" basis)
+      input
+      (run_classical circ input)
+  done
+
+let test_modular_adder_shape () =
+  let circ = Adder.modular ~n:20 in
+  Alcotest.(check bool) "has MCT gates" true ((Circuit.counts circ).Circuit.mcts > 0);
+  let ft = Leqa_circuit.Decompose.to_ft circ in
+  (* decomposition adds unshared ancillas -> strictly more wires *)
+  Alcotest.(check bool) "ancillas added" true
+    (Ft_circuit.num_qubits ft > Circuit.num_qubits circ)
+
+(* --- hwb --- *)
+
+let test_hwb_deterministic () =
+  let a = Hwb.circuit ~n:20 () and b = Hwb.circuit ~n:20 () in
+  Alcotest.(check int) "same size" (Circuit.num_gates a) (Circuit.num_gates b);
+  let texts c =
+    let acc = ref [] in
+    Circuit.iter (fun g -> acc := Gate.to_string g :: !acc) c;
+    !acc
+  in
+  Alcotest.(check (list string)) "same gates" (texts a) (texts b)
+
+let test_hwb_scales () =
+  let small = Leqa_circuit.Decompose.to_ft (Hwb.circuit ~n:15 ()) in
+  let large = Leqa_circuit.Decompose.to_ft (Hwb.circuit ~n:50 ()) in
+  Alcotest.(check bool) "ops grow" true
+    (Ft_circuit.num_gates large > 2 * Ft_circuit.num_gates small);
+  Alcotest.(check bool) "ancilla blowup like the published netlists" true
+    (Ft_circuit.num_qubits large > 3 * 50)
+
+let test_hwb_invalid () =
+  Alcotest.check_raises "n<4" (Invalid_argument "Hwb.circuit: n must be >= 4")
+    (fun () -> ignore (Hwb.circuit ~n:3 ()))
+
+(* --- hamming --- *)
+
+let test_ham3_figure2 () =
+  let c = Hamming.ham3 () in
+  Alcotest.(check int) "3 qubits" 3 (Circuit.num_qubits c);
+  let ft = Leqa_circuit.Decompose.to_ft c in
+  Alcotest.(check int) "19 FT ops (Figure 2b)" 19 (Ft_circuit.num_gates ft)
+
+let test_parity_positions () =
+  Alcotest.(check (list int)) "n=15" [ 1; 2; 4; 8 ] (Hamming.parity_positions ~n:15);
+  Alcotest.(check (list int)) "n=3" [ 1; 2 ] (Hamming.parity_positions ~n:3)
+
+let test_ham_n_structure () =
+  let c = Hamming.circuit ~n:15 () in
+  Alcotest.(check bool) "wide correctors present" true
+    ((Circuit.counts c).Circuit.mcts > 0);
+  Alcotest.(check int) "data wires" 15 (Circuit.num_qubits c)
+
+(* --- suite --- *)
+
+let test_suite_roster () =
+  Alcotest.(check int) "18 rows" 18 (List.length Suite.all);
+  let names = List.map (fun e -> e.Suite.name) Suite.all in
+  List.iter
+    (fun expected ->
+      Alcotest.(check bool) expected true (List.mem expected names))
+    [ "8bitadder"; "gf2^256mult"; "hwb200ps"; "ham15"; "mod1048576adder" ]
+
+let test_suite_find () =
+  (match Suite.find "gf2^16mult" with
+  | Some e -> Alcotest.(check int) "parameter" 16 e.Suite.parameter
+  | None -> Alcotest.fail "gf2^16mult missing");
+  Alcotest.(check bool) "unknown" true (Suite.find "nonesuch" = None)
+
+let test_suite_scaling () =
+  let e = Option.get (Suite.find "gf2^256mult") in
+  Alcotest.(check int) "full" 256 (Suite.scaled_parameter e ~scale:1.0);
+  Alcotest.(check int) "quarter" 64 (Suite.scaled_parameter e ~scale:0.25);
+  Alcotest.(check int) "floors at minimum" 2
+    (Suite.scaled_parameter e ~scale:0.0001)
+
+let test_suite_all_buildable_small () =
+  List.iter
+    (fun e ->
+      let circ = Suite.build_scaled e ~scale:0.25 in
+      let ft = Suite.ft_of circ in
+      Alcotest.(check bool)
+        (e.Suite.name ^ " non-empty")
+        true
+        (Ft_circuit.num_gates ft > 0))
+    Suite.all
+
+let suite =
+  [
+    Alcotest.test_case "gf2: structure" `Quick test_gf2_structure;
+    Alcotest.test_case "gf2: paper-matching op counts" `Slow test_gf2_paper_op_counts;
+    Alcotest.test_case "gf2: multiplies correctly" `Quick test_gf2_fold_multiplies;
+    Alcotest.test_case "gf2: polynomial reduction" `Quick test_gf2_polynomial_reduction;
+    Alcotest.test_case "gf2: reduction taps" `Quick test_gf2_taps;
+    Alcotest.test_case "gf2: input validation" `Quick test_gf2_invalid;
+    Alcotest.test_case "adder: adds correctly" `Quick test_adder_adds;
+    Alcotest.test_case "adder: VBE structure" `Quick test_adder_structure;
+    Alcotest.test_case "adder: carry inverse" `Quick test_carry_blocks_inverse;
+    Alcotest.test_case "modular adder shape" `Quick test_modular_adder_shape;
+    Alcotest.test_case "hwb: deterministic" `Quick test_hwb_deterministic;
+    Alcotest.test_case "hwb: scaling" `Quick test_hwb_scales;
+    Alcotest.test_case "hwb: input validation" `Quick test_hwb_invalid;
+    Alcotest.test_case "ham3 matches Figure 2" `Quick test_ham3_figure2;
+    Alcotest.test_case "hamming parity positions" `Quick test_parity_positions;
+    Alcotest.test_case "hamN structure" `Quick test_ham_n_structure;
+    Alcotest.test_case "suite roster" `Quick test_suite_roster;
+    Alcotest.test_case "suite lookup" `Quick test_suite_find;
+    Alcotest.test_case "suite scaling" `Quick test_suite_scaling;
+    Alcotest.test_case "suite builds at scale 0.25" `Slow test_suite_all_buildable_small;
+  ]

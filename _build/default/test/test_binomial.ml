@@ -1,0 +1,83 @@
+open Leqa_util
+
+let feq eps = Alcotest.(check (float eps))
+
+let test_choose_small () =
+  feq 1e-9 "C(5,2)" 10.0 (Binomial.choose 5 2);
+  feq 1e-9 "C(10,0)" 1.0 (Binomial.choose 10 0);
+  feq 1e-9 "C(10,10)" 1.0 (Binomial.choose 10 10);
+  feq 1e-6 "C(20,10)" 184756.0 (Binomial.choose 20 10)
+
+let test_choose_out_of_range () =
+  feq 1e-9 "C(5,6)" 0.0 (Binomial.choose 5 6);
+  feq 1e-9 "C(5,-1)" 0.0 (Binomial.choose 5 (-1))
+
+let test_log_choose_large () =
+  (* C(768,20): compare against the exact product formula in log space *)
+  let exact = ref 0.0 in
+  for k = 1 to 20 do
+    exact := !exact +. log (float_of_int (768 - k + 1) /. float_of_int k)
+  done;
+  feq 1e-6 "log C(768,20)" !exact (Binomial.log_choose 768 20)
+
+let test_coefficients_recurrence () =
+  (* Eq (18) against direct evaluation *)
+  let coefficients = Binomial.coefficients_upto ~n:30 ~kmax:10 in
+  Array.iteri
+    (fun k c -> feq 1e-6 (Printf.sprintf "C(30,%d)" k) (Binomial.choose 30 k) c)
+    coefficients
+
+let test_coefficients_k_beyond_n () =
+  let coefficients = Binomial.coefficients_upto ~n:3 ~kmax:5 in
+  feq 1e-9 "C(3,4)=0" 0.0 coefficients.(4);
+  feq 1e-9 "C(3,5)=0" 0.0 coefficients.(5)
+
+let test_pmf_sums_to_one () =
+  List.iter
+    (fun (n, p) ->
+      let total = ref 0.0 in
+      for k = 0 to n do
+        total := !total +. Binomial.pmf ~n ~k ~p
+      done;
+      feq 1e-9 (Printf.sprintf "sum n=%d p=%.2f" n p) 1.0 !total)
+    [ (10, 0.3); (50, 0.05); (100, 0.9); (7, 0.5) ]
+
+let test_pmf_boundary_p () =
+  feq 1e-12 "p=0, k=0" 1.0 (Binomial.pmf ~n:10 ~k:0 ~p:0.0);
+  feq 1e-12 "p=0, k=1" 0.0 (Binomial.pmf ~n:10 ~k:1 ~p:0.0);
+  feq 1e-12 "p=1, k=n" 1.0 (Binomial.pmf ~n:10 ~k:10 ~p:1.0);
+  feq 1e-12 "p=1, k<n" 0.0 (Binomial.pmf ~n:10 ~k:9 ~p:1.0)
+
+let test_pmf_mean () =
+  (* E[k] = n p *)
+  let n = 60 and p = 0.25 in
+  let mean = ref 0.0 in
+  for k = 0 to n do
+    mean := !mean +. (float_of_int k *. Binomial.pmf ~n ~k ~p)
+  done;
+  feq 1e-9 "mean np" (float_of_int n *. p) !mean
+
+let test_pmf_invalid_p () =
+  Alcotest.check_raises "p > 1"
+    (Invalid_argument "Binomial.log_pmf: p out of range") (fun () ->
+      ignore (Binomial.pmf ~n:5 ~k:2 ~p:1.5))
+
+let test_huge_n_no_overflow () =
+  (* the Table 2 regime: Q = 3145 qubits *)
+  let v = Binomial.pmf ~n:3145 ~k:20 ~p:0.01 in
+  Alcotest.(check bool) "finite" true (Float.is_finite v);
+  Alcotest.(check bool) "positive" true (v > 0.0)
+
+let suite =
+  [
+    Alcotest.test_case "small exact values" `Quick test_choose_small;
+    Alcotest.test_case "out-of-range k" `Quick test_choose_out_of_range;
+    Alcotest.test_case "log_choose at Q=768" `Quick test_log_choose_large;
+    Alcotest.test_case "Eq-18 recurrence" `Quick test_coefficients_recurrence;
+    Alcotest.test_case "recurrence with k>n" `Quick test_coefficients_k_beyond_n;
+    Alcotest.test_case "pmf sums to 1" `Quick test_pmf_sums_to_one;
+    Alcotest.test_case "pmf at p boundaries" `Quick test_pmf_boundary_p;
+    Alcotest.test_case "pmf mean = np" `Quick test_pmf_mean;
+    Alcotest.test_case "pmf rejects bad p" `Quick test_pmf_invalid_p;
+    Alcotest.test_case "no overflow at Q=3145" `Quick test_huge_n_no_overflow;
+  ]

@@ -1,0 +1,158 @@
+open Leqa_circuit
+
+let gate_list = Alcotest.testable Gate.pp ( = )
+
+let test_gate_qubits () =
+  Alcotest.(check (list int)) "single" [ 3 ] (Gate.qubits (Gate.Single (Gate.H, 3)));
+  Alcotest.(check (list int)) "cnot" [ 0; 1 ]
+    (Gate.qubits (Gate.Cnot { control = 0; target = 1 }));
+  Alcotest.(check (list int)) "mct" [ 1; 2; 3; 0 ]
+    (Gate.qubits (Gate.Mct { controls = [ 1; 2; 3 ]; target = 0 }))
+
+let test_gate_validate () =
+  let ok g = Alcotest.(check bool) "valid" true (Gate.validate g = Ok ()) in
+  ok (Gate.Cnot { control = 0; target = 1 });
+  ok (Gate.Toffoli { c1 = 0; c2 = 1; target = 2 });
+  let bad g = Alcotest.(check bool) "invalid" true (Result.is_error (Gate.validate g)) in
+  bad (Gate.Cnot { control = 2; target = 2 });
+  bad (Gate.Toffoli { c1 = 0; c2 = 0; target = 1 });
+  bad (Gate.Single (Gate.T, -1));
+  bad (Gate.Mct { controls = [ 0; 1 ]; target = 2 });
+  bad (Gate.Mcf { controls = [ 0 ]; t1 = 1; t2 = 2 })
+
+let test_gate_two_qubit () =
+  Alcotest.(check bool) "cnot" true
+    (Gate.is_two_qubit (Gate.Cnot { control = 0; target = 1 }));
+  Alcotest.(check bool) "toffoli" false
+    (Gate.is_two_qubit (Gate.Toffoli { c1 = 0; c2 = 1; target = 2 }));
+  Alcotest.(check bool) "single" false (Gate.is_two_qubit (Gate.Single (Gate.H, 0)))
+
+let test_circuit_grows_wires () =
+  let c = Circuit.create () in
+  Circuit.add c (Gate.Cnot { control = 0; target = 9 });
+  Alcotest.(check int) "wires" 10 (Circuit.num_qubits c);
+  Circuit.add c (Gate.Single (Gate.H, 2));
+  Alcotest.(check int) "no shrink" 10 (Circuit.num_qubits c)
+
+let test_circuit_order () =
+  let gates =
+    Gate.
+      [
+        Single (H, 0);
+        Cnot { control = 0; target = 1 };
+        Toffoli { c1 = 0; c2 = 1; target = 2 };
+      ]
+  in
+  let c = Circuit.of_gates gates in
+  Alcotest.(check int) "count" 3 (Circuit.num_gates c);
+  List.iteri
+    (fun i g -> Alcotest.check gate_list "order" g (Circuit.gate c i))
+    gates
+
+let test_circuit_rejects_invalid () =
+  let c = Circuit.create () in
+  Alcotest.check_raises "self-loop CNOT"
+    (Invalid_argument "Circuit.add: duplicate operand wire") (fun () ->
+      Circuit.add c (Gate.Cnot { control = 1; target = 1 }))
+
+let test_counts () =
+  let c =
+    Circuit.of_gates
+      Gate.
+        [
+          Single (T, 0);
+          Single (H, 1);
+          Cnot { control = 0; target = 1 };
+          Toffoli { c1 = 0; c2 = 1; target = 2 };
+          Fredkin { control = 0; t1 = 1; t2 = 2 };
+          Mct { controls = [ 0; 1; 2 ]; target = 3 };
+        ]
+  in
+  let k = Circuit.counts c in
+  Alcotest.(check int) "singles" 2 k.Circuit.singles;
+  Alcotest.(check int) "cnots" 1 k.Circuit.cnots;
+  Alcotest.(check int) "toffolis" 1 k.Circuit.toffolis;
+  Alcotest.(check int) "fredkins" 1 k.Circuit.fredkins;
+  Alcotest.(check int) "mcts" 1 k.Circuit.mcts
+
+let test_two_qubit_pairs () =
+  let c =
+    Circuit.of_gates
+      Gate.
+        [
+          Cnot { control = 0; target = 1 };
+          Single (H, 2);
+          Cnot { control = 2; target = 0 };
+        ]
+  in
+  Alcotest.(check (list (pair int int))) "pairs in order"
+    [ (0, 1); (2, 0) ]
+    (Circuit.two_qubit_pairs c)
+
+let test_gate_index_bounds () =
+  let c = Circuit.of_gates [ Gate.Single (Gate.H, 0) ] in
+  Alcotest.check_raises "index" (Invalid_argument "Circuit.gate: index out of range")
+    (fun () -> ignore (Circuit.gate c 1))
+
+let test_ft_gate_roundtrip () =
+  let open Ft_gate in
+  List.iter
+    (fun g ->
+      match of_gate (to_gate g) with
+      | Some g' -> Alcotest.(check bool) "roundtrip" true (g = g')
+      | None -> Alcotest.fail "FT gate lost in roundtrip")
+    [ Single (H, 0); Single (Tdg, 4); Cnot { control = 1; target = 2 } ];
+  Alcotest.(check bool) "toffoli is not FT" true
+    (of_gate (Gate.Toffoli { c1 = 0; c2 = 1; target = 2 }) = None)
+
+let test_ft_kind_index () =
+  let kinds = Ft_gate.all_single_kinds in
+  Alcotest.(check int) "eight kinds" 8 (List.length kinds);
+  List.iteri
+    (fun i k -> Alcotest.(check int) "index" i (Ft_gate.single_kind_index k))
+    kinds
+
+let test_ft_circuit_stats () =
+  let circ =
+    Ft_circuit.of_gates
+      Ft_gate.
+        [
+          Single (T, 0);
+          Single (T, 1);
+          Single (H, 0);
+          Cnot { control = 0; target = 1 };
+        ]
+  in
+  let s = Ft_circuit.stats circ in
+  Alcotest.(check int) "gates" 4 s.Ft_circuit.num_gates;
+  Alcotest.(check int) "cnots" 1 s.Ft_circuit.cnot_count;
+  Alcotest.(check int) "T count" 2
+    s.Ft_circuit.single_counts.(Ft_gate.single_kind_index Ft_gate.T);
+  Alcotest.(check int) "H count" 1
+    s.Ft_circuit.single_counts.(Ft_gate.single_kind_index Ft_gate.H)
+
+let test_ft_of_circuit () =
+  let good = Circuit.of_gates Gate.[ Single (H, 0); Cnot { control = 0; target = 1 } ] in
+  (match Ft_circuit.of_circuit good with
+  | Ok ft -> Alcotest.(check int) "converted" 2 (Ft_circuit.num_gates ft)
+  | Error e -> Alcotest.fail e);
+  let bad = Circuit.of_gates Gate.[ Toffoli { c1 = 0; c2 = 1; target = 2 } ] in
+  Alcotest.(check bool) "toffoli rejected" true
+    (Result.is_error (Ft_circuit.of_circuit bad))
+
+let suite =
+  [
+    Alcotest.test_case "gate operand lists" `Quick test_gate_qubits;
+    Alcotest.test_case "gate validation" `Quick test_gate_validate;
+    Alcotest.test_case "two-qubit discrimination" `Quick test_gate_two_qubit;
+    Alcotest.test_case "circuit wire growth" `Quick test_circuit_grows_wires;
+    Alcotest.test_case "gate order preserved" `Quick test_circuit_order;
+    Alcotest.test_case "invalid gate rejected" `Quick test_circuit_rejects_invalid;
+    Alcotest.test_case "per-kind counts" `Quick test_counts;
+    Alcotest.test_case "two-qubit pair extraction" `Quick test_two_qubit_pairs;
+    Alcotest.test_case "gate index bounds" `Quick test_gate_index_bounds;
+    Alcotest.test_case "FT gate embedding" `Quick test_ft_gate_roundtrip;
+    Alcotest.test_case "FT kind indexing" `Quick test_ft_kind_index;
+    Alcotest.test_case "FT circuit stats" `Quick test_ft_circuit_stats;
+    Alcotest.test_case "FT conversion check" `Quick test_ft_of_circuit;
+  ]

@@ -1,0 +1,90 @@
+open Leqa_circuit
+
+let ft gates = Ft_circuit.of_gates gates
+
+let test_append () =
+  let a = ft Ft_gate.[ Single (H, 0) ] in
+  let b = ft Ft_gate.[ Cnot { control = 0; target = 3 } ] in
+  let c = Compose.append a b in
+  Alcotest.(check int) "gates" 2 (Ft_circuit.num_gates c);
+  Alcotest.(check int) "wires" 4 (Ft_circuit.num_qubits c)
+
+let test_repeat () =
+  let a = ft Ft_gate.[ Single (T, 0); Single (H, 1) ] in
+  let r = Compose.repeat ~times:3 a in
+  Alcotest.(check int) "3x gates" 6 (Ft_circuit.num_gates r);
+  let zero = Compose.repeat ~times:0 a in
+  Alcotest.(check int) "0x is empty" 0 (Ft_circuit.num_gates zero);
+  Alcotest.(check int) "0x keeps wires" 2 (Ft_circuit.num_qubits zero);
+  Alcotest.check_raises "negative" (Invalid_argument "Compose.repeat: negative times")
+    (fun () -> ignore (Compose.repeat ~times:(-1) a))
+
+let test_map_wires () =
+  let a = ft Ft_gate.[ Cnot { control = 0; target = 1 } ] in
+  let shifted = Compose.map_wires ~f:(fun q -> q + 5) a in
+  (match Ft_circuit.gate shifted 0 with
+  | Ft_gate.Cnot { control = 5; target = 6 } -> ()
+  | g -> Alcotest.failf "unexpected %s" (Ft_gate.to_string g));
+  Alcotest.check_raises "collision"
+    (Invalid_argument "Compose.map_wires: operands collide") (fun () ->
+      ignore (Compose.map_wires ~f:(fun _ -> 0) a));
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Compose.map_wires: negative wire") (fun () ->
+      ignore (Compose.map_wires ~f:(fun q -> q - 1) a))
+
+let test_parallel () =
+  let a = ft Ft_gate.[ Single (H, 0); Single (H, 1) ] in
+  let b = ft Ft_gate.[ Cnot { control = 0; target = 1 } ] in
+  let c = Compose.parallel a b in
+  Alcotest.(check int) "wires" 4 (Ft_circuit.num_qubits c);
+  (match Ft_circuit.gate c 2 with
+  | Ft_gate.Cnot { control = 2; target = 3 } -> ()
+  | g -> Alcotest.failf "b not shifted: %s" (Ft_gate.to_string g))
+
+let test_inverse_undoes () =
+  (* C · C⁻¹ ≡ identity, checked as a unitary on random circuits *)
+  let rng = Leqa_util.Rng.create ~seed:41 in
+  for _ = 1 to 10 do
+    let circ =
+      Leqa_benchmarks.Random_circuit.ft ~rng ~qubits:4 ~gates:40
+        ~cnot_fraction:0.4
+    in
+    let sandwich = Compose.append circ (Compose.inverse circ) in
+    let identity = Ft_circuit.create ~num_qubits:4 () in
+    if not (Statevector.equivalent_on_basis ~num_qubits:4 sandwich identity)
+    then Alcotest.fail "C · C^-1 is not the identity"
+  done
+
+let test_invert_gate_involutive () =
+  List.iter
+    (fun g ->
+      Alcotest.(check string) "double inversion"
+        (Ft_gate.to_string g)
+        (Ft_gate.to_string (Compose.invert_gate (Compose.invert_gate g))))
+    Ft_gate.
+      [
+        Single (T, 0); Single (Tdg, 1); Single (S, 2); Single (Sdg, 0);
+        Single (H, 0); Single (X, 0); Cnot { control = 0; target = 1 };
+      ]
+
+let test_parallel_latency_is_max () =
+  (* two disjoint programs in parallel: QSPR latency = the slower one *)
+  let a = ft Ft_gate.[ Single (T, 0); Single (T, 0) ] in
+  let b = ft Ft_gate.[ Single (H, 0) ] in
+  let combined = Compose.parallel a b in
+  let latency circ =
+    (Leqa_qspr.Qspr.run (Leqa_qodg.Qodg.of_ft_circuit circ)).Leqa_qspr.Qspr
+      .latency_us
+  in
+  Alcotest.(check (float 1e-6)) "max rule" (latency a) (latency combined)
+
+let suite =
+  [
+    Alcotest.test_case "append" `Quick test_append;
+    Alcotest.test_case "repeat" `Quick test_repeat;
+    Alcotest.test_case "map_wires" `Quick test_map_wires;
+    Alcotest.test_case "parallel" `Quick test_parallel;
+    Alcotest.test_case "inverse undoes" `Quick test_inverse_undoes;
+    Alcotest.test_case "invert_gate involutive" `Quick test_invert_gate_involutive;
+    Alcotest.test_case "parallel latency = max" `Quick test_parallel_latency_is_max;
+  ]

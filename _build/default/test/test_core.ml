@@ -1,0 +1,381 @@
+open Leqa_core
+module Iig = Leqa_iig.Iig
+module Params = Leqa_fabric.Params
+module Ft_gate = Leqa_circuit.Ft_gate
+module Ft_circuit = Leqa_circuit.Ft_circuit
+module Qodg = Leqa_qodg.Qodg
+
+let feq eps = Alcotest.(check (float eps))
+
+(* --- Presence zones --- *)
+
+let test_zone_area_eq6 () =
+  (* B_i = M_i + 1 *)
+  List.iter
+    (fun m -> feq 1e-9 (Printf.sprintf "m=%d" m) (float_of_int (m + 1))
+        (Presence_zone.area ~m))
+    [ 0; 1; 5; 100 ];
+  feq 1e-9 "side" (sqrt 6.0) (Presence_zone.side ~m:5)
+
+let test_zone_area_negative () =
+  Alcotest.check_raises "m<0" (Invalid_argument "Presence_zone.area: negative degree")
+    (fun () -> ignore (Presence_zone.area ~m:(-1)))
+
+let iig_of gates = Iig.of_ft_circuit (Ft_circuit.of_gates gates)
+
+let test_average_area_eq7 () =
+  (* 0-1 interact twice, 0-2 once: M_0=2,B_0=3,w_0=3; M_1=1,B_1=2,w_1=2;
+     M_2=1,B_2=2,w_2=1.  B = (3*3 + 2*2 + 1*2)/(3+2+1) = 15/6 = 2.5 *)
+  let iig =
+    iig_of
+      Ft_gate.
+        [
+          Cnot { control = 0; target = 1 };
+          Cnot { control = 1; target = 0 };
+          Cnot { control = 0; target = 2 };
+        ]
+  in
+  feq 1e-9 "Eq 7" 2.5 (Presence_zone.average_area iig)
+
+let test_average_area_no_cnots () =
+  let iig = iig_of Ft_gate.[ Single (H, 0); Single (T, 1) ] in
+  feq 1e-9 "fallback" 1.0 (Presence_zone.average_area iig)
+
+let test_per_qubit_areas () =
+  let iig = iig_of Ft_gate.[ Cnot { control = 0; target = 1 } ] in
+  let areas = Presence_zone.per_qubit_areas iig in
+  Alcotest.(check int) "length" 2 (Array.length areas);
+  feq 1e-9 "B_0" 2.0 areas.(0)
+
+(* --- Coverage --- *)
+
+let test_zone_side_clamped () =
+  Alcotest.(check int) "ceil sqrt" 4 (Coverage.zone_side ~avg_area:10.0 ~width:60 ~height:60);
+  Alcotest.(check int) "exact square" 3 (Coverage.zone_side ~avg_area:9.0 ~width:60 ~height:60);
+  Alcotest.(check int) "clamped to fabric" 5
+    (Coverage.zone_side ~avg_area:100.0 ~width:5 ~height:8)
+
+let test_pxy_eq5_interior_vs_corner () =
+  (* a 2x2 zone on a 4x4 fabric: denominator (4-2+1)^2 = 9.
+     corner (1,1): min(1,4,2,3)=1 in both axes -> 1/9.
+     centre (2,2): min(2,3,2,3)=2 both -> 4/9. *)
+  let p_corner =
+    Coverage.coverage_probability ~topology:Leqa_fabric.Params.Grid ~avg_area:4.0 ~width:4 ~height:4 ~x:1 ~y:1
+  in
+  let p_centre =
+    Coverage.coverage_probability ~topology:Leqa_fabric.Params.Grid ~avg_area:4.0 ~width:4 ~height:4 ~x:2 ~y:2
+  in
+  feq 1e-9 "corner" (1.0 /. 9.0) p_corner;
+  feq 1e-9 "centre" (4.0 /. 9.0) p_centre
+
+let test_pxy_symmetry () =
+  let p x y =
+    Coverage.coverage_probability ~topology:Leqa_fabric.Params.Grid ~avg_area:9.0 ~width:10 ~height:10 ~x ~y
+  in
+  feq 1e-12 "x mirror" (p 2 5) (p 9 5);
+  feq 1e-12 "y mirror" (p 5 2) (p 5 9);
+  feq 1e-12 "transpose" (p 3 7) (p 7 3)
+
+let test_pxy_in_unit_range () =
+  let grid = Coverage.probability_grid ~topology:Leqa_fabric.Params.Grid ~avg_area:25.0 ~width:12 ~height:9 in
+  Array.iter
+    (fun p ->
+      if p <= 0.0 || p > 1.0 then Alcotest.failf "P out of (0,1]: %f" p)
+    grid
+
+let test_pxy_grid_sums_to_zone_area_expectation () =
+  (* Σ_{x,y} P_{x,y} = expected covered area of one zone = s² exactly,
+     since every anchor covers s² cells *)
+  let width = 10 and height = 8 and avg_area = 9.0 in
+  let s = Coverage.zone_side ~avg_area ~width ~height in
+  let grid = Coverage.probability_grid ~topology:Leqa_fabric.Params.Grid ~avg_area ~width ~height in
+  let total = Array.fold_left ( +. ) 0.0 grid in
+  feq 1e-9 "sum = s^2" (float_of_int (s * s)) total
+
+let test_eq3_constraint () =
+  (* Σ_{q=0}^{Q} E(S_q) = A (Eq 3), with the untruncated series *)
+  let width = 12 and height = 12 and qubits = 7 and avg_area = 6.0 in
+  let surfaces =
+    Coverage.expected_surfaces ~topology:Leqa_fabric.Params.Grid ~avg_area ~width ~height ~qubits ~terms:qubits
+  in
+  let s0 = Coverage.expected_uncovered ~topology:Leqa_fabric.Params.Grid ~avg_area ~width ~height ~qubits in
+  let total = s0 +. Array.fold_left ( +. ) 0.0 surfaces in
+  feq 1e-6 "sums to A" (float_of_int (width * height)) total
+
+let test_expected_surfaces_truncation_prefix () =
+  (* truncation only cuts the tail: shared prefix must agree *)
+  let args = (10.0, 20, 20, 50) in
+  let avg_area, width, height, qubits = args in
+  let full =
+    Coverage.expected_surfaces ~topology:Leqa_fabric.Params.Grid ~avg_area ~width ~height ~qubits ~terms:qubits
+  in
+  let truncated =
+    Coverage.expected_surfaces ~topology:Leqa_fabric.Params.Grid ~avg_area ~width ~height ~qubits ~terms:5
+  in
+  Alcotest.(check int) "5 terms" 5 (Array.length truncated);
+  Array.iteri (fun i v -> feq 1e-9 "prefix" full.(i) v) truncated
+
+let test_expected_surfaces_single_qubit () =
+  (* one qubit: E(S_1) = covered area of its zone = s² *)
+  let surfaces =
+    Coverage.expected_surfaces ~topology:Leqa_fabric.Params.Grid ~avg_area:4.0 ~width:6 ~height:6 ~qubits:1
+      ~terms:20
+  in
+  Alcotest.(check int) "one term" 1 (Array.length surfaces);
+  feq 1e-9 "S_1 = 4" 4.0 surfaces.(0)
+
+(* --- Routing latency --- *)
+
+let test_eq15_hamiltonian () =
+  (* m=3: B=4, side=2, E = 2 * (0.713*2 + 0.641) * 2/3 *)
+  let expected = 2.0 *. ((0.713 *. 2.0) +. 0.641) *. (2.0 /. 3.0) in
+  feq 1e-9 "m=3" expected (Routing_latency.expected_hamiltonian_length ~m:3);
+  feq 1e-9 "m=1 collapses" 0.0 (Routing_latency.expected_hamiltonian_length ~m:1);
+  feq 1e-9 "m=0 empty" 0.0 (Routing_latency.expected_hamiltonian_length ~m:0)
+
+let test_eq16_d_uncongested () =
+  let m = 3 and v = 0.001 in
+  let expected =
+    Routing_latency.expected_hamiltonian_length ~m /. (v *. 3.0)
+  in
+  feq 1e-6 "Eq 16" expected (Routing_latency.d_uncongested_for ~m ~v);
+  feq 1e-9 "m=0 guard" 0.0 (Routing_latency.d_uncongested_for ~m:0 ~v);
+  Alcotest.check_raises "v=0" (Invalid_argument "Routing_latency: v must be positive")
+    (fun () -> ignore (Routing_latency.d_uncongested_for ~m:1 ~v:0.0))
+
+let test_eq12_weighted_average () =
+  (* symmetric pair: both qubits have m=1 -> d=0; add a hub to vary it *)
+  let iig =
+    iig_of
+      Ft_gate.
+        [
+          Cnot { control = 0; target = 1 };
+          Cnot { control = 0; target = 2 };
+          Cnot { control = 0; target = 3 };
+        ]
+  in
+  let v = 0.001 in
+  let d_hub = Routing_latency.d_uncongested_for ~m:3 ~v in
+  (* qubit 0: w=3, d=d_hub; qubits 1-3: w=1 each, d=0 (m=1) *)
+  let expected = 3.0 *. d_hub /. 6.0 in
+  feq 1e-6 "Eq 12" expected (Routing_latency.d_uncongested ~v iig)
+
+let test_eq12_no_cnots () =
+  let iig = iig_of Ft_gate.[ Single (H, 0) ] in
+  feq 1e-9 "zero" 0.0 (Routing_latency.d_uncongested ~v:0.001 iig)
+
+let test_eq8_delays_array () =
+  let delays = Routing_latency.congested_delays ~d_uncong:500.0 ~nc:5 ~qmax:10 in
+  Alcotest.(check int) "10 entries" 10 (Array.length delays);
+  for q = 1 to 5 do
+    feq 1e-9 (Printf.sprintf "q=%d uncongested" q) 500.0 delays.(q - 1)
+  done;
+  feq 1e-9 "q=6" ((1.0 +. 6.0) *. 500.0 /. 5.0) delays.(5);
+  feq 1e-9 "q=10" ((1.0 +. 10.0) *. 500.0 /. 5.0) delays.(9)
+
+let test_eq2_weighted_latency () =
+  let surfaces = [| 2.0; 1.0; 1.0 |] and delays = [| 10.0; 20.0; 40.0 |] in
+  (* (2*10 + 1*20 + 1*40)/4 = 20 *)
+  feq 1e-9 "Eq 2" 20.0
+    (Routing_latency.l_cnot_avg ~expected_surfaces:surfaces ~delays);
+  feq 1e-9 "empty" 0.0
+    (Routing_latency.l_cnot_avg ~expected_surfaces:[| 0.0 |] ~delays:[| 5.0 |]);
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Routing_latency.l_cnot_avg: length mismatch") (fun () ->
+      ignore
+        (Routing_latency.l_cnot_avg ~expected_surfaces:[| 1.0 |]
+           ~delays:[| 1.0; 2.0 |]))
+
+(* --- Estimator --- *)
+
+let ham3_qodg () =
+  Qodg.of_ft_circuit
+    (Leqa_circuit.Decompose.to_ft (Leqa_benchmarks.Hamming.ham3 ()))
+
+let test_estimator_breakdown_consistency () =
+  let est = Estimator.estimate ~params:Params.default (ham3_qodg ()) in
+  feq 1e-9 "latency_s = latency_us/1e6" (est.Estimator.latency_us /. 1e6)
+    est.Estimator.latency_s;
+  Alcotest.(check int) "qubits" 3 est.Estimator.qubits;
+  Alcotest.(check int) "operations" 19 est.Estimator.operations;
+  (* Eq 1 from counts equals the critical-path formulation *)
+  feq 1e-6 "Eq 1 = critical path"
+    est.Estimator.critical.Leqa_qodg.Critical_path.length
+    est.Estimator.latency_us
+
+let test_estimator_single_op () =
+  (* one-qubit-only program: D = sum over crit path of (d_g + 2 T_move) *)
+  let circ =
+    Ft_circuit.of_gates Ft_gate.[ Single (H, 0); Single (T, 0) ]
+  in
+  let est =
+    Estimator.estimate ~params:Params.default (Qodg.of_ft_circuit circ)
+  in
+  feq 1e-6 "H + T + 2 L_single" (5440.0 +. 10940.0 +. 400.0)
+    est.Estimator.latency_us;
+  feq 1e-9 "no cnots: L_cnot = 0" 0.0 est.Estimator.l_cnot_avg
+
+let test_estimator_empty_circuit () =
+  let est =
+    Estimator.estimate ~params:Params.default
+      (Qodg.of_ft_circuit (Ft_circuit.create ~num_qubits:2 ()))
+  in
+  feq 1e-9 "zero" 0.0 est.Estimator.latency_us
+
+let test_estimator_monotone_in_fabric_size () =
+  (* growing the fabric spreads zones out: latency must not explode, and
+     L_CNOT grows with the fabric only through congestion relief /
+     zone placement — check it stays finite and positive *)
+  let qodg = ham3_qodg () in
+  List.iter
+    (fun side ->
+      let params = Params.with_fabric Params.default ~width:side ~height:side in
+      let est = Estimator.estimate ~params qodg in
+      Alcotest.(check bool)
+        (Printf.sprintf "finite at %d" side)
+        true
+        (Float.is_finite est.Estimator.latency_us && est.Estimator.latency_us > 0.0))
+    [ 2; 5; 10; 60; 200 ]
+
+let test_estimator_qecc_scaling () =
+  (* scaling all delays by k scales the estimate by exactly k (every term
+     of Eq 1 is delay-linear, including 2·T_move and d_uncong via... note
+     d_uncong depends on v only, not delays, so only the T_move part of
+     L_single scales; use a CNOT-free circuit for exactness) *)
+  let circ = Ft_circuit.of_gates Ft_gate.[ Single (H, 0); Single (T, 0) ] in
+  let qodg = Qodg.of_ft_circuit circ in
+  let base = Estimator.estimate ~params:Params.default qodg in
+  let scaled =
+    Estimator.estimate ~params:(Params.scale_qecc Params.default ~factor:3.0) qodg
+  in
+  feq 1e-6 "3x delays -> 3x latency" (3.0 *. base.Estimator.latency_us)
+    scaled.Estimator.latency_us
+
+let test_estimator_truncation_config () =
+  let qodg =
+    Qodg.of_ft_circuit
+      (Leqa_circuit.Decompose.to_ft (Leqa_benchmarks.Gf2_mult.circuit ~n:8 ()))
+  in
+  let est20 = Estimator.estimate ~params:Params.default qodg in
+  Alcotest.(check bool) "default truncates at 20" true
+    (Array.length est20.Estimator.expected_surfaces <= 20);
+  let exact =
+    Estimator.estimate ~config:(Config.exact ~qubits:24) ~params:Params.default
+      qodg
+  in
+  Alcotest.(check int) "exact keeps Q terms" 24
+    (Array.length exact.Estimator.expected_surfaces)
+
+let test_estimator_rejects_bad_config () =
+  Alcotest.(check bool) "config validation" true
+    (Result.is_error (Config.validate { Config.truncation_terms = 0 }));
+  Alcotest.check_raises "estimate with bad config"
+    (Invalid_argument "Estimator.estimate: truncation_terms must be positive")
+    (fun () ->
+      ignore
+        (Estimator.estimate
+           ~config:{ Config.truncation_terms = 0 }
+           ~params:Params.default (ham3_qodg ())))
+
+let test_estimator_tiny_fabric () =
+  (* 1x1 fabric: zone side clamps to 1, all probabilities 1, model stays
+     finite *)
+  let qodg = ham3_qodg () in
+  let params = Params.with_fabric Params.default ~width:1 ~height:1 in
+  let est = Estimator.estimate ~params qodg in
+  Alcotest.(check bool) "finite" true (Float.is_finite est.Estimator.latency_us);
+  Alcotest.(check bool) "positive" true (est.Estimator.latency_us > 0.0)
+
+let test_estimator_more_qubits_than_area () =
+  (* Q > A: every ULB covered by many zones; binomial terms stay in range *)
+  let rng = Leqa_util.Rng.create ~seed:3 in
+  let circ =
+    Leqa_benchmarks.Random_circuit.ft ~rng ~qubits:40 ~gates:300
+      ~cnot_fraction:0.6
+  in
+  let params = Params.with_fabric Params.default ~width:5 ~height:5 in
+  let est = Estimator.estimate ~params (Qodg.of_ft_circuit circ) in
+  Alcotest.(check bool) "finite under crowding" true
+    (Float.is_finite est.Estimator.latency_us && est.Estimator.latency_us > 0.0);
+  Array.iter
+    (fun surface ->
+      Alcotest.(check bool) "E[S_q] within area" true
+        (surface >= 0.0 && surface <= 25.0 +. 1e-6))
+    est.Estimator.expected_surfaces
+
+let test_estimator_single_cnot_pair () =
+  (* the smallest interacting program: M = 1 on both qubits, so Eq 15
+     collapses to 0 routing — D = d_CNOT + L_cnot with L_cnot = 0 *)
+  let circ =
+    Ft_circuit.of_gates [ Ft_gate.Cnot { control = 0; target = 1 } ]
+  in
+  let est = Estimator.estimate ~params:Params.default (Qodg.of_ft_circuit circ) in
+  feq 1e-9 "L_cnot collapses for M=1" 0.0 est.Estimator.l_cnot_avg;
+  feq 1e-6 "D = d_CNOT" 4930.0 est.Estimator.latency_us
+
+let test_contributions_sum_to_latency () =
+  let est = Estimator.estimate ~params:Params.calibrated (ham3_qodg ()) in
+  let rows = Estimator.contributions ~params:Params.calibrated est in
+  let total =
+    List.fold_left
+      (fun acc r -> acc +. r.Estimator.gate_time +. r.Estimator.routing_time)
+      0.0 rows
+  in
+  feq 1e-6 "rows sum to D" est.Estimator.latency_us total;
+  (* sorted descending by contribution, all counts positive *)
+  List.iter
+    (fun r -> Alcotest.(check bool) "count > 0" true (r.Estimator.count > 0))
+    rows;
+  let rec sorted = function
+    | a :: (b :: _ as rest) ->
+      a.Estimator.gate_time +. a.Estimator.routing_time +. 1e-9
+      >= b.Estimator.gate_time +. b.Estimator.routing_time
+      && sorted rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "descending" true (sorted rows)
+
+let test_estimate_circuit_convenience () =
+  let ft = Leqa_circuit.Decompose.to_ft (Leqa_benchmarks.Hamming.ham3 ()) in
+  let a = Estimator.estimate_circuit ~params:Params.default ft in
+  let b = Estimator.estimate ~params:Params.default (Qodg.of_ft_circuit ft) in
+  feq 1e-9 "same result" a.Estimator.latency_us b.Estimator.latency_us
+
+let suite =
+  [
+    Alcotest.test_case "Eq-6 zone area" `Quick test_zone_area_eq6;
+    Alcotest.test_case "zone area rejects m<0" `Quick test_zone_area_negative;
+    Alcotest.test_case "Eq-7 weighted average" `Quick test_average_area_eq7;
+    Alcotest.test_case "Eq-7 fallback (no CNOTs)" `Quick test_average_area_no_cnots;
+    Alcotest.test_case "per-qubit areas" `Quick test_per_qubit_areas;
+    Alcotest.test_case "zone side clamped" `Quick test_zone_side_clamped;
+    Alcotest.test_case "Eq-5 corner vs centre" `Quick test_pxy_eq5_interior_vs_corner;
+    Alcotest.test_case "Eq-5 symmetries" `Quick test_pxy_symmetry;
+    Alcotest.test_case "P in (0,1]" `Quick test_pxy_in_unit_range;
+    Alcotest.test_case "ΣP = zone area" `Quick test_pxy_grid_sums_to_zone_area_expectation;
+    Alcotest.test_case "Eq-3 constraint" `Quick test_eq3_constraint;
+    Alcotest.test_case "truncation = prefix" `Quick test_expected_surfaces_truncation_prefix;
+    Alcotest.test_case "single-qubit surface" `Quick test_expected_surfaces_single_qubit;
+    Alcotest.test_case "Eq-15 closed form" `Quick test_eq15_hamiltonian;
+    Alcotest.test_case "Eq-16 per-qubit latency" `Quick test_eq16_d_uncongested;
+    Alcotest.test_case "Eq-12 weighted average" `Quick test_eq12_weighted_average;
+    Alcotest.test_case "Eq-12 without CNOTs" `Quick test_eq12_no_cnots;
+    Alcotest.test_case "Eq-8 delay array" `Quick test_eq8_delays_array;
+    Alcotest.test_case "Eq-2 weighted latency" `Quick test_eq2_weighted_latency;
+    Alcotest.test_case "breakdown consistency" `Quick test_estimator_breakdown_consistency;
+    Alcotest.test_case "one-qubit-only program" `Quick test_estimator_single_op;
+    Alcotest.test_case "empty circuit" `Quick test_estimator_empty_circuit;
+    Alcotest.test_case "fabric-size sweep stays sane" `Quick
+      test_estimator_monotone_in_fabric_size;
+    Alcotest.test_case "QECC delay linearity" `Quick test_estimator_qecc_scaling;
+    Alcotest.test_case "truncation config" `Quick test_estimator_truncation_config;
+    Alcotest.test_case "config validation" `Quick test_estimator_rejects_bad_config;
+    Alcotest.test_case "tiny fabric robustness" `Quick test_estimator_tiny_fabric;
+    Alcotest.test_case "crowded fabric robustness" `Quick
+      test_estimator_more_qubits_than_area;
+    Alcotest.test_case "single-CNOT collapse (M=1)" `Quick
+      test_estimator_single_cnot_pair;
+    Alcotest.test_case "contributions breakdown" `Quick
+      test_contributions_sum_to_latency;
+    Alcotest.test_case "estimate_circuit" `Quick test_estimate_circuit_convenience;
+  ]

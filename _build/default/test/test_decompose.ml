@@ -1,0 +1,279 @@
+open Leqa_circuit
+
+(* Pauli-level functional simulation over computational basis states:
+   enough to verify that decompositions preserve the classical (reversible)
+   action of X/CNOT/Toffoli-style gates on every basis input.  One-qubit
+   non-classical FT gates come in compensating pairs inside the Toffoli
+   network, so checking the classical action of the network as a whole
+   requires full state-vector simulation — done in [test_toffoli_network]
+   with a small dense simulator. *)
+
+module Statevector = struct
+  type t = { n : int; re : float array; im : float array }
+
+  let create n basis =
+    let dim = 1 lsl n in
+    let re = Array.make dim 0.0 and im = Array.make dim 0.0 in
+    re.(basis) <- 1.0;
+    { n; re; im }
+
+  let apply_single state kind q =
+    let dim = Array.length state.re in
+    let bit = 1 lsl q in
+    let isq2 = 1.0 /. sqrt 2.0 in
+    for i = 0 to dim - 1 do
+      if i land bit = 0 then begin
+        let j = i lor bit in
+        let re0 = state.re.(i) and im0 = state.im.(i) in
+        let re1 = state.re.(j) and im1 = state.im.(j) in
+        match kind with
+        | Gate.X ->
+          state.re.(i) <- re1;
+          state.im.(i) <- im1;
+          state.re.(j) <- re0;
+          state.im.(j) <- im0
+        | Gate.Y ->
+          (* Y|0> = i|1>, Y|1> = -i|0> *)
+          state.re.(i) <- im1;
+          state.im.(i) <- -.re1;
+          state.re.(j) <- -.im0;
+          state.im.(j) <- re0
+        | Gate.Z ->
+          state.re.(j) <- -.re1;
+          state.im.(j) <- -.im1
+        | Gate.H ->
+          state.re.(i) <- isq2 *. (re0 +. re1);
+          state.im.(i) <- isq2 *. (im0 +. im1);
+          state.re.(j) <- isq2 *. (re0 -. re1);
+          state.im.(j) <- isq2 *. (im0 -. im1)
+        | Gate.S ->
+          state.re.(j) <- -.im1;
+          state.im.(j) <- re1
+        | Gate.Sdg ->
+          state.re.(j) <- im1;
+          state.im.(j) <- -.re1
+        | Gate.T ->
+          let c = cos (Float.pi /. 4.0) and s = sin (Float.pi /. 4.0) in
+          state.re.(j) <- (c *. re1) -. (s *. im1);
+          state.im.(j) <- (s *. re1) +. (c *. im1)
+        | Gate.Tdg ->
+          let c = cos (Float.pi /. 4.0) and s = -.sin (Float.pi /. 4.0) in
+          state.re.(j) <- (c *. re1) -. (s *. im1);
+          state.im.(j) <- (s *. re1) +. (c *. im1)
+      end
+    done
+
+  let apply_cnot state ~control ~target =
+    let dim = Array.length state.re in
+    let cbit = 1 lsl control and tbit = 1 lsl target in
+    for i = 0 to dim - 1 do
+      if i land cbit <> 0 && i land tbit = 0 then begin
+        let j = i lor tbit in
+        let re = state.re.(i) and im = state.im.(i) in
+        state.re.(i) <- state.re.(j);
+        state.im.(i) <- state.im.(j);
+        state.re.(j) <- re;
+        state.im.(j) <- im
+      end
+    done
+
+  let apply_ft state = function
+    | Ft_gate.Single (k, q) -> apply_single state k q
+    | Ft_gate.Cnot { control; target } -> apply_cnot state ~control ~target
+
+  let amplitude state basis = (state.re.(basis), state.im.(basis))
+end
+
+let test_toffoli_network () =
+  (* the 15-gate network must act as a Toffoli on all 8 basis states *)
+  for basis = 0 to 7 do
+    let state = Statevector.create 3 basis in
+    List.iter
+      (Statevector.apply_ft state)
+      (Decompose.toffoli_ft_network ~c1:0 ~c2:1 ~target:2);
+    let expected =
+      if basis land 1 <> 0 && basis land 2 <> 0 then basis lxor 4 else basis
+    in
+    let re, im = Statevector.amplitude state expected in
+    let magnitude = sqrt ((re *. re) +. (im *. im)) in
+    if abs_float (magnitude -. 1.0) > 1e-9 then
+      Alcotest.failf "basis %d: |amp(%d)| = %.6f" basis expected magnitude
+  done
+
+let test_toffoli_network_gate_census () =
+  let network = Decompose.toffoli_ft_network ~c1:0 ~c2:1 ~target:2 in
+  Alcotest.(check int) "15 gates" 15 (List.length network);
+  let count p = List.length (List.filter p network) in
+  Alcotest.(check int) "6 CNOT" 6
+    (count (function Ft_gate.Cnot _ -> true | _ -> false));
+  Alcotest.(check int) "2 H" 2
+    (count (function Ft_gate.Single (Gate.H, _) -> true | _ -> false));
+  Alcotest.(check int) "7 T-type" 7
+    (count (function
+      | Ft_gate.Single ((Gate.T | Gate.Tdg), _) -> true
+      | _ -> false))
+
+(* Classical simulation of logical circuits on bit vectors. *)
+let run_classical circ input =
+  let bits = Array.copy input in
+  Circuit.iter
+    (fun g ->
+      match g with
+      | Gate.Single (Gate.X, q) -> bits.(q) <- not bits.(q)
+      | Gate.Single (_, _) -> ()
+      | Gate.Cnot { control; target } ->
+        if bits.(control) then bits.(target) <- not bits.(target)
+      | Gate.Toffoli { c1; c2; target } ->
+        if bits.(c1) && bits.(c2) then bits.(target) <- not bits.(target)
+      | Gate.Fredkin { control; t1; t2 } ->
+        if bits.(control) then begin
+          let tmp = bits.(t1) in
+          bits.(t1) <- bits.(t2);
+          bits.(t2) <- tmp
+        end
+      | Gate.Mct { controls; target } ->
+        if List.for_all (fun c -> bits.(c)) controls then
+          bits.(target) <- not bits.(target)
+      | Gate.Mcf { controls; t1; t2 } ->
+        if List.for_all (fun c -> bits.(c)) controls then begin
+          let tmp = bits.(t1) in
+          bits.(t1) <- bits.(t2);
+          bits.(t2) <- tmp
+        end)
+    circ;
+  bits
+
+let test_fredkin_decomposition () =
+  (* CNOT-Toffoli-CNOT equals a controlled swap on all 8 inputs *)
+  for basis = 0 to 7 do
+    let input = Array.init 3 (fun i -> basis land (1 lsl i) <> 0) in
+    let direct =
+      run_classical
+        (Circuit.of_gates [ Gate.Fredkin { control = 0; t1 = 1; t2 = 2 } ])
+        input
+    in
+    let decomposed =
+      run_classical
+        (Circuit.of_gates (Decompose.fredkin_to_toffoli ~control:0 ~t1:1 ~t2:2))
+        input
+    in
+    Alcotest.(check (array bool)) (Printf.sprintf "basis %d" basis) direct
+      decomposed
+  done
+
+let test_mct_decomposition_semantics () =
+  (* n-controlled NOT with ancillas: check every input over the controls,
+     and that ancillas are returned clean *)
+  List.iter
+    (fun n_controls ->
+      let controls = List.init n_controls (fun i -> i) in
+      let target = n_controls in
+      let next = ref (n_controls + 1) in
+      let fresh_ancilla () =
+        let a = !next in
+        incr next;
+        a
+      in
+      let gates = Decompose.mct_to_toffoli ~controls ~target ~fresh_ancilla in
+      let total_wires = !next in
+      for mask = 0 to (1 lsl n_controls) - 1 do
+        let input = Array.make total_wires false in
+        List.iteri (fun i c -> input.(c) <- mask land (1 lsl i) <> 0) controls;
+        let output = run_classical (Circuit.of_gates gates) input in
+        let all_on = mask = (1 lsl n_controls) - 1 in
+        Alcotest.(check bool)
+          (Printf.sprintf "n=%d mask=%d target" n_controls mask)
+          all_on output.(target);
+        for a = n_controls + 1 to total_wires - 1 do
+          Alcotest.(check bool)
+            (Printf.sprintf "n=%d mask=%d ancilla %d clean" n_controls mask a)
+            false output.(a)
+        done
+      done)
+    [ 3; 4; 5 ]
+
+let test_mct_toffoli_count () =
+  List.iter
+    (fun n ->
+      let controls = List.init n (fun i -> i) in
+      let next = ref (n + 1) in
+      let fresh_ancilla () =
+        let a = !next in
+        incr next;
+        a
+      in
+      let gates =
+        Decompose.mct_to_toffoli ~controls ~target:n ~fresh_ancilla
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "2n-3 toffolis at n=%d" n)
+        ((2 * n) - 3)
+        (List.length gates);
+      Alcotest.(check int)
+        (Printf.sprintf "n-2 ancillas at n=%d" n)
+        (n - 2)
+        (!next - n - 1))
+    [ 3; 4; 6; 10 ]
+
+let test_mct_requires_three () =
+  Alcotest.check_raises "2 controls"
+    (Invalid_argument "Decompose.mct_to_toffoli: needs >= 3 controls")
+    (fun () ->
+      ignore
+        (Decompose.mct_to_toffoli ~controls:[ 0; 1 ] ~target:2
+           ~fresh_ancilla:(fun () -> 3)))
+
+let test_to_ft_overhead_accounting () =
+  let check g =
+    let circ = Circuit.of_gates [ g ] in
+    let ft = Decompose.to_ft circ in
+    Alcotest.(check int)
+      (Gate.to_string g)
+      (Decompose.ft_gate_overhead g)
+      (Ft_circuit.num_gates ft)
+  in
+  check (Gate.Single (Gate.H, 0));
+  check (Gate.Cnot { control = 0; target = 1 });
+  check (Gate.Toffoli { c1 = 0; c2 = 1; target = 2 });
+  check (Gate.Fredkin { control = 0; t1 = 1; t2 = 2 });
+  check (Gate.Mct { controls = [ 0; 1; 2 ]; target = 3 });
+  check (Gate.Mct { controls = [ 0; 1; 2; 3; 4 ]; target = 5 });
+  check (Gate.Mcf { controls = [ 0; 1 ]; t1 = 2; t2 = 3 })
+
+let test_to_ft_no_ancilla_sharing () =
+  (* two 4-controlled MCTs must allocate disjoint ancilla wires (the paper:
+     "no ancillary sharing is performed among the decomposed gates") *)
+  let circ =
+    Circuit.of_gates ~num_qubits:5
+      Gate.
+        [
+          Mct { controls = [ 0; 1; 2; 3 ]; target = 4 };
+          Mct { controls = [ 0; 1; 2; 3 ]; target = 4 };
+        ]
+  in
+  let ft = Decompose.to_ft circ in
+  (* each 4-MCT needs 2 ancillas: 5 original + 4 fresh wires in total *)
+  Alcotest.(check int) "wires" 9 (Leqa_circuit.Ft_circuit.num_qubits ft)
+
+let test_to_ft_preserves_ft_gates () =
+  let circ =
+    Circuit.of_gates
+      Gate.[ Single (Tdg, 0); Cnot { control = 1; target = 0 } ]
+  in
+  let ft = Decompose.to_ft circ in
+  Alcotest.(check int) "unchanged" 2 (Ft_circuit.num_gates ft)
+
+let suite =
+  [
+    Alcotest.test_case "Toffoli network is a Toffoli" `Quick test_toffoli_network;
+    Alcotest.test_case "Toffoli network gate census" `Quick
+      test_toffoli_network_gate_census;
+    Alcotest.test_case "Fredkin decomposition" `Quick test_fredkin_decomposition;
+    Alcotest.test_case "MCT semantics + clean ancillas" `Quick
+      test_mct_decomposition_semantics;
+    Alcotest.test_case "MCT Toffoli/ancilla counts" `Quick test_mct_toffoli_count;
+    Alcotest.test_case "MCT minimum arity" `Quick test_mct_requires_three;
+    Alcotest.test_case "per-gate FT overhead" `Quick test_to_ft_overhead_accounting;
+    Alcotest.test_case "no ancilla sharing" `Quick test_to_ft_no_ancilla_sharing;
+    Alcotest.test_case "FT gates pass through" `Quick test_to_ft_preserves_ft_gates;
+  ]

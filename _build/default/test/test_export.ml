@@ -1,0 +1,65 @@
+open Leqa_qodg
+
+let ham3_qodg () =
+  Qodg.of_ft_circuit
+    (Leqa_circuit.Decompose.to_ft (Leqa_benchmarks.Hamming.ham3 ()))
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec scan i = i + n <= h && (String.sub haystack i n = needle || scan (i + 1)) in
+  scan 0
+
+let count_lines_with ~needle s =
+  List.length
+    (List.filter (contains ~needle) (String.split_on_char '\n' s))
+
+let test_dot_structure () =
+  let qodg = ham3_qodg () in
+  let dot = Export.qodg_to_dot qodg in
+  Alcotest.(check bool) "digraph header" true (contains ~needle:"digraph qodg" dot);
+  Alcotest.(check bool) "start box" true (contains ~needle:"label=\"start\", shape=box" dot);
+  Alcotest.(check bool) "end box" true (contains ~needle:"label=\"end\", shape=box" dot);
+  Alcotest.(check int) "one node line per node" (Qodg.num_nodes qodg)
+    (count_lines_with ~needle:"shape=" dot);
+  Alcotest.(check int) "one edge line per edge" (Qodg.num_edges qodg)
+    (count_lines_with ~needle:" -> " dot)
+
+let test_dot_highlight () =
+  let qodg = ham3_qodg () in
+  let cp =
+    Critical_path.compute qodg
+      ~delay:(Leqa_fabric.Params.gate_delay Leqa_fabric.Params.default)
+  in
+  let dot = Export.qodg_to_dot ~highlight:cp.Critical_path.path qodg in
+  Alcotest.(check bool) "bold nodes present" true
+    (count_lines_with ~needle:"style=bold" dot > 0)
+
+let test_dot_escapes_labels () =
+  (* gate labels contain no quotes today, but the escaper must be safe *)
+  let qodg = ham3_qodg () in
+  let dot = Export.qodg_to_dot qodg in
+  Alcotest.(check bool) "balanced quotes" true
+    (let quotes = ref 0 in
+     String.iter (fun c -> if c = '"' then incr quotes) dot;
+     !quotes mod 2 = 0)
+
+let test_write_file () =
+  let path = Filename.temp_file "leqa_qodg" ".dot" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Export.write_qodg path (ham3_qodg ());
+      let ic = open_in path in
+      let len = in_channel_length ic in
+      let contents = really_input_string ic len in
+      close_in ic;
+      Alcotest.(check bool) "file has dot" true
+        (contains ~needle:"digraph qodg" contents))
+
+let suite =
+  [
+    Alcotest.test_case "dot structure" `Quick test_dot_structure;
+    Alcotest.test_case "critical-path highlight" `Quick test_dot_highlight;
+    Alcotest.test_case "label escaping" `Quick test_dot_escapes_labels;
+    Alcotest.test_case "write to file" `Quick test_write_file;
+  ]

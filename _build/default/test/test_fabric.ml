@@ -1,0 +1,210 @@
+open Leqa_fabric
+module Ft_gate = Leqa_circuit.Ft_gate
+
+let feq = Alcotest.(check (float 1e-9))
+
+(* --- Params --- *)
+
+let test_table1_defaults () =
+  let p = Params.default in
+  feq "d_H" 5440.0 p.Params.d_h;
+  feq "d_T" 10940.0 p.Params.d_t;
+  feq "d_XYZ" 5240.0 p.Params.d_pauli;
+  feq "d_CNOT" 4930.0 p.Params.d_cnot;
+  Alcotest.(check int) "N_c" 5 p.Params.nc;
+  feq "v" 0.001 p.Params.v;
+  Alcotest.(check int) "A" 3600 (Params.area p);
+  feq "T_move" 100.0 p.Params.t_move
+
+let test_gate_delays () =
+  let p = Params.default in
+  feq "H" 5440.0 (Params.gate_delay p (Ft_gate.Single (Ft_gate.H, 0)));
+  feq "T" 10940.0 (Params.gate_delay p (Ft_gate.Single (Ft_gate.T, 0)));
+  feq "Tdg = T" 10940.0 (Params.gate_delay p (Ft_gate.Single (Ft_gate.Tdg, 0)));
+  feq "X" 5240.0 (Params.gate_delay p (Ft_gate.Single (Ft_gate.X, 0)));
+  feq "CNOT" 4930.0 (Params.gate_delay p (Ft_gate.Cnot { control = 0; target = 1 }));
+  feq "L_single = 2 T_move" 200.0 (Params.l_single_avg p)
+
+let test_with_fabric () =
+  let p = Params.with_fabric Params.default ~width:10 ~height:20 in
+  Alcotest.(check int) "area" 200 (Params.area p);
+  Alcotest.check_raises "bad dims"
+    (Invalid_argument "Params.with_fabric: non-positive dimension") (fun () ->
+      ignore (Params.with_fabric Params.default ~width:0 ~height:5))
+
+let test_scale_qecc () =
+  let p = Params.scale_qecc Params.default ~factor:2.0 in
+  feq "d_H doubled" 10880.0 p.Params.d_h;
+  feq "t_move doubled" 200.0 p.Params.t_move;
+  Alcotest.(check int) "N_c unchanged" 5 p.Params.nc;
+  feq "v unchanged" 0.001 p.Params.v
+
+let test_validate () =
+  Alcotest.(check bool) "default valid" true (Params.validate Params.default = Ok ());
+  Alcotest.(check bool) "calibrated valid" true
+    (Params.validate Params.calibrated = Ok ());
+  let bad = { Params.default with Params.nc = 0 } in
+  Alcotest.(check bool) "nc=0 invalid" true (Result.is_error (Params.validate bad))
+
+(* --- Geometry --- *)
+
+let test_distances () =
+  let a = Geometry.{ x = 1; y = 1 } and b = Geometry.{ x = 4; y = 3 } in
+  Alcotest.(check int) "manhattan" 5 (Geometry.manhattan a b);
+  Alcotest.(check int) "chebyshev" 3 (Geometry.chebyshev a b);
+  Alcotest.(check int) "self" 0 (Geometry.manhattan a a)
+
+let test_index_roundtrip () =
+  let width = 7 in
+  for i = 0 to 34 do
+    let c = Geometry.of_index ~width i in
+    Alcotest.(check int) "roundtrip" i (Geometry.index ~width c)
+  done
+
+let test_bounds () =
+  let inb = Geometry.in_bounds ~width:3 ~height:2 in
+  Alcotest.(check bool) "corner" true (inb Geometry.{ x = 1; y = 1 });
+  Alcotest.(check bool) "far corner" true (inb Geometry.{ x = 3; y = 2 });
+  Alcotest.(check bool) "x=0" false (inb Geometry.{ x = 0; y = 1 });
+  Alcotest.(check bool) "y over" false (inb Geometry.{ x = 1; y = 3 })
+
+let test_neighbors () =
+  let center =
+    Geometry.neighbors4 ~width:3 ~height:3 Geometry.{ x = 2; y = 2 }
+  in
+  Alcotest.(check int) "center has 4" 4 (List.length center);
+  let corner =
+    Geometry.neighbors4 ~width:3 ~height:3 Geometry.{ x = 1; y = 1 }
+  in
+  Alcotest.(check int) "corner has 2" 2 (List.length corner)
+
+let test_xy_route () =
+  let src = Geometry.{ x = 1; y = 1 } and dst = Geometry.{ x = 3; y = 3 } in
+  let route = Geometry.xy_route ~src ~dst in
+  Alcotest.(check int) "length = manhattan" 4 (List.length route);
+  (* consecutive tiles adjacent, ends at dst *)
+  let rec check prev = function
+    | [] -> Alcotest.(check bool) "ends at dst" true (prev = dst)
+    | c :: rest ->
+      Alcotest.(check int) "adjacent" 1 (Geometry.manhattan prev c);
+      check c rest
+  in
+  check src route;
+  Alcotest.(check (list int)) "empty when src=dst" []
+    (List.map (fun c -> c.Geometry.x) (Geometry.xy_route ~src ~dst:src))
+
+let test_midpoint () =
+  let m =
+    Geometry.midpoint Geometry.{ x = 1; y = 1 } Geometry.{ x = 5; y = 3 }
+  in
+  Alcotest.(check int) "x" 3 m.Geometry.x;
+  Alcotest.(check int) "y" 2 m.Geometry.y
+
+(* --- Channel --- *)
+
+let coord x y = Geometry.{ x; y }
+
+let test_channel_uncongested () =
+  let ch = Channel.create ~width:5 ~height:5 ~capacity:2 () in
+  let finish =
+    Channel.reserve ch ~src:(coord 1 1) ~dst:(coord 2 1) ~arrival:0.0
+      ~t_move:100.0
+  in
+  feq "first crossing" 100.0 finish;
+  feq "no wait" 0.0 (Channel.total_wait ch);
+  Alcotest.(check int) "1 reservation" 1 (Channel.total_reservations ch)
+
+let test_channel_congestion () =
+  (* capacity 2: third simultaneous crossing must wait for a server *)
+  let ch = Channel.create ~width:5 ~height:5 ~capacity:2 () in
+  let src = coord 1 1 and dst = coord 2 1 in
+  let f1 = Channel.reserve ch ~src ~dst ~arrival:0.0 ~t_move:100.0 in
+  let f2 = Channel.reserve ch ~src ~dst ~arrival:0.0 ~t_move:100.0 in
+  let f3 = Channel.reserve ch ~src ~dst ~arrival:0.0 ~t_move:100.0 in
+  feq "slot 1" 100.0 f1;
+  feq "slot 2" 100.0 f2;
+  feq "slot 3 pipelines" 200.0 f3;
+  feq "waited 100" 100.0 (Channel.total_wait ch)
+
+let test_channel_undirected () =
+  (* both directions share the same segment servers *)
+  let ch = Channel.create ~width:5 ~height:5 ~capacity:1 () in
+  let _ =
+    Channel.reserve ch ~src:(coord 1 1) ~dst:(coord 2 1) ~arrival:0.0
+      ~t_move:100.0
+  in
+  let back =
+    Channel.reserve ch ~src:(coord 2 1) ~dst:(coord 1 1) ~arrival:0.0
+      ~t_move:100.0
+  in
+  feq "reverse direction waits" 200.0 back
+
+let test_channel_adjacency_check () =
+  let ch = Channel.create ~width:5 ~height:5 ~capacity:1 () in
+  Alcotest.check_raises "diagonal" (Invalid_argument "Channel: ULBs are not adjacent")
+    (fun () ->
+      ignore
+        (Channel.reserve ch ~src:(coord 1 1) ~dst:(coord 2 2) ~arrival:0.0
+           ~t_move:1.0))
+
+let test_channel_busy_and_free () =
+  let ch = Channel.create ~width:5 ~height:5 ~capacity:2 () in
+  let src = coord 3 3 and dst = coord 3 4 in
+  feq "unused busy_until" 0.0 (Channel.busy_until ch ~src ~dst);
+  feq "unused earliest_free" 0.0 (Channel.earliest_free ch ~src ~dst);
+  let _ = Channel.reserve ch ~src ~dst ~arrival:50.0 ~t_move:100.0 in
+  feq "busy until 150" 150.0 (Channel.busy_until ch ~src ~dst);
+  feq "other server still free" 0.0 (Channel.earliest_free ch ~src ~dst)
+
+let test_channel_reset () =
+  let ch = Channel.create ~width:5 ~height:5 ~capacity:1 () in
+  let _ =
+    Channel.reserve ch ~src:(coord 1 1) ~dst:(coord 2 1) ~arrival:0.0
+      ~t_move:10.0
+  in
+  Channel.reset ch;
+  Alcotest.(check int) "reservations cleared" 0 (Channel.total_reservations ch);
+  feq "busy cleared" 0.0 (Channel.busy_until ch ~src:(coord 1 1) ~dst:(coord 2 1))
+
+let test_segment_loads () =
+  let ch = Channel.create ~width:5 ~height:5 ~capacity:3 () in
+  for _ = 1 to 4 do
+    ignore
+      (Channel.reserve ch ~src:(coord 1 1) ~dst:(coord 2 1) ~arrival:0.0
+         ~t_move:10.0)
+  done;
+  ignore
+    (Channel.reserve ch ~src:(coord 3 3) ~dst:(coord 3 4) ~arrival:0.0
+       ~t_move:10.0);
+  (match Channel.segment_loads ch with
+  | ((a, b), count) :: rest ->
+    Alcotest.(check int) "busiest count" 4 count;
+    Alcotest.(check bool) "busiest is (1,1)-(2,1)" true
+      (a = coord 1 1 && b = coord 2 1);
+    Alcotest.(check int) "one more segment" 1 (List.length rest)
+  | [] -> Alcotest.fail "no segments recorded");
+  Channel.reset ch;
+  Alcotest.(check int) "reset clears census" 0
+    (List.length (Channel.segment_loads ch))
+
+let suite =
+  [
+    Alcotest.test_case "Table 1 defaults" `Quick test_table1_defaults;
+    Alcotest.test_case "per-gate delays" `Quick test_gate_delays;
+    Alcotest.test_case "fabric resizing" `Quick test_with_fabric;
+    Alcotest.test_case "QECC scaling" `Quick test_scale_qecc;
+    Alcotest.test_case "parameter validation" `Quick test_validate;
+    Alcotest.test_case "distances" `Quick test_distances;
+    Alcotest.test_case "index roundtrip" `Quick test_index_roundtrip;
+    Alcotest.test_case "bounds" `Quick test_bounds;
+    Alcotest.test_case "neighbors" `Quick test_neighbors;
+    Alcotest.test_case "xy routing" `Quick test_xy_route;
+    Alcotest.test_case "midpoint" `Quick test_midpoint;
+    Alcotest.test_case "channel: free crossing" `Quick test_channel_uncongested;
+    Alcotest.test_case "channel: pipelining" `Quick test_channel_congestion;
+    Alcotest.test_case "channel: undirected sharing" `Quick test_channel_undirected;
+    Alcotest.test_case "channel: adjacency check" `Quick test_channel_adjacency_check;
+    Alcotest.test_case "channel: busy/earliest free" `Quick test_channel_busy_and_free;
+    Alcotest.test_case "channel: reset" `Quick test_channel_reset;
+    Alcotest.test_case "channel: segment census" `Quick test_segment_loads;
+  ]

@@ -1,0 +1,59 @@
+open Leqa_benchmarks
+module Circuit = Leqa_circuit.Circuit
+module Gate = Leqa_circuit.Gate
+
+let test_optimal_iterations () =
+  Alcotest.(check int) "n=3" 2 (Grover.optimal_iterations ~n:3);
+  Alcotest.(check int) "n=4" 3 (Grover.optimal_iterations ~n:4);
+  Alcotest.(check int) "n=8" 12 (Grover.optimal_iterations ~n:8);
+  Alcotest.(check bool) "at least 1" true (Grover.optimal_iterations ~n:3 >= 1)
+
+let test_structure () =
+  let circ = Grover.circuit ~iterations:2 ~n:5 ~marked:19 () in
+  Alcotest.(check int) "wires" 5 (Circuit.num_qubits circ);
+  let k = Circuit.counts circ in
+  (* per iteration: oracle MCZ + diffusion MCZ, both 4-controlled -> MCT *)
+  Alcotest.(check int) "2 MCTs per iteration" 4 k.Circuit.mcts
+
+let test_marked_pattern_masks () =
+  (* marked = 0 flips X on every wire twice per oracle *)
+  let all_zero = Grover.circuit ~iterations:1 ~n:4 ~marked:0 () in
+  let all_one = Grover.circuit ~iterations:1 ~n:4 ~marked:15 () in
+  let x_count c =
+    Circuit.fold
+      (fun acc g ->
+        match g with Gate.Single (Gate.X, _) -> acc + 1 | _ -> acc)
+      0 c
+  in
+  (* both share the diffusion X's; the oracle masks differ by 2*4 *)
+  Alcotest.(check int) "mask X difference" 8 (x_count all_zero - x_count all_one)
+
+let test_decomposes_and_estimates () =
+  let circ = Grover.circuit ~iterations:3 ~n:8 ~marked:0b1011_0110 () in
+  let ft = Leqa_circuit.Decompose.to_ft circ in
+  Alcotest.(check bool) "MCT ancillas appear" true
+    (Leqa_circuit.Ft_circuit.num_qubits ft > 8);
+  let qodg = Leqa_qodg.Qodg.of_ft_circuit ft in
+  let est =
+    Leqa_core.Estimator.estimate ~params:Leqa_fabric.Params.calibrated qodg
+  in
+  Alcotest.(check bool) "positive latency" true (est.Leqa_core.Estimator.latency_s > 0.0)
+
+let test_invalid_inputs () =
+  Alcotest.check_raises "n<3" (Invalid_argument "Grover.circuit: n must be >= 3")
+    (fun () -> ignore (Grover.circuit ~n:2 ~marked:0 ()));
+  Alcotest.check_raises "marked range"
+    (Invalid_argument "Grover.circuit: marked pattern out of range") (fun () ->
+      ignore (Grover.circuit ~n:3 ~marked:8 ()));
+  Alcotest.check_raises "iterations"
+    (Invalid_argument "Grover.circuit: non-positive iterations") (fun () ->
+      ignore (Grover.circuit ~iterations:0 ~n:3 ~marked:1 ()))
+
+let suite =
+  [
+    Alcotest.test_case "optimal iteration count" `Quick test_optimal_iterations;
+    Alcotest.test_case "oracle+diffusion structure" `Quick test_structure;
+    Alcotest.test_case "marked-pattern masks" `Quick test_marked_pattern_masks;
+    Alcotest.test_case "full pipeline" `Quick test_decomposes_and_estimates;
+    Alcotest.test_case "input validation" `Quick test_invalid_inputs;
+  ]

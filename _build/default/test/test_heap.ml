@@ -1,0 +1,87 @@
+open Leqa_util
+
+let test_empty () =
+  let h = Heap.create () in
+  Alcotest.(check bool) "is_empty" true (Heap.is_empty h);
+  Alcotest.(check int) "length" 0 (Heap.length h);
+  Alcotest.(check (option (pair (float 0.0) int))) "pop" None (Heap.pop h);
+  Alcotest.(check (option (float 0.0))) "min_priority" None (Heap.min_priority h)
+
+let test_pop_order () =
+  let h = Heap.create () in
+  List.iter
+    (fun p -> Heap.add h ~priority:p (int_of_float p))
+    [ 5.0; 1.0; 3.0; 2.0; 4.0 ];
+  let drained = ref [] in
+  let rec drain () =
+    match Heap.pop h with
+    | None -> ()
+    | Some (_, v) ->
+      drained := v :: !drained;
+      drain ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "ascending" [ 1; 2; 3; 4; 5 ] (List.rev !drained)
+
+let test_fifo_ties () =
+  let h = Heap.create () in
+  List.iter (fun v -> Heap.add h ~priority:7.0 v) [ "a"; "b"; "c" ];
+  let a = snd (Heap.pop_exn h) in
+  let b = snd (Heap.pop_exn h) in
+  let c = snd (Heap.pop_exn h) in
+  Alcotest.(check (list string)) "insertion order" [ "a"; "b"; "c" ] [ a; b; c ]
+
+let test_interleaved () =
+  let h = Heap.create () in
+  Heap.add h ~priority:2.0 2;
+  Heap.add h ~priority:1.0 1;
+  Alcotest.(check (pair (float 0.0) int)) "first" (1.0, 1) (Heap.pop_exn h);
+  Heap.add h ~priority:0.5 0;
+  Alcotest.(check (pair (float 0.0) int)) "second" (0.5, 0) (Heap.pop_exn h);
+  Alcotest.(check (pair (float 0.0) int)) "third" (2.0, 2) (Heap.pop_exn h)
+
+let test_pop_exn_empty () =
+  let h = Heap.create () in
+  Alcotest.check_raises "pop_exn" (Invalid_argument "Heap.pop_exn: empty heap")
+    (fun () -> ignore (Heap.pop_exn h))
+
+let test_clear () =
+  let h = Heap.create () in
+  Heap.add h ~priority:1.0 1;
+  Heap.clear h;
+  Alcotest.(check bool) "cleared" true (Heap.is_empty h)
+
+let test_to_sorted_list () =
+  let h = Heap.create () in
+  List.iter (fun p -> Heap.add h ~priority:p ()) [ 3.0; 1.0; 2.0 ];
+  let priorities = List.map fst (Heap.to_sorted_list h) in
+  Alcotest.(check (list (float 0.0))) "sorted" [ 1.0; 2.0; 3.0 ] priorities;
+  Alcotest.(check int) "non-destructive" 3 (Heap.length h)
+
+let test_large_random () =
+  let rng = Rng.create ~seed:42 in
+  let h = Heap.create () in
+  let n = 10_000 in
+  for _ = 1 to n do
+    Heap.add h ~priority:(Rng.float rng) ()
+  done;
+  let rec check_sorted prev count =
+    match Heap.pop h with
+    | None -> count
+    | Some (p, ()) ->
+      if p < prev then Alcotest.fail "heap order violated";
+      check_sorted p (count + 1)
+  in
+  Alcotest.(check int) "all popped" n (check_sorted neg_infinity 0)
+
+let suite =
+  [
+    Alcotest.test_case "empty heap" `Quick test_empty;
+    Alcotest.test_case "pop in priority order" `Quick test_pop_order;
+    Alcotest.test_case "FIFO tie-breaking" `Quick test_fifo_ties;
+    Alcotest.test_case "interleaved add/pop" `Quick test_interleaved;
+    Alcotest.test_case "pop_exn on empty raises" `Quick test_pop_exn_empty;
+    Alcotest.test_case "clear" `Quick test_clear;
+    Alcotest.test_case "to_sorted_list" `Quick test_to_sorted_list;
+    Alcotest.test_case "10k random elements" `Quick test_large_random;
+  ]

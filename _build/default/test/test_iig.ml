@@ -1,0 +1,122 @@
+open Leqa_iig
+module Ft_gate = Leqa_circuit.Ft_gate
+module Ft_circuit = Leqa_circuit.Ft_circuit
+
+let circuit_of gates = Ft_circuit.of_gates gates
+
+let test_empty_circuit () =
+  let iig = Iig.of_ft_circuit (Ft_circuit.create ~num_qubits:4 ()) in
+  Alcotest.(check int) "qubits" 4 (Iig.num_qubits iig);
+  Alcotest.(check int) "edges" 0 (Iig.num_edges iig);
+  Alcotest.(check int) "weight" 0 (Iig.total_weight iig);
+  Alcotest.(check (list int)) "all isolated" [ 0; 1; 2; 3 ]
+    (Iig.isolated_qubits iig)
+
+let test_single_ops_add_nothing () =
+  let iig =
+    Iig.of_ft_circuit
+      (circuit_of Ft_gate.[ Single (H, 0); Single (T, 1); Single (X, 0) ])
+  in
+  Alcotest.(check int) "no edges" 0 (Iig.num_edges iig);
+  Alcotest.(check int) "degree 0" 0 (Iig.degree iig 0)
+
+let test_weights_accumulate () =
+  let iig =
+    Iig.of_ft_circuit
+      (circuit_of
+         Ft_gate.
+           [
+             Cnot { control = 0; target = 1 };
+             Cnot { control = 1; target = 0 };
+             Cnot { control = 0; target = 2 };
+           ])
+  in
+  Alcotest.(check int) "edges" 2 (Iig.num_edges iig);
+  Alcotest.(check int) "w(0,1) counts both directions" 2 (Iig.weight iig 0 1);
+  Alcotest.(check int) "w symmetric" (Iig.weight iig 0 1) (Iig.weight iig 1 0);
+  Alcotest.(check int) "w(0,2)" 1 (Iig.weight iig 0 2);
+  Alcotest.(check int) "w(1,2) absent" 0 (Iig.weight iig 1 2);
+  Alcotest.(check int) "total weight = #2q ops" 3 (Iig.total_weight iig)
+
+let test_degrees_and_sums () =
+  let iig =
+    Iig.of_ft_circuit
+      (circuit_of
+         Ft_gate.
+           [
+             Cnot { control = 0; target = 1 };
+             Cnot { control = 0; target = 2 };
+             Cnot { control = 0; target = 2 };
+           ])
+  in
+  Alcotest.(check int) "M_0" 2 (Iig.degree iig 0);
+  Alcotest.(check int) "M_1" 1 (Iig.degree iig 1);
+  Alcotest.(check int) "M_2" 1 (Iig.degree iig 2);
+  Alcotest.(check int) "adj weight sum of 0" 3 (Iig.adjacent_weight_sum iig 0);
+  Alcotest.(check int) "adj weight sum of 2" 2 (Iig.adjacent_weight_sum iig 2);
+  Alcotest.(check (list int)) "neighbors sorted" [ 1; 2 ] (Iig.neighbors iig 0);
+  Alcotest.(check int) "max degree" 2 (Iig.max_degree iig)
+
+let test_iter_edges_each_once () =
+  let iig =
+    Iig.of_ft_circuit
+      (circuit_of
+         Ft_gate.
+           [
+             Cnot { control = 0; target = 1 };
+             Cnot { control = 2; target = 1 };
+             Cnot { control = 0; target = 2 };
+           ])
+  in
+  let seen = ref [] in
+  Iig.iter_edges (fun i j w -> seen := (i, j, w) :: !seen) iig;
+  Alcotest.(check int) "3 edges" 3 (List.length !seen);
+  List.iter
+    (fun (i, j, _) ->
+      Alcotest.(check bool) "i<j" true (i < j))
+    !seen
+
+let test_sum_adjacent_weights_is_twice_total () =
+  (* Σ_i Σ_j w(e_ij) double counts every edge: equals 2 × total weight *)
+  let rng = Leqa_util.Rng.create ~seed:12 in
+  let circ =
+    Leqa_benchmarks.Random_circuit.ft ~rng ~qubits:20 ~gates:500
+      ~cnot_fraction:0.6
+  in
+  let iig = Iig.of_ft_circuit circ in
+  let sum = ref 0 in
+  for i = 0 to Iig.num_qubits iig - 1 do
+    sum := !sum + Iig.adjacent_weight_sum iig i
+  done;
+  Alcotest.(check int) "handshake lemma" (2 * Iig.total_weight iig) !sum
+
+let test_of_qodg_matches_of_circuit () =
+  let rng = Leqa_util.Rng.create ~seed:9 in
+  let circ =
+    Leqa_benchmarks.Random_circuit.ft ~rng ~qubits:12 ~gates:300
+      ~cnot_fraction:0.5
+  in
+  let a = Iig.of_ft_circuit circ in
+  let b = Iig.of_qodg (Leqa_qodg.Qodg.of_ft_circuit circ) in
+  Alcotest.(check int) "edges" (Iig.num_edges a) (Iig.num_edges b);
+  Alcotest.(check int) "weight" (Iig.total_weight a) (Iig.total_weight b);
+  for i = 0 to Iig.num_qubits a - 1 do
+    Alcotest.(check int) "degree" (Iig.degree a i) (Iig.degree b i)
+  done
+
+let test_out_of_range () =
+  let iig = Iig.of_ft_circuit (Ft_circuit.create ~num_qubits:2 ()) in
+  Alcotest.check_raises "degree range" (Invalid_argument "Iig: qubit out of range")
+    (fun () -> ignore (Iig.degree iig 2))
+
+let suite =
+  [
+    Alcotest.test_case "empty circuit" `Quick test_empty_circuit;
+    Alcotest.test_case "one-qubit ops add no edges" `Quick test_single_ops_add_nothing;
+    Alcotest.test_case "weights accumulate per pair" `Quick test_weights_accumulate;
+    Alcotest.test_case "degrees and weight sums" `Quick test_degrees_and_sums;
+    Alcotest.test_case "iter_edges visits each once" `Quick test_iter_edges_each_once;
+    Alcotest.test_case "handshake lemma" `Quick test_sum_adjacent_weights_is_twice_total;
+    Alcotest.test_case "of_qodg = of_ft_circuit" `Quick test_of_qodg_matches_of_circuit;
+    Alcotest.test_case "bounds checking" `Quick test_out_of_range;
+  ]

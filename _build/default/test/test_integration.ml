@@ -1,0 +1,117 @@
+(* Cross-module integration tests: the full LEQA-vs-QSPR pipeline on real
+   benchmark circuits — the Table 2 accuracy claim in miniature. *)
+
+module Params = Leqa_fabric.Params
+module Qodg = Leqa_qodg.Qodg
+module Decompose = Leqa_circuit.Decompose
+module Estimator = Leqa_core.Estimator
+module Qspr = Leqa_qspr.Qspr
+module Stats = Leqa_util.Stats
+
+let pipeline circ =
+  let qodg = Qodg.of_ft_circuit (Decompose.to_ft circ) in
+  let actual = (Qspr.run qodg).Qspr.latency_s in
+  let estimated =
+    (Estimator.estimate ~params:Params.calibrated qodg).Estimator.latency_s
+  in
+  (actual, estimated)
+
+let check_error name circ limit =
+  let actual, estimated = pipeline circ in
+  let err = Stats.relative_error ~actual ~estimated in
+  if err > limit then
+    Alcotest.failf "%s: error %.1f%% exceeds %.1f%% (actual %.3f, est %.3f)"
+      name (100.0 *. err) (100.0 *. limit) actual estimated
+
+let test_accuracy_ham3 () =
+  check_error "ham3" (Leqa_benchmarks.Hamming.ham3 ()) 0.10
+
+let test_accuracy_adder () =
+  check_error "8bitadder" (Leqa_benchmarks.Adder.ripple_carry ~n:8) 0.10
+
+let test_accuracy_gf2_16 () =
+  check_error "gf2^16mult" (Leqa_benchmarks.Gf2_mult.circuit ~n:16 ()) 0.10
+
+let test_accuracy_hwb15 () =
+  check_error "hwb15ps" (Leqa_benchmarks.Hwb.circuit ~n:15 ()) 0.10
+
+let test_accuracy_ham15 () =
+  check_error "ham15" (Leqa_benchmarks.Hamming.circuit ~n:15 ()) 0.10
+
+let test_table2_average_band () =
+  (* average error over a mini-suite stays in the paper's band (< ~5%) *)
+  let circuits =
+    [
+      Leqa_benchmarks.Adder.ripple_carry ~n:8;
+      Leqa_benchmarks.Gf2_mult.circuit ~n:16 ();
+      Leqa_benchmarks.Hwb.circuit ~n:15 ();
+      Leqa_benchmarks.Hamming.circuit ~n:15 ();
+      Leqa_benchmarks.Gf2_mult.circuit ~n:20 ();
+    ]
+  in
+  let errors =
+    List.map
+      (fun circ ->
+        let actual, estimated = pipeline circ in
+        Stats.relative_error ~actual ~estimated)
+      circuits
+  in
+  let avg = Stats.mean (Array.of_list errors) in
+  if avg > 0.05 then
+    Alcotest.failf "average error %.2f%% above 5%%" (100.0 *. avg)
+
+let test_speedup_grows_with_size () =
+  (* the Table 3 trend: LEQA's advantage grows with operation count *)
+  let time_pair n =
+    let qodg =
+      Qodg.of_ft_circuit
+        (Decompose.to_ft (Leqa_benchmarks.Gf2_mult.circuit ~n ()))
+    in
+    let _, qspr_t = Leqa_util.Timing.time (fun () -> Qspr.run qodg) in
+    let _, leqa_t =
+      Leqa_util.Timing.time (fun () ->
+          Estimator.estimate ~params:Params.calibrated qodg)
+    in
+    qspr_t /. leqa_t
+  in
+  let small = time_pair 8 and large = time_pair 48 in
+  if large <= small then
+    Alcotest.failf "speedup did not grow: %.1fx (n=8) vs %.1fx (n=48)" small
+      large
+
+let test_parsed_circuit_full_pipeline () =
+  (* .tfc text -> parse -> decompose -> estimate: exercises the whole API *)
+  let source = Leqa_circuit.Parser.to_string (Leqa_benchmarks.Hamming.ham3 ()) in
+  match Leqa_circuit.Parser.parse_string source with
+  | Error e -> Alcotest.fail e
+  | Ok circ ->
+    let actual, estimated = pipeline circ in
+    Alcotest.(check bool) "both positive" true (actual > 0.0 && estimated > 0.0)
+
+let test_estimator_much_faster_than_mapper () =
+  let qodg =
+    Qodg.of_ft_circuit
+      (Decompose.to_ft (Leqa_benchmarks.Gf2_mult.circuit ~n:32 ()))
+  in
+  let _, qspr_t = Leqa_util.Timing.time (fun () -> Qspr.run qodg) in
+  let _, leqa_t =
+    Leqa_util.Timing.time (fun () ->
+        Estimator.estimate ~params:Params.calibrated qodg)
+  in
+  if leqa_t >= qspr_t then
+    Alcotest.failf "LEQA (%.3fs) not faster than QSPR (%.3fs)" leqa_t qspr_t
+
+let suite =
+  [
+    Alcotest.test_case "accuracy: ham3" `Quick test_accuracy_ham3;
+    Alcotest.test_case "accuracy: 8bitadder" `Quick test_accuracy_adder;
+    Alcotest.test_case "accuracy: gf2^16mult" `Quick test_accuracy_gf2_16;
+    Alcotest.test_case "accuracy: hwb15ps" `Quick test_accuracy_hwb15;
+    Alcotest.test_case "accuracy: ham15" `Quick test_accuracy_ham15;
+    Alcotest.test_case "Table-2 average band" `Slow test_table2_average_band;
+    Alcotest.test_case "Table-3 speedup trend" `Slow test_speedup_grows_with_size;
+    Alcotest.test_case "parse -> estimate pipeline" `Quick
+      test_parsed_circuit_full_pipeline;
+    Alcotest.test_case "estimator beats mapper" `Quick
+      test_estimator_much_faster_than_mapper;
+  ]

@@ -1,0 +1,56 @@
+open Leqa_util
+
+let str = Alcotest.(check string)
+
+let test_scalars () =
+  str "null" "null" (Json.to_string Json.Null);
+  str "true" "true" (Json.to_string (Json.Bool true));
+  str "int" "42" (Json.to_string (Json.Int 42));
+  str "negative" "-7" (Json.to_string (Json.Int (-7)));
+  str "string" "\"hi\"" (Json.to_string (Json.String "hi"))
+
+let test_float_rendering () =
+  str "half" "0.5" (Json.to_string (Json.Float 0.5));
+  str "nan is null" "null" (Json.to_string (Json.Float Float.nan));
+  str "inf is null" "null" (Json.to_string (Json.Float Float.infinity));
+  (* round-trip precision *)
+  let v = 0.1 +. 0.2 in
+  Alcotest.(check (float 0.0)) "17 digits round-trip" v
+    (float_of_string (Json.to_string (Json.Float v)))
+
+let test_escaping () =
+  str "quotes" "\"a\\\"b\"" (Json.to_string (Json.String "a\"b"));
+  str "backslash" "\"a\\\\b\"" (Json.to_string (Json.String "a\\b"));
+  str "newline" "\"a\\nb\"" (Json.to_string (Json.String "a\nb"));
+  str "control char" "\"\\u0001\"" (Json.to_string (Json.String "\001"))
+
+let test_structures () =
+  str "list" "[1,2,3]"
+    (Json.to_string (Json.List [ Json.Int 1; Json.Int 2; Json.Int 3 ]));
+  str "empty list" "[]" (Json.to_string (Json.List []));
+  str "object" "{\"a\":1,\"b\":[true]}"
+    (Json.to_string
+       (Json.Obj [ ("a", Json.Int 1); ("b", Json.List [ Json.Bool true ]) ]));
+  str "nested" "{\"rows\":[{\"x\":null}]}"
+    (Json.to_string
+       (Json.Obj [ ("rows", Json.List [ Json.Obj [ ("x", Json.Null) ] ]) ]))
+
+let test_write_file () =
+  let path = Filename.temp_file "leqa_json" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Json.write_file path (Json.Obj [ ("ok", Json.Bool true) ]);
+      let ic = open_in path in
+      let line = input_line ic in
+      close_in ic;
+      str "file contents" "{\"ok\":true}" line)
+
+let suite =
+  [
+    Alcotest.test_case "scalars" `Quick test_scalars;
+    Alcotest.test_case "float rendering" `Quick test_float_rendering;
+    Alcotest.test_case "escaping" `Quick test_escaping;
+    Alcotest.test_case "structures" `Quick test_structures;
+    Alcotest.test_case "write to file" `Quick test_write_file;
+  ]

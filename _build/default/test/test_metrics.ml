@@ -1,0 +1,70 @@
+open Leqa_qodg
+module Ft_gate = Leqa_circuit.Ft_gate
+module Ft_circuit = Leqa_circuit.Ft_circuit
+
+let feq = Alcotest.(check (float 1e-9))
+
+let test_chain_metrics () =
+  let qodg =
+    Qodg.of_ft_circuit
+      (Ft_circuit.of_gates
+         Ft_gate.[ Single (H, 0); Single (T, 0); Single (X, 0) ])
+  in
+  let m = Metrics.compute qodg in
+  Alcotest.(check int) "ops" 3 m.Metrics.operations;
+  Alcotest.(check int) "depth" 3 m.Metrics.depth;
+  feq "avg parallelism 1" 1.0 m.Metrics.average_parallelism;
+  Alcotest.(check int) "peak 1" 1 m.Metrics.peak_parallelism;
+  feq "no cnots" 0.0 m.Metrics.cnot_fraction
+
+let test_parallel_metrics () =
+  let qodg =
+    Qodg.of_ft_circuit
+      (Ft_circuit.of_gates
+         Ft_gate.
+           [ Single (H, 0); Single (H, 1); Single (H, 2); Single (H, 3) ])
+  in
+  let m = Metrics.compute qodg in
+  Alcotest.(check int) "depth 1" 1 m.Metrics.depth;
+  Alcotest.(check int) "peak 4" 4 m.Metrics.peak_parallelism;
+  feq "avg 4" 4.0 m.Metrics.average_parallelism
+
+let test_cnot_fraction () =
+  let qodg =
+    Qodg.of_ft_circuit
+      (Ft_circuit.of_gates
+         Ft_gate.
+           [
+             Cnot { control = 0; target = 1 };
+             Single (H, 0);
+             Cnot { control = 1; target = 2 };
+             Single (T, 2);
+           ])
+  in
+  feq "half" 0.5 (Metrics.compute qodg).Metrics.cnot_fraction
+
+let test_empty () =
+  let qodg = Qodg.of_ft_circuit (Ft_circuit.create ~num_qubits:2 ()) in
+  let m = Metrics.compute qodg in
+  Alcotest.(check int) "no ops" 0 m.Metrics.operations;
+  feq "no parallelism" 0.0 m.Metrics.average_parallelism
+
+let test_ham3_shape () =
+  let qodg =
+    Qodg.of_ft_circuit
+      (Leqa_circuit.Decompose.to_ft (Leqa_benchmarks.Hamming.ham3 ()))
+  in
+  let m = Metrics.compute qodg in
+  Alcotest.(check int) "19 ops" 19 m.Metrics.operations;
+  Alcotest.(check int) "depth 15" 15 m.Metrics.depth;
+  feq "10/19 cnots" (10.0 /. 19.0) m.Metrics.cnot_fraction;
+  Alcotest.(check bool) "fanout >= 1" true (m.Metrics.average_fanout >= 1.0)
+
+let suite =
+  [
+    Alcotest.test_case "sequential chain" `Quick test_chain_metrics;
+    Alcotest.test_case "parallel layer" `Quick test_parallel_metrics;
+    Alcotest.test_case "cnot fraction" `Quick test_cnot_fraction;
+    Alcotest.test_case "empty circuit" `Quick test_empty;
+    Alcotest.test_case "ham3 shape" `Quick test_ham3_shape;
+  ]

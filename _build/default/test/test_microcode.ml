@@ -1,0 +1,174 @@
+open Leqa_ulb
+
+let feq eps = Alcotest.(check (float eps))
+
+let overlap_count s ~at =
+  let count = ref 0 in
+  Array.iteri
+    (fun i _ ->
+      if
+        s.Microcode.start_times.(i) <= at +. 1e-9
+        && at < s.Microcode.finish_times.(i) -. 1e-9
+      then incr count)
+    s.Microcode.tasks;
+  !count
+
+let check_lane_capacity s ~lanes =
+  (* sample at every task start: active tasks never exceed the lanes *)
+  Array.iteri
+    (fun i _ ->
+      let at = s.Microcode.start_times.(i) in
+      let active = overlap_count s ~at in
+      if active > lanes then
+        Alcotest.failf "%d tasks active at %.0f (lanes = %d)" active at lanes)
+    s.Microcode.tasks
+
+let check_dependencies s =
+  Array.iter
+    (fun t ->
+      List.iter
+        (fun d ->
+          if
+            s.Microcode.finish_times.(d)
+            > s.Microcode.start_times.(t.Microcode.id) +. 1e-9
+          then Alcotest.failf "task %d started before dep %d" t.Microcode.id d)
+        t.Microcode.deps)
+    s.Microcode.tasks
+
+let check_qubit_exclusivity s =
+  (* no two concurrent tasks share an operand *)
+  let n = Array.length s.Microcode.tasks in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let ti = s.Microcode.tasks.(i) and tj = s.Microcode.tasks.(j) in
+      let shares =
+        List.exists
+          (fun q -> List.mem q tj.Microcode.instruction.Microcode.operands)
+          ti.Microcode.instruction.Microcode.operands
+      in
+      if shares then begin
+        let disjoint =
+          s.Microcode.finish_times.(i) <= s.Microcode.start_times.(j) +. 1e-9
+          || s.Microcode.finish_times.(j) <= s.Microcode.start_times.(i) +. 1e-9
+        in
+        if not disjoint then
+          Alcotest.failf "tasks %d and %d overlap on a shared qubit" i j
+      end
+    done
+  done
+
+let test_transversal_1q_schedule () =
+  let native = Native.default in
+  let s = Microcode.schedule native (Microcode.transversal_1q ()) in
+  (* 7 rotations on 2 lanes: 4 waves — identical to Native.phase_time *)
+  feq 1e-9 "matches phase arithmetic"
+    (Native.phase_time native Native.One_qubit ~count:7)
+    s.Microcode.makespan
+
+let test_schedule_invariants_all_programs () =
+  let native = Native.default in
+  List.iter
+    (fun program ->
+      let s = Microcode.schedule native program in
+      check_dependencies s;
+      check_lane_capacity s ~lanes:native.Native.lanes;
+      check_qubit_exclusivity s)
+    [
+      Microcode.transversal_1q ();
+      Microcode.syndrome_extraction ~rounds:3;
+      Microcode.transversal_cnot ();
+      Microcode.magic_state_t ~rounds:3;
+    ]
+
+let test_scheduled_close_to_closed_form () =
+  (* the instruction-exact makespans must stay within 15% of the
+     Designer's phase arithmetic *)
+  let native = Native.default in
+  let design = Designer.design ~native ~rounds:3 () in
+  let close name closed scheduled =
+    let err = abs_float (scheduled -. closed) /. closed in
+    if err > 0.15 then
+      Alcotest.failf "%s: scheduled %.0f vs closed-form %.0f (%.0f%%)" name
+        scheduled closed (100.0 *. err)
+  in
+  close "H" (Designer.total design.Designer.d_h)
+    (Microcode.ft_op_makespan native ~rounds:3 `H);
+  close "T" (Designer.total design.Designer.d_t)
+    (Microcode.ft_op_makespan native ~rounds:3 `T);
+  close "S" (Designer.total design.Designer.d_s)
+    (Microcode.ft_op_makespan native ~rounds:3 `S);
+  close "CNOT" (Designer.total design.Designer.d_cnot)
+    (Microcode.ft_op_makespan native ~rounds:3 `Cnot)
+
+let test_more_lanes_never_slower () =
+  let narrow = { Native.default with Native.lanes = 1 } in
+  let wide = { Native.default with Native.lanes = 6 } in
+  List.iter
+    (fun program ->
+      let slow = (Microcode.schedule narrow program).Microcode.makespan in
+      let fast = (Microcode.schedule wide program).Microcode.makespan in
+      Alcotest.(check bool) "wide <= narrow" true (fast <= slow +. 1e-9))
+    [
+      Microcode.syndrome_extraction ~rounds:2;
+      Microcode.transversal_cnot ();
+      Microcode.magic_state_t ~rounds:2;
+    ]
+
+let test_rounds_scale_ec () =
+  let native = Native.default in
+  let one =
+    (Microcode.schedule native (Microcode.syndrome_extraction ~rounds:1))
+      .Microcode.makespan
+  in
+  let three =
+    (Microcode.schedule native (Microcode.syndrome_extraction ~rounds:3))
+      .Microcode.makespan
+  in
+  Alcotest.(check bool) "3 rounds ~ 3x one round" true
+    (three > 2.5 *. one && three < 3.5 *. one)
+
+let test_utilization_bounds () =
+  let native = Native.default in
+  let s = Microcode.schedule native (Microcode.syndrome_extraction ~rounds:3) in
+  let u = Microcode.utilization s ~lanes:native.Native.lanes in
+  Alcotest.(check bool) (Printf.sprintf "0 < %.2f <= 1" u) true
+    (u > 0.0 && u <= 1.0 +. 1e-9)
+
+let test_forward_dependency_rejected () =
+  let bad =
+    [
+      {
+        Microcode.id = 0;
+        instruction = { Microcode.kind = Native.Init; operands = [ 0 ] };
+        deps = [ 1 ];
+      };
+      {
+        Microcode.id = 1;
+        instruction = { Microcode.kind = Native.Init; operands = [ 1 ] };
+        deps = [];
+      };
+    ]
+  in
+  Alcotest.check_raises "forward dep"
+    (Invalid_argument "Microcode.schedule: forward dependency") (fun () ->
+      ignore (Microcode.schedule Native.default bad))
+
+let test_rounds_validation () =
+  Alcotest.check_raises "rounds 0"
+    (Invalid_argument "Microcode.syndrome_extraction: rounds < 1") (fun () ->
+      ignore (Microcode.syndrome_extraction ~rounds:0))
+
+let suite =
+  [
+    Alcotest.test_case "transversal 1q = phase arithmetic" `Quick
+      test_transversal_1q_schedule;
+    Alcotest.test_case "schedule invariants" `Quick
+      test_schedule_invariants_all_programs;
+    Alcotest.test_case "scheduled vs closed form" `Quick
+      test_scheduled_close_to_closed_form;
+    Alcotest.test_case "more lanes never slower" `Quick test_more_lanes_never_slower;
+    Alcotest.test_case "EC rounds scale" `Quick test_rounds_scale_ec;
+    Alcotest.test_case "utilization in (0,1]" `Quick test_utilization_bounds;
+    Alcotest.test_case "forward deps rejected" `Quick test_forward_dependency_rejected;
+    Alcotest.test_case "rounds validation" `Quick test_rounds_validation;
+  ]

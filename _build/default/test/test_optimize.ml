@@ -1,0 +1,152 @@
+open Leqa_circuit
+
+let ft_of gates = Ft_circuit.of_gates gates
+
+let gates_of circ =
+  let acc = ref [] in
+  Ft_circuit.iter (fun g -> acc := g :: !acc) circ;
+  List.rev !acc
+
+let test_inverse_cancellation () =
+  List.iter
+    (fun (name, pair) ->
+      let simplified = Optimize.simplify (ft_of pair) in
+      Alcotest.(check int) name 0 (Ft_circuit.num_gates simplified))
+    [
+      ("H H", Ft_gate.[ Single (H, 0); Single (H, 0) ]);
+      ("X X", Ft_gate.[ Single (X, 0); Single (X, 0) ]);
+      ("T Tdg", Ft_gate.[ Single (T, 0); Single (Tdg, 0) ]);
+      ("Tdg T", Ft_gate.[ Single (Tdg, 0); Single (T, 0) ]);
+      ("S Sdg", Ft_gate.[ Single (S, 0); Single (Sdg, 0) ]);
+      ( "CNOT CNOT",
+        Ft_gate.
+          [ Cnot { control = 0; target = 1 }; Cnot { control = 0; target = 1 } ]
+      );
+    ]
+
+let test_fusion () =
+  let simplified = Optimize.simplify (ft_of Ft_gate.[ Single (T, 0); Single (T, 0) ]) in
+  Alcotest.(check int) "T T fuses" 1 (Ft_circuit.num_gates simplified);
+  (match gates_of simplified with
+  | [ Ft_gate.Single (Ft_gate.S, 0) ] -> ()
+  | _ -> Alcotest.fail "expected a single S");
+  (* T T T T -> S S -> Z: fixpoint iteration *)
+  let four_t =
+    Optimize.simplify
+      (ft_of Ft_gate.[ Single (T, 0); Single (T, 0); Single (T, 0); Single (T, 0) ])
+  in
+  match gates_of four_t with
+  | [ Ft_gate.Single (Ft_gate.Z, 0) ] -> ()
+  | gs ->
+    Alcotest.failf "expected Z, got %s"
+      (String.concat " " (List.map Ft_gate.to_string gs))
+
+let test_cancellation_through_disjoint_gates () =
+  (* H(0) · T(1) · H(0): the interleaved T on a disjoint wire must not
+     block the H pair *)
+  let simplified =
+    Optimize.simplify
+      (ft_of Ft_gate.[ Single (H, 0); Single (T, 1); Single (H, 0) ])
+  in
+  match gates_of simplified with
+  | [ Ft_gate.Single (Ft_gate.T, 1) ] -> ()
+  | gs ->
+    Alcotest.failf "expected just T q1, got %s"
+      (String.concat " " (List.map Ft_gate.to_string gs))
+
+let test_no_cancellation_across_entangling_gate () =
+  (* H(0) · CNOT(0,1) · H(0) must NOT cancel: the CNOT touches wire 0 *)
+  let circ =
+    ft_of Ft_gate.[ Single (H, 0); Cnot { control = 0; target = 1 }; Single (H, 0) ]
+  in
+  let simplified = Optimize.simplify circ in
+  Alcotest.(check int) "kept" 3 (Ft_circuit.num_gates simplified)
+
+let test_cnot_different_operands_kept () =
+  (* CNOT(0,1) · CNOT(1,0) is not an inverse pair *)
+  let circ =
+    ft_of Ft_gate.[ Cnot { control = 0; target = 1 }; Cnot { control = 1; target = 0 } ]
+  in
+  Alcotest.(check int) "kept" 2 (Ft_circuit.num_gates (Optimize.simplify circ))
+
+let test_preserves_semantics_classically () =
+  (* on X/CNOT-only circuits the classical action is directly checkable *)
+  let rng = Leqa_util.Rng.create ~seed:61 in
+  for _ = 1 to 20 do
+    let gates = ref [] in
+    for _ = 1 to 30 do
+      if Leqa_util.Rng.bool rng then
+        gates := Ft_gate.Single (Ft_gate.X, Leqa_util.Rng.int rng ~bound:4) :: !gates
+      else begin
+        let c = Leqa_util.Rng.int rng ~bound:4 in
+        let t = (c + 1 + Leqa_util.Rng.int rng ~bound:3) mod 4 in
+        if c <> t then gates := Ft_gate.Cnot { control = c; target = t } :: !gates
+      end
+    done;
+    let circ = Ft_circuit.of_gates ~num_qubits:4 (List.rev !gates) in
+    let simplified = Optimize.simplify circ in
+    let run c input =
+      let bits = Array.copy input in
+      Ft_circuit.iter
+        (fun g ->
+          match g with
+          | Ft_gate.Single (Ft_gate.X, q) -> bits.(q) <- not bits.(q)
+          | Ft_gate.Single (_, _) -> ()
+          | Ft_gate.Cnot { control; target } ->
+            if bits.(control) then bits.(target) <- not bits.(target))
+        c;
+      bits
+    in
+    for basis = 0 to 15 do
+      let input = Array.init 4 (fun i -> basis land (1 lsl i) <> 0) in
+      Alcotest.(check (array bool))
+        (Printf.sprintf "basis %d" basis)
+        (run circ input) (run simplified input)
+    done
+  done
+
+let test_idempotent () =
+  let rng = Leqa_util.Rng.create ~seed:17 in
+  let circ =
+    Leqa_benchmarks.Random_circuit.ft ~rng ~qubits:6 ~gates:200
+      ~cnot_fraction:0.4
+  in
+  let once = Optimize.simplify circ in
+  let twice = Optimize.simplify once in
+  Alcotest.(check int) "fixpoint" (Ft_circuit.num_gates once)
+    (Ft_circuit.num_gates twice)
+
+let test_shrinks_redundant_circuits () =
+  let rng = Leqa_util.Rng.create ~seed:13 in
+  (* random single-qubit-heavy circuit on few wires: plenty of adjacent
+     inverse pairs arise *)
+  let circ =
+    Leqa_benchmarks.Random_circuit.ft ~rng ~qubits:3 ~gates:500
+      ~cnot_fraction:0.1
+  in
+  let simplified = Optimize.simplify circ in
+  Alcotest.(check bool) "shrank" true
+    (Optimize.removed_gates ~before:circ ~after:simplified > 0)
+
+let test_empty_circuit () =
+  let simplified = Optimize.simplify (Ft_circuit.create ~num_qubits:2 ()) in
+  Alcotest.(check int) "still empty" 0 (Ft_circuit.num_gates simplified);
+  Alcotest.(check int) "wires kept" 2 (Ft_circuit.num_qubits simplified)
+
+let suite =
+  [
+    Alcotest.test_case "inverse pairs cancel" `Quick test_inverse_cancellation;
+    Alcotest.test_case "rotation fusion" `Quick test_fusion;
+    Alcotest.test_case "cancellation through disjoint gates" `Quick
+      test_cancellation_through_disjoint_gates;
+    Alcotest.test_case "entangling gates block cancellation" `Quick
+      test_no_cancellation_across_entangling_gate;
+    Alcotest.test_case "CNOT operand sensitivity" `Quick
+      test_cnot_different_operands_kept;
+    Alcotest.test_case "classical semantics preserved" `Quick
+      test_preserves_semantics_classically;
+    Alcotest.test_case "idempotent" `Quick test_idempotent;
+    Alcotest.test_case "shrinks redundant circuits" `Quick
+      test_shrinks_redundant_circuits;
+    Alcotest.test_case "empty circuit" `Quick test_empty_circuit;
+  ]

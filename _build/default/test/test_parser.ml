@@ -1,0 +1,104 @@
+open Leqa_circuit
+
+let parse_ok input =
+  match Parser.parse_string input with
+  | Ok c -> c
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let test_basic_gates () =
+  let c =
+    parse_ok
+      ".v a,b,c\nBEGIN\nt1 a\nt2 a,b\nt3 a,b,c\nf3 a,b,c\nh a\ntdg b\nEND\n"
+  in
+  Alcotest.(check int) "wires" 3 (Circuit.num_qubits c);
+  Alcotest.(check int) "gates" 6 (Circuit.num_gates c);
+  let k = Circuit.counts c in
+  Alcotest.(check int) "cnot" 1 k.Circuit.cnots;
+  Alcotest.(check int) "toffoli" 1 k.Circuit.toffolis;
+  Alcotest.(check int) "fredkin" 1 k.Circuit.fredkins;
+  Alcotest.(check int) "singles (t1 + h + tdg)" 3 k.Circuit.singles
+
+let test_mct () =
+  let c = parse_ok ".v a,b,c,d,e\nBEGIN\nt5 a,b,c,d,e\nEND\n" in
+  match Circuit.gate c 0 with
+  | Gate.Mct { controls; target } ->
+    Alcotest.(check (list int)) "controls" [ 0; 1; 2; 3 ] controls;
+    Alcotest.(check int) "target" 4 target
+  | g -> Alcotest.failf "expected MCT, got %s" (Gate.to_string g)
+
+let test_comments_and_blanks () =
+  let c = parse_ok "# header\n.v a,b\n\nBEGIN\nt2 a,b # inline\n\nEND\n" in
+  Alcotest.(check int) "one gate" 1 (Circuit.num_gates c)
+
+let test_errors () =
+  let is_error input =
+    match Parser.parse_string input with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "expected failure for %S" input
+  in
+  is_error ".v a,b\nt2 a,b\nEND\n" (* gate before BEGIN *);
+  is_error ".v a,b\nBEGIN\nt2 a,b\n" (* missing END *);
+  is_error ".v a,b\nBEGIN\nbogus a\nEND\n" (* unknown mnemonic *);
+  is_error ".v a\nBEGIN\nt2 a,a\nEND\n" (* duplicate operand *);
+  is_error ".v a,b\nBEGIN\nEND\nt2 a,b\n" (* content after END *)
+
+let test_error_line_number () =
+  match Parser.parse_string ".v a,b\nBEGIN\nt2 a,b\nbogus x\nEND\n" with
+  | Error msg ->
+    Alcotest.(check bool) "mentions line 4" true
+      (String.length msg >= 7 && String.sub msg 0 7 = "line 4:")
+  | Ok _ -> Alcotest.fail "expected error"
+
+let test_declared_unused_wires () =
+  let c = parse_ok ".v a,b,c,d\nBEGIN\nt2 a,b\nEND\n" in
+  Alcotest.(check int) "4 wires kept" 4 (Circuit.num_qubits c)
+
+let test_roundtrip () =
+  let original =
+    Circuit.of_gates ~num_qubits:5
+      Gate.
+        [
+          Single (X, 0);
+          Single (H, 1);
+          Single (Tdg, 2);
+          Cnot { control = 0; target = 3 };
+          Toffoli { c1 = 1; c2 = 2; target = 4 };
+          Fredkin { control = 0; t1 = 2; t2 = 3 };
+          Mct { controls = [ 0; 1; 2 ]; target = 4 };
+        ]
+  in
+  let reparsed = parse_ok (Parser.to_string original) in
+  Alcotest.(check int) "wires" (Circuit.num_qubits original)
+    (Circuit.num_qubits reparsed);
+  Alcotest.(check int) "gates" (Circuit.num_gates original)
+    (Circuit.num_gates reparsed);
+  Circuit.iteri
+    (fun i g ->
+      Alcotest.(check string) "gate text" (Gate.to_string g)
+        (Gate.to_string (Circuit.gate reparsed i)))
+    original
+
+let test_file_roundtrip () =
+  let c = Leqa_benchmarks.Hamming.ham3 () in
+  let path = Filename.temp_file "leqa_test" ".tfc" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Parser.write_file path c;
+      match Parser.parse_file path with
+      | Ok reparsed ->
+        Alcotest.(check int) "gates" (Circuit.num_gates c)
+          (Circuit.num_gates reparsed)
+      | Error e -> Alcotest.fail e)
+
+let suite =
+  [
+    Alcotest.test_case "basic gate set" `Quick test_basic_gates;
+    Alcotest.test_case "multi-controlled gate" `Quick test_mct;
+    Alcotest.test_case "comments and blank lines" `Quick test_comments_and_blanks;
+    Alcotest.test_case "malformed inputs rejected" `Quick test_errors;
+    Alcotest.test_case "errors carry line numbers" `Quick test_error_line_number;
+    Alcotest.test_case "declared-unused wires" `Quick test_declared_unused_wires;
+    Alcotest.test_case "string roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
+  ]

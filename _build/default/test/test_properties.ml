@@ -1,0 +1,313 @@
+(* QCheck property-based tests on the core data structures and the
+   estimator's model invariants, registered as alcotest cases. *)
+
+module Q = QCheck
+module Rng = Leqa_util.Rng
+module Heap = Leqa_util.Heap
+module Binomial = Leqa_util.Binomial
+module Mm1 = Leqa_queueing.Mm1
+module Bounds = Leqa_tsp.Bounds
+module Geometry = Leqa_fabric.Geometry
+module Params = Leqa_fabric.Params
+module Qodg = Leqa_qodg.Qodg
+module Dag = Leqa_qodg.Dag
+module Iig = Leqa_iig.Iig
+module Coverage = Leqa_core.Coverage
+
+let count = 200
+
+(* heap: popping any pushed multiset returns it sorted *)
+let prop_heap_sorts =
+  Q.Test.make ~name:"heap drains in sorted order" ~count
+    Q.(list (float_bound_inclusive 1000.0))
+    (fun priorities ->
+      let h = Heap.create () in
+      List.iter (fun p -> Heap.add h ~priority:p p) priorities;
+      let rec drain prev =
+        match Heap.pop h with
+        | None -> true
+        | Some (p, _) -> p >= prev && drain p
+      in
+      drain neg_infinity)
+
+(* rng: int stays within any positive bound *)
+let prop_rng_int_bound =
+  Q.Test.make ~name:"rng int in [0,bound)" ~count
+    Q.(pair small_int (int_bound 1000))
+    (fun (seed, bound_raw) ->
+      let bound = bound_raw + 1 in
+      let rng = Rng.create ~seed in
+      let ok = ref true in
+      for _ = 1 to 50 do
+        let v = Rng.int rng ~bound in
+        if v < 0 || v >= bound then ok := false
+      done;
+      !ok)
+
+(* binomial pmf: non-negative and bounded by 1 *)
+let prop_binomial_pmf_range =
+  Q.Test.make ~name:"binomial pmf in [0,1]" ~count
+    Q.(triple (int_bound 200) (int_bound 200) (float_bound_inclusive 1.0))
+    (fun (n, k, p) ->
+      let v = Binomial.pmf ~n ~k ~p in
+      v >= 0.0 && v <= 1.0 +. 1e-9)
+
+(* Eq 8: congestion delay is monotone non-decreasing in q *)
+let prop_congestion_monotone =
+  Q.Test.make ~name:"Eq-8 monotone in q" ~count
+    Q.(pair (int_range 1 10) (float_range 1.0 10_000.0))
+    (fun (nc, d_uncong) ->
+      let previous = ref 0.0 in
+      let ok = ref true in
+      for q = 0 to 50 do
+        let d = Mm1.congestion_delay ~nc ~d_uncong ~q in
+        if d +. 1e-9 < !previous then ok := false;
+        previous := d
+      done;
+      !ok)
+
+(* Eq 13-14: estimate always between its bounds *)
+let prop_tsp_estimate_bracketed =
+  Q.Test.make ~name:"Eq-15 estimate between Eq-13/14 bounds" ~count
+    Q.(int_range 1 100_000)
+    (fun n ->
+      let lo = Bounds.tour_lower_bound ~n
+      and mid = Bounds.tour_estimate ~n
+      and hi = Bounds.tour_upper_bound ~n in
+      lo <= mid && mid <= hi)
+
+(* geometry: xy_route length equals manhattan distance *)
+let coord_gen =
+  Q.map
+    (fun (x, y) -> Geometry.{ x = x + 1; y = y + 1 })
+    Q.(pair (int_bound 30) (int_bound 30))
+
+let prop_xy_route_length =
+  Q.Test.make ~name:"xy route length = manhattan" ~count
+    Q.(pair coord_gen coord_gen)
+    (fun (src, dst) ->
+      List.length (Geometry.xy_route ~src ~dst) = Geometry.manhattan src dst)
+
+let prop_manhattan_triangle =
+  Q.Test.make ~name:"manhattan triangle inequality" ~count
+    Q.(triple coord_gen coord_gen coord_gen)
+    (fun (a, b, c) ->
+      Geometry.manhattan a c <= Geometry.manhattan a b + Geometry.manhattan b c)
+
+(* random FT circuits: QODG is acyclic, with |V| = ops+2 and every op node
+   reachable between start and finish *)
+let ft_circuit_gen =
+  Q.map
+    (fun (seed, qubits_raw, gates) ->
+      let qubits = qubits_raw + 2 in
+      let rng = Rng.create ~seed in
+      Leqa_benchmarks.Random_circuit.ft ~rng ~qubits ~gates
+        ~cnot_fraction:0.5)
+    Q.(triple small_int (int_bound 10) (int_bound 150))
+
+let prop_qodg_well_formed =
+  Q.Test.make ~name:"QODG acyclic with correct node count" ~count:100
+    ft_circuit_gen
+    (fun circ ->
+      let qodg = Qodg.of_ft_circuit circ in
+      Dag.is_acyclic (Qodg.dag qodg)
+      && Qodg.num_nodes qodg = Leqa_circuit.Ft_circuit.num_gates circ + 2)
+
+let prop_qodg_no_orphans =
+  Q.Test.make ~name:"every op node has preds and succs" ~count:100
+    ft_circuit_gen
+    (fun circ ->
+      let qodg = Qodg.of_ft_circuit circ in
+      let dag = Qodg.dag qodg in
+      List.for_all
+        (fun node -> Dag.in_degree dag node > 0 && Dag.out_degree dag node > 0)
+        (Qodg.op_nodes qodg))
+
+(* IIG handshake lemma on random circuits *)
+let prop_iig_handshake =
+  Q.Test.make ~name:"IIG handshake lemma" ~count:100 ft_circuit_gen
+    (fun circ ->
+      let iig = Iig.of_ft_circuit circ in
+      let sum = ref 0 in
+      for i = 0 to Iig.num_qubits iig - 1 do
+        sum := !sum + Iig.adjacent_weight_sum iig i
+      done;
+      !sum = 2 * Iig.total_weight iig)
+
+(* coverage probabilities stay in (0,1] over random fabric/zone shapes *)
+let prop_coverage_in_range =
+  Q.Test.make ~name:"P_{x,y} in (0,1]" ~count
+    Q.(pair (int_range 2 40) (int_range 2 40))
+    (fun (width, height) ->
+      let avg_area = float_of_int (min width height) in
+      let grid = Coverage.probability_grid ~topology:Leqa_fabric.Params.Grid ~avg_area ~width ~height in
+      Array.for_all (fun p -> p > 0.0 && p <= 1.0 +. 1e-12) grid)
+
+(* Eq 3 on random shapes: untruncated surfaces + uncovered = area *)
+let prop_eq3_random_shapes =
+  Q.Test.make ~name:"Eq-3 total surface" ~count:50
+    Q.(triple (int_range 2 15) (int_range 2 15) (int_range 1 10))
+    (fun (width, height, qubits) ->
+      let avg_area = 4.0 in
+      let surfaces =
+        Coverage.expected_surfaces ~topology:Leqa_fabric.Params.Grid ~avg_area ~width ~height ~qubits
+          ~terms:qubits
+      in
+      let total =
+        Coverage.expected_uncovered ~topology:Leqa_fabric.Params.Grid ~avg_area ~width ~height ~qubits
+        +. Array.fold_left ( +. ) 0.0 surfaces
+      in
+      abs_float (total -. float_of_int (width * height)) < 1e-6)
+
+(* estimator is deterministic and positive on random non-empty circuits *)
+let prop_estimator_deterministic =
+  Q.Test.make ~name:"estimator deterministic & positive" ~count:50
+    ft_circuit_gen
+    (fun circ ->
+      Q.assume (Leqa_circuit.Ft_circuit.num_gates circ > 0);
+      let qodg = Qodg.of_ft_circuit circ in
+      let a = Leqa_core.Estimator.estimate ~params:Params.default qodg in
+      let b = Leqa_core.Estimator.estimate ~params:Params.default qodg in
+      a.Leqa_core.Estimator.latency_us = b.Leqa_core.Estimator.latency_us
+      && a.Leqa_core.Estimator.latency_us > 0.0)
+
+(* QSPR latency dominates the routing-free critical path *)
+let prop_qspr_dominates_critical_path =
+  Q.Test.make ~name:"QSPR >= routing-free critical path" ~count:25
+    ft_circuit_gen
+    (fun circ ->
+      Q.assume (Leqa_circuit.Ft_circuit.num_gates circ > 0);
+      let qodg = Qodg.of_ft_circuit circ in
+      let cp =
+        Leqa_qodg.Critical_path.compute qodg
+          ~delay:(Params.gate_delay Params.default)
+      in
+      let r = Leqa_qspr.Qspr.run qodg in
+      r.Leqa_qspr.Qspr.latency_us +. 1e-6
+      >= cp.Leqa_qodg.Critical_path.length)
+
+(* parser round-trip on random logical circuits *)
+let logical_circuit_gen =
+  Q.map
+    (fun (seed, gates) ->
+      let rng = Rng.create ~seed in
+      Leqa_benchmarks.Random_circuit.logical ~rng ~qubits:6 ~gates)
+    Q.(pair small_int (int_bound 60))
+
+let prop_parser_roundtrip =
+  Q.Test.make ~name:"parser round-trip" ~count:100 logical_circuit_gen
+    (fun circ ->
+      match Leqa_circuit.Parser.parse_string (Leqa_circuit.Parser.to_string circ) with
+      | Error _ -> false
+      | Ok reparsed ->
+        Leqa_circuit.Circuit.num_gates reparsed
+        = Leqa_circuit.Circuit.num_gates circ
+        && Leqa_circuit.Parser.to_string reparsed
+           = Leqa_circuit.Parser.to_string circ)
+
+(* decomposition output contains only FT gates and preserves CNOT+T parity
+   of wire usage: every produced gate is one of the 9 FT ops *)
+let prop_decompose_only_ft =
+  Q.Test.make ~name:"decomposition emits only FT gates" ~count:100
+    logical_circuit_gen
+    (fun circ ->
+      let ft = Leqa_circuit.Decompose.to_ft circ in
+      let ok = ref true in
+      Leqa_circuit.Ft_circuit.iter
+        (fun g ->
+          match g with
+          | Leqa_circuit.Ft_gate.Single _ | Leqa_circuit.Ft_gate.Cnot _ -> ()
+          | exception _ -> ok := false)
+        ft;
+      !ok && Leqa_circuit.Ft_circuit.num_gates ft
+             >= Leqa_circuit.Circuit.num_gates circ)
+
+(* parser robustness: arbitrary byte soup must never raise — it parses or
+   returns Error *)
+let prop_parser_never_raises =
+  Q.Test.make ~name:"parser never raises on garbage" ~count:500
+    Q.(string_gen_of_size (Q.Gen.int_bound 200) Q.Gen.printable)
+    (fun garbage ->
+      match Leqa_circuit.Parser.parse_string garbage with
+      | Ok _ | Error _ -> true
+      | exception _ -> false)
+
+(* optimizer safety: never grows a circuit, never changes the wire count *)
+let prop_optimizer_shrinks =
+  Q.Test.make ~name:"optimizer never grows circuits" ~count:100
+    ft_circuit_gen
+    (fun circ ->
+      let simplified = Leqa_circuit.Optimize.simplify circ in
+      Leqa_circuit.Ft_circuit.num_gates simplified
+      <= Leqa_circuit.Ft_circuit.num_gates circ
+      && Leqa_circuit.Ft_circuit.num_qubits simplified
+         = Leqa_circuit.Ft_circuit.num_qubits circ)
+
+(* torus coverage: uniform everywhere *)
+let prop_torus_coverage_uniform =
+  Q.Test.make ~name:"torus coverage is position-independent" ~count:100
+    Q.(pair (int_range 3 30) (int_range 3 30))
+    (fun (width, height) ->
+      let avg_area = 4.0 in
+      let grid =
+        Coverage.probability_grid ~topology:Leqa_fabric.Params.Torus ~avg_area
+          ~width ~height
+      in
+      Array.for_all (fun p -> abs_float (p -. grid.(0)) < 1e-12) grid)
+
+(* schedule invariant: 0 <= asap <= alap for every op on random circuits *)
+let prop_schedule_slack_invariant =
+  Q.Test.make ~name:"ASAP <= ALAP everywhere" ~count:100 ft_circuit_gen
+    (fun circ ->
+      let qodg = Qodg.of_ft_circuit circ in
+      let s =
+        Leqa_qodg.Schedule.compute qodg
+          ~delay:(Params.gate_delay Params.default)
+      in
+      List.for_all
+        (fun node ->
+          Leqa_qodg.Schedule.asap s node
+          <= Leqa_qodg.Schedule.alap s node +. 1e-9)
+        (Qodg.op_nodes qodg))
+
+(* QODG round-trip: rebuilt circuit has identical gates in order *)
+let prop_qodg_roundtrip =
+  Q.Test.make ~name:"QODG <-> circuit round-trip" ~count:100 ft_circuit_gen
+    (fun circ ->
+      let rebuilt = Qodg.to_ft_circuit (Qodg.of_ft_circuit circ) in
+      Leqa_circuit.Ft_circuit.num_gates rebuilt
+      = Leqa_circuit.Ft_circuit.num_gates circ
+      && begin
+           let same = ref true in
+           Leqa_circuit.Ft_circuit.iteri
+             (fun i g ->
+               if Leqa_circuit.Ft_circuit.gate circ i <> g then same := false)
+             rebuilt;
+           !same
+         end)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_heap_sorts;
+      prop_rng_int_bound;
+      prop_binomial_pmf_range;
+      prop_congestion_monotone;
+      prop_tsp_estimate_bracketed;
+      prop_xy_route_length;
+      prop_manhattan_triangle;
+      prop_qodg_well_formed;
+      prop_qodg_no_orphans;
+      prop_iig_handshake;
+      prop_coverage_in_range;
+      prop_eq3_random_shapes;
+      prop_estimator_deterministic;
+      prop_qspr_dominates_critical_path;
+      prop_parser_roundtrip;
+      prop_decompose_only_ft;
+      prop_parser_never_raises;
+      prop_optimizer_shrinks;
+      prop_torus_coverage_uniform;
+      prop_schedule_slack_invariant;
+      prop_qodg_roundtrip;
+    ]

@@ -1,0 +1,145 @@
+open Leqa_qecc
+module Params = Leqa_fabric.Params
+
+let feq eps = Alcotest.(check (float eps))
+
+let test_code_basics () =
+  let c2 = Code.steane ~levels:2 in
+  Alcotest.(check int) "levels" 2 (Code.levels c2);
+  Alcotest.(check int) "49 physical" 49 (Code.physical_per_logical c2);
+  Alcotest.(check int) "bare" 1 (Code.physical_per_logical (Code.steane ~levels:0));
+  Alcotest.(check string) "name" "Steane[[7,1,3]] x2" (Code.name c2);
+  Alcotest.(check string) "bare name" "bare (no QECC)"
+    (Code.name (Code.steane ~levels:0))
+
+let test_code_rejects_negative () =
+  Alcotest.check_raises "negative" (Invalid_argument "Code.steane: negative levels")
+    (fun () -> ignore (Code.steane ~levels:(-1)))
+
+let test_delay_factor () =
+  feq 1e-9 "level 1 is the baseline" 1.0
+    (Code.delay_factor (Code.steane ~levels:1) ~per_level:20.0);
+  feq 1e-9 "level 2" 20.0 (Code.delay_factor (Code.steane ~levels:2) ~per_level:20.0);
+  feq 1e-9 "level 3" 400.0 (Code.delay_factor (Code.steane ~levels:3) ~per_level:20.0);
+  feq 1e-9 "bare is cheaper" 0.05
+    (Code.delay_factor (Code.steane ~levels:0) ~per_level:20.0)
+
+let test_logical_error_rate_threshold_theorem () =
+  let rate l =
+    Code.logical_error_rate (Code.steane ~levels:l) ~physical_error_rate:1e-4
+      ~threshold:1e-2
+  in
+  feq 1e-12 "level 0 = physical" 1e-4 (rate 0);
+  (* ε_th (ε/ε_th)^2 = 1e-2 * (1e-2)^2 = 1e-6 *)
+  feq 1e-15 "level 1" 1e-6 (rate 1);
+  (* level 2: 1e-2 * (1e-2)^4 = 1e-10 *)
+  feq 1e-18 "level 2" 1e-10 (rate 2);
+  Alcotest.(check bool) "monotone suppression" true
+    (rate 3 < rate 2 && rate 2 < rate 1 && rate 1 < rate 0)
+
+let test_logical_error_above_threshold_grows () =
+  (* above threshold, concatenation makes things worse — the theorem's
+     other face *)
+  let rate l =
+    Code.logical_error_rate (Code.steane ~levels:l) ~physical_error_rate:0.05
+      ~threshold:1e-2
+  in
+  Alcotest.(check bool) "worse" true (rate 2 > rate 1)
+
+let test_logical_error_validation () =
+  Alcotest.(check bool) "bad threshold rejected" true
+    (try
+       ignore
+         (Code.logical_error_rate (Code.steane ~levels:1)
+            ~physical_error_rate:1e-4 ~threshold:1.5);
+       false
+     with Invalid_argument _ -> true)
+
+let ham15_qodg =
+  lazy
+    (Leqa_qodg.Qodg.of_ft_circuit
+       (Leqa_circuit.Decompose.to_ft (Leqa_benchmarks.Hamming.circuit ~n:15 ())))
+
+let test_evaluate_latency_scales_with_level () =
+  let qodg = Lazy.force ham15_qodg in
+  let eval levels =
+    Selection.evaluate ~params:Params.calibrated
+      ~requirement:Selection.default_requirement ~per_level_delay:20.0
+      ~code:(Code.steane ~levels) qodg
+  in
+  let l1 = eval 1 and l2 = eval 2 in
+  Alcotest.(check bool) "heavier code, slower program" true
+    (l2.Selection.latency_s > 10.0 *. l1.Selection.latency_s)
+
+let test_selection_picks_min_feasible () =
+  let qodg = Lazy.force ham15_qodg in
+  let candidates, chosen =
+    Selection.select ~params:Params.calibrated
+      ~requirement:Selection.default_requirement ~per_level_delay:20.0 qodg
+  in
+  Alcotest.(check int) "5 candidates (levels 0-4)" 5 (List.length candidates);
+  match chosen with
+  | None -> Alcotest.fail "no feasible code found for ham15"
+  | Some c ->
+    Alcotest.(check bool) "chosen is feasible" true c.Selection.feasible;
+    (* no cheaper candidate is feasible *)
+    List.iter
+      (fun other ->
+        if Code.levels other.Selection.code < Code.levels c.Selection.code
+        then
+          Alcotest.(check bool) "cheaper ones infeasible" false
+            other.Selection.feasible)
+      candidates
+
+let test_selection_tight_budget_needs_more_code () =
+  let qodg = Lazy.force ham15_qodg in
+  let loose =
+    { Selection.default_requirement with Selection.target_failure = 0.5 }
+  in
+  let tight =
+    { Selection.default_requirement with Selection.target_failure = 1e-9 }
+  in
+  let pick requirement =
+    match
+      snd
+        (Selection.select ~params:Params.calibrated ~requirement
+           ~per_level_delay:20.0 qodg)
+    with
+    | Some c -> Code.levels c.Selection.code
+    | None -> 99
+  in
+  Alcotest.(check bool) "tighter budget, more levels" true
+    (pick tight >= pick loose)
+
+let test_failure_probability_capped () =
+  let qodg = Lazy.force ham15_qodg in
+  let c =
+    Selection.evaluate ~params:Params.calibrated
+      ~requirement:
+        {
+          Selection.default_requirement with
+          Selection.physical_error_rate = 9e-3 (* near threshold *);
+        }
+      ~per_level_delay:20.0 ~code:(Code.steane ~levels:0) qodg
+  in
+  Alcotest.(check bool) "capped at 1" true (c.Selection.failure_probability <= 1.0)
+
+let suite =
+  [
+    Alcotest.test_case "code basics" `Quick test_code_basics;
+    Alcotest.test_case "negative levels rejected" `Quick test_code_rejects_negative;
+    Alcotest.test_case "delay factor" `Quick test_delay_factor;
+    Alcotest.test_case "threshold-theorem suppression" `Quick
+      test_logical_error_rate_threshold_theorem;
+    Alcotest.test_case "above threshold grows" `Quick
+      test_logical_error_above_threshold_grows;
+    Alcotest.test_case "error-rate validation" `Quick test_logical_error_validation;
+    Alcotest.test_case "latency scales with level" `Quick
+      test_evaluate_latency_scales_with_level;
+    Alcotest.test_case "selects minimum feasible level" `Quick
+      test_selection_picks_min_feasible;
+    Alcotest.test_case "budget tightness" `Quick
+      test_selection_tight_budget_needs_more_code;
+    Alcotest.test_case "failure probability capped" `Quick
+      test_failure_probability_capped;
+  ]

@@ -1,0 +1,67 @@
+open Leqa_benchmarks
+module Circuit = Leqa_circuit.Circuit
+
+let test_gate_count_closed_form () =
+  List.iter
+    (fun (n, bandwidth) ->
+      let circ = Qft.circuit ~bandwidth ~n () in
+      Alcotest.(check int)
+        (Printf.sprintf "n=%d b=%d" n bandwidth)
+        (Qft.gate_count ~bandwidth ~n ())
+        (Circuit.num_gates circ))
+    [ (2, 8); (4, 2); (8, 8); (16, 4); (32, 8) ]
+
+let test_structure' () =
+  let circ = Qft.circuit ~n:8 () in
+  Alcotest.(check int) "8 wires" 8 (Circuit.num_qubits circ);
+  let k = Circuit.counts circ in
+  (* phases: 7+6+5+4+3+2+1 = 28 ladders, each 2 CNOT + swaps 4*3 = 12 CNOT *)
+  Alcotest.(check int) "cnots" ((28 * 2) + 12) k.Circuit.cnots;
+  Alcotest.(check int) "no toffoli" 0 k.Circuit.toffolis
+
+let test_already_ft () =
+  (* the QFT builder emits only FT gates: decomposition is the identity *)
+  let circ = Qft.circuit ~n:6 () in
+  let ft = Leqa_circuit.Decompose.to_ft circ in
+  Alcotest.(check int) "same gate count" (Circuit.num_gates circ)
+    (Leqa_circuit.Ft_circuit.num_gates ft)
+
+let test_bandwidth_truncates () =
+  let full = Qft.circuit ~bandwidth:31 ~n:32 () in
+  let truncated = Qft.circuit ~bandwidth:4 ~n:32 () in
+  Alcotest.(check bool) "truncation shrinks" true
+    (Circuit.num_gates truncated < Circuit.num_gates full)
+
+let test_estimable () =
+  (* end-to-end sanity: the extension family flows through the pipeline *)
+  let circ = Qft.circuit ~n:16 () in
+  let qodg =
+    Leqa_qodg.Qodg.of_ft_circuit (Leqa_circuit.Decompose.to_ft circ)
+  in
+  let est =
+    Leqa_core.Estimator.estimate ~params:Leqa_fabric.Params.calibrated qodg
+  in
+  let actual = Leqa_qspr.Qspr.run qodg in
+  let err =
+    Leqa_util.Stats.relative_error ~actual:actual.Leqa_qspr.Qspr.latency_s
+      ~estimated:est.Leqa_core.Estimator.latency_s
+  in
+  if err > 0.15 then
+    Alcotest.failf "QFT estimate off by %.1f%%" (100.0 *. err)
+
+let test_invalid () =
+  Alcotest.check_raises "n=1" (Invalid_argument "Qft.circuit: n must be >= 2")
+    (fun () -> ignore (Qft.circuit ~n:1 ()));
+  Alcotest.check_raises "bandwidth=0"
+    (Invalid_argument "Qft.circuit: bandwidth must be >= 1") (fun () ->
+      ignore (Qft.circuit ~bandwidth:0 ~n:4 ()))
+
+let suite =
+  [
+    Alcotest.test_case "gate-count closed form" `Quick test_gate_count_closed_form;
+    Alcotest.test_case "ladder structure" `Quick test_structure';
+    Alcotest.test_case "emits only FT gates" `Quick test_already_ft;
+    Alcotest.test_case "bandwidth truncation" `Quick test_bandwidth_truncates;
+    Alcotest.test_case "flows through the pipeline" `Quick test_estimable;
+    Alcotest.test_case "input validation" `Quick test_invalid;
+  ]

@@ -1,0 +1,87 @@
+open Leqa_benchmarks
+module Circuit = Leqa_circuit.Circuit
+module Gate = Leqa_circuit.Gate
+
+let test_wires () =
+  Alcotest.(check int) "2n wires" 16 (Circuit.num_qubits (Qft_adder.circuit ~n:8 ()));
+  Alcotest.(check int) "helper" 16 (Qft_adder.wires ~n:8)
+
+let test_no_ancilla_vs_vbe () =
+  let n = 12 in
+  let draper = Qft_adder.circuit ~n () in
+  let vbe = Adder.ripple_carry ~n in
+  Alcotest.(check bool) "fewer wires than VBE" true
+    (Circuit.num_qubits draper < Circuit.num_qubits vbe);
+  (* but denser in two-qubit interactions after decomposition *)
+  let iig_density circ =
+    let ft = Leqa_circuit.Decompose.to_ft circ in
+    let iig = Leqa_iig.Iig.of_ft_circuit ft in
+    float_of_int (Leqa_iig.Iig.total_weight iig)
+    /. float_of_int (Leqa_iig.Iig.num_qubits iig)
+  in
+  Alcotest.(check bool) "denser interactions" true
+    (iig_density draper > iig_density vbe)
+
+let test_qft_sandwich_structure () =
+  (* the inverse QFT undoes the forward one: a bandwidth-b adder contains
+     exactly twice the QFT body plus the ladder; count H gates: 2n *)
+  let n = 6 in
+  let circ = Qft_adder.circuit ~n () in
+  let h_count =
+    Circuit.fold
+      (fun acc g -> match g with Gate.Single (Gate.H, _) -> acc + 1 | _ -> acc)
+      0 circ
+  in
+  Alcotest.(check int) "2n Hadamards" (2 * n) h_count
+
+let test_gate_count_structure () =
+  (* total = 2 × |QFT body| + |ladder|: body = n H + 5 gates per phase
+     block; ladder = 5 gates per (i,j) pair with j-i <= bandwidth *)
+  let n = 8 and bandwidth = 8 in
+  let qft_blocks = ref 0 and ladder_blocks = ref 0 in
+  for i = 0 to n - 1 do
+    qft_blocks := !qft_blocks + min (n - 1 - i) bandwidth;
+    ladder_blocks := !ladder_blocks + (min (n - 1) (i + bandwidth) - i + 1)
+  done;
+  let expected = (2 * (n + (5 * !qft_blocks))) + (5 * !ladder_blocks) in
+  Alcotest.(check int) "gate count" expected
+    (Circuit.num_gates (Qft_adder.circuit ~bandwidth ~n ()))
+
+let test_bandwidth_truncation () =
+  let full = Qft_adder.circuit ~bandwidth:15 ~n:16 () in
+  let cut = Qft_adder.circuit ~bandwidth:3 ~n:16 () in
+  Alcotest.(check bool) "truncation shrinks" true
+    (Circuit.num_gates cut < Circuit.num_gates full)
+
+let test_pipeline_and_coding_tradeoff () =
+  (* the coding-comparison story: LEQA can rank VBE vs Draper without
+     mapping either *)
+  let estimate circ =
+    let qodg =
+      Leqa_qodg.Qodg.of_ft_circuit (Leqa_circuit.Decompose.to_ft circ)
+    in
+    (Leqa_core.Estimator.estimate ~params:Leqa_fabric.Params.calibrated qodg)
+      .Leqa_core.Estimator.latency_s
+  in
+  let vbe = estimate (Adder.ripple_carry ~n:8) in
+  let draper = estimate (Qft_adder.circuit ~n:8 ()) in
+  Alcotest.(check bool) "both positive" true (vbe > 0.0 && draper > 0.0)
+
+let test_invalid () =
+  Alcotest.check_raises "n=1" (Invalid_argument "Qft_adder.circuit: n must be >= 2")
+    (fun () -> ignore (Qft_adder.circuit ~n:1 ()));
+  Alcotest.check_raises "bandwidth"
+    (Invalid_argument "Qft_adder.circuit: bandwidth must be >= 1") (fun () ->
+      ignore (Qft_adder.circuit ~bandwidth:0 ~n:4 ()))
+
+let suite =
+  [
+    Alcotest.test_case "wire count" `Quick test_wires;
+    Alcotest.test_case "no-ancilla vs VBE trade-off" `Quick test_no_ancilla_vs_vbe;
+    Alcotest.test_case "QFT sandwich structure" `Quick test_qft_sandwich_structure;
+    Alcotest.test_case "gate-count structure" `Quick test_gate_count_structure;
+    Alcotest.test_case "bandwidth truncation" `Quick test_bandwidth_truncation;
+    Alcotest.test_case "coding-comparison pipeline" `Quick
+      test_pipeline_and_coding_tradeoff;
+    Alcotest.test_case "input validation" `Quick test_invalid;
+  ]

@@ -1,0 +1,237 @@
+open Leqa_qodg
+module Ft_gate = Leqa_circuit.Ft_gate
+module Ft_circuit = Leqa_circuit.Ft_circuit
+
+(* --- Dag --- *)
+
+let test_dag_basics () =
+  let g = Dag.create 4 in
+  Dag.add_edge g ~src:0 ~dst:1;
+  Dag.add_edge g ~src:1 ~dst:2;
+  Dag.add_edge g ~src:0 ~dst:3;
+  Alcotest.(check int) "nodes" 4 (Dag.num_nodes g);
+  Alcotest.(check int) "edges" 3 (Dag.num_edges g);
+  Alcotest.(check (list int)) "succs 0" [ 3; 1 ] (Dag.succs g 0);
+  Alcotest.(check (list int)) "preds 2" [ 1 ] (Dag.preds g 2);
+  Alcotest.(check int) "in_degree" 1 (Dag.in_degree g 1);
+  Alcotest.(check int) "out_degree" 2 (Dag.out_degree g 0)
+
+let test_dag_rejects_bad_edges () =
+  let g = Dag.create 2 in
+  Alcotest.check_raises "self loop" (Invalid_argument "Dag.add_edge: self-loop")
+    (fun () -> Dag.add_edge g ~src:1 ~dst:1);
+  Alcotest.check_raises "out of range" (Invalid_argument "Dag: node out of range")
+    (fun () -> Dag.add_edge g ~src:0 ~dst:5)
+
+let test_topological_order () =
+  let g = Dag.create 5 in
+  Dag.add_edge g ~src:0 ~dst:2;
+  Dag.add_edge g ~src:1 ~dst:2;
+  Dag.add_edge g ~src:2 ~dst:3;
+  Dag.add_edge g ~src:2 ~dst:4;
+  match Dag.topological_order g with
+  | None -> Alcotest.fail "acyclic graph reported cyclic"
+  | Some order ->
+    let position = Array.make 5 0 in
+    Array.iteri (fun i v -> position.(v) <- i) order;
+    List.iter
+      (fun (a, b) ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%d before %d" a b)
+          true
+          (position.(a) < position.(b)))
+      [ (0, 2); (1, 2); (2, 3); (2, 4) ]
+
+let test_cycle_detection () =
+  let g = Dag.create 3 in
+  Dag.add_edge g ~src:0 ~dst:1;
+  Dag.add_edge g ~src:1 ~dst:2;
+  Dag.add_edge g ~src:2 ~dst:0;
+  Alcotest.(check bool) "cyclic" false (Dag.is_acyclic g)
+
+let test_longest_path_diamond () =
+  (* diamond with asymmetric weights: source 0, 1 (heavy) / 2 (light), sink 3 *)
+  let g = Dag.create 4 in
+  Dag.add_edge g ~src:0 ~dst:1;
+  Dag.add_edge g ~src:0 ~dst:2;
+  Dag.add_edge g ~src:1 ~dst:3;
+  Dag.add_edge g ~src:2 ~dst:3;
+  let weight = function 1 -> 10.0 | 2 -> 1.0 | _ -> 0.5 in
+  let length, path = Dag.longest_path g ~weight ~source:0 ~sink:3 in
+  Alcotest.(check (float 1e-9)) "length" 11.0 length;
+  Alcotest.(check (list int)) "path" [ 0; 1; 3 ] path
+
+let test_longest_path_unreachable () =
+  let g = Dag.create 3 in
+  Dag.add_edge g ~src:0 ~dst:1;
+  Alcotest.check_raises "unreachable"
+    (Invalid_argument "Dag.longest_path: sink unreachable from source")
+    (fun () -> ignore (Dag.longest_path g ~weight:(fun _ -> 1.0) ~source:0 ~sink:2))
+
+(* --- Qodg --- *)
+
+let ham3_qodg () =
+  Qodg.of_ft_circuit (Leqa_circuit.Decompose.to_ft (Leqa_benchmarks.Hamming.ham3 ()))
+
+let test_qodg_figure2_shape () =
+  (* Figure 2: ham3 has 19 FT ops, so 21 QODG nodes *)
+  let qodg = ham3_qodg () in
+  Alcotest.(check int) "nodes" 21 (Qodg.num_nodes qodg);
+  Alcotest.(check int) "qubits" 3 (Qodg.num_qubits qodg);
+  Alcotest.(check int) "start" 0 (Qodg.start_node qodg);
+  Alcotest.(check int) "finish" 20 (Qodg.finish_node qodg);
+  (match Qodg.kind qodg 0 with
+  | Qodg.Start -> ()
+  | _ -> Alcotest.fail "node 0 should be start");
+  match Qodg.kind qodg 20 with
+  | Qodg.Finish -> ()
+  | _ -> Alcotest.fail "last node should be finish"
+
+let test_qodg_dependency_chain () =
+  (* two sequential CNOTs on the same pair must chain *)
+  let circ =
+    Ft_circuit.of_gates
+      Ft_gate.
+        [ Cnot { control = 0; target = 1 }; Cnot { control = 0; target = 1 } ]
+  in
+  let qodg = Qodg.of_ft_circuit circ in
+  let dag = Qodg.dag qodg in
+  Alcotest.(check (list int)) "1 -> 2" [ 2 ] (Dag.succs dag 1);
+  (* parallel edges merged: node 2 has exactly one pred (node 1) *)
+  Alcotest.(check (list int)) "preds of 2 merged" [ 1 ] (Dag.preds dag 2)
+
+let test_qodg_independent_ops_parallel () =
+  (* ops on disjoint qubits both hang off start *)
+  let circ =
+    Ft_circuit.of_gates
+      Ft_gate.[ Single (H, 0); Single (T, 1) ]
+  in
+  let qodg = Qodg.of_ft_circuit circ in
+  let dag = Qodg.dag qodg in
+  Alcotest.(check (list int)) "start fans out"
+    [ 2; 1 ]
+    (Dag.succs dag (Qodg.start_node qodg))
+
+let test_qodg_one_qubit_degree () =
+  (* the paper: a one-qubit op node has one edge in and one out *)
+  let circ =
+    Ft_circuit.of_gates
+      Ft_gate.[ Single (H, 0); Single (T, 0); Single (X, 0) ]
+  in
+  let qodg = Qodg.of_ft_circuit circ in
+  let dag = Qodg.dag qodg in
+  List.iter
+    (fun node ->
+      Alcotest.(check int) "in" 1 (Dag.in_degree dag node);
+      Alcotest.(check int) "out" 1 (Dag.out_degree dag node))
+    (Qodg.op_nodes qodg)
+
+let test_qodg_untouched_wire () =
+  (* a declared-but-unused qubit adds a start -> finish edge, not a crash *)
+  let circ = Ft_circuit.create ~num_qubits:3 () in
+  Ft_circuit.add circ (Ft_gate.Single (Ft_gate.H, 0));
+  let qodg = Qodg.of_ft_circuit circ in
+  let dag = Qodg.dag qodg in
+  Alcotest.(check bool) "start->finish edge" true
+    (List.mem (Qodg.finish_node qodg) (Dag.succs dag (Qodg.start_node qodg)))
+
+let test_qodg_acyclic_always () =
+  let rng = Leqa_util.Rng.create ~seed:8 in
+  for _ = 1 to 10 do
+    let circ =
+      Leqa_benchmarks.Random_circuit.ft ~rng ~qubits:10 ~gates:200
+        ~cnot_fraction:0.5
+    in
+    let qodg = Qodg.of_ft_circuit circ in
+    Alcotest.(check bool) "acyclic" true (Dag.is_acyclic (Qodg.dag qodg))
+  done
+
+let test_gate_exn () =
+  let qodg = ham3_qodg () in
+  Alcotest.check_raises "start has no gate"
+    (Invalid_argument "Qodg.gate_exn: start/finish node") (fun () ->
+      ignore (Qodg.gate_exn qodg 0));
+  match Qodg.gate_exn qodg 1 with
+  | Ft_gate.Single (Ft_gate.H, _) -> ()
+  | g -> Alcotest.failf "expected leading H of the Toffoli network, got %s"
+           (Ft_gate.to_string g)
+
+(* --- Critical path --- *)
+
+let test_critical_path_unit_depth () =
+  (* ham3: the Toffoli network has depth 12 on its critical path (the
+     target-line chain) plus trailing CNOTs *)
+  let qodg = ham3_qodg () in
+  let depth = Critical_path.depth qodg in
+  Alcotest.(check bool) (Printf.sprintf "depth %d in [13,19]" depth) true
+    (depth >= 13 && depth <= 19)
+
+let test_critical_path_counts_sum () =
+  let qodg = ham3_qodg () in
+  let r = Critical_path.compute qodg ~delay:(fun _ -> 1.0) in
+  let total =
+    r.Critical_path.counts.Critical_path.cnots
+    + Array.fold_left ( + ) 0 r.Critical_path.counts.Critical_path.singles
+  in
+  (* path includes start+finish, counts only ops *)
+  Alcotest.(check int) "counts match path length" (List.length r.Critical_path.path - 2) total
+
+let test_critical_path_weighted () =
+  (* making CNOTs free shifts the critical path away from them *)
+  let circ =
+    Ft_circuit.of_gates
+      Ft_gate.
+        [
+          Single (T, 0);
+          Single (T, 0);
+          Cnot { control = 1; target = 2 };
+          Cnot { control = 1; target = 2 };
+          Cnot { control = 1; target = 2 };
+        ]
+  in
+  let qodg = Qodg.of_ft_circuit circ in
+  let expensive_singles =
+    Critical_path.compute qodg ~delay:(function
+      | Ft_gate.Single _ -> 100.0
+      | Ft_gate.Cnot _ -> 1.0)
+  in
+  Alcotest.(check (float 1e-9)) "two Ts dominate" 200.0
+    expensive_singles.Critical_path.length;
+  let expensive_cnots =
+    Critical_path.compute qodg ~delay:(function
+      | Ft_gate.Single _ -> 1.0
+      | Ft_gate.Cnot _ -> 100.0)
+  in
+  Alcotest.(check (float 1e-9)) "three CNOTs dominate" 300.0
+    expensive_cnots.Critical_path.length
+
+let test_critical_path_monotone_in_delay () =
+  let qodg = ham3_qodg () in
+  let base = Critical_path.compute qodg ~delay:(fun _ -> 1.0) in
+  let doubled = Critical_path.compute qodg ~delay:(fun _ -> 2.0) in
+  Alcotest.(check (float 1e-9)) "doubling delays doubles length"
+    (2.0 *. base.Critical_path.length)
+    doubled.Critical_path.length
+
+let suite =
+  [
+    Alcotest.test_case "dag basics" `Quick test_dag_basics;
+    Alcotest.test_case "dag rejects bad edges" `Quick test_dag_rejects_bad_edges;
+    Alcotest.test_case "topological order" `Quick test_topological_order;
+    Alcotest.test_case "cycle detection" `Quick test_cycle_detection;
+    Alcotest.test_case "longest path (diamond)" `Quick test_longest_path_diamond;
+    Alcotest.test_case "longest path unreachable" `Quick test_longest_path_unreachable;
+    Alcotest.test_case "Figure-2 node count" `Quick test_qodg_figure2_shape;
+    Alcotest.test_case "dependency chaining + edge merge" `Quick
+      test_qodg_dependency_chain;
+    Alcotest.test_case "independent ops are parallel" `Quick
+      test_qodg_independent_ops_parallel;
+    Alcotest.test_case "one-qubit node degrees" `Quick test_qodg_one_qubit_degree;
+    Alcotest.test_case "untouched wire" `Quick test_qodg_untouched_wire;
+    Alcotest.test_case "random circuits stay acyclic" `Quick test_qodg_acyclic_always;
+    Alcotest.test_case "gate_exn" `Quick test_gate_exn;
+    Alcotest.test_case "unit-delay depth" `Quick test_critical_path_unit_depth;
+    Alcotest.test_case "path counts consistency" `Quick test_critical_path_counts_sum;
+    Alcotest.test_case "delay-sensitive critical path" `Quick test_critical_path_weighted;
+    Alcotest.test_case "linearity in delays" `Quick test_critical_path_monotone_in_delay;
+  ]

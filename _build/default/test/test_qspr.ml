@@ -1,0 +1,333 @@
+open Leqa_qspr
+module Geometry = Leqa_fabric.Geometry
+module Params = Leqa_fabric.Params
+module Ft_gate = Leqa_circuit.Ft_gate
+module Ft_circuit = Leqa_circuit.Ft_circuit
+module Qodg = Leqa_qodg.Qodg
+
+let feq = Alcotest.(check (float 1e-6))
+
+(* --- Placement --- *)
+
+let test_placement_in_bounds () =
+  List.iter
+    (fun strategy ->
+      let positions =
+        Placement.place strategy ~num_qubits:50 ~width:10 ~height:8
+      in
+      Array.iter
+        (fun c ->
+          Alcotest.(check bool) "in bounds" true
+            (Geometry.in_bounds ~width:10 ~height:8 c))
+        positions)
+    [ Placement.Spread; Placement.Row_major; Placement.Random 7;
+      Placement.Center_out ]
+
+let test_placement_distinct_when_room () =
+  List.iter
+    (fun strategy ->
+      let positions =
+        Placement.place strategy ~num_qubits:20 ~width:10 ~height:10
+      in
+      let seen = Hashtbl.create 32 in
+      Array.iter
+        (fun c ->
+          let k = Geometry.index ~width:10 c in
+          if Hashtbl.mem seen k then Alcotest.fail "duplicate placement";
+          Hashtbl.add seen k ())
+        positions)
+    [ Placement.Spread; Placement.Row_major; Placement.Random 3;
+      Placement.Center_out ]
+
+let test_placement_overflow_wraps () =
+  let positions =
+    Placement.place Placement.Row_major ~num_qubits:10 ~width:2 ~height:2
+  in
+  Alcotest.(check int) "all placed" 10 (Array.length positions)
+
+let test_placement_center_out () =
+  let positions =
+    Placement.place Placement.Center_out ~num_qubits:1 ~width:9 ~height:9
+  in
+  Alcotest.(check int) "first at centre x" 5 positions.(0).Geometry.x;
+  Alcotest.(check int) "first at centre y" 5 positions.(0).Geometry.y
+
+let test_placement_deterministic () =
+  let a = Placement.place (Placement.Random 5) ~num_qubits:30 ~width:10 ~height:10 in
+  let b = Placement.place (Placement.Random 5) ~num_qubits:30 ~width:10 ~height:10 in
+  Alcotest.(check bool) "same seed, same layout" true (a = b)
+
+let test_placement_clustered () =
+  (* a hub qubit with three heavy partners: all four must land within
+     manhattan distance 2 of each other on a roomy fabric *)
+  let iig =
+    Leqa_iig.Iig.of_ft_circuit
+      (Ft_circuit.of_gates
+         Ft_gate.
+           [
+             Cnot { control = 0; target = 1 };
+             Cnot { control = 0; target = 1 };
+             Cnot { control = 0; target = 2 };
+             Cnot { control = 0; target = 3 };
+             Single (H, 4);
+           ])
+  in
+  let positions =
+    Placement.place (Placement.Clustered iig) ~num_qubits:5 ~width:11
+      ~height:11
+  in
+  (* distinct tiles *)
+  let seen = Hashtbl.create 8 in
+  Array.iter
+    (fun c ->
+      let k = Geometry.index ~width:11 c in
+      if Hashtbl.mem seen k then Alcotest.fail "duplicate tile";
+      Hashtbl.add seen k ())
+    positions;
+  (* the heaviest pair (0,1) is adjacent; 2 and 3 are close to 0 *)
+  Alcotest.(check bool) "0 and 1 adjacent" true
+    (Geometry.manhattan positions.(0) positions.(1) <= 1);
+  Alcotest.(check bool) "partners near hub" true
+    (Geometry.manhattan positions.(0) positions.(2) <= 2
+    && Geometry.manhattan positions.(0) positions.(3) <= 2)
+
+let test_placement_clustered_validation () =
+  let iig = Leqa_iig.Iig.of_ft_circuit (Ft_circuit.create ~num_qubits:2 ()) in
+  Alcotest.check_raises "IIG too small"
+    (Invalid_argument "Placement.place: IIG smaller than the qubit count")
+    (fun () ->
+      ignore
+        (Placement.place (Placement.Clustered iig) ~num_qubits:5 ~width:4
+           ~height:4))
+
+let test_clustered_reduces_routing () =
+  (* clustering frequently-interacting qubits shortens the mapped routes:
+     hops do not increase vs Spread on an interaction-heavy circuit *)
+  let circ =
+    Leqa_circuit.Decompose.to_ft (Leqa_benchmarks.Gf2_mult.circuit ~n:12 ())
+  in
+  let qodg = Qodg.of_ft_circuit circ in
+  let iig = Leqa_iig.Iig.of_qodg qodg in
+  let run placement =
+    Qspr.run ~config:{ Qspr.default_config with Qspr.placement } qodg
+  in
+  let spread = run Placement.Spread in
+  let clustered = run (Placement.Clustered iig) in
+  Alcotest.(check bool)
+    (Printf.sprintf "hops %d <= %d" clustered.Qspr.stats.Scheduler.hops
+       spread.Qspr.stats.Scheduler.hops)
+    true
+    (clustered.Qspr.stats.Scheduler.hops <= spread.Qspr.stats.Scheduler.hops)
+
+(* --- Router --- *)
+
+let small_params = Params.with_fabric Params.default ~width:8 ~height:8
+
+let test_route_free_fabric () =
+  List.iter
+    (fun mode ->
+      let r = Router.create ~mode small_params in
+      let arrival =
+        Router.route r
+          ~src:Geometry.{ x = 1; y = 1 }
+          ~dst:Geometry.{ x = 4; y = 3 }
+          ~depart:0.0
+      in
+      (* 5 hops x 100us, no congestion *)
+      feq "manhattan time" 500.0 arrival)
+    [ Router.Astar; Router.Xy ]
+
+let test_route_identity () =
+  let r = Router.create small_params in
+  let c = Geometry.{ x = 2; y = 2 } in
+  feq "no move" 42.0 (Router.route r ~src:c ~dst:c ~depart:42.0)
+
+let test_route_estimate () =
+  let r = Router.create small_params in
+  feq "estimate" 300.0
+    (Router.estimate r ~src:Geometry.{ x = 1; y = 1 } ~dst:Geometry.{ x = 4; y = 1 })
+
+let test_astar_avoids_congestion () =
+  (* saturate the straight-line segment; A* should find a detour that is
+     no slower than waiting, XY must wait *)
+  let clog params =
+    let r = Router.create ~mode:Router.Xy params in
+    let src = Geometry.{ x = 1; y = 1 } and dst = Geometry.{ x = 2; y = 1 } in
+    for _ = 1 to 20 do
+      ignore (Router.route r ~src ~dst ~depart:0.0)
+    done;
+    r
+  in
+  ignore (clog small_params);
+  let congested_params = { small_params with Params.nc = 1 } in
+  let xy = Router.create ~mode:Router.Xy congested_params in
+  let astar = Router.create ~mode:Router.Astar congested_params in
+  let src = Geometry.{ x = 1; y = 1 } and dst = Geometry.{ x = 3; y = 1 } in
+  (* pre-book the first segment heavily on both routers *)
+  List.iter
+    (fun r ->
+      for _ = 1 to 5 do
+        ignore
+          (Router.route r ~src:Geometry.{ x = 1; y = 1 }
+             ~dst:Geometry.{ x = 2; y = 1 } ~depart:0.0)
+      done)
+    [ xy; astar ];
+  let t_xy = Router.route xy ~src ~dst ~depart:0.0 in
+  let t_astar = Router.route astar ~src ~dst ~depart:0.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "astar %.0f <= xy %.0f" t_astar t_xy)
+    true (t_astar <= t_xy);
+  Alcotest.(check bool) "astar explored" true (Router.nodes_explored astar > 0)
+
+let test_router_accounting () =
+  let r = Router.create ~mode:Router.Xy small_params in
+  let _ =
+    Router.route r ~src:Geometry.{ x = 1; y = 1 } ~dst:Geometry.{ x = 3; y = 2 }
+      ~depart:0.0
+  in
+  Alcotest.(check int) "3 hops booked" 3 (Router.hops_taken r)
+
+(* --- Scheduler / end-to-end --- *)
+
+let qodg_of gates = Qodg.of_ft_circuit (Ft_circuit.of_gates gates)
+
+let test_single_gate_latency () =
+  (* one H: no routing, latency = d_H *)
+  let qodg = qodg_of [ Ft_gate.Single (Ft_gate.H, 0) ] in
+  let r = Qspr.run qodg in
+  feq "d_H" 5440.0 r.Qspr.latency_us
+
+let test_sequential_gates_accumulate () =
+  let qodg =
+    qodg_of Ft_gate.[ Single (H, 0); Single (T, 0); Single (H, 0) ]
+  in
+  let r = Qspr.run qodg in
+  feq "sum of delays" (5440.0 +. 10940.0 +. 5440.0) r.Qspr.latency_us
+
+let test_parallel_gates_overlap () =
+  (* independent ops on different qubits run concurrently *)
+  let qodg = qodg_of Ft_gate.[ Single (H, 0); Single (H, 1) ] in
+  let r = Qspr.run qodg in
+  feq "max, not sum" 5440.0 r.Qspr.latency_us
+
+let test_cnot_includes_routing () =
+  (* a CNOT between separated qubits costs d_CNOT plus hop time *)
+  let qodg = qodg_of [ Ft_gate.Cnot { control = 0; target = 1 } ] in
+  let r = Qspr.run qodg in
+  Alcotest.(check bool)
+    (Printf.sprintf "%.0f > d_CNOT" r.Qspr.latency_us)
+    true
+    (r.Qspr.latency_us > 4930.0);
+  Alcotest.(check int) "one CNOT measured" 1 r.Qspr.stats.Scheduler.cnot_count
+
+let test_empty_circuit () =
+  let qodg = Qodg.of_ft_circuit (Ft_circuit.create ~num_qubits:2 ()) in
+  let r = Qspr.run qodg in
+  feq "zero latency" 0.0 r.Qspr.latency_us
+
+let test_deterministic () =
+  let rng = Leqa_util.Rng.create ~seed:21 in
+  let circ =
+    Leqa_benchmarks.Random_circuit.ft ~rng ~qubits:16 ~gates:400
+      ~cnot_fraction:0.5
+  in
+  let qodg = Qodg.of_ft_circuit circ in
+  let a = Qspr.run qodg and b = Qspr.run qodg in
+  feq "same latency" a.Qspr.latency_us b.Qspr.latency_us
+
+let test_latency_lower_bound () =
+  (* mapped latency can never beat the pure critical path (zero routing) *)
+  let rng = Leqa_util.Rng.create ~seed:33 in
+  for _ = 1 to 5 do
+    let circ =
+      Leqa_benchmarks.Random_circuit.ft ~rng ~qubits:10 ~gates:150
+        ~cnot_fraction:0.4
+    in
+    let qodg = Qodg.of_ft_circuit circ in
+    let cp =
+      Leqa_qodg.Critical_path.compute qodg
+        ~delay:(Params.gate_delay Params.default)
+    in
+    let r = Qspr.run qodg in
+    Alcotest.(check bool)
+      (Printf.sprintf "%.0f >= %.0f" r.Qspr.latency_us cp.Leqa_qodg.Critical_path.length)
+      true
+      (r.Qspr.latency_us +. 1e-6 >= cp.Leqa_qodg.Critical_path.length)
+  done
+
+let test_congestion_increases_latency () =
+  (* throttling channel capacity to 1 cannot speed the program up *)
+  let rng = Leqa_util.Rng.create ~seed:55 in
+  let circ =
+    Leqa_benchmarks.Random_circuit.ft ~rng ~qubits:30 ~gates:600
+      ~cnot_fraction:0.7
+  in
+  let qodg = Qodg.of_ft_circuit circ in
+  let free = Qspr.run ~config:Qspr.default_config qodg in
+  let throttled_params = { Params.default with Params.nc = 1 } in
+  let throttled =
+    Qspr.run
+      ~config:{ Qspr.default_config with Qspr.params = throttled_params }
+      qodg
+  in
+  Alcotest.(check bool) "nc=1 is not faster" true
+    (throttled.Qspr.latency_us +. 1e-6 >= free.Qspr.latency_us)
+
+let test_stats_consistency () =
+  let qodg =
+    Qodg.of_ft_circuit (Leqa_circuit.Decompose.to_ft (Leqa_benchmarks.Hamming.ham3 ()))
+  in
+  let r = Qspr.run qodg in
+  let s = r.Qspr.stats in
+  Alcotest.(check int) "ops executed = 19" 19 s.Scheduler.ops_executed;
+  Alcotest.(check int) "cnot + singles = ops"
+    s.Scheduler.ops_executed
+    (s.Scheduler.cnot_count + s.Scheduler.single_count);
+  Alcotest.(check bool) "routing totals non-negative" true
+    (s.Scheduler.cnot_routing_total >= 0.0
+    && s.Scheduler.single_routing_total >= 0.0)
+
+let test_avg_routing_helpers () =
+  let s =
+    {
+      Scheduler.latency = 0.0;
+      ops_executed = 0;
+      hops = 0;
+      channel_wait = 0.0;
+      cnot_count = 0;
+      cnot_routing_total = 0.0;
+      single_count = 2;
+      single_routing_total = 100.0;
+      search_nodes = 0;
+      top_segments = [];
+    }
+  in
+  feq "cnot avg guards zero" 0.0 (Scheduler.avg_cnot_routing s);
+  feq "single avg" 50.0 (Scheduler.avg_single_routing s)
+
+let suite =
+  [
+    Alcotest.test_case "placement stays in bounds" `Quick test_placement_in_bounds;
+    Alcotest.test_case "placement distinct tiles" `Quick test_placement_distinct_when_room;
+    Alcotest.test_case "placement wraps when full" `Quick test_placement_overflow_wraps;
+    Alcotest.test_case "center-out starts centred" `Quick test_placement_center_out;
+    Alcotest.test_case "random placement deterministic" `Quick test_placement_deterministic;
+    Alcotest.test_case "clustered placement" `Quick test_placement_clustered;
+    Alcotest.test_case "clustered validation" `Quick test_placement_clustered_validation;
+    Alcotest.test_case "clustering reduces routing" `Quick test_clustered_reduces_routing;
+    Alcotest.test_case "free-fabric route time" `Quick test_route_free_fabric;
+    Alcotest.test_case "route to self" `Quick test_route_identity;
+    Alcotest.test_case "route estimate" `Quick test_route_estimate;
+    Alcotest.test_case "A* vs XY under congestion" `Quick test_astar_avoids_congestion;
+    Alcotest.test_case "router hop accounting" `Quick test_router_accounting;
+    Alcotest.test_case "single-gate latency" `Quick test_single_gate_latency;
+    Alcotest.test_case "sequential accumulation" `Quick test_sequential_gates_accumulate;
+    Alcotest.test_case "parallel overlap" `Quick test_parallel_gates_overlap;
+    Alcotest.test_case "CNOT routing cost" `Quick test_cnot_includes_routing;
+    Alcotest.test_case "empty circuit" `Quick test_empty_circuit;
+    Alcotest.test_case "determinism" `Quick test_deterministic;
+    Alcotest.test_case "critical path is a lower bound" `Quick test_latency_lower_bound;
+    Alcotest.test_case "congestion monotonicity" `Slow test_congestion_increases_latency;
+    Alcotest.test_case "stats consistency on ham3" `Quick test_stats_consistency;
+    Alcotest.test_case "avg routing helpers" `Quick test_avg_routing_helpers;
+  ]

@@ -1,0 +1,114 @@
+open Leqa_queueing
+
+let feq eps = Alcotest.(check (float eps))
+
+let test_mm1_basics () =
+  let q = Mm1.make ~lambda:1.0 ~mu:2.0 in
+  feq 1e-9 "utilization" 0.5 (Mm1.utilization q);
+  feq 1e-9 "L = lambda/(mu-lambda)" 1.0 (Mm1.avg_queue_length q);
+  feq 1e-9 "W = L/lambda (Little)" 1.0 (Mm1.avg_waiting_time q)
+
+let test_mm1_stability () =
+  Alcotest.check_raises "mu <= lambda"
+    (Invalid_argument "Mm1.make: requires mu > lambda (stability)") (fun () ->
+      ignore (Mm1.make ~lambda:2.0 ~mu:2.0))
+
+let test_lambda_inversion () =
+  (* Eq (10): recover lambda from the observed queue length *)
+  let mu = 3.0 in
+  List.iter
+    (fun lambda ->
+      let q = Mm1.make ~lambda ~mu in
+      let l = Mm1.avg_queue_length q in
+      feq 1e-9 "round trip" lambda (Mm1.lambda_of_queue_length ~queue_length:l ~mu))
+    [ 0.5; 1.0; 2.0; 2.9 ]
+
+let test_congestion_delay_uncongested () =
+  (* Eq (8): q <= N_c leaves the delay unchanged *)
+  let d = 800.0 and nc = 5 in
+  for q = 0 to nc do
+    feq 1e-9
+      (Printf.sprintf "q=%d" q)
+      d
+      (Mm1.congestion_delay ~nc ~d_uncong:d ~q)
+  done
+
+let test_congestion_delay_congested () =
+  (* Eq (8): q > N_c scales as (1+q)/N_c *)
+  let d = 800.0 and nc = 5 in
+  List.iter
+    (fun q ->
+      feq 1e-9
+        (Printf.sprintf "q=%d" q)
+        ((1.0 +. float_of_int q) *. d /. float_of_int nc)
+        (Mm1.congestion_delay ~nc ~d_uncong:d ~q))
+    [ 6; 10; 100 ]
+
+let test_congestion_continuity () =
+  (* at q slightly above N_c the congested value is close to d_uncong:
+     (1 + Nc + 1)/Nc = 1.4 at Nc = 5 — the model's step is bounded *)
+  let d = 100.0 and nc = 5 in
+  let at_nc = Mm1.congestion_delay ~nc ~d_uncong:d ~q:nc in
+  let above = Mm1.congestion_delay ~nc ~d_uncong:d ~q:(nc + 1) in
+  Alcotest.(check bool) "monotone step" true (above >= at_nc);
+  Alcotest.(check bool) "step bounded by 2x" true (above <= 2.0 *. at_nc)
+
+let test_little_formula_matches () =
+  (* Eq (11) equals the congested branch of Eq (8) *)
+  let d = 250.0 and nc = 4 in
+  List.iter
+    (fun q ->
+      feq 1e-9 "W = (1+q)d/Nc"
+        (Mm1.waiting_time_little ~nc ~d_uncong:d ~q)
+        (Mm1.congestion_delay ~nc ~d_uncong:d ~q))
+    [ 5; 8; 50 ]
+
+let test_simulation_matches_theory () =
+  (* discrete-event validation of L = λ/(μ−λ) (Figure 5's model) *)
+  let rng = Leqa_util.Rng.create ~seed:2024 in
+  let lambda = 1.0 and mu = 2.0 in
+  let r = Simulate.run ~rng ~lambda ~mu ~horizon:200_000.0 in
+  let expected = lambda /. (mu -. lambda) in
+  Alcotest.(check bool)
+    (Printf.sprintf "L sim %.3f vs theory %.3f" r.Simulate.avg_queue_length expected)
+    true
+    (abs_float (r.Simulate.avg_queue_length -. expected) < 0.1);
+  (* Little: W = L/λ *)
+  let w_expected = expected /. lambda in
+  Alcotest.(check bool) "W via Little" true
+    (abs_float (r.Simulate.avg_sojourn_time -. w_expected) < 0.1)
+
+let test_multi_server_capacity () =
+  (* M/M/c with c servers drains faster than M/M/1 at the same per-server mu *)
+  let rng1 = Leqa_util.Rng.create ~seed:1 in
+  let rng2 = Leqa_util.Rng.create ~seed:1 in
+  let single =
+    Simulate.run_multi_server ~rng:rng1 ~lambda:1.5 ~mu_per_server:2.0
+      ~servers:1 ~horizon:50_000.0
+  in
+  let multi =
+    Simulate.run_multi_server ~rng:rng2 ~lambda:1.5 ~mu_per_server:2.0
+      ~servers:5 ~horizon:50_000.0
+  in
+  Alcotest.(check bool) "more servers, shorter queue" true
+    (multi.Simulate.avg_queue_length < single.Simulate.avg_queue_length)
+
+let test_simulation_invalid () =
+  let rng = Leqa_util.Rng.create ~seed:1 in
+  Alcotest.check_raises "unstable"
+    (Invalid_argument "Simulate.run: requires mu > lambda") (fun () ->
+      ignore (Simulate.run ~rng ~lambda:2.0 ~mu:1.0 ~horizon:10.0))
+
+let suite =
+  [
+    Alcotest.test_case "M/M/1 closed forms" `Quick test_mm1_basics;
+    Alcotest.test_case "stability check" `Quick test_mm1_stability;
+    Alcotest.test_case "Eq-10 lambda inversion" `Quick test_lambda_inversion;
+    Alcotest.test_case "Eq-8 uncongested branch" `Quick test_congestion_delay_uncongested;
+    Alcotest.test_case "Eq-8 congested branch" `Quick test_congestion_delay_congested;
+    Alcotest.test_case "Eq-8 step is bounded" `Quick test_congestion_continuity;
+    Alcotest.test_case "Eq-11 Little's formula" `Quick test_little_formula_matches;
+    Alcotest.test_case "simulation vs theory" `Slow test_simulation_matches_theory;
+    Alcotest.test_case "multi-server beats single" `Slow test_multi_server_capacity;
+    Alcotest.test_case "simulation input checks" `Quick test_simulation_invalid;
+  ]

@@ -1,0 +1,93 @@
+open Leqa_util
+
+let test_determinism () =
+  let a = Rng.create ~seed:123 and b = Rng.create ~seed:123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:2 in
+  Alcotest.(check bool) "different streams" true (Rng.int64 a <> Rng.int64 b)
+
+let test_int_bounds () =
+  let rng = Rng.create ~seed:7 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng ~bound:13 in
+    if v < 0 || v >= 13 then Alcotest.failf "out of range: %d" v
+  done
+
+let test_int_bound_one () =
+  let rng = Rng.create ~seed:7 in
+  Alcotest.(check int) "bound 1 is always 0" 0 (Rng.int rng ~bound:1)
+
+let test_int_invalid_bound () =
+  let rng = Rng.create ~seed:7 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng ~bound:0))
+
+let test_float_range () =
+  let rng = Rng.create ~seed:11 in
+  for _ = 1 to 10_000 do
+    let v = Rng.float rng in
+    if v < 0.0 || v >= 1.0 then Alcotest.failf "out of [0,1): %f" v
+  done
+
+let test_float_mean () =
+  let rng = Rng.create ~seed:99 in
+  let n = 50_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.float rng
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "mean near 0.5" true (abs_float (mean -. 0.5) < 0.01)
+
+let test_exponential_mean () =
+  let rng = Rng.create ~seed:5 in
+  let rate = 2.0 and n = 100_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential rng ~rate
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "mean near 1/rate" true (abs_float (mean -. 0.5) < 0.02)
+
+let test_exponential_invalid () =
+  let rng = Rng.create ~seed:5 in
+  Alcotest.check_raises "rate 0"
+    (Invalid_argument "Rng.exponential: rate must be positive") (fun () ->
+      ignore (Rng.exponential rng ~rate:0.0))
+
+let test_shuffle_permutation () =
+  let rng = Rng.create ~seed:3 in
+  let a = Array.init 100 (fun i -> i) in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation"
+    (Array.init 100 (fun i -> i))
+    sorted;
+  Alcotest.(check bool) "actually shuffled" true
+    (a <> Array.init 100 (fun i -> i))
+
+let test_split_independence () =
+  let parent = Rng.create ~seed:17 in
+  let child = Rng.split parent in
+  let a = Rng.int64 parent and b = Rng.int64 child in
+  Alcotest.(check bool) "parent and child diverge" true (a <> b)
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+    Alcotest.test_case "int stays in bounds" `Quick test_int_bounds;
+    Alcotest.test_case "int bound=1" `Quick test_int_bound_one;
+    Alcotest.test_case "int invalid bound raises" `Quick test_int_invalid_bound;
+    Alcotest.test_case "float in [0,1)" `Quick test_float_range;
+    Alcotest.test_case "float mean" `Quick test_float_mean;
+    Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
+    Alcotest.test_case "exponential invalid rate" `Quick test_exponential_invalid;
+    Alcotest.test_case "shuffle is a permutation" `Quick test_shuffle_permutation;
+    Alcotest.test_case "split independence" `Quick test_split_independence;
+  ]

@@ -1,0 +1,122 @@
+open Leqa_qodg
+module Ft_gate = Leqa_circuit.Ft_gate
+module Ft_circuit = Leqa_circuit.Ft_circuit
+
+let feq = Alcotest.(check (float 1e-9))
+
+let qodg_of gates = Qodg.of_ft_circuit (Ft_circuit.of_gates gates)
+
+let unit_delay _ = 1.0
+
+let test_chain () =
+  (* 3 sequential ops on one wire: asap 0,1,2; zero slack everywhere *)
+  let qodg = qodg_of Ft_gate.[ Single (H, 0); Single (T, 0); Single (X, 0) ] in
+  let s = Schedule.compute qodg ~delay:unit_delay in
+  feq "makespan" 3.0 (Schedule.makespan s);
+  List.iteri
+    (fun i node ->
+      feq (Printf.sprintf "asap %d" node) (float_of_int i) (Schedule.asap s node);
+      feq (Printf.sprintf "slack %d" node) 0.0 (Schedule.slack s node))
+    (Qodg.op_nodes qodg)
+
+let test_parallel_slack () =
+  (* long chain on wire 0 (3 ops), single op on wire 1: the lone op has
+     slack 2 *)
+  let qodg =
+    qodg_of
+      Ft_gate.[ Single (H, 0); Single (H, 0); Single (H, 0); Single (T, 1) ]
+  in
+  let s = Schedule.compute qodg ~delay:unit_delay in
+  feq "makespan" 3.0 (Schedule.makespan s);
+  (* node 4 is the T on wire 1 *)
+  feq "asap of lone op" 0.0 (Schedule.asap s 4);
+  feq "alap of lone op" 2.0 (Schedule.alap s 4);
+  feq "slack of lone op" 2.0 (Schedule.slack s 4)
+
+let test_critical_nodes_match_critical_path () =
+  let qodg =
+    Qodg.of_ft_circuit
+      (Leqa_circuit.Decompose.to_ft (Leqa_benchmarks.Hamming.ham3 ()))
+  in
+  let delay = Leqa_fabric.Params.gate_delay Leqa_fabric.Params.default in
+  let s = Schedule.compute qodg ~delay in
+  let cp = Critical_path.compute qodg ~delay in
+  feq "makespan = critical path length" cp.Critical_path.length
+    (Schedule.makespan s);
+  (* every node on the critical path has zero slack *)
+  List.iter
+    (fun node ->
+      match Qodg.kind qodg node with
+      | Qodg.Start | Qodg.Finish -> ()
+      | Qodg.Op _ ->
+        if abs_float (Schedule.slack s node) > 1e-6 then
+          Alcotest.failf "critical node %d has slack %f" node
+            (Schedule.slack s node))
+    cp.Critical_path.path
+
+let test_slack_nonnegative () =
+  let rng = Leqa_util.Rng.create ~seed:44 in
+  let circ =
+    Leqa_benchmarks.Random_circuit.ft ~rng ~qubits:8 ~gates:300
+      ~cnot_fraction:0.5
+  in
+  let qodg = Qodg.of_ft_circuit circ in
+  let s = Schedule.compute qodg ~delay:unit_delay in
+  List.iter
+    (fun node ->
+      if Schedule.slack s node < -1e-9 then
+        Alcotest.failf "negative slack at node %d" node)
+    (Qodg.op_nodes qodg)
+
+let test_alap_bounded_by_makespan () =
+  let rng = Leqa_util.Rng.create ~seed:45 in
+  let circ =
+    Leqa_benchmarks.Random_circuit.ft ~rng ~qubits:6 ~gates:120
+      ~cnot_fraction:0.3
+  in
+  let qodg = Qodg.of_ft_circuit circ in
+  let s = Schedule.compute qodg ~delay:unit_delay in
+  List.iter
+    (fun node ->
+      Alcotest.(check bool) "alap + dur <= makespan" true
+        (Schedule.alap s node +. 1.0 <= Schedule.makespan s +. 1e-9))
+    (Qodg.op_nodes qodg)
+
+let test_parallelism_profile () =
+  (* two independent 2-op chains: parallelism 2 throughout *)
+  let qodg =
+    qodg_of
+      Ft_gate.
+        [ Single (H, 0); Single (H, 1); Single (T, 0); Single (T, 1) ]
+  in
+  let s = Schedule.compute qodg ~delay:unit_delay in
+  let profile = Schedule.parallelism_profile s ~bins:2 in
+  Alcotest.(check int) "bins" 2 (Array.length profile);
+  Alcotest.(check bool) "two-wide" true (profile.(0) >= 2 && profile.(1) >= 2)
+
+let test_profile_empty_circuit () =
+  let qodg = Qodg.of_ft_circuit (Ft_circuit.create ~num_qubits:1 ()) in
+  let s = Schedule.compute qodg ~delay:unit_delay in
+  let profile = Schedule.parallelism_profile s ~bins:4 in
+  Alcotest.(check (array int)) "all zero" [| 0; 0; 0; 0 |] profile
+
+let test_profile_invalid_bins () =
+  let qodg = qodg_of [ Ft_gate.Single (Ft_gate.H, 0) ] in
+  let s = Schedule.compute qodg ~delay:unit_delay in
+  Alcotest.check_raises "bins=0"
+    (Invalid_argument "Schedule.parallelism_profile: bins <= 0") (fun () ->
+      ignore (Schedule.parallelism_profile s ~bins:0))
+
+let suite =
+  [
+    Alcotest.test_case "sequential chain" `Quick test_chain;
+    Alcotest.test_case "parallel branch slack" `Quick test_parallel_slack;
+    Alcotest.test_case "critical nodes vs critical path" `Quick
+      test_critical_nodes_match_critical_path;
+    Alcotest.test_case "slack is non-negative" `Quick test_slack_nonnegative;
+    Alcotest.test_case "alap bounded by makespan" `Quick
+      test_alap_bounded_by_makespan;
+    Alcotest.test_case "parallelism profile" `Quick test_parallelism_profile;
+    Alcotest.test_case "profile of empty circuit" `Quick test_profile_empty_circuit;
+    Alcotest.test_case "profile input validation" `Quick test_profile_invalid_bins;
+  ]

@@ -1,0 +1,103 @@
+open Leqa_core
+module Params = Leqa_fabric.Params
+module Ft_gate = Leqa_circuit.Ft_gate
+module Ft_circuit = Leqa_circuit.Ft_circuit
+module Qodg = Leqa_qodg.Qodg
+
+let feq eps = Alcotest.(check (float eps))
+
+let qodg_of gates = Qodg.of_ft_circuit (Ft_circuit.of_gates gates)
+
+let test_pure_t_program () =
+  (* a T-only chain: latency = N (d_T + 2 t_move); elasticity wrt d_T =
+     d_T / (d_T + 2 t_move) ≈ 0.982; elasticity wrt d_H = 0 *)
+  let qodg =
+    qodg_of Ft_gate.[ Single (T, 0); Single (T, 0); Single (T, 0) ]
+  in
+  let e_t =
+    Sensitivity.elasticity ~params:Params.default ~parameter:"d_t" qodg
+  in
+  feq 1e-6 "d_t elasticity" (10940.0 /. (10940.0 +. 200.0)) e_t;
+  feq 1e-9 "d_h elasticity is zero"
+    0.0
+    (Sensitivity.elasticity ~params:Params.default ~parameter:"d_h" qodg)
+
+let test_elasticities_sum_to_one_for_delay_params () =
+  (* D is homogeneous of degree 1 in (all delays + t_move + 1/v effects):
+     for a CNOT-free program, d_* and t_move elasticities sum to 1 *)
+  let qodg =
+    qodg_of Ft_gate.[ Single (H, 0); Single (T, 0); Single (X, 0) ]
+  in
+  let total =
+    List.fold_left
+      (fun acc p ->
+        acc +. Sensitivity.elasticity ~params:Params.default ~parameter:p qodg)
+      0.0
+      [ "d_h"; "d_t"; "d_s"; "d_pauli"; "d_cnot"; "t_move" ]
+  in
+  feq 1e-6 "sum to 1" 1.0 total
+
+let test_v_elasticity_negative () =
+  (* faster channels (larger v) shorten CNOT routing: negative elasticity *)
+  let qodg =
+    Qodg.of_ft_circuit
+      (Leqa_circuit.Decompose.to_ft (Leqa_benchmarks.Gf2_mult.circuit ~n:8 ()))
+  in
+  let e = Sensitivity.elasticity ~params:Params.default ~parameter:"v" qodg in
+  Alcotest.(check bool) (Printf.sprintf "negative (%f)" e) true (e < 0.0)
+
+let test_tornado_sorted_and_complete () =
+  let qodg =
+    Qodg.of_ft_circuit
+      (Leqa_circuit.Decompose.to_ft (Leqa_benchmarks.Hamming.ham3 ()))
+  in
+  let entries = Sensitivity.tornado ~params:Params.default qodg in
+  Alcotest.(check int) "all parameters" (List.length Sensitivity.parameters)
+    (List.length entries);
+  let rec sorted = function
+    | a :: (b :: _ as rest) ->
+      abs_float a.Sensitivity.elasticity +. 1e-12
+      >= abs_float b.Sensitivity.elasticity
+      && sorted rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "descending |elasticity|" true (sorted entries)
+
+let test_t_dominates_toffoli_networks () =
+  (* Toffoli-network circuits spend most critical-path time in T gates:
+     d_t must top the tornado *)
+  let qodg =
+    Qodg.of_ft_circuit
+      (Leqa_circuit.Decompose.to_ft (Leqa_benchmarks.Gf2_mult.circuit ~n:8 ()))
+  in
+  match Sensitivity.tornado ~params:Params.default qodg with
+  | top :: _ -> Alcotest.(check string) "d_t first" "d_t" top.Sensitivity.parameter
+  | [] -> Alcotest.fail "empty tornado"
+
+let test_unknown_parameter () =
+  let qodg = qodg_of [ Ft_gate.Single (Ft_gate.H, 0) ] in
+  Alcotest.check_raises "unknown"
+    (Invalid_argument "Sensitivity: unknown parameter bogus") (fun () ->
+      ignore
+        (Sensitivity.elasticity ~params:Params.default ~parameter:"bogus" qodg))
+
+let test_step_validation () =
+  let qodg = qodg_of [ Ft_gate.Single (Ft_gate.H, 0) ] in
+  Alcotest.check_raises "step 0"
+    (Invalid_argument "Sensitivity.elasticity: step out of (0,1)") (fun () ->
+      ignore
+        (Sensitivity.elasticity ~step:0.0 ~params:Params.default
+           ~parameter:"d_h" qodg))
+
+let suite =
+  [
+    Alcotest.test_case "pure-T program" `Quick test_pure_t_program;
+    Alcotest.test_case "delay elasticities sum to 1" `Quick
+      test_elasticities_sum_to_one_for_delay_params;
+    Alcotest.test_case "v elasticity negative" `Quick test_v_elasticity_negative;
+    Alcotest.test_case "tornado sorted" `Quick test_tornado_sorted_and_complete;
+    Alcotest.test_case "T dominates Toffoli networks" `Quick
+      test_t_dominates_toffoli_networks;
+    Alcotest.test_case "unknown parameter" `Quick test_unknown_parameter;
+    Alcotest.test_case "step validation" `Quick test_step_validation;
+  ]

@@ -1,0 +1,143 @@
+open Leqa_circuit
+
+let feq eps = Alcotest.(check (float eps))
+
+let test_initial_state () =
+  let s = Statevector.create ~num_qubits:3 ~basis:5 in
+  feq 1e-12 "amplitude at basis" 1.0 (Statevector.probability s 5);
+  feq 1e-12 "elsewhere" 0.0 (Statevector.probability s 0);
+  feq 1e-12 "normalised" 1.0 (Statevector.norm s);
+  Alcotest.(check (option int)) "measures back" (Some 5)
+    (Statevector.measure_basis s)
+
+let test_bounds () =
+  Alcotest.check_raises "too many qubits"
+    (Invalid_argument "Statevector.create: qubit count out of range")
+    (fun () -> ignore (Statevector.create ~num_qubits:21 ~basis:0));
+  Alcotest.check_raises "basis range"
+    (Invalid_argument "Statevector.create: basis out of range") (fun () ->
+      ignore (Statevector.create ~num_qubits:2 ~basis:4))
+
+let test_x_flips () =
+  let s = Statevector.create ~num_qubits:2 ~basis:0 in
+  Statevector.apply s (Ft_gate.Single (Ft_gate.X, 1));
+  Alcotest.(check (option int)) "X flips bit 1" (Some 2)
+    (Statevector.measure_basis s)
+
+let test_h_superposition () =
+  let s = Statevector.create ~num_qubits:1 ~basis:0 in
+  Statevector.apply s (Ft_gate.Single (Ft_gate.H, 0));
+  feq 1e-12 "p(0)" 0.5 (Statevector.probability s 0);
+  feq 1e-12 "p(1)" 0.5 (Statevector.probability s 1);
+  Alcotest.(check (option int)) "not a basis state" None
+    (Statevector.measure_basis s);
+  (* H is self-inverse *)
+  Statevector.apply s (Ft_gate.Single (Ft_gate.H, 0));
+  Alcotest.(check (option int)) "H H = I" (Some 0) (Statevector.measure_basis s)
+
+let test_bell_state () =
+  let s = Statevector.create ~num_qubits:2 ~basis:0 in
+  Statevector.apply s (Ft_gate.Single (Ft_gate.H, 0));
+  Statevector.apply s (Ft_gate.Cnot { control = 0; target = 1 });
+  feq 1e-12 "p(00)" 0.5 (Statevector.probability s 0);
+  feq 1e-12 "p(11)" 0.5 (Statevector.probability s 3);
+  feq 1e-12 "p(01)" 0.0 (Statevector.probability s 1);
+  feq 1e-12 "norm" 1.0 (Statevector.norm s)
+
+let test_t_phases_compose () =
+  (* T⁴ = Z, checked via S²: apply T 4 times to |1⟩, expect phase −1 *)
+  let s = Statevector.create ~num_qubits:1 ~basis:1 in
+  for _ = 1 to 4 do
+    Statevector.apply s (Ft_gate.Single (Ft_gate.T, 0))
+  done;
+  let re, im = Statevector.amplitude s 1 in
+  feq 1e-9 "T^4 = Z: real = -1" (-1.0) re;
+  feq 1e-9 "imag 0" 0.0 im
+
+let test_unitarity_random_circuit () =
+  let rng = Leqa_util.Rng.create ~seed:73 in
+  let circ =
+    Leqa_benchmarks.Random_circuit.ft ~rng ~qubits:6 ~gates:300
+      ~cnot_fraction:0.4
+  in
+  let s = Statevector.create ~num_qubits:6 ~basis:17 in
+  Statevector.run s circ;
+  feq 1e-9 "norm preserved" 1.0 (Statevector.norm s)
+
+let test_fidelity () =
+  let a = Statevector.create ~num_qubits:2 ~basis:0 in
+  let b = Statevector.create ~num_qubits:2 ~basis:0 in
+  feq 1e-12 "same state" 1.0 (Statevector.fidelity a b);
+  Statevector.apply b (Ft_gate.Single (Ft_gate.X, 0));
+  feq 1e-12 "orthogonal" 0.0 (Statevector.fidelity a b);
+  (* global phase invisible to fidelity: Z on |1> *)
+  let c = Statevector.create ~num_qubits:1 ~basis:1 in
+  let d = Statevector.create ~num_qubits:1 ~basis:1 in
+  Statevector.apply d (Ft_gate.Single (Ft_gate.Z, 0));
+  feq 1e-12 "global phase" 1.0 (Statevector.fidelity c d)
+
+let test_toffoli_network_equivalence () =
+  (* the flagship use: Decompose's Toffoli network is unitarily the
+     identity-on-controls, flip-on-target map *)
+  let network =
+    Ft_circuit.of_gates ~num_qubits:3
+      (Decompose.toffoli_ft_network ~c1:0 ~c2:1 ~target:2)
+  in
+  (* reference Toffoli via direct basis permutation, built from H-free
+     CNOT conjugations is unavailable; instead check action basis by
+     basis *)
+  for basis = 0 to 7 do
+    let s = Statevector.create ~num_qubits:3 ~basis in
+    Statevector.run s network;
+    let expected =
+      if basis land 1 <> 0 && basis land 2 <> 0 then basis lxor 4 else basis
+    in
+    Alcotest.(check (option int))
+      (Printf.sprintf "basis %d" basis)
+      (Some expected)
+      (Statevector.measure_basis s)
+  done
+
+let test_equivalence_checker () =
+  let a =
+    Ft_circuit.of_gates ~num_qubits:2
+      Ft_gate.[ Single (H, 0); Single (H, 0) ]
+  in
+  let empty = Ft_circuit.create ~num_qubits:2 () in
+  Alcotest.(check bool) "H H == I" true
+    (Statevector.equivalent_on_basis ~num_qubits:2 a empty);
+  let x = Ft_circuit.of_gates ~num_qubits:2 [ Ft_gate.Single (Ft_gate.X, 0) ] in
+  Alcotest.(check bool) "X /= I" false
+    (Statevector.equivalent_on_basis ~num_qubits:2 x empty)
+
+let test_optimizer_equivalence_via_statevector () =
+  (* the peephole optimizer preserves the full unitary, not just the
+     classical action: verified on random 4-qubit FT circuits *)
+  let rng = Leqa_util.Rng.create ~seed:29 in
+  for _ = 1 to 10 do
+    let circ =
+      Leqa_benchmarks.Random_circuit.ft ~rng ~qubits:4 ~gates:60
+        ~cnot_fraction:0.3
+    in
+    let simplified = Optimize.simplify circ in
+    if not (Statevector.equivalent_on_basis ~num_qubits:4 circ simplified)
+    then Alcotest.fail "optimizer changed the unitary"
+  done
+
+let suite =
+  [
+    Alcotest.test_case "initial state" `Quick test_initial_state;
+    Alcotest.test_case "bounds checking" `Quick test_bounds;
+    Alcotest.test_case "X permutes" `Quick test_x_flips;
+    Alcotest.test_case "H superposition" `Quick test_h_superposition;
+    Alcotest.test_case "Bell state" `Quick test_bell_state;
+    Alcotest.test_case "T^4 = Z" `Quick test_t_phases_compose;
+    Alcotest.test_case "unitarity on random circuits" `Quick
+      test_unitarity_random_circuit;
+    Alcotest.test_case "fidelity" `Quick test_fidelity;
+    Alcotest.test_case "Toffoli network equivalence" `Quick
+      test_toffoli_network_equivalence;
+    Alcotest.test_case "equivalence checker" `Quick test_equivalence_checker;
+    Alcotest.test_case "optimizer preserves the unitary" `Slow
+      test_optimizer_equivalence_via_statevector;
+  ]

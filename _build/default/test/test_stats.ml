@@ -1,0 +1,82 @@
+open Leqa_util
+
+let feq = Alcotest.(check (float 1e-9))
+
+let test_mean () =
+  feq "mean" 2.5 (Stats.mean [| 1.0; 2.0; 3.0; 4.0 |]);
+  feq "singleton" 7.0 (Stats.mean [| 7.0 |])
+
+let test_mean_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.mean: empty array")
+    (fun () -> ignore (Stats.mean [||]))
+
+let test_variance_stddev () =
+  feq "variance" 2.0 (Stats.variance [| 1.0; 2.0; 3.0; 4.0; 5.0 |]);
+  feq "stddev" (sqrt 2.0) (Stats.stddev [| 1.0; 2.0; 3.0; 4.0; 5.0 |]);
+  feq "constant array" 0.0 (Stats.variance [| 3.0; 3.0; 3.0 |])
+
+let test_weighted_mean () =
+  feq "uniform weights = mean" 2.0
+    (Stats.weighted_mean ~weights:[| 1.0; 1.0; 1.0 |] ~values:[| 1.0; 2.0; 3.0 |]);
+  feq "weighted" 2.75
+    (Stats.weighted_mean ~weights:[| 1.0; 3.0 |] ~values:[| 2.0; 3.0 |]);
+  (* zero-weight entries do not contribute *)
+  feq "zero weights skipped" 5.0
+    (Stats.weighted_mean ~weights:[| 0.0; 2.0 |] ~values:[| 100.0; 5.0 |])
+
+let test_weighted_mean_invalid () =
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Stats.weighted_mean: length mismatch") (fun () ->
+      ignore (Stats.weighted_mean ~weights:[| 1.0 |] ~values:[| 1.0; 2.0 |]));
+  Alcotest.check_raises "zero total weight"
+    (Invalid_argument "Stats.weighted_mean: non-positive weight") (fun () ->
+      ignore (Stats.weighted_mean ~weights:[| 0.0 |] ~values:[| 1.0 |]))
+
+let test_percentile () =
+  let a = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  feq "median" 3.0 (Stats.percentile a ~p:50.0);
+  feq "min" 1.0 (Stats.percentile a ~p:0.0);
+  feq "max" 5.0 (Stats.percentile a ~p:100.0);
+  feq "interpolated" 1.5 (Stats.percentile a ~p:12.5)
+
+let test_relative_error () =
+  feq "10% over" 0.1 (Stats.relative_error ~actual:10.0 ~estimated:11.0);
+  feq "10% under" 0.1 (Stats.relative_error ~actual:10.0 ~estimated:9.0);
+  feq "exact" 0.0 (Stats.relative_error ~actual:5.0 ~estimated:5.0)
+
+let test_linear_regression () =
+  let a, b = Stats.linear_regression [ (0.0, 1.0); (1.0, 3.0); (2.0, 5.0) ] in
+  feq "intercept" 1.0 a;
+  feq "slope" 2.0 b
+
+let test_fit_power_law () =
+  (* y = 3 x^1.5 exactly *)
+  let points =
+    List.map (fun x -> (x, 3.0 *. (x ** 1.5))) [ 1.0; 2.0; 4.0; 8.0; 16.0 ]
+  in
+  let c, k = Stats.fit_power_law points in
+  Alcotest.(check (float 1e-6)) "exponent" 1.5 k;
+  Alcotest.(check (float 1e-6)) "coefficient" 3.0 c
+
+let test_fit_power_law_invalid () =
+  Alcotest.check_raises "non-positive point"
+    (Invalid_argument "Stats.fit_power_law: non-positive point") (fun () ->
+      ignore (Stats.fit_power_law [ (0.0, 1.0); (1.0, 2.0) ]))
+
+let test_geometric_mean () =
+  feq "geometric" 2.0 (Stats.geometric_mean [| 1.0; 2.0; 4.0 |])
+
+let suite =
+  [
+    Alcotest.test_case "mean" `Quick test_mean;
+    Alcotest.test_case "mean of empty raises" `Quick test_mean_empty;
+    Alcotest.test_case "variance and stddev" `Quick test_variance_stddev;
+    Alcotest.test_case "weighted mean" `Quick test_weighted_mean;
+    Alcotest.test_case "weighted mean errors" `Quick test_weighted_mean_invalid;
+    Alcotest.test_case "percentile" `Quick test_percentile;
+    Alcotest.test_case "relative error" `Quick test_relative_error;
+    Alcotest.test_case "linear regression" `Quick test_linear_regression;
+    Alcotest.test_case "power-law fit" `Quick test_fit_power_law;
+    Alcotest.test_case "power-law fit rejects <= 0" `Quick test_fit_power_law_invalid;
+    Alcotest.test_case "geometric mean" `Quick test_geometric_mean;
+  ]

@@ -1,0 +1,61 @@
+open Leqa_util
+
+let test_render_alignment () =
+  let t =
+    Table.create ~columns:[ ("name", Table.Left); ("value", Table.Right) ]
+  in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_row t [ "b"; "23" ];
+  let rendered = Table.render t in
+  let lines = String.split_on_char '\n' rendered in
+  Alcotest.(check int) "header + rule + 2 rows" 4 (List.length lines);
+  (match lines with
+  | header :: rule :: _ ->
+    Alcotest.(check int) "rule width matches header" (String.length header)
+      (String.length rule)
+  | _ -> Alcotest.fail "missing lines");
+  (* right-aligned numbers end at the same column *)
+  (match List.rev lines with
+  | last :: prev :: _ ->
+    Alcotest.(check int) "rows same width" (String.length prev)
+      (String.length last)
+  | _ -> Alcotest.fail "missing rows")
+
+let test_arity_check () =
+  let t = Table.create ~columns:[ ("a", Table.Left); ("b", Table.Left) ] in
+  Alcotest.check_raises "short row" (Invalid_argument "Table.add_row: arity mismatch")
+    (fun () -> Table.add_row t [ "only one" ])
+
+let test_wide_cell_grows_column () =
+  let t = Table.create ~columns:[ ("x", Table.Left) ] in
+  Table.add_row t [ "a-very-wide-cell" ];
+  let rendered = Table.render t in
+  Alcotest.(check bool) "cell present" true
+    (String.length rendered > 0
+    && String.sub rendered (String.index rendered 'a') 16 = "a-very-wide-cell")
+
+let test_row_order () =
+  let t = Table.create ~columns:[ ("n", Table.Left) ] in
+  List.iter (fun s -> Table.add_row t [ s ]) [ "first"; "second"; "third" ];
+  let rendered = Table.render t in
+  let pos s =
+    match String.index_opt rendered s.[0] with
+    | Some _ ->
+      let rec find i =
+        if i + String.length s > String.length rendered then -1
+        else if String.sub rendered i (String.length s) = s then i
+        else find (i + 1)
+      in
+      find 0
+    | None -> -1
+  in
+  Alcotest.(check bool) "order preserved" true
+    (pos "first" < pos "second" && pos "second" < pos "third")
+
+let suite =
+  [
+    Alcotest.test_case "render and alignment" `Quick test_render_alignment;
+    Alcotest.test_case "arity mismatch raises" `Quick test_arity_check;
+    Alcotest.test_case "wide cells grow columns" `Quick test_wide_cell_grows_column;
+    Alcotest.test_case "row order preserved" `Quick test_row_order;
+  ]

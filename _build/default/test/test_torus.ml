@@ -1,0 +1,179 @@
+(* Torus-topology extension: wrap-aware geometry, channels, routing,
+   coverage, and the end-to-end grid-vs-torus comparison. *)
+
+module Geometry = Leqa_fabric.Geometry
+module Params = Leqa_fabric.Params
+module Channel = Leqa_fabric.Channel
+module Coverage = Leqa_core.Coverage
+
+let coord x y = Geometry.{ x; y }
+
+let feq eps = Alcotest.(check (float eps))
+
+let test_torus_manhattan () =
+  let d = Geometry.torus_manhattan ~width:10 ~height:10 in
+  Alcotest.(check int) "interior unchanged" 4 (d (coord 2 2) (coord 4 4));
+  Alcotest.(check int) "x wraps" 1 (d (coord 1 5) (coord 10 5));
+  Alcotest.(check int) "y wraps" 2 (d (coord 5 1) (coord 5 9));
+  Alcotest.(check int) "both wrap" 2 (d (coord 1 1) (coord 10 10));
+  Alcotest.(check int) "self" 0 (d (coord 3 3) (coord 3 3));
+  (* torus distance never exceeds grid distance *)
+  let rng = Leqa_util.Rng.create ~seed:2 in
+  for _ = 1 to 200 do
+    let p () = coord (1 + Leqa_util.Rng.int rng ~bound:10) (1 + Leqa_util.Rng.int rng ~bound:10) in
+    let a = p () and b = p () in
+    Alcotest.(check bool) "torus <= grid" true
+      (d a b <= Geometry.manhattan a b)
+  done
+
+let test_torus_adjacent () =
+  Alcotest.(check bool) "wrap pair" true
+    (Geometry.torus_adjacent ~width:8 ~height:8 (coord 1 3) (coord 8 3));
+  Alcotest.(check bool) "ordinary pair" true
+    (Geometry.torus_adjacent ~width:8 ~height:8 (coord 4 3) (coord 5 3));
+  Alcotest.(check bool) "diagonal no" false
+    (Geometry.torus_adjacent ~width:8 ~height:8 (coord 1 1) (coord 8 8))
+
+let test_torus_neighbors () =
+  let corner = Geometry.torus_neighbors4 ~width:5 ~height:5 (coord 1 1) in
+  Alcotest.(check int) "corner has 4 on a torus" 4 (List.length corner);
+  Alcotest.(check bool) "includes x-wrap" true (List.mem (coord 5 1) corner);
+  Alcotest.(check bool) "includes y-wrap" true (List.mem (coord 1 5) corner)
+
+let test_torus_route () =
+  let width = 10 and height = 10 in
+  let rng = Leqa_util.Rng.create ~seed:3 in
+  for _ = 1 to 100 do
+    let p () = coord (1 + Leqa_util.Rng.int rng ~bound:width) (1 + Leqa_util.Rng.int rng ~bound:height) in
+    let src = p () and dst = p () in
+    let route = Geometry.torus_route ~width ~height ~src ~dst in
+    Alcotest.(check int) "length = torus manhattan"
+      (Geometry.torus_manhattan ~width ~height src dst)
+      (List.length route);
+    (* consecutive hops torus-adjacent, ends at dst *)
+    let rec check prev = function
+      | [] -> if prev <> dst then Alcotest.fail "route does not reach dst"
+      | c :: rest ->
+        if not (Geometry.torus_adjacent ~width ~height prev c) then
+          Alcotest.fail "non-adjacent hop";
+        check c rest
+    in
+    check src route
+  done
+
+let test_torus_midpoint () =
+  (* wrap arc: 1 and 10 on width 10 are adjacent; midpoint on the wrap *)
+  let m = Geometry.torus_midpoint ~width:10 ~height:10 (coord 1 5) (coord 10 5) in
+  Alcotest.(check bool) "midpoint on the short arc" true
+    (m.Geometry.x = 10 || m.Geometry.x = 1);
+  let m2 = Geometry.torus_midpoint ~width:10 ~height:10 (coord 2 2) (coord 6 2) in
+  Alcotest.(check int) "direct arc midpoint" 4 m2.Geometry.x
+
+let test_channel_wrap_segments () =
+  let grid = Channel.create ~width:5 ~height:5 ~capacity:1 () in
+  Alcotest.check_raises "grid rejects wrap"
+    (Invalid_argument "Channel: ULBs are not adjacent") (fun () ->
+      ignore
+        (Channel.reserve grid ~src:(coord 1 1) ~dst:(coord 5 1) ~arrival:0.0
+           ~t_move:10.0));
+  let torus =
+    Channel.create ~topology:Params.Torus ~width:5 ~height:5 ~capacity:1 ()
+  in
+  feq 1e-9 "torus wrap crossing" 10.0
+    (Channel.reserve torus ~src:(coord 1 1) ~dst:(coord 5 1) ~arrival:0.0
+       ~t_move:10.0)
+
+let torus_params =
+  { Params.calibrated with Params.topology = Params.Torus }
+
+let test_coverage_uniform_on_torus () =
+  let p x y =
+    Coverage.coverage_probability ~topology:Params.Torus ~avg_area:9.0
+      ~width:12 ~height:12 ~x ~y
+  in
+  feq 1e-12 "corner = centre" (p 6 6) (p 1 1);
+  feq 1e-12 "P = s^2/A" (9.0 /. 144.0) (p 3 7)
+
+let test_coverage_eq3_on_torus () =
+  let surfaces =
+    Coverage.expected_surfaces ~topology:Params.Torus ~avg_area:4.0 ~width:10
+      ~height:10 ~qubits:6 ~terms:6
+  in
+  let s0 =
+    Coverage.expected_uncovered ~topology:Params.Torus ~avg_area:4.0 ~width:10
+      ~height:10 ~qubits:6
+  in
+  feq 1e-6 "Eq 3 holds on torus" 100.0
+    (s0 +. Array.fold_left ( +. ) 0.0 surfaces)
+
+let test_router_torus_shortcuts () =
+  let params = Params.with_fabric torus_params ~width:10 ~height:10 in
+  let r = Leqa_qspr.Router.create params in
+  (* edge to edge: 1 hop on the torus instead of 9 *)
+  let arrival =
+    Leqa_qspr.Router.route r ~src:(coord 1 5) ~dst:(coord 10 5) ~depart:0.0
+  in
+  feq 1e-9 "one wrap hop" params.Params.t_move arrival
+
+let test_end_to_end_torus_comparable () =
+  (* wraparound shortens individual routes, but the greedy scheduler makes
+     different tile choices per topology, so strict dominance does not
+     hold op by op.  Check the aggregate effects instead: latency within a
+     few percent either way (never blowing up), and no extra congestion. *)
+  let qodg =
+    Leqa_qodg.Qodg.of_ft_circuit
+      (Leqa_circuit.Decompose.to_ft (Leqa_benchmarks.Gf2_mult.circuit ~n:16 ()))
+  in
+  let grid = Leqa_qspr.Qspr.run qodg in
+  let torus =
+    Leqa_qspr.Qspr.run
+      ~config:
+        {
+          Leqa_qspr.Qspr.default_config with
+          Leqa_qspr.Qspr.params =
+            { Params.default with Params.topology = Params.Torus };
+        }
+      qodg
+  in
+  let ratio = torus.Leqa_qspr.Qspr.latency_s /. grid.Leqa_qspr.Qspr.latency_s in
+  Alcotest.(check bool)
+    (Printf.sprintf "latency ratio %.3f within [0.8, 1.05]" ratio)
+    true
+    (ratio >= 0.8 && ratio <= 1.05)
+
+let test_estimator_accuracy_on_torus () =
+  (* LEQA with the torus coverage model vs QSPR with torus routing *)
+  let qodg =
+    Leqa_qodg.Qodg.of_ft_circuit
+      (Leqa_circuit.Decompose.to_ft (Leqa_benchmarks.Gf2_mult.circuit ~n:16 ()))
+  in
+  let qspr_params = { Params.default with Params.topology = Params.Torus } in
+  let actual =
+    Leqa_qspr.Qspr.run
+      ~config:{ Leqa_qspr.Qspr.default_config with Leqa_qspr.Qspr.params = qspr_params }
+      qodg
+  in
+  let est = Leqa_core.Estimator.estimate ~params:torus_params qodg in
+  let err =
+    Leqa_util.Stats.relative_error ~actual:actual.Leqa_qspr.Qspr.latency_s
+      ~estimated:est.Leqa_core.Estimator.latency_s
+  in
+  if err > 0.10 then
+    Alcotest.failf "torus estimate off by %.1f%%" (100.0 *. err)
+
+let suite =
+  [
+    Alcotest.test_case "torus manhattan" `Quick test_torus_manhattan;
+    Alcotest.test_case "torus adjacency" `Quick test_torus_adjacent;
+    Alcotest.test_case "torus neighbours" `Quick test_torus_neighbors;
+    Alcotest.test_case "torus routes" `Quick test_torus_route;
+    Alcotest.test_case "torus midpoint" `Quick test_torus_midpoint;
+    Alcotest.test_case "channel wrap segments" `Quick test_channel_wrap_segments;
+    Alcotest.test_case "uniform coverage" `Quick test_coverage_uniform_on_torus;
+    Alcotest.test_case "Eq-3 on torus" `Quick test_coverage_eq3_on_torus;
+    Alcotest.test_case "router shortcuts" `Quick test_router_torus_shortcuts;
+    Alcotest.test_case "torus latency comparable" `Quick
+      test_end_to_end_torus_comparable;
+    Alcotest.test_case "estimator accuracy on torus" `Quick
+      test_estimator_accuracy_on_torus;
+  ]

@@ -1,0 +1,104 @@
+open Leqa_qspr
+module Geometry = Leqa_fabric.Geometry
+module Ft_gate = Leqa_circuit.Ft_gate
+
+let feq = Alcotest.(check (float 1e-6))
+
+let sample_event ?(node = 1) ?(x = 2) ?(y = 3) ?(ready = 0.0) ?(start = 10.0)
+    ?(finish = 30.0) () =
+  {
+    Trace.node;
+    gate = Ft_gate.Single (Ft_gate.H, 0);
+    tile = Geometry.{ x; y };
+    ready;
+    start;
+    finish;
+  }
+
+let test_record_and_read () =
+  let t = Trace.create () in
+  Alcotest.(check int) "empty" 0 (Trace.length t);
+  Trace.record t (sample_event ~node:1 ());
+  Trace.record t (sample_event ~node:2 ());
+  Alcotest.(check int) "two events" 2 (Trace.length t);
+  match Trace.events t with
+  | [ a; b ] ->
+    Alcotest.(check int) "order kept" 1 a.Trace.node;
+    Alcotest.(check int) "order kept" 2 b.Trace.node
+  | _ -> Alcotest.fail "expected two events"
+
+let test_utilization_map () =
+  let t = Trace.create () in
+  Trace.record t (sample_event ~x:1 ~y:1 ~start:0.0 ~finish:5.0 ());
+  Trace.record t (sample_event ~x:1 ~y:1 ~start:5.0 ~finish:10.0 ());
+  Trace.record t (sample_event ~x:2 ~y:1 ~start:0.0 ~finish:3.0 ());
+  let map = Trace.utilization_map t ~width:3 ~height:2 in
+  feq "tile (1,1)" 10.0 map.(0);
+  feq "tile (2,1)" 3.0 map.(1);
+  feq "untouched" 0.0 map.(2)
+
+let test_busiest_tiles () =
+  let t = Trace.create () in
+  Trace.record t (sample_event ~x:1 ~y:1 ~start:0.0 ~finish:100.0 ());
+  Trace.record t (sample_event ~x:3 ~y:2 ~start:0.0 ~finish:10.0 ());
+  (match Trace.busiest_tiles t ~width:5 ~top:1 with
+  | [ (tile, busy) ] ->
+    Alcotest.(check int) "hottest x" 1 tile.Geometry.x;
+    feq "busy" 100.0 busy
+  | _ -> Alcotest.fail "expected one tile");
+  Alcotest.(check int) "top 5 of 2 tiles" 2
+    (List.length (Trace.busiest_tiles t ~width:5 ~top:5))
+
+let test_ascii_map () =
+  let t = Trace.create () in
+  Trace.record t (sample_event ~x:1 ~y:1 ~start:0.0 ~finish:90.0 ());
+  Trace.record t (sample_event ~x:2 ~y:1 ~start:0.0 ~finish:10.0 ());
+  let ascii = Trace.occupancy_ascii t ~width:3 ~height:1 in
+  Alcotest.(check string) "heat map" "91.\n" ascii
+
+let test_aggregates () =
+  let t = Trace.create () in
+  feq "avg on empty" 0.0 (Trace.average_routing_delay t);
+  Trace.record t (sample_event ~ready:0.0 ~start:10.0 ~finish:20.0 ());
+  Trace.record t (sample_event ~ready:5.0 ~start:15.0 ~finish:30.0 ());
+  feq "busy total" 25.0 (Trace.total_busy_time t);
+  feq "avg routing = mean(start-ready)" 10.0 (Trace.average_routing_delay t)
+
+let test_scheduler_fills_trace () =
+  let qodg =
+    Leqa_qodg.Qodg.of_ft_circuit
+      (Leqa_circuit.Decompose.to_ft (Leqa_benchmarks.Hamming.ham3 ()))
+  in
+  let trace = Trace.create () in
+  let r = Qspr.run ~trace qodg in
+  Alcotest.(check int) "one event per op" 19 (Trace.length trace);
+  (* every event is consistent: ready <= start < finish, in-bounds tile *)
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) "ready <= start" true (e.Trace.ready <= e.Trace.start +. 1e-9);
+      Alcotest.(check bool) "start < finish" true (e.Trace.start < e.Trace.finish);
+      Alcotest.(check bool) "tile in bounds" true
+        (Geometry.in_bounds ~width:60 ~height:60 e.Trace.tile))
+    (Trace.events trace);
+  (* the trace's busy time is bounded by ops x max gate delay *)
+  Alcotest.(check bool) "makespan covers every event" true
+    (List.for_all
+       (fun e -> e.Trace.finish <= r.Qspr.latency_us +. 1e-6)
+       (Trace.events trace));
+  (* measured avg routing matches the scheduler's own accounting *)
+  let s = r.Qspr.stats in
+  let scheduler_avg =
+    (s.Scheduler.cnot_routing_total +. s.Scheduler.single_routing_total)
+    /. float_of_int s.Scheduler.ops_executed
+  in
+  feq "trace avg = scheduler avg" scheduler_avg (Trace.average_routing_delay trace)
+
+let suite =
+  [
+    Alcotest.test_case "record and read back" `Quick test_record_and_read;
+    Alcotest.test_case "utilization map" `Quick test_utilization_map;
+    Alcotest.test_case "busiest tiles" `Quick test_busiest_tiles;
+    Alcotest.test_case "ascii heat map" `Quick test_ascii_map;
+    Alcotest.test_case "aggregates" `Quick test_aggregates;
+    Alcotest.test_case "scheduler fills the trace" `Quick test_scheduler_fills_trace;
+  ]

@@ -1,0 +1,111 @@
+open Leqa_tsp
+
+let feq eps = Alcotest.(check (float eps))
+
+let test_bounds_formulas () =
+  (* Eqs 13-15 at n = 100 *)
+  feq 1e-9 "lower" ((0.708 *. 10.0) +. 0.551) (Bounds.tour_lower_bound ~n:100);
+  feq 1e-9 "upper" ((0.718 *. 10.0) +. 0.731) (Bounds.tour_upper_bound ~n:100);
+  feq 1e-9 "midpoint" ((0.713 *. 10.0) +. 0.641) (Bounds.tour_estimate ~n:100)
+
+let test_bounds_ordering () =
+  List.iter
+    (fun n ->
+      let lo = Bounds.tour_lower_bound ~n
+      and mid = Bounds.tour_estimate ~n
+      and hi = Bounds.tour_upper_bound ~n in
+      Alcotest.(check bool) (Printf.sprintf "lo<mid<hi n=%d" n) true
+        (lo < mid && mid < hi))
+    [ 1; 2; 10; 100; 10_000 ]
+
+let test_bounds_invalid () =
+  Alcotest.check_raises "n=0" (Invalid_argument "Tsp.Bounds: n must be >= 1")
+    (fun () -> ignore (Bounds.tour_estimate ~n:0))
+
+let test_hamiltonian_degenerate () =
+  feq 1e-9 "0 points" 0.0 (Bounds.hamiltonian_path_estimate ~points:0 ~side:3.0);
+  feq 1e-9 "1 point" 0.0 (Bounds.hamiltonian_path_estimate ~points:1 ~side:3.0);
+  (* the paper's (M-1)/M factor makes M=1 (2 points) collapse to 0 *)
+  feq 1e-9 "2 points" 0.0 (Bounds.hamiltonian_path_estimate ~points:2 ~side:3.0)
+
+let test_hamiltonian_scales_with_side () =
+  let a = Bounds.hamiltonian_path_estimate ~points:10 ~side:1.0 in
+  let b = Bounds.hamiltonian_path_estimate ~points:10 ~side:2.0 in
+  feq 1e-9 "linear in side" (2.0 *. a) b
+
+let test_exact_square () =
+  (* unit square: optimal tour = 4, optimal open path = 3 *)
+  let square = [| (0.0, 0.0); (0.0, 1.0); (1.0, 1.0); (1.0, 0.0) |] in
+  feq 1e-9 "tour" 4.0 (Exact.shortest_tour square);
+  feq 1e-9 "path" 3.0 (Exact.shortest_path square)
+
+let test_exact_collinear () =
+  let line = [| (0.0, 0.0); (3.0, 0.0); (1.0, 0.0); (2.0, 0.0) |] in
+  feq 1e-9 "path walks the line" 3.0 (Exact.shortest_path line);
+  feq 1e-9 "tour doubles back" 6.0 (Exact.shortest_tour line)
+
+let test_exact_degenerate () =
+  feq 1e-9 "single point" 0.0 (Exact.shortest_tour [| (0.5, 0.5) |]);
+  feq 1e-9 "empty" 0.0 (Exact.shortest_path [||])
+
+let test_exact_size_cap () =
+  let points = Array.make (Exact.max_points + 1) (0.0, 0.0) in
+  Alcotest.check_raises "too many" (Invalid_argument "Tsp.Exact: too many points")
+    (fun () -> ignore (Exact.shortest_tour points))
+
+let test_heuristic_vs_exact () =
+  (* 2-opt never beats the optimum and usually sits within ~20% on tiny
+     instances *)
+  let rng = Leqa_util.Rng.create ~seed:31 in
+  for _ = 1 to 20 do
+    let points =
+      Array.init 8 (fun _ ->
+          (Leqa_util.Rng.float rng, Leqa_util.Rng.float rng))
+    in
+    let opt = Exact.shortest_path points in
+    let heur = Heuristic.two_opt_path points in
+    if heur +. 1e-9 < opt then
+      Alcotest.failf "2-opt %.4f beat the optimum %.4f" heur opt;
+    if heur > 1.5 *. opt +. 1e-9 then
+      Alcotest.failf "2-opt %.4f too far above optimum %.4f" heur opt
+  done
+
+let test_two_opt_improves_nn () =
+  let rng = Leqa_util.Rng.create ~seed:77 in
+  let points =
+    Array.init 40 (fun _ -> (Leqa_util.Rng.float rng, Leqa_util.Rng.float rng))
+  in
+  let nn = Heuristic.nearest_neighbor_path points in
+  let opt2 = Heuristic.two_opt_path points in
+  Alcotest.(check bool) "2-opt <= NN" true (opt2 <= nn +. 1e-9)
+
+let test_estimate_matches_monte_carlo () =
+  (* Eq (15) validation: the closed form sits near empirical path lengths
+     for moderately many points (the bound derivation assumes n >> 1) *)
+  let rng = Leqa_util.Rng.create ~seed:5 in
+  let points = 16 and side = 4.0 in
+  let empirical =
+    Heuristic.monte_carlo_path_length ~rng ~points ~side ~trials:40
+  in
+  let closed_form = Bounds.hamiltonian_path_estimate ~points ~side in
+  let ratio = closed_form /. empirical in
+  Alcotest.(check bool)
+    (Printf.sprintf "ratio %.3f in [0.8, 1.3]" ratio)
+    true
+    (ratio > 0.8 && ratio < 1.3)
+
+let suite =
+  [
+    Alcotest.test_case "Eq 13-15 formulas" `Quick test_bounds_formulas;
+    Alcotest.test_case "bound ordering" `Quick test_bounds_ordering;
+    Alcotest.test_case "bounds reject n=0" `Quick test_bounds_invalid;
+    Alcotest.test_case "degenerate path lengths" `Quick test_hamiltonian_degenerate;
+    Alcotest.test_case "path scales with side" `Quick test_hamiltonian_scales_with_side;
+    Alcotest.test_case "exact: unit square" `Quick test_exact_square;
+    Alcotest.test_case "exact: collinear points" `Quick test_exact_collinear;
+    Alcotest.test_case "exact: degenerate inputs" `Quick test_exact_degenerate;
+    Alcotest.test_case "exact: size cap" `Quick test_exact_size_cap;
+    Alcotest.test_case "2-opt vs exact optimum" `Slow test_heuristic_vs_exact;
+    Alcotest.test_case "2-opt improves NN" `Quick test_two_opt_improves_nn;
+    Alcotest.test_case "Eq-15 vs Monte-Carlo" `Slow test_estimate_matches_monte_carlo;
+  ]

@@ -1,0 +1,258 @@
+open Leqa_ulb
+module Ft_gate = Leqa_circuit.Ft_gate
+
+let feq eps = Alcotest.(check (float eps))
+
+(* --- Native --- *)
+
+let test_native_defaults_valid () =
+  Alcotest.(check bool) "valid" true (Native.validate Native.default = Ok ())
+
+let test_native_validate_rejects () =
+  let bad = { Native.default with Native.t_measure = 0.0 } in
+  Alcotest.(check bool) "zero duration" true (Result.is_error (Native.validate bad));
+  let bad_lanes = { Native.default with Native.lanes = 0 } in
+  Alcotest.(check bool) "zero lanes" true (Result.is_error (Native.validate bad_lanes))
+
+let test_phase_time_waves () =
+  let p = { Native.default with Native.lanes = 2; t_two_qubit = 10.0 } in
+  feq 1e-9 "0 instructions" 0.0 (Native.phase_time p Native.Two_qubit ~count:0);
+  feq 1e-9 "1 instruction" 10.0 (Native.phase_time p Native.Two_qubit ~count:1);
+  feq 1e-9 "2 fit one wave" 10.0 (Native.phase_time p Native.Two_qubit ~count:2);
+  feq 1e-9 "3 need two waves" 20.0 (Native.phase_time p Native.Two_qubit ~count:3);
+  feq 1e-9 "7 need four waves" 40.0 (Native.phase_time p Native.Two_qubit ~count:7)
+
+let test_phase_time_negative () =
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Native.phase_time: negative count") (fun () ->
+      ignore (Native.phase_time Native.default Native.Move ~count:(-1)))
+
+(* --- Steane --- *)
+
+let test_steane_shape () =
+  Alcotest.(check int) "7 physical" 7 Steane.physical_qubits;
+  Alcotest.(check int) "distance 3" 3 Steane.distance;
+  Alcotest.(check int) "6 generators" 6 (List.length Steane.stabilizers);
+  Alcotest.(check int) "6 syndrome bits" 6 Steane.syndrome_bits;
+  List.iter
+    (fun s -> Alcotest.(check int) "weight 4" 4 (Steane.weight s))
+    Steane.stabilizers
+
+let test_steane_stabilizers_commute () =
+  (* a stabilizer group is abelian *)
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          if not (Steane.commute a b) then
+            Alcotest.fail "stabilizer generators must commute")
+        Steane.stabilizers)
+    Steane.stabilizers
+
+let test_steane_css_split () =
+  let xs = List.filter (fun s -> s.Steane.kind = Steane.X_type) Steane.stabilizers in
+  let zs = List.filter (fun s -> s.Steane.kind = Steane.Z_type) Steane.stabilizers in
+  Alcotest.(check int) "3 X-type" 3 (List.length xs);
+  Alcotest.(check int) "3 Z-type" 3 (List.length zs);
+  (* CSS: X and Z generators share the same Hamming supports *)
+  List.iter2
+    (fun x z ->
+      Alcotest.(check (list int)) "same support" x.Steane.support z.Steane.support)
+    xs zs
+
+let test_steane_transversality () =
+  List.iter
+    (fun k ->
+      Alcotest.(check bool)
+        (Leqa_circuit.Gate.single_kind_to_string k)
+        true (Steane.is_transversal k))
+    [ Ft_gate.X; Ft_gate.Y; Ft_gate.Z; Ft_gate.H; Ft_gate.S; Ft_gate.Sdg ];
+  Alcotest.(check bool) "T not transversal" false (Steane.is_transversal Ft_gate.T);
+  Alcotest.(check bool) "Tdg not transversal" false (Steane.is_transversal Ft_gate.Tdg)
+
+let test_encode_circuit_structure () =
+  let circ = Steane.encode_circuit () in
+  Alcotest.(check int) "7 wires" 7 (Leqa_circuit.Ft_circuit.num_qubits circ);
+  let stats = Leqa_circuit.Ft_circuit.stats circ in
+  Alcotest.(check int) "9 CNOTs" Steane.encode_cnot_count
+    stats.Leqa_circuit.Ft_circuit.cnot_count
+
+let test_encoded_state_is_stabilized () =
+  (* |0>_L must be a +1 eigenstate of every stabilizer generator and of
+     logical Z — checked by exact state-vector simulation *)
+  let encoded () =
+    let s = Leqa_circuit.Statevector.create ~num_qubits:7 ~basis:0 in
+    Leqa_circuit.Statevector.run s (Steane.encode_circuit ());
+    s
+  in
+  let reference = encoded () in
+  List.iter
+    (fun stabilizer ->
+      let probe = encoded () in
+      Leqa_circuit.Statevector.run probe (Steane.stabilizer_circuit stabilizer);
+      let f = Leqa_circuit.Statevector.fidelity reference probe in
+      if f < 1.0 -. 1e-9 then
+        Alcotest.failf "state not stabilized (fidelity %.6f)" f)
+    Steane.stabilizers;
+  (* logical Z = Z on every wire *)
+  let probe = encoded () in
+  List.iter
+    (fun q ->
+      Leqa_circuit.Statevector.apply probe
+        (Leqa_circuit.Ft_gate.Single (Leqa_circuit.Ft_gate.Z, q)))
+    Steane.logical_z_support;
+  Alcotest.(check bool) "logical Z eigenstate" true
+    (Leqa_circuit.Statevector.fidelity reference probe > 1.0 -. 1e-9)
+
+let test_logical_x_flips_logical_state () =
+  (* logical X maps |0>_L to an orthogonal state (|1>_L) that is still
+     stabilized *)
+  let encoded () =
+    let s = Leqa_circuit.Statevector.create ~num_qubits:7 ~basis:0 in
+    Leqa_circuit.Statevector.run s (Steane.encode_circuit ());
+    s
+  in
+  let zero_l = encoded () in
+  let one_l = encoded () in
+  List.iter
+    (fun q ->
+      Leqa_circuit.Statevector.apply one_l
+        (Leqa_circuit.Ft_gate.Single (Leqa_circuit.Ft_gate.X, q)))
+    Steane.logical_x_support;
+  Alcotest.(check bool) "orthogonal to |0>_L" true
+    (Leqa_circuit.Statevector.fidelity zero_l one_l < 1e-9);
+  (* still in the code space *)
+  List.iter
+    (fun stabilizer ->
+      let probe = encoded () in
+      List.iter
+        (fun q ->
+          Leqa_circuit.Statevector.apply probe
+            (Leqa_circuit.Ft_gate.Single (Leqa_circuit.Ft_gate.X, q)))
+        Steane.logical_x_support;
+      Leqa_circuit.Statevector.run probe (Steane.stabilizer_circuit stabilizer);
+      let expected = one_l in
+      Alcotest.(check bool) "stabilized |1>_L" true
+        (Leqa_circuit.Statevector.fidelity expected probe > 1.0 -. 1e-9))
+    Steane.stabilizers
+
+(* --- Designer --- *)
+
+let test_designer_approximates_table1 () =
+  (* the generated delays must land within 20% of the published Table 1 *)
+  let d = Designer.design () in
+  let close name expected actual =
+    let err = abs_float (actual -. expected) /. expected in
+    if err > 0.20 then
+      Alcotest.failf "%s: designed %.0f vs Table-1 %.0f (%.0f%% off)" name
+        actual expected (100.0 *. err)
+  in
+  close "d_H" 5440.0 (Designer.total d.Designer.d_h);
+  close "d_T" 10940.0 (Designer.total d.Designer.d_t);
+  close "d_S" 5240.0 (Designer.total d.Designer.d_s);
+  close "d_XYZ" 5240.0 (Designer.total d.Designer.d_pauli);
+  close "d_CNOT" 4930.0 (Designer.total d.Designer.d_cnot);
+  close "t_move" 100.0 d.Designer.t_move
+
+let test_designer_t_is_most_expensive () =
+  (* the paper: non-transversal T/T† cost more than everything else *)
+  let d = Designer.design () in
+  let t = Designer.total d.Designer.d_t in
+  List.iter
+    (fun other ->
+      Alcotest.(check bool) "T dominates" true (t > Designer.total other))
+    [ d.Designer.d_h; d.Designer.d_s; d.Designer.d_pauli; d.Designer.d_cnot ]
+
+let test_designer_ec_dominates () =
+  (* fault tolerance is the cost: the EC phase exceeds the gate phase for
+     every transversal gate *)
+  let d = Designer.design () in
+  List.iter
+    (fun b ->
+      Alcotest.(check bool) "EC >= gate" true
+        (b.Designer.correction_phase >= b.Designer.gate_phase))
+    [ d.Designer.d_h; d.Designer.d_s; d.Designer.d_pauli; d.Designer.d_cnot ]
+
+let test_designer_monotone_in_rounds () =
+  let one = Designer.design ~rounds:1 () in
+  let three = Designer.design ~rounds:3 () in
+  Alcotest.(check bool) "more rounds, slower ops" true
+    (Designer.total three.Designer.d_h > Designer.total one.Designer.d_h)
+
+let test_designer_monotone_in_lanes () =
+  let narrow = Designer.design ~native:{ Native.default with Native.lanes = 1 } () in
+  let wide = Designer.design ~native:{ Native.default with Native.lanes = 7 } () in
+  Alcotest.(check bool) "more lanes, faster ops" true
+    (Designer.total wide.Designer.d_cnot < Designer.total narrow.Designer.d_cnot)
+
+let test_designer_to_params () =
+  let params = Designer.to_params ~width:60 ~height:60 ~nc:5 ~v:0.001 () in
+  Alcotest.(check bool) "valid parameter set" true
+    (Leqa_fabric.Params.validate params = Ok ());
+  Alcotest.(check int) "area" 3600 (Leqa_fabric.Params.area params)
+
+let test_designer_rejects_bad_input () =
+  Alcotest.check_raises "rounds" (Invalid_argument "Designer.design: rounds < 1")
+    (fun () -> ignore (Designer.design ~rounds:0 ()));
+  let bad = { Native.default with Native.t_move = -1.0 } in
+  Alcotest.(check bool) "bad native rejected" true
+    (try
+       ignore (Designer.design ~native:bad ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_designer_report () =
+  let d = Designer.design () in
+  let rows = Designer.report d in
+  Alcotest.(check int) "5 rows" 5 (List.length rows);
+  List.iter
+    (fun (_, gate, ec) ->
+      Alcotest.(check bool) "positive" true (gate > 0.0 && ec > 0.0))
+    rows
+
+let test_designed_params_run_the_pipeline () =
+  (* end to end: generated Table 1 -> LEQA and QSPR still agree *)
+  let params = Designer.to_params ~width:60 ~height:60 ~nc:5 ~v:0.005 () in
+  let qodg =
+    Leqa_qodg.Qodg.of_ft_circuit
+      (Leqa_circuit.Decompose.to_ft (Leqa_benchmarks.Gf2_mult.circuit ~n:16 ()))
+  in
+  let actual =
+    Leqa_qspr.Qspr.run
+      ~config:{ Leqa_qspr.Qspr.default_config with Leqa_qspr.Qspr.params }
+      qodg
+  in
+  let est = Leqa_core.Estimator.estimate ~params qodg in
+  let err =
+    Leqa_util.Stats.relative_error ~actual:actual.Leqa_qspr.Qspr.latency_s
+      ~estimated:est.Leqa_core.Estimator.latency_s
+  in
+  if err > 0.10 then
+    Alcotest.failf "designed-fabric estimate off by %.1f%%" (100.0 *. err)
+
+let suite =
+  [
+    Alcotest.test_case "native defaults valid" `Quick test_native_defaults_valid;
+    Alcotest.test_case "native validation" `Quick test_native_validate_rejects;
+    Alcotest.test_case "lane-wave phase time" `Quick test_phase_time_waves;
+    Alcotest.test_case "phase time rejects negatives" `Quick test_phase_time_negative;
+    Alcotest.test_case "Steane shape" `Quick test_steane_shape;
+    Alcotest.test_case "stabilizers commute" `Quick test_steane_stabilizers_commute;
+    Alcotest.test_case "CSS structure" `Quick test_steane_css_split;
+    Alcotest.test_case "transversality table" `Quick test_steane_transversality;
+    Alcotest.test_case "encode circuit structure" `Quick test_encode_circuit_structure;
+    Alcotest.test_case "|0>_L is stabilized" `Quick test_encoded_state_is_stabilized;
+    Alcotest.test_case "logical X action" `Quick test_logical_x_flips_logical_state;
+    Alcotest.test_case "designed delays near Table 1" `Quick
+      test_designer_approximates_table1;
+    Alcotest.test_case "T is the most expensive op" `Quick
+      test_designer_t_is_most_expensive;
+    Alcotest.test_case "EC dominates gate phases" `Quick test_designer_ec_dominates;
+    Alcotest.test_case "monotone in EC rounds" `Quick test_designer_monotone_in_rounds;
+    Alcotest.test_case "monotone in lanes" `Quick test_designer_monotone_in_lanes;
+    Alcotest.test_case "to_params is valid" `Quick test_designer_to_params;
+    Alcotest.test_case "input validation" `Quick test_designer_rejects_bad_input;
+    Alcotest.test_case "report rows" `Quick test_designer_report;
+    Alcotest.test_case "designed fabric end-to-end" `Quick
+      test_designed_params_run_the_pipeline;
+  ]

@@ -1,0 +1,75 @@
+open Leqa_core
+
+let test_monte_carlo_matches_eq4 () =
+  (* the analytic E[S_q] of Eq 4 must agree with direct simulation of the
+     very random process it models *)
+  let width = 20 and height = 20 and qubits = 8 and avg_area = 9.0 in
+  let expected =
+    Coverage.expected_surfaces ~topology:Leqa_fabric.Params.Grid ~avg_area ~width ~height ~qubits ~terms:qubits
+  in
+  let rng = Leqa_util.Rng.create ~seed:404 in
+  let measured =
+    Validation.measure ~rng ~avg_area ~width ~height ~qubits ~trials:3000
+      ~qmax:qubits
+  in
+  let deviation =
+    Validation.max_abs_deviation ~expected
+      ~empirical:measured.Validation.empirical_surfaces
+  in
+  (* E[S_1] is ~60 ULBs here; demand agreement within 1.5 ULBs *)
+  if deviation > 1.5 then
+    Alcotest.failf "Eq-4 deviates from Monte-Carlo by %.2f ULBs" deviation
+
+let test_uncovered_matches_eq4 () =
+  let width = 15 and height = 15 and qubits = 5 and avg_area = 16.0 in
+  let expected =
+    Coverage.expected_uncovered ~topology:Leqa_fabric.Params.Grid ~avg_area ~width ~height ~qubits
+  in
+  let rng = Leqa_util.Rng.create ~seed:405 in
+  let measured =
+    Validation.measure ~rng ~avg_area ~width ~height ~qubits ~trials:3000
+      ~qmax:qubits
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "uncovered %.1f vs %.1f" expected
+       measured.Validation.empirical_uncovered)
+    true
+    (abs_float (expected -. measured.Validation.empirical_uncovered) < 2.0)
+
+let test_total_surface_conserved () =
+  (* every trial covers exactly A ULBs across q = 0..Q *)
+  let width = 10 and height = 10 and qubits = 4 in
+  let rng = Leqa_util.Rng.create ~seed:7 in
+  let measured =
+    Validation.measure ~rng ~avg_area:4.0 ~width ~height ~qubits ~trials:500
+      ~qmax:qubits
+  in
+  let total =
+    measured.Validation.empirical_uncovered
+    +. Array.fold_left ( +. ) 0.0 measured.Validation.empirical_surfaces
+  in
+  Alcotest.(check (float 1e-6)) "sums to A" 100.0 total
+
+let test_input_validation () =
+  let rng = Leqa_util.Rng.create ~seed:1 in
+  Alcotest.check_raises "trials" (Invalid_argument "Validation.measure: trials <= 0")
+    (fun () ->
+      ignore
+        (Validation.measure ~rng ~avg_area:4.0 ~width:5 ~height:5 ~qubits:2
+           ~trials:0 ~qmax:2))
+
+let test_max_abs_deviation () =
+  Alcotest.(check (float 1e-9)) "deviation" 3.0
+    (Validation.max_abs_deviation ~expected:[| 1.0; 5.0 |]
+       ~empirical:[| 2.0; 2.0 |]);
+  Alcotest.(check (float 1e-9)) "empty" 0.0
+    (Validation.max_abs_deviation ~expected:[||] ~empirical:[| 1.0 |])
+
+let suite =
+  [
+    Alcotest.test_case "Eq-4 vs Monte-Carlo" `Slow test_monte_carlo_matches_eq4;
+    Alcotest.test_case "E[S_0] vs Monte-Carlo" `Slow test_uncovered_matches_eq4;
+    Alcotest.test_case "surface conservation" `Quick test_total_surface_conserved;
+    Alcotest.test_case "input validation" `Quick test_input_validation;
+    Alcotest.test_case "max_abs_deviation" `Quick test_max_abs_deviation;
+  ]

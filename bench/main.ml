@@ -8,7 +8,11 @@
 
    Commands: table1 fig2 fig3 fig4 fig5 table2 table3 scaling
              ablation-truncation ablation-v ablation-routing sweep-fabric
-             micro all *)
+             perf micro all
+
+   --jobs N (or $LEQA_JOBS) sets the default domain-pool width; the perf
+   command times serial vs parallel hot paths and writes BENCH_PR1.json
+   (--out overrides; --scale 0 = the @perf-smoke variant). *)
 
 module Params = Leqa_fabric.Params
 module Geometry = Leqa_fabric.Geometry
@@ -29,6 +33,8 @@ module Table = Leqa_util.Table
 module Rng = Leqa_util.Rng
 module Mm1 = Leqa_queueing.Mm1
 module Json = Leqa_util.Json
+module Pool = Leqa_util.Pool
+module Simulate = Leqa_queueing.Simulate
 
 let header title =
   Printf.printf "\n=== %s ===\n\n" title
@@ -257,8 +263,10 @@ type row = {
 }
 
 let run_suite ~scale =
-  List.map
-    (fun entry ->
+  (* independent per-benchmark pipelines (build → QSPR → LEQA): fan out
+     over the default pool; map_list keeps Table 2/3 row order *)
+  Pool.map_list (Pool.get_default ())
+    ~f:(fun entry ->
       let circ = Suite.build_scaled entry ~scale in
       let ft = Decompose.to_ft circ in
       (* the QODG is the *input* of both tools (Algorithm 1 takes it as an
@@ -946,6 +954,205 @@ let sweep_fabric () =
   Table.print table
 
 (* ------------------------------------------------------------------ *)
+(* perf: serial vs parallel engine, recorded as a JSON trajectory point *)
+(* ------------------------------------------------------------------ *)
+
+(* Times each hot path twice — default pool forced to 1 job, then to the
+   requested width — with the coverage caches cleared before every cold
+   measurement.  --scale 0 selects a seconds-not-minutes smoke variant
+   (the @perf-smoke dune alias). *)
+
+let time_at_jobs ~jobs f =
+  Pool.set_default_jobs jobs;
+  Coverage.clear_caches ();
+  Timing.time_seconds f
+
+let speedup ~serial ~parallel = serial /. Float.max 1e-9 parallel
+
+let section_json ~extra ~serial ~parallel =
+  Json.Obj
+    ([
+       ("serial_s", Json.Float serial);
+       ("parallel_s", Json.Float parallel);
+       ("speedup", Json.Float (speedup ~serial ~parallel));
+     ]
+    @ extra)
+
+let perf ~scale ~out () =
+  let smoke = scale <= 0.0 in
+  let par_jobs = Pool.default_jobs () in
+  let eff_scale = if smoke then 0.1 else scale in
+  header
+    (Printf.sprintf "Perf baseline: serial vs parallel engine   [jobs %d%s]"
+       par_jobs
+       (if smoke then ", smoke" else ""));
+  let table =
+    Table.create
+      ~columns:
+        [
+          ("section", Table.Left);
+          ("serial (s)", Table.Right);
+          (Printf.sprintf "jobs=%d (s)" par_jobs, Table.Right);
+          ("speedup", Table.Right);
+        ]
+  in
+  let row name serial parallel =
+    Table.add_row table
+      [
+        name;
+        Printf.sprintf "%.4f" serial;
+        Printf.sprintf "%.4f" parallel;
+        Printf.sprintf "%.2fx" (speedup ~serial ~parallel);
+      ]
+  in
+  (* 1. Eq-4/5 coverage kernel: a 40x40-fabric sweep over (B, Q) combos *)
+  let width, height = if smoke then (20, 20) else (40, 40) in
+  let combos =
+    List.concat_map
+      (fun avg_area ->
+        List.map
+          (fun qubits -> (avg_area, qubits))
+          (if smoke then [ 24; 96 ] else [ 16; 32; 64; 128; 256 ]))
+      (if smoke then [ 4.0; 12.0; 25.0 ]
+       else [ 2.0; 4.0; 7.0; 11.0; 16.0; 22.0; 29.0; 37.0; 46.0; 56.0 ])
+  in
+  let reps = if smoke then 1 else 5 in
+  let sweep () =
+    for _ = 1 to reps do
+      Coverage.clear_caches ();
+      ignore
+        (Pool.map_list (Pool.get_default ())
+           ~f:(fun (avg_area, qubits) ->
+             Coverage.expected_surfaces ~topology:Leqa_fabric.Params.Grid
+               ~avg_area ~width ~height ~qubits ~terms:20)
+           combos)
+    done
+  in
+  let sweep_serial = time_at_jobs ~jobs:1 sweep in
+  let sweep_parallel = time_at_jobs ~jobs:par_jobs sweep in
+  let sweep_cached =
+    (* same keys, caches warm: the memoization payoff for repeated sweeps *)
+    Timing.time_seconds (fun () ->
+        ignore
+          (Pool.map_list (Pool.get_default ())
+             ~f:(fun (avg_area, qubits) ->
+               Coverage.expected_surfaces ~topology:Leqa_fabric.Params.Grid
+                 ~avg_area ~width ~height ~qubits ~terms:20)
+             combos))
+  in
+  row
+    (Printf.sprintf "coverage sweep (%dx%d, %d combos x%d)" width height
+       (List.length combos) reps)
+    sweep_serial sweep_parallel;
+  (* 2. LEQA estimation fan-out across the benchmark suite *)
+  let entries = if smoke then List.filteri (fun i _ -> i < 6) Suite.all else Suite.all in
+  let qodgs =
+    List.map
+      (fun e ->
+        ( e.Suite.name,
+          Qodg.of_ft_circuit (Decompose.to_ft (Suite.build_scaled e ~scale:eff_scale)) ))
+      entries
+  in
+  let estimate_all () =
+    Pool.map_list (Pool.get_default ())
+      ~f:(fun (name, qodg) ->
+        (name, Estimator.estimate ~params:Params.calibrated qodg))
+      qodgs
+  in
+  let est_serial = time_at_jobs ~jobs:1 (fun () -> ignore (estimate_all ())) in
+  Pool.set_default_jobs par_jobs;
+  Coverage.clear_caches ();
+  let estimates, est_parallel = Timing.time estimate_all in
+  row
+    (Printf.sprintf "LEQA estimation (%d benchmarks)" (List.length qodgs))
+    est_serial est_parallel;
+  (* 3. QSPR validation fan-out (the expensive baseline LEQA replaces) *)
+  let qspr_qodgs = List.filteri (fun i _ -> i < if smoke then 3 else 8) qodgs in
+  let qspr_all () =
+    ignore
+      (Pool.map_list (Pool.get_default ())
+         ~f:(fun (_, qodg) -> Qspr.run qodg)
+         qspr_qodgs)
+  in
+  let qspr_serial = time_at_jobs ~jobs:1 qspr_all in
+  let qspr_parallel = time_at_jobs ~jobs:par_jobs qspr_all in
+  row
+    (Printf.sprintf "QSPR validation (%d benchmarks)" (List.length qspr_qodgs))
+    qspr_serial qspr_parallel;
+  (* 4. Monte-Carlo queueing replications, with a determinism check *)
+  let replications = if smoke then 8 else 40 in
+  let horizon = if smoke then 20_000.0 else 200_000.0 in
+  let mc ~jobs =
+    Pool.set_default_jobs jobs;
+    Timing.time (fun () ->
+        Simulate.summarize
+          (Simulate.run_replications ~seed:1303 ~replications ~lambda:1.5
+             ~mu_per_server:2.0 ~servers:2 ~horizon ()))
+  in
+  let mc_serial_stats, mc_serial = mc ~jobs:1 in
+  let mc_parallel_stats, mc_parallel = mc ~jobs:par_jobs in
+  let mc_deterministic = mc_serial_stats = mc_parallel_stats in
+  row
+    (Printf.sprintf "Monte-Carlo M/M/c (%d replications)" replications)
+    mc_serial mc_parallel;
+  Table.print table;
+  Printf.printf
+    "\ncoverage sweep warm-cache rerun: %.4f s (%.1fx vs cold parallel)\n\
+     Monte-Carlo statistics identical at jobs=1 and jobs=%d: %b\n"
+    sweep_cached
+    (speedup ~serial:sweep_parallel ~parallel:(sweep_cached *. float_of_int reps))
+    par_jobs mc_deterministic;
+  let json =
+    Json.Obj
+      [
+        ("pr", Json.Int 1);
+        ("label", Json.String "multicore estimation engine");
+        ("jobs", Json.Int par_jobs);
+        ("recommended_domains", Json.Int (Domain.recommended_domain_count ()));
+        ("smoke", Json.Bool smoke);
+        ("scale", Json.Float eff_scale);
+        ( "coverage_sweep",
+          section_json ~serial:sweep_serial ~parallel:sweep_parallel
+            ~extra:
+              [
+                ("fabric", Json.String (Printf.sprintf "%dx%d" width height));
+                ("combos", Json.Int (List.length combos));
+                ("reps", Json.Int reps);
+                ("warm_cache_s", Json.Float sweep_cached);
+              ] );
+        ( "suite_estimation",
+          section_json ~serial:est_serial ~parallel:est_parallel
+            ~extra:[ ("benchmarks", Json.Int (List.length qodgs)) ] );
+        ( "qspr_validation",
+          section_json ~serial:qspr_serial ~parallel:qspr_parallel
+            ~extra:[ ("benchmarks", Json.Int (List.length qspr_qodgs)) ] );
+        ( "monte_carlo",
+          section_json ~serial:mc_serial ~parallel:mc_parallel
+            ~extra:
+              [
+                ("replications", Json.Int replications);
+                ("deterministic", Json.Bool mc_deterministic);
+                ( "mean_sojourn_time",
+                  Json.Float mc_parallel_stats.Simulate.mean_sojourn_time );
+              ] );
+        ( "per_benchmark",
+          Json.List
+            (List.map
+               (fun (name, est) ->
+                 Json.Obj
+                   [
+                     ("benchmark", Json.String name);
+                     ("estimated_s", Json.Float est.Estimator.latency_s);
+                     ("qubits", Json.Int est.Estimator.qubits);
+                     ("operations", Json.Int est.Estimator.operations);
+                   ])
+               estimates) );
+      ]
+  in
+  Json.write_file out json;
+  Printf.printf "[wrote %s]\n" out
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one kernel per table/figure              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1108,11 +1315,14 @@ let () =
   let scale = ref 0.5 in
   let command = ref "all" in
   let json_path = ref None in
+  let perf_out = ref "BENCH_PR1.json" in
   let rec parse = function
     | [] -> ()
     | "--scale" :: v :: rest ->
+      (* scale 0 is the perf command's smoke mode; every other command
+         needs a positive scale *)
       (match float_of_string_opt v with
-      | Some s when s > 0.0 -> scale := s
+      | Some s when s >= 0.0 -> scale := s
       | _ -> prerr_endline "invalid --scale"; exit 2);
       parse rest
     | "--full" :: rest ->
@@ -1121,12 +1331,24 @@ let () =
     | "--json" :: path :: rest ->
       json_path := Some path;
       parse rest
+    | "--jobs" :: v :: rest ->
+      (match int_of_string_opt v with
+      | Some j when j >= 1 -> Pool.set_default_jobs j
+      | _ -> prerr_endline "invalid --jobs"; exit 2);
+      parse rest
+    | "--out" :: path :: rest ->
+      perf_out := path;
+      parse rest
     | cmd :: rest ->
       command := cmd;
       parse rest
   in
   (match args with _ :: rest -> parse rest | [] -> ());
   let scale = !scale in
+  if scale <= 0.0 && !command <> "perf" then begin
+    prerr_endline "--scale 0 is only valid for the perf command";
+    exit 2
+  end;
   let maybe_dump rows =
     match !json_path with
     | None -> ()
@@ -1163,6 +1385,7 @@ let () =
   | "tornado" -> tornado ()
   | "workloads" -> workloads ~scale
   | "micro" -> micro ()
+  | "perf" -> perf ~scale ~out:!perf_out ()
   | "all" ->
     table1 ();
     fig2 ();
@@ -1186,6 +1409,7 @@ let () =
     table1_designed ();
     sweep_fabric ();
     tornado ();
+    perf ~scale ~out:!perf_out ();
     micro ()
   | other ->
     Printf.eprintf
@@ -1194,7 +1418,8 @@ let () =
       \          ablation-truncation ablation-v ablation-routing\n\
       \          ablation-topology ablation-mappers ablation-placement\n\
       \          ablation-deferral complexity table1-designed\n\
-      \          sweep-fabric tornado workloads micro all\n\
-       options: [--scale S | --full] [--json PATH]\n"
+      \          sweep-fabric tornado workloads perf micro all\n\
+       options: [--scale S | --full] [--json PATH] [--jobs N] [--out PATH]\n\
+       (perf --scale 0 = smoke mode; --jobs also honours $LEQA_JOBS)\n"
       other;
     exit 2

@@ -103,6 +103,21 @@ let terms_arg =
   let doc = "Number of E(S_q) terms to evaluate (the paper uses 20)." in
   Arg.(value & opt int 20 & info [ "terms" ] ~docv:"K" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Width of the parallel domain pool (1 = fully sequential).  Defaults \
+     to $(b,LEQA_JOBS) if set, else the machine's recommended domain \
+     count.  Results are identical at every width."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let apply_jobs = function
+  | None -> ()
+  | Some n when n >= 1 -> Leqa_util.Pool.set_default_jobs n
+  | Some _ ->
+    prerr_endline "leqa: --jobs must be >= 1";
+    exit 1
+
 let params_of ~width ~height ~v =
   match
     Params.validate { Params.calibrated with Params.width; height; v }
@@ -119,7 +134,8 @@ let or_die = function
 (* ---------------- subcommands ---------------- *)
 
 let estimate_cmd =
-  let run file bench scale width height v terms =
+  let run file bench scale width height v terms jobs =
+    apply_jobs jobs;
     let _, ft, qodg = or_die (prepare ~file ~bench ~scale) in
     let params = or_die (params_of ~width ~height ~v) in
     let config = { Leqa_core.Config.truncation_terms = terms } in
@@ -129,6 +145,11 @@ let estimate_cmd =
     in
     Format.printf "%a@." Ft_circuit.pp_summary ft;
     Format.printf "B (avg zone area)  = %.2f@." est.Estimator.avg_zone_area;
+    if est.Estimator.zone_clamped then
+      Format.printf
+        "warning: zone side ceil(sqrt B) exceeds the %dx%d fabric and was \
+         clamped — the coverage model is outside its assumptions@."
+        width height;
     Format.printf "d_uncongested      = %.1f us@." est.Estimator.d_uncong;
     Format.printf "L_CNOT^avg         = %.1f us@." est.Estimator.l_cnot_avg;
     Format.printf "L_1q^avg           = %.1f us@." est.Estimator.l_single_avg;
@@ -145,7 +166,7 @@ let estimate_cmd =
   let term =
     Term.(
       const run $ file_arg $ bench_arg $ scale_arg $ width_arg $ height_arg
-      $ v_arg $ terms_arg)
+      $ v_arg $ terms_arg $ jobs_arg)
   in
   Cmd.v (Cmd.info "estimate" ~doc:"LEQA latency estimate (Algorithm 1)") term
 
@@ -172,7 +193,8 @@ let simulate_cmd =
   Cmd.v (Cmd.info "simulate" ~doc:"detailed QSPR mapping (the baseline)") term
 
 let compare_cmd =
-  let run file bench scale width height v =
+  let run file bench scale width height v jobs =
+    apply_jobs jobs;
     let _, ft, qodg = or_die (prepare ~file ~bench ~scale) in
     let params = or_die (params_of ~width ~height ~v) in
     let qspr_config =
@@ -199,12 +221,13 @@ let compare_cmd =
   let term =
     Term.(
       const run $ file_arg $ bench_arg $ scale_arg $ width_arg $ height_arg
-      $ v_arg)
+      $ v_arg $ jobs_arg)
   in
   Cmd.v (Cmd.info "compare" ~doc:"QSPR vs LEQA side by side") term
 
 let sweep_fabric_cmd =
-  let run file bench scale v sizes =
+  let run file bench scale v sizes jobs =
+    apply_jobs jobs;
     let _, _, qodg = or_die (prepare ~file ~bench ~scale) in
     let table =
       Leqa_util.Table.create
@@ -215,17 +238,24 @@ let sweep_fabric_cmd =
             ("L_CNOT (us)", Leqa_util.Table.Right);
           ]
     in
+    let estimates =
+      (* independent per-size estimates: fan out over the domain pool *)
+      Leqa_util.Pool.map_list
+        (Leqa_util.Pool.get_default ())
+        ~f:(fun side ->
+          let params = or_die (params_of ~width:side ~height:side ~v) in
+          (side, Estimator.estimate ~params qodg))
+        sizes
+    in
     List.iter
-      (fun side ->
-        let params = or_die (params_of ~width:side ~height:side ~v) in
-        let est = Estimator.estimate ~params qodg in
+      (fun (side, est) ->
         Leqa_util.Table.add_row table
           [
             Printf.sprintf "%dx%d" side side;
             Printf.sprintf "%.6f" est.Estimator.latency_s;
             Printf.sprintf "%.1f" est.Estimator.l_cnot_avg;
           ])
-      sizes;
+      estimates;
     Leqa_util.Table.print table
   in
   let sizes_arg =
@@ -236,7 +266,9 @@ let sweep_fabric_cmd =
       & info [ "sizes" ] ~docv:"N,..." ~doc)
   in
   let term =
-    Term.(const run $ file_arg $ bench_arg $ scale_arg $ v_arg $ sizes_arg)
+    Term.(
+      const run $ file_arg $ bench_arg $ scale_arg $ v_arg $ sizes_arg
+      $ jobs_arg)
   in
   Cmd.v
     (Cmd.info "sweep-fabric"

@@ -1,8 +1,16 @@
-let zone_side ~avg_area ~width ~height =
+module Pool = Leqa_util.Pool
+
+type zone_info = { side : int; clamped : bool }
+
+let zone_side_info ~avg_area ~width ~height =
   if avg_area < 1.0 then invalid_arg "Coverage.zone_side: area below 1";
   if width <= 0 || height <= 0 then invalid_arg "Coverage.zone_side: empty fabric";
-  let s = int_of_float (ceil (sqrt avg_area)) in
-  max 1 (min s (min width height))
+  let raw = int_of_float (ceil (sqrt avg_area)) in
+  let fit = min width height in
+  { side = max 1 (min raw fit); clamped = raw > fit }
+
+let zone_side ~avg_area ~width ~height =
+  (zone_side_info ~avg_area ~width ~height).side
 
 let check_coord ~width ~height ~x ~y =
   if x < 1 || x > width || y < 1 || y > height then
@@ -26,52 +34,122 @@ let coverage_probability ~topology ~avg_area
     let denom = (width - s + 1) * (height - s + 1) in
     float_of_int (nx * ny) /. float_of_int denom
 
+(* ------------------------------------------------------------------ *)
+(* Memoization.  Sweeps and sensitivity analyses re-estimate the same   *)
+(* fabric with identical coverage inputs over and over; both the P_xy   *)
+(* grid and the whole E[S_q] vector are pure functions of their keys,   *)
+(* so we cache them process-wide.  Guarded by one mutex (entries are    *)
+(* copied in and out, so domains never share a mutable array); bounded  *)
+(* by wholesale reset, which only costs recomputation.                  *)
+(* ------------------------------------------------------------------ *)
+
+type grid_key = Leqa_fabric.Params.topology * float * int * int
+type surfaces_key = Leqa_fabric.Params.topology * float * int * int * int * int
+
+let cache_mutex = Mutex.create ()
+let grid_cache : (grid_key, float array) Hashtbl.t = Hashtbl.create 32
+let surfaces_cache : (surfaces_key, float array) Hashtbl.t = Hashtbl.create 64
+let max_cache_entries = 128
+
+let clear_caches () =
+  Mutex.lock cache_mutex;
+  Hashtbl.reset grid_cache;
+  Hashtbl.reset surfaces_cache;
+  Mutex.unlock cache_mutex
+
+let cache_lookup cache key =
+  Mutex.lock cache_mutex;
+  let r = Hashtbl.find_opt cache key in
+  Mutex.unlock cache_mutex;
+  Option.map Array.copy r
+
+let cache_store cache key value =
+  Mutex.lock cache_mutex;
+  if Hashtbl.length cache >= max_cache_entries then Hashtbl.reset cache;
+  if not (Hashtbl.mem cache key) then Hashtbl.add cache key (Array.copy value);
+  Mutex.unlock cache_mutex
+
+(* Per-ULB chunk size.  Fixed (never derived from the pool width) so the
+   work decomposition — and therefore every floating-point summation
+   order — is identical at jobs = 1 and jobs = N.  128 cells keep a
+   40×40 fabric (1600 ULBs) spread across 12+ tasks. *)
+let cell_chunk = 128
+
 let probability_grid ~topology ~avg_area ~width ~height =
-  let grid = Array.make (width * height) 0.0 in
-  for y = 1 to height do
-    for x = 1 to width do
-      grid.(((y - 1) * width) + (x - 1)) <-
-        coverage_probability ~topology ~avg_area ~width ~height ~x ~y
-    done
-  done;
-  grid
+  let key = (topology, avg_area, width, height) in
+  match cache_lookup grid_cache key with
+  | Some grid -> grid
+  | None ->
+    (* validate before any task runs *)
+    ignore (zone_side ~avg_area ~width ~height);
+    let grid = Array.make (width * height) 0.0 in
+    let pool = Pool.get_default () in
+    Pool.parallel_for pool ~chunk:cell_chunk (width * height) (fun cell ->
+        let x = (cell mod width) + 1 and y = (cell / width) + 1 in
+        grid.(cell) <-
+          coverage_probability ~topology ~avg_area ~width ~height ~x ~y);
+    cache_store grid_cache key grid;
+    grid
 
 (* Eq (4), log-space per cell.  For each ULB we need
-   C(Q,q)·P^q·(1−P)^(Q−q) for q = 1..terms; the log-binomial prefix is
-   shared across cells, so precompute it once per q. *)
+   C(Q,q)·P^q·(1−P)^(Q-q) for q = 1..terms; the log-binomial prefix is
+   shared across cells (memoized in Leqa_util.Binomial).  Cells are
+   reduced in fixed-size chunks: each chunk accumulates sequentially in
+   cell order and the partials are combined in chunk order, so the sum
+   is bit-for-bit identical at every pool width. *)
 let expected_surfaces ~topology ~avg_area ~width ~height ~qubits ~terms =
   if qubits < 0 then invalid_arg "Coverage.expected_surfaces: negative Q";
   if terms <= 0 then invalid_arg "Coverage.expected_surfaces: terms must be positive";
-  let kmax = min terms qubits in
-  let grid = probability_grid ~topology ~avg_area ~width ~height in
-  let log_choose = Array.make (kmax + 1) 0.0 in
-  for q = 1 to kmax do
-    log_choose.(q) <- Leqa_util.Binomial.log_choose qubits q
-  done;
-  let result = Array.make kmax 0.0 in
-  Array.iter
-    (fun p ->
-      if p > 0.0 then begin
-        let log_p = log p in
-        let log_1mp = if p >= 1.0 then neg_infinity else log1p (-.p) in
-        for q = 1 to kmax do
-          let log_term =
-            log_choose.(q)
-            +. (float_of_int q *. log_p)
-            +.
-            if qubits - q = 0 then 0.0
-            else float_of_int (qubits - q) *. log_1mp
-          in
-          if log_term > neg_infinity then
-            result.(q - 1) <- result.(q - 1) +. exp log_term
-        done
-      end)
-    grid;
-  result
+  let key = (topology, avg_area, width, height, qubits, terms) in
+  match cache_lookup surfaces_cache key with
+  | Some result -> result
+  | None ->
+    let kmax = min terms qubits in
+    let grid = probability_grid ~topology ~avg_area ~width ~height in
+    let log_choose = Leqa_util.Binomial.log_choose_table ~n:qubits ~kmax in
+    let pool = Pool.get_default () in
+    let sum_cells lo hi =
+      let partial = Array.make kmax 0.0 in
+      for cell = lo to hi - 1 do
+        let p = grid.(cell) in
+        if p > 0.0 then begin
+          let log_p = log p in
+          let log_1mp = if p >= 1.0 then neg_infinity else log1p (-.p) in
+          for q = 1 to kmax do
+            let log_term =
+              log_choose.(q)
+              +. (float_of_int q *. log_p)
+              +.
+              if qubits - q = 0 then 0.0
+              else float_of_int (qubits - q) *. log_1mp
+            in
+            if log_term > neg_infinity then
+              partial.(q - 1) <- partial.(q - 1) +. exp log_term
+          done
+        end
+      done;
+      partial
+    in
+    let add_into acc partial =
+      Array.iteri (fun i v -> acc.(i) <- acc.(i) +. v) partial;
+      acc
+    in
+    let result =
+      Pool.reduce_chunks pool ~chunk:cell_chunk ~n:(Array.length grid)
+        ~map:sum_cells ~combine:add_into ~init:(Array.make kmax 0.0)
+    in
+    cache_store surfaces_cache key result;
+    result
 
 let expected_uncovered ~topology ~avg_area ~width ~height ~qubits =
   let grid = probability_grid ~topology ~avg_area ~width ~height in
-  Array.fold_left
-    (fun acc p ->
-      acc +. exp (Leqa_util.Binomial.log_pmf ~n:qubits ~k:0 ~p))
-    0.0 grid
+  let pool = Pool.get_default () in
+  Pool.reduce_chunks pool ~chunk:cell_chunk ~n:(Array.length grid)
+    ~map:(fun lo hi ->
+      let acc = ref 0.0 in
+      for cell = lo to hi - 1 do
+        acc :=
+          !acc +. exp (Leqa_util.Binomial.log_pmf ~n:qubits ~k:0 ~p:grid.(cell))
+      done;
+      !acc)
+    ~combine:( +. ) ~init:0.0

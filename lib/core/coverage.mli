@@ -1,9 +1,29 @@
 (** Zone-coverage statistics: [P_{x,y}] (Eq 5, Figure 4) and the expected
-    surface [E(S_q)] covered by exactly [q] presence zones (Eq 4). *)
+    surface [E(S_q)] covered by exactly [q] presence zones (Eq 4).
+
+    The grid and surface computations run on the default
+    {!Leqa_util.Pool} and are memoized process-wide: both are pure
+    functions of their arguments, and repeated estimates (fabric sweeps,
+    sensitivity analysis) hit the cache instead of recomputing.  Results
+    are bit-for-bit identical at every pool width (see the determinism
+    contract in {!Leqa_util.Pool}). *)
+
+type zone_info = {
+  side : int;  (** ⌈√B⌉, truncated to fit the fabric *)
+  clamped : bool;
+      (** [true] when ⌈√B⌉ exceeded [min width height] and was truncated —
+          the Eq-5 model then under-represents zone overlap, and callers
+          (e.g. {!Estimator.breakdown}) should surface the condition *)
+}
+
+val zone_side_info : avg_area:float -> width:int -> height:int -> zone_info
+(** ⌈√B⌉ with an explicit truncation flag.
+    @raise Invalid_argument if [avg_area < 1] or the fabric is empty. *)
 
 val zone_side : avg_area:float -> width:int -> height:int -> int
-(** ⌈√B⌉, clamped to the fabric's smaller dimension so a zone always fits
-    (the paper's equations presuppose it does). *)
+(** [(zone_side_info …).side]: ⌈√B⌉, {e silently} clamped to the fabric's
+    smaller dimension so a zone always fits (the paper's equations
+    presuppose it does).  Use {!zone_side_info} to detect the clamp. *)
 
 val coverage_probability :
   topology:Leqa_fabric.Params.topology ->
@@ -35,3 +55,7 @@ val expected_uncovered :
 (** [E(S_0)] — the part of the fabric no zone covers.  Together with the
     full (untruncated) [expected_surfaces] this satisfies the Eq (3)
     constraint [Σ_{q=0}^{Q} E(S_q) = A]. *)
+
+val clear_caches : unit -> unit
+(** Drop the memoized probability grids and [E(S_q)] vectors (used by
+    perf benchmarks to time cold runs, and by tests). *)

@@ -6,6 +6,7 @@ module Iig = Leqa_iig.Iig
 
 type breakdown = {
   avg_zone_area : float;
+  zone_clamped : bool;
   d_uncong : float;
   expected_surfaces : float array;
   congested_delays : float array;
@@ -47,6 +48,10 @@ let estimate ?(config = Config.default) ~params qodg =
   let iig = Iig.of_qodg qodg in
   let qubits = Iig.num_qubits iig in
   let avg_zone_area = Presence_zone.average_area iig in
+  let zone_clamped =
+    avg_zone_area >= 1.0
+    && (Coverage.zone_side_info ~avg_area:avg_zone_area ~width ~height).Coverage.clamped
+  in
   (* Lines 4-8: per-qubit uncongested latencies and their weighted mean. *)
   let d_uncong = Routing_latency.d_uncongested ~v:params.Params.v iig in
   (* Lines 9-17: coverage probabilities, E(S_q) and d_q (first K terms). *)
@@ -80,6 +85,7 @@ let estimate ?(config = Config.default) ~params qodg =
   let latency_us = eq1_latency ~params ~l_cnot_avg ~counts:critical.counts in
   {
     avg_zone_area;
+    zone_clamped;
     d_uncong;
     expected_surfaces;
     congested_delays;

@@ -7,6 +7,10 @@
 
 type breakdown = {
   avg_zone_area : float;  (** B, Eq 7 *)
+  zone_clamped : bool;
+      (** [true] when the ⌈√B⌉ zone side exceeded the fabric's smaller
+          dimension and was truncated ({!Coverage.zone_side_info}) — the
+          coverage model is then operating outside its assumptions *)
   d_uncong : float;  (** Eq 12, µs *)
   expected_surfaces : float array;  (** E(S_q), q = 1..K (Eq 4) *)
   congested_delays : float array;  (** d_q, q = 1..K (Eq 8) *)

@@ -37,10 +37,17 @@ let elasticity ?config ?(step = 0.05) ~params ~parameter qodg =
   let d0 = latency params in
   if d0 = 0.0 then 0.0 else (up -. down) /. (2.0 *. step *. d0)
 
-let tornado ?config ?step ~params qodg =
+let tornado ?config ?step ?pool ~params qodg =
+  let pool =
+    match pool with Some p -> p | None -> Leqa_util.Pool.get_default ()
+  in
+  (* each parameter costs three independent estimator calls (the shared
+     base estimate hits the coverage cache after the first), so the sweep
+     fans out cleanly over the pool; map_list preserves parameter order,
+     so the result is identical at every pool width *)
   let entries =
-    List.map
-      (fun parameter ->
+    Leqa_util.Pool.map_list pool
+      ~f:(fun parameter ->
         {
           parameter;
           base_value = read params parameter;

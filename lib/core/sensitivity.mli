@@ -30,7 +30,11 @@ val elasticity :
 val tornado :
   ?config:Config.t ->
   ?step:float ->
+  ?pool:Leqa_util.Pool.t ->
   params:Leqa_fabric.Params.t ->
   Leqa_qodg.Qodg.t ->
   entry list
-(** All parameters, sorted by descending |elasticity|. *)
+(** All parameters, sorted by descending |elasticity|.  The per-parameter
+    finite differences are independent and fan out over [pool] (default:
+    the process-wide {!Leqa_util.Pool.get_default}); the result does not
+    depend on the pool width. *)

@@ -74,3 +74,52 @@ let run_multi_server ~rng ~lambda ~mu_per_server ~servers ~horizon =
 let run ~rng ~lambda ~mu ~horizon =
   if mu <= lambda then invalid_arg "Simulate.run: requires mu > lambda";
   run_multi_server ~rng ~lambda ~mu_per_server:mu ~servers:1 ~horizon
+
+type summary = {
+  replications : int;
+  mean_queue_length : float;
+  mean_sojourn_time : float;
+  std_sojourn_time : float;
+  total_served : int;
+}
+
+let summarize results =
+  let n = Array.length results in
+  if n = 0 then invalid_arg "Simulate.summarize: no replications";
+  let nf = float_of_int n in
+  let mean f = Array.fold_left (fun acc r -> acc +. f r) 0.0 results /. nf in
+  let mean_queue_length = mean (fun r -> r.avg_queue_length) in
+  let mean_sojourn_time = mean (fun r -> r.avg_sojourn_time) in
+  let var =
+    mean (fun r ->
+        let d = r.avg_sojourn_time -. mean_sojourn_time in
+        d *. d)
+  in
+  {
+    replications = n;
+    mean_queue_length;
+    mean_sojourn_time;
+    std_sojourn_time = sqrt var;
+    total_served =
+      Array.fold_left (fun acc r -> acc + r.customers_served) 0 results;
+  }
+
+let run_replications ?pool ~seed ~replications ~lambda ~mu_per_server ~servers
+    ~horizon () =
+  if replications <= 0 then
+    invalid_arg "Simulate.run_replications: replications must be positive";
+  let pool =
+    match pool with Some p -> p | None -> Leqa_util.Pool.get_default ()
+  in
+  (* Derive one splittable stream per replication from the master seed
+     *before* fanning out: the seed sequence is a function of [seed] and
+     [replications] only, and the order-preserving map re-associates each
+     result with its index — so the statistics are identical at every
+     pool width. *)
+  let master = Leqa_util.Rng.create ~seed in
+  let rngs =
+    Array.init replications (fun _ -> Leqa_util.Rng.split master)
+  in
+  Leqa_util.Pool.parallel_map pool
+    ~f:(fun rng -> run_multi_server ~rng ~lambda ~mu_per_server ~servers ~horizon)
+    rngs

@@ -28,3 +28,32 @@ val run_multi_server :
   result
 (** M/M/c variant mirroring a capacity-[c] routing channel: [c] parallel
     servers, each with rate [mu_per_server]. *)
+
+type summary = {
+  replications : int;
+  mean_queue_length : float;
+  mean_sojourn_time : float;
+  std_sojourn_time : float;  (** population std-dev across replications *)
+  total_served : int;
+}
+
+val summarize : result array -> summary
+(** Aggregate independent replications (sequential, index-order folds —
+    deterministic).  @raise Invalid_argument on an empty array. *)
+
+val run_replications :
+  ?pool:Leqa_util.Pool.t ->
+  seed:int ->
+  replications:int ->
+  lambda:float ->
+  mu_per_server:float ->
+  servers:int ->
+  horizon:float ->
+  unit ->
+  result array
+(** Run [replications] independent copies of {!run_multi_server} over the
+    pool (default: {!Leqa_util.Pool.get_default}).  Each replication
+    draws from its own stream split deterministically from [seed], so
+    the same master seed yields bit-for-bit identical per-replication
+    results — and therefore identical {!summarize} statistics — at any
+    pool width. *)

@@ -34,6 +34,30 @@ let log_choose n k =
 
 let choose n k = exp (log_choose n k)
 
+(* The coverage kernel (Eq 4) asks for the same ln C(Q, ·) prefix on every
+   estimator call of a sweep; memoize the tables.  Guarded by a mutex so
+   pooled domains can share them; cached arrays are never handed out
+   directly (callers get a copy) so a stale read cannot be corrupted. *)
+let table_mutex = Mutex.create ()
+let tables : (int * int, float array) Hashtbl.t = Hashtbl.create 16
+let max_tables = 256
+
+let log_choose_table ~n ~kmax =
+  if kmax < 0 then invalid_arg "Binomial.log_choose_table: negative kmax";
+  let key = (n, kmax) in
+  Mutex.lock table_mutex;
+  let cached = Hashtbl.find_opt tables key in
+  Mutex.unlock table_mutex;
+  match cached with
+  | Some t -> Array.copy t
+  | None ->
+    let t = Array.init (kmax + 1) (fun k -> log_choose n k) in
+    Mutex.lock table_mutex;
+    if Hashtbl.length tables >= max_tables then Hashtbl.reset tables;
+    if not (Hashtbl.mem tables key) then Hashtbl.add tables key (Array.copy t);
+    Mutex.unlock table_mutex;
+    t
+
 let coefficients_upto ~n ~kmax =
   if kmax < 0 then invalid_arg "Binomial.coefficients_upto: negative kmax";
   let result = Array.make (kmax + 1) 0.0 in

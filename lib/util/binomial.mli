@@ -11,6 +11,11 @@ val log_choose : int -> int -> float
 val choose : int -> int -> float
 (** C(n,k) as a float (may be [infinity] for huge n). *)
 
+val log_choose_table : n:int -> kmax:int -> float array
+(** [|ln C(n,0); …; ln C(n,kmax)|].  Memoized process-wide (thread-safe);
+    the returned array is a fresh copy the caller owns.
+    @raise Invalid_argument if [kmax < 0]. *)
+
 val coefficients_upto : n:int -> kmax:int -> float array
 (** Eq (18): [|C(n,0); C(n,1); …; C(n,kmax)|] via the constant-time
     recurrence [f(n,k) = f(n,k-1)·(n-k+1)/k]. *)

@@ -1,0 +1,204 @@
+(* Work-queue pool with caller participation.  One mutex + one condition
+   cover both the queue and batch completion: every waiter re-checks its
+   own predicate, so broadcast wake-ups are cheap to reason about and
+   immune to missed signals.  A thread waiting for a batch executes
+   queued tasks (possibly of other, nested batches) instead of blocking
+   while work is available — the running set can therefore never be empty
+   while tasks are pending, which rules out deadlock under nested
+   parallel sections. *)
+
+type task = unit -> unit
+
+type t = {
+  size : int;
+  mutex : Mutex.t;
+  wake : Condition.t;
+  queue : task Queue.t;
+  mutable stopping : bool;
+  mutable domains : unit Domain.t list;
+}
+
+type batch = {
+  mutable pending : int;
+  mutable error : (exn * Printexc.raw_backtrace) option;
+}
+
+let default_chunk = 128
+
+let rec worker pool =
+  Mutex.lock pool.mutex;
+  while Queue.is_empty pool.queue && not pool.stopping do
+    Condition.wait pool.wake pool.mutex
+  done;
+  if Queue.is_empty pool.queue then Mutex.unlock pool.mutex (* stopping *)
+  else begin
+    let task = Queue.pop pool.queue in
+    Mutex.unlock pool.mutex;
+    task ();
+    worker pool
+  end
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  let pool =
+    {
+      size = jobs;
+      mutex = Mutex.create ();
+      wake = Condition.create ();
+      queue = Queue.create ();
+      stopping = false;
+      domains = [];
+    }
+  in
+  pool.domains <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker pool));
+  pool
+
+let jobs pool = pool.size
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  pool.stopping <- true;
+  Condition.broadcast pool.wake;
+  Mutex.unlock pool.mutex;
+  List.iter Domain.join pool.domains;
+  pool.domains <- []
+
+(* Run [tasks.(i) <- fun () -> ...] as one batch and wait, helping. *)
+let run_batch pool (thunks : task array) =
+  let n = Array.length thunks in
+  if n > 0 then begin
+    let batch = { pending = n; error = None } in
+    let wrap thunk () =
+      (try thunk ()
+       with e ->
+         let bt = Printexc.get_raw_backtrace () in
+         Mutex.lock pool.mutex;
+         if batch.error = None then batch.error <- Some (e, bt);
+         Mutex.unlock pool.mutex);
+      Mutex.lock pool.mutex;
+      batch.pending <- batch.pending - 1;
+      if batch.pending = 0 then Condition.broadcast pool.wake;
+      Mutex.unlock pool.mutex
+    in
+    Mutex.lock pool.mutex;
+    if pool.stopping then begin
+      Mutex.unlock pool.mutex;
+      invalid_arg "Pool: pool has been shut down"
+    end;
+    Array.iter (fun thunk -> Queue.push (wrap thunk) pool.queue) thunks;
+    Condition.broadcast pool.wake;
+    (* help until the batch drains *)
+    while batch.pending > 0 do
+      if Queue.is_empty pool.queue then Condition.wait pool.wake pool.mutex
+      else begin
+        let task = Queue.pop pool.queue in
+        Mutex.unlock pool.mutex;
+        task ();
+        Mutex.lock pool.mutex
+      end
+    done;
+    Mutex.unlock pool.mutex;
+    match batch.error with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ()
+  end
+
+let chunk_bounds ~chunk ~n =
+  let chunks = (n + chunk - 1) / chunk in
+  Array.init chunks (fun c -> (c * chunk, min n ((c + 1) * chunk)))
+
+let parallel_for pool ?(chunk = default_chunk) n body =
+  if chunk < 1 then invalid_arg "Pool.parallel_for: chunk must be >= 1";
+  if n > 0 then
+    if pool.size = 1 || n <= chunk then
+      for i = 0 to n - 1 do body i done
+    else
+      run_batch pool
+        (Array.map
+           (fun (lo, hi) () ->
+             for i = lo to hi - 1 do body i done)
+           (chunk_bounds ~chunk ~n))
+
+let parallel_map pool ~f a =
+  let n = Array.length a in
+  if n = 0 then [||]
+  else if pool.size = 1 then Array.map f a
+  else begin
+    let results = Array.make n None in
+    (* one task per element: map workloads are coarse (an estimator call,
+       a QSPR run, a Monte-Carlo replication), so chunking would only
+       hurt load balance *)
+    run_batch pool
+      (Array.init n (fun i () -> results.(i) <- Some (f a.(i))));
+    Array.map
+      (function Some r -> r | None -> assert false (* run_batch raised *))
+      results
+  end
+
+let map_list pool ~f l = Array.to_list (parallel_map pool ~f (Array.of_list l))
+
+let reduce_chunks pool ~chunk ~n ~map ~combine ~init =
+  if chunk < 1 then invalid_arg "Pool.reduce_chunks: chunk must be >= 1";
+  if n <= 0 then init
+  else begin
+    let bounds = chunk_bounds ~chunk ~n in
+    (* the same chunk decomposition at every pool size, partials combined
+       sequentially in chunk order: bit-for-bit reproducible *)
+    let partials = parallel_map pool ~f:(fun (lo, hi) -> map lo hi) bounds in
+    Array.fold_left combine init partials
+  end
+
+(* ---- default pool ---- *)
+
+let default_mutex = Mutex.create ()
+let default_pool : t option ref = ref None
+let requested_jobs : int option ref = ref None
+
+let env_jobs () =
+  match Sys.getenv_opt "LEQA_JOBS" with
+  | None -> None
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> Some n
+    | _ -> None)
+
+let resolve_jobs () =
+  match !requested_jobs with
+  | Some n -> n
+  | None -> (
+    match env_jobs () with
+    | Some n -> n
+    | None -> max 1 (Domain.recommended_domain_count ()))
+
+let default_jobs () =
+  Mutex.lock default_mutex;
+  let n = resolve_jobs () in
+  Mutex.unlock default_mutex;
+  n
+
+let set_default_jobs n =
+  if n < 1 then invalid_arg "Pool.set_default_jobs: jobs must be >= 1";
+  Mutex.lock default_mutex;
+  requested_jobs := Some n;
+  let stale =
+    match !default_pool with
+    | Some p when p.size <> n ->
+      default_pool := None;
+      Some p
+    | _ -> None
+  in
+  Mutex.unlock default_mutex;
+  Option.iter shutdown stale
+
+let get_default () =
+  Mutex.lock default_mutex;
+  let pool =
+    match !default_pool with
+    | Some p -> p
+    | None ->
+      let p = create ~jobs:(resolve_jobs ()) in
+      default_pool := Some p;
+      p
+  in
+  Mutex.unlock default_mutex;
+  pool

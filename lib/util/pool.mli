@@ -1,0 +1,85 @@
+(** A stdlib-only domain pool for the multicore estimation engine.
+
+    Built on [Domain] + [Mutex]/[Condition] only — no extra opam
+    dependencies.  A pool of size [j] runs work on [j] flows of control:
+    [j - 1] worker domains plus the calling thread, which participates in
+    executing queued tasks while it waits (so nested parallel sections
+    issued from inside a task cannot deadlock the pool).
+
+    {2 Determinism contract}
+
+    A pool of size 1 spawns no domains and runs every combinator as a
+    plain sequential loop, in index order.  All combinators are
+    order-preserving and decompose work identically at every pool size
+    (chunk boundaries depend only on the input, never on [jobs]), so any
+    computation whose tasks are independent — and any chunked reduction
+    whose per-chunk accumulation is sequential — produces bit-for-bit
+    identical results at [jobs = 1] and [jobs = N].
+
+    {2 Exceptions}
+
+    If tasks raise, the batch still runs to completion (every task either
+    runs or is cancelled as a unit of the same batch), the first observed
+    exception is re-raised in the caller, and the pool remains usable for
+    subsequent batches. *)
+
+type t
+
+val create : jobs:int -> t
+(** A pool running work [jobs]-wide ([jobs - 1] worker domains).
+    @raise Invalid_argument if [jobs < 1]. *)
+
+val jobs : t -> int
+(** The width the pool was created with. *)
+
+val shutdown : t -> unit
+(** Stop and join the worker domains.  Idempotent.  Submitting work to a
+    pool after [shutdown] raises [Invalid_argument]. *)
+
+(** {2 The default pool}
+
+    Library code ({!Leqa_core.Coverage}, {!Leqa_core.Sensitivity},
+    {!Leqa_queueing.Simulate}) draws its parallelism from a process-wide
+    default pool.  Its width is resolved, in priority order, from
+    {!set_default_jobs}, the [LEQA_JOBS] environment variable, and
+    [Domain.recommended_domain_count ()]. *)
+
+val default_jobs : unit -> int
+(** The width the default pool has (or would be created with). *)
+
+val set_default_jobs : int -> unit
+(** Override the default-pool width (e.g. from a [--jobs] CLI flag).
+    Shuts down and replaces the existing default pool if its width
+    differs.  @raise Invalid_argument if [jobs < 1]. *)
+
+val get_default : unit -> t
+(** The process-wide default pool, created on first use. *)
+
+(** {2 Combinators} *)
+
+val parallel_for : t -> ?chunk:int -> int -> (int -> unit) -> unit
+(** [parallel_for pool n body] runs [body i] for [i = 0 .. n - 1].
+    Iterations are grouped into chunks of [chunk] consecutive indices
+    (default: a fixed size independent of the pool width); within a chunk
+    they run sequentially in index order. *)
+
+val parallel_map : t -> f:('a -> 'b) -> 'a array -> 'b array
+(** Order-preserving map: element [i] of the result is [f a.(i)]. *)
+
+val map_list : t -> f:('a -> 'b) -> 'a list -> 'b list
+(** [List.map f l], order-preserving, distributed over the pool. *)
+
+val reduce_chunks :
+  t ->
+  chunk:int ->
+  n:int ->
+  map:(int -> int -> 'a) ->
+  combine:('a -> 'a -> 'a) ->
+  init:'a ->
+  'a
+(** Chunked reduction over [0 .. n - 1]: the range is cut into
+    [ceil (n / chunk)] chunks, [map lo hi] evaluates one chunk (indices
+    [lo] inclusive to [hi] exclusive) and the partial results are folded
+    with [combine] {e sequentially, in chunk order} — so the result is
+    independent of the pool width even for non-associative [combine]
+    (floating-point sums).  @raise Invalid_argument if [chunk < 1]. *)

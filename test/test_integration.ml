@@ -68,6 +68,9 @@ let test_speedup_grows_with_size () =
         (Decompose.to_ft (Leqa_benchmarks.Gf2_mult.circuit ~n ()))
     in
     let _, qspr_t = Leqa_util.Timing.time (fun () -> Qspr.run qodg) in
+    (* cold estimator: earlier tests may have warmed the coverage cache
+       for these very circuits, which would skew the runtime trend *)
+    Leqa_core.Coverage.clear_caches ();
     let _, leqa_t =
       Leqa_util.Timing.time (fun () ->
           Estimator.estimate ~params:Params.calibrated qodg)

@@ -1,0 +1,168 @@
+module Pool = Leqa_util.Pool
+module Coverage = Leqa_core.Coverage
+
+exception Boom
+
+let with_pool ~jobs f =
+  let pool = Pool.create ~jobs in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f pool)
+
+let test_create_invalid () =
+  Alcotest.check_raises "jobs=0" (Invalid_argument "Pool.create: jobs must be >= 1")
+    (fun () -> ignore (Pool.create ~jobs:0))
+
+let test_map_matches_list_map () =
+  (* empty, singleton, odd-sized and chunk-straddling inputs, at width 1
+     (sequential fallback) and width 4 *)
+  List.iter
+    (fun jobs ->
+      with_pool ~jobs (fun pool ->
+          List.iter
+            (fun n ->
+              let input = List.init n (fun i -> i - 3) in
+              let f x = (x * x) + 1 in
+              Alcotest.(check (list int))
+                (Printf.sprintf "jobs=%d n=%d" jobs n)
+                (List.map f input)
+                (Pool.map_list pool ~f input))
+            [ 0; 1; 7; 129; 1001 ]))
+    [ 1; 4 ]
+
+let test_map_preserves_order () =
+  with_pool ~jobs:4 (fun pool ->
+      let input = Array.init 500 (fun i -> i) in
+      let result = Pool.parallel_map pool ~f:(fun i -> 2 * i) input in
+      Array.iteri
+        (fun i v -> if v <> 2 * i then Alcotest.failf "index %d got %d" i v)
+        result)
+
+let test_exception_propagates_and_pool_survives () =
+  with_pool ~jobs:4 (fun pool ->
+      Alcotest.check_raises "first error re-raised" Boom (fun () ->
+          ignore
+            (Pool.parallel_map pool
+               ~f:(fun i -> if i = 5 then raise Boom else i)
+               (Array.init 64 Fun.id)));
+      (* the failed batch must drain fully and leave the pool reusable *)
+      let r = Pool.parallel_map pool ~f:(fun x -> x + 1) [| 1; 2; 3 |] in
+      Alcotest.(check (list int)) "reusable after failure" [ 2; 3; 4 ]
+        (Array.to_list r);
+      Alcotest.check_raises "fails again too" Boom (fun () ->
+          ignore (Pool.map_list pool ~f:(fun _ -> raise Boom) [ 1 ]));
+      Alcotest.(check (list int)) "and recovers again" [ 10 ]
+        (Pool.map_list pool ~f:(fun x -> 10 * x) [ 1 ]))
+
+let test_parallel_for_covers_indices () =
+  List.iter
+    (fun jobs ->
+      with_pool ~jobs (fun pool ->
+          let n = 1000 in
+          let hits = Array.make n 0 in
+          (* disjoint writes: each index is touched by exactly one task *)
+          Pool.parallel_for pool ~chunk:64 n (fun i -> hits.(i) <- hits.(i) + 1);
+          Array.iteri
+            (fun i h ->
+              if h <> 1 then Alcotest.failf "index %d hit %d times" i h)
+            hits))
+    [ 1; 4 ]
+
+let test_reduce_chunks_deterministic_float_sum () =
+  (* a non-associative combine (float sum): chunk decomposition is fixed,
+     so the bits must match at every pool width *)
+  let n = 10_000 in
+  let map lo hi =
+    let acc = ref 0.0 in
+    for i = lo to hi - 1 do
+      acc := !acc +. (1.0 /. float_of_int (i + 1))
+    done;
+    !acc
+  in
+  let sum pool =
+    Pool.reduce_chunks pool ~chunk:128 ~n ~map ~combine:( +. ) ~init:0.0
+  in
+  let s1 = with_pool ~jobs:1 sum in
+  let s4 = with_pool ~jobs:4 sum in
+  Alcotest.(check bool) "bitwise equal" true
+    (Int64.equal (Int64.bits_of_float s1) (Int64.bits_of_float s4));
+  Alcotest.check_raises "chunk validation"
+    (Invalid_argument "Pool.reduce_chunks: chunk must be >= 1") (fun () ->
+      ignore
+        (with_pool ~jobs:1 (fun pool ->
+             Pool.reduce_chunks pool ~chunk:0 ~n:1 ~map:(fun _ _ -> 0)
+               ~combine:( + ) ~init:0)))
+
+let test_nested_parallelism () =
+  (* a task that itself fans out over the same pool must not deadlock *)
+  with_pool ~jobs:3 (fun pool ->
+      let outer =
+        Pool.map_list pool
+          ~f:(fun i ->
+            List.fold_left ( + ) 0
+              (Pool.map_list pool ~f:(fun j -> (10 * i) + j) [ 1; 2; 3 ]))
+          [ 1; 2; 3; 4 ]
+      in
+      Alcotest.(check (list int)) "nested result" [ 36; 66; 96; 126 ] outer)
+
+let test_expected_surfaces_bitwise_across_widths () =
+  (* the tentpole determinism contract: jobs=1 and jobs=4 produce
+     bit-for-bit identical Eq-4 vectors (cold caches both times) *)
+  let compute () =
+    Coverage.clear_caches ();
+    Coverage.expected_surfaces ~topology:Leqa_fabric.Params.Grid
+      ~avg_area:13.0 ~width:40 ~height:40 ~qubits:150 ~terms:20
+  in
+  Pool.set_default_jobs 1;
+  let serial = compute () in
+  Pool.set_default_jobs 4;
+  let parallel = compute () in
+  Pool.set_default_jobs 1;
+  Alcotest.(check int) "same length" (Array.length serial)
+    (Array.length parallel);
+  Array.iteri
+    (fun i v ->
+      if not (Int64.equal (Int64.bits_of_float v) (Int64.bits_of_float parallel.(i)))
+      then Alcotest.failf "E[S_%d] differs: %.17g vs %.17g" (i + 1) v parallel.(i))
+    serial
+
+let test_surfaces_cache_hit_is_identical () =
+  Coverage.clear_caches ();
+  let args () =
+    Coverage.expected_surfaces ~topology:Leqa_fabric.Params.Torus
+      ~avg_area:9.0 ~width:24 ~height:24 ~qubits:30 ~terms:20
+  in
+  let cold = args () in
+  let warm = args () in
+  Alcotest.(check (array (float 0.0))) "cache returns equal vector" cold warm;
+  (* cached arrays are copies: mutating one must not poison the cache *)
+  warm.(0) <- nan;
+  let again = args () in
+  Alcotest.(check (float 0.0)) "cache unpoisoned" cold.(0) again.(0)
+
+let test_default_jobs_override () =
+  Pool.set_default_jobs 2;
+  Alcotest.(check int) "override respected" 2 (Pool.default_jobs ());
+  Alcotest.(check int) "default pool width" 2 (Pool.jobs (Pool.get_default ()));
+  Pool.set_default_jobs 1;
+  Alcotest.(check int) "reset" 1 (Pool.jobs (Pool.get_default ()))
+
+let suite =
+  [
+    Alcotest.test_case "create validates jobs" `Quick test_create_invalid;
+    Alcotest.test_case "map = List.map (0/1/odd sizes)" `Quick
+      test_map_matches_list_map;
+    Alcotest.test_case "map preserves order" `Quick test_map_preserves_order;
+    Alcotest.test_case "exceptions propagate; pool reusable" `Quick
+      test_exception_propagates_and_pool_survives;
+    Alcotest.test_case "parallel_for covers every index once" `Quick
+      test_parallel_for_covers_indices;
+    Alcotest.test_case "chunked float reduction is width-invariant" `Quick
+      test_reduce_chunks_deterministic_float_sum;
+    Alcotest.test_case "nested parallelism does not deadlock" `Quick
+      test_nested_parallelism;
+    Alcotest.test_case "E[S_q] bitwise identical at jobs=1 and 4" `Quick
+      test_expected_surfaces_bitwise_across_widths;
+    Alcotest.test_case "coverage cache hit = recompute" `Quick
+      test_surfaces_cache_hit_is_identical;
+    Alcotest.test_case "default-pool width override" `Quick
+      test_default_jobs_override;
+  ]

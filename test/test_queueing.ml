@@ -93,6 +93,42 @@ let test_multi_server_capacity () =
   Alcotest.(check bool) "more servers, shorter queue" true
     (multi.Simulate.avg_queue_length < single.Simulate.avg_queue_length)
 
+let test_parallel_replications_deterministic () =
+  (* same master seed ⇒ identical per-replication results and summary
+     statistics regardless of the pool width *)
+  let run jobs =
+    Leqa_util.Pool.set_default_jobs jobs;
+    let results =
+      Simulate.run_replications ~seed:99 ~replications:12 ~lambda:1.5
+        ~mu_per_server:2.0 ~servers:2 ~horizon:5_000.0 ()
+    in
+    (results, Simulate.summarize results)
+  in
+  let results1, summary1 = run 1 in
+  let results4, summary4 = run 4 in
+  Leqa_util.Pool.set_default_jobs 1;
+  Alcotest.(check int) "12 replications" 12 (Array.length results1);
+  Array.iteri
+    (fun i r ->
+      if r <> results4.(i) then Alcotest.failf "replication %d differs" i)
+    results1;
+  Alcotest.(check bool) "summaries identical" true (summary1 = summary4);
+  Alcotest.(check bool) "replications vary among themselves" true
+    (results1.(0) <> results1.(1))
+
+let test_replications_summary () =
+  let results =
+    Simulate.run_replications ~seed:7 ~replications:4 ~lambda:1.0
+      ~mu_per_server:2.0 ~servers:1 ~horizon:2_000.0 ()
+  in
+  let s = Simulate.summarize results in
+  Alcotest.(check int) "count" 4 s.Simulate.replications;
+  Alcotest.(check bool) "positive sojourn" true (s.Simulate.mean_sojourn_time > 0.0);
+  Alcotest.(check bool) "std finite" true (Float.is_finite s.Simulate.std_sojourn_time);
+  Alcotest.check_raises "empty summarize"
+    (Invalid_argument "Simulate.summarize: no replications") (fun () ->
+      ignore (Simulate.summarize [||]))
+
 let test_simulation_invalid () =
   let rng = Leqa_util.Rng.create ~seed:1 in
   Alcotest.check_raises "unstable"
@@ -110,5 +146,8 @@ let suite =
     Alcotest.test_case "Eq-11 Little's formula" `Quick test_little_formula_matches;
     Alcotest.test_case "simulation vs theory" `Slow test_simulation_matches_theory;
     Alcotest.test_case "multi-server beats single" `Slow test_multi_server_capacity;
+    Alcotest.test_case "parallel replications deterministic" `Quick
+      test_parallel_replications_deterministic;
+    Alcotest.test_case "replication summary" `Quick test_replications_summary;
     Alcotest.test_case "simulation input checks" `Quick test_simulation_invalid;
   ]

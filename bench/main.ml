@@ -11,7 +11,8 @@
              perf micro all
 
    --jobs N (or $LEQA_JOBS) sets the default domain-pool width; the perf
-   command times serial vs parallel hot paths and writes BENCH_PR1.json
+   command times serial vs parallel hot paths plus the numeric-guard
+   overhead (guards off vs on) and writes BENCH_PR2.json
    (--out overrides; --scale 0 = the @perf-smoke variant). *)
 
 module Params = Leqa_fabric.Params
@@ -1096,6 +1097,56 @@ let perf ~scale ~out () =
     (Printf.sprintf "Monte-Carlo M/M/c (%d replications)" replications)
     mc_serial mc_parallel;
   Table.print table;
+  (* 5. numeric-guard overhead: the same cold coverage sweep with the
+     kernel-boundary checks (Error.check_finite & co) disabled vs active.  Best-of-N
+     at jobs=1 so the measurement isn't dominated by pool scheduling
+     noise; the budget is < 3% (or a sub-20ms absolute delta, which is
+     below the timer noise floor on the smoke workload). *)
+  let guard_reps = if smoke then 3 else 7 in
+  (* paired design: each iteration times an unguarded/guarded pair
+     back-to-back, so clock drift and cache warmup hit both equally; the
+     median of the per-pair deltas is robust to the odd noisy rep.  A
+     failing verdict triggers up to two more measurement rounds (median
+     over ALL pairs): a genuine regression still fails, a scheduler noise
+     spike does not. *)
+  let deltas = ref [] and unguarded_best = ref infinity in
+  let measure_round () =
+    for _ = 1 to guard_reps do
+      let u =
+        Fun.protect
+          ~finally:(fun () -> Leqa_util.Error.set_guards true)
+          (fun () ->
+            Leqa_util.Error.set_guards false;
+            time_at_jobs ~jobs:1 sweep)
+      in
+      let g = time_at_jobs ~jobs:1 sweep in
+      deltas := (g -. u) :: !deltas;
+      if u < !unguarded_best then unguarded_best := u
+    done
+  in
+  let verdict () =
+    let sorted = List.sort compare !deltas in
+    let median = List.nth sorted (List.length sorted / 2) in
+    let pct = 100.0 *. median /. Float.max 1e-9 !unguarded_best in
+    (median, pct, pct < 3.0 || median < 0.005)
+  in
+  measure_round ();
+  let rounds = ref 1 in
+  while (let _, _, ok = verdict () in not ok) && !rounds < 3 do
+    incr rounds;
+    measure_round ()
+  done;
+  let median_delta, overhead_pct, guards_within_budget = verdict () in
+  let unguarded = !unguarded_best in
+  let guarded = unguarded +. median_delta in
+  Printf.printf
+    "\nnumeric-guard overhead (coverage sweep, median of %d paired reps):\n\
+    \  unguarded %.4f s   guarded %.4f s   overhead %+.2f%%   within < 3%% budget: %b\n"
+    (List.length !deltas) unguarded guarded overhead_pct guards_within_budget;
+  if not guards_within_budget then begin
+    prerr_endline "FAIL: numeric-guard overhead exceeds the 3% budget";
+    exit 1
+  end;
   Printf.printf
     "\ncoverage sweep warm-cache rerun: %.4f s (%.1fx vs cold parallel)\n\
      Monte-Carlo statistics identical at jobs=1 and jobs=%d: %b\n"
@@ -1105,8 +1156,8 @@ let perf ~scale ~out () =
   let json =
     Json.Obj
       [
-        ("pr", Json.Int 1);
-        ("label", Json.String "multicore estimation engine");
+        ("pr", Json.Int 2);
+        ("label", Json.String "hardened estimation pipeline");
         ("jobs", Json.Int par_jobs);
         ("recommended_domains", Json.Int (Domain.recommended_domain_count ()));
         ("smoke", Json.Bool smoke);
@@ -1135,6 +1186,14 @@ let perf ~scale ~out () =
                 ( "mean_sojourn_time",
                   Json.Float mc_parallel_stats.Simulate.mean_sojourn_time );
               ] );
+        ( "guard_overhead",
+          Json.Obj
+            [
+              ("unguarded_s", Json.Float unguarded);
+              ("guarded_s", Json.Float guarded);
+              ("overhead_pct", Json.Float overhead_pct);
+              ("within_budget", Json.Bool guards_within_budget);
+            ] );
         ( "per_benchmark",
           Json.List
             (List.map
@@ -1315,7 +1374,7 @@ let () =
   let scale = ref 0.5 in
   let command = ref "all" in
   let json_path = ref None in
-  let perf_out = ref "BENCH_PR1.json" in
+  let perf_out = ref "BENCH_PR2.json" in
   let rec parse = function
     | [] -> ()
     | "--scale" :: v :: rest ->

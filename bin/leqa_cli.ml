@@ -12,7 +12,11 @@
    (--bench, e.g. "gf2^16mult" or any Table 2/3 name).  Two more
    subcommands wrap the surrounding tooling:
      design       run the ULB fabric designer (FT delays from native ops)
-     select-qecc  pick the cheapest feasible QECC level via LEQA *)
+     select-qecc  pick the cheapest feasible QECC level via LEQA
+
+   Every failure exits with the stable code of its Leqa_util.Error
+   constructor (see DESIGN.md §7) and a single-line message on stderr —
+   rendered as JSON under --error-format json. *)
 
 open Cmdliner
 module Params = Leqa_fabric.Params
@@ -21,19 +25,56 @@ module Decompose = Leqa_circuit.Decompose
 module Ft_circuit = Leqa_circuit.Ft_circuit
 module Estimator = Leqa_core.Estimator
 module Qspr = Leqa_qspr.Qspr
+module E = Leqa_util.Error
+module Pool = Leqa_util.Pool
+
+(* ---------------- error rendering ---------------- *)
+
+type error_format = Human | Json
+
+let fail fmt e =
+  (match fmt with
+  | Human -> prerr_endline ("leqa: " ^ E.to_string e)
+  | Json -> prerr_endline (E.to_json_string e));
+  exit (E.exit_code e)
+
+let or_fail fmt = function Ok x -> x | Error e -> fail fmt e
+
+(* Run a subcommand body; any structured error (raised or residual
+   Invalid_argument from a model-domain violation) becomes a rendered
+   message plus its documented exit code. *)
+let handle fmt f =
+  match E.protect f with
+  | Ok () -> ()
+  | Error e -> fail fmt e
+  | exception Invalid_argument msg -> fail fmt (E.Usage_error msg)
+
+let error_format_arg =
+  let doc = "Render errors as $(docv) (human or json, one line either way)." in
+  Arg.(
+    value
+    & opt (enum [ ("human", Human); ("json", Json) ]) Human
+    & info [ "error-format" ] ~docv:"FORMAT" ~doc)
+
+let timeout_arg =
+  let doc =
+    "Give up after $(docv) wall-clock seconds (exit 75).  Cancellation is \
+     cooperative: kernels and the QSPR event loop poll the deadline at \
+     chunk/step boundaries."
+  in
+  Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"S" ~doc)
+
+let deadline_of = function
+  | None -> Pool.Deadline.never
+  | Some seconds -> Pool.Deadline.after ~seconds
 
 (* ---------------- circuit sources ---------------- *)
 
 let load_circuit ~file ~bench ~scale =
   match (file, bench) with
-  | Some _, Some _ -> Error "--file and --bench are mutually exclusive"
-  | None, None -> Error "one of --file or --bench is required"
-  | Some path, None -> begin
-    match Leqa_circuit.Parser.parse_file path with
-    | Ok c -> Ok c
-    | Error e -> Error (path ^ ": " ^ e)
-    | exception Sys_error msg -> Error msg
-  end
+  | Some _, Some _ -> Error (E.Usage_error "--file and --bench are mutually exclusive")
+  | None, None -> Error (E.Usage_error "one of --file or --bench is required")
+  | Some path, None -> Leqa_circuit.Parser.parse_file path
   | None, Some name -> begin
     (* extension families use a family:size syntax *)
     let scaled n = max 2 (int_of_float (float_of_int n *. scale)) in
@@ -50,16 +91,17 @@ let load_circuit ~file ~bench ~scale =
       | Some entry -> Ok (Leqa_benchmarks.Suite.build_scaled entry ~scale)
       | None ->
         Error
-          (Printf.sprintf
-             "unknown benchmark %S (try a Table-2 name like %s, or qft:N, \
-              qft-adder:N, grover:N)"
-             name
-             (String.concat ", "
-                (List.filteri
-                   (fun i _ -> i < 3)
-                   (List.map
-                      (fun e -> e.Leqa_benchmarks.Suite.name)
-                      Leqa_benchmarks.Suite.all))))
+          (E.Usage_error
+             (Printf.sprintf
+                "unknown benchmark %S (try a Table-2 name like %s, or qft:N, \
+                 qft-adder:N, grover:N)"
+                name
+                (String.concat ", "
+                   (List.filteri
+                      (fun i _ -> i < 3)
+                      (List.map
+                         (fun e -> e.Leqa_benchmarks.Suite.name)
+                         Leqa_benchmarks.Suite.all)))))
     end
   end
 
@@ -114,9 +156,7 @@ let jobs_arg =
 let apply_jobs = function
   | None -> ()
   | Some n when n >= 1 -> Leqa_util.Pool.set_default_jobs n
-  | Some _ ->
-    prerr_endline "leqa: --jobs must be >= 1";
-    exit 1
+  | Some _ -> E.raise_error (E.Usage_error "--jobs must be >= 1")
 
 let params_of ~width ~height ~v =
   match
@@ -125,23 +165,19 @@ let params_of ~width ~height ~v =
   | Ok () -> Ok { Params.calibrated with Params.width; height; v }
   | Error e -> Error e
 
-let or_die = function
-  | Ok x -> x
-  | Error msg ->
-    prerr_endline ("leqa: " ^ msg);
-    exit 1
-
 (* ---------------- subcommands ---------------- *)
 
 let estimate_cmd =
-  let run file bench scale width height v terms jobs =
+  let run file bench scale width height v terms jobs timeout fmt =
+    handle fmt @@ fun () ->
     apply_jobs jobs;
-    let _, ft, qodg = or_die (prepare ~file ~bench ~scale) in
-    let params = or_die (params_of ~width ~height ~v) in
+    let deadline = deadline_of timeout in
+    let _, ft, qodg = or_fail fmt (prepare ~file ~bench ~scale) in
+    let params = or_fail fmt (params_of ~width ~height ~v) in
     let config = { Leqa_core.Config.truncation_terms = terms } in
     let est, dt =
       Leqa_util.Timing.time (fun () ->
-          Estimator.estimate ~config ~params qodg)
+          Estimator.estimate ~config ~deadline ~params qodg)
     in
     Format.printf "%a@." Ft_circuit.pp_summary ft;
     Format.printf "B (avg zone area)  = %.2f@." est.Estimator.avg_zone_area;
@@ -166,18 +202,22 @@ let estimate_cmd =
   let term =
     Term.(
       const run $ file_arg $ bench_arg $ scale_arg $ width_arg $ height_arg
-      $ v_arg $ terms_arg $ jobs_arg)
+      $ v_arg $ terms_arg $ jobs_arg $ timeout_arg $ error_format_arg)
   in
   Cmd.v (Cmd.info "estimate" ~doc:"LEQA latency estimate (Algorithm 1)") term
 
 let simulate_cmd =
-  let run file bench scale width height =
-    let _, ft, qodg = or_die (prepare ~file ~bench ~scale) in
+  let run file bench scale width height timeout fmt =
+    handle fmt @@ fun () ->
+    let deadline = deadline_of timeout in
+    let _, ft, qodg = or_fail fmt (prepare ~file ~bench ~scale) in
     let params =
-      or_die (params_of ~width ~height ~v:Params.default.Params.v)
+      or_fail fmt (params_of ~width ~height ~v:Params.default.Params.v)
     in
     let config = { Qspr.default_config with Qspr.params } in
-    let r, dt = Leqa_util.Timing.time (fun () -> Qspr.run ~config qodg) in
+    let r, dt =
+      Leqa_util.Timing.time (fun () -> Qspr.run ~config ~deadline qodg)
+    in
     Format.printf "%a@." Ft_circuit.pp_summary ft;
     Format.printf "actual latency   = %.6f s@." r.Qspr.latency_s;
     Format.printf "channel hops     = %d@." r.Qspr.stats.Leqa_qspr.Scheduler.hops;
@@ -188,47 +228,66 @@ let simulate_cmd =
     Format.printf "mapper runtime   = %.4f s@." dt
   in
   let term =
-    Term.(const run $ file_arg $ bench_arg $ scale_arg $ width_arg $ height_arg)
+    Term.(
+      const run $ file_arg $ bench_arg $ scale_arg $ width_arg $ height_arg
+      $ timeout_arg $ error_format_arg)
   in
   Cmd.v (Cmd.info "simulate" ~doc:"detailed QSPR mapping (the baseline)") term
 
 let compare_cmd =
-  let run file bench scale width height v jobs =
+  let run file bench scale width height v jobs timeout fmt =
+    handle fmt @@ fun () ->
     apply_jobs jobs;
-    let _, ft, qodg = or_die (prepare ~file ~bench ~scale) in
-    let params = or_die (params_of ~width ~height ~v) in
+    let _, ft, qodg = or_fail fmt (prepare ~file ~bench ~scale) in
+    let params = or_fail fmt (params_of ~width ~height ~v) in
     let qspr_config =
       { Qspr.default_config with Qspr.params = { params with Params.v = Params.default.Params.v } }
     in
-    let actual, qspr_t =
-      Leqa_util.Timing.time (fun () -> Qspr.run ~config:qspr_config qodg)
+    (* the detailed simulation honours --timeout; the analytic estimate
+       always completes, so an expired budget degrades to estimate-only *)
+    let validated, qspr_t =
+      Leqa_util.Timing.time (fun () ->
+          Qspr.run_validated ~config:qspr_config
+            ?deadline:(Option.map (fun s -> Pool.Deadline.after ~seconds:s) timeout)
+            qodg)
     in
     let est, leqa_t =
       Leqa_util.Timing.time (fun () -> Estimator.estimate ~params qodg)
     in
-    let err =
-      Leqa_util.Stats.relative_error ~actual:actual.Qspr.latency_s
-        ~estimated:est.Estimator.latency_s
-    in
     Format.printf "%a@." Ft_circuit.pp_summary ft;
-    Format.printf "actual (QSPR)    = %.6f s   [%.4f s runtime]@."
-      actual.Qspr.latency_s qspr_t;
-    Format.printf "estimated (LEQA) = %.6f s   [%.4f s runtime]@."
-      est.Estimator.latency_s leqa_t;
-    Format.printf "absolute error   = %.2f%%@." (100.0 *. err);
-    Format.printf "speedup          = %.1fx@." (qspr_t /. leqa_t)
+    (match validated.Qspr.simulated with
+    | Some actual ->
+      let err =
+        Leqa_util.Stats.relative_error ~actual:actual.Qspr.latency_s
+          ~estimated:est.Estimator.latency_s
+      in
+      Format.printf "actual (QSPR)    = %.6f s   [%.4f s runtime]@."
+        actual.Qspr.latency_s qspr_t;
+      Format.printf "estimated (LEQA) = %.6f s   [%.4f s runtime]@."
+        est.Estimator.latency_s leqa_t;
+      Format.printf "absolute error   = %.2f%%@." (100.0 *. err);
+      Format.printf "speedup          = %.1fx@." (qspr_t /. leqa_t)
+    | None ->
+      Format.printf "estimated (LEQA) = %.6f s   [%.4f s runtime]@."
+        est.Estimator.latency_s leqa_t;
+      Format.printf
+        "QSPR simulation hit the %gs timeout — degraded to the analytic \
+         estimate (no error/speedup figures)@."
+        (Option.value timeout ~default:0.0))
   in
   let term =
     Term.(
       const run $ file_arg $ bench_arg $ scale_arg $ width_arg $ height_arg
-      $ v_arg $ jobs_arg)
+      $ v_arg $ jobs_arg $ timeout_arg $ error_format_arg)
   in
   Cmd.v (Cmd.info "compare" ~doc:"QSPR vs LEQA side by side") term
 
 let sweep_fabric_cmd =
-  let run file bench scale v sizes jobs =
+  let run file bench scale v sizes jobs timeout fmt =
+    handle fmt @@ fun () ->
     apply_jobs jobs;
-    let _, _, qodg = or_die (prepare ~file ~bench ~scale) in
+    let deadline = deadline_of timeout in
+    let _, _, qodg = or_fail fmt (prepare ~file ~bench ~scale) in
     let table =
       Leqa_util.Table.create
         ~columns:
@@ -242,9 +301,10 @@ let sweep_fabric_cmd =
       (* independent per-size estimates: fan out over the domain pool *)
       Leqa_util.Pool.map_list
         (Leqa_util.Pool.get_default ())
+        ~deadline
         ~f:(fun side ->
-          let params = or_die (params_of ~width:side ~height:side ~v) in
-          (side, Estimator.estimate ~params qodg))
+          let params = or_fail fmt (params_of ~width:side ~height:side ~v) in
+          (side, Estimator.estimate ~deadline ~params qodg))
         sizes
     in
     List.iter
@@ -268,7 +328,7 @@ let sweep_fabric_cmd =
   let term =
     Term.(
       const run $ file_arg $ bench_arg $ scale_arg $ v_arg $ sizes_arg
-      $ jobs_arg)
+      $ jobs_arg $ timeout_arg $ error_format_arg)
   in
   Cmd.v
     (Cmd.info "sweep-fabric"
@@ -276,9 +336,10 @@ let sweep_fabric_cmd =
     term
 
 let gen_cmd =
-  let run bench scale output ft =
+  let run bench scale output ft fmt =
+    handle fmt @@ fun () ->
     let circ =
-      or_die (load_circuit ~file:None ~bench:(Some bench) ~scale)
+      or_fail fmt (load_circuit ~file:None ~bench:(Some bench) ~scale)
     in
     let circ =
       if ft then begin
@@ -294,11 +355,14 @@ let gen_cmd =
     in
     match output with
     | None -> print_string (Leqa_circuit.Parser.to_string circ)
-    | Some path ->
-      Leqa_circuit.Parser.write_file path circ;
-      Printf.printf "wrote %s (%d qubits, %d gates)\n" path
-        (Leqa_circuit.Circuit.num_qubits circ)
-        (Leqa_circuit.Circuit.num_gates circ)
+    | Some path -> begin
+      match Leqa_circuit.Parser.write_file path circ with
+      | () ->
+        Printf.printf "wrote %s (%d qubits, %d gates)\n" path
+          (Leqa_circuit.Circuit.num_qubits circ)
+          (Leqa_circuit.Circuit.num_gates circ)
+      | exception Sys_error msg -> E.raise_error (E.Io_error msg)
+    end
   in
   let bench_req =
     let doc = "Benchmark to generate (a Table 2/3 name)." in
@@ -312,12 +376,16 @@ let gen_cmd =
     let doc = "Emit the fault-tolerant decomposition instead of logical gates." in
     Arg.(value & flag & info [ "ft" ] ~doc)
   in
-  let term = Term.(const run $ bench_req $ scale_arg $ output_arg $ ft_arg) in
+  let term =
+    Term.(const run $ bench_req $ scale_arg $ output_arg $ ft_arg
+          $ error_format_arg)
+  in
   Cmd.v (Cmd.info "gen" ~doc:"write a generated benchmark as a .tfc netlist") term
 
 let info_cmd =
-  let run file bench scale =
-    let circ, ft, qodg = or_die (prepare ~file ~bench ~scale) in
+  let run file bench scale fmt =
+    handle fmt @@ fun () ->
+    let circ, ft, qodg = or_fail fmt (prepare ~file ~bench ~scale) in
     Format.printf "%a@." Leqa_circuit.Circuit.pp_summary circ;
     Format.printf "%a@." Ft_circuit.pp_summary ft;
     Format.printf "%a@." Qodg.pp_summary qodg;
@@ -326,11 +394,14 @@ let info_cmd =
     let iig = Leqa_iig.Iig.of_qodg qodg in
     Format.printf "%a@." Leqa_iig.Iig.pp_summary iig
   in
-  let term = Term.(const run $ file_arg $ bench_arg $ scale_arg) in
+  let term =
+    Term.(const run $ file_arg $ bench_arg $ scale_arg $ error_format_arg)
+  in
   Cmd.v (Cmd.info "info" ~doc:"parse a circuit and print statistics") term
 
 let design_cmd =
-  let run rounds lanes =
+  let run rounds lanes fmt =
+    handle fmt @@ fun () ->
     let native = { Leqa_ulb.Native.default with Leqa_ulb.Native.lanes } in
     let d = Leqa_ulb.Designer.design ~native ~rounds () in
     let table =
@@ -365,14 +436,15 @@ let design_cmd =
     Arg.(value & opt int Leqa_ulb.Native.default.Leqa_ulb.Native.lanes
          & info [ "lanes" ] ~docv:"L" ~doc)
   in
-  let term = Term.(const run $ rounds_arg $ lanes_arg) in
+  let term = Term.(const run $ rounds_arg $ lanes_arg $ error_format_arg) in
   Cmd.v
     (Cmd.info "design" ~doc:"price FT operations from native instructions")
     term
 
 let select_qecc_cmd =
-  let run file bench scale target =
-    let _, ft, qodg = or_die (prepare ~file ~bench ~scale) in
+  let run file bench scale target fmt =
+    handle fmt @@ fun () ->
+    let _, ft, qodg = or_fail fmt (prepare ~file ~bench ~scale) in
     let requirement =
       {
         Leqa_qecc.Selection.default_requirement with
@@ -414,13 +486,21 @@ let select_qecc_cmd =
     let doc = "Acceptable whole-program failure probability." in
     Arg.(value & opt float 0.01 & info [ "target" ] ~docv:"P" ~doc)
   in
-  let term = Term.(const run $ file_arg $ bench_arg $ scale_arg $ target_arg) in
+  let term =
+    Term.(const run $ file_arg $ bench_arg $ scale_arg $ target_arg
+          $ error_format_arg)
+  in
   Cmd.v
     (Cmd.info "select-qecc"
        ~doc:"choose the cheapest feasible QECC level with LEQA")
     term
 
 let () =
+  (* arm test faults before any subcommand runs; a malformed spec is
+     itself a Config_error (exit 78) *)
+  (match Leqa_util.Fault.configure_from_env () with
+  | Ok () -> ()
+  | Error e -> fail Human e);
   let doc = "latency estimation for quantum algorithms on a tiled fabric" in
   let info = Cmd.info "leqa" ~version:"1.0.0" ~doc in
   exit

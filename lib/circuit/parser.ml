@@ -66,16 +66,27 @@ let parse_line st lineno line =
   let line = String.trim (strip_comment line) in
   if line = "" then Ok ()
   else
-    let fail msg = Error (Printf.sprintf "line %d: %s" lineno msg) in
+    let fail msg = Error (`At (lineno, msg)) in
     match tokenize line with
     | [] -> Ok ()
     | keyword :: rest -> begin
       match String.lowercase_ascii keyword with
       | _ when st.ended -> fail "content after END"
-      | ".v" ->
-        let wires = List.concat_map split_wires rest in
-        List.iter (fun w -> ignore (wire_id st w)) wires;
-        Ok ()
+      | ".v" -> begin
+        (* declaring a wire that already exists — within this .v line or
+           from an earlier one — is a malformed netlist, not an alias *)
+        let rec declare = function
+          | [] -> Ok ()
+          | w :: rest ->
+            if Hashtbl.mem st.names w then
+              fail (Printf.sprintf "duplicate wire declaration: %s" w)
+            else begin
+              ignore (wire_id st w);
+              declare rest
+            end
+        in
+        declare (List.concat_map split_wires rest)
+      end
       | ".i" | ".o" | ".c" | ".ol" -> Ok () (* io annotations: ignored *)
       | "begin" ->
         st.in_body <- true;
@@ -98,45 +109,53 @@ let parse_line st lineno line =
       end
     end
 
-let parse_string input =
-  let st =
-    {
-      names = Hashtbl.create 64;
-      next = 0;
-      circuit = Circuit.create ();
-      in_body = false;
-      ended = false;
-    }
-  in
-  let lines = String.split_on_char '\n' input in
-  let rec walk lineno = function
-    | [] ->
-      if st.ended then Ok () else Error "missing END"
-    | line :: rest -> begin
-      match parse_line st lineno line with
-      | Ok () -> walk (lineno + 1) rest
-      | Error _ as e -> e
-    end
-  in
-  match walk 1 lines with
-  | Ok () ->
-    (* declared-but-unused wires still count *)
-    let declared = st.next in
-    let c = st.circuit in
-    if Circuit.num_qubits c < declared then begin
-      let padded = Circuit.create ~num_qubits:declared () in
-      Circuit.iter (Circuit.add padded) c;
-      Ok padded
-    end
-    else Ok c
+let parse_string ?file input =
+  let module E = Leqa_util.Error in
+  match Leqa_util.Fault.hit_result "parser" with
   | Error _ as e -> e
+  | Ok () ->
+    let st =
+      {
+        names = Hashtbl.create 64;
+        next = 0;
+        circuit = Circuit.create ();
+        in_body = false;
+        ended = false;
+      }
+    in
+    let lines = String.split_on_char '\n' input in
+    let rec walk lineno = function
+      | [] -> if st.ended then Ok () else Error `Missing_end
+      | line :: rest -> begin
+        match parse_line st lineno line with
+        | Ok () -> walk (lineno + 1) rest
+        | Error _ as e -> e
+      end
+    in
+    (match walk 1 lines with
+    | Ok () ->
+      (* declared-but-unused wires still count *)
+      let declared = st.next in
+      let c = st.circuit in
+      if Circuit.num_qubits c < declared then begin
+        let padded = Circuit.create ~num_qubits:declared () in
+        Circuit.iter (Circuit.add padded) c;
+        Ok padded
+      end
+      else Ok c
+    | Error `Missing_end -> Error (E.parse_error ?file "missing END")
+    | Error (`At (line, msg)) -> Error (E.parse_error ?file ~line msg))
 
 let parse_file path =
-  let ic = open_in path in
-  let len = in_channel_length ic in
-  let contents = really_input_string ic len in
-  close_in ic;
-  parse_string contents
+  match
+    let ic = open_in path in
+    let len = in_channel_length ic in
+    let contents = really_input_string ic len in
+    close_in ic;
+    contents
+  with
+  | contents -> parse_string ~file:path contents
+  | exception Sys_error msg -> Error (Leqa_util.Error.Io_error msg)
 
 let wire q = "q" ^ string_of_int q
 

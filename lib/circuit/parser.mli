@@ -15,10 +15,16 @@
     END
     v} *)
 
-val parse_string : string -> (Circuit.t, string) result
-(** Parse a whole netlist.  Errors carry a line number. *)
+val parse_string : ?file:string -> string -> (Circuit.t, Leqa_util.Error.t) result
+(** Parse a whole netlist.  Failures are [Parse_error]s carrying the line
+    number (and [file], when given, for rendering).  Rejected inputs
+    include unknown mnemonics, gates whose operand list repeats a wire
+    (e.g. [t2 a,a]), duplicate wire declarations, gates outside
+    [BEGIN]/[END], and content after [END]. *)
 
-val parse_file : string -> (Circuit.t, string) result
+val parse_file : string -> (Circuit.t, Leqa_util.Error.t) result
+(** {!parse_string} on the file's contents; an unreadable path is an
+    [Io_error]. *)
 
 val to_string : Circuit.t -> string
 (** Render in the same format (wires named [q0..qN-1]). *)

@@ -5,5 +5,9 @@ let default = { truncation_terms = 20 }
 let exact ~qubits = { truncation_terms = max qubits 1 }
 
 let validate t =
-  if t.truncation_terms <= 0 then Error "truncation_terms must be positive"
+  if t.truncation_terms <= 0 then
+    Error
+      (Leqa_util.Error.Config_error
+         (Printf.sprintf "truncation_terms must be positive (got %d)"
+            t.truncation_terms))
   else Ok ()

@@ -13,4 +13,5 @@ val default : t
 val exact : qubits:int -> t
 (** No truncation: evaluate all [Q] terms. *)
 
-val validate : t -> (unit, string) result
+val validate : t -> (unit, Leqa_util.Error.t) result
+(** [Ok ()] or a [Config_error]. *)

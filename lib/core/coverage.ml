@@ -57,16 +57,36 @@ let clear_caches () =
   Hashtbl.reset surfaces_cache;
   Mutex.unlock cache_mutex
 
+(* Integrity: both caches hold vectors of non-negative finite surface /
+   probability mass.  A poisoned entry (NaN/Inf/negative, e.g. from a
+   torn write or an injected fault) is evicted and recomputed rather than
+   served — a single bad fill must not contaminate every later estimate
+   that shares the key. *)
+let entry_intact a =
+  Array.for_all (fun v -> Float.is_finite v && v >= 0.0) a
+
 let cache_lookup cache key =
   Mutex.lock cache_mutex;
-  let r = Hashtbl.find_opt cache key in
+  let r =
+    match Hashtbl.find_opt cache key with
+    | Some a when not (entry_intact a) ->
+      Hashtbl.remove cache key;
+      None
+    | r -> r
+  in
   Mutex.unlock cache_mutex;
   Option.map Array.copy r
 
 let cache_store cache key value =
+  Leqa_util.Fault.hit "cache.fill";
+  let stored = Array.copy value in
+  (* fault site for the integrity check itself: corrupt the stored copy
+     (never the caller's array) so the next lookup must evict *)
+  if Array.length stored > 0 && Leqa_util.Fault.fires "cache.poison" then
+    stored.(0) <- Float.nan;
   Mutex.lock cache_mutex;
   if Hashtbl.length cache >= max_cache_entries then Hashtbl.reset cache;
-  if not (Hashtbl.mem cache key) then Hashtbl.add cache key (Array.copy value);
+  if not (Hashtbl.mem cache key) then Hashtbl.add cache key stored;
   Mutex.unlock cache_mutex
 
 (* Per-ULB chunk size.  Fixed (never derived from the pool width) so the
@@ -84,10 +104,14 @@ let probability_grid ~topology ~avg_area ~width ~height =
     ignore (zone_side ~avg_area ~width ~height);
     let grid = Array.make (width * height) 0.0 in
     let pool = Pool.get_default () in
-    Pool.parallel_for pool ~chunk:cell_chunk (width * height) (fun cell ->
+    Pool.parallel_for pool ~chunk:cell_chunk (width * height)
+      (fun cell ->
         let x = (cell mod width) + 1 and y = (cell / width) + 1 in
-        grid.(cell) <-
-          coverage_probability ~topology ~avg_area ~width ~height ~x ~y);
+        let p = coverage_probability ~topology ~avg_area ~width ~height ~x ~y in
+        (* Eq-5 guard: a coverage value outside [0,1] is a model bug and
+           must die here, before it is cached or folded into E[S_q] *)
+        Leqa_util.Error.check_probability ~site:"coverage.P_xy" p;
+        grid.(cell) <- p);
     cache_store grid_cache key grid;
     grid
 
@@ -136,8 +160,15 @@ let expected_surfaces ~topology ~avg_area ~width ~height ~qubits ~terms =
     in
     let result =
       Pool.reduce_chunks pool ~chunk:cell_chunk ~n:(Array.length grid)
-        ~map:sum_cells ~combine:add_into ~init:(Array.make kmax 0.0)
+        ~map:sum_cells ~combine:add_into ~init:(Array.make kmax 0.0) ()
     in
+    (* Eq-4 guard: each E[S_q] is a sum of probabilities over the fabric,
+       so it must be finite, non-negative and bounded by the area *)
+    let area = float_of_int (width * height) in
+    Array.iter
+      (fun v ->
+        Leqa_util.Error.check_in_range ~site:"coverage.E_Sq" ~lo:0.0 ~hi:area v)
+      result;
     cache_store surfaces_cache key result;
     result
 
@@ -152,4 +183,4 @@ let expected_uncovered ~topology ~avg_area ~width ~height ~qubits =
           !acc +. exp (Leqa_util.Binomial.log_pmf ~n:qubits ~k:0 ~p:grid.(cell))
       done;
       !acc)
-    ~combine:( +. ) ~init:0.0
+    ~combine:( +. ) ~init:0.0 ()

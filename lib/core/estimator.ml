@@ -1,4 +1,6 @@
 module Params = Leqa_fabric.Params
+module Pool = Leqa_util.Pool
+module Error = Leqa_util.Error
 module Qodg = Leqa_qodg.Qodg
 module Critical_path = Leqa_qodg.Critical_path
 module Ft_gate = Leqa_circuit.Ft_gate
@@ -17,6 +19,7 @@ type breakdown = {
   latency_s : float;
   qubits : int;
   operations : int;
+  degraded : bool;
 }
 
 let eq1_latency ~params ~l_cnot_avg ~counts =
@@ -36,13 +39,12 @@ let eq1_latency ~params ~l_cnot_avg ~counts =
     Ft_gate.all_single_kinds;
   cnot_part +. !single_part
 
-let estimate ?(config = Config.default) ~params qodg =
-  (match Config.validate config with
-  | Ok () -> ()
-  | Error msg -> invalid_arg ("Estimator.estimate: " ^ msg));
-  (match Params.validate params with
-  | Ok () -> ()
-  | Error msg -> invalid_arg ("Estimator.estimate: " ^ msg));
+let estimate ?(config = Config.default) ?(deadline = Pool.Deadline.never)
+    ~params qodg =
+  Error.ok_exn (Config.validate config);
+  Error.ok_exn (Params.validate params);
+  let check_deadline () = Pool.Deadline.check ~site:"estimator" deadline in
+  check_deadline ();
   let width = params.Params.width and height = params.Params.height in
   (* Lines 1-3: IIG, per-qubit zones, average zone area B. *)
   let iig = Iig.of_qodg qodg in
@@ -53,8 +55,10 @@ let estimate ?(config = Config.default) ~params qodg =
     && (Coverage.zone_side_info ~avg_area:avg_zone_area ~width ~height).Coverage.clamped
   in
   (* Lines 4-8: per-qubit uncongested latencies and their weighted mean. *)
+  check_deadline ();
   let d_uncong = Routing_latency.d_uncongested ~v:params.Params.v iig in
   (* Lines 9-17: coverage probabilities, E(S_q) and d_q (first K terms). *)
+  check_deadline ();
   let terms = config.Config.truncation_terms in
   let expected_surfaces =
     if qubits = 0 then [||]
@@ -75,6 +79,7 @@ let estimate ?(config = Config.default) ~params qodg =
   in
   let l_single_avg = Params.l_single_avg params in
   (* Line 19: routing-augmented critical path. *)
+  check_deadline ();
   let delay g =
     Params.gate_delay params g
     +. match g with Ft_gate.Cnot _ -> l_cnot_avg | Ft_gate.Single _ -> l_single_avg
@@ -96,6 +101,7 @@ let estimate ?(config = Config.default) ~params qodg =
     latency_s = latency_us /. 1e6;
     qubits;
     operations = Qodg.num_nodes qodg - 2;
+    degraded = false;
   }
 
 type contribution = {
@@ -135,5 +141,5 @@ let contributions ~params b =
            (b.gate_time +. b.routing_time)
            (a.gate_time +. a.routing_time))
 
-let estimate_circuit ?config ~params circ =
-  estimate ?config ~params (Qodg.of_ft_circuit circ)
+let estimate_circuit ?config ?deadline ~params circ =
+  estimate ?config ?deadline ~params (Qodg.of_ft_circuit circ)

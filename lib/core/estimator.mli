@@ -22,17 +22,27 @@ type breakdown = {
   latency_s : float;  (** D in seconds (Table 2's unit) *)
   qubits : int;
   operations : int;
+  degraded : bool;
+      (** [false] for a pure analytic run.  Set by wrappers (e.g.
+          [Qspr.run_validated]) when a companion computation ran out of
+          time and this analytic estimate is standing in for it. *)
 }
 
 val estimate :
   ?config:Config.t ->
+  ?deadline:Leqa_util.Pool.Deadline.t ->
   params:Leqa_fabric.Params.t ->
   Leqa_qodg.Qodg.t ->
   breakdown
-(** Run LEQA.  @raise Invalid_argument on invalid parameters/config. *)
+(** Run LEQA.  The [deadline] is checked cooperatively between the
+    algorithm's phases (site ["estimator"]).
+    @raise Leqa_util.Error.Error with [Config_error] / [Fabric_error] on
+    invalid inputs, [Numeric_error] if a kernel guard trips, and
+    [Timed_out] once [deadline] expires. *)
 
 val estimate_circuit :
   ?config:Config.t ->
+  ?deadline:Leqa_util.Pool.Deadline.t ->
   params:Leqa_fabric.Params.t ->
   Leqa_circuit.Ft_circuit.t ->
   breakdown

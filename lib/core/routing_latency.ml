@@ -20,7 +20,11 @@ let d_uncongested ~v iig =
       den := !den +. w
     end
   done;
-  if !den = 0.0 then 0.0 else !num /. !den
+  let d = if !den = 0.0 then 0.0 else !num /. !den in
+  (* TSP-bound guard: the interaction-weighted mean of per-qubit latencies
+     must come out finite and non-negative before it seeds every d_q *)
+  Leqa_util.Error.check_nonneg ~site:"routing.d_uncong" d;
+  d
 
 let congested_delays ~d_uncong ~nc ~qmax =
   if qmax <= 0 then invalid_arg "Routing_latency: qmax must be positive";
@@ -28,7 +32,11 @@ let congested_delays ~d_uncong ~nc ~qmax =
   if d_uncong = 0.0 then Array.make qmax 0.0
   else
     Array.init qmax (fun i ->
-        Leqa_queueing.Mm1.congestion_delay ~nc ~d_uncong ~q:(i + 1))
+        let d = Leqa_queueing.Mm1.congestion_delay ~nc ~d_uncong ~q:(i + 1) in
+        (* M/M/1 guard: an unstable queue (utilization >= 1) yields a
+           negative or infinite waiting time — reject it here, by site *)
+        Leqa_util.Error.check_nonneg ~site:"routing.d_q" d;
+        d)
 
 let l_cnot_avg ~expected_surfaces ~delays =
   if Array.length expected_surfaces <> Array.length delays then
@@ -39,4 +47,6 @@ let l_cnot_avg ~expected_surfaces ~delays =
       num := !num +. (s *. delays.(i));
       den := !den +. s)
     expected_surfaces;
-  if !den = 0.0 then 0.0 else !num /. !den
+  let l = if !den = 0.0 then 0.0 else !num /. !den in
+  Leqa_util.Error.check_nonneg ~site:"routing.l_cnot_avg" l;
+  l

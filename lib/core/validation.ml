@@ -1,18 +1,37 @@
+module Error = Leqa_util.Error
+module Pool = Leqa_util.Pool
+
 type result = {
   empirical_surfaces : float array;
   empirical_uncovered : float;
 }
 
-let measure ~rng ~avg_area ~width ~height ~qubits ~trials ~qmax =
+let measure ?(deadline = Pool.Deadline.never) ?side ~rng ~avg_area ~width
+    ~height ~qubits ~trials ~qmax () =
   if trials <= 0 then invalid_arg "Validation.measure: trials <= 0";
   if qmax <= 0 then invalid_arg "Validation.measure: qmax <= 0";
   if qubits < 0 then invalid_arg "Validation.measure: negative qubits";
-  let side = Coverage.zone_side ~avg_area ~width ~height in
+  let side =
+    match side with
+    | Some s -> s
+    | None -> Coverage.zone_side ~avg_area ~width ~height
+  in
   let anchors_x = width - side + 1 and anchors_y = height - side + 1 in
+  (* A zone wider than the fabric leaves no anchor position; feeding the
+     non-positive bound to Rng.int would raise a bare Invalid_argument
+     from deep inside the trial loop, so reject it structurally here. *)
+  if anchors_x <= 0 || anchors_y <= 0 then
+    Error.raise_error
+      (Error.Fabric_error
+         (Printf.sprintf
+            "zone side %d exceeds the %dx%d fabric: no anchor positions" side
+            width height));
   let counts = Array.make (width * height) 0 in
   let surfaces = Array.make qmax 0.0 in
   let uncovered = ref 0.0 in
   for _ = 1 to trials do
+    Pool.Deadline.check ~site:"mc.trial" deadline;
+    Leqa_util.Fault.hit "mc.trial";
     Array.fill counts 0 (Array.length counts) 0;
     for _ = 1 to qubits do
       let ax = Leqa_util.Rng.int rng ~bound:anchors_x in

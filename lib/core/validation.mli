@@ -13,6 +13,8 @@ type result = {
 }
 
 val measure :
+  ?deadline:Leqa_util.Pool.Deadline.t ->
+  ?side:int ->
   rng:Leqa_util.Rng.t ->
   avg_area:float ->
   width:int ->
@@ -20,10 +22,16 @@ val measure :
   qubits:int ->
   trials:int ->
   qmax:int ->
+  unit ->
   result
-(** Zones have side [Coverage.zone_side ~avg_area] and land uniformly among
-    the in-bounds anchor positions, exactly the distribution Eq (5)
-    assumes.  @raise Invalid_argument for non-positive trials/qmax. *)
+(** Zones have side [Coverage.zone_side ~avg_area] (overridable with
+    [side], mainly so tests can reach the anchor guard) and land uniformly
+    among the in-bounds anchor positions, exactly the distribution Eq (5)
+    assumes.  The [deadline] is checked before every trial (site
+    ["mc.trial"], also a {!Leqa_util.Fault} site).
+    @raise Invalid_argument for non-positive trials/qmax.
+    @raise Leqa_util.Error.Error with [Fabric_error] when the zone side
+    leaves no anchor positions, [Timed_out] once [deadline] expires. *)
 
 val max_abs_deviation :
   expected:float array -> empirical:float array -> float

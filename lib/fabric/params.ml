@@ -65,7 +65,13 @@ let scale_qecc p ~factor =
   }
 
 let validate p =
-  let positive name x = if x <= 0.0 then Error (name ^ " must be positive") else Ok () in
+  let fabric_error msg = Error (Leqa_util.Error.Fabric_error msg) in
+  (* delays and speeds must be positive *and* finite: a NaN/Inf parameter
+     would otherwise sail through every kernel guard as a "computed" value *)
+  let positive name x =
+    if Float.is_finite x && x > 0.0 then Ok ()
+    else fabric_error (Printf.sprintf "%s must be positive and finite (got %g)" name x)
+  in
   let ( >>= ) r f = match r with Ok () -> f () | Error _ as e -> e in
   positive "d_h" p.d_h >>= fun () ->
   positive "d_t" p.d_t >>= fun () ->
@@ -74,8 +80,10 @@ let validate p =
   positive "d_cnot" p.d_cnot >>= fun () ->
   positive "v" p.v >>= fun () ->
   positive "t_move" p.t_move >>= fun () ->
-  if p.nc <= 0 then Error "nc must be positive"
-  else if p.width <= 0 || p.height <= 0 then Error "fabric must be non-empty"
+  if p.nc <= 0 then fabric_error "nc must be positive"
+  else if p.width <= 0 || p.height <= 0 then
+    fabric_error
+      (Printf.sprintf "fabric must be non-empty (got %dx%d)" p.width p.height)
   else Ok ()
 
 let pp ppf p =

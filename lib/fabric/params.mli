@@ -53,6 +53,9 @@ val scale_qecc : t -> factor:float -> t
     switching to a heavier / lighter error-correction code (the QECC
     design-space exploration motivated in the introduction). *)
 
-val validate : t -> (unit, string) result
+val validate : t -> (unit, Leqa_util.Error.t) result
+(** [Ok ()] for a physically meaningful parameter set; otherwise a
+    [Fabric_error] naming the offending field.  Non-finite delays/speeds
+    are rejected here so they can never enter the estimator kernels. *)
 
 val pp : Format.formatter -> t -> unit

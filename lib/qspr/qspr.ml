@@ -17,10 +17,10 @@ type result = {
   stats : Scheduler.stats;
 }
 
-let run ?(config = default_config) ?trace qodg =
+let run ?(config = default_config) ?deadline ?trace qodg =
   let stats =
-    Scheduler.run ~routing:config.routing ?trace ~params:config.params
-      ~placement:config.placement qodg
+    Scheduler.run ~routing:config.routing ?deadline ?trace
+      ~params:config.params ~placement:config.placement qodg
   in
   {
     latency_us = stats.Scheduler.latency;
@@ -28,5 +28,24 @@ let run ?(config = default_config) ?trace qodg =
     stats;
   }
 
-let run_circuit ?config ?trace circ =
-  run ?config ?trace (Leqa_qodg.Qodg.of_ft_circuit circ)
+let run_circuit ?config ?deadline ?trace circ =
+  run ?config ?deadline ?trace (Leqa_qodg.Qodg.of_ft_circuit circ)
+
+type validated = {
+  breakdown : Leqa_core.Estimator.breakdown;
+  simulated : result option;
+}
+
+let run_validated ?(config = default_config) ?estimator_config ?deadline qodg =
+  (* The analytic estimate is cheap and must survive even a tiny budget,
+     so it runs without the deadline; only the detailed simulation is
+     cancellable.  On expiry we degrade: the caller still gets a latency
+     number, flagged as analytic-only. *)
+  let breakdown =
+    Leqa_core.Estimator.estimate ?config:estimator_config
+      ~params:config.params qodg
+  in
+  match run ~config ?deadline qodg with
+  | simulated -> { breakdown; simulated = Some simulated }
+  | exception Leqa_util.Error.Error (Leqa_util.Error.Timed_out _) ->
+    { breakdown = { breakdown with degraded = true }; simulated = None }

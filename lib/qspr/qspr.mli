@@ -18,9 +18,38 @@ type result = {
   stats : Scheduler.stats;
 }
 
-val run : ?config:config -> ?trace:Trace.t -> Leqa_qodg.Qodg.t -> result
-(** Pass [trace] to record every executed operation (see {!Trace}). *)
+val run :
+  ?config:config ->
+  ?deadline:Leqa_util.Pool.Deadline.t ->
+  ?trace:Trace.t ->
+  Leqa_qodg.Qodg.t ->
+  result
+(** Pass [trace] to record every executed operation (see {!Trace}).
+    @raise Leqa_util.Error.Error ([Timed_out]) once [deadline] expires
+    (checked in the scheduler's event loop). *)
 
 val run_circuit :
-  ?config:config -> ?trace:Trace.t -> Leqa_circuit.Ft_circuit.t -> result
+  ?config:config ->
+  ?deadline:Leqa_util.Pool.Deadline.t ->
+  ?trace:Trace.t ->
+  Leqa_circuit.Ft_circuit.t ->
+  result
 (** Builds the QODG and runs. *)
+
+type validated = {
+  breakdown : Leqa_core.Estimator.breakdown;
+      (** the analytic LEQA estimate; [degraded = true] when the detailed
+          simulation hit the deadline and was abandoned *)
+  simulated : result option;  (** [None] exactly when degraded *)
+}
+
+val run_validated :
+  ?config:config ->
+  ?estimator_config:Leqa_core.Config.t ->
+  ?deadline:Leqa_util.Pool.Deadline.t ->
+  Leqa_qodg.Qodg.t ->
+  validated
+(** LEQA estimate plus the QSPR ground truth for the same QODG.  The
+    estimate always runs to completion (it is the cheap path); only the
+    simulation honours [deadline].  On expiry the result degrades
+    gracefully to the analytic estimate instead of raising. *)

@@ -174,11 +174,10 @@ let commit_cnot st ~ready ~became_ready ~node ~control ~target plan =
   st.cnot_routing <- st.cnot_routing +. (start -. became_ready);
   finish
 
-let run ?(routing = Router.Astar) ?(defer = true) ?trace ~params ~placement
+let run ?(routing = Router.Astar) ?(defer = true)
+    ?(deadline = Leqa_util.Pool.Deadline.never) ?trace ~params ~placement
     qodg =
-  (match Params.validate params with
-  | Ok () -> ()
-  | Error msg -> invalid_arg ("Scheduler.run: " ^ msg));
+  Leqa_util.Error.ok_exn (Params.validate params);
   let width = params.Params.width and height = params.Params.height in
   let q = Qodg.num_qubits qodg in
   let st =
@@ -231,10 +230,21 @@ let run ?(routing = Router.Astar) ?(defer = true) ?trace ~params ~placement
     end
     else Some (commit ())
   in
+  (* Cooperative cancellation: the event loop can run for minutes on large
+     netlists, so re-check the deadline every [check_every] pops — cheap
+     relative to a routing query, frequent enough to stop within ~ms. *)
+  let check_every = 64 in
+  let pops = ref 0 in
   let rec drain () =
     match Heap.pop events with
     | None -> ()
     | Some (t, node) ->
+      incr pops;
+      (* mod = 1, not 0: the very first pop checks too, so even a tiny
+         circuit honours an already-expired budget *)
+      if !pops mod check_every = 1 then
+        Leqa_util.Pool.Deadline.check ~site:"qspr.step" deadline;
+      Leqa_util.Fault.hit "qspr.step";
       (match Qodg.kind qodg node with
       | Qodg.Start -> relax node 0.0
       | Qodg.Finish -> completion.(node) <- t

@@ -33,6 +33,7 @@ val avg_single_routing : stats -> float
 val run :
   ?routing:Router.mode ->
   ?defer:bool ->
+  ?deadline:Leqa_util.Pool.Deadline.t ->
   ?trace:Trace.t ->
   params:Leqa_fabric.Params.t ->
   placement:Placement.strategy ->
@@ -42,5 +43,8 @@ val run :
     the paper's rescheduling step — operations whose target ULB is not
     ready are requeued instead of committing channel reservations early;
     pass [trace] to record every executed operation (see {!Trace}).
-    @raise Invalid_argument if the parameter set fails
-    {!Leqa_fabric.Params.validate}. *)
+    The [deadline] is checked every few event pops (site ["qspr.step"],
+    also a {!Leqa_util.Fault} site).
+    @raise Leqa_util.Error.Error with [Fabric_error] if the parameter set
+    fails {!Leqa_fabric.Params.validate}, [Timed_out] once [deadline]
+    expires. *)

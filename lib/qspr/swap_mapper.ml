@@ -146,9 +146,7 @@ let execute_cnot st ~ready ~control ~target =
   finish
 
 let run ~params ~placement qodg =
-  (match Params.validate params with
-  | Ok () -> ()
-  | Error msg -> invalid_arg ("Swap_mapper.run: " ^ msg));
+  Leqa_util.Error.ok_exn (Params.validate params);
   let width = params.Params.width and height = params.Params.height in
   let q = Qodg.num_qubits qodg in
   if q > width * height then

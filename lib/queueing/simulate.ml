@@ -104,8 +104,8 @@ let summarize results =
       Array.fold_left (fun acc r -> acc + r.customers_served) 0 results;
   }
 
-let run_replications ?pool ~seed ~replications ~lambda ~mu_per_server ~servers
-    ~horizon () =
+let run_replications ?pool ?deadline ~seed ~replications ~lambda ~mu_per_server
+    ~servers ~horizon () =
   if replications <= 0 then
     invalid_arg "Simulate.run_replications: replications must be positive";
   let pool =
@@ -120,6 +120,6 @@ let run_replications ?pool ~seed ~replications ~lambda ~mu_per_server ~servers
   let rngs =
     Array.init replications (fun _ -> Leqa_util.Rng.split master)
   in
-  Leqa_util.Pool.parallel_map pool
+  Leqa_util.Pool.parallel_map pool ?deadline
     ~f:(fun rng -> run_multi_server ~rng ~lambda ~mu_per_server ~servers ~horizon)
     rngs

@@ -43,6 +43,7 @@ val summarize : result array -> summary
 
 val run_replications :
   ?pool:Leqa_util.Pool.t ->
+  ?deadline:Leqa_util.Pool.Deadline.t ->
   seed:int ->
   replications:int ->
   lambda:float ->
@@ -56,4 +57,5 @@ val run_replications :
     draws from its own stream split deterministically from [seed], so
     the same master seed yields bit-for-bit identical per-replication
     results — and therefore identical {!summarize} statistics — at any
-    pool width. *)
+    pool width.  The [deadline] is checked once per replication; on
+    expiry the batch drains and [Error.Error (Timed_out _)] is raised. *)

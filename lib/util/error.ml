@@ -1,0 +1,110 @@
+type t =
+  | Usage_error of string
+  | Parse_error of { file : string option; line : int option; msg : string }
+  | Io_error of string
+  | Config_error of string
+  | Fabric_error of string
+  | Numeric_error of { site : string; value : float }
+  | Timed_out of { site : string; budget_s : float }
+  | Fault_injected of { site : string }
+
+exception Error of t
+
+let raise_error e = raise (Error e)
+
+let exit_code = function
+  | Usage_error _ -> 64
+  | Parse_error _ -> 65
+  | Io_error _ -> 66
+  | Numeric_error _ -> 70
+  | Fabric_error _ -> 71
+  | Fault_injected _ -> 74
+  | Timed_out _ -> 75
+  | Config_error _ -> 78
+
+let kind = function
+  | Usage_error _ -> "usage-error"
+  | Parse_error _ -> "parse-error"
+  | Io_error _ -> "io-error"
+  | Config_error _ -> "config-error"
+  | Fabric_error _ -> "fabric-error"
+  | Numeric_error _ -> "numeric-error"
+  | Timed_out _ -> "timed-out"
+  | Fault_injected _ -> "fault-injected"
+
+(* renderers promise a single line whatever ends up inside messages *)
+let one_line s =
+  String.map (function '\n' | '\r' -> ' ' | c -> c) s
+
+let to_string e =
+  one_line
+    (match e with
+    | Usage_error msg -> msg
+    | Parse_error { file; line; msg } ->
+      let file = match file with Some f -> f ^ ": " | None -> "" in
+      let line =
+        match line with Some l -> Printf.sprintf "line %d: " l | None -> ""
+      in
+      file ^ line ^ msg
+    | Io_error msg -> msg
+    | Config_error msg -> "invalid configuration: " ^ msg
+    | Fabric_error msg -> "invalid fabric: " ^ msg
+    | Numeric_error { site; value } ->
+      Printf.sprintf "numeric guard tripped at %s: %h" site value
+    | Timed_out { site; budget_s } ->
+      Printf.sprintf "deadline of %gs expired at %s" budget_s site
+    | Fault_injected { site } -> "injected fault fired at site " ^ site)
+
+let to_json e =
+  let base =
+    [
+      ("error", Json.String (kind e));
+      ("message", Json.String (to_string e));
+      ("exit_code", Json.Int (exit_code e));
+    ]
+  in
+  let extra =
+    match e with
+    | Parse_error { file; line; _ } ->
+      (match file with Some f -> [ ("file", Json.String f) ] | None -> [])
+      @ (match line with Some l -> [ ("line", Json.Int l) ] | None -> [])
+    | Numeric_error { site; value } ->
+      [ ("site", Json.String site); ("value", Json.Float value) ]
+    | Timed_out { site; budget_s } ->
+      [ ("site", Json.String site); ("budget_s", Json.Float budget_s) ]
+    | Fault_injected { site } -> [ ("site", Json.String site) ]
+    | Usage_error _ | Io_error _ | Config_error _ | Fabric_error _ -> []
+  in
+  Json.Obj (base @ extra)
+
+let to_json_string e = Json.to_string (to_json e)
+
+let ( >>= ) r f = match r with Ok x -> f x | Error _ as e -> e
+let ( let* ) = ( >>= )
+
+let ok_exn = function Ok x -> x | Error e -> raise_error e
+
+let protect f = match f () with x -> Ok x | exception Error e -> Error e
+
+let parse_error ?file ?line msg = Parse_error { file; line; msg }
+
+(* ---- numeric guards ---- *)
+
+let guards = ref true
+let set_guards b = guards := b
+let guards_enabled () = !guards
+
+let check_finite ~site v =
+  if !guards && not (Float.is_finite v) then
+    raise_error (Numeric_error { site; value = v })
+
+let check_nonneg ~site v =
+  (* [not (v >= 0)] also catches NaN *)
+  if !guards && not (Float.is_finite v && v >= 0.0) then
+    raise_error (Numeric_error { site; value = v })
+
+let check_in_range ~site ~lo ~hi v =
+  if !guards && not (v >= lo && v <= hi) then
+    raise_error (Numeric_error { site; value = v })
+
+let check_probability ~site v = check_in_range ~site ~lo:0.0 ~hi:1.0 v

@@ -1,0 +1,98 @@
+(** The repository-wide error taxonomy.
+
+    Every failure a user (or a calling service) can reach is one of these
+    constructors, so the CLI, the bench harness and the test suite can
+    render, classify and exit on errors uniformly instead of matching on
+    exception strings.  Errors cross module boundaries either as
+    [('a, t) result] values or as the single {!exception-Error} carrier
+    when a [result] would not fit the control flow (deep inside parallel
+    kernels, schedulers, parsers of streamed input).
+
+    {2 Exit codes}
+
+    Each constructor maps to a stable, documented process exit code
+    (sysexits.h-inspired; see DESIGN.md §7):
+
+    {v
+    64  Usage_error      bad flag combination / unknown benchmark
+    65  Parse_error      malformed .tfc netlist
+    66  Io_error         missing or unreadable file
+    70  Numeric_error    NaN/Inf/out-of-range value escaping a kernel
+    71  Fabric_error     degenerate fabric geometry/parameters
+    74  Fault_injected   a LEQA_FAULTS test fault fired
+    75  Timed_out        a --timeout deadline expired
+    78  Config_error     invalid estimator/queueing configuration
+    v} *)
+
+type t =
+  | Usage_error of string
+  | Parse_error of { file : string option; line : int option; msg : string }
+  | Io_error of string
+  | Config_error of string
+  | Fabric_error of string
+  | Numeric_error of { site : string; value : float }
+      (** [site] names the kernel boundary that rejected [value]
+          (e.g. ["coverage.P_xy"], ["routing.d_q"]). *)
+  | Timed_out of { site : string; budget_s : float }
+  | Fault_injected of { site : string }
+
+exception Error of t
+(** The only exception structured errors travel in. *)
+
+val raise_error : t -> 'a
+
+val exit_code : t -> int
+(** The stable mapping above. *)
+
+val kind : t -> string
+(** Machine-readable tag: ["usage-error"], ["parse-error"], … *)
+
+val to_string : t -> string
+(** Human-readable, guaranteed single-line. *)
+
+val to_json : t -> Json.t
+(** [{"error": kind, "message": …, "exit_code": …, …}] plus
+    constructor-specific fields (file/line, site/value, budget). *)
+
+val to_json_string : t -> string
+(** [to_json] rendered compactly — a single line. *)
+
+(** {2 Result combinators} *)
+
+val ( let* ) : ('a, t) result -> ('a -> ('b, t) result) -> ('b, t) result
+val ( >>= ) : ('a, t) result -> ('a -> ('b, t) result) -> ('b, t) result
+
+val ok_exn : ('a, t) result -> 'a
+(** Unwrap, raising {!exception-Error} on [Error]. *)
+
+val protect : (unit -> 'a) -> ('a, t) result
+(** Run a function that signals failure by raising {!exception-Error};
+    reflect the outcome as a [result].  Other exceptions pass through. *)
+
+val parse_error : ?file:string -> ?line:int -> string -> t
+
+(** {2 Numeric guards}
+
+    Boundary checks for the floating-point kernels (Eq 4/5 coverage
+    grids, Eq 8 congestion delays, the Eq 12 TSP bound).  Each guard
+    raises [Error (Numeric_error {site; value})] naming the offending
+    kernel, so a NaN is caught where it is produced instead of surfacing
+    as a nonsense latency — or worse, being memoized.
+
+    Guards can be disabled process-wide ({!set_guards}) so the perf
+    harness can measure their cost; they default to on. *)
+
+val set_guards : bool -> unit
+val guards_enabled : unit -> bool
+
+val check_finite : site:string -> float -> unit
+(** Reject NaN and ±Inf. *)
+
+val check_nonneg : site:string -> float -> unit
+(** Reject NaN, ±Inf and negative values. *)
+
+val check_probability : site:string -> float -> unit
+(** Reject anything outside [\[0, 1\]] (NaN included). *)
+
+val check_in_range : site:string -> lo:float -> hi:float -> float -> unit
+(** Reject anything outside [\[lo, hi\]] (NaN included). *)

@@ -1,0 +1,126 @@
+let known_sites =
+  [ "parser"; "pool.task"; "cache.fill"; "cache.poison"; "qspr.step"; "mc.trial" ]
+
+type mode =
+  | Always
+  | Nth of int  (* fire on exactly the n-th hit *)
+  | Prob of float * int  (* probability, seed *)
+
+type armed_fault = { mode : mode; mutable hits : int }
+
+let mutex = Mutex.create ()
+let table : (string, armed_fault) Hashtbl.t = Hashtbl.create 8
+
+(* read outside the mutex on the hot path; only flipped under it *)
+let any_armed = ref false
+
+let reset () =
+  Mutex.lock mutex;
+  Hashtbl.reset table;
+  any_armed := false;
+  Mutex.unlock mutex
+
+let parse_entry entry =
+  match String.split_on_char ':' (String.trim entry) with
+  | [] | [ "" ] -> Ok None
+  | site :: opts ->
+    let n = ref None and p = ref None and seed = ref None in
+    let bad msg =
+      Error (Error.Config_error (Printf.sprintf "LEQA_FAULTS entry %S: %s" entry msg))
+    in
+    let rec walk = function
+      | [] -> begin
+        match (!n, !p, !seed) with
+        | Some k, None, None when k >= 1 -> Ok (Some (site, Nth k))
+        | Some _, None, None -> bad "n must be >= 1"
+        | None, Some pr, s when pr >= 0.0 && pr <= 1.0 ->
+          Ok (Some (site, Prob (pr, Option.value s ~default:0)))
+        | None, Some _, _ -> bad "p must be in [0,1]"
+        | None, None, None -> Ok (Some (site, Always))
+        | _ -> bad "n= and p= are mutually exclusive"
+      end
+      | opt :: rest -> begin
+        match String.split_on_char '=' opt with
+        | [ "n"; v ] -> begin
+          match int_of_string_opt v with
+          | Some k -> n := Some k; walk rest
+          | None -> bad "n= takes an integer"
+        end
+        | [ "p"; v ] -> begin
+          match float_of_string_opt v with
+          | Some pr -> p := Some pr; walk rest
+          | None -> bad "p= takes a float"
+        end
+        | [ "seed"; v ] -> begin
+          match int_of_string_opt v with
+          | Some s -> seed := Some s; walk rest
+          | None -> bad "seed= takes an integer"
+        end
+        | _ -> bad (Printf.sprintf "unknown option %S (expected n=/p=/seed=)" opt)
+      end
+    in
+    walk opts
+
+let configure spec =
+  let entries =
+    String.split_on_char ';' spec
+    |> List.concat_map (String.split_on_char ',')
+    |> List.map String.trim
+    |> List.filter (fun e -> e <> "")
+  in
+  let rec parse_all acc = function
+    | [] -> Ok (List.rev acc)
+    | e :: rest -> begin
+      match parse_entry e with
+      | Ok None -> parse_all acc rest
+      | Ok (Some f) -> parse_all (f :: acc) rest
+      | Error _ as err -> err
+    end
+  in
+  match parse_all [] entries with
+  | Error _ as e -> e
+  | Ok faults ->
+    Mutex.lock mutex;
+    Hashtbl.reset table;
+    List.iter
+      (fun (site, mode) -> Hashtbl.replace table site { mode; hits = 0 })
+      faults;
+    any_armed := Hashtbl.length table > 0;
+    Mutex.unlock mutex;
+    Ok ()
+
+let configure_from_env () =
+  configure (Option.value (Sys.getenv_opt "LEQA_FAULTS") ~default:"")
+
+let armed () = !any_armed
+
+(* Deterministic per-hit coin for Prob mode: a splitmix64 stream keyed by
+   (seed, hit index), so outcomes depend only on the spec and how many
+   times the site has been reached — never on thread interleaving. *)
+let coin ~seed ~hit_index ~p =
+  let rng = Rng.create ~seed:(seed + (0x9E3779B9 * hit_index)) in
+  Rng.float rng < p
+
+let fires site =
+  if not !any_armed then false
+  else begin
+    Mutex.lock mutex;
+    let result =
+      match Hashtbl.find_opt table site with
+      | None -> false
+      | Some f ->
+        f.hits <- f.hits + 1;
+        (match f.mode with
+        | Always -> true
+        | Nth k -> f.hits = k
+        | Prob (p, seed) -> coin ~seed ~hit_index:f.hits ~p)
+    in
+    Mutex.unlock mutex;
+    result
+  end
+
+let hit site =
+  if fires site then Error.raise_error (Error.Fault_injected { site })
+
+let hit_result site =
+  if fires site then Error (Error.Fault_injected { site }) else Ok ()

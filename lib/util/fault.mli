@@ -1,0 +1,66 @@
+(** Deterministic, seeded fault injection.
+
+    Production code is instrumented with named {e sites} — cheap
+    [Fault.hit "site"] probes that do nothing unless a fault has been
+    armed for that site.  Tests (and the CLI, via the [LEQA_FAULTS]
+    environment variable) arm faults to prove that every error path
+    renders correctly, that the domain pool recovers after a failed
+    task, and that determinism survives injected failures.
+
+    {2 Spec syntax}
+
+    A spec is a [;]- or [,]-separated list of entries:
+
+    {v
+    site                fire on every hit
+    site:n=K            fire on the K-th hit only (once)
+    site:p=P:seed=S     fire on each hit with probability P, decided by a
+                        deterministic hash of (S, hit index)
+    v}
+
+    e.g. [LEQA_FAULTS="parser;pool.task:n=3;qspr.step:p=0.01:seed=7"].
+
+    {2 Instrumented sites}
+
+    {v
+    parser         Circuit parser, once per parsed netlist
+    pool.task      Every task executed by a Pool batch
+    cache.fill     Coverage memo-cache store
+    cache.poison   Corrupts (NaN) the stored coverage entry instead of
+                   raising — exercises the cache-integrity eviction
+    qspr.step      Every QSPR scheduler event step
+    mc.trial       Every Monte-Carlo validation trial
+    v}
+
+    Hit counting is process-wide and mutex-guarded, so the K-th hit is
+    well-defined even when domains race: exactly one hit observes
+    count = K. *)
+
+val known_sites : string list
+(** The sites instrumented above (for documentation and spec linting). *)
+
+val configure : string -> (unit, Error.t) result
+(** Replace the armed-fault table with the given spec.  [""] disarms
+    everything.  Unknown sites are accepted (a spec may name sites of a
+    future layer) but malformed entries are a [Config_error]. *)
+
+val configure_from_env : unit -> (unit, Error.t) result
+(** [configure] from [LEQA_FAULTS] (absent/empty ⇒ disarm). *)
+
+val reset : unit -> unit
+(** Disarm all faults and zero every hit counter. *)
+
+val armed : unit -> bool
+(** Fast path: [false] when no spec is loaded (the per-site probes then
+    cost one boolean read). *)
+
+val fires : string -> bool
+(** Count one hit at [site]; [true] iff an armed fault decides to fire.
+    Use directly only for non-raising faults (e.g. [cache.poison]);
+    ordinary sites use {!hit}. *)
+
+val hit : string -> unit
+(** [if fires site then raise (Error (Fault_injected {site}))]. *)
+
+val hit_result : string -> (unit, Error.t) result
+(** {!hit} for [result]-typed code paths (the parser). *)

@@ -7,6 +7,36 @@
    while tasks are pending, which rules out deadlock under nested
    parallel sections. *)
 
+module Deadline = struct
+  (* [expires_at = infinity] encodes "never"; [budget_s] is kept only to
+     make the Timed_out error self-describing *)
+  type t = { expires_at : float; budget_s : float }
+
+  let never = { expires_at = infinity; budget_s = infinity }
+
+  let after ~seconds =
+    if not (seconds > 0.0) then
+      Error.raise_error
+        (Error.Usage_error "deadline must be a positive number of seconds");
+    { expires_at = Unix.gettimeofday () +. seconds; budget_s = seconds }
+
+  let expired d =
+    d.expires_at < infinity && Unix.gettimeofday () >= d.expires_at
+
+  let remaining_s d =
+    if d.expires_at = infinity then infinity
+    else Float.max 0.0 (d.expires_at -. Unix.gettimeofday ())
+
+  let check ?(site = "deadline") d =
+    if expired d then
+      Error.raise_error (Error.Timed_out { site; budget_s = d.budget_s })
+end
+
+let run_with_deadline ~seconds f =
+  match f (Deadline.after ~seconds) with
+  | x -> Ok x
+  | exception Error.Error (Error.Timed_out _ as e) -> Error e
+
 type task = unit -> unit
 
 type t = {
@@ -69,7 +99,9 @@ let run_batch pool (thunks : task array) =
   if n > 0 then begin
     let batch = { pending = n; error = None } in
     let wrap thunk () =
-      (try thunk ()
+      (try
+         Fault.hit "pool.task";
+         thunk ()
        with e ->
          let bt = Printexc.get_raw_backtrace () in
          Mutex.lock pool.mutex;
@@ -107,20 +139,30 @@ let chunk_bounds ~chunk ~n =
   let chunks = (n + chunk - 1) / chunk in
   Array.init chunks (fun c -> (c * chunk, min n ((c + 1) * chunk)))
 
-let parallel_for pool ?(chunk = default_chunk) n body =
+let parallel_for pool ?(deadline = Deadline.never) ?(chunk = default_chunk) n
+    body =
   if chunk < 1 then invalid_arg "Pool.parallel_for: chunk must be >= 1";
   if n > 0 then
     if pool.size = 1 || n <= chunk then
-      for i = 0 to n - 1 do body i done
+      Array.iter
+        (fun (lo, hi) ->
+          Deadline.check ~site:"pool.chunk" deadline;
+          for i = lo to hi - 1 do body i done)
+        (chunk_bounds ~chunk ~n)
     else
       run_batch pool
         (Array.map
            (fun (lo, hi) () ->
+             Deadline.check ~site:"pool.chunk" deadline;
              for i = lo to hi - 1 do body i done)
            (chunk_bounds ~chunk ~n))
 
-let parallel_map pool ~f a =
+let parallel_map pool ?(deadline = Deadline.never) ~f a =
   let n = Array.length a in
+  let f x =
+    Deadline.check ~site:"pool.task" deadline;
+    f x
+  in
   if n = 0 then [||]
   else if pool.size = 1 then Array.map f a
   else begin
@@ -135,16 +177,17 @@ let parallel_map pool ~f a =
       results
   end
 
-let map_list pool ~f l = Array.to_list (parallel_map pool ~f (Array.of_list l))
+let map_list pool ?deadline ~f l =
+  Array.to_list (parallel_map pool ?deadline ~f (Array.of_list l))
 
-let reduce_chunks pool ~chunk ~n ~map ~combine ~init =
+let reduce_chunks pool ?deadline ~chunk ~n ~map ~combine ~init () =
   if chunk < 1 then invalid_arg "Pool.reduce_chunks: chunk must be >= 1";
   if n <= 0 then init
   else begin
     let bounds = chunk_bounds ~chunk ~n in
     (* the same chunk decomposition at every pool size, partials combined
        sequentially in chunk order: bit-for-bit reproducible *)
-    let partials = parallel_map pool ~f:(fun (lo, hi) -> map lo hi) bounds in
+    let partials = parallel_map pool ?deadline ~f:(fun (lo, hi) -> map lo hi) bounds in
     Array.fold_left combine init partials
   end
 

@@ -21,7 +21,45 @@
     If tasks raise, the batch still runs to completion (every task either
     runs or is cancelled as a unit of the same batch), the first observed
     exception is re-raised in the caller, and the pool remains usable for
-    subsequent batches. *)
+    subsequent batches.
+
+    {2 Deadlines}
+
+    Cancellation is cooperative: every combinator accepts a {!Deadline.t}
+    token and checks it at chunk boundaries (and per task for the
+    one-task-per-element combinators).  An expired deadline raises
+    [Error.Error (Timed_out _)] through the normal batch error path, so
+    the batch drains quickly — remaining chunks fail their own check
+    instead of running — and the pool stays usable.
+
+    Every pool task is also a {!Fault} site (["pool.task"]), so tests can
+    prove the pool survives injected task failures. *)
+
+(** Wall-clock deadline tokens. *)
+module Deadline : sig
+  type t
+
+  val never : t
+  (** Never expires (the default everywhere). *)
+
+  val after : seconds:float -> t
+  (** Expires [seconds] from now.
+      @raise Error.Error ([Usage_error]) if [seconds <= 0]. *)
+
+  val expired : t -> bool
+
+  val remaining_s : t -> float
+  (** Seconds left ([infinity] for {!never}, [0.] once expired). *)
+
+  val check : ?site:string -> t -> unit
+  (** @raise Error.Error ([Timed_out {site; _}]) once expired. *)
+end
+
+val run_with_deadline :
+  seconds:float -> (Deadline.t -> 'a) -> ('a, Error.t) result
+(** Run [f] with a fresh deadline token and reflect a [Timed_out] raised
+    by any cooperative check (pool chunks, the QSPR scheduler, validation
+    trials) as [Error].  Other errors and exceptions pass through. *)
 
 type t
 
@@ -57,25 +95,31 @@ val get_default : unit -> t
 
 (** {2 Combinators} *)
 
-val parallel_for : t -> ?chunk:int -> int -> (int -> unit) -> unit
+val parallel_for :
+  t -> ?deadline:Deadline.t -> ?chunk:int -> int -> (int -> unit) -> unit
 (** [parallel_for pool n body] runs [body i] for [i = 0 .. n - 1].
     Iterations are grouped into chunks of [chunk] consecutive indices
     (default: a fixed size independent of the pool width); within a chunk
-    they run sequentially in index order. *)
+    they run sequentially in index order.  [deadline] is checked once per
+    chunk. *)
 
-val parallel_map : t -> f:('a -> 'b) -> 'a array -> 'b array
-(** Order-preserving map: element [i] of the result is [f a.(i)]. *)
+val parallel_map :
+  t -> ?deadline:Deadline.t -> f:('a -> 'b) -> 'a array -> 'b array
+(** Order-preserving map: element [i] of the result is [f a.(i)].
+    [deadline] is checked once per element. *)
 
-val map_list : t -> f:('a -> 'b) -> 'a list -> 'b list
+val map_list : t -> ?deadline:Deadline.t -> f:('a -> 'b) -> 'a list -> 'b list
 (** [List.map f l], order-preserving, distributed over the pool. *)
 
 val reduce_chunks :
   t ->
+  ?deadline:Deadline.t ->
   chunk:int ->
   n:int ->
   map:(int -> int -> 'a) ->
   combine:('a -> 'a -> 'a) ->
   init:'a ->
+  unit ->
   'a
 (** Chunked reduction over [0 .. n - 1]: the range is cut into
     [ceil (n / chunk)] chunks, [map lo hi] evaluates one chunk (indices

@@ -1,0 +1,137 @@
+(* End-to-end robustness smoke: drives the real leqa binary against the
+   malformed-netlist corpus and the fault/timeout machinery, asserting the
+   documented exit codes and the one-line error contract (DESIGN.md §7).
+
+   Usage: robustness_smoke <path-to-leqa-cli> <corpus-dir>
+
+   Corpus files are named e<expected-exit-code>_<description>.tfc; files
+   named ok_*.tfc must parse cleanly and are reused as the valid input
+   for the fault-injection and timeout scenarios. *)
+
+let cli = ref ""
+let corpus = ref ""
+let failures = ref 0
+let checks = ref 0
+
+let stderr_file = Filename.temp_file "leqa_smoke" ".err"
+
+let run_cli ?(env = "") args =
+  (* one /bin/sh line: optional env prefix, quoted argv, stderr captured *)
+  let cmd =
+    Printf.sprintf "%s%s %s 2>%s"
+      (if env = "" then "" else env ^ " ")
+      (Filename.quote !cli)
+      (String.concat " " (List.map Filename.quote args))
+      (Filename.quote stderr_file)
+  in
+  let code = Sys.command cmd in
+  let ic = open_in stderr_file in
+  let n = in_channel_length ic in
+  let err = really_input_string ic n in
+  close_in ic;
+  (code, err)
+
+let check name ok detail =
+  incr checks;
+  if ok then Printf.printf "ok   %s\n%!" name
+  else begin
+    incr failures;
+    Printf.printf "FAIL %s\n     %s\n%!" name detail
+  end
+
+let trimmed_lines s =
+  String.split_on_char '\n' (String.trim s)
+  |> List.filter (fun l -> String.trim l <> "")
+
+let expect_exit name ?env ?(json = false) ~code args =
+  let got, err = run_cli ?env args in
+  check
+    (Printf.sprintf "%-38s -> exit %d" name code)
+    (got = code)
+    (Printf.sprintf "expected exit %d, got %d (stderr: %s)" code got
+       (String.trim err));
+  (* the error contract: exactly one line on stderr, and under
+     --error-format json that line is a JSON object with the code *)
+  (match trimmed_lines err with
+  | [ line ] ->
+    if json then
+      check
+        (Printf.sprintf "%-38s    json shape" name)
+        (String.length line > 1
+        && line.[0] = '{'
+        && line.[String.length line - 1] = '}')
+        ("not a JSON object: " ^ line)
+  | lines ->
+    check
+      (Printf.sprintf "%-38s    single line" name)
+      false
+      (Printf.sprintf "%d stderr lines" (List.length lines)))
+
+let () =
+  (match Sys.argv with
+  | [| _; c; d |] ->
+    cli := c;
+    corpus := d
+  | _ ->
+    prerr_endline "usage: robustness_smoke <leqa-cli> <corpus-dir>";
+    exit 2);
+  let entries = Sys.readdir !corpus in
+  Array.sort compare entries;
+  let ok_file = ref "" in
+  (* corpus sweep: the file name encodes the expected exit code *)
+  Array.iter
+    (fun f ->
+      let path = Filename.concat !corpus f in
+      if Filename.check_suffix f ".tfc" then
+        if String.length f > 3 && String.sub f 0 3 = "e65" then
+          expect_exit ("corpus " ^ f) ~code:65 [ "info"; "-f"; path ]
+        else begin
+          ok_file := path;
+          let got, err = run_cli [ "info"; "-f"; path ] in
+          check
+            (Printf.sprintf "%-38s -> exit 0" ("corpus " ^ f))
+            (got = 0) (String.trim err)
+        end)
+    entries;
+  if !ok_file = "" then begin
+    prerr_endline "corpus has no ok_*.tfc file";
+    exit 2
+  end;
+  let ok = !ok_file in
+  (* one corpus file double-checked under the JSON renderer *)
+  expect_exit "json renderer on parse error" ~code:65 ~json:true
+    [ "info"; "-f"; Filename.concat !corpus "e65_missing_end.tfc";
+      "--error-format"; "json" ];
+  (* the rest of the taxonomy, end to end *)
+  expect_exit "usage: no input" ~code:64 [ "estimate" ];
+  expect_exit "usage: bad --jobs" ~code:64 [ "estimate"; "-f"; ok; "--jobs"; "0" ];
+  expect_exit "io: missing file" ~code:66 [ "info"; "-f"; "no/such/file.tfc" ];
+  expect_exit "io: missing file (json)" ~code:66 ~json:true
+    [ "info"; "-f"; "no/such/file.tfc"; "--error-format"; "json" ];
+  expect_exit "fabric: zero width" ~code:71
+    [ "estimate"; "-f"; ok; "--width"; "0" ];
+  expect_exit "config: zero terms" ~code:78
+    [ "estimate"; "-f"; ok; "--terms"; "0" ];
+  expect_exit "config: malformed LEQA_FAULTS" ~env:"LEQA_FAULTS=parser:n=x"
+    ~code:78 [ "info"; "-f"; ok ];
+  expect_exit "fault: parser site" ~env:"LEQA_FAULTS=parser" ~code:74
+    [ "info"; "-f"; ok ];
+  expect_exit "fault: parser site (json)" ~env:"LEQA_FAULTS=parser" ~code:74
+    ~json:true [ "info"; "-f"; ok; "--error-format"; "json" ];
+  expect_exit "fault: qspr.step site" ~env:"LEQA_FAULTS=qspr.step:n=3" ~code:74
+    [ "simulate"; "-f"; ok ];
+  expect_exit "timeout: estimate" ~code:75
+    [ "estimate"; "-f"; ok; "--timeout"; "1e-9" ];
+  expect_exit "timeout: estimate (json)" ~code:75 ~json:true
+    [ "estimate"; "-f"; ok; "--timeout"; "1e-9"; "--error-format"; "json" ];
+  expect_exit "timeout: simulate" ~code:75
+    [ "simulate"; "-f"; ok; "--timeout"; "1e-9" ];
+  expect_exit "usage: non-positive timeout" ~code:64
+    [ "estimate"; "-f"; ok; "--timeout=-1" ];
+  (* degraded compare: timeout must NOT fail the command — the analytic
+     estimate stands in (exit 0) *)
+  let got, err = run_cli [ "compare"; "-f"; ok; "--timeout"; "1e-9" ] in
+  check "compare --timeout degrades to exit 0" (got = 0) (String.trim err);
+  Sys.remove stderr_file;
+  Printf.printf "\n%d checks, %d failures\n%!" !checks !failures;
+  if !failures > 0 then exit 1

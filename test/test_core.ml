@@ -270,7 +270,8 @@ let test_estimator_rejects_bad_config () =
   Alcotest.(check bool) "config validation" true
     (Result.is_error (Config.validate { Config.truncation_terms = 0 }));
   Alcotest.check_raises "estimate with bad config"
-    (Invalid_argument "Estimator.estimate: truncation_terms must be positive")
+    (Leqa_util.Error.Error
+       (Leqa_util.Error.Config_error "truncation_terms must be positive (got 0)"))
     (fun () ->
       ignore
         (Estimator.estimate

@@ -1,0 +1,157 @@
+module E = Leqa_util.Error
+
+let all_errors =
+  [
+    E.Usage_error "bad flag";
+    E.parse_error ~file:"c.tfc" ~line:7 "duplicate operand wire";
+    E.parse_error "missing END";
+    E.Io_error "c.tfc: No such file or directory";
+    E.Config_error "truncation_terms must be positive (got 0)";
+    E.Fabric_error "fabric must be non-empty (got 0x4)";
+    E.Numeric_error { site = "coverage.P_xy"; value = Float.nan };
+    E.Timed_out { site = "qspr.step"; budget_s = 0.5 };
+    E.Fault_injected { site = "pool.task" };
+  ]
+
+let test_exit_codes_stable () =
+  (* the documented mapping (DESIGN.md §7); changing a code is an
+     interface break for scripts, so pin every constructor *)
+  let expect =
+    [
+      (E.Usage_error "x", 64);
+      (E.parse_error "x", 65);
+      (E.Io_error "x", 66);
+      (E.Numeric_error { site = "s"; value = 0.0 }, 70);
+      (E.Fabric_error "x", 71);
+      (E.Fault_injected { site = "s" }, 74);
+      (E.Timed_out { site = "s"; budget_s = 1.0 }, 75);
+      (E.Config_error "x", 78);
+    ]
+  in
+  List.iter
+    (fun (e, code) ->
+      Alcotest.(check int) (E.kind e) code (E.exit_code e))
+    expect
+
+let test_renderers_single_line () =
+  List.iter
+    (fun e ->
+      let check_one_line what s =
+        Alcotest.(check bool)
+          (Printf.sprintf "%s of %s has no newline" what (E.kind e))
+          false
+          (String.contains s '\n');
+        Alcotest.(check bool) "non-empty" true (String.length s > 0)
+      in
+      check_one_line "to_string" (E.to_string e);
+      check_one_line "to_json_string" (E.to_json_string e))
+    all_errors
+
+let test_json_shape () =
+  List.iter
+    (fun e ->
+      match E.to_json e with
+      | Leqa_util.Json.Obj fields ->
+        let find k = List.assoc_opt k fields in
+        Alcotest.(check bool) "has error tag" true
+          (find "error" = Some (Leqa_util.Json.String (E.kind e)));
+        Alcotest.(check bool) "has message" true
+          (match find "message" with
+          | Some (Leqa_util.Json.String _) -> true
+          | _ -> false);
+        Alcotest.(check bool) "has exit_code" true
+          (find "exit_code" = Some (Leqa_util.Json.Int (E.exit_code e)))
+      | _ -> Alcotest.failf "JSON for %s is not an object" (E.kind e))
+    all_errors
+
+let test_parse_error_fields () =
+  let e = E.parse_error ~file:"a.tfc" ~line:3 "boom" in
+  let s = E.to_string e in
+  let contains needle hay =
+    let n = String.length needle and h = String.length hay in
+    let rec at i = i + n <= h && (String.sub hay i n = needle || at (i + 1)) in
+    at 0
+  in
+  Alcotest.(check bool) "mentions file" true (contains "a.tfc" s);
+  Alcotest.(check bool) "mentions line" true (contains "3" s);
+  Alcotest.(check bool) "mentions msg" true (contains "boom" s)
+
+let test_combinators () =
+  let open E in
+  Alcotest.(check bool) "let* threads Ok" true
+    ((let* x = Ok 1 in
+      Ok (x + 1))
+    = Ok 2);
+  let err : (int, E.t) result = Stdlib.Error (E.Usage_error "stop") in
+  Alcotest.(check bool) "let* short-circuits" true
+    ((let* _ = err in
+      Ok 9)
+    = err);
+  Alcotest.(check int) "ok_exn unwraps" 5 (E.ok_exn (Ok 5));
+  Alcotest.check_raises "ok_exn raises" (E.Error (E.Usage_error "stop"))
+    (fun () -> ignore (E.ok_exn (err : (int, E.t) result)));
+  Alcotest.(check bool) "protect reflects raise" true
+    (E.protect (fun () -> E.raise_error (E.Io_error "gone")) = Error (E.Io_error "gone"));
+  Alcotest.(check bool) "protect passes value" true
+    (E.protect (fun () -> 42) = Ok 42)
+
+let numeric_site = function
+  | E.Error (E.Numeric_error { site; _ }) -> Some site
+  | _ -> None
+
+let test_guards () =
+  (* each guard rejects its class of poison and names the site *)
+  let trips f =
+    match f () with
+    | () -> None
+    | exception e -> numeric_site e
+  in
+  Alcotest.(check (option string)) "finite rejects nan" (Some "s1")
+    (trips (fun () -> E.check_finite ~site:"s1" Float.nan));
+  Alcotest.(check (option string)) "finite rejects inf" (Some "s1")
+    (trips (fun () -> E.check_finite ~site:"s1" Float.infinity));
+  Alcotest.(check (option string)) "finite accepts 0" None
+    (trips (fun () -> E.check_finite ~site:"s1" 0.0));
+  Alcotest.(check (option string)) "nonneg rejects -1" (Some "s2")
+    (trips (fun () -> E.check_nonneg ~site:"s2" (-1.0)));
+  Alcotest.(check (option string)) "nonneg accepts 1" None
+    (trips (fun () -> E.check_nonneg ~site:"s2" 1.0));
+  Alcotest.(check (option string)) "probability rejects 1.5" (Some "s3")
+    (trips (fun () -> E.check_probability ~site:"s3" 1.5));
+  Alcotest.(check (option string)) "probability rejects nan" (Some "s3")
+    (trips (fun () -> E.check_probability ~site:"s3" Float.nan));
+  Alcotest.(check (option string)) "probability accepts bounds" None
+    (trips (fun () ->
+         E.check_probability ~site:"s3" 0.0;
+         E.check_probability ~site:"s3" 1.0));
+  Alcotest.(check (option string)) "range rejects above" (Some "s4")
+    (trips (fun () -> E.check_in_range ~site:"s4" ~lo:0.0 ~hi:10.0 10.5));
+  Alcotest.(check (option string)) "range accepts inside" None
+    (trips (fun () -> E.check_in_range ~site:"s4" ~lo:0.0 ~hi:10.0 10.0))
+
+let test_guards_toggle () =
+  Fun.protect
+    ~finally:(fun () -> E.set_guards true)
+    (fun () ->
+      E.set_guards false;
+      Alcotest.(check bool) "disabled" false (E.guards_enabled ());
+      (* with guards off the checks are no-ops, so the perf harness can
+         measure their cost differentially *)
+      E.check_probability ~site:"off" Float.nan;
+      E.check_nonneg ~site:"off" Float.neg_infinity;
+      E.set_guards true;
+      Alcotest.(check bool) "re-enabled" true (E.guards_enabled ()));
+  Alcotest.check_raises "guards active again"
+    (E.Error (E.Numeric_error { site = "on"; value = -1.0 }))
+    (fun () -> E.check_nonneg ~site:"on" (-1.0))
+
+let suite =
+  [
+    Alcotest.test_case "exit codes stable" `Quick test_exit_codes_stable;
+    Alcotest.test_case "renderers one line" `Quick test_renderers_single_line;
+    Alcotest.test_case "json shape" `Quick test_json_shape;
+    Alcotest.test_case "parse-error fields" `Quick test_parse_error_fields;
+    Alcotest.test_case "result combinators" `Quick test_combinators;
+    Alcotest.test_case "numeric guards" `Quick test_guards;
+    Alcotest.test_case "guards toggle" `Quick test_guards_toggle;
+  ]

@@ -1,0 +1,151 @@
+module E = Leqa_util.Error
+module Fault = Leqa_util.Fault
+module Pool = Leqa_util.Pool
+
+(* Every test must leave the process disarmed: faults are global state. *)
+let with_faults spec f =
+  match Fault.configure spec with
+  | Error e -> Alcotest.failf "configure %S: %s" spec (E.to_string e)
+  | Ok () -> Fun.protect ~finally:Fault.reset f
+
+let injected site = E.Error (E.Fault_injected { site })
+
+let test_spec_parsing () =
+  Fun.protect ~finally:Fault.reset @@ fun () ->
+  Alcotest.(check bool) "empty disarms" true (Fault.configure "" = Ok ());
+  Alcotest.(check bool) "disarmed" false (Fault.armed ());
+  Alcotest.(check bool) "simple site" true (Fault.configure "parser" = Ok ());
+  Alcotest.(check bool) "armed" true (Fault.armed ());
+  Alcotest.(check bool) "nth" true (Fault.configure "pool.task:n=3" = Ok ());
+  Alcotest.(check bool) "prob" true
+    (Fault.configure "qspr.step:p=0.5:seed=7" = Ok ());
+  Alcotest.(check bool) "multi entry" true
+    (Fault.configure "parser;mc.trial:n=2,cache.fill" = Ok ());
+  (* unknown sites are allowed (future layers), malformed entries are not *)
+  Alcotest.(check bool) "unknown site ok" true
+    (Fault.configure "some.future.site" = Ok ());
+  let is_config_error = function
+    | Error (E.Config_error _) -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "bad n" true (is_config_error (Fault.configure "parser:n=x"));
+  Alcotest.(check bool) "bad p" true (is_config_error (Fault.configure "parser:p=2"));
+  Alcotest.(check bool) "bad key" true
+    (is_config_error (Fault.configure "parser:whatever=1"))
+
+let test_nth_hit_fires_once () =
+  with_faults "x.site:n=3" @@ fun () ->
+  let fired = List.init 6 (fun _ -> Fault.fires "x.site") in
+  Alcotest.(check (list bool)) "only the 3rd hit"
+    [ false; false; true; false; false; false ]
+    fired
+
+let test_probabilistic_deterministic () =
+  (* same spec => same decision sequence, across reconfigurations *)
+  let sample () =
+    with_faults "x.site:p=0.3:seed=11" @@ fun () ->
+    List.init 64 (fun _ -> Fault.fires "x.site")
+  in
+  let a = sample () and b = sample () in
+  Alcotest.(check (list bool)) "identical sequences" a b;
+  Alcotest.(check bool) "some fired" true (List.mem true a);
+  Alcotest.(check bool) "some did not" true (List.mem false a);
+  let other =
+    with_faults "x.site:p=0.3:seed=12" @@ fun () ->
+    List.init 64 (fun _ -> Fault.fires "x.site")
+  in
+  Alcotest.(check bool) "seed changes the sequence" true (a <> other)
+
+(* ---- the instrumented production sites ---- *)
+
+let test_site_parser () =
+  with_faults "parser" @@ fun () ->
+  match Leqa_circuit.Parser.parse_string ".v a\nBEGIN\nEND\n" with
+  | Error (E.Fault_injected { site = "parser" }) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (E.to_string e)
+  | Ok _ -> Alcotest.fail "fault did not fire"
+
+let test_site_pool_task_and_reuse () =
+  let pool = Pool.create ~jobs:4 in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  (with_faults "pool.task:n=2" @@ fun () ->
+   Alcotest.check_raises "second task faults" (injected "pool.task") (fun () ->
+       Pool.parallel_for pool ~chunk:1 8 (fun _ -> ())));
+  (* the batch drained and the pool must keep working afterwards *)
+  let hits = Array.make 100 0 in
+  Pool.parallel_for pool ~chunk:7 100 (fun i -> hits.(i) <- hits.(i) + 1);
+  Alcotest.(check bool) "pool reusable after fault" true
+    (Array.for_all (fun h -> h = 1) hits)
+
+let test_site_cache_fill () =
+  Leqa_core.Coverage.clear_caches ();
+  with_faults "cache.fill" @@ fun () ->
+  Alcotest.check_raises "store faults" (injected "cache.fill") (fun () ->
+      ignore
+        (Leqa_core.Coverage.probability_grid ~topology:Leqa_fabric.Params.Grid
+           ~avg_area:4.0 ~width:8 ~height:8))
+
+let test_site_cache_poison_evicted () =
+  (* poison the first stored grid; the next lookup must detect the NaN,
+     evict, recompute — and the recomputed values must be clean *)
+  Leqa_core.Coverage.clear_caches ();
+  let compute () =
+    Leqa_core.Coverage.probability_grid ~topology:Leqa_fabric.Params.Grid
+      ~avg_area:4.0 ~width:8 ~height:8
+  in
+  let poisoned =
+    with_faults "cache.poison" @@ fun () ->
+    ignore (compute ());
+    (* the *returned* grid is the caller's copy, computed before the
+       store; the cached entry is the corrupted one *)
+    compute ()
+  in
+  Fault.reset ();
+  let clean = compute () in
+  Alcotest.(check bool) "recomputed entry is intact" true
+    (Array.for_all (fun v -> Float.is_finite v && v >= 0.0) clean);
+  Alcotest.(check bool) "poisoned lookup never served NaN" true
+    (Array.for_all (fun v -> Float.is_finite v) poisoned);
+  Leqa_core.Coverage.clear_caches ()
+
+let test_site_qspr_step () =
+  with_faults "qspr.step:n=5" @@ fun () ->
+  let qodg =
+    Leqa_qodg.Qodg.of_ft_circuit
+      (Leqa_circuit.Decompose.to_ft (Leqa_benchmarks.Hamming.ham3 ()))
+  in
+  Alcotest.check_raises "scheduler faults" (injected "qspr.step") (fun () ->
+      ignore (Leqa_qspr.Qspr.run qodg))
+
+let test_site_mc_trial () =
+  with_faults "mc.trial:n=3" @@ fun () ->
+  let rng = Leqa_util.Rng.create ~seed:5 in
+  Alcotest.check_raises "trial faults" (injected "mc.trial") (fun () ->
+      ignore
+        (Leqa_core.Validation.measure ~rng ~avg_area:4.0 ~width:8 ~height:8
+           ~qubits:2 ~trials:10 ~qmax:2 ()))
+
+let test_disarmed_is_free () =
+  Fault.reset ();
+  Alcotest.(check bool) "not armed" false (Fault.armed ());
+  (* a hit on a disarmed process is a no-op, whatever the site *)
+  Fault.hit "parser";
+  Fault.hit "pool.task";
+  Alcotest.(check bool) "fires is false" false (Fault.fires "qspr.step")
+
+let suite =
+  [
+    Alcotest.test_case "spec parsing" `Quick test_spec_parsing;
+    Alcotest.test_case "n-th hit fires once" `Quick test_nth_hit_fires_once;
+    Alcotest.test_case "probabilistic faults deterministic" `Quick
+      test_probabilistic_deterministic;
+    Alcotest.test_case "site: parser" `Quick test_site_parser;
+    Alcotest.test_case "site: pool.task (+pool reuse)" `Quick
+      test_site_pool_task_and_reuse;
+    Alcotest.test_case "site: cache.fill" `Quick test_site_cache_fill;
+    Alcotest.test_case "site: cache.poison eviction" `Quick
+      test_site_cache_poison_evicted;
+    Alcotest.test_case "site: qspr.step" `Quick test_site_qspr_step;
+    Alcotest.test_case "site: mc.trial" `Quick test_site_mc_trial;
+    Alcotest.test_case "disarmed probes are no-ops" `Quick test_disarmed_is_free;
+  ]

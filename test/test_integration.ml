@@ -86,7 +86,7 @@ let test_parsed_circuit_full_pipeline () =
   (* .tfc text -> parse -> decompose -> estimate: exercises the whole API *)
   let source = Leqa_circuit.Parser.to_string (Leqa_benchmarks.Hamming.ham3 ()) in
   match Leqa_circuit.Parser.parse_string source with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Leqa_util.Error.to_string e)
   | Ok circ ->
     let actual, estimated = pipeline circ in
     Alcotest.(check bool) "both positive" true (actual > 0.0 && estimated > 0.0)

@@ -3,7 +3,7 @@ open Leqa_circuit
 let parse_ok input =
   match Parser.parse_string input with
   | Ok c -> c
-  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Error e -> Alcotest.failf "parse failed: %s" (Leqa_util.Error.to_string e)
 
 let test_basic_gates () =
   let c =
@@ -40,13 +40,36 @@ let test_errors () =
   is_error ".v a,b\nBEGIN\nt2 a,b\n" (* missing END *);
   is_error ".v a,b\nBEGIN\nbogus a\nEND\n" (* unknown mnemonic *);
   is_error ".v a\nBEGIN\nt2 a,a\nEND\n" (* duplicate operand *);
-  is_error ".v a,b\nBEGIN\nEND\nt2 a,b\n" (* content after END *)
+  is_error ".v a,b\nBEGIN\nEND\nt2 a,b\n" (* content after END *);
+  is_error ".v a,b,a\nBEGIN\nEND\n" (* duplicate declaration, same line *);
+  is_error ".v a\n.v b,a\nBEGIN\nEND\n" (* duplicate declaration, later line *)
 
 let test_error_line_number () =
   match Parser.parse_string ".v a,b\nBEGIN\nt2 a,b\nbogus x\nEND\n" with
-  | Error msg ->
-    Alcotest.(check bool) "mentions line 4" true
-      (String.length msg >= 7 && String.sub msg 0 7 = "line 4:")
+  | Error (Leqa_util.Error.Parse_error { line; _ }) ->
+    Alcotest.(check (option int)) "line 4" (Some 4) line
+  | Error e ->
+    Alcotest.failf "expected Parse_error, got %s" (Leqa_util.Error.to_string e)
+  | Ok _ -> Alcotest.fail "expected error"
+
+let test_duplicate_operand_error_shape () =
+  (* the satellite case from the issue: [t2 a,a] must be a Parse_error
+     carrying the offending line *)
+  match Parser.parse_string ".v a,b\nBEGIN\nt2 a,a\nEND\n" with
+  | Error (Leqa_util.Error.Parse_error { line = Some 3; msg; _ }) ->
+    Alcotest.(check bool) "mentions duplicate" true
+      (String.length msg > 0)
+  | Error e ->
+    Alcotest.failf "expected Parse_error at line 3, got %s"
+      (Leqa_util.Error.to_string e)
+  | Ok _ -> Alcotest.fail "expected error"
+
+let test_duplicate_declaration_error_shape () =
+  match Parser.parse_string ".v a\n.v a\nBEGIN\nEND\n" with
+  | Error (Leqa_util.Error.Parse_error { line = Some 2; _ }) -> ()
+  | Error e ->
+    Alcotest.failf "expected Parse_error at line 2, got %s"
+      (Leqa_util.Error.to_string e)
   | Ok _ -> Alcotest.fail "expected error"
 
 let test_declared_unused_wires () =
@@ -89,7 +112,7 @@ let test_file_roundtrip () =
       | Ok reparsed ->
         Alcotest.(check int) "gates" (Circuit.num_gates c)
           (Circuit.num_gates reparsed)
-      | Error e -> Alcotest.fail e)
+      | Error e -> Alcotest.fail (Leqa_util.Error.to_string e))
 
 let suite =
   [
@@ -98,6 +121,10 @@ let suite =
     Alcotest.test_case "comments and blank lines" `Quick test_comments_and_blanks;
     Alcotest.test_case "malformed inputs rejected" `Quick test_errors;
     Alcotest.test_case "errors carry line numbers" `Quick test_error_line_number;
+    Alcotest.test_case "duplicate operand wire" `Quick
+      test_duplicate_operand_error_shape;
+    Alcotest.test_case "duplicate wire declaration" `Quick
+      test_duplicate_declaration_error_shape;
     Alcotest.test_case "declared-unused wires" `Quick test_declared_unused_wires;
     Alcotest.test_case "string roundtrip" `Quick test_roundtrip;
     Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;

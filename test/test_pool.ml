@@ -78,7 +78,7 @@ let test_reduce_chunks_deterministic_float_sum () =
     !acc
   in
   let sum pool =
-    Pool.reduce_chunks pool ~chunk:128 ~n ~map ~combine:( +. ) ~init:0.0
+    Pool.reduce_chunks pool ~chunk:128 ~n ~map ~combine:( +. ) ~init:0.0 ()
   in
   let s1 = with_pool ~jobs:1 sum in
   let s4 = with_pool ~jobs:4 sum in
@@ -89,7 +89,7 @@ let test_reduce_chunks_deterministic_float_sum () =
       ignore
         (with_pool ~jobs:1 (fun pool ->
              Pool.reduce_chunks pool ~chunk:0 ~n:1 ~map:(fun _ _ -> 0)
-               ~combine:( + ) ~init:0)))
+               ~combine:( + ) ~init:0 ())))
 
 let test_nested_parallelism () =
   (* a task that itself fans out over the same pool must not deadlock *)
@@ -138,6 +138,70 @@ let test_surfaces_cache_hit_is_identical () =
   let again = args () in
   Alcotest.(check (float 0.0)) "cache unpoisoned" cold.(0) again.(0)
 
+let test_deadline_basics () =
+  let d = Pool.Deadline.after ~seconds:3600.0 in
+  Alcotest.(check bool) "fresh deadline live" false (Pool.Deadline.expired d);
+  Alcotest.(check bool) "remaining positive" true (Pool.Deadline.remaining_s d > 0.0);
+  Pool.Deadline.check d;
+  Alcotest.(check bool) "never lives" false (Pool.Deadline.expired Pool.Deadline.never);
+  Alcotest.(check bool) "never is infinite" true
+    (Pool.Deadline.remaining_s Pool.Deadline.never = infinity);
+  Alcotest.check_raises "non-positive budget rejected"
+    (Leqa_util.Error.Error
+       (Leqa_util.Error.Usage_error "deadline must be a positive number of seconds"))
+    (fun () -> ignore (Pool.Deadline.after ~seconds:0.0))
+
+let expired_deadline () =
+  (* a real (not mocked) deadline that is already over: smallest budget,
+     then busy-wait past it *)
+  let d = Pool.Deadline.after ~seconds:1e-9 in
+  while not (Pool.Deadline.expired d) do ignore (Sys.opaque_identity ()) done;
+  d
+
+let test_deadline_cancels_combinators () =
+  with_pool ~jobs:4 (fun pool ->
+      let d = expired_deadline () in
+      let timed_out f =
+        match f () with
+        | _ -> false
+        | exception Leqa_util.Error.Error (Leqa_util.Error.Timed_out _) -> true
+      in
+      Alcotest.(check bool) "parallel_for" true
+        (timed_out (fun () ->
+             Pool.parallel_for pool ~deadline:d ~chunk:8 100 ignore));
+      Alcotest.(check bool) "parallel_map" true
+        (timed_out (fun () ->
+             Pool.parallel_map pool ~deadline:d ~f:Fun.id (Array.make 10 0)));
+      Alcotest.(check bool) "reduce_chunks" true
+        (timed_out (fun () ->
+             Pool.reduce_chunks pool ~deadline:d ~chunk:4 ~n:64
+               ~map:(fun _ _ -> 1) ~combine:( + ) ~init:0 ()));
+      (* expiry must not wedge the pool *)
+      Alcotest.(check (list int)) "pool reusable after timeout" [ 2; 4 ]
+        (Pool.map_list pool ~f:(fun x -> 2 * x) [ 1; 2 ]);
+      (* and a live deadline lets work through *)
+      let live = Pool.Deadline.after ~seconds:3600.0 in
+      Alcotest.(check bool) "live deadline passes" false
+        (timed_out (fun () ->
+             Pool.parallel_for pool ~deadline:live ~chunk:8 100 ignore)))
+
+let test_run_with_deadline () =
+  (* a cooperative loop that checks its token stops with Error; the happy
+     path reports Ok with the value *)
+  (match
+     Pool.run_with_deadline ~seconds:1e-6 (fun d ->
+         while true do
+           Pool.Deadline.check d
+         done)
+   with
+  | Ok () -> Alcotest.fail "infinite loop terminated?"
+  | Error (Leqa_util.Error.Timed_out { budget_s; _ }) ->
+    Alcotest.(check (float 0.0)) "budget recorded" 1e-6 budget_s
+  | Error e -> Alcotest.failf "wrong error: %s" (Leqa_util.Error.to_string e));
+  match Pool.run_with_deadline ~seconds:3600.0 (fun _ -> 42) with
+  | Ok v -> Alcotest.(check int) "value through" 42 v
+  | Error e -> Alcotest.failf "unexpected: %s" (Leqa_util.Error.to_string e)
+
 let test_default_jobs_override () =
   Pool.set_default_jobs 2;
   Alcotest.(check int) "override respected" 2 (Pool.default_jobs ());
@@ -163,6 +227,10 @@ let suite =
       test_expected_surfaces_bitwise_across_widths;
     Alcotest.test_case "coverage cache hit = recompute" `Quick
       test_surfaces_cache_hit_is_identical;
+    Alcotest.test_case "deadline tokens" `Quick test_deadline_basics;
+    Alcotest.test_case "deadline cancels combinators" `Quick
+      test_deadline_cancels_combinators;
+    Alcotest.test_case "run_with_deadline" `Quick test_run_with_deadline;
     Alcotest.test_case "default-pool width override" `Quick
       test_default_jobs_override;
   ]

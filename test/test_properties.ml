@@ -159,6 +159,30 @@ let prop_eq3_random_shapes =
       in
       abs_float (total -. float_of_int (width * height)) < 1e-6)
 
+(* E[S_q] bounds on randomized shapes/topologies: every term is a surface,
+   so it lies in [0, A]; any truncated partial sum stays below A; and the
+   kernel guards never trip on well-formed inputs *)
+let prop_surfaces_bounded =
+  Q.Test.make ~name:"E[S_q] in [0, A], truncated sum <= A" ~count:100
+    Q.(
+      quad (int_range 2 25) (int_range 2 25) (int_range 1 40) (int_range 1 30)
+      |> pair bool)
+    (fun (torus, (width, height, qubits, terms)) ->
+      let topology =
+        if torus then Leqa_fabric.Params.Torus else Leqa_fabric.Params.Grid
+      in
+      let avg_area = 1.0 +. float_of_int ((width * height) mod 17) in
+      let area = float_of_int (width * height) in
+      let surfaces =
+        Coverage.expected_surfaces ~topology ~avg_area ~width ~height ~qubits
+          ~terms
+      in
+      Array.length surfaces = min terms qubits
+      && Array.for_all
+           (fun s -> Float.is_finite s && s >= 0.0 && s <= area +. 1e-9)
+           surfaces
+      && Array.fold_left ( +. ) 0.0 surfaces <= area +. 1e-6)
+
 (* estimator is deterministic and positive on random non-empty circuits *)
 let prop_estimator_deterministic =
   Q.Test.make ~name:"estimator deterministic & positive" ~count:50
@@ -301,6 +325,7 @@ let suite =
       prop_iig_handshake;
       prop_coverage_in_range;
       prop_eq3_random_shapes;
+      prop_surfaces_bounded;
       prop_estimator_deterministic;
       prop_qspr_dominates_critical_path;
       prop_parser_roundtrip;

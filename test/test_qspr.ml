@@ -305,9 +305,41 @@ let test_avg_routing_helpers () =
   feq "cnot avg guards zero" 0.0 (Scheduler.avg_cnot_routing s);
   feq "single avg" 50.0 (Scheduler.avg_single_routing s)
 
+let test_run_validated_degrades () =
+  let qodg =
+    Leqa_qodg.Qodg.of_ft_circuit
+      (Leqa_circuit.Decompose.to_ft (Leqa_benchmarks.Hamming.ham3 ()))
+  in
+  (* expired budget: the simulation is abandoned, the analytic estimate
+     survives and is flagged *)
+  let d = Leqa_util.Pool.Deadline.after ~seconds:1e-9 in
+  while not (Leqa_util.Pool.Deadline.expired d) do
+    ignore (Sys.opaque_identity ())
+  done;
+  let degraded = Leqa_qspr.Qspr.run_validated ~deadline:d qodg in
+  Alcotest.(check bool) "degraded flag" true
+    degraded.Leqa_qspr.Qspr.breakdown.Leqa_core.Estimator.degraded;
+  Alcotest.(check bool) "no simulation" true
+    (degraded.Leqa_qspr.Qspr.simulated = None);
+  Alcotest.(check bool) "estimate still positive" true
+    (degraded.Leqa_qspr.Qspr.breakdown.Leqa_core.Estimator.latency_us > 0.0);
+  (* generous budget: the full comparison comes back, unflagged *)
+  let full =
+    Leqa_qspr.Qspr.run_validated
+      ~deadline:(Leqa_util.Pool.Deadline.after ~seconds:3600.0)
+      qodg
+  in
+  Alcotest.(check bool) "not degraded" false
+    full.Leqa_qspr.Qspr.breakdown.Leqa_core.Estimator.degraded;
+  match full.Leqa_qspr.Qspr.simulated with
+  | None -> Alcotest.fail "simulation missing under a generous deadline"
+  | Some sim -> Alcotest.(check bool) "latency" true (sim.Leqa_qspr.Qspr.latency_us > 0.0)
+
 let suite =
   [
     Alcotest.test_case "placement stays in bounds" `Quick test_placement_in_bounds;
+    Alcotest.test_case "run_validated degrades on timeout" `Quick
+      test_run_validated_degrades;
     Alcotest.test_case "placement distinct tiles" `Quick test_placement_distinct_when_room;
     Alcotest.test_case "placement wraps when full" `Quick test_placement_overflow_wraps;
     Alcotest.test_case "center-out starts centred" `Quick test_placement_center_out;

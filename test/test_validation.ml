@@ -10,7 +10,7 @@ let test_monte_carlo_matches_eq4 () =
   let rng = Leqa_util.Rng.create ~seed:404 in
   let measured =
     Validation.measure ~rng ~avg_area ~width ~height ~qubits ~trials:3000
-      ~qmax:qubits
+      ~qmax:qubits ()
   in
   let deviation =
     Validation.max_abs_deviation ~expected
@@ -28,7 +28,7 @@ let test_uncovered_matches_eq4 () =
   let rng = Leqa_util.Rng.create ~seed:405 in
   let measured =
     Validation.measure ~rng ~avg_area ~width ~height ~qubits ~trials:3000
-      ~qmax:qubits
+      ~qmax:qubits ()
   in
   Alcotest.(check bool)
     (Printf.sprintf "uncovered %.1f vs %.1f" expected
@@ -42,7 +42,7 @@ let test_total_surface_conserved () =
   let rng = Leqa_util.Rng.create ~seed:7 in
   let measured =
     Validation.measure ~rng ~avg_area:4.0 ~width ~height ~qubits ~trials:500
-      ~qmax:qubits
+      ~qmax:qubits ()
   in
   let total =
     measured.Validation.empirical_uncovered
@@ -56,7 +56,34 @@ let test_input_validation () =
     (fun () ->
       ignore
         (Validation.measure ~rng ~avg_area:4.0 ~width:5 ~height:5 ~qubits:2
-           ~trials:0 ~qmax:2))
+           ~trials:0 ~qmax:2 ()))
+
+let test_anchor_guard () =
+  (* a zone wider than the fabric leaves no anchor position: must be a
+     structured Fabric_error, not Rng.int blowing up on bound <= 0 *)
+  let rng = Leqa_util.Rng.create ~seed:2 in
+  match
+    Validation.measure ~side:6 ~rng ~avg_area:4.0 ~width:5 ~height:5 ~qubits:2
+      ~trials:10 ~qmax:2 ()
+  with
+  | _ -> Alcotest.fail "expected a Fabric_error"
+  | exception Leqa_util.Error.Error (Leqa_util.Error.Fabric_error _) -> ()
+  | exception e ->
+    Alcotest.failf "wrong exception: %s" (Printexc.to_string e)
+
+let test_deadline_stops_trials () =
+  let rng = Leqa_util.Rng.create ~seed:3 in
+  let d = Leqa_util.Pool.Deadline.after ~seconds:1e-9 in
+  while not (Leqa_util.Pool.Deadline.expired d) do
+    ignore (Sys.opaque_identity ())
+  done;
+  match
+    Validation.measure ~deadline:d ~rng ~avg_area:4.0 ~width:20 ~height:20
+      ~qubits:8 ~trials:1_000_000 ~qmax:8 ()
+  with
+  | _ -> Alcotest.fail "expected Timed_out"
+  | exception Leqa_util.Error.Error (Leqa_util.Error.Timed_out { site; _ }) ->
+    Alcotest.(check string) "site" "mc.trial" site
 
 let test_max_abs_deviation () =
   Alcotest.(check (float 1e-9)) "deviation" 3.0
@@ -71,5 +98,7 @@ let suite =
     Alcotest.test_case "E[S_0] vs Monte-Carlo" `Slow test_uncovered_matches_eq4;
     Alcotest.test_case "surface conservation" `Quick test_total_surface_conserved;
     Alcotest.test_case "input validation" `Quick test_input_validation;
+    Alcotest.test_case "anchor guard is structured" `Quick test_anchor_guard;
+    Alcotest.test_case "deadline stops trials" `Quick test_deadline_stops_trials;
     Alcotest.test_case "max_abs_deviation" `Quick test_max_abs_deviation;
   ]

@@ -11,8 +11,9 @@
              perf micro all
 
    --jobs N (or $LEQA_JOBS) sets the default domain-pool width; the perf
-   command times serial vs parallel hot paths plus the numeric-guard
-   overhead (guards off vs on) and writes BENCH_PR2.json
+   command times serial vs parallel hot paths, the numeric-guard
+   overhead (guards off vs on) and the telemetry probe cost (ambient
+   sink uninstalled vs collecting), and writes BENCH_PR3.json
    (--out overrides; --scale 0 = the @perf-smoke variant). *)
 
 module Params = Leqa_fabric.Params
@@ -1153,11 +1154,73 @@ let perf ~scale ~out () =
     sweep_cached
     (speedup ~serial:sweep_parallel ~parallel:(sweep_cached *. float_of_int reps))
     par_jobs mc_deterministic;
+  (* 6. telemetry overhead.  With no ambient registry installed every
+     kernel probe (cache hit/miss, deadline check, pool chunk, binomial
+     table reuse) is one ref read and a branch; measure that probe
+     directly, count how many probes one estimate fires, and express
+     their combined cost as a fraction of the estimate's runtime.  The
+     budget is < 1%.  The collecting-mode estimate (registry installed,
+     phase spans on) is reported informationally. *)
+  let module Telemetry = Leqa_util.Telemetry in
+  Telemetry.uninstall ();
+  let tele_qodg =
+    Qodg.of_ft_circuit
+      (Decompose.to_ft
+         (Leqa_benchmarks.Gf2_mult.circuit ~n:(if smoke then 8 else 16) ()))
+  in
+  let probes = if smoke then 2_000_000 else 10_000_000 in
+  let probe_total_s =
+    Timing.time_seconds (fun () ->
+        for _ = 1 to probes do
+          Telemetry.ambient_count "bench.telemetry.probe"
+        done)
+  in
+  let probe_ns = probe_total_s /. float_of_int probes *. 1e9 in
+  Coverage.clear_caches ();
+  let est_off_s =
+    Timing.time_seconds (fun () ->
+        ignore (Estimator.estimate ~params:Params.calibrated tele_qodg))
+  in
+  let treg = Telemetry.create () in
+  Telemetry.install treg;
+  Coverage.clear_caches ();
+  let est_on_s =
+    Fun.protect
+      ~finally:(fun () -> Telemetry.uninstall ())
+      (fun () ->
+        Timing.time_seconds (fun () ->
+            ignore
+              (Estimator.estimate ~telemetry:treg ~params:Params.calibrated
+                 tele_qodg)))
+  in
+  (* event counters record one increment per probe; the *_us counters
+     accumulate microseconds via count_n and are not probe counts *)
+  let probes_per_estimate =
+    List.fold_left
+      (fun acc (name, v) ->
+        if Filename.check_suffix name "_us" then acc else acc + v)
+      0 (Telemetry.counters treg)
+  in
+  let off_cost_s = float_of_int probes_per_estimate *. probe_ns *. 1e-9 in
+  let off_pct = 100.0 *. off_cost_s /. Float.max 1e-9 est_off_s in
+  let telemetry_within_budget = off_pct < 1.0 in
+  let on_pct = 100.0 *. (est_on_s -. est_off_s) /. Float.max 1e-9 est_off_s in
+  Printf.printf
+    "\ntelemetry probe (ambient sink uninstalled): %.2f ns/probe\n\
+    \  %d probes per estimate -> %.2e s of a %.4f s estimate (%.4f%%)\n\
+    \  within < 1%% budget: %b   (collecting mode: %+.1f%%, %d spans)\n"
+    probe_ns probes_per_estimate off_cost_s est_off_s off_pct
+    telemetry_within_budget on_pct
+    (List.length (Telemetry.spans treg));
+  if not telemetry_within_budget then begin
+    prerr_endline "FAIL: telemetry-off overhead exceeds the 1% budget";
+    exit 1
+  end;
   let json =
     Json.Obj
       [
-        ("pr", Json.Int 2);
-        ("label", Json.String "hardened estimation pipeline");
+        ("pr", Json.Int 3);
+        ("label", Json.String "observability layer");
         ("jobs", Json.Int par_jobs);
         ("recommended_domains", Json.Int (Domain.recommended_domain_count ()));
         ("smoke", Json.Bool smoke);
@@ -1193,6 +1256,23 @@ let perf ~scale ~out () =
               ("guarded_s", Json.Float guarded);
               ("overhead_pct", Json.Float overhead_pct);
               ("within_budget", Json.Bool guards_within_budget);
+            ] );
+        ( "telemetry",
+          Json.Obj
+            [
+              ("probe_ns", Json.Float probe_ns);
+              ("probes_per_estimate", Json.Int probes_per_estimate);
+              ("estimate_off_s", Json.Float est_off_s);
+              ("estimate_on_s", Json.Float est_on_s);
+              ("off_overhead_pct", Json.Float off_pct);
+              ("on_overhead_pct", Json.Float on_pct);
+              ("within_budget", Json.Bool telemetry_within_budget);
+              ("spans", Json.Int (List.length (Telemetry.spans treg)));
+              ( "counters",
+                Json.Obj
+                  (List.map
+                     (fun (k, v) -> (k, Json.Int v))
+                     (Telemetry.counters treg)) );
             ] );
         ( "per_benchmark",
           Json.List
@@ -1374,7 +1454,7 @@ let () =
   let scale = ref 0.5 in
   let command = ref "all" in
   let json_path = ref None in
-  let perf_out = ref "BENCH_PR2.json" in
+  let perf_out = ref "BENCH_PR3.json" in
   let rec parse = function
     | [] -> ()
     | "--scale" :: v :: rest ->

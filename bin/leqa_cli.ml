@@ -14,9 +14,15 @@
      design       run the ULB fabric designer (FT delays from native ops)
      select-qecc  pick the cheapest feasible QECC level via LEQA
 
+   Every subcommand emits one versioned report (Leqa_report.Report):
+   --format human prints the familiar text, --format json a one-line
+   leqa/report/v1 document.  --trace FILE (or LEQA_TRACE) additionally
+   writes the leqa/trace/v1 span tree collected during the run.
+
    Every failure exits with the stable code of its Leqa_util.Error
    constructor (see DESIGN.md §7) and a single-line message on stderr —
-   rendered as JSON under --error-format json. *)
+   rendered as JSON under --format json.  --error-format is a deprecated
+   alias for --format kept for old scripts (warns once on stderr). *)
 
 open Cmdliner
 module Params = Leqa_fabric.Params
@@ -25,17 +31,17 @@ module Decompose = Leqa_circuit.Decompose
 module Ft_circuit = Leqa_circuit.Ft_circuit
 module Estimator = Leqa_core.Estimator
 module Qspr = Leqa_qspr.Qspr
+module Report = Leqa_report.Report
+module Telemetry = Leqa_util.Telemetry
 module E = Leqa_util.Error
 module Pool = Leqa_util.Pool
 
-(* ---------------- error rendering ---------------- *)
-
-type error_format = Human | Json
+(* ---------------- output / error format ---------------- *)
 
 let fail fmt e =
   (match fmt with
-  | Human -> prerr_endline ("leqa: " ^ E.to_string e)
-  | Json -> prerr_endline (E.to_json_string e));
+  | Report.Human -> prerr_endline ("leqa: " ^ E.to_string e)
+  | Report.Json -> prerr_endline (E.to_json_string e));
   exit (E.exit_code e)
 
 let or_fail fmt = function Ok x -> x | Error e -> fail fmt e
@@ -49,12 +55,54 @@ let handle fmt f =
   | Error e -> fail fmt e
   | exception Invalid_argument msg -> fail fmt (E.Usage_error msg)
 
-let error_format_arg =
-  let doc = "Render errors as $(docv) (human or json, one line either way)." in
+let format_conv =
+  Arg.enum [ ("human", Report.Human); ("json", Report.Json) ]
+
+let format_arg =
+  let doc =
+    "Emit the report as $(docv): human-readable text or a one-line \
+     leqa/report/v1 JSON document.  Errors render in the same format (one \
+     line on stderr either way)."
+  in
   Arg.(
     value
-    & opt (enum [ ("human", Human); ("json", Json) ]) Human
+    & opt (some format_conv) None
+    & info [ "format" ] ~docv:"FORMAT" ~doc)
+
+let error_format_arg =
+  let doc = "Deprecated alias for $(b,--format)." in
+  Arg.(
+    value
+    & opt (some format_conv) None
     & info [ "error-format" ] ~docv:"FORMAT" ~doc)
+
+let deprecation_warned = ref false
+
+(* --format wins; the deprecated alias still works but warns once *)
+let resolve_format fmt errfmt =
+  match (fmt, errfmt) with
+  | Some f, _ -> f
+  | None, Some f ->
+    if not !deprecation_warned then begin
+      deprecation_warned := true;
+      prerr_endline
+        "leqa: --error-format is deprecated, use --format instead"
+    end;
+    f
+  | None, None -> Report.Human
+
+let trace_arg =
+  let env =
+    Cmd.Env.info "LEQA_TRACE" ~doc:"Same as $(b,--trace) $(docv)."
+  in
+  let doc =
+    "Write the run's leqa/trace/v1 span tree (phase timings, kernel \
+     counters) to $(docv) after the command finishes."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE" ~doc ~env)
 
 let timeout_arg =
   let doc =
@@ -67,6 +115,29 @@ let timeout_arg =
 let deadline_of = function
   | None -> Pool.Deadline.never
   | Some seconds -> Pool.Deadline.after ~seconds
+
+(* Collect telemetry when someone will see it (--trace or JSON output),
+   install it as the ambient sink for the deep kernel counters, wrap the
+   whole command in a root span, then render the report and the trace. *)
+let emit ~command ~trace fmt make_report =
+  let telemetry =
+    if trace <> None || fmt = Report.Json then Telemetry.create ()
+    else Telemetry.noop
+  in
+  let report =
+    if Telemetry.is_noop telemetry then make_report telemetry
+    else begin
+      Telemetry.install telemetry;
+      Fun.protect
+        ~finally:(fun () -> Telemetry.uninstall ())
+        (fun () ->
+          Telemetry.span telemetry command (fun () -> make_report telemetry))
+    end
+  in
+  (match trace with
+  | None -> ()
+  | Some path -> Telemetry.write_trace path telemetry);
+  Report.print fmt report
 
 (* ---------------- circuit sources ---------------- *)
 
@@ -111,6 +182,12 @@ let prepare ~file ~bench ~scale =
       let ft = Decompose.to_ft circ in
       (circ, ft, Qodg.of_ft_circuit ft))
     (load_circuit ~file ~bench ~scale)
+
+(* parse + decompose + QODG build under its own span so traces attribute
+   the front-end cost separately from the estimator phases *)
+let prepare_traced telemetry fmt ~file ~bench ~scale =
+  Telemetry.span telemetry "cli.prepare" (fun () ->
+      or_fail fmt (prepare ~file ~bench ~scale))
 
 (* ---------------- common options ---------------- *)
 
@@ -168,77 +245,69 @@ let params_of ~width ~height ~v =
 (* ---------------- subcommands ---------------- *)
 
 let estimate_cmd =
-  let run file bench scale width height v terms jobs timeout fmt =
+  let run file bench scale width height v terms jobs timeout fmt errfmt trace =
+    let fmt = resolve_format fmt errfmt in
     handle fmt @@ fun () ->
     apply_jobs jobs;
     let deadline = deadline_of timeout in
-    let _, ft, qodg = or_fail fmt (prepare ~file ~bench ~scale) in
+    emit ~command:"estimate" ~trace fmt @@ fun telemetry ->
+    let _, ft, qodg = prepare_traced telemetry fmt ~file ~bench ~scale in
     let params = or_fail fmt (params_of ~width ~height ~v) in
     let config = { Leqa_core.Config.truncation_terms = terms } in
     let est, dt =
       Leqa_util.Timing.time (fun () ->
-          Estimator.estimate ~config ~deadline ~params qodg)
+          Estimator.estimate ~config ~deadline ~telemetry ~params qodg)
     in
-    Format.printf "%a@." Ft_circuit.pp_summary ft;
-    Format.printf "B (avg zone area)  = %.2f@." est.Estimator.avg_zone_area;
-    if est.Estimator.zone_clamped then
-      Format.printf
-        "warning: zone side ceil(sqrt B) exceeds the %dx%d fabric and was \
-         clamped — the coverage model is outside its assumptions@."
-        width height;
-    Format.printf "d_uncongested      = %.1f us@." est.Estimator.d_uncong;
-    Format.printf "L_CNOT^avg         = %.1f us@." est.Estimator.l_cnot_avg;
-    Format.printf "L_1q^avg           = %.1f us@." est.Estimator.l_single_avg;
-    Format.printf "estimated latency  = %.6f s@." est.Estimator.latency_s;
-    Format.printf "estimator runtime  = %.4f s@." dt;
-    Format.printf "@.critical-path contributions:@.";
-    List.iter
-      (fun r ->
-        Format.printf "  %-5s x%-6d gate %10.0f us   routing %10.0f us@."
-          r.Estimator.label r.Estimator.count r.Estimator.gate_time
-          r.Estimator.routing_time)
-      (Estimator.contributions ~params est)
+    Report.make ~command:"estimate" ~ft ~telemetry
+      (Report.Estimate
+         {
+           Report.params;
+           breakdown = est;
+           contributions = Estimator.contributions ~params est;
+           estimator_runtime_s = dt;
+         })
   in
   let term =
     Term.(
       const run $ file_arg $ bench_arg $ scale_arg $ width_arg $ height_arg
-      $ v_arg $ terms_arg $ jobs_arg $ timeout_arg $ error_format_arg)
+      $ v_arg $ terms_arg $ jobs_arg $ timeout_arg $ format_arg
+      $ error_format_arg $ trace_arg)
   in
   Cmd.v (Cmd.info "estimate" ~doc:"LEQA latency estimate (Algorithm 1)") term
 
 let simulate_cmd =
-  let run file bench scale width height timeout fmt =
+  let run file bench scale width height timeout fmt errfmt trace =
+    let fmt = resolve_format fmt errfmt in
     handle fmt @@ fun () ->
     let deadline = deadline_of timeout in
-    let _, ft, qodg = or_fail fmt (prepare ~file ~bench ~scale) in
+    emit ~command:"simulate" ~trace fmt @@ fun telemetry ->
+    let _, ft, qodg = prepare_traced telemetry fmt ~file ~bench ~scale in
     let params =
       or_fail fmt (params_of ~width ~height ~v:Params.default.Params.v)
     in
     let config = { Qspr.default_config with Qspr.params } in
     let r, dt =
-      Leqa_util.Timing.time (fun () -> Qspr.run ~config ~deadline qodg)
+      Leqa_util.Timing.time (fun () ->
+          Telemetry.span telemetry "qspr.simulate" (fun () ->
+              Qspr.run ~config ~deadline qodg))
     in
-    Format.printf "%a@." Ft_circuit.pp_summary ft;
-    Format.printf "actual latency   = %.6f s@." r.Qspr.latency_s;
-    Format.printf "channel hops     = %d@." r.Qspr.stats.Leqa_qspr.Scheduler.hops;
-    Format.printf "channel wait     = %.1f us@."
-      r.Qspr.stats.Leqa_qspr.Scheduler.channel_wait;
-    Format.printf "avg CNOT routing = %.1f us@."
-      (Leqa_qspr.Scheduler.avg_cnot_routing r.Qspr.stats);
-    Format.printf "mapper runtime   = %.4f s@." dt
+    Report.make ~command:"simulate" ~ft ~telemetry
+      (Report.Simulate { Report.sim = r; mapper_runtime_s = dt })
   in
   let term =
     Term.(
       const run $ file_arg $ bench_arg $ scale_arg $ width_arg $ height_arg
-      $ timeout_arg $ error_format_arg)
+      $ timeout_arg $ format_arg $ error_format_arg $ trace_arg)
   in
   Cmd.v (Cmd.info "simulate" ~doc:"detailed QSPR mapping (the baseline)") term
 
 let compare_cmd =
-  let run file bench scale width height v jobs timeout fmt =
+  let run file bench scale width height v jobs timeout fmt errfmt trace =
+    let fmt = resolve_format fmt errfmt in
     handle fmt @@ fun () ->
     apply_jobs jobs;
-    let _, ft, qodg = or_fail fmt (prepare ~file ~bench ~scale) in
+    emit ~command:"compare" ~trace fmt @@ fun telemetry ->
+    let _, ft, qodg = prepare_traced telemetry fmt ~file ~bench ~scale in
     let params = or_fail fmt (params_of ~width ~height ~v) in
     let qspr_config =
       { Qspr.default_config with Qspr.params = { params with Params.v = Params.default.Params.v } }
@@ -247,76 +316,70 @@ let compare_cmd =
        always completes, so an expired budget degrades to estimate-only *)
     let validated, qspr_t =
       Leqa_util.Timing.time (fun () ->
-          Qspr.run_validated ~config:qspr_config
+          Qspr.run_validated ~config:qspr_config ~telemetry
             ?deadline:(Option.map (fun s -> Pool.Deadline.after ~seconds:s) timeout)
             qodg)
     in
     let est, leqa_t =
       Leqa_util.Timing.time (fun () -> Estimator.estimate ~params qodg)
     in
-    Format.printf "%a@." Ft_circuit.pp_summary ft;
-    (match validated.Qspr.simulated with
-    | Some actual ->
-      let err =
-        Leqa_util.Stats.relative_error ~actual:actual.Qspr.latency_s
-          ~estimated:est.Estimator.latency_s
-      in
-      Format.printf "actual (QSPR)    = %.6f s   [%.4f s runtime]@."
-        actual.Qspr.latency_s qspr_t;
-      Format.printf "estimated (LEQA) = %.6f s   [%.4f s runtime]@."
-        est.Estimator.latency_s leqa_t;
-      Format.printf "absolute error   = %.2f%%@." (100.0 *. err);
-      Format.printf "speedup          = %.1fx@." (qspr_t /. leqa_t)
-    | None ->
-      Format.printf "estimated (LEQA) = %.6f s   [%.4f s runtime]@."
-        est.Estimator.latency_s leqa_t;
-      Format.printf
-        "QSPR simulation hit the %gs timeout — degraded to the analytic \
-         estimate (no error/speedup figures)@."
-        (Option.value timeout ~default:0.0))
+    Report.make ~command:"compare" ~ft ~telemetry
+      (Report.Compare
+         {
+           Report.estimate = est;
+           simulated = validated.Qspr.simulated;
+           qspr_runtime_s = qspr_t;
+           leqa_runtime_s = leqa_t;
+           timeout_s = timeout;
+         })
   in
   let term =
     Term.(
       const run $ file_arg $ bench_arg $ scale_arg $ width_arg $ height_arg
-      $ v_arg $ jobs_arg $ timeout_arg $ error_format_arg)
+      $ v_arg $ jobs_arg $ timeout_arg $ format_arg $ error_format_arg
+      $ trace_arg)
   in
   Cmd.v (Cmd.info "compare" ~doc:"QSPR vs LEQA side by side") term
 
 let sweep_fabric_cmd =
-  let run file bench scale v sizes jobs timeout fmt =
+  let run file bench scale v sizes jobs timeout fmt errfmt trace =
+    let fmt = resolve_format fmt errfmt in
     handle fmt @@ fun () ->
     apply_jobs jobs;
     let deadline = deadline_of timeout in
-    let _, _, qodg = or_fail fmt (prepare ~file ~bench ~scale) in
-    let table =
-      Leqa_util.Table.create
-        ~columns:
-          [
-            ("fabric", Leqa_util.Table.Left);
-            ("LEQA D (s)", Leqa_util.Table.Right);
-            ("L_CNOT (us)", Leqa_util.Table.Right);
-          ]
+    emit ~command:"sweep-fabric" ~trace fmt @@ fun telemetry ->
+    let _, _, qodg = prepare_traced telemetry fmt ~file ~bench ~scale in
+    (* the IIG and zone statistics are fabric-independent: derive them
+       once here instead of once per swept size (they used to dominate
+       the sweep's runtime) *)
+    let prep, prep_t =
+      Leqa_util.Timing.time (fun () -> Estimator.prepare ~telemetry qodg)
     in
+    let n = List.length sizes in
+    Telemetry.count_n telemetry "sweep.prep.reused" n;
+    Telemetry.gauge telemetry "sweep.prep.saved_s"
+      (prep_t *. float_of_int (max 0 (n - 1)));
     let estimates =
-      (* independent per-size estimates: fan out over the domain pool *)
+      (* independent per-size estimates: fan out over the domain pool.
+         Spans are single-flow-of-control, so workers get no telemetry *)
       Leqa_util.Pool.map_list
         (Leqa_util.Pool.get_default ())
         ~deadline
         ~f:(fun side ->
           let params = or_fail fmt (params_of ~width:side ~height:side ~v) in
-          (side, Estimator.estimate ~deadline ~params qodg))
+          (side, Estimator.estimate_prepared ~deadline ~params prep))
         sizes
     in
-    List.iter
-      (fun (side, est) ->
-        Leqa_util.Table.add_row table
-          [
-            Printf.sprintf "%dx%d" side side;
-            Printf.sprintf "%.6f" est.Estimator.latency_s;
-            Printf.sprintf "%.1f" est.Estimator.l_cnot_avg;
-          ])
-      estimates;
-    Leqa_util.Table.print table
+    Report.make ~command:"sweep-fabric" ~telemetry
+      (Report.Sweep_fabric
+         {
+           Report.v;
+           rows =
+             List.map
+               (fun (side, est) -> { Report.side; breakdown = est })
+               estimates;
+           prep_reused = n;
+         })
   in
   let sizes_arg =
     let doc = "Square fabric sizes to sweep." in
@@ -328,7 +391,7 @@ let sweep_fabric_cmd =
   let term =
     Term.(
       const run $ file_arg $ bench_arg $ scale_arg $ v_arg $ sizes_arg
-      $ jobs_arg $ timeout_arg $ error_format_arg)
+      $ jobs_arg $ timeout_arg $ format_arg $ error_format_arg $ trace_arg)
   in
   Cmd.v
     (Cmd.info "sweep-fabric"
@@ -336,8 +399,10 @@ let sweep_fabric_cmd =
     term
 
 let gen_cmd =
-  let run bench scale output ft fmt =
+  let run bench scale output ft fmt errfmt trace =
+    let fmt = resolve_format fmt errfmt in
     handle fmt @@ fun () ->
+    emit ~command:"gen" ~trace fmt @@ fun telemetry ->
     let circ =
       or_fail fmt (load_circuit ~file:None ~bench:(Some bench) ~scale)
     in
@@ -353,16 +418,23 @@ let gen_cmd =
       end
       else circ
     in
-    match output with
-    | None -> print_string (Leqa_circuit.Parser.to_string circ)
-    | Some path -> begin
-      match Leqa_circuit.Parser.write_file path circ with
-      | () ->
-        Printf.printf "wrote %s (%d qubits, %d gates)\n" path
-          (Leqa_circuit.Circuit.num_qubits circ)
-          (Leqa_circuit.Circuit.num_gates circ)
-      | exception Sys_error msg -> E.raise_error (E.Io_error msg)
-    end
+    let netlist =
+      match output with
+      | None -> Some (Leqa_circuit.Parser.to_string circ)
+      | Some path -> begin
+        match Leqa_circuit.Parser.write_file path circ with
+        | () -> None
+        | exception Sys_error msg -> E.raise_error (E.Io_error msg)
+      end
+    in
+    Report.make ~command:"gen" ~telemetry
+      (Report.Gen
+         {
+           Report.out_path = output;
+           netlist;
+           gen_qubits = Leqa_circuit.Circuit.num_qubits circ;
+           gen_gates = Leqa_circuit.Circuit.num_gates circ;
+         })
   in
   let bench_req =
     let doc = "Benchmark to generate (a Table 2/3 name)." in
@@ -378,54 +450,43 @@ let gen_cmd =
   in
   let term =
     Term.(const run $ bench_req $ scale_arg $ output_arg $ ft_arg
-          $ error_format_arg)
+          $ format_arg $ error_format_arg $ trace_arg)
   in
   Cmd.v (Cmd.info "gen" ~doc:"write a generated benchmark as a .tfc netlist") term
 
 let info_cmd =
-  let run file bench scale fmt =
+  let run file bench scale fmt errfmt trace =
+    let fmt = resolve_format fmt errfmt in
     handle fmt @@ fun () ->
-    let circ, ft, qodg = or_fail fmt (prepare ~file ~bench ~scale) in
-    Format.printf "%a@." Leqa_circuit.Circuit.pp_summary circ;
-    Format.printf "%a@." Ft_circuit.pp_summary ft;
-    Format.printf "%a@." Qodg.pp_summary qodg;
-    Format.printf "logical depth: %d@."
-      (Leqa_qodg.Critical_path.depth qodg);
-    let iig = Leqa_iig.Iig.of_qodg qodg in
-    Format.printf "%a@." Leqa_iig.Iig.pp_summary iig
+    emit ~command:"info" ~trace fmt @@ fun telemetry ->
+    let circ, ft, qodg = prepare_traced telemetry fmt ~file ~bench ~scale in
+    let depth = Leqa_qodg.Critical_path.depth qodg in
+    let iig =
+      Telemetry.span telemetry "estimator.iig" (fun () ->
+          Leqa_iig.Iig.of_qodg qodg)
+    in
+    Report.make ~command:"info" ~ft ~telemetry
+      (Report.Info { Report.circuit = circ; ft; qodg; depth; iig })
   in
   let term =
-    Term.(const run $ file_arg $ bench_arg $ scale_arg $ error_format_arg)
+    Term.(const run $ file_arg $ bench_arg $ scale_arg $ format_arg
+          $ error_format_arg $ trace_arg)
   in
   Cmd.v (Cmd.info "info" ~doc:"parse a circuit and print statistics") term
 
 let design_cmd =
-  let run rounds lanes fmt =
+  let run rounds lanes fmt errfmt trace =
+    let fmt = resolve_format fmt errfmt in
     handle fmt @@ fun () ->
+    emit ~command:"design" ~trace fmt @@ fun telemetry ->
     let native = { Leqa_ulb.Native.default with Leqa_ulb.Native.lanes } in
     let d = Leqa_ulb.Designer.design ~native ~rounds () in
-    let table =
-      Leqa_util.Table.create
-        ~columns:
-          [
-            ("FT op", Leqa_util.Table.Left);
-            ("gate (us)", Leqa_util.Table.Right);
-            ("EC (us)", Leqa_util.Table.Right);
-            ("total (us)", Leqa_util.Table.Right);
-          ]
-    in
-    List.iter
-      (fun (name, gate, ec) ->
-        Leqa_util.Table.add_row table
-          [
-            name;
-            Printf.sprintf "%.0f" gate;
-            Printf.sprintf "%.0f" ec;
-            Printf.sprintf "%.0f" (gate +. ec);
-          ])
-      (Leqa_ulb.Designer.report d);
-    Leqa_util.Table.print table;
-    Printf.printf "t_move = %.0f us\n" d.Leqa_ulb.Designer.t_move
+    Report.make ~command:"design" ~telemetry
+      (Report.Design
+         {
+           Report.rows = Leqa_ulb.Designer.report d;
+           t_move = d.Leqa_ulb.Designer.t_move;
+         })
   in
   let rounds_arg =
     let doc = "Syndrome-repetition rounds per EC phase." in
@@ -436,15 +497,20 @@ let design_cmd =
     Arg.(value & opt int Leqa_ulb.Native.default.Leqa_ulb.Native.lanes
          & info [ "lanes" ] ~docv:"L" ~doc)
   in
-  let term = Term.(const run $ rounds_arg $ lanes_arg $ error_format_arg) in
+  let term =
+    Term.(const run $ rounds_arg $ lanes_arg $ format_arg $ error_format_arg
+          $ trace_arg)
+  in
   Cmd.v
     (Cmd.info "design" ~doc:"price FT operations from native instructions")
     term
 
 let select_qecc_cmd =
-  let run file bench scale target fmt =
+  let run file bench scale target fmt errfmt trace =
+    let fmt = resolve_format fmt errfmt in
     handle fmt @@ fun () ->
-    let _, ft, qodg = or_fail fmt (prepare ~file ~bench ~scale) in
+    emit ~command:"select-qecc" ~trace fmt @@ fun telemetry ->
+    let _, ft, qodg = prepare_traced telemetry fmt ~file ~bench ~scale in
     let requirement =
       {
         Leqa_qecc.Selection.default_requirement with
@@ -455,32 +521,8 @@ let select_qecc_cmd =
       Leqa_qecc.Selection.select ~params:Params.calibrated ~requirement
         ~per_level_delay:20.0 qodg
     in
-    Format.printf "%a@." Ft_circuit.pp_summary ft;
-    let table =
-      Leqa_util.Table.create
-        ~columns:
-          [
-            ("code", Leqa_util.Table.Left);
-            ("latency (s)", Leqa_util.Table.Right);
-            ("p_fail", Leqa_util.Table.Right);
-            ("feasible", Leqa_util.Table.Left);
-          ]
-    in
-    List.iter
-      (fun c ->
-        Leqa_util.Table.add_row table
-          [
-            Leqa_qecc.Code.name c.Leqa_qecc.Selection.code;
-            Printf.sprintf "%.4f" c.Leqa_qecc.Selection.latency_s;
-            Printf.sprintf "%.2e" c.Leqa_qecc.Selection.failure_probability;
-            (if c.Leqa_qecc.Selection.feasible then "yes" else "no");
-          ])
-      candidates;
-    Leqa_util.Table.print table;
-    match chosen with
-    | Some c ->
-      Printf.printf "chosen: %s\n" (Leqa_qecc.Code.name c.Leqa_qecc.Selection.code)
-    | None -> Printf.printf "no feasible code within 4 levels\n"
+    Report.make ~command:"select-qecc" ~ft ~telemetry
+      (Report.Select_qecc { Report.candidates; chosen })
   in
   let target_arg =
     let doc = "Acceptable whole-program failure probability." in
@@ -488,7 +530,7 @@ let select_qecc_cmd =
   in
   let term =
     Term.(const run $ file_arg $ bench_arg $ scale_arg $ target_arg
-          $ error_format_arg)
+          $ format_arg $ error_format_arg $ trace_arg)
   in
   Cmd.v
     (Cmd.info "select-qecc"
@@ -500,7 +542,7 @@ let () =
      itself a Config_error (exit 78) *)
   (match Leqa_util.Fault.configure_from_env () with
   | Ok () -> ()
-  | Error e -> fail Human e);
+  | Error e -> fail Report.Human e);
   let doc = "latency estimation for quantum algorithms on a tiled fabric" in
   let info = Cmd.info "leqa" ~version:"1.0.0" ~doc in
   exit

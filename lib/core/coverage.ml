@@ -65,16 +65,24 @@ let clear_caches () =
 let entry_intact a =
   Array.for_all (fun v -> Float.is_finite v && v >= 0.0) a
 
-let cache_lookup cache key =
+(* [name] ("grid" / "surfaces") labels the telemetry counters:
+   cache.<name>.hit / .miss / .evict, plus cache.reset for the wholesale
+   capacity reset. *)
+let cache_lookup ~name cache key =
   Mutex.lock cache_mutex;
   let r =
     match Hashtbl.find_opt cache key with
     | Some a when not (entry_intact a) ->
       Hashtbl.remove cache key;
+      Leqa_util.Telemetry.ambient_count
+        (Printf.sprintf "cache.%s.evict" name);
       None
     | r -> r
   in
   Mutex.unlock cache_mutex;
+  Leqa_util.Telemetry.ambient_count
+    (Printf.sprintf "cache.%s.%s" name
+       (if r = None then "miss" else "hit"));
   Option.map Array.copy r
 
 let cache_store cache key value =
@@ -85,7 +93,10 @@ let cache_store cache key value =
   if Array.length stored > 0 && Leqa_util.Fault.fires "cache.poison" then
     stored.(0) <- Float.nan;
   Mutex.lock cache_mutex;
-  if Hashtbl.length cache >= max_cache_entries then Hashtbl.reset cache;
+  if Hashtbl.length cache >= max_cache_entries then begin
+    Hashtbl.reset cache;
+    Leqa_util.Telemetry.ambient_count "cache.reset"
+  end;
   if not (Hashtbl.mem cache key) then Hashtbl.add cache key stored;
   Mutex.unlock cache_mutex
 
@@ -97,7 +108,7 @@ let cell_chunk = 128
 
 let probability_grid ~topology ~avg_area ~width ~height =
   let key = (topology, avg_area, width, height) in
-  match cache_lookup grid_cache key with
+  match cache_lookup ~name:"grid" grid_cache key with
   | Some grid -> grid
   | None ->
     (* validate before any task runs *)
@@ -125,7 +136,7 @@ let expected_surfaces ~topology ~avg_area ~width ~height ~qubits ~terms =
   if qubits < 0 then invalid_arg "Coverage.expected_surfaces: negative Q";
   if terms <= 0 then invalid_arg "Coverage.expected_surfaces: terms must be positive";
   let key = (topology, avg_area, width, height, qubits, terms) in
-  match cache_lookup surfaces_cache key with
+  match cache_lookup ~name:"surfaces" surfaces_cache key with
   | Some result -> result
   | None ->
     let kmax = min terms qubits in

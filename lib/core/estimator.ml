@@ -1,6 +1,7 @@
 module Params = Leqa_fabric.Params
 module Pool = Leqa_util.Pool
 module Error = Leqa_util.Error
+module Telemetry = Leqa_util.Telemetry
 module Qodg = Leqa_qodg.Qodg
 module Critical_path = Leqa_qodg.Critical_path
 module Ft_gate = Leqa_circuit.Ft_gate
@@ -39,70 +40,120 @@ let eq1_latency ~params ~l_cnot_avg ~counts =
     Ft_gate.all_single_kinds;
   cnot_part +. !single_part
 
-let estimate ?(config = Config.default) ?(deadline = Pool.Deadline.never)
-    ~params qodg =
-  Error.ok_exn (Config.validate config);
-  Error.ok_exn (Params.validate params);
+type prepared = {
+  prep_qodg : Qodg.t;
+  iig : Iig.t;
+  prep_qubits : int;
+  prep_avg_zone_area : float;
+}
+
+(* Algorithm 1, lines 1-3: the IIG and the average presence-zone area.
+   Both depend only on the circuit, never on the fabric — so a sweep over
+   fabric sizes prepares once and re-estimates cheaply. *)
+let prepare ?(telemetry = Telemetry.noop) qodg =
+  let iig =
+    Telemetry.span telemetry "estimator.iig" (fun () -> Iig.of_qodg qodg)
+  in
+  Telemetry.span telemetry "estimator.zones" (fun () ->
+      {
+        prep_qodg = qodg;
+        iig;
+        prep_qubits = Iig.num_qubits iig;
+        prep_avg_zone_area = Presence_zone.average_area iig;
+      })
+
+let estimate_prepared ?(config = Config.default)
+    ?(deadline = Pool.Deadline.never) ?(telemetry = Telemetry.noop) ~params
+    prep =
+  let span name f = Telemetry.span telemetry name f in
+  span "estimator.validate" (fun () ->
+      Error.ok_exn (Config.validate config);
+      Error.ok_exn (Params.validate params));
   let check_deadline () = Pool.Deadline.check ~site:"estimator" deadline in
   check_deadline ();
   let width = params.Params.width and height = params.Params.height in
-  (* Lines 1-3: IIG, per-qubit zones, average zone area B. *)
-  let iig = Iig.of_qodg qodg in
-  let qubits = Iig.num_qubits iig in
-  let avg_zone_area = Presence_zone.average_area iig in
+  let qodg = prep.prep_qodg in
+  let iig = prep.iig in
+  let qubits = prep.prep_qubits in
+  let avg_zone_area = prep.prep_avg_zone_area in
   let zone_clamped =
     avg_zone_area >= 1.0
     && (Coverage.zone_side_info ~avg_area:avg_zone_area ~width ~height).Coverage.clamped
   in
-  (* Lines 4-8: per-qubit uncongested latencies and their weighted mean. *)
+  (* Lines 4-8: per-qubit uncongested latencies (the Eq-12 TSP bound) and
+     their interaction-weighted mean. *)
   check_deadline ();
-  let d_uncong = Routing_latency.d_uncongested ~v:params.Params.v iig in
+  let d_uncong =
+    span "estimator.d_uncong" (fun () ->
+        Routing_latency.d_uncongested ~v:params.Params.v iig)
+  in
   (* Lines 9-17: coverage probabilities, E(S_q) and d_q (first K terms). *)
   check_deadline ();
   let terms = config.Config.truncation_terms in
   let expected_surfaces =
-    if qubits = 0 then [||]
-    else
-      Coverage.expected_surfaces ~topology:params.Params.topology
-        ~avg_area:avg_zone_area ~width ~height ~qubits ~terms
+    span "estimator.coverage" (fun () ->
+        if qubits = 0 then [||]
+        else
+          Coverage.expected_surfaces ~topology:params.Params.topology
+            ~avg_area:avg_zone_area ~width ~height ~qubits ~terms)
   in
-  let congested_delays =
-    if Array.length expected_surfaces = 0 then [||]
-    else
-      Routing_latency.congested_delays ~d_uncong ~nc:params.Params.nc
-        ~qmax:(Array.length expected_surfaces)
-  in
-  (* Line 18: L_CNOT^avg. *)
-  let l_cnot_avg =
-    if Array.length expected_surfaces = 0 then 0.0
-    else Routing_latency.l_cnot_avg ~expected_surfaces ~delays:congested_delays
+  (* Line 18: d_q and L_CNOT^avg. *)
+  let l_cnot_avg, congested_delays =
+    span "estimator.congestion" (fun () ->
+        let congested_delays =
+          if Array.length expected_surfaces = 0 then [||]
+          else
+            Routing_latency.congested_delays ~d_uncong ~nc:params.Params.nc
+              ~qmax:(Array.length expected_surfaces)
+        in
+        let l_cnot_avg =
+          if Array.length expected_surfaces = 0 then 0.0
+          else
+            Routing_latency.l_cnot_avg ~expected_surfaces
+              ~delays:congested_delays
+        in
+        (l_cnot_avg, congested_delays))
   in
   let l_single_avg = Params.l_single_avg params in
   (* Line 19: routing-augmented critical path. *)
   check_deadline ();
-  let delay g =
-    Params.gate_delay params g
-    +. match g with Ft_gate.Cnot _ -> l_cnot_avg | Ft_gate.Single _ -> l_single_avg
+  let critical =
+    span "estimator.critical_path" (fun () ->
+        let delay g =
+          Params.gate_delay params g
+          +.
+          match g with
+          | Ft_gate.Cnot _ -> l_cnot_avg
+          | Ft_gate.Single _ -> l_single_avg
+        in
+        Critical_path.compute qodg ~delay)
   in
-  let critical = Critical_path.compute qodg ~delay in
   (* Line 20: Eq (1).  Identical to the critical-path length because the
      node weights already include the routing terms. *)
-  let latency_us = eq1_latency ~params ~l_cnot_avg ~counts:critical.counts in
-  {
-    avg_zone_area;
-    zone_clamped;
-    d_uncong;
-    expected_surfaces;
-    congested_delays;
-    l_cnot_avg;
-    l_single_avg;
-    critical;
-    latency_us;
-    latency_s = latency_us /. 1e6;
-    qubits;
-    operations = Qodg.num_nodes qodg - 2;
-    degraded = false;
-  }
+  span "estimator.eq1" (fun () ->
+      let latency_us =
+        eq1_latency ~params ~l_cnot_avg ~counts:critical.counts
+      in
+      {
+        avg_zone_area;
+        zone_clamped;
+        d_uncong;
+        expected_surfaces;
+        congested_delays;
+        l_cnot_avg;
+        l_single_avg;
+        critical;
+        latency_us;
+        latency_s = latency_us /. 1e6;
+        qubits;
+        operations = Qodg.num_nodes qodg - 2;
+        degraded = false;
+      })
+
+let estimate ?config ?deadline ?(telemetry = Telemetry.noop) ~params qodg =
+  Telemetry.span telemetry "estimator" (fun () ->
+      estimate_prepared ?config ?deadline ~telemetry ~params
+        (prepare ~telemetry qodg))
 
 type contribution = {
   label : string;
@@ -141,5 +192,10 @@ let contributions ~params b =
            (b.gate_time +. b.routing_time)
            (a.gate_time +. a.routing_time))
 
-let estimate_circuit ?config ?deadline ~params circ =
-  estimate ?config ?deadline ~params (Qodg.of_ft_circuit circ)
+let estimate_circuit ?config ?deadline ?(telemetry = Telemetry.noop) ~params
+    circ =
+  let qodg =
+    Telemetry.span telemetry "estimator.qodg_build" (fun () ->
+        Qodg.of_ft_circuit circ)
+  in
+  estimate ?config ?deadline ~telemetry ~params qodg

@@ -28,25 +28,50 @@ type breakdown = {
           time and this analytic estimate is standing in for it. *)
 }
 
+type prepared
+(** The fabric-independent prefix of Algorithm 1 (lines 1-3): the IIG and
+    the average presence-zone area.  A sweep over fabric sizes or [v]
+    values prepares once and calls {!estimate_prepared} per point instead
+    of re-deriving the interaction graph every time. *)
+
+val prepare :
+  ?telemetry:Leqa_util.Telemetry.t -> Leqa_qodg.Qodg.t -> prepared
+(** Build the IIG and presence zones (spans ["estimator.iig"] /
+    ["estimator.zones"]). *)
+
 val estimate :
   ?config:Config.t ->
   ?deadline:Leqa_util.Pool.Deadline.t ->
+  ?telemetry:Leqa_util.Telemetry.t ->
   params:Leqa_fabric.Params.t ->
   Leqa_qodg.Qodg.t ->
   breakdown
 (** Run LEQA.  The [deadline] is checked cooperatively between the
-    algorithm's phases (site ["estimator"]).
+    algorithm's phases (site ["estimator"]).  [telemetry] (default: the
+    no-op sink, zero cost) records one span per phase under a root span
+    ["estimator"] — see DESIGN.md §8.
     @raise Leqa_util.Error.Error with [Config_error] / [Fabric_error] on
     invalid inputs, [Numeric_error] if a kernel guard trips, and
     [Timed_out] once [deadline] expires. *)
 
+val estimate_prepared :
+  ?config:Config.t ->
+  ?deadline:Leqa_util.Pool.Deadline.t ->
+  ?telemetry:Leqa_util.Telemetry.t ->
+  params:Leqa_fabric.Params.t ->
+  prepared ->
+  breakdown
+(** {!estimate} from a {!prepared} prefix — the fabric-dependent phases
+    only (coverage, congestion, critical path). *)
+
 val estimate_circuit :
   ?config:Config.t ->
   ?deadline:Leqa_util.Pool.Deadline.t ->
+  ?telemetry:Leqa_util.Telemetry.t ->
   params:Leqa_fabric.Params.t ->
   Leqa_circuit.Ft_circuit.t ->
   breakdown
-(** Convenience: build the QODG first. *)
+(** Convenience: build the QODG first (span ["estimator.qodg_build"]). *)
 
 type contribution = {
   label : string;  (** "CNOT" or a one-qubit kind name *)

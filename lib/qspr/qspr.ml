@@ -36,16 +36,21 @@ type validated = {
   simulated : result option;
 }
 
-let run_validated ?(config = default_config) ?estimator_config ?deadline qodg =
+let run_validated ?(config = default_config) ?estimator_config ?deadline
+    ?(telemetry = Leqa_util.Telemetry.noop) qodg =
   (* The analytic estimate is cheap and must survive even a tiny budget,
      so it runs without the deadline; only the detailed simulation is
      cancellable.  On expiry we degrade: the caller still gets a latency
      number, flagged as analytic-only. *)
   let breakdown =
-    Leqa_core.Estimator.estimate ?config:estimator_config
+    Leqa_core.Estimator.estimate ?config:estimator_config ~telemetry
       ~params:config.params qodg
   in
-  match run ~config ?deadline qodg with
+  match
+    Leqa_util.Telemetry.span telemetry "qspr.simulate" (fun () ->
+        run ~config ?deadline qodg)
+  with
   | simulated -> { breakdown; simulated = Some simulated }
   | exception Leqa_util.Error.Error (Leqa_util.Error.Timed_out _) ->
+    Leqa_util.Telemetry.ambient_count "qspr.degraded";
     { breakdown = { breakdown with degraded = true }; simulated = None }

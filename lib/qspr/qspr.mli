@@ -47,9 +47,13 @@ val run_validated :
   ?config:config ->
   ?estimator_config:Leqa_core.Config.t ->
   ?deadline:Leqa_util.Pool.Deadline.t ->
+  ?telemetry:Leqa_util.Telemetry.t ->
   Leqa_qodg.Qodg.t ->
   validated
 (** LEQA estimate plus the QSPR ground truth for the same QODG.  The
     estimate always runs to completion (it is the cheap path); only the
     simulation honours [deadline].  On expiry the result degrades
-    gracefully to the analytic estimate instead of raising. *)
+    gracefully to the analytic estimate instead of raising.  [telemetry]
+    (default: no-op, zero cost) wraps the simulation in a
+    ["qspr.simulate"] span and hands the estimator its phase spans — the
+    ?telemetry pattern of DESIGN.md §8. *)

@@ -270,6 +270,9 @@ let run ?(routing = Router.Astar) ?(defer = true)
       drain ()
   in
   drain ();
+  (* one batched update per run, not one mutex round-trip per pop *)
+  Leqa_util.Telemetry.ambient_count_n "qspr.pops" !pops;
+  Leqa_util.Telemetry.ambient_count_n "qspr.ops_executed" st.executed;
   {
     latency = completion.(Qodg.finish_node qodg);
     ops_executed = st.executed;

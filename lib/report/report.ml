@@ -1,0 +1,477 @@
+module Json = Leqa_util.Json
+module Table = Leqa_util.Table
+module Telemetry = Leqa_util.Telemetry
+module Params = Leqa_fabric.Params
+module Circuit = Leqa_circuit.Circuit
+module Ft_circuit = Leqa_circuit.Ft_circuit
+module Ft_gate = Leqa_circuit.Ft_gate
+module Gate = Leqa_circuit.Gate
+module Qodg = Leqa_qodg.Qodg
+module Critical_path = Leqa_qodg.Critical_path
+module Iig = Leqa_iig.Iig
+module Estimator = Leqa_core.Estimator
+module Qspr = Leqa_qspr.Qspr
+module Scheduler = Leqa_qspr.Scheduler
+module Selection = Leqa_qecc.Selection
+module Code = Leqa_qecc.Code
+
+type format = Human | Json
+
+type estimate_body = {
+  params : Params.t;
+  breakdown : Estimator.breakdown;
+  contributions : Estimator.contribution list;
+  estimator_runtime_s : float;
+}
+
+type simulate_body = { sim : Qspr.result; mapper_runtime_s : float }
+
+type compare_body = {
+  estimate : Estimator.breakdown;
+  simulated : Qspr.result option;
+  qspr_runtime_s : float;
+  leqa_runtime_s : float;
+  timeout_s : float option;
+}
+
+type sweep_row = { side : int; breakdown : Estimator.breakdown }
+type sweep_body = { v : float; rows : sweep_row list; prep_reused : int }
+
+type qecc_body = {
+  candidates : Selection.candidate list;
+  chosen : Selection.candidate option;
+}
+
+type info_body = {
+  circuit : Circuit.t;
+  ft : Ft_circuit.t;
+  qodg : Qodg.t;
+  depth : int;
+  iig : Iig.t;
+}
+
+type design_body = { rows : (string * float * float) list; t_move : float }
+
+type gen_body = {
+  out_path : string option;
+  netlist : string option;
+  gen_qubits : int;
+  gen_gates : int;
+}
+
+type body =
+  | Estimate of estimate_body
+  | Simulate of simulate_body
+  | Compare of compare_body
+  | Sweep_fabric of sweep_body
+  | Select_qecc of qecc_body
+  | Info of info_body
+  | Design of design_body
+  | Gen of gen_body
+
+type t = {
+  command : string;
+  ft : Ft_circuit.t option;
+  telemetry : Telemetry.t;
+  body : body;
+}
+
+let schema_version = "leqa/report/v1"
+
+let make ~command ?ft ?(telemetry = Telemetry.noop) body =
+  { command; ft; telemetry; body }
+
+(* ---------------- JSON ---------------- *)
+
+let circuit_json ft =
+  let stats = Ft_circuit.stats ft in
+  Json.Obj
+    [
+      ("qubits", Json.Int stats.Ft_circuit.num_qubits);
+      ("gates", Json.Int stats.Ft_circuit.num_gates);
+      ("cnots", Json.Int stats.Ft_circuit.cnot_count);
+      ( "singles",
+        Json.Obj
+          (List.filter_map
+             (fun kind ->
+               let n =
+                 stats.Ft_circuit.single_counts.(Ft_gate.single_kind_index
+                                                   kind)
+               in
+               if n = 0 then None
+               else Some (Gate.single_kind_to_string kind, Json.Int n))
+             Ft_gate.all_single_kinds) );
+    ]
+
+let topology_string = function
+  | Params.Grid -> "grid"
+  | Params.Torus -> "torus"
+
+let params_json (p : Params.t) =
+  Json.Obj
+    [
+      ("width", Json.Int p.Params.width);
+      ("height", Json.Int p.Params.height);
+      ("v", Json.Float p.Params.v);
+      ("nc", Json.Int p.Params.nc);
+      ("topology", Json.String (topology_string p.Params.topology));
+      ("t_move_us", Json.Float p.Params.t_move);
+    ]
+
+let float_array_json a =
+  Json.List (Array.to_list (Array.map (fun v -> Json.Float v) a))
+
+let breakdown_json (b : Estimator.breakdown) =
+  Json.Obj
+    [
+      ("latency_s", Json.Float b.Estimator.latency_s);
+      ("latency_us", Json.Float b.Estimator.latency_us);
+      ("avg_zone_area", Json.Float b.Estimator.avg_zone_area);
+      ("zone_clamped", Json.Bool b.Estimator.zone_clamped);
+      ("d_uncong_us", Json.Float b.Estimator.d_uncong);
+      ("l_cnot_avg_us", Json.Float b.Estimator.l_cnot_avg);
+      ("l_single_avg_us", Json.Float b.Estimator.l_single_avg);
+      ("qubits", Json.Int b.Estimator.qubits);
+      ("operations", Json.Int b.Estimator.operations);
+      ("degraded", Json.Bool b.Estimator.degraded);
+      ( "critical_cnots",
+        Json.Int b.Estimator.critical.Critical_path.counts.Critical_path.cnots
+      );
+      ("expected_surfaces", float_array_json b.Estimator.expected_surfaces);
+      ("congested_delays_us", float_array_json b.Estimator.congested_delays);
+    ]
+
+let contribution_json (c : Estimator.contribution) =
+  Json.Obj
+    [
+      ("label", Json.String c.Estimator.label);
+      ("count", Json.Int c.Estimator.count);
+      ("gate_time_us", Json.Float c.Estimator.gate_time);
+      ("routing_time_us", Json.Float c.Estimator.routing_time);
+    ]
+
+let sim_json (r : Qspr.result) =
+  Json.Obj
+    [
+      ("latency_s", Json.Float r.Qspr.latency_s);
+      ("latency_us", Json.Float r.Qspr.latency_us);
+      ("hops", Json.Int r.Qspr.stats.Scheduler.hops);
+      ("channel_wait_us", Json.Float r.Qspr.stats.Scheduler.channel_wait);
+      ( "avg_cnot_routing_us",
+        Json.Float (Scheduler.avg_cnot_routing r.Qspr.stats) );
+      ("ops_executed", Json.Int r.Qspr.stats.Scheduler.ops_executed);
+      ("search_nodes", Json.Int r.Qspr.stats.Scheduler.search_nodes);
+    ]
+
+let candidate_json (c : Selection.candidate) =
+  Json.Obj
+    [
+      ("code", Json.String (Code.name c.Selection.code));
+      ("latency_s", Json.Float c.Selection.latency_s);
+      ("p_fail", Json.Float c.Selection.failure_probability);
+      ("feasible", Json.Bool c.Selection.feasible);
+    ]
+
+let body_json = function
+  | Estimate e ->
+    ( "estimate",
+      Json.Obj
+        [
+          ("params", params_json e.params);
+          ("breakdown", breakdown_json e.breakdown);
+          ( "contributions",
+            Json.List (List.map contribution_json e.contributions) );
+          ("runtime_s", Json.Float e.estimator_runtime_s);
+        ] )
+  | Simulate s ->
+    ( "simulate",
+      Json.Obj
+        [
+          ("result", sim_json s.sim);
+          ("runtime_s", Json.Float s.mapper_runtime_s);
+        ] )
+  | Compare c ->
+    ( "compare",
+      Json.Obj
+        ([
+           ("estimated_s", Json.Float c.estimate.Estimator.latency_s);
+           ("leqa_runtime_s", Json.Float c.leqa_runtime_s);
+           ("degraded", Json.Bool (c.simulated = None));
+         ]
+        @ (match c.simulated with
+          | None -> []
+          | Some actual ->
+            [
+              ("actual_s", Json.Float actual.Qspr.latency_s);
+              ("qspr_runtime_s", Json.Float c.qspr_runtime_s);
+              ( "error",
+                Json.Float
+                  (Leqa_util.Stats.relative_error
+                     ~actual:actual.Qspr.latency_s
+                     ~estimated:c.estimate.Estimator.latency_s) );
+              ( "speedup",
+                Json.Float (c.qspr_runtime_s /. Float.max 1e-12 c.leqa_runtime_s) );
+            ])
+        @
+        match c.timeout_s with
+        | None -> []
+        | Some s -> [ ("timeout_s", Json.Float s) ]) )
+  | Sweep_fabric s ->
+    ( "sweep_fabric",
+      Json.Obj
+        [
+          ("v", Json.Float s.v);
+          ( "rows",
+            Json.List
+              (List.map
+                 (fun r ->
+                   Json.Obj
+                     [
+                       ("width", Json.Int r.side);
+                       ("height", Json.Int r.side);
+                       ("latency_s", Json.Float r.breakdown.Estimator.latency_s);
+                       ( "l_cnot_avg_us",
+                         Json.Float r.breakdown.Estimator.l_cnot_avg );
+                       ( "avg_zone_area",
+                         Json.Float r.breakdown.Estimator.avg_zone_area );
+                     ])
+                 s.rows) );
+          ("prep_reused", Json.Int s.prep_reused);
+        ] )
+  | Select_qecc q ->
+    ( "select_qecc",
+      Json.Obj
+        [
+          ("candidates", Json.List (List.map candidate_json q.candidates));
+          ( "chosen",
+            match q.chosen with
+            | None -> Json.Null
+            | Some c -> Json.String (Code.name c.Selection.code) );
+        ] )
+  | Info i ->
+    ( "info",
+      Json.Obj
+        [
+          ("logical_qubits", Json.Int (Circuit.num_qubits i.circuit));
+          ("logical_gates", Json.Int (Circuit.num_gates i.circuit));
+          ("ft_qubits", Json.Int (Ft_circuit.num_qubits i.ft));
+          ("ft_gates", Json.Int (Ft_circuit.num_gates i.ft));
+          ("qodg_nodes", Json.Int (Qodg.num_nodes i.qodg));
+          ("qodg_edges", Json.Int (Qodg.num_edges i.qodg));
+          ("logical_depth", Json.Int i.depth);
+          ("iig_qubits", Json.Int (Iig.num_qubits i.iig));
+          ("iig_edges", Json.Int (Iig.num_edges i.iig));
+        ] )
+  | Design d ->
+    ( "design",
+      Json.Obj
+        [
+          ( "ops",
+            Json.List
+              (List.map
+                 (fun (name, gate, ec) ->
+                   Json.Obj
+                     [
+                       ("op", Json.String name);
+                       ("gate_us", Json.Float gate);
+                       ("ec_us", Json.Float ec);
+                       ("total_us", Json.Float (gate +. ec));
+                     ])
+                 d.rows) );
+          ("t_move_us", Json.Float d.t_move);
+        ] )
+  | Gen g ->
+    ( "gen",
+      Json.Obj
+        ([
+           ("qubits", Json.Int g.gen_qubits);
+           ("gates", Json.Int g.gen_gates);
+         ]
+        @ (match g.out_path with
+          | None -> []
+          | Some p -> [ ("path", Json.String p) ])
+        @
+        match g.netlist with
+        | None -> []
+        | Some text -> [ ("netlist", Json.String text) ]) )
+
+let to_json t =
+  let key, body = body_json t.body in
+  Json.Obj
+    ([
+       ("schema_version", Json.String schema_version);
+       ("command", Json.String t.command);
+     ]
+    @ (match t.ft with
+      | None -> []
+      | Some ft -> [ ("circuit", circuit_json ft) ])
+    @ [ (key, body) ]
+    @
+    if Telemetry.is_noop t.telemetry then []
+    else [ ("telemetry", Telemetry.to_json t.telemetry) ])
+
+(* ---------------- human ---------------- *)
+
+let pp_ft ppf = function
+  | None -> ()
+  | Some ft -> Format.fprintf ppf "%a@." Ft_circuit.pp_summary ft
+
+let human_estimate ppf (e : estimate_body) =
+  let b = e.breakdown in
+  Format.fprintf ppf "B (avg zone area)  = %.2f@." b.Estimator.avg_zone_area;
+  if b.Estimator.zone_clamped then
+    Format.fprintf ppf
+      "warning: zone side ceil(sqrt B) exceeds the %dx%d fabric and was \
+       clamped — the coverage model is outside its assumptions@."
+      e.params.Params.width e.params.Params.height;
+  Format.fprintf ppf "d_uncongested      = %.1f us@." b.Estimator.d_uncong;
+  Format.fprintf ppf "L_CNOT^avg         = %.1f us@." b.Estimator.l_cnot_avg;
+  Format.fprintf ppf "L_1q^avg           = %.1f us@." b.Estimator.l_single_avg;
+  Format.fprintf ppf "estimated latency  = %.6f s@." b.Estimator.latency_s;
+  Format.fprintf ppf "estimator runtime  = %.4f s@." e.estimator_runtime_s;
+  Format.fprintf ppf "@.critical-path contributions:@.";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "  %-5s x%-6d gate %10.0f us   routing %10.0f us@."
+        r.Estimator.label r.Estimator.count r.Estimator.gate_time
+        r.Estimator.routing_time)
+    e.contributions
+
+let human_simulate ppf (s : simulate_body) =
+  Format.fprintf ppf "actual latency   = %.6f s@." s.sim.Qspr.latency_s;
+  Format.fprintf ppf "channel hops     = %d@."
+    s.sim.Qspr.stats.Scheduler.hops;
+  Format.fprintf ppf "channel wait     = %.1f us@."
+    s.sim.Qspr.stats.Scheduler.channel_wait;
+  Format.fprintf ppf "avg CNOT routing = %.1f us@."
+    (Scheduler.avg_cnot_routing s.sim.Qspr.stats);
+  Format.fprintf ppf "mapper runtime   = %.4f s@." s.mapper_runtime_s
+
+let human_compare ppf (c : compare_body) =
+  match c.simulated with
+  | Some actual ->
+    let err =
+      Leqa_util.Stats.relative_error ~actual:actual.Qspr.latency_s
+        ~estimated:c.estimate.Estimator.latency_s
+    in
+    Format.fprintf ppf "actual (QSPR)    = %.6f s   [%.4f s runtime]@."
+      actual.Qspr.latency_s c.qspr_runtime_s;
+    Format.fprintf ppf "estimated (LEQA) = %.6f s   [%.4f s runtime]@."
+      c.estimate.Estimator.latency_s c.leqa_runtime_s;
+    Format.fprintf ppf "absolute error   = %.2f%%@." (100.0 *. err);
+    Format.fprintf ppf "speedup          = %.1fx@."
+      (c.qspr_runtime_s /. Float.max 1e-12 c.leqa_runtime_s)
+  | None ->
+    Format.fprintf ppf "estimated (LEQA) = %.6f s   [%.4f s runtime]@."
+      c.estimate.Estimator.latency_s c.leqa_runtime_s;
+    Format.fprintf ppf
+      "QSPR simulation hit the %gs timeout — degraded to the analytic \
+       estimate (no error/speedup figures)@."
+      (Option.value c.timeout_s ~default:0.0)
+
+let human_sweep ppf (s : sweep_body) =
+  let table =
+    Table.create
+      ~columns:
+        [
+          ("fabric", Table.Left);
+          ("LEQA D (s)", Table.Right);
+          ("L_CNOT (us)", Table.Right);
+        ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row table
+        [
+          Printf.sprintf "%dx%d" r.side r.side;
+          Printf.sprintf "%.6f" r.breakdown.Estimator.latency_s;
+          Printf.sprintf "%.1f" r.breakdown.Estimator.l_cnot_avg;
+        ])
+    s.rows;
+  Format.fprintf ppf "%s@." (Table.render table)
+
+let human_qecc ppf (q : qecc_body) =
+  let table =
+    Table.create
+      ~columns:
+        [
+          ("code", Table.Left);
+          ("latency (s)", Table.Right);
+          ("p_fail", Table.Right);
+          ("feasible", Table.Left);
+        ]
+  in
+  List.iter
+    (fun c ->
+      Table.add_row table
+        [
+          Code.name c.Selection.code;
+          Printf.sprintf "%.4f" c.Selection.latency_s;
+          Printf.sprintf "%.2e" c.Selection.failure_probability;
+          (if c.Selection.feasible then "yes" else "no");
+        ])
+    q.candidates;
+  Format.fprintf ppf "%s@." (Table.render table);
+  match q.chosen with
+  | Some c -> Format.fprintf ppf "chosen: %s@." (Code.name c.Selection.code)
+  | None -> Format.fprintf ppf "no feasible code within 4 levels@."
+
+let human_info ppf (i : info_body) =
+  Format.fprintf ppf "%a@." Circuit.pp_summary i.circuit;
+  Format.fprintf ppf "%a@." Ft_circuit.pp_summary i.ft;
+  Format.fprintf ppf "%a@." Qodg.pp_summary i.qodg;
+  Format.fprintf ppf "logical depth: %d@." i.depth;
+  Format.fprintf ppf "%a@." Iig.pp_summary i.iig
+
+let human_design ppf (d : design_body) =
+  let table =
+    Table.create
+      ~columns:
+        [
+          ("FT op", Table.Left);
+          ("gate (us)", Table.Right);
+          ("EC (us)", Table.Right);
+          ("total (us)", Table.Right);
+        ]
+  in
+  List.iter
+    (fun (name, gate, ec) ->
+      Table.add_row table
+        [
+          name;
+          Printf.sprintf "%.0f" gate;
+          Printf.sprintf "%.0f" ec;
+          Printf.sprintf "%.0f" (gate +. ec);
+        ])
+    d.rows;
+  Format.fprintf ppf "%s@." (Table.render table);
+  Format.fprintf ppf "t_move = %.0f us@." d.t_move
+
+let human_gen ppf (g : gen_body) =
+  match (g.out_path, g.netlist) with
+  | Some path, _ ->
+    Format.fprintf ppf "wrote %s (%d qubits, %d gates)@." path g.gen_qubits
+      g.gen_gates
+  | None, Some text -> Format.fprintf ppf "%s" text
+  | None, None -> ()
+
+let to_human ppf t =
+  (* info renders its own circuit line-up; every other body leads with
+     the FT summary, exactly as the pre-redesign subcommands did *)
+  (match t.body with
+  | Info _ | Gen _ | Sweep_fabric _ | Design _ -> ()
+  | _ -> pp_ft ppf t.ft);
+  match t.body with
+  | Estimate e -> human_estimate ppf e
+  | Simulate s -> human_simulate ppf s
+  | Compare c -> human_compare ppf c
+  | Sweep_fabric s -> human_sweep ppf s
+  | Select_qecc q -> human_qecc ppf q
+  | Info i -> human_info ppf i
+  | Design d -> human_design ppf d
+  | Gen g -> human_gen ppf g
+
+let print format t =
+  match format with
+  | Human -> Format.printf "%a" to_human t
+  | Json -> print_endline (Json.to_string (to_json t))

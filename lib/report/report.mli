@@ -1,0 +1,117 @@
+(** The unified, versioned result API.
+
+    Every CLI subcommand (and the bench harness) produces one {!t}: a
+    typed wrapper around the tool's actual result — the estimator
+    breakdown, the QSPR comparison, sweep rows, QECC candidates — plus
+    the telemetry registry that watched the run.  One renderer pair
+    ({!to_human}, {!to_json}) replaces the per-subcommand printf code:
+    humans read the same text as before, machines get a stable JSON
+    document stamped [schema_version = "leqa/report/v1"] whose key order
+    never changes between runs (golden-tested).
+
+    The JSON envelope:
+
+    {v
+    { "schema_version": "leqa/report/v1",
+      "command": "estimate",
+      "circuit": { qubits, gates, cnots, singles },   (when known)
+      "<command>": { … body … },
+      "telemetry": { spans, counters, gauges }        (when collected)
+    }
+    v} *)
+
+module Estimator = Leqa_core.Estimator
+
+type format = Human | Json
+(** The CLI-wide [--format] values. *)
+
+type estimate_body = {
+  params : Leqa_fabric.Params.t;
+  breakdown : Estimator.breakdown;
+  contributions : Estimator.contribution list;
+  estimator_runtime_s : float;
+}
+
+type simulate_body = {
+  sim : Leqa_qspr.Qspr.result;
+  mapper_runtime_s : float;
+}
+
+type compare_body = {
+  estimate : Estimator.breakdown;
+  simulated : Leqa_qspr.Qspr.result option;
+      (** [None] when the simulation hit the timeout and the comparison
+          degraded to the analytic estimate *)
+  qspr_runtime_s : float;
+  leqa_runtime_s : float;
+  timeout_s : float option;
+}
+
+type sweep_row = { side : int; breakdown : Estimator.breakdown }
+
+type sweep_body = {
+  v : float;
+  rows : sweep_row list;
+  prep_reused : int;  (** fabric points served by one shared preparation *)
+}
+
+type qecc_body = {
+  candidates : Leqa_qecc.Selection.candidate list;
+  chosen : Leqa_qecc.Selection.candidate option;
+}
+
+type info_body = {
+  circuit : Leqa_circuit.Circuit.t;
+  ft : Leqa_circuit.Ft_circuit.t;
+  qodg : Leqa_qodg.Qodg.t;
+  depth : int;
+  iig : Leqa_iig.Iig.t;
+}
+
+type design_body = {
+  rows : (string * float * float) list;  (** name, gate µs, EC µs *)
+  t_move : float;
+}
+
+type gen_body = {
+  out_path : string option;  (** [None]: the netlist went to stdout *)
+  netlist : string option;  (** the netlist text, when not written out *)
+  gen_qubits : int;
+  gen_gates : int;
+}
+
+type body =
+  | Estimate of estimate_body
+  | Simulate of simulate_body
+  | Compare of compare_body
+  | Sweep_fabric of sweep_body
+  | Select_qecc of qecc_body
+  | Info of info_body
+  | Design of design_body
+  | Gen of gen_body
+
+type t
+
+val schema_version : string
+(** ["leqa/report/v1"]. *)
+
+val make :
+  command:string ->
+  ?ft:Leqa_circuit.Ft_circuit.t ->
+  ?telemetry:Leqa_util.Telemetry.t ->
+  body ->
+  t
+(** [ft] supplies the circuit summary block; [telemetry] (default: the
+    no-op sink, which is omitted from both renderings) embeds the metrics
+    block. *)
+
+val to_json : t -> Leqa_util.Json.t
+(** Stable key order: construction order of the envelope, sorted
+    counter/gauge names inside the telemetry block. *)
+
+val to_human : Format.formatter -> t -> unit
+(** The pre-redesign per-subcommand text, verbatim where possible. *)
+
+val print : format -> t -> unit
+(** [Human]: {!to_human} to stdout.  [Json]: {!to_json} compactly on one
+    line to stdout. *)

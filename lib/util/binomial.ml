@@ -48,6 +48,8 @@ let log_choose_table ~n ~kmax =
   Mutex.lock table_mutex;
   let cached = Hashtbl.find_opt tables key in
   Mutex.unlock table_mutex;
+  Telemetry.ambient_count
+    (if cached = None then "binomial.table.miss" else "binomial.table.hit");
   match cached with
   | Some t -> Array.copy t
   | None ->

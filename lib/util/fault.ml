@@ -86,7 +86,9 @@ let configure spec =
       (fun (site, mode) -> Hashtbl.replace table site { mode; hits = 0 })
       faults;
     any_armed := Hashtbl.length table > 0;
+    let armed_sites = Hashtbl.length table in
     Mutex.unlock mutex;
+    Telemetry.ambient_gauge "fault.armed_sites" (float_of_int armed_sites);
     Ok ()
 
 let configure_from_env () =
@@ -116,6 +118,7 @@ let fires site =
         | Prob (p, seed) -> coin ~seed ~hit_index:f.hits ~p)
     in
     Mutex.unlock mutex;
+    if result then Telemetry.ambient_count ("fault.fired." ^ site);
     result
   end
 

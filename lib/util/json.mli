@@ -1,6 +1,7 @@
-(** Minimal JSON emitter (no parser) for machine-readable experiment
-    results — enough for the bench harness to dump its tables without an
-    external dependency. *)
+(** Minimal JSON emitter and parser for machine-readable experiment
+    results and reports — enough for the bench harness, the report
+    renderer and the @report-smoke round-trip gate without an external
+    dependency. *)
 
 type t =
   | Null
@@ -18,3 +19,16 @@ val to_string : t -> string
 val to_channel : out_channel -> t -> unit
 
 val write_file : string -> t -> unit
+
+val of_string : string -> (t, string) result
+(** Parse one JSON value (RFC 8259 subset: no duplicate-key detection;
+    numbers without [.], [e] or [E] that fit in an OCaml [int] parse as
+    [Int], everything else as [Float]; [\uXXXX] escapes are decoded to
+    UTF-8).  Trailing non-whitespace input is an error.  The error string
+    names the byte offset of the failure. *)
+
+val member : string -> t -> t option
+(** [member key (Obj fields)] — [None] for missing keys or non-objects. *)
+
+val keys : t -> string list
+(** Key list of an [Obj] in emission order; [[]] otherwise. *)

@@ -28,6 +28,7 @@ module Deadline = struct
     else Float.max 0.0 (d.expires_at -. Unix.gettimeofday ())
 
   let check ?(site = "deadline") d =
+    Telemetry.ambient_count "deadline.check";
     if expired d then
       Error.raise_error (Error.Timed_out { site; budget_s = d.budget_s })
 end
@@ -55,10 +56,22 @@ type batch = {
 
 let default_chunk = 128
 
+(* Accumulated under the pool mutex (workers and the helping caller both
+   hold it around their condition waits), reported as the
+   pool.idle_us counter. *)
+let timed_wait pool =
+  if Telemetry.ambient_active () then begin
+    let t0 = Unix.gettimeofday () in
+    Condition.wait pool.wake pool.mutex;
+    Telemetry.ambient_count_n "pool.idle_us"
+      (int_of_float ((Unix.gettimeofday () -. t0) *. 1e6))
+  end
+  else Condition.wait pool.wake pool.mutex
+
 let rec worker pool =
   Mutex.lock pool.mutex;
   while Queue.is_empty pool.queue && not pool.stopping do
-    Condition.wait pool.wake pool.mutex
+    timed_wait pool
   done;
   if Queue.is_empty pool.queue then Mutex.unlock pool.mutex (* stopping *)
   else begin
@@ -101,6 +114,7 @@ let run_batch pool (thunks : task array) =
     let wrap thunk () =
       (try
          Fault.hit "pool.task";
+         Telemetry.ambient_count "pool.task";
          thunk ()
        with e ->
          let bt = Printexc.get_raw_backtrace () in
@@ -121,7 +135,7 @@ let run_batch pool (thunks : task array) =
     Condition.broadcast pool.wake;
     (* help until the batch drains *)
     while batch.pending > 0 do
-      if Queue.is_empty pool.queue then Condition.wait pool.wake pool.mutex
+      if Queue.is_empty pool.queue then timed_wait pool
       else begin
         let task = Queue.pop pool.queue in
         Mutex.unlock pool.mutex;
@@ -147,6 +161,7 @@ let parallel_for pool ?(deadline = Deadline.never) ?(chunk = default_chunk) n
       Array.iter
         (fun (lo, hi) ->
           Deadline.check ~site:"pool.chunk" deadline;
+          Telemetry.ambient_count "pool.chunk";
           for i = lo to hi - 1 do body i done)
         (chunk_bounds ~chunk ~n)
     else
@@ -154,6 +169,7 @@ let parallel_for pool ?(deadline = Deadline.never) ?(chunk = default_chunk) n
         (Array.map
            (fun (lo, hi) () ->
              Deadline.check ~site:"pool.chunk" deadline;
+             Telemetry.ambient_count "pool.chunk";
              for i = lo to hi - 1 do body i done)
            (chunk_bounds ~chunk ~n))
 

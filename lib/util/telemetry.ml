@@ -1,0 +1,189 @@
+type span_record = {
+  id : int;
+  parent : int;
+  name : string;
+  start_s : float;
+  dur_s : float;
+}
+
+(* One mutex per registry covers counters, gauges and the span store.
+   Spans are opened/closed from a single flow of control, but counters
+   arrive from pool worker domains concurrently. *)
+type t = {
+  active : bool;  (* false only for [noop] *)
+  mutex : Mutex.t;
+  epoch : float;  (* gettimeofday at creation; span times are relative *)
+  mutable records : span_record list;  (* closed spans, reverse open order *)
+  mutable next_id : int;
+  mutable open_stack : int list;  (* ids of currently open spans *)
+  counters : (string, int ref) Hashtbl.t;
+  gauges : (string, float) Hashtbl.t;
+}
+
+let make ~active =
+  {
+    active;
+    mutex = Mutex.create ();
+    epoch = Unix.gettimeofday ();
+    records = [];
+    next_id = 0;
+    open_stack = [];
+    counters = Hashtbl.create 32;
+    gauges = Hashtbl.create 8;
+  }
+
+let noop = make ~active:false
+let create () = make ~active:true
+let is_noop t = not t.active
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+(* ---------------- spans ---------------- *)
+
+let span t name f =
+  if not t.active then f ()
+  else begin
+    let id, parent, start_s =
+      locked t (fun () ->
+          let id = t.next_id in
+          t.next_id <- id + 1;
+          let parent = match t.open_stack with [] -> -1 | p :: _ -> p in
+          t.open_stack <- id :: t.open_stack;
+          (id, parent, Unix.gettimeofday () -. t.epoch))
+    in
+    let close () =
+      let dur_s = Unix.gettimeofday () -. t.epoch -. start_s in
+      locked t (fun () ->
+          (* tolerate a child left open by an exception: pop to this id *)
+          let rec pop = function
+            | i :: rest when i <> id -> pop rest
+            | i :: rest when i = id -> rest
+            | stack -> stack
+          in
+          t.open_stack <- pop t.open_stack;
+          t.records <- { id; parent; name; start_s; dur_s } :: t.records)
+    in
+    Fun.protect ~finally:close f
+  end
+
+let spans t =
+  if not t.active then []
+  else
+    locked t (fun () ->
+        List.sort (fun a b -> compare a.id b.id) t.records)
+
+(* ---------------- counters / gauges ---------------- *)
+
+let count_n t name n =
+  if t.active then
+    locked t (fun () ->
+        match Hashtbl.find_opt t.counters name with
+        | Some r -> r := !r + n
+        | None -> Hashtbl.add t.counters name (ref n))
+
+let count t name = count_n t name 1
+
+let gauge t name v =
+  if t.active then locked t (fun () -> Hashtbl.replace t.gauges name v)
+
+let counter_value t name =
+  if not t.active then 0
+  else
+    locked t (fun () ->
+        match Hashtbl.find_opt t.counters name with
+        | Some r -> !r
+        | None -> 0)
+
+let gauge_value t name =
+  if not t.active then None
+  else locked t (fun () -> Hashtbl.find_opt t.gauges name)
+
+let sorted_bindings tbl value =
+  List.sort (fun (a, _) (b, _) -> compare a b)
+    (Hashtbl.fold (fun k v acc -> (k, value v) :: acc) tbl [])
+
+let counters t =
+  if not t.active then []
+  else locked t (fun () -> sorted_bindings t.counters (fun r -> !r))
+
+let gauges t =
+  if not t.active then []
+  else locked t (fun () -> sorted_bindings t.gauges Fun.id)
+
+(* ---------------- ambient sink ---------------- *)
+
+(* A plain ref: installation happens once, before parallel sections
+   start, and probes only read it.  The registry itself is mutex-guarded,
+   so domain races on the *contents* are safe either way. *)
+let ambient_sink = ref noop
+
+let install t = ambient_sink := t
+let uninstall () = ambient_sink := noop
+let ambient () = !ambient_sink
+let ambient_active () = (!ambient_sink).active
+
+let ambient_count name =
+  let t = !ambient_sink in
+  if t.active then count t name
+
+let ambient_count_n name n =
+  let t = !ambient_sink in
+  if t.active then count_n t name n
+
+let ambient_gauge name v =
+  let t = !ambient_sink in
+  if t.active then gauge t name v
+
+(* ---------------- serialization ---------------- *)
+
+let trace_schema_version = "leqa/trace/v1"
+
+let total_s t =
+  match spans t with
+  | [] -> 0.0
+  | root :: _ when root.parent = -1 -> root.dur_s
+  | all ->
+    List.fold_left (fun acc s -> Float.max acc (s.start_s +. s.dur_s)) 0.0 all
+
+let unattributed_s t =
+  match spans t with
+  | root :: (_ :: _ as rest) when root.parent = -1 ->
+    let children = List.filter (fun s -> s.parent = root.id) rest in
+    if children = [] then 0.0
+    else
+      Float.max 0.0
+        (root.dur_s
+        -. List.fold_left (fun acc s -> acc +. s.dur_s) 0.0 children)
+  | _ -> 0.0
+
+let to_json t =
+  Json.Obj
+    [
+      ("schema_version", Json.String trace_schema_version);
+      ("total_s", Json.Float (total_s t));
+      ("unattributed_s", Json.Float (unattributed_s t));
+      ( "spans",
+        Json.List
+          (List.map
+             (fun s ->
+               Json.Obj
+                 [
+                   ("id", Json.Int s.id);
+                   ("parent", Json.Int s.parent);
+                   ("name", Json.String s.name);
+                   ("start_s", Json.Float s.start_s);
+                   ("dur_s", Json.Float s.dur_s);
+                 ])
+             (spans t)) );
+      ( "counters",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (counters t)) );
+      ( "gauges",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) (gauges t)) );
+    ]
+
+let write_trace path t =
+  match Json.write_file path (to_json t) with
+  | () -> ()
+  | exception Sys_error msg -> Error.raise_error (Error.Io_error msg)

@@ -1,0 +1,115 @@
+(** Zero-dependency tracing and metrics for the estimation pipeline.
+
+    Two kinds of instrumentation feed one in-memory registry:
+
+    - {e Spans}: monotonic wall-clock timers opened and closed around the
+      estimator's phases (IIG build, coverage grids, congestion delays,
+      critical path, …).  Spans nest: the registry keeps an open-span
+      stack, so a span started while another is open records it as its
+      parent, and the serialized trace is a tree.
+    - {e Counters / gauges}: named integers and floats for the quantities
+      a phase timer cannot see — memo-cache hits and evictions,
+      binomial-table reuse, pool chunk throughput and idle time, QSPR
+      scheduler pops, deadline checks, fault-site arms.
+
+    {2 Cost model}
+
+    The registry has a distinguished {!noop} instance and an optional
+    process-wide {e ambient} sink.  Library entry points take
+    [?telemetry:(t = noop)]; deep kernels (caches, the pool, the
+    scheduler) report through {!ambient_count} and friends.  When nothing
+    is installed, every probe is one ref read and a branch — the bench
+    harness measures this "off" cost at well under 1% of an estimate
+    (see the [telemetry] section of BENCH_PR3.json).
+
+    {2 Threading}
+
+    Counters and gauges are mutex-guarded and may be updated from pool
+    worker domains.  Spans must be opened/closed from a single flow of
+    control per registry (the estimator's phases run on the calling
+    thread, so this holds throughout the repository). *)
+
+type t
+
+val noop : t
+(** Drops everything.  The default sink of every [?telemetry] argument. *)
+
+val create : unit -> t
+(** A fresh, empty, collecting registry. *)
+
+val is_noop : t -> bool
+
+(** {2 Spans} *)
+
+val span : t -> string -> (unit -> 'a) -> 'a
+(** [span t name f] times [f ()] between open and close, recording the
+    span under the currently open span (if any).  Exception-safe: the
+    span closes even if [f] raises.  On {!noop} it is just [f ()]. *)
+
+type span_record = {
+  id : int;  (** index in open order; the root span of a trace is id 0 *)
+  parent : int;  (** id of the enclosing span, or [-1] for a root *)
+  name : string;
+  start_s : float;  (** seconds since the registry was created *)
+  dur_s : float;
+}
+
+val spans : t -> span_record list
+(** Completed spans, in open order.  Spans still open are not listed. *)
+
+(** {2 Counters and gauges} *)
+
+val count : t -> string -> unit
+val count_n : t -> string -> int -> unit
+val gauge : t -> string -> float -> unit
+(** Last-write-wins named float. *)
+
+val counter_value : t -> string -> int
+(** 0 if never incremented. *)
+
+val gauge_value : t -> string -> float option
+val counters : t -> (string * int) list
+(** Sorted by name — serialization order is stable. *)
+
+val gauges : t -> (string * float) list
+
+(** {2 The ambient sink}
+
+    Deep instrumentation sites (memo caches, the domain pool, the QSPR
+    event loop, fault probes) have no [?telemetry] argument path; they
+    report to the process-wide ambient registry instead.  Nothing is
+    installed by default, so library users pay only the probe branch. *)
+
+val install : t -> unit
+(** Make [t] the ambient registry ({!noop} uninstalls). *)
+
+val uninstall : unit -> unit
+val ambient_active : unit -> bool
+(** [true] iff a collecting registry is installed — lets a site skip
+    building an expensive measurement (e.g. timing pool idle waits). *)
+
+val ambient : unit -> t
+(** The installed registry, or {!noop}. *)
+
+val ambient_count : string -> unit
+val ambient_count_n : string -> int -> unit
+val ambient_gauge : string -> float -> unit
+
+(** {2 Serialization} *)
+
+val trace_schema_version : string
+(** ["leqa/trace/v1"]. *)
+
+val to_json : t -> Json.t
+(** [{schema_version; total_s; spans: [{name; id; parent; start_s;
+    dur_s}]; counters: {…}; gauges: {…}}] — spans in open order,
+    counters and gauges sorted by name (stable key order). *)
+
+val write_trace : string -> t -> unit
+(** {!to_json} to a file, newline-terminated.
+    @raise Error.Error ([Io_error]) if the file cannot be written. *)
+
+val unattributed_s : t -> float
+(** For a trace whose first span is the root: root duration minus the
+    summed durations of its direct children (0 when there is no root or
+    no children) — the wall time no phase span accounts for. *)

@@ -1,0 +1,153 @@
+(* End-to-end report smoke: drives the real leqa binary with
+   --format json across every subcommand and asserts the leqa/report/v1
+   contract — the document parses with Leqa_util.Json, carries the
+   schema_version and command fields, and reserializes to identical
+   bytes (round-trip).  Also checks the --trace span tree: well-formed
+   parents and < 3% unattributed wall time on the estimate command.
+
+   Usage: report_smoke <path-to-leqa-cli> <corpus-dir> *)
+
+module Json = Leqa_util.Json
+
+let cli = ref ""
+let corpus = ref ""
+let failures = ref 0
+let checks = ref 0
+
+let check name ok detail =
+  incr checks;
+  if ok then Printf.printf "ok   %s\n%!" name
+  else begin
+    incr failures;
+    Printf.printf "FAIL %s\n     %s\n%!" name detail
+  end
+
+let out_file = Filename.temp_file "leqa_report" ".out"
+
+let run_cli args =
+  let cmd =
+    Printf.sprintf "%s %s >%s 2>/dev/null"
+      (Filename.quote !cli)
+      (String.concat " " (List.map Filename.quote args))
+      (Filename.quote out_file)
+  in
+  let code = Sys.command cmd in
+  let ic = open_in out_file in
+  let n = in_channel_length ic in
+  let out = really_input_string ic n in
+  close_in ic;
+  (code, out)
+
+let read_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* one subcommand: exit 0, stdout is exactly one JSON document with the
+   versioned envelope, and parse -> emit -> parse is byte-stable *)
+let expect_report name ~command args =
+  let code, out = run_cli (args @ [ "--format"; "json" ]) in
+  check (Printf.sprintf "%-28s exit 0" name) (code = 0)
+    (Printf.sprintf "exit %d" code);
+  match Json.of_string (String.trim out) with
+  | Error e ->
+    check (Printf.sprintf "%-28s parses" name) false e
+  | Ok j ->
+    check (Printf.sprintf "%-28s parses" name) true "";
+    check
+      (Printf.sprintf "%-28s schema_version" name)
+      (Json.member "schema_version" j
+      = Some (Json.String "leqa/report/v1"))
+      (String.trim out);
+    check
+      (Printf.sprintf "%-28s command" name)
+      (Json.member "command" j = Some (Json.String command))
+      (String.trim out);
+    check
+      (Printf.sprintf "%-28s body present" name)
+      (Json.member (String.map (fun c -> if c = '-' then '_' else c) command)
+         j
+      <> None)
+      (String.trim out);
+    let reserialized = Json.to_string j in
+    check
+      (Printf.sprintf "%-28s round-trip" name)
+      (match Json.of_string reserialized with
+      | Ok j' -> Json.to_string j' = reserialized
+      | Error _ -> false)
+      "reserialized document changed"
+
+let () =
+  (match Sys.argv with
+  | [| _; c; d |] ->
+    cli := c;
+    corpus := d
+  | _ ->
+    prerr_endline "usage: report_smoke <leqa-cli> <corpus-dir>";
+    exit 2);
+  let ok = Filename.concat !corpus "ok_small.tfc" in
+  let gen_out = Filename.temp_file "leqa_gen" ".tfc" in
+  expect_report "estimate" ~command:"estimate" [ "estimate"; "-f"; ok ];
+  expect_report "simulate" ~command:"simulate" [ "simulate"; "-f"; ok ];
+  expect_report "compare" ~command:"compare" [ "compare"; "-f"; ok ];
+  expect_report "sweep-fabric" ~command:"sweep-fabric"
+    [ "sweep-fabric"; "-f"; ok; "--sizes"; "10,20" ];
+  expect_report "select-qecc" ~command:"select-qecc"
+    [ "select-qecc"; "-f"; ok ];
+  expect_report "info" ~command:"info" [ "info"; "-f"; ok ];
+  expect_report "design" ~command:"design" [ "design" ];
+  expect_report "gen" ~command:"gen"
+    [ "gen"; "-b"; "qft:4"; "-o"; gen_out ];
+  Sys.remove gen_out;
+  (* --trace: a well-formed span tree whose phases cover > 97% of the
+     root's wall time (the PR's < 3% unattributed acceptance bar) *)
+  let trace = Filename.temp_file "leqa_trace" ".json" in
+  let code, _ =
+    run_cli [ "estimate"; "-f"; ok; "--trace"; trace ]
+  in
+  check "estimate --trace exit 0" (code = 0) "";
+  (match Json.of_string (read_file trace) with
+  | Error e -> check "trace parses" false e
+  | Ok j ->
+    check "trace parses" true "";
+    check "trace schema"
+      (Json.member "schema_version" j = Some (Json.String "leqa/trace/v1"))
+      (Json.to_string j);
+    let spans =
+      match Json.member "spans" j with Some (Json.List l) -> l | _ -> []
+    in
+    check "trace has phase spans" (List.length spans >= 6)
+      (Printf.sprintf "%d spans" (List.length spans));
+    let ids =
+      List.filter_map
+        (fun s -> match Json.member "id" s with
+          | Some (Json.Int i) -> Some i
+          | _ -> None)
+        spans
+    in
+    let parents_ok =
+      List.for_all
+        (fun s ->
+          match (Json.member "id" s, Json.member "parent" s) with
+          | Some (Json.Int i), Some (Json.Int p) ->
+            p < i && (p = -1 || List.mem p ids)
+          | _ -> false)
+        spans
+    in
+    check "span parents well-formed" parents_ok (Json.to_string j);
+    let num = function
+      | Some (Json.Float f) -> f
+      | Some (Json.Int i) -> float_of_int i
+      | _ -> nan
+    in
+    let total = num (Json.member "total_s" j) in
+    let unattributed = num (Json.member "unattributed_s" j) in
+    check "unattributed < 3% of wall time"
+      (total > 0.0 && unattributed /. total < 0.03)
+      (Printf.sprintf "unattributed %.3g of %.3g s" unattributed total));
+  Sys.remove trace;
+  Sys.remove out_file;
+  Printf.printf "\n%d checks, %d failures\n%!" !checks !failures;
+  if !failures > 0 then exit 1

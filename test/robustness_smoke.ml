@@ -51,7 +51,7 @@ let expect_exit name ?env ?(json = false) ~code args =
     (Printf.sprintf "expected exit %d, got %d (stderr: %s)" code got
        (String.trim err));
   (* the error contract: exactly one line on stderr, and under
-     --error-format json that line is a JSON object with the code *)
+     --format json that line is a JSON object with the code *)
   (match trimmed_lines err with
   | [ line ] ->
     if json then
@@ -101,13 +101,13 @@ let () =
   (* one corpus file double-checked under the JSON renderer *)
   expect_exit "json renderer on parse error" ~code:65 ~json:true
     [ "info"; "-f"; Filename.concat !corpus "e65_missing_end.tfc";
-      "--error-format"; "json" ];
+      "--format"; "json" ];
   (* the rest of the taxonomy, end to end *)
   expect_exit "usage: no input" ~code:64 [ "estimate" ];
   expect_exit "usage: bad --jobs" ~code:64 [ "estimate"; "-f"; ok; "--jobs"; "0" ];
   expect_exit "io: missing file" ~code:66 [ "info"; "-f"; "no/such/file.tfc" ];
   expect_exit "io: missing file (json)" ~code:66 ~json:true
-    [ "info"; "-f"; "no/such/file.tfc"; "--error-format"; "json" ];
+    [ "info"; "-f"; "no/such/file.tfc"; "--format"; "json" ];
   expect_exit "fabric: zero width" ~code:71
     [ "estimate"; "-f"; ok; "--width"; "0" ];
   expect_exit "config: zero terms" ~code:78
@@ -117,13 +117,13 @@ let () =
   expect_exit "fault: parser site" ~env:"LEQA_FAULTS=parser" ~code:74
     [ "info"; "-f"; ok ];
   expect_exit "fault: parser site (json)" ~env:"LEQA_FAULTS=parser" ~code:74
-    ~json:true [ "info"; "-f"; ok; "--error-format"; "json" ];
+    ~json:true [ "info"; "-f"; ok; "--format"; "json" ];
   expect_exit "fault: qspr.step site" ~env:"LEQA_FAULTS=qspr.step:n=3" ~code:74
     [ "simulate"; "-f"; ok ];
   expect_exit "timeout: estimate" ~code:75
     [ "estimate"; "-f"; ok; "--timeout"; "1e-9" ];
   expect_exit "timeout: estimate (json)" ~code:75 ~json:true
-    [ "estimate"; "-f"; ok; "--timeout"; "1e-9"; "--error-format"; "json" ];
+    [ "estimate"; "-f"; ok; "--timeout"; "1e-9"; "--format"; "json" ];
   expect_exit "timeout: simulate" ~code:75
     [ "simulate"; "-f"; ok; "--timeout"; "1e-9" ];
   expect_exit "usage: non-positive timeout" ~code:64
@@ -132,6 +132,31 @@ let () =
      estimate stands in (exit 0) *)
   let got, err = run_cli [ "compare"; "-f"; ok; "--timeout"; "1e-9" ] in
   check "compare --timeout degrades to exit 0" (got = 0) (String.trim err);
+  (* the deprecated --error-format alias still works but costs exactly one
+     extra stderr line: the one-time deprecation warning, then the error *)
+  let got, err =
+    run_cli [ "info"; "-f"; "no/such/file.tfc"; "--error-format"; "json" ]
+  in
+  check "deprecated --error-format alias exit 66" (got = 66) (String.trim err);
+  (match trimmed_lines err with
+  | [ warn; line ] ->
+    let contains hay needle =
+      let n = String.length needle in
+      let rec go i =
+        i + n <= String.length hay
+        && (String.sub hay i n = needle || go (i + 1))
+      in
+      go 0
+    in
+    check "deprecated alias warns then errors"
+      (contains warn "deprecated"
+      && String.length line > 1
+      && line.[0] = '{'
+      && line.[String.length line - 1] = '}')
+      (String.trim err)
+  | lines ->
+    check "deprecated alias warns then errors" false
+      (Printf.sprintf "expected 2 stderr lines, got %d" (List.length lines)));
   Sys.remove stderr_file;
   Printf.printf "\n%d checks, %d failures\n%!" !checks !failures;
   if !failures > 0 then exit 1

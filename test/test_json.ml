@@ -46,6 +46,83 @@ let test_write_file () =
       close_in ic;
       str "file contents" "{\"ok\":true}" line)
 
+let parse s =
+  match Json.of_string s with
+  | Ok j -> j
+  | Error e -> Alcotest.failf "parse %S: %s" s e
+
+let expect_error s =
+  match Json.of_string s with
+  | Ok _ -> Alcotest.failf "expected %S to fail" s
+  | Error e ->
+    Alcotest.(check bool) "error names an offset" true
+      (String.length e > 0)
+
+let test_parse_scalars () =
+  Alcotest.(check bool) "null" true (parse "null" = Json.Null);
+  Alcotest.(check bool) "true" true (parse "true" = Json.Bool true);
+  Alcotest.(check bool) "false" true (parse " false " = Json.Bool false);
+  Alcotest.(check bool) "int" true (parse "42" = Json.Int 42);
+  Alcotest.(check bool) "negative int" true (parse "-7" = Json.Int (-7));
+  (* a decimal point or exponent keeps the value a float *)
+  Alcotest.(check bool) "float" true (parse "42.0" = Json.Float 42.0);
+  Alcotest.(check bool) "exponent" true (parse "1e3" = Json.Float 1000.0);
+  Alcotest.(check bool) "string" true (parse "\"hi\"" = Json.String "hi")
+
+let test_parse_structures () =
+  Alcotest.(check bool) "array" true
+    (parse "[1, 2, 3]" = Json.List [ Json.Int 1; Json.Int 2; Json.Int 3 ]);
+  Alcotest.(check bool) "empty array" true (parse "[]" = Json.List []);
+  Alcotest.(check bool) "empty object" true (parse "{}" = Json.Obj []);
+  Alcotest.(check bool) "nested" true
+    (parse "{\"a\": [true, null], \"b\": {\"c\": 0.5}}"
+    = Json.Obj
+        [
+          ("a", Json.List [ Json.Bool true; Json.Null ]);
+          ("b", Json.Obj [ ("c", Json.Float 0.5) ]);
+        ])
+
+let test_parse_escapes () =
+  Alcotest.(check bool) "newline" true (parse "\"a\\nb\"" = Json.String "a\nb");
+  Alcotest.(check bool) "quote" true (parse "\"a\\\"b\"" = Json.String "a\"b");
+  Alcotest.(check bool) "unicode bmp" true
+    (parse "\"\\u00e9\"" = Json.String "\xc3\xa9");
+  (* surrogate pair: U+1F600 as UTF-8 *)
+  Alcotest.(check bool) "surrogate pair" true
+    (parse "\"\\ud83d\\ude00\"" = Json.String "\xf0\x9f\x98\x80")
+
+let test_parse_errors () =
+  expect_error "";
+  expect_error "nul";
+  expect_error "{\"a\":}";
+  expect_error "[1,]";
+  expect_error "\"unterminated";
+  expect_error "{\"a\":1} trailing";
+  expect_error "{'single':1}"
+
+let test_round_trip () =
+  let doc =
+    Json.Obj
+      [
+        ("schema_version", Json.String "leqa/report/v1");
+        ("n", Json.Int 42);
+        ("x", Json.Float 0.125);
+        ("flags", Json.List [ Json.Bool true; Json.Null ]);
+        ("nested", Json.Obj [ ("s", Json.String "a\"b\nc") ]);
+      ]
+  in
+  let text = Json.to_string doc in
+  Alcotest.(check bool) "emit/parse round-trip" true (parse text = doc);
+  (* and the reparse serializes back to identical bytes *)
+  str "byte-stable" text (Json.to_string (parse text))
+
+let test_member_keys () =
+  let j = parse "{\"a\": 1, \"b\": 2}" in
+  Alcotest.(check bool) "member hit" true (Json.member "b" j = Some (Json.Int 2));
+  Alcotest.(check bool) "member miss" true (Json.member "c" j = None);
+  Alcotest.(check (list string)) "keys in order" [ "a"; "b" ] (Json.keys j);
+  Alcotest.(check (list string)) "keys of non-object" [] (Json.keys Json.Null)
+
 let suite =
   [
     Alcotest.test_case "scalars" `Quick test_scalars;
@@ -53,4 +130,10 @@ let suite =
     Alcotest.test_case "escaping" `Quick test_escaping;
     Alcotest.test_case "structures" `Quick test_structures;
     Alcotest.test_case "write to file" `Quick test_write_file;
+    Alcotest.test_case "parse scalars" `Quick test_parse_scalars;
+    Alcotest.test_case "parse structures" `Quick test_parse_structures;
+    Alcotest.test_case "parse escapes" `Quick test_parse_escapes;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "round trip" `Quick test_round_trip;
+    Alcotest.test_case "member and keys" `Quick test_member_keys;
   ]

@@ -1,0 +1,173 @@
+(* Golden tests for the leqa/report/v1 document: the exact serialized
+   bytes for hand-built bodies (so any key reorder, rename, or float
+   formatting change trips a diff), plus shape checks shared by every
+   command.  The CLI end of the same contract lives in report_smoke.ml. *)
+
+module Report = Leqa_report.Report
+module Estimator = Leqa_core.Estimator
+module Critical_path = Leqa_qodg.Critical_path
+module Ft_gate = Leqa_circuit.Ft_gate
+module Params = Leqa_fabric.Params
+module Json = Leqa_util.Json
+
+let check_str = Alcotest.(check string)
+let check_bool = Alcotest.(check bool)
+
+let params =
+  { Params.default with Params.width = 10; height = 10; v = 0.25 }
+
+let breakdown =
+  {
+    Estimator.avg_zone_area = 9.0;
+    zone_clamped = false;
+    d_uncong = 100.0;
+    expected_surfaces = [| 1.0; 0.5 |];
+    congested_delays = [| 100.0; 150.0 |];
+    l_cnot_avg = 120.5;
+    l_single_avg = 200.0;
+    critical =
+      {
+        Critical_path.length = 500000.0;
+        path = [];
+        counts =
+          {
+            Critical_path.cnots = 3;
+            singles = Array.make (List.length Ft_gate.all_single_kinds) 0;
+          };
+      };
+    latency_us = 500000.0;
+    latency_s = 0.5;
+    qubits = 4;
+    operations = 10;
+    degraded = false;
+  }
+
+let estimate_report =
+  Report.make ~command:"estimate"
+    (Report.Estimate
+       {
+         Report.params;
+         breakdown;
+         contributions =
+           [
+             {
+               Estimator.label = "CNOT";
+               count = 3;
+               gate_time = 300.0;
+               routing_time = 60.5;
+             };
+           ];
+         estimator_runtime_s = 0.125;
+       })
+
+let estimate_golden =
+  "{\"schema_version\":\"leqa/report/v1\",\"command\":\"estimate\",\
+   \"estimate\":{\"params\":{\"width\":10,\"height\":10,\"v\":0.25,\
+   \"nc\":5,\"topology\":\"grid\",\"t_move_us\":100},\"breakdown\":{\
+   \"latency_s\":0.5,\"latency_us\":500000,\"avg_zone_area\":9,\
+   \"zone_clamped\":false,\"d_uncong_us\":100,\"l_cnot_avg_us\":120.5,\
+   \"l_single_avg_us\":200,\"qubits\":4,\"operations\":10,\
+   \"degraded\":false,\"critical_cnots\":3,\"expected_surfaces\":[1,0.5],\
+   \"congested_delays_us\":[100,150]},\"contributions\":[{\
+   \"label\":\"CNOT\",\"count\":3,\"gate_time_us\":300,\
+   \"routing_time_us\":60.5}],\"runtime_s\":0.125}}"
+
+let test_estimate_golden () =
+  check_str "estimate report bytes" estimate_golden
+    (Json.to_string (Report.to_json estimate_report));
+  (* serialization is deterministic call to call *)
+  check_str "stable across calls"
+    (Json.to_string (Report.to_json estimate_report))
+    (Json.to_string (Report.to_json estimate_report))
+
+let test_compare_golden () =
+  let report =
+    Report.make ~command:"compare"
+      (Report.Compare
+         {
+           Report.estimate = breakdown;
+           simulated = None;
+           qspr_runtime_s = 2.0;
+           leqa_runtime_s = 0.25;
+           timeout_s = Some 2.0;
+         })
+  in
+  check_str "degraded compare bytes"
+    "{\"schema_version\":\"leqa/report/v1\",\"command\":\"compare\",\
+     \"compare\":{\"estimated_s\":0.5,\"leqa_runtime_s\":0.25,\
+     \"degraded\":true,\"timeout_s\":2}}"
+    (Json.to_string (Report.to_json report))
+
+let test_sweep_golden () =
+  let report =
+    Report.make ~command:"sweep-fabric"
+      (Report.Sweep_fabric
+         {
+           Report.v = 0.25;
+           rows = [ { Report.side = 10; breakdown } ];
+           prep_reused = 3;
+         })
+  in
+  check_str "sweep report bytes"
+    "{\"schema_version\":\"leqa/report/v1\",\"command\":\"sweep-fabric\",\
+     \"sweep_fabric\":{\"v\":0.25,\"rows\":[{\"width\":10,\"height\":10,\
+     \"latency_s\":0.5,\"l_cnot_avg_us\":120.5,\"avg_zone_area\":9}],\
+     \"prep_reused\":3}}"
+    (Json.to_string (Report.to_json report))
+
+let test_envelope_shape () =
+  let j = Report.to_json estimate_report in
+  check_bool "envelope key order" true
+    (Json.keys j = [ "schema_version"; "command"; "estimate" ]);
+  (match Json.member "schema_version" j with
+  | Some (Json.String v) -> check_str "schema version" Report.schema_version v
+  | _ -> Alcotest.fail "schema_version missing");
+  (* the document reparses to the same bytes via the Json parser *)
+  match Json.of_string (Json.to_string j) with
+  | Ok j' -> check_str "round-trip" (Json.to_string j) (Json.to_string j')
+  | Error e -> Alcotest.fail e
+
+let test_telemetry_block () =
+  let t = Leqa_util.Telemetry.create () in
+  Leqa_util.Telemetry.count t "c";
+  let report =
+    Report.make ~command:"design" ~telemetry:t
+      (Report.Design { Report.rows = [ ("H", 8.0, 16.0) ]; t_move = 100.0 })
+  in
+  check_bool "telemetry block present" true
+    (Json.keys (Report.to_json report)
+    = [ "schema_version"; "command"; "design"; "telemetry" ]);
+  (* the noop sink is omitted entirely *)
+  let silent =
+    Report.make ~command:"design"
+      (Report.Design { Report.rows = [ ("H", 8.0, 16.0) ]; t_move = 100.0 })
+  in
+  check_bool "noop telemetry omitted" true
+    (Json.keys (Report.to_json silent)
+    = [ "schema_version"; "command"; "design" ])
+
+let test_human_rendering () =
+  let text = Format.asprintf "%a" Report.to_human estimate_report in
+  let contains needle =
+    let n = String.length needle in
+    let rec go i =
+      i + n <= String.length text
+      && (String.sub text i n = needle || go (i + 1))
+    in
+    go 0
+  in
+  check_bool "latency line" true
+    (contains "estimated latency  = 0.500000 s");
+  check_bool "zone line" true (contains "B (avg zone area)  = 9.00");
+  check_bool "contribution row" true (contains "CNOT  x3");
+  check_bool "no clamp warning" false (contains "warning:")
+
+let suite =
+  [
+    Alcotest.test_case "estimate golden" `Quick test_estimate_golden;
+    Alcotest.test_case "compare golden" `Quick test_compare_golden;
+    Alcotest.test_case "sweep golden" `Quick test_sweep_golden;
+    Alcotest.test_case "envelope shape" `Quick test_envelope_shape;
+    Alcotest.test_case "telemetry block" `Quick test_telemetry_block;
+    Alcotest.test_case "human rendering" `Quick test_human_rendering;
+  ]

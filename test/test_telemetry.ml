@@ -1,0 +1,206 @@
+open Leqa_util
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let test_noop () =
+  check_bool "noop is noop" true (Telemetry.is_noop Telemetry.noop);
+  check_int "span passes value through" 7
+    (Telemetry.span Telemetry.noop "x" (fun () -> 7));
+  Telemetry.count Telemetry.noop "a";
+  Telemetry.count_n Telemetry.noop "a" 10;
+  Telemetry.gauge Telemetry.noop "g" 1.0;
+  check_int "noop drops counters" 0 (Telemetry.counter_value Telemetry.noop "a");
+  check_bool "noop drops gauges" true
+    (Telemetry.gauge_value Telemetry.noop "g" = None);
+  check_int "noop records no spans" 0 (List.length (Telemetry.spans Telemetry.noop))
+
+let test_span_nesting () =
+  let t = Telemetry.create () in
+  check_bool "collecting registry" false (Telemetry.is_noop t);
+  let v =
+    Telemetry.span t "root" (fun () ->
+        let a = Telemetry.span t "a" (fun () -> 1) in
+        let b =
+          Telemetry.span t "b" (fun () ->
+              Telemetry.span t "b.inner" (fun () -> 2))
+        in
+        a + b)
+  in
+  check_int "nested result" 3 v;
+  let spans = Telemetry.spans t in
+  check_int "four spans" 4 (List.length spans);
+  let by_name name =
+    List.find (fun s -> s.Telemetry.name = name) spans
+  in
+  let root = by_name "root" and a = by_name "a" in
+  let b = by_name "b" and inner = by_name "b.inner" in
+  check_int "root has no parent" (-1) root.Telemetry.parent;
+  check_int "root is id 0" 0 root.Telemetry.id;
+  check_int "a under root" root.Telemetry.id a.Telemetry.parent;
+  check_int "b under root" root.Telemetry.id b.Telemetry.parent;
+  check_int "inner under b" b.Telemetry.id inner.Telemetry.parent;
+  (* ids are assigned in open order *)
+  check_bool "open order" true
+    (root.Telemetry.id < a.Telemetry.id
+    && a.Telemetry.id < b.Telemetry.id
+    && b.Telemetry.id < inner.Telemetry.id);
+  (* every child's interval sits inside its parent's *)
+  List.iter
+    (fun s ->
+      if s.Telemetry.parent >= 0 then begin
+        let p = List.find (fun q -> q.Telemetry.id = s.Telemetry.parent) spans in
+        let eps = 1e-6 in
+        check_bool
+          (Printf.sprintf "%s starts after %s" s.Telemetry.name p.Telemetry.name)
+          true
+          (s.Telemetry.start_s +. eps >= p.Telemetry.start_s);
+        check_bool
+          (Printf.sprintf "%s ends before %s" s.Telemetry.name p.Telemetry.name)
+          true
+          (s.Telemetry.start_s +. s.Telemetry.dur_s
+          <= p.Telemetry.start_s +. p.Telemetry.dur_s +. eps)
+      end)
+    spans
+
+let test_span_exception_safety () =
+  let t = Telemetry.create () in
+  (try
+     Telemetry.span t "outer" (fun () ->
+         Telemetry.span t "boom" (fun () -> failwith "boom"))
+   with Failure _ -> ());
+  let spans = Telemetry.spans t in
+  check_int "both spans closed" 2 (List.length spans);
+  (* the open stack unwound: a later span is a fresh root *)
+  let v = Telemetry.span t "after" (fun () -> ()) in
+  ignore v;
+  let after =
+    List.find (fun s -> s.Telemetry.name = "after") (Telemetry.spans t)
+  in
+  check_int "stack unwound after raise" (-1) after.Telemetry.parent
+
+let test_counters_and_gauges () =
+  let t = Telemetry.create () in
+  Telemetry.count t "b.two";
+  Telemetry.count t "b.two";
+  Telemetry.count_n t "a.one" 5;
+  Telemetry.gauge t "g" 1.5;
+  Telemetry.gauge t "g" 2.5;
+  check_int "count" 2 (Telemetry.counter_value t "b.two");
+  check_int "count_n" 5 (Telemetry.counter_value t "a.one");
+  check_int "unknown counter" 0 (Telemetry.counter_value t "nope");
+  check_bool "gauge last-write-wins" true
+    (Telemetry.gauge_value t "g" = Some 2.5);
+  (* listing order is sorted by name, so serialization is stable *)
+  check_bool "counters sorted" true
+    (List.map fst (Telemetry.counters t) = [ "a.one"; "b.two" ])
+
+let test_ambient () =
+  Telemetry.uninstall ();
+  check_bool "nothing installed" false (Telemetry.ambient_active ());
+  Telemetry.ambient_count "dropped";
+  let t = Telemetry.create () in
+  Telemetry.install t;
+  Fun.protect
+    ~finally:(fun () -> Telemetry.uninstall ())
+    (fun () ->
+      check_bool "installed" true (Telemetry.ambient_active ());
+      Telemetry.ambient_count "hit";
+      Telemetry.ambient_count_n "hit" 2;
+      Telemetry.ambient_gauge "load" 0.5;
+      check_int "ambient routed to registry" 3 (Telemetry.counter_value t "hit");
+      check_bool "ambient gauge" true
+        (Telemetry.gauge_value t "load" = Some 0.5));
+  check_bool "uninstalled" false (Telemetry.ambient_active ());
+  Telemetry.ambient_count "hit";
+  check_int "post-uninstall probes dropped" 3 (Telemetry.counter_value t "hit")
+
+let test_json_shape () =
+  let t = Telemetry.create () in
+  Telemetry.span t "root" (fun () -> Telemetry.count t "c");
+  let j = Telemetry.to_json t in
+  check_bool "keys in order" true
+    (Json.keys j
+    = [ "schema_version"; "total_s"; "unattributed_s"; "spans"; "counters";
+        "gauges" ]);
+  (match Json.member "schema_version" j with
+  | Some (Json.String v) -> check_str "trace schema" Telemetry.trace_schema_version v
+  | _ -> Alcotest.fail "schema_version missing");
+  (* the serialized registry reparses via the Json parser *)
+  match Json.of_string (Json.to_string j) with
+  | Ok j' -> check_str "round-trip" (Json.to_string j) (Json.to_string j')
+  | Error e -> Alcotest.fail e
+
+let test_write_trace () =
+  let t = Telemetry.create () in
+  Telemetry.span t "root" (fun () -> ());
+  let path = Filename.temp_file "leqa_trace" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Telemetry.write_trace path t;
+      let ic = open_in path in
+      let n = in_channel_length ic in
+      let text = really_input_string ic n in
+      close_in ic;
+      match Json.of_string text with
+      | Ok j ->
+        check_bool "has spans" true (Json.member "spans" j <> None)
+      | Error e -> Alcotest.fail e)
+
+let test_write_trace_io_error () =
+  let t = Telemetry.create () in
+  match Telemetry.write_trace "/no/such/dir/trace.json" t with
+  | () -> Alcotest.fail "expected Io_error"
+  | exception Error.Error (Error.Io_error _) -> ()
+
+(* the acceptance criterion: phase spans on a real estimate cover > 95%
+   of the wall time under the root span.  Cold caches and the calibrated
+   60x60 fabric make the coverage phase dominate, so the sub-µs gaps
+   between contiguous phases stay far below the 5% slack. *)
+let test_estimate_span_coverage () =
+  let circ =
+    match Leqa_circuit.Parser.parse_file "corpus/ok_small.tfc" with
+    | Ok c -> c
+    | Error e -> Alcotest.fail (Error.to_string e)
+  in
+  let ft = Leqa_circuit.Decompose.to_ft circ in
+  let t = Telemetry.create () in
+  Leqa_core.Coverage.clear_caches ();
+  let breakdown =
+    Telemetry.span t "root" (fun () ->
+        Leqa_core.Estimator.estimate_circuit ~telemetry:t
+          ~params:Leqa_fabric.Params.calibrated ft)
+  in
+  check_bool "estimate ran" true (breakdown.Leqa_core.Estimator.latency_s > 0.0);
+  let spans = Telemetry.spans t in
+  check_bool "has phase spans" true (List.length spans >= 6);
+  let root = List.find (fun s -> s.Telemetry.id = 0) spans in
+  check_str "root span" "root" root.Telemetry.name;
+  let unattributed = Telemetry.unattributed_s t in
+  check_bool "unattributed nonnegative" true (unattributed >= -1e-9);
+  let frac = unattributed /. Float.max 1e-12 root.Telemetry.dur_s in
+  if frac >= 0.05 then
+    Alcotest.failf "spans cover only %.1f%% of wall time"
+      (100.0 *. (1.0 -. frac));
+  (* every phase nests under root or the estimator span: no orphans *)
+  List.iter
+    (fun s ->
+      check_bool (s.Telemetry.name ^ " has a parent") true
+        (s.Telemetry.id = 0 || s.Telemetry.parent >= 0))
+    spans
+
+let suite =
+  [
+    Alcotest.test_case "noop" `Quick test_noop;
+    Alcotest.test_case "span nesting" `Quick test_span_nesting;
+    Alcotest.test_case "span exception safety" `Quick test_span_exception_safety;
+    Alcotest.test_case "counters and gauges" `Quick test_counters_and_gauges;
+    Alcotest.test_case "ambient sink" `Quick test_ambient;
+    Alcotest.test_case "json shape" `Quick test_json_shape;
+    Alcotest.test_case "write trace" `Quick test_write_trace;
+    Alcotest.test_case "write trace io error" `Quick test_write_trace_io_error;
+    Alcotest.test_case "estimate span coverage" `Quick
+      test_estimate_span_coverage;
+  ]

@@ -37,6 +37,10 @@ module Mm1 = Leqa_queueing.Mm1
 module Json = Leqa_util.Json
 module Pool = Leqa_util.Pool
 module Simulate = Leqa_queueing.Simulate
+module Telemetry = Leqa_util.Telemetry
+module Engine = Leqa_server.Engine
+module Protocol = Leqa_server.Protocol
+module Source = Leqa_server.Source
 
 let header title =
   Printf.printf "\n=== %s ===\n\n" title
@@ -1449,12 +1453,195 @@ let tornado () =
     "\neach row cost two estimator calls; a QECC designer reads this as\n\
      'which physical parameter buys the most latency if improved'.\n"
 
+(* ------------------------------------------------------------------ *)
+
+(* Estimation-server baseline: cold vs warm content-addressed cache,
+   sustained request throughput and tail latency, driving the engine
+   in-process (no pipe noise in the numbers).  Requests are handled on
+   this thread so each gets a telemetry span — the per-request server
+   overhead is then directly visible as the warm-phase latency, where
+   no estimation happens at all. *)
+let serve_bench ~scale ~out () =
+  let smoke = scale <= 0.0 in
+  let jobs = Pool.default_jobs () in
+  header
+    (Printf.sprintf "Estimation server: cache + throughput   [jobs %d%s]"
+       jobs
+       (if smoke then ", smoke" else ""));
+  let treg = Telemetry.create () in
+  Telemetry.install treg;
+  let engine = Engine.create (Engine.default_config ~binary_version:"bench") in
+  let benches =
+    if smoke then [ "qft:4"; "qft:5"; "grover:3" ]
+    else [ "qft:6"; "qft:8"; "qft:10"; "qft-adder:6"; "grover:4"; "grover:5" ]
+  in
+  let widths = if smoke then [ 40; 60 ] else [ 30; 40; 60; 80 ] in
+  let requests =
+    List.concat_map
+      (fun bench ->
+        List.map
+          (fun width ->
+            {
+              Protocol.id = Json.Null;
+              body =
+                Protocol.Estimate
+                  {
+                    Protocol.source = Source.Bench { name = bench; scale = 1.0 };
+                    width;
+                    height = width;
+                    v = Params.calibrated.Params.v;
+                    terms = 20;
+                    deadline_s = None;
+                  };
+            })
+          widths)
+      benches
+  in
+  let n_distinct = List.length requests in
+  let run_phase label =
+    List.map
+      (fun req ->
+        let resp, dt =
+          Timing.time (fun () ->
+              Telemetry.span treg label (fun () -> Engine.handle engine req))
+        in
+        (match Json.member "ok" resp with
+        | Some (Json.Bool true) -> ()
+        | _ ->
+          prerr_endline ("FAIL: server error during bench: " ^ Json.to_string resp);
+          exit 1);
+        dt)
+      requests
+  in
+  let percentile sorted p =
+    let n = Array.length sorted in
+    if n = 0 then 0.0
+    else sorted.(min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1))
+  in
+  let summarize lats =
+    let a = Array.of_list lats in
+    Array.sort compare a;
+    let total = Array.fold_left ( +. ) 0.0 a in
+    (total, 1e3 *. percentile a 0.50, 1e3 *. percentile a 0.99)
+  in
+  (* cold: every request computes; warm: every request is a cache hit *)
+  let cold_total, cold_p50, cold_p99 = summarize (run_phase "server.cold") in
+  let warm_total, warm_p50, warm_p99 = summarize (run_phase "server.warm") in
+  let speedup = cold_total /. Float.max 1e-9 warm_total in
+  let speedup_ok = speedup >= 5.0 in
+  Printf.printf
+    "cold: %d requests in %.4f s (p50 %.3f ms, p99 %.3f ms)\n\
+     warm: %d requests in %.4f s (p50 %.3f ms, p99 %.3f ms)\n\
+     warm-cache speedup: %.1fx   within >= 5x target: %b\n"
+    n_distinct cold_total cold_p50 cold_p99 n_distinct warm_total warm_p50
+    warm_p99 speedup speedup_ok;
+  (* sustained: round-robin over the warm set, wall-clock throughput *)
+  let sustained_n = if smoke then 500 else 5_000 in
+  let reqs = Array.of_list requests in
+  let lats = Array.make sustained_n 0.0 in
+  let _, wall_s =
+    Timing.time (fun () ->
+        for i = 0 to sustained_n - 1 do
+          let _, dt =
+            Timing.time (fun () ->
+                Engine.handle engine reqs.(i mod Array.length reqs))
+          in
+          lats.(i) <- dt
+        done)
+  in
+  Array.sort compare lats;
+  let rps = float_of_int sustained_n /. Float.max 1e-9 wall_s in
+  let sus_p50 = 1e3 *. percentile lats 0.50 in
+  let sus_p99 = 1e3 *. percentile lats 0.99 in
+  Printf.printf
+    "sustained: %d requests in %.3f s -> %.0f req/s (p50 %.4f ms, p99 %.4f ms)\n"
+    sustained_n wall_s rps sus_p50 sus_p99;
+  let counter name = Telemetry.counter_value treg name in
+  Printf.printf
+    "result cache: %d hits / %d misses   prep cache: %d hits / %d misses\n"
+    (counter "cache.server.result.hit")
+    (counter "cache.server.result.miss")
+    (counter "cache.server.prep.hit")
+    (counter "cache.server.prep.miss");
+  Telemetry.uninstall ();
+  let span_count label =
+    List.length
+      (List.filter
+         (fun s -> s.Telemetry.name = label)
+         (Telemetry.spans treg))
+  in
+  let stats = Engine.stats_json engine in
+  let member_exn k j = Option.get (Json.member k j) in
+  let json =
+    Json.Obj
+      [
+        ("pr", Json.Int 4);
+        ("label", Json.String "estimation server");
+        ("jobs", Json.Int jobs);
+        ("smoke", Json.Bool smoke);
+        ("distinct_requests", Json.Int n_distinct);
+        ( "cold",
+          Json.Obj
+            [
+              ("total_s", Json.Float cold_total);
+              ("p50_ms", Json.Float cold_p50);
+              ("p99_ms", Json.Float cold_p99);
+            ] );
+        ( "warm",
+          Json.Obj
+            [
+              ("total_s", Json.Float warm_total);
+              ("p50_ms", Json.Float warm_p50);
+              ("p99_ms", Json.Float warm_p99);
+              ("speedup", Json.Float speedup);
+              ("within_target", Json.Bool speedup_ok);
+              (* a warm hit does no estimation: its latency IS the
+                 server's own per-request overhead *)
+              ("server_overhead_p50_ms", Json.Float warm_p50);
+            ] );
+        ( "sustained",
+          Json.Obj
+            [
+              ("requests", Json.Int sustained_n);
+              ("wall_s", Json.Float wall_s);
+              ("rps", Json.Float rps);
+              ("p50_ms", Json.Float sus_p50);
+              ("p99_ms", Json.Float sus_p99);
+            ] );
+        ( "cache",
+          Json.Obj
+            [
+              ("result", member_exn "result_cache" stats);
+              ("prep", member_exn "prep_cache" stats);
+            ] );
+        ( "telemetry",
+          Json.Obj
+            [
+              ("cold_spans", Json.Int (span_count "server.cold"));
+              ("warm_spans", Json.Int (span_count "server.warm"));
+              ( "result_cache_hits",
+                Json.Int (counter "cache.server.result.hit") );
+              ( "result_cache_misses",
+                Json.Int (counter "cache.server.result.miss") );
+              ("prep_cache_hits", Json.Int (counter "cache.server.prep.hit"));
+              ( "prep_cache_misses",
+                Json.Int (counter "cache.server.prep.miss") );
+            ] );
+      ]
+  in
+  Json.write_file out json;
+  Printf.printf "[wrote %s]\n" out;
+  if not speedup_ok then begin
+    prerr_endline "FAIL: warm-cache speedup below the 5x target";
+    exit 1
+  end
+
 let () =
   let args = Array.to_list Sys.argv in
   let scale = ref 0.5 in
   let command = ref "all" in
   let json_path = ref None in
-  let perf_out = ref "BENCH_PR3.json" in
+  let perf_out = ref None in
   let rec parse = function
     | [] -> ()
     | "--scale" :: v :: rest ->
@@ -1476,7 +1663,7 @@ let () =
       | _ -> prerr_endline "invalid --jobs"; exit 2);
       parse rest
     | "--out" :: path :: rest ->
-      perf_out := path;
+      perf_out := Some path;
       parse rest
     | cmd :: rest ->
       command := cmd;
@@ -1484,10 +1671,14 @@ let () =
   in
   (match args with _ :: rest -> parse rest | [] -> ());
   let scale = !scale in
-  if scale <= 0.0 && !command <> "perf" then begin
-    prerr_endline "--scale 0 is only valid for the perf command";
+  if scale <= 0.0 && !command <> "perf" && !command <> "serve" then begin
+    prerr_endline "--scale 0 is only valid for the perf and serve commands";
     exit 2
   end;
+  (* each measurement command has its own default artifact *)
+  let out = !perf_out in
+  let perf_out = Option.value out ~default:"BENCH_PR3.json" in
+  let serve_out = Option.value out ~default:"BENCH_PR4.json" in
   let maybe_dump rows =
     match !json_path with
     | None -> ()
@@ -1524,7 +1715,8 @@ let () =
   | "tornado" -> tornado ()
   | "workloads" -> workloads ~scale
   | "micro" -> micro ()
-  | "perf" -> perf ~scale ~out:!perf_out ()
+  | "perf" -> perf ~scale ~out:perf_out ()
+  | "serve" -> serve_bench ~scale ~out:serve_out ()
   | "all" ->
     table1 ();
     fig2 ();
@@ -1548,7 +1740,7 @@ let () =
     table1_designed ();
     sweep_fabric ();
     tornado ();
-    perf ~scale ~out:!perf_out ();
+    perf ~scale ~out:perf_out ();
     micro ()
   | other ->
     Printf.eprintf
@@ -1557,7 +1749,7 @@ let () =
       \          ablation-truncation ablation-v ablation-routing\n\
       \          ablation-topology ablation-mappers ablation-placement\n\
       \          ablation-deferral complexity table1-designed\n\
-      \          sweep-fabric tornado workloads perf micro all\n\
+      \          sweep-fabric tornado workloads perf serve micro all\n\
        options: [--scale S | --full] [--json PATH] [--jobs N] [--out PATH]\n\
        (perf --scale 0 = smoke mode; --jobs also honours $LEQA_JOBS)\n"
       other;

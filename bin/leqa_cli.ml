@@ -9,10 +9,13 @@
      info         parse a circuit and print its statistics
 
    Circuits come either from a .tfc file (--file) or a named generator
-   (--bench, e.g. "gf2^16mult" or any Table 2/3 name).  Two more
+   (--bench, e.g. "gf2^16mult" or any Table 2/3 name).  More
    subcommands wrap the surrounding tooling:
      design       run the ULB fabric designer (FT delays from native ops)
      select-qecc  pick the cheapest feasible QECC level via LEQA
+     version      binary + wire-schema versions as a report
+     serve        persistent estimation service (NDJSON RPC, stdio/socket)
+     client       drive a running service (one call or a load run)
 
    Every subcommand emits one versioned report (Leqa_report.Report):
    --format human prints the familiar text, --format json a one-line
@@ -35,6 +38,13 @@ module Report = Leqa_report.Report
 module Telemetry = Leqa_util.Telemetry
 module E = Leqa_util.Error
 module Pool = Leqa_util.Pool
+module Source = Leqa_server.Source
+module Protocol = Leqa_server.Protocol
+module Engine = Leqa_server.Engine
+module Server = Leqa_server.Server
+module Json = Leqa_util.Json
+
+let binary_version = "1.1.0"
 
 (* ---------------- output / error format ---------------- *)
 
@@ -112,7 +122,18 @@ let timeout_arg =
   in
   Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"S" ~doc)
 
-let deadline_of = function
+(* fractional seconds are fine; zero, negatives, NaN and infinities are
+   rejected with a message naming the flag (same rule as the protocol's
+   deadline_s — Protocol.valid_deadline is the single source of truth) *)
+let deadline_seconds ~flag = function
+  | None -> None
+  | Some seconds -> (
+    match Protocol.valid_deadline ~field:flag seconds with
+    | Ok s -> Some s
+    | Error e -> E.raise_error e)
+
+let deadline_of ?(flag = "--timeout") timeout =
+  match deadline_seconds ~flag timeout with
   | None -> Pool.Deadline.never
   | Some seconds -> Pool.Deadline.after ~seconds
 
@@ -141,40 +162,18 @@ let emit ~command ~trace fmt make_report =
 
 (* ---------------- circuit sources ---------------- *)
 
-let load_circuit ~file ~bench ~scale =
+(* flag handling stays here; the source grammar itself (family:size
+   names, Table-2 lookup) lives in Leqa_server.Source, shared with the
+   RPC protocol so the two front ends cannot drift *)
+let source_of ~file ~bench ~scale =
   match (file, bench) with
   | Some _, Some _ -> Error (E.Usage_error "--file and --bench are mutually exclusive")
   | None, None -> Error (E.Usage_error "one of --file or --bench is required")
-  | Some path, None -> Leqa_circuit.Parser.parse_file path
-  | None, Some name -> begin
-    (* extension families use a family:size syntax *)
-    let scaled n = max 2 (int_of_float (float_of_int n *. scale)) in
-    match String.split_on_char ':' name with
-    | [ "qft"; n ] when int_of_string_opt n <> None ->
-      Ok (Leqa_benchmarks.Qft.circuit ~n:(scaled (int_of_string n)) ())
-    | [ "qft-adder"; n ] when int_of_string_opt n <> None ->
-      Ok (Leqa_benchmarks.Qft_adder.circuit ~n:(scaled (int_of_string n)) ())
-    | [ "grover"; n ] when int_of_string_opt n <> None ->
-      let bits = max 3 (scaled (int_of_string n)) in
-      Ok (Leqa_benchmarks.Grover.circuit ~n:bits ~marked:0 ())
-    | _ -> begin
-      match Leqa_benchmarks.Suite.find name with
-      | Some entry -> Ok (Leqa_benchmarks.Suite.build_scaled entry ~scale)
-      | None ->
-        Error
-          (E.Usage_error
-             (Printf.sprintf
-                "unknown benchmark %S (try a Table-2 name like %s, or qft:N, \
-                 qft-adder:N, grover:N)"
-                name
-                (String.concat ", "
-                   (List.filteri
-                      (fun i _ -> i < 3)
-                      (List.map
-                         (fun e -> e.Leqa_benchmarks.Suite.name)
-                         Leqa_benchmarks.Suite.all)))))
-    end
-  end
+  | Some path, None -> Ok (Source.File path)
+  | None, Some name -> Ok (Source.Bench { name; scale })
+
+let load_circuit ~file ~bench ~scale =
+  Result.join (Result.map Source.load (source_of ~file ~bench ~scale))
 
 let prepare ~file ~bench ~scale =
   Result.map
@@ -314,10 +313,11 @@ let compare_cmd =
     in
     (* the detailed simulation honours --timeout; the analytic estimate
        always completes, so an expired budget degrades to estimate-only *)
+    let timeout = deadline_seconds ~flag:"--timeout" timeout in
     let validated, qspr_t =
       Leqa_util.Timing.time (fun () ->
           Qspr.run_validated ~config:qspr_config ~telemetry
-            ?deadline:(Option.map (fun s -> Pool.Deadline.after ~seconds:s) timeout)
+            ?deadline:(Option.map (fun seconds -> Pool.Deadline.after ~seconds) timeout)
             qodg)
     in
     let est, leqa_t =
@@ -537,6 +537,265 @@ let select_qecc_cmd =
        ~doc:"choose the cheapest feasible QECC level with LEQA")
     term
 
+let version_cmd =
+  let run fmt errfmt trace =
+    let fmt = resolve_format fmt errfmt in
+    handle fmt @@ fun () ->
+    emit ~command:"version" ~trace fmt @@ fun telemetry ->
+    Report.make ~command:"version" ~telemetry
+      (Report.Version
+         { Report.binary = binary_version; schemas = Protocol.schemas })
+  in
+  let term = Term.(const run $ format_arg $ error_format_arg $ trace_arg) in
+  Cmd.v
+    (Cmd.info "version" ~doc:"print the binary and wire-schema versions")
+    term
+
+(* ---------------- the estimation service ---------------- *)
+
+let socket_arg =
+  let doc = "Serve on (or connect to) a Unix-domain socket at $(docv)." in
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let serve_cmd =
+  let run socket queue batch cache_results cache_preps jobs default_deadline
+      reject_overflow =
+    handle Report.Human @@ fun () ->
+    apply_jobs jobs;
+    let cfg =
+      {
+        (Engine.default_config ~binary_version) with
+        Engine.queue_capacity = queue;
+        batch_max = batch;
+        result_cache_entries = cache_results;
+        prep_cache_entries = cache_preps;
+        default_deadline_s =
+          deadline_seconds ~flag:"--default-deadline" default_deadline;
+        reject_overflow;
+      }
+    in
+    let engine = Engine.create cfg in
+    let server = Server.create engine in
+    match socket with
+    | None ->
+      prerr_endline
+        (Printf.sprintf "leqa serve: %s on stdio (EOF or SIGTERM drains)"
+           Protocol.rpc_schema_version);
+      Server.serve_stdio server
+    | Some path ->
+      prerr_endline
+        (Printf.sprintf "leqa serve: %s on %s (SIGTERM drains)"
+           Protocol.rpc_schema_version path);
+      Server.serve_socket server path
+  in
+  let queue_arg =
+    let doc = "Admission-queue capacity (backpressure bound)." in
+    Arg.(value & opt int 256 & info [ "queue" ] ~docv:"N" ~doc)
+  in
+  let batch_arg =
+    let doc = "Max requests dispatched to the pool per batch." in
+    Arg.(value & opt int 32 & info [ "batch" ] ~docv:"N" ~doc)
+  in
+  let cache_results_arg =
+    let doc = "Result-cache entries (content-addressed reports)." in
+    Arg.(value & opt int 512 & info [ "cache-results" ] ~docv:"N" ~doc)
+  in
+  let cache_preps_arg =
+    let doc = "Prepared-circuit cache entries (IIG + zone statistics)." in
+    Arg.(value & opt int 64 & info [ "cache-preps" ] ~docv:"N" ~doc)
+  in
+  let default_deadline_arg =
+    let doc =
+      "Per-request deadline in (fractional) seconds for requests that \
+       name none."
+    in
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "default-deadline" ] ~docv:"S" ~doc)
+  in
+  let reject_overflow_arg =
+    let doc =
+      "Answer server-overload (exit-code family 69) when the queue is \
+       full instead of blocking the reader (pipe backpressure)."
+    in
+    Arg.(value & flag & info [ "reject-overflow" ] ~doc)
+  in
+  let term =
+    Term.(
+      const run $ socket_arg $ queue_arg $ batch_arg $ cache_results_arg
+      $ cache_preps_arg $ jobs_arg $ default_deadline_arg
+      $ reject_overflow_arg)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"run the persistent estimation service (NDJSON over stdio or \
+             a Unix socket)")
+    term
+
+let client_cmd =
+  let percentile sorted p =
+    let n = Array.length sorted in
+    if n = 0 then 0.0
+    else sorted.(min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1))
+  in
+  let run socket method_ file bench scale width height v terms sizes deadline
+      count =
+    handle Report.Json @@ fun () ->
+    let socket =
+      match socket with
+      | Some path -> path
+      | None -> E.raise_error (E.Usage_error "--socket is required")
+    in
+    if count < 1 then
+      E.raise_error (E.Usage_error "--count must be a positive integer");
+    let body =
+      match method_ with
+      | "version" -> Protocol.Version
+      | "ping" -> Protocol.Ping
+      | "stats" -> Protocol.Stats
+      | m -> (
+        let source =
+          match source_of ~file ~bench ~scale with
+          | Ok s -> s
+          | Error e -> E.raise_error e
+        in
+        let deadline_s = deadline_seconds ~flag:"--deadline" deadline in
+        match m with
+        | "estimate" ->
+          Protocol.Estimate
+            { Protocol.source; width; height; v; terms; deadline_s }
+        | "compare" ->
+          Protocol.Compare
+            {
+              Protocol.cmp_source = source;
+              cmp_width = width;
+              cmp_height = height;
+              cmp_v = v;
+              cmp_deadline_s = deadline_s;
+            }
+        | "sweep-fabric" ->
+          Protocol.Sweep_fabric
+            {
+              Protocol.sw_source = source;
+              sw_v = v;
+              sw_sizes = sizes;
+              sw_deadline_s = deadline_s;
+            }
+        | other ->
+          E.raise_error
+            (E.Usage_error
+               (Printf.sprintf
+                  "unknown method %S (expected estimate, compare, \
+                   sweep-fabric, version, ping or stats)"
+                  other)))
+    in
+    let conn = Server.Client.connect socket in
+    Fun.protect ~finally:(fun () -> Server.Client.close conn) @@ fun () ->
+    if count = 1 then begin
+      let resp =
+        Server.Client.call conn
+          (Protocol.request_to_json { Protocol.id = Json.Int 0; body })
+      in
+      match Json.member "ok" resp with
+      | Some (Json.Bool true) ->
+        let payload =
+          match Json.member "report" resp with Some r -> r | None -> resp
+        in
+        print_endline (Json.to_string payload)
+      | _ ->
+        let err =
+          match Json.member "error" resp with Some e -> e | None -> resp
+        in
+        prerr_endline (Json.to_string err);
+        let code =
+          match Json.member "exit_code" err with
+          | Some (Json.Int c) -> c
+          | _ -> 70
+        in
+        exit code
+    end
+    else begin
+      (* load-generator mode: sequential request/response round trips
+         so the latencies measure the server, not local queueing *)
+      let latencies = Array.make count 0.0 in
+      let hits = ref 0 in
+      let errors = ref 0 in
+      let _, wall_s =
+        Leqa_util.Timing.time (fun () ->
+            for i = 0 to count - 1 do
+              let resp, dt =
+                Leqa_util.Timing.time (fun () ->
+                    Server.Client.call conn
+                      (Protocol.request_to_json
+                         { Protocol.id = Json.Int i; body }))
+              in
+              latencies.(i) <- dt;
+              (match Json.member "cache" resp with
+              | Some (Json.String "hit") -> incr hits
+              | _ -> ());
+              match Json.member "ok" resp with
+              | Some (Json.Bool true) -> ()
+              | _ -> incr errors
+            done)
+      in
+      Array.sort compare latencies;
+      let load =
+        Json.Obj
+          [
+            ("count", Json.Int count);
+            ("wall_s", Json.Float wall_s);
+            ("rps", Json.Float (float_of_int count /. wall_s));
+            ("p50_ms", Json.Float (1e3 *. percentile latencies 0.50));
+            ("p99_ms", Json.Float (1e3 *. percentile latencies 0.99));
+            ("cache_hits", Json.Int !hits);
+            ("errors", Json.Int !errors);
+          ]
+      in
+      print_endline
+        (Json.to_string
+           (Json.Obj
+              [
+                ("schema_version", Json.String Protocol.rpc_schema_version);
+                ("load", load);
+              ]))
+    end
+  in
+  let method_arg =
+    let doc =
+      "RPC method: estimate, compare, sweep-fabric, version, ping or stats."
+    in
+    Arg.(value & pos 0 string "estimate" & info [] ~docv:"METHOD" ~doc)
+  in
+  let deadline_arg =
+    let doc = "Per-request deadline in (fractional) seconds." in
+    Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"S" ~doc)
+  in
+  let sizes_arg =
+    let doc = "Fabric sizes for sweep-fabric requests." in
+    Arg.(
+      value
+      & opt (list int) [ 10; 20; 30; 40; 60; 80; 100 ]
+      & info [ "sizes" ] ~docv:"N,..." ~doc)
+  in
+  let count_arg =
+    let doc =
+      "Send the request $(docv) times and print a load summary (rps, \
+       p50/p99 latency, cache hits) instead of a report."
+    in
+    Arg.(value & opt int 1 & info [ "count" ] ~docv:"N" ~doc)
+  in
+  let term =
+    Term.(
+      const run $ socket_arg $ method_arg $ file_arg $ bench_arg $ scale_arg
+      $ width_arg $ height_arg $ v_arg $ terms_arg $ sizes_arg $ deadline_arg
+      $ count_arg)
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"drive a running estimation service (one call or a load run)")
+    term
+
 let () =
   (* arm test faults before any subcommand runs; a malformed spec is
      itself a Config_error (exit 78) *)
@@ -544,11 +803,12 @@ let () =
   | Ok () -> ()
   | Error e -> fail Report.Human e);
   let doc = "latency estimation for quantum algorithms on a tiled fabric" in
-  let info = Cmd.info "leqa" ~version:"1.0.0" ~doc in
+  let info = Cmd.info "leqa" ~version:binary_version ~doc in
   exit
     (Cmd.eval
        (Cmd.group info
           [
             estimate_cmd; simulate_cmd; compare_cmd; sweep_fabric_cmd; gen_cmd;
-            info_cmd; design_cmd; select_qecc_cmd;
+            info_cmd; design_cmd; select_qecc_cmd; version_cmd; serve_cmd;
+            client_cmd;
           ]))

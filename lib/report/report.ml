@@ -59,6 +59,8 @@ type gen_body = {
   gen_gates : int;
 }
 
+type version_body = { binary : string; schemas : (string * string) list }
+
 type body =
   | Estimate of estimate_body
   | Simulate of simulate_body
@@ -68,6 +70,7 @@ type body =
   | Info of info_body
   | Design of design_body
   | Gen of gen_body
+  | Version of version_body
 
 type t = {
   command : string;
@@ -294,6 +297,16 @@ let body_json = function
         match g.netlist with
         | None -> []
         | Some text -> [ ("netlist", Json.String text) ]) )
+  | Version v ->
+    ( "version",
+      Json.Obj
+        [
+          ("binary", Json.String v.binary);
+          ( "schemas",
+            Json.Obj
+              (List.map (fun (name, ver) -> (name, Json.String ver)) v.schemas)
+          );
+        ] )
 
 let to_json t =
   let key, body = body_json t.body in
@@ -447,6 +460,12 @@ let human_design ppf (d : design_body) =
   Format.fprintf ppf "%s@." (Table.render table);
   Format.fprintf ppf "t_move = %.0f us@." d.t_move
 
+let human_version ppf (v : version_body) =
+  Format.fprintf ppf "leqa %s@." v.binary;
+  List.iter
+    (fun (name, ver) -> Format.fprintf ppf "%-7s schema  %s@." name ver)
+    v.schemas
+
 let human_gen ppf (g : gen_body) =
   match (g.out_path, g.netlist) with
   | Some path, _ ->
@@ -459,7 +478,7 @@ let to_human ppf t =
   (* info renders its own circuit line-up; every other body leads with
      the FT summary, exactly as the pre-redesign subcommands did *)
   (match t.body with
-  | Info _ | Gen _ | Sweep_fabric _ | Design _ -> ()
+  | Info _ | Gen _ | Sweep_fabric _ | Design _ | Version _ -> ()
   | _ -> pp_ft ppf t.ft);
   match t.body with
   | Estimate e -> human_estimate ppf e
@@ -470,6 +489,7 @@ let to_human ppf t =
   | Info i -> human_info ppf i
   | Design d -> human_design ppf d
   | Gen g -> human_gen ppf g
+  | Version v -> human_version ppf v
 
 let print format t =
   match format with

@@ -80,6 +80,14 @@ type gen_body = {
   gen_gates : int;
 }
 
+type version_body = {
+  binary : string;  (** the leqa binary version *)
+  schemas : (string * string) list;
+      (** every wire-format schema the binary speaks, e.g.
+          [("report", "leqa/report/v1")] — supplied by the CLI so this
+          library stays dependency-free of the server layer *)
+}
+
 type body =
   | Estimate of estimate_body
   | Simulate of simulate_body
@@ -89,6 +97,7 @@ type body =
   | Info of info_body
   | Design of design_body
   | Gen of gen_body
+  | Version of version_body
 
 type t
 

@@ -1,0 +1,41 @@
+module Json = Leqa_util.Json
+module Lru = Leqa_util.Lru
+module Fingerprint = Leqa_util.Fingerprint
+module Params = Leqa_fabric.Params
+
+type prep_entry = {
+  ft : Leqa_circuit.Ft_circuit.t;
+  qodg : Leqa_qodg.Qodg.t;
+  prepared : Leqa_core.Estimator.prepared;
+}
+
+type t = {
+  results : (string, Json.t) Lru.t;
+  preps : (string, prep_entry) Lru.t;
+}
+
+let create ~result_entries ~prep_entries =
+  {
+    results = Lru.create ~name:"server.result" ~capacity:result_entries;
+    preps = Lru.create ~name:"server.prep" ~capacity:prep_entries;
+  }
+
+let circuit_key circuit = Fingerprint.of_string (Source.canonical circuit)
+
+(* every field that feeds the estimate, %.17g so distinct floats never
+   collide in the key *)
+let params_fragment (p : Params.t) =
+  Printf.sprintf "%.17g,%.17g,%.17g,%.17g,%.17g,%d,%.17g,%d,%d,%.17g,%s"
+    p.Params.d_h p.Params.d_t p.Params.d_s p.Params.d_pauli p.Params.d_cnot
+    p.Params.nc p.Params.v p.Params.width p.Params.height p.Params.t_move
+    (match p.Params.topology with
+    | Params.Grid -> "grid"
+    | Params.Torus -> "torus")
+
+let result_key ~method_ ~circuit_key ~params ~options =
+  Fingerprint.combine
+    (method_ :: circuit_key
+    :: params_fragment params
+    :: List.map (fun (k, v) -> k ^ "=" ^ v) options)
+
+let valid_report json = Json.member "schema_version" json <> None

@@ -1,0 +1,52 @@
+(** The server's content-addressed result store (DESIGN.md §9).
+
+    Two levels, both bounded LRU ({!Leqa_util.Lru}):
+
+    - {b results} — full [leqa/report/v1] documents keyed by a digest
+      of (method, canonical circuit text, fabric params, estimator
+      options).  A hit returns the exact bytes a fresh run would have
+      produced, because reports carry no wall-clock state of their own
+      (runtimes live in fields the server recomputes per response).
+    - {b preps} — {!Leqa_core.Estimator.prepare} artifacts keyed by the
+      circuit digest alone.  These are fabric-independent, so one prep
+      serves every (width, height, v) the client sweeps.
+
+    Keys digest the {e canonical} netlist ({!Source.canonical}), so the
+    same circuit hits the same entry whether it arrived as a file, a
+    benchmark name or inline text. *)
+
+module Json = Leqa_util.Json
+module Lru = Leqa_util.Lru
+
+type prep_entry = {
+  ft : Leqa_circuit.Ft_circuit.t;
+  qodg : Leqa_qodg.Qodg.t;
+  prepared : Leqa_core.Estimator.prepared;
+}
+
+type t = {
+  results : (string, Json.t) Lru.t;
+  preps : (string, prep_entry) Lru.t;
+}
+
+val create : result_entries:int -> prep_entries:int -> t
+(** Telemetry counter names are [cache.server.result.*] and
+    [cache.server.prep.*]. *)
+
+val circuit_key : Leqa_circuit.Circuit.t -> string
+(** Digest of the canonical netlist text. *)
+
+val result_key :
+  method_:string ->
+  circuit_key:string ->
+  params:Leqa_fabric.Params.t ->
+  options:(string * string) list ->
+  string
+(** Combined digest; [options] carries method-specific knobs (terms,
+    sizes, deadline for compare) as (name, canonical-value) pairs. *)
+
+val valid_report : Json.t -> bool
+(** Poison guard for cached results: a well-formed report document has
+    a ["schema_version"] member.  {!Leqa_util.Lru.find_or_compute}
+    evicts and recomputes entries that fail this (exercised by the
+    [cache.poison] fault-injection site). *)

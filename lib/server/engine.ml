@@ -1,0 +1,415 @@
+module Json = Leqa_util.Json
+module E = Leqa_util.Error
+module Pool = Leqa_util.Pool
+module Lru = Leqa_util.Lru
+module Telemetry = Leqa_util.Telemetry
+module Fault = Leqa_util.Fault
+module Timing = Leqa_util.Timing
+module Params = Leqa_fabric.Params
+module Decompose = Leqa_circuit.Decompose
+module Qodg = Leqa_qodg.Qodg
+module Estimator = Leqa_core.Estimator
+module Qspr = Leqa_qspr.Qspr
+module Report = Leqa_report.Report
+
+type config = {
+  queue_capacity : int;
+  batch_max : int;
+  result_cache_entries : int;
+  prep_cache_entries : int;
+  default_deadline_s : float option;
+  reject_overflow : bool;
+  max_request_bytes : int;
+  binary_version : string;
+}
+
+let default_config ~binary_version =
+  {
+    queue_capacity = 256;
+    batch_max = 32;
+    result_cache_entries = 512;
+    prep_cache_entries = 64;
+    default_deadline_s = None;
+    reject_overflow = false;
+    max_request_bytes = Protocol.default_max_bytes;
+    binary_version;
+  }
+
+type t = {
+  cfg : config;
+  pool : Pool.t;
+  cache : Cache.t;
+  queue : Protocol.request Queue.t;
+  mutex : Mutex.t;
+  work : Condition.t;  (* queue went non-empty, or state changed *)
+  room : Condition.t;  (* queue has space again *)
+  mutable is_draining : bool;
+  drain_flag : bool Atomic.t;  (* the signal handler writes only this *)
+  served_n : int Atomic.t;
+  errors_n : int Atomic.t;
+  rejected_n : int Atomic.t;
+}
+
+let create ?pool cfg =
+  if cfg.queue_capacity < 1 then
+    invalid_arg "Engine.create: queue_capacity must be >= 1";
+  if cfg.batch_max < 1 then invalid_arg "Engine.create: batch_max must be >= 1";
+  {
+    cfg;
+    pool = (match pool with Some p -> p | None -> Pool.get_default ());
+    cache =
+      Cache.create ~result_entries:cfg.result_cache_entries
+        ~prep_entries:cfg.prep_cache_entries;
+    queue = Queue.create ();
+    mutex = Mutex.create ();
+    work = Condition.create ();
+    room = Condition.create ();
+    is_draining = false;
+    drain_flag = Atomic.make false;
+    served_n = Atomic.make 0;
+    errors_n = Atomic.make 0;
+    rejected_n = Atomic.make 0;
+  }
+
+let config t = t.cfg
+
+(* ---- the estimation paths ------------------------------------------ *)
+
+let ok x = match x with Ok v -> v | Error e -> E.raise_error e
+
+let params_of ~width ~height ~v =
+  let p = { Params.calibrated with Params.width; height; v } in
+  ok (Result.map (fun () -> p) (Params.validate p))
+
+let deadline_of t = function
+  | Some seconds -> Pool.Deadline.after ~seconds
+  | None -> (
+    match t.cfg.default_deadline_s with
+    | Some seconds -> Pool.Deadline.after ~seconds
+    | None -> Pool.Deadline.never)
+
+(* the fabric-independent prefix, shared across every fabric the client
+   asks about for the same circuit *)
+let prep_for t circuit =
+  let ckey = Cache.circuit_key circuit in
+  let entry =
+    Lru.find_or_compute t.cache.Cache.preps ckey (fun () ->
+        let ft = Decompose.to_ft circuit in
+        let qodg = Qodg.of_ft_circuit ft in
+        let prepared = Estimator.prepare qodg in
+        { Cache.ft; qodg; prepared })
+  in
+  (ckey, entry)
+
+(* result-cache lookup with the poison guard: an entry that is no
+   longer a well-formed report is dropped and recomputed *)
+let cached_result t key =
+  match Lru.find t.cache.Cache.results key with
+  | Some doc when Cache.valid_report doc -> Some doc
+  | Some _ ->
+    Lru.remove t.cache.Cache.results key;
+    Telemetry.ambient_count "cache.server.result.poisoned";
+    None
+  | None -> None
+
+let store_result t key doc =
+  (* the cache.poison fault site corrupts the stored entry instead of
+     the response — the next lookup must detect and recompute it *)
+  let stored = if Fault.fires "cache.poison" then Json.Null else doc in
+  Lru.put t.cache.Cache.results key stored
+
+let estimate_response t ~id (p : Protocol.estimate_params) =
+  let circuit = ok (Source.load p.Protocol.source) in
+  let params =
+    params_of ~width:p.Protocol.width ~height:p.Protocol.height ~v:p.Protocol.v
+  in
+  let key =
+    Cache.result_key ~method_:"estimate" ~circuit_key:(Cache.circuit_key circuit)
+      ~params
+      ~options:[ ("terms", string_of_int p.Protocol.terms) ]
+  in
+  match cached_result t key with
+  | Some doc -> Protocol.response_report ~id ~cache:`Hit doc
+  | None ->
+    let _, entry = prep_for t circuit in
+    let deadline = deadline_of t p.Protocol.deadline_s in
+    let config = { Leqa_core.Config.truncation_terms = p.Protocol.terms } in
+    let est, dt =
+      Timing.time (fun () ->
+          Estimator.estimate_prepared ~config ~deadline ~params
+            entry.Cache.prepared)
+    in
+    let report =
+      Report.make ~command:"estimate" ~ft:entry.Cache.ft
+        (Report.Estimate
+           {
+             Report.params;
+             breakdown = est;
+             contributions = Estimator.contributions ~params est;
+             estimator_runtime_s = dt;
+           })
+    in
+    let doc = Report.to_json report in
+    store_result t key doc;
+    Protocol.response_report ~id ~cache:`Miss doc
+
+let compare_response t ~id (p : Protocol.compare_params) =
+  let circuit = ok (Source.load p.Protocol.cmp_source) in
+  let params =
+    params_of ~width:p.Protocol.cmp_width ~height:p.Protocol.cmp_height
+      ~v:p.Protocol.cmp_v
+  in
+  (* the deadline is part of the key: it decides whether the simulation
+     half completes, which changes the report's content *)
+  let key =
+    Cache.result_key ~method_:"compare" ~circuit_key:(Cache.circuit_key circuit)
+      ~params
+      ~options:
+        [
+          ( "deadline_s",
+            match p.Protocol.cmp_deadline_s with
+            | None -> "none"
+            | Some s -> Printf.sprintf "%.17g" s );
+        ]
+  in
+  match cached_result t key with
+  | Some doc -> Protocol.response_report ~id ~cache:`Hit doc
+  | None ->
+    let _, entry = prep_for t circuit in
+    let qspr_config =
+      {
+        Qspr.default_config with
+        Qspr.params = { params with Params.v = Params.default.Params.v };
+      }
+    in
+    let validated, qspr_t =
+      Timing.time (fun () ->
+          Qspr.run_validated ~config:qspr_config
+            ?deadline:
+              (Option.map
+                 (fun seconds -> Pool.Deadline.after ~seconds)
+                 p.Protocol.cmp_deadline_s)
+            entry.Cache.qodg)
+    in
+    let est, leqa_t =
+      Timing.time (fun () ->
+          Estimator.estimate_prepared ~params entry.Cache.prepared)
+    in
+    let report =
+      Report.make ~command:"compare" ~ft:entry.Cache.ft
+        (Report.Compare
+           {
+             Report.estimate = est;
+             simulated = validated.Qspr.simulated;
+             qspr_runtime_s = qspr_t;
+             leqa_runtime_s = leqa_t;
+             timeout_s = p.Protocol.cmp_deadline_s;
+           })
+    in
+    let doc = Report.to_json report in
+    (* a degraded comparison (simulation timed out) is a property of
+       this run's budget, not of the inputs: don't let it shadow a
+       future complete answer *)
+    if validated.Qspr.simulated <> None then store_result t key doc;
+    Protocol.response_report ~id ~cache:`Miss doc
+
+let sweep_response t ~id (p : Protocol.sweep_params) =
+  let circuit = ok (Source.load p.Protocol.sw_source) in
+  let key =
+    Cache.result_key ~method_:"sweep-fabric"
+      ~circuit_key:(Cache.circuit_key circuit)
+      ~params:{ Params.calibrated with Params.v = p.Protocol.sw_v }
+      ~options:
+        [ ("sizes", String.concat "," (List.map string_of_int p.Protocol.sw_sizes)) ]
+  in
+  match cached_result t key with
+  | Some doc -> Protocol.response_report ~id ~cache:`Hit doc
+  | None ->
+    let _, entry = prep_for t circuit in
+    let deadline = deadline_of t p.Protocol.sw_deadline_s in
+    let estimates =
+      Pool.map_list t.pool ~deadline
+        ~f:(fun side ->
+          let params =
+            params_of ~width:side ~height:side ~v:p.Protocol.sw_v
+          in
+          (side, Estimator.estimate_prepared ~deadline ~params
+                   entry.Cache.prepared))
+        p.Protocol.sw_sizes
+    in
+    (* the one-shot CLI emits sweep reports without the circuit block —
+       match it exactly (the @serve-smoke parity gate checks bytes) *)
+    let report =
+      Report.make ~command:"sweep-fabric"
+        (Report.Sweep_fabric
+           {
+             Report.v = p.Protocol.sw_v;
+             rows =
+               List.map
+                 (fun (side, est) -> { Report.side; breakdown = est })
+                 estimates;
+             prep_reused = List.length p.Protocol.sw_sizes;
+           })
+    in
+    let doc = Report.to_json report in
+    store_result t key doc;
+    Protocol.response_report ~id ~cache:`Miss doc
+
+let version_response t ~id =
+  let report =
+    Report.make ~command:"version"
+      (Report.Version
+         { Report.binary = t.cfg.binary_version; schemas = Protocol.schemas })
+  in
+  Protocol.response_report ~id (Report.to_json report)
+
+let cache_stats_json (s : Lru.stats) ~length ~capacity =
+  Json.Obj
+    [
+      ("entries", Json.Int length);
+      ("capacity", Json.Int capacity);
+      ("hits", Json.Int s.Lru.hits);
+      ("misses", Json.Int s.Lru.misses);
+      ("evictions", Json.Int s.Lru.evictions);
+      ("poisoned", Json.Int s.Lru.poisoned);
+    ]
+
+let queue_state t =
+  Mutex.lock t.mutex;
+  let n = Queue.length t.queue in
+  let d = t.is_draining in
+  Mutex.unlock t.mutex;
+  (n, d)
+
+let stats_json t =
+  let depth, draining = queue_state t in
+  Json.Obj
+    [
+      ("served", Json.Int (Atomic.get t.served_n));
+      ("errors", Json.Int (Atomic.get t.errors_n));
+      ("rejected", Json.Int (Atomic.get t.rejected_n));
+      ("queue_depth", Json.Int depth);
+      ("queue_capacity", Json.Int t.cfg.queue_capacity);
+      ("draining", Json.Bool draining);
+      ( "result_cache",
+        cache_stats_json
+          (Lru.stats t.cache.Cache.results)
+          ~length:(Lru.length t.cache.Cache.results)
+          ~capacity:(Lru.capacity t.cache.Cache.results) );
+      ( "prep_cache",
+        cache_stats_json
+          (Lru.stats t.cache.Cache.preps)
+          ~length:(Lru.length t.cache.Cache.preps)
+          ~capacity:(Lru.capacity t.cache.Cache.preps) );
+    ]
+
+let handle t (req : Protocol.request) =
+  let id = req.Protocol.id in
+  Telemetry.ambient_count "server.requests";
+  let outcome =
+    E.protect (fun () ->
+        match req.Protocol.body with
+        | Protocol.Estimate p -> estimate_response t ~id p
+        | Protocol.Compare p -> compare_response t ~id p
+        | Protocol.Sweep_fabric p -> sweep_response t ~id p
+        | Protocol.Version -> version_response t ~id
+        | Protocol.Ping -> Protocol.response_ok ~id [ ("pong", Json.Bool true) ]
+        | Protocol.Stats ->
+          Protocol.response_ok ~id [ ("stats", stats_json t) ])
+  in
+  match outcome with
+  | Ok resp ->
+    Atomic.incr t.served_n;
+    resp
+  | Error e ->
+    Atomic.incr t.errors_n;
+    Telemetry.ambient_count "server.errors";
+    Protocol.response_error ~id e
+  | exception Invalid_argument msg ->
+    Atomic.incr t.errors_n;
+    Telemetry.ambient_count "server.errors";
+    Protocol.response_error ~id (E.Usage_error msg)
+
+let handle_line t line =
+  match Protocol.request_of_line ~max_bytes:t.cfg.max_request_bytes line with
+  | Ok req -> handle t req
+  | Error (id, e) ->
+    Atomic.incr t.errors_n;
+    Telemetry.ambient_count "server.errors";
+    Protocol.response_error ~id e
+
+(* ---- queue / drain -------------------------------------------------- *)
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let rejected t ~id e =
+  Atomic.incr t.rejected_n;
+  Telemetry.ambient_count "server.rejected";
+  `Rejected (Protocol.response_error ~id e)
+
+let admit t (req : Protocol.request) =
+  let id = req.Protocol.id in
+  let verdict =
+    locked t (fun () ->
+        if t.is_draining then `Draining
+        else if Queue.length t.queue >= t.cfg.queue_capacity then
+          if t.cfg.reject_overflow then
+            `Overload (Queue.length t.queue, t.cfg.queue_capacity)
+          else begin
+            (* block the reader: upstream pipe backpressure *)
+            while
+              Queue.length t.queue >= t.cfg.queue_capacity
+              && not t.is_draining
+            do
+              Condition.wait t.room t.mutex
+            done;
+            if t.is_draining then `Draining
+            else begin
+              Queue.push req t.queue;
+              Condition.signal t.work;
+              `Queued
+            end
+          end
+        else begin
+          Queue.push req t.queue;
+          Condition.signal t.work;
+          `Queued
+        end)
+  in
+  match verdict with
+  | `Queued -> `Queued
+  | `Draining -> rejected t ~id E.Server_draining
+  | `Overload (queued, capacity) ->
+    rejected t ~id (E.Server_overload { queued; capacity })
+
+let next_batch t ~stop =
+  locked t (fun () ->
+      while Queue.is_empty t.queue && not (t.is_draining || stop ()) do
+        Condition.wait t.work t.mutex
+      done;
+      let batch = ref [] in
+      let n = ref 0 in
+      while (not (Queue.is_empty t.queue)) && !n < t.cfg.batch_max do
+        batch := Queue.pop t.queue :: !batch;
+        incr n
+      done;
+      if !n > 0 then Condition.broadcast t.room;
+      List.rev !batch)
+
+let wake t =
+  locked t (fun () ->
+      Condition.broadcast t.work;
+      Condition.broadcast t.room)
+
+let set_draining t =
+  locked t (fun () ->
+      t.is_draining <- true;
+      Condition.broadcast t.work;
+      Condition.broadcast t.room)
+
+let draining t = locked t (fun () -> t.is_draining)
+let request_drain t = Atomic.set t.drain_flag true
+let drain_requested t = Atomic.get t.drain_flag
+let served t = Atomic.get t.served_n

@@ -1,0 +1,92 @@
+(** Request admission, dispatch and the cached estimation paths.
+
+    The engine is transport-agnostic: {!Server} feeds it parsed
+    requests from stdio or a socket, the bench harness calls
+    {!handle} directly.  Life of a request:
+
+    {v
+    reader ──admit──▶ bounded queue ──next_batch──▶ dispatcher
+                                                      │ handle (pool fan-out)
+                                                      ▼
+                                              response Json.t
+    v}
+
+    {b Backpressure} — [admit] on a full queue blocks by default (the
+    reader stops consuming input, so the client's pipe fills: natural
+    flow control).  Under [reject_overflow] it instead answers
+    immediately with a typed [Server_overload] error (exit-code
+    family 69).
+
+    {b Drain} — [set_draining] stops admission ([Server_draining])
+    while [next_batch] keeps delivering queued work until the queue is
+    empty, then returns [[]]; in-flight requests always finish.
+    [request_drain] is the async-signal-safe edge: it only flips an
+    atomic, which a ticker promotes to the mutex-guarded state. *)
+
+module Json = Leqa_util.Json
+
+type config = {
+  queue_capacity : int;  (** default 256 *)
+  batch_max : int;  (** max requests per dispatcher batch, default 32 *)
+  result_cache_entries : int;  (** default 512 *)
+  prep_cache_entries : int;  (** default 64 *)
+  default_deadline_s : float option;
+      (** per-request budget when the request names none *)
+  reject_overflow : bool;
+      (** [true]: full queue answers [Server_overload] instead of
+          blocking the reader *)
+  max_request_bytes : int;  (** NDJSON line cap, default 8 MiB *)
+  binary_version : string;  (** reported by the version method *)
+}
+
+val default_config : binary_version:string -> config
+
+type t
+
+val create : ?pool:Leqa_util.Pool.t -> config -> t
+(** [pool] defaults to {!Leqa_util.Pool.get_default}[ ()]. *)
+
+val config : t -> config
+
+val handle : t -> Protocol.request -> Json.t
+(** Execute one request to a response document.  Never raises: every
+    structured error (parse, usage, timeout, numeric, …) renders as an
+    [ok:false] response carrying {!Leqa_util.Error.to_json}. *)
+
+val handle_line : t -> string -> Json.t
+(** Parse ({!Protocol.request_of_line} under the configured byte cap)
+    then {!handle}; malformed lines yield [ok:false] responses. *)
+
+(** {2 Queue} *)
+
+val admit : t -> Protocol.request -> [ `Queued | `Rejected of Json.t ]
+(** See the backpressure / drain contract above. *)
+
+val next_batch : t -> stop:(unit -> bool) -> Protocol.request list
+(** Up to [batch_max] queued requests, FIFO.  Blocks while the queue is
+    empty unless draining or [stop ()] (the transport's EOF flag) —
+    then returns [[]] to end the dispatch loop. *)
+
+val wake : t -> unit
+(** Nudge a blocked [next_batch] to re-check [stop] (call after
+    flipping the EOF flag from another domain). *)
+
+(** {2 Drain} *)
+
+val set_draining : t -> unit
+val draining : t -> bool
+
+val request_drain : t -> unit
+(** Async-signal-safe ([Atomic.set] only) — the SIGTERM handler. *)
+
+val drain_requested : t -> bool
+(** The ticker polls this and promotes it to {!set_draining}. *)
+
+(** {2 Introspection} *)
+
+val stats_json : t -> Json.t
+(** Served/error/rejected counts, queue depth and capacity, and
+    {!Leqa_util.Lru.stats} for both cache levels — the [stats]
+    method's payload. *)
+
+val served : t -> int

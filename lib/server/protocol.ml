@@ -1,0 +1,297 @@
+module Json = Leqa_util.Json
+module E = Leqa_util.Error
+module Params = Leqa_fabric.Params
+
+let rpc_schema_version = "leqa/rpc/v1"
+
+let schemas =
+  [
+    ("report", Leqa_report.Report.schema_version);
+    ("trace", Leqa_util.Telemetry.trace_schema_version);
+    ("rpc", rpc_schema_version);
+  ]
+
+type estimate_params = {
+  source : Source.t;
+  width : int;
+  height : int;
+  v : float;
+  terms : int;
+  deadline_s : float option;
+}
+
+type compare_params = {
+  cmp_source : Source.t;
+  cmp_width : int;
+  cmp_height : int;
+  cmp_v : float;
+  cmp_deadline_s : float option;
+}
+
+type sweep_params = {
+  sw_source : Source.t;
+  sw_v : float;
+  sw_sizes : int list;
+  sw_deadline_s : float option;
+}
+
+type request_body =
+  | Estimate of estimate_params
+  | Compare of compare_params
+  | Sweep_fabric of sweep_params
+  | Version
+  | Ping
+  | Stats
+
+type request = { id : Json.t; body : request_body }
+
+let usage fmt = Printf.ksprintf (fun m -> E.Usage_error m) fmt
+
+let valid_deadline ~field s =
+  if Float.is_finite s && s > 0.0 then Ok s
+  else
+    Error
+      (usage "%s must be a positive number of seconds (got %g)" field s)
+
+(* ---- parsing ------------------------------------------------------- *)
+
+exception Bad of E.t
+
+let badf fmt = Printf.ksprintf (fun m -> raise (Bad (E.Usage_error m))) fmt
+
+let mem key obj = Json.member key obj
+
+let get_string ~what = function
+  | Some (Json.String s) -> Some s
+  | Some _ -> badf "%s must be a string" what
+  | None -> None
+
+let get_int ~what = function
+  | Some (Json.Int n) -> Some n
+  | Some _ -> badf "%s must be an integer" what
+  | None -> None
+
+let get_float ~what = function
+  | Some (Json.Float f) -> Some f
+  | Some (Json.Int n) -> Some (float_of_int n)
+  | Some _ -> badf "%s must be a number" what
+  | None -> None
+
+let get_int_list ~what = function
+  | Some (Json.List items) ->
+    Some
+      (List.map
+         (function
+           | Json.Int n -> n
+           | _ -> badf "%s must be a list of integers" what)
+         items)
+  | Some _ -> badf "%s must be a list of integers" what
+  | None -> None
+
+let get_deadline params =
+  match get_float ~what:"deadline_s" (mem "deadline_s" params) with
+  | None -> None
+  | Some s -> begin
+    match valid_deadline ~field:"deadline_s" s with
+    | Ok s -> Some s
+    | Error e -> raise (Bad e)
+  end
+
+let get_source params =
+  let file = get_string ~what:"file" (mem "file" params) in
+  let bench = get_string ~what:"bench" (mem "bench" params) in
+  let inline = get_string ~what:"circuit" (mem "circuit" params) in
+  let scale =
+    match get_float ~what:"scale" (mem "scale" params) with
+    | None -> 1.0
+    | Some s ->
+      if Float.is_finite s && s > 0.0 then s
+      else badf "scale must be a positive number (got %g)" s
+  in
+  match (file, bench, inline) with
+  | Some path, None, None -> Source.File path
+  | None, Some name, None -> Source.Bench { name; scale }
+  | None, None, Some text -> Source.Inline text
+  | None, None, None ->
+    badf "params needs a circuit source: one of file, bench or circuit"
+  | _ -> badf "file, bench and circuit are mutually exclusive"
+
+let get_fabric params =
+  let width =
+    Option.value ~default:Params.default.Params.width
+      (get_int ~what:"width" (mem "width" params))
+  in
+  let height =
+    Option.value ~default:Params.default.Params.height
+      (get_int ~what:"height" (mem "height" params))
+  in
+  let v =
+    Option.value ~default:Params.calibrated.Params.v
+      (get_float ~what:"v" (mem "v" params))
+  in
+  (width, height, v)
+
+let body_of ~method_ ~params =
+  match method_ with
+  | "estimate" ->
+    let source = get_source params in
+    let width, height, v = get_fabric params in
+    let terms =
+      Option.value ~default:20 (get_int ~what:"terms" (mem "terms" params))
+    in
+    let deadline_s = get_deadline params in
+    Estimate { source; width; height; v; terms; deadline_s }
+  | "compare" ->
+    let cmp_source = get_source params in
+    let cmp_width, cmp_height, cmp_v = get_fabric params in
+    let cmp_deadline_s = get_deadline params in
+    Compare { cmp_source; cmp_width; cmp_height; cmp_v; cmp_deadline_s }
+  | "sweep-fabric" ->
+    let sw_source = get_source params in
+    let _, _, sw_v = get_fabric params in
+    let sw_sizes =
+      Option.value
+        ~default:[ 10; 20; 30; 40; 60; 80; 100 ]
+        (get_int_list ~what:"sizes" (mem "sizes" params))
+    in
+    if sw_sizes = [] then badf "sizes must not be empty";
+    let sw_deadline_s = get_deadline params in
+    Sweep_fabric { sw_source; sw_v; sw_sizes; sw_deadline_s }
+  | "version" -> Version
+  | "ping" -> Ping
+  | "stats" -> Stats
+  | other ->
+    badf
+      "unknown method %S (expected estimate, compare, sweep-fabric, \
+       version, ping or stats)"
+      other
+
+let request_of_json json =
+  (* pull the id out first so even a malformed request gets an
+     addressable error response *)
+  let id =
+    match mem "id" json with
+    | Some ((Json.Int _ | Json.String _ | Json.Null) as id) -> id
+    | Some _ | None -> Json.Null
+  in
+  try
+    (match mem "id" json with
+    | Some (Json.Int _ | Json.String _ | Json.Null) | None -> ()
+    | Some _ -> badf "id must be an integer, a string or null");
+    (match mem "schema_version" json with
+    | Some (Json.String v) when v = rpc_schema_version -> ()
+    | Some (Json.String v) ->
+      badf "unsupported schema_version %S (this server speaks %s)" v
+        rpc_schema_version
+    | Some _ | None ->
+      badf "request needs \"schema_version\": %S" rpc_schema_version);
+    let method_ =
+      match get_string ~what:"method" (mem "method" json) with
+      | Some m -> m
+      | None -> badf "request needs a \"method\" string"
+    in
+    let params = Option.value ~default:(Json.Obj []) (mem "params" json) in
+    (match params with
+    | Json.Obj _ -> ()
+    | _ -> badf "params must be an object");
+    Ok { id; body = body_of ~method_ ~params }
+  with Bad e -> Error (id, e)
+
+let default_max_bytes = 8 * 1024 * 1024
+
+let request_of_line ?(max_bytes = default_max_bytes) line =
+  if String.length line > max_bytes then
+    Error
+      ( Json.Null,
+        usage "request line of %d bytes exceeds the %d-byte limit"
+          (String.length line) max_bytes )
+  else
+    match Json.of_string line with
+    | Error msg ->
+      Error (Json.Null, E.Parse_error { file = None; line = None; msg })
+    | Ok json -> request_of_json json
+
+(* ---- serialization (the client side) ------------------------------- *)
+
+let source_fields = function
+  | Source.File path -> [ ("file", Json.String path) ]
+  | Source.Bench { name; scale } ->
+    ("bench", Json.String name)
+    :: (if scale = 1.0 then [] else [ ("scale", Json.Float scale) ])
+  | Source.Inline text -> [ ("circuit", Json.String text) ]
+
+let deadline_fields = function
+  | None -> []
+  | Some s -> [ ("deadline_s", Json.Float s) ]
+
+let request_to_json { id; body } =
+  let method_, params =
+    match body with
+    | Estimate { source; width; height; v; terms; deadline_s } ->
+      ( "estimate",
+        source_fields source
+        @ [
+            ("width", Json.Int width);
+            ("height", Json.Int height);
+            ("v", Json.Float v);
+            ("terms", Json.Int terms);
+          ]
+        @ deadline_fields deadline_s )
+    | Compare { cmp_source; cmp_width; cmp_height; cmp_v; cmp_deadline_s }
+      ->
+      ( "compare",
+        source_fields cmp_source
+        @ [
+            ("width", Json.Int cmp_width);
+            ("height", Json.Int cmp_height);
+            ("v", Json.Float cmp_v);
+          ]
+        @ deadline_fields cmp_deadline_s )
+    | Sweep_fabric { sw_source; sw_v; sw_sizes; sw_deadline_s } ->
+      ( "sweep-fabric",
+        source_fields sw_source
+        @ [
+            ("v", Json.Float sw_v);
+            ("sizes", Json.List (List.map (fun n -> Json.Int n) sw_sizes));
+          ]
+        @ deadline_fields sw_deadline_s )
+    | Version -> ("version", [])
+    | Ping -> ("ping", [])
+    | Stats -> ("stats", [])
+  in
+  Json.Obj
+    [
+      ("schema_version", Json.String rpc_schema_version);
+      ("id", id);
+      ("method", Json.String method_);
+      ("params", Json.Obj params);
+    ]
+
+(* ---- responses ------------------------------------------------------ *)
+
+let response_ok ~id ?cache fields =
+  let cache_field =
+    match cache with
+    | None -> []
+    | Some `Hit -> [ ("cache", Json.String "hit") ]
+    | Some `Miss -> [ ("cache", Json.String "miss") ]
+  in
+  Json.Obj
+    ([
+       ("schema_version", Json.String rpc_schema_version);
+       ("id", id);
+       ("ok", Json.Bool true);
+     ]
+    @ cache_field @ fields)
+
+let response_report ~id ?cache report =
+  response_ok ~id ?cache [ ("report", report) ]
+
+let response_error ~id e =
+  Json.Obj
+    [
+      ("schema_version", Json.String rpc_schema_version);
+      ("id", id);
+      ("ok", Json.Bool false);
+      ("error", E.to_json e);
+    ]

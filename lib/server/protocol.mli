@@ -1,0 +1,105 @@
+(** The [leqa/rpc/v1] wire protocol: newline-delimited JSON over stdio
+    or a Unix-domain socket.
+
+    One request per line:
+
+    {v
+    { "schema_version": "leqa/rpc/v1",
+      "id": 7,                              (int, string or null)
+      "method": "estimate",                 (see {!request_body})
+      "params": { "bench": "qft:8", "width": 40, ... } }
+    v}
+
+    One response per line, in request order within a connection:
+
+    {v
+    { "schema_version": "leqa/rpc/v1", "id": 7, "ok": true,
+      "cache": "hit" | "miss",              (estimation methods only)
+      "report": { ...a leqa/report/v1 document... } }
+    { "schema_version": "leqa/rpc/v1", "id": 7, "ok": false,
+      "error": { "error": "usage-error", "message": ..., "exit_code": 64 } }
+    v}
+
+    The ["report"] member is the same document the one-shot CLI prints
+    under [--format json] — byte-identical apart from wall-clock fields
+    (runtimes, telemetry), which is what the [@serve-smoke] gate
+    asserts.  Defaults for omitted params match the CLI flags' defaults
+    exactly for the same reason. *)
+
+module Json = Leqa_util.Json
+module E = Leqa_util.Error
+
+val rpc_schema_version : string
+(** ["leqa/rpc/v1"]. *)
+
+val schemas : (string * string) list
+(** Every wire schema this build speaks, for [leqa version] and the
+    server's own version method: report, trace and rpc. *)
+
+type estimate_params = {
+  source : Source.t;
+  width : int;
+  height : int;
+  v : float;
+  terms : int;
+  deadline_s : float option;  (** per-request budget, validated > 0 *)
+}
+
+type compare_params = {
+  cmp_source : Source.t;
+  cmp_width : int;
+  cmp_height : int;
+  cmp_v : float;
+  cmp_deadline_s : float option;
+}
+
+type sweep_params = {
+  sw_source : Source.t;
+  sw_v : float;
+  sw_sizes : int list;
+  sw_deadline_s : float option;
+}
+
+type request_body =
+  | Estimate of estimate_params
+  | Compare of compare_params
+  | Sweep_fabric of sweep_params
+  | Version
+  | Ping
+  | Stats
+
+type request = { id : Json.t; body : request_body }
+(** [id] is echoed verbatim in the response ([Int], [String] or
+    [Null]). *)
+
+val request_of_json : Json.t -> (request, Json.t * E.t) result
+(** The error carries the request's id (or [Null]) so a malformed
+    request still gets an addressable error response. *)
+
+val default_max_bytes : int
+(** 8 MiB — the default NDJSON line cap. *)
+
+val request_of_line :
+  ?max_bytes:int -> string -> (request, Json.t * E.t) result
+(** Parse one NDJSON line.  Lines longer than [max_bytes] (default
+    8 MiB) are rejected with a [Usage_error] before parsing — the
+    server's untrusted-input guard. *)
+
+val request_to_json : request -> Json.t
+(** Serialize a request (the [leqa client] driver uses this); parsing
+    it back yields an equal request. *)
+
+val response_ok :
+  id:Json.t -> ?cache:[ `Hit | `Miss ] -> (string * Json.t) list -> Json.t
+(** Success envelope; [cache] renders as ["cache": "hit"|"miss"]. *)
+
+val response_report :
+  id:Json.t -> ?cache:[ `Hit | `Miss ] -> Json.t -> Json.t
+(** [response_ok] with a single ["report"] member. *)
+
+val response_error : id:Json.t -> E.t -> Json.t
+
+val valid_deadline : field:string -> float -> (float, E.t) result
+(** Shared fractional-seconds validation for [--timeout], [--deadline]
+    and the RPC [deadline_s] field: accepts any finite positive float,
+    rejects the rest with a single-line [Usage_error] naming [field]. *)

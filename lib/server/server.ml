@@ -1,0 +1,199 @@
+module Json = Leqa_util.Json
+module E = Leqa_util.Error
+module Pool = Leqa_util.Pool
+module Telemetry = Leqa_util.Telemetry
+
+type t = { engine : Engine.t }
+
+let create engine = { engine }
+
+(* ---- one connection ------------------------------------------------- *)
+
+type conn_state = {
+  oc : out_channel;
+  out_mutex : Mutex.t;  (* reader (rejections) and dispatcher both write *)
+  eof : bool Atomic.t;
+}
+
+let write_line conn json =
+  Mutex.lock conn.out_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock conn.out_mutex)
+    (fun () ->
+      output_string conn.oc (Json.to_string json);
+      output_char conn.oc '\n';
+      flush conn.oc)
+
+(* The reader: parse lines, admit them.  Admission on a full queue
+   blocks right here — the reader stops consuming input and the
+   client's pipe fills up.  That is the backpressure. *)
+let reader_loop t conn ic =
+  (try
+     while not (Atomic.get conn.eof) do
+       let line = input_line ic in
+       if String.trim line <> "" then begin
+         let cfg = Engine.config t.engine in
+         match
+           Protocol.request_of_line ~max_bytes:cfg.Engine.max_request_bytes
+             line
+         with
+         | Error (id, e) -> write_line conn (Protocol.response_error ~id e)
+         | Ok req -> (
+           match Engine.admit t.engine req with
+           | `Queued -> ()
+           | `Rejected resp -> write_line conn resp)
+       end
+     done
+   with End_of_file | Sys_error _ -> ());
+  Atomic.set conn.eof true;
+  Engine.wake t.engine
+
+let serve_channels t ic oc =
+  let conn = { oc; out_mutex = Mutex.create (); eof = Atomic.make false } in
+  let reader = Domain.spawn (fun () -> reader_loop t conn ic) in
+  let pool = Pool.get_default () in
+  let rec dispatch () =
+    match Engine.next_batch t.engine ~stop:(fun () -> Atomic.get conn.eof) with
+    | [] -> ()  (* queue empty and (EOF or draining): we're done *)
+    | [ req ] ->
+      (* single request: stay on this thread so request spans nest
+         correctly (spans are single-flow-of-control) *)
+      write_line conn (Engine.handle t.engine req);
+      dispatch ()
+    | batch ->
+      Telemetry.ambient_count_n "server.batched" (List.length batch);
+      (* fan the batch out; nested pool use inside handle (sweeps) is
+         safe because the caller helps while waiting *)
+      let responses =
+        Pool.map_list pool ~f:(fun req -> Engine.handle t.engine req) batch
+      in
+      List.iter (write_line conn) responses;
+      dispatch ()
+  in
+  dispatch ();
+  (* under a drain the dispatch loop ends as soon as the queue is dry,
+     but the reader keeps answering Server_draining until the client
+     closes its end — join so those rejections are flushed before the
+     connection is torn down *)
+  Domain.join reader
+
+(* ---- drain plumbing ------------------------------------------------- *)
+
+(* SIGTERM handlers may run at any point, including while another
+   domain holds the engine mutex, so the handler itself only flips an
+   atomic; this ticker promotes the flag into the mutex-guarded
+   draining state from a normal flow of control. *)
+let start_drain_ticker t =
+  Domain.spawn (fun () ->
+      let rec tick () =
+        if Engine.draining t.engine then ()
+        else begin
+          if Engine.drain_requested t.engine then Engine.set_draining t.engine
+          else Unix.sleepf 0.05;
+          tick ()
+        end
+      in
+      tick ())
+
+let install_signal_handlers t =
+  (match Sys.os_type with
+  | "Unix" | "Cygwin" ->
+    Sys.set_signal Sys.sigterm
+      (Sys.Signal_handle (fun _ -> Engine.request_drain t.engine));
+    (* a client that goes away mid-response must not kill the server *)
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  | _ -> ());
+  start_drain_ticker t
+
+let serve_stdio t =
+  let ticker = install_signal_handlers t in
+  serve_channels t stdin stdout;
+  Engine.set_draining t.engine;  (* stop the ticker *)
+  Domain.join ticker
+
+(* ---- Unix-domain socket --------------------------------------------- *)
+
+let remove_if_socket path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink path
+  | _ -> E.raise_error (E.Io_error (path ^ ": exists and is not a socket"))
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let serve_socket t path =
+  let ticker = install_signal_handlers t in
+  remove_if_socket path;
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let cleanup () =
+    (try Unix.close sock with Unix.Unix_error _ -> ());
+    try Unix.unlink path with Unix.Unix_error _ -> ()
+  in
+  Fun.protect ~finally:cleanup @@ fun () ->
+  (try
+     Unix.bind sock (Unix.ADDR_UNIX path);
+     Unix.listen sock 16
+   with Unix.Unix_error (err, fn, _) ->
+     E.raise_error
+       (E.Io_error (Printf.sprintf "%s: %s (%s)" path (Unix.error_message err) fn)));
+  (* one connection at a time: the estimation fan-out already saturates
+     the pool, interleaving connections would only mix their queues *)
+  let rec accept_loop () =
+    if Engine.draining t.engine then ()
+    else begin
+      (* wake from accept() periodically to notice a requested drain *)
+      match Unix.select [ sock ] [] [] 0.2 with
+      | [], _, _ -> accept_loop ()
+      | _ :: _, _, _ ->
+        let fd, _ = Unix.accept sock in
+        let ic = Unix.in_channel_of_descr fd in
+        let oc = Unix.out_channel_of_descr fd in
+        (try serve_channels t ic oc
+         with Sys_error _ | Unix.Unix_error _ -> ());
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        accept_loop ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+    end
+  in
+  accept_loop ();
+  Engine.set_draining t.engine;
+  Domain.join ticker
+
+(* ---- client --------------------------------------------------------- *)
+
+module Client = struct
+  type conn = { fd : Unix.file_descr; ic : in_channel; coc : out_channel }
+
+  let connect path =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try Unix.connect fd (Unix.ADDR_UNIX path)
+     with Unix.Unix_error (err, _, _) ->
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       E.raise_error
+         (E.Io_error
+            (Printf.sprintf "%s: %s (is the server running?)" path
+               (Unix.error_message err))));
+    {
+      fd;
+      ic = Unix.in_channel_of_descr fd;
+      coc = Unix.out_channel_of_descr fd;
+    }
+
+  let call conn request =
+    (try
+       output_string conn.coc (Json.to_string request);
+       output_char conn.coc '\n';
+       flush conn.coc
+     with Sys_error msg | Unix.Unix_error (_, msg, _) ->
+       E.raise_error (E.Io_error ("server connection lost: " ^ msg)));
+    let line =
+      try input_line conn.ic
+      with End_of_file | Sys_error _ ->
+        E.raise_error (E.Io_error "server closed the connection")
+    in
+    match Json.of_string line with
+    | Ok json -> json
+    | Error msg ->
+      E.raise_error (E.Parse_error { file = None; line = None; msg })
+
+  let close conn =
+    try Unix.close conn.fd with Unix.Unix_error _ -> ()
+end

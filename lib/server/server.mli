@@ -1,0 +1,53 @@
+(** Transports for the estimation service: NDJSON over stdio or a
+    Unix-domain socket, plus the client used by [leqa client].
+
+    Both transports share one loop: a reader domain parses lines and
+    admits them to the engine's bounded queue (blocking there is the
+    backpressure), while the calling thread drains batches through
+    {!Engine.next_batch}, fans each batch out on the domain pool, and
+    writes responses in request order.
+
+    Shutdown paths, all of which finish every in-flight request:
+    - client EOF (stdin closes / socket half-closes) — the reader flags
+      the connection done and the dispatch loop exits once the queue
+      is empty;
+    - SIGTERM ({!serve_stdio} installs the handler) — flips the
+      engine's atomic drain flag; a ticker domain promotes it to
+      [set_draining], after which admission answers [Server_draining];
+    - [drain] request via the protocol is deliberately absent: drains
+      are an operator action, not a client one. *)
+
+type t
+
+val create : Engine.t -> t
+
+val serve_channels : t -> in_channel -> out_channel -> unit
+(** Serve one connection until EOF or drain; returns when every
+    admitted request has been answered.  ({b not} signal-aware: the
+    caller owns handler installation.) *)
+
+val serve_stdio : t -> unit
+(** [serve_channels] over stdin/stdout with SIGTERM → graceful drain
+    and SIGPIPE ignored (a dying client must not kill the server). *)
+
+val serve_socket : t -> string -> unit
+(** Listen on a Unix-domain socket path (an existing socket file is
+    replaced), serving one connection at a time — the estimation fan-out
+    already saturates the domain pool, so connection concurrency would
+    only interleave queues.  Returns (and removes the socket file) once
+    a drain is requested. *)
+
+module Client : sig
+  type conn
+
+  val connect : string -> conn
+  (** @raise Leqa_util.Error.Error ([Io_error]) when the socket is
+      absent or refuses. *)
+
+  val call : conn -> Leqa_util.Json.t -> Leqa_util.Json.t
+  (** Write one request line, read one response line.
+      @raise Leqa_util.Error.Error ([Io_error]) on a dropped
+      connection, ([Parse_error]) on a malformed response. *)
+
+  val close : conn -> unit
+end

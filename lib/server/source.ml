@@ -1,0 +1,43 @@
+module E = Leqa_util.Error
+
+type t =
+  | File of string
+  | Bench of { name : string; scale : float }
+  | Inline of string
+
+(* moved verbatim from the CLI's load_circuit so the flag and RPC paths
+   share one benchmark-name grammar *)
+let load_bench ~name ~scale =
+  let scaled n = max 2 (int_of_float (float_of_int n *. scale)) in
+  match String.split_on_char ':' name with
+  | [ "qft"; n ] when int_of_string_opt n <> None ->
+    Ok (Leqa_benchmarks.Qft.circuit ~n:(scaled (int_of_string n)) ())
+  | [ "qft-adder"; n ] when int_of_string_opt n <> None ->
+    Ok (Leqa_benchmarks.Qft_adder.circuit ~n:(scaled (int_of_string n)) ())
+  | [ "grover"; n ] when int_of_string_opt n <> None ->
+    let bits = max 3 (scaled (int_of_string n)) in
+    Ok (Leqa_benchmarks.Grover.circuit ~n:bits ~marked:0 ())
+  | _ -> begin
+    match Leqa_benchmarks.Suite.find name with
+    | Some entry -> Ok (Leqa_benchmarks.Suite.build_scaled entry ~scale)
+    | None ->
+      Error
+        (E.Usage_error
+           (Printf.sprintf
+              "unknown benchmark %S (try a Table-2 name like %s, or qft:N, \
+               qft-adder:N, grover:N)"
+              name
+              (String.concat ", "
+                 (List.filteri
+                    (fun i _ -> i < 3)
+                    (List.map
+                       (fun e -> e.Leqa_benchmarks.Suite.name)
+                       Leqa_benchmarks.Suite.all)))))
+  end
+
+let load = function
+  | File path -> Leqa_circuit.Parser.parse_file path
+  | Bench { name; scale } -> load_bench ~name ~scale
+  | Inline text -> Leqa_circuit.Parser.parse_string text
+
+let canonical = Leqa_circuit.Parser.to_string

@@ -1,0 +1,23 @@
+(** Circuit sources: the one place that turns "where the circuit comes
+    from" into a parsed {!Leqa_circuit.Circuit.t}.
+
+    Both front ends speak it — the CLI's [--file]/[--bench] flags and
+    the RPC protocol's ["file"]/["bench"]/["circuit"] request fields —
+    so the benchmark-name grammar (Table-2 names plus the [qft:N],
+    [qft-adder:N], [grover:N] families) cannot drift between them. *)
+
+type t =
+  | File of string  (** a [.tfc] netlist on disk *)
+  | Bench of { name : string; scale : float }
+      (** a generated benchmark: a Table 2/3 name or a [family:N] form *)
+  | Inline of string  (** a [.tfc] netlist passed as text *)
+
+val load : t -> (Leqa_circuit.Circuit.t, Leqa_util.Error.t) result
+(** [Io_error] for unreadable files, [Parse_error] for malformed
+    netlists, [Usage_error] for unknown benchmark names. *)
+
+val canonical : Leqa_circuit.Circuit.t -> string
+(** The canonical netlist text ({!Leqa_circuit.Parser.to_string}) — the
+    content-addressed cache digests this, so a circuit reaches the same
+    cache entry whether it arrived as a file, a benchmark name or
+    inline text (DESIGN.md §9). *)

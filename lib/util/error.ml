@@ -7,6 +7,8 @@ type t =
   | Numeric_error of { site : string; value : float }
   | Timed_out of { site : string; budget_s : float }
   | Fault_injected of { site : string }
+  | Server_overload of { queued : int; capacity : int }
+  | Server_draining
 
 exception Error of t
 
@@ -16,6 +18,7 @@ let exit_code = function
   | Usage_error _ -> 64
   | Parse_error _ -> 65
   | Io_error _ -> 66
+  | Server_overload _ | Server_draining -> 69
   | Numeric_error _ -> 70
   | Fabric_error _ -> 71
   | Fault_injected _ -> 74
@@ -31,6 +34,8 @@ let kind = function
   | Numeric_error _ -> "numeric-error"
   | Timed_out _ -> "timed-out"
   | Fault_injected _ -> "fault-injected"
+  | Server_overload _ -> "server-overload"
+  | Server_draining -> "server-draining"
 
 (* renderers promise a single line whatever ends up inside messages *)
 let one_line s =
@@ -53,7 +58,12 @@ let to_string e =
       Printf.sprintf "numeric guard tripped at %s: %h" site value
     | Timed_out { site; budget_s } ->
       Printf.sprintf "deadline of %gs expired at %s" budget_s site
-    | Fault_injected { site } -> "injected fault fired at site " ^ site)
+    | Fault_injected { site } -> "injected fault fired at site " ^ site
+    | Server_overload { queued; capacity } ->
+      Printf.sprintf
+        "server overloaded: %d requests queued (capacity %d), try again later"
+        queued capacity
+    | Server_draining -> "server is draining and no longer admits requests")
 
 let to_json e =
   let base =
@@ -73,7 +83,10 @@ let to_json e =
     | Timed_out { site; budget_s } ->
       [ ("site", Json.String site); ("budget_s", Json.Float budget_s) ]
     | Fault_injected { site } -> [ ("site", Json.String site) ]
-    | Usage_error _ | Io_error _ | Config_error _ | Fabric_error _ -> []
+    | Server_overload { queued; capacity } ->
+      [ ("queued", Json.Int queued); ("capacity", Json.Int capacity) ]
+    | Usage_error _ | Io_error _ | Config_error _ | Fabric_error _
+    | Server_draining -> []
   in
   Json.Obj (base @ extra)
 

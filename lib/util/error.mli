@@ -17,6 +17,8 @@
     64  Usage_error      bad flag combination / unknown benchmark
     65  Parse_error      malformed .tfc netlist
     66  Io_error         missing or unreadable file
+    69  Server_overload  estimation server queue full (EX_UNAVAILABLE)
+    69  Server_draining  estimation server shutting down (EX_UNAVAILABLE)
     70  Numeric_error    NaN/Inf/out-of-range value escaping a kernel
     71  Fabric_error     degenerate fabric geometry/parameters
     74  Fault_injected   a LEQA_FAULTS test fault fired
@@ -35,6 +37,13 @@ type t =
           (e.g. ["coverage.P_xy"], ["routing.d_q"]). *)
   | Timed_out of { site : string; budget_s : float }
   | Fault_injected of { site : string }
+  | Server_overload of { queued : int; capacity : int }
+      (** the estimation server's bounded admission queue was full and the
+          server runs with [--reject-overflow] (DESIGN.md §9) *)
+  | Server_draining
+      (** the estimation server received SIGTERM (or its input reached
+          EOF) and no longer admits new requests; in-flight and queued
+          requests still complete *)
 
 exception Error of t
 (** The only exception structured errors travel in. *)

@@ -1,0 +1,15 @@
+(* Stdlib Digest (MD5) is plenty for content addressing: keys are
+   internal, collisions are astronomically unlikely at cache scale, and
+   it costs no new dependency. *)
+
+let of_string s = Stdlib.Digest.to_hex (Stdlib.Digest.string s)
+
+let combine parts =
+  let buf = Buffer.create 64 in
+  List.iter
+    (fun part ->
+      Buffer.add_string buf (string_of_int (String.length part));
+      Buffer.add_char buf ':';
+      Buffer.add_string buf part)
+    parts;
+  of_string (Buffer.contents buf)

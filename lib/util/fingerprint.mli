@@ -1,0 +1,17 @@
+(** Content fingerprints for the estimation server's content-addressed
+    caches (DESIGN.md §9).
+
+    A fingerprint is a stable lowercase-hex digest of a byte string.  Two
+    requests whose canonical serializations agree — the same circuit
+    text, the same fabric parameters, the same estimator options — share
+    a fingerprint and therefore a cache entry, regardless of how the
+    circuit reached the server (file path, named benchmark, inline
+    text). *)
+
+val of_string : string -> string
+(** 32-character lowercase-hex digest of the bytes. *)
+
+val combine : string list -> string
+(** Digest of the parts with their lengths mixed in, so
+    [combine ["ab"; "c"]] and [combine ["a"; "bc"]] differ — the basis
+    for multi-field cache keys. *)

@@ -73,6 +73,8 @@ let write_file path v =
 
 exception Parse of int * string
 
+let max_depth = 512
+
 let of_string s =
   let n = String.length s in
   let pos = ref 0 in
@@ -212,7 +214,11 @@ let of_string s =
         | Some f -> Float f
         | None -> fail (Printf.sprintf "invalid number %S" text))
   in
-  let rec parse_value () =
+  (* [depth] bounds container nesting so adversarial input (the server
+     parses untrusted request lines) errors out instead of exhausting the
+     stack *)
+  let rec parse_value depth =
+    if depth > max_depth then fail "nesting deeper than 512 levels";
     skip_ws ();
     match peek () with
     | None -> fail "unexpected end of input"
@@ -228,11 +234,11 @@ let of_string s =
         List []
       end
       else begin
-        let items = ref [ parse_value () ] in
+        let items = ref [ parse_value (depth + 1) ] in
         skip_ws ();
         while peek () = Some ',' do
           advance ();
-          items := parse_value () :: !items;
+          items := parse_value (depth + 1) :: !items;
           skip_ws ()
         done;
         expect ']';
@@ -251,7 +257,7 @@ let of_string s =
           let key = parse_string () in
           skip_ws ();
           expect ':';
-          let v = parse_value () in
+          let v = parse_value (depth + 1) in
           (key, v)
         in
         let fields = ref [ field () ] in
@@ -268,7 +274,7 @@ let of_string s =
     | Some c -> fail (Printf.sprintf "unexpected character %C" c)
   in
   match
-    let v = parse_value () in
+    let v = parse_value 0 in
     skip_ws ();
     if !pos <> n then fail "trailing input after value";
     v

@@ -24,8 +24,11 @@ val of_string : string -> (t, string) result
 (** Parse one JSON value (RFC 8259 subset: no duplicate-key detection;
     numbers without [.], [e] or [E] that fit in an OCaml [int] parse as
     [Int], everything else as [Float]; [\uXXXX] escapes are decoded to
-    UTF-8).  Trailing non-whitespace input is an error.  The error string
-    names the byte offset of the failure. *)
+    UTF-8).  Trailing non-whitespace input is an error, as is container
+    nesting deeper than 512 levels (a stack-exhaustion guard: the
+    estimation server parses untrusted request lines with this
+    function).  The error string names the byte offset of the
+    failure. *)
 
 val member : string -> t -> t option
 (** [member key (Obj fields)] — [None] for missing keys or non-objects. *)

@@ -1,0 +1,49 @@
+(** A bounded, mutex-guarded LRU cache.
+
+    Built for the estimation server's content-addressed result and
+    preparation caches (DESIGN.md §9), but generic: any hashable key,
+    any value.  Size-bounded — inserting into a full cache evicts the
+    least-recently-used entry.  Every operation is safe to call from
+    pool worker domains.
+
+    {2 Telemetry}
+
+    Each probe reports to the ambient {!Telemetry} sink under the
+    cache's name: [cache.<name>.hit], [.miss], [.evict] and
+    [.poisoned] (an entry rejected by a {!find_or_compute} validator).
+    The same four counts are also kept locally ({!stats}) so a server
+    can expose them without a collecting registry installed. *)
+
+type ('k, 'v) t
+
+val create : name:string -> capacity:int -> ('k, 'v) t
+(** [name] prefixes the telemetry counters.
+    @raise Invalid_argument if [capacity < 1]. *)
+
+val capacity : ('k, 'v) t -> int
+val length : ('k, 'v) t -> int
+
+val find : ('k, 'v) t -> 'k -> 'v option
+(** Marks the entry most-recently-used on a hit. *)
+
+val put : ('k, 'v) t -> 'k -> 'v -> unit
+(** Insert or replace; evicts the LRU entry when the cache is full. *)
+
+val remove : ('k, 'v) t -> 'k -> unit
+
+val find_or_compute :
+  ?validate:('v -> bool) -> ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
+(** Cache-through: return the cached value, or run the thunk and cache
+    its result.  [validate] guards both directions — a cached value that
+    fails it (a poisoned entry, e.g. one written before a fault fired)
+    is evicted and recomputed, and a fresh value that fails it is
+    returned but never cached.  The thunk runs outside the cache lock,
+    so concurrent misses on the same key may compute twice (last write
+    wins); correctness holds because entries are pure functions of their
+    keys. *)
+
+val clear : ('k, 'v) t -> unit
+
+type stats = { hits : int; misses : int; evictions : int; poisoned : int }
+
+val stats : ('k, 'v) t -> stats

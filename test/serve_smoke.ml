@@ -1,0 +1,399 @@
+(* End-to-end gate for the estimation service (`leqa serve`):
+
+   A. parity    — 50 NDJSON requests round-tripped through a stdio
+                  server; every report must be byte-identical to the
+                  one-shot CLI's --format json output once wall-clock
+                  fields are stripped, and repeats must come back as
+                  cache hits.
+   B. soak      — 1000 requests through one server, stdin closed after
+                  the last write (EOF drain): exactly 1000 ok responses,
+                  ids in order, nothing dropped, no overload errors.
+   C. overload  — --queue 2 --batch 1 --reject-overflow under a flood:
+                  every request is answered, some with the typed
+                  server-overload error, and ok responses still happen.
+   D. SIGTERM   — a drain requested mid-stream: the in-flight request
+                  completes, later requests get server-draining, and
+                  the server exits cleanly.
+
+   Usage: serve_smoke <path-to-leqa-cli> <corpus-dir> *)
+
+module Json = Leqa_util.Json
+
+let cli = ref ""
+let corpus = ref ""
+let failures = ref 0
+let checks = ref 0
+
+let check name ok detail =
+  incr checks;
+  if ok then Printf.printf "ok   %s\n%!" name
+  else begin
+    incr failures;
+    Printf.printf "FAIL %s\n     %s\n%!" name detail
+  end
+
+(* ---- helpers -------------------------------------------------------- *)
+
+let volatile =
+  [ "runtime_s"; "qspr_runtime_s"; "leqa_runtime_s"; "mapper_runtime_s";
+    "speedup"; "telemetry" ]
+
+(* strip the wall-clock fields a cached or re-run report may not repeat *)
+let rec normalize = function
+  | Json.Obj fields ->
+    Json.Obj
+      (List.filter_map
+         (fun (k, v) ->
+           if List.mem k volatile then None else Some (k, normalize v))
+         fields)
+  | Json.List items -> Json.List (List.map normalize items)
+  | scalar -> scalar
+
+let parse_line name line =
+  match Json.of_string line with
+  | Ok j -> Some j
+  | Error e ->
+    check (name ^ " parses") false (e ^ ": " ^ line);
+    None
+
+let member_string key j =
+  match Json.member key j with Some (Json.String s) -> Some s | _ -> None
+
+let error_kind resp =
+  match Json.member "error" resp with
+  | Some err -> member_string "error" err
+  | None -> None
+
+let is_ok resp = Json.member "ok" resp = Some (Json.Bool true)
+
+(* spawn `leqa serve <extra>` with piped stdio; stderr goes to /dev/null *)
+let spawn_server extra =
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  (* cloexec: the child must not inherit our pipe ends, or it holds a
+     write end of its own stdin open and never sees EOF *)
+  let in_read, in_write = Unix.pipe ~cloexec:true () in
+  let out_read, out_write = Unix.pipe ~cloexec:true () in
+  Unix.clear_close_on_exec in_read;
+  Unix.clear_close_on_exec out_write;
+  let pid =
+    Unix.create_process !cli
+      (Array.of_list (("leqa" :: "serve" :: extra)))
+      in_read out_write devnull
+  in
+  Unix.close devnull;
+  Unix.close in_read;
+  Unix.close out_write;
+  let oc = Unix.out_channel_of_descr in_write in
+  let ic = Unix.in_channel_of_descr out_read in
+  (pid, ic, oc)
+
+let wait_exit name pid =
+  match Unix.waitpid [] pid with
+  | _, Unix.WEXITED 0 -> check (name ^ ": clean exit") true ""
+  | _, Unix.WEXITED c ->
+    check (name ^ ": clean exit") false (Printf.sprintf "exit %d" c)
+  | _, (Unix.WSIGNALED s | Unix.WSTOPPED s) ->
+    check (name ^ ": clean exit") false (Printf.sprintf "signal %d" s)
+
+let send oc line =
+  output_string oc line;
+  output_char oc '\n';
+  flush oc
+
+let out_file = Filename.temp_file "leqa_serve" ".out"
+
+let run_cli args =
+  let cmd =
+    Printf.sprintf "%s %s >%s 2>/dev/null"
+      (Filename.quote !cli)
+      (String.concat " " (List.map Filename.quote args))
+      (Filename.quote out_file)
+  in
+  let code = Sys.command cmd in
+  let ic = open_in out_file in
+  let n = in_channel_length ic in
+  let out = really_input_string ic n in
+  close_in ic;
+  (code, out)
+
+(* ---- part A: byte parity with the one-shot CLI ---------------------- *)
+
+(* (params-JSON fragment, method, equivalent one-shot argv) *)
+let parity_cases ok_file =
+  let est bench width terms =
+    ( Printf.sprintf "{\"bench\":%S,\"width\":%d,\"terms\":%d}" bench width
+        terms,
+      "estimate",
+      [ "estimate"; "-b"; bench; "--width"; string_of_int width; "--terms";
+        string_of_int terms ] )
+  in
+  [
+    est "qft:4" 60 20;
+    est "qft:5" 60 20;
+    est "qft:6" 40 20;
+    est "qft-adder:4" 60 20;
+    est "grover:3" 60 12;
+    ( Printf.sprintf "{\"file\":%S}" ok_file,
+      "estimate",
+      [ "estimate"; "-f"; ok_file ] );
+    ( Printf.sprintf "{\"file\":%S,\"deadline_s\":30.5}" ok_file,
+      "compare",
+      [ "compare"; "-f"; ok_file; "--timeout"; "30.5" ] );
+    ( "{\"bench\":\"qft:5\",\"sizes\":[10,20,30]}",
+      "sweep-fabric",
+      [ "sweep-fabric"; "-b"; "qft:5"; "--sizes"; "10,20,30" ] );
+    ( Printf.sprintf "{\"file\":%S,\"sizes\":[10,20]}" ok_file,
+      "sweep-fabric",
+      [ "sweep-fabric"; "-f"; ok_file; "--sizes"; "10,20" ] );
+    ("{}", "version", [ "version" ]);
+  ]
+
+let part_a ok_file =
+  let cases = parity_cases ok_file in
+  (* 5 passes over 10 cases = 50 requests; passes 2..5 hit the cache *)
+  let passes = 5 in
+  let requests =
+    List.concat
+      (List.init passes (fun pass ->
+           List.mapi
+             (fun i (params, method_, _) ->
+               Printf.sprintf
+                 "{\"schema_version\":\"leqa/rpc/v1\",\"id\":%d,\"method\":%S,\"params\":%s}"
+                 ((pass * List.length cases) + i)
+                 method_ params)
+             cases))
+  in
+  check "part A: 50 requests built" (List.length requests = 50)
+    (string_of_int (List.length requests));
+  let pid, ic, oc = spawn_server [] in
+  List.iter (send oc) requests;
+  close_out oc;
+  let responses = ref [] in
+  (try
+     while true do
+       responses := input_line ic :: !responses
+     done
+   with End_of_file -> ());
+  close_in ic;
+  let responses = List.rev !responses in
+  check "part A: one response per request"
+    (List.length responses = List.length requests)
+    (Printf.sprintf "%d responses" (List.length responses));
+  (* one-shot outputs, computed once per distinct case *)
+  let oneshot =
+    List.map
+      (fun (_, _, argv) ->
+        let code, out = run_cli (argv @ [ "--format"; "json" ]) in
+        if code <> 0 then None
+        else
+          match Json.of_string (String.trim out) with
+          | Ok j -> Some (Json.to_string (normalize j))
+          | Error _ -> None)
+      cases
+  in
+  let n_cases = List.length cases in
+  let hits = ref 0 in
+  List.iteri
+    (fun idx line ->
+      let case = idx mod n_cases in
+      let name = Printf.sprintf "part A: request %02d" idx in
+      match parse_line name line with
+      | None -> ()
+      | Some resp ->
+        check (name ^ " ok") (is_ok resp) line;
+        (match Json.member "id" resp with
+        | Some (Json.Int id) when id = idx -> ()
+        | _ -> check (name ^ " id in order") false line);
+        if member_string "cache" resp = Some "hit" then incr hits;
+        (match (Json.member "report" resp, List.nth oneshot case) with
+        | Some report, Some expected ->
+          let got = Json.to_string (normalize report) in
+          check (name ^ " byte parity") (got = expected)
+            (Printf.sprintf "served:   %s\n     one-shot: %s"
+               (String.sub got 0 (min 300 (String.length got)))
+               (String.sub expected 0 (min 300 (String.length expected))))
+        | None, _ -> check (name ^ " has report") false line
+        | _, None -> check (name ^ " one-shot baseline ran") false "CLI failed"))
+    responses;
+  (* version answers are generated, not cached; every estimation method
+     must hit on all repeat passes *)
+  let cacheable =
+    List.length (List.filter (fun (_, m, _) -> m <> "version") cases)
+  in
+  check "part A: repeats were cache hits"
+    (!hits >= (passes - 1) * cacheable)
+    (Printf.sprintf "%d hits, expected %d" !hits ((passes - 1) * cacheable));
+  wait_exit "part A" pid
+
+(* ---- part B: 1000-request soak, EOF drain --------------------------- *)
+
+let part_b () =
+  let n = 1000 in
+  let pid, ic, oc = spawn_server [] in
+  (* a writer domain keeps the pipe full while we read: no deadlock on
+     either side's buffer *)
+  let writer =
+    Domain.spawn (fun () ->
+        for i = 0 to n - 1 do
+          let line =
+            if i mod 5 = 0 then
+              Printf.sprintf
+                "{\"schema_version\":\"leqa/rpc/v1\",\"id\":%d,\"method\":\"estimate\",\"params\":{\"bench\":\"qft:4\"}}"
+                i
+            else
+              Printf.sprintf
+                "{\"schema_version\":\"leqa/rpc/v1\",\"id\":%d,\"method\":\"ping\"}"
+                i
+          in
+          send oc line
+        done;
+        close_out oc)
+  in
+  let ok_count = ref 0 in
+  let rejected = ref 0 in
+  let in_order = ref true in
+  let seen = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       (match parse_line "part B: response" line with
+       | None -> ()
+       | Some resp ->
+         if is_ok resp then incr ok_count
+         else begin
+           match error_kind resp with
+           | Some ("server-overload" | "server-draining") -> incr rejected
+           | _ -> ()
+         end;
+         (match Json.member "id" resp with
+         | Some (Json.Int id) -> if id <> !seen then in_order := false
+         | _ -> in_order := false));
+       incr seen
+     done
+   with End_of_file -> ());
+  Domain.join writer;
+  close_in ic;
+  check "part B: every request answered" (!seen = n)
+    (Printf.sprintf "%d of %d" !seen n);
+  check "part B: zero dropped or rejected in-flight"
+    (!ok_count = n && !rejected = 0)
+    (Printf.sprintf "%d ok, %d rejected" !ok_count !rejected);
+  check "part B: responses in request order" !in_order "";
+  wait_exit "part B" pid
+
+(* ---- part C: bounded queue with explicit overflow ------------------- *)
+
+let part_c () =
+  let n = 60 in
+  let pid, ic, oc =
+    spawn_server [ "--queue"; "2"; "--batch"; "1"; "--reject-overflow" ]
+  in
+  (* a burst far faster than dispatch: the reader must shed load with
+     typed overload errors, never by dropping requests silently *)
+  let writer =
+    Domain.spawn (fun () ->
+        for i = 0 to n - 1 do
+          send oc
+            (Printf.sprintf
+               "{\"schema_version\":\"leqa/rpc/v1\",\"id\":%d,\"method\":\"estimate\",\"params\":{\"bench\":\"grover:4\",\"width\":%d}}"
+               i (30 + i))
+        done;
+        close_out oc)
+  in
+  let ok_count = ref 0 in
+  let overload = ref 0 in
+  let other = ref 0 in
+  let seen = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr seen;
+       match parse_line "part C: response" line with
+       | None -> ()
+       | Some resp ->
+         if is_ok resp then incr ok_count
+         else if error_kind resp = Some "server-overload" then incr overload
+         else incr other
+     done
+   with End_of_file -> ());
+  Domain.join writer;
+  close_in ic;
+  check "part C: every request answered" (!seen = n)
+    (Printf.sprintf "%d of %d" !seen n);
+  check "part C: load was shed with typed overload errors" (!overload > 0)
+    (Printf.sprintf "%d ok, %d overload, %d other" !ok_count !overload !other);
+  check "part C: work still completed" (!ok_count > 0)
+    (Printf.sprintf "%d ok" !ok_count);
+  check "part C: no untyped failures" (!other = 0)
+    (Printf.sprintf "%d other" !other);
+  wait_exit "part C" pid
+
+(* ---- part D: graceful drain on SIGTERM ------------------------------ *)
+
+let part_d () =
+  let pid, ic, oc = spawn_server [] in
+  (* an in-flight request that outlives the signal *)
+  send oc
+    "{\"schema_version\":\"leqa/rpc/v1\",\"id\":0,\"method\":\"estimate\",\"params\":{\"bench\":\"qft-adder:8\"}}";
+  Unix.sleepf 0.05;
+  Unix.kill pid Sys.sigterm;
+  (* give the ticker time to promote the drain flag, then keep talking *)
+  Unix.sleepf 0.5;
+  let late = 5 in
+  for i = 1 to late do
+    send oc
+      (Printf.sprintf
+         "{\"schema_version\":\"leqa/rpc/v1\",\"id\":%d,\"method\":\"ping\"}" i)
+  done;
+  close_out oc;
+  let responses = ref [] in
+  (try
+     while true do
+       responses := input_line ic :: !responses
+     done
+   with End_of_file -> ());
+  close_in ic;
+  let responses = List.rev !responses in
+  check "part D: every request answered"
+    (List.length responses = late + 1)
+    (Printf.sprintf "%d responses" (List.length responses));
+  (match responses with
+  | first :: rest ->
+    (match parse_line "part D: in-flight response" first with
+    | Some resp ->
+      check "part D: in-flight request completed"
+        (is_ok resp && Json.member "id" resp = Some (Json.Int 0))
+        first
+    | None -> ());
+    List.iteri
+      (fun i line ->
+        match parse_line "part D: late response" line with
+        | Some resp ->
+          check
+            (Printf.sprintf "part D: post-drain request %d rejected" (i + 1))
+            (error_kind resp = Some "server-draining")
+            line
+        | None -> ())
+      rest
+  | [] -> ());
+  wait_exit "part D" pid
+
+let () =
+  (* the smoke drives servers over pipes; a server exiting while we
+     still hold the write end must not kill the harness *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  (match Sys.argv with
+  | [| _; c; d |] ->
+    cli := c;
+    corpus := d
+  | _ ->
+    prerr_endline "usage: serve_smoke <leqa-cli> <corpus-dir>";
+    exit 2);
+  let ok_file = Filename.concat !corpus "ok_small.tfc" in
+  part_a ok_file;
+  part_b ();
+  part_c ();
+  part_d ();
+  Sys.remove out_file;
+  Printf.printf "\n%d checks, %d failures\n%!" !checks !failures;
+  if !failures > 0 then exit 1

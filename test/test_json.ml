@@ -100,6 +100,69 @@ let test_parse_errors () =
   expect_error "{\"a\":1} trailing";
   expect_error "{'single':1}"
 
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+(* the estimation server feeds this parser untrusted NDJSON lines:
+   truncated and adversarially deep inputs must fail cleanly *)
+let test_truncated_inputs () =
+  expect_error "{\"a\":";
+  expect_error "{\"a\"";
+  expect_error "{";
+  expect_error "[1,2";
+  expect_error "[";
+  expect_error "\"abc";
+  expect_error "\"ab\\";
+  expect_error "\"\\u00";
+  expect_error "-";
+  expect_error "1e";
+  expect_error "tru";
+  expect_error "[{\"a\":[";
+  (* every prefix of a valid document is itself rejected *)
+  let whole = "{\"k\":[1,-2.5e3,\"s\\n\",{\"m\":null}],\"t\":true}" in
+  Alcotest.(check bool) "whole parses" true (Result.is_ok (Json.of_string whole));
+  for len = 1 to String.length whole - 1 do
+    match Json.of_string (String.sub whole 0 len) with
+    | Ok _ ->
+      Alcotest.failf "prefix of length %d parsed: %s" len
+        (String.sub whole 0 len)
+    | Error _ -> ()
+  done
+
+let test_oversized_inputs () =
+  let deep n = String.make n '[' ^ "1" ^ String.make n ']' in
+  (* 100 levels is fine... *)
+  Alcotest.(check bool) "100 deep parses" true
+    (Result.is_ok (Json.of_string (deep 100)));
+  (* ...600 trips the stack-exhaustion guard with a named limit *)
+  (match Json.of_string (deep 600) with
+  | Ok _ -> Alcotest.fail "600-deep nesting parsed"
+  | Error msg ->
+    Alcotest.(check bool)
+      (Printf.sprintf "error names the depth cap: %s" msg)
+      true
+      (contains msg "nesting deeper than 512"));
+  (* deep objects hit the same guard *)
+  let deep_obj n =
+    String.concat "" (List.init n (fun _ -> "{\"k\":")) ^ "1"
+    ^ String.make n '}'
+  in
+  Alcotest.(check bool) "600-deep object rejected" true
+    (Result.is_error (Json.of_string (deep_obj 600)));
+  (* large but flat inputs are not size-limited by the parser itself *)
+  let flat =
+    "[" ^ String.concat "," (List.init 50_000 string_of_int) ^ "]"
+  in
+  (match Json.of_string flat with
+  | Ok (Json.List items) ->
+    Alcotest.(check int) "50k-element array" 50_000 (List.length items)
+  | _ -> Alcotest.fail "flat array failed to parse");
+  let big_string = "\"" ^ String.make 1_000_000 'x' ^ "\"" in
+  Alcotest.(check bool) "1 MB string parses" true
+    (Result.is_ok (Json.of_string big_string))
+
 let test_round_trip () =
   let doc =
     Json.Obj
@@ -134,6 +197,8 @@ let suite =
     Alcotest.test_case "parse structures" `Quick test_parse_structures;
     Alcotest.test_case "parse escapes" `Quick test_parse_escapes;
     Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "truncated inputs" `Quick test_truncated_inputs;
+    Alcotest.test_case "oversized inputs" `Quick test_oversized_inputs;
     Alcotest.test_case "round trip" `Quick test_round_trip;
     Alcotest.test_case "member and keys" `Quick test_member_keys;
   ]

@@ -1,0 +1,166 @@
+open Leqa_util
+
+(* Leqa_util.Lru — the bounded store under the server's result and
+   prepared-circuit caches.  The concurrency cases mirror how the
+   server uses it: many domains hammering find_or_compute while
+   eviction and poisoned-entry recompute happen underneath. *)
+
+let mk ?(capacity = 4) () = Lru.create ~name:"test" ~capacity
+
+let test_basic () =
+  let t = mk () in
+  Alcotest.(check int) "fresh is empty" 0 (Lru.length t);
+  Alcotest.(check int) "capacity" 4 (Lru.capacity t);
+  Alcotest.(check bool) "miss" true (Lru.find t "a" = None);
+  Lru.put t "a" 1;
+  Lru.put t "b" 2;
+  Alcotest.(check bool) "hit a" true (Lru.find t "a" = Some 1);
+  Alcotest.(check bool) "hit b" true (Lru.find t "b" = Some 2);
+  Lru.put t "a" 10;
+  Alcotest.(check bool) "overwrite" true (Lru.find t "a" = Some 10);
+  Alcotest.(check int) "length counts keys" 2 (Lru.length t);
+  Lru.remove t "a";
+  Alcotest.(check bool) "removed" true (Lru.find t "a" = None);
+  Lru.clear t;
+  Alcotest.(check int) "cleared" 0 (Lru.length t)
+
+let test_capacity_bound () =
+  let t = mk ~capacity:3 () in
+  for i = 1 to 100 do
+    Lru.put t (string_of_int i) i
+  done;
+  Alcotest.(check int) "never exceeds capacity" 3 (Lru.length t);
+  let s = Lru.stats t in
+  Alcotest.(check int) "evictions counted" 97 s.Lru.evictions
+
+let test_eviction_order () =
+  let t = mk ~capacity:3 () in
+  Lru.put t "a" 1;
+  Lru.put t "b" 2;
+  Lru.put t "c" 3;
+  (* touch a so b becomes the LRU *)
+  ignore (Lru.find t "a");
+  Lru.put t "d" 4;
+  Alcotest.(check bool) "b evicted" true (Lru.find t "b" = None);
+  Alcotest.(check bool) "a kept (recently used)" true (Lru.find t "a" = Some 1);
+  Alcotest.(check bool) "c kept" true (Lru.find t "c" = Some 3);
+  Alcotest.(check bool) "d kept" true (Lru.find t "d" = Some 4)
+
+let test_min_capacity () =
+  Alcotest.check_raises "capacity 0 rejected"
+    (Invalid_argument "Lru.create: capacity must be >= 1") (fun () ->
+      ignore (Lru.create ~name:"bad" ~capacity:0))
+
+let test_find_or_compute () =
+  let t = mk () in
+  let computes = ref 0 in
+  let thunk () = incr computes; 42 in
+  Alcotest.(check int) "computes on miss" 42 (Lru.find_or_compute t "k" thunk);
+  Alcotest.(check int) "cached on hit" 42 (Lru.find_or_compute t "k" thunk);
+  Alcotest.(check int) "thunk ran once" 1 !computes;
+  let s = Lru.stats t in
+  Alcotest.(check int) "one hit" 1 s.Lru.hits;
+  Alcotest.(check int) "one miss" 1 s.Lru.misses
+
+let test_poisoned_recompute () =
+  let t = mk () in
+  let valid v = v >= 0 in
+  Lru.put t "k" (-1) (* a poisoned entry, as the cache.poison fault plants *);
+  let got = Lru.find_or_compute ~validate:valid t "k" (fun () -> 7) in
+  Alcotest.(check int) "poisoned entry recomputed" 7 got;
+  Alcotest.(check bool) "recomputed value cached" true (Lru.find t "k" = Some 7);
+  Alcotest.(check int) "poisoning counted" 1 (Lru.stats t).Lru.poisoned;
+  (* an invalid *fresh* value is returned but never cached *)
+  Lru.remove t "k";
+  let got = Lru.find_or_compute ~validate:valid t "k" (fun () -> -5) in
+  Alcotest.(check int) "invalid fresh value returned" (-5) got;
+  Alcotest.(check bool) "but not cached" true (Lru.find t "k" = None)
+
+(* ---- concurrency ---------------------------------------------------- *)
+
+let domains = 4
+let per_domain = 2_000
+
+(* every domain computes through the cache for a small hot key set while
+   eviction churns; whatever a find_or_compute returns must be the
+   correct value for its key *)
+let test_concurrent_find_or_compute () =
+  let t = Lru.create ~name:"conc" ~capacity:8 in
+  let keys = Array.init 32 (fun i -> Printf.sprintf "key%d" i) in
+  let bad = ref 0 in
+  let bad_mutex = Mutex.create () in
+  let worker seed () =
+    let state = ref seed in
+    for _ = 1 to per_domain do
+      state := (!state * 1103515245) + 12345;
+      let i = abs !state mod Array.length keys in
+      let got = Lru.find_or_compute t keys.(i) (fun () -> i * 1000) in
+      if got <> i * 1000 then begin
+        Mutex.lock bad_mutex;
+        incr bad;
+        Mutex.unlock bad_mutex
+      end
+    done
+  in
+  let ds = List.init domains (fun d -> Domain.spawn (worker (d + 1))) in
+  List.iter Domain.join ds;
+  Alcotest.(check int) "every lookup correct under churn" 0 !bad;
+  let s = Lru.stats t in
+  Alcotest.(check int) "all probes accounted"
+    (domains * per_domain)
+    (s.Lru.hits + s.Lru.misses);
+  Alcotest.(check bool) "capacity respected" true (Lru.length t <= 8)
+
+(* concurrent eviction + poisoned-entry recompute: one domain keeps
+   planting invalid entries, the others must always read valid values
+   back through the validating lookup *)
+let test_concurrent_poison_recompute () =
+  let t = Lru.create ~name:"poison" ~capacity:4 in
+  let keys = [| "a"; "b"; "c"; "d"; "e"; "f" |] in
+  let valid v = v >= 0 in
+  let stop = Atomic.make false in
+  let poisoner =
+    Domain.spawn (fun () ->
+        let i = ref 0 in
+        while not (Atomic.get stop) do
+          Lru.put t keys.(!i mod Array.length keys) (-1);
+          incr i;
+          if !i mod 64 = 0 then Domain.cpu_relax ()
+        done)
+  in
+  let bad = Atomic.make 0 in
+  let reader seed () =
+    let state = ref seed in
+    for _ = 1 to per_domain do
+      state := (!state * 48271) + 7;
+      let i = abs !state mod Array.length keys in
+      let got =
+        Lru.find_or_compute ~validate:valid t keys.(i) (fun () -> i * 10)
+      in
+      (* a validating lookup may race a fresh poison, but must never
+         itself return a poisoned value *)
+      if got <> i * 10 then Atomic.incr bad
+    done
+  in
+  let ds = List.init domains (fun d -> Domain.spawn (reader (d + 1))) in
+  List.iter Domain.join ds;
+  Atomic.set stop true;
+  Domain.join poisoner;
+  Alcotest.(check int) "no poisoned value ever served" 0 (Atomic.get bad);
+  Alcotest.(check bool) "poisoned recomputes happened" true
+    ((Lru.stats t).Lru.poisoned > 0);
+  Alcotest.(check bool) "capacity respected" true (Lru.length t <= 4)
+
+let suite =
+  [
+    Alcotest.test_case "basic ops" `Quick test_basic;
+    Alcotest.test_case "capacity bound" `Quick test_capacity_bound;
+    Alcotest.test_case "eviction order" `Quick test_eviction_order;
+    Alcotest.test_case "capacity >= 1" `Quick test_min_capacity;
+    Alcotest.test_case "find_or_compute" `Quick test_find_or_compute;
+    Alcotest.test_case "poisoned recompute" `Quick test_poisoned_recompute;
+    Alcotest.test_case "concurrent find_or_compute" `Quick
+      test_concurrent_find_or_compute;
+    Alcotest.test_case "concurrent poison + eviction" `Quick
+      test_concurrent_poison_recompute;
+  ]

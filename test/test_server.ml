@@ -1,0 +1,390 @@
+module Json = Leqa_util.Json
+module E = Leqa_util.Error
+module Protocol = Leqa_server.Protocol
+module Source = Leqa_server.Source
+module Cache = Leqa_server.Cache
+module Engine = Leqa_server.Engine
+
+(* ---- protocol ------------------------------------------------------- *)
+
+let req_line ?(schema = Protocol.rpc_schema_version) ?(id = "7")
+    ?(method_ = "ping") ?(params = "{}") () =
+  Printf.sprintf
+    "{\"schema_version\":%S,\"id\":%s,\"method\":%S,\"params\":%s}" schema id
+    method_ params
+
+let parse_ok line =
+  match Protocol.request_of_line line with
+  | Ok req -> req
+  | Error (_, e) -> Alcotest.failf "unexpected parse error: %s" (E.to_string e)
+
+let parse_err line =
+  match Protocol.request_of_line line with
+  | Ok _ -> Alcotest.failf "parsed unexpectedly: %s" line
+  | Error (id, e) -> (id, e)
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_parse_minimal () =
+  let req = parse_ok (req_line ()) in
+  Alcotest.(check bool) "id echoed" true (req.Protocol.id = Json.Int 7);
+  Alcotest.(check bool) "ping body" true (req.Protocol.body = Protocol.Ping)
+
+let test_parse_defaults_match_cli () =
+  let req =
+    parse_ok (req_line ~method_:"estimate" ~params:"{\"bench\":\"qft:6\"}" ())
+  in
+  match req.Protocol.body with
+  | Protocol.Estimate p ->
+    let d = Leqa_fabric.Params.default in
+    Alcotest.(check int) "width default" d.Leqa_fabric.Params.width
+      p.Protocol.width;
+    Alcotest.(check int) "height default" d.Leqa_fabric.Params.height
+      p.Protocol.height;
+    Alcotest.(check (float 0.0)) "v default (calibrated)"
+      Leqa_fabric.Params.calibrated.Leqa_fabric.Params.v p.Protocol.v;
+    Alcotest.(check int) "terms default" 20 p.Protocol.terms;
+    Alcotest.(check bool) "no deadline" true (p.Protocol.deadline_s = None)
+  | _ -> Alcotest.fail "expected an estimate body"
+
+let test_parse_errors () =
+  (* wrong/missing schema_version *)
+  let _, e = parse_err "{\"id\":1,\"method\":\"ping\"}" in
+  Alcotest.(check bool) "names the schema" true
+    (contains (E.to_string e) "leqa/rpc/v1");
+  let id, _ = parse_err (req_line ~schema:"leqa/rpc/v0" ()) in
+  Alcotest.(check bool) "id recovered from bad request" true (id = Json.Int 7);
+  (* unknown method *)
+  let _, e = parse_err (req_line ~method_:"explode" ()) in
+  Alcotest.(check bool) "lists valid methods" true
+    (contains (E.to_string e) "estimate");
+  (* malformed JSON is a parse error, not a crash *)
+  let _, e = parse_err "{\"schema_version\":" in
+  Alcotest.(check int) "parse error exit code" 65 (E.exit_code e);
+  (* a non-scalar id is rejected but Null-addressed *)
+  let id, _ = parse_err (req_line ~id:"[1]" ()) in
+  Alcotest.(check bool) "bad id becomes null" true (id = Json.Null);
+  (* source is required and exclusive *)
+  let _, e = parse_err (req_line ~method_:"estimate" ()) in
+  Alcotest.(check bool) "names the source fields" true
+    (contains (E.to_string e) "file");
+  let _, e =
+    parse_err
+      (req_line ~method_:"estimate"
+         ~params:"{\"bench\":\"qft:4\",\"circuit\":\"x\"}" ())
+  in
+  Alcotest.(check bool) "mutual exclusion" true
+    (contains (E.to_string e) "mutually exclusive")
+
+let test_parse_deadline_validation () =
+  let check_bad deadline =
+    let _, e =
+      parse_err
+        (req_line ~method_:"estimate"
+           ~params:
+             (Printf.sprintf "{\"bench\":\"qft:4\",\"deadline_s\":%s}" deadline)
+           ())
+    in
+    Alcotest.(check int) "usage error" 64 (E.exit_code e);
+    Alcotest.(check bool)
+      (Printf.sprintf "message names the field (%s): %s" deadline
+         (E.to_string e))
+      true
+      (contains (E.to_string e) "deadline_s");
+    (* single line, as the taxonomy requires *)
+    Alcotest.(check bool) "single-line message" false
+      (String.contains (E.to_string e) '\n')
+  in
+  check_bad "0";
+  check_bad "-1.5";
+  check_bad "-2";
+  (* fractional deadlines are accepted *)
+  let req =
+    parse_ok
+      (req_line ~method_:"estimate"
+         ~params:"{\"bench\":\"qft:4\",\"deadline_s\":0.25}" ())
+  in
+  match req.Protocol.body with
+  | Protocol.Estimate p ->
+    Alcotest.(check bool) "fractional deadline kept" true
+      (p.Protocol.deadline_s = Some 0.25)
+  | _ -> Alcotest.fail "expected an estimate body"
+
+let test_oversized_line () =
+  let line =
+    req_line ~method_:"estimate"
+      ~params:
+        (Printf.sprintf "{\"circuit\":%S}" (String.make 200 'x'))
+      ()
+  in
+  let _, e = Protocol.request_of_line ~max_bytes:64 line |> function
+    | Ok _ -> Alcotest.fail "oversized line parsed"
+    | Error pair -> pair
+  in
+  Alcotest.(check int) "usage error" 64 (E.exit_code e);
+  Alcotest.(check bool) "names the limit" true
+    (contains (E.to_string e) "64-byte limit")
+
+let test_request_round_trip () =
+  let reqs =
+    [
+      { Protocol.id = Json.Int 3; body = Protocol.Ping };
+      { Protocol.id = Json.String "a"; body = Protocol.Version };
+      {
+        Protocol.id = Json.Int 9;
+        body =
+          Protocol.Estimate
+            {
+              Protocol.source = Source.Bench { name = "qft:8"; scale = 1.0 };
+              width = 40;
+              height = 30;
+              v = 0.004;
+              terms = 12;
+              deadline_s = Some 1.5;
+            };
+      };
+      {
+        Protocol.id = Json.Int 10;
+        body =
+          Protocol.Sweep_fabric
+            {
+              Protocol.sw_source = Source.Inline ".v a\n.i a\nt1 a\n";
+              sw_v = 0.003;
+              sw_sizes = [ 10; 20 ];
+              sw_deadline_s = None;
+            };
+      };
+    ]
+  in
+  List.iter
+    (fun req ->
+      match Protocol.request_of_json (Protocol.request_to_json req) with
+      | Ok got ->
+        Alcotest.(check bool) "round-trips structurally" true (got = req)
+      | Error (_, e) ->
+        Alcotest.failf "round-trip failed: %s" (E.to_string e))
+    reqs
+
+(* ---- cache keys ----------------------------------------------------- *)
+
+let test_circuit_key_content_addressed () =
+  let bench = Source.Bench { name = "qft:5"; scale = 1.0 } in
+  let circ1 = Result.get_ok (Source.load bench) in
+  (* the same netlist arriving as inline text digests identically *)
+  let circ2 =
+    Result.get_ok (Source.load (Source.Inline (Source.canonical circ1)))
+  in
+  Alcotest.(check string) "inline vs bench: same key" (Cache.circuit_key circ1)
+    (Cache.circuit_key circ2);
+  let other = Result.get_ok (Source.load (Source.Bench { name = "qft:6"; scale = 1.0 })) in
+  Alcotest.(check bool) "different circuit: different key" false
+    (Cache.circuit_key circ1 = Cache.circuit_key other)
+
+let test_result_key_sensitivity () =
+  let p = Leqa_fabric.Params.calibrated in
+  let key ?(method_ = "estimate") ?(ck = "abc") ?(params = p)
+      ?(options = [ ("terms", "20") ]) () =
+    Cache.result_key ~method_ ~circuit_key:ck ~params ~options
+  in
+  Alcotest.(check string) "deterministic" (key ()) (key ());
+  Alcotest.(check bool) "method matters" false (key () = key ~method_:"compare" ());
+  Alcotest.(check bool) "circuit matters" false (key () = key ~ck:"abd" ());
+  Alcotest.(check bool) "params matter" false
+    (key () = key ~params:{ p with Leqa_fabric.Params.width = 61 } ());
+  Alcotest.(check bool) "options matter" false
+    (key () = key ~options:[ ("terms", "21") ] ())
+
+(* ---- engine --------------------------------------------------------- *)
+
+let engine ?(queue = 8) ?(reject_overflow = false) () =
+  Engine.create
+    {
+      (Engine.default_config ~binary_version:"test") with
+      Engine.queue_capacity = queue;
+      batch_max = 4;
+      reject_overflow;
+    }
+
+let ok_field resp =
+  match Json.member "ok" resp with
+  | Some (Json.Bool b) -> b
+  | _ -> Alcotest.fail "response without ok"
+
+let error_kind resp =
+  match Json.member "error" resp with
+  | Some err -> (
+    match Json.member "error" err with
+    | Some (Json.String k) -> k
+    | _ -> Alcotest.fail "error without kind")
+  | None -> Alcotest.fail "expected an error response"
+
+let ping i = { Protocol.id = Json.Int i; body = Protocol.Ping }
+
+let test_engine_version_and_ping () =
+  let t = engine () in
+  let resp = Engine.handle t { Protocol.id = Json.Int 1; body = Protocol.Version } in
+  Alcotest.(check bool) "version ok" true (ok_field resp);
+  (match Json.member "report" resp with
+  | Some report ->
+    Alcotest.(check bool) "is a leqa/report/v1 document" true
+      (Json.member "schema_version" report
+      = Some (Json.String Leqa_report.Report.schema_version))
+  | None -> Alcotest.fail "version carries a report");
+  let resp = Engine.handle t (ping 2) in
+  Alcotest.(check bool) "pong" true
+    (Json.member "pong" resp = Some (Json.Bool true))
+
+let estimate_req i =
+  {
+    Protocol.id = Json.Int i;
+    body =
+      Protocol.Estimate
+        {
+          Protocol.source = Source.Bench { name = "qft:5"; scale = 1.0 };
+          width = Leqa_fabric.Params.default.Leqa_fabric.Params.width;
+          height = Leqa_fabric.Params.default.Leqa_fabric.Params.height;
+          v = Leqa_fabric.Params.calibrated.Leqa_fabric.Params.v;
+          terms = 20;
+          deadline_s = None;
+        };
+  }
+
+let test_engine_estimate_cache () =
+  let t = engine () in
+  let first = Engine.handle t (estimate_req 1) in
+  let second = Engine.handle t (estimate_req 2) in
+  Alcotest.(check bool) "first ok" true (ok_field first);
+  Alcotest.(check bool) "first is a miss" true
+    (Json.member "cache" first = Some (Json.String "miss"));
+  Alcotest.(check bool) "second is a hit" true
+    (Json.member "cache" second = Some (Json.String "hit"));
+  (* the cached report is byte-identical to the first answer *)
+  let report r = Option.get (Json.member "report" r) in
+  Alcotest.(check string) "hit serves identical bytes"
+    (Json.to_string (report first))
+    (Json.to_string (report second))
+
+let test_engine_error_responses () =
+  let t = engine () in
+  let bad =
+    {
+      Protocol.id = Json.Int 5;
+      body =
+        Protocol.Estimate
+          {
+            Protocol.source = Source.Bench { name = "no-such"; scale = 1.0 };
+            width = 10;
+            height = 10;
+            v = 0.005;
+            terms = 20;
+            deadline_s = None;
+          };
+    }
+  in
+  let resp = Engine.handle t bad in
+  Alcotest.(check bool) "not ok" false (ok_field resp);
+  Alcotest.(check string) "usage error" "usage-error" (error_kind resp);
+  Alcotest.(check bool) "id echoed" true
+    (Json.member "id" resp = Some (Json.Int 5));
+  (* a handler failure never kills the engine *)
+  Alcotest.(check bool) "engine still serves" true
+    (ok_field (Engine.handle t (ping 6)))
+
+let test_admission_overload () =
+  let t = engine ~queue:2 ~reject_overflow:true () in
+  Alcotest.(check bool) "first queued" true (Engine.admit t (ping 1) = `Queued);
+  Alcotest.(check bool) "second queued" true (Engine.admit t (ping 2) = `Queued);
+  (match Engine.admit t (ping 3) with
+  | `Queued -> Alcotest.fail "third request should overflow"
+  | `Rejected resp ->
+    Alcotest.(check string) "typed overload" "server-overload"
+      (error_kind resp);
+    Alcotest.(check bool) "id echoed in rejection" true
+      (Json.member "id" resp = Some (Json.Int 3)));
+  (* drain the queue: batches are FIFO and bounded by batch_max *)
+  let batch = Engine.next_batch t ~stop:(fun () -> false) in
+  Alcotest.(check int) "both delivered" 2 (List.length batch);
+  Alcotest.(check bool) "FIFO order" true
+    (List.map (fun r -> r.Protocol.id) batch = [ Json.Int 1; Json.Int 2 ])
+
+let test_admission_draining () =
+  let t = engine () in
+  Alcotest.(check bool) "admits before drain" true
+    (Engine.admit t (ping 1) = `Queued);
+  Engine.set_draining t;
+  (match Engine.admit t (ping 2) with
+  | `Queued -> Alcotest.fail "admitted while draining"
+  | `Rejected resp ->
+    Alcotest.(check string) "typed draining" "server-draining"
+      (error_kind resp));
+  (* queued work still drains... *)
+  let batch = Engine.next_batch t ~stop:(fun () -> false) in
+  Alcotest.(check int) "queued request survives drain" 1 (List.length batch);
+  (* ...then the dispatcher is told to stop *)
+  Alcotest.(check int) "empty batch ends the loop" 0
+    (List.length (Engine.next_batch t ~stop:(fun () -> false)))
+
+let test_drain_flag_promotion () =
+  let t = engine () in
+  Alcotest.(check bool) "no drain requested" false (Engine.drain_requested t);
+  Engine.request_drain t (* what the SIGTERM handler does *);
+  Alcotest.(check bool) "flag set" true (Engine.drain_requested t);
+  Alcotest.(check bool) "not yet draining" false (Engine.draining t);
+  Engine.set_draining t (* what the ticker does *);
+  Alcotest.(check bool) "draining" true (Engine.draining t)
+
+let test_handle_line () =
+  let t = engine () in
+  let resp = Engine.handle_line t "not json at all" in
+  Alcotest.(check bool) "malformed line answered" false (ok_field resp);
+  let resp =
+    Engine.handle_line t
+      "{\"schema_version\":\"leqa/rpc/v1\",\"id\":1,\"method\":\"ping\"}"
+  in
+  Alcotest.(check bool) "well-formed line answered" true (ok_field resp)
+
+let test_stats () =
+  let t = engine () in
+  ignore (Engine.handle t (ping 1));
+  ignore (Engine.handle t (estimate_req 2));
+  ignore (Engine.handle t (estimate_req 3));
+  let resp = Engine.handle t { Protocol.id = Json.Int 4; body = Protocol.Stats } in
+  let stats = Option.get (Json.member "stats" resp) in
+  (match Json.member "served" stats with
+  | Some (Json.Int n) -> Alcotest.(check bool) "served counted" true (n >= 3)
+  | _ -> Alcotest.fail "stats.served missing");
+  match Json.member "result_cache" stats with
+  | Some rc ->
+    Alcotest.(check bool) "cache hit visible" true
+      (Json.member "hits" rc = Some (Json.Int 1))
+  | None -> Alcotest.fail "stats.result_cache missing"
+
+let suite =
+  [
+    Alcotest.test_case "parse minimal" `Quick test_parse_minimal;
+    Alcotest.test_case "parse defaults match CLI" `Quick
+      test_parse_defaults_match_cli;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "deadline validation" `Quick
+      test_parse_deadline_validation;
+    Alcotest.test_case "oversized line" `Quick test_oversized_line;
+    Alcotest.test_case "request round-trip" `Quick test_request_round_trip;
+    Alcotest.test_case "content-addressed circuit key" `Quick
+      test_circuit_key_content_addressed;
+    Alcotest.test_case "result-key sensitivity" `Quick
+      test_result_key_sensitivity;
+    Alcotest.test_case "engine: version and ping" `Quick
+      test_engine_version_and_ping;
+    Alcotest.test_case "engine: estimate cache" `Quick
+      test_engine_estimate_cache;
+    Alcotest.test_case "engine: error responses" `Quick
+      test_engine_error_responses;
+    Alcotest.test_case "admission: overload" `Quick test_admission_overload;
+    Alcotest.test_case "admission: draining" `Quick test_admission_draining;
+    Alcotest.test_case "drain flag promotion" `Quick test_drain_flag_promotion;
+    Alcotest.test_case "handle_line" `Quick test_handle_line;
+    Alcotest.test_case "stats" `Quick test_stats;
+  ]

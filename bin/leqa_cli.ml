@@ -13,6 +13,7 @@
    subcommands wrap the surrounding tooling:
      design       run the ULB fabric designer (FT delays from native ops)
      select-qecc  pick the cheapest feasible QECC level via LEQA
+     diff         differential accuracy harness vs QSPR, with shrinking
      version      binary + wire-schema versions as a report
      serve        persistent estimation service (NDJSON RPC, stdio/socket)
      client       drive a running service (one call or a load run)
@@ -537,6 +538,162 @@ let select_qecc_cmd =
        ~doc:"choose the cheapest feasible QECC level with LEQA")
     term
 
+(* ---------------- differential accuracy harness ---------------- *)
+
+let diff_row_of (r : Leqa_diff.Harness.row) =
+  let case = r.Leqa_diff.Harness.case
+  and outcome = r.Leqa_diff.Harness.outcome in
+  {
+    Report.diff_label = case.Leqa_diff.Diff.label;
+    diff_width = case.Leqa_diff.Diff.width;
+    diff_height = case.Leqa_diff.Diff.height;
+    diff_budget = case.Leqa_diff.Diff.budget;
+    diff_classification =
+      Leqa_diff.Diff.classification_key outcome.Leqa_diff.Diff.classification;
+    diff_rel_error = outcome.Leqa_diff.Diff.rel_error;
+    diff_estimated_us = outcome.Leqa_diff.Diff.estimated_us;
+    diff_simulated_us = outcome.Leqa_diff.Diff.simulated_us;
+    diff_reproducer =
+      Option.bind r.Leqa_diff.Harness.reproducer (fun rep ->
+          rep.Leqa_diff.Harness.path);
+    diff_shrunk_gates =
+      Option.map
+        (fun rep ->
+          Leqa_circuit.Circuit.num_gates
+            rep.Leqa_diff.Harness.shrunk.Leqa_diff.Diff.circuit)
+        r.Leqa_diff.Harness.reproducer;
+  }
+
+let diff_cmd =
+  let run file bench scale random seed replay budget timeout shrink_dir
+      no_shrink jobs fmt errfmt trace =
+    let fmt = resolve_format fmt errfmt in
+    handle fmt @@ fun () ->
+    apply_jobs jobs;
+    let deadline_s = deadline_seconds ~flag:"--timeout" timeout in
+    (* remembered across the report emission so the failing exit code is
+       raised only after the report (with its reproducer paths) printed *)
+    let failed_cases = ref 0 and total_cases = ref 0 in
+    emit ~command:"diff" ~trace fmt (fun telemetry ->
+        let summary =
+          match replay with
+          | Some dir ->
+            (* replaying the corpus re-scores known reproducers; they are
+               already minimal, so skip shrinking *)
+            let cases = List.map fst (Leqa_diff.Harness.replay ~dir) in
+            Leqa_diff.Harness.run ?deadline_s ~shrink:false ~telemetry cases
+          | None ->
+            let single =
+              match source_of ~file ~bench ~scale with
+              | Ok source ->
+                let circuit = or_fail fmt (Source.load source) in
+                let label =
+                  match (bench, file) with
+                  | Some name, _ -> name
+                  | None, Some path -> Filename.basename path
+                  | None, None -> "circuit"
+                in
+                (* a named suite benchmark defaults to its checked-in
+                   ACCURACY.md budget; files and inline circuits to the
+                   global cap *)
+                let budget =
+                  match budget with
+                  | Some _ -> budget
+                  | None -> Option.map Leqa_diff.Budget.for_benchmark bench
+                in
+                Leqa_diff.Harness.single_cases ?budget ~label circuit
+              | Error _ when file = None && bench = None -> []
+              | Error e -> fail fmt e
+            in
+            let cases =
+              if single <> [] then single
+              else
+                Leqa_diff.Harness.suite_cases ~scale ()
+                @ (if random > 0 then
+                     Leqa_diff.Harness.random_cases ?budget ~seed
+                       ~count:random ()
+                   else [])
+            in
+            let shrink_dir =
+              if no_shrink then None else Some shrink_dir
+            in
+            Leqa_diff.Harness.run ?deadline_s ~shrink:(not no_shrink)
+              ?shrink_dir ~telemetry cases
+        in
+        failed_cases := summary.Leqa_diff.Harness.failures;
+        total_cases := summary.Leqa_diff.Harness.cases;
+        Report.make ~command:"diff" ~telemetry
+          (Report.Diff
+             {
+               Report.diff_rows =
+                 List.map diff_row_of summary.Leqa_diff.Harness.rows;
+               diff_cases = summary.Leqa_diff.Harness.cases;
+               diff_failures = summary.Leqa_diff.Harness.failures;
+               diff_degraded = summary.Leqa_diff.Harness.degraded;
+             }));
+    if !failed_cases > 0 then
+      E.raise_error
+        (E.Accuracy_error { failures = !failed_cases; cases = !total_cases })
+  in
+  let random_arg =
+    let doc =
+      "Also score $(docv) seeded random logical circuits (0 = none)."
+    in
+    Arg.(value & opt int 0 & info [ "random" ] ~docv:"N" ~doc)
+  in
+  let seed_arg =
+    let doc = "Seed for $(b,--random) case generation." in
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"K" ~doc)
+  in
+  let replay_arg =
+    let doc =
+      "Re-score the shrunk reproducers under $(docv) instead of generating \
+       cases — the permanent accuracy regression suite."
+    in
+    Arg.(value & opt (some string) None & info [ "replay" ] ~docv:"DIR" ~doc)
+  in
+  let budget_arg =
+    let doc =
+      "Relative-error budget for single-circuit and random cases (suite \
+       benchmarks use the checked-in ACCURACY.md budgets)."
+    in
+    Arg.(value & opt (some float) None & info [ "budget" ] ~docv:"E" ~doc)
+  in
+  let shrink_dir_arg =
+    let doc = "Write shrunk reproducers of failing cases under $(docv)." in
+    Arg.(
+      value
+      & opt string "test/corpus/diff"
+      & info [ "shrink-dir" ] ~docv:"DIR" ~doc)
+  in
+  let no_shrink_arg =
+    let doc = "Report failures without shrinking or writing reproducers." in
+    Arg.(value & flag & info [ "no-shrink" ] ~doc)
+  in
+  let scale_arg =
+    let doc =
+      "Scale factor for suite benchmarks (default keeps every QSPR run \
+       sub-second)."
+    in
+    Arg.(
+      value
+      & opt float Leqa_diff.Harness.default_scale
+      & info [ "scale" ] ~docv:"S" ~doc)
+  in
+  let term =
+    Term.(
+      const run $ file_arg $ bench_arg $ scale_arg $ random_arg $ seed_arg
+      $ replay_arg $ budget_arg $ timeout_arg $ shrink_dir_arg
+      $ no_shrink_arg $ jobs_arg $ format_arg $ error_format_arg $ trace_arg)
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "differential accuracy harness: score the analytic estimate \
+          against the QSPR mapper and shrink failures to minimal \
+          reproducers (exit 70 on any failure)")
+    term
+
 let version_cmd =
   let run fmt errfmt trace =
     let fmt = resolve_format fmt errfmt in
@@ -809,6 +966,6 @@ let () =
        (Cmd.group info
           [
             estimate_cmd; simulate_cmd; compare_cmd; sweep_fabric_cmd; gen_cmd;
-            info_cmd; design_cmd; select_qecc_cmd; version_cmd; serve_cmd;
-            client_cmd;
+            info_cmd; design_cmd; select_qecc_cmd; diff_cmd; version_cmd;
+            serve_cmd; client_cmd;
           ]))

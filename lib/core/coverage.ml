@@ -126,6 +126,24 @@ let probability_grid ~topology ~avg_area ~width ~height =
     cache_store grid_cache key grid;
     grid
 
+(* E(S_0) over a precomputed grid — shared by [expected_uncovered] and
+   the truncation-residual check in [expected_surfaces]. *)
+let uncovered_mass ~grid ~qubits =
+  let pool = Pool.get_default () in
+  Pool.reduce_chunks pool ~chunk:cell_chunk ~n:(Array.length grid)
+    ~map:(fun lo hi ->
+      let acc = ref 0.0 in
+      for cell = lo to hi - 1 do
+        acc :=
+          !acc +. exp (Leqa_util.Binomial.log_pmf ~n:qubits ~k:0 ~p:grid.(cell))
+      done;
+      !acc)
+    ~combine:( +. ) ~init:0.0 ()
+
+(* Relative binomial-tail mass the q = 1..kmax truncation may silently
+   drop before the series is extended (see [expected_surfaces]). *)
+let truncation_tolerance = 1e-9
+
 (* Eq (4), log-space per cell.  For each ULB we need
    C(Q,q)·P^q·(1−P)^(Q-q) for q = 1..terms; the log-binomial prefix is
    shared across cells (memoized in Leqa_util.Binomial).  Cells are
@@ -139,39 +157,68 @@ let expected_surfaces ~topology ~avg_area ~width ~height ~qubits ~terms =
   match cache_lookup ~name:"surfaces" surfaces_cache key with
   | Some result -> result
   | None ->
-    let kmax = min terms qubits in
     let grid = probability_grid ~topology ~avg_area ~width ~height in
-    let log_choose = Leqa_util.Binomial.log_choose_table ~n:qubits ~kmax in
     let pool = Pool.get_default () in
-    let sum_cells lo hi =
-      let partial = Array.make kmax 0.0 in
-      for cell = lo to hi - 1 do
-        let p = grid.(cell) in
-        if p > 0.0 then begin
-          let log_p = log p in
-          let log_1mp = if p >= 1.0 then neg_infinity else log1p (-.p) in
-          for q = 1 to kmax do
-            let log_term =
-              log_choose.(q)
-              +. (float_of_int q *. log_p)
-              +.
-              if qubits - q = 0 then 0.0
-              else float_of_int (qubits - q) *. log_1mp
-            in
-            if log_term > neg_infinity then
-              partial.(q - 1) <- partial.(q - 1) +. exp log_term
-          done
-        end
-      done;
-      partial
-    in
-    let add_into acc partial =
-      Array.iteri (fun i v -> acc.(i) <- acc.(i) +. v) partial;
-      acc
-    in
-    let result =
+    let compute kmax =
+      let log_choose = Leqa_util.Binomial.log_choose_table ~n:qubits ~kmax in
+      let sum_cells lo hi =
+        let partial = Array.make kmax 0.0 in
+        for cell = lo to hi - 1 do
+          let p = grid.(cell) in
+          if p > 0.0 then begin
+            let log_p = log p in
+            let log_1mp = if p >= 1.0 then neg_infinity else log1p (-.p) in
+            for q = 1 to kmax do
+              let log_term =
+                log_choose.(q)
+                +. (float_of_int q *. log_p)
+                +.
+                if qubits - q = 0 then 0.0
+                else float_of_int (qubits - q) *. log_1mp
+              in
+              if log_term > neg_infinity then
+                partial.(q - 1) <- partial.(q - 1) +. exp log_term
+            done
+          end
+        done;
+        partial
+      in
+      let add_into acc partial =
+        Array.iteri (fun i v -> acc.(i) <- acc.(i) +. v) partial;
+        acc
+      in
       Pool.reduce_chunks pool ~chunk:cell_chunk ~n:(Array.length grid)
         ~map:sum_cells ~combine:add_into ~init:(Array.make kmax 0.0) ()
+    in
+    let kmax0 = min terms qubits in
+    let result = compute kmax0 in
+    (* Truncation repair.  Eq 3 fixes Σ_{q=0}^{Q} E(S_q) = A; cutting the
+       series at [terms] drops the binomial tail mass beyond it, which on
+       crowded fabrics (Q·P_xy ≳ terms) leaves Σ_q E(S_q) — the
+       L_CNOT^avg denominator — silently low.  When the dropped mass
+       exceeds [truncation_tolerance] of the covered area, extend the
+       series (doubling, capped at Q) until the residual is negligible.
+       The decision is a pure function of the cache key, so memoized and
+       fresh computations agree at every pool width. *)
+    let result =
+      if kmax0 >= qubits then result
+      else begin
+        let area = float_of_int (width * height) in
+        let covered = area -. uncovered_mass ~grid ~qubits in
+        let sum = Array.fold_left ( +. ) 0.0 in
+        let tol = truncation_tolerance *. Float.max covered 1.0 in
+        if covered -. sum result <= tol then result
+        else begin
+          Leqa_util.Telemetry.ambient_count "coverage.truncation.extended";
+          let rec grow kmax result =
+            if kmax >= qubits || covered -. sum result <= tol then result
+            else
+              let kmax = min qubits (2 * kmax) in
+              grow kmax (compute kmax)
+          in
+          grow kmax0 result
+        end
+      end
     in
     (* Eq-4 guard: each E[S_q] is a sum of probabilities over the fabric,
        so it must be finite, non-negative and bounded by the area *)
@@ -185,13 +232,4 @@ let expected_surfaces ~topology ~avg_area ~width ~height ~qubits ~terms =
 
 let expected_uncovered ~topology ~avg_area ~width ~height ~qubits =
   let grid = probability_grid ~topology ~avg_area ~width ~height in
-  let pool = Pool.get_default () in
-  Pool.reduce_chunks pool ~chunk:cell_chunk ~n:(Array.length grid)
-    ~map:(fun lo hi ->
-      let acc = ref 0.0 in
-      for cell = lo to hi - 1 do
-        acc :=
-          !acc +. exp (Leqa_util.Binomial.log_pmf ~n:qubits ~k:0 ~p:grid.(cell))
-      done;
-      !acc)
-    ~combine:( +. ) ~init:0.0 ()
+  uncovered_mass ~grid ~qubits

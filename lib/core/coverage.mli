@@ -46,8 +46,17 @@ val expected_surfaces :
   qubits:int ->
   terms:int ->
   float array
-(** Eq (4) for [q = 1 .. min terms qubits]: element [q-1] is [E(S_q)].
-    Evaluated in log space (see DESIGN.md). *)
+(** Eq (4): element [q-1] is [E(S_q)].  Evaluated in log space (see
+    DESIGN.md).
+
+    [terms] is a {e minimum}: the series always covers
+    [q = 1 .. min terms qubits], but when truncating there would drop
+    more than a 1e-9 relative share of the covered area
+    [A − E(S_0)] — i.e. when Eq (3) would be visibly violated, as on
+    crowded fabrics where [Q·P_xy ≳ terms] — the series is extended
+    (telemetry counter [coverage.truncation.extended]) until the
+    residual is below that tolerance or [q = qubits].  Callers must
+    size follow-up arrays from the result's length, not from [terms]. *)
 
 val expected_uncovered :
   topology:Leqa_fabric.Params.topology ->

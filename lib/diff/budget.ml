@@ -1,0 +1,28 @@
+let default = 0.15
+
+(* measured at scale 0.25 over the default fabric grid (see ACCURACY.md);
+   budget ≈ 2× worst observed error, capped at [default] *)
+let table =
+  [
+    ("8bitadder", 0.05);
+    ("gf2^16mult", 0.05);
+    ("hwb15ps", 0.08);
+    ("hwb16ps", 0.08);
+    ("gf2^18mult", 0.05);
+    ("gf2^19mult", 0.05);
+    ("gf2^20mult", 0.05);
+    ("ham15", 0.05);
+    ("hwb20ps", 0.10);
+    ("hwb50ps", 0.10);
+    ("gf2^50mult", 0.07);
+    ("mod1048576adder", 0.05);
+    ("gf2^64mult", 0.09);
+    ("hwb100ps", 0.12);
+    ("gf2^100mult", 0.13);
+    ("hwb200ps", 0.15);
+    ("gf2^128mult", 0.15);
+    ("gf2^256mult", 0.15);
+  ]
+
+let for_benchmark name =
+  match List.assoc_opt name table with Some b -> b | None -> default

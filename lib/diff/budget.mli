@@ -1,0 +1,18 @@
+(** Per-benchmark relative-error budgets for the differential harness.
+
+    The checked-in budgets mirror ACCURACY.md (which `leqa diff --suite`
+    regenerates): each is roughly twice the worst error measured against
+    the QSPR mapper over the default fabric grid at the default scale,
+    capped at {!default} — so a kernel regression that doubles a
+    benchmark's error fails CI, while run-to-run scheduler noise does
+    not. *)
+
+val default : float
+(** 0.15 — the worst-case bound of the acceptance criteria; used for
+    random circuits and benchmarks missing from the table. *)
+
+val table : (string * float) list
+(** Benchmark name → budget, in {!Leqa_benchmarks.Suite.all} order. *)
+
+val for_benchmark : string -> float
+(** Table lookup, falling back to {!default}. *)

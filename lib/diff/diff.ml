@@ -1,0 +1,130 @@
+module Params = Leqa_fabric.Params
+module Estimator = Leqa_core.Estimator
+module Qspr = Leqa_qspr.Qspr
+module E = Leqa_util.Error
+
+type case = {
+  label : string;
+  circuit : Leqa_circuit.Circuit.t;
+  width : int;
+  height : int;
+  budget : float;
+}
+
+type classification =
+  | Within_budget
+  | Budget_exceeded
+  | Non_finite
+  | Estimator_error of string
+  | Qspr_error of string
+  | Degraded
+
+type outcome = {
+  classification : classification;
+  rel_error : float option;
+  estimated_us : float option;
+  simulated_us : float option;
+}
+
+let failed = function
+  | Budget_exceeded | Non_finite | Estimator_error _ | Qspr_error _ -> true
+  | Within_budget | Degraded -> false
+
+let classification_key = function
+  | Within_budget -> "within-budget"
+  | Budget_exceeded -> "budget-exceeded"
+  | Non_finite -> "non-finite"
+  | Estimator_error k -> "estimator-error:" ^ k
+  | Qspr_error k -> "qspr-error:" ^ k
+  | Degraded -> "degraded"
+
+(* Shrinking needs a crash tag that is stable while the circuit shrinks;
+   exception payloads often embed sizes or values, so classify by
+   constructor only. *)
+let crash_kind = function
+  | Invalid_argument _ -> "invalid-argument"
+  | Failure _ -> "failure"
+  | Not_found -> "not-found"
+  | Stack_overflow -> "stack-overflow"
+  | _ -> "exception"
+
+let run_case ?deadline_s ?(telemetry = Leqa_util.Telemetry.noop) case =
+  Leqa_util.Telemetry.span telemetry "diff.case" @@ fun () ->
+  let ft = Leqa_circuit.Decompose.to_ft case.circuit in
+  let qodg = Leqa_qodg.Qodg.of_ft_circuit ft in
+  let params =
+    Params.with_fabric Params.calibrated ~width:case.width ~height:case.height
+  in
+  let estimate =
+    match Estimator.estimate ~params qodg with
+    | b -> Ok b
+    | exception E.Error err -> Error (Estimator_error (E.kind err))
+    | exception exn -> Error (Estimator_error (crash_kind exn))
+  in
+  (* same convention as [leqa compare]: the estimator runs with the
+     calibrated v, the reference mapper with the paper's default v *)
+  let qspr_config =
+    {
+      Qspr.default_config with
+      Qspr.params = { params with Params.v = Params.default.Params.v };
+    }
+  in
+  let deadline =
+    match deadline_s with
+    | Some seconds -> Leqa_util.Pool.Deadline.after ~seconds
+    | None -> Leqa_util.Pool.Deadline.never
+  in
+  let simulated =
+    match Qspr.run ~config:qspr_config ~deadline qodg with
+    | r -> Ok r
+    | exception E.Error (E.Timed_out _) -> Error Degraded
+    | exception E.Error err -> Error (Qspr_error (E.kind err))
+    | exception exn -> Error (Qspr_error (crash_kind exn))
+  in
+  match (estimate, simulated) with
+  | Error c, _ ->
+    {
+      classification = c;
+      rel_error = None;
+      estimated_us = None;
+      simulated_us =
+        (match simulated with
+        | Ok r when Float.is_finite r.Qspr.latency_us ->
+          Some r.Qspr.latency_us
+        | _ -> None);
+    }
+  | Ok b, Error c ->
+    {
+      classification = c;
+      rel_error = None;
+      estimated_us =
+        (if Float.is_finite b.Estimator.latency_us then
+           Some b.Estimator.latency_us
+         else None);
+      simulated_us = None;
+    }
+  | Ok b, Ok r ->
+    let est = b.Estimator.latency_us and act = r.Qspr.latency_us in
+    if not (Float.is_finite est && Float.is_finite act) then
+      {
+        classification = Non_finite;
+        rel_error = None;
+        estimated_us = (if Float.is_finite est then Some est else None);
+        simulated_us = (if Float.is_finite act then Some act else None);
+      }
+    else
+      let err =
+        if act = 0.0 then if est = 0.0 then 0.0 else Float.infinity
+        else Leqa_util.Stats.relative_error ~actual:act ~estimated:est
+      in
+      let classification =
+        if not (Float.is_finite err) then Non_finite
+        else if err <= case.budget then Within_budget
+        else Budget_exceeded
+      in
+      {
+        classification;
+        rel_error = (if Float.is_finite err then Some err else None);
+        estimated_us = Some est;
+        simulated_us = Some act;
+      }

@@ -1,0 +1,56 @@
+(** Differential testing of the analytic estimator against the QSPR
+    reference mapper (DESIGN.md §10).
+
+    A {!case} pins down one comparison: a logical circuit, a fabric, and
+    a relative-error budget.  {!run_case} runs both paths on the same
+    QODG — `Estimator.estimate` with the calibrated parameters and
+    `Qspr.run` with the paper's defaults, the same convention as
+    [leqa compare] — and classifies the disagreement.  Failing
+    classifications feed {!Shrink.shrink}. *)
+
+type case = {
+  label : string;  (** benchmark name or generator tag, for reports *)
+  circuit : Leqa_circuit.Circuit.t;
+  width : int;
+  height : int;
+  budget : float;  (** max tolerated relative error, e.g. 0.15 *)
+}
+
+type classification =
+  | Within_budget
+  | Budget_exceeded  (** both paths finished; error above [budget] *)
+  | Non_finite  (** NaN/Inf latency or infinite relative error *)
+  | Estimator_error of string
+      (** the analytic path raised; payload is the stable error kind
+          (["fault-injected"], ["numeric-error"], …) or a crash tag *)
+  | Qspr_error of string  (** the reference path raised (not a timeout) *)
+  | Degraded
+      (** the simulation hit the deadline — not comparable, not a
+          failure: the analytic half completed *)
+
+type outcome = {
+  classification : classification;
+  rel_error : float option;  (** present iff finite *)
+  estimated_us : float option;
+  simulated_us : float option;
+}
+
+val failed : classification -> bool
+(** [true] for the classifications the harness must shrink and report:
+    budget excess, non-finite values, and crashes in either path. *)
+
+val classification_key : classification -> string
+(** Stable machine-readable tag (["budget-exceeded"],
+    ["estimator-error:fault-injected"], …).  Shrinking preserves this
+    key: a candidate only replaces the original if it fails the same
+    way. *)
+
+val run_case :
+  ?deadline_s:float ->
+  ?telemetry:Leqa_util.Telemetry.t ->
+  case ->
+  outcome
+(** Decompose, build the QODG once, run both paths, classify.  Never
+    raises on a failing case — errors from either path are captured in
+    the classification.  [deadline_s] bounds only the simulation half
+    (timeout ⇒ [Degraded]).  Wraps the work in a ["diff.case"] span. *)

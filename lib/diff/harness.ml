@@ -1,0 +1,239 @@
+module Circuit = Leqa_circuit.Circuit
+module Parser = Leqa_circuit.Parser
+module Suite = Leqa_benchmarks.Suite
+module E = Leqa_util.Error
+module Telemetry = Leqa_util.Telemetry
+
+type reproducer = {
+  shrunk : Diff.case;
+  shrunk_outcome : Diff.outcome;
+  shrink_stats : Shrink.stats;
+  path : string option;
+}
+
+type row = {
+  case : Diff.case;
+  outcome : Diff.outcome;
+  reproducer : reproducer option;
+}
+
+type summary = { rows : row list; cases : int; failures : int; degraded : int }
+
+let default_scale = 0.25
+
+let sides_for circuit =
+  let ft = Leqa_circuit.Decompose.to_ft circuit in
+  let q = Leqa_circuit.Ft_circuit.num_qubits ft in
+  let side =
+    max 4 (int_of_float (ceil (sqrt (2.0 *. float_of_int (max 1 q)))))
+  in
+  [ side; 2 * side ]
+
+let cases_for ~label ~budget circuit =
+  List.map
+    (fun side ->
+      { Diff.label; circuit; width = side; height = side; budget })
+    (sides_for circuit)
+
+let suite_cases ?(scale = default_scale) () =
+  List.concat_map
+    (fun entry ->
+      let circuit = Suite.build_scaled entry ~scale in
+      cases_for ~label:entry.Suite.name
+        ~budget:(Budget.for_benchmark entry.Suite.name)
+        circuit)
+    Suite.all
+
+let random_cases ?(budget = Budget.default) ~seed ~count () =
+  let rng = Leqa_util.Rng.create ~seed in
+  List.concat_map
+    (fun i ->
+      let qubits = 3 + Leqa_util.Rng.int rng ~bound:8 in
+      let gates = 5 + Leqa_util.Rng.int rng ~bound:40 in
+      let circuit =
+        Leqa_benchmarks.Random_circuit.logical ~rng ~qubits ~gates
+      in
+      let label = Printf.sprintf "random-s%d-%d" seed i in
+      (* one fabric per random case: the point is input diversity, not a
+         fabric sweep — take the crowded one *)
+      match cases_for ~label ~budget circuit with
+      | first :: _ -> [ first ]
+      | [] -> [])
+    (List.init count (fun i -> i))
+
+let single_cases ?(budget = Budget.default) ~label circuit =
+  cases_for ~label ~budget circuit
+
+(* ---- reproducer corpus --------------------------------------------- *)
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with
+    | Sys_error _ when Sys.file_exists dir -> ()
+    | Sys_error msg -> E.raise_error (E.Io_error msg)
+  end
+
+let sanitize label =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '_' | '-' -> c
+      | _ -> '-')
+    label
+
+let write_reproducer ~dir (case : Diff.case) (outcome : Diff.outcome) =
+  mkdir_p dir;
+  let path =
+    Filename.concat dir
+      (Printf.sprintf "%s-%dx%d.tfc" (sanitize case.Diff.label)
+         case.Diff.width case.Diff.height)
+  in
+  let header =
+    String.concat "\n"
+      [
+        "# leqa-diff reproducer (leqa/diff/v1)";
+        Printf.sprintf "# label: %s" case.Diff.label;
+        Printf.sprintf "# fabric: %dx%d" case.Diff.width case.Diff.height;
+        Printf.sprintf "# budget: %.17g" case.Diff.budget;
+        Printf.sprintf "# classification: %s"
+          (Diff.classification_key outcome.Diff.classification);
+        "";
+      ]
+  in
+  (try
+     let oc = open_out path in
+     Fun.protect
+       ~finally:(fun () -> close_out_noerr oc)
+       (fun () ->
+         output_string oc header;
+         output_string oc (Parser.to_string case.Diff.circuit))
+   with Sys_error msg -> E.raise_error (E.Io_error msg));
+  path
+
+(* the metadata header written above, parsed leniently: any missing field
+   falls back to a usable default so hand-written corpus files also load *)
+let parse_header text =
+  let field name =
+    let prefix = "# " ^ name ^ ": " in
+    List.find_map
+      (fun line ->
+        if String.length line >= String.length prefix
+           && String.sub line 0 (String.length prefix) = prefix
+        then
+          Some
+            (String.sub line (String.length prefix)
+               (String.length line - String.length prefix))
+        else None)
+      (String.split_on_char '\n' text)
+  in
+  let fabric =
+    Option.bind (field "fabric") (fun s ->
+        match String.split_on_char 'x' (String.trim s) with
+        | [ w; h ] -> (
+          match (int_of_string_opt w, int_of_string_opt h) with
+          | Some w, Some h when w > 0 && h > 0 -> Some (w, h)
+          | _ -> None)
+        | _ -> None)
+  in
+  ( field "label",
+    fabric,
+    Option.bind (field "budget") float_of_string_opt,
+    field "classification" )
+
+let replay ~dir =
+  let entries =
+    try Sys.readdir dir with Sys_error msg -> E.raise_error (E.Io_error msg)
+  in
+  let files =
+    List.sort compare
+      (List.filter
+         (fun f -> Filename.check_suffix f ".tfc")
+         (Array.to_list entries))
+  in
+  List.map
+    (fun file ->
+      let path = Filename.concat dir file in
+      let text =
+        try
+          let ic = open_in_bin path in
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () -> really_input_string ic (in_channel_length ic))
+        with Sys_error msg -> E.raise_error (E.Io_error msg)
+      in
+      let circuit = E.ok_exn (Parser.parse_string ~file:path text) in
+      let label, fabric, budget, classification = parse_header text in
+      let label = Option.value label ~default:(Filename.chop_extension file) in
+      let budget = Option.value budget ~default:Budget.default in
+      let width, height =
+        match fabric with
+        | Some wh -> wh
+        | None -> (
+          match sides_for circuit with s :: _ -> (s, s) | [] -> (4, 4))
+      in
+      ({ Diff.label; circuit; width; height; budget }, classification))
+    files
+
+(* ---- the run loop --------------------------------------------------- *)
+
+let run ?deadline_s ?(shrink = true) ?shrink_dir ?max_evals
+    ?(telemetry = Telemetry.noop) cases =
+  Telemetry.span telemetry "diff.run" @@ fun () ->
+  let rows =
+    List.map
+      (fun case ->
+        Telemetry.count telemetry "diff.cases";
+        let outcome = Diff.run_case ?deadline_s ~telemetry case in
+        let reproducer =
+          if not (Diff.failed outcome.Diff.classification) then begin
+            if outcome.Diff.classification = Diff.Degraded then
+              Telemetry.count telemetry "diff.degraded";
+            None
+          end
+          else begin
+            Telemetry.count telemetry "diff.failures";
+            if not shrink then
+              Some
+                {
+                  shrunk = case;
+                  shrunk_outcome = outcome;
+                  shrink_stats =
+                    {
+                      Shrink.evaluations = 0;
+                      gates_before = Circuit.num_gates case.Diff.circuit;
+                      gates_after = Circuit.num_gates case.Diff.circuit;
+                    };
+                  path = None;
+                }
+            else begin
+              let shrunk, shrunk_outcome, shrink_stats =
+                Telemetry.span telemetry "diff.shrink" @@ fun () ->
+                Shrink.shrink ?deadline_s ?max_evals case outcome
+              in
+              Telemetry.count_n telemetry "diff.shrink.evaluations"
+                shrink_stats.Shrink.evaluations;
+              let path =
+                Option.map
+                  (fun dir -> write_reproducer ~dir shrunk shrunk_outcome)
+                  shrink_dir
+              in
+              Some { shrunk; shrunk_outcome; shrink_stats; path }
+            end
+          end
+        in
+        { case; outcome; reproducer })
+      cases
+  in
+  {
+    rows;
+    cases = List.length rows;
+    failures =
+      List.length
+        (List.filter (fun r -> Diff.failed r.outcome.Diff.classification) rows);
+    degraded =
+      List.length
+        (List.filter
+           (fun r -> r.outcome.Diff.classification = Diff.Degraded)
+           rows);
+  }

@@ -1,0 +1,83 @@
+(** Case generation, the run loop, and the reproducer corpus
+    (DESIGN.md §10).
+
+    Three case sources — the paper's benchmark suite across a per-circuit
+    fabric grid, seeded random circuits, and a single user-supplied
+    circuit — feed one {!run} loop that scores every case with
+    {!Diff.run_case}, shrinks failures with {!Shrink.shrink}, and writes
+    each shrunk reproducer to the corpus directory as a [.tfc] netlist
+    whose [#]-comment header records the fabric, budget and failure
+    classification.  {!replay} parses that corpus back into cases, so
+    every past accuracy bug stays a permanent regression test. *)
+
+type reproducer = {
+  shrunk : Diff.case;
+  shrunk_outcome : Diff.outcome;
+  shrink_stats : Shrink.stats;
+  path : string option;  (** where the netlist was written, if anywhere *)
+}
+
+type row = {
+  case : Diff.case;
+  outcome : Diff.outcome;
+  reproducer : reproducer option;  (** present iff the case failed *)
+}
+
+type summary = {
+  rows : row list;  (** in case order *)
+  cases : int;
+  failures : int;
+  degraded : int;
+}
+
+val default_scale : float
+(** 0.25 — shrinks every suite family enough that the QSPR half of each
+    case runs in well under a second. *)
+
+val sides_for : Leqa_circuit.Circuit.t -> int list
+(** The fabric grid for a circuit: [[s; 2s]] with
+    [s = max 4 ⌈√(2·Q_ft)⌉] — one crowded fabric and one spacious one,
+    bracketing the regimes of Table 2. *)
+
+val suite_cases : ?scale:float -> unit -> Diff.case list
+(** Every benchmark of {!Leqa_benchmarks.Suite.all} at [scale]
+    (default {!default_scale}), once per {!sides_for} fabric, with its
+    {!Budget} budget. *)
+
+val random_cases :
+  ?budget:float -> seed:int -> count:int -> unit -> Diff.case list
+(** [count] seeded logical circuits from
+    {!Leqa_benchmarks.Random_circuit.logical} with varied qubit/gate
+    sizes, on their {!sides_for} fabrics ([budget] defaults to
+    {!Budget.default}).  Deterministic in [seed]. *)
+
+val single_cases :
+  ?budget:float -> label:string -> Leqa_circuit.Circuit.t -> Diff.case list
+(** One user-supplied circuit across its {!sides_for} fabric grid. *)
+
+val run :
+  ?deadline_s:float ->
+  ?shrink:bool ->
+  ?shrink_dir:string ->
+  ?max_evals:int ->
+  ?telemetry:Leqa_util.Telemetry.t ->
+  Diff.case list ->
+  summary
+(** Score every case ([deadline_s] bounds each case's simulation half).
+    Failures are shrunk when [shrink] (default [true]) and written under
+    [shrink_dir] when given (created if missing).  Counters:
+    [diff.cases], [diff.failures], [diff.degraded],
+    [diff.shrink.evaluations]. *)
+
+val write_reproducer : dir:string -> Diff.case -> Diff.outcome -> string
+(** Write the case as [<label>-<W>x<H>.tfc] under [dir] (created if
+    missing) with the metadata header; returns the path.  Deterministic
+    content: rewriting an unchanged reproducer is byte-stable.
+    @raise Leqa_util.Error.Error ([Io_error]) when unwritable. *)
+
+val replay : dir:string -> (Diff.case * string option) list
+(** Parse every [*.tfc] reproducer under [dir] (sorted by filename) back
+    into a case plus its recorded classification key.  A missing or
+    malformed header falls back to {!sides_for} defaults.
+    @raise Leqa_util.Error.Error ([Io_error] / [Parse_error]) on an
+    unreadable directory or netlist. *)

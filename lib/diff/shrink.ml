@@ -1,0 +1,148 @@
+module Circuit = Leqa_circuit.Circuit
+module Gate = Leqa_circuit.Gate
+
+type stats = { evaluations : int; gates_before : int; gates_after : int }
+
+let subst_gate f = function
+  | Gate.Single (k, q) -> Gate.Single (k, f q)
+  | Gate.Cnot { control; target } ->
+    Gate.Cnot { control = f control; target = f target }
+  | Gate.Toffoli { c1; c2; target } ->
+    Gate.Toffoli { c1 = f c1; c2 = f c2; target = f target }
+  | Gate.Fredkin { control; t1; t2 } ->
+    Gate.Fredkin { control = f control; t1 = f t1; t2 = f t2 }
+  | Gate.Mct { controls; target } ->
+    Gate.Mct { controls = List.map f controls; target = f target }
+  | Gate.Mcf { controls; t1; t2 } ->
+    Gate.Mcf { controls = List.map f controls; t1 = f t1; t2 = f t2 }
+
+(* renumber the wires actually used to 0..n-1, preserving order, so a
+   merge or drop really reduces the qubit count the estimator sees *)
+let compact_gates gates =
+  let used = Hashtbl.create 16 in
+  Array.iter
+    (fun g -> List.iter (fun q -> Hashtbl.replace used q ()) (Gate.qubits g))
+    gates;
+  let wires = List.sort compare (Hashtbl.fold (fun q () acc -> q :: acc) used []) in
+  let index = Hashtbl.create 16 in
+  List.iteri (fun i q -> Hashtbl.add index q i) wires;
+  Array.map (subst_gate (Hashtbl.find index)) gates
+
+let case_of_gates case gates =
+  {
+    case with
+    Diff.circuit = Circuit.of_gates (Array.to_list (compact_gates gates));
+  }
+
+let shrink ?deadline_s ?(max_evals = 400) (case : Diff.case)
+    (outcome : Diff.outcome) =
+  if not (Diff.failed outcome.Diff.classification) then
+    invalid_arg "Shrink.shrink: outcome is not a failure";
+  let key = Diff.classification_key outcome.Diff.classification in
+  let gates_before = Circuit.num_gates case.Diff.circuit in
+  let evals = ref 0 in
+  let best = ref (case, outcome) in
+  (* accept a candidate iff it fails identically *)
+  let try_case candidate =
+    if !evals >= max_evals then false
+    else begin
+      incr evals;
+      let o = Diff.run_case ?deadline_s candidate in
+      if
+        Diff.failed o.Diff.classification
+        && Diff.classification_key o.Diff.classification = key
+      then begin
+        best := (candidate, o);
+        true
+      end
+      else false
+    end
+  in
+  let remove_window gates i len =
+    Array.append (Array.sub gates 0 i)
+      (Array.sub gates (i + len) (Array.length gates - i - len))
+  in
+  (* pass 1: drop gate windows, halving the window until single gates *)
+  let drop_pass () =
+    let progress = ref true in
+    while !progress && !evals < max_evals do
+      progress := false;
+      let n = Circuit.num_gates (fst !best).Diff.circuit in
+      let window = ref (max 1 (n / 2)) in
+      while !window >= 1 && !evals < max_evals do
+        let i = ref 0 in
+        while
+          !i + !window <= Circuit.num_gates (fst !best).Diff.circuit
+          && !evals < max_evals
+        do
+          let gates = Circuit.gates (fst !best).Diff.circuit in
+          if try_case (case_of_gates (fst !best) (remove_window gates !i !window))
+          then progress := true (* same i now names the next window *)
+          else i := !i + !window
+        done;
+        window := if !window = 1 then 0 else !window / 2
+      done
+    done
+  in
+  (* pass 2: merge wire b into a lower wire; gates whose operands collapse
+     are dropped (no-cloning), the rest renumbered compactly *)
+  let merge_pass () =
+    let progress = ref true in
+    while !progress && !evals < max_evals do
+      progress := false;
+      let c = (fst !best).Diff.circuit in
+      let b = ref (Circuit.num_qubits c - 1) in
+      while !b >= 1 && !evals < max_evals do
+        let merged a =
+          let gates = Circuit.gates (fst !best).Diff.circuit in
+          let rewritten =
+            Array.map (subst_gate (fun q -> if q = !b then a else q)) gates
+          in
+          let kept =
+            Array.of_list
+              (List.filter
+                 (fun g -> Result.is_ok (Gate.validate g))
+                 (Array.to_list rewritten))
+          in
+          try_case (case_of_gates (fst !best) kept)
+        in
+        if merged 0 || (!b > 1 && merged (!b - 1)) then progress := true;
+        decr b
+      done
+    done
+  in
+  (* pass 3: shrink the fabric, halving while the failure reproduces *)
+  let fabric_pass () =
+    let progress = ref true in
+    while !progress && !evals < max_evals do
+      progress := false;
+      let c = fst !best in
+      let candidates =
+        [
+          (max 1 (c.Diff.width / 2), max 1 (c.Diff.height / 2));
+          (max 1 (c.Diff.width / 2), c.Diff.height);
+          (c.Diff.width, max 1 (c.Diff.height / 2));
+        ]
+      in
+      List.iter
+        (fun (width, height) ->
+          if
+            (not !progress)
+            && (width < c.Diff.width || height < c.Diff.height)
+            && try_case { c with Diff.width; height }
+          then progress := true)
+        candidates
+    done
+  in
+  drop_pass ();
+  merge_pass ();
+  drop_pass ();
+  fabric_pass ();
+  let shrunk, shrunk_outcome = !best in
+  ( shrunk,
+    shrunk_outcome,
+    {
+      evaluations = !evals;
+      gates_before;
+      gates_after = Circuit.num_gates shrunk.Diff.circuit;
+    } )

@@ -1,0 +1,31 @@
+(** Greedy delta-debugging of a failing diff case to a minimal
+    reproducer (DESIGN.md §10).
+
+    Three deterministic passes run to a fixpoint (or the evaluation
+    cap): window-wise {e gate dropping} (ddmin-style, halving window
+    sizes), {e qubit merging} (rewrite wire [b] as wire [a], dropping
+    gates whose operands collapse, then renumbering wires compactly),
+    and {e fabric shrinking} (halving the grid).  A candidate replaces
+    the current best only if {!Diff.run_case} fails it with the {e same}
+    classification key — the reproducer provably reproduces the original
+    bug, not a different one.
+
+    No randomness anywhere, so a given (case, outcome) always shrinks to
+    the same reproducer — the property the corpus tests rely on. *)
+
+type stats = {
+  evaluations : int;  (** candidate cases actually run *)
+  gates_before : int;
+  gates_after : int;
+}
+
+val shrink :
+  ?deadline_s:float ->
+  ?max_evals:int ->
+  Diff.case ->
+  Diff.outcome ->
+  Diff.case * Diff.outcome * stats
+(** [shrink case outcome] with [Diff.failed outcome.classification].
+    [max_evals] (default 400) bounds total candidate evaluations; the
+    best case found so far is returned when it runs out.
+    @raise Invalid_argument if the outcome is not a failure. *)

@@ -61,6 +61,26 @@ type gen_body = {
 
 type version_body = { binary : string; schemas : (string * string) list }
 
+type diff_row = {
+  diff_label : string;
+  diff_width : int;
+  diff_height : int;
+  diff_budget : float;
+  diff_classification : string;
+  diff_rel_error : float option;
+  diff_estimated_us : float option;
+  diff_simulated_us : float option;
+  diff_reproducer : string option;
+  diff_shrunk_gates : int option;
+}
+
+type diff_body = {
+  diff_rows : diff_row list;
+  diff_cases : int;
+  diff_failures : int;
+  diff_degraded : int;
+}
+
 type body =
   | Estimate of estimate_body
   | Simulate of simulate_body
@@ -71,6 +91,7 @@ type body =
   | Design of design_body
   | Gen of gen_body
   | Version of version_body
+  | Diff of diff_body
 
 type t = {
   command : string;
@@ -307,6 +328,44 @@ let body_json = function
               (List.map (fun (name, ver) -> (name, Json.String ver)) v.schemas)
           );
         ] )
+  | Diff d ->
+    ( "diff",
+      Json.Obj
+        [
+          ( "rows",
+            Json.List
+              (List.map
+                 (fun r ->
+                   Json.Obj
+                     ([
+                        ("label", Json.String r.diff_label);
+                        ("width", Json.Int r.diff_width);
+                        ("height", Json.Int r.diff_height);
+                        ("budget", Json.Float r.diff_budget);
+                        ( "classification",
+                          Json.String r.diff_classification );
+                      ]
+                     @ (match r.diff_rel_error with
+                       | None -> []
+                       | Some e -> [ ("error", Json.Float e) ])
+                     @ (match r.diff_estimated_us with
+                       | None -> []
+                       | Some v -> [ ("estimated_us", Json.Float v) ])
+                     @ (match r.diff_simulated_us with
+                       | None -> []
+                       | Some v -> [ ("simulated_us", Json.Float v) ])
+                     @ (match r.diff_shrunk_gates with
+                       | None -> []
+                       | Some n -> [ ("shrunk_gates", Json.Int n) ])
+                     @
+                     match r.diff_reproducer with
+                     | None -> []
+                     | Some p -> [ ("reproducer", Json.String p) ]))
+                 d.diff_rows) );
+          ("cases", Json.Int d.diff_cases);
+          ("failures", Json.Int d.diff_failures);
+          ("degraded", Json.Int d.diff_degraded);
+        ] )
 
 let to_json t =
   let key, body = body_json t.body in
@@ -466,6 +525,44 @@ let human_version ppf (v : version_body) =
     (fun (name, ver) -> Format.fprintf ppf "%-7s schema  %s@." name ver)
     v.schemas
 
+let human_diff ppf (d : diff_body) =
+  let table =
+    Table.create
+      ~columns:
+        [
+          ("case", Table.Left);
+          ("fabric", Table.Left);
+          ("error", Table.Right);
+          ("budget", Table.Right);
+          ("status", Table.Left);
+        ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row table
+        [
+          r.diff_label;
+          Printf.sprintf "%dx%d" r.diff_width r.diff_height;
+          (match r.diff_rel_error with
+          | Some e -> Printf.sprintf "%.2f%%" (100.0 *. e)
+          | None -> "-");
+          Printf.sprintf "%.0f%%" (100.0 *. r.diff_budget);
+          r.diff_classification;
+        ])
+    d.diff_rows;
+  Format.fprintf ppf "%s@." (Table.render table);
+  Format.fprintf ppf "%d cases, %d failures, %d degraded@." d.diff_cases
+    d.diff_failures d.diff_degraded;
+  List.iter
+    (fun r ->
+      match r.diff_reproducer with
+      | Some path ->
+        Format.fprintf ppf "reproducer: %s (%s, %d gates)@." path
+          r.diff_classification
+          (Option.value r.diff_shrunk_gates ~default:0)
+      | None -> ())
+    d.diff_rows
+
 let human_gen ppf (g : gen_body) =
   match (g.out_path, g.netlist) with
   | Some path, _ ->
@@ -478,7 +575,7 @@ let to_human ppf t =
   (* info renders its own circuit line-up; every other body leads with
      the FT summary, exactly as the pre-redesign subcommands did *)
   (match t.body with
-  | Info _ | Gen _ | Sweep_fabric _ | Design _ | Version _ -> ()
+  | Info _ | Gen _ | Sweep_fabric _ | Design _ | Version _ | Diff _ -> ()
   | _ -> pp_ft ppf t.ft);
   match t.body with
   | Estimate e -> human_estimate ppf e
@@ -490,6 +587,7 @@ let to_human ppf t =
   | Design d -> human_design ppf d
   | Gen g -> human_gen ppf g
   | Version v -> human_version ppf v
+  | Diff d -> human_diff ppf d
 
 let print format t =
   match format with

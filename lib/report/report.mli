@@ -88,6 +88,33 @@ type version_body = {
           library stays dependency-free of the server layer *)
 }
 
+type diff_row = {
+  diff_label : string;
+  diff_width : int;
+  diff_height : int;
+  diff_budget : float;
+  diff_classification : string;
+      (** the stable classification key, e.g. ["within-budget"],
+          ["budget-exceeded"], ["estimator-error:fault-injected"] *)
+  diff_rel_error : float option;  (** absent when not comparable *)
+  diff_estimated_us : float option;
+  diff_simulated_us : float option;
+  diff_reproducer : string option;
+      (** path of the shrunk reproducer, when one was written *)
+  diff_shrunk_gates : int option;
+      (** gate count of the shrunk reproducer, when the case failed *)
+}
+
+type diff_body = {
+  diff_rows : diff_row list;
+  diff_cases : int;
+  diff_failures : int;
+  diff_degraded : int;
+}
+(** Plain-data mirror of the differential harness's summary — supplied
+    by the CLI/server so this library stays independent of [leqa_diff]
+    (mirrors the [version_body] pattern). *)
+
 type body =
   | Estimate of estimate_body
   | Simulate of simulate_body
@@ -98,6 +125,7 @@ type body =
   | Design of design_body
   | Gen of gen_body
   | Version of version_body
+  | Diff of diff_body
 
 type t
 

@@ -22,15 +22,27 @@ let create ~result_entries ~prep_entries =
 
 let circuit_key circuit = Fingerprint.of_string (Source.canonical circuit)
 
-(* every field that feeds the estimate, %.17g so distinct floats never
-   collide in the key *)
+(* every field that feeds the estimate, canonicalized per field: %.17g so
+   distinct floats never collide, -0.0 collapsed to 0, NaN/Inf rejected
+   with a Usage_error naming the field (never digested into a key) *)
 let params_fragment (p : Params.t) =
-  Printf.sprintf "%.17g,%.17g,%.17g,%.17g,%.17g,%d,%.17g,%d,%d,%.17g,%s"
-    p.Params.d_h p.Params.d_t p.Params.d_s p.Params.d_pauli p.Params.d_cnot
-    p.Params.nc p.Params.v p.Params.width p.Params.height p.Params.t_move
-    (match p.Params.topology with
-    | Params.Grid -> "grid"
-    | Params.Torus -> "torus")
+  let f = Fingerprint.float_repr in
+  String.concat ","
+    [
+      f ~field:"d_h" p.Params.d_h;
+      f ~field:"d_t" p.Params.d_t;
+      f ~field:"d_s" p.Params.d_s;
+      f ~field:"d_pauli" p.Params.d_pauli;
+      f ~field:"d_cnot" p.Params.d_cnot;
+      string_of_int p.Params.nc;
+      f ~field:"v" p.Params.v;
+      string_of_int p.Params.width;
+      string_of_int p.Params.height;
+      f ~field:"t_move" p.Params.t_move;
+      (match p.Params.topology with
+      | Params.Grid -> "grid"
+      | Params.Torus -> "torus");
+    ]
 
 let result_key ~method_ ~circuit_key ~params ~options =
   Fingerprint.combine

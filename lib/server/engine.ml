@@ -169,7 +169,8 @@ let compare_response t ~id (p : Protocol.compare_params) =
           ( "deadline_s",
             match p.Protocol.cmp_deadline_s with
             | None -> "none"
-            | Some s -> Printf.sprintf "%.17g" s );
+            | Some s -> Leqa_util.Fingerprint.float_repr ~field:"deadline_s" s
+          );
         ]
   in
   match cached_result t key with
@@ -215,10 +216,17 @@ let compare_response t ~id (p : Protocol.compare_params) =
 
 let sweep_response t ~id (p : Protocol.sweep_params) =
   let circuit = ok (Source.load p.Protocol.sw_source) in
+  (* validate v (against the calibrated fabric) before it reaches the key:
+     an out-of-range or non-finite v must fail as a typed error, not get
+     digested into a cache address first *)
+  let key_params =
+    params_of ~width:Params.calibrated.Params.width
+      ~height:Params.calibrated.Params.height ~v:p.Protocol.sw_v
+  in
   let key =
     Cache.result_key ~method_:"sweep-fabric"
       ~circuit_key:(Cache.circuit_key circuit)
-      ~params:{ Params.calibrated with Params.v = p.Protocol.sw_v }
+      ~params:key_params
       ~options:
         [ ("sizes", String.concat "," (List.map string_of_int p.Protocol.sw_sizes)) ]
   in
@@ -253,6 +261,84 @@ let sweep_response t ~id (p : Protocol.sweep_params) =
     in
     let doc = Report.to_json report in
     store_result t key doc;
+    Protocol.response_report ~id ~cache:`Miss doc
+
+let diff_row_of (r : Leqa_diff.Harness.row) =
+  let case = r.Leqa_diff.Harness.case
+  and outcome = r.Leqa_diff.Harness.outcome in
+  {
+    Report.diff_label = case.Leqa_diff.Diff.label;
+    diff_width = case.Leqa_diff.Diff.width;
+    diff_height = case.Leqa_diff.Diff.height;
+    diff_budget = case.Leqa_diff.Diff.budget;
+    diff_classification =
+      Leqa_diff.Diff.classification_key outcome.Leqa_diff.Diff.classification;
+    diff_rel_error = outcome.Leqa_diff.Diff.rel_error;
+    diff_estimated_us = outcome.Leqa_diff.Diff.estimated_us;
+    diff_simulated_us = outcome.Leqa_diff.Diff.simulated_us;
+    (* the server never writes reproducers: no filesystem side effects on
+       behalf of a remote client *)
+    diff_reproducer = None;
+    diff_shrunk_gates = None;
+  }
+
+let diff_response t ~id (p : Protocol.diff_params) =
+  let float_opt ~field = function
+    | None -> "none"
+    | Some x -> Leqa_util.Fingerprint.float_repr ~field x
+  in
+  (* like compare, the deadline is part of the key: it decides whether
+     each case's simulation half completes *)
+  let deadline_s =
+    match p.Protocol.df_deadline_s with
+    | Some _ as s -> s
+    | None -> t.cfg.default_deadline_s
+  in
+  let circuit_key, cases =
+    match p.Protocol.df_source with
+    | Some source ->
+      let circuit = ok (Source.load source) in
+      let label =
+        match source with
+        | Source.File path -> Filename.basename path
+        | Source.Bench { name; _ } -> name
+        | Source.Inline _ -> "circuit"
+      in
+      ( Cache.circuit_key circuit,
+        Leqa_diff.Harness.single_cases ?budget:p.Protocol.df_budget ~label
+          circuit )
+    | None ->
+      ( Printf.sprintf "suite@%s"
+          (Leqa_util.Fingerprint.float_repr ~field:"scale" p.Protocol.df_scale),
+        Leqa_diff.Harness.suite_cases ~scale:p.Protocol.df_scale () )
+  in
+  let key =
+    Cache.result_key ~method_:"diff" ~circuit_key ~params:Params.calibrated
+      ~options:
+        [
+          ("budget", float_opt ~field:"budget" p.Protocol.df_budget);
+          ("deadline_s", float_opt ~field:"deadline_s" deadline_s);
+        ]
+  in
+  match cached_result t key with
+  | Some doc -> Protocol.response_report ~id ~cache:`Hit doc
+  | None ->
+    let summary = Leqa_diff.Harness.run ?deadline_s ~shrink:false cases in
+    let report =
+      Report.make ~command:"diff"
+        (Report.Diff
+           {
+             Report.diff_rows =
+               List.map diff_row_of summary.Leqa_diff.Harness.rows;
+             diff_cases = summary.Leqa_diff.Harness.cases;
+             diff_failures = summary.Leqa_diff.Harness.failures;
+             diff_degraded = summary.Leqa_diff.Harness.degraded;
+           })
+    in
+    let doc = Report.to_json report in
+    (* a summary with degraded cases is a property of this run's budget,
+       not of the inputs — same rule as compare *)
+    if summary.Leqa_diff.Harness.degraded = 0 then store_result t key doc;
     Protocol.response_report ~id ~cache:`Miss doc
 
 let version_response t ~id =
@@ -312,6 +398,7 @@ let handle t (req : Protocol.request) =
         | Protocol.Estimate p -> estimate_response t ~id p
         | Protocol.Compare p -> compare_response t ~id p
         | Protocol.Sweep_fabric p -> sweep_response t ~id p
+        | Protocol.Diff p -> diff_response t ~id p
         | Protocol.Version -> version_response t ~id
         | Protocol.Ping -> Protocol.response_ok ~id [ ("pong", Json.Bool true) ]
         | Protocol.Stats ->

@@ -35,10 +35,18 @@ type sweep_params = {
   sw_deadline_s : float option;
 }
 
+type diff_params = {
+  df_source : Source.t option;  (* None: the full benchmark suite *)
+  df_scale : float;
+  df_budget : float option;
+  df_deadline_s : float option;
+}
+
 type request_body =
   | Estimate of estimate_params
   | Compare of compare_params
   | Sweep_fabric of sweep_params
+  | Diff of diff_params
   | Version
   | Ping
   | Stats
@@ -157,12 +165,40 @@ let body_of ~method_ ~params =
     if sw_sizes = [] then badf "sizes must not be empty";
     let sw_deadline_s = get_deadline params in
     Sweep_fabric { sw_source; sw_v; sw_sizes; sw_deadline_s }
+  | "diff" ->
+    (* the circuit source is optional here: absent means "the full
+       benchmark suite" — so probe for the source fields before calling
+       the source parser, which requires one *)
+    let df_source =
+      if
+        mem "file" params <> None
+        || mem "bench" params <> None
+        || mem "circuit" params <> None
+      then Some (get_source params)
+      else None
+    in
+    let df_scale =
+      match get_float ~what:"scale" (mem "scale" params) with
+      | None -> Leqa_diff.Harness.default_scale
+      | Some s ->
+        if Float.is_finite s && s > 0.0 then s
+        else badf "scale must be a positive number (got %g)" s
+    in
+    let df_budget =
+      match get_float ~what:"budget" (mem "budget" params) with
+      | None -> None
+      | Some b ->
+        if Float.is_finite b && b > 0.0 then Some b
+        else badf "budget must be a positive number (got %g)" b
+    in
+    let df_deadline_s = get_deadline params in
+    Diff { df_source; df_scale; df_budget; df_deadline_s }
   | "version" -> Version
   | "ping" -> Ping
   | "stats" -> Stats
   | other ->
     badf
-      "unknown method %S (expected estimate, compare, sweep-fabric, \
+      "unknown method %S (expected estimate, compare, sweep-fabric, diff, \
        version, ping or stats)"
       other
 
@@ -255,6 +291,17 @@ let request_to_json { id; body } =
             ("sizes", Json.List (List.map (fun n -> Json.Int n) sw_sizes));
           ]
         @ deadline_fields sw_deadline_s )
+    | Diff { df_source; df_scale; df_budget; df_deadline_s } ->
+      ( "diff",
+        (match df_source with
+        | None -> []
+        | Some source -> source_fields source)
+        @ (if df_scale = Leqa_diff.Harness.default_scale then []
+           else [ ("scale", Json.Float df_scale) ])
+        @ (match df_budget with
+          | None -> []
+          | Some b -> [ ("budget", Json.Float b) ])
+        @ deadline_fields df_deadline_s )
     | Version -> ("version", [])
     | Ping -> ("ping", [])
     | Stats -> ("stats", [])

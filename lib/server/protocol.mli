@@ -60,10 +60,21 @@ type sweep_params = {
   sw_deadline_s : float option;
 }
 
+type diff_params = {
+  df_source : Source.t option;
+      (** [None] runs the full benchmark suite at [df_scale] *)
+  df_scale : float;
+  df_budget : float option;
+      (** relative-error budget for single-circuit cases; suite cases
+          use the checked-in per-benchmark {!Leqa_diff.Budget} table *)
+  df_deadline_s : float option;
+}
+
 type request_body =
   | Estimate of estimate_params
   | Compare of compare_params
   | Sweep_fabric of sweep_params
+  | Diff of diff_params
   | Version
   | Ping
   | Stats

@@ -9,6 +9,7 @@ type t =
   | Fault_injected of { site : string }
   | Server_overload of { queued : int; capacity : int }
   | Server_draining
+  | Accuracy_error of { failures : int; cases : int }
 
 exception Error of t
 
@@ -19,7 +20,7 @@ let exit_code = function
   | Parse_error _ -> 65
   | Io_error _ -> 66
   | Server_overload _ | Server_draining -> 69
-  | Numeric_error _ -> 70
+  | Numeric_error _ | Accuracy_error _ -> 70
   | Fabric_error _ -> 71
   | Fault_injected _ -> 74
   | Timed_out _ -> 75
@@ -36,6 +37,7 @@ let kind = function
   | Fault_injected _ -> "fault-injected"
   | Server_overload _ -> "server-overload"
   | Server_draining -> "server-draining"
+  | Accuracy_error _ -> "accuracy-error"
 
 (* renderers promise a single line whatever ends up inside messages *)
 let one_line s =
@@ -63,7 +65,12 @@ let to_string e =
       Printf.sprintf
         "server overloaded: %d requests queued (capacity %d), try again later"
         queued capacity
-    | Server_draining -> "server is draining and no longer admits requests")
+    | Server_draining -> "server is draining and no longer admits requests"
+    | Accuracy_error { failures; cases } ->
+      Printf.sprintf
+        "differential harness: %d of %d cases diverged from the QSPR \
+         reference (see the report rows and test/corpus/diff reproducers)"
+        failures cases)
 
 let to_json e =
   let base =
@@ -85,6 +92,8 @@ let to_json e =
     | Fault_injected { site } -> [ ("site", Json.String site) ]
     | Server_overload { queued; capacity } ->
       [ ("queued", Json.Int queued); ("capacity", Json.Int capacity) ]
+    | Accuracy_error { failures; cases } ->
+      [ ("failures", Json.Int failures); ("cases", Json.Int cases) ]
     | Usage_error _ | Io_error _ | Config_error _ | Fabric_error _
     | Server_draining -> []
   in

@@ -20,6 +20,7 @@
     69  Server_overload  estimation server queue full (EX_UNAVAILABLE)
     69  Server_draining  estimation server shutting down (EX_UNAVAILABLE)
     70  Numeric_error    NaN/Inf/out-of-range value escaping a kernel
+    70  Accuracy_error   differential harness found estimator/QSPR drift
     71  Fabric_error     degenerate fabric geometry/parameters
     74  Fault_injected   a LEQA_FAULTS test fault fired
     75  Timed_out        a --timeout deadline expired
@@ -44,6 +45,11 @@ type t =
       (** the estimation server received SIGTERM (or its input reached
           EOF) and no longer admits new requests; in-flight and queued
           requests still complete *)
+  | Accuracy_error of { failures : int; cases : int }
+      (** the differential harness ([leqa diff], DESIGN.md §10) found
+          cases where the analytic estimate diverged from the QSPR
+          reference beyond budget (or a path crashed); shares EX_SOFTWARE
+          (70) with [Numeric_error] — both mean "the model is wrong" *)
 
 exception Error of t
 (** The only exception structured errors travel in. *)

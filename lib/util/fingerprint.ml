@@ -4,6 +4,19 @@
 
 let of_string s = Stdlib.Digest.to_hex (Stdlib.Digest.string s)
 
+let float_repr ~field x =
+  if not (Float.is_finite x) then
+    Error.raise_error
+      (Error.Usage_error
+         (Printf.sprintf "parameter %s must be finite (got %s)" field
+            (if Float.is_nan x then "nan"
+             else if x > 0.0 then "inf"
+             else "-inf")))
+  (* -0.0 = 0.0 numerically but prints as "-0" under %.17g; collapse so
+     numerically equal parameter sets share one cache key *)
+  else if x = 0.0 then "0"
+  else Printf.sprintf "%.17g" x
+
 let combine parts =
   let buf = Buffer.create 64 in
   List.iter

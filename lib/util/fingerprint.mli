@@ -11,6 +11,14 @@
 val of_string : string -> string
 (** 32-character lowercase-hex digest of the bytes. *)
 
+val float_repr : field:string -> float -> string
+(** Canonical decimal form of a float destined for a cache key: shortest
+    round-trippable ([%.17g]) representation, with [-0.0] collapsed to
+    ["0"] so numerically equal parameter sets digest identically.
+    @raise Error.Error ([Usage_error] naming [field]) on NaN or ±Inf —
+    a non-finite parameter must be rejected before it reaches a key, not
+    mangled into one. *)
+
 val combine : string list -> string
 (** Digest of the parts with their lengths mixed in, so
     [combine ["ab"; "c"]] and [combine ["a"; "bc"]] differ — the basis

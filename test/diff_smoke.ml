@@ -1,0 +1,151 @@
+(* End-to-end accuracy gate (DESIGN.md §10): drives the real leqa binary
+   through the differential harness and asserts the ACCURACY.md contract:
+
+   - `leqa diff` over the full benchmark suite stays within the
+     checked-in per-benchmark budgets (exit 0), and its JSON report is a
+     well-formed leqa/report/v1 document;
+   - an injected kernel fault (LEQA_FAULTS=cache.fill) is caught,
+     classified, shrunk to a reproducer of <= 8 gates, and exits with
+     the accuracy-error code (70);
+   - replaying the written corpus without the fault passes clean, so
+     reproducer netlists are valid regression inputs.
+
+   Usage: diff_smoke <path-to-leqa-cli> *)
+
+let cli = ref ""
+let failures = ref 0
+let checks = ref 0
+
+let out_file = Filename.temp_file "leqa_diff_smoke" ".out"
+let err_file = Filename.temp_file "leqa_diff_smoke" ".err"
+
+let slurp path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let run_cli ?(env = "") args =
+  let cmd =
+    Printf.sprintf "%s%s %s >%s 2>%s"
+      (if env = "" then "" else env ^ " ")
+      (Filename.quote !cli)
+      (String.concat " " (List.map Filename.quote args))
+      (Filename.quote out_file) (Filename.quote err_file)
+  in
+  let code = Sys.command cmd in
+  (code, slurp out_file, slurp err_file)
+
+let check name ok detail =
+  incr checks;
+  if ok then Printf.printf "ok   %s\n%!" name
+  else begin
+    incr failures;
+    Printf.printf "FAIL %s\n     %s\n%!" name detail
+  end
+
+let contains hay needle =
+  let n = String.length needle in
+  let rec go i =
+    i + n <= String.length hay && (String.sub hay i n = needle || go (i + 1))
+  in
+  go 0
+
+(* gates in a .tfc netlist: the lines between BEGIN and END that are not
+   blank or [#] comments *)
+let gate_count path =
+  let body = slurp path in
+  let in_body = ref false and n = ref 0 in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      let up = String.uppercase_ascii line in
+      if up = "BEGIN" then in_body := true
+      else if up = "END" then in_body := false
+      else if !in_body && line <> "" && line.[0] <> '#' then incr n)
+    (String.split_on_char '\n' body);
+  !n
+
+let with_temp_dir f =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "leqa-diff-smoke-%d" (Unix.getpid ()))
+  in
+  let rec cleanup path =
+    if Sys.is_directory path then begin
+      Array.iter (fun n -> cleanup (Filename.concat path n)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+  in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists dir then cleanup dir)
+    (fun () -> f dir)
+
+let () =
+  (match Sys.argv with
+  | [| _; c |] -> cli := c
+  | _ ->
+    prerr_endline "usage: diff_smoke <leqa-cli>";
+    exit 2);
+
+  (* 1. the whole suite, against the checked-in budgets *)
+  let code, out, err = run_cli [ "diff"; "--no-shrink" ] in
+  check "suite within ACCURACY.md budgets -> exit 0" (code = 0)
+    (Printf.sprintf "exit %d (stderr: %s)" code (String.trim err));
+  check "suite report names every case"
+    (contains out "gf2^256mult" && contains out "8bitadder")
+    "human report missing suite rows";
+
+  let code, out, err = run_cli [ "diff"; "--no-shrink"; "--format"; "json" ] in
+  let out = String.trim out in
+  check "suite json -> exit 0" (code = 0) (String.trim err);
+  check "suite json is a leqa/report/v1 document"
+    (String.length out > 1
+    && out.[0] = '{'
+    && out.[String.length out - 1] = '}'
+    && contains out "\"schema_version\":\"leqa/report/v1\""
+    && contains out "\"command\":\"diff\"")
+    out;
+
+  (* 2. injected kernel fault: caught, shrunk small, exit 70 *)
+  with_temp_dir @@ fun dir ->
+  let code, _, err =
+    run_cli ~env:"LEQA_FAULTS=cache.fill"
+      [ "diff"; "-b"; "ham15"; "--shrink-dir"; dir ]
+  in
+  check "injected fault -> accuracy error (exit 70)" (code = 70)
+    (Printf.sprintf "exit %d (stderr: %s)" code (String.trim err));
+  check "error names the diff harness" (contains err "diverged")
+    (String.trim err);
+  let reproducers =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".tfc")
+  in
+  check "reproducers written"
+    (List.length reproducers > 0)
+    (Printf.sprintf "%d .tfc files under %s" (List.length reproducers) dir);
+  List.iter
+    (fun f ->
+      let path = Filename.concat dir f in
+      let gates = gate_count path in
+      check
+        (Printf.sprintf "reproducer %s shrunk to <= 8 gates" f)
+        (gates <= 8)
+        (Printf.sprintf "%d gates" gates);
+      check
+        (Printf.sprintf "reproducer %s records the classification" f)
+        (contains (slurp path) "# classification: estimator-error:fault-injected")
+        (slurp path))
+    reproducers;
+
+  (* 3. the corpus replays clean once the fault is gone *)
+  let code, _, err = run_cli [ "diff"; "--replay"; dir ] in
+  check "corpus replays clean without the fault" (code = 0)
+    (Printf.sprintf "exit %d (stderr: %s)" code (String.trim err));
+
+  Sys.remove out_file;
+  Sys.remove err_file;
+  Printf.printf "\n%d checks, %d failures\n%!" !checks !failures;
+  if !failures > 0 then exit 1

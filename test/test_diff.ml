@@ -1,0 +1,276 @@
+(* The differential harness (DESIGN.md §10): case classification, the
+   shrinker's invariants (classification preserved, deterministic), the
+   per-benchmark budget table, and the reproducer-corpus round trip. *)
+
+module Diff = Leqa_diff.Diff
+module Shrink = Leqa_diff.Shrink
+module Budget = Leqa_diff.Budget
+module Harness = Leqa_diff.Harness
+module Suite = Leqa_benchmarks.Suite
+module Circuit = Leqa_circuit.Circuit
+module Parser = Leqa_circuit.Parser
+module Fault = Leqa_util.Fault
+module E = Leqa_util.Error
+
+let check = Alcotest.check
+let checkb = Alcotest.(check bool)
+
+let ham15 =
+  lazy
+    (let entry = List.find (fun e -> e.Suite.name = "ham15") Suite.all in
+     Suite.build_scaled entry ~scale:0.25)
+
+let case ?(budget = Budget.default) ?(label = "unit") ?(width = 6)
+    ?(height = 6) circuit =
+  { Diff.label; circuit; width; height; budget }
+
+let key outcome = Diff.classification_key outcome.Diff.classification
+
+(* ---- run_case classification ---------------------------------------- *)
+
+let test_run_case_within_budget () =
+  let c = case (Lazy.force ham15) in
+  let outcome = Diff.run_case c in
+  check Alcotest.string "classification" "within-budget" (key outcome);
+  checkb "not failed" false (Diff.failed outcome.Diff.classification);
+  (match outcome.Diff.rel_error with
+  | Some e -> checkb "error within budget" true (e <= c.Diff.budget)
+  | None -> Alcotest.fail "rel_error missing on a finished case");
+  checkb "estimate present" true (outcome.Diff.estimated_us <> None);
+  checkb "simulation present" true (outcome.Diff.simulated_us <> None)
+
+let test_run_case_budget_exceeded () =
+  let c = case ~budget:1e-9 (Lazy.force ham15) in
+  let outcome = Diff.run_case c in
+  check Alcotest.string "classification" "budget-exceeded" (key outcome);
+  checkb "failed" true (Diff.failed outcome.Diff.classification)
+
+let test_run_case_fault_is_estimator_error () =
+  (match Fault.configure "cache.fill" with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (E.to_string e));
+  Fun.protect ~finally:Fault.reset (fun () ->
+      (* a fabric no other test in this process estimates: the cache.fill
+         site only fires on a coverage-cache store, so a warm process-wide
+         memo entry for this key would mask the fault *)
+      let outcome = Diff.run_case (case ~width:11 ~height:13 (Lazy.force ham15)) in
+      check Alcotest.string "classification" "estimator-error:fault-injected"
+        (key outcome);
+      checkb "failed" true (Diff.failed outcome.Diff.classification);
+      checkb "no estimate" true (outcome.Diff.estimated_us = None))
+
+(* ---- shrinker invariants --------------------------------------------- *)
+
+let shrink_once c =
+  let outcome = Diff.run_case c in
+  checkb "setup: case fails" true (Diff.failed outcome.Diff.classification);
+  Shrink.shrink c outcome
+
+let test_shrink_preserves_classification () =
+  let c = case ~budget:1e-9 (Lazy.force ham15) in
+  let shrunk, shrunk_outcome, stats = shrink_once c in
+  check Alcotest.string "same classification key"
+    (key (Diff.run_case c))
+    (key shrunk_outcome);
+  checkb "did not grow" true
+    (stats.Shrink.gates_after <= stats.Shrink.gates_before);
+  check Alcotest.int "stats match circuit"
+    (Circuit.num_gates shrunk.Diff.circuit)
+    stats.Shrink.gates_after;
+  (* the recorded outcome is reproducible from the shrunk case alone *)
+  check Alcotest.string "replayable" (key shrunk_outcome)
+    (key (Diff.run_case shrunk))
+
+let test_shrink_deterministic () =
+  let c = case ~budget:1e-9 (Lazy.force ham15) in
+  let s1, o1, st1 = shrink_once c in
+  let s2, o2, st2 = shrink_once c in
+  check Alcotest.string "same netlist"
+    (Parser.to_string s1.Diff.circuit)
+    (Parser.to_string s2.Diff.circuit);
+  check Alcotest.int "same width" s1.Diff.width s2.Diff.width;
+  check Alcotest.int "same height" s1.Diff.height s2.Diff.height;
+  check Alcotest.string "same classification" (key o1) (key o2);
+  check Alcotest.int "same evaluation count" st1.Shrink.evaluations
+    st2.Shrink.evaluations
+
+let test_shrink_fault_case_is_tiny () =
+  (* the acceptance criterion: an injected kernel fault shrinks to a
+     near-trivial reproducer (<= 8 gates) *)
+  (match Fault.configure "cache.fill" with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (E.to_string e));
+  Fun.protect ~finally:Fault.reset (fun () ->
+      let shrunk, outcome, _ =
+        shrink_once (case ~width:11 ~height:13 (Lazy.force ham15))
+      in
+      check Alcotest.string "still the fault"
+        "estimator-error:fault-injected" (key outcome);
+      checkb "<= 8 gates" true (Circuit.num_gates shrunk.Diff.circuit <= 8))
+
+let test_shrink_rejects_passing_case () =
+  let c = case (Lazy.force ham15) in
+  let outcome = Diff.run_case c in
+  match Shrink.shrink c outcome with
+  | _ -> Alcotest.fail "shrink accepted a passing case"
+  | exception Invalid_argument _ -> ()
+
+(* ---- budget table ---------------------------------------------------- *)
+
+let test_budget_table_sane () =
+  List.iter
+    (fun (name, b) ->
+      checkb (name ^ " positive") true (b > 0.0);
+      checkb (name ^ " within default cap") true (b <= Budget.default))
+    Budget.table;
+  List.iter
+    (fun e ->
+      checkb (e.Suite.name ^ " has a checked-in budget") true
+        (List.mem_assoc e.Suite.name Budget.table))
+    Suite.all;
+  check (Alcotest.float 0.0) "fallback" Budget.default
+    (Budget.for_benchmark "no-such-benchmark")
+
+(* ---- case generation ------------------------------------------------- *)
+
+let test_suite_cases_cover_suite () =
+  let cases = Harness.suite_cases () in
+  check Alcotest.int "two fabrics per benchmark"
+    (2 * List.length Suite.all)
+    (List.length cases);
+  List.iter
+    (fun c ->
+      check (Alcotest.float 0.0)
+        (c.Diff.label ^ " budget from table")
+        (Budget.for_benchmark c.Diff.label)
+        c.Diff.budget)
+    cases
+
+let test_random_cases_deterministic () =
+  let render cs =
+    String.concat "\n"
+      (List.map
+         (fun c ->
+           Printf.sprintf "%s %dx%d\n%s" c.Diff.label c.Diff.width
+             c.Diff.height
+             (Parser.to_string c.Diff.circuit))
+         cs)
+  in
+  let a = Harness.random_cases ~seed:7 ~count:3 () in
+  let b = Harness.random_cases ~seed:7 ~count:3 () in
+  check Alcotest.string "same seed, same cases" (render a) (render b);
+  let c = Harness.random_cases ~seed:8 ~count:3 () in
+  checkb "different seed, different cases" true (render a <> render c)
+
+(* ---- reproducer corpus round trip ------------------------------------ *)
+
+let with_temp_dir f =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "leqa-diff-test-%d" (Unix.getpid ()))
+  in
+  let rec cleanup path =
+    if Sys.is_directory path then begin
+      Array.iter
+        (fun n -> cleanup (Filename.concat path n))
+        (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+  in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists dir then cleanup dir)
+    (fun () -> f dir)
+
+let test_reproducer_round_trip () =
+  with_temp_dir @@ fun dir ->
+  let c =
+    case ~budget:1e-9 ~label:"round-trip" ~width:5 ~height:7
+      (Lazy.force ham15)
+  in
+  let outcome = Diff.run_case c in
+  let path = Harness.write_reproducer ~dir c outcome in
+  let bytes_of p =
+    let ic = open_in_bin p in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let first = bytes_of path in
+  let path2 = Harness.write_reproducer ~dir c outcome in
+  check Alcotest.string "same path on rewrite" path path2;
+  check Alcotest.string "byte-stable rewrite" first (bytes_of path);
+  match Harness.replay ~dir with
+  | [ (replayed, recorded) ] ->
+    check Alcotest.string "label" c.Diff.label replayed.Diff.label;
+    check Alcotest.int "width" c.Diff.width replayed.Diff.width;
+    check Alcotest.int "height" c.Diff.height replayed.Diff.height;
+    check (Alcotest.float 0.0) "budget" c.Diff.budget replayed.Diff.budget;
+    check
+      Alcotest.(option string)
+      "classification"
+      (Some (key outcome))
+      recorded;
+    check Alcotest.string "netlist"
+      (Parser.to_string c.Diff.circuit)
+      (Parser.to_string replayed.Diff.circuit);
+    (* replaying the reproducer fails the same way *)
+    check Alcotest.string "still fails" (key outcome)
+      (key (Diff.run_case replayed))
+  | rows ->
+    Alcotest.failf "expected one reproducer, found %d" (List.length rows)
+
+let test_harness_run_counts () =
+  let circuit = Lazy.force ham15 in
+  let cases =
+    [ case circuit; case ~budget:1e-9 circuit; case ~width:4 ~height:4 circuit ]
+  in
+  let summary = Harness.run ~shrink:false cases in
+  check Alcotest.int "cases" 3 summary.Harness.cases;
+  check Alcotest.int "failures" 1 summary.Harness.failures;
+  check Alcotest.int "degraded" 0 summary.Harness.degraded;
+  check Alcotest.int "rows in case order" 3
+    (List.length summary.Harness.rows);
+  (* reproducer present iff the case failed; with shrinking off it is the
+     identity (no evaluations, nothing written) *)
+  List.iter
+    (fun r ->
+      match r.Harness.reproducer with
+      | None ->
+        checkb "passing rows carry no reproducer" false
+          (Diff.failed r.Harness.outcome.Diff.classification)
+      | Some rep ->
+        checkb "only failing rows carry a reproducer" true
+          (Diff.failed r.Harness.outcome.Diff.classification);
+        checkb "identity reproducer unwritten" true
+          (rep.Harness.path = None
+          && rep.Harness.shrink_stats.Shrink.evaluations = 0))
+    summary.Harness.rows
+
+let suite =
+  [
+    Alcotest.test_case "run_case: within budget" `Quick
+      test_run_case_within_budget;
+    Alcotest.test_case "run_case: budget exceeded" `Quick
+      test_run_case_budget_exceeded;
+    Alcotest.test_case "run_case: injected fault classified" `Quick
+      test_run_case_fault_is_estimator_error;
+    Alcotest.test_case "shrink: preserves classification" `Quick
+      test_shrink_preserves_classification;
+    Alcotest.test_case "shrink: deterministic" `Quick
+      test_shrink_deterministic;
+    Alcotest.test_case "shrink: fault case to <= 8 gates" `Quick
+      test_shrink_fault_case_is_tiny;
+    Alcotest.test_case "shrink: rejects passing case" `Quick
+      test_shrink_rejects_passing_case;
+    Alcotest.test_case "budget table sane and complete" `Quick
+      test_budget_table_sane;
+    Alcotest.test_case "suite cases cover the suite" `Quick
+      test_suite_cases_cover_suite;
+    Alcotest.test_case "random cases deterministic in seed" `Quick
+      test_random_cases_deterministic;
+    Alcotest.test_case "reproducer corpus round trip" `Quick
+      test_reproducer_round_trip;
+    Alcotest.test_case "harness run counts" `Quick test_harness_run_counts;
+  ]

@@ -177,7 +177,10 @@ let prop_surfaces_bounded =
         Coverage.expected_surfaces ~topology ~avg_area ~width ~height ~qubits
           ~terms
       in
-      Array.length surfaces = min terms qubits
+      (* [terms] is a minimum: the series self-extends (up to Q terms)
+         when the truncated binomial tail is non-negligible *)
+      Array.length surfaces >= min terms qubits
+      && Array.length surfaces <= max 1 qubits
       && Array.for_all
            (fun s -> Float.is_finite s && s >= 0.0 && s <= area +. 1e-9)
            surfaces

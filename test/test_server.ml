@@ -197,6 +197,38 @@ let test_result_key_sensitivity () =
   Alcotest.(check bool) "options matter" false
     (key () = key ~options:[ ("terms", "21") ] ())
 
+let contains_substring haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub haystack i nn = needle || at (i + 1)) in
+  at 0
+
+let test_result_key_canonicalization () =
+  (* -0.0 and 0.0 are numerically equal and must share a cache key *)
+  let p = Leqa_fabric.Params.calibrated in
+  let key params =
+    Cache.result_key ~method_:"estimate" ~circuit_key:"abc" ~params
+      ~options:[ ("terms", "20") ]
+  in
+  Alcotest.(check string) "-0.0 t_move shares the 0.0 key"
+    (key { p with Leqa_fabric.Params.t_move = 0.0 })
+    (key { p with Leqa_fabric.Params.t_move = -0.0 });
+  (* non-finite params are rejected with a typed error naming the field,
+     never digested into a key *)
+  List.iter
+    (fun (label, params, field) ->
+      match key params with
+      | (_ : string) -> Alcotest.failf "%s: key accepted non-finite" label
+      | exception Leqa_util.Error.Error (Leqa_util.Error.Usage_error msg) ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s names %s" label field)
+          true (contains_substring msg field))
+    [
+      ("nan d_h", { p with Leqa_fabric.Params.d_h = Float.nan }, "d_h");
+      ( "inf t_move",
+        { p with Leqa_fabric.Params.t_move = Float.infinity },
+        "t_move" );
+    ]
+
 (* ---- engine --------------------------------------------------------- *)
 
 let engine ?(queue = 8) ?(reject_overflow = false) () =
@@ -376,6 +408,8 @@ let suite =
       test_circuit_key_content_addressed;
     Alcotest.test_case "result-key sensitivity" `Quick
       test_result_key_sensitivity;
+    Alcotest.test_case "result-key canonicalization" `Quick
+      test_result_key_canonicalization;
     Alcotest.test_case "engine: version and ping" `Quick
       test_engine_version_and_ping;
     Alcotest.test_case "engine: estimate cache" `Quick

@@ -244,33 +244,91 @@ let params_of ~width ~height ~v =
 
 (* ---------------- subcommands ---------------- *)
 
+(* --stream: never materialize the FT circuit.  A netlist file streams
+   straight off disk (strict .v mode, reopened per pass); a generated
+   benchmark streams its logical gates through a fresh decomposer per
+   pass.  Either way the replayable producer returns the declared wire
+   count. *)
+let gate_stream_of fmt ~file ~bench ~scale : Estimator.gate_stream =
+  match or_fail fmt (source_of ~file ~bench ~scale) with
+  | Source.File path ->
+    fun sink ->
+      let feed = ref (fun (_ : Leqa_circuit.Gate.t) -> ()) in
+      (match
+         Leqa_circuit.Parser.iter_file path
+           ~on_begin:(fun q -> feed := Decompose.feeder ~num_qubits:q ~sink)
+           ~f:(fun g -> !feed g)
+       with
+      | Ok declared -> declared
+      | Error e -> E.raise_error e)
+  | (Source.Bench _ | Source.Inline _) as src ->
+    (* already in memory (generator / inline text): stream the logical
+       circuit through a fresh decomposer per pass *)
+    let circ = or_fail fmt (Source.load src) in
+    Estimator.stream_of_circuit circ
+
 let estimate_cmd =
-  let run file bench scale width height v terms jobs timeout fmt errfmt trace =
+  let run file bench scale width height v terms jobs stream timeout fmt errfmt
+      trace =
     let fmt = resolve_format fmt errfmt in
     handle fmt @@ fun () ->
     apply_jobs jobs;
     let deadline = deadline_of timeout in
     emit ~command:"estimate" ~trace fmt @@ fun telemetry ->
-    let _, ft, qodg = prepare_traced telemetry fmt ~file ~bench ~scale in
     let params = or_fail fmt (params_of ~width ~height ~v) in
     let config = { Leqa_core.Config.truncation_terms = terms } in
-    let est, dt =
-      Leqa_util.Timing.time (fun () ->
-          Estimator.estimate ~config ~deadline ~telemetry ~params qodg)
+    if stream then begin
+      let producer =
+        Telemetry.span telemetry "cli.prepare" (fun () ->
+            gate_stream_of fmt ~file ~bench ~scale)
+      in
+      let streamed, dt =
+        Leqa_util.Timing.time (fun () ->
+            Estimator.estimate_stream ~config ~deadline ~telemetry ~params
+              producer)
+      in
+      Report.make ~command:"estimate"
+        ~circuit_stats:streamed.Estimator.stream_stats ~telemetry
+        (Report.Estimate
+           {
+             Report.params;
+             breakdown = streamed.Estimator.stream_breakdown;
+             contributions =
+               Estimator.contributions ~params
+                 streamed.Estimator.stream_breakdown;
+             estimator_runtime_s = dt;
+           })
+    end
+    else begin
+      let _, ft, qodg = prepare_traced telemetry fmt ~file ~bench ~scale in
+      let est, dt =
+        Leqa_util.Timing.time (fun () ->
+            Estimator.estimate ~config ~deadline ~telemetry ~params qodg)
+      in
+      Report.make ~command:"estimate" ~ft ~telemetry
+        (Report.Estimate
+           {
+             Report.params;
+             breakdown = est;
+             contributions = Estimator.contributions ~params est;
+             estimator_runtime_s = dt;
+           })
+    end
+  in
+  let stream_arg =
+    let doc =
+      "Stream the circuit instead of materializing it: two passes over \
+       the gate sequence in bounded memory (million-op netlists never \
+       load).  The estimate is bit-identical to the default path.  \
+       Netlist files must declare every wire in $(b,.v) before \
+       $(b,BEGIN)."
     in
-    Report.make ~command:"estimate" ~ft ~telemetry
-      (Report.Estimate
-         {
-           Report.params;
-           breakdown = est;
-           contributions = Estimator.contributions ~params est;
-           estimator_runtime_s = dt;
-         })
+    Arg.(value & flag & info [ "stream" ] ~doc)
   in
   let term =
     Term.(
       const run $ file_arg $ bench_arg $ scale_arg $ width_arg $ height_arg
-      $ v_arg $ terms_arg $ jobs_arg $ timeout_arg $ format_arg
+      $ v_arg $ terms_arg $ jobs_arg $ stream_arg $ timeout_arg $ format_arg
       $ error_format_arg $ trace_arg)
   in
   Cmd.v (Cmd.info "estimate" ~doc:"LEQA latency estimate (Algorithm 1)") term

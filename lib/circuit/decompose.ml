@@ -61,22 +61,26 @@ let mct_to_toffoli ~controls ~target ~fresh_ancilla =
     build [ first ] a1 rest
   | _ -> assert false
 
-let to_ft circ =
-  let out = Ft_circuit.create ~num_qubits:(Circuit.num_qubits circ) () in
-  let next_ancilla = ref (Circuit.num_qubits circ) in
+(* Streaming form of the pipeline: a stateful feeder that hands each FT
+   gate to [sink] the moment it is produced.  Ancilla wires count up
+   from [num_qubits] across the feeder's whole life, exactly as [to_ft]
+   numbers them — so feeding a circuit's gates in order produces the
+   identical FT gate sequence without materializing it. *)
+let feeder ~num_qubits ~sink =
+  let next_ancilla = ref num_qubits in
   let fresh_ancilla () =
     let a = !next_ancilla in
     incr next_ancilla;
     a
   in
   let emit_toffoli ~c1 ~c2 ~target =
-    List.iter (Ft_circuit.add out) (toffoli_ft_network ~c1 ~c2 ~target)
+    List.iter sink (toffoli_ft_network ~c1 ~c2 ~target)
   in
   let rec emit g =
     match g with
-    | Gate.Single (k, q) -> Ft_circuit.add out (Ft_gate.Single (k, q))
+    | Gate.Single (k, q) -> sink (Ft_gate.Single (k, q))
     | Gate.Cnot { control; target } ->
-      Ft_circuit.add out (Ft_gate.Cnot { control; target })
+      sink (Ft_gate.Cnot { control; target })
     | Gate.Toffoli { c1; c2; target } -> emit_toffoli ~c1 ~c2 ~target
     | Gate.Fredkin { control; t1; t2 } ->
       List.iter emit (fredkin_to_toffoli ~control ~t1 ~t2)
@@ -92,6 +96,13 @@ let to_ft circ =
       | [ c1; c2 ] -> emit (Gate.Toffoli { c1; c2; target = t2 })
       | _ -> emit (Gate.Mct { controls = all_controls; target = t2 }));
       emit (Gate.Cnot { control = t2; target = t1 })
+  in
+  emit
+
+let to_ft circ =
+  let out = Ft_circuit.create ~num_qubits:(Circuit.num_qubits circ) () in
+  let emit =
+    feeder ~num_qubits:(Circuit.num_qubits circ) ~sink:(Ft_circuit.add out)
   in
   Circuit.iter emit circ;
   out

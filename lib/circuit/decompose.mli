@@ -24,6 +24,15 @@ val to_ft : Circuit.t -> Ft_circuit.t
 (** Full pipeline.  Ancilla wires are appended after the circuit's original
     wires; no sharing between decomposed gates. *)
 
+val feeder : num_qubits:int -> sink:(Ft_gate.t -> unit) -> Gate.t -> unit
+(** Streaming form of {!to_ft}: a stateful function that decomposes each
+    logical gate it is applied to and hands the resulting FT gates to
+    [sink] immediately, never materializing the FT circuit.  Ancilla
+    wires count up from [num_qubits] (the logical circuit's wire count)
+    for the feeder's whole life, so applying one feeder to a circuit's
+    gates in program order emits exactly the gate sequence of
+    [to_ft]. *)
+
 val ft_gate_overhead : Gate.t -> int
 (** Number of FT gates [to_ft] produces for a single logical gate (with
     unshared ancillas); used by benchmark-size accounting and tests. *)

@@ -92,7 +92,8 @@ let stats c =
     single_counts;
   }
 
-let pp_summary ppf c =
-  let s = stats c in
+let pp_stats ppf s =
   Format.fprintf ppf "FT circuit: %d qubits, %d gates (%d CNOT, %d one-qubit)"
     s.num_qubits s.num_gates s.cnot_count (s.num_gates - s.cnot_count)
+
+let pp_summary ppf c = pp_stats ppf (stats c)

@@ -33,4 +33,8 @@ type stats = {
 
 val stats : t -> stats
 
+val pp_stats : Format.formatter -> stats -> unit
+(** The {!pp_summary} line from a {!stats} record alone — what streaming
+    consumers hold instead of the circuit. *)
+
 val pp_summary : Format.formatter -> t -> unit

@@ -13,15 +13,23 @@ let split_wires s = String.split_on_char ',' s |> List.filter (fun w -> w <> "")
 type state = {
   mutable names : (string, int) Hashtbl.t;
   mutable next : int;
-  circuit : Circuit.t;
+  sink : Gate.t -> unit;  (* called per accepted gate, in program order *)
+  on_begin : int -> unit;  (* called once with the declared wire count *)
+  strict_wires : bool;  (* streaming mode: gates may not coin new wires *)
   mutable in_body : bool;
   mutable ended : bool;
 }
+
+exception Undeclared of string
 
 let wire_id st name =
   match Hashtbl.find_opt st.names name with
   | Some i -> i
   | None ->
+    (* the streaming decomposer numbers ancillas from the declared wire
+       count, so a gate minting a wire mid-stream would collide with
+       them; parse_string keeps the historical lazy assignment *)
+    if st.strict_wires && st.in_body then raise (Undeclared name);
     let i = st.next in
     Hashtbl.add st.names name i;
     st.next <- st.next + 1;
@@ -72,6 +80,8 @@ let parse_line st lineno line =
     | keyword :: rest -> begin
       match String.lowercase_ascii keyword with
       | _ when st.ended -> fail "content after END"
+      | ".v" when st.strict_wires && st.in_body ->
+        fail "wire declaration after BEGIN (streaming mode needs all .v first)"
       | ".v" -> begin
         (* declaring a wire that already exists — within this .v line or
            from an earlier one — is a malformed netlist, not an alias *)
@@ -89,7 +99,10 @@ let parse_line st lineno line =
       end
       | ".i" | ".o" | ".c" | ".ol" -> Ok () (* io annotations: ignored *)
       | "begin" ->
-        st.in_body <- true;
+        if not st.in_body then begin
+          st.in_body <- true;
+          st.on_begin st.next
+        end;
         Ok ()
       | "end" ->
         st.ended <- true;
@@ -101,11 +114,17 @@ let parse_line st lineno line =
         | Ok g -> begin
           match Gate.validate g with
           | Ok () ->
-            Circuit.add st.circuit g;
+            st.sink g;
             Ok ()
           | Error msg -> fail msg
         end
         | Error msg -> fail msg
+        | exception Undeclared w ->
+          fail
+            (Printf.sprintf
+               "wire %s not declared before BEGIN (streaming mode requires \
+                every wire in .v)"
+               w)
       end
     end
 
@@ -114,11 +133,14 @@ let parse_string ?file input =
   match Leqa_util.Fault.hit_result "parser" with
   | Error _ as e -> e
   | Ok () ->
+    let circuit = Circuit.create () in
     let st =
       {
         names = Hashtbl.create 64;
         next = 0;
-        circuit = Circuit.create ();
+        sink = Circuit.add circuit;
+        on_begin = ignore;
+        strict_wires = false;
         in_body = false;
         ended = false;
       }
@@ -136,7 +158,7 @@ let parse_string ?file input =
     | Ok () ->
       (* declared-but-unused wires still count *)
       let declared = st.next in
-      let c = st.circuit in
+      let c = circuit in
       if Circuit.num_qubits c < declared then begin
         let padded = Circuit.create ~num_qubits:declared () in
         Circuit.iter (Circuit.add padded) c;
@@ -155,6 +177,49 @@ let parse_file path =
     contents
   with
   | contents -> parse_string ~file:path contents
+  | exception Sys_error msg -> Error (Leqa_util.Error.Io_error msg)
+
+(* Streaming parse: one line resident at a time, gates handed to [f] as
+   they are recognized.  Strict about wire declarations (see [wire_id]):
+   every wire a gate names must appear in a .v line before BEGIN, so the
+   final wire count is known the moment the body starts — the property
+   the streaming decomposer's ancilla numbering relies on. *)
+let iter_channel ?file ?(on_begin = ignore) ic ~f =
+  let module E = Leqa_util.Error in
+  match Leqa_util.Fault.hit_result "parser" with
+  | Error _ as e -> e
+  | Ok () ->
+    let st =
+      {
+        names = Hashtbl.create 64;
+        next = 0;
+        sink = f;
+        on_begin;
+        strict_wires = true;
+        in_body = false;
+        ended = false;
+      }
+    in
+    let rec walk lineno =
+      match input_line ic with
+      | line -> begin
+        match parse_line st lineno line with
+        | Ok () -> walk (lineno + 1)
+        | Error _ as e -> e
+      end
+      | exception End_of_file -> if st.ended then Ok () else Error `Missing_end
+    in
+    (match walk 1 with
+    | Ok () -> Ok st.next
+    | Error `Missing_end -> Error (E.parse_error ?file "missing END")
+    | Error (`At (line, msg)) -> Error (E.parse_error ?file ~line msg))
+
+let iter_file ?on_begin path ~f =
+  match open_in path with
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> iter_channel ~file:path ?on_begin ic ~f)
   | exception Sys_error msg -> Error (Leqa_util.Error.Io_error msg)
 
 let wire q = "q" ^ string_of_int q

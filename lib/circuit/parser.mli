@@ -26,6 +26,22 @@ val parse_file : string -> (Circuit.t, Leqa_util.Error.t) result
 (** {!parse_string} on the file's contents; an unreadable path is an
     [Io_error]. *)
 
+val iter_file :
+  ?on_begin:(int -> unit) ->
+  string ->
+  f:(Gate.t -> unit) ->
+  (int, Leqa_util.Error.t) result
+(** Streaming parse: [f] receives each gate in program order while only
+    one line of the netlist is resident, and the declared wire count is
+    returned on success — million-op netlists never materialize.  Same
+    grammar and failures as {!parse_file}, with one extra restriction:
+    every wire a gate names must be declared in a [.v] line before
+    [BEGIN] ([Parse_error] otherwise, including a [.v] after [BEGIN]),
+    so downstream consumers (ancilla numbering in the streaming
+    decomposer) know the wire count before the first gate arrives —
+    [on_begin] delivers it when [BEGIN] is seen.  The file is reopened
+    per call; run it twice for two passes. *)
+
 val to_string : Circuit.t -> string
 (** Render in the same format (wires named [q0..qN-1]). *)
 

@@ -46,44 +46,31 @@ let coverage_probability ~topology ~avg_area
 type grid_key = Leqa_fabric.Params.topology * float * int * int
 type surfaces_key = Leqa_fabric.Params.topology * float * int * int * int * int
 
-let cache_mutex = Mutex.create ()
-let grid_cache : (grid_key, float array) Hashtbl.t = Hashtbl.create 32
-let surfaces_cache : (surfaces_key, float array) Hashtbl.t = Hashtbl.create 64
-let max_cache_entries = 128
-
-let clear_caches () =
-  Mutex.lock cache_mutex;
-  Hashtbl.reset grid_cache;
-  Hashtbl.reset surfaces_cache;
-  Mutex.unlock cache_mutex
-
 (* Integrity: both caches hold vectors of non-negative finite surface /
    probability mass.  A poisoned entry (NaN/Inf/negative, e.g. from a
    torn write or an injected fault) is evicted and recomputed rather than
    served — a single bad fill must not contaminate every later estimate
-   that shares the key. *)
+   that shares the key.  The check runs on every lookup at both cache
+   levels, domain-local hits included. *)
 let entry_intact a =
   Array.for_all (fun v -> Float.is_finite v && v >= 0.0) a
 
-(* [name] ("grid" / "surfaces") labels the telemetry counters:
-   cache.<name>.hit / .miss / .evict, plus cache.reset for the wholesale
-   capacity reset. *)
-let cache_lookup ~name cache key =
-  Mutex.lock cache_mutex;
-  let r =
-    match Hashtbl.find_opt cache key with
-    | Some a when not (entry_intact a) ->
-      Hashtbl.remove cache key;
-      Leqa_util.Telemetry.ambient_count
-        (Printf.sprintf "cache.%s.evict" name);
-      None
-    | r -> r
-  in
-  Mutex.unlock cache_mutex;
-  Leqa_util.Telemetry.ambient_count
-    (Printf.sprintf "cache.%s.%s" name
-       (if r = None then "miss" else "hit"));
-  Option.map Array.copy r
+(* Two-level (domain-local + shared) caches; counters under --trace are
+   cache.<name>.hit / .miss / .evict plus the cache.domain.* family —
+   see Leqa_util.Domain_cache. *)
+let grid_cache : (grid_key, float array) Leqa_util.Domain_cache.t =
+  Leqa_util.Domain_cache.create ~name:"cache.grid" ~max_entries:128
+    ~validate:entry_intact ~copy:Array.copy ()
+
+let surfaces_cache : (surfaces_key, float array) Leqa_util.Domain_cache.t =
+  Leqa_util.Domain_cache.create ~name:"cache.surfaces" ~max_entries:128
+    ~validate:entry_intact ~copy:Array.copy ()
+
+let clear_caches () =
+  Leqa_util.Domain_cache.clear grid_cache;
+  Leqa_util.Domain_cache.clear surfaces_cache
+
+let cache_lookup cache key = Leqa_util.Domain_cache.find cache key
 
 let cache_store cache key value =
   Leqa_util.Fault.hit "cache.fill";
@@ -92,13 +79,7 @@ let cache_store cache key value =
      (never the caller's array) so the next lookup must evict *)
   if Array.length stored > 0 && Leqa_util.Fault.fires "cache.poison" then
     stored.(0) <- Float.nan;
-  Mutex.lock cache_mutex;
-  if Hashtbl.length cache >= max_cache_entries then begin
-    Hashtbl.reset cache;
-    Leqa_util.Telemetry.ambient_count "cache.reset"
-  end;
-  if not (Hashtbl.mem cache key) then Hashtbl.add cache key stored;
-  Mutex.unlock cache_mutex
+  Leqa_util.Domain_cache.store cache key stored
 
 (* Per-ULB chunk size.  Fixed (never derived from the pool width) so the
    work decomposition — and therefore every floating-point summation
@@ -108,7 +89,7 @@ let cell_chunk = 128
 
 let probability_grid ~topology ~avg_area ~width ~height =
   let key = (topology, avg_area, width, height) in
-  match cache_lookup ~name:"grid" grid_cache key with
+  match cache_lookup grid_cache key with
   | Some grid -> grid
   | None ->
     (* validate before any task runs *)
@@ -154,7 +135,7 @@ let expected_surfaces ~topology ~avg_area ~width ~height ~qubits ~terms =
   if qubits < 0 then invalid_arg "Coverage.expected_surfaces: negative Q";
   if terms <= 0 then invalid_arg "Coverage.expected_surfaces: terms must be positive";
   let key = (topology, avg_area, width, height, qubits, terms) in
-  match cache_lookup ~name:"surfaces" surfaces_cache key with
+  match cache_lookup surfaces_cache key with
   | Some result -> result
   | None ->
     let grid = probability_grid ~topology ~avg_area ~width ~height in

@@ -62,9 +62,13 @@ let prepare ?(telemetry = Telemetry.noop) qodg =
         prep_avg_zone_area = Presence_zone.average_area iig;
       })
 
-let estimate_prepared ?(config = Config.default)
+(* The fabric-dependent phases (Algorithm 1 lines 4-20), shared by the
+   materialized and streaming paths: everything after the IIG/zone
+   survey needs only aggregate circuit quantities plus a way to run the
+   routing-augmented critical path. *)
+let estimate_core ?(config = Config.default)
     ?(deadline = Pool.Deadline.never) ?(telemetry = Telemetry.noop) ~params
-    prep =
+    ~iig ~qubits ~avg_zone_area ~operations ~critical_of_delay () =
   let span name f = Telemetry.span telemetry name f in
   span "estimator.validate" (fun () ->
       Error.ok_exn (Config.validate config);
@@ -72,10 +76,6 @@ let estimate_prepared ?(config = Config.default)
   let check_deadline () = Pool.Deadline.check ~site:"estimator" deadline in
   check_deadline ();
   let width = params.Params.width and height = params.Params.height in
-  let qodg = prep.prep_qodg in
-  let iig = prep.iig in
-  let qubits = prep.prep_qubits in
-  let avg_zone_area = prep.prep_avg_zone_area in
   let zone_clamped =
     avg_zone_area >= 1.0
     && (Coverage.zone_side_info ~avg_area:avg_zone_area ~width ~height).Coverage.clamped
@@ -126,13 +126,14 @@ let estimate_prepared ?(config = Config.default)
           | Ft_gate.Cnot _ -> l_cnot_avg
           | Ft_gate.Single _ -> l_single_avg
         in
-        Critical_path.compute qodg ~delay)
+        critical_of_delay ~delay)
   in
   (* Line 20: Eq (1).  Identical to the critical-path length because the
      node weights already include the routing terms. *)
   span "estimator.eq1" (fun () ->
       let latency_us =
-        eq1_latency ~params ~l_cnot_avg ~counts:critical.counts
+        eq1_latency ~params ~l_cnot_avg
+          ~counts:critical.Critical_path.counts
       in
       {
         avg_zone_area;
@@ -146,9 +147,17 @@ let estimate_prepared ?(config = Config.default)
         latency_us;
         latency_s = latency_us /. 1e6;
         qubits;
-        operations = Qodg.num_nodes qodg - 2;
+        operations;
         degraded = false;
       })
+
+let estimate_prepared ?config ?deadline ?telemetry ~params prep =
+  let qodg = prep.prep_qodg in
+  estimate_core ?config ?deadline ?telemetry ~params ~iig:prep.iig
+    ~qubits:prep.prep_qubits ~avg_zone_area:prep.prep_avg_zone_area
+    ~operations:(Qodg.num_nodes qodg - 2)
+    ~critical_of_delay:(fun ~delay -> Critical_path.compute qodg ~delay)
+    ()
 
 let estimate ?config ?deadline ?(telemetry = Telemetry.noop) ~params qodg =
   Telemetry.span telemetry "estimator" (fun () ->
@@ -199,3 +208,95 @@ let estimate_circuit ?config ?deadline ?(telemetry = Telemetry.noop) ~params
         Qodg.of_ft_circuit circ)
   in
   estimate ?config ?deadline ~telemetry ~params qodg
+
+(* ---- streaming path ---------------------------------------------- *)
+
+type gate_stream = (Ft_gate.t -> unit) -> int
+
+type streamed = {
+  stream_breakdown : breakdown;
+  stream_stats : Leqa_circuit.Ft_circuit.stats;
+  stream_peak_gates : int;
+}
+
+let stream_of_circuit circ sink =
+  let n = Leqa_circuit.Circuit.num_qubits circ in
+  let emit = Leqa_circuit.Decompose.feeder ~num_qubits:n ~sink in
+  Leqa_circuit.Circuit.iter emit circ;
+  n
+
+(* Two passes over the producer.  Pass 1 surveys the Eq-1 inputs that
+   need global knowledge (gate tallies, IIG pair weights, the wire
+   count); pass 2 folds the routing-augmented critical path through the
+   per-wire frontier of Leqa_qodg.Stream.  Peak resident state is
+   O(qubits + distinct interacting pairs), never O(gates). *)
+let estimate_stream ?config ?deadline ?(telemetry = Telemetry.noop) ~params
+    stream =
+  Telemetry.span telemetry "estimator" (fun () ->
+      let single_counts =
+        Array.make (List.length Ft_gate.all_single_kinds) 0
+      in
+      let cnot_count = ref 0 in
+      let gates = ref 0 in
+      let max_wire = ref (-1) in
+      let pairs : (int * int, int) Hashtbl.t = Hashtbl.create 1024 in
+      let declared =
+        Telemetry.span telemetry "estimator.stream.survey" (fun () ->
+            stream (fun g ->
+                incr gates;
+                match g with
+                | Ft_gate.Cnot { control; target } ->
+                  incr cnot_count;
+                  if control > !max_wire then max_wire := control;
+                  if target > !max_wire then max_wire := target;
+                  let key =
+                    if control < target then (control, target)
+                    else (target, control)
+                  in
+                  let n =
+                    match Hashtbl.find_opt pairs key with
+                    | Some n -> n + 1
+                    | None -> 1
+                  in
+                  Hashtbl.replace pairs key n
+                | Ft_gate.Single (k, q) ->
+                  let i = Ft_gate.single_kind_index k in
+                  single_counts.(i) <- single_counts.(i) + 1;
+                  if q > !max_wire then max_wire := q))
+      in
+      let qubits = max declared (!max_wire + 1) in
+      let iig =
+        Telemetry.span telemetry "estimator.iig" (fun () ->
+            let iig = Iig.create qubits in
+            Hashtbl.iter (fun (i, j) n -> Iig.record_n iig i j n) pairs;
+            iig)
+      in
+      let avg_zone_area =
+        Telemetry.span telemetry "estimator.zones" (fun () ->
+            Presence_zone.average_area iig)
+      in
+      let peak = ref 0 in
+      let breakdown =
+        estimate_core ?config ?deadline ~telemetry ~params ~iig ~qubits
+          ~avg_zone_area ~operations:!gates
+          ~critical_of_delay:(fun ~delay ->
+            let frontier = Leqa_qodg.Stream.create ~delay in
+            ignore (stream (Leqa_qodg.Stream.feed frontier));
+            peak := Leqa_qodg.Stream.peak_live frontier;
+            Leqa_qodg.Stream.result frontier ~num_qubits:qubits)
+          ()
+      in
+      Telemetry.gauge telemetry "qodg.stream.peak_gates"
+        (float_of_int !peak);
+      Telemetry.ambient_gauge "qodg.stream.peak_gates" (float_of_int !peak);
+      {
+        stream_breakdown = breakdown;
+        stream_stats =
+          {
+            Leqa_circuit.Ft_circuit.num_qubits = qubits;
+            num_gates = !gates;
+            cnot_count = !cnot_count;
+            single_counts;
+          };
+        stream_peak_gates = !peak;
+      })

@@ -73,6 +73,43 @@ val estimate_circuit :
   breakdown
 (** Convenience: build the QODG first (span ["estimator.qodg_build"]). *)
 
+type gate_stream = (Leqa_circuit.Ft_gate.t -> unit) -> int
+(** A replayable producer of the FT gate sequence: applies the callback
+    to every gate in program order and returns the circuit's declared
+    wire count (ancilla wires are discovered from the gates themselves).
+    Must produce the identical sequence on every call — the streaming
+    estimator replays it twice (survey, then critical path). *)
+
+type streamed = {
+  stream_breakdown : breakdown;
+  stream_stats : Leqa_circuit.Ft_circuit.stats;
+      (** exactly [Ft_circuit.stats] of the materialized circuit *)
+  stream_peak_gates : int;
+      (** peak number of gate entries simultaneously resident in the
+          streaming critical-path frontier — bounded by the number of
+          wires, never by the gate count *)
+}
+
+val stream_of_circuit : Leqa_circuit.Circuit.t -> gate_stream
+(** Stream a logical circuit through {!Leqa_circuit.Decompose.feeder}
+    without materializing the FT circuit.  Each replay uses a fresh
+    feeder, so ancilla numbering matches [Decompose.to_ft] exactly. *)
+
+val estimate_stream :
+  ?config:Config.t ->
+  ?deadline:Leqa_util.Pool.Deadline.t ->
+  ?telemetry:Leqa_util.Telemetry.t ->
+  params:Leqa_fabric.Params.t ->
+  gate_stream ->
+  streamed
+(** Run LEQA over a gate stream in bounded memory: pass 1 (span
+    ["estimator.stream.survey"]) folds the gate tallies and IIG pair
+    weights; pass 2 folds the routing-augmented critical path through
+    {!Leqa_qodg.Stream}.  The resulting breakdown is bit-identical to
+    {!estimate_circuit} of the materialized circuit (the fabric phases
+    share the same code path and float-operation order).  Records the
+    gauge ["qodg.stream.peak_gates"]. *)
+
 type contribution = {
   label : string;  (** "CNOT" or a one-qubit kind name *)
   count : int;  (** occurrences on the critical path *)

@@ -177,14 +177,37 @@ let replay ~dir =
 
 (* ---- the run loop --------------------------------------------------- *)
 
-let run ?deadline_s ?(shrink = true) ?shrink_dir ?max_evals
+(* cost model for the pool's weighted chunking: a case's evaluation is
+   dominated by the QSPR half, roughly FT-gate count x fabric area *)
+let case_weight (case : Diff.case) =
+  let ops = ref 0 in
+  Circuit.iter
+    (fun g -> ops := !ops + Leqa_circuit.Decompose.ft_gate_overhead g)
+    case.Diff.circuit;
+  !ops * case.Diff.width * case.Diff.height
+
+let run ?deadline_s ?(shrink = true) ?shrink_dir ?max_evals ?pool
     ?(telemetry = Telemetry.noop) cases =
   Telemetry.span telemetry "diff.run" @@ fun () ->
+  let pool =
+    match pool with Some p -> p | None -> Leqa_util.Pool.get_default ()
+  in
+  (* phase 1: score every case across the pool.  Spans are a single flow
+     of control, so workers run with the noop registry; the summary
+     counters are bumped in the serial fold below, making totals
+     identical at every pool width. *)
+  let outcomes =
+    Telemetry.span telemetry "diff.evaluate" @@ fun () ->
+    Leqa_util.Pool.map_list_weighted pool ~weight:case_weight
+      ~f:(fun case -> Diff.run_case ?deadline_s case)
+      cases
+  in
+  (* phase 2, serial and in case order: shrink failures, write
+     reproducers, tally. *)
   let rows =
-    List.map
-      (fun case ->
+    List.map2
+      (fun case outcome ->
         Telemetry.count telemetry "diff.cases";
-        let outcome = Diff.run_case ?deadline_s ~telemetry case in
         let reproducer =
           if not (Diff.failed outcome.Diff.classification) then begin
             if outcome.Diff.classification = Diff.Degraded then
@@ -209,7 +232,7 @@ let run ?deadline_s ?(shrink = true) ?shrink_dir ?max_evals
             else begin
               let shrunk, shrunk_outcome, shrink_stats =
                 Telemetry.span telemetry "diff.shrink" @@ fun () ->
-                Shrink.shrink ?deadline_s ?max_evals case outcome
+                Shrink.shrink ?deadline_s ?max_evals ~pool case outcome
               in
               Telemetry.count_n telemetry "diff.shrink.evaluations"
                 shrink_stats.Shrink.evaluations;
@@ -223,7 +246,7 @@ let run ?deadline_s ?(shrink = true) ?shrink_dir ?max_evals
           end
         in
         { case; outcome; reproducer })
-      cases
+      cases outcomes
   in
   {
     rows;

@@ -60,14 +60,19 @@ val run :
   ?shrink:bool ->
   ?shrink_dir:string ->
   ?max_evals:int ->
+  ?pool:Leqa_util.Pool.t ->
   ?telemetry:Leqa_util.Telemetry.t ->
   Diff.case list ->
   summary
 (** Score every case ([deadline_s] bounds each case's simulation half).
-    Failures are shrunk when [shrink] (default [true]) and written under
-    [shrink_dir] when given (created if missing).  Counters:
-    [diff.cases], [diff.failures], [diff.degraded],
-    [diff.shrink.evaluations]. *)
+    Case evaluation fans across [pool] (default
+    {!Leqa_util.Pool.get_default}) with cost-weighted chunks; shrinking
+    then runs serially in case order, scoring its candidate batches on
+    the same pool — the summary (rows, counters, reproducers) is
+    identical at every pool width.  Failures are shrunk when [shrink]
+    (default [true]) and written under [shrink_dir] when given (created
+    if missing).  Counters: [diff.cases], [diff.failures],
+    [diff.degraded], [diff.shrink.evaluations]. *)
 
 val write_reproducer : dir:string -> Diff.case -> Diff.outcome -> string
 (** Write the case as [<label>-<W>x<H>.tfc] under [dir] (created if

@@ -34,35 +34,66 @@ let case_of_gates case gates =
     Diff.circuit = Circuit.of_gates (Array.to_list (compact_gates gates));
   }
 
-let shrink ?deadline_s ?(max_evals = 400) (case : Diff.case)
+(* candidates evaluated concurrently per batch; accepting the FIRST
+   identically-failing candidate by batch index keeps the walk — and so
+   the final reproducer — deterministic at every pool width *)
+let batch_size = 8
+
+let shrink ?deadline_s ?(max_evals = 400) ?pool (case : Diff.case)
     (outcome : Diff.outcome) =
   if not (Diff.failed outcome.Diff.classification) then
     invalid_arg "Shrink.shrink: outcome is not a failure";
+  let pool =
+    match pool with Some p -> p | None -> Leqa_util.Pool.get_default ()
+  in
   let key = Diff.classification_key outcome.Diff.classification in
   let gates_before = Circuit.num_gates case.Diff.circuit in
   let evals = ref 0 in
   let best = ref (case, outcome) in
-  (* accept a candidate iff it fails identically *)
-  let try_case candidate =
-    if !evals >= max_evals then false
+  (* evaluate up to [batch_size] candidates (clamped by the remaining
+     eval budget) across the pool; return the first that fails
+     identically, plus the number of candidates actually scored *)
+  let try_batch candidates =
+    let take = min (List.length candidates) (max 0 (max_evals - !evals)) in
+    if take = 0 then (None, 0)
     else begin
-      incr evals;
-      let o = Diff.run_case ?deadline_s candidate in
-      if
-        Diff.failed o.Diff.classification
-        && Diff.classification_key o.Diff.classification = key
-      then begin
-        best := (candidate, o);
-        true
-      end
-      else false
+      let batch = List.filteri (fun i _ -> i < take) candidates in
+      evals := !evals + take;
+      let outcomes =
+        Leqa_util.Pool.map_list pool
+          ~f:(fun candidate -> Diff.run_case ?deadline_s candidate)
+          batch
+      in
+      let rec first k cs os =
+        match (cs, os) with
+        | [], _ | _, [] -> None
+        | c :: cs, o :: os ->
+          if
+            Diff.failed o.Diff.classification
+            && Diff.classification_key o.Diff.classification = key
+          then Some (k, c, o)
+          else first (k + 1) cs os
+      in
+      (first 0 batch outcomes, take)
     end
+  in
+  (* single-candidate convenience, same accept rule *)
+  let try_case candidate =
+    match try_batch [ candidate ] with
+    | Some (_, c, o), _ ->
+      best := (c, o);
+      true
+    | None, _ -> false
   in
   let remove_window gates i len =
     Array.append (Array.sub gates 0 i)
       (Array.sub gates (i + len) (Array.length gates - i - len))
   in
-  (* pass 1: drop gate windows, halving the window until single gates *)
+  (* pass 1: drop gate windows, halving the window until single gates.
+     Windows at i, i+w, i+2w… are independent against the current best,
+     so a batch scores up to [batch_size] of them at once; on acceptance
+     at batch index k the walk resumes at that position (the k earlier,
+     rejected windows were rejected against the identical circuit). *)
   let drop_pass () =
     let progress = ref true in
     while !progress && !evals < max_evals do
@@ -76,16 +107,36 @@ let shrink ?deadline_s ?(max_evals = 400) (case : Diff.case)
           && !evals < max_evals
         do
           let gates = Circuit.gates (fst !best).Diff.circuit in
-          if try_case (case_of_gates (fst !best) (remove_window gates !i !window))
-          then progress := true (* same i now names the next window *)
-          else i := !i + !window
+          let len = Array.length gates in
+          let rec positions k acc =
+            if k >= batch_size then List.rev acc
+            else
+              let p = !i + (k * !window) in
+              if p + !window <= len then positions (k + 1) (p :: acc)
+              else List.rev acc
+          in
+          let ps = positions 0 [] in
+          let candidates =
+            List.map
+              (fun p ->
+                case_of_gates (fst !best) (remove_window gates p !window))
+              ps
+          in
+          (match try_batch candidates with
+          | Some (k, c, o), _ ->
+            best := (c, o);
+            progress := true;
+            i := !i + (k * !window)
+          | None, scored -> i := !i + (max 1 scored * !window))
         done;
         window := if !window = 1 then 0 else !window / 2
       done
     done
   in
   (* pass 2: merge wire b into a lower wire; gates whose operands collapse
-     are dropped (no-cloning), the rest renumbered compactly *)
+     are dropped (no-cloning), the rest renumbered compactly.  The two
+     merge targets per wire score as one small batch, first wins — the
+     same preference order as trying them sequentially. *)
   let merge_pass () =
     let progress = ref true in
     while !progress && !evals < max_evals do
@@ -104,9 +155,16 @@ let shrink ?deadline_s ?(max_evals = 400) (case : Diff.case)
                  (fun g -> Result.is_ok (Gate.validate g))
                  (Array.to_list rewritten))
           in
-          try_case (case_of_gates (fst !best) kept)
+          case_of_gates (fst !best) kept
         in
-        if merged 0 || (!b > 1 && merged (!b - 1)) then progress := true;
+        let candidates =
+          merged 0 :: (if !b > 1 then [ merged (!b - 1) ] else [])
+        in
+        (match try_batch candidates with
+        | Some (_, c, o), _ ->
+          best := (c, o);
+          progress := true
+        | None, _ -> ());
         decr b
       done
     done

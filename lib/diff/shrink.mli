@@ -11,7 +11,10 @@
     bug, not a different one.
 
     No randomness anywhere, so a given (case, outcome) always shrinks to
-    the same reproducer — the property the corpus tests rely on. *)
+    the same reproducer — the property the corpus tests rely on.
+    Candidates are scored across the domain pool in fixed batches of 8,
+    accepting the first identically-failing candidate by batch index, so
+    the walk is also identical at every pool width. *)
 
 type stats = {
   evaluations : int;  (** candidate cases actually run *)
@@ -22,10 +25,12 @@ type stats = {
 val shrink :
   ?deadline_s:float ->
   ?max_evals:int ->
+  ?pool:Leqa_util.Pool.t ->
   Diff.case ->
   Diff.outcome ->
   Diff.case * Diff.outcome * stats
 (** [shrink case outcome] with [Diff.failed outcome.classification].
     [max_evals] (default 400) bounds total candidate evaluations; the
-    best case found so far is returned when it runs out.
+    best case found so far is returned when it runs out.  [pool]
+    (default {!Leqa_util.Pool.get_default}) scores candidate batches.
     @raise Invalid_argument if the outcome is not a failure. *)

@@ -17,19 +17,24 @@ let create qubits =
     total = 0;
   }
 
-let record t i j =
-  if i = j then invalid_arg "Iig.record: self-loop";
-  let bump a b =
-    let table = t.adjacency.(a) in
-    match Hashtbl.find_opt table b with
-    | Some w -> Hashtbl.replace table b (w + 1)
-    | None ->
-      Hashtbl.add table b 1;
-      if a < b then t.edges <- t.edges + 1
-  in
-  bump i j;
-  bump j i;
-  t.total <- t.total + 1
+let record_n t i j n =
+  if n < 0 then invalid_arg "Iig.record_n: negative weight";
+  if n > 0 then begin
+    if i = j then invalid_arg "Iig.record: self-loop";
+    let bump a b =
+      let table = t.adjacency.(a) in
+      match Hashtbl.find_opt table b with
+      | Some w -> Hashtbl.replace table b (w + n)
+      | None ->
+        Hashtbl.add table b n;
+        if a < b then t.edges <- t.edges + 1
+    in
+    bump i j;
+    bump j i;
+    t.total <- t.total + n
+  end
+
+let record t i j = record_n t i j 1
 
 let of_ft_circuit circ =
   let t = create (Ft_circuit.num_qubits circ) in

@@ -8,6 +8,16 @@
 
 type t
 
+val create : int -> t
+(** Empty graph over a fixed qubit count (the builder behind the
+    [of_*] constructors and the streaming survey). *)
+
+val record_n : t -> int -> int -> int -> unit
+(** [record_n t i j n] adds [n] two-qubit operations between qubits [i]
+    and [j] in O(1) — the streaming path accumulates pair weights first
+    and folds them in here.  A no-op for [n = 0].
+    @raise Invalid_argument on self-loops or negative [n]. *)
+
 val of_ft_circuit : Leqa_circuit.Ft_circuit.t -> t
 
 val of_qodg : Leqa_qodg.Qodg.t -> t

@@ -1,0 +1,124 @@
+module Ft_gate = Leqa_circuit.Ft_gate
+
+(* Streaming critical path: Eq-1's longest-path inputs folded over gates
+   in program order, without materializing the circuit, the DAG or the
+   per-node dist/parent arrays.
+
+   The materialized path (Qodg.of_ft_circuit + Critical_path.compute)
+   resolves ties by scanning each node's predecessors in descending
+   node-id order with a strict > test, so among equal-dist predecessors
+   the highest node id wins.  The per-wire frontier below replicates
+   that exactly — max dist first, then max node id — which is what makes
+   the streamed result bit-for-bit identical to the materialized one.
+
+   Memory: one [entry] per *live* frontier record.  A record dies as
+   soon as every wire that pointed at it has been overwritten by later
+   gates, so the live count is bounded by the wire count (plus shared
+   history that multiple wires still reference), never by the gate
+   count; [peak_live] reports the high-water mark for the
+   qodg.stream.peak_gates gauge. *)
+
+type entry = {
+  dist : float;  (* longest-path distance through this gate, node weight included *)
+  node : int;  (* QODG node id: gate i (0-based) is node i + 1 *)
+  cnots : int;  (* critical-path tallies accumulated along the best chain *)
+  singles : int array;
+  mutable rc : int;  (* wire slots currently pointing here *)
+}
+
+type t = {
+  delay : Ft_gate.t -> float;
+  mutable frontier : entry option array;  (* None = the start node *)
+  mutable gates : int;
+  mutable live : int;
+  mutable peak : int;
+}
+
+let n_single_kinds = List.length Ft_gate.all_single_kinds
+
+let create ~delay =
+  { delay; frontier = Array.make 16 None; gates = 0; live = 0; peak = 0 }
+
+let ensure t w =
+  let n = Array.length t.frontier in
+  if w >= n then begin
+    let fresh = Array.make (max (w + 1) (2 * n)) None in
+    Array.blit t.frontier 0 fresh 0 n;
+    t.frontier <- fresh
+  end
+
+let dist_of = function None -> 0.0 | Some e -> e.dist
+let node_of = function None -> 0 | Some e -> e.node
+
+(* lexicographic (dist, node) max — the materialized tie-break *)
+let consider best_d best_n best_e e =
+  let d = dist_of e and n = node_of e in
+  if d > !best_d || (d = !best_d && n > !best_n) then begin
+    best_d := d;
+    best_n := n;
+    best_e := e
+  end
+
+let base_counts = function
+  | None -> (0, Array.make n_single_kinds 0)
+  | Some e -> (e.cnots, Array.copy e.singles)
+
+let feed t g =
+  let wires = Ft_gate.qubits g in
+  List.iter (ensure t) wires;
+  let best_d = ref neg_infinity and best_n = ref (-1) in
+  let best_e = ref None in
+  List.iter (fun w -> consider best_d best_n best_e t.frontier.(w)) wires;
+  t.gates <- t.gates + 1;
+  let cnots, singles = base_counts !best_e in
+  let cnots =
+    match g with
+    | Ft_gate.Cnot _ -> cnots + 1
+    | Ft_gate.Single (k, _) ->
+      let i = Ft_gate.single_kind_index k in
+      singles.(i) <- singles.(i) + 1;
+      cnots
+  in
+  let entry =
+    {
+      dist = !best_d +. t.delay g;
+      node = t.gates;
+      cnots;
+      singles;
+      rc = List.length wires;
+    }
+  in
+  List.iter
+    (fun w ->
+      (match t.frontier.(w) with
+      | Some old ->
+        old.rc <- old.rc - 1;
+        if old.rc = 0 then t.live <- t.live - 1
+      | None -> ());
+      t.frontier.(w) <- Some entry)
+    wires;
+  t.live <- t.live + 1;
+  if t.live > t.peak then t.peak <- t.live
+
+let gate_count t = t.gates
+let peak_live t = t.peak
+
+let result t ~num_qubits =
+  let best_d = ref neg_infinity and best_n = ref (-1) in
+  let best_e = ref None in
+  if num_qubits <= 0 then consider best_d best_n best_e None
+  else
+    for w = 0 to num_qubits - 1 do
+      consider best_d best_n best_e
+        (if w < Array.length t.frontier then t.frontier.(w) else None)
+    done;
+  let cnots, singles = base_counts !best_e in
+  {
+    (* the finish node carries weight 0, added exactly as the
+       materialized sweep does *)
+    Critical_path.length = !best_d +. 0.0;
+    (* the node sequence is not reconstructable from a frontier; every
+       consumer of a streamed result reads [length] and [counts] only *)
+    path = [];
+    counts = { Critical_path.cnots; singles };
+  }

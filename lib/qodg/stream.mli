@@ -1,0 +1,34 @@
+(** Streaming critical path over a gate sequence.
+
+    Folds the routing-augmented longest path of Eq (1) — the quantity
+    {!Critical_path.compute} extracts from a materialized QODG — over
+    gates as they arrive, in bounded memory: the state is a per-wire
+    frontier of live records, never the circuit or the DAG.  Feeding the
+    gates of a circuit in program order yields a result whose [length]
+    and [counts] are bit-for-bit identical to the materialized path
+    (same float accumulation order, same descending-node-id
+    tie-breaking); the [path] node list, which a frontier cannot
+    reconstruct, is left empty. *)
+
+type t
+
+val create : delay:(Leqa_circuit.Ft_gate.t -> float) -> t
+(** Fresh frontier; [delay] is the routing-augmented node weight, as
+    passed to {!Critical_path.compute}. *)
+
+val feed : t -> Leqa_circuit.Ft_gate.t -> unit
+(** Fold one gate, in program order. *)
+
+val gate_count : t -> int
+(** Gates fed so far. *)
+
+val peak_live : t -> int
+(** High-water mark of live frontier records — the streamed equivalent
+    of "resident gates", bounded by the wire count plus still-referenced
+    shared history, not by the gate count.  Reported by the estimator as
+    the [qodg.stream.peak_gates] gauge. *)
+
+val result : t -> num_qubits:int -> Critical_path.result
+(** The critical path of the gates fed so far, over a circuit of
+    [num_qubits] wires (wires never touched by a gate sit at the start
+    node, exactly as in the materialized QODG).  [result.path] is [[]].  *)

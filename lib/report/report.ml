@@ -93,22 +93,29 @@ type body =
   | Version of version_body
   | Diff of diff_body
 
+(* the report keeps only the FT circuit's aggregate stats, never the
+   circuit itself — streaming runs produce the identical report without
+   a materialized circuit, and finished reports pin O(1) memory *)
 type t = {
   command : string;
-  ft : Ft_circuit.t option;
+  ft : Ft_circuit.stats option;
   telemetry : Telemetry.t;
   body : body;
 }
 
 let schema_version = "leqa/report/v1"
 
-let make ~command ?ft ?(telemetry = Telemetry.noop) body =
+let make ~command ?ft ?circuit_stats ?(telemetry = Telemetry.noop) body =
+  let ft =
+    match circuit_stats with
+    | Some _ -> circuit_stats
+    | None -> Option.map Ft_circuit.stats ft
+  in
   { command; ft; telemetry; body }
 
 (* ---------------- JSON ---------------- *)
 
-let circuit_json ft =
-  let stats = Ft_circuit.stats ft in
+let circuit_json stats =
   Json.Obj
     [
       ("qubits", Json.Int stats.Ft_circuit.num_qubits);
@@ -386,7 +393,7 @@ let to_json t =
 
 let pp_ft ppf = function
   | None -> ()
-  | Some ft -> Format.fprintf ppf "%a@." Ft_circuit.pp_summary ft
+  | Some stats -> Format.fprintf ppf "%a@." Ft_circuit.pp_stats stats
 
 let human_estimate ppf (e : estimate_body) =
   let b = e.breakdown in

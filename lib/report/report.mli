@@ -135,12 +135,17 @@ val schema_version : string
 val make :
   command:string ->
   ?ft:Leqa_circuit.Ft_circuit.t ->
+  ?circuit_stats:Leqa_circuit.Ft_circuit.stats ->
   ?telemetry:Leqa_util.Telemetry.t ->
   body ->
   t
-(** [ft] supplies the circuit summary block; [telemetry] (default: the
-    no-op sink, which is omitted from both renderings) embeds the metrics
-    block. *)
+(** Only the circuit's aggregate stats are retained: [?ft] is reduced to
+    {!Leqa_circuit.Ft_circuit.stats} immediately, and streaming callers
+    that never materialize a circuit pass [?circuit_stats] directly
+    (which wins when both are given).  Either way the rendered
+    ["circuit"] section is byte-identical.  [telemetry] (default: the
+    no-op sink, which is omitted from both renderings) embeds the
+    metrics block. *)
 
 val to_json : t -> Leqa_util.Json.t
 (** Stable key order: construction order of the envelope, sorted

@@ -14,10 +14,19 @@ type t = {
   preps : (string, prep_entry) Lru.t;
 }
 
+(* The result cache sits on the hot request path and is hammered by
+   every pool domain during batch fan-out: shard it so concurrent
+   lookups contend only on hash collisions.  The prep cache holds few,
+   heavy entries and is consulted once per request — one lock is fine
+   and keeps its LRU order exact. *)
+let result_shards = 8
+
 let create ~result_entries ~prep_entries =
   {
-    results = Lru.create ~name:"server.result" ~capacity:result_entries;
-    preps = Lru.create ~name:"server.prep" ~capacity:prep_entries;
+    results =
+      Lru.create ~shards:result_shards ~name:"server.result"
+        ~capacity:result_entries ();
+    preps = Lru.create ~name:"server.prep" ~capacity:prep_entries ();
   }
 
 let circuit_key circuit = Fingerprint.of_string (Source.canonical circuit)

@@ -35,29 +35,21 @@ let log_choose n k =
 let choose n k = exp (log_choose n k)
 
 (* The coverage kernel (Eq 4) asks for the same ln C(Q, ·) prefix on every
-   estimator call of a sweep; memoize the tables.  Guarded by a mutex so
-   pooled domains can share them; cached arrays are never handed out
-   directly (callers get a copy) so a stale read cannot be corrupted. *)
-let table_mutex = Mutex.create ()
-let tables : (int * int, float array) Hashtbl.t = Hashtbl.create 16
-let max_tables = 256
+   estimator call of a sweep; memoize the tables.  Two-level: pooled
+   domains hit a local table lock-free and fall back to a shared one, so
+   the hot path costs no mutex (see Domain_cache).  Callers always get a
+   copy, so a cached array cannot be corrupted. *)
+let tables : (int * int, float array) Domain_cache.t =
+  Domain_cache.create ~name:"binomial.table" ~max_entries:256 ~copy:Array.copy ()
 
 let log_choose_table ~n ~kmax =
   if kmax < 0 then invalid_arg "Binomial.log_choose_table: negative kmax";
   let key = (n, kmax) in
-  Mutex.lock table_mutex;
-  let cached = Hashtbl.find_opt tables key in
-  Mutex.unlock table_mutex;
-  Telemetry.ambient_count
-    (if cached = None then "binomial.table.miss" else "binomial.table.hit");
-  match cached with
-  | Some t -> Array.copy t
+  match Domain_cache.find tables key with
+  | Some t -> t
   | None ->
     let t = Array.init (kmax + 1) (fun k -> log_choose n k) in
-    Mutex.lock table_mutex;
-    if Hashtbl.length tables >= max_tables then Hashtbl.reset tables;
-    if not (Hashtbl.mem tables key) then Hashtbl.add tables key (Array.copy t);
-    Mutex.unlock table_mutex;
+    Domain_cache.store tables key (Array.copy t);
     t
 
 let coefficients_upto ~n ~kmax =

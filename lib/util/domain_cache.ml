@@ -1,0 +1,116 @@
+(* Two-level memo cache for pooled domains.
+
+   L1 is domain-local (Domain.DLS): the hot hit path touches no mutex
+   and no shared cache line, so pooled kernels scale instead of
+   serializing on cache traffic.  L2 is the old process-wide
+   mutex-guarded table; an L1 miss consults it (a "merge": the entry is
+   adopted into the local table) before computing.  Entries are
+   immutable once stored — both levels may alias the same array because
+   callers only ever receive copies.
+
+   Invalidation is generational: [clear] resets L2 and bumps an atomic
+   generation counter; each domain lazily discards its L1 the next time
+   it looks while holding a stale generation.  Domain-local tables die
+   with their domain (pool shutdown discards them at join). *)
+
+type ('k, 'v) level1 = { mutable gen : int; tbl : ('k, 'v) Hashtbl.t }
+
+type ('k, 'v) t = {
+  name : string; (* counter prefix: <name>.hit / .miss / .evict *)
+  copy : 'v -> 'v;
+  validate : 'v -> bool;
+  max_entries : int;
+  mutex : Mutex.t;
+  l2 : ('k, 'v) Hashtbl.t;
+  generation : int Atomic.t;
+  local : ('k, 'v) level1 Domain.DLS.key;
+}
+
+let create ~name ?(max_entries = 128) ?(validate = fun _ -> true) ~copy () =
+  {
+    name;
+    copy;
+    validate;
+    max_entries;
+    mutex = Mutex.create ();
+    l2 = Hashtbl.create 32;
+    generation = Atomic.make 0;
+    local = Domain.DLS.new_key (fun () -> { gen = 0; tbl = Hashtbl.create 16 });
+  }
+
+let counter t event = Telemetry.ambient_count (t.name ^ "." ^ event)
+
+(* The caller domain's L1, emptied first if the generation moved. *)
+let level1 t =
+  let l1 = Domain.DLS.get t.local in
+  let gen = Atomic.get t.generation in
+  if l1.gen <> gen then begin
+    Hashtbl.reset l1.tbl;
+    l1.gen <- gen
+  end;
+  l1
+
+let l2_remove t key =
+  Mutex.lock t.mutex;
+  Hashtbl.remove t.l2 key;
+  Mutex.unlock t.mutex
+
+let find t key =
+  let l1 = level1 t in
+  match Hashtbl.find_opt l1.tbl key with
+  | Some v when t.validate v ->
+    Telemetry.ambient_count "cache.domain.hit";
+    counter t "hit";
+    Some (t.copy v)
+  | l1_entry -> (
+    (* a poisoned L1 entry is shared with L2: evict it from both *)
+    if l1_entry <> None then begin
+      Hashtbl.remove l1.tbl key;
+      l2_remove t key;
+      counter t "evict"
+    end;
+    Telemetry.ambient_count "cache.domain.miss";
+    Mutex.lock t.mutex;
+    let l2_entry = Hashtbl.find_opt t.l2 key in
+    let l2_entry =
+      match l2_entry with
+      | Some v when not (t.validate v) ->
+        Hashtbl.remove t.l2 key;
+        None
+      | e -> e
+    in
+    Mutex.unlock t.mutex;
+    match l2_entry with
+    | Some v ->
+      Telemetry.ambient_count "cache.domain.merge";
+      counter t "hit";
+      if Hashtbl.length l1.tbl >= t.max_entries then Hashtbl.reset l1.tbl;
+      if not (Hashtbl.mem l1.tbl key) then Hashtbl.add l1.tbl key v;
+      Some (t.copy v)
+    | None ->
+      counter t "miss";
+      None)
+
+let store t key value =
+  let gen = Atomic.get t.generation in
+  Mutex.lock t.mutex;
+  if Hashtbl.length t.l2 >= t.max_entries then begin
+    Hashtbl.reset t.l2;
+    Telemetry.ambient_count "cache.reset"
+  end;
+  if not (Hashtbl.mem t.l2 key) then Hashtbl.add t.l2 key value;
+  Mutex.unlock t.mutex;
+  (* also install locally, but never across a clear that raced us *)
+  if Atomic.get t.generation = gen then begin
+    let l1 = level1 t in
+    if l1.gen = gen then begin
+      if Hashtbl.length l1.tbl >= t.max_entries then Hashtbl.reset l1.tbl;
+      if not (Hashtbl.mem l1.tbl key) then Hashtbl.add l1.tbl key value
+    end
+  end
+
+let clear t =
+  Mutex.lock t.mutex;
+  Hashtbl.reset t.l2;
+  Atomic.incr t.generation;
+  Mutex.unlock t.mutex

@@ -1,0 +1,48 @@
+(** Two-level memo cache for pooled domains.
+
+    The hot hit path is domain-local (L1, [Domain.DLS]): no mutex, no
+    shared cache line, so pooled kernels that re-read the same memoized
+    entries scale with domains instead of serializing on cache traffic.
+    A shared mutex-guarded table (L2) backs the local tables: an L1 miss
+    adopts the L2 entry into the local table — a "merge" — before
+    falling back to recomputation.
+
+    Counters (under [--trace]): per cache, [<name>.hit] / [<name>.miss]
+    (hit = served from either level, so hit + miss = lookups) and
+    [<name>.evict] for entries a failed [validate] threw out; globally
+    across caches, [cache.domain.hit] (L1 hits), [cache.domain.miss]
+    (L1 misses) and [cache.domain.merge] (L1 misses served from L2),
+    plus [cache.reset] when a level hits [max_entries] and is reset
+    wholesale.
+
+    Entries must be treated as immutable once stored: both levels may
+    alias the same value, and {!find} hands callers a [copy]. *)
+
+type ('k, 'v) t
+
+val create :
+  name:string ->
+  ?max_entries:int ->
+  ?validate:('v -> bool) ->
+  copy:('v -> 'v) ->
+  unit ->
+  ('k, 'v) t
+(** [name] prefixes the per-cache counters.  [max_entries] (default 128)
+    bounds each level by wholesale reset.  [validate] (default: accept)
+    runs on every lookup at both levels; a failing entry is evicted from
+    both and the lookup proceeds as a miss.  [copy] protects cached
+    values from caller mutation in both directions. *)
+
+val find : ('k, 'v) t -> 'k -> 'v option
+(** A fresh copy of the cached value, consulting the caller domain's L1
+    first, then the shared L2. *)
+
+val store : ('k, 'v) t -> 'k -> 'v -> unit
+(** Publish [value] under [key] in L2 and in the caller domain's L1.
+    The cache takes ownership of [value]: pass a private copy and never
+    mutate it afterwards.  First store wins; concurrent duplicate fills
+    are dropped. *)
+
+val clear : ('k, 'v) t -> unit
+(** Reset L2 and invalidate every domain's L1 (lazily, via a generation
+    counter checked on next access). *)

@@ -1,171 +1,219 @@
 (* Classic Hashtbl + doubly-linked recency list, one mutex around both.
    The list head is most-recently-used; eviction pops the tail.  Probe
    counters live behind the same mutex, so stats are exact even under
-   concurrent domains. *)
+   concurrent domains.
 
-type ('k, 'v) node = {
-  key : 'k;
-  mutable value : 'v;
-  mutable prev : ('k, 'v) node option;  (* toward MRU *)
-  mutable next : ('k, 'v) node option;  (* toward LRU *)
-}
+   The public cache is an array of such shards selected by key hash:
+   with [shards = 1] (the default) behavior is exactly the classic
+   single-lock LRU; with more, concurrent domains contend only when
+   they touch the same shard, so the hot server path scales.  Recency
+   (and therefore eviction) is tracked per shard. *)
 
 type stats = { hits : int; misses : int; evictions : int; poisoned : int }
 
-type ('k, 'v) t = {
-  name : string;
-  cap : int;
-  mutex : Mutex.t;
-  table : ('k, ('k, 'v) node) Hashtbl.t;
-  mutable head : ('k, 'v) node option;
-  mutable tail : ('k, 'v) node option;
-  mutable hits : int;
-  mutable misses : int;
-  mutable evictions : int;
-  mutable poisoned : int;
-}
-
-let create ~name ~capacity =
-  if capacity < 1 then invalid_arg "Lru.create: capacity must be >= 1";
-  {
-    name;
-    cap = capacity;
-    mutex = Mutex.create ();
-    table = Hashtbl.create (min capacity 64);
-    head = None;
-    tail = None;
-    hits = 0;
-    misses = 0;
-    evictions = 0;
-    poisoned = 0;
+module Shard = struct
+  type ('k, 'v) node = {
+    key : 'k;
+    mutable value : 'v;
+    mutable prev : ('k, 'v) node option;  (* toward MRU *)
+    mutable next : ('k, 'v) node option;  (* toward LRU *)
   }
 
-let capacity t = t.cap
+  type ('k, 'v) t = {
+    name : string;
+    cap : int;
+    mutex : Mutex.t;
+    table : ('k, ('k, 'v) node) Hashtbl.t;
+    mutable head : ('k, 'v) node option;
+    mutable tail : ('k, 'v) node option;
+    mutable hits : int;
+    mutable misses : int;
+    mutable evictions : int;
+    mutable poisoned : int;
+  }
 
-let locked t f =
-  Mutex.lock t.mutex;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+  let create ~name ~capacity =
+    {
+      name;
+      cap = capacity;
+      mutex = Mutex.create ();
+      table = Hashtbl.create (min capacity 64);
+      head = None;
+      tail = None;
+      hits = 0;
+      misses = 0;
+      evictions = 0;
+      poisoned = 0;
+    }
 
-let length t = locked t (fun () -> Hashtbl.length t.table)
+  let locked t f =
+    Mutex.lock t.mutex;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
 
-let probe t event =
-  Telemetry.ambient_count (Printf.sprintf "cache.%s.%s" t.name event)
+  let length t = locked t (fun () -> Hashtbl.length t.table)
 
-(* list surgery: callers hold the mutex *)
+  let probe t event =
+    Telemetry.ambient_count (Printf.sprintf "cache.%s.%s" t.name event)
 
-let unlink t node =
-  (match node.prev with
-  | Some p -> p.next <- node.next
-  | None -> t.head <- node.next);
-  (match node.next with
-  | Some n -> n.prev <- node.prev
-  | None -> t.tail <- node.prev);
-  node.prev <- None;
-  node.next <- None
+  (* list surgery: callers hold the mutex *)
 
-let push_front t node =
-  node.next <- t.head;
-  node.prev <- None;
-  (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
-  t.head <- Some node
+  let unlink t node =
+    (match node.prev with
+    | Some p -> p.next <- node.next
+    | None -> t.head <- node.next);
+    (match node.next with
+    | Some n -> n.prev <- node.prev
+    | None -> t.tail <- node.prev);
+    node.prev <- None;
+    node.next <- None
 
-let touch t node =
-  match t.head with
-  | Some h when h == node -> ()
-  | _ ->
-    unlink t node;
-    push_front t node
+  let push_front t node =
+    node.next <- t.head;
+    node.prev <- None;
+    (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
+    t.head <- Some node
 
-let evict_lru t =
-  match t.tail with
-  | None -> ()
-  | Some node ->
-    unlink t node;
-    Hashtbl.remove t.table node.key;
-    t.evictions <- t.evictions + 1
+  let touch t node =
+    match t.head with
+    | Some h when h == node -> ()
+    | _ ->
+      unlink t node;
+      push_front t node
 
-let find t key =
-  let result =
+  let evict_lru t =
+    match t.tail with
+    | None -> ()
+    | Some node ->
+      unlink t node;
+      Hashtbl.remove t.table node.key;
+      t.evictions <- t.evictions + 1
+
+  let find t key =
+    let result =
+      locked t (fun () ->
+          match Hashtbl.find_opt t.table key with
+          | Some node ->
+            touch t node;
+            t.hits <- t.hits + 1;
+            Some node.value
+          | None ->
+            t.misses <- t.misses + 1;
+            None)
+    in
+    probe t (match result with None -> "miss" | Some _ -> "hit");
+    result
+
+  let put t key value =
+    let evicted =
+      locked t (fun () ->
+          match Hashtbl.find_opt t.table key with
+          | Some node ->
+            node.value <- value;
+            touch t node;
+            false
+          | None ->
+            let full = Hashtbl.length t.table >= t.cap in
+            if full then evict_lru t;
+            let node = { key; value; prev = None; next = None } in
+            Hashtbl.replace t.table key node;
+            push_front t node;
+            full)
+    in
+    if evicted then probe t "evict"
+
+  let remove t key =
     locked t (fun () ->
         match Hashtbl.find_opt t.table key with
+        | None -> ()
         | Some node ->
-          touch t node;
-          t.hits <- t.hits + 1;
-          Some node.value
-        | None ->
-          t.misses <- t.misses + 1;
-          None)
-  in
-  probe t (match result with None -> "miss" | Some _ -> "hit");
-  result
-
-let put t key value =
-  let evicted =
-    locked t (fun () ->
-        match Hashtbl.find_opt t.table key with
-        | Some node ->
-          node.value <- value;
-          touch t node;
-          false
-        | None ->
-          let full = Hashtbl.length t.table >= t.cap in
-          if full then evict_lru t;
-          let node = { key; value; prev = None; next = None } in
-          Hashtbl.replace t.table key node;
-          push_front t node;
-          full)
-  in
-  if evicted then probe t "evict"
-
-let remove t key =
-  locked t (fun () ->
-      match Hashtbl.find_opt t.table key with
-      | None -> ()
-      | Some node ->
-        unlink t node;
-        Hashtbl.remove t.table key)
-
-let find_or_compute ?(validate = fun _ -> true) t key thunk =
-  let cached =
-    locked t (fun () ->
-        match Hashtbl.find_opt t.table key with
-        | Some node when validate node.value ->
-          touch t node;
-          t.hits <- t.hits + 1;
-          `Hit node.value
-        | Some node ->
-          (* poisoned: drop it and fall through to a recompute *)
           unlink t node;
-          Hashtbl.remove t.table key;
-          t.poisoned <- t.poisoned + 1;
-          t.misses <- t.misses + 1;
-          `Poisoned
-        | None ->
-          t.misses <- t.misses + 1;
-          `Miss)
-  in
-  match cached with
-  | `Hit v ->
-    probe t "hit";
-    v
-  | (`Miss | `Poisoned) as outcome ->
-    if outcome = `Poisoned then probe t "poisoned";
-    probe t "miss";
-    let v = thunk () in
-    if validate v then put t key v;
-    v
+          Hashtbl.remove t.table key)
 
-let clear t =
-  locked t (fun () ->
-      Hashtbl.reset t.table;
-      t.head <- None;
-      t.tail <- None)
+  let find_or_compute ?(validate = fun _ -> true) t key thunk =
+    let cached =
+      locked t (fun () ->
+          match Hashtbl.find_opt t.table key with
+          | Some node when validate node.value ->
+            touch t node;
+            t.hits <- t.hits + 1;
+            `Hit node.value
+          | Some node ->
+            (* poisoned: drop it and fall through to a recompute *)
+            unlink t node;
+            Hashtbl.remove t.table key;
+            t.poisoned <- t.poisoned + 1;
+            t.misses <- t.misses + 1;
+            `Poisoned
+          | None ->
+            t.misses <- t.misses + 1;
+            `Miss)
+    in
+    match cached with
+    | `Hit v ->
+      probe t "hit";
+      v
+    | (`Miss | `Poisoned) as outcome ->
+      if outcome = `Poisoned then probe t "poisoned";
+      probe t "miss";
+      let v = thunk () in
+      if validate v then put t key v;
+      v
+
+  let clear t =
+    locked t (fun () ->
+        Hashtbl.reset t.table;
+        t.head <- None;
+        t.tail <- None)
+
+  let stats t =
+    locked t (fun () ->
+        {
+          hits = t.hits;
+          misses = t.misses;
+          evictions = t.evictions;
+          poisoned = t.poisoned;
+        })
+end
+
+type ('k, 'v) t = { cap : int; shards : ('k, 'v) Shard.t array }
+
+let create ?(shards = 1) ~name ~capacity () =
+  if capacity < 1 then invalid_arg "Lru.create: capacity must be >= 1";
+  if shards < 1 then invalid_arg "Lru.create: shards must be >= 1";
+  (* never hand a shard a zero capacity; extra capacity from the split
+     goes to the low shards *)
+  let shards = min shards capacity in
+  let base = capacity / shards and rem = capacity mod shards in
+  {
+    cap = capacity;
+    shards =
+      Array.init shards (fun i ->
+          Shard.create ~name ~capacity:(base + if i < rem then 1 else 0));
+  }
+
+let shard t key =
+  t.shards.(Hashtbl.hash key mod Array.length t.shards)
+
+let capacity t = t.cap
+let length t = Array.fold_left (fun n s -> n + Shard.length s) 0 t.shards
+let find t key = Shard.find (shard t key) key
+let put t key value = Shard.put (shard t key) key value
+let remove t key = Shard.remove (shard t key) key
+
+let find_or_compute ?validate t key thunk =
+  Shard.find_or_compute ?validate (shard t key) key thunk
+
+let clear t = Array.iter Shard.clear t.shards
 
 let stats t =
-  locked t (fun () ->
+  Array.fold_left
+    (fun acc s ->
+      let st = Shard.stats s in
       {
-        hits = t.hits;
-        misses = t.misses;
-        evictions = t.evictions;
-        poisoned = t.poisoned;
+        hits = acc.hits + st.hits;
+        misses = acc.misses + st.misses;
+        evictions = acc.evictions + st.evictions;
+        poisoned = acc.poisoned + st.poisoned;
       })
+    { hits = 0; misses = 0; evictions = 0; poisoned = 0 }
+    t.shards

@@ -16,9 +16,14 @@
 
 type ('k, 'v) t
 
-val create : name:string -> capacity:int -> ('k, 'v) t
-(** [name] prefixes the telemetry counters.
-    @raise Invalid_argument if [capacity < 1]. *)
+val create : ?shards:int -> name:string -> capacity:int -> unit -> ('k, 'v) t
+(** [name] prefixes the telemetry counters.  [shards] (default [1])
+    splits the cache into independently locked shards selected by key
+    hash, so concurrent domains contend only on colliding shards; the
+    total [capacity] is divided across them and recency/eviction is
+    tracked per shard ([shards = 1] is the classic exact LRU).  [shards]
+    is clamped to [capacity] so no shard is ever empty-by-construction.
+    @raise Invalid_argument if [capacity < 1] or [shards < 1]. *)
 
 val capacity : ('k, 'v) t -> int
 val length : ('k, 'v) t -> int

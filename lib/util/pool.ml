@@ -153,6 +153,17 @@ let chunk_bounds ~chunk ~n =
   let chunks = (n + chunk - 1) / chunk in
   Array.init chunks (fun c -> (c * chunk, min n ((c + 1) * chunk)))
 
+(* Per-chunk wall time, reported as pool.chunk.cost_us when tracing is
+   active so chunk-balance pathologies show up in --trace output. *)
+let timed_chunk body =
+  if Telemetry.ambient_active () then begin
+    let t0 = Unix.gettimeofday () in
+    body ();
+    Telemetry.ambient_count_n "pool.chunk.cost_us"
+      (int_of_float ((Unix.gettimeofday () -. t0) *. 1e6))
+  end
+  else body ()
+
 let parallel_for pool ?(deadline = Deadline.never) ?(chunk = default_chunk) n
     body =
   if chunk < 1 then invalid_arg "Pool.parallel_for: chunk must be >= 1";
@@ -162,7 +173,7 @@ let parallel_for pool ?(deadline = Deadline.never) ?(chunk = default_chunk) n
         (fun (lo, hi) ->
           Deadline.check ~site:"pool.chunk" deadline;
           Telemetry.ambient_count "pool.chunk";
-          for i = lo to hi - 1 do body i done)
+          timed_chunk (fun () -> for i = lo to hi - 1 do body i done))
         (chunk_bounds ~chunk ~n)
     else
       run_batch pool
@@ -170,7 +181,7 @@ let parallel_for pool ?(deadline = Deadline.never) ?(chunk = default_chunk) n
            (fun (lo, hi) () ->
              Deadline.check ~site:"pool.chunk" deadline;
              Telemetry.ambient_count "pool.chunk";
-             for i = lo to hi - 1 do body i done)
+             timed_chunk (fun () -> for i = lo to hi - 1 do body i done))
            (chunk_bounds ~chunk ~n))
 
 let parallel_map pool ?(deadline = Deadline.never) ~f a =
@@ -196,6 +207,56 @@ let parallel_map pool ?(deadline = Deadline.never) ~f a =
 let map_list pool ?deadline ~f l =
   Array.to_list (parallel_map pool ?deadline ~f (Array.of_list l))
 
+(* Contiguous runs balanced by estimated cost: a greedy prefix-sum cut
+   aiming at ~[target_chunks] chunks of equal total weight.  Coarse
+   chunks amortize the queue mutex over many elements while the weights
+   keep one heavyweight element from serializing the tail. *)
+let weighted_bounds ~weights ~target_chunks n =
+  let total = Array.fold_left ( + ) 0 weights in
+  let chunks = max 1 (min n target_chunks) in
+  let target = max 1 ((total + chunks - 1) / chunks) in
+  let bounds = ref [] in
+  let lo = ref 0 and acc = ref 0 in
+  for i = 0 to n - 1 do
+    acc := !acc + weights.(i);
+    if !acc >= target && i < n - 1 then begin
+      bounds := (!lo, i + 1) :: !bounds;
+      lo := i + 1;
+      acc := 0
+    end
+  done;
+  if !lo < n then bounds := (!lo, n) :: !bounds;
+  Array.of_list (List.rev !bounds)
+
+let map_weighted pool ?(deadline = Deadline.never) ~weight ~f a =
+  let n = Array.length a in
+  if n = 0 then [||]
+  else begin
+    let results = Array.make n None in
+    let run lo hi () =
+      Deadline.check ~site:"pool.chunk" deadline;
+      Telemetry.ambient_count "pool.chunk";
+      timed_chunk (fun () ->
+          for i = lo to hi - 1 do
+            results.(i) <- Some (f a.(i))
+          done)
+    in
+    if pool.size = 1 then run 0 n ()
+    else begin
+      let weights = Array.map (fun x -> max 1 (weight x)) a in
+      (* ~4 chunks per flow of control: enough slack for stealing between
+         chunks without reverting to per-element queue traffic *)
+      let bounds = weighted_bounds ~weights ~target_chunks:(4 * pool.size) n in
+      run_batch pool (Array.map (fun (lo, hi) -> run lo hi) bounds)
+    end;
+    Array.map
+      (function Some r -> r | None -> assert false (* run_batch raised *))
+      results
+  end
+
+let map_list_weighted pool ?deadline ~weight ~f l =
+  Array.to_list (map_weighted pool ?deadline ~weight ~f (Array.of_list l))
+
 let reduce_chunks pool ?deadline ~chunk ~n ~map ~combine ~init () =
   if chunk < 1 then invalid_arg "Pool.reduce_chunks: chunk must be >= 1";
   if n <= 0 then init
@@ -213,6 +274,12 @@ let default_mutex = Mutex.create ()
 let default_pool : t option ref = ref None
 let requested_jobs : int option ref = ref None
 
+let cores_detected =
+  (* memoized: [Domain.recommended_domain_count] probes the OS on every
+     call, and the answer cannot change for the life of the process *)
+  let n = lazy (max 1 (Domain.recommended_domain_count ())) in
+  fun () -> Lazy.force n
+
 let env_jobs () =
   match Sys.getenv_opt "LEQA_JOBS" with
   | None -> None
@@ -227,7 +294,7 @@ let resolve_jobs () =
   | None -> (
     match env_jobs () with
     | Some n -> n
-    | None -> max 1 (Domain.recommended_domain_count ()))
+    | None -> cores_detected ())
 
 let default_jobs () =
   Mutex.lock default_mutex;

@@ -82,6 +82,14 @@ val shutdown : t -> unit
     {!set_default_jobs}, the [LEQA_JOBS] environment variable, and
     [Domain.recommended_domain_count ()]. *)
 
+val cores_detected : unit -> int
+(** The number of hardware flows of control the runtime reports
+    ([Domain.recommended_domain_count], memoized, never below 1).
+    Purely informational: explicit widths from {!set_default_jobs} or
+    [LEQA_JOBS] are honored verbatim even when they exceed this, so
+    callers that care about oversubscription (the perf bench) compare
+    the two themselves. *)
+
 val default_jobs : unit -> int
 (** The width the default pool has (or would be created with). *)
 
@@ -110,6 +118,33 @@ val parallel_map :
 
 val map_list : t -> ?deadline:Deadline.t -> f:('a -> 'b) -> 'a list -> 'b list
 (** [List.map f l], order-preserving, distributed over the pool. *)
+
+val map_weighted :
+  t ->
+  ?deadline:Deadline.t ->
+  weight:('a -> int) ->
+  f:('a -> 'b) ->
+  'a array ->
+  'b array
+(** Order-preserving map over cost-weighted coarse chunks.  [weight x]
+    estimates the relative cost of [f x] (clamped to [>= 1]; e.g. a
+    benchmark's qubit or op count); the input is cut into contiguous
+    chunks of roughly equal total weight — about four per flow of
+    control — and each chunk is one pool task.  Work-stealing happens
+    between chunks only, so the queue mutex is touched O(chunks) times
+    instead of O(elements).  Element [i] of the result is always
+    [f a.(i)] regardless of pool width; only the chunk boundaries (and
+    hence scheduling) depend on [jobs].  [deadline] is checked once per
+    chunk. *)
+
+val map_list_weighted :
+  t ->
+  ?deadline:Deadline.t ->
+  weight:('a -> int) ->
+  f:('a -> 'b) ->
+  'a list ->
+  'b list
+(** {!map_weighted} over a list. *)
 
 val reduce_chunks :
   t ->

@@ -1,0 +1,147 @@
+(* Pool-width independence and per-domain cache accounting.
+
+   Every public result must be byte-identical at --jobs 1 and --jobs 4:
+   the estimate report, the sweep-fabric report, and the Monte-Carlo
+   summary.  The per-domain binomial table cache must keep its counters
+   consistent under a 4-domain hammer. *)
+
+module Pool = Leqa_util.Pool
+module Telemetry = Leqa_util.Telemetry
+module Binomial = Leqa_util.Binomial
+module Json = Leqa_util.Json
+module Estimator = Leqa_core.Estimator
+module Coverage = Leqa_core.Coverage
+module Params = Leqa_fabric.Params
+module Report = Leqa_report.Report
+module Decompose = Leqa_circuit.Decompose
+module Simulate = Leqa_queueing.Simulate
+
+let with_jobs jobs f =
+  let saved = Pool.default_jobs () in
+  Pool.set_default_jobs jobs;
+  Fun.protect ~finally:(fun () -> Pool.set_default_jobs saved) f
+
+let with_pool ~jobs f =
+  let pool = Pool.create ~jobs in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f pool)
+
+let check_width_identical name render =
+  let at jobs =
+    with_jobs jobs (fun () ->
+        Coverage.clear_caches ();
+        render ())
+  in
+  Alcotest.(check string) name (at 1) (at 4)
+
+let test_estimate_report_width_identical () =
+  let circ = Leqa_benchmarks.Gf2_mult.circuit ~n:12 () in
+  let ft = Decompose.to_ft circ in
+  let params = Params.calibrated in
+  check_width_identical "estimate report bytes" (fun () ->
+      let breakdown = Estimator.estimate_circuit ~params ft in
+      Json.to_string
+        (Report.to_json
+           (Report.make ~command:"estimate" ~ft
+              (Report.Estimate
+                 {
+                   Report.params;
+                   breakdown;
+                   contributions = Estimator.contributions ~params breakdown;
+                   estimator_runtime_s = 0.0;
+                 }))))
+
+let test_sweep_report_width_identical () =
+  let circ = Leqa_benchmarks.Qft.circuit ~n:10 () in
+  let qodg = Leqa_qodg.Qodg.of_ft_circuit (Decompose.to_ft circ) in
+  let sizes = [ 8; 10; 12; 16 ] in
+  check_width_identical "sweep-fabric report bytes" (fun () ->
+      let prep = Estimator.prepare qodg in
+      let rows =
+        Pool.map_list
+          (Pool.get_default ())
+          ~f:(fun side ->
+            let params =
+              Params.with_fabric Params.calibrated ~width:side ~height:side
+            in
+            { Report.side; breakdown = Estimator.estimate_prepared ~params prep })
+          sizes
+      in
+      Json.to_string
+        (Report.to_json
+           (Report.make ~command:"sweep-fabric"
+              (Report.Sweep_fabric
+                 {
+                   Report.v = Params.calibrated.Params.v;
+                   rows;
+                   prep_reused = List.length sizes;
+                 }))))
+
+let test_monte_carlo_width_identical () =
+  let run () =
+    Simulate.summarize
+      (Simulate.run_replications
+         ~pool:(Pool.get_default ())
+         ~seed:42 ~replications:24 ~lambda:0.8 ~mu_per_server:1.0 ~servers:4
+         ~horizon:200.0 ())
+  in
+  let s1 = with_jobs 1 run in
+  let s4 = with_jobs 4 run in
+  if s1 <> s4 then
+    Alcotest.fail "Monte-Carlo summary differs between jobs 1 and 4"
+
+(* Hammer the two-level binomial table cache from 4 domains: K distinct
+   fresh keys (all misses), then the same K again (all hits, either
+   domain-local or merged up from the shared level).  The counters must
+   balance exactly whichever domain served which key. *)
+let test_domain_cache_hammer () =
+  let k = 32 in
+  let keys = List.init k (fun i -> 9000 + i) in
+  let telemetry = Telemetry.create () in
+  Telemetry.install telemetry;
+  Fun.protect ~finally:Telemetry.uninstall (fun () ->
+      with_pool ~jobs:4 (fun pool ->
+          let round () =
+            Pool.map_list pool
+              ~f:(fun n -> (Binomial.log_choose_table ~n ~kmax:48).(7))
+              keys
+          in
+          let r1 = round () in
+          let r2 = round () in
+          (* values are right regardless of which level served them *)
+          List.iteri
+            (fun i n ->
+              let want = Binomial.log_choose n 7 in
+              Alcotest.(check (float 0.0))
+                "round 1 value" want (List.nth r1 i);
+              Alcotest.(check (float 0.0))
+                "round 2 value" want (List.nth r2 i))
+            keys);
+      let c name = Telemetry.counter_value telemetry name in
+      let finds = 2 * k in
+      Alcotest.(check int)
+        "domain hit + miss = lookups" finds
+        (c "cache.domain.hit" + c "cache.domain.miss");
+      if c "cache.domain.merge" > c "cache.domain.miss" then
+        Alcotest.fail "more merges than level-1 misses";
+      Alcotest.(check int)
+        "binomial hit + miss = lookups" finds
+        (c "binomial.table.hit" + c "binomial.table.miss");
+      Alcotest.(check int)
+        "binomial hits = local hits + merges"
+        (c "cache.domain.hit" + c "cache.domain.merge")
+        (c "binomial.table.hit");
+      if c "binomial.table.miss" < k then
+        Alcotest.failf "only %d misses for %d fresh keys"
+          (c "binomial.table.miss") k)
+
+let suite =
+  [
+    Alcotest.test_case "estimate report bytes: jobs 1 = jobs 4" `Quick
+      test_estimate_report_width_identical;
+    Alcotest.test_case "sweep-fabric report bytes: jobs 1 = jobs 4" `Quick
+      test_sweep_report_width_identical;
+    Alcotest.test_case "Monte-Carlo summary: jobs 1 = jobs 4" `Quick
+      test_monte_carlo_width_identical;
+    Alcotest.test_case "domain cache counters balance under 4 domains" `Quick
+      test_domain_cache_hammer;
+  ]

@@ -5,7 +5,7 @@ open Leqa_util
    server uses it: many domains hammering find_or_compute while
    eviction and poisoned-entry recompute happen underneath. *)
 
-let mk ?(capacity = 4) () = Lru.create ~name:"test" ~capacity
+let mk ?(capacity = 4) () = Lru.create ~name:"test" ~capacity ()
 
 let test_basic () =
   let t = mk () in
@@ -49,7 +49,7 @@ let test_eviction_order () =
 let test_min_capacity () =
   Alcotest.check_raises "capacity 0 rejected"
     (Invalid_argument "Lru.create: capacity must be >= 1") (fun () ->
-      ignore (Lru.create ~name:"bad" ~capacity:0))
+      ignore (Lru.create ~name:"bad" ~capacity:0 ()))
 
 let test_find_or_compute () =
   let t = mk () in
@@ -76,6 +76,37 @@ let test_poisoned_recompute () =
   Alcotest.(check int) "invalid fresh value returned" (-5) got;
   Alcotest.(check bool) "but not cached" true (Lru.find t "k" = None)
 
+let test_sharded_semantics () =
+  (* a sharded cache must still honor the aggregate capacity, aggregate
+     its stats, and serve every key correctly *)
+  let t = Lru.create ~shards:4 ~name:"sharded" ~capacity:8 () in
+  Alcotest.(check int) "aggregate capacity" 8 (Lru.capacity t);
+  for i = 1 to 200 do
+    Lru.put t (string_of_int i) i
+  done;
+  Alcotest.(check bool) "never exceeds aggregate capacity" true
+    (Lru.length t <= 8);
+  let served = ref 0 in
+  for i = 1 to 200 do
+    match Lru.find t (string_of_int i) with
+    | Some v ->
+      incr served;
+      Alcotest.(check int) "value matches key" i v
+    | None -> ()
+  done;
+  Alcotest.(check bool) "survivors exist" true (!served > 0);
+  let s = Lru.stats t in
+  Alcotest.(check int) "stats aggregate across shards" 200
+    (s.Lru.hits + s.Lru.misses);
+  (* more shards than capacity: clamped, never a zero-capacity shard *)
+  let tiny = Lru.create ~shards:16 ~name:"tiny" ~capacity:3 () in
+  Lru.put tiny "x" 1;
+  Alcotest.(check bool) "clamped shard count still stores" true
+    (Lru.find tiny "x" = Some 1);
+  Alcotest.check_raises "shards 0 rejected"
+    (Invalid_argument "Lru.create: shards must be >= 1") (fun () ->
+      ignore (Lru.create ~shards:0 ~name:"bad" ~capacity:4 ()))
+
 (* ---- concurrency ---------------------------------------------------- *)
 
 let domains = 4
@@ -85,7 +116,7 @@ let per_domain = 2_000
    eviction churns; whatever a find_or_compute returns must be the
    correct value for its key *)
 let test_concurrent_find_or_compute () =
-  let t = Lru.create ~name:"conc" ~capacity:8 in
+  let t = Lru.create ~shards:4 ~name:"conc" ~capacity:8 () in
   let keys = Array.init 32 (fun i -> Printf.sprintf "key%d" i) in
   let bad = ref 0 in
   let bad_mutex = Mutex.create () in
@@ -115,7 +146,7 @@ let test_concurrent_find_or_compute () =
    planting invalid entries, the others must always read valid values
    back through the validating lookup *)
 let test_concurrent_poison_recompute () =
-  let t = Lru.create ~name:"poison" ~capacity:4 in
+  let t = Lru.create ~shards:2 ~name:"poison" ~capacity:4 () in
   let keys = [| "a"; "b"; "c"; "d"; "e"; "f" |] in
   let valid v = v >= 0 in
   let stop = Atomic.make false in
@@ -159,6 +190,7 @@ let suite =
     Alcotest.test_case "capacity >= 1" `Quick test_min_capacity;
     Alcotest.test_case "find_or_compute" `Quick test_find_or_compute;
     Alcotest.test_case "poisoned recompute" `Quick test_poisoned_recompute;
+    Alcotest.test_case "sharded semantics" `Quick test_sharded_semantics;
     Alcotest.test_case "concurrent find_or_compute" `Quick
       test_concurrent_find_or_compute;
     Alcotest.test_case "concurrent poison + eviction" `Quick

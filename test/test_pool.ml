@@ -28,6 +28,34 @@ let test_map_matches_list_map () =
             [ 0; 1; 7; 129; 1001 ]))
     [ 1; 4 ]
 
+let test_map_weighted_matches_list_map () =
+  (* the weight only moves chunk boundaries — never the result; zero and
+     negative weights are clamped, not an error *)
+  let weights =
+    [
+      ("uniform", fun _ -> 1);
+      ("skewed", fun x -> (abs x * 17) + 1);
+      ("zero", fun _ -> 0);
+      ("negative", fun x -> -x);
+    ]
+  in
+  List.iter
+    (fun jobs ->
+      with_pool ~jobs (fun pool ->
+          List.iter
+            (fun (wname, weight) ->
+              List.iter
+                (fun n ->
+                  let input = List.init n (fun i -> i - 3) in
+                  let f x = (x * 7) - 1 in
+                  Alcotest.(check (list int))
+                    (Printf.sprintf "jobs=%d weight=%s n=%d" jobs wname n)
+                    (List.map f input)
+                    (Pool.map_list_weighted pool ~weight ~f input))
+                [ 0; 1; 7; 129 ])
+            weights))
+    [ 1; 4 ]
+
 let test_map_preserves_order () =
   with_pool ~jobs:4 (fun pool ->
       let input = Array.init 500 (fun i -> i) in
@@ -214,6 +242,8 @@ let suite =
     Alcotest.test_case "create validates jobs" `Quick test_create_invalid;
     Alcotest.test_case "map = List.map (0/1/odd sizes)" `Quick
       test_map_matches_list_map;
+    Alcotest.test_case "map_weighted = List.map (any weight)" `Quick
+      test_map_weighted_matches_list_map;
     Alcotest.test_case "map preserves order" `Quick test_map_preserves_order;
     Alcotest.test_case "exceptions propagate; pool reusable" `Quick
       test_exception_propagates_and_pool_survives;

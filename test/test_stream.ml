@@ -1,0 +1,194 @@
+(* The streaming estimator path: bit-identical breakdowns, bounded
+   resident state, the peak-gates gauge, and the strict streaming
+   netlist parser. *)
+
+module Circuit = Leqa_circuit.Circuit
+module Parser = Leqa_circuit.Parser
+module Decompose = Leqa_circuit.Decompose
+module Ft_circuit = Leqa_circuit.Ft_circuit
+module Ft_gate = Leqa_circuit.Ft_gate
+module Estimator = Leqa_core.Estimator
+module Critical_path = Leqa_qodg.Critical_path
+module Params = Leqa_fabric.Params
+module Telemetry = Leqa_util.Telemetry
+module Report = Leqa_report.Report
+module Json = Leqa_util.Json
+
+let circuits () =
+  [
+    ("gf2^8mult", Leqa_benchmarks.Gf2_mult.circuit ~n:8 ());
+    ("gf2^16mult", Leqa_benchmarks.Gf2_mult.circuit ~n:16 ());
+    ("qft:12", Leqa_benchmarks.Qft.circuit ~n:12 ());
+  ]
+
+(* the streamed result carries no critical path node list (it is never
+   rendered); everything else must match the materialized breakdown
+   exactly, float for float *)
+let strip (b : Estimator.breakdown) =
+  {
+    b with
+    Estimator.critical = { b.Estimator.critical with Critical_path.path = [] };
+  }
+
+let test_stream_matches_materialized () =
+  List.iter
+    (fun (name, circ) ->
+      Leqa_core.Coverage.clear_caches ();
+      let ft = Decompose.to_ft circ in
+      let mat =
+        Estimator.estimate_circuit ~params:Params.calibrated ft
+      in
+      Leqa_core.Coverage.clear_caches ();
+      let streamed =
+        Estimator.estimate_stream ~params:Params.calibrated
+          (Estimator.stream_of_circuit circ)
+      in
+      if strip mat <> strip streamed.Estimator.stream_breakdown then
+        Alcotest.failf "%s: streamed breakdown differs from materialized"
+          name;
+      if Ft_circuit.stats ft <> streamed.Estimator.stream_stats then
+        Alcotest.failf "%s: streamed stats differ from materialized" name)
+    (circuits ())
+
+let test_peak_bounded_by_wires () =
+  let circ = Leqa_benchmarks.Gf2_mult.circuit ~n:32 () in
+  let streamed =
+    Estimator.estimate_stream ~params:Params.calibrated
+      (Estimator.stream_of_circuit circ)
+  in
+  let stats = streamed.Estimator.stream_stats in
+  let qubits = stats.Ft_circuit.num_qubits in
+  let ops = stats.Ft_circuit.num_gates in
+  let peak = streamed.Estimator.stream_peak_gates in
+  if ops < 10_000 then
+    Alcotest.failf "workload too small to be interesting: %d ops" ops;
+  if peak > qubits then
+    Alcotest.failf "peak resident gates %d exceeds the %d wires" peak qubits;
+  if peak * 10 > ops then
+    Alcotest.failf "peak %d is not small against %d ops" peak ops
+
+let test_peak_gauge_recorded () =
+  let circ = Leqa_benchmarks.Gf2_mult.circuit ~n:8 () in
+  let telemetry = Telemetry.create () in
+  let streamed =
+    Estimator.estimate_stream ~telemetry ~params:Params.calibrated
+      (Estimator.stream_of_circuit circ)
+  in
+  match Telemetry.gauge_value telemetry "qodg.stream.peak_gates" with
+  | None -> Alcotest.fail "qodg.stream.peak_gates gauge missing"
+  | Some v ->
+    Alcotest.(check (float 0.0))
+      "gauge equals the returned peak"
+      (float_of_int streamed.Estimator.stream_peak_gates)
+      v
+
+(* an estimate report built from the streamed result must render to the
+   same bytes as one built from the materialized circuit *)
+let test_report_bytes_identical () =
+  let circ = Leqa_benchmarks.Gf2_mult.circuit ~n:8 () in
+  let params = Params.calibrated in
+  let ft = Decompose.to_ft circ in
+  Leqa_core.Coverage.clear_caches ();
+  let mat = Estimator.estimate_circuit ~params ft in
+  Leqa_core.Coverage.clear_caches ();
+  let streamed =
+    Estimator.estimate_stream ~params (Estimator.stream_of_circuit circ)
+  in
+  let report ?ft ?circuit_stats breakdown =
+    Json.to_string
+      (Report.to_json
+         (Report.make ~command:"estimate" ?ft ?circuit_stats
+            (Report.Estimate
+               {
+                 Report.params;
+                 breakdown;
+                 contributions = Estimator.contributions ~params breakdown;
+                 estimator_runtime_s = 0.0;
+               })))
+  in
+  Alcotest.(check string)
+    "report bytes"
+    (report ~ft mat)
+    (report ~circuit_stats:streamed.Estimator.stream_stats
+       streamed.Estimator.stream_breakdown)
+
+(* ---- the strict streaming parser ---------------------------------- *)
+
+let with_temp_file content f =
+  let path = Filename.temp_file "leqa_stream" ".tfc" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out path in
+      output_string oc content;
+      close_out oc;
+      f path)
+
+let test_iter_file_roundtrip () =
+  let circ = Leqa_benchmarks.Gf2_mult.circuit ~n:6 () in
+  with_temp_file (Parser.to_string circ) (fun path ->
+      (* materialized reference *)
+      let ft_ref = Decompose.to_ft (Leqa_util.Error.ok_exn (Parser.parse_file path)) in
+      let reference = ref [] in
+      Ft_circuit.iter (fun g -> reference := g :: !reference) ft_ref;
+      (* streamed: parser feeds the decomposer feeds the sink *)
+      let got = ref [] in
+      let declared = ref (-1) in
+      let feed = ref (fun (_ : Leqa_circuit.Gate.t) -> ()) in
+      (match
+         Parser.iter_file path
+           ~on_begin:(fun q ->
+             declared := q;
+             feed :=
+               Decompose.feeder ~num_qubits:q ~sink:(fun g ->
+                   got := g :: !got))
+           ~f:(fun g -> !feed g)
+       with
+      | Ok n ->
+        Alcotest.(check int) "declared count at BEGIN" n !declared;
+        Alcotest.(check int)
+          "declared count equals circuit wires"
+          (Circuit.num_qubits circ) n
+      | Error e ->
+        Alcotest.failf "iter_file failed: %s" (Leqa_util.Error.to_string e));
+      if List.rev !got <> List.rev !reference then
+        Alcotest.fail "streamed FT gate sequence differs from to_ft")
+
+let test_iter_file_rejects_undeclared_wire () =
+  with_temp_file ".v a,b\nBEGIN\nt2 a,c\nEND\n" (fun path ->
+      (match Parser.iter_file path ~f:ignore with
+      | Error (Leqa_util.Error.Parse_error _) -> ()
+      | Error e ->
+        Alcotest.failf "wrong error: %s" (Leqa_util.Error.to_string e)
+      | Ok _ -> Alcotest.fail "undeclared wire accepted");
+      (* the lenient whole-file parser still takes it *)
+      match Parser.parse_file path with
+      | Ok c -> Alcotest.(check int) "lazy wire minting" 3 (Circuit.num_qubits c)
+      | Error e ->
+        Alcotest.failf "parse_file rejected it too: %s"
+          (Leqa_util.Error.to_string e))
+
+let test_iter_file_rejects_late_declaration () =
+  with_temp_file ".v a,b\nBEGIN\n.v c\nt2 a,b\nEND\n" (fun path ->
+      match Parser.iter_file path ~f:ignore with
+      | Error (Leqa_util.Error.Parse_error _) -> ()
+      | Error e ->
+        Alcotest.failf "wrong error: %s" (Leqa_util.Error.to_string e)
+      | Ok _ -> Alcotest.fail ".v after BEGIN accepted in streaming mode")
+
+let suite =
+  [
+    Alcotest.test_case "streamed breakdown = materialized" `Quick
+      test_stream_matches_materialized;
+    Alcotest.test_case "peak resident gates bounded by wires" `Quick
+      test_peak_bounded_by_wires;
+    Alcotest.test_case "peak gauge recorded" `Quick test_peak_gauge_recorded;
+    Alcotest.test_case "report bytes identical" `Quick
+      test_report_bytes_identical;
+    Alcotest.test_case "iter_file round-trips through the feeder" `Quick
+      test_iter_file_roundtrip;
+    Alcotest.test_case "iter_file rejects undeclared wires" `Quick
+      test_iter_file_rejects_undeclared_wire;
+    Alcotest.test_case "iter_file rejects .v after BEGIN" `Quick
+      test_iter_file_rejects_late_declaration;
+  ]

@@ -8,7 +8,7 @@
 
    Commands: table1 fig2 fig3 fig4 fig5 table2 table3 scaling
              ablation-truncation ablation-v ablation-routing sweep-fabric
-             perf micro all
+             perf serve chaos micro all
 
    --jobs N (or $LEQA_JOBS) sets the default domain-pool width; the perf
    command times serial vs parallel hot paths, the numeric-guard
@@ -1770,6 +1770,294 @@ let serve_bench ~scale ~out () =
     exit 1
   end
 
+(* ------------------------------------------------------------------ *)
+
+(* Chaos baseline: availability and tail latency of the supervised
+   multi-worker fleet while workers are SIGKILLed mid-soak, plus the
+   warm-restart ratio of the persistent result store.  Unlike
+   serve_bench this drives the real binary over a Unix socket — the
+   supervision, sharding and store paths are exactly the production
+   ones.  Writes BENCH_PR7.json. *)
+let chaos_bench ~scale ~out () =
+  let smoke = scale <= 0.0 in
+  header
+    (Printf.sprintf "Chaos: availability under worker SIGKILL%s"
+       (if smoke then "   [smoke]" else ""));
+  let cli =
+    match Sys.getenv_opt "LEQA_CLI" with
+    | Some p -> p
+    | None ->
+      (* dune puts bench/main.exe and bin/leqa_cli.exe side by side *)
+      Filename.concat
+        (Filename.dirname Sys.executable_name)
+        (Filename.concat ".." (Filename.concat "bin" "leqa_cli.exe"))
+  in
+  if not (Sys.file_exists cli) then begin
+    Printf.eprintf
+      "chaos: leqa CLI not found at %s (set $LEQA_CLI or run via dune)\n" cli;
+    exit 2
+  end;
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let scratch = Filename.temp_file "leqa_chaos_bench" "" in
+  Sys.remove scratch;
+  Unix.mkdir scratch 0o755;
+  let sock = Filename.concat scratch "bench.sock" in
+  let store = Filename.concat scratch "store" in
+  let log = Filename.concat scratch "server.log" in
+  let workers = 4 in
+  let spawn () =
+    let devnull = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
+    let logfd =
+      Unix.openfile log [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644
+    in
+    let pid =
+      Unix.create_process cli
+        [| "leqa"; "serve"; "--socket"; sock; "--workers";
+           string_of_int workers; "--store"; store |]
+        devnull Unix.stdout logfd
+    in
+    Unix.close devnull;
+    Unix.close logfd;
+    let deadline = Unix.gettimeofday () +. 15.0 in
+    let rec wait () =
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      match Unix.connect fd (Unix.ADDR_UNIX sock) with
+      | () -> Unix.close fd
+      | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) ->
+        Unix.close fd;
+        if Unix.gettimeofday () > deadline then begin
+          prerr_endline "chaos: fleet never came up";
+          exit 1
+        end;
+        Unix.sleepf 0.05;
+        wait ()
+    in
+    wait ();
+    pid
+  in
+  let stop pid =
+    Unix.kill pid Sys.sigterm;
+    match Unix.waitpid [] pid with
+    | _, Unix.WEXITED 0 -> ()
+    | _, status ->
+      let detail =
+        match status with
+        | Unix.WEXITED c -> Printf.sprintf "exit %d" c
+        | Unix.WSIGNALED s | Unix.WSTOPPED s -> Printf.sprintf "signal %d" s
+      in
+      Printf.eprintf "chaos: fleet did not drain cleanly (%s)\n" detail;
+      exit 1
+  in
+  let cases =
+    [ "qft:3"; "qft:4"; "qft:5"; "qft:6"; "grover:2"; "grover:3"; "grover:4";
+      "qft-adder:3"; "qft-adder:4"; "qft-adder:5"; "qft:7"; "grover:5" ]
+  in
+  let n_cases = List.length cases in
+  let request_of ~id case =
+    Printf.sprintf
+      "{\"schema_version\":\"leqa/rpc/v1\",\"id\":%d,\"method\":\"estimate\",\"params\":{\"bench\":%S,\"width\":60,\"terms\":20}}"
+      id case
+  in
+  let send oc line =
+    output_string oc line;
+    output_char oc '\n';
+    flush oc
+  in
+  let parse line =
+    match Json.of_string line with Ok j -> Some j | Error _ -> None
+  in
+  let is_ok resp = Json.member "ok" resp = Some (Json.Bool true) in
+  let cache_of resp =
+    match Json.member "cache" resp with
+    | Some (Json.String s) -> Some s
+    | _ -> None
+  in
+  let int_member key j =
+    match Json.member key j with Some (Json.Int n) -> Some n | _ -> None
+  in
+  let percentile sorted p =
+    let n = Array.length sorted in
+    if n = 0 then 0.0
+    else sorted.(min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1))
+  in
+  (* ---- phase 1: soak with kills ---- *)
+  let total = if smoke then 300 else 1200 in
+  let kill_every = if smoke then 100 else 200 in
+  let pid = spawn () in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX sock);
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let next_id = ref 0 in
+  let fresh_id () =
+    let id = !next_id in
+    incr next_id;
+    id
+  in
+  let get_stats () =
+    send oc
+      (Printf.sprintf
+         "{\"schema_version\":\"leqa/rpc/v1\",\"id\":%d,\"method\":\"stats\"}"
+         (fresh_id ()));
+    Option.bind (parse (input_line ic)) (Json.member "stats")
+  in
+  let ok_count = ref 0 and err_count = ref 0 in
+  let hit = ref 0 and warm = ref 0 and miss = ref 0 in
+  let kills = ref 0 in
+  let lats = Array.make total 0.0 in
+  for i = 0 to total - 1 do
+    if i > 0 && i mod kill_every = 0 then begin
+      match Option.map (Json.member "worker_pids") (get_stats ()) with
+      | Some (Some (Json.List pids)) -> (
+        let pids =
+          List.filter_map
+            (function Json.Int p when p > 1 -> Some p | _ -> None)
+            pids
+        in
+        match pids with
+        | [] -> ()
+        | _ ->
+          incr kills;
+          let victim = List.nth pids (!kills mod List.length pids) in
+          (try Unix.kill victim Sys.sigkill with Unix.Unix_error _ -> ()))
+      | _ -> ()
+    end;
+    let id = fresh_id () in
+    let resp, dt =
+      Timing.time (fun () ->
+          send oc (request_of ~id (List.nth cases (id mod n_cases)));
+          input_line ic)
+    in
+    lats.(i) <- dt;
+    match parse resp with
+    | Some r when is_ok r ->
+      incr ok_count;
+      (match cache_of r with
+      | Some "hit" -> incr hit
+      | Some "warm" -> incr warm
+      | _ -> incr miss)
+    | _ -> incr err_count
+  done;
+  (* the last kill's restart sits behind backoff: poll to convergence *)
+  let rec settled tries =
+    match get_stats () with
+    | None -> None
+    | Some stats ->
+      let restarts = Option.value (int_member "restarts" stats) ~default:0 in
+      if restarts >= !kills || tries <= 0 then Some stats
+      else begin
+        Unix.sleepf 0.2;
+        settled (tries - 1)
+      end
+  in
+  let stats = settled 50 in
+  let stat key =
+    Option.value
+      (Option.bind stats (int_member key))
+      ~default:(-1)
+  in
+  let restarts = stat "restarts" in
+  let retried = stat "retried" in
+  let lost = stat "lost" in
+  Unix.close fd;
+  stop pid;
+  Array.sort compare lats;
+  let p50 = 1e3 *. percentile lats 0.50 in
+  let p99 = 1e3 *. percentile lats 0.99 in
+  let availability = float_of_int !ok_count /. float_of_int total in
+  Printf.printf
+    "soak: %d requests, %d worker kills: %d ok, %d errors \
+     (availability %.4f)\n\
+     latency p50 %.3f ms, p99 %.3f ms   cache %d hit / %d warm / %d miss\n\
+     supervisor: %d restarts, %d retried, %d lost\n"
+    total !kills !ok_count !err_count availability p50 p99 !hit !warm !miss
+    restarts retried lost;
+  (* ---- phase 2: warm restart from the persistent store ---- *)
+  let pid = spawn () in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX sock);
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let warm_hits = ref 0 and warm_ok = ref 0 in
+  let warm_lats =
+    List.mapi
+      (fun i case ->
+        let resp, dt =
+          Timing.time (fun () ->
+              send oc (request_of ~id:i case);
+              input_line ic)
+        in
+        (match parse resp with
+        | Some r when is_ok r ->
+          incr warm_ok;
+          if cache_of r = Some "warm" then incr warm_hits
+        | _ -> ());
+        dt)
+      cases
+  in
+  Unix.close fd;
+  stop pid;
+  let warm_ratio = float_of_int !warm_hits /. float_of_int n_cases in
+  let warm_arr = Array.of_list warm_lats in
+  Array.sort compare warm_arr;
+  let warm_p50 = 1e3 *. percentile warm_arr 0.50 in
+  Printf.printf
+    "warm restart: %d of %d distinct circuits served from the store \
+     (ratio %.2f, p50 %.3f ms)\n"
+    !warm_hits n_cases warm_ratio warm_p50;
+  let zero_failures = !err_count = 0 && !warm_ok = n_cases && lost = 0 in
+  let warm_within_target = warm_ratio >= 0.9 in
+  Printf.printf
+    "zero client-visible failures: %b   warm-hit ratio >= 0.9: %b\n"
+    zero_failures warm_within_target;
+  let json =
+    Json.Obj
+      [
+        ("pr", Json.Int 7);
+        ("label", Json.String "fault-tolerant multi-worker serving");
+        ("workers", Json.Int workers);
+        ("smoke", Json.Bool smoke);
+        ( "soak",
+          Json.Obj
+            [
+              ("requests", Json.Int total);
+              ("worker_kills", Json.Int !kills);
+              ("ok", Json.Int !ok_count);
+              ("errors", Json.Int !err_count);
+              ("availability", Json.Float availability);
+              ("p50_ms", Json.Float p50);
+              ("p99_ms", Json.Float p99);
+              ( "cache",
+                Json.Obj
+                  [
+                    ("hit", Json.Int !hit);
+                    ("warm", Json.Int !warm);
+                    ("miss", Json.Int !miss);
+                  ] );
+              ("restarts", Json.Int restarts);
+              ("retried", Json.Int retried);
+              ("lost", Json.Int lost);
+            ] );
+        ( "warm_restart",
+          Json.Obj
+            [
+              ("distinct_circuits", Json.Int n_cases);
+              ("warm_hits", Json.Int !warm_hits);
+              ("ratio", Json.Float warm_ratio);
+              ("p50_ms", Json.Float warm_p50);
+              ("within_target", Json.Bool warm_within_target);
+            ] );
+        ("zero_client_visible_failures", Json.Bool zero_failures);
+      ]
+  in
+  Json.write_file out json;
+  Printf.printf "[wrote %s]\n" out;
+  if not (zero_failures && warm_within_target) then begin
+    prerr_endline
+      "FAIL: chaos soak saw client-visible failures or a cold restart";
+    exit 1
+  end
+
 let () =
   let args = Array.to_list Sys.argv in
   let scale = ref 0.5 in
@@ -1805,14 +2093,19 @@ let () =
   in
   (match args with _ :: rest -> parse rest | [] -> ());
   let scale = !scale in
-  if scale <= 0.0 && !command <> "perf" && !command <> "serve" then begin
-    prerr_endline "--scale 0 is only valid for the perf and serve commands";
+  if
+    scale <= 0.0 && !command <> "perf" && !command <> "serve"
+    && !command <> "chaos"
+  then begin
+    prerr_endline
+      "--scale 0 is only valid for the perf, serve and chaos commands";
     exit 2
   end;
   (* each measurement command has its own default artifact *)
   let out = !perf_out in
   let perf_out = Option.value out ~default:"BENCH_PR6.json" in
   let serve_out = Option.value out ~default:"BENCH_PR4.json" in
+  let chaos_out = Option.value out ~default:"BENCH_PR7.json" in
   let maybe_dump rows =
     match !json_path with
     | None -> ()
@@ -1851,6 +2144,7 @@ let () =
   | "micro" -> micro ()
   | "perf" -> perf ~scale ~out:perf_out ()
   | "serve" -> serve_bench ~scale ~out:serve_out ()
+  | "chaos" -> chaos_bench ~scale ~out:chaos_out ()
   | "all" ->
     table1 ();
     fig2 ();
@@ -1883,7 +2177,7 @@ let () =
       \          ablation-truncation ablation-v ablation-routing\n\
       \          ablation-topology ablation-mappers ablation-placement\n\
       \          ablation-deferral complexity table1-designed\n\
-      \          sweep-fabric tornado workloads perf serve micro all\n\
+      \          sweep-fabric tornado workloads perf serve chaos micro all\n\
        options: [--scale S | --full] [--json PATH] [--jobs N] [--out PATH]\n\
        (perf --scale 0 = smoke mode; --jobs also honours $LEQA_JOBS)\n"
       other;

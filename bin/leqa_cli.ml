@@ -43,7 +43,10 @@ module Source = Leqa_server.Source
 module Protocol = Leqa_server.Protocol
 module Engine = Leqa_server.Engine
 module Server = Leqa_server.Server
+module Store = Leqa_server.Store
+module Supervisor = Leqa_server.Supervisor
 module Json = Leqa_util.Json
+module Backoff = Leqa_util.Backoff
 
 let binary_version = "1.1.0"
 
@@ -772,36 +775,125 @@ let socket_arg =
   let doc = "Serve on (or connect to) a Unix-domain socket at $(docv)." in
   Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
 
+let tcp_endpoint_of ~flag spec =
+  let bad () =
+    E.raise_error
+      (E.Usage_error (Printf.sprintf "%s expects HOST:PORT (got %S)" flag spec))
+  in
+  match String.rindex_opt spec ':' with
+  | None -> bad ()
+  | Some i -> (
+    let host = String.sub spec 0 i in
+    let host = if host = "" then "127.0.0.1" else host in
+    match int_of_string_opt (String.sub spec (i + 1) (String.length spec - i - 1)) with
+    | Some port when port > 0 && port < 65536 -> Server.Tcp { host; port }
+    | Some _ | None -> bad ())
+
 let serve_cmd =
-  let run socket queue batch cache_results cache_preps jobs default_deadline
-      reject_overflow =
+  let run socket listen workers store worker_mode queue batch cache_results
+      cache_preps jobs default_deadline reject_overflow =
     handle Report.Human @@ fun () ->
-    apply_jobs jobs;
-    let cfg =
-      {
-        (Engine.default_config ~binary_version) with
-        Engine.queue_capacity = queue;
-        batch_max = batch;
-        result_cache_entries = cache_results;
-        prep_cache_entries = cache_preps;
-        default_deadline_s =
-          deadline_seconds ~flag:"--default-deadline" default_deadline;
-        reject_overflow;
-      }
+    let endpoint =
+      match (socket, listen) with
+      | Some _, Some _ ->
+        E.raise_error
+          (E.Usage_error "--socket and --listen are mutually exclusive")
+      | Some path, None -> Some (Server.Unix_path path)
+      | None, Some spec -> Some (tcp_endpoint_of ~flag:"--listen" spec)
+      | None, None -> None
     in
-    let engine = Engine.create cfg in
-    let server = Server.create engine in
-    match socket with
-    | None ->
-      prerr_endline
-        (Printf.sprintf "leqa serve: %s on stdio (EOF or SIGTERM drains)"
-           Protocol.rpc_schema_version);
-      Server.serve_stdio server
-    | Some path ->
-      prerr_endline
-        (Printf.sprintf "leqa serve: %s on %s (SIGTERM drains)"
-           Protocol.rpc_schema_version path);
-      Server.serve_socket server path
+    if workers < 1 then
+      E.raise_error (E.Usage_error "--workers must be >= 1");
+    (* validate once in the front process, whatever the mode *)
+    let deadline_s =
+      deadline_seconds ~flag:"--default-deadline" default_deadline
+    in
+    if worker_mode || workers = 1 then begin
+      (* in-process engine: the classic single-process server, which is
+         also exactly what one supervised worker runs over its pipes *)
+      apply_jobs jobs;
+      let cfg =
+        {
+          (Engine.default_config ~binary_version) with
+          Engine.queue_capacity = queue;
+          batch_max = batch;
+          result_cache_entries = cache_results;
+          prep_cache_entries = cache_preps;
+          default_deadline_s = deadline_s;
+          reject_overflow;
+        }
+      in
+      let store = Option.map (fun dir -> Store.open_ ~dir) store in
+      let engine = Engine.create ?store cfg in
+      let server = Server.create engine in
+      if worker_mode then Server.serve_stdio server
+      else
+        match endpoint with
+        | None ->
+          prerr_endline
+            (Printf.sprintf "leqa serve: %s on stdio (EOF or SIGTERM drains)"
+               Protocol.rpc_schema_version);
+          Server.serve_stdio server
+        | Some ep ->
+          prerr_endline
+            (Printf.sprintf "leqa serve: %s on %s (SIGTERM drains)"
+               Protocol.rpc_schema_version
+               (Server.endpoint_to_string ep));
+          Server.serve_endpoint server ep
+    end
+    else begin
+      (* supervised master: respawn this binary as --worker processes
+         (workers inherit the environment, so LEQA_FAULTS chaos sites
+         arm inside them automatically) *)
+      let worker_argv =
+        Array.of_list
+          ([
+             Sys.executable_name;
+             "serve";
+             "--worker";
+             "--queue";
+             string_of_int queue;
+             "--batch";
+             string_of_int batch;
+             "--cache-results";
+             string_of_int cache_results;
+             "--cache-preps";
+             string_of_int cache_preps;
+           ]
+          @ (match jobs with
+            | None -> []
+            | Some j -> [ "--jobs"; string_of_int j ])
+          @ (match deadline_s with
+            | None -> []
+            | Some s -> [ "--default-deadline"; Printf.sprintf "%.17g" s ])
+          @ (if reject_overflow then [ "--reject-overflow" ] else [])
+          @
+          match store with
+          | None -> []
+          | Some dir -> [ "--store"; dir ])
+      in
+      let sup =
+        Supervisor.create
+          (Supervisor.default_config ~worker_prog:Sys.executable_name
+             ~worker_argv ~workers)
+      in
+      match endpoint with
+      | None ->
+        prerr_endline
+          (Printf.sprintf
+             "leqa serve: %s on stdio, %d supervised workers (EOF or \
+              SIGTERM drains)"
+             Protocol.rpc_schema_version workers);
+        Supervisor.serve_stdio sup
+      | Some ep ->
+        prerr_endline
+          (Printf.sprintf
+             "leqa serve: %s on %s, %d supervised workers (SIGTERM drains)"
+             Protocol.rpc_schema_version
+             (Server.endpoint_to_string ep)
+             workers);
+        Supervisor.serve_endpoint sup ep
+    end
   in
   let queue_arg =
     let doc = "Admission-queue capacity (backpressure bound)." in
@@ -836,16 +928,43 @@ let serve_cmd =
     in
     Arg.(value & flag & info [ "reject-overflow" ] ~doc)
   in
+  let listen_arg =
+    let doc = "Serve on a TCP socket at $(docv) (HOST:PORT)." in
+    Arg.(value & opt (some string) None & info [ "listen" ] ~docv:"HOST:PORT" ~doc)
+  in
+  let workers_arg =
+    let doc =
+      "Shard requests across $(docv) supervised worker processes \
+       (crashed or wedged workers are restarted with backoff, their \
+       in-flight requests retried on a sibling).  1 serves in-process."
+    in
+    Arg.(value & opt int 1 & info [ "workers" ] ~docv:"N" ~doc)
+  in
+  let store_arg =
+    let doc =
+      "Persist computed reports under $(docv) (content-addressed, \
+       checksummed, crash-safe): a restarted server answers its old \
+       traffic warm, and workers share results."
+    in
+    Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR" ~doc)
+  in
+  let worker_arg =
+    (* hidden: the re-exec'd worker half of --workers *)
+    let doc = "Run as a supervised worker over stdin/stdout (internal)." in
+    Arg.(value & flag & info [ "worker" ] ~doc ~docs:Cmdliner.Manpage.s_none)
+  in
   let term =
     Term.(
-      const run $ socket_arg $ queue_arg $ batch_arg $ cache_results_arg
+      const run $ socket_arg $ listen_arg $ workers_arg $ store_arg
+      $ worker_arg $ queue_arg $ batch_arg $ cache_results_arg
       $ cache_preps_arg $ jobs_arg $ default_deadline_arg
       $ reject_overflow_arg)
   in
   Cmd.v
     (Cmd.info "serve"
-       ~doc:"run the persistent estimation service (NDJSON over stdio or \
-             a Unix socket)")
+       ~doc:"run the persistent estimation service (NDJSON over stdio, a \
+             Unix socket or TCP; optionally as a supervised multi-worker \
+             fleet with a persistent result store)")
     term
 
 let client_cmd =
@@ -854,16 +973,23 @@ let client_cmd =
     if n = 0 then 0.0
     else sorted.(min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1))
   in
-  let run socket method_ file bench scale width height v terms sizes deadline
-      count =
+  let run socket connect method_ file bench scale width height v terms sizes
+      deadline count max_retries =
     handle Report.Json @@ fun () ->
-    let socket =
-      match socket with
-      | Some path -> path
-      | None -> E.raise_error (E.Usage_error "--socket is required")
+    let endpoint =
+      match (socket, connect) with
+      | Some _, Some _ ->
+        E.raise_error
+          (E.Usage_error "--socket and --connect are mutually exclusive")
+      | Some path, None -> Server.Unix_path path
+      | None, Some spec -> tcp_endpoint_of ~flag:"--connect" spec
+      | None, None ->
+        E.raise_error (E.Usage_error "one of --socket or --connect is required")
     in
     if count < 1 then
       E.raise_error (E.Usage_error "--count must be a positive integer");
+    if max_retries < 0 then
+      E.raise_error (E.Usage_error "--retries must be >= 0");
     let body =
       match method_ with
       | "version" -> Protocol.Version
@@ -905,12 +1031,56 @@ let client_cmd =
                    sweep-fabric, version, ping or stats)"
                   other)))
     in
-    let conn = Server.Client.connect socket in
-    Fun.protect ~finally:(fun () -> Server.Client.close conn) @@ fun () ->
+    (* a server mid-restart answers ECONNREFUSED for a moment; re-dial
+       under capped backoff instead of aborting, and surface how bumpy
+       the ride was (retries / gave_up) rather than failing the run *)
+    let retries = ref 0 in
+    let gave_up = ref 0 in
+    let conn = ref None in
+    let drop_conn () =
+      (match !conn with Some c -> Server.Client.close c | None -> ());
+      conn := None
+    in
+    let call_with_retry req =
+      let rec go attempt =
+        match
+          let c =
+            match !conn with
+            | Some c -> c
+            | None ->
+              let c = Server.Client.connect endpoint in
+              conn := Some c;
+              c
+          in
+          Server.Client.call c req
+        with
+        | resp -> Some resp
+        | exception Server.Client.Unreachable _ ->
+          drop_conn ();
+          if attempt > max_retries then None
+          else begin
+            incr retries;
+            Unix.sleepf
+              (Backoff.delay_s ~seed:0xc11e47 ~attempt ());
+            go (attempt + 1)
+          end
+      in
+      go 1
+    in
+    Fun.protect ~finally:drop_conn @@ fun () ->
     if count = 1 then begin
       let resp =
-        Server.Client.call conn
-          (Protocol.request_to_json { Protocol.id = Json.Int 0; body })
+        match
+          call_with_retry
+            (Protocol.request_to_json { Protocol.id = Json.Int 0; body })
+        with
+        | Some resp -> resp
+        | None ->
+          E.raise_error
+            (E.Io_error
+               (Printf.sprintf "%s: unreachable after %d retries"
+                  (Server.endpoint_to_string endpoint)
+                  !retries))
       in
       match Json.member "ok" resp with
       | Some (Json.Bool true) ->
@@ -935,23 +1105,33 @@ let client_cmd =
          so the latencies measure the server, not local queueing *)
       let latencies = Array.make count 0.0 in
       let hits = ref 0 in
+      let warm = ref 0 in
       let errors = ref 0 in
       let _, wall_s =
         Leqa_util.Timing.time (fun () ->
             for i = 0 to count - 1 do
               let resp, dt =
                 Leqa_util.Timing.time (fun () ->
-                    Server.Client.call conn
+                    call_with_retry
                       (Protocol.request_to_json
                          { Protocol.id = Json.Int i; body }))
               in
               latencies.(i) <- dt;
-              (match Json.member "cache" resp with
-              | Some (Json.String "hit") -> incr hits
-              | _ -> ());
-              match Json.member "ok" resp with
-              | Some (Json.Bool true) -> ()
-              | _ -> incr errors
+              match resp with
+              | None ->
+                (* connection never came back within the retry cap:
+                   record and press on — a load run reports flakiness,
+                   it doesn't die of it *)
+                incr gave_up;
+                incr errors
+              | Some resp -> (
+                (match Json.member "cache" resp with
+                | Some (Json.String "hit") -> incr hits
+                | Some (Json.String "warm") -> incr warm
+                | _ -> ());
+                match Json.member "ok" resp with
+                | Some (Json.Bool true) -> ()
+                | _ -> incr errors)
             done)
       in
       Array.sort compare latencies;
@@ -964,7 +1144,10 @@ let client_cmd =
             ("p50_ms", Json.Float (1e3 *. percentile latencies 0.50));
             ("p99_ms", Json.Float (1e3 *. percentile latencies 0.99));
             ("cache_hits", Json.Int !hits);
+            ("cache_warm", Json.Int !warm);
             ("errors", Json.Int !errors);
+            ("retries", Json.Int !retries);
+            ("gave_up", Json.Int !gave_up);
           ]
       in
       print_endline
@@ -996,15 +1179,29 @@ let client_cmd =
   let count_arg =
     let doc =
       "Send the request $(docv) times and print a load summary (rps, \
-       p50/p99 latency, cache hits) instead of a report."
+       p50/p99 latency, cache hits, retries) instead of a report."
     in
     Arg.(value & opt int 1 & info [ "count" ] ~docv:"N" ~doc)
   in
+  let connect_arg =
+    let doc = "Connect to a TCP server at $(docv) (HOST:PORT)." in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"HOST:PORT" ~doc)
+  in
+  let retries_arg =
+    let doc =
+      "Re-dial a refused or dropped connection up to $(docv) times per \
+       request (capped exponential backoff with jitter); 0 fails fast."
+    in
+    Arg.(value & opt int 8 & info [ "retries" ] ~docv:"N" ~doc)
+  in
   let term =
     Term.(
-      const run $ socket_arg $ method_arg $ file_arg $ bench_arg $ scale_arg
-      $ width_arg $ height_arg $ v_arg $ terms_arg $ sizes_arg $ deadline_arg
-      $ count_arg)
+      const run $ socket_arg $ connect_arg $ method_arg $ file_arg $ bench_arg
+      $ scale_arg $ width_arg $ height_arg $ v_arg $ terms_arg $ sizes_arg
+      $ deadline_arg $ count_arg $ retries_arg)
   in
   Cmd.v
     (Cmd.info "client"

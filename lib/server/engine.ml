@@ -39,6 +39,7 @@ type t = {
   cfg : config;
   pool : Pool.t;
   cache : Cache.t;
+  store : Store.t option;
   queue : Protocol.request Queue.t;
   mutex : Mutex.t;
   work : Condition.t;  (* queue went non-empty, or state changed *)
@@ -50,7 +51,7 @@ type t = {
   rejected_n : int Atomic.t;
 }
 
-let create ?pool cfg =
+let create ?pool ?store cfg =
   if cfg.queue_capacity < 1 then
     invalid_arg "Engine.create: queue_capacity must be >= 1";
   if cfg.batch_max < 1 then invalid_arg "Engine.create: batch_max must be >= 1";
@@ -60,6 +61,7 @@ let create ?pool cfg =
     cache =
       Cache.create ~result_entries:cfg.result_cache_entries
         ~prep_entries:cfg.prep_cache_entries;
+    store;
     queue = Queue.create ();
     mutex = Mutex.create ();
     work = Condition.create ();
@@ -72,6 +74,7 @@ let create ?pool cfg =
   }
 
 let config t = t.cfg
+let store t = t.store
 
 (* ---- the estimation paths ------------------------------------------ *)
 
@@ -101,22 +104,34 @@ let prep_for t circuit =
   in
   (ckey, entry)
 
-(* result-cache lookup with the poison guard: an entry that is no
-   longer a well-formed report is dropped and recomputed *)
+(* result lookup, two durable levels: the in-memory LRU (with the
+   poison guard: an entry that is no longer a well-formed report is
+   dropped and recomputed), then the disk store — a store hit is
+   promoted into the LRU and answered as cache:"warm" so clients (and
+   the warm-restart gate) can tell disk warmth from memory hits *)
 let cached_result t key =
   match Lru.find t.cache.Cache.results key with
-  | Some doc when Cache.valid_report doc -> Some doc
+  | Some doc when Cache.valid_report doc -> Some (`Hit, doc)
   | Some _ ->
     Lru.remove t.cache.Cache.results key;
     Telemetry.ambient_count "cache.server.result.poisoned";
     None
-  | None -> None
+  | None -> (
+    match t.store with
+    | None -> None
+    | Some store -> (
+      match Store.find store key with
+      | Some doc when Cache.valid_report doc ->
+        Lru.put t.cache.Cache.results key doc;
+        Some (`Warm, doc)
+      | Some _ | None -> None))
 
 let store_result t key doc =
   (* the cache.poison fault site corrupts the stored entry instead of
      the response — the next lookup must detect and recompute it *)
   let stored = if Fault.fires "cache.poison" then Json.Null else doc in
-  Lru.put t.cache.Cache.results key stored
+  Lru.put t.cache.Cache.results key stored;
+  match t.store with None -> () | Some store -> Store.put store key doc
 
 let estimate_response t ~id (p : Protocol.estimate_params) =
   let circuit = ok (Source.load p.Protocol.source) in
@@ -129,7 +144,7 @@ let estimate_response t ~id (p : Protocol.estimate_params) =
       ~options:[ ("terms", string_of_int p.Protocol.terms) ]
   in
   match cached_result t key with
-  | Some doc -> Protocol.response_report ~id ~cache:`Hit doc
+  | Some (cache, doc) -> Protocol.response_report ~id ~cache doc
   | None ->
     let _, entry = prep_for t circuit in
     let deadline = deadline_of t p.Protocol.deadline_s in
@@ -174,7 +189,7 @@ let compare_response t ~id (p : Protocol.compare_params) =
         ]
   in
   match cached_result t key with
-  | Some doc -> Protocol.response_report ~id ~cache:`Hit doc
+  | Some (cache, doc) -> Protocol.response_report ~id ~cache doc
   | None ->
     let _, entry = prep_for t circuit in
     let qspr_config =
@@ -231,7 +246,7 @@ let sweep_response t ~id (p : Protocol.sweep_params) =
         [ ("sizes", String.concat "," (List.map string_of_int p.Protocol.sw_sizes)) ]
   in
   match cached_result t key with
-  | Some doc -> Protocol.response_report ~id ~cache:`Hit doc
+  | Some (cache, doc) -> Protocol.response_report ~id ~cache doc
   | None ->
     let _, entry = prep_for t circuit in
     let deadline = deadline_of t p.Protocol.sw_deadline_s in
@@ -321,7 +336,7 @@ let diff_response t ~id (p : Protocol.diff_params) =
         ]
   in
   match cached_result t key with
-  | Some doc -> Protocol.response_report ~id ~cache:`Hit doc
+  | Some (cache, doc) -> Protocol.response_report ~id ~cache doc
   | None ->
     let summary = Leqa_diff.Harness.run ?deadline_s ~shrink:false cases in
     let report =
@@ -370,7 +385,7 @@ let queue_state t =
 let stats_json t =
   let depth, draining = queue_state t in
   Json.Obj
-    [
+    ([
       ("served", Json.Int (Atomic.get t.served_n));
       ("errors", Json.Int (Atomic.get t.errors_n));
       ("rejected", Json.Int (Atomic.get t.rejected_n));
@@ -388,10 +403,18 @@ let stats_json t =
           ~length:(Lru.length t.cache.Cache.preps)
           ~capacity:(Lru.capacity t.cache.Cache.preps) );
     ]
+    @
+    match t.store with
+    | None -> []
+    | Some store -> [ ("store", Store.stats_json store) ])
 
 let handle t (req : Protocol.request) =
   let id = req.Protocol.id in
   Telemetry.ambient_count "server.requests";
+  (* process-level chaos: die the way a segfault or OOM kill would,
+     with this request in flight — under supervision the master must
+     retry it on a sibling so the client never notices *)
+  if Fault.fires "worker.kill" then Unix.kill (Unix.getpid ()) Sys.sigkill;
   let outcome =
     E.protect (fun () ->
         match req.Protocol.body with

@@ -43,10 +43,16 @@ val default_config : binary_version:string -> config
 
 type t
 
-val create : ?pool:Leqa_util.Pool.t -> config -> t
-(** [pool] defaults to {!Leqa_util.Pool.get_default}[ ()]. *)
+val create : ?pool:Leqa_util.Pool.t -> ?store:Store.t -> config -> t
+(** [pool] defaults to {!Leqa_util.Pool.get_default}[ ()].  [store]
+    adds a disk level under the in-memory result LRU: misses consult
+    it (hits answer [cache:"warm"] and are promoted into the LRU),
+    computed results are committed to it, and a restarted engine
+    pointed at the same directory comes back warm. *)
 
 val config : t -> config
+
+val store : t -> Store.t option
 
 val handle : t -> Protocol.request -> Json.t
 (** Execute one request to a response document.  Never raises: every

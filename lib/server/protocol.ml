@@ -322,6 +322,7 @@ let response_ok ~id ?cache fields =
     | None -> []
     | Some `Hit -> [ ("cache", Json.String "hit") ]
     | Some `Miss -> [ ("cache", Json.String "miss") ]
+    | Some `Warm -> [ ("cache", Json.String "warm") ]
   in
   Json.Obj
     ([

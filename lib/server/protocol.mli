@@ -14,7 +14,7 @@
 
     {v
     { "schema_version": "leqa/rpc/v1", "id": 7, "ok": true,
-      "cache": "hit" | "miss",              (estimation methods only)
+      "cache": "hit" | "miss" | "warm",     (estimation methods only)
       "report": { ...a leqa/report/v1 document... } }
     { "schema_version": "leqa/rpc/v1", "id": 7, "ok": false,
       "error": { "error": "usage-error", "message": ..., "exit_code": 64 } }
@@ -101,11 +101,16 @@ val request_to_json : request -> Json.t
     it back yields an equal request. *)
 
 val response_ok :
-  id:Json.t -> ?cache:[ `Hit | `Miss ] -> (string * Json.t) list -> Json.t
-(** Success envelope; [cache] renders as ["cache": "hit"|"miss"]. *)
+  id:Json.t ->
+  ?cache:[ `Hit | `Miss | `Warm ] ->
+  (string * Json.t) list ->
+  Json.t
+(** Success envelope; [cache] renders as ["cache": "hit"|"miss"|"warm"]
+    ([`Warm]: served from the persistent store after a restart or LRU
+    eviction). *)
 
 val response_report :
-  id:Json.t -> ?cache:[ `Hit | `Miss ] -> Json.t -> Json.t
+  id:Json.t -> ?cache:[ `Hit | `Miss | `Warm ] -> Json.t -> Json.t
 (** [response_ok] with a single ["report"] member. *)
 
 val response_error : id:Json.t -> E.t -> Json.t

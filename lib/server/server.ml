@@ -111,66 +111,152 @@ let serve_stdio t =
   Engine.set_draining t.engine;  (* stop the ticker *)
   Domain.join ticker
 
-(* ---- Unix-domain socket --------------------------------------------- *)
+(* ---- endpoints ------------------------------------------------------ *)
 
-let remove_if_socket path =
+type endpoint = Unix_path of string | Tcp of { host : string; port : int }
+
+let endpoint_to_string = function
+  | Unix_path path -> path
+  | Tcp { host; port } -> Printf.sprintf "%s:%d" host port
+
+let inet_addr_of_host host =
+  match Unix.inet_addr_of_string host with
+  | addr -> addr
+  | exception Failure _ -> (
+    match
+      Unix.getaddrinfo host ""
+        [ Unix.AI_FAMILY Unix.PF_INET; Unix.AI_SOCKTYPE Unix.SOCK_STREAM ]
+    with
+    | { Unix.ai_addr = Unix.ADDR_INET (addr, _); _ } :: _ -> addr
+    | _ | (exception Not_found) ->
+      E.raise_error (E.Usage_error (host ^ ": cannot resolve host")))
+
+let sockaddr_of_endpoint = function
+  | Unix_path path -> Unix.ADDR_UNIX path
+  | Tcp { host; port } -> Unix.ADDR_INET (inet_addr_of_host host, port)
+
+(* A socket file left behind by a crashed (or SIGKILLed) server must not
+   block the next start, but blindly unlinking would yank the rug from
+   under a live one.  So probe first: a connection that completes means
+   someone is accepting — refuse to start; ECONNREFUSED means the
+   listener is gone — the file is stale, remove it. *)
+let remove_if_stale_socket path =
   match Unix.lstat path with
-  | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink path
+  | { Unix.st_kind = Unix.S_SOCK; _ } -> begin
+    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let verdict =
+      match Unix.connect probe (Unix.ADDR_UNIX path) with
+      | () -> `Live
+      | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) -> `Stale
+      | exception Unix.Unix_error (Unix.ENOENT, _, _) -> `Gone
+      | exception Unix.Unix_error (err, _, _) -> `Error (Unix.error_message err)
+    in
+    (try Unix.close probe with Unix.Unix_error _ -> ());
+    match verdict with
+    | `Live ->
+      E.raise_error
+        (E.Usage_error
+           (path
+          ^ ": a server is already listening on this socket (stop it, or \
+             pick another --socket path)"))
+    | `Stale ->
+      Telemetry.ambient_count "server.stale_socket_removed";
+      Unix.unlink path
+    | `Gone -> ()
+    | `Error msg -> E.raise_error (E.Io_error (path ^ ": " ^ msg))
+  end
   | _ -> E.raise_error (E.Io_error (path ^ ": exists and is not a socket"))
   | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
 
-let serve_socket t path =
-  let ticker = install_signal_handlers t in
-  remove_if_socket path;
-  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  let cleanup () =
-    (try Unix.close sock with Unix.Unix_error _ -> ());
-    try Unix.unlink path with Unix.Unix_error _ -> ()
-  in
-  Fun.protect ~finally:cleanup @@ fun () ->
+let listen_endpoint endpoint =
+  (match endpoint with
+  | Unix_path path -> remove_if_stale_socket path
+  | Tcp _ -> ());
+  let addr = sockaddr_of_endpoint endpoint in
+  let sock = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
   (try
-     Unix.bind sock (Unix.ADDR_UNIX path);
+     (match endpoint with
+     | Tcp _ -> Unix.setsockopt sock Unix.SO_REUSEADDR true
+     | Unix_path _ -> ());
+     Unix.bind sock addr;
      Unix.listen sock 16
    with Unix.Unix_error (err, fn, _) ->
+     (try Unix.close sock with Unix.Unix_error _ -> ());
      E.raise_error
-       (E.Io_error (Printf.sprintf "%s: %s (%s)" path (Unix.error_message err) fn)));
-  (* one connection at a time: the estimation fan-out already saturates
-     the pool, interleaving connections would only mix their queues *)
-  let rec accept_loop () =
-    if Engine.draining t.engine then ()
+       (E.Io_error
+          (Printf.sprintf "%s: %s (%s)"
+             (endpoint_to_string endpoint)
+             (Unix.error_message err) fn)));
+  sock
+
+let close_endpoint sock endpoint =
+  (try Unix.close sock with Unix.Unix_error _ -> ());
+  match endpoint with
+  | Unix_path path -> (
+    try Unix.unlink path with Unix.Unix_error _ -> ())
+  | Tcp _ -> ()
+
+let accept_loop ~stop sock handler =
+  let rec loop () =
+    if stop () then ()
     else begin
       (* wake from accept() periodically to notice a requested drain *)
       match Unix.select [ sock ] [] [] 0.2 with
-      | [], _, _ -> accept_loop ()
+      | [], _, _ -> loop ()
       | _ :: _, _, _ ->
         let fd, _ = Unix.accept sock in
-        let ic = Unix.in_channel_of_descr fd in
-        let oc = Unix.out_channel_of_descr fd in
-        (try serve_channels t ic oc
-         with Sys_error _ | Unix.Unix_error _ -> ());
-        (try Unix.close fd with Unix.Unix_error _ -> ());
-        accept_loop ()
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+        handler fd;
+        loop ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
     end
   in
-  accept_loop ();
+  loop ()
+
+let serve_endpoint t endpoint =
+  let ticker = install_signal_handlers t in
+  let sock = listen_endpoint endpoint in
+  Fun.protect ~finally:(fun () -> close_endpoint sock endpoint) @@ fun () ->
+  (* one connection at a time: the estimation fan-out already saturates
+     the pool, interleaving connections would only mix their queues *)
+  accept_loop
+    ~stop:(fun () -> Engine.draining t.engine)
+    sock
+    (fun fd ->
+      let ic = Unix.in_channel_of_descr fd in
+      let oc = Unix.out_channel_of_descr fd in
+      (try serve_channels t ic oc with Sys_error _ | Unix.Unix_error _ -> ());
+      try Unix.close fd with Unix.Unix_error _ -> ());
   Engine.set_draining t.engine;
   Domain.join ticker
+
+let serve_socket t path = serve_endpoint t (Unix_path path)
 
 (* ---- client --------------------------------------------------------- *)
 
 module Client = struct
   type conn = { fd : Unix.file_descr; ic : in_channel; coc : out_channel }
 
-  let connect path =
-    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-    (try Unix.connect fd (Unix.ADDR_UNIX path)
+  exception Unreachable of string
+  (** Connection-level failure (refused, reset, absent socket) — the
+      retriable class; [leqa client] re-dials under {!Leqa_util.Backoff}
+      instead of aborting. *)
+
+  let connect endpoint =
+    let addr = sockaddr_of_endpoint endpoint in
+    let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+    (try Unix.connect fd addr
      with Unix.Unix_error (err, _, _) ->
        (try Unix.close fd with Unix.Unix_error _ -> ());
-       E.raise_error
-         (E.Io_error
-            (Printf.sprintf "%s: %s (is the server running?)" path
-               (Unix.error_message err))));
+       let msg =
+         Printf.sprintf "%s: %s (is the server running?)"
+           (endpoint_to_string endpoint)
+           (Unix.error_message err)
+       in
+       (match err with
+       | Unix.ECONNREFUSED | Unix.ECONNRESET | Unix.ENOENT | Unix.ETIMEDOUT
+         ->
+         raise (Unreachable msg)
+       | _ -> E.raise_error (E.Io_error msg)));
     {
       fd;
       ic = Unix.in_channel_of_descr fd;
@@ -183,11 +269,11 @@ module Client = struct
        output_char conn.coc '\n';
        flush conn.coc
      with Sys_error msg | Unix.Unix_error (_, msg, _) ->
-       E.raise_error (E.Io_error ("server connection lost: " ^ msg)));
+       raise (Unreachable ("server connection lost: " ^ msg)));
     let line =
       try input_line conn.ic
       with End_of_file | Sys_error _ ->
-        E.raise_error (E.Io_error "server closed the connection")
+        raise (Unreachable "server closed the connection")
     in
     match Json.of_string line with
     | Ok json -> json

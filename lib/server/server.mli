@@ -30,24 +30,59 @@ val serve_stdio : t -> unit
 (** [serve_channels] over stdin/stdout with SIGTERM → graceful drain
     and SIGPIPE ignored (a dying client must not kill the server). *)
 
+(** {2 Endpoints}
+
+    Listening addresses shared by the in-process server, the
+    multi-worker {!Supervisor} master and the client. *)
+
+type endpoint =
+  | Unix_path of string  (** Unix-domain socket path *)
+  | Tcp of { host : string; port : int }  (** [--listen HOST:PORT] *)
+
+val endpoint_to_string : endpoint -> string
+
+val listen_endpoint : endpoint -> Unix.file_descr
+(** Bound, listening socket.  For a [Unix_path], a leftover socket file
+    is probed first: a live listener raises [Usage_error] ("a server is
+    already listening"), a stale file (connect → ECONNREFUSED, the
+    previous server crashed or was SIGKILLed) is unlinked and replaced.
+    @raise Leqa_util.Error.Error ([Io_error]) on bind/listen failure. *)
+
+val close_endpoint : Unix.file_descr -> endpoint -> unit
+(** Close the listener; for a [Unix_path], also unlink the file. *)
+
+val accept_loop :
+  stop:(unit -> bool) -> Unix.file_descr -> (Unix.file_descr -> unit) -> unit
+(** Accept connections one at a time until [stop ()]; polls [stop]
+    every 200 ms so a requested drain is noticed between clients. *)
+
+val serve_endpoint : t -> endpoint -> unit
+(** Listen on [endpoint], serving one connection at a time — the
+    estimation fan-out already saturates the domain pool, so connection
+    concurrency would only interleave queues.  Returns (closing the
+    listener, unlinking a Unix socket file) once a drain is
+    requested. *)
+
 val serve_socket : t -> string -> unit
-(** Listen on a Unix-domain socket path (an existing socket file is
-    replaced), serving one connection at a time — the estimation fan-out
-    already saturates the domain pool, so connection concurrency would
-    only interleave queues.  Returns (and removes the socket file) once
-    a drain is requested. *)
+(** [serve_endpoint t (Unix_path path)]. *)
 
 module Client : sig
   type conn
 
-  val connect : string -> conn
-  (** @raise Leqa_util.Error.Error ([Io_error]) when the socket is
-      absent or refuses. *)
+  exception Unreachable of string
+  (** The retriable connection-failure class (refused / reset / absent
+      socket / server gone mid-call): [leqa client] re-dials under
+      {!Leqa_util.Backoff} instead of aborting on it. *)
+
+  val connect : endpoint -> conn
+  (** @raise Unreachable when the endpoint refuses or is absent.
+      @raise Leqa_util.Error.Error ([Io_error]) on other failures. *)
 
   val call : conn -> Leqa_util.Json.t -> Leqa_util.Json.t
   (** Write one request line, read one response line.
-      @raise Leqa_util.Error.Error ([Io_error]) on a dropped
-      connection, ([Parse_error]) on a malformed response. *)
+      @raise Unreachable on a dropped connection.
+      @raise Leqa_util.Error.Error ([Parse_error]) on a malformed
+      response. *)
 
   val close : conn -> unit
 end

@@ -1,0 +1,269 @@
+module Json = Leqa_util.Json
+module E = Leqa_util.Error
+module Fault = Leqa_util.Fault
+module Telemetry = Leqa_util.Telemetry
+
+(* Disk layout under the store root:
+
+     <dir>/<key>              one committed entry per content key
+     <dir>/tmp/               uncommitted writes (unique names)
+     <dir>/quarantine/        entries that failed validation on read
+
+   Keys are hex MD5 digests (Cache.result_key), so they are always safe
+   flat filenames.  An entry is a one-line header followed by the
+   payload bytes:
+
+     leqa/store/v1 <md5-of-payload> <payload-length>\n<payload>
+
+   Commit protocol: write header+payload to a unique file under tmp/,
+   fsync it, then rename(2) into place — readers only ever observe
+   absent or fully-committed files, whatever the writer's fate.  A
+   writer killed before the rename leaves garbage in tmp/ that [open_]
+   sweeps on the next start; an entry that is nevertheless corrupt
+   (torn by a non-atomic filesystem, bit-rotted, truncated by fault
+   injection) fails the length/checksum check on read and is moved to
+   quarantine/ with a counter bump and a single-line warning — never a
+   crash, the result is simply recomputed. *)
+
+let format_version = "leqa/store/v1"
+
+type t = {
+  dir : string;
+  tmp_dir : string;
+  quarantine_dir : string;
+  mutex : Mutex.t;  (* guards counters and the tmp-name nonce *)
+  mutable nonce : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable puts : int;
+  mutable quarantined : int;
+}
+
+let mkdir_p path =
+  let rec make path =
+    if not (Sys.file_exists path) then begin
+      make (Filename.dirname path);
+      try Unix.mkdir path 0o755
+      with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  try make path
+  with Unix.Unix_error (err, _, _) ->
+    E.raise_error
+      (E.Io_error
+         (Printf.sprintf "store: cannot create %s: %s" path
+            (Unix.error_message err)))
+
+(* a writer killed mid-write leaves its unique file in tmp/; nothing
+   references it, so starting up just deletes the leftovers *)
+let sweep_tmp tmp_dir =
+  match Sys.readdir tmp_dir with
+  | names ->
+    Array.iter
+      (fun name ->
+        try Sys.remove (Filename.concat tmp_dir name) with Sys_error _ -> ())
+      names
+  | exception Sys_error _ -> ()
+
+let open_ ~dir =
+  let tmp_dir = Filename.concat dir "tmp" in
+  let quarantine_dir = Filename.concat dir "quarantine" in
+  mkdir_p dir;
+  mkdir_p tmp_dir;
+  mkdir_p quarantine_dir;
+  sweep_tmp tmp_dir;
+  {
+    dir;
+    tmp_dir;
+    quarantine_dir;
+    mutex = Mutex.create ();
+    nonce = 0;
+    hits = 0;
+    misses = 0;
+    puts = 0;
+    quarantined = 0;
+  }
+
+let dir t = t.dir
+
+let counted t f =
+  Mutex.lock t.mutex;
+  let r = f t in
+  Mutex.unlock t.mutex;
+  r
+
+(* keys come from Fingerprint (hex MD5); refuse anything that could
+   escape the store directory if a caller ever hands us one that is not *)
+let valid_key key =
+  key <> ""
+  && String.for_all
+       (function 'a' .. 'f' | 'A' .. 'F' | '0' .. '9' -> true | _ -> false)
+       key
+
+let entry_path t key = Filename.concat t.dir key
+
+(* ---- write ---------------------------------------------------------- *)
+
+let flip_byte s =
+  if String.length s = 0 then s
+  else begin
+    let b = Bytes.of_string s in
+    let i = String.length s / 2 in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x01));
+    Bytes.to_string b
+  end
+
+let put t key doc =
+  if valid_key key then begin
+    let payload = Json.to_string doc in
+    let sum = Digest.to_hex (Digest.string payload) in
+    (* chaos sites corrupt the bytes *after* the header committed to the
+       real length and checksum, so validation must catch them on read *)
+    let written =
+      if Fault.fires "store.torn_write" then
+        String.sub payload 0 (String.length payload / 2)
+      else if Fault.fires "store.bitflip" then flip_byte payload
+      else payload
+    in
+    let tmp =
+      counted t (fun t ->
+          t.nonce <- t.nonce + 1;
+          Filename.concat t.tmp_dir
+            (Printf.sprintf "%s.%d.%d" key (Unix.getpid ()) t.nonce))
+    in
+    match
+      let fd =
+        Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+      in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let header =
+            Printf.sprintf "%s %s %d\n" format_version sum
+              (String.length payload)
+          in
+          let line = header ^ written in
+          let n = Unix.write_substring fd line 0 (String.length line) in
+          if n <> String.length line then failwith "short write";
+          (* commit point: data durable before the rename makes it
+             visible *)
+          Unix.fsync fd);
+      Unix.rename tmp (entry_path t key)
+    with
+    | () ->
+      counted t (fun t -> t.puts <- t.puts + 1);
+      Telemetry.ambient_count "store.put"
+    | exception (Unix.Unix_error _ | Sys_error _ | Failure _) ->
+      (* a full disk or permission flip must degrade the cache, not the
+         answer: drop the write, clean up, count it *)
+      (try Sys.remove tmp with Sys_error _ -> ());
+      Telemetry.ambient_count "store.put_failed"
+  end
+
+(* ---- read ----------------------------------------------------------- *)
+
+let quarantine t key reason =
+  let from = entry_path t key in
+  (try Unix.rename from (Filename.concat t.quarantine_dir key)
+   with Unix.Unix_error _ -> (try Sys.remove from with Sys_error _ -> ()));
+  counted t (fun t -> t.quarantined <- t.quarantined + 1);
+  Telemetry.ambient_count "store.quarantined";
+  Printf.eprintf "leqa serve: store: quarantined corrupt entry %s (%s)\n%!"
+    key reason
+
+let read_entry path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let header = input_line ic in
+      match String.split_on_char ' ' header with
+      | [ version; sum; len ] when version = format_version -> begin
+        match int_of_string_opt len with
+        | None -> Error "malformed length"
+        | Some expect ->
+          let remaining = in_channel_length ic - pos_in ic in
+          if remaining <> expect then
+            Error
+              (Printf.sprintf "payload %d bytes, header says %d" remaining
+                 expect)
+          else
+            let payload = really_input_string ic expect in
+            if Digest.to_hex (Digest.string payload) <> sum then
+              Error "checksum mismatch"
+            else Ok payload
+      end
+      | _ -> Error "malformed header")
+
+let find t key =
+  if not (valid_key key) then None
+  else
+    let path = entry_path t key in
+    if not (Sys.file_exists path) then begin
+      counted t (fun t -> t.misses <- t.misses + 1);
+      Telemetry.ambient_count "store.miss";
+      None
+    end
+    else
+      match read_entry path with
+      | exception (Sys_error _ | End_of_file) ->
+        (* raced with a concurrent quarantine, or unreadable: a miss *)
+        counted t (fun t -> t.misses <- t.misses + 1);
+        Telemetry.ambient_count "store.miss";
+        None
+      | Error reason ->
+        quarantine t key reason;
+        counted t (fun t -> t.misses <- t.misses + 1);
+        Telemetry.ambient_count "store.miss";
+        None
+      | Ok payload -> begin
+        match Json.of_string payload with
+        | Ok doc ->
+          counted t (fun t -> t.hits <- t.hits + 1);
+          Telemetry.ambient_count "store.hit";
+          Some doc
+        | Error _ ->
+          quarantine t key "payload is not JSON";
+          counted t (fun t -> t.misses <- t.misses + 1);
+          Telemetry.ambient_count "store.miss";
+          None
+      end
+
+(* ---- introspection --------------------------------------------------- *)
+
+let entries t =
+  match Sys.readdir t.dir with
+  | names ->
+    Array.fold_left
+      (fun n name ->
+        if Sys.is_directory (Filename.concat t.dir name) then n else n + 1)
+      0 names
+  | exception Sys_error _ -> 0
+
+type stats = {
+  st_hits : int;
+  st_misses : int;
+  st_puts : int;
+  st_quarantined : int;
+}
+
+let stats t =
+  counted t (fun t ->
+      {
+        st_hits = t.hits;
+        st_misses = t.misses;
+        st_puts = t.puts;
+        st_quarantined = t.quarantined;
+      })
+
+let stats_json t =
+  let s = stats t in
+  Json.Obj
+    [
+      ("dir", Json.String t.dir);
+      ("entries", Json.Int (entries t));
+      ("hits", Json.Int s.st_hits);
+      ("misses", Json.Int s.st_misses);
+      ("puts", Json.Int s.st_puts);
+      ("quarantined", Json.Int s.st_quarantined);
+    ]

@@ -1,0 +1,60 @@
+(** Disk-backed content-addressed result store.
+
+    The durable layer under the in-memory result LRU: committed entries
+    survive restarts (a rebooted server answers its old traffic warm)
+    and are shared by every worker process pointed at the same
+    directory.
+
+    {b Durability contract} — writes are tmp-file + [fsync] + atomic
+    [rename], so a reader never observes a partially-written entry from
+    a well-behaved filesystem, whatever happens to the writer (crash,
+    SIGKILL, full disk: the write is simply dropped).  Validation is
+    still end-to-end: every entry carries its payload length and MD5
+    checksum, checked on every read; an entry that fails (torn by
+    fault injection or a non-atomic filesystem, bit-rotted) is moved to
+    [quarantine/] with a counter bump and a single-line stderr warning
+    — corruption degrades to a recompute, never a crash and never a
+    wrong answer.
+
+    Fault sites (DESIGN.md §7): [store.torn_write] commits an entry
+    holding half its payload, [store.bitflip] flips one payload byte
+    after the checksum was taken.  Both must be caught by [find]. *)
+
+type t
+
+val open_ : dir:string -> t
+(** Create/open the store rooted at [dir] (created if absent, along
+    with [tmp/] and [quarantine/]); leftover uncommitted tmp files from
+    crashed writers are swept.  Safe to open the same directory from
+    many processes.
+    @raise Leqa_util.Error.Error ([Io_error]) when [dir] cannot be
+    created. *)
+
+val dir : t -> string
+
+val find : t -> string -> Leqa_util.Json.t option
+(** Validated lookup.  [None] on absence {e or} on a corrupt entry
+    (which is quarantined as a side effect).  Counts
+    [store.hit]/[store.miss]/[store.quarantined] telemetry. *)
+
+val put : t -> string -> Leqa_util.Json.t -> unit
+(** Commit an entry (last writer wins).  I/O failure is swallowed after
+    cleanup ([store.put_failed] counter): the store is a cache, losing
+    a write must not fail the request.  Keys that are not hex digests
+    are ignored (defense against path escape). *)
+
+val entries : t -> int
+(** Committed entries currently on disk. *)
+
+type stats = {
+  st_hits : int;
+  st_misses : int;
+  st_puts : int;
+  st_quarantined : int;
+}
+
+val stats : t -> stats
+
+val stats_json : t -> Leqa_util.Json.t
+(** [{dir, entries, hits, misses, puts, quarantined}] — embedded in the
+    [stats] RPC answer. *)

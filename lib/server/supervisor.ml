@@ -1,0 +1,717 @@
+module Json = Leqa_util.Json
+module E = Leqa_util.Error
+module Backoff = Leqa_util.Backoff
+module Fingerprint = Leqa_util.Fingerprint
+module Telemetry = Leqa_util.Telemetry
+
+type config = {
+  workers : int;
+  worker_prog : string;
+  worker_argv : string array;
+  max_attempts : int;
+  wedge_timeout_s : float;
+  heartbeat_period_s : float;
+  backoff_seed : int;
+  max_request_bytes : int;
+}
+
+let default_config ~worker_prog ~worker_argv ~workers =
+  {
+    workers;
+    worker_prog;
+    worker_argv;
+    max_attempts = 3;
+    wedge_timeout_s = 60.0;
+    heartbeat_period_s = 5.0;
+    backoff_seed = 0x5eed;
+    max_request_bytes = Protocol.default_max_bytes;
+  }
+
+(* ---- jobs ------------------------------------------------------------ *)
+
+(* A job is an opaque verbatim request line plus everything the master
+   needs to stand in for the worker when things go wrong: the parsed id
+   (for a typed Worker_lost answer), the home shard, and the delivery
+   callback.  The line itself is never rewritten — responses stream back
+   byte-identical to what a single-process server would have said. *)
+type job = {
+  line : string;
+  id : Json.t;
+  shard : int;
+  attempts : int;  (* times this line has been handed to a worker *)
+  reply : string -> unit;
+}
+
+(* The per-worker FIFO: the engine answers in request order within a
+   connection, so response line [k] out of a worker always belongs to
+   pending entry [k] — no id rewriting needed to match them.  Heartbeat
+   pings ride the same queue; their pongs are consumed positionally. *)
+type pending = Job of job | Heartbeat
+
+type proc = {
+  pid : int;
+  gen : int;
+  slot : int;
+  to_worker : out_channel;
+  from_worker : in_channel;
+  pending : pending Queue.t;
+  pending_mutex : Mutex.t;
+  write_mutex : Mutex.t;  (* serializes push+write; guards [alive] *)
+  mutable alive : bool;
+  last_activity : float Atomic.t;
+  spawned_at : float;
+}
+
+type slot_state = {
+  mutable sproc : proc option;
+  mutable sgen : int;
+  mutable consecutive_failures : int;
+  mutable restart_at : float;
+  mutable restarting : bool;
+}
+
+type t = {
+  cfg : config;
+  slots : slot_state array;
+  slots_mutex : Mutex.t;  (* guards slot_state fields, orphans, readers *)
+  orphans : job Queue.t;  (* parked while every worker is down *)
+  rr : int Atomic.t;
+  stopping : bool Atomic.t;
+  is_draining : bool Atomic.t;
+  drain_flag : bool Atomic.t;  (* the SIGTERM handler writes only this *)
+  dispatched : int Atomic.t;
+  served : int Atomic.t;
+  retried : int Atomic.t;
+  lost : int Atomic.t;
+  restarts : int Atomic.t;
+  wedge_kills : int Atomic.t;
+  master_errors : int Atomic.t;
+  mutable readers : unit Domain.t list;
+}
+
+let create cfg =
+  if cfg.workers < 2 then
+    invalid_arg "Supervisor.create: workers must be >= 2";
+  if cfg.max_attempts < 1 then
+    invalid_arg "Supervisor.create: max_attempts must be >= 1";
+  {
+    cfg;
+    slots =
+      Array.init cfg.workers (fun _ ->
+          {
+            sproc = None;
+            sgen = 0;
+            consecutive_failures = 0;
+            restart_at = 0.0;
+            restarting = false;
+          });
+    slots_mutex = Mutex.create ();
+    orphans = Queue.create ();
+    rr = Atomic.make 0;
+    stopping = Atomic.make false;
+    is_draining = Atomic.make false;
+    drain_flag = Atomic.make false;
+    dispatched = Atomic.make 0;
+    served = Atomic.make 0;
+    retried = Atomic.make 0;
+    lost = Atomic.make 0;
+    restarts = Atomic.make 0;
+    wedge_kills = Atomic.make 0;
+    master_errors = Atomic.make 0;
+    readers = [];
+  }
+
+let locked_slots t f =
+  Mutex.lock t.slots_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.slots_mutex) f
+
+(* ---- sharding -------------------------------------------------------- *)
+
+(* Shard on the raw source spec (path / bench name / inline text), not
+   the parsed circuit: cheap in the master, and every spelling of the
+   same spec lands on the same worker — whose caches it already warmed. *)
+let spec_string = function
+  | Source.File path -> "file\x00" ^ path
+  | Source.Bench { name; scale } ->
+    Printf.sprintf "bench\x00%s\x00%s" name
+      (Fingerprint.float_repr ~field:"scale" scale)
+  | Source.Inline text -> "inline\x00" ^ text
+
+let shard_of t (req : Protocol.request) =
+  let of_source source =
+    let hex = String.sub (Fingerprint.of_string (spec_string source)) 0 8 in
+    int_of_string ("0x" ^ hex) mod t.cfg.workers
+  in
+  match req.Protocol.body with
+  | Protocol.Estimate { source; _ } -> of_source source
+  | Protocol.Compare { cmp_source = source; _ } -> of_source source
+  | Protocol.Sweep_fabric { sw_source = source; _ } -> of_source source
+  | Protocol.Diff { df_source = Some source; _ } -> of_source source
+  | Protocol.Diff { df_source = None; _ }
+  | Protocol.Version | Protocol.Ping | Protocol.Stats ->
+    (* sourceless: no cache affinity to preserve, spread the load *)
+    Atomic.fetch_and_add t.rr 1 mod t.cfg.workers
+
+(* ---- dispatch -------------------------------------------------------- *)
+
+let worker_lost_line job =
+  Json.to_string
+    (Protocol.response_error ~id:job.id
+       (E.Worker_lost { shard = job.shard; attempts = job.attempts }))
+
+(* Push-then-write under the write mutex, so the pending order IS the
+   stdin order (two dispatchers can't interleave push A, push B, write
+   B, write A).  The write happens with only this worker's mutex held
+   and may block on a full pipe — that block is the per-worker
+   backpressure, and it resolves (with an error) if the worker dies,
+   because SIGPIPE is ignored in the master. *)
+let try_send proc job =
+  Mutex.lock proc.write_mutex;
+  if not proc.alive then begin
+    Mutex.unlock proc.write_mutex;
+    false
+  end
+  else begin
+    Mutex.lock proc.pending_mutex;
+    Queue.push (Job job) proc.pending;
+    Mutex.unlock proc.pending_mutex;
+    (* on a write failure the job stays pending: this worker's reader is
+       about to see EOF and will re-home everything still queued *)
+    (try
+       output_string proc.to_worker job.line;
+       output_char proc.to_worker '\n';
+       flush proc.to_worker
+     with Sys_error _ | Unix.Unix_error _ -> ());
+    Mutex.unlock proc.write_mutex;
+    true
+  end
+
+let dispatch t job =
+  if job.attempts > t.cfg.max_attempts then begin
+    Atomic.incr t.lost;
+    Telemetry.ambient_count "supervisor.lost";
+    job.reply (worker_lost_line { job with attempts = job.attempts - 1 })
+  end
+  else begin
+    let n = t.cfg.workers in
+    let rec try_from k =
+      if k >= n then false
+      else begin
+        (* snapshot the occupant under the lock, send outside it: the
+           send can block on backpressure and must not freeze the whole
+           slot table while it does *)
+        let proc =
+          locked_slots t (fun () -> t.slots.((job.shard + k) mod n).sproc)
+        in
+        match proc with
+        | Some proc when try_send proc job -> true
+        | Some _ | None -> try_from (k + 1)
+      end
+    in
+    if not (try_from 0) then
+      if Atomic.get t.stopping then begin
+        (* shutting down with nowhere to send it: fail it honestly
+           rather than parking it forever *)
+        Atomic.incr t.lost;
+        job.reply (worker_lost_line job)
+      end
+      else begin
+        (* every worker is down: park until a restart lands *)
+        Telemetry.ambient_count "supervisor.orphaned";
+        locked_slots t (fun () -> Queue.push job t.orphans)
+      end
+  end
+
+let drain_orphans t =
+  let jobs =
+    locked_slots t (fun () ->
+        let jobs = Queue.fold (fun acc j -> j :: acc) [] t.orphans in
+        Queue.clear t.orphans;
+        List.rev jobs)
+  in
+  List.iter (dispatch t) jobs
+
+(* ---- worker lifecycle ------------------------------------------------ *)
+
+let now () = Unix.gettimeofday ()
+
+let rec reader_loop t proc =
+  match input_line proc.from_worker with
+  | line ->
+    Atomic.set proc.last_activity (now ());
+    let entry =
+      Mutex.lock proc.pending_mutex;
+      let e =
+        if Queue.is_empty proc.pending then None
+        else Some (Queue.pop proc.pending)
+      in
+      Mutex.unlock proc.pending_mutex;
+      e
+    in
+    (match entry with
+    | Some (Job job) ->
+      Atomic.incr t.served;
+      job.reply line
+    | Some Heartbeat -> ()
+    | None ->
+      (* a response with nothing pending is a protocol violation; note
+         it and keep going — dropping it beats crashing the master *)
+      Printf.eprintf
+        "leqa serve: worker %d (slot %d): unexpected response line dropped\n%!"
+        proc.pid proc.slot);
+    reader_loop t proc
+  | exception (End_of_file | Sys_error _) -> worker_died t proc
+
+and worker_died t proc =
+  (* close the dispatch window first: once [alive] is false no new job
+     can land in this pending queue, so the drain below is complete *)
+  Mutex.lock proc.write_mutex;
+  proc.alive <- false;
+  Mutex.unlock proc.write_mutex;
+  close_out_noerr proc.to_worker;
+  close_in_noerr proc.from_worker;
+  let status =
+    try snd (Unix.waitpid [] proc.pid)
+    with Unix.Unix_error _ -> Unix.WEXITED 0
+  in
+  Mutex.lock proc.pending_mutex;
+  let stranded = Queue.fold (fun acc e -> e :: acc) [] proc.pending in
+  Queue.clear proc.pending;
+  Mutex.unlock proc.pending_mutex;
+  let jobs =
+    List.rev stranded
+    |> List.filter_map (function Job j -> Some j | Heartbeat -> None)
+  in
+  let stopping = Atomic.get t.stopping in
+  locked_slots t (fun () ->
+      let s = t.slots.(proc.slot) in
+      if s.sgen = proc.gen then begin
+        s.sproc <- None;
+        if not stopping then begin
+          (* a worker that ran for a while earns a fresh backoff; only
+             a hot crash loop escalates the delay *)
+          s.consecutive_failures <-
+            (if now () -. proc.spawned_at > 10.0 then 1
+             else s.consecutive_failures + 1);
+          s.restart_at <-
+            now ()
+            +. Backoff.delay_s
+                 ~seed:(t.cfg.backoff_seed + proc.slot)
+                 ~attempt:s.consecutive_failures ()
+        end
+      end);
+  if not stopping then begin
+    Telemetry.ambient_count "supervisor.worker_died";
+    (* OCaml signal numbers are its own negative encoding, not the OS's *)
+    let signal_name sg =
+      if sg = Sys.sigkill then "SIGKILL"
+      else if sg = Sys.sigsegv then "SIGSEGV"
+      else if sg = Sys.sigterm then "SIGTERM"
+      else if sg = Sys.sigint then "SIGINT"
+      else if sg = Sys.sigabrt then "SIGABRT"
+      else if sg = Sys.sigbus then "SIGBUS"
+      else if sg = Sys.sigpipe then "SIGPIPE"
+      else Printf.sprintf "signal %d" sg
+    in
+    (match status with
+    | Unix.WEXITED 0 -> ()
+    | Unix.WEXITED code ->
+      Printf.eprintf
+        "leqa serve: worker %d (slot %d) exited with code %d; restarting\n%!"
+        proc.pid proc.slot code
+    | Unix.WSIGNALED sg | Unix.WSTOPPED sg ->
+      Printf.eprintf
+        "leqa serve: worker %d (slot %d) killed by %s; restarting\n%!"
+        proc.pid proc.slot (signal_name sg))
+  end;
+  (* re-home the in-flight requests on a sibling, FIFO order preserved;
+     the client never learns its worker died unless the retry cap hits *)
+  List.iter
+    (fun j ->
+      Atomic.incr t.retried;
+      Telemetry.ambient_count "supervisor.retried";
+      dispatch t { j with attempts = j.attempts + 1 })
+    jobs
+
+let spawn_worker t slot =
+  (* pipe pairs: master->worker stdin, worker stdout->master *)
+  let in_read, in_write = Unix.pipe () in
+  let out_read, out_write = Unix.pipe () in
+  (* the master ends must not leak into sibling workers: a sibling
+     holding a dead worker's stdin write-end would defeat EOF *)
+  Unix.set_close_on_exec in_write;
+  Unix.set_close_on_exec out_read;
+  let pid =
+    try
+      Unix.create_process t.cfg.worker_prog t.cfg.worker_argv in_read
+        out_write Unix.stderr
+    with e ->
+      List.iter
+        (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+        [ in_read; in_write; out_read; out_write ];
+      raise e
+  in
+  Unix.close in_read;
+  Unix.close out_write;
+  let gen = locked_slots t (fun () ->
+      let s = t.slots.(slot) in
+      s.sgen <- s.sgen + 1;
+      s.sgen)
+  in
+  let proc =
+    {
+      pid;
+      gen;
+      slot;
+      to_worker = Unix.out_channel_of_descr in_write;
+      from_worker = Unix.in_channel_of_descr out_read;
+      pending = Queue.create ();
+      pending_mutex = Mutex.create ();
+      write_mutex = Mutex.create ();
+      alive = true;
+      last_activity = Atomic.make (now ());
+      spawned_at = now ();
+    }
+  in
+  let reader = Domain.spawn (fun () -> reader_loop t proc) in
+  locked_slots t (fun () ->
+      let s = t.slots.(slot) in
+      s.sproc <- Some proc;
+      s.restarting <- false;
+      t.readers <- reader :: t.readers);
+  proc
+
+(* The restarter: one domain polling for slots whose backoff has
+   elapsed.  Spawning in one place (not in each worker's reader) keeps
+   slot bookkeeping single-writer and survives spawn failures with
+   another backoff round instead of losing the slot forever. *)
+let restarter_loop t =
+  while not (Atomic.get t.stopping) do
+    let due =
+      locked_slots t (fun () ->
+          let due = ref [] in
+          Array.iteri
+            (fun i s ->
+              if
+                s.sproc = None && (not s.restarting)
+                && s.restart_at <= now ()
+              then begin
+                s.restarting <- true;
+                due := i :: !due
+              end)
+            t.slots;
+          !due)
+    in
+    List.iter
+      (fun slot ->
+        match spawn_worker t slot with
+        | (_ : proc) ->
+          Atomic.incr t.restarts;
+          Telemetry.ambient_count "supervisor.restarts";
+          drain_orphans t
+        | exception e ->
+          Printf.eprintf
+            "leqa serve: cannot respawn worker for slot %d: %s\n%!" slot
+            (Printexc.to_string e);
+          locked_slots t (fun () ->
+              let s = t.slots.(slot) in
+              s.restarting <- false;
+              s.consecutive_failures <- s.consecutive_failures + 1;
+              s.restart_at <-
+                now ()
+                +. Backoff.delay_s
+                     ~seed:(t.cfg.backoff_seed + slot)
+                     ~attempt:s.consecutive_failures ()))
+      due;
+    Unix.sleepf 0.05
+  done
+
+(* The heartbeat ticker: pings idle workers (the pong refreshes
+   [last_activity] through the ordinary FIFO) and SIGKILLs any worker
+   that has had work pending with no output for [wedge_timeout_s] —
+   wedged and crashed then look identical to the rest of the machinery:
+   EOF on stdout, redispatch, restart.  Pings are only sent to an idle
+   worker (empty pending ⇒ empty pipe ⇒ the write cannot block), so
+   this domain can never hang on a wedged worker's full pipe. *)
+let heartbeat_loop t =
+  let ping_line =
+    Json.to_string
+      (Protocol.request_to_json
+         { Protocol.id = Json.Null; body = Protocol.Ping })
+  in
+  let elapsed = ref 0.0 in
+  while not (Atomic.get t.stopping) do
+    Unix.sleepf 0.1;
+    elapsed := !elapsed +. 0.1;
+    if !elapsed >= t.cfg.heartbeat_period_s then begin
+      elapsed := 0.0;
+      Array.iter
+        (fun s ->
+          match locked_slots t (fun () -> s.sproc) with
+          | None -> ()
+          | Some proc ->
+            let idle = now () -. Atomic.get proc.last_activity in
+            let pending_n =
+              Mutex.lock proc.pending_mutex;
+              let n = Queue.length proc.pending in
+              Mutex.unlock proc.pending_mutex;
+              n
+            in
+            if pending_n > 0 && idle > t.cfg.wedge_timeout_s then begin
+              Atomic.incr t.wedge_kills;
+              Telemetry.ambient_count "supervisor.wedge_kills";
+              Printf.eprintf
+                "leqa serve: worker %d (slot %d) wedged (%d pending, \
+                 %.0fs silent); killing\n\
+                 %!"
+                proc.pid proc.slot pending_n idle;
+              try Unix.kill proc.pid Sys.sigkill
+              with Unix.Unix_error _ -> ()
+            end
+            else if pending_n = 0 then begin
+              Mutex.lock proc.write_mutex;
+              if proc.alive then begin
+                Mutex.lock proc.pending_mutex;
+                Queue.push Heartbeat proc.pending;
+                Mutex.unlock proc.pending_mutex;
+                try
+                  output_string proc.to_worker ping_line;
+                  output_char proc.to_worker '\n';
+                  flush proc.to_worker
+                with Sys_error _ | Unix.Unix_error _ -> ()
+              end;
+              Mutex.unlock proc.write_mutex
+            end)
+        t.slots
+    end
+  done
+
+(* ---- stats ----------------------------------------------------------- *)
+
+let stats_json t =
+  let slots, pids, orphans =
+    locked_slots t (fun () ->
+        ( Array.to_list
+            (Array.mapi
+               (fun i s ->
+                 Json.Obj
+                   ([
+                      ("slot", Json.Int i);
+                      ("generation", Json.Int s.sgen);
+                      ("alive", Json.Bool (s.sproc <> None));
+                    ]
+                   @
+                   match s.sproc with
+                   | None -> []
+                   | Some p ->
+                     let pending =
+                       Mutex.lock p.pending_mutex;
+                       let n = Queue.length p.pending in
+                       Mutex.unlock p.pending_mutex;
+                       n
+                     in
+                     [ ("pid", Json.Int p.pid); ("pending", Json.Int pending) ]))
+               t.slots),
+          Array.to_list t.slots
+          |> List.filter_map (fun s ->
+                 Option.map (fun p -> Json.Int p.pid) s.sproc),
+          Queue.length t.orphans ))
+  in
+  Json.Obj
+    [
+      ("supervised", Json.Bool true);
+      ("workers", Json.Int t.cfg.workers);
+      ("dispatched", Json.Int (Atomic.get t.dispatched));
+      ("served", Json.Int (Atomic.get t.served));
+      ("retried", Json.Int (Atomic.get t.retried));
+      ("lost", Json.Int (Atomic.get t.lost));
+      ("restarts", Json.Int (Atomic.get t.restarts));
+      ("wedge_kills", Json.Int (Atomic.get t.wedge_kills));
+      ("master_errors", Json.Int (Atomic.get t.master_errors));
+      ("orphans", Json.Int orphans);
+      ("draining", Json.Bool (Atomic.get t.is_draining));
+      ("worker_pids", Json.List pids);
+      ("slots", Json.List slots);
+    ]
+
+(* ---- connections ----------------------------------------------------- *)
+
+(* Workers answer whenever their shard finishes, but the protocol
+   promises responses in request order within a connection — so the
+   master assigns each admitted line a sequence number and a reorder
+   buffer releases completions strictly in sequence. *)
+type conn_state = {
+  oc : out_channel;
+  conn_mutex : Mutex.t;
+  all_flushed : Condition.t;
+  mutable next_seq : int;  (* next sequence number to write *)
+  mutable issued : int;  (* sequence numbers handed out *)
+  buffered : (int, string) Hashtbl.t;
+}
+
+let conn_reply conn seq line =
+  Mutex.lock conn.conn_mutex;
+  Hashtbl.replace conn.buffered seq line;
+  let wrote = ref false in
+  while Hashtbl.mem conn.buffered conn.next_seq do
+    let l = Hashtbl.find conn.buffered conn.next_seq in
+    Hashtbl.remove conn.buffered conn.next_seq;
+    (* a client that hung up mid-stream must not wedge the sequence:
+       drop the bytes but keep advancing *)
+    (try
+       output_string conn.oc l;
+       output_char conn.oc '\n';
+       wrote := true
+     with Sys_error _ -> ());
+    conn.next_seq <- conn.next_seq + 1
+  done;
+  if !wrote then (try flush conn.oc with Sys_error _ -> ());
+  Condition.broadcast conn.all_flushed;
+  Mutex.unlock conn.conn_mutex
+
+let serve_connection t ic oc =
+  let conn =
+    {
+      oc;
+      conn_mutex = Mutex.create ();
+      all_flushed = Condition.create ();
+      next_seq = 0;
+      issued = 0;
+      buffered = Hashtbl.create 64;
+    }
+  in
+  let admit () =
+    Mutex.lock conn.conn_mutex;
+    let seq = conn.issued in
+    conn.issued <- conn.issued + 1;
+    Mutex.unlock conn.conn_mutex;
+    seq
+  in
+  (try
+     while true do
+       let line = input_line ic in
+       if String.trim line <> "" then begin
+         let seq = admit () in
+         let reply l = conn_reply conn seq l in
+         (* the master answers malformed lines itself, so only valid
+            requests — which the engine answers in order — ever reach a
+            worker's FIFO *)
+         match
+           Protocol.request_of_line ~max_bytes:t.cfg.max_request_bytes line
+         with
+         | Error (id, e) ->
+           Atomic.incr t.master_errors;
+           reply (Json.to_string (Protocol.response_error ~id e))
+         | Ok req ->
+           if Atomic.get t.is_draining then
+             reply
+               (Json.to_string
+                  (Protocol.response_error ~id:req.Protocol.id
+                     E.Server_draining))
+           else begin
+             match req.Protocol.body with
+             | Protocol.Stats ->
+               (* answered here: the interesting counters (restarts,
+                  retries, worker pids) live in the master *)
+               reply
+                 (Json.to_string
+                    (Protocol.response_ok ~id:req.Protocol.id
+                       [ ("stats", stats_json t) ]))
+             | _ ->
+               Atomic.incr t.dispatched;
+               dispatch t
+                 {
+                   line;
+                   id = req.Protocol.id;
+                   shard = shard_of t req;
+                   attempts = 1;
+                   reply;
+                 }
+           end
+       end
+     done
+   with End_of_file | Sys_error _ -> ());
+  (* every admitted request must be answered before the connection is
+     torn down, or the in-order contract breaks for the tail *)
+  Mutex.lock conn.conn_mutex;
+  while conn.next_seq < conn.issued do
+    Condition.wait conn.all_flushed conn.conn_mutex
+  done;
+  Mutex.unlock conn.conn_mutex
+
+(* ---- lifecycle ------------------------------------------------------- *)
+
+let install_signal_handlers t =
+  match Sys.os_type with
+  | "Unix" | "Cygwin" ->
+    Sys.set_signal Sys.sigterm
+      (Sys.Signal_handle (fun _ -> Atomic.set t.drain_flag true));
+    (* a worker dying mid-write, or a client hanging up, must surface
+       as an error return — not kill the master *)
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  | _ -> ()
+
+let start t =
+  install_signal_handlers t;
+  for slot = 0 to t.cfg.workers - 1 do
+    ignore (spawn_worker t slot)
+  done;
+  let restarter = Domain.spawn (fun () -> restarter_loop t) in
+  let heartbeat = Domain.spawn (fun () -> heartbeat_loop t) in
+  (restarter, heartbeat)
+
+let pending_total t =
+  locked_slots t (fun () ->
+      Array.fold_left
+        (fun acc s ->
+          match s.sproc with
+          | None -> acc
+          | Some p ->
+            Mutex.lock p.pending_mutex;
+            let n = Queue.length p.pending in
+            Mutex.unlock p.pending_mutex;
+            acc + n)
+        (Queue.length t.orphans) t.slots)
+
+let shutdown t (restarter, heartbeat) =
+  Atomic.set t.is_draining true;
+  (* let in-flight work finish before the workers are told to go *)
+  let deadline = now () +. 30.0 in
+  while pending_total t > 0 && now () < deadline do
+    Unix.sleepf 0.05
+  done;
+  Atomic.set t.stopping true;
+  (* EOF on stdin is the worker's graceful-drain signal (the same one a
+     stdio client sends); readers observe the exit and reap *)
+  locked_slots t (fun () ->
+      Array.iter
+        (fun s ->
+          match s.sproc with
+          | Some p -> close_out_noerr p.to_worker
+          | None -> ())
+        t.slots);
+  Domain.join restarter;
+  Domain.join heartbeat;
+  let readers = locked_slots t (fun () -> t.readers) in
+  List.iter Domain.join readers
+
+let serve_endpoint t endpoint =
+  let domains = start t in
+  let sock = Server.listen_endpoint endpoint in
+  Fun.protect ~finally:(fun () -> Server.close_endpoint sock endpoint)
+  @@ fun () ->
+  Fun.protect ~finally:(fun () -> shutdown t domains) @@ fun () ->
+  Server.accept_loop
+    ~stop:(fun () -> Atomic.get t.drain_flag)
+    sock
+    (fun fd ->
+      let ic = Unix.in_channel_of_descr fd in
+      let oc = Unix.out_channel_of_descr fd in
+      (try serve_connection t ic oc
+       with Sys_error _ | Unix.Unix_error _ -> ());
+      try Unix.close fd with Unix.Unix_error _ -> ())
+
+let serve_stdio t =
+  let domains = start t in
+  Fun.protect ~finally:(fun () -> shutdown t domains) @@ fun () ->
+  serve_connection t stdin stdout

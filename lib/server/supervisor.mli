@@ -1,0 +1,71 @@
+(** The multi-worker master: [leqa serve --workers N].
+
+    The supervisor owns the listening socket and a fleet of worker
+    processes (the same binary, re-exec'd with the hidden [--worker]
+    flag, speaking the ordinary NDJSON protocol over stdin/stdout).
+    Crash isolation is the point: an estimator bug, OOM kill or injected
+    [worker.kill] fault takes down one worker, and the master repairs
+    around it without the client ever seeing a failed request.
+
+    {b Request path} — each admitted line is assigned a sequence number
+    and routed by shard: the fingerprint of the raw circuit-source spec
+    picks the worker (so repeats of the same circuit land on the worker
+    whose caches are already warm); sourceless methods round-robin;
+    [stats] is answered by the master itself (supervision counters plus
+    worker pids — the chaos harness kills by pid).  Malformed lines are
+    answered by the master, so only valid requests reach a worker.
+
+    {b FIFO matching, verbatim passthrough} — the engine answers in
+    request order within a connection, so the k-th response line out of
+    a worker belongs to the k-th entry of its pending queue: request
+    and response lines are forwarded byte-for-byte, no id rewriting,
+    and multi-worker responses stay byte-identical to a single-process
+    server's.  A per-connection reorder buffer releases completions in
+    admission order, preserving the protocol's in-order promise across
+    shards.
+
+    {b Failure handling} — a worker's death (EOF on its stdout) strands
+    its pending FIFO; every stranded request is re-dispatched to a
+    sibling in order, up to [max_attempts] total tries, after which the
+    client gets a typed [Worker_lost] error (exit-code family 69).  The
+    slot restarts under {!Leqa_util.Backoff} (consecutive failures
+    escalate, surviving 10 s resets the schedule); while every worker
+    is down, requests park in an orphan queue and replay on the first
+    successful restart.  A heartbeat ticker pings idle workers and
+    SIGKILLs any worker that has had work pending with no output for
+    [wedge_timeout_s] — a wedge then follows the same EOF → redispatch
+    → restart path as a crash. *)
+
+type config = {
+  workers : int;  (** >= 2; [--workers 1] stays in-process *)
+  worker_prog : string;  (** usually [Sys.executable_name] *)
+  worker_argv : string array;
+      (** full argv for one worker, [--worker] included *)
+  max_attempts : int;  (** total tries per request, default 3 *)
+  wedge_timeout_s : float;
+      (** pending work with no output for this long → SIGKILL,
+          default 60 s (generous: a slow request is not a wedge) *)
+  heartbeat_period_s : float;  (** idle-worker ping cadence, default 5 s *)
+  backoff_seed : int;  (** restart-jitter determinism *)
+  max_request_bytes : int;  (** NDJSON line cap, default 8 MiB *)
+}
+
+val default_config :
+  worker_prog:string -> worker_argv:string array -> workers:int -> config
+
+type t
+
+val create : config -> t
+(** @raise Invalid_argument on [workers < 2] or [max_attempts < 1]. *)
+
+val stats_json : t -> Leqa_util.Json.t
+(** The master's [stats] answer: dispatch/retry/lost/restart counters,
+    orphan depth, per-slot state and live worker pids. *)
+
+val serve_endpoint : t -> Server.endpoint -> unit
+(** Spawn the fleet, listen, serve one connection at a time; a SIGTERM
+    drains (in-flight requests finish, workers get EOF) and returns. *)
+
+val serve_stdio : t -> unit
+(** One supervised connection over stdin/stdout (mostly for tests);
+    returns after EOF once every admitted request is answered. *)

@@ -1,0 +1,33 @@
+(* Capped exponential backoff with deterministic "equal jitter".
+
+   Both retry loops in the repository (the supervisor restarting a dead
+   worker, the client re-dialing a refused connection) share this one
+   schedule so their behaviour under churn is analyzable: attempt k
+   sleeps between half and all of [base * 2^(k-1)], capped.  The jitter
+   half is drawn from a splitmix64 stream keyed by (seed, attempt), so a
+   given (seed, attempt) pair always produces the same delay — restart
+   storms are reproducible in tests, yet distinct seeds (worker slots,
+   client connections) decorrelate. *)
+
+let default_base_s = 0.05
+let default_cap_s = 5.0
+
+let delay_s ?(base_s = default_base_s) ?(cap_s = default_cap_s) ~seed ~attempt
+    () =
+  if base_s <= 0.0 || not (Float.is_finite base_s) then
+    invalid_arg "Backoff.delay_s: base_s must be positive and finite";
+  if cap_s < base_s then invalid_arg "Backoff.delay_s: cap_s must be >= base_s";
+  if attempt < 1 then invalid_arg "Backoff.delay_s: attempt must be >= 1";
+  (* 2^(attempt-1), saturating well before float overflow *)
+  let exp = Float.min 62.0 (float_of_int (attempt - 1)) in
+  let full = Float.min cap_s (base_s *. Float.pow 2.0 exp) in
+  let rng = Rng.create ~seed:(seed + (0x9E3779B9 * attempt)) in
+  (full /. 2.0) +. (Rng.float rng *. (full /. 2.0))
+
+let rec sleep_interruptible ~should_stop seconds =
+  (* poll the stop flag so a drain does not wait out a long backoff *)
+  if seconds > 0.0 && not (should_stop ()) then begin
+    let slice = Float.min 0.05 seconds in
+    Unix.sleepf slice;
+    sleep_interruptible ~should_stop (seconds -. slice)
+  end

@@ -1,0 +1,26 @@
+(** Capped exponential backoff with deterministic jitter.
+
+    One retry schedule shared by every reconnect/restart loop in the
+    repository (worker supervision, client re-dial), so churn behaviour
+    is uniform and reproducible.  Attempt [k] yields a delay uniformly
+    jittered in [\[d/2, d\]] where [d = min cap_s (base_s * 2^(k-1))] —
+    "equal jitter": enough spread to break restart synchronization,
+    while keeping a floor so a hot crash loop cannot spin. *)
+
+val default_base_s : float
+(** 0.05 s. *)
+
+val default_cap_s : float
+(** 5 s. *)
+
+val delay_s :
+  ?base_s:float -> ?cap_s:float -> seed:int -> attempt:int -> unit -> float
+(** Deterministic: the same [(seed, attempt)] always yields the same
+    delay (the jitter comes from a splitmix64 stream keyed by both).
+    [attempt] counts from 1.
+    @raise Invalid_argument on non-positive [base_s], [cap_s < base_s]
+    or [attempt < 1]. *)
+
+val sleep_interruptible : should_stop:(unit -> bool) -> float -> unit
+(** Sleep in 50 ms slices, returning early once [should_stop ()] —
+    so a requested drain never waits out a multi-second backoff. *)

@@ -9,6 +9,7 @@ type t =
   | Fault_injected of { site : string }
   | Server_overload of { queued : int; capacity : int }
   | Server_draining
+  | Worker_lost of { shard : int; attempts : int }
   | Accuracy_error of { failures : int; cases : int }
 
 exception Error of t
@@ -19,7 +20,7 @@ let exit_code = function
   | Usage_error _ -> 64
   | Parse_error _ -> 65
   | Io_error _ -> 66
-  | Server_overload _ | Server_draining -> 69
+  | Server_overload _ | Server_draining | Worker_lost _ -> 69
   | Numeric_error _ | Accuracy_error _ -> 70
   | Fabric_error _ -> 71
   | Fault_injected _ -> 74
@@ -37,6 +38,7 @@ let kind = function
   | Fault_injected _ -> "fault-injected"
   | Server_overload _ -> "server-overload"
   | Server_draining -> "server-draining"
+  | Worker_lost _ -> "worker-lost"
   | Accuracy_error _ -> "accuracy-error"
 
 (* renderers promise a single line whatever ends up inside messages *)
@@ -66,6 +68,11 @@ let to_string e =
         "server overloaded: %d requests queued (capacity %d), try again later"
         queued capacity
     | Server_draining -> "server is draining and no longer admits requests"
+    | Worker_lost { shard; attempts } ->
+      Printf.sprintf
+        "request lost with its worker (shard %d) after %d attempts, try \
+         again later"
+        shard attempts
     | Accuracy_error { failures; cases } ->
       Printf.sprintf
         "differential harness: %d of %d cases diverged from the QSPR \
@@ -92,6 +99,8 @@ let to_json e =
     | Fault_injected { site } -> [ ("site", Json.String site) ]
     | Server_overload { queued; capacity } ->
       [ ("queued", Json.Int queued); ("capacity", Json.Int capacity) ]
+    | Worker_lost { shard; attempts } ->
+      [ ("shard", Json.Int shard); ("attempts", Json.Int attempts) ]
     | Accuracy_error { failures; cases } ->
       [ ("failures", Json.Int failures); ("cases", Json.Int cases) ]
     | Usage_error _ | Io_error _ | Config_error _ | Fabric_error _

@@ -19,6 +19,7 @@
     66  Io_error         missing or unreadable file
     69  Server_overload  estimation server queue full (EX_UNAVAILABLE)
     69  Server_draining  estimation server shutting down (EX_UNAVAILABLE)
+    69  Worker_lost      supervised worker died, retries exhausted (EX_UNAVAILABLE)
     70  Numeric_error    NaN/Inf/out-of-range value escaping a kernel
     70  Accuracy_error   differential harness found estimator/QSPR drift
     71  Fabric_error     degenerate fabric geometry/parameters
@@ -45,6 +46,12 @@ type t =
       (** the estimation server received SIGTERM (or its input reached
           EOF) and no longer admits new requests; in-flight and queued
           requests still complete *)
+  | Worker_lost of { shard : int; attempts : int }
+      (** a supervised worker process died with this request in flight
+          and every retry on a sibling also failed ([attempts] sends in
+          total); shares EX_UNAVAILABLE (69) with the other
+          server-availability errors — retrying later is expected to
+          succeed once workers restart *)
   | Accuracy_error of { failures : int; cases : int }
       (** the differential harness ([leqa diff], DESIGN.md §10) found
           cases where the analytic estimate diverged from the QSPR

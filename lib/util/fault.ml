@@ -1,5 +1,8 @@
 let known_sites =
-  [ "parser"; "pool.task"; "cache.fill"; "cache.poison"; "qspr.step"; "mc.trial" ]
+  [
+    "parser"; "pool.task"; "cache.fill"; "cache.poison"; "qspr.step";
+    "mc.trial"; "worker.kill"; "store.torn_write"; "store.bitflip";
+  ]
 
 type mode =
   | Always

@@ -30,6 +30,15 @@
                    raising — exercises the cache-integrity eviction
     qspr.step      Every QSPR scheduler event step
     mc.trial       Every Monte-Carlo validation trial
+    worker.kill    Server request dispatch: SIGKILLs the handling
+                   process (a worker under supervision) mid-request —
+                   process-level crash chaos
+    store.torn_write  Persistent result store write: the entry is
+                   renamed into place holding only half its payload
+                   (simulates a torn write / crashed writer)
+    store.bitflip  Persistent result store write: one payload byte is
+                   corrupted after the checksum was computed
+                   (simulates on-disk rot)
     v}
 
     Hit counting is process-wide and mutex-guarded, so the K-th hit is

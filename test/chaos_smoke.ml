@@ -1,0 +1,464 @@
+(* End-to-end fault-tolerance gate for the supervised service
+   (`leqa serve --workers N --store DIR`):
+
+   A. chaos soak  — 1000 estimate requests over a Unix socket against a
+                    4-worker fleet while a worker is SIGKILLed every
+                    ~200 requests: zero client-visible failures, ids in
+                    order, and every report byte-identical to the
+                    one-shot CLI (modulo wall-clock fields).  The
+                    master's stats must show the restarts and no lost
+                    requests.
+   B. warm restart— SIGTERM the fleet, restart it on the same --store:
+                    the distinct circuits of part A must come back from
+                    the persistent store (warm-hit ratio >= 0.9).
+   C. torn write  — a server crashing mid-store-write (store.torn_write
+                    fault) leaves a corrupt entry; the restarted server
+                    quarantines it, recomputes, and serves the same
+                    bytes as if nothing happened.
+
+   Scratch space (store, server logs) goes under $LEQA_CHAOS_DIR if
+   set — CI uploads it as an artifact on failure — else a temp dir.
+
+   Usage: chaos_smoke <path-to-leqa-cli> <corpus-dir> *)
+
+module Json = Leqa_util.Json
+
+let cli = ref ""
+let failures = ref 0
+let checks = ref 0
+
+let check name ok detail =
+  incr checks;
+  if ok then Printf.printf "ok   %s\n%!" name
+  else begin
+    incr failures;
+    Printf.printf "FAIL %s\n     %s\n%!" name detail
+  end
+
+(* ---- scratch dir ----------------------------------------------------- *)
+
+let scratch =
+  match Sys.getenv_opt "LEQA_CHAOS_DIR" with
+  | Some d ->
+    (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    d
+  | None ->
+    let d = Filename.temp_file "leqa_chaos" "" in
+    Sys.remove d;
+    Unix.mkdir d 0o755;
+    d
+
+let ( / ) = Filename.concat
+
+(* ---- JSON helpers ---------------------------------------------------- *)
+
+let volatile =
+  [ "runtime_s"; "qspr_runtime_s"; "leqa_runtime_s"; "mapper_runtime_s";
+    "speedup"; "telemetry" ]
+
+let rec normalize = function
+  | Json.Obj fields ->
+    Json.Obj
+      (List.filter_map
+         (fun (k, v) ->
+           if List.mem k volatile then None else Some (k, normalize v))
+         fields)
+  | Json.List items -> Json.List (List.map normalize items)
+  | scalar -> scalar
+
+let parse_line name line =
+  match Json.of_string line with
+  | Ok j -> Some j
+  | Error e ->
+    check (name ^ " parses") false (e ^ ": " ^ line);
+    None
+
+let member_string key j =
+  match Json.member key j with Some (Json.String s) -> Some s | _ -> None
+
+let is_ok resp = Json.member "ok" resp = Some (Json.Bool true)
+
+(* ---- server lifecycle ------------------------------------------------ *)
+
+let spawn_server ?env ~log args =
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
+  let logfd =
+    Unix.openfile log [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644
+  in
+  let argv = Array.of_list ("leqa" :: args) in
+  let pid =
+    match env with
+    | None -> Unix.create_process !cli argv devnull Unix.stdout logfd
+    | Some extra ->
+      Unix.create_process_env !cli argv
+        (Array.append (Unix.environment ()) [| extra |])
+        devnull Unix.stdout logfd
+  in
+  Unix.close devnull;
+  Unix.close logfd;
+  pid
+
+(* a stdio server (part C) needs its pipes instead *)
+let spawn_stdio_server ?env ~log args =
+  let logfd =
+    Unix.openfile log [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644
+  in
+  let in_read, in_write = Unix.pipe ~cloexec:true () in
+  let out_read, out_write = Unix.pipe ~cloexec:true () in
+  Unix.clear_close_on_exec in_read;
+  Unix.clear_close_on_exec out_write;
+  let argv = Array.of_list ("leqa" :: args) in
+  let pid =
+    match env with
+    | None -> Unix.create_process !cli argv in_read out_write logfd
+    | Some extra ->
+      Unix.create_process_env !cli argv
+        (Array.append (Unix.environment ()) [| extra |])
+        in_read out_write logfd
+  in
+  Unix.close logfd;
+  Unix.close in_read;
+  Unix.close out_write;
+  (pid, Unix.in_channel_of_descr out_read, Unix.out_channel_of_descr in_write)
+
+let wait_exit name pid =
+  match Unix.waitpid [] pid with
+  | _, Unix.WEXITED 0 -> check (name ^ ": clean exit") true ""
+  | _, Unix.WEXITED c ->
+    check (name ^ ": clean exit") false (Printf.sprintf "exit %d" c)
+  | _, (Unix.WSIGNALED s | Unix.WSTOPPED s) ->
+    check (name ^ ": clean exit") false (Printf.sprintf "signal %d" s)
+
+let wait_socket path =
+  let deadline = Unix.gettimeofday () +. 15.0 in
+  let rec go () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> Unix.close fd
+    | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) ->
+      Unix.close fd;
+      if Unix.gettimeofday () > deadline then
+        failwith ("server never came up on " ^ path)
+      else begin
+        Unix.sleepf 0.05;
+        go ()
+      end
+  in
+  go ()
+
+(* one long-lived client connection; requests and responses are matched
+   in send order (the protocol's in-order promise) *)
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  (fd, Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+
+let send oc line =
+  output_string oc line;
+  output_char oc '\n';
+  flush oc
+
+(* ---- one-shot baselines ---------------------------------------------- *)
+
+let out_file = scratch / "oneshot.out"
+
+let run_cli args =
+  let cmd =
+    Printf.sprintf "%s %s >%s 2>/dev/null"
+      (Filename.quote !cli)
+      (String.concat " " (List.map Filename.quote args))
+      (Filename.quote out_file)
+  in
+  let code = Sys.command cmd in
+  let ic = open_in out_file in
+  let n = in_channel_length ic in
+  let out = really_input_string ic n in
+  close_in ic;
+  (code, out)
+
+(* the distinct circuits cycled through the soak; width/terms are pinned
+   so the one-shot argv is exactly equivalent *)
+let cases =
+  [ "qft:3"; "qft:4"; "qft:5"; "qft:6"; "grover:2"; "grover:3"; "grover:4";
+    "qft-adder:3"; "qft-adder:4"; "qft-adder:5"; "qft:7"; "grover:5" ]
+
+let n_cases = List.length cases
+
+let request_of ~id case =
+  Printf.sprintf
+    "{\"schema_version\":\"leqa/rpc/v1\",\"id\":%d,\"method\":\"estimate\",\"params\":{\"bench\":%S,\"width\":60,\"terms\":20}}"
+    id case
+
+let baselines =
+  lazy
+    (List.map
+       (fun case ->
+         let code, out =
+           run_cli
+             [ "estimate"; "-b"; case; "--width"; "60"; "--terms"; "20";
+               "--format"; "json" ]
+         in
+         if code <> 0 then None
+         else
+           match Json.of_string (String.trim out) with
+           | Ok j -> Some (Json.to_string (normalize j))
+           | Error _ -> None)
+       cases)
+
+let check_parity name resp case_idx =
+  match (Json.member "report" resp, List.nth (Lazy.force baselines) case_idx) with
+  | Some report, Some expected ->
+    let got = Json.to_string (normalize report) in
+    check (name ^ " byte parity") (got = expected)
+      (Printf.sprintf "case %s\n     served:   %s\n     one-shot: %s"
+         (List.nth cases case_idx)
+         (String.sub got 0 (min 300 (String.length got)))
+         (String.sub expected 0 (min 300 (String.length expected))))
+  | None, _ -> check (name ^ " has report") false "no report member"
+  | _, None -> check (name ^ " one-shot baseline ran") false "CLI failed"
+
+(* ---- part A: 1000-request soak under worker SIGKILL ------------------ *)
+
+let store_dir = scratch / "store"
+let sock = scratch / "chaos.sock"
+
+let fleet_args =
+  [ "serve"; "--socket"; sock; "--workers"; "4"; "--store"; store_dir ]
+
+let get_stats name ic oc ~id =
+  send oc
+    (Printf.sprintf
+       "{\"schema_version\":\"leqa/rpc/v1\",\"id\":%d,\"method\":\"stats\"}" id);
+  match parse_line name (input_line ic) with
+  | None -> None
+  | Some resp ->
+    check (name ^ " ok") (is_ok resp) "stats answered with an error";
+    Json.member "stats" resp
+
+let worker_pids stats =
+  match Json.member "worker_pids" stats with
+  | Some (Json.List pids) ->
+    List.filter_map (function Json.Int p when p > 1 -> Some p | _ -> None) pids
+  | _ -> []
+
+let int_member key j =
+  match Json.member key j with Some (Json.Int n) -> Some n | _ -> None
+
+let part_a () =
+  let pid = spawn_server ~log:(scratch / "server_a.log") fleet_args in
+  wait_socket sock;
+  let fd, ic, oc = connect sock in
+  let total = 1000 in
+  let batch = 25 in
+  let next_id = ref 0 in
+  let fresh_id () =
+    let id = !next_id in
+    incr next_id;
+    id
+  in
+  let sent = ref 0 in
+  let killed = ref 0 in
+  let hits = ref 0 and warm = ref 0 and misses = ref 0 in
+  let bad = ref 0 in
+  while !sent < total do
+    (* every ~200 requests: learn the current worker pids, then SIGKILL
+       one right after the next batch goes out, so in-flight requests
+       die with it and must be retried on a sibling *)
+    let victim =
+      if !sent > 0 && !sent mod 200 = 0 then begin
+        match get_stats "part A: stats" ic oc ~id:(fresh_id ()) with
+        | None -> None
+        | Some stats -> (
+          match worker_pids stats with
+          | [] ->
+            check "part A: stats lists worker pids" false
+              (Json.to_string stats);
+            None
+          | pids -> Some (List.nth pids (!killed mod List.length pids)))
+      end
+      else None
+    in
+    let ids =
+      List.init (min batch (total - !sent)) (fun _ ->
+          let id = fresh_id () in
+          let case = id mod n_cases in
+          send oc (request_of ~id (List.nth cases case));
+          (id, case))
+    in
+    sent := !sent + List.length ids;
+    (match victim with
+    | Some wpid ->
+      incr killed;
+      (try Unix.kill wpid Sys.sigkill
+       with Unix.Unix_error _ ->
+         (* raced a restart: the pid is already gone, which is fine *) ())
+    | None -> ());
+    List.iter
+      (fun (id, case) ->
+        let name = Printf.sprintf "part A: request %04d" id in
+        match parse_line name (input_line ic) with
+        | None -> incr bad
+        | Some resp ->
+          if not (is_ok resp) then begin
+            incr bad;
+            check (name ^ " ok") false (Json.to_string resp)
+          end;
+          (match Json.member "id" resp with
+          | Some (Json.Int got) when got = id -> ()
+          | _ ->
+            incr bad;
+            check (name ^ " id in order") false (Json.to_string resp));
+          (match member_string "cache" resp with
+          | Some "hit" -> incr hits
+          | Some "warm" -> incr warm
+          | _ -> incr misses);
+          (* parity spot-check: the first pass over the cases plus a
+             sample later keeps the gate fast without losing coverage *)
+          if id < n_cases || id mod 97 = 0 then check_parity name resp case)
+      ids
+  done;
+  check "part A: zero client-visible failures" (!bad = 0)
+    (Printf.sprintf "%d bad responses" !bad);
+  check "part A: workers were killed" (!killed = 4)
+    (Printf.sprintf "%d kills" !killed);
+  Printf.printf "     part A cache: %d hit, %d warm, %d miss\n%!" !hits !warm
+    !misses;
+  (* the supervision counters must agree: restarts happened, nothing
+     was abandoned.  The last kill's restart sits behind a backoff
+     delay, so poll until the counter converges *)
+  let rec final_stats tries =
+    match get_stats "part A: final stats" ic oc ~id:(fresh_id ()) with
+    | None -> None
+    | Some stats ->
+      let restarts =
+        Option.value (int_member "restarts" stats) ~default:(-1)
+      in
+      if restarts >= !killed || tries <= 0 then Some stats
+      else begin
+        Unix.sleepf 0.2;
+        final_stats (tries - 1)
+      end
+  in
+  (match final_stats 50 with
+  | None -> ()
+  | Some stats ->
+    let restarts = Option.value (int_member "restarts" stats) ~default:(-1) in
+    let lost = Option.value (int_member "lost" stats) ~default:(-1) in
+    check "part A: supervisor restarted the killed workers" (restarts >= 4)
+      (Printf.sprintf "restarts=%d" restarts);
+    check "part A: no requests lost" (lost = 0)
+      (Printf.sprintf "lost=%d" lost));
+  Unix.close fd;
+  Unix.kill pid Sys.sigterm;
+  wait_exit "part A" pid;
+  check "part A: socket removed on drain" (not (Sys.file_exists sock)) sock
+
+(* ---- part B: restart comes back warm from the store ------------------ *)
+
+let part_b () =
+  let pid = spawn_server ~log:(scratch / "server_b.log") fleet_args in
+  wait_socket sock;
+  let fd, ic, oc = connect sock in
+  let warm = ref 0 in
+  List.iteri
+    (fun i case ->
+      let name = Printf.sprintf "part B: %s" case in
+      send oc (request_of ~id:i case);
+      match parse_line name (input_line ic) with
+      | None -> ()
+      | Some resp ->
+        check (name ^ " ok") (is_ok resp) (Json.to_string resp);
+        (match member_string "cache" resp with
+        | Some "warm" -> incr warm
+        | _ -> ());
+        check_parity name resp i)
+    cases;
+  let ratio = float_of_int !warm /. float_of_int n_cases in
+  check "part B: warm-hit ratio >= 0.9"
+    (ratio >= 0.9)
+    (Printf.sprintf "%d of %d warm (%.2f)" !warm n_cases ratio);
+  Printf.printf "     part B warm-hit ratio: %.2f\n%!" ratio;
+  Unix.close fd;
+  Unix.kill pid Sys.sigterm;
+  wait_exit "part B" pid
+
+(* ---- part C: torn store write is quarantined, not believed ----------- *)
+
+let part_c () =
+  let dir = scratch / "store_torn" in
+  let one_req = request_of ~id:0 "qft:4" in
+  (* run 1: the store write for the first result is torn mid-payload
+     (the response itself is unaffected — the engine answers from the
+     computed report, the store is a cache) *)
+  let pid, ic, oc =
+    spawn_stdio_server
+      ~env:"LEQA_FAULTS=store.torn_write:n=1"
+      ~log:(scratch / "server_c.log")
+      [ "serve"; "--store"; dir ]
+  in
+  (match parse_line "part C: run 1 response" (send oc one_req; input_line ic) with
+  | Some resp ->
+    check "part C: run 1 answered ok despite torn store write" (is_ok resp)
+      (Json.to_string resp)
+  | None -> ());
+  close_out oc;
+  close_in ic;
+  wait_exit "part C: run 1" pid;
+  let committed () =
+    Array.to_list (Sys.readdir dir)
+    |> List.filter (fun f -> f <> "tmp" && f <> "quarantine")
+    |> List.length
+  in
+  check "part C: torn entry was committed" (committed () = 1)
+    (Printf.sprintf "%d entries" (committed ()));
+  (* run 2: a clean restart on the same store must reject the corrupt
+     entry, quarantine it, recompute, and still serve identical bytes *)
+  let pid, ic, oc =
+    spawn_stdio_server ~log:(scratch / "server_c.log")
+      [ "serve"; "--store"; dir ]
+  in
+  send oc one_req;
+  (match parse_line "part C: run 2 response" (input_line ic) with
+  | Some resp ->
+    check "part C: run 2 answered ok" (is_ok resp) (Json.to_string resp);
+    check "part C: corrupt entry not served warm"
+      (member_string "cache" resp <> Some "warm")
+      (Json.to_string resp);
+    check_parity "part C: run 2" resp 1 (* cases index of qft:4 *)
+  | None -> ());
+  (* the same circuit again: the recomputed result must have been
+     re-persisted and the in-memory cache hit *)
+  send oc (request_of ~id:1 "qft:4");
+  (match parse_line "part C: run 2 repeat" (input_line ic) with
+  | Some resp ->
+    check "part C: repeat is a cache hit"
+      (member_string "cache" resp = Some "hit")
+      (Json.to_string resp)
+  | None -> ());
+  close_out oc;
+  close_in ic;
+  wait_exit "part C: run 2" pid;
+  let quarantined =
+    let q = dir / "quarantine" in
+    if Sys.file_exists q then Array.length (Sys.readdir q) else 0
+  in
+  check "part C: corrupt entry quarantined" (quarantined = 1)
+    (Printf.sprintf "%d quarantined" quarantined);
+  check "part C: clean recompute re-persisted" (committed () = 1)
+    (Printf.sprintf "%d entries" (committed ()))
+
+let () =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  (* a wedged fleet must fail the gate, not hang CI *)
+  ignore (Unix.alarm 600);
+  (match Sys.argv with
+  | [| _; c; _corpus |] -> cli := c
+  | _ ->
+    prerr_endline "usage: chaos_smoke <leqa-cli> <corpus-dir>";
+    exit 2);
+  Printf.printf "chaos scratch: %s\n%!" scratch;
+  part_a ();
+  part_b ();
+  part_c ();
+  Printf.printf "\n%d checks, %d failures\n%!" !checks !failures;
+  if !failures > 0 then exit 1

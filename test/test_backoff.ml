@@ -1,0 +1,66 @@
+module Backoff = Leqa_util.Backoff
+
+let test_deterministic () =
+  let a = Backoff.delay_s ~seed:7 ~attempt:3 () in
+  let b = Backoff.delay_s ~seed:7 ~attempt:3 () in
+  Alcotest.(check (float 0.0)) "same (seed, attempt), same delay" a b;
+  let c = Backoff.delay_s ~seed:8 ~attempt:3 () in
+  Alcotest.(check bool) "different seed, different jitter" true (a <> c)
+
+let test_bounds () =
+  (* equal jitter: attempt k lands in [d/2, d], d = min cap (base*2^(k-1)) *)
+  for attempt = 1 to 20 do
+    let d =
+      Float.min Backoff.default_cap_s
+        (Backoff.default_base_s *. Float.pow 2.0 (float_of_int (attempt - 1)))
+    in
+    let got = Backoff.delay_s ~seed:42 ~attempt () in
+    if got < (d /. 2.0) -. 1e-12 || got > d +. 1e-12 then
+      Alcotest.failf "attempt %d: %g outside [%g, %g]" attempt got (d /. 2.0) d
+  done
+
+let test_cap () =
+  let huge = Backoff.delay_s ~seed:1 ~attempt:1000 () in
+  Alcotest.(check bool) "capped" true (huge <= Backoff.default_cap_s)
+
+let test_escalates () =
+  (* the deterministic schedule must actually back off: each attempt's
+     upper bound doubles until the cap, so delay(k+2) > delay(k) holds
+     eventually; check the coarse shape on the floor values *)
+  let floor_of attempt =
+    Float.min Backoff.default_cap_s
+      (Backoff.default_base_s *. Float.pow 2.0 (float_of_int (attempt - 1)))
+    /. 2.0
+  in
+  Alcotest.(check bool) "floors escalate" true
+    (floor_of 1 < floor_of 4 && floor_of 4 < floor_of 8)
+
+let test_validation () =
+  let raises f =
+    match f () with
+    | (_ : float) -> false
+    | exception Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "attempt 0 rejected" true
+    (raises (fun () -> Backoff.delay_s ~seed:1 ~attempt:0 ()));
+  Alcotest.(check bool) "negative base rejected" true
+    (raises (fun () -> Backoff.delay_s ~base_s:(-1.0) ~seed:1 ~attempt:1 ()));
+  Alcotest.(check bool) "cap below base rejected" true
+    (raises (fun () ->
+         Backoff.delay_s ~base_s:1.0 ~cap_s:0.5 ~seed:1 ~attempt:1 ()))
+
+let test_sleep_interruptible () =
+  let t0 = Unix.gettimeofday () in
+  Backoff.sleep_interruptible ~should_stop:(fun () -> true) 30.0;
+  Alcotest.(check bool) "stops immediately" true
+    (Unix.gettimeofday () -. t0 < 1.0)
+
+let suite =
+  [
+    Alcotest.test_case "deterministic" `Quick test_deterministic;
+    Alcotest.test_case "bounds" `Quick test_bounds;
+    Alcotest.test_case "cap" `Quick test_cap;
+    Alcotest.test_case "escalates" `Quick test_escalates;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "sleep interruptible" `Quick test_sleep_interruptible;
+  ]

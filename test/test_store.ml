@@ -1,0 +1,123 @@
+module Json = Leqa_util.Json
+module Fault = Leqa_util.Fault
+module Fingerprint = Leqa_util.Fingerprint
+module Store = Leqa_server.Store
+
+let fresh_dir () =
+  let base = Filename.temp_file "leqa_store_test" "" in
+  Sys.remove base;
+  base
+
+let key_of s = Fingerprint.of_string s
+
+let doc =
+  Json.Obj
+    [
+      ("schema_version", Json.String "leqa/report/v1");
+      ("command", Json.String "estimate");
+      ("x", Json.Float 1.25);
+      ("xs", Json.List [ Json.Int 1; Json.Int 2 ]);
+    ]
+
+let test_round_trip () =
+  let t = Store.open_ ~dir:(fresh_dir ()) in
+  let key = key_of "round-trip" in
+  Alcotest.(check bool) "absent before put" true (Store.find t key = None);
+  Store.put t key doc;
+  Alcotest.(check int) "one entry" 1 (Store.entries t);
+  (match Store.find t key with
+  | Some found ->
+    Alcotest.(check string) "document survives byte-identically"
+      (Json.to_string doc) (Json.to_string found)
+  | None -> Alcotest.fail "entry vanished");
+  let s = Store.stats t in
+  Alcotest.(check int) "puts counted" 1 s.Store.st_puts;
+  Alcotest.(check int) "hits counted" 1 s.Store.st_hits;
+  Alcotest.(check int) "miss counted" 1 s.Store.st_misses;
+  Alcotest.(check int) "nothing quarantined" 0 s.Store.st_quarantined
+
+let test_survives_reopen () =
+  let dir = fresh_dir () in
+  let t = Store.open_ ~dir in
+  Store.put t (key_of "durable") doc;
+  (* a second open of the same directory — the restarted server — must
+     see the committed entry *)
+  let t2 = Store.open_ ~dir in
+  Alcotest.(check bool) "entry visible after reopen" true
+    (Store.find t2 (key_of "durable") <> None)
+
+let test_last_writer_wins () =
+  let t = Store.open_ ~dir:(fresh_dir ()) in
+  let key = key_of "lww" in
+  Store.put t key doc;
+  let doc2 = Json.Obj [ ("v", Json.Int 2) ] in
+  Store.put t key doc2;
+  Alcotest.(check int) "still one entry" 1 (Store.entries t);
+  match Store.find t key with
+  | Some found ->
+    Alcotest.(check string) "second write wins" (Json.to_string doc2)
+      (Json.to_string found)
+  | None -> Alcotest.fail "entry vanished"
+
+let test_invalid_key_ignored () =
+  let t = Store.open_ ~dir:(fresh_dir ()) in
+  (* a path-escape "key" must neither write nor read outside the root *)
+  Store.put t "../escape" doc;
+  Alcotest.(check int) "nothing committed" 0 (Store.entries t);
+  Alcotest.(check bool) "nothing found" true (Store.find t "../escape" = None)
+
+let quarantined_count dir =
+  Array.length (Sys.readdir (Filename.concat dir "quarantine"))
+
+(* the [find] validation path: a corrupt entry answers None, moves to
+   quarantine/ (never deleted: it is forensic evidence), bumps the
+   counter, and the slot accepts a clean rewrite *)
+let corrupt_entry_check ~site () =
+  let dir = fresh_dir () in
+  let t = Store.open_ ~dir in
+  let key = key_of site in
+  (match Fault.configure (site ^ ":n=1") with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "fault spec rejected");
+  Fun.protect ~finally:Fault.reset @@ fun () ->
+  Store.put t key doc;
+  Alcotest.(check int) "corrupt entry committed" 1 (Store.entries t);
+  Alcotest.(check bool) "validation rejects it" true (Store.find t key = None);
+  Alcotest.(check int) "moved to quarantine" 1 (quarantined_count dir);
+  Alcotest.(check int) "no entry left" 0 (Store.entries t);
+  Alcotest.(check int) "counter bumped" 1 (Store.stats t).Store.st_quarantined;
+  (* the recompute path: a clean rewrite of the same key must stick *)
+  Store.put t key doc;
+  match Store.find t key with
+  | Some found ->
+    Alcotest.(check string) "recomputed entry readable"
+      (Json.to_string doc) (Json.to_string found)
+  | None -> Alcotest.fail "clean rewrite not visible"
+
+let test_torn_write_quarantined () = corrupt_entry_check ~site:"store.torn_write" ()
+let test_bitflip_quarantined () = corrupt_entry_check ~site:"store.bitflip" ()
+
+let test_tmp_swept_on_open () =
+  let dir = fresh_dir () in
+  let t = Store.open_ ~dir in
+  Store.put t (key_of "sweep") doc;
+  (* simulate a writer SIGKILLed between tmp write and rename *)
+  let tmp = Filename.concat (Filename.concat dir "tmp") "deadbeef.123.0" in
+  let oc = open_out tmp in
+  output_string oc "half a payload";
+  close_out oc;
+  let t2 = Store.open_ ~dir in
+  Alcotest.(check bool) "tmp leftover swept" false (Sys.file_exists tmp);
+  Alcotest.(check int) "committed entries untouched" 1 (Store.entries t2)
+
+let suite =
+  [
+    Alcotest.test_case "round trip" `Quick test_round_trip;
+    Alcotest.test_case "survives reopen" `Quick test_survives_reopen;
+    Alcotest.test_case "last writer wins" `Quick test_last_writer_wins;
+    Alcotest.test_case "invalid key ignored" `Quick test_invalid_key_ignored;
+    Alcotest.test_case "torn write quarantined" `Quick
+      test_torn_write_quarantined;
+    Alcotest.test_case "bitflip quarantined" `Quick test_bitflip_quarantined;
+    Alcotest.test_case "tmp swept on open" `Quick test_tmp_swept_on_open;
+  ]

@@ -1617,6 +1617,7 @@ let serve_bench ~scale ~out () =
           (fun width ->
             {
               Protocol.id = Json.Null;
+              version = Protocol.V1;
               body =
                 Protocol.Estimate
                   {
@@ -2058,6 +2059,253 @@ let chaos_bench ~scale ~out () =
     exit 1
   end
 
+(* ------------------------------------------------------------------ *)
+
+(* Incremental re-estimation: estimate-delta vs full recompute for
+   <= 8-gate edit batches — the mapper-loop workload the rpc-v2 session
+   API exists for.  Each round edits the held circuit the way a mapper
+   does (appended gates plus a tweak near the end), then re-estimates
+   once incrementally on the live Delta session and once from scratch
+   (fresh IIG build + full critical-path fold + coverage integral over
+   the same FT gates).  The two breakdowns must agree bit-for-bit;
+   aggregate speedup must be >= 5x.  Writes BENCH_PR8.json with a
+   `serve` section from the multi-connection open-loop load client
+   (saturation req/s and p99 under overload).  *)
+let delta_bench ~scale ~out () =
+  let module Delta = Leqa_core.Delta in
+  let module Ft_gate = Leqa_circuit.Ft_gate in
+  let smoke = scale <= 0.0 in
+  header
+    (Printf.sprintf "Incremental re-estimation (estimate-delta)%s"
+       (if smoke then "   [smoke]" else ""));
+  let params = Params.calibrated in
+  let config = Config.default in
+  (* sized so held state matters: the fold and the IIG build are the
+     O(gates) costs the session exists to avoid re-paying per edit *)
+  let benches =
+    if smoke then [ "qft:64"; "grover:8" ]
+    else [ "qft:64"; "qft:96"; "qft:128"; "grover:7"; "grover:8"; "qft-adder:16" ]
+  in
+  let rounds = if smoke then 15 else 40 in
+  let edits_per_round = 8 in
+  let rng = Random.State.make [| 0x8ea7 |] in
+  let incr_total = ref 0.0 in
+  let full_total = ref 0.0 in
+  let rows =
+    List.map
+      (fun name ->
+        let circuit =
+          match Source.load (Source.Bench { name; scale = 1.0 }) with
+          | Ok c -> c
+          | Error e ->
+            prerr_endline ("delta: " ^ Leqa_util.Error.to_string e);
+            exit 2
+        in
+        let live = Delta.of_ft_circuit (Decompose.to_ft circuit) in
+        (* seed the session: the first estimate folds everything and
+           writes the checkpoints later rounds restart from *)
+        ignore (Delta.estimate ~config ~params live);
+        let bench_incr = ref 0.0 and bench_full = ref 0.0 in
+        for _round = 1 to rounds do
+          (* the mapper-loop batch this path exists for: single-qubit
+             polish near the working frontier.  These edits leave the
+             IIG — and so the routing-latency averages and the fold's
+             delay signature — untouched, which is exactly what lets
+             the critical-path fold resume from a checkpoint instead of
+             replaying all n gates.  A batch that adds or removes a
+             CNOT perturbs the signature and refolds from scratch;
+             correctness of that path is delta_smoke's job, and its
+             cost is the full path's by construction. *)
+          let rnd k = Random.State.int rng k in
+          let w = Delta.num_wires live in
+          for _ = 1 to edits_per_round - 2 do
+            let kind = [| Ft_gate.T; Ft_gate.H; Ft_gate.S; Ft_gate.Tdg |].(rnd 4) in
+            Delta.apply live
+              (Delta.Add_gate
+                 { at = None; gate = Ft_gate.Single (kind, rnd w) })
+          done;
+          (* one insertion a few positions back: shifts the suffix and
+             moves [dirty_from] off the very end *)
+          let n = Delta.gate_count live in
+          Delta.apply live
+            (Delta.Add_gate
+               {
+                 at = Some (n - rnd (min 8 n));
+                 gate = Ft_gate.Single (Ft_gate.T, rnd w);
+               });
+          (* one removal from the last five positions — all appended
+             singles after the batch above, so the IIG stays intact *)
+          let n = Delta.gate_count live in
+          Delta.apply live (Delta.Remove_gate { at = n - 1 - rnd (min 5 n) });
+          (* warm the process-wide coverage caches for this round's key
+             before either timed path runs, so the comparison measures
+             the structural difference (IIG rebuild + full fold vs the
+             incremental tail) and not which path happened to populate
+             a shared cache first *)
+          let ft_now = Decompose.to_ft (Delta.to_circuit live) in
+          ignore (Delta.estimate ~config ~params (Delta.of_ft_circuit ft_now));
+          let (est_incr, _), dt_incr =
+            Timing.time (fun () -> Delta.estimate ~config ~params live)
+          in
+          bench_incr := !bench_incr +. dt_incr;
+          (* full re-estimation of the same edited circuit: rebuild the
+             session state from the materialized gates and estimate with
+             nothing to reuse (the conversion itself is untimed) *)
+          let est_full, dt_full =
+            Timing.time (fun () ->
+                let cold = Delta.of_ft_circuit ft_now in
+                fst (Delta.estimate ~config ~params cold))
+          in
+          bench_full := !bench_full +. dt_full;
+          if est_incr <> est_full then begin
+            Printf.eprintf "FAIL: delta/full breakdown mismatch on %s\n" name;
+            exit 1
+          end
+        done;
+        incr_total := !incr_total +. !bench_incr;
+        full_total := !full_total +. !bench_full;
+        let speedup = !bench_full /. Float.max 1e-9 !bench_incr in
+        Printf.printf
+          "%-12s  %5d gates  %2d rounds  incr %7.3f ms/round  full %7.3f \
+           ms/round  %5.1fx\n"
+          name (Delta.gate_count live) rounds
+          (1e3 *. !bench_incr /. float_of_int rounds)
+          (1e3 *. !bench_full /. float_of_int rounds)
+          speedup;
+        Json.Obj
+          [
+            ("bench", Json.String name);
+            ("gates", Json.Int (Delta.gate_count live));
+            ("rounds", Json.Int rounds);
+            ("incr_ms_per_round", Json.Float (1e3 *. !bench_incr /. float_of_int rounds));
+            ("full_ms_per_round", Json.Float (1e3 *. !bench_full /. float_of_int rounds));
+            ("speedup", Json.Float speedup);
+          ])
+      benches
+  in
+  let speedup = !full_total /. Float.max 1e-9 !incr_total in
+  let speedup_ok = speedup >= 5.0 in
+  Printf.printf "aggregate estimate-delta speedup: %.1fx   within >= 5x target: %b\n"
+    speedup speedup_ok;
+  (* the serve section: saturation throughput and p99-under-overload of
+     a live server, measured by the open-loop multi-connection client *)
+  let serve_section =
+    let cli =
+      match Sys.getenv_opt "LEQA_CLI" with
+      | Some p -> p
+      | None ->
+        Filename.concat
+          (Filename.dirname Sys.executable_name)
+          (Filename.concat ".." (Filename.concat "bin" "leqa_cli.exe"))
+    in
+    if not (Sys.file_exists cli) then begin
+      prerr_endline
+        "delta: leqa CLI not found (set $LEQA_CLI or run via dune); serve \
+         section skipped";
+      Json.Obj [ ("skipped", Json.Bool true) ]
+    end
+    else begin
+      Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+      let scratch = Filename.temp_file "leqa_delta_bench" "" in
+      Sys.remove scratch;
+      Unix.mkdir scratch 0o755;
+      let sock = Filename.concat scratch "bench.sock" in
+      let devnull = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
+      let nullout = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+      let pid =
+        Unix.create_process cli
+          [| "leqa"; "serve"; "--socket"; sock |]
+          devnull nullout nullout
+      in
+      Unix.close devnull;
+      Unix.close nullout;
+      let deadline = Unix.gettimeofday () +. 15.0 in
+      let rec wait () =
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        match Unix.connect fd (Unix.ADDR_UNIX sock) with
+        | () -> Unix.close fd
+        | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _)
+          ->
+          Unix.close fd;
+          if Unix.gettimeofday () > deadline then begin
+            prerr_endline "delta: server never came up";
+            exit 1
+          end;
+          Unix.sleepf 0.05;
+          wait ()
+      in
+      wait ();
+      let count = if smoke then 500 else 5_000 in
+      let target_rps = 25_000.0 in
+      let out_file = Filename.concat scratch "client.json" in
+      let cmd =
+        Printf.sprintf
+          "%s client estimate -b qft:5 --socket %s --count %d --connections 4 \
+           --open-loop %.0f >%s 2>/dev/null"
+          (Filename.quote cli) (Filename.quote sock) count target_rps
+          (Filename.quote out_file)
+      in
+      let code = Sys.command cmd in
+      let load =
+        if code <> 0 then begin
+          Printf.eprintf "delta: load client exited %d\n" code;
+          Json.Obj [ ("error", Json.Int code) ]
+        end
+        else
+          let ic = open_in out_file in
+          let text = really_input_string ic (in_channel_length ic) in
+          close_in ic;
+          match Json.of_string (String.trim text) with
+          | Ok j -> Option.value (Json.member "load" j) ~default:Json.Null
+          | Error e ->
+            Printf.eprintf "delta: load summary unparseable: %s\n" e;
+            Json.Null
+      in
+      Unix.kill pid Sys.sigterm;
+      (match Unix.waitpid [] pid with
+      | _, Unix.WEXITED 0 -> ()
+      | _, _ -> prerr_endline "delta: server did not drain cleanly");
+      (match load with
+      | Json.Obj _ ->
+        Printf.printf "serve: open-loop client summary %s\n"
+          (Json.to_string load)
+      | _ -> ());
+      Json.Obj
+        [
+          ("bench", Json.String "qft:5");
+          ("connections", Json.Int 4);
+          ("open_loop_target_rps", Json.Float target_rps);
+          ("load", load);
+        ]
+    end
+  in
+  let json =
+    Json.Obj
+      [
+        ("pr", Json.Int 8);
+        ("label", Json.String "incremental re-estimation");
+        ("smoke", Json.Bool smoke);
+        ("edits_per_round", Json.Int edits_per_round);
+        ("edit_profile", Json.String "frontier-singles");
+        ( "delta",
+          Json.Obj
+            [
+              ("rows", Json.List rows);
+              ("incr_total_s", Json.Float !incr_total);
+              ("full_total_s", Json.Float !full_total);
+              ("speedup", Json.Float speedup);
+              ("within_target", Json.Bool speedup_ok);
+            ] );
+        ("serve", serve_section);
+      ]
+  in
+  Json.write_file out json;
+  Printf.printf "[wrote %s]\n" out;
+  if not speedup_ok then begin
+    prerr_endline "FAIL: estimate-delta speedup below the 5x target";
+    exit 1
+  end
+
 let () =
   let args = Array.to_list Sys.argv in
   let scale = ref 0.5 in
@@ -2095,10 +2343,10 @@ let () =
   let scale = !scale in
   if
     scale <= 0.0 && !command <> "perf" && !command <> "serve"
-    && !command <> "chaos"
+    && !command <> "chaos" && !command <> "delta"
   then begin
     prerr_endline
-      "--scale 0 is only valid for the perf, serve and chaos commands";
+      "--scale 0 is only valid for the perf, serve, chaos and delta commands";
     exit 2
   end;
   (* each measurement command has its own default artifact *)
@@ -2106,6 +2354,7 @@ let () =
   let perf_out = Option.value out ~default:"BENCH_PR6.json" in
   let serve_out = Option.value out ~default:"BENCH_PR4.json" in
   let chaos_out = Option.value out ~default:"BENCH_PR7.json" in
+  let delta_out = Option.value out ~default:"BENCH_PR8.json" in
   let maybe_dump rows =
     match !json_path with
     | None -> ()
@@ -2145,6 +2394,7 @@ let () =
   | "perf" -> perf ~scale ~out:perf_out ()
   | "serve" -> serve_bench ~scale ~out:serve_out ()
   | "chaos" -> chaos_bench ~scale ~out:chaos_out ()
+  | "delta" -> delta_bench ~scale ~out:delta_out ()
   | "all" ->
     table1 ();
     fig2 ();
@@ -2177,7 +2427,8 @@ let () =
       \          ablation-truncation ablation-v ablation-routing\n\
       \          ablation-topology ablation-mappers ablation-placement\n\
       \          ablation-deferral complexity table1-designed\n\
-      \          sweep-fabric tornado workloads perf serve chaos micro all\n\
+      \          sweep-fabric tornado workloads perf serve chaos delta micro \
+       all\n\
        options: [--scale S | --full] [--json PATH] [--jobs N] [--out PATH]\n\
        (perf --scale 0 = smoke mode; --jobs also honours $LEQA_JOBS)\n"
       other;

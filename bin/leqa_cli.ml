@@ -43,6 +43,7 @@ module Source = Leqa_server.Source
 module Protocol = Leqa_server.Protocol
 module Engine = Leqa_server.Engine
 module Server = Leqa_server.Server
+module Session = Leqa_server.Session
 module Store = Leqa_server.Store
 module Supervisor = Leqa_server.Supervisor
 module Json = Leqa_util.Json
@@ -789,9 +790,33 @@ let tcp_endpoint_of ~flag spec =
     | Some port when port > 0 && port < 65536 -> Server.Tcp { host; port }
     | Some _ | None -> bad ())
 
+(* "67108864", "64k", "8M", "2G" — the --store-max-bytes grammar *)
+let bytes_of_string ~flag spec =
+  let bad () =
+    E.raise_error
+      (E.Usage_error
+         (Printf.sprintf "%s expects BYTES with an optional k/M/G suffix \
+                          (got %S)" flag spec))
+  in
+  let n = String.length spec in
+  if n = 0 then bad ()
+  else
+    let digits, scale =
+      match spec.[n - 1] with
+      | 'k' | 'K' -> (String.sub spec 0 (n - 1), 1024)
+      | 'm' | 'M' -> (String.sub spec 0 (n - 1), 1024 * 1024)
+      | 'g' | 'G' -> (String.sub spec 0 (n - 1), 1024 * 1024 * 1024)
+      | '0' .. '9' -> (spec, 1)
+      | _ -> bad ()
+    in
+    match int_of_string_opt digits with
+    | Some v when v > 0 -> v * scale
+    | Some _ | None -> bad ()
+
 let serve_cmd =
-  let run socket listen workers store worker_mode queue batch cache_results
-      cache_preps jobs default_deadline reject_overflow =
+  let run socket listen workers store store_max_bytes worker_mode queue batch
+      cache_results cache_preps jobs default_deadline reject_overflow
+      max_inflight session_cap session_ttl =
     handle Report.Human @@ fun () ->
     let endpoint =
       match (socket, listen) with
@@ -808,6 +833,17 @@ let serve_cmd =
     let deadline_s =
       deadline_seconds ~flag:"--default-deadline" default_deadline
     in
+    let store_cap =
+      Option.map (bytes_of_string ~flag:"--store-max-bytes") store_max_bytes
+    in
+    if store_cap <> None && store = None then
+      E.raise_error (E.Usage_error "--store-max-bytes requires --store");
+    if session_cap < 1 then
+      E.raise_error (E.Usage_error "--session-cap must be >= 1");
+    if session_ttl <= 0.0 then
+      E.raise_error (E.Usage_error "--session-ttl must be positive");
+    if max_inflight < 1 then
+      E.raise_error (E.Usage_error "--max-inflight must be >= 1");
     if worker_mode || workers = 1 then begin
       (* in-process engine: the classic single-process server, which is
          also exactly what one supervised worker runs over its pipes *)
@@ -821,9 +857,13 @@ let serve_cmd =
           prep_cache_entries = cache_preps;
           default_deadline_s = deadline_s;
           reject_overflow;
+          session_cap;
+          session_ttl_s = session_ttl;
         }
       in
-      let store = Option.map (fun dir -> Store.open_ ~dir) store in
+      let store =
+        Option.map (fun dir -> Store.open_ ?max_bytes:store_cap ~dir ()) store
+      in
       let engine = Engine.create ?store cfg in
       let server = Server.create engine in
       if worker_mode then Server.serve_stdio server
@@ -867,15 +907,28 @@ let serve_cmd =
             | None -> []
             | Some s -> [ "--default-deadline"; Printf.sprintf "%.17g" s ])
           @ (if reject_overflow then [ "--reject-overflow" ] else [])
+          @ [
+              "--session-cap";
+              string_of_int session_cap;
+              "--session-ttl";
+              Printf.sprintf "%.17g" session_ttl;
+            ]
+          @ (match store with
+            | None -> []
+            | Some dir -> [ "--store"; dir ])
           @
-          match store with
+          match store_max_bytes with
           | None -> []
-          | Some dir -> [ "--store"; dir ])
+          | Some spec -> [ "--store-max-bytes"; spec ])
       in
       let sup =
         Supervisor.create
-          (Supervisor.default_config ~worker_prog:Sys.executable_name
-             ~worker_argv ~workers)
+          {
+            (Supervisor.default_config ~worker_prog:Sys.executable_name
+               ~worker_argv ~workers)
+            with
+            Supervisor.max_inflight;
+          }
       in
       match endpoint with
       | None ->
@@ -948,6 +1001,46 @@ let serve_cmd =
     in
     Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR" ~doc)
   in
+  let store_max_bytes_arg =
+    let doc =
+      "Cap the persistent store at $(docv) (plain bytes or a k/M/G \
+       suffix): beyond it the least-recently-read entries are evicted \
+       ($(b,store.evict) counter).  The cap also applies to entries \
+       committed by previous runs, at reopen.  Requires $(b,--store)."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "store-max-bytes" ] ~docv:"BYTES" ~doc)
+  in
+  let max_inflight_arg =
+    let doc =
+      "Per-connection cap on admitted-but-unanswered requests under \
+       $(b,--workers); further pipelined lines are shed with a typed \
+       server-overload response instead of growing the reorder buffer."
+    in
+    Arg.(
+      value
+      & opt int Supervisor.default_max_inflight
+      & info [ "max-inflight" ] ~docv:"N" ~doc)
+  in
+  let session_cap_arg =
+    let doc =
+      "Max concurrent rpc-v2 circuit sessions; beyond it the \
+       least-recently-used session is evicted (its handle expires)."
+    in
+    Arg.(
+      value
+      & opt int Session.default_cap
+      & info [ "session-cap" ] ~docv:"N" ~doc)
+  in
+  let session_ttl_arg =
+    let doc = "Idle rpc-v2 session lifetime in seconds." in
+    Arg.(
+      value
+      & opt float Session.default_ttl_s
+      & info [ "session-ttl" ] ~docv:"S" ~doc)
+  in
   let worker_arg =
     (* hidden: the re-exec'd worker half of --workers *)
     let doc = "Run as a supervised worker over stdin/stdout (internal)." in
@@ -956,9 +1049,10 @@ let serve_cmd =
   let term =
     Term.(
       const run $ socket_arg $ listen_arg $ workers_arg $ store_arg
-      $ worker_arg $ queue_arg $ batch_arg $ cache_results_arg
-      $ cache_preps_arg $ jobs_arg $ default_deadline_arg
-      $ reject_overflow_arg)
+      $ store_max_bytes_arg $ worker_arg $ queue_arg $ batch_arg
+      $ cache_results_arg $ cache_preps_arg $ jobs_arg $ default_deadline_arg
+      $ reject_overflow_arg $ max_inflight_arg $ session_cap_arg
+      $ session_ttl_arg)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -974,7 +1068,7 @@ let client_cmd =
     else sorted.(min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1))
   in
   let run socket connect method_ file bench scale width height v terms sizes
-      deadline count max_retries =
+      deadline count max_retries connections open_loop =
     handle Report.Json @@ fun () ->
     let endpoint =
       match (socket, connect) with
@@ -990,6 +1084,12 @@ let client_cmd =
       E.raise_error (E.Usage_error "--count must be a positive integer");
     if max_retries < 0 then
       E.raise_error (E.Usage_error "--retries must be >= 0");
+    if connections < 1 then
+      E.raise_error (E.Usage_error "--connections must be >= 1");
+    (match open_loop with
+    | Some rps when rps <= 0.0 ->
+      E.raise_error (E.Usage_error "--open-loop expects a positive req/s rate")
+    | _ -> ());
     let body =
       match method_ with
       | "version" -> Protocol.Version
@@ -1033,47 +1133,56 @@ let client_cmd =
     in
     (* a server mid-restart answers ECONNREFUSED for a moment; re-dial
        under capped backoff instead of aborting, and surface how bumpy
-       the ride was (retries / gave_up) rather than failing the run *)
-    let retries = ref 0 in
-    let gave_up = ref 0 in
-    let conn = ref None in
-    let drop_conn () =
-      (match !conn with Some c -> Server.Client.close c | None -> ());
-      conn := None
-    in
-    let call_with_retry req =
-      let rec go attempt =
-        match
-          let c =
-            match !conn with
-            | Some c -> c
-            | None ->
-              let c = Server.Client.connect endpoint in
-              conn := Some c;
-              c
-          in
-          Server.Client.call c req
-        with
-        | resp -> Some resp
-        | exception Server.Client.Unreachable _ ->
-          drop_conn ();
-          if attempt > max_retries then None
-          else begin
-            incr retries;
-            Unix.sleepf
-              (Backoff.delay_s ~seed:0xc11e47 ~attempt ());
-            go (attempt + 1)
-          end
+       the ride was (retries / gave_up) rather than failing the run.
+       Each caller owns one connection and its own counters, so load
+       workers never share mutable state *)
+    let make_caller ~seed () =
+      let retries = ref 0 in
+      let gave_up = ref 0 in
+      let conn = ref None in
+      let drop_conn () =
+        (match !conn with Some c -> Server.Client.close c | None -> ());
+        conn := None
       in
-      go 1
+      let call req =
+        let rec go attempt =
+          match
+            let c =
+              match !conn with
+              | Some c -> c
+              | None ->
+                let c = Server.Client.connect endpoint in
+                conn := Some c;
+                c
+            in
+            Server.Client.call c req
+          with
+          | resp -> Some resp
+          | exception Server.Client.Unreachable _ ->
+            drop_conn ();
+            if attempt > max_retries then begin
+              incr gave_up;
+              None
+            end
+            else begin
+              incr retries;
+              Unix.sleepf (Backoff.delay_s ~seed ~attempt ());
+              go (attempt + 1)
+            end
+        in
+        go 1
+      in
+      (call, drop_conn, retries, gave_up)
     in
-    Fun.protect ~finally:drop_conn @@ fun () ->
+    let request_json i =
+      Protocol.request_to_json
+        { Protocol.id = Json.Int i; version = Protocol.V1; body }
+    in
     if count = 1 then begin
+      let call, drop_conn, retries, _ = make_caller ~seed:0xc11e47 () in
+      Fun.protect ~finally:drop_conn @@ fun () ->
       let resp =
-        match
-          call_with_retry
-            (Protocol.request_to_json { Protocol.id = Json.Int 0; body })
-        with
+        match call (request_json 0) with
         | Some resp -> resp
         | None ->
           E.raise_error
@@ -1101,54 +1210,95 @@ let client_cmd =
         exit code
     end
     else begin
-      (* load-generator mode: sequential request/response round trips
-         so the latencies measure the server, not local queueing *)
+      (* load-generator mode.  Closed loop (default): each connection
+         fires its share back-to-back, latency = round trip — measures
+         the server, not local queueing.  Open loop (--open-loop RPS):
+         request i is *scheduled* at t0 + i/RPS regardless of earlier
+         completions, and latency runs from the scheduled arrival — so
+         queueing delay under overload is charged to the server instead
+         of silently stretching the arrival process (the classic
+         coordinated-omission fix).  [achieved rps] under an
+         over-capacity open-loop run is the saturation throughput *)
+      let connections = min connections count in
       let latencies = Array.make count 0.0 in
-      let hits = ref 0 in
-      let warm = ref 0 in
-      let errors = ref 0 in
-      let _, wall_s =
-        Leqa_util.Timing.time (fun () ->
-            for i = 0 to count - 1 do
-              let resp, dt =
-                Leqa_util.Timing.time (fun () ->
-                    call_with_retry
-                      (Protocol.request_to_json
-                         { Protocol.id = Json.Int i; body }))
-              in
-              latencies.(i) <- dt;
-              match resp with
-              | None ->
-                (* connection never came back within the retry cap:
-                   record and press on — a load run reports flakiness,
-                   it doesn't die of it *)
-                incr gave_up;
-                incr errors
-              | Some resp -> (
-                (match Json.member "cache" resp with
-                | Some (Json.String "hit") -> incr hits
-                | Some (Json.String "warm") -> incr warm
-                | _ -> ());
-                match Json.member "ok" resp with
-                | Some (Json.Bool true) -> ()
-                | _ -> incr errors)
-            done)
+      let hits = Array.make connections 0 in
+      let warm = Array.make connections 0 in
+      let errors = Array.make connections 0 in
+      let retried = Array.make connections 0 in
+      let abandoned = Array.make connections 0 in
+      let interval = Option.map (fun rps -> 1.0 /. rps) open_loop in
+      let t0 = Unix.gettimeofday () in
+      let worker k () =
+        let call, drop_conn, retries, gave_up =
+          make_caller ~seed:(0xc11e47 + k) ()
+        in
+        Fun.protect ~finally:drop_conn @@ fun () ->
+        let i = ref k in
+        while !i < count do
+          let start =
+            match interval with
+            | None -> Unix.gettimeofday ()
+            | Some dt ->
+              let sched = t0 +. (float_of_int !i *. dt) in
+              let now = Unix.gettimeofday () in
+              if now < sched then Unix.sleepf (sched -. now);
+              sched
+          in
+          let resp = call (request_json !i) in
+          latencies.(!i) <- Unix.gettimeofday () -. start;
+          (match resp with
+          | None ->
+            (* connection never came back within the retry cap: record
+               and press on — a load run reports flakiness, it doesn't
+               die of it *)
+            errors.(k) <- errors.(k) + 1
+          | Some resp -> (
+            (match Json.member "cache" resp with
+            | Some (Json.String "hit") -> hits.(k) <- hits.(k) + 1
+            | Some (Json.String "warm") -> warm.(k) <- warm.(k) + 1
+            | _ -> ());
+            match Json.member "ok" resp with
+            | Some (Json.Bool true) -> ()
+            | _ -> errors.(k) <- errors.(k) + 1));
+          i := !i + connections
+        done;
+        retried.(k) <- !retries;
+        abandoned.(k) <- !gave_up
       in
+      if connections = 1 then worker 0 ()
+      else
+        Array.init connections (fun k -> Domain.spawn (worker k))
+        |> Array.iter Domain.join;
+      let wall_s = Unix.gettimeofday () -. t0 in
+      let sum a = Array.fold_left ( + ) 0 a in
       Array.sort compare latencies;
+      let achieved_rps = float_of_int count /. wall_s in
       let load =
         Json.Obj
-          [
-            ("count", Json.Int count);
-            ("wall_s", Json.Float wall_s);
-            ("rps", Json.Float (float_of_int count /. wall_s));
-            ("p50_ms", Json.Float (1e3 *. percentile latencies 0.50));
-            ("p99_ms", Json.Float (1e3 *. percentile latencies 0.99));
-            ("cache_hits", Json.Int !hits);
-            ("cache_warm", Json.Int !warm);
-            ("errors", Json.Int !errors);
-            ("retries", Json.Int !retries);
-            ("gave_up", Json.Int !gave_up);
-          ]
+          ([
+             ("count", Json.Int count);
+             ("connections", Json.Int connections);
+             ("wall_s", Json.Float wall_s);
+             ("rps", Json.Float achieved_rps);
+           ]
+          @ (match open_loop with
+            | None -> []
+            | Some target ->
+              [
+                ("target_rps", Json.Float target);
+                (* the offered load outran the server: [rps] above is
+                   its saturation throughput and p99 includes queueing *)
+                ("saturated", Json.Bool (achieved_rps < 0.95 *. target));
+              ])
+          @ [
+              ("p50_ms", Json.Float (1e3 *. percentile latencies 0.50));
+              ("p99_ms", Json.Float (1e3 *. percentile latencies 0.99));
+              ("cache_hits", Json.Int (sum hits));
+              ("cache_warm", Json.Int (sum warm));
+              ("errors", Json.Int (sum errors));
+              ("retries", Json.Int (sum retried));
+              ("gave_up", Json.Int (sum abandoned));
+            ])
       in
       print_endline
         (Json.to_string
@@ -1197,15 +1347,275 @@ let client_cmd =
     in
     Arg.(value & opt int 8 & info [ "retries" ] ~docv:"N" ~doc)
   in
+  let connections_arg =
+    let doc =
+      "Spread a load run ($(b,--count)) over $(docv) concurrent \
+       connections (request i goes out on connection i mod $(docv))."
+    in
+    Arg.(value & opt int 1 & info [ "connections" ] ~docv:"N" ~doc)
+  in
+  let open_loop_arg =
+    let doc =
+      "Open-loop load generation at $(docv) requests per second: \
+       arrivals follow the schedule whether or not earlier requests \
+       completed, and latency is measured from the scheduled arrival \
+       (coordinated omission corrected).  The summary gains \
+       $(b,target_rps) and $(b,saturated); under an over-capacity rate \
+       $(b,rps) is the saturation throughput and $(b,p99_ms) the \
+       p99-under-overload."
+    in
+    Arg.(value & opt (some float) None & info [ "open-loop" ] ~docv:"RPS" ~doc)
+  in
   let term =
     Term.(
       const run $ socket_arg $ connect_arg $ method_arg $ file_arg $ bench_arg
       $ scale_arg $ width_arg $ height_arg $ v_arg $ terms_arg $ sizes_arg
-      $ deadline_arg $ count_arg $ retries_arg)
+      $ deadline_arg $ count_arg $ retries_arg $ connections_arg
+      $ open_loop_arg)
   in
   Cmd.v
     (Cmd.info "client"
        ~doc:"drive a running estimation service (one call or a load run)")
+    term
+
+(* ---------------- the incremental-estimation driver ---------------- *)
+
+(* the mapper loop as a command: open a circuit once, then re-estimate
+   after each batch of edits — in-process by default (exercising the
+   same Delta engine the server holds behind a handle), or against a
+   running rpc-v2 server with --socket/--connect *)
+let session_cmd =
+  (* NDJSON edits file: one wire-grammar edit object per line; blank
+     lines and #-comments skipped *)
+  let read_edits path =
+    let ic =
+      if path = "-" then stdin
+      else
+        try open_in path
+        with Sys_error m -> E.raise_error (E.Io_error m)
+    in
+    Fun.protect
+      ~finally:(fun () -> if path <> "-" then close_in_noerr ic)
+      (fun () ->
+        let where = if path = "-" then "<stdin>" else path in
+        let rec go lineno acc =
+          match input_line ic with
+          | exception End_of_file -> List.rev acc
+          | line ->
+            let trimmed = String.trim line in
+            if trimmed = "" || trimmed.[0] = '#' then go (lineno + 1) acc
+            else begin
+              let edit =
+                match Json.of_string trimmed with
+                | Error msg ->
+                  E.raise_error
+                    (E.Usage_error
+                       (Printf.sprintf "%s:%d: %s" where lineno msg))
+                | Ok json -> (
+                  try Protocol.parse_edit json
+                  with E.Error err ->
+                    E.raise_error
+                      (E.Usage_error
+                         (Printf.sprintf "%s:%d: %s" where lineno
+                            (E.to_string err))))
+              in
+              go (lineno + 1) (edit :: acc)
+            end
+        in
+        go 1 [])
+  in
+  let batches_of ~batch edits =
+    let rec go acc cur n = function
+      | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+      | e :: rest ->
+        if n = batch then go (List.rev cur :: acc) [ e ] 1 rest
+        else go acc (e :: cur) (n + 1) rest
+    in
+    go [] [] 0 edits
+  in
+  let run socket connect file bench scale width height v terms jobs edits
+      batch timeout fmt errfmt trace =
+    let fmt = resolve_format fmt errfmt in
+    handle fmt @@ fun () ->
+    if batch < 1 then E.raise_error (E.Usage_error "--batch must be >= 1");
+    let endpoint =
+      match (socket, connect) with
+      | Some _, Some _ ->
+        E.raise_error
+          (E.Usage_error "--socket and --connect are mutually exclusive")
+      | Some path, None -> Some (Server.Unix_path path)
+      | None, Some spec -> Some (tcp_endpoint_of ~flag:"--connect" spec)
+      | None, None -> None
+    in
+    let rounds = batches_of ~batch (read_edits edits) in
+    let deadline_s = deadline_seconds ~flag:"--timeout" timeout in
+    match endpoint with
+    | Some endpoint ->
+      (* remote: one rpc-v2 conversation, response documents printed as
+         NDJSON (the report inside each estimate-delta response is the
+         server's own, byte-identical to a cold estimate) *)
+      let source =
+        match source_of ~file ~bench ~scale with
+        | Ok s -> s
+        | Error e -> E.raise_error e
+      in
+      let c = Server.Client.connect endpoint in
+      Fun.protect ~finally:(fun () -> Server.Client.close c) @@ fun () ->
+      let next_id = ref 0 in
+      let call body =
+        let id = !next_id in
+        incr next_id;
+        Server.Client.call c
+          (Protocol.request_to_json
+             { Protocol.id = Json.Int id; version = Protocol.V2; body })
+      in
+      let fail_response resp =
+        let err =
+          match Json.member "error" resp with Some e -> e | None -> resp
+        in
+        prerr_endline (Json.to_string err);
+        let code =
+          match Json.member "exit_code" err with
+          | Some (Json.Int c) -> c
+          | _ -> 70
+        in
+        exit code
+      in
+      let opened = call (Protocol.Open_circuit { Protocol.oc_source = source }) in
+      let handle_str =
+        match (Json.member "ok" opened, Json.member "handle" opened) with
+        | Some (Json.Bool true), Some (Json.String h) ->
+          print_endline (Json.to_string opened);
+          h
+        | _ -> fail_response opened
+      in
+      List.iter
+        (fun dl_edits ->
+          let resp =
+            call
+              (Protocol.Estimate_delta
+                 {
+                   Protocol.dl_handle = handle_str;
+                   dl_edits;
+                   dl_width = width;
+                   dl_height = height;
+                   dl_v = v;
+                   dl_terms = terms;
+                   dl_deadline_s = deadline_s;
+                 })
+          in
+          match Json.member "ok" resp with
+          | Some (Json.Bool true) -> print_endline (Json.to_string resp)
+          | _ -> fail_response resp)
+        rounds;
+      let closed = call (Protocol.Close_circuit { cl_handle = handle_str }) in
+      print_endline (Json.to_string closed)
+    | None ->
+      (* in-process: the same Delta state machine the server holds
+         behind a handle, rendered through lib/report *)
+      apply_jobs jobs;
+      let deadline = deadline_of timeout in
+      let params = or_fail fmt (params_of ~width ~height ~v) in
+      let config = { Leqa_core.Config.truncation_terms = terms } in
+      emit ~command:"session" ~trace fmt @@ fun telemetry ->
+      let circuit, ft, _ = prepare_traced telemetry fmt ~file ~bench ~scale in
+      let delta = Leqa_core.Delta.of_ft_circuit ft in
+      let fingerprint = Leqa_server.Cache.circuit_key circuit in
+      let handle_str =
+        Printf.sprintf "h%s-0"
+          (String.lowercase_ascii (String.sub fingerprint 0 12))
+      in
+      let last = ref None in
+      List.iteri
+        (fun round dl_edits ->
+          List.iteri
+            (fun i edit ->
+              try Leqa_core.Delta.apply delta edit
+              with E.Error (E.Usage_error msg) ->
+                E.raise_error
+                  (E.Usage_error
+                     (Printf.sprintf "round %d edit %d: %s" (round + 1) i msg)))
+            dl_edits;
+          let (est, ds), dt =
+            Leqa_util.Timing.time (fun () ->
+                Leqa_core.Delta.estimate ~config ~deadline ~telemetry ~params
+                  delta)
+          in
+          let report =
+            Report.make ~command:"session"
+              ~circuit_stats:(Leqa_core.Delta.stats delta) ~telemetry
+              (Report.Delta
+                 {
+                   Report.delta_handle = handle_str;
+                   delta_round = round + 1;
+                   delta_estimate =
+                     {
+                       Report.params;
+                       breakdown = est;
+                       contributions = Estimator.contributions ~params est;
+                       estimator_runtime_s = dt;
+                     };
+                   delta_edits = ds.Leqa_core.Delta.ds_edits;
+                   delta_full_rebuild = ds.Leqa_core.Delta.ds_full_rebuild;
+                   delta_coverage_reused = ds.Leqa_core.Delta.ds_coverage_reused;
+                   delta_fold_restart = ds.Leqa_core.Delta.ds_fold_restart;
+                   delta_fold_gates = ds.Leqa_core.Delta.ds_fold_gates;
+                   delta_gates_total = ds.Leqa_core.Delta.ds_gates_total;
+                 })
+          in
+          match !last with
+          | None -> last := Some report
+          | Some r ->
+            Report.print fmt r;
+            last := Some report)
+        rounds;
+      (* emit prints the final round's report (and owns the trace) *)
+      match !last with
+      | Some report -> report
+      | None ->
+        E.raise_error
+          (E.Usage_error
+             (Printf.sprintf "%s holds no edits"
+                (if edits = "-" then "<stdin>" else edits)))
+  in
+  let edits_arg =
+    let doc =
+      "Apply the NDJSON edit script at $(docv) ($(b,-) reads stdin): one \
+       object per line in the wire grammar, e.g. \
+       {\"op\":\"add-gate\",\"gate\":\"cnot\",\"control\":1,\"target\":2,\"at\":5}, \
+       {\"op\":\"remove-gate\",\"at\":7}, \
+       {\"op\":\"remap-qubit\",\"from\":2,\"to\":9}."
+    in
+    Arg.(required & opt (some string) None & info [ "edits" ] ~docv:"FILE" ~doc)
+  in
+  let batch_arg =
+    let doc =
+      "Edits applied per re-estimation round (each round is one \
+       estimate-delta call)."
+    in
+    Arg.(value & opt int 8 & info [ "batch" ] ~docv:"N" ~doc)
+  in
+  let connect_arg =
+    let doc = "Drive a TCP rpc-v2 server at $(docv) (HOST:PORT)." in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"HOST:PORT" ~doc)
+  in
+  let term =
+    Term.(
+      const run $ socket_arg $ connect_arg $ file_arg $ bench_arg $ scale_arg
+      $ width_arg $ height_arg $ v_arg $ terms_arg $ jobs_arg $ edits_arg
+      $ batch_arg $ timeout_arg $ format_arg $ error_format_arg $ trace_arg)
+  in
+  Cmd.v
+    (Cmd.info "session"
+       ~doc:
+         "incremental re-estimation driver: open a circuit once, \
+          re-estimate after each batch of edits (in-process, or against \
+          a running server's rpc-v2 session API with \
+          $(b,--socket)/$(b,--connect), which prints the raw NDJSON \
+          responses)")
     term
 
 let () =
@@ -1222,5 +1632,5 @@ let () =
           [
             estimate_cmd; simulate_cmd; compare_cmd; sweep_fabric_cmd; gen_cmd;
             info_cmd; design_cmd; select_qecc_cmd; diff_cmd; version_cmd;
-            serve_cmd; client_cmd;
+            serve_cmd; client_cmd; session_cmd;
           ]))

@@ -1,0 +1,353 @@
+module Ft_gate = Leqa_circuit.Ft_gate
+module Ft_circuit = Leqa_circuit.Ft_circuit
+module Iig = Leqa_iig.Iig
+module Stream = Leqa_qodg.Stream
+module Params = Leqa_fabric.Params
+module Error = Leqa_util.Error
+
+(* Incremental re-estimation for mapper inner loops (DESIGN.md §12).
+
+   A [t] is a mutable circuit held between estimates: the gate sequence,
+   the declared wire count, the IIG kept exactly in step with edits, and
+   periodic critical-path checkpoints from the last fold.  The contract
+   is the streaming path's: every report field is bit-for-bit identical
+   to a cold estimate of the edited circuit.  That rules out
+   subtract/add float updates — instead the *integer* state (IIG pair
+   weights, gate tallies) is maintained incrementally and every float
+   aggregate is recomputed by the exact code the cold path runs
+   ([Presence_zone.average_area], [Routing_latency], [Coverage] — all
+   O(qubits + edges) or memoized), while the one O(gates) phase, the
+   routing-augmented critical path, restarts from the nearest frontier
+   checkpoint at or before the first edited position. *)
+
+type edit =
+  | Add_gate of { at : int option; gate : Ft_gate.t }
+      (** insert at position [at] (0-based, gates at and after shift
+          right); [None] appends *)
+  | Remove_gate of { at : int }
+  | Remap_qubit of { from_q : int; to_q : int }
+      (** relabel every occurrence of wire [from_q] as [to_q]; the
+          target wire becomes declared even when no gate moves *)
+
+type t = {
+  mutable gates : Ft_gate.t array;
+  mutable n : int;
+  mutable wires : int;  (* declared wire count; grows, never shrinks *)
+  mutable iig : Iig.t;
+  mutable cnots : int;
+  mutable singles : int array;
+  mutable dirty_from : int;  (* min edited position since last fold *)
+  dirty_qubits : (int, unit) Hashtbl.t;  (* IIG rows touched by edits *)
+  mutable checkpoints : Stream.checkpoint list;  (* descending position *)
+  mutable delay_sig : float array;  (* per-kind delays of the last fold *)
+  mutable coverage_key : (Params.topology * float * int * int * int * int) option;
+  mutable edits_applied : int;
+}
+
+let clean = max_int
+
+let of_ft_circuit ft =
+  let gates = ref [] in
+  let count = ref 0 in
+  Ft_circuit.iter
+    (fun g ->
+      gates := g :: !gates;
+      incr count)
+    ft;
+  let arr = Array.of_list (List.rev !gates) in
+  let stats = Ft_circuit.stats ft in
+  {
+    gates = arr;
+    n = !count;
+    wires = Ft_circuit.num_qubits ft;
+    iig = Iig.of_ft_circuit ft;
+    cnots = stats.Ft_circuit.cnot_count;
+    singles = Array.copy stats.Ft_circuit.single_counts;
+    dirty_from = 0;  (* nothing folded yet *)
+    dirty_qubits = Hashtbl.create 16;
+    checkpoints = [];
+    delay_sig = [||];
+    coverage_key = None;
+    edits_applied = 0;
+  }
+
+let gate_count t = t.n
+let num_wires t = t.wires
+let edits_applied t = t.edits_applied
+
+let stats t =
+  {
+    Ft_circuit.num_qubits = t.wires;
+    num_gates = t.n;
+    cnot_count = t.cnots;
+    single_counts = Array.copy t.singles;
+  }
+
+let to_circuit t =
+  let gs = List.init t.n (fun i -> Ft_gate.to_gate t.gates.(i)) in
+  Leqa_circuit.Circuit.of_gates ~num_qubits:t.wires gs
+
+(* ---- edits -------------------------------------------------------- *)
+
+let usage fmt = Printf.ksprintf (fun m -> Error.raise_error (Error.Usage_error m)) fmt
+
+let mark_edit t pos = if pos < t.dirty_from then t.dirty_from <- pos
+let mark_qubit t q = Hashtbl.replace t.dirty_qubits q ()
+
+let grow_wires t w =
+  if w > t.wires then begin
+    t.wires <- w;
+    t.iig <- Iig.grown t.iig ~qubits:w
+  end
+
+let check_gate = function
+  | Ft_gate.Cnot { control; target } ->
+    if control < 0 || target < 0 then usage "add-gate: negative qubit index";
+    if control = target then usage "add-gate: CNOT with control = target"
+  | Ft_gate.Single (_, q) ->
+    if q < 0 then usage "add-gate: negative qubit index"
+
+let ensure_capacity t =
+  let cap = Array.length t.gates in
+  if t.n >= cap then begin
+    let fresh =
+      Array.make (max 16 (2 * cap)) (Ft_gate.Single (Ft_gate.X, 0))
+    in
+    Array.blit t.gates 0 fresh 0 t.n;
+    t.gates <- fresh
+  end
+
+let add_gate t ~at g =
+  check_gate g;
+  let pos = match at with None -> t.n | Some p -> p in
+  if pos < 0 || pos > t.n then
+    usage "add-gate: position %d outside [0, %d]" pos t.n;
+  ensure_capacity t;
+  Array.blit t.gates pos t.gates (pos + 1) (t.n - pos);
+  t.gates.(pos) <- g;
+  t.n <- t.n + 1;
+  grow_wires t (Ft_gate.max_qubit g + 1);
+  (match g with
+  | Ft_gate.Cnot { control; target } ->
+    Iig.record_n t.iig control target 1;
+    t.cnots <- t.cnots + 1;
+    mark_qubit t control;
+    mark_qubit t target
+  | Ft_gate.Single (k, _) ->
+    let i = Ft_gate.single_kind_index k in
+    t.singles.(i) <- t.singles.(i) + 1);
+  mark_edit t pos
+
+let remove_gate t ~at =
+  if at < 0 || at >= t.n then
+    usage "remove-gate: position %d outside [0, %d)" at t.n;
+  let g = t.gates.(at) in
+  Array.blit t.gates (at + 1) t.gates at (t.n - at - 1);
+  t.n <- t.n - 1;
+  (match g with
+  | Ft_gate.Cnot { control; target } ->
+    Iig.unrecord_n t.iig control target 1;
+    t.cnots <- t.cnots - 1;
+    mark_qubit t control;
+    mark_qubit t target
+  | Ft_gate.Single (k, _) ->
+    let i = Ft_gate.single_kind_index k in
+    t.singles.(i) <- t.singles.(i) - 1);
+  mark_edit t at
+
+let remap_qubit t ~from_q ~to_q =
+  if from_q < 0 || to_q < 0 then usage "remap-qubit: negative qubit index";
+  if from_q <> to_q then begin
+    (* reject before mutating anything: a CNOT between the two wires
+       would collapse into a self-loop *)
+    for i = 0 to t.n - 1 do
+      match t.gates.(i) with
+      | Ft_gate.Cnot { control; target }
+        when (control = from_q && target = to_q)
+             || (control = to_q && target = from_q) ->
+        usage
+          "remap-qubit: gate %d is a CNOT between %d and %d; remapping \
+           would create a self-loop"
+          i from_q to_q
+      | Ft_gate.Cnot _ | Ft_gate.Single _ -> ()
+    done;
+    grow_wires t (to_q + 1);
+    let touched = ref false in
+    for i = 0 to t.n - 1 do
+      let sub w = if w = from_q then to_q else w in
+      match t.gates.(i) with
+      | Ft_gate.Cnot { control; target }
+        when control = from_q || target = from_q ->
+        if not !touched then begin
+          touched := true;
+          mark_edit t i
+        end;
+        Iig.unrecord_n t.iig control target 1;
+        let control = sub control and target = sub target in
+        Iig.record_n t.iig control target 1;
+        t.gates.(i) <- Ft_gate.Cnot { control; target }
+      | Ft_gate.Single (k, q) when q = from_q ->
+        if not !touched then begin
+          touched := true;
+          mark_edit t i
+        end;
+        t.gates.(i) <- Ft_gate.Single (k, to_q)
+      | Ft_gate.Cnot _ | Ft_gate.Single _ -> ()
+    done;
+    if !touched then begin
+      mark_qubit t from_q;
+      mark_qubit t to_q
+    end
+  end
+
+let apply t edit =
+  (match edit with
+  | Add_gate { at; gate } -> add_gate t ~at gate
+  | Remove_gate { at } -> remove_gate t ~at
+  | Remap_qubit { from_q; to_q } -> remap_qubit t ~from_q ~to_q);
+  t.edits_applied <- t.edits_applied + 1
+
+(* ---- the incremental fold ---------------------------------------- *)
+
+(* The routing-augmented [delay] is a pure function of the gate *kind*
+   (fabric delays plus l_cnot_avg / l_single_avg), so nine samples pin
+   it down exactly; checkpoints from a previous fold are reusable iff
+   the signature matches bitwise. *)
+let signature ~delay =
+  Array.of_list
+    (delay (Ft_gate.Cnot { control = 0; target = 1 })
+    :: List.map (fun k -> delay (Ft_gate.Single (k, 0))) Ft_gate.all_single_kinds)
+
+let sig_equal a b =
+  Array.length a = Array.length b
+  &&
+  let ok = ref true in
+  Array.iteri
+    (fun i x ->
+      if not (Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float b.(i)))
+      then ok := false)
+    a;
+  !ok
+
+let checkpoint_stride t = max 256 (t.n / 16)
+let max_checkpoints = 32
+
+type fold_stats = {
+  fold_restart : int;  (* position the fold restarted from *)
+  fold_gates : int;  (* gates re-fed through the frontier *)
+}
+
+let fold t ~delay =
+  let sg = signature ~delay in
+  let valid = sig_equal sg t.delay_sig in
+  if not valid then t.checkpoints <- [];
+  let restart, ck =
+    let rec pick = function
+      | [] -> (0, None)
+      | c :: rest ->
+        if Stream.checkpoint_gates c <= t.dirty_from then
+          (Stream.checkpoint_gates c, Some c)
+        else pick rest
+    in
+    pick t.checkpoints
+  in
+  (* checkpoints past the restart position describe the stale suffix *)
+  t.checkpoints <-
+    List.filter (fun c -> Stream.checkpoint_gates c <= restart) t.checkpoints;
+  let st =
+    match ck with
+    | Some c -> Stream.of_checkpoint ~delay c
+    | None -> Stream.create ~delay
+  in
+  let stride = checkpoint_stride t in
+  let next = ref (restart + stride) in
+  for i = restart to t.n - 1 do
+    Stream.feed st t.gates.(i);
+    if i + 1 >= !next && i + 1 < t.n then begin
+      t.checkpoints <- Stream.checkpoint st :: t.checkpoints;
+      next := i + 1 + stride
+    end
+  done;
+  (* bound the list across many folds: the list is descending by
+     position and later checkpoints are the useful ones, so truncate *)
+  if List.length t.checkpoints > max_checkpoints then
+    t.checkpoints <- List.filteri (fun i _ -> i < max_checkpoints) t.checkpoints;
+  t.delay_sig <- sg;
+  ({ fold_restart = restart; fold_gates = t.n - restart },
+   Stream.result st ~num_qubits:t.wires)
+
+let rebuild_iig t =
+  let iig = Iig.create t.wires in
+  for i = 0 to t.n - 1 do
+    match t.gates.(i) with
+    | Ft_gate.Cnot { control; target } -> Iig.record_n iig control target 1
+    | Ft_gate.Single _ -> ()
+  done;
+  t.iig <- iig
+
+(* ---- estimate ----------------------------------------------------- *)
+
+type delta_stats = {
+  ds_edits : int;  (* edits applied since the previous estimate *)
+  ds_full_rebuild : bool;  (* dirty-set fallback: IIG rebuilt from scratch *)
+  ds_iig_incremental : bool;
+  ds_coverage_reused : bool;  (* E[S_q] memo key unchanged *)
+  ds_fold_restart : int;
+  ds_fold_gates : int;
+  ds_gates_total : int;
+}
+
+let default_fallback_dirty_fraction = 0.5
+
+let estimate ?config ?deadline ?telemetry ?(fallback_dirty_fraction = default_fallback_dirty_fraction)
+    ~params t =
+  let edits = t.edits_applied in
+  let dirty = Hashtbl.length t.dirty_qubits in
+  let full_rebuild =
+    edits > 0
+    && float_of_int dirty
+       > fallback_dirty_fraction *. float_of_int (max 1 t.wires)
+  in
+  if full_rebuild then begin
+    rebuild_iig t;
+    t.dirty_from <- 0;
+    t.checkpoints <- []
+  end;
+  let avg_zone_area = Presence_zone.average_area t.iig in
+  let fold_stats = ref { fold_restart = 0; fold_gates = t.n } in
+  let breakdown =
+    Estimator.estimate_core ?config ?deadline ?telemetry ~params ~iig:t.iig
+      ~qubits:t.wires ~avg_zone_area ~operations:t.n
+      ~critical_of_delay:(fun ~delay ->
+        let fs, result = fold t ~delay in
+        fold_stats := fs;
+        result)
+      ()
+  in
+  let terms =
+    (match config with Some c -> c | None -> Config.default)
+      .Config.truncation_terms
+  in
+  let ckey =
+    ( params.Params.topology,
+      avg_zone_area,
+      params.Params.width,
+      params.Params.height,
+      t.wires,
+      terms )
+  in
+  let coverage_reused = t.coverage_key = Some ckey in
+  t.coverage_key <- Some ckey;
+  t.dirty_from <- clean;
+  Hashtbl.reset t.dirty_qubits;
+  t.edits_applied <- 0;
+  ( breakdown,
+    {
+      ds_edits = edits;
+      ds_full_rebuild = full_rebuild;
+      ds_iig_incremental = not full_rebuild;
+      ds_coverage_reused = coverage_reused;
+      ds_fold_restart = !fold_stats.fold_restart;
+      ds_fold_gates = !fold_stats.fold_gates;
+      ds_gates_total = t.n;
+    } )

@@ -1,0 +1,88 @@
+(** Incremental re-estimation over a held, editable circuit.
+
+    A {!t} is the server-side state behind an RPC circuit handle
+    (DESIGN.md §12): the FT gate sequence, the declared wire count, an
+    IIG kept exactly in step with edits, and periodic critical-path
+    frontier checkpoints from the last fold.  {!estimate} produces a
+    breakdown bit-for-bit identical to a cold
+    {!Estimator.estimate_circuit} of the edited circuit — the integer
+    state (IIG pair weights, gate tallies) is updated incrementally,
+    every float aggregate is recomputed by the cold path's own code in
+    the cold path's own order, and only the O(gates) critical-path fold
+    is restarted from the nearest checkpoint at or before the first
+    edited position (full refold when the routing-augmented delays
+    changed, e.g. after a fabric or IIG change).  When an edit batch
+    dirties more than [fallback_dirty_fraction] of the wires, the IIG is
+    transparently rebuilt from the gate list instead (the dirty-set
+    fall-back rule). *)
+
+type t
+
+type edit =
+  | Add_gate of { at : int option; gate : Leqa_circuit.Ft_gate.t }
+      (** insert at 0-based position [at], shifting later gates right;
+          [None] appends.  New wire indices grow the declared wire
+          count. *)
+  | Remove_gate of { at : int }
+      (** delete the gate at position [at]; the wire count never
+          shrinks, matching {!Leqa_circuit.Ft_circuit} semantics *)
+  | Remap_qubit of { from_q : int; to_q : int }
+      (** relabel every occurrence of wire [from_q] as [to_q]; [to_q]
+          becomes declared even when no gate moves *)
+
+val of_ft_circuit : Leqa_circuit.Ft_circuit.t -> t
+(** Open a session over a materialized circuit (the first {!estimate}
+    folds everything and seeds the checkpoints). *)
+
+val apply : t -> edit -> unit
+(** Apply one edit, updating the gate sequence, tallies and IIG in
+    place and widening the dirty window.
+    @raise Leqa_util.Error.Error with [Usage_error] on out-of-range
+    positions, negative indices, self-loop CNOTs, or a remap that would
+    collapse a CNOT into a self-loop — the state is unchanged on
+    rejection except that a partially-validated remap never is. *)
+
+val gate_count : t -> int
+val num_wires : t -> int
+
+val edits_applied : t -> int
+(** Edits since the last {!estimate} (resets to 0 on estimate). *)
+
+val stats : t -> Leqa_circuit.Ft_circuit.stats
+(** Aggregate stats of the current gate sequence — exactly
+    [Ft_circuit.stats] of the materialized equivalent. *)
+
+val to_circuit : t -> Leqa_circuit.Circuit.t
+(** The current sequence as a logical circuit with the session's
+    declared wire count; [Leqa_circuit.Parser.to_string] of it is the
+    canonical netlist a cold estimate must agree with byte-for-byte. *)
+
+type delta_stats = {
+  ds_edits : int;  (** edits applied since the previous estimate *)
+  ds_full_rebuild : bool;
+      (** the dirty-set fall-back fired: IIG rebuilt from the gate list *)
+  ds_iig_incremental : bool;  (** negation of [ds_full_rebuild] *)
+  ds_coverage_reused : bool;
+      (** the E[S_q] memo key (topology, B, fabric, Q, terms) is
+          unchanged from the previous estimate on this handle *)
+  ds_fold_restart : int;
+      (** gate position the critical-path fold restarted from (0 = full
+          refold) *)
+  ds_fold_gates : int;  (** gates re-fed through the frontier *)
+  ds_gates_total : int;
+}
+
+val default_fallback_dirty_fraction : float
+(** 0.5 — rebuild the IIG outright once an edit batch touches more than
+    half the wires. *)
+
+val estimate :
+  ?config:Config.t ->
+  ?deadline:Leqa_util.Pool.Deadline.t ->
+  ?telemetry:Leqa_util.Telemetry.t ->
+  ?fallback_dirty_fraction:float ->
+  params:Leqa_fabric.Params.t ->
+  t ->
+  Estimator.breakdown * delta_stats
+(** Estimate the current circuit, reusing everything the edits since
+    the last call did not invalidate.  Clears the dirty window. *)

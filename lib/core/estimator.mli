@@ -54,6 +54,26 @@ val estimate :
     invalid inputs, [Numeric_error] if a kernel guard trips, and
     [Timed_out] once [deadline] expires. *)
 
+val estimate_core :
+  ?config:Config.t ->
+  ?deadline:Leqa_util.Pool.Deadline.t ->
+  ?telemetry:Leqa_util.Telemetry.t ->
+  params:Leqa_fabric.Params.t ->
+  iig:Leqa_iig.Iig.t ->
+  qubits:int ->
+  avg_zone_area:float ->
+  operations:int ->
+  critical_of_delay:
+    (delay:(Leqa_circuit.Ft_gate.t -> float) -> Leqa_qodg.Critical_path.result) ->
+  unit ->
+  breakdown
+(** The fabric-dependent phases (Algorithm 1 lines 4-20), shared by the
+    materialized, streaming and incremental paths: everything after the
+    IIG/zone survey needs only aggregate circuit quantities plus a way
+    to run the routing-augmented critical path.  All three callers
+    produce bit-identical breakdowns because every float operates here,
+    in one order. *)
+
 val estimate_prepared :
   ?config:Config.t ->
   ?deadline:Leqa_util.Pool.Deadline.t ->

@@ -36,6 +36,39 @@ let record_n t i j n =
 
 let record t i j = record_n t i j 1
 
+let unrecord_n t i j n =
+  if n < 0 then invalid_arg "Iig.unrecord_n: negative weight";
+  if n > 0 then begin
+    if i = j then invalid_arg "Iig.unrecord_n: self-loop";
+    let drop a b =
+      let table = t.adjacency.(a) in
+      match Hashtbl.find_opt table b with
+      | Some w when w > n -> Hashtbl.replace table b (w - n)
+      | Some w when w = n ->
+        Hashtbl.remove table b;
+        if a < b then t.edges <- t.edges - 1
+      | Some _ | None ->
+        invalid_arg "Iig.unrecord_n: removing more weight than recorded"
+    in
+    drop i j;
+    drop j i;
+    t.total <- t.total - n
+  end
+
+(* Share the per-qubit tables: the integer edge state is identical, only
+   the qubit range widens.  The argument must be discarded afterwards —
+   both values would otherwise alias the same mutable tables. *)
+let grown t ~qubits =
+  if qubits < t.qubits then invalid_arg "Iig.grown: shrinking qubit count";
+  if qubits = t.qubits then t
+  else begin
+    let fresh = create qubits in
+    Array.blit t.adjacency 0 fresh.adjacency 0 (Array.length t.adjacency);
+    fresh.edges <- t.edges;
+    fresh.total <- t.total;
+    fresh
+  end
+
 let of_ft_circuit circ =
   let t = create (Ft_circuit.num_qubits circ) in
   Ft_circuit.iter

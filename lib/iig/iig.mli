@@ -18,6 +18,21 @@ val record_n : t -> int -> int -> int -> unit
     and folds them in here.  A no-op for [n = 0].
     @raise Invalid_argument on self-loops or negative [n]. *)
 
+val unrecord_n : t -> int -> int -> int -> unit
+(** Exact inverse of {!record_n}: subtracts [n] from the pair weight,
+    dropping the edge when it reaches zero — the delta estimator keeps
+    the graph in step with circuit edits instead of rebuilding it.
+    A no-op for [n = 0].
+    @raise Invalid_argument on self-loops, negative [n], or when the
+    recorded weight is smaller than [n]. *)
+
+val grown : t -> qubits:int -> t
+(** A graph over a wider qubit range with the identical edge state.  The
+    per-qubit tables are shared (not copied): the argument must not be
+    used afterwards.  Returns the argument unchanged when [qubits]
+    equals its current count.
+    @raise Invalid_argument when [qubits] would shrink the graph. *)
+
 val of_ft_circuit : Leqa_circuit.Ft_circuit.t -> t
 
 val of_qodg : Leqa_qodg.Qodg.t -> t

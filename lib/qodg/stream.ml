@@ -103,6 +103,33 @@ let feed t g =
 let gate_count t = t.gates
 let peak_live t = t.peak
 
+(* ---- checkpoints -------------------------------------------------- *)
+
+(* A checkpoint is the frontier after the first [ck_gates] gates: an
+   O(wires) copy of the slot array sharing the (immutable-where-it-
+   matters) entries.  Restoring and re-feeding the identical gate
+   sequence reproduces the exact dist/node/counts values the original
+   fold would have computed — [feed] never mutates an existing entry's
+   [dist], [node], [cnots] or [singles], only allocates fresh ones — so
+   a fold restarted from a checkpoint is bit-identical to a fold from
+   gate 0.  The [rc]/live/peak accounting is NOT restored (replays
+   decrement shared [rc] fields again), so [peak_live] of a restored
+   fold is meaningless; delta consumers read [result] only. *)
+
+type checkpoint = { ck_frontier : entry option array; ck_gates : int }
+
+let checkpoint t = { ck_frontier = Array.copy t.frontier; ck_gates = t.gates }
+let checkpoint_gates c = c.ck_gates
+
+let of_checkpoint ~delay c =
+  {
+    delay;
+    frontier = Array.copy c.ck_frontier;
+    gates = c.ck_gates;
+    live = 0;
+    peak = 0;
+  }
+
 let result t ~num_qubits =
   let best_d = ref neg_infinity and best_n = ref (-1) in
   let best_e = ref None in

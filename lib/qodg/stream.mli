@@ -32,3 +32,31 @@ val result : t -> num_qubits:int -> Critical_path.result
 (** The critical path of the gates fed so far, over a circuit of
     [num_qubits] wires (wires never touched by a gate sit at the start
     node, exactly as in the materialized QODG).  [result.path] is [[]].  *)
+
+(** {2 Checkpoints}
+
+    An O(wires) snapshot of the frontier after a prefix of the gate
+    sequence.  The incremental estimator folds a circuit once, keeping
+    periodic checkpoints; after an edit it restores the nearest
+    checkpoint at or before the first changed gate and re-feeds only the
+    suffix.  Because [feed] never mutates an existing record's distance
+    or tallies, the restarted fold is bit-for-bit identical to a fold
+    from gate 0 — provided the [delay] function is bitwise-identical to
+    the one the prefix was folded under (checkpoints store distances
+    with delays baked in). *)
+
+type checkpoint
+
+val checkpoint : t -> checkpoint
+(** Snapshot the frontier as of the gates fed so far. *)
+
+val checkpoint_gates : checkpoint -> int
+(** Number of gates the snapshot covers (the restart position). *)
+
+val of_checkpoint : delay:(Leqa_circuit.Ft_gate.t -> float) -> checkpoint -> t
+(** A fold positioned after the checkpoint's prefix; feeding the
+    remaining gates completes it.  [delay] must agree bitwise with the
+    fold that produced the checkpoint on every gate kind, or the
+    restored distances are stale.  The {!peak_live} accounting of a
+    restored fold is meaningless (live-record refcounts are shared with
+    the snapshot); read {!result} only. *)

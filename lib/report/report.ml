@@ -81,6 +81,20 @@ type diff_body = {
   diff_degraded : int;
 }
 
+(* plain-data mirror of the server's per-call delta stats, so lib/report
+   stays free of a server dependency (the version_body pattern) *)
+type delta_body = {
+  delta_handle : string;
+  delta_round : int;
+  delta_estimate : estimate_body;
+  delta_edits : int;
+  delta_full_rebuild : bool;
+  delta_coverage_reused : bool;
+  delta_fold_restart : int;
+  delta_fold_gates : int;
+  delta_gates_total : int;
+}
+
 type body =
   | Estimate of estimate_body
   | Simulate of simulate_body
@@ -92,6 +106,7 @@ type body =
   | Gen of gen_body
   | Version of version_body
   | Diff of diff_body
+  | Delta of delta_body
 
 (* the report keeps only the FT circuit's aggregate stats, never the
    circuit itself — streaming runs produce the identical report without
@@ -203,17 +218,17 @@ let candidate_json (c : Selection.candidate) =
       ("feasible", Json.Bool c.Selection.feasible);
     ]
 
+let estimate_json (e : estimate_body) =
+  Json.Obj
+    [
+      ("params", params_json e.params);
+      ("breakdown", breakdown_json e.breakdown);
+      ("contributions", Json.List (List.map contribution_json e.contributions));
+      ("runtime_s", Json.Float e.estimator_runtime_s);
+    ]
+
 let body_json = function
-  | Estimate e ->
-    ( "estimate",
-      Json.Obj
-        [
-          ("params", params_json e.params);
-          ("breakdown", breakdown_json e.breakdown);
-          ( "contributions",
-            Json.List (List.map contribution_json e.contributions) );
-          ("runtime_s", Json.Float e.estimator_runtime_s);
-        ] )
+  | Estimate e -> ("estimate", estimate_json e)
   | Simulate s ->
     ( "simulate",
       Json.Obj
@@ -372,6 +387,24 @@ let body_json = function
           ("cases", Json.Int d.diff_cases);
           ("failures", Json.Int d.diff_failures);
           ("degraded", Json.Int d.diff_degraded);
+        ] )
+  | Delta d ->
+    ( "estimate-delta",
+      Json.Obj
+        [
+          ("handle", Json.String d.delta_handle);
+          ("round", Json.Int d.delta_round);
+          ("edits", Json.Int d.delta_edits);
+          ( "incremental",
+            Json.Obj
+              [
+                ("full_rebuild", Json.Bool d.delta_full_rebuild);
+                ("coverage_reused", Json.Bool d.delta_coverage_reused);
+                ("fold_restart", Json.Int d.delta_fold_restart);
+                ("fold_gates_refed", Json.Int d.delta_fold_gates);
+                ("gates_total", Json.Int d.delta_gates_total);
+              ] );
+          ("estimate", estimate_json d.delta_estimate);
         ] )
 
 let to_json t =
@@ -578,6 +611,22 @@ let human_gen ppf (g : gen_body) =
   | None, Some text -> Format.fprintf ppf "%s" text
   | None, None -> ()
 
+let human_delta ppf (d : delta_body) =
+  Format.fprintf ppf "session %s  round %d  (%d edit%s)@." d.delta_handle
+    d.delta_round d.delta_edits
+    (if d.delta_edits = 1 then "" else "s");
+  if d.delta_full_rebuild then
+    Format.fprintf ppf
+      "incremental: dirty set past threshold — full recompute@."
+  else
+    Format.fprintf ppf
+      "incremental: IIG in place, coverage %s, fold resumed at gate %d/%d \
+       (%d gate%s refed)@."
+      (if d.delta_coverage_reused then "reused" else "recomputed")
+      d.delta_fold_restart d.delta_gates_total d.delta_fold_gates
+      (if d.delta_fold_gates = 1 then "" else "s");
+  human_estimate ppf d.delta_estimate
+
 let to_human ppf t =
   (* info renders its own circuit line-up; every other body leads with
      the FT summary, exactly as the pre-redesign subcommands did *)
@@ -595,6 +644,7 @@ let to_human ppf t =
   | Gen g -> human_gen ppf g
   | Version v -> human_version ppf v
   | Diff d -> human_diff ppf d
+  | Delta d -> human_delta ppf d
 
 let print format t =
   match format with

@@ -115,6 +115,26 @@ type diff_body = {
     by the CLI/server so this library stays independent of [leqa_diff]
     (mirrors the [version_body] pattern). *)
 
+type delta_body = {
+  delta_handle : string;  (** the server-issued circuit handle *)
+  delta_round : int;  (** 1-based estimate-delta call number *)
+  delta_estimate : estimate_body;
+      (** the post-edit estimate — identical content to a cold
+          [estimate] of the edited circuit *)
+  delta_edits : int;  (** edits applied this round *)
+  delta_full_rebuild : bool;
+      (** dirty set crossed the fallback threshold: everything below is
+          a full recompute, not an incremental repair *)
+  delta_coverage_reused : bool;  (** coverage memo hit (same B) *)
+  delta_fold_restart : int;  (** gate index the latency fold resumed at *)
+  delta_fold_gates : int;  (** gates re-folded from there *)
+  delta_gates_total : int;  (** circuit size after the edits *)
+}
+(** One incremental re-estimation round: the estimate plus the
+    reused/recomputed breakdown.  Plain data (the [version_body]
+    pattern) — assembled by the CLI session driver from the rpc v2
+    response envelope. *)
+
 type body =
   | Estimate of estimate_body
   | Simulate of simulate_body
@@ -126,6 +146,7 @@ type body =
   | Gen of gen_body
   | Version of version_body
   | Diff of diff_body
+  | Delta of delta_body
 
 type t
 

@@ -21,6 +21,8 @@ type config = {
   reject_overflow : bool;
   max_request_bytes : int;
   binary_version : string;
+  session_cap : int;
+  session_ttl_s : float;
 }
 
 let default_config ~binary_version =
@@ -33,6 +35,8 @@ let default_config ~binary_version =
     reject_overflow = false;
     max_request_bytes = Protocol.default_max_bytes;
     binary_version;
+    session_cap = Session.default_cap;
+    session_ttl_s = Session.default_ttl_s;
   }
 
 type t = {
@@ -40,6 +44,11 @@ type t = {
   pool : Pool.t;
   cache : Cache.t;
   store : Store.t option;
+  sessions : Session.t;
+      (* not thread-safe: the dispatcher treats stateful (session)
+         requests as barriers — they run inline, never inside a fanned
+         batch — so all access to the table and to a handle's Delta
+         state is serialized in request order *)
   queue : Protocol.request Queue.t;
   mutex : Mutex.t;
   work : Condition.t;  (* queue went non-empty, or state changed *)
@@ -62,6 +71,8 @@ let create ?pool ?store cfg =
       Cache.create ~result_entries:cfg.result_cache_entries
         ~prep_entries:cfg.prep_cache_entries;
     store;
+    sessions =
+      Session.create ~cap:cfg.session_cap ~ttl_s:cfg.session_ttl_s ();
     queue = Queue.create ();
     mutex = Mutex.create ();
     work = Condition.create ();
@@ -133,7 +144,7 @@ let store_result t key doc =
   Lru.put t.cache.Cache.results key stored;
   match t.store with None -> () | Some store -> Store.put store key doc
 
-let estimate_response t ~id (p : Protocol.estimate_params) =
+let estimate_response t ~version ~id (p : Protocol.estimate_params) =
   let circuit = ok (Source.load p.Protocol.source) in
   let params =
     params_of ~width:p.Protocol.width ~height:p.Protocol.height ~v:p.Protocol.v
@@ -144,7 +155,7 @@ let estimate_response t ~id (p : Protocol.estimate_params) =
       ~options:[ ("terms", string_of_int p.Protocol.terms) ]
   in
   match cached_result t key with
-  | Some (cache, doc) -> Protocol.response_report ~id ~cache doc
+  | Some (cache, doc) -> Protocol.response_report ~version ~id ~cache doc
   | None ->
     let _, entry = prep_for t circuit in
     let deadline = deadline_of t p.Protocol.deadline_s in
@@ -166,9 +177,9 @@ let estimate_response t ~id (p : Protocol.estimate_params) =
     in
     let doc = Report.to_json report in
     store_result t key doc;
-    Protocol.response_report ~id ~cache:`Miss doc
+    Protocol.response_report ~version ~id ~cache:`Miss doc
 
-let compare_response t ~id (p : Protocol.compare_params) =
+let compare_response t ~version ~id (p : Protocol.compare_params) =
   let circuit = ok (Source.load p.Protocol.cmp_source) in
   let params =
     params_of ~width:p.Protocol.cmp_width ~height:p.Protocol.cmp_height
@@ -189,7 +200,7 @@ let compare_response t ~id (p : Protocol.compare_params) =
         ]
   in
   match cached_result t key with
-  | Some (cache, doc) -> Protocol.response_report ~id ~cache doc
+  | Some (cache, doc) -> Protocol.response_report ~version ~id ~cache doc
   | None ->
     let _, entry = prep_for t circuit in
     let qspr_config =
@@ -227,9 +238,9 @@ let compare_response t ~id (p : Protocol.compare_params) =
        this run's budget, not of the inputs: don't let it shadow a
        future complete answer *)
     if validated.Qspr.simulated <> None then store_result t key doc;
-    Protocol.response_report ~id ~cache:`Miss doc
+    Protocol.response_report ~version ~id ~cache:`Miss doc
 
-let sweep_response t ~id (p : Protocol.sweep_params) =
+let sweep_response t ~version ~id (p : Protocol.sweep_params) =
   let circuit = ok (Source.load p.Protocol.sw_source) in
   (* validate v (against the calibrated fabric) before it reaches the key:
      an out-of-range or non-finite v must fail as a typed error, not get
@@ -246,7 +257,7 @@ let sweep_response t ~id (p : Protocol.sweep_params) =
         [ ("sizes", String.concat "," (List.map string_of_int p.Protocol.sw_sizes)) ]
   in
   match cached_result t key with
-  | Some (cache, doc) -> Protocol.response_report ~id ~cache doc
+  | Some (cache, doc) -> Protocol.response_report ~version ~id ~cache doc
   | None ->
     let _, entry = prep_for t circuit in
     let deadline = deadline_of t p.Protocol.sw_deadline_s in
@@ -276,7 +287,7 @@ let sweep_response t ~id (p : Protocol.sweep_params) =
     in
     let doc = Report.to_json report in
     store_result t key doc;
-    Protocol.response_report ~id ~cache:`Miss doc
+    Protocol.response_report ~version ~id ~cache:`Miss doc
 
 let diff_row_of (r : Leqa_diff.Harness.row) =
   let case = r.Leqa_diff.Harness.case
@@ -297,7 +308,7 @@ let diff_row_of (r : Leqa_diff.Harness.row) =
     diff_shrunk_gates = None;
   }
 
-let diff_response t ~id (p : Protocol.diff_params) =
+let diff_response t ~version ~id (p : Protocol.diff_params) =
   let float_opt ~field = function
     | None -> "none"
     | Some x -> Leqa_util.Fingerprint.float_repr ~field x
@@ -336,7 +347,7 @@ let diff_response t ~id (p : Protocol.diff_params) =
         ]
   in
   match cached_result t key with
-  | Some (cache, doc) -> Protocol.response_report ~id ~cache doc
+  | Some (cache, doc) -> Protocol.response_report ~version ~id ~cache doc
   | None ->
     let summary = Leqa_diff.Harness.run ?deadline_s ~shrink:false cases in
     let report =
@@ -354,15 +365,118 @@ let diff_response t ~id (p : Protocol.diff_params) =
     (* a summary with degraded cases is a property of this run's budget,
        not of the inputs — same rule as compare *)
     if summary.Leqa_diff.Harness.degraded = 0 then store_result t key doc;
-    Protocol.response_report ~id ~cache:`Miss doc
+    Protocol.response_report ~version ~id ~cache:`Miss doc
 
-let version_response t ~id =
+let version_response t ~version ~id =
   let report =
     Report.make ~command:"version"
       (Report.Version
          { Report.binary = t.cfg.binary_version; schemas = Protocol.schemas })
   in
-  Protocol.response_report ~id (Report.to_json report)
+  Protocol.response_report ~version ~id (Report.to_json report)
+
+(* ---- the session methods (rpc v2) ---------------------------------- *)
+
+module Delta = Leqa_core.Delta
+module Ft_circuit = Leqa_circuit.Ft_circuit
+
+let circuit_summary_json (st : Ft_circuit.stats) =
+  Json.Obj
+    [
+      ("qubits", Json.Int st.Ft_circuit.num_qubits);
+      ("gates", Json.Int st.Ft_circuit.num_gates);
+      ("cnots", Json.Int st.Ft_circuit.cnot_count);
+    ]
+
+let delta_stats_json (s : Delta.delta_stats) =
+  Json.Obj
+    [
+      ("edits", Json.Int s.Delta.ds_edits);
+      ("full_rebuild", Json.Bool s.Delta.ds_full_rebuild);
+      ("iig_incremental", Json.Bool s.Delta.ds_iig_incremental);
+      ("coverage_reused", Json.Bool s.Delta.ds_coverage_reused);
+      ("fold_restart", Json.Int s.Delta.ds_fold_restart);
+      ("fold_gates_refed", Json.Int s.Delta.ds_fold_gates);
+      ("gates_total", Json.Int s.Delta.ds_gates_total);
+    ]
+
+let open_circuit_response t ~version ~id (p : Protocol.open_params) =
+  let circuit = ok (Source.load p.Protocol.oc_source) in
+  let fingerprint = Cache.circuit_key circuit in
+  let delta = Delta.of_ft_circuit (Decompose.to_ft circuit) in
+  let entry = Session.open_ t.sessions ~fingerprint delta in
+  Telemetry.ambient_count "session.open";
+  Protocol.response_ok ~version ~id
+    [
+      ("handle", Json.String entry.Session.handle);
+      ("circuit", circuit_summary_json (Delta.stats delta));
+    ]
+
+let find_session t handle =
+  match Session.find t.sessions handle with
+  | Ok entry -> entry
+  | Error e -> E.raise_error e
+
+let estimate_delta_response t ~version ~id (p : Protocol.delta_params) =
+  let entry = find_session t p.Protocol.dl_handle in
+  let delta = entry.Session.delta in
+  (* an edit that fails validation leaves the prefix before it applied —
+     the session stays consistent; the error names the offending index
+     so the client can resync (or export-circuit to inspect) *)
+  List.iteri
+    (fun i edit ->
+      try Delta.apply delta edit
+      with E.Error (E.Usage_error msg) ->
+        E.raise_error (E.Usage_error (Printf.sprintf "edit %d: %s" i msg)))
+    p.Protocol.dl_edits;
+  let params =
+    params_of ~width:p.Protocol.dl_width ~height:p.Protocol.dl_height
+      ~v:p.Protocol.dl_v
+  in
+  let deadline = deadline_of t p.Protocol.dl_deadline_s in
+  let config = { Leqa_core.Config.truncation_terms = p.Protocol.dl_terms } in
+  let (est, dstats), dt =
+    Timing.time (fun () -> Delta.estimate ~config ~deadline ~params delta)
+  in
+  Telemetry.ambient_count "session.estimate_delta";
+  (* the report is the exact "estimate" document a cold estimate of the
+     edited circuit would produce (the @delta-smoke byte-parity gate);
+     the incremental-work breakdown rides the envelope, not the report *)
+  let report =
+    Report.make ~command:"estimate" ~circuit_stats:(Delta.stats delta)
+      (Report.Estimate
+         {
+           Report.params;
+           breakdown = est;
+           contributions = Estimator.contributions ~params est;
+           estimator_runtime_s = dt;
+         })
+  in
+  Protocol.response_ok ~version ~id
+    [
+      ("handle", Json.String entry.Session.handle);
+      ("report", Report.to_json report);
+      ("delta", delta_stats_json dstats);
+    ]
+
+let close_circuit_response t ~version ~id ~handle =
+  let entry = find_session t handle in
+  ignore (Session.close t.sessions entry.Session.handle);
+  Telemetry.ambient_count "session.close";
+  Protocol.response_ok ~version ~id
+    [ ("handle", Json.String handle); ("closed", Json.Bool true) ]
+
+let export_circuit_response t ~version ~id ~handle =
+  let entry = find_session t handle in
+  let text =
+    Leqa_circuit.Parser.to_string (Delta.to_circuit entry.Session.delta)
+  in
+  Protocol.response_ok ~version ~id
+    [
+      ("handle", Json.String handle);
+      ("circuit", Json.String text);
+      ("stats", circuit_summary_json (Delta.stats entry.Session.delta));
+    ]
 
 let cache_stats_json (s : Lru.stats) ~length ~capacity =
   Json.Obj
@@ -402,6 +516,7 @@ let stats_json t =
           (Lru.stats t.cache.Cache.preps)
           ~length:(Lru.length t.cache.Cache.preps)
           ~capacity:(Lru.capacity t.cache.Cache.preps) );
+      ("sessions", Session.stats_json t.sessions);
     ]
     @
     match t.store with
@@ -410,6 +525,7 @@ let stats_json t =
 
 let handle t (req : Protocol.request) =
   let id = req.Protocol.id in
+  let version = req.Protocol.version in
   Telemetry.ambient_count "server.requests";
   (* process-level chaos: die the way a segfault or OOM kill would,
      with this request in flight — under supervision the master must
@@ -418,14 +534,22 @@ let handle t (req : Protocol.request) =
   let outcome =
     E.protect (fun () ->
         match req.Protocol.body with
-        | Protocol.Estimate p -> estimate_response t ~id p
-        | Protocol.Compare p -> compare_response t ~id p
-        | Protocol.Sweep_fabric p -> sweep_response t ~id p
-        | Protocol.Diff p -> diff_response t ~id p
-        | Protocol.Version -> version_response t ~id
-        | Protocol.Ping -> Protocol.response_ok ~id [ ("pong", Json.Bool true) ]
+        | Protocol.Estimate p -> estimate_response t ~version ~id p
+        | Protocol.Compare p -> compare_response t ~version ~id p
+        | Protocol.Sweep_fabric p -> sweep_response t ~version ~id p
+        | Protocol.Diff p -> diff_response t ~version ~id p
+        | Protocol.Version -> version_response t ~version ~id
+        | Protocol.Ping ->
+          Protocol.response_ok ~version ~id [ ("pong", Json.Bool true) ]
         | Protocol.Stats ->
-          Protocol.response_ok ~id [ ("stats", stats_json t) ])
+          Protocol.response_ok ~version ~id [ ("stats", stats_json t) ]
+        | Protocol.Open_circuit p -> open_circuit_response t ~version ~id p
+        | Protocol.Estimate_delta p ->
+          estimate_delta_response t ~version ~id p
+        | Protocol.Close_circuit { cl_handle } ->
+          close_circuit_response t ~version ~id ~handle:cl_handle
+        | Protocol.Export_circuit { ex_handle } ->
+          export_circuit_response t ~version ~id ~handle:ex_handle)
   in
   match outcome with
   | Ok resp ->
@@ -434,19 +558,19 @@ let handle t (req : Protocol.request) =
   | Error e ->
     Atomic.incr t.errors_n;
     Telemetry.ambient_count "server.errors";
-    Protocol.response_error ~id e
+    Protocol.response_error ~version ~id e
   | exception Invalid_argument msg ->
     Atomic.incr t.errors_n;
     Telemetry.ambient_count "server.errors";
-    Protocol.response_error ~id (E.Usage_error msg)
+    Protocol.response_error ~version ~id (E.Usage_error msg)
 
 let handle_line t line =
   match Protocol.request_of_line ~max_bytes:t.cfg.max_request_bytes line with
   | Ok req -> handle t req
-  | Error (id, e) ->
+  | Error (id, version, e) ->
     Atomic.incr t.errors_n;
     Telemetry.ambient_count "server.errors";
-    Protocol.response_error ~id e
+    Protocol.response_error ~version ~id e
 
 (* ---- queue / drain -------------------------------------------------- *)
 

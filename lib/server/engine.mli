@@ -37,6 +37,11 @@ type config = {
           blocking the reader *)
   max_request_bytes : int;  (** NDJSON line cap, default 8 MiB *)
   binary_version : string;  (** reported by the version method *)
+  session_cap : int;
+      (** max concurrent v2 circuit sessions, LRU-evicted beyond;
+          default {!Session.default_cap} *)
+  session_ttl_s : float;
+      (** idle session lifetime; default {!Session.default_ttl_s} *)
 }
 
 val default_config : binary_version:string -> config

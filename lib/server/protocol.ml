@@ -3,13 +3,26 @@ module E = Leqa_util.Error
 module Params = Leqa_fabric.Params
 
 let rpc_schema_version = "leqa/rpc/v1"
+let rpc_schema_version_v2 = "leqa/rpc/v2"
 
 let schemas =
   [
     ("report", Leqa_report.Report.schema_version);
     ("trace", Leqa_util.Telemetry.trace_schema_version);
     ("rpc", rpc_schema_version);
+    ("rpc_v2", rpc_schema_version_v2);
   ]
+
+(* Version negotiation happens per request line: the request's
+   schema_version picks the dialect, the response echoes it.  v1
+   requests take exactly the v1 methods and get byte-identical v1
+   responses; the session methods (open-circuit, estimate-delta,
+   close-circuit, export-circuit) exist only in the v2 dialect. *)
+type rpc_version = V1 | V2
+
+let version_string = function
+  | V1 -> rpc_schema_version
+  | V2 -> rpc_schema_version_v2
 
 type estimate_params = {
   source : Source.t;
@@ -42,6 +55,18 @@ type diff_params = {
   df_deadline_s : float option;
 }
 
+type open_params = { oc_source : Source.t }
+
+type delta_params = {
+  dl_handle : string;
+  dl_edits : Leqa_core.Delta.edit list;
+  dl_width : int;
+  dl_height : int;
+  dl_v : float;
+  dl_terms : int;
+  dl_deadline_s : float option;
+}
+
 type request_body =
   | Estimate of estimate_params
   | Compare of compare_params
@@ -50,8 +75,27 @@ type request_body =
   | Version
   | Ping
   | Stats
+  | Open_circuit of open_params
+  | Estimate_delta of delta_params
+  | Close_circuit of { cl_handle : string }
+  | Export_circuit of { ex_handle : string }
 
-type request = { id : Json.t; body : request_body }
+type request = { id : Json.t; version : rpc_version; body : request_body }
+
+let session_handle = function
+  | Open_circuit _ | Estimate _ | Compare _ | Sweep_fabric _ | Diff _
+  | Version | Ping | Stats ->
+    None
+  | Estimate_delta { dl_handle; _ } -> Some dl_handle
+  | Close_circuit { cl_handle } -> Some cl_handle
+  | Export_circuit { ex_handle } -> Some ex_handle
+
+let stateful = function
+  | Open_circuit _ | Estimate_delta _ | Close_circuit _ | Export_circuit _ ->
+    true
+  | Estimate _ | Compare _ | Sweep_fabric _ | Diff _ | Version | Ping | Stats
+    ->
+    false
 
 let usage fmt = Printf.ksprintf (fun m -> E.Usage_error m) fmt
 
@@ -124,6 +168,119 @@ let get_source params =
     badf "params needs a circuit source: one of file, bench or circuit"
   | _ -> badf "file, bench and circuit are mutually exclusive"
 
+(* ---- the edit-script grammar (v2) ----------------------------------
+
+   {"op":"add-gate","gate":"cnot","control":1,"target":2,"at":5}
+   {"op":"add-gate","gate":"t","qubit":3}          (at omitted: append)
+   {"op":"remove-gate","at":7}
+   {"op":"remap-qubit","from":2,"to":9}
+
+   Gate names are the lower-case ASCII FT set: cnot plus
+   x y z h s sdg t tdg. *)
+
+module Ft_gate = Leqa_circuit.Ft_gate
+
+let single_kind_of_rpc = function
+  | "x" -> Some Ft_gate.X
+  | "y" -> Some Ft_gate.Y
+  | "z" -> Some Ft_gate.Z
+  | "h" -> Some Ft_gate.H
+  | "s" -> Some Ft_gate.S
+  | "sdg" -> Some Ft_gate.Sdg
+  | "t" -> Some Ft_gate.T
+  | "tdg" -> Some Ft_gate.Tdg
+  | _ -> None
+
+let single_kind_to_rpc = function
+  | Ft_gate.X -> "x"
+  | Ft_gate.Y -> "y"
+  | Ft_gate.Z -> "z"
+  | Ft_gate.H -> "h"
+  | Ft_gate.S -> "s"
+  | Ft_gate.Sdg -> "sdg"
+  | Ft_gate.T -> "t"
+  | Ft_gate.Tdg -> "tdg"
+
+let edit_of_json = function
+  | Json.Obj _ as obj -> begin
+    let req_int ~what =
+      match get_int ~what (mem what obj) with
+      | Some n -> n
+      | None -> badf "edit needs an integer %S field" what
+    in
+    match get_string ~what:"op" (mem "op" obj) with
+    | Some "add-gate" ->
+      let at = get_int ~what:"at" (mem "at" obj) in
+      let gate =
+        match get_string ~what:"gate" (mem "gate" obj) with
+        | Some "cnot" ->
+          Ft_gate.Cnot
+            { control = req_int ~what:"control"; target = req_int ~what:"target" }
+        | Some name -> begin
+          match single_kind_of_rpc name with
+          | Some kind -> Ft_gate.Single (kind, req_int ~what:"qubit")
+          | None ->
+            badf
+              "unknown gate %S (expected cnot, x, y, z, h, s, sdg, t or tdg)"
+              name
+        end
+        | None -> badf "add-gate needs a \"gate\" string"
+      in
+      Leqa_core.Delta.Add_gate { at; gate }
+    | Some "remove-gate" ->
+      Leqa_core.Delta.Remove_gate { at = req_int ~what:"at" }
+    | Some "remap-qubit" ->
+      Leqa_core.Delta.Remap_qubit
+        { from_q = req_int ~what:"from"; to_q = req_int ~what:"to" }
+    | Some other ->
+      badf "unknown edit op %S (expected add-gate, remove-gate or remap-qubit)"
+        other
+    | None -> badf "edit needs an \"op\" string"
+  end
+  | _ -> badf "each edit must be an object"
+
+(* the total variant for out-of-protocol callers (the CLI session
+   driver parsing an edits file): [Bad] stays module-private *)
+let parse_edit json =
+  try edit_of_json json with Bad e -> E.raise_error e
+
+let edit_to_json (edit : Leqa_core.Delta.edit) =
+  match edit with
+  | Leqa_core.Delta.Add_gate { at; gate } ->
+    let at_field =
+      match at with None -> [] | Some p -> [ ("at", Json.Int p) ]
+    in
+    let gate_fields =
+      match gate with
+      | Ft_gate.Cnot { control; target } ->
+        [
+          ("gate", Json.String "cnot");
+          ("control", Json.Int control);
+          ("target", Json.Int target);
+        ]
+      | Ft_gate.Single (kind, q) ->
+        [
+          ("gate", Json.String (single_kind_to_rpc kind));
+          ("qubit", Json.Int q);
+        ]
+    in
+    Json.Obj ((("op", Json.String "add-gate") :: gate_fields) @ at_field)
+  | Leqa_core.Delta.Remove_gate { at } ->
+    Json.Obj [ ("op", Json.String "remove-gate"); ("at", Json.Int at) ]
+  | Leqa_core.Delta.Remap_qubit { from_q; to_q } ->
+    Json.Obj
+      [
+        ("op", Json.String "remap-qubit");
+        ("from", Json.Int from_q);
+        ("to", Json.Int to_q);
+      ]
+
+let get_handle params =
+  match get_string ~what:"handle" (mem "handle" params) with
+  | Some h when h <> "" -> h
+  | Some _ -> badf "handle must be a non-empty string"
+  | None -> badf "request needs a \"handle\" string"
+
 let get_fabric params =
   let width =
     Option.value ~default:Params.default.Params.width
@@ -139,8 +296,30 @@ let get_fabric params =
   in
   (width, height, v)
 
-let body_of ~method_ ~params =
+let body_of ~version ~method_ ~params =
   match method_ with
+  | ("open-circuit" | "estimate-delta" | "close-circuit" | "export-circuit")
+    when version = V1 ->
+    badf "method %S needs schema_version %S (this is a %s request)" method_
+      rpc_schema_version_v2 rpc_schema_version
+  | "open-circuit" -> Open_circuit { oc_source = get_source params }
+  | "estimate-delta" ->
+    let dl_handle = get_handle params in
+    let dl_edits =
+      match mem "edits" params with
+      | None -> []
+      | Some (Json.List items) -> List.map edit_of_json items
+      | Some _ -> badf "edits must be a list of edit objects"
+    in
+    let dl_width, dl_height, dl_v = get_fabric params in
+    let dl_terms =
+      Option.value ~default:20 (get_int ~what:"terms" (mem "terms" params))
+    in
+    let dl_deadline_s = get_deadline params in
+    Estimate_delta
+      { dl_handle; dl_edits; dl_width; dl_height; dl_v; dl_terms; dl_deadline_s }
+  | "close-circuit" -> Close_circuit { cl_handle = get_handle params }
+  | "export-circuit" -> Export_circuit { ex_handle = get_handle params }
   | "estimate" ->
     let source = get_source params in
     let width, height, v = get_fabric params in
@@ -197,10 +376,17 @@ let body_of ~method_ ~params =
   | "ping" -> Ping
   | "stats" -> Stats
   | other ->
-    badf
-      "unknown method %S (expected estimate, compare, sweep-fabric, diff, \
-       version, ping or stats)"
-      other
+    if version = V1 then
+      badf
+        "unknown method %S (expected estimate, compare, sweep-fabric, diff, \
+         version, ping or stats)"
+        other
+    else
+      badf
+        "unknown method %S (expected estimate, compare, sweep-fabric, diff, \
+         version, ping, stats, open-circuit, estimate-delta, close-circuit \
+         or export-circuit)"
+        other
 
 let request_of_json json =
   (* pull the id out first so even a malformed request gets an
@@ -210,17 +396,28 @@ let request_of_json json =
     | Some ((Json.Int _ | Json.String _ | Json.Null) as id) -> id
     | Some _ | None -> Json.Null
   in
+  (* like the id: pull a best-effort dialect out first, so even a
+     malformed v2 request gets a v2-stamped error envelope *)
+  let version_guess =
+    match mem "schema_version" json with
+    | Some (Json.String v) when v = rpc_schema_version_v2 -> V2
+    | _ -> V1
+  in
   try
     (match mem "id" json with
     | Some (Json.Int _ | Json.String _ | Json.Null) | None -> ()
     | Some _ -> badf "id must be an integer, a string or null");
-    (match mem "schema_version" json with
-    | Some (Json.String v) when v = rpc_schema_version -> ()
-    | Some (Json.String v) ->
-      badf "unsupported schema_version %S (this server speaks %s)" v
-        rpc_schema_version
-    | Some _ | None ->
-      badf "request needs \"schema_version\": %S" rpc_schema_version);
+    let version =
+      match mem "schema_version" json with
+      | Some (Json.String v) when v = rpc_schema_version -> V1
+      | Some (Json.String v) when v = rpc_schema_version_v2 -> V2
+      | Some (Json.String v) ->
+        badf "unsupported schema_version %S (this server speaks %s and %s)" v
+          rpc_schema_version rpc_schema_version_v2
+      | Some _ | None ->
+        badf "request needs \"schema_version\": %S or %S" rpc_schema_version
+          rpc_schema_version_v2
+    in
     let method_ =
       match get_string ~what:"method" (mem "method" json) with
       | Some m -> m
@@ -230,8 +427,8 @@ let request_of_json json =
     (match params with
     | Json.Obj _ -> ()
     | _ -> badf "params must be an object");
-    Ok { id; body = body_of ~method_ ~params }
-  with Bad e -> Error (id, e)
+    Ok { id; version; body = body_of ~version ~method_ ~params }
+  with Bad e -> Error (id, version_guess, e)
 
 let default_max_bytes = 8 * 1024 * 1024
 
@@ -239,12 +436,13 @@ let request_of_line ?(max_bytes = default_max_bytes) line =
   if String.length line > max_bytes then
     Error
       ( Json.Null,
+        V1,
         usage "request line of %d bytes exceeds the %d-byte limit"
           (String.length line) max_bytes )
   else
     match Json.of_string line with
     | Error msg ->
-      Error (Json.Null, E.Parse_error { file = None; line = None; msg })
+      Error (Json.Null, V1, E.Parse_error { file = None; line = None; msg })
     | Ok json -> request_of_json json
 
 (* ---- serialization (the client side) ------------------------------- *)
@@ -260,7 +458,7 @@ let deadline_fields = function
   | None -> []
   | Some s -> [ ("deadline_s", Json.Float s) ]
 
-let request_to_json { id; body } =
+let request_to_json { id; version; body } =
   let method_, params =
     match body with
     | Estimate { source; width; height; v; terms; deadline_s } ->
@@ -305,10 +503,28 @@ let request_to_json { id; body } =
     | Version -> ("version", [])
     | Ping -> ("ping", [])
     | Stats -> ("stats", [])
+    | Open_circuit { oc_source } -> ("open-circuit", source_fields oc_source)
+    | Estimate_delta
+        { dl_handle; dl_edits; dl_width; dl_height; dl_v; dl_terms;
+          dl_deadline_s } ->
+      ( "estimate-delta",
+        [
+          ("handle", Json.String dl_handle);
+          ("edits", Json.List (List.map edit_to_json dl_edits));
+          ("width", Json.Int dl_width);
+          ("height", Json.Int dl_height);
+          ("v", Json.Float dl_v);
+          ("terms", Json.Int dl_terms);
+        ]
+        @ deadline_fields dl_deadline_s )
+    | Close_circuit { cl_handle } ->
+      ("close-circuit", [ ("handle", Json.String cl_handle) ])
+    | Export_circuit { ex_handle } ->
+      ("export-circuit", [ ("handle", Json.String ex_handle) ])
   in
   Json.Obj
     [
-      ("schema_version", Json.String rpc_schema_version);
+      ("schema_version", Json.String (version_string version));
       ("id", id);
       ("method", Json.String method_);
       ("params", Json.Obj params);
@@ -316,7 +532,7 @@ let request_to_json { id; body } =
 
 (* ---- responses ------------------------------------------------------ *)
 
-let response_ok ~id ?cache fields =
+let response_ok ?(version = V1) ~id ?cache fields =
   let cache_field =
     match cache with
     | None -> []
@@ -326,19 +542,19 @@ let response_ok ~id ?cache fields =
   in
   Json.Obj
     ([
-       ("schema_version", Json.String rpc_schema_version);
+       ("schema_version", Json.String (version_string version));
        ("id", id);
        ("ok", Json.Bool true);
      ]
     @ cache_field @ fields)
 
-let response_report ~id ?cache report =
-  response_ok ~id ?cache [ ("report", report) ]
+let response_report ?version ~id ?cache report =
+  response_ok ?version ~id ?cache [ ("report", report) ]
 
-let response_error ~id e =
+let response_error ?(version = V1) ~id e =
   Json.Obj
     [
-      ("schema_version", Json.String rpc_schema_version);
+      ("schema_version", Json.String (version_string version));
       ("id", id);
       ("ok", Json.Bool false);
       ("error", E.to_json e);

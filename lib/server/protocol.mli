@@ -32,9 +32,20 @@ module E = Leqa_util.Error
 val rpc_schema_version : string
 (** ["leqa/rpc/v1"]. *)
 
+val rpc_schema_version_v2 : string
+(** ["leqa/rpc/v2"] — the session dialect.  A v2 request may use every
+    v1 method (same params, same report bytes) plus the session methods
+    [open-circuit], [estimate-delta], [close-circuit] and
+    [export-circuit].  The response envelope echoes the request's
+    schema version, so v1 clients never see v2 bytes. *)
+
 val schemas : (string * string) list
 (** Every wire schema this build speaks, for [leqa version] and the
-    server's own version method: report, trace and rpc. *)
+    server's own version method: report, trace, rpc and rpc_v2. *)
+
+type rpc_version = V1 | V2
+
+val version_string : rpc_version -> string
 
 type estimate_params = {
   source : Source.t;
@@ -70,6 +81,18 @@ type diff_params = {
   df_deadline_s : float option;
 }
 
+type open_params = { oc_source : Source.t }
+
+type delta_params = {
+  dl_handle : string;
+  dl_edits : Leqa_core.Delta.edit list;
+  dl_width : int;
+  dl_height : int;
+  dl_v : float;
+  dl_terms : int;
+  dl_deadline_s : float option;
+}
+
 type request_body =
   | Estimate of estimate_params
   | Compare of compare_params
@@ -78,20 +101,55 @@ type request_body =
   | Version
   | Ping
   | Stats
+  | Open_circuit of open_params  (** v2: load a circuit, return a handle *)
+  | Estimate_delta of delta_params
+      (** v2: apply an edit script to the handle's circuit, then
+          re-estimate incrementally.  The edit grammar:
+          {v
+          {"op":"add-gate","gate":"cnot","control":1,"target":2,"at":5}
+          {"op":"add-gate","gate":"t","qubit":3}    (no "at": append)
+          {"op":"remove-gate","at":7}
+          {"op":"remap-qubit","from":2,"to":9}
+          v}
+          Gate names: [cnot], [x y z h s sdg t tdg]. *)
+  | Close_circuit of { cl_handle : string }  (** v2: drop the session *)
+  | Export_circuit of { ex_handle : string }
+      (** v2: the session's current circuit as netlist text *)
 
-type request = { id : Json.t; body : request_body }
+type request = { id : Json.t; version : rpc_version; body : request_body }
 (** [id] is echoed verbatim in the response ([Int], [String] or
-    [Null]). *)
+    [Null]); [version] is the request's dialect and the response's. *)
 
-val request_of_json : Json.t -> (request, Json.t * E.t) result
-(** The error carries the request's id (or [Null]) so a malformed
-    request still gets an addressable error response. *)
+val session_handle : request_body -> string option
+(** The circuit handle a session-bound method addresses ([None] for the
+    stateless methods) — the supervisor's worker-pinning key. *)
+
+val stateful : request_body -> bool
+(** [true] for the methods that mutate server-side session state
+    (open-circuit, estimate-delta, close-circuit, export-circuit).  The
+    dispatcher must run these in request order, never inside a fanned
+    batch. *)
+
+val edit_to_json : Leqa_core.Delta.edit -> Json.t
+(** Serialize one edit in the wire grammar (the [leqa session] driver
+    uses this; {!request_to_json} round-trips through it). *)
+
+val parse_edit : Json.t -> Leqa_core.Delta.edit
+(** Parse one edit object in the wire grammar — the inverse of
+    {!edit_to_json}.
+    @raise Leqa_util.Error.Error with [Usage_error] on anything outside
+    the grammar documented under [Estimate_delta]. *)
+
+val request_of_json : Json.t -> (request, Json.t * rpc_version * E.t) result
+(** The error carries the request's id (or [Null]) and best-effort
+    dialect so a malformed request still gets an addressable,
+    version-stamped error response. *)
 
 val default_max_bytes : int
 (** 8 MiB — the default NDJSON line cap. *)
 
 val request_of_line :
-  ?max_bytes:int -> string -> (request, Json.t * E.t) result
+  ?max_bytes:int -> string -> (request, Json.t * rpc_version * E.t) result
 (** Parse one NDJSON line.  Lines longer than [max_bytes] (default
     8 MiB) are rejected with a [Usage_error] before parsing — the
     server's untrusted-input guard. *)
@@ -101,19 +159,25 @@ val request_to_json : request -> Json.t
     it back yields an equal request. *)
 
 val response_ok :
+  ?version:rpc_version ->
   id:Json.t ->
   ?cache:[ `Hit | `Miss | `Warm ] ->
   (string * Json.t) list ->
   Json.t
 (** Success envelope; [cache] renders as ["cache": "hit"|"miss"|"warm"]
     ([`Warm]: served from the persistent store after a restart or LRU
-    eviction). *)
+    eviction).  [version] (default [V1]) picks the schema string the
+    envelope carries — echo the request's. *)
 
 val response_report :
-  id:Json.t -> ?cache:[ `Hit | `Miss | `Warm ] -> Json.t -> Json.t
+  ?version:rpc_version ->
+  id:Json.t ->
+  ?cache:[ `Hit | `Miss | `Warm ] ->
+  Json.t ->
+  Json.t
 (** [response_ok] with a single ["report"] member. *)
 
-val response_error : id:Json.t -> E.t -> Json.t
+val response_error : ?version:rpc_version -> id:Json.t -> E.t -> Json.t
 
 val valid_deadline : field:string -> float -> (float, E.t) result
 (** Shared fractional-seconds validation for [--timeout], [--deadline]

@@ -37,7 +37,8 @@ let reader_loop t conn ic =
            Protocol.request_of_line ~max_bytes:cfg.Engine.max_request_bytes
              line
          with
-         | Error (id, e) -> write_line conn (Protocol.response_error ~id e)
+         | Error (id, version, e) ->
+           write_line conn (Protocol.response_error ~version ~id e)
          | Ok req -> (
            match Engine.admit t.engine req with
            | `Queued -> ()
@@ -63,11 +64,31 @@ let serve_channels t ic oc =
     | batch ->
       Telemetry.ambient_count_n "server.batched" (List.length batch);
       (* fan the batch out; nested pool use inside handle (sweeps) is
-         safe because the caller helps while waiting *)
-      let responses =
-        Pool.map_list pool ~f:(fun req -> Engine.handle t.engine req) batch
+         safe because the caller helps while waiting.  Session methods
+         mutate engine state and their order matters (two edit scripts
+         on one handle do not commute), so they act as barriers: each
+         maximal stateless run is fanned, each stateful request runs
+         inline, and responses still stream in request order. *)
+      let flush_run run =
+        match List.rev run with
+        | [] -> ()
+        | [ req ] -> write_line conn (Engine.handle t.engine req)
+        | run ->
+          List.iter (write_line conn)
+            (Pool.map_list pool ~f:(fun req -> Engine.handle t.engine req) run)
       in
-      List.iter (write_line conn) responses;
+      let pending_run =
+        List.fold_left
+          (fun run req ->
+            if Protocol.stateful req.Protocol.body then begin
+              flush_run run;
+              write_line conn (Engine.handle t.engine req);
+              []
+            end
+            else req :: run)
+          [] batch
+      in
+      flush_run pending_run;
       dispatch ()
   in
   dispatch ();

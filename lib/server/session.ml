@@ -1,0 +1,143 @@
+module E = Leqa_util.Error
+module Fingerprint = Leqa_util.Fingerprint
+module Telemetry = Leqa_util.Telemetry
+
+type entry = {
+  handle : string;
+  delta : Leqa_core.Delta.t;
+  mutable last_used : float;
+  opened_at : float;
+}
+
+type t = {
+  cap : int;
+  ttl_s : float;
+  clock : unit -> float;
+  tbl : (string, entry) Hashtbl.t;
+  mutable seq : int;
+  mutable opened : int;
+  mutable evicted_lru : int;
+  mutable evicted_ttl : int;
+}
+
+let default_cap = 64
+let default_ttl_s = 900.0
+
+let create ?(cap = default_cap) ?(ttl_s = default_ttl_s)
+    ?(clock = Unix.gettimeofday) () =
+  if cap < 1 then invalid_arg "Session.create: cap must be >= 1";
+  if not (Float.is_finite ttl_s && ttl_s > 0.0) then
+    invalid_arg "Session.create: ttl_s must be a positive finite number";
+  {
+    cap;
+    ttl_s;
+    clock;
+    tbl = Hashtbl.create 16;
+    seq = 0;
+    opened = 0;
+    evicted_lru = 0;
+    evicted_ttl = 0;
+  }
+
+(* "h<12 hex of the circuit fingerprint>-<seq>": content-addressed so a
+   handle names what it holds, sequence-suffixed so two opens of the
+   same circuit get independent sessions (their edit histories
+   diverge).  The grammar below is what {!find} validates. *)
+let is_well_formed h =
+  String.length h >= 3
+  && h.[0] = 'h'
+  &&
+  match String.index_opt h '-' with
+  | None -> false
+  | Some dash ->
+    dash > 1
+    && dash < String.length h - 1
+    && String.for_all (function 'a' .. 'f' | '0' .. '9' -> true | _ -> false)
+         (String.sub h 1 (dash - 1))
+    && String.for_all
+         (function '0' .. '9' -> true | _ -> false)
+         (String.sub h (dash + 1) (String.length h - dash - 1))
+
+let sweep t =
+  let now = t.clock () in
+  let stale =
+    Hashtbl.fold
+      (fun h e acc -> if now -. e.last_used > t.ttl_s then h :: acc else acc)
+      t.tbl []
+  in
+  List.iter
+    (fun h ->
+      Hashtbl.remove t.tbl h;
+      t.evicted_ttl <- t.evicted_ttl + 1;
+      Telemetry.ambient_count "session.evict.ttl")
+    stale
+
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun _ e acc ->
+        match acc with
+        | Some best when best.last_used <= e.last_used -> acc
+        | _ -> Some e)
+      t.tbl None
+  in
+  match victim with
+  | None -> ()
+  | Some e ->
+    Hashtbl.remove t.tbl e.handle;
+    t.evicted_lru <- t.evicted_lru + 1;
+    Telemetry.ambient_count "session.evict.lru"
+
+let open_ t ~fingerprint delta =
+  sweep t;
+  while Hashtbl.length t.tbl >= t.cap do
+    evict_lru t
+  done;
+  t.seq <- t.seq + 1;
+  t.opened <- t.opened + 1;
+  let prefix =
+    let hex = String.lowercase_ascii fingerprint in
+    if String.length hex >= 12 then String.sub hex 0 12 else hex
+  in
+  let handle = Printf.sprintf "h%s-%d" prefix t.seq in
+  let now = t.clock () in
+  let entry = { handle; delta; last_used = now; opened_at = now } in
+  Hashtbl.replace t.tbl handle entry;
+  entry
+
+let find t handle =
+  if not (is_well_formed handle) then
+    Error
+      (E.Handle_invalid
+         {
+           handle;
+           reason = "not of the form h<hex fingerprint>-<sequence number>";
+         })
+  else begin
+    sweep t;
+    match Hashtbl.find_opt t.tbl handle with
+    | None -> Error (E.Session_expired { handle })
+    | Some entry ->
+      entry.last_used <- t.clock ();
+      Ok entry
+  end
+
+let close t handle =
+  match Hashtbl.find_opt t.tbl handle with
+  | None -> false
+  | Some _ ->
+    Hashtbl.remove t.tbl handle;
+    true
+
+let count t = Hashtbl.length t.tbl
+
+let stats_json t =
+  Leqa_util.Json.Obj
+    [
+      ("open", Leqa_util.Json.Int (Hashtbl.length t.tbl));
+      ("capacity", Leqa_util.Json.Int t.cap);
+      ("ttl_s", Leqa_util.Json.Float t.ttl_s);
+      ("opened_total", Leqa_util.Json.Int t.opened);
+      ("evicted_lru", Leqa_util.Json.Int t.evicted_lru);
+      ("evicted_ttl", Leqa_util.Json.Int t.evicted_ttl);
+    ]

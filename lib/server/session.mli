@@ -1,0 +1,57 @@
+(** The server-side session table behind the [leqa/rpc/v2] circuit
+    handles.
+
+    [open-circuit] parks a {!Leqa_core.Delta.t} (the incremental
+    estimator's live state: gate array, IIG, fold checkpoints) here and
+    hands the client a handle; [estimate-delta] / [export-circuit] /
+    [close-circuit] address it.  Handles are content-addressed —
+    ["h<12 hex of the circuit fingerprint>-<seq>"] — so a handle names
+    the circuit it was opened on, while the sequence suffix keeps two
+    opens of the same circuit independent (their edit histories
+    diverge).
+
+    Eviction is LRU over a fixed capacity plus a TTL sweep on every
+    open/find: a mapper that walks away mid-session costs a bounded
+    amount of memory.  An evicted (or never-issued) handle resolves to
+    the typed {!Leqa_util.Error.Session_expired} /
+    {!Leqa_util.Error.Handle_invalid} errors, never an untyped failure.
+
+    Not thread-safe: the engine serializes access (one session table per
+    worker process; the supervisor pins a handle's requests to the
+    worker that issued it). *)
+
+type entry = {
+  handle : string;
+  delta : Leqa_core.Delta.t;
+  mutable last_used : float;  (** refreshed by {!find} *)
+  opened_at : float;
+}
+
+type t
+
+val default_cap : int
+(** 64 concurrent sessions. *)
+
+val default_ttl_s : float
+(** 900 s idle lifetime. *)
+
+val create : ?cap:int -> ?ttl_s:float -> ?clock:(unit -> float) -> unit -> t
+(** [clock] (default [Unix.gettimeofday]) is injectable so eviction
+    tests don't sleep. *)
+
+val open_ : t -> fingerprint:string -> Leqa_core.Delta.t -> entry
+(** Register a session.  Runs the TTL sweep, then evicts
+    least-recently-used entries until under capacity.  [fingerprint] is
+    the circuit's content fingerprint (hex); only its first 12
+    characters enter the handle. *)
+
+val find : t -> string -> (entry, Leqa_util.Error.t) result
+(** Resolve a handle and refresh its recency.  [Error Handle_invalid]
+    for strings not in the handle grammar; [Error Session_expired] for
+    well-formed handles that are unknown, evicted or timed out. *)
+
+val close : t -> string -> bool
+(** Drop a session; [false] if the handle wasn't present. *)
+
+val count : t -> int
+val stats_json : t -> Leqa_util.Json.t

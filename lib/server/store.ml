@@ -31,12 +31,16 @@ type t = {
   dir : string;
   tmp_dir : string;
   quarantine_dir : string;
+  max_bytes : int option;  (* committed-entry budget; None = unbounded *)
   mutex : Mutex.t;  (* guards counters and the tmp-name nonce *)
   mutable nonce : int;
+  mutable bytes : int;  (* best-effort sum of committed entry sizes *)
   mutable hits : int;
   mutable misses : int;
   mutable puts : int;
   mutable quarantined : int;
+  mutable evicted : int;
+  mutable compactions : int;
 }
 
 let mkdir_p path =
@@ -65,32 +69,111 @@ let sweep_tmp tmp_dir =
       names
   | exception Sys_error _ -> ()
 
-let open_ ~dir =
+let counted t f =
+  Mutex.lock t.mutex;
+  let r = f t in
+  Mutex.unlock t.mutex;
+  r
+
+(* ---- size cap -------------------------------------------------------- *)
+
+(* the committed entries with their size and recency; mtime is the LRU
+   clock — [find] touches it on a hit, so recency survives a reopen *)
+let scan_entries t =
+  match Sys.readdir t.dir with
+  | exception Sys_error _ -> []
+  | names ->
+    Array.to_list names
+    |> List.filter_map (fun name ->
+           let path = Filename.concat t.dir name in
+           match Unix.stat path with
+           | { Unix.st_kind = Unix.S_REG; st_size; st_mtime; _ } ->
+             Some (name, st_size, st_mtime)
+           | _ | (exception Unix.Unix_error _) -> None)
+
+(* oldest-first until the committed bytes fit the cap; best-effort under
+   concurrent writers (a sibling's fresh put may briefly overshoot) *)
+let enforce_cap t =
+  match t.max_bytes with
+  | None -> ()
+  | Some cap when counted t (fun t -> t.bytes) <= cap -> ()
+  | Some cap ->
+    let by_age =
+      List.sort
+        (fun (_, _, a) (_, _, b) -> compare (a : float) b)
+        (scan_entries t)
+    in
+    let total = List.fold_left (fun n (_, size, _) -> n + size) 0 by_age in
+    let remaining =
+      List.fold_left
+        (fun total (name, size, _) ->
+          if total <= cap then total
+          else begin
+            (try Sys.remove (Filename.concat t.dir name) with Sys_error _ -> ());
+            counted t (fun t -> t.evicted <- t.evicted + 1);
+            Telemetry.ambient_count "store.evict";
+            total - size
+          end)
+        total by_age
+    in
+    counted t (fun t -> t.bytes <- remaining)
+
+(* re-true-up the byte ledger from disk, drop tmp/ leftovers and
+   quarantined corpses, then re-apply the cap — runs at open (so a cap
+   holds across reopen) and on demand *)
+let compact t =
+  sweep_tmp t.tmp_dir;
+  (match Sys.readdir t.quarantine_dir with
+  | names ->
+    Array.iter
+      (fun name ->
+        try Sys.remove (Filename.concat t.quarantine_dir name)
+        with Sys_error _ -> ())
+      names
+  | exception Sys_error _ -> ());
+  let total = List.fold_left (fun n (_, size, _) -> n + size) 0 (scan_entries t) in
+  counted t (fun t ->
+      t.bytes <- total;
+      t.compactions <- t.compactions + 1);
+  Telemetry.ambient_count "store.compact";
+  enforce_cap t
+
+let open_ ?max_bytes ~dir () =
+  (match max_bytes with
+  | Some cap when cap <= 0 ->
+    E.raise_error
+      (E.Usage_error
+         (Printf.sprintf "store: max-bytes must be positive (got %d)" cap))
+  | _ -> ());
   let tmp_dir = Filename.concat dir "tmp" in
   let quarantine_dir = Filename.concat dir "quarantine" in
   mkdir_p dir;
   mkdir_p tmp_dir;
   mkdir_p quarantine_dir;
   sweep_tmp tmp_dir;
-  {
-    dir;
-    tmp_dir;
-    quarantine_dir;
-    mutex = Mutex.create ();
-    nonce = 0;
-    hits = 0;
-    misses = 0;
-    puts = 0;
-    quarantined = 0;
-  }
+  let t =
+    {
+      dir;
+      tmp_dir;
+      quarantine_dir;
+      max_bytes;
+      mutex = Mutex.create ();
+      nonce = 0;
+      bytes = 0;
+      hits = 0;
+      misses = 0;
+      puts = 0;
+      quarantined = 0;
+      evicted = 0;
+      compactions = 0;
+    }
+  in
+  (* the ledger starts from disk truth, and a tightened cap applies to
+     entries committed by previous runs immediately *)
+  compact t;
+  t
 
 let dir t = t.dir
-
-let counted t f =
-  Mutex.lock t.mutex;
-  let r = f t in
-  Mutex.unlock t.mutex;
-  r
 
 (* keys come from Fingerprint (hex MD5); refuse anything that could
    escape the store directory if a caller ever hands us one that is not *)
@@ -131,6 +214,11 @@ let put t key doc =
           Filename.concat t.tmp_dir
             (Printf.sprintf "%s.%d.%d" key (Unix.getpid ()) t.nonce))
     in
+    let old_size =
+      match Unix.stat (entry_path t key) with
+      | { Unix.st_size; _ } -> st_size
+      | exception Unix.Unix_error _ -> 0
+    in
     match
       let fd =
         Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
@@ -151,8 +239,16 @@ let put t key doc =
       Unix.rename tmp (entry_path t key)
     with
     | () ->
-      counted t (fun t -> t.puts <- t.puts + 1);
-      Telemetry.ambient_count "store.put"
+      let new_size =
+        match Unix.stat (entry_path t key) with
+        | { Unix.st_size; _ } -> st_size
+        | exception Unix.Unix_error _ -> 0
+      in
+      counted t (fun t ->
+          t.puts <- t.puts + 1;
+          t.bytes <- t.bytes + new_size - old_size);
+      Telemetry.ambient_count "store.put";
+      enforce_cap t
     | exception (Unix.Unix_error _ | Sys_error _ | Failure _) ->
       (* a full disk or permission flip must degrade the cache, not the
          answer: drop the write, clean up, count it *)
@@ -164,9 +260,16 @@ let put t key doc =
 
 let quarantine t key reason =
   let from = entry_path t key in
+  let size =
+    match Unix.stat from with
+    | { Unix.st_size; _ } -> st_size
+    | exception Unix.Unix_error _ -> 0
+  in
   (try Unix.rename from (Filename.concat t.quarantine_dir key)
    with Unix.Unix_error _ -> (try Sys.remove from with Sys_error _ -> ()));
-  counted t (fun t -> t.quarantined <- t.quarantined + 1);
+  counted t (fun t ->
+      t.quarantined <- t.quarantined + 1;
+      t.bytes <- max 0 (t.bytes - size));
   Telemetry.ambient_count "store.quarantined";
   Printf.eprintf "leqa serve: store: quarantined corrupt entry %s (%s)\n%!"
     key reason
@@ -219,6 +322,9 @@ let find t key =
       | Ok payload -> begin
         match Json.of_string payload with
         | Ok doc ->
+          (* refresh the LRU clock so hot entries outlive cap pressure,
+             across processes and across reopens *)
+          (try Unix.utimes path 0.0 0.0 with Unix.Unix_error _ -> ());
           counted t (fun t -> t.hits <- t.hits + 1);
           Telemetry.ambient_count "store.hit";
           Some doc
@@ -240,11 +346,15 @@ let entries t =
       0 names
   | exception Sys_error _ -> 0
 
+let bytes t = counted t (fun t -> t.bytes)
+
 type stats = {
   st_hits : int;
   st_misses : int;
   st_puts : int;
   st_quarantined : int;
+  st_evicted : int;
+  st_compactions : int;
 }
 
 let stats t =
@@ -254,16 +364,26 @@ let stats t =
         st_misses = t.misses;
         st_puts = t.puts;
         st_quarantined = t.quarantined;
+        st_evicted = t.evicted;
+        st_compactions = t.compactions;
       })
 
 let stats_json t =
   let s = stats t in
   Json.Obj
-    [
-      ("dir", Json.String t.dir);
-      ("entries", Json.Int (entries t));
-      ("hits", Json.Int s.st_hits);
-      ("misses", Json.Int s.st_misses);
-      ("puts", Json.Int s.st_puts);
-      ("quarantined", Json.Int s.st_quarantined);
-    ]
+    ([
+       ("dir", Json.String t.dir);
+       ("entries", Json.Int (entries t));
+       ("bytes", Json.Int (bytes t));
+     ]
+    @ (match t.max_bytes with
+      | None -> []
+      | Some cap -> [ ("max_bytes", Json.Int cap) ])
+    @ [
+        ("hits", Json.Int s.st_hits);
+        ("misses", Json.Int s.st_misses);
+        ("puts", Json.Int s.st_puts);
+        ("quarantined", Json.Int s.st_quarantined);
+        ("evicted", Json.Int s.st_evicted);
+        ("compactions", Json.Int s.st_compactions);
+      ])

@@ -22,13 +22,16 @@
 
 type t
 
-val open_ : dir:string -> t
+val open_ : ?max_bytes:int -> dir:string -> unit -> t
 (** Create/open the store rooted at [dir] (created if absent, along
     with [tmp/] and [quarantine/]); leftover uncommitted tmp files from
-    crashed writers are swept.  Safe to open the same directory from
-    many processes.
+    crashed writers are swept, and an initial {!compact} trues up the
+    byte ledger — so a [max_bytes] cap applies to entries committed by
+    previous runs the moment the store reopens.  Safe to open the same
+    directory from many processes (the cap is then best-effort: each
+    process enforces against its own view of the directory).
     @raise Leqa_util.Error.Error ([Io_error]) when [dir] cannot be
-    created. *)
+    created, ([Usage_error]) on [max_bytes <= 0]. *)
 
 val dir : t -> string
 
@@ -46,11 +49,22 @@ val put : t -> string -> Leqa_util.Json.t -> unit
 val entries : t -> int
 (** Committed entries currently on disk. *)
 
+val bytes : t -> int
+(** Best-effort sum of committed entry sizes (the value the cap is
+    enforced against). *)
+
+val compact : t -> unit
+(** Housekeeping sweep: delete tmp/ leftovers and quarantined corpses,
+    re-true-up the byte ledger from disk, then re-apply the cap.
+    Counts [store.compact].  Runs automatically at {!open_}. *)
+
 type stats = {
   st_hits : int;
   st_misses : int;
   st_puts : int;
   st_quarantined : int;
+  st_evicted : int;  (** entries removed by cap pressure ([store.evict]) *)
+  st_compactions : int;  (** {!compact} runs ([store.compact]) *)
 }
 
 val stats : t -> stats

@@ -13,7 +13,14 @@ type config = {
   heartbeat_period_s : float;
   backoff_seed : int;
   max_request_bytes : int;
+  max_inflight : int;
+      (* per-connection cap on admitted-but-unanswered requests: bounds
+         the reorder buffer (one stalled worker can no longer make the
+         master buffer every later completion without limit); excess
+         load is shed with a typed Server_overload response *)
 }
+
+let default_max_inflight = 256
 
 let default_config ~worker_prog ~worker_argv ~workers =
   {
@@ -25,6 +32,7 @@ let default_config ~worker_prog ~worker_argv ~workers =
     heartbeat_period_s = 5.0;
     backoff_seed = 0x5eed;
     max_request_bytes = Protocol.default_max_bytes;
+    max_inflight = default_max_inflight;
   }
 
 (* ---- jobs ------------------------------------------------------------ *)
@@ -37,10 +45,22 @@ let default_config ~worker_prog ~worker_argv ~workers =
 type job = {
   line : string;
   id : Json.t;
+  version : Protocol.rpc_version;
   shard : int;
   attempts : int;  (* times this line has been handed to a worker *)
+  session : session_kind;
   reply : string -> unit;
 }
+
+(* Session state lives in exactly one worker process, so session-bound
+   requests cannot fail over: [Opens] jobs record a handle→worker pin
+   from the response, [Bound] jobs are routed by that pin and answered
+   with a typed Session_expired — never retried on a sibling that has
+   no such session — when the pinned worker is gone. *)
+and session_kind =
+  | Stateless
+  | Opens  (* open-circuit: pin the returned handle to the worker *)
+  | Bound of { handle : string; closes : bool }
 
 (* The per-worker FIFO: the engine answers in request order within a
    connection, so response line [k] out of a worker always belongs to
@@ -73,7 +93,9 @@ type slot_state = {
 type t = {
   cfg : config;
   slots : slot_state array;
-  slots_mutex : Mutex.t;  (* guards slot_state fields, orphans, readers *)
+  slots_mutex : Mutex.t;
+  (* guards slot_state fields, orphans, readers, pins *)
+  pins : (string, int * int) Hashtbl.t;  (* handle -> (slot, generation) *)
   orphans : job Queue.t;  (* parked while every worker is down *)
   rr : int Atomic.t;
   stopping : bool Atomic.t;
@@ -86,6 +108,8 @@ type t = {
   restarts : int Atomic.t;
   wedge_kills : int Atomic.t;
   master_errors : int Atomic.t;
+  shed : int Atomic.t;  (* requests refused at the in-flight cap *)
+  sessions_expired : int Atomic.t;
   mutable readers : unit Domain.t list;
 }
 
@@ -106,6 +130,7 @@ let create cfg =
             restarting = false;
           });
     slots_mutex = Mutex.create ();
+    pins = Hashtbl.create 64;
     orphans = Queue.create ();
     rr = Atomic.make 0;
     stopping = Atomic.make false;
@@ -118,6 +143,8 @@ let create cfg =
     restarts = Atomic.make 0;
     wedge_kills = Atomic.make 0;
     master_errors = Atomic.make 0;
+    shed = Atomic.make 0;
+    sessions_expired = Atomic.make 0;
     readers = [];
   }
 
@@ -147,17 +174,39 @@ let shard_of t (req : Protocol.request) =
   | Protocol.Compare { cmp_source = source; _ } -> of_source source
   | Protocol.Sweep_fabric { sw_source = source; _ } -> of_source source
   | Protocol.Diff { df_source = Some source; _ } -> of_source source
+  | Protocol.Open_circuit { oc_source = source } -> of_source source
   | Protocol.Diff { df_source = None; _ }
-  | Protocol.Version | Protocol.Ping | Protocol.Stats ->
-    (* sourceless: no cache affinity to preserve, spread the load *)
+  | Protocol.Version | Protocol.Ping | Protocol.Stats
+  (* session-bound methods are routed by the pin table, not the shard;
+     the shard only names a home for the error report if it all fails *)
+  | Protocol.Estimate_delta _ | Protocol.Close_circuit _
+  | Protocol.Export_circuit _ ->
     Atomic.fetch_and_add t.rr 1 mod t.cfg.workers
+
+let session_kind_of (req : Protocol.request) =
+  match req.Protocol.body with
+  | Protocol.Open_circuit _ -> Opens
+  | Protocol.Estimate_delta { dl_handle; _ } ->
+    Bound { handle = dl_handle; closes = false }
+  | Protocol.Export_circuit { ex_handle } ->
+    Bound { handle = ex_handle; closes = false }
+  | Protocol.Close_circuit { cl_handle } ->
+    Bound { handle = cl_handle; closes = true }
+  | Protocol.Estimate _ | Protocol.Compare _ | Protocol.Sweep_fabric _
+  | Protocol.Diff _ | Protocol.Version | Protocol.Ping | Protocol.Stats ->
+    Stateless
 
 (* ---- dispatch -------------------------------------------------------- *)
 
 let worker_lost_line job =
   Json.to_string
-    (Protocol.response_error ~id:job.id
+    (Protocol.response_error ~version:job.version ~id:job.id
        (E.Worker_lost { shard = job.shard; attempts = job.attempts }))
+
+let session_expired_line job ~handle =
+  Json.to_string
+    (Protocol.response_error ~version:job.version ~id:job.id
+       (E.Session_expired { handle }))
 
 (* Push-then-write under the write mutex, so the pending order IS the
    stdin order (two dispatchers can't interleave push A, push B, write
@@ -186,7 +235,38 @@ let try_send proc job =
     true
   end
 
-let dispatch t job =
+let expire_session t job ~handle =
+  Atomic.incr t.sessions_expired;
+  Telemetry.ambient_count "supervisor.session_expired";
+  job.reply (session_expired_line job ~handle)
+
+(* A session-bound job goes to the pinned worker or nowhere: a sibling
+   has no such session, and blind re-execution of an edit script is
+   exactly the double-apply bug the typed error exists to prevent. *)
+let dispatch_bound t job ~handle =
+  let proc =
+    locked_slots t (fun () ->
+        match Hashtbl.find_opt t.pins handle with
+        | None -> None
+        | Some (slot, gen) -> (
+          match t.slots.(slot).sproc with
+          | Some proc when proc.gen = gen -> Some proc
+          | Some _ | None ->
+            Hashtbl.remove t.pins handle;
+            None))
+  in
+  match proc with
+  | Some proc when try_send proc job -> ()
+  | Some _ | None ->
+    locked_slots t (fun () -> Hashtbl.remove t.pins handle);
+    expire_session t job ~handle
+
+let rec dispatch t job =
+  match job.session with
+  | Bound { handle; _ } -> dispatch_bound t job ~handle
+  | Stateless | Opens -> dispatch_stateless t job
+
+and dispatch_stateless t job =
   if job.attempts > t.cfg.max_attempts then begin
     Atomic.incr t.lost;
     Telemetry.ambient_count "supervisor.lost";
@@ -235,6 +315,25 @@ let drain_orphans t =
 
 let now () = Unix.gettimeofday ()
 
+(* Pin bookkeeping, run on the response before it is released to the
+   connection: an open-circuit success pins its handle to this worker
+   (so a pipelined follow-up, gated by the connection's stateful
+   barrier, finds the pin); a close drops it. *)
+let note_session_response t proc job line =
+  match job.session with
+  | Stateless | Bound { closes = false; _ } -> ()
+  | Bound { handle; closes = true } ->
+    locked_slots t (fun () -> Hashtbl.remove t.pins handle)
+  | Opens -> (
+    match Json.of_string line with
+    | Error _ -> ()
+    | Ok resp -> (
+      match (Json.member "ok" resp, Json.member "handle" resp) with
+      | Some (Json.Bool true), Some (Json.String handle) ->
+        locked_slots t (fun () ->
+            Hashtbl.replace t.pins handle (proc.slot, proc.gen))
+      | _ -> ()))
+
 let rec reader_loop t proc =
   match input_line proc.from_worker with
   | line ->
@@ -251,6 +350,7 @@ let rec reader_loop t proc =
     (match entry with
     | Some (Job job) ->
       Atomic.incr t.served;
+      note_session_response t proc job line;
       job.reply line
     | Some Heartbeat -> ()
     | None ->
@@ -284,6 +384,16 @@ and worker_died t proc =
   in
   let stopping = Atomic.get t.stopping in
   locked_slots t (fun () ->
+      (* its sessions died with it: every handle pinned to this worker
+         must now resolve to Session_expired, not to a fresh worker
+         that never heard of it *)
+      let dead =
+        Hashtbl.fold
+          (fun h (slot, gen) acc ->
+            if slot = proc.slot && gen = proc.gen then h :: acc else acc)
+          t.pins []
+      in
+      List.iter (Hashtbl.remove t.pins) dead;
       let s = t.slots.(proc.slot) in
       if s.sgen = proc.gen then begin
         s.sproc <- None;
@@ -324,13 +434,21 @@ and worker_died t proc =
         "leqa serve: worker %d (slot %d) killed by %s; restarting\n%!"
         proc.pid proc.slot (signal_name sg))
   end;
-  (* re-home the in-flight requests on a sibling, FIFO order preserved;
-     the client never learns its worker died unless the retry cap hits *)
+  (* re-home the in-flight stateless requests on a sibling, FIFO order
+     preserved; the client never learns its worker died unless the
+     retry cap hits.  Session-bound requests are NOT re-homed: the
+     state they address died with the worker (and re-running an edit
+     script elsewhere would silently double-apply it) — they fail fast
+     with the typed Session_expired.  An in-flight open is stateless
+     from the client's view (no handle issued yet), so it retries. *)
   List.iter
     (fun j ->
-      Atomic.incr t.retried;
-      Telemetry.ambient_count "supervisor.retried";
-      dispatch t { j with attempts = j.attempts + 1 })
+      match j.session with
+      | Bound { handle; _ } -> expire_session t j ~handle
+      | Stateless | Opens ->
+        Atomic.incr t.retried;
+        Telemetry.ambient_count "supervisor.retried";
+        dispatch t { j with attempts = j.attempts + 1 })
     jobs
 
 let spawn_worker t slot =
@@ -437,7 +555,8 @@ let heartbeat_loop t =
   let ping_line =
     Json.to_string
       (Protocol.request_to_json
-         { Protocol.id = Json.Null; body = Protocol.Ping })
+         { Protocol.id = Json.Null; version = Protocol.V1;
+           body = Protocol.Ping })
   in
   let elapsed = ref 0.0 in
   while not (Atomic.get t.stopping) do
@@ -489,7 +608,7 @@ let heartbeat_loop t =
 (* ---- stats ----------------------------------------------------------- *)
 
 let stats_json t =
-  let slots, pids, orphans =
+  let slots, pids, orphans, pins =
     locked_slots t (fun () ->
         ( Array.to_list
             (Array.mapi
@@ -515,7 +634,8 @@ let stats_json t =
           Array.to_list t.slots
           |> List.filter_map (fun s ->
                  Option.map (fun p -> Json.Int p.pid) s.sproc),
-          Queue.length t.orphans ))
+          Queue.length t.orphans,
+          Hashtbl.length t.pins ))
   in
   Json.Obj
     [
@@ -528,6 +648,10 @@ let stats_json t =
       ("restarts", Json.Int (Atomic.get t.restarts));
       ("wedge_kills", Json.Int (Atomic.get t.wedge_kills));
       ("master_errors", Json.Int (Atomic.get t.master_errors));
+      ("shed", Json.Int (Atomic.get t.shed));
+      ("sessions_expired", Json.Int (Atomic.get t.sessions_expired));
+      ("pinned_sessions", Json.Int pins);
+      ("max_inflight", Json.Int t.cfg.max_inflight);
       ("orphans", Json.Int orphans);
       ("draining", Json.Bool (Atomic.get t.is_draining));
       ("worker_pids", Json.List pids);
@@ -580,54 +704,107 @@ let serve_connection t ic oc =
       buffered = Hashtbl.create 64;
     }
   in
+  (* admission has two outcomes: a sequence number, or an immediate
+     typed shed once [max_inflight] requests are admitted and
+     unanswered — that cap is exactly the reorder buffer's bound, so a
+     stalled worker can no longer make the master buffer every later
+     completion without limit *)
   let admit () =
     Mutex.lock conn.conn_mutex;
-    let seq = conn.issued in
-    conn.issued <- conn.issued + 1;
+    let inflight = conn.issued - conn.next_seq in
+    let verdict =
+      if inflight >= t.cfg.max_inflight then `Shed inflight
+      else begin
+        let seq = conn.issued in
+        conn.issued <- conn.issued + 1;
+        `Seq seq
+      end
+    in
     Mutex.unlock conn.conn_mutex;
-    seq
+    verdict
+  in
+  (* session methods mutate worker state in request order (and a bound
+     request needs its open's pin recorded first), so they barrier:
+     wait until every earlier request on this connection is answered *)
+  let barrier_until seq =
+    Mutex.lock conn.conn_mutex;
+    while conn.next_seq < seq do
+      Condition.wait conn.all_flushed conn.conn_mutex
+    done;
+    Mutex.unlock conn.conn_mutex
   in
   (try
      while true do
        let line = input_line ic in
        if String.trim line <> "" then begin
-         let seq = admit () in
-         let reply l = conn_reply conn seq l in
-         (* the master answers malformed lines itself, so only valid
-            requests — which the engine answers in order — ever reach a
-            worker's FIFO *)
-         match
-           Protocol.request_of_line ~max_bytes:t.cfg.max_request_bytes line
-         with
-         | Error (id, e) ->
-           Atomic.incr t.master_errors;
-           reply (Json.to_string (Protocol.response_error ~id e))
-         | Ok req ->
-           if Atomic.get t.is_draining then
-             reply
-               (Json.to_string
-                  (Protocol.response_error ~id:req.Protocol.id
-                     E.Server_draining))
-           else begin
-             match req.Protocol.body with
-             | Protocol.Stats ->
-               (* answered here: the interesting counters (restarts,
-                  retries, worker pids) live in the master *)
+         match admit () with
+         | `Shed inflight ->
+           (* replied out-of-band: it was never admitted to the
+              sequence, and the client asked for more than the server
+              agreed to buffer *)
+           Atomic.incr t.shed;
+           Telemetry.ambient_count "supervisor.shed";
+           let id, version =
+             match
+               Protocol.request_of_line ~max_bytes:t.cfg.max_request_bytes
+                 line
+             with
+             | Ok req -> (req.Protocol.id, req.Protocol.version)
+             | Error (id, version, _) -> (id, version)
+           in
+           Mutex.lock conn.conn_mutex;
+           (try
+              output_string conn.oc
+                (Json.to_string
+                   (Protocol.response_error ~version ~id
+                      (E.Server_overload
+                         { queued = inflight; capacity = t.cfg.max_inflight })));
+              output_char conn.oc '\n';
+              flush conn.oc
+            with Sys_error _ -> ());
+           Mutex.unlock conn.conn_mutex
+         | `Seq seq -> (
+           let reply l = conn_reply conn seq l in
+           (* the master answers malformed lines itself, so only valid
+              requests — which the engine answers in order — ever reach
+              a worker's FIFO *)
+           match
+             Protocol.request_of_line ~max_bytes:t.cfg.max_request_bytes line
+           with
+           | Error (id, version, e) ->
+             Atomic.incr t.master_errors;
+             reply (Json.to_string (Protocol.response_error ~version ~id e))
+           | Ok req ->
+             if Atomic.get t.is_draining then
                reply
                  (Json.to_string
-                    (Protocol.response_ok ~id:req.Protocol.id
-                       [ ("stats", stats_json t) ]))
-             | _ ->
-               Atomic.incr t.dispatched;
-               dispatch t
-                 {
-                   line;
-                   id = req.Protocol.id;
-                   shard = shard_of t req;
-                   attempts = 1;
-                   reply;
-                 }
-           end
+                    (Protocol.response_error ~version:req.Protocol.version
+                       ~id:req.Protocol.id E.Server_draining))
+             else begin
+               match req.Protocol.body with
+               | Protocol.Stats ->
+                 (* answered here: the interesting counters (restarts,
+                    retries, worker pids) live in the master *)
+                 reply
+                   (Json.to_string
+                      (Protocol.response_ok ~version:req.Protocol.version
+                         ~id:req.Protocol.id
+                         [ ("stats", stats_json t) ]))
+               | _ ->
+                 let session = session_kind_of req in
+                 if session <> Stateless then barrier_until seq;
+                 Atomic.incr t.dispatched;
+                 dispatch t
+                   {
+                     line;
+                     id = req.Protocol.id;
+                     version = req.Protocol.version;
+                     shard = shard_of t req;
+                     attempts = 1;
+                     session;
+                     reply;
+                   }
+             end)
        end
      done
    with End_of_file | Sys_error _ -> ());

@@ -34,7 +34,19 @@
     successful restart.  A heartbeat ticker pings idle workers and
     SIGKILLs any worker that has had work pending with no output for
     [wedge_timeout_s] — a wedge then follows the same EOF → redispatch
-    → restart path as a crash. *)
+    → restart path as a crash.
+
+    {b Sessions (rpc v2)} — session state lives in exactly one worker,
+    so the master keeps a handle→worker pin table: an [open-circuit]
+    response pins its handle to the worker that answered; subsequent
+    [estimate-delta] / [export-circuit] / [close-circuit] requests are
+    routed by pin, never by shard, and session methods barrier on the
+    connection (all earlier requests answered first) so a pipelined
+    follow-up always finds its pin.  When the pinned worker dies, its
+    pins are dropped and session-bound requests — in-flight and future
+    — fail fast with a typed [Session_expired] instead of being
+    retried on a sibling (re-running an edit script elsewhere would
+    silently double-apply it); the client re-opens and replays. *)
 
 type config = {
   workers : int;  (** >= 2; [--workers 1] stays in-process *)
@@ -48,7 +60,16 @@ type config = {
   heartbeat_period_s : float;  (** idle-worker ping cadence, default 5 s *)
   backoff_seed : int;  (** restart-jitter determinism *)
   max_request_bytes : int;  (** NDJSON line cap, default 8 MiB *)
+  max_inflight : int;
+      (** per-connection cap on admitted-but-unanswered requests — the
+          reorder buffer's bound.  At the cap, further lines are shed
+          immediately with a typed [Server_overload] response (written
+          out-of-band: a shed line was never admitted to the response
+          sequence).  Default {!default_max_inflight}. *)
 }
+
+val default_max_inflight : int
+(** 256. *)
 
 val default_config :
   worker_prog:string -> worker_argv:string array -> workers:int -> config

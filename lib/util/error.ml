@@ -10,6 +10,8 @@ type t =
   | Server_overload of { queued : int; capacity : int }
   | Server_draining
   | Worker_lost of { shard : int; attempts : int }
+  | Session_expired of { handle : string }
+  | Handle_invalid of { handle : string; reason : string }
   | Accuracy_error of { failures : int; cases : int }
 
 exception Error of t
@@ -17,10 +19,11 @@ exception Error of t
 let raise_error e = raise (Error e)
 
 let exit_code = function
-  | Usage_error _ -> 64
+  | Usage_error _ | Handle_invalid _ -> 64
   | Parse_error _ -> 65
   | Io_error _ -> 66
-  | Server_overload _ | Server_draining | Worker_lost _ -> 69
+  | Server_overload _ | Server_draining | Worker_lost _ | Session_expired _ ->
+    69
   | Numeric_error _ | Accuracy_error _ -> 70
   | Fabric_error _ -> 71
   | Fault_injected _ -> 74
@@ -39,6 +42,8 @@ let kind = function
   | Server_overload _ -> "server-overload"
   | Server_draining -> "server-draining"
   | Worker_lost _ -> "worker-lost"
+  | Session_expired _ -> "session-expired"
+  | Handle_invalid _ -> "handle-invalid"
   | Accuracy_error _ -> "accuracy-error"
 
 (* renderers promise a single line whatever ends up inside messages *)
@@ -73,6 +78,13 @@ let to_string e =
         "request lost with its worker (shard %d) after %d attempts, try \
          again later"
         shard attempts
+    | Session_expired { handle } ->
+      Printf.sprintf
+        "session %s expired (evicted or its worker was lost); re-open the \
+         circuit and retry"
+        handle
+    | Handle_invalid { handle; reason } ->
+      Printf.sprintf "invalid circuit handle %s: %s" handle reason
     | Accuracy_error { failures; cases } ->
       Printf.sprintf
         "differential harness: %d of %d cases diverged from the QSPR \
@@ -101,6 +113,9 @@ let to_json e =
       [ ("queued", Json.Int queued); ("capacity", Json.Int capacity) ]
     | Worker_lost { shard; attempts } ->
       [ ("shard", Json.Int shard); ("attempts", Json.Int attempts) ]
+    | Session_expired { handle } -> [ ("handle", Json.String handle) ]
+    | Handle_invalid { handle; reason } ->
+      [ ("handle", Json.String handle); ("reason", Json.String reason) ]
     | Accuracy_error { failures; cases } ->
       [ ("failures", Json.Int failures); ("cases", Json.Int cases) ]
     | Usage_error _ | Io_error _ | Config_error _ | Fabric_error _

@@ -15,11 +15,13 @@
 
     {v
     64  Usage_error      bad flag combination / unknown benchmark
+    64  Handle_invalid   malformed or never-issued circuit handle (EX_USAGE)
     65  Parse_error      malformed .tfc netlist
     66  Io_error         missing or unreadable file
     69  Server_overload  estimation server queue full (EX_UNAVAILABLE)
     69  Server_draining  estimation server shutting down (EX_UNAVAILABLE)
     69  Worker_lost      supervised worker died, retries exhausted (EX_UNAVAILABLE)
+    69  Session_expired  circuit handle evicted or lost with its worker (EX_UNAVAILABLE)
     70  Numeric_error    NaN/Inf/out-of-range value escaping a kernel
     70  Accuracy_error   differential harness found estimator/QSPR drift
     71  Fabric_error     degenerate fabric geometry/parameters
@@ -52,6 +54,17 @@ type t =
           total); shares EX_UNAVAILABLE (69) with the other
           server-availability errors — retrying later is expected to
           succeed once workers restart *)
+  | Session_expired of { handle : string }
+      (** a circuit handle that was once valid is gone: its session was
+          evicted (LRU capacity or TTL) or its pinned worker died, which
+          invalidates the server-side circuit state.  Re-opening the
+          circuit and replaying edits is expected to succeed, so this
+          shares EX_UNAVAILABLE (69) with the other retryable
+          server-state errors *)
+  | Handle_invalid of { handle : string; reason : string }
+      (** a handle the server never issued (malformed, wrong format, or
+          sent to a server that has no session layer); a client bug, so
+          EX_USAGE (64) like other caller errors *)
   | Accuracy_error of { failures : int; cases : int }
       (** the differential harness ([leqa diff], DESIGN.md §10) found
           cases where the analytic estimate diverged from the QSPR

@@ -1,0 +1,551 @@
+(* End-to-end gate for the rpc-v2 session layer (@delta-smoke):
+
+   A. parity — 1000 random edit scripts driven through the engine: every
+               estimate-delta report must be byte-identical to a cold
+               estimate of the exported circuit (modulo the wall-clock
+               runtime field), with a fresh session opened every 25
+               scripts.  Both incremental paths (in-place IIG update and
+               the dirty-set fallback), the coverage memo and a partial
+               fold restart must all be observed at least once.
+   B. churn  — a 4-session table under 40 opens: capacity held, LRU
+               evictions counted, evicted handles answer the typed
+               session-expired error while fresh ones keep serving.
+   C. shed   — a supervised fleet whose workers swallow requests and
+               never answer: once max_inflight requests are admitted,
+               every further line is shed immediately with the typed
+               server-overload error — the reorder buffer is bounded by
+               a stalled worker, not grown by it.
+   D. loss   — a real `leqa serve --workers 2` fleet: SIGKILLing the
+               workers invalidates open handles with a typed
+               session-expired (never a silent re-apply on a sibling),
+               and a re-opened session works once the fleet restarts.
+
+   Rounds that fail part A are appended as NDJSON to
+   $DELTA_SMOKE_ARTIFACT (default ./delta_smoke_failures.ndjson) so CI
+   can upload the reproducers.
+
+   Usage: delta_smoke <path-to-leqa-cli> *)
+
+module Json = Leqa_util.Json
+module Engine = Leqa_server.Engine
+module Server = Leqa_server.Server
+module Supervisor = Leqa_server.Supervisor
+
+let cli = ref ""
+let failures = ref 0
+let checks = ref 0
+
+let check name ok detail =
+  incr checks;
+  if ok then Printf.printf "ok   %s\n%!" name
+  else begin
+    incr failures;
+    Printf.printf "FAIL %s\n     %s\n%!" name detail
+  end
+
+(* ---- failure artifact ----------------------------------------------- *)
+
+let artifact_path =
+  Option.value
+    (Sys.getenv_opt "DELTA_SMOKE_ARTIFACT")
+    ~default:"delta_smoke_failures.ndjson"
+
+let artifact_lines = ref []
+let record line = artifact_lines := line :: !artifact_lines
+
+let flush_artifact () =
+  match !artifact_lines with
+  | [] -> ()
+  | lines ->
+    let oc = open_out artifact_path in
+    List.iter
+      (fun l ->
+        output_string oc l;
+        output_char oc '\n')
+      (List.rev lines);
+    close_out oc;
+    Printf.printf "artifact: %d failing rounds written to %s\n%!"
+      (List.length lines) artifact_path
+
+(* ---- helpers -------------------------------------------------------- *)
+
+let is_ok resp = Json.member "ok" resp = Some (Json.Bool true)
+
+let member_string key j =
+  match Json.member key j with Some (Json.String s) -> Some s | _ -> None
+
+let int_member key j =
+  match Json.member key j with Some (Json.Int n) -> Some n | _ -> None
+
+let error_kind resp =
+  match Json.member "error" resp with
+  | Some err -> member_string "error" err
+  | None -> None
+
+(* the "modulo wall-clock fields" normalization for report-byte parity *)
+let rec zero_runtime = function
+  | Json.Obj fields ->
+    Json.Obj
+      (List.map
+         (fun (k, v) ->
+           if k = "runtime_s" then (k, Json.Float 0.0) else (k, zero_runtime v))
+         fields)
+  | Json.List items -> Json.List (List.map zero_runtime items)
+  | scalar -> scalar
+
+let v1_line ~id ~method_ ~params =
+  Printf.sprintf
+    "{\"schema_version\":\"leqa/rpc/v1\",\"id\":%d,\"method\":%S,\"params\":%s}"
+    id method_ params
+
+let v2_line ~id ~method_ ~params =
+  Printf.sprintf
+    "{\"schema_version\":\"leqa/rpc/v2\",\"id\":%d,\"method\":%S,\"params\":%s}"
+    id method_ params
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  (fd, Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+
+let wait_socket path =
+  let deadline = Unix.gettimeofday () +. 15.0 in
+  let rec go () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> Unix.close fd
+    | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) ->
+      Unix.close fd;
+      if Unix.gettimeofday () > deadline then
+        failwith ("server never came up on " ^ path)
+      else begin
+        Unix.sleepf 0.05;
+        go ()
+      end
+  in
+  go ()
+
+let scratch_dir () =
+  let dir = Filename.temp_file "leqa_delta_smoke" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  dir
+
+(* ---- part A: 1000 random edit scripts, report byte parity ----------- *)
+
+(* sized so the session table sees both small circuits (the dirty-set
+   fallback trips easily) and ones past the checkpoint stride (a partial
+   fold restart is possible at all) *)
+let benches =
+  [| "qft:5"; "qft:6"; "qft:7"; "grover:3"; "qft-adder:4"; "qft:12";
+     "grover:5"; "qft-adder:6" |]
+
+let single_gates = [| "x"; "y"; "z"; "h"; "s"; "sdg"; "t"; "tdg" |]
+
+let part_a () =
+  Random.init 0xd317a5;
+  let t = Engine.create (Engine.default_config ~binary_version:"delta-smoke") in
+  let next_id = ref 0 in
+  let fresh_id () =
+    incr next_id;
+    !next_id
+  in
+  let call line = Engine.handle_line t line in
+  let handle = ref "" in
+  let gates = ref 0 in
+  let wires = ref 0 in
+  let bench_i = ref 0 in
+  let sync_from_stats stats =
+    (match int_member "gates" stats with Some n -> gates := n | None -> ());
+    match int_member "qubits" stats with Some n -> wires := n | None -> ()
+  in
+  let open_next () =
+    if !handle <> "" then
+      ignore
+        (call
+           (v2_line ~id:(fresh_id ()) ~method_:"close-circuit"
+              ~params:(Printf.sprintf "{\"handle\":%S}" !handle)));
+    let b = benches.(!bench_i mod Array.length benches) in
+    incr bench_i;
+    let resp =
+      call
+        (v2_line ~id:(fresh_id ()) ~method_:"open-circuit"
+           ~params:(Printf.sprintf "{\"bench\":%S}" b))
+    in
+    match (Json.member "handle" resp, Json.member "circuit" resp) with
+    | Some (Json.String h), Some stats ->
+      handle := h;
+      sync_from_stats stats
+    | _ ->
+      check "part A: open-circuit answers a handle" false (Json.to_string resp)
+  in
+  (* each generated edit mutates the tracked gate/wire counts so the
+     next edit in the same script stays within the validated ranges *)
+  let gen_at () =
+    if Random.bool () then ""
+    else Printf.sprintf ",\"at\":%d" (Random.int (!gates + 1))
+  in
+  let gen_single () =
+    let g = single_gates.(Random.int (Array.length single_gates)) in
+    let q = Random.int (max 1 !wires) in
+    let at = gen_at () in
+    incr gates;
+    Printf.sprintf "{\"op\":\"add-gate\",\"gate\":%S,\"qubit\":%d%s}" g q at
+  in
+  let gen_cnot () =
+    let w = max 2 !wires in
+    let control = Random.int w in
+    let target =
+      let t = ref (Random.int w) in
+      while !t = control do
+        t := Random.int w
+      done;
+      !t
+    in
+    let at = gen_at () in
+    incr gates;
+    Printf.sprintf
+      "{\"op\":\"add-gate\",\"gate\":\"cnot\",\"control\":%d,\"target\":%d%s}"
+      control target at
+  in
+  let gen_remove () =
+    let at = Random.int !gates in
+    decr gates;
+    Printf.sprintf "{\"op\":\"remove-gate\",\"at\":%d}" at
+  in
+  let gen_remap () =
+    (* always onto a fresh wire: provably never a CNOT self-loop *)
+    let from_q = Random.int (max 1 !wires) in
+    let to_q = !wires in
+    incr wires;
+    Printf.sprintf "{\"op\":\"remap-qubit\",\"from\":%d,\"to\":%d}" from_q to_q
+  in
+  let gen_edit () =
+    match Random.int 10 with
+    | 0 | 1 when !gates > 8 -> gen_remove ()
+    | 2 | 3 when !wires >= 2 -> gen_cnot ()
+    | 4 -> gen_remap ()
+    | _ -> gen_single ()
+  in
+  (* ~1 script in 20 is CNOT-heavy enough to touch more than half the
+     wires and cross the dirty-set fallback threshold *)
+  let gen_script () =
+    if Random.int 20 = 0 then List.init 8 (fun _ -> gen_cnot ())
+    else List.init (1 + Random.int 8) (fun _ -> gen_edit ())
+  in
+  let rounds = 1000 in
+  let reopen_every = 25 in
+  let mismatches = ref 0 in
+  let delta_errors = ref 0 in
+  let incremental = ref 0 in
+  let rebuilds = ref 0 in
+  let cov_reused = ref 0 in
+  let fold_resumed = ref 0 in
+  open_next ();
+  for round = 1 to rounds do
+    if round mod reopen_every = 0 then open_next ();
+    let script_json = "[" ^ String.concat "," (gen_script ()) ^ "]" in
+    let dresp =
+      call
+        (v2_line ~id:(fresh_id ()) ~method_:"estimate-delta"
+           ~params:
+             (Printf.sprintf "{\"handle\":%S,\"edits\":%s}" !handle script_json))
+    in
+    if not (is_ok dresp) then begin
+      incr delta_errors;
+      record
+        (Printf.sprintf "{\"round\":%d,\"script\":%s,\"response\":%s}" round
+           script_json (Json.to_string dresp))
+    end
+    else begin
+      match Json.member "delta" dresp with
+      | Some d ->
+        (match Json.member "full_rebuild" d with
+        | Some (Json.Bool true) -> incr rebuilds
+        | Some (Json.Bool false) -> incr incremental
+        | _ -> ());
+        (match Json.member "coverage_reused" d with
+        | Some (Json.Bool true) -> incr cov_reused
+        | _ -> ());
+        (match int_member "fold_restart" d with
+        | Some n when n > 0 -> incr fold_resumed
+        | _ -> ())
+      | None -> ()
+    end;
+    (* export is also the generator's resync point: whatever an edit
+       actually did to the counts, the next script starts from the
+       server's own numbers *)
+    let exported =
+      call
+        (v2_line ~id:(fresh_id ()) ~method_:"export-circuit"
+           ~params:(Printf.sprintf "{\"handle\":%S}" !handle))
+    in
+    (match (Json.member "circuit" exported, Json.member "stats" exported) with
+    | Some (Json.String netlist), Some stats ->
+      sync_from_stats stats;
+      if is_ok dresp then begin
+        let cold =
+          call
+            (v1_line ~id:(fresh_id ()) ~method_:"estimate"
+               ~params:
+                 (Printf.sprintf "{\"circuit\":%s}"
+                    (Json.to_string (Json.String netlist))))
+        in
+        match (Json.member "report" dresp, Json.member "report" cold) with
+        | Some dr, Some cr ->
+          let d = Json.to_string (zero_runtime dr) in
+          let c = Json.to_string (zero_runtime cr) in
+          if d <> c then begin
+            incr mismatches;
+            record
+              (Printf.sprintf
+                 "{\"round\":%d,\"script\":%s,\"delta_report\":%s,\"cold_report\":%s}"
+                 round script_json d c)
+          end
+        | _ ->
+          incr mismatches;
+          record
+            (Printf.sprintf "{\"round\":%d,\"script\":%s,\"missing_report\":true}"
+               round script_json)
+      end
+    | _ ->
+      incr delta_errors;
+      record
+        (Printf.sprintf "{\"round\":%d,\"export_failed\":%s}" round
+           (Json.to_string exported)));
+    if round mod 200 = 0 then Printf.printf "     ... %d/%d scripts\n%!" round rounds
+  done;
+  check "part A: every estimate-delta answered ok" (!delta_errors = 0)
+    (Printf.sprintf "%d errors" !delta_errors);
+  check "part A: zero report byte mismatches in 1000 scripts"
+    (!mismatches = 0)
+    (Printf.sprintf "%d mismatches" !mismatches);
+  check "part A: incremental IIG path exercised" (!incremental > 0)
+    "no script ran incrementally";
+  check "part A: dirty-set fallback exercised" (!rebuilds > 0)
+    "no script crossed the fallback threshold";
+  check "part A: coverage memo reused" (!cov_reused > 0)
+    "no round reused the coverage integral";
+  check "part A: fold resumed from a checkpoint" (!fold_resumed > 0)
+    "every fold restarted from gate 0"
+
+(* ---- part B: session-table eviction under churn ---------------------- *)
+
+let part_b () =
+  let t =
+    Engine.create
+      {
+        (Engine.default_config ~binary_version:"delta-smoke") with
+        Engine.session_cap = 4;
+      }
+  in
+  let id = ref 10_000 in
+  let call line = Engine.handle_line t line in
+  let opens = 40 in
+  let churn_benches = [| "qft:4"; "qft:5"; "grover:3" |] in
+  let handles =
+    List.init opens (fun i ->
+        incr id;
+        let resp =
+          call
+            (v2_line ~id:!id ~method_:"open-circuit"
+               ~params:
+                 (Printf.sprintf "{\"bench\":%S}"
+                    churn_benches.(i mod Array.length churn_benches)))
+        in
+        match Json.member "handle" resp with
+        | Some (Json.String h) -> h
+        | _ ->
+          check "part B: open under churn ok" false (Json.to_string resp);
+          "")
+  in
+  (match Json.member "sessions" (Engine.stats_json t) with
+  | Some s ->
+    let get k = Option.value (int_member k s) ~default:(-1) in
+    check "part B: capacity held under churn"
+      (get "open" >= 1 && get "open" <= 4)
+      (Json.to_string s);
+    check "part B: every open admitted" (get "opened_total" = opens)
+      (Json.to_string s);
+    check "part B: LRU evictions counted"
+      (get "evicted_lru" >= opens - 4)
+      (Json.to_string s)
+  | None ->
+    check "part B: stats expose the session table" false
+      (Json.to_string (Engine.stats_json t)));
+  let probe h =
+    incr id;
+    call
+      (v2_line ~id:!id ~method_:"estimate-delta"
+         ~params:(Printf.sprintf "{\"handle\":%S,\"edits\":[]}" h))
+  in
+  let evicted = probe (List.nth handles 0) in
+  check "part B: evicted handle answers session-expired"
+    (error_kind evicted = Some "session-expired")
+    (Json.to_string evicted);
+  let fresh = probe (List.nth handles (opens - 1)) in
+  check "part B: freshest handle still serves" (is_ok fresh)
+    (Json.to_string fresh)
+
+(* ---- part C: bounded reorder buffer under a stalled worker ----------- *)
+
+let part_c () =
+  let sock = Filename.concat (scratch_dir ()) "shed.sock" in
+  let max_inflight = 4 in
+  (* workers that read forever and answer nothing: every admitted
+     request wedges, so the cap is what keeps the master's buffer (and
+     our socket) from growing without bound *)
+  let cfg =
+    {
+      (Supervisor.default_config ~worker_prog:"/bin/sh"
+         ~worker_argv:[| "/bin/sh"; "-c"; "exec cat >/dev/null" |] ~workers:2)
+      with
+      Supervisor.max_inflight;
+      wedge_timeout_s = 3600.0;
+      heartbeat_period_s = 3600.0;
+    }
+  in
+  let sup = Supervisor.create cfg in
+  let _serving =
+    Domain.spawn (fun () ->
+        try Supervisor.serve_endpoint sup (Server.Unix_path sock)
+        with _ -> ())
+  in
+  wait_socket sock;
+  let _fd, ic, oc = connect sock in
+  let flood = max_inflight + 20 in
+  for i = 1 to flood do
+    output_string oc (v1_line ~id:i ~method_:"estimate" ~params:"{\"bench\":\"qft:4\"}");
+    output_char oc '\n'
+  done;
+  flush oc;
+  (* the stalled workers never answer the admitted requests, so the
+     only traffic back is the out-of-band shed responses *)
+  let shed = flood - max_inflight in
+  let ids =
+    List.filter_map
+      (fun line ->
+        match Json.of_string line with
+        | Ok resp ->
+          if error_kind resp = Some "server-overload" then int_member "id" resp
+          else begin
+            check "part C: shed response is a typed server-overload" false line;
+            None
+          end
+        | Error e ->
+          check "part C: shed response parses" false (e ^ ": " ^ line);
+          None)
+      (List.init shed (fun _ -> input_line ic))
+  in
+  check "part C: every over-cap line shed immediately"
+    (List.length ids = shed)
+    (Printf.sprintf "%d typed sheds of %d expected" (List.length ids) shed);
+  check "part C: exactly the over-cap requests shed, admitted ones buffered"
+    (List.sort compare ids = List.init shed (fun i -> max_inflight + 1 + i))
+    (String.concat "," (List.map string_of_int (List.sort compare ids)))
+
+(* ---- part D: worker loss invalidates pinned handles ------------------ *)
+
+let part_d () =
+  let sock = Filename.concat (scratch_dir ()) "loss.sock" in
+  let null_in = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
+  let null_out = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  let pid =
+    Unix.create_process !cli
+      [| "leqa"; "serve"; "--socket"; sock; "--workers"; "2" |]
+      null_in null_out null_out
+  in
+  Unix.close null_in;
+  Unix.close null_out;
+  wait_socket sock;
+  let fd, ic, oc = connect sock in
+  let call line =
+    output_string oc line;
+    output_char oc '\n';
+    flush oc;
+    match Json.of_string (input_line ic) with
+    | Ok resp -> resp
+    | Error e ->
+      check "part D: response parses" false e;
+      Json.Null
+  in
+  let opened =
+    call (v2_line ~id:1 ~method_:"open-circuit" ~params:"{\"bench\":\"qft:5\"}")
+  in
+  let handle =
+    match Json.member "handle" opened with
+    | Some (Json.String h) -> h
+    | _ ->
+      check "part D: open-circuit ok" false (Json.to_string opened);
+      ""
+  in
+  let edit = "{\"op\":\"add-gate\",\"gate\":\"t\",\"qubit\":0}" in
+  let delta_params =
+    Printf.sprintf "{\"handle\":%S,\"edits\":[%s]}" handle edit
+  in
+  let pinned = call (v2_line ~id:2 ~method_:"estimate-delta" ~params:delta_params) in
+  check "part D: pinned estimate-delta ok" (is_ok pinned) (Json.to_string pinned);
+  let stats = call (v1_line ~id:3 ~method_:"stats" ~params:"{}") in
+  let pids =
+    match Json.member "stats" stats with
+    | Some s -> (
+      match Json.member "worker_pids" s with
+      | Some (Json.List ps) ->
+        List.filter_map
+          (function Json.Int p when p > 1 -> Some p | _ -> None)
+          ps
+      | _ -> [])
+    | None -> []
+  in
+  check "part D: stats list the worker pids" (List.length pids = 2)
+    (Json.to_string stats);
+  List.iter (fun p -> try Unix.kill p Sys.sigkill with _ -> ()) pids;
+  (* the master notices EOF on the dead workers and drops their pins:
+     the session must fail fast with the typed error, never replay the
+     edit script on a sibling *)
+  let lost = call (v2_line ~id:4 ~method_:"estimate-delta" ~params:delta_params) in
+  check "part D: dead worker invalidates the handle"
+    (error_kind lost = Some "session-expired")
+    (Json.to_string lost);
+  (* the fleet restarts under backoff; a re-opened session serves *)
+  let reopened =
+    call (v2_line ~id:5 ~method_:"open-circuit" ~params:"{\"bench\":\"qft:5\"}")
+  in
+  check "part D: re-open after fleet restart" (is_ok reopened)
+    (Json.to_string reopened);
+  (match Json.member "handle" reopened with
+  | Some (Json.String h2) ->
+    let again =
+      call
+        (v2_line ~id:6 ~method_:"estimate-delta"
+           ~params:(Printf.sprintf "{\"handle\":%S,\"edits\":[%s]}" h2 edit))
+    in
+    check "part D: fresh session serves" (is_ok again) (Json.to_string again)
+  | _ ->
+    check "part D: re-open answers a handle" false (Json.to_string reopened));
+  (* hang up before the SIGTERM: the master serves one connection at a
+     time and only notices a requested drain between clients *)
+  (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+  close_out_noerr oc;
+  Unix.kill pid Sys.sigterm;
+  match Unix.waitpid [] pid with
+  | _, Unix.WEXITED 0 -> check "part D: clean server exit" true ""
+  | _, Unix.WEXITED c ->
+    check "part D: clean server exit" false (Printf.sprintf "exit %d" c)
+  | _, (Unix.WSIGNALED s | Unix.WSTOPPED s) ->
+    check "part D: clean server exit" false (Printf.sprintf "signal %d" s)
+
+let () =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  (match Sys.argv with
+  | [| _; c |] -> cli := c
+  | _ ->
+    prerr_endline "usage: delta_smoke <leqa-cli>";
+    exit 2);
+  part_a ();
+  part_b ();
+  part_d ();
+  part_c ();
+  flush_artifact ();
+  Printf.printf "\n%d checks, %d failures\n%!" !checks !failures;
+  if !failures > 0 then exit 1

@@ -1,0 +1,273 @@
+(* The incremental estimator (Leqa_core.Delta): randomized edit scripts
+   must produce breakdowns and reports byte-identical to a cold
+   estimate of the edited circuit, across long-lived sessions that
+   accumulate hundreds of edits. *)
+
+module Circuit = Leqa_circuit.Circuit
+module Decompose = Leqa_circuit.Decompose
+module Ft_circuit = Leqa_circuit.Ft_circuit
+module Ft_gate = Leqa_circuit.Ft_gate
+module Estimator = Leqa_core.Estimator
+module Delta = Leqa_core.Delta
+module Critical_path = Leqa_qodg.Critical_path
+module Params = Leqa_fabric.Params
+module Report = Leqa_report.Report
+module Json = Leqa_util.Json
+
+let strip (b : Estimator.breakdown) =
+  {
+    b with
+    Estimator.critical = { b.Estimator.critical with Critical_path.path = [] };
+  }
+
+(* ---- an independent reference implementation of the edit semantics:
+   a plain gate list + declared wire count, rebuilt cold every round *)
+
+type reference = { mutable ref_gates : Ft_gate.t list; mutable ref_wires : int }
+
+let ref_of_ft ft =
+  let gates = ref [] in
+  Ft_circuit.iter (fun g -> gates := g :: !gates) ft;
+  { ref_gates = List.rev !gates; ref_wires = Ft_circuit.num_qubits ft }
+
+let ref_apply r (edit : Delta.edit) =
+  match edit with
+  | Delta.Add_gate { at; gate } ->
+    let pos = match at with None -> List.length r.ref_gates | Some p -> p in
+    let rec insert i = function
+      | rest when i = 0 -> gate :: rest
+      | g :: rest -> g :: insert (i - 1) rest
+      | [] -> failwith "reference insert out of range"
+    in
+    r.ref_gates <- insert pos r.ref_gates;
+    r.ref_wires <- max r.ref_wires (Ft_gate.max_qubit gate + 1)
+  | Delta.Remove_gate { at } ->
+    r.ref_gates <- List.filteri (fun i _ -> i <> at) r.ref_gates
+  | Delta.Remap_qubit { from_q; to_q } ->
+    if from_q <> to_q then begin
+      let sub w = if w = from_q then to_q else w in
+      r.ref_gates <-
+        List.map
+          (function
+            | Ft_gate.Cnot { control; target } ->
+              Ft_gate.Cnot { control = sub control; target = sub target }
+            | Ft_gate.Single (k, q) -> Ft_gate.Single (k, sub q))
+          r.ref_gates;
+      r.ref_wires <- max r.ref_wires (to_q + 1)
+    end
+
+let ref_ft r = Ft_circuit.of_gates ~num_qubits:r.ref_wires r.ref_gates
+
+(* ---- random edit scripts ------------------------------------------ *)
+
+let kinds = Array.of_list Ft_gate.all_single_kinds
+
+let random_gate rng ~wires =
+  (* occasionally touch a brand-new wire to exercise growth *)
+  let q () =
+    if Random.State.int rng 20 = 0 then wires else Random.State.int rng (max 1 wires)
+  in
+  if Random.State.bool rng then
+    Ft_gate.Single (kinds.(Random.State.int rng (Array.length kinds)), q ())
+  else begin
+    let control = q () in
+    let target = ref (q ()) in
+    while !target = control do
+      target := Random.State.int rng (max 2 (wires + 1))
+    done;
+    Ft_gate.Cnot { control; target = !target }
+  end
+
+let would_self_loop r ~from_q ~to_q =
+  List.exists
+    (function
+      | Ft_gate.Cnot { control; target } ->
+        (control = from_q && target = to_q)
+        || (control = to_q && target = from_q)
+      | Ft_gate.Single _ -> false)
+    r.ref_gates
+
+let random_edit rng r =
+  let n = List.length r.ref_gates in
+  match Random.State.int rng (if n = 0 then 1 else 10) with
+  | 0 | 1 | 2 | 3 ->
+    let at =
+      if Random.State.bool rng then None else Some (Random.State.int rng (n + 1))
+    in
+    Some (Delta.Add_gate { at; gate = random_gate rng ~wires:r.ref_wires })
+  | 4 | 5 | 6 -> Some (Delta.Remove_gate { at = Random.State.int rng n })
+  | _ ->
+    let from_q = Random.State.int rng r.ref_wires in
+    let to_q =
+      if Random.State.int rng 10 = 0 then r.ref_wires
+      else Random.State.int rng r.ref_wires
+    in
+    if from_q = to_q || would_self_loop r ~from_q ~to_q then None
+    else Some (Delta.Remap_qubit { from_q; to_q })
+
+let report_bytes ~params ?ft ?circuit_stats breakdown =
+  Json.to_string
+    (Report.to_json
+       (Report.make ~command:"estimate" ?ft ?circuit_stats
+          (Report.Estimate
+             {
+               Report.params;
+               breakdown;
+               contributions = Estimator.contributions ~params breakdown;
+               estimator_runtime_s = 0.0;
+             })))
+
+let check_round ~label ~params delta r =
+  let cold_ft = ref_ft r in
+  let cold = Estimator.estimate_circuit ~params cold_ft in
+  let hot, stats = Delta.estimate ~params delta in
+  if strip cold <> strip hot then
+    Alcotest.failf "%s: delta breakdown differs from cold estimate" label;
+  if Ft_circuit.stats cold_ft <> Delta.stats delta then
+    Alcotest.failf "%s: delta stats differ from cold circuit" label;
+  let cold_bytes = report_bytes ~params ~ft:cold_ft cold in
+  let hot_bytes =
+    report_bytes ~params ~circuit_stats:(Delta.stats delta) hot
+  in
+  if not (String.equal cold_bytes hot_bytes) then
+    Alcotest.failf "%s: report bytes differ\ncold: %s\nhot:  %s" label
+      cold_bytes hot_bytes;
+  stats
+
+let run_session ~seed ~rounds ~params circ =
+  let rng = Random.State.make [| seed |] in
+  let ft = Decompose.to_ft circ in
+  let delta = Delta.of_ft_circuit ft in
+  let r = ref_of_ft ft in
+  ignore (check_round ~label:"open" ~params delta r);
+  for round = 1 to rounds do
+    let edits = 1 + Random.State.int rng 8 in
+    let applied = ref 0 in
+    while !applied < edits do
+      match random_edit rng r with
+      | None -> ()
+      | Some e ->
+        Delta.apply delta e;
+        ref_apply r e;
+        incr applied
+    done;
+    ignore (check_round ~label:(Printf.sprintf "round %d" round) ~params delta r)
+  done
+
+let test_random_scripts () =
+  List.iter
+    (fun (seed, circ) ->
+      run_session ~seed ~rounds:25 ~params:Params.calibrated circ)
+    [
+      (1, Leqa_benchmarks.Qft.circuit ~n:6 ());
+      (2, Leqa_benchmarks.Gf2_mult.circuit ~n:4 ());
+      (3, Leqa_benchmarks.Grover.circuit ~n:5 ~marked:3 ());
+    ]
+
+(* fabric changes between estimates on one handle: the delay signature
+   changes, checkpoints are discarded, results stay byte-identical *)
+let test_fabric_change_on_handle () =
+  let circ = Leqa_benchmarks.Qft.circuit ~n:6 () in
+  let ft = Decompose.to_ft circ in
+  let delta = Delta.of_ft_circuit ft in
+  let r = ref_of_ft ft in
+  List.iter
+    (fun (w, h) ->
+      let params = { Params.calibrated with Params.width = w; height = h } in
+      ignore (check_round ~label:(Printf.sprintf "%dx%d" w h) ~params delta r))
+    [ (12, 12); (20, 20); (8, 8); (12, 12) ]
+
+(* checkpoint reuse: single-qubit edits leave the IIG (hence the delay
+   signature) unchanged, so the fold must restart past gate 0 *)
+let test_checkpoint_reuse_on_single_edits () =
+  let circ = Leqa_benchmarks.Gf2_mult.circuit ~n:6 () in
+  let ft = Decompose.to_ft circ in
+  let delta = Delta.of_ft_circuit ft in
+  let r = ref_of_ft ft in
+  let params = Params.calibrated in
+  ignore (check_round ~label:"seed fold" ~params delta r);
+  let n = Delta.gate_count delta in
+  let e = Delta.Add_gate { at = Some (n - 1); gate = Ft_gate.Single (Ft_gate.T, 0) } in
+  Delta.apply delta e;
+  ref_apply r e;
+  let stats = check_round ~label:"late single edit" ~params delta r in
+  if stats.Delta.ds_fold_restart = 0 then
+    Alcotest.fail "late single-qubit edit refolded from gate 0";
+  if stats.Delta.ds_fold_gates >= n then
+    Alcotest.failf "fold re-fed %d of %d gates despite checkpoints"
+      stats.Delta.ds_fold_gates n
+
+(* the dirty-set fall-back: a remap wave touching most wires must
+   trigger the transparent full rebuild and still agree byte-for-byte *)
+let test_dirty_set_fallback () =
+  let circ = Leqa_benchmarks.Qft.circuit ~n:8 () in
+  let ft = Decompose.to_ft circ in
+  let delta = Delta.of_ft_circuit ft in
+  let r = ref_of_ft ft in
+  let params = Params.calibrated in
+  ignore (check_round ~label:"seed" ~params delta r);
+  let wires = Delta.num_wires delta in
+  (* rotate every wire upward: touches all of them *)
+  for q = 0 to wires - 1 do
+    let e = Delta.Remap_qubit { from_q = q; to_q = q + wires } in
+    Delta.apply delta e;
+    ref_apply r e
+  done;
+  let stats = check_round ~label:"remap wave" ~params delta r in
+  if not stats.Delta.ds_full_rebuild then
+    Alcotest.fail "remap wave did not trigger the dirty-set fall-back"
+
+(* invalid edits are rejected with typed usage errors, leaving the
+   session consistent (the next estimate still matches cold) *)
+let test_invalid_edits_rejected () =
+  let circ = Leqa_benchmarks.Qft.circuit ~n:4 () in
+  let ft = Decompose.to_ft circ in
+  let delta = Delta.of_ft_circuit ft in
+  let r = ref_of_ft ft in
+  let expect_usage label f =
+    match f () with
+    | () -> Alcotest.failf "%s: accepted" label
+    | exception Leqa_util.Error.Error (Leqa_util.Error.Usage_error _) -> ()
+  in
+  let n = Delta.gate_count delta in
+  expect_usage "remove past end" (fun () ->
+      Delta.apply delta (Delta.Remove_gate { at = n }));
+  expect_usage "add past end" (fun () ->
+      Delta.apply delta
+        (Delta.Add_gate
+           { at = Some (n + 1); gate = Ft_gate.Single (Ft_gate.H, 0) }));
+  expect_usage "self-loop cnot" (fun () ->
+      Delta.apply delta
+        (Delta.Add_gate
+           { at = None; gate = Ft_gate.Cnot { control = 2; target = 2 } }));
+  expect_usage "negative index" (fun () ->
+      Delta.apply delta
+        (Delta.Add_gate { at = None; gate = Ft_gate.Single (Ft_gate.H, -1) }));
+  (* find an interacting pair and try to collapse it *)
+  let pair = ref None in
+  Ft_circuit.iter
+    (fun g ->
+      match (g, !pair) with
+      | Ft_gate.Cnot { control; target }, None -> pair := Some (control, target)
+      | _ -> ())
+    ft;
+  (match !pair with
+  | Some (a, b) ->
+    expect_usage "remap collapsing a cnot" (fun () ->
+        Delta.apply delta (Delta.Remap_qubit { from_q = a; to_q = b }))
+  | None -> Alcotest.fail "no CNOT in qft:4?");
+  ignore (check_round ~label:"after rejections" ~params:Params.calibrated delta r)
+
+let suite =
+  [
+    Alcotest.test_case "random edit scripts byte-identical" `Quick
+      test_random_scripts;
+    Alcotest.test_case "fabric change on one handle" `Quick
+      test_fabric_change_on_handle;
+    Alcotest.test_case "checkpoints reused for single-qubit edits" `Quick
+      test_checkpoint_reuse_on_single_edits;
+    Alcotest.test_case "dirty-set fall-back fires and agrees" `Quick
+      test_dirty_set_fallback;
+    Alcotest.test_case "invalid edits rejected, session intact" `Quick
+      test_invalid_edits_rejected;
+  ]

@@ -16,12 +16,12 @@ let req_line ?(schema = Protocol.rpc_schema_version) ?(id = "7")
 let parse_ok line =
   match Protocol.request_of_line line with
   | Ok req -> req
-  | Error (_, e) -> Alcotest.failf "unexpected parse error: %s" (E.to_string e)
+  | Error (_, _, e) -> Alcotest.failf "unexpected parse error: %s" (E.to_string e)
 
 let parse_err line =
   match Protocol.request_of_line line with
   | Ok _ -> Alcotest.failf "parsed unexpectedly: %s" line
-  | Error (id, e) -> (id, e)
+  | Error (id, _, e) -> (id, e)
 
 let contains hay needle =
   let nl = String.length needle and hl = String.length hay in
@@ -120,9 +120,9 @@ let test_oversized_line () =
         (Printf.sprintf "{\"circuit\":%S}" (String.make 200 'x'))
       ()
   in
-  let _, e = Protocol.request_of_line ~max_bytes:64 line |> function
+  let _, _, e = Protocol.request_of_line ~max_bytes:64 line |> function
     | Ok _ -> Alcotest.fail "oversized line parsed"
-    | Error pair -> pair
+    | Error triple -> triple
   in
   Alcotest.(check int) "usage error" 64 (E.exit_code e);
   Alcotest.(check bool) "names the limit" true
@@ -131,10 +131,11 @@ let test_oversized_line () =
 let test_request_round_trip () =
   let reqs =
     [
-      { Protocol.id = Json.Int 3; body = Protocol.Ping };
-      { Protocol.id = Json.String "a"; body = Protocol.Version };
+      { Protocol.id = Json.Int 3; version = Protocol.V1; body = Protocol.Ping };
+      { Protocol.id = Json.String "a"; version = Protocol.V1; body = Protocol.Version };
       {
         Protocol.id = Json.Int 9;
+        version = Protocol.V1;
         body =
           Protocol.Estimate
             {
@@ -148,6 +149,7 @@ let test_request_round_trip () =
       };
       {
         Protocol.id = Json.Int 10;
+        version = Protocol.V1;
         body =
           Protocol.Sweep_fabric
             {
@@ -164,7 +166,7 @@ let test_request_round_trip () =
       match Protocol.request_of_json (Protocol.request_to_json req) with
       | Ok got ->
         Alcotest.(check bool) "round-trips structurally" true (got = req)
-      | Error (_, e) ->
+      | Error (_, _, e) ->
         Alcotest.failf "round-trip failed: %s" (E.to_string e))
     reqs
 
@@ -253,11 +255,11 @@ let error_kind resp =
     | _ -> Alcotest.fail "error without kind")
   | None -> Alcotest.fail "expected an error response"
 
-let ping i = { Protocol.id = Json.Int i; body = Protocol.Ping }
+let ping i = { Protocol.id = Json.Int i; version = Protocol.V1; body = Protocol.Ping }
 
 let test_engine_version_and_ping () =
   let t = engine () in
-  let resp = Engine.handle t { Protocol.id = Json.Int 1; body = Protocol.Version } in
+  let resp = Engine.handle t { Protocol.id = Json.Int 1; version = Protocol.V1; body = Protocol.Version } in
   Alcotest.(check bool) "version ok" true (ok_field resp);
   (match Json.member "report" resp with
   | Some report ->
@@ -272,6 +274,7 @@ let test_engine_version_and_ping () =
 let estimate_req i =
   {
     Protocol.id = Json.Int i;
+    version = Protocol.V1;
     body =
       Protocol.Estimate
         {
@@ -304,6 +307,7 @@ let test_engine_error_responses () =
   let bad =
     {
       Protocol.id = Json.Int 5;
+      version = Protocol.V1;
       body =
         Protocol.Estimate
           {
@@ -383,7 +387,7 @@ let test_stats () =
   ignore (Engine.handle t (ping 1));
   ignore (Engine.handle t (estimate_req 2));
   ignore (Engine.handle t (estimate_req 3));
-  let resp = Engine.handle t { Protocol.id = Json.Int 4; body = Protocol.Stats } in
+  let resp = Engine.handle t { Protocol.id = Json.Int 4; version = Protocol.V1; body = Protocol.Stats } in
   let stats = Option.get (Json.member "stats" resp) in
   (match Json.member "served" stats with
   | Some (Json.Int n) -> Alcotest.(check bool) "served counted" true (n >= 3)
@@ -393,6 +397,175 @@ let test_stats () =
     Alcotest.(check bool) "cache hit visible" true
       (Json.member "hits" rc = Some (Json.Int 1))
   | None -> Alcotest.fail "stats.result_cache missing"
+
+(* ---- rpc v2: sessions, version negotiation, v1 compatibility -------- *)
+
+let v2_line ?(id = "1") ~method_ ~params () =
+  Printf.sprintf
+    "{\"schema_version\":%S,\"id\":%s,\"method\":%S,\"params\":%s}"
+    Protocol.rpc_schema_version_v2 id method_ params
+
+let schema_of resp =
+  match Json.member "schema_version" resp with
+  | Some (Json.String s) -> s
+  | _ -> Alcotest.fail "response without schema_version"
+
+(* the "modulo wall-clock fields" normalization for report-byte parity *)
+let zero_runtime report =
+  let rec fix = function
+    | Json.Obj fields ->
+      Json.Obj
+        (List.map
+           (fun (k, v) ->
+             if k = "runtime_s" then (k, Json.Float 0.0) else (k, fix v))
+           fields)
+    | other -> other
+  in
+  fix report
+
+let test_v1_responses_unchanged () =
+  (* golden bytes: a v2-capable server must answer v1 traffic exactly as
+     the pre-session protocol did — same envelope, same field order,
+     stamped leqa/rpc/v1, no session artifacts *)
+  let t = engine () in
+  let resp =
+    Engine.handle_line t
+      "{\"schema_version\":\"leqa/rpc/v1\",\"id\":7,\"method\":\"ping\"}"
+  in
+  Alcotest.(check string) "ping golden bytes"
+    "{\"schema_version\":\"leqa/rpc/v1\",\"id\":7,\"ok\":true,\"pong\":true}"
+    (Json.to_string resp);
+  (* every v1 method round-trips under the v1 stamp, v2-free *)
+  List.iter
+    (fun (method_, params) ->
+      let resp =
+        Engine.handle_line t
+          (Printf.sprintf
+             "{\"schema_version\":\"leqa/rpc/v1\",\"id\":1,\"method\":%S,\"params\":%s}"
+             method_ params)
+      in
+      Alcotest.(check bool) (method_ ^ " ok") true (ok_field resp);
+      Alcotest.(check string) (method_ ^ " v1 stamp") "leqa/rpc/v1"
+        (schema_of resp);
+      Alcotest.(check bool) (method_ ^ " has no session field") true
+        (Json.member "handle" resp = None && Json.member "delta" resp = None))
+    [
+      ("ping", "{}");
+      ("version", "{}");
+      ("stats", "{}");
+      ("estimate", "{\"bench\":\"qft:5\"}");
+      ("compare", "{\"bench\":\"qft:4\"}");
+      ("sweep-fabric", "{\"bench\":\"qft:4\",\"sizes\":[20,30]}");
+    ]
+
+let test_v2_methods_gated_under_v1 () =
+  (* a session method under the v1 stamp is an unknown method with a
+     typed usage error pointing at the v2 dialect — not a crash, not a
+     silent session *)
+  List.iter
+    (fun method_ ->
+      let _, e =
+        parse_err
+          (req_line ~method_
+             ~params:"{\"bench\":\"qft:4\",\"handle\":\"h0123456789ab-1\"}" ())
+      in
+      Alcotest.(check int) (method_ ^ " usage error") 64 (E.exit_code e);
+      Alcotest.(check bool) (method_ ^ " points at v2") true
+        (contains (E.to_string e) Protocol.rpc_schema_version_v2))
+    [ "open-circuit"; "estimate-delta"; "close-circuit"; "export-circuit" ]
+
+let test_v2_version_negotiation () =
+  let t = engine () in
+  (* the same method answers under whichever dialect the request spoke *)
+  let v1 = Engine.handle_line t (req_line ~id:"1" ()) in
+  let v2 = Engine.handle_line t (v2_line ~method_:"ping" ~params:"{}" ()) in
+  Alcotest.(check string) "v1 in, v1 out" "leqa/rpc/v1" (schema_of v1);
+  Alcotest.(check string) "v2 in, v2 out" "leqa/rpc/v2" (schema_of v2);
+  (* errors are version-stamped too *)
+  let err =
+    Engine.handle_line t (v2_line ~method_:"explode" ~params:"{}" ())
+  in
+  Alcotest.(check bool) "v2 error not ok" false (ok_field err);
+  Alcotest.(check string) "v2 error stamped" "leqa/rpc/v2" (schema_of err)
+
+let test_v2_session_lifecycle_and_parity () =
+  let t = engine () in
+  let opened =
+    Engine.handle_line t
+      (v2_line ~method_:"open-circuit" ~params:"{\"bench\":\"qft:5\"}" ())
+  in
+  Alcotest.(check bool) "open ok" true (ok_field opened);
+  let handle =
+    match Json.member "handle" opened with
+    | Some (Json.String h) -> h
+    | _ -> Alcotest.fail "open-circuit without a handle"
+  in
+  let delta_resp =
+    Engine.handle_line t
+      (v2_line ~id:"2" ~method_:"estimate-delta"
+         ~params:
+           (Printf.sprintf
+              "{\"handle\":%S,\"edits\":[{\"op\":\"add-gate\",\"gate\":\"t\",\"qubit\":0},{\"op\":\"remove-gate\",\"at\":3},{\"op\":\"add-gate\",\"gate\":\"cnot\",\"control\":0,\"target\":4,\"at\":10}]}"
+              handle)
+         ())
+  in
+  Alcotest.(check bool) "estimate-delta ok" true (ok_field delta_resp);
+  (match Json.member "delta" delta_resp with
+  | Some stats ->
+    Alcotest.(check bool) "edit count reported" true
+      (Json.member "edits" stats = Some (Json.Int 3))
+  | None -> Alcotest.fail "estimate-delta without delta stats");
+  (* parity: a cold estimate of the exported circuit must produce a
+     byte-identical report (modulo the wall-clock runtime field) *)
+  let exported =
+    Engine.handle_line t
+      (v2_line ~id:"3" ~method_:"export-circuit"
+         ~params:(Printf.sprintf "{\"handle\":%S}" handle)
+         ())
+  in
+  let netlist =
+    match Json.member "circuit" exported with
+    | Some (Json.String text) -> text
+    | _ -> Alcotest.fail "export-circuit without netlist text"
+  in
+  let cold =
+    Engine.handle_line t
+      (Printf.sprintf
+         "{\"schema_version\":\"leqa/rpc/v1\",\"id\":4,\"method\":\"estimate\",\"params\":{\"circuit\":%s}}"
+         (Json.to_string (Json.String netlist)))
+  in
+  Alcotest.(check bool) "cold estimate ok" true (ok_field cold);
+  let report r =
+    match Json.member "report" r with
+    | Some rep -> Json.to_string (zero_runtime rep)
+    | None -> Alcotest.fail "response without report"
+  in
+  Alcotest.(check string) "delta report == cold report" (report cold)
+    (report delta_resp);
+  (* close, then the handle is gone with the typed taxonomy entry *)
+  let closed =
+    Engine.handle_line t
+      (v2_line ~id:"5" ~method_:"close-circuit"
+         ~params:(Printf.sprintf "{\"handle\":%S}" handle)
+         ())
+  in
+  Alcotest.(check bool) "closed" true
+    (Json.member "closed" closed = Some (Json.Bool true));
+  let after =
+    Engine.handle_line t
+      (v2_line ~id:"6" ~method_:"estimate-delta"
+         ~params:(Printf.sprintf "{\"handle\":%S,\"edits\":[]}" handle)
+         ())
+  in
+  Alcotest.(check string) "closed handle expired" "session-expired"
+    (error_kind after);
+  let garbage =
+    Engine.handle_line t
+      (v2_line ~id:"7" ~method_:"export-circuit"
+         ~params:"{\"handle\":\"not-a-handle\"}" ())
+  in
+  Alcotest.(check string) "malformed handle typed" "handle-invalid"
+    (error_kind garbage)
 
 let suite =
   [
@@ -421,4 +594,12 @@ let suite =
     Alcotest.test_case "drain flag promotion" `Quick test_drain_flag_promotion;
     Alcotest.test_case "handle_line" `Quick test_handle_line;
     Alcotest.test_case "stats" `Quick test_stats;
+    Alcotest.test_case "v2: v1 responses unchanged" `Quick
+      test_v1_responses_unchanged;
+    Alcotest.test_case "v2: session methods gated under v1" `Quick
+      test_v2_methods_gated_under_v1;
+    Alcotest.test_case "v2: version negotiation" `Quick
+      test_v2_version_negotiation;
+    Alcotest.test_case "v2: session lifecycle and report parity" `Quick
+      test_v2_session_lifecycle_and_parity;
   ]

@@ -1,0 +1,146 @@
+(* The rpc-v2 session table (Leqa_server.Session): handle grammar,
+   LRU-capacity eviction, TTL expiry under an injected clock, and the
+   Handle_invalid / Session_expired error split. *)
+
+module Session = Leqa_server.Session
+module Delta = Leqa_core.Delta
+module Decompose = Leqa_circuit.Decompose
+module Ft_gate = Leqa_circuit.Ft_gate
+module Ft_circuit = Leqa_circuit.Ft_circuit
+module E = Leqa_util.Error
+module Json = Leqa_util.Json
+
+let fresh_delta () =
+  let gates =
+    [
+      Ft_gate.Single (Ft_gate.H, 0);
+      Ft_gate.Cnot { control = 0; target = 1 };
+      Ft_gate.Single (Ft_gate.T, 1);
+    ]
+  in
+  Delta.of_ft_circuit (Ft_circuit.of_gates ~num_qubits:2 gates)
+
+(* a controllable clock: tests advance time instead of sleeping *)
+let make_clock start =
+  let now = ref start in
+  ((fun () -> !now), fun dt -> now := !now +. dt)
+
+let fp = "0123456789abcdef0123456789abcdef"
+
+let test_handle_grammar () =
+  let clock, _ = make_clock 1000.0 in
+  let t = Session.create ~clock () in
+  let entry = Session.open_ t ~fingerprint:fp (fresh_delta ()) in
+  Alcotest.(check string) "content-addressed prefix" "h0123456789ab-1"
+    entry.Session.handle;
+  let entry2 = Session.open_ t ~fingerprint:fp (fresh_delta ()) in
+  Alcotest.(check bool)
+    "same circuit, distinct session" true
+    (entry.Session.handle <> entry2.Session.handle);
+  match Session.find t entry.Session.handle with
+  | Ok found ->
+    Alcotest.(check string)
+      "find resolves" entry.Session.handle found.Session.handle
+  | Error _ -> Alcotest.fail "fresh handle must resolve"
+
+let test_error_split () =
+  let t = Session.create () in
+  (* not in the grammar at all: the client sent garbage *)
+  List.iter
+    (fun bad ->
+      match Session.find t bad with
+      | Error (E.Handle_invalid _) -> ()
+      | Error e ->
+        Alcotest.failf "%S: expected Handle_invalid, got %s" bad
+          (E.to_string e)
+      | Ok _ -> Alcotest.failf "%S resolved" bad)
+    [ ""; "nonsense"; "h-1"; "hXYZXYZXYZXYZ-1"; "h0123456789ab"; "h0123456789ab-" ];
+  (* well-formed but never issued (or already gone): expired *)
+  match Session.find t "h0123456789ab-7" with
+  | Error (E.Session_expired _) -> ()
+  | Error e -> Alcotest.failf "expected Session_expired, got %s" (E.to_string e)
+  | Ok _ -> Alcotest.fail "unknown handle resolved"
+
+let test_lru_cap () =
+  let clock, tick = make_clock 0.0 in
+  let t = Session.create ~cap:3 ~clock () in
+  let open_one () =
+    tick 1.0;
+    (Session.open_ t ~fingerprint:fp (fresh_delta ())).Session.handle
+  in
+  let h1 = open_one () in
+  let h2 = open_one () in
+  let h3 = open_one () in
+  (* refresh h1 so h2 is the LRU victim *)
+  tick 1.0;
+  (match Session.find t h1 with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "h1 must resolve before eviction");
+  let h4 = open_one () in
+  Alcotest.(check int) "capacity held" 3 (Session.count t);
+  (match Session.find t h2 with
+  | Error (E.Session_expired _) -> ()
+  | _ -> Alcotest.fail "least-recently-used session must be evicted");
+  List.iter
+    (fun h ->
+      match Session.find t h with
+      | Ok _ -> ()
+      | Error _ -> Alcotest.failf "%s evicted out of LRU order" h)
+    [ h1; h3; h4 ]
+
+let test_ttl () =
+  let clock, tick = make_clock 0.0 in
+  let t = Session.create ~ttl_s:10.0 ~clock () in
+  let e1 = Session.open_ t ~fingerprint:fp (fresh_delta ()) in
+  tick 8.0;
+  let e2 = Session.open_ t ~fingerprint:fp (fresh_delta ()) in
+  (* e1 idles past the ttl; e2 stays fresh via find *)
+  tick 8.0;
+  (match Session.find t e2.Session.handle with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "fresh session swept");
+  (match Session.find t e1.Session.handle with
+  | Error (E.Session_expired _) -> ()
+  | _ -> Alcotest.fail "idle session must expire");
+  Alcotest.(check int) "one left" 1 (Session.count t)
+
+let test_close () =
+  let t = Session.create () in
+  let e = Session.open_ t ~fingerprint:fp (fresh_delta ()) in
+  Alcotest.(check bool) "close drops" true (Session.close t e.Session.handle);
+  Alcotest.(check bool) "second close is a no-op" false
+    (Session.close t e.Session.handle);
+  match Session.find t e.Session.handle with
+  | Error (E.Session_expired _) -> ()
+  | _ -> Alcotest.fail "closed handle must be expired"
+
+let test_stats () =
+  let clock, tick = make_clock 0.0 in
+  let t = Session.create ~cap:2 ~ttl_s:5.0 ~clock () in
+  let _ = Session.open_ t ~fingerprint:fp (fresh_delta ()) in
+  tick 1.0;
+  let _ = Session.open_ t ~fingerprint:fp (fresh_delta ()) in
+  tick 1.0;
+  let _ = Session.open_ t ~fingerprint:fp (fresh_delta ()) in
+  tick 10.0;
+  let _ = Session.open_ t ~fingerprint:fp (fresh_delta ()) in
+  let stats = Session.stats_json t in
+  let get name =
+    match Json.member name stats with
+    | Some (Json.Int n) -> n
+    | _ -> Alcotest.failf "stats_json lacks %S" name
+  in
+  Alcotest.(check int) "opened" 4 (get "opened_total");
+  Alcotest.(check bool) "lru evictions counted" true (get "evicted_lru" >= 1);
+  Alcotest.(check bool) "ttl evictions counted" true (get "evicted_ttl" >= 1);
+  Alcotest.(check int) "live" (Session.count t) (get "open")
+
+let suite =
+  [
+    Alcotest.test_case "handle grammar" `Quick test_handle_grammar;
+    Alcotest.test_case "invalid vs expired" `Quick test_error_split;
+    Alcotest.test_case "lru capacity" `Quick test_lru_cap;
+    Alcotest.test_case "ttl sweep" `Quick test_ttl;
+    Alcotest.test_case "close" `Quick test_close;
+    Alcotest.test_case "stats json" `Quick test_stats;
+  ]

@@ -20,7 +20,7 @@ let doc =
     ]
 
 let test_round_trip () =
-  let t = Store.open_ ~dir:(fresh_dir ()) in
+  let t = Store.open_ ~dir:(fresh_dir ()) () in
   let key = key_of "round-trip" in
   Alcotest.(check bool) "absent before put" true (Store.find t key = None);
   Store.put t key doc;
@@ -38,16 +38,16 @@ let test_round_trip () =
 
 let test_survives_reopen () =
   let dir = fresh_dir () in
-  let t = Store.open_ ~dir in
+  let t = Store.open_ ~dir () in
   Store.put t (key_of "durable") doc;
   (* a second open of the same directory — the restarted server — must
      see the committed entry *)
-  let t2 = Store.open_ ~dir in
+  let t2 = Store.open_ ~dir () in
   Alcotest.(check bool) "entry visible after reopen" true
     (Store.find t2 (key_of "durable") <> None)
 
 let test_last_writer_wins () =
-  let t = Store.open_ ~dir:(fresh_dir ()) in
+  let t = Store.open_ ~dir:(fresh_dir ()) () in
   let key = key_of "lww" in
   Store.put t key doc;
   let doc2 = Json.Obj [ ("v", Json.Int 2) ] in
@@ -60,7 +60,7 @@ let test_last_writer_wins () =
   | None -> Alcotest.fail "entry vanished"
 
 let test_invalid_key_ignored () =
-  let t = Store.open_ ~dir:(fresh_dir ()) in
+  let t = Store.open_ ~dir:(fresh_dir ()) () in
   (* a path-escape "key" must neither write nor read outside the root *)
   Store.put t "../escape" doc;
   Alcotest.(check int) "nothing committed" 0 (Store.entries t);
@@ -70,11 +70,11 @@ let quarantined_count dir =
   Array.length (Sys.readdir (Filename.concat dir "quarantine"))
 
 (* the [find] validation path: a corrupt entry answers None, moves to
-   quarantine/ (never deleted: it is forensic evidence), bumps the
-   counter, and the slot accepts a clean rewrite *)
+   quarantine/ (kept as forensic evidence until the next compaction
+   sweep), bumps the counter, and the slot accepts a clean rewrite *)
 let corrupt_entry_check ~site () =
   let dir = fresh_dir () in
-  let t = Store.open_ ~dir in
+  let t = Store.open_ ~dir () in
   let key = key_of site in
   (match Fault.configure (site ^ ":n=1") with
   | Ok () -> ()
@@ -99,16 +99,94 @@ let test_bitflip_quarantined () = corrupt_entry_check ~site:"store.bitflip" ()
 
 let test_tmp_swept_on_open () =
   let dir = fresh_dir () in
-  let t = Store.open_ ~dir in
+  let t = Store.open_ ~dir () in
   Store.put t (key_of "sweep") doc;
   (* simulate a writer SIGKILLed between tmp write and rename *)
   let tmp = Filename.concat (Filename.concat dir "tmp") "deadbeef.123.0" in
   let oc = open_out tmp in
   output_string oc "half a payload";
   close_out oc;
-  let t2 = Store.open_ ~dir in
+  let t2 = Store.open_ ~dir () in
   Alcotest.(check bool) "tmp leftover swept" false (Sys.file_exists tmp);
   Alcotest.(check int) "committed entries untouched" 1 (Store.entries t2)
+
+(* ---- the size cap (--store-max-bytes) ------------------------------ *)
+
+(* one committed entry's on-disk size, measured on a probe store so cap
+   tests can speak in entry multiples *)
+let entry_size () =
+  let t = Store.open_ ~dir:(fresh_dir ()) () in
+  Store.put t (key_of "probe") doc;
+  Store.bytes t
+
+(* mtime is the store's LRU clock; backdate entries so eviction order
+   is deterministic regardless of filesystem timestamp granularity *)
+let backdate ~dir key ~age_s =
+  let t = Unix.gettimeofday () -. age_s in
+  Unix.utimes (Filename.concat dir key) t t
+
+let test_cap_evicts_lru () =
+  let size = entry_size () in
+  let dir = fresh_dir () in
+  let t = Store.open_ ~max_bytes:((3 * size) + (size / 2)) ~dir () in
+  let keys = List.map (fun s -> key_of s) [ "a"; "b"; "c" ] in
+  List.iteri
+    (fun i key ->
+      Store.put t key doc;
+      backdate ~dir key ~age_s:(float_of_int (100 - i)))
+    keys;
+  Alcotest.(check int) "under cap: nothing evicted" 3 (Store.entries t);
+  (* "a" is oldest on disk, but a read refreshes it — so "b" must go *)
+  Alcotest.(check bool) "warm read" true
+    (Store.find t (List.nth keys 0) <> None);
+  Store.put t (key_of "d") doc;
+  Alcotest.(check int) "capacity held" 3 (Store.entries t);
+  Alcotest.(check bool) "cap respected" true (Store.bytes t <= (3 * size) + (size / 2));
+  Alcotest.(check bool) "lru victim evicted" true
+    (Store.find t (List.nth keys 1) = None);
+  List.iter
+    (fun key ->
+      Alcotest.(check bool) "recent entries survive" true
+        (Store.find t key <> None))
+    [ List.nth keys 0; List.nth keys 2; key_of "d" ];
+  Alcotest.(check int) "eviction counted" 1 (Store.stats t).Store.st_evicted
+
+let test_cap_across_reopen () =
+  let size = entry_size () in
+  let dir = fresh_dir () in
+  (* an unbounded run grows past what the capped reopen allows *)
+  let t = Store.open_ ~dir () in
+  List.iteri
+    (fun i s ->
+      let key = key_of s in
+      Store.put t key doc;
+      backdate ~dir key ~age_s:(float_of_int (100 - i)))
+    [ "a"; "b"; "c"; "d"; "e" ];
+  Alcotest.(check int) "five committed" 5 (Store.entries t);
+  let cap = (2 * size) + (size / 2) in
+  let t2 = Store.open_ ~max_bytes:cap ~dir () in
+  Alcotest.(check int) "reopen enforces the cap" 2 (Store.entries t2);
+  Alcotest.(check bool) "ledger under cap" true (Store.bytes t2 <= cap);
+  Alcotest.(check int) "evictions counted" 3 (Store.stats t2).Store.st_evicted;
+  (* the newest entries are the survivors *)
+  Alcotest.(check bool) "oldest gone" true (Store.find t2 (key_of "a") = None);
+  Alcotest.(check bool) "newest kept" true (Store.find t2 (key_of "e") <> None)
+
+let test_compact_sweeps_quarantine () =
+  let dir = fresh_dir () in
+  let t = Store.open_ ~dir () in
+  let key = key_of "store.torn_write" in
+  (match Fault.configure "store.torn_write:n=1" with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "fault spec rejected");
+  Fun.protect ~finally:Fault.reset @@ fun () ->
+  Store.put t key doc;
+  Alcotest.(check bool) "rejected on read" true (Store.find t key = None);
+  Alcotest.(check int) "quarantined" 1 (quarantined_count dir);
+  Store.compact t;
+  Alcotest.(check int) "quarantine swept" 0 (quarantined_count dir);
+  Alcotest.(check bool) "compactions counted" true
+    ((Store.stats t).Store.st_compactions >= 2)
 
 let suite =
   [
@@ -120,4 +198,8 @@ let suite =
       test_torn_write_quarantined;
     Alcotest.test_case "bitflip quarantined" `Quick test_bitflip_quarantined;
     Alcotest.test_case "tmp swept on open" `Quick test_tmp_swept_on_open;
+    Alcotest.test_case "cap evicts lru" `Quick test_cap_evicts_lru;
+    Alcotest.test_case "cap across reopen" `Quick test_cap_across_reopen;
+    Alcotest.test_case "compact sweeps quarantine" `Quick
+      test_compact_sweeps_quarantine;
   ]

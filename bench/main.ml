@@ -1624,7 +1624,8 @@ let serve_bench ~scale ~out () =
                     Protocol.source = Source.Bench { name = bench; scale = 1.0 };
                     width;
                     height = width;
-                    v = Params.calibrated.Params.v;
+                    v = Some Params.calibrated.Params.v;
+                    conventions = Leqa_core.Calib_tables.Fitted;
                     terms = 20;
                     deadline_s = None;
                   };
@@ -2306,6 +2307,160 @@ let delta_bench ~scale ~out () =
     exit 1
   end
 
+(* ------------------------------------------------------------------ *)
+(* PR 9: auto-calibration (leqa calibrate)                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Three sections, each an assertion the calibration subsystem lives or
+   dies by: the corpus build must pay for its pool fan-out (QSPR runs
+   dominate, so the speedup gate mirrors the perf bench — skipped on a
+   single core), two same-seed fits must render byte-identical tables,
+   and the fitted tables must shrink the worst-case suite error both
+   against the paper defaults and under the 10% acceptance ceiling.
+   Writes BENCH_PR9.json. *)
+let calib_bench ~scale ~out () =
+  let module Harness = Leqa_diff.Harness in
+  let module Fit = Leqa_calib.Fit in
+  let module Space = Leqa_calib.Space in
+  let module Render = Leqa_calib.Render in
+  let smoke = scale <= 0.0 in
+  let jobs_requested = Pool.default_jobs () in
+  let cores = Pool.cores_detected () in
+  let par_jobs = max 1 (min jobs_requested cores) in
+  header
+    (Printf.sprintf
+       "Auto-calibration fit   [requested %d, cores %d, effective %d%s]"
+       jobs_requested cores par_jobs (if smoke then ", smoke" else ""));
+  (* the smoke corpus: three suite families and four random circuits —
+     enough cases to land in more than one regime bucket, small enough
+     that the QSPR half stays in seconds *)
+  let benches =
+    if smoke then Some [ "8bitadder"; "gf2^16mult"; "hwb15ps" ] else None
+  in
+  let random_count = if smoke then 4 else Fit.default_random_count in
+  let rounds = if smoke then 2 else Fit.default_rounds in
+  let seed = Fit.default_seed in
+  let with_pool jobs f =
+    let pool = Pool.create ~jobs in
+    Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f pool)
+  in
+  (* 1. corpus build: serial vs pooled, same bytes *)
+  let corpus_key (c : Harness.training_case) =
+    Printf.sprintf "%s-%dx%d-%Lx" c.Harness.t_case.Leqa_diff.Diff.label
+      c.Harness.t_case.Leqa_diff.Diff.width
+      c.Harness.t_case.Leqa_diff.Diff.height
+      (Int64.bits_of_float c.Harness.t_simulated_us)
+  in
+  let build jobs =
+    with_pool jobs (fun pool ->
+        Timing.time (fun () ->
+            Harness.training_corpus ?benches ~random_count ~seed ~pool ()))
+  in
+  let corpus_serial, dt_serial = build 1 in
+  let corpus_parallel, dt_parallel = build par_jobs in
+  let corpus_identical =
+    List.map corpus_key corpus_serial = List.map corpus_key corpus_parallel
+  in
+  let corpus_speedup = dt_serial /. Float.max 1e-9 dt_parallel in
+  Printf.printf
+    "corpus build (%d cases): jobs=1 %.3f s   jobs=%d %.3f s   %.2fx   \
+     identical: %b\n"
+    (List.length corpus_serial) dt_serial par_jobs dt_parallel corpus_speedup
+    corpus_identical;
+  if not corpus_identical then begin
+    prerr_endline "FAIL: training corpus differs between pool widths";
+    exit 1
+  end;
+  let gate_active = par_jobs >= 2 in
+  let gate_ok = (not gate_active) || corpus_speedup >= 1.2 in
+  let gate_status =
+    if not gate_active then "skipped (single core)"
+    else if gate_ok then "passed"
+    else "failed"
+  in
+  Printf.printf "corpus speedup gate (>= 1.2x at %d domains): %s\n" par_jobs
+    gate_status;
+  (* 2. two same-seed fits render byte-identical tables *)
+  let run_fit () =
+    with_pool par_jobs (fun pool ->
+        Timing.time (fun () ->
+            Fit.fit ~seed ~random_count ~rounds ?benches ~pool ()))
+  in
+  let (fit1, _), dt_fit1 = run_fit () in
+  let (fit2, _), dt_fit2 = run_fit () in
+  let deterministic = Render.data_ml fit1 = Render.data_ml fit2 in
+  Printf.printf
+    "fit (%d evals): %.3f s, rerun %.3f s   tables byte-identical: %b\n"
+    fit1.Fit.f_evals dt_fit1 dt_fit2 deterministic;
+  if not deterministic then begin
+    prerr_endline "FAIL: same-seed fits rendered different tables";
+    exit 1
+  end;
+  (* 3. the fitted tables shrink the worst case.  The checked-in tables
+     (what `--conventions fitted` resolves) are measured against the
+     paper defaults on the same corpus; the fit must beat the defaults
+     and clear the 10% acceptance ceiling. *)
+  let worst point_for =
+    with_pool par_jobs (fun pool ->
+        List.fold_left
+          (fun acc (m : Fit.measured) -> Float.max acc m.Fit.m_err)
+          0.0
+          (Fit.measure ~pool ~point_for corpus_serial))
+  in
+  let fitted_worst = worst (Fit.of_tables ()) in
+  let default_worst = worst (fun _ -> Space.paper_default) in
+  let shrinks = fitted_worst < default_worst in
+  let under_ceiling = fitted_worst <= 0.10 in
+  Printf.printf
+    "worst-case relative error: paper defaults %.2f%%   fitted tables %.2f%%\n\
+     fitted < defaults: %b   fitted <= 10%% ceiling: %b\n"
+    (100.0 *. default_worst) (100.0 *. fitted_worst) shrinks under_ceiling;
+  if not (shrinks && under_ceiling) then begin
+    prerr_endline "FAIL: fitted tables do not shrink the worst case";
+    exit 1
+  end;
+  let json =
+    Json.Obj
+      [
+        ("pr", Json.Int 9);
+        ("label", Json.String "auto-calibration");
+        ("jobs_requested", Json.Int jobs_requested);
+        ("cores_detected", Json.Int cores);
+        ("jobs_effective", Json.Int par_jobs);
+        ("smoke", Json.Bool smoke);
+        ("perf_gate", Json.String gate_status);
+        ( "corpus",
+          Json.Obj
+            [
+              ("cases", Json.Int (List.length corpus_serial));
+              ("serial_s", Json.Float dt_serial);
+              ("parallel_s", Json.Float dt_parallel);
+              ("speedup", Json.Float corpus_speedup);
+              ("identical", Json.Bool corpus_identical);
+            ] );
+        ( "fit",
+          Json.Obj
+            [
+              ("seed", Json.Int seed);
+              ("rounds", Json.Int rounds);
+              ("evals", Json.Int fit1.Fit.f_evals);
+              ("fit_s", Json.Float dt_fit1);
+              ("rerun_s", Json.Float dt_fit2);
+              ("deterministic", Json.Bool deterministic);
+            ] );
+        ( "accuracy",
+          Json.Obj
+            [
+              ("default_worst", Json.Float default_worst);
+              ("fitted_worst", Json.Float fitted_worst);
+              ("shrinks", Json.Bool shrinks);
+              ("under_10pct", Json.Bool under_ceiling);
+            ] );
+      ]
+  in
+  Json.write_file out json;
+  Printf.printf "[wrote %s]\n" out
+
 let () =
   let args = Array.to_list Sys.argv in
   let scale = ref 0.5 in
@@ -2343,10 +2498,11 @@ let () =
   let scale = !scale in
   if
     scale <= 0.0 && !command <> "perf" && !command <> "serve"
-    && !command <> "chaos" && !command <> "delta"
+    && !command <> "chaos" && !command <> "delta" && !command <> "calib"
   then begin
     prerr_endline
-      "--scale 0 is only valid for the perf, serve, chaos and delta commands";
+      "--scale 0 is only valid for the perf, serve, chaos, delta and calib \
+       commands";
     exit 2
   end;
   (* each measurement command has its own default artifact *)
@@ -2355,6 +2511,7 @@ let () =
   let serve_out = Option.value out ~default:"BENCH_PR4.json" in
   let chaos_out = Option.value out ~default:"BENCH_PR7.json" in
   let delta_out = Option.value out ~default:"BENCH_PR8.json" in
+  let calib_out = Option.value out ~default:"BENCH_PR9.json" in
   let maybe_dump rows =
     match !json_path with
     | None -> ()
@@ -2395,6 +2552,7 @@ let () =
   | "serve" -> serve_bench ~scale ~out:serve_out ()
   | "chaos" -> chaos_bench ~scale ~out:chaos_out ()
   | "delta" -> delta_bench ~scale ~out:delta_out ()
+  | "calib" -> calib_bench ~scale ~out:calib_out ()
   | "all" ->
     table1 ();
     fig2 ();

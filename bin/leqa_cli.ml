@@ -30,6 +30,7 @@
 
 open Cmdliner
 module Params = Leqa_fabric.Params
+module Calib_tables = Leqa_core.Calib_tables
 module Qodg = Leqa_qodg.Qodg
 module Decompose = Leqa_circuit.Decompose
 module Ft_circuit = Leqa_circuit.Ft_circuit
@@ -217,10 +218,40 @@ let height_arg =
 
 let v_arg =
   let doc =
-    "Qubit channel speed v (the Section 3.2 mapper-tuning knob).  Defaults \
-     to the value calibrated against this repository's QSPR."
+    "Qubit channel speed v (the Section 3.2 mapper-tuning knob).  Giving \
+     it pins every free model parameter as-is, bypassing \
+     $(b,--conventions); omitted, the parameters resolve through the \
+     fitted per-regime tables."
   in
-  Arg.(value & opt float Params.calibrated.Params.v & info [ "v" ] ~docv:"V" ~doc)
+  Arg.(value & opt (some float) None & info [ "v" ] ~docv:"V" ~doc)
+
+let conventions_conv =
+  Arg.enum
+    [
+      ("default", Calib_tables.Default);
+      ("calibrated", Calib_tables.Calibrated);
+      ("fitted", Calib_tables.Fitted);
+    ]
+
+let conventions_arg =
+  let doc =
+    "How the free model parameters (v, T_move, the L_g multiplier, the \
+     congestion slope) are resolved: $(b,fitted) looks them up in the \
+     checked-in per-regime calibration tables (see ACCURACY.md), \
+     $(b,calibrated) uses the one-shot global calibration (v = 0.005), \
+     $(b,default) the paper's Table 1 values (v = 0.001).  An explicit \
+     $(b,--v) overrides this and pins the parameters as given."
+  in
+  Arg.(
+    value
+    & opt conventions_conv Calib_tables.Fitted
+    & info [ "conventions" ] ~docv:"NAME" ~doc)
+
+(* an explicit --v pins the parameters exactly as built; otherwise the
+   estimator resolves them through the named conventions (the server
+   applies the same rule, so CLI and RPC answers stay byte-identical) *)
+let resolve_conventions ~v ~conventions =
+  match v with Some _ -> None | None -> Some conventions
 
 let terms_arg =
   let doc = "Number of E(S_q) terms to evaluate (the paper uses 20)." in
@@ -240,6 +271,7 @@ let apply_jobs = function
   | Some _ -> E.raise_error (E.Usage_error "--jobs must be >= 1")
 
 let params_of ~width ~height ~v =
+  let v = Option.value ~default:Params.calibrated.Params.v v in
   match
     Params.validate { Params.calibrated with Params.width; height; v }
   with
@@ -272,14 +304,15 @@ let gate_stream_of fmt ~file ~bench ~scale : Estimator.gate_stream =
     Estimator.stream_of_circuit circ
 
 let estimate_cmd =
-  let run file bench scale width height v terms jobs stream timeout fmt errfmt
-      trace =
+  let run file bench scale width height v conventions terms jobs stream
+      timeout fmt errfmt trace =
     let fmt = resolve_format fmt errfmt in
     handle fmt @@ fun () ->
     apply_jobs jobs;
     let deadline = deadline_of timeout in
     emit ~command:"estimate" ~trace fmt @@ fun telemetry ->
     let params = or_fail fmt (params_of ~width ~height ~v) in
+    let conventions = resolve_conventions ~v ~conventions in
     let config = { Leqa_core.Config.truncation_terms = terms } in
     if stream then begin
       let producer =
@@ -288,18 +321,18 @@ let estimate_cmd =
       in
       let streamed, dt =
         Leqa_util.Timing.time (fun () ->
-            Estimator.estimate_stream ~config ~deadline ~telemetry ~params
-              producer)
+            Estimator.estimate_stream ~config ~deadline ~telemetry
+              ?conventions ~params producer)
       in
+      let est = streamed.Estimator.stream_breakdown in
+      let params_used = est.Estimator.params_used in
       Report.make ~command:"estimate"
         ~circuit_stats:streamed.Estimator.stream_stats ~telemetry
         (Report.Estimate
            {
-             Report.params;
-             breakdown = streamed.Estimator.stream_breakdown;
-             contributions =
-               Estimator.contributions ~params
-                 streamed.Estimator.stream_breakdown;
+             Report.params = params_used;
+             breakdown = est;
+             contributions = Estimator.contributions ~params:params_used est;
              estimator_runtime_s = dt;
            })
     end
@@ -307,14 +340,16 @@ let estimate_cmd =
       let _, ft, qodg = prepare_traced telemetry fmt ~file ~bench ~scale in
       let est, dt =
         Leqa_util.Timing.time (fun () ->
-            Estimator.estimate ~config ~deadline ~telemetry ~params qodg)
+            Estimator.estimate ~config ~deadline ~telemetry ?conventions
+              ~params qodg)
       in
+      let params_used = est.Estimator.params_used in
       Report.make ~command:"estimate" ~ft ~telemetry
         (Report.Estimate
            {
-             Report.params;
+             Report.params = params_used;
              breakdown = est;
-             contributions = Estimator.contributions ~params est;
+             contributions = Estimator.contributions ~params:params_used est;
              estimator_runtime_s = dt;
            })
     end
@@ -332,8 +367,8 @@ let estimate_cmd =
   let term =
     Term.(
       const run $ file_arg $ bench_arg $ scale_arg $ width_arg $ height_arg
-      $ v_arg $ terms_arg $ jobs_arg $ stream_arg $ timeout_arg $ format_arg
-      $ error_format_arg $ trace_arg)
+      $ v_arg $ conventions_arg $ terms_arg $ jobs_arg $ stream_arg
+      $ timeout_arg $ format_arg $ error_format_arg $ trace_arg)
   in
   Cmd.v (Cmd.info "estimate" ~doc:"LEQA latency estimate (Algorithm 1)") term
 
@@ -345,7 +380,7 @@ let simulate_cmd =
     emit ~command:"simulate" ~trace fmt @@ fun telemetry ->
     let _, ft, qodg = prepare_traced telemetry fmt ~file ~bench ~scale in
     let params =
-      or_fail fmt (params_of ~width ~height ~v:Params.default.Params.v)
+      or_fail fmt (params_of ~width ~height ~v:(Some Params.default.Params.v))
     in
     let config = { Qspr.default_config with Qspr.params } in
     let r, dt =
@@ -364,13 +399,15 @@ let simulate_cmd =
   Cmd.v (Cmd.info "simulate" ~doc:"detailed QSPR mapping (the baseline)") term
 
 let compare_cmd =
-  let run file bench scale width height v jobs timeout fmt errfmt trace =
+  let run file bench scale width height v conventions jobs timeout fmt errfmt
+      trace =
     let fmt = resolve_format fmt errfmt in
     handle fmt @@ fun () ->
     apply_jobs jobs;
     emit ~command:"compare" ~trace fmt @@ fun telemetry ->
     let _, ft, qodg = prepare_traced telemetry fmt ~file ~bench ~scale in
     let params = or_fail fmt (params_of ~width ~height ~v) in
+    let conventions = resolve_conventions ~v ~conventions in
     let qspr_config =
       { Qspr.default_config with Qspr.params = { params with Params.v = Params.default.Params.v } }
     in
@@ -384,7 +421,8 @@ let compare_cmd =
             qodg)
     in
     let est, leqa_t =
-      Leqa_util.Timing.time (fun () -> Estimator.estimate ~params qodg)
+      Leqa_util.Timing.time (fun () ->
+          Estimator.estimate ?conventions ~params qodg)
     in
     Report.make ~command:"compare" ~ft ~telemetry
       (Report.Compare
@@ -399,8 +437,8 @@ let compare_cmd =
   let term =
     Term.(
       const run $ file_arg $ bench_arg $ scale_arg $ width_arg $ height_arg
-      $ v_arg $ jobs_arg $ timeout_arg $ format_arg $ error_format_arg
-      $ trace_arg)
+      $ v_arg $ conventions_arg $ jobs_arg $ timeout_arg $ format_arg
+      $ error_format_arg $ trace_arg)
   in
   Cmd.v (Cmd.info "compare" ~doc:"QSPR vs LEQA side by side") term
 
@@ -409,6 +447,11 @@ let sweep_fabric_cmd =
     let fmt = resolve_format fmt errfmt in
     handle fmt @@ fun () ->
     apply_jobs jobs;
+    (* a sweep varies only the fabric: the regime changes with the size,
+       so resolving through the fitted tables would vary the parameters
+       mid-sweep — sweeps therefore always pin an explicit v (default:
+       the global calibration), never --conventions *)
+    let v = Some (Option.value ~default:Params.calibrated.Params.v v) in
     let deadline = deadline_of timeout in
     emit ~command:"sweep-fabric" ~trace fmt @@ fun telemetry ->
     let _, _, qodg = prepare_traced telemetry fmt ~file ~bench ~scale in
@@ -436,7 +479,7 @@ let sweep_fabric_cmd =
     Report.make ~command:"sweep-fabric" ~telemetry
       (Report.Sweep_fabric
          {
-           Report.v;
+           Report.v = Option.get v;
            rows =
              List.map
                (fun (side, est) -> { Report.side; breakdown = est })
@@ -628,7 +671,7 @@ let diff_row_of (r : Leqa_diff.Harness.row) =
 
 let diff_cmd =
   let run file bench scale random seed replay budget timeout shrink_dir
-      no_shrink jobs fmt errfmt trace =
+      no_shrink conventions jobs fmt errfmt trace =
     let fmt = resolve_format fmt errfmt in
     handle fmt @@ fun () ->
     apply_jobs jobs;
@@ -643,7 +686,8 @@ let diff_cmd =
             (* replaying the corpus re-scores known reproducers; they are
                already minimal, so skip shrinking *)
             let cases = List.map fst (Leqa_diff.Harness.replay ~dir) in
-            Leqa_diff.Harness.run ?deadline_s ~shrink:false ~telemetry cases
+            Leqa_diff.Harness.run ?deadline_s ~conventions ~shrink:false
+              ~telemetry cases
           | None ->
             let single =
               match source_of ~file ~bench ~scale with
@@ -679,8 +723,8 @@ let diff_cmd =
             let shrink_dir =
               if no_shrink then None else Some shrink_dir
             in
-            Leqa_diff.Harness.run ?deadline_s ~shrink:(not no_shrink)
-              ?shrink_dir ~telemetry cases
+            Leqa_diff.Harness.run ?deadline_s ~conventions
+              ~shrink:(not no_shrink) ?shrink_dir ~telemetry cases
         in
         failed_cases := summary.Leqa_diff.Harness.failures;
         total_cases := summary.Leqa_diff.Harness.cases;
@@ -746,7 +790,8 @@ let diff_cmd =
     Term.(
       const run $ file_arg $ bench_arg $ scale_arg $ random_arg $ seed_arg
       $ replay_arg $ budget_arg $ timeout_arg $ shrink_dir_arg
-      $ no_shrink_arg $ jobs_arg $ format_arg $ error_format_arg $ trace_arg)
+      $ no_shrink_arg $ conventions_arg $ jobs_arg $ format_arg
+      $ error_format_arg $ trace_arg)
   in
   Cmd.v
     (Cmd.info "diff"
@@ -754,6 +799,248 @@ let diff_cmd =
          "differential accuracy harness: score the analytic estimate \
           against the QSPR mapper and shrink failures to minimal \
           reproducers (exit 70 on any failure)")
+    term
+
+(* ---------------- the calibration subsystem ---------------- *)
+
+module Calib_fit = Leqa_calib.Fit
+module Calib_space = Leqa_calib.Space
+module Calib_render = Leqa_calib.Render
+module Fingerprint = Leqa_util.Fingerprint
+
+let calib_body_of (fit : Calib_fit.t) ~wrote =
+  let fr ~field x = Fingerprint.float_repr ~field x in
+  let regime_row (rf : Calib_fit.regime_fit) =
+    let pt = rf.Calib_fit.rf_point in
+    {
+      Report.cal_regime = Calib_tables.regime_key rf.Calib_fit.rf_regime;
+      cal_v = fr ~field:"v" pt.Calib_space.v;
+      cal_t_move = fr ~field:"t_move" pt.Calib_space.t_move;
+      cal_lg_mult = fr ~field:"lg_mult" pt.Calib_space.lg_mult;
+      cal_cong_slope = fr ~field:"cong_slope" pt.Calib_space.cong_slope;
+      cal_mean_err = rf.Calib_fit.rf_mean_err;
+      cal_worst_err = rf.Calib_fit.rf_worst_err;
+      cal_evals = rf.Calib_fit.rf_evals;
+      cal_cases = rf.Calib_fit.rf_cases;
+    }
+  in
+  {
+    Report.cal_version = Calib_tables.version;
+    cal_seed = fit.Calib_fit.f_seed;
+    cal_random_count = fit.Calib_fit.f_random_count;
+    cal_rounds = fit.Calib_fit.f_rounds;
+    cal_scale = fr ~field:"scale" fit.Calib_fit.f_scale;
+    cal_corpus_cases = fit.Calib_fit.f_corpus_cases;
+    cal_mean_err = fit.Calib_fit.f_mean_err;
+    cal_worst_err = fit.Calib_fit.f_worst_err;
+    cal_evals = fit.Calib_fit.f_evals;
+    cal_regimes = List.map regime_row fit.Calib_fit.f_regimes;
+    cal_wrote = wrote;
+  }
+
+(* the three generated artifacts, addressed from the repository root —
+   where both the CI drift gate and a by-hand `leqa calibrate` run *)
+let calib_data_path = "lib/core/calib_data.ml"
+let calib_accuracy_path = "ACCURACY.md"
+let calib_budget_path = "lib/diff/budget.ml"
+
+let read_file path =
+  try In_channel.with_open_bin path In_channel.input_all
+  with Sys_error msg -> E.raise_error (E.Io_error msg)
+
+let write_file path contents =
+  try Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc contents)
+  with Sys_error msg -> E.raise_error (E.Io_error msg)
+
+let calibrate_cmd =
+  let run seed random_count rounds benches scale check write_data
+      write_accuracy write_budget fit_trace jobs timeout fmt errfmt trace =
+    let fmt = resolve_format fmt errfmt in
+    handle fmt @@ fun () ->
+    apply_jobs jobs;
+    if random_count < 0 then
+      E.raise_error (E.Usage_error "--random-count must be >= 0");
+    if rounds < 0 then E.raise_error (E.Usage_error "--rounds must be >= 0");
+    if scale <= 0.0 || not (Float.is_finite scale) then
+      E.raise_error
+        (E.Usage_error
+           (Printf.sprintf "--scale must be a positive number (got %g)" scale));
+    let deadline_s = deadline_seconds ~flag:"--timeout" timeout in
+    let benches = match benches with [] -> None | l -> Some l in
+    (* remembered across the report emission so the drift exit code is
+       raised only after the report printed (the diff pattern) *)
+    let drifted = ref [] in
+    emit ~command:"calibrate" ~trace fmt (fun telemetry ->
+        let fit_trace_oc =
+          Option.map
+            (fun path ->
+              try open_out path
+              with Sys_error msg -> E.raise_error (E.Io_error msg))
+            fit_trace
+        in
+        let trace_fn =
+          match fit_trace_oc with
+          | None -> fun _ -> ()
+          | Some oc ->
+            fun json ->
+              output_string oc (Json.to_string json);
+              output_char oc '\n'
+        in
+        let fit, corpus =
+          Fun.protect
+            ~finally:(fun () -> Option.iter close_out_noerr fit_trace_oc)
+            (fun () ->
+              Calib_fit.fit ~seed ~random_count ~rounds ~scale ?benches
+                ?deadline_s ~telemetry ~trace:trace_fn ())
+        in
+        (* ACCURACY.md and the budgets cover the benchmark suite only:
+           the random circuits steer the fit but are not part of the
+           checked-in contract *)
+        let suite_corpus =
+          List.filter
+            (fun (tc : Leqa_diff.Harness.training_case) ->
+              not
+                (String.starts_with ~prefix:"random-"
+                   tc.Leqa_diff.Harness.t_case.Leqa_diff.Diff.label))
+            corpus
+        in
+        let measured =
+          Calib_fit.measure ~telemetry
+            ~point_for:(Calib_fit.point_for fit)
+            suite_corpus
+        in
+        let artifacts =
+          [
+            ("calib-data", calib_data_path, Calib_render.data_ml fit);
+            ( "accuracy",
+              calib_accuracy_path,
+              Calib_render.accuracy_md fit measured );
+            ("budget", calib_budget_path, Calib_render.budget_ml fit measured);
+          ]
+        in
+        let wrote =
+          List.filter_map
+            (fun (dest, contents) ->
+              Option.map
+                (fun path ->
+                  write_file path contents;
+                  path)
+                dest)
+            [
+              (write_data, Calib_render.data_ml fit);
+              (write_accuracy, Calib_render.accuracy_md fit measured);
+              (write_budget, Calib_render.budget_ml fit measured);
+            ]
+        in
+        if check then
+          drifted :=
+            List.filter_map
+              (fun (name, path, fresh) ->
+                if read_file path <> fresh then Some (name, path) else None)
+              artifacts;
+        List.iter
+          (fun (name, path) ->
+            prerr_endline
+              (Printf.sprintf
+                 "leqa calibrate: %s drift — %s differs from a fresh fit \
+                  (regenerate with --write-%s %s)"
+                 name path
+                 (match name with "calib-data" -> "data" | n -> n)
+                 path))
+          !drifted;
+        Report.make ~command:"calibrate" ~telemetry
+          (Report.Calibrate (calib_body_of fit ~wrote)));
+    if !drifted <> [] then
+      E.raise_error
+        (E.Accuracy_error { failures = List.length !drifted; cases = 3 })
+  in
+  let seed_arg =
+    let doc =
+      "Seed of the splittable fit RNG (random-circuit corpus and the \
+       log-uniform descent starts).  The same seed and options always \
+       produce byte-identical tables."
+    in
+    Arg.(value & opt int Calib_fit.default_seed & info [ "seed" ] ~docv:"K" ~doc)
+  in
+  let random_count_arg =
+    let doc = "Seeded random circuits added to the training corpus." in
+    Arg.(
+      value
+      & opt int Calib_fit.default_random_count
+      & info [ "random-count" ] ~docv:"N" ~doc)
+  in
+  let rounds_arg =
+    let doc = "Coordinate-descent rounds per regime bucket." in
+    Arg.(
+      value & opt int Calib_fit.default_rounds & info [ "rounds" ] ~docv:"R" ~doc)
+  in
+  let benches_arg =
+    let doc =
+      "Restrict the training suite to these benchmarks (comma-separated \
+       Table 2/3 names); default is the full suite.  The @calib-smoke \
+       gate fits two benchmarks this way."
+    in
+    Arg.(value & opt (list string) [] & info [ "benches" ] ~docv:"NAME,..." ~doc)
+  in
+  let scale_arg =
+    let doc = "Scale factor for the suite benchmarks." in
+    Arg.(
+      value
+      & opt float Leqa_diff.Harness.default_scale
+      & info [ "scale" ] ~docv:"S" ~doc)
+  in
+  let check_arg =
+    let doc =
+      "Drift gate: regenerate the three checked-in artifacts \
+       (lib/core/calib_data.ml, ACCURACY.md, lib/diff/budget.ml) from a \
+       fresh fit and byte-compare; any divergence exits 70 after the \
+       report."
+    in
+    Arg.(value & flag & info [ "check" ] ~doc)
+  in
+  let write_data_arg =
+    let doc = "Write the generated Calib_data module to $(docv)." in
+    Arg.(
+      value & opt (some string) None & info [ "write-data" ] ~docv:"PATH" ~doc)
+  in
+  let write_accuracy_arg =
+    let doc = "Write the regenerated ACCURACY.md to $(docv)." in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "write-accuracy" ] ~docv:"PATH" ~doc)
+  in
+  let write_budget_arg =
+    let doc = "Write the generated Leqa_diff.Budget module to $(docv)." in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "write-budget" ] ~docv:"PATH" ~doc)
+  in
+  let fit_trace_arg =
+    let doc =
+      "Write the NDJSON fit trace (one object per corpus build, objective \
+       evaluation, accepted move and final summary) to $(docv) — the \
+       artifact CI uploads when the drift gate fails."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "fit-trace" ] ~docv:"FILE" ~doc)
+  in
+  let term =
+    Term.(
+      const run $ seed_arg $ random_count_arg $ rounds_arg $ benches_arg
+      $ scale_arg $ check_arg $ write_data_arg $ write_accuracy_arg
+      $ write_budget_arg $ fit_trace_arg $ jobs_arg $ timeout_arg
+      $ format_arg $ error_format_arg $ trace_arg)
+  in
+  Cmd.v
+    (Cmd.info "calibrate"
+       ~doc:
+         "fit the latency model per fabric regime against the QSPR \
+          reference (seeded, deterministic), report the fitted tables, \
+          optionally regenerate the checked-in artifacts or gate on \
+          their drift (exit 70)")
     term
 
 let version_cmd =
@@ -1067,8 +1354,8 @@ let client_cmd =
     if n = 0 then 0.0
     else sorted.(min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1))
   in
-  let run socket connect method_ file bench scale width height v terms sizes
-      deadline count max_retries connections open_loop =
+  let run socket connect method_ file bench scale width height v conventions
+      terms sizes deadline count max_retries connections open_loop =
     handle Report.Json @@ fun () ->
     let endpoint =
       match (socket, connect) with
@@ -1095,6 +1382,17 @@ let client_cmd =
       | "version" -> Protocol.Version
       | "ping" -> Protocol.Ping
       | "stats" -> Protocol.Stats
+      | "calibrate" ->
+        (* the server fits with its checked-in derivation defaults *)
+        Protocol.Calibrate
+          {
+            Protocol.ca_seed = None;
+            ca_random_count = None;
+            ca_rounds = None;
+            ca_scale = None;
+            ca_benches = None;
+            ca_deadline_s = deadline_seconds ~flag:"--deadline" deadline;
+          }
       | m -> (
         let source =
           match source_of ~file ~bench ~scale with
@@ -1105,7 +1403,8 @@ let client_cmd =
         match m with
         | "estimate" ->
           Protocol.Estimate
-            { Protocol.source; width; height; v; terms; deadline_s }
+            { Protocol.source; width; height; v; conventions; terms;
+              deadline_s }
         | "compare" ->
           Protocol.Compare
             {
@@ -1113,6 +1412,7 @@ let client_cmd =
               cmp_width = width;
               cmp_height = height;
               cmp_v = v;
+              cmp_conventions = conventions;
               cmp_deadline_s = deadline_s;
             }
         | "sweep-fabric" ->
@@ -1128,7 +1428,7 @@ let client_cmd =
             (E.Usage_error
                (Printf.sprintf
                   "unknown method %S (expected estimate, compare, \
-                   sweep-fabric, version, ping or stats)"
+                   sweep-fabric, calibrate, version, ping or stats)"
                   other)))
     in
     (* a server mid-restart answers ECONNREFUSED for a moment; re-dial
@@ -1311,7 +1611,8 @@ let client_cmd =
   in
   let method_arg =
     let doc =
-      "RPC method: estimate, compare, sweep-fabric, version, ping or stats."
+      "RPC method: estimate, compare, sweep-fabric, calibrate, version, \
+       ping or stats."
     in
     Arg.(value & pos 0 string "estimate" & info [] ~docv:"METHOD" ~doc)
   in
@@ -1369,9 +1670,9 @@ let client_cmd =
   let term =
     Term.(
       const run $ socket_arg $ connect_arg $ method_arg $ file_arg $ bench_arg
-      $ scale_arg $ width_arg $ height_arg $ v_arg $ terms_arg $ sizes_arg
-      $ deadline_arg $ count_arg $ retries_arg $ connections_arg
-      $ open_loop_arg)
+      $ scale_arg $ width_arg $ height_arg $ v_arg $ conventions_arg
+      $ terms_arg $ sizes_arg $ deadline_arg $ count_arg $ retries_arg
+      $ connections_arg $ open_loop_arg)
   in
   Cmd.v
     (Cmd.info "client"
@@ -1433,8 +1734,8 @@ let session_cmd =
     in
     go [] [] 0 edits
   in
-  let run socket connect file bench scale width height v terms jobs edits
-      batch timeout fmt errfmt trace =
+  let run socket connect file bench scale width height v conventions terms
+      jobs edits batch timeout fmt errfmt trace =
     let fmt = resolve_format fmt errfmt in
     handle fmt @@ fun () ->
     if batch < 1 then E.raise_error (E.Usage_error "--batch must be >= 1");
@@ -1500,6 +1801,7 @@ let session_cmd =
                    dl_width = width;
                    dl_height = height;
                    dl_v = v;
+                   dl_conventions = conventions;
                    dl_terms = terms;
                    dl_deadline_s = deadline_s;
                  })
@@ -1516,6 +1818,7 @@ let session_cmd =
       apply_jobs jobs;
       let deadline = deadline_of timeout in
       let params = or_fail fmt (params_of ~width ~height ~v) in
+      let conventions = resolve_conventions ~v ~conventions in
       let config = { Leqa_core.Config.truncation_terms = terms } in
       emit ~command:"session" ~trace fmt @@ fun telemetry ->
       let circuit, ft, _ = prepare_traced telemetry fmt ~file ~bench ~scale in
@@ -1538,9 +1841,10 @@ let session_cmd =
             dl_edits;
           let (est, ds), dt =
             Leqa_util.Timing.time (fun () ->
-                Leqa_core.Delta.estimate ~config ~deadline ~telemetry ~params
-                  delta)
+                Leqa_core.Delta.estimate ~config ~deadline ~telemetry
+                  ?conventions ~params delta)
           in
+          let params_used = est.Estimator.params_used in
           let report =
             Report.make ~command:"session"
               ~circuit_stats:(Leqa_core.Delta.stats delta) ~telemetry
@@ -1550,9 +1854,10 @@ let session_cmd =
                    delta_round = round + 1;
                    delta_estimate =
                      {
-                       Report.params;
+                       Report.params = params_used;
                        breakdown = est;
-                       contributions = Estimator.contributions ~params est;
+                       contributions =
+                         Estimator.contributions ~params:params_used est;
                        estimator_runtime_s = dt;
                      };
                    delta_edits = ds.Leqa_core.Delta.ds_edits;
@@ -1605,8 +1910,9 @@ let session_cmd =
   let term =
     Term.(
       const run $ socket_arg $ connect_arg $ file_arg $ bench_arg $ scale_arg
-      $ width_arg $ height_arg $ v_arg $ terms_arg $ jobs_arg $ edits_arg
-      $ batch_arg $ timeout_arg $ format_arg $ error_format_arg $ trace_arg)
+      $ width_arg $ height_arg $ v_arg $ conventions_arg $ terms_arg
+      $ jobs_arg $ edits_arg $ batch_arg $ timeout_arg $ format_arg
+      $ error_format_arg $ trace_arg)
   in
   Cmd.v
     (Cmd.info "session"
@@ -1631,6 +1937,6 @@ let () =
        (Cmd.group info
           [
             estimate_cmd; simulate_cmd; compare_cmd; sweep_fabric_cmd; gen_cmd;
-            info_cmd; design_cmd; select_qecc_cmd; diff_cmd; version_cmd;
-            serve_cmd; client_cmd; session_cmd;
+            info_cmd; design_cmd; select_qecc_cmd; diff_cmd; calibrate_cmd;
+            version_cmd; serve_cmd; client_cmd; session_cmd;
           ]))

@@ -1,0 +1,281 @@
+module Harness = Leqa_diff.Harness
+module Diff = Leqa_diff.Diff
+module Calib_tables = Leqa_core.Calib_tables
+module Estimator = Leqa_core.Estimator
+module Params = Leqa_fabric.Params
+module Telemetry = Leqa_util.Telemetry
+module Json = Leqa_util.Json
+
+type regime_fit = {
+  rf_regime : Calib_tables.regime;
+  rf_point : Space.point;
+  rf_mean_err : float;
+  rf_worst_err : float;
+  rf_evals : int;
+  rf_cases : int;
+}
+
+type t = {
+  f_seed : int;
+  f_random_count : int;
+  f_rounds : int;
+  f_scale : float;
+  f_corpus_cases : int;
+  f_regimes : regime_fit list;
+  f_mean_err : float;
+  f_worst_err : float;
+  f_evals : int;
+}
+
+let default_seed = 9
+let default_random_count = 16
+let default_rounds = 3
+
+(* mean-dominated, with the worst case weighted in so the fit cannot buy
+   average accuracy with a fat tail — the 14% outlier is the target *)
+let loss (s : Harness.objective_stats) =
+  s.Harness.obj_mean +. (0.5 *. s.Harness.obj_worst)
+
+let regime_of_case (tc : Harness.training_case) =
+  Calib_tables.regime_of ~qubits_ft:tc.Harness.t_qubits_ft
+    ~width:tc.Harness.t_case.Diff.width
+    ~height:tc.Harness.t_case.Diff.height
+
+let base_params (tc : Harness.training_case) =
+  Params.with_fabric Params.calibrated ~width:tc.Harness.t_case.Diff.width
+    ~height:tc.Harness.t_case.Diff.height
+
+let point_json (p : Space.point) =
+  Json.Obj
+    [
+      ("v", Json.Float p.Space.v);
+      ("t_move", Json.Float p.Space.t_move);
+      ("lg_mult", Json.Float p.Space.lg_mult);
+      ("cong_slope", Json.Float p.Space.cong_slope);
+    ]
+
+let point_for t regime =
+  match
+    List.find_opt (fun rf -> rf.rf_regime = regime) t.f_regimes
+  with
+  | Some rf -> rf.rf_point
+  | None -> Space.prior
+
+(* ---- the per-regime descent ----------------------------------------- *)
+
+(* One bucket: three deterministic starts (the calibrated prior, the
+   paper default, one seeded log-uniform draw), then [rounds] sweeps of
+   the four axes with a log-space pattern search whose bracket halves
+   each round.  Everything is ordered and seed-derived, so a given
+   (corpus, seed, rounds) always lands on the same point. *)
+let fit_regime ~rounds ~rng ~pool ~telemetry ~trace ~regime cases =
+  let key = Calib_tables.regime_key regime in
+  let evals = ref 0 in
+  let score point =
+    incr evals;
+    Telemetry.count telemetry "calib.eval";
+    let stats =
+      Harness.objective ~pool ~telemetry
+        ~params_for:(fun tc -> Space.place point (base_params tc))
+        cases
+    in
+    trace
+      (Json.Obj
+         [
+           ("event", Json.String "eval");
+           ("regime", Json.String key);
+           ("point", point_json point);
+           ("mean_err", Json.Float stats.Harness.obj_mean);
+           ("worst_err", Json.Float stats.Harness.obj_worst);
+           ("loss", Json.Float (loss stats));
+         ]);
+    stats
+  in
+  let seeded = Space.clamp_point (Space.sample rng) in
+  let starts = [ Space.prior; Space.paper_default; seeded ] in
+  let best =
+    List.fold_left
+      (fun best point ->
+        match best with
+        | Some (bp, _, _) when Space.equal bp point -> best
+        | _ ->
+          let stats = score point in
+          let l = loss stats in
+          (match best with
+          | Some (_, _, bl) when bl <= l -> best
+          | _ -> Some (point, stats, l)))
+      None starts
+  in
+  let best = ref (Option.get best) in
+  for round = 1 to rounds do
+    Telemetry.count telemetry "calib.round";
+    List.iter
+      (fun axis ->
+        let point, _, _ = !best in
+        let x = Space.get point axis in
+        let lo, hi = Space.bounds axis in
+        (* bracket = the axis's full log range / 2^(round+1): round 1
+           probes a quarter of the range either way, round 3 a 16th *)
+        let hw = log (hi /. lo) /. float_of_int (1 lsl (round + 1)) in
+        List.iter
+          (fun delta ->
+            let incumbent, _, incumbent_loss = !best in
+            let value = Space.clamp axis (x *. exp delta) in
+            let candidate = Space.set incumbent axis value in
+            if not (Space.equal candidate incumbent) then begin
+              let stats = score candidate in
+              if loss stats < incumbent_loss then begin
+                Telemetry.count telemetry "calib.improved";
+                trace
+                  (Json.Obj
+                     [
+                       ("event", Json.String "move");
+                       ("regime", Json.String key);
+                       ("round", Json.Int round);
+                       ("axis", Json.String (Space.axis_name axis));
+                       ("point", point_json candidate);
+                       ("loss", Json.Float (loss stats));
+                     ]);
+                best := (candidate, stats, loss stats)
+              end
+            end)
+          [ -.hw; -.hw /. 2.0; hw /. 2.0; hw ])
+      Space.axes
+  done;
+  let point, stats, _ = !best in
+  {
+    rf_regime = regime;
+    rf_point = point;
+    rf_mean_err = stats.Harness.obj_mean;
+    rf_worst_err = stats.Harness.obj_worst;
+    rf_evals = !evals;
+    rf_cases = List.length cases;
+  }
+
+let fit ?(seed = default_seed) ?(random_count = default_random_count)
+    ?(rounds = default_rounds) ?(scale = Harness.default_scale) ?benches
+    ?deadline_s ?pool ?(telemetry = Telemetry.noop) ?(trace = fun _ -> ()) ()
+    =
+  Telemetry.span telemetry "calib.fit" @@ fun () ->
+  let pool =
+    match pool with Some p -> p | None -> Leqa_util.Pool.get_default ()
+  in
+  let corpus =
+    Harness.training_corpus ~scale ?deadline_s ?benches ~random_count ~seed
+      ~pool ~telemetry ()
+  in
+  trace
+    (Json.Obj
+       [
+         ("event", Json.String "corpus");
+         ("cases", Json.Int (List.length corpus));
+         ("seed", Json.Int seed);
+         ("random_count", Json.Int random_count);
+         ("rounds", Json.Int rounds);
+         ("scale", Json.Float scale);
+       ]);
+  let master = Leqa_util.Rng.create ~seed in
+  let regimes =
+    List.map
+      (fun regime ->
+        (* one independent stream per bucket, split in table order *)
+        let rng = Leqa_util.Rng.split master in
+        let cases =
+          List.filter (fun tc -> regime_of_case tc = regime) corpus
+        in
+        if cases = [] then
+          {
+            rf_regime = regime;
+            rf_point = Space.prior;
+            rf_mean_err = 0.0;
+            rf_worst_err = 0.0;
+            rf_evals = 0;
+            rf_cases = 0;
+          }
+        else
+          fit_regime ~rounds ~rng ~pool ~telemetry ~trace ~regime cases)
+      Calib_tables.all_regimes
+  in
+  let partial =
+    {
+      f_seed = seed;
+      f_random_count = random_count;
+      f_rounds = rounds;
+      f_scale = scale;
+      f_corpus_cases = List.length corpus;
+      f_regimes = regimes;
+      f_mean_err = 0.0;
+      f_worst_err = 0.0;
+      f_evals = List.fold_left (fun a rf -> a + rf.rf_evals) 0 regimes;
+    }
+  in
+  (* corpus-wide residual under the fitted tables, for the report *)
+  let final =
+    if corpus = [] then partial
+    else
+      let stats =
+        Harness.objective ~pool ~telemetry
+          ~params_for:(fun tc ->
+            Space.place (point_for partial (regime_of_case tc))
+              (base_params tc))
+          corpus
+      in
+      {
+        partial with
+        f_mean_err = stats.Harness.obj_mean;
+        f_worst_err = stats.Harness.obj_worst;
+      }
+  in
+  trace
+    (Json.Obj
+       [
+         ("event", Json.String "done");
+         ("mean_err", Json.Float final.f_mean_err);
+         ("worst_err", Json.Float final.f_worst_err);
+         ("evals", Json.Int final.f_evals);
+       ]);
+  (final, corpus)
+
+(* ---- per-case measurement (ACCURACY.md regeneration) ---------------- *)
+
+type measured = {
+  m_label : string;
+  m_width : int;
+  m_height : int;
+  m_crowded : bool;
+  m_err : float;
+}
+
+let measure ?pool ?(telemetry = Telemetry.noop) ~point_for corpus =
+  Telemetry.span telemetry "calib.measure" @@ fun () ->
+  let pool =
+    match pool with Some p -> p | None -> Leqa_util.Pool.get_default ()
+  in
+  Leqa_util.Pool.map_list_weighted pool
+    ~weight:(fun tc -> tc.Harness.t_weight)
+    ~f:(fun tc ->
+      let regime = regime_of_case tc in
+      let params = Space.place (point_for regime) (base_params tc) in
+      let b = Estimator.estimate_prepared ~params tc.Harness.t_prepared in
+      {
+        m_label = tc.Harness.t_case.Diff.label;
+        m_width = tc.Harness.t_case.Diff.width;
+        m_height = tc.Harness.t_case.Diff.height;
+        m_crowded = regime.Calib_tables.crowded;
+        m_err =
+          Leqa_util.Stats.relative_error ~actual:tc.Harness.t_simulated_us
+            ~estimated:b.Estimator.latency_us;
+      })
+    corpus
+
+let of_tables () =
+  let entry_point regime =
+    let e = Calib_tables.lookup regime in
+    {
+      Space.v = e.Calib_tables.e_v;
+      t_move = e.Calib_tables.e_t_move;
+      lg_mult = e.Calib_tables.e_lg_mult;
+      cong_slope = e.Calib_tables.e_cong_slope;
+    }
+  in
+  entry_point

@@ -1,0 +1,88 @@
+(** Seeded, deterministic fitting of the latency model per fabric
+    regime (DESIGN.md §13).
+
+    The corpus is {!Leqa_diff.Harness.training_corpus} — the benchmark
+    suite plus seeded random circuits, each simulated {e once} by the
+    QSPR reference mapper.  Each {!Leqa_core.Calib_tables.regime}
+    bucket is fitted independently by coordinate descent over
+    {!Space.point}: three starts (calibrated prior, paper default, one
+    seeded log-uniform draw), then [rounds] sweeps of the four axes
+    with a log-space pattern search whose bracket halves every round.
+    No randomness outside the splittable seed: the same (seed, corpus
+    options) always produce byte-identical tables. *)
+
+type regime_fit = {
+  rf_regime : Leqa_core.Calib_tables.regime;
+  rf_point : Space.point;
+  rf_mean_err : float;  (** mean relative error over the bucket *)
+  rf_worst_err : float;  (** worst relative error over the bucket *)
+  rf_evals : int;  (** objective evaluations spent on the bucket *)
+  rf_cases : int;  (** training cases in the bucket *)
+}
+
+type t = {
+  f_seed : int;
+  f_random_count : int;
+  f_rounds : int;
+  f_scale : float;
+  f_corpus_cases : int;
+  f_regimes : regime_fit list;  (** in {!Leqa_core.Calib_tables.all_regimes} order *)
+  f_mean_err : float;  (** corpus-wide mean error under the fitted tables *)
+  f_worst_err : float;  (** corpus-wide worst error under the fitted tables *)
+  f_evals : int;
+}
+
+val default_seed : int
+val default_random_count : int
+val default_rounds : int
+(** 9 / 16 / 3 — the derivation recorded in the checked-in tables. *)
+
+val loss : Leqa_diff.Harness.objective_stats -> float
+(** What the descent minimizes: mean relative error plus half the
+    worst-case error, so the fit cannot buy average accuracy with a fat
+    tail. *)
+
+val fit :
+  ?seed:int ->
+  ?random_count:int ->
+  ?rounds:int ->
+  ?scale:float ->
+  ?benches:string list ->
+  ?deadline_s:float ->
+  ?pool:Leqa_util.Pool.t ->
+  ?telemetry:Leqa_util.Telemetry.t ->
+  ?trace:(Leqa_util.Json.t -> unit) ->
+  unit ->
+  t * Leqa_diff.Harness.training_case list
+(** Build the corpus and fit every regime bucket (an empty bucket keeps
+    {!Space.prior} with zero spend).  Returns the fit plus the training
+    corpus it was scored on, so callers can {!measure} without
+    re-simulating.  [trace] receives one JSON object per corpus build,
+    objective evaluation, accepted move, and final summary — the NDJSON
+    fit trace.  Counters: [calib.eval], [calib.round], [calib.improved];
+    spans: [calib.fit], [calib.corpus], [calib.objective]. *)
+
+val point_for : t -> Leqa_core.Calib_tables.regime -> Space.point
+(** The fitted point for a regime ({!Space.prior} if absent). *)
+
+val of_tables : unit -> Leqa_core.Calib_tables.regime -> Space.point
+(** The same lookup over the {e checked-in} {!Leqa_core.Calib_tables}
+    data — resolution as the estimator will see it after check-in. *)
+
+type measured = {
+  m_label : string;
+  m_width : int;
+  m_height : int;
+  m_crowded : bool;
+  m_err : float;
+}
+
+val measure :
+  ?pool:Leqa_util.Pool.t ->
+  ?telemetry:Leqa_util.Telemetry.t ->
+  point_for:(Leqa_core.Calib_tables.regime -> Space.point) ->
+  Leqa_diff.Harness.training_case list ->
+  measured list
+(** Per-case relative error of the analytic estimator under [point_for]
+    against the stored QSPR latencies, in corpus order — the raw rows
+    behind ACCURACY.md. *)

@@ -1,0 +1,24 @@
+(** Deterministic renderers for the calibration artifacts.
+
+    Three generated files derive from one {!Fit.t} plus the suite's
+    per-case measurements: the checked-in parameter tables
+    ([lib/core/calib_data.ml]), the differential budgets
+    ([lib/diff/budget.ml]) and the human contract ([ACCURACY.md]).
+    The CI drift gate regenerates all three from a fresh fit and
+    byte-compares, so these renderers are the single source of truth
+    for their formats.  All floats print as canonical [%.17g] strings
+    via {!Leqa_util.Fingerprint.float_repr} and parse back bitwise. *)
+
+val data_ml : Fit.t -> string
+(** The [Calib_data] module — regime keys, fitted points, bucket
+    residuals and derivation metadata as float strings. *)
+
+val budget_pct : float -> int
+(** [clamp(⌈2·worst·100⌉, 5, 15)] — the budget rule, in percent. *)
+
+val budget_ml : Fit.t -> Fit.measured list -> string
+(** The [Leqa_diff.Budget] module from per-benchmark worst errors. *)
+
+val accuracy_md : Fit.t -> Fit.measured list -> string
+(** The full ACCURACY.md document: methodology, fitted regime tables,
+    per-benchmark budgets and measured errors, worst-case callout. *)

@@ -1,0 +1,54 @@
+(** The typed parameter space of the latency model (DESIGN.md §13).
+
+    Four free parameters — the channel speed [v], the hop time
+    [T_move], the one-qubit gate multiplier [lg_mult] and the
+    congestion slope [cong_slope] — with explicit bounds and two named
+    priors.  The fitting loop treats a {!point} as the unit of search;
+    {!place} projects it onto a fabric's full
+    {!Leqa_fabric.Params.t}. *)
+
+type point = {
+  v : float;
+  t_move : float;
+  lg_mult : float;
+  cong_slope : float;
+}
+
+type axis = V | T_move | Lg_mult | Cong_slope
+
+val axes : axis list
+(** Fixed descent order: [v], [t_move], [lg_mult], [cong_slope]. *)
+
+val axis_name : axis -> string
+
+val bounds : axis -> float * float
+(** [(lo, hi)], both positive; the line search is log-scaled over this
+    bracket. *)
+
+val get : point -> axis -> float
+val set : point -> axis -> float -> point
+
+val clamp : axis -> float -> float
+(** Clip into the axis bounds. *)
+
+val clamp_point : point -> point
+
+val prior : point
+(** The one-shot global calibration (v = 0.005) — the descent's main
+    starting point. *)
+
+val paper_default : point
+(** The paper's Table 1 values (v = 0.001). *)
+
+val sample : Leqa_util.Rng.t -> point
+(** Log-uniform draw over the bounds — the seeded third start. *)
+
+val place : point -> Leqa_fabric.Params.t -> Leqa_fabric.Params.t
+(** Overwrite the four free parameters of a params record, keeping
+    fabric dimensions, [nc], gate delays and topology. *)
+
+val of_params : Leqa_fabric.Params.t -> point
+
+val equal : point -> point -> bool
+(** Bitwise-for-floats equality (no tolerance): used to skip re-scoring
+    a candidate identical to the incumbent. *)

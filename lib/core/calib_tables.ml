@@ -1,0 +1,138 @@
+module Params = Leqa_fabric.Params
+module E = Leqa_util.Error
+
+type conventions = Default | Calibrated | Fitted
+
+let conventions_to_string = function
+  | Default -> "default"
+  | Calibrated -> "calibrated"
+  | Fitted -> "fitted"
+
+let conventions_of_string = function
+  | "default" -> Ok Default
+  | "calibrated" -> Ok Calibrated
+  | "fitted" -> Ok Fitted
+  | other ->
+    Error
+      (E.Usage_error
+         (Printf.sprintf
+            "unknown conventions %S (expected default, calibrated or fitted)"
+            other))
+
+type regime = { crowded : bool; large : bool }
+
+let regime_key r =
+  (if r.crowded then "crowded" else "spacious")
+  ^ "-"
+  ^ if r.large then "large" else "small"
+
+let all_regimes =
+  [
+    { crowded = true; large = false };
+    { crowded = true; large = true };
+    { crowded = false; large = false };
+    { crowded = false; large = true };
+  ]
+
+(* The diff harness brackets every circuit with a crowded fabric
+   (side s = ⌈√(2·Q_ft)⌉, utilization ≈ 1) and a spacious one (side 2s,
+   utilization ≈ 0.25); 0.5 splits the two cleanly.  The grid-scale cut
+   at side 16 splits the scale-0.25 suite roughly in half. *)
+let crowded_utilization = 0.5
+let large_side = 16
+
+let regime_of ~qubits_ft ~width ~height =
+  let area = float_of_int (max 1 (width * height)) in
+  let util = 2.0 *. float_of_int (max 0 qubits_ft) /. area in
+  { crowded = util >= crowded_utilization; large = max width height > large_side }
+
+type entry = {
+  e_v : float;
+  e_t_move : float;
+  e_lg_mult : float;
+  e_cong_slope : float;
+  e_mean_err : float;
+  e_worst_err : float;
+  e_evals : int;
+}
+
+(* the generated table stores canonical float strings; a malformed
+   checked-in table is a build defect, not a user error *)
+let float_field ~key ~name s =
+  match float_of_string_opt s with
+  | Some x when Float.is_finite x -> x
+  | Some _ | None ->
+    invalid_arg
+      (Printf.sprintf "Calib_tables: regime %s has malformed %s %S" key name s)
+
+let table =
+  lazy
+    (List.map
+       (fun (key, (v, t_move, lg_mult, cong_slope), (mean_err, worst_err), evals) ->
+         let f = float_field ~key in
+         ( key,
+           {
+             e_v = f ~name:"v" v;
+             e_t_move = f ~name:"t_move" t_move;
+             e_lg_mult = f ~name:"lg_mult" lg_mult;
+             e_cong_slope = f ~name:"cong_slope" cong_slope;
+             e_mean_err = f ~name:"mean_err" mean_err;
+             e_worst_err = f ~name:"worst_err" worst_err;
+             e_evals = evals;
+           } ))
+       Calib_data.entries)
+
+(* the calibrated conventions, as a table entry: the fallback when a
+   regime is missing from the checked-in data *)
+let calibrated_entry =
+  {
+    e_v = Params.calibrated.Params.v;
+    e_t_move = Params.calibrated.Params.t_move;
+    e_lg_mult = 1.0;
+    e_cong_slope = 1.0;
+    e_mean_err = 0.0;
+    e_worst_err = 0.0;
+    e_evals = 0;
+  }
+
+let lookup regime =
+  match List.assoc_opt (regime_key regime) (Lazy.force table) with
+  | Some e -> e
+  | None -> calibrated_entry
+
+let version = Calib_data.version
+let seed = Calib_data.seed
+let random_count = Calib_data.random_count
+let rounds = Calib_data.rounds
+let scale = Calib_data.scale
+
+let resolve ~conventions ~qubits_ft (p : Params.t) =
+  match conventions with
+  | Default ->
+    {
+      p with
+      Params.v = Params.default.Params.v;
+      t_move = Params.default.Params.t_move;
+      lg_mult = 1.0;
+      cong_slope = 1.0;
+    }
+  | Calibrated ->
+    {
+      p with
+      Params.v = Params.calibrated.Params.v;
+      t_move = Params.calibrated.Params.t_move;
+      lg_mult = 1.0;
+      cong_slope = 1.0;
+    }
+  | Fitted ->
+    let e =
+      lookup
+        (regime_of ~qubits_ft ~width:p.Params.width ~height:p.Params.height)
+    in
+    {
+      p with
+      Params.v = e.e_v;
+      t_move = e.e_t_move;
+      lg_mult = e.e_lg_mult;
+      cong_slope = e.e_cong_slope;
+    }

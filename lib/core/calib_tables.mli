@@ -1,0 +1,67 @@
+(** Fitted parameter tables per fabric-density regime (DESIGN.md §13).
+
+    The free parameters of the latency model — the channel speed [v],
+    the hop time [T_move], the empirical one-qubit multiplier
+    [lg_mult] and the congestion slope [cong_slope] — are fitted
+    offline by [leqa calibrate] against the QSPR reference mapper and
+    checked in as {!Calib_data} (a generated module of canonical
+    [%.17g] float strings).  {!resolve} maps a named convention plus a
+    circuit's regime to concrete {!Leqa_fabric.Params.t} values; the
+    estimator applies it when asked for [Fitted] conventions. *)
+
+type conventions =
+  | Default  (** the paper's Table 1 values (v = 0.001) *)
+  | Calibrated  (** the one-shot global calibration (v = 0.005) *)
+  | Fitted  (** per-regime fitted tables from {!Calib_data} *)
+
+val conventions_to_string : conventions -> string
+
+val conventions_of_string :
+  string -> (conventions, Leqa_util.Error.t) result
+(** Accepts ["default" | "calibrated" | "fitted"]; anything else is a
+    [Usage_error]. *)
+
+type regime = { crowded : bool; large : bool }
+
+val regime_key : regime -> string
+(** Stable bucket tag: ["crowded-small"], ["crowded-large"],
+    ["spacious-small"], ["spacious-large"]. *)
+
+val all_regimes : regime list
+(** The four buckets, in table order. *)
+
+val regime_of : qubits_ft:int -> width:int -> height:int -> regime
+(** Bucket a circuit–fabric pair: [crowded] iff the FT-qubit
+    utilization [2·Q_ft / (width·height)] is ≥ 0.5, [large] iff the
+    longer side exceeds 16 ULBs — the same cuts the fitting loop uses,
+    so resolution and training always agree. *)
+
+type entry = {
+  e_v : float;
+  e_t_move : float;
+  e_lg_mult : float;
+  e_cong_slope : float;
+  e_mean_err : float;  (** mean relative error over the bucket at fit time *)
+  e_worst_err : float;  (** worst relative error over the bucket at fit time *)
+  e_evals : int;  (** objective evaluations the fit spent on this bucket *)
+}
+
+val lookup : regime -> entry
+(** The fitted entry for a regime; falls back to the calibrated
+    conventions for a regime missing from the checked-in data.
+    @raise Invalid_argument if the generated table is malformed. *)
+
+val resolve : conventions:conventions -> qubits_ft:int -> Leqa_fabric.Params.t -> Leqa_fabric.Params.t
+(** Replace the four free parameters of [p] according to the
+    conventions; fabric dimensions, gate delays, [nc] and topology are
+    kept.  [Fitted] buckets by {!regime_of} over [p]'s fabric. *)
+
+val version : string
+(** ["leqa/calib/v1"] — the schema of the generated data and of the
+    [leqa calibrate] report body. *)
+
+val seed : int
+val random_count : int
+val rounds : int
+val scale : string
+(** Derivation of the checked-in tables, as recorded by the generator. *)

@@ -299,8 +299,8 @@ type delta_stats = {
 
 let default_fallback_dirty_fraction = 0.5
 
-let estimate ?config ?deadline ?telemetry ?(fallback_dirty_fraction = default_fallback_dirty_fraction)
-    ~params t =
+let estimate ?config ?deadline ?telemetry ?conventions
+    ?(fallback_dirty_fraction = default_fallback_dirty_fraction) ~params t =
   let edits = t.edits_applied in
   let dirty = Hashtbl.length t.dirty_qubits in
   let full_rebuild =
@@ -316,8 +316,8 @@ let estimate ?config ?deadline ?telemetry ?(fallback_dirty_fraction = default_fa
   let avg_zone_area = Presence_zone.average_area t.iig in
   let fold_stats = ref { fold_restart = 0; fold_gates = t.n } in
   let breakdown =
-    Estimator.estimate_core ?config ?deadline ?telemetry ~params ~iig:t.iig
-      ~qubits:t.wires ~avg_zone_area ~operations:t.n
+    Estimator.estimate_core ?config ?deadline ?telemetry ?conventions ~params
+      ~iig:t.iig ~qubits:t.wires ~avg_zone_area ~operations:t.n
       ~critical_of_delay:(fun ~delay ->
         let fs, result = fold t ~delay in
         fold_stats := fs;

@@ -80,9 +80,14 @@ val estimate :
   ?config:Config.t ->
   ?deadline:Leqa_util.Pool.Deadline.t ->
   ?telemetry:Leqa_util.Telemetry.t ->
+  ?conventions:Calib_tables.conventions ->
   ?fallback_dirty_fraction:float ->
   params:Leqa_fabric.Params.t ->
   t ->
   Estimator.breakdown * delta_stats
 (** Estimate the current circuit, reusing everything the edits since
-    the last call did not invalidate.  Clears the dirty window. *)
+    the last call did not invalidate.  Clears the dirty window.
+    [conventions] resolves the free parameters exactly as a cold
+    {!Estimator.estimate} would (the delay-signature check invalidates
+    checkpoints if an edit moves the circuit across a regime
+    boundary). *)

@@ -21,6 +21,7 @@ type breakdown = {
   qubits : int;
   operations : int;
   degraded : bool;
+  params_used : Params.t;
 }
 
 let eq1_latency ~params ~l_cnot_avg ~counts =
@@ -67,12 +68,25 @@ let prepare ?(telemetry = Telemetry.noop) qodg =
    survey needs only aggregate circuit quantities plus a way to run the
    routing-augmented critical path. *)
 let estimate_core ?(config = Config.default)
-    ?(deadline = Pool.Deadline.never) ?(telemetry = Telemetry.noop) ~params
-    ~iig ~qubits ~avg_zone_area ~operations ~critical_of_delay () =
+    ?(deadline = Pool.Deadline.never) ?(telemetry = Telemetry.noop)
+    ?conventions ~params ~iig ~qubits ~avg_zone_area ~operations
+    ~critical_of_delay () =
   let span name f = Telemetry.span telemetry name f in
   span "estimator.validate" (fun () ->
       Error.ok_exn (Config.validate config);
       Error.ok_exn (Params.validate params));
+  (* conventions resolution happens here, where the circuit's FT qubit
+     count is known, so every caller — materialized, streaming,
+     incremental — buckets into the identical regime and produces
+     bit-identical breakdowns *)
+  let params =
+    match conventions with
+    | None -> params
+    | Some conventions ->
+      let p = Calib_tables.resolve ~conventions ~qubits_ft:qubits params in
+      Error.ok_exn (Params.validate p);
+      p
+  in
   let check_deadline () = Pool.Deadline.check ~site:"estimator" deadline in
   check_deadline ();
   let width = params.Params.width and height = params.Params.height in
@@ -103,8 +117,10 @@ let estimate_core ?(config = Config.default)
         let congested_delays =
           if Array.length expected_surfaces = 0 then [||]
           else
-            Routing_latency.congested_delays ~d_uncong ~nc:params.Params.nc
-              ~qmax:(Array.length expected_surfaces)
+            Routing_latency.congested_delays
+              ~slope:params.Params.cong_slope ~d_uncong
+              ~nc:params.Params.nc
+              ~qmax:(Array.length expected_surfaces) ()
         in
         let l_cnot_avg =
           if Array.length expected_surfaces = 0 then 0.0
@@ -149,19 +165,22 @@ let estimate_core ?(config = Config.default)
         qubits;
         operations;
         degraded = false;
+        params_used = params;
       })
 
-let estimate_prepared ?config ?deadline ?telemetry ~params prep =
+let estimate_prepared ?config ?deadline ?telemetry ?conventions ~params prep =
   let qodg = prep.prep_qodg in
-  estimate_core ?config ?deadline ?telemetry ~params ~iig:prep.iig
-    ~qubits:prep.prep_qubits ~avg_zone_area:prep.prep_avg_zone_area
+  estimate_core ?config ?deadline ?telemetry ?conventions ~params
+    ~iig:prep.iig ~qubits:prep.prep_qubits
+    ~avg_zone_area:prep.prep_avg_zone_area
     ~operations:(Qodg.num_nodes qodg - 2)
     ~critical_of_delay:(fun ~delay -> Critical_path.compute qodg ~delay)
     ()
 
-let estimate ?config ?deadline ?(telemetry = Telemetry.noop) ~params qodg =
+let estimate ?config ?deadline ?(telemetry = Telemetry.noop) ?conventions
+    ~params qodg =
   Telemetry.span telemetry "estimator" (fun () ->
-      estimate_prepared ?config ?deadline ~telemetry ~params
+      estimate_prepared ?config ?deadline ~telemetry ?conventions ~params
         (prepare ~telemetry qodg))
 
 type contribution = {
@@ -201,13 +220,13 @@ let contributions ~params b =
            (b.gate_time +. b.routing_time)
            (a.gate_time +. a.routing_time))
 
-let estimate_circuit ?config ?deadline ?(telemetry = Telemetry.noop) ~params
-    circ =
+let estimate_circuit ?config ?deadline ?(telemetry = Telemetry.noop)
+    ?conventions ~params circ =
   let qodg =
     Telemetry.span telemetry "estimator.qodg_build" (fun () ->
         Qodg.of_ft_circuit circ)
   in
-  estimate ?config ?deadline ~telemetry ~params qodg
+  estimate ?config ?deadline ~telemetry ?conventions ~params qodg
 
 (* ---- streaming path ---------------------------------------------- *)
 
@@ -230,8 +249,8 @@ let stream_of_circuit circ sink =
    count); pass 2 folds the routing-augmented critical path through the
    per-wire frontier of Leqa_qodg.Stream.  Peak resident state is
    O(qubits + distinct interacting pairs), never O(gates). *)
-let estimate_stream ?config ?deadline ?(telemetry = Telemetry.noop) ~params
-    stream =
+let estimate_stream ?config ?deadline ?(telemetry = Telemetry.noop)
+    ?conventions ~params stream =
   Telemetry.span telemetry "estimator" (fun () ->
       let single_counts =
         Array.make (List.length Ft_gate.all_single_kinds) 0
@@ -277,8 +296,8 @@ let estimate_stream ?config ?deadline ?(telemetry = Telemetry.noop) ~params
       in
       let peak = ref 0 in
       let breakdown =
-        estimate_core ?config ?deadline ~telemetry ~params ~iig ~qubits
-          ~avg_zone_area ~operations:!gates
+        estimate_core ?config ?deadline ~telemetry ?conventions ~params ~iig
+          ~qubits ~avg_zone_area ~operations:!gates
           ~critical_of_delay:(fun ~delay ->
             let frontier = Leqa_qodg.Stream.create ~delay in
             ignore (stream (Leqa_qodg.Stream.feed frontier));

@@ -26,6 +26,12 @@ type breakdown = {
       (** [false] for a pure analytic run.  Set by wrappers (e.g.
           [Qspr.run_validated]) when a companion computation ran out of
           time and this analytic estimate is standing in for it. *)
+  params_used : Leqa_fabric.Params.t;
+      (** the parameters the estimate actually ran with — equal to the
+          [params] argument unless [conventions] resolved them through
+          the {!Calib_tables} regime table.  Reports and
+          {!contributions} must use this, not the pre-resolution
+          input. *)
 }
 
 type prepared
@@ -43,6 +49,7 @@ val estimate :
   ?config:Config.t ->
   ?deadline:Leqa_util.Pool.Deadline.t ->
   ?telemetry:Leqa_util.Telemetry.t ->
+  ?conventions:Calib_tables.conventions ->
   params:Leqa_fabric.Params.t ->
   Leqa_qodg.Qodg.t ->
   breakdown
@@ -50,6 +57,14 @@ val estimate :
     algorithm's phases (site ["estimator"]).  [telemetry] (default: the
     no-op sink, zero cost) records one span per phase under a root span
     ["estimator"] — see DESIGN.md §8.
+
+    When [conventions] is given, the free model parameters of [params]
+    ([v], [t_move], [lg_mult], [cong_slope]) are first resolved through
+    {!Calib_tables.resolve} using the circuit's FT qubit count — the
+    CLI and server pass [Fitted] by default, so user-facing estimates
+    run on the per-regime fitted tables; omit it (library callers,
+    tests) to use [params] exactly as given.  The resolved set is
+    recorded in [params_used].
     @raise Leqa_util.Error.Error with [Config_error] / [Fabric_error] on
     invalid inputs, [Numeric_error] if a kernel guard trips, and
     [Timed_out] once [deadline] expires. *)
@@ -58,6 +73,7 @@ val estimate_core :
   ?config:Config.t ->
   ?deadline:Leqa_util.Pool.Deadline.t ->
   ?telemetry:Leqa_util.Telemetry.t ->
+  ?conventions:Calib_tables.conventions ->
   params:Leqa_fabric.Params.t ->
   iig:Leqa_iig.Iig.t ->
   qubits:int ->
@@ -78,6 +94,7 @@ val estimate_prepared :
   ?config:Config.t ->
   ?deadline:Leqa_util.Pool.Deadline.t ->
   ?telemetry:Leqa_util.Telemetry.t ->
+  ?conventions:Calib_tables.conventions ->
   params:Leqa_fabric.Params.t ->
   prepared ->
   breakdown
@@ -88,6 +105,7 @@ val estimate_circuit :
   ?config:Config.t ->
   ?deadline:Leqa_util.Pool.Deadline.t ->
   ?telemetry:Leqa_util.Telemetry.t ->
+  ?conventions:Calib_tables.conventions ->
   params:Leqa_fabric.Params.t ->
   Leqa_circuit.Ft_circuit.t ->
   breakdown
@@ -119,6 +137,7 @@ val estimate_stream :
   ?config:Config.t ->
   ?deadline:Leqa_util.Pool.Deadline.t ->
   ?telemetry:Leqa_util.Telemetry.t ->
+  ?conventions:Calib_tables.conventions ->
   params:Leqa_fabric.Params.t ->
   gate_stream ->
   streamed

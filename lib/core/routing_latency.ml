@@ -26,9 +26,11 @@ let d_uncongested ~v iig =
   Leqa_util.Error.check_nonneg ~site:"routing.d_uncong" d;
   d
 
-let congested_delays ~d_uncong ~nc ~qmax =
+let congested_delays ?(slope = 1.0) ~d_uncong ~nc ~qmax () =
   if qmax <= 0 then invalid_arg "Routing_latency: qmax must be positive";
   if d_uncong < 0.0 then invalid_arg "Routing_latency: negative d_uncong";
+  if not (Float.is_finite slope && slope > 0.0) then
+    invalid_arg "Routing_latency: slope must be positive and finite";
   if d_uncong = 0.0 then Array.make qmax 0.0
   else
     Array.init qmax (fun i ->
@@ -36,7 +38,15 @@ let congested_delays ~d_uncong ~nc ~qmax =
         (* M/M/1 guard: an unstable queue (utilization >= 1) yields a
            negative or infinite waiting time — reject it here, by site *)
         Leqa_util.Error.check_nonneg ~site:"routing.d_q" d;
-        d)
+        (* the fitted congestion slope scales only the queueing excess over
+           the uncongested latency; slope = 1.0 must stay bit-exact with
+           the paper's Eq (8), so skip the algebra entirely there *)
+        if slope = 1.0 then d
+        else begin
+          let scaled = d_uncong +. (slope *. (d -. d_uncong)) in
+          Leqa_util.Error.check_nonneg ~site:"routing.d_q" scaled;
+          scaled
+        end)
 
 let l_cnot_avg ~expected_surfaces ~delays =
   if Array.length expected_surfaces <> Array.length delays then

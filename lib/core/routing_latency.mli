@@ -18,8 +18,12 @@ val d_uncongested : v:float -> Leqa_iig.Iig.t -> float
     two-qubit operations. *)
 
 val congested_delays :
-  d_uncong:float -> nc:int -> qmax:int -> float array
-(** Eq (8) for [q = 1 .. qmax]: element [q-1] is [d_q]. *)
+  ?slope:float -> d_uncong:float -> nc:int -> qmax:int -> unit -> float array
+(** Eq (8) for [q = 1 .. qmax]: element [q-1] is [d_q].  [slope]
+    (default 1.0) is the fitted congestion slope: it scales the queueing
+    excess, [d_q = d_uncong + slope · (d_q^raw − d_uncong)].  At 1.0 the
+    result is bit-identical to the paper's formula.
+    @raise Invalid_argument on non-positive [slope]. *)
 
 val l_cnot_avg :
   expected_surfaces:float array -> delays:float array -> float

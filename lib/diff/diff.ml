@@ -48,7 +48,8 @@ let crash_kind = function
   | Stack_overflow -> "stack-overflow"
   | _ -> "exception"
 
-let run_case ?deadline_s ?(telemetry = Leqa_util.Telemetry.noop) case =
+let run_case ?deadline_s ?(telemetry = Leqa_util.Telemetry.noop)
+    ?(conventions = Leqa_core.Calib_tables.Fitted) case =
   Leqa_util.Telemetry.span telemetry "diff.case" @@ fun () ->
   let ft = Leqa_circuit.Decompose.to_ft case.circuit in
   let qodg = Leqa_qodg.Qodg.of_ft_circuit ft in
@@ -56,13 +57,14 @@ let run_case ?deadline_s ?(telemetry = Leqa_util.Telemetry.noop) case =
     Params.with_fabric Params.calibrated ~width:case.width ~height:case.height
   in
   let estimate =
-    match Estimator.estimate ~params qodg with
+    match Estimator.estimate ~conventions ~params qodg with
     | b -> Ok b
     | exception E.Error err -> Error (Estimator_error (E.kind err))
     | exception exn -> Error (Estimator_error (crash_kind exn))
   in
   (* same convention as [leqa compare]: the estimator runs with the
-     calibrated v, the reference mapper with the paper's default v *)
+     fitted regime tables by default, the reference mapper always with
+     the paper's default v — QSPR is the fixed ground truth *)
   let qspr_config =
     {
       Qspr.default_config with

@@ -48,9 +48,12 @@ val classification_key : classification -> string
 val run_case :
   ?deadline_s:float ->
   ?telemetry:Leqa_util.Telemetry.t ->
+  ?conventions:Leqa_core.Calib_tables.conventions ->
   case ->
   outcome
 (** Decompose, build the QODG once, run both paths, classify.  Never
     raises on a failing case — errors from either path are captured in
     the classification.  [deadline_s] bounds only the simulation half
-    (timeout ⇒ [Degraded]).  Wraps the work in a ["diff.case"] span. *)
+    (timeout ⇒ [Degraded]).  [conventions] (default [Fitted]) picks the
+    estimator's parameter resolution; QSPR always runs with the paper's
+    default [v].  Wraps the work in a ["diff.case"] span. *)

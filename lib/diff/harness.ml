@@ -64,6 +64,122 @@ let random_cases ?(budget = Budget.default) ~seed ~count () =
 let single_cases ?(budget = Budget.default) ~label circuit =
   cases_for ~label ~budget circuit
 
+(* ---- the calibration corpus and objective --------------------------- *)
+
+module Estimator = Leqa_core.Estimator
+module Qspr = Leqa_qspr.Qspr
+module Params = Leqa_fabric.Params
+
+(* cost model for the pool's weighted chunking: a case's evaluation is
+   dominated by the QSPR half, roughly FT-gate count x fabric area *)
+let case_weight (case : Diff.case) =
+  let ops = ref 0 in
+  Circuit.iter
+    (fun g -> ops := !ops + Leqa_circuit.Decompose.ft_gate_overhead g)
+    case.Diff.circuit;
+  !ops * case.Diff.width * case.Diff.height
+
+type training_case = {
+  t_case : Diff.case;
+  t_qubits_ft : int;
+  t_weight : int;
+  t_prepared : Estimator.prepared;
+  t_simulated_us : float;
+}
+
+let training_corpus ?(scale = default_scale) ?deadline_s ?benches
+    ?(random_count = 16) ~seed ?pool ?(telemetry = Telemetry.noop) () =
+  Telemetry.span telemetry "calib.corpus" @@ fun () ->
+  let pool =
+    match pool with Some p -> p | None -> Leqa_util.Pool.get_default ()
+  in
+  let suite =
+    let all = suite_cases ~scale () in
+    match benches with
+    | None -> all
+    | Some names ->
+      List.filter (fun (c : Diff.case) -> List.mem c.Diff.label names) all
+  in
+  let cases = suite @ random_cases ~seed ~count:random_count () in
+  (* QSPR runs once per case: the reference latencies do not depend on
+     the candidate parameters, so the optimizer never re-runs the
+     mapper.  The fan-out keeps case order, so the corpus is identical
+     at every pool width. *)
+  let scored =
+    Leqa_util.Pool.map_list_weighted pool ~weight:case_weight
+      ~f:(fun (case : Diff.case) ->
+        let ft = Leqa_circuit.Decompose.to_ft case.Diff.circuit in
+        let qodg = Leqa_qodg.Qodg.of_ft_circuit ft in
+        let params =
+          Params.with_fabric Params.calibrated ~width:case.Diff.width
+            ~height:case.Diff.height
+        in
+        let qspr_config =
+          {
+            Qspr.default_config with
+            Qspr.params = { params with Params.v = Params.default.Params.v };
+          }
+        in
+        let deadline =
+          match deadline_s with
+          | Some seconds -> Leqa_util.Pool.Deadline.after ~seconds
+          | None -> Leqa_util.Pool.Deadline.never
+        in
+        match Qspr.run ~config:qspr_config ~deadline qodg with
+        | r
+          when Float.is_finite r.Qspr.latency_us && r.Qspr.latency_us > 0.0 ->
+          Some
+            {
+              t_case = case;
+              t_qubits_ft = Leqa_circuit.Ft_circuit.num_qubits ft;
+              t_weight = case_weight case;
+              t_prepared = Estimator.prepare qodg;
+              t_simulated_us = r.Qspr.latency_us;
+            }
+        | _ -> None
+        | exception _ -> None)
+      cases
+  in
+  List.filter_map Fun.id scored
+
+type objective_stats = { obj_mean : float; obj_worst : float; obj_cases : int }
+
+(* an estimator crash or non-finite error under a candidate point is a
+   finite-but-prohibitive loss, so descent steps away instead of dying *)
+let objective_penalty = 1.0e6
+
+let objective ?pool ?(telemetry = Telemetry.noop) ~params_for corpus =
+  Telemetry.span telemetry "calib.objective" @@ fun () ->
+  let pool =
+    match pool with Some p -> p | None -> Leqa_util.Pool.get_default ()
+  in
+  (* evaluation fans across the pool (the estimator half only — cheap but
+     numerous); the mean/worst fold below is serial and in case order,
+     so the stats are identical at every pool width *)
+  let errs =
+    Leqa_util.Pool.map_list_weighted pool ~weight:(fun tc -> tc.t_weight)
+      ~f:(fun tc ->
+        let params = params_for tc in
+        match Estimator.estimate_prepared ~params tc.t_prepared with
+        | b when Float.is_finite b.Estimator.latency_us ->
+          let err =
+            Leqa_util.Stats.relative_error ~actual:tc.t_simulated_us
+              ~estimated:b.Estimator.latency_us
+          in
+          if Float.is_finite err then err else objective_penalty
+        | _ -> objective_penalty
+        | exception _ -> objective_penalty)
+      corpus
+  in
+  let n = List.length errs in
+  let sum = List.fold_left ( +. ) 0.0 errs in
+  let worst = List.fold_left Float.max 0.0 errs in
+  {
+    obj_mean = (if n = 0 then 0.0 else sum /. float_of_int n);
+    obj_worst = worst;
+    obj_cases = n;
+  }
+
 (* ---- reproducer corpus --------------------------------------------- *)
 
 let rec mkdir_p dir =
@@ -177,16 +293,7 @@ let replay ~dir =
 
 (* ---- the run loop --------------------------------------------------- *)
 
-(* cost model for the pool's weighted chunking: a case's evaluation is
-   dominated by the QSPR half, roughly FT-gate count x fabric area *)
-let case_weight (case : Diff.case) =
-  let ops = ref 0 in
-  Circuit.iter
-    (fun g -> ops := !ops + Leqa_circuit.Decompose.ft_gate_overhead g)
-    case.Diff.circuit;
-  !ops * case.Diff.width * case.Diff.height
-
-let run ?deadline_s ?(shrink = true) ?shrink_dir ?max_evals ?pool
+let run ?deadline_s ?conventions ?(shrink = true) ?shrink_dir ?max_evals ?pool
     ?(telemetry = Telemetry.noop) cases =
   Telemetry.span telemetry "diff.run" @@ fun () ->
   let pool =
@@ -199,7 +306,7 @@ let run ?deadline_s ?(shrink = true) ?shrink_dir ?max_evals ?pool
   let outcomes =
     Telemetry.span telemetry "diff.evaluate" @@ fun () ->
     Leqa_util.Pool.map_list_weighted pool ~weight:case_weight
-      ~f:(fun case -> Diff.run_case ?deadline_s case)
+      ~f:(fun case -> Diff.run_case ?deadline_s ?conventions case)
       cases
   in
   (* phase 2, serial and in case order: shrink failures, write
@@ -232,7 +339,8 @@ let run ?deadline_s ?(shrink = true) ?shrink_dir ?max_evals ?pool
             else begin
               let shrunk, shrunk_outcome, shrink_stats =
                 Telemetry.span telemetry "diff.shrink" @@ fun () ->
-                Shrink.shrink ?deadline_s ?max_evals ~pool case outcome
+                Shrink.shrink ?deadline_s ?conventions ?max_evals ~pool case
+                  outcome
               in
               Telemetry.count_n telemetry "diff.shrink.evaluations"
                 shrink_stats.Shrink.evaluations;

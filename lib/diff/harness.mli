@@ -55,8 +55,61 @@ val single_cases :
   ?budget:float -> label:string -> Leqa_circuit.Circuit.t -> Diff.case list
 (** One user-supplied circuit across its {!sides_for} fabric grid. *)
 
+type training_case = {
+  t_case : Diff.case;
+  t_qubits_ft : int;  (** FT qubit count — picks the fabric regime *)
+  t_weight : int;  (** pool chunking weight (FT gates × fabric area) *)
+  t_prepared : Leqa_core.Estimator.prepared;
+      (** QODG prefix, reused for every candidate evaluation *)
+  t_simulated_us : float;  (** QSPR ground truth, paper-default [v] *)
+}
+
+val training_corpus :
+  ?scale:float ->
+  ?deadline_s:float ->
+  ?benches:string list ->
+  ?random_count:int ->
+  seed:int ->
+  ?pool:Leqa_util.Pool.t ->
+  ?telemetry:Leqa_util.Telemetry.t ->
+  unit ->
+  training_case list
+(** The calibration corpus: {!suite_cases} at [scale] (default
+    {!default_scale}) plus [random_count] (default 16) circuits from
+    {!random_cases} under [seed].  [benches] restricts the suite half to
+    the named benchmarks {e before} any simulation runs — the small-fit
+    smoke path.  QSPR runs {e once} per case here —
+    the reference latencies do not depend on the candidate parameters,
+    so {!objective} never re-runs the mapper.  Cases whose simulation
+    fails, times out, or yields a non-positive latency are dropped
+    deterministically.  The fan-out preserves case order: the corpus is
+    identical at every pool width, and byte-identical for a given
+    [seed].  Wrapped in a ["calib.corpus"] span. *)
+
+type objective_stats = {
+  obj_mean : float;  (** mean relative error over the corpus *)
+  obj_worst : float;  (** worst-case relative error *)
+  obj_cases : int;
+}
+
+val objective :
+  ?pool:Leqa_util.Pool.t ->
+  ?telemetry:Leqa_util.Telemetry.t ->
+  params_for:(training_case -> Leqa_fabric.Params.t) ->
+  training_case list ->
+  objective_stats
+(** Evaluate a candidate parameter point: run the analytic estimator on
+    every prepared case with [params_for] (typically the candidate
+    point placed on the case's fabric) and fold relative errors against
+    the stored QSPR latencies.  Evaluation fans across [pool]; the
+    mean/worst fold is serial and in case order, so the stats are
+    identical at every pool width.  A crash or non-finite error under a
+    candidate scores a large finite penalty instead of raising.
+    Wrapped in a ["calib.objective"] span. *)
+
 val run :
   ?deadline_s:float ->
+  ?conventions:Leqa_core.Calib_tables.conventions ->
   ?shrink:bool ->
   ?shrink_dir:string ->
   ?max_evals:int ->
@@ -64,7 +117,9 @@ val run :
   ?telemetry:Leqa_util.Telemetry.t ->
   Diff.case list ->
   summary
-(** Score every case ([deadline_s] bounds each case's simulation half).
+(** Score every case ([deadline_s] bounds each case's simulation half;
+    [conventions], default [Fitted], picks the estimator's parameter
+    resolution for scoring {e and} shrinking).
     Case evaluation fans across [pool] (default
     {!Leqa_util.Pool.get_default}) with cost-weighted chunks; shrinking
     then runs serially in case order, scoring its candidate batches on

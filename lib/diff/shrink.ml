@@ -39,8 +39,8 @@ let case_of_gates case gates =
    the final reproducer — deterministic at every pool width *)
 let batch_size = 8
 
-let shrink ?deadline_s ?(max_evals = 400) ?pool (case : Diff.case)
-    (outcome : Diff.outcome) =
+let shrink ?deadline_s ?conventions ?(max_evals = 400) ?pool
+    (case : Diff.case) (outcome : Diff.outcome) =
   if not (Diff.failed outcome.Diff.classification) then
     invalid_arg "Shrink.shrink: outcome is not a failure";
   let pool =
@@ -61,7 +61,7 @@ let shrink ?deadline_s ?(max_evals = 400) ?pool (case : Diff.case)
       evals := !evals + take;
       let outcomes =
         Leqa_util.Pool.map_list pool
-          ~f:(fun candidate -> Diff.run_case ?deadline_s candidate)
+          ~f:(fun candidate -> Diff.run_case ?deadline_s ?conventions candidate)
           batch
       in
       let rec first k cs os =

@@ -24,6 +24,7 @@ type stats = {
 
 val shrink :
   ?deadline_s:float ->
+  ?conventions:Leqa_core.Calib_tables.conventions ->
   ?max_evals:int ->
   ?pool:Leqa_util.Pool.t ->
   Diff.case ->
@@ -33,4 +34,7 @@ val shrink :
     [max_evals] (default 400) bounds total candidate evaluations; the
     best case found so far is returned when it runs out.  [pool]
     (default {!Leqa_util.Pool.get_default}) scores candidate batches.
+    [conventions] must match whatever scored [outcome] — candidates are
+    re-run through {!Diff.run_case} with it, and a mismatch would chase
+    a different failure than the one being minimized.
     @raise Invalid_argument if the outcome is not a failure. *)

@@ -13,6 +13,8 @@ type t = {
   width : int;
   height : int;
   t_move : float;
+  lg_mult : float;
+  cong_slope : float;
   topology : topology;
 }
 
@@ -28,6 +30,8 @@ let default =
     width = 60;
     height = 60;
     t_move = 100.0;
+    lg_mult = 1.0;
+    cong_slope = 1.0;
     topology = Grid;
   }
 
@@ -45,7 +49,10 @@ let gate_delay p = function
   | Ft_gate.Cnot _ -> p.d_cnot
   | Ft_gate.Single (k, _) -> single_delay p k
 
-let l_single_avg p = 2.0 *. p.t_move
+(* the fitted multiplier generalizes the paper's empirical L_g = 2·T_move;
+   at the default 1.0 the product is exactly the paper's value (bitwise:
+   1.0 *. x = x for finite x) *)
+let l_single_avg p = p.lg_mult *. (2.0 *. p.t_move)
 
 let with_fabric p ~width ~height =
   if width <= 0 || height <= 0 then
@@ -80,6 +87,8 @@ let validate p =
   positive "d_cnot" p.d_cnot >>= fun () ->
   positive "v" p.v >>= fun () ->
   positive "t_move" p.t_move >>= fun () ->
+  positive "lg_mult" p.lg_mult >>= fun () ->
+  positive "cong_slope" p.cong_slope >>= fun () ->
   if p.nc <= 0 then fabric_error "nc must be positive"
   else if p.width <= 0 || p.height <= 0 then
     fabric_error
@@ -98,7 +107,9 @@ let pp ppf p =
      v        = %g ULB/us@,\
      fabric   = %dx%d (A = %d)@,\
      T_move   = %.0f us@,\
+     L_g mult = %g@,\
+     cong. slope = %g@,\
      topology = %s@]"
     p.d_h p.d_t p.d_s p.d_pauli p.d_cnot p.nc p.v p.width p.height (area p)
-    p.t_move
+    p.t_move p.lg_mult p.cong_slope
     (match p.topology with Grid -> "grid" | Torus -> "torus")

@@ -20,6 +20,16 @@ type t = {
   width : int;  (** fabric width a, in ULBs *)
   height : int;  (** fabric height b, in ULBs *)
   t_move : float;  (** T_move: one neighborhood hop, µs *)
+  lg_mult : float;
+      (** multiplier on the empirical one-qubit routing latency:
+          [L_g^avg = lg_mult · 2 · T_move].  1.0 reproduces the paper's
+          convention exactly; the calibration subsystem fits it per
+          fabric regime (DESIGN.md §13). *)
+  cong_slope : float;
+      (** congestion slope: scales the M/M/1 queueing *excess* over the
+          uncongested latency, [d_q = d_uncong + cong_slope · (d_q^raw −
+          d_uncong)].  1.0 is bit-exactly the paper's Eq (8); fitted per
+          regime like [lg_mult]. *)
   topology : topology;
 }
 
@@ -43,7 +53,8 @@ val gate_delay : t -> Leqa_circuit.Ft_gate.t -> float
 val single_delay : t -> Leqa_circuit.Ft_gate.single_kind -> float
 
 val l_single_avg : t -> float
-(** [L_g^avg = 2 · T_move], the empirical one-qubit routing latency. *)
+(** [L_g^avg = lg_mult · 2 · T_move], the empirical one-qubit routing
+    latency (the paper's [2 · T_move] when [lg_mult = 1]). *)
 
 val with_fabric : t -> width:int -> height:int -> t
 (** @raise Invalid_argument on non-positive dimensions. *)

@@ -95,6 +95,36 @@ type delta_body = {
   delta_gates_total : int;
 }
 
+(* plain-data mirror of lib/calib's fit result (the delta_body pattern:
+   lib/report stays free of a calib dependency).  The fitted parameters
+   travel as canonical %.17g strings — the same bytes the generated
+   tables carry — so the report round-trips bitwise. *)
+type calib_regime_row = {
+  cal_regime : string;
+  cal_v : string;
+  cal_t_move : string;
+  cal_lg_mult : string;
+  cal_cong_slope : string;
+  cal_mean_err : float;
+  cal_worst_err : float;
+  cal_evals : int;
+  cal_cases : int;
+}
+
+type calib_body = {
+  cal_version : string;  (** ["leqa/calib/v1"] *)
+  cal_seed : int;
+  cal_random_count : int;
+  cal_rounds : int;
+  cal_scale : string;
+  cal_corpus_cases : int;
+  cal_mean_err : float;
+  cal_worst_err : float;
+  cal_evals : int;
+  cal_regimes : calib_regime_row list;
+  cal_wrote : string list;
+}
+
 type body =
   | Estimate of estimate_body
   | Simulate of simulate_body
@@ -107,6 +137,7 @@ type body =
   | Version of version_body
   | Diff of diff_body
   | Delta of delta_body
+  | Calibrate of calib_body
 
 (* the report keeps only the FT circuit's aggregate stats, never the
    circuit itself — streaming runs produce the identical report without
@@ -162,6 +193,8 @@ let params_json (p : Params.t) =
       ("nc", Json.Int p.Params.nc);
       ("topology", Json.String (topology_string p.Params.topology));
       ("t_move_us", Json.Float p.Params.t_move);
+      ("lg_mult", Json.Float p.Params.lg_mult);
+      ("cong_slope", Json.Float p.Params.cong_slope);
     ]
 
 let float_array_json a =
@@ -406,6 +439,43 @@ let body_json = function
               ] );
           ("estimate", estimate_json d.delta_estimate);
         ] )
+  | Calibrate c ->
+    ( "calibrate",
+      Json.Obj
+        ([
+           ("version", Json.String c.cal_version);
+           ("seed", Json.Int c.cal_seed);
+           ("random_count", Json.Int c.cal_random_count);
+           ("rounds", Json.Int c.cal_rounds);
+           ("scale", Json.String c.cal_scale);
+           ("corpus_cases", Json.Int c.cal_corpus_cases);
+           ("mean_err", Json.Float c.cal_mean_err);
+           ("worst_err", Json.Float c.cal_worst_err);
+           ("evals", Json.Int c.cal_evals);
+           ( "regimes",
+             Json.List
+               (List.map
+                  (fun r ->
+                    Json.Obj
+                      [
+                        ("regime", Json.String r.cal_regime);
+                        ("v", Json.String r.cal_v);
+                        ("t_move", Json.String r.cal_t_move);
+                        ("lg_mult", Json.String r.cal_lg_mult);
+                        ("cong_slope", Json.String r.cal_cong_slope);
+                        ("mean_err", Json.Float r.cal_mean_err);
+                        ("worst_err", Json.Float r.cal_worst_err);
+                        ("evals", Json.Int r.cal_evals);
+                        ("cases", Json.Int r.cal_cases);
+                      ])
+                  c.cal_regimes) );
+         ]
+        @
+        match c.cal_wrote with
+        | [] -> []
+        | paths ->
+          [ ("wrote", Json.List (List.map (fun p -> Json.String p) paths)) ])
+    )
 
 let to_json t =
   let key, body = body_json t.body in
@@ -611,6 +681,48 @@ let human_gen ppf (g : gen_body) =
   | None, Some text -> Format.fprintf ppf "%s" text
   | None, None -> ()
 
+let human_calibrate ppf (c : calib_body) =
+  let table =
+    Table.create
+      ~columns:
+        [
+          ("regime", Table.Left);
+          ("v", Table.Right);
+          ("T_move (us)", Table.Right);
+          ("L_g mult", Table.Right);
+          ("cong. slope", Table.Right);
+          ("mean", Table.Right);
+          ("worst", Table.Right);
+          ("evals", Table.Right);
+          ("cases", Table.Right);
+        ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row table
+        [
+          r.cal_regime;
+          r.cal_v;
+          r.cal_t_move;
+          r.cal_lg_mult;
+          r.cal_cong_slope;
+          Printf.sprintf "%.2f%%" (100.0 *. r.cal_mean_err);
+          Printf.sprintf "%.2f%%" (100.0 *. r.cal_worst_err);
+          string_of_int r.cal_evals;
+          string_of_int r.cal_cases;
+        ])
+    c.cal_regimes;
+  Format.fprintf ppf "%s@." (Table.render table);
+  Format.fprintf ppf
+    "%s: seed %d, %d random circuits, %d rounds, scale %s — %d cases, %d \
+     evaluations@."
+    c.cal_version c.cal_seed c.cal_random_count c.cal_rounds c.cal_scale
+    c.cal_corpus_cases c.cal_evals;
+  Format.fprintf ppf "corpus residual: mean %.2f%%, worst %.2f%%@."
+    (100.0 *. c.cal_mean_err)
+    (100.0 *. c.cal_worst_err);
+  List.iter (fun p -> Format.fprintf ppf "wrote %s@." p) c.cal_wrote
+
 let human_delta ppf (d : delta_body) =
   Format.fprintf ppf "session %s  round %d  (%d edit%s)@." d.delta_handle
     d.delta_round d.delta_edits
@@ -631,7 +743,9 @@ let to_human ppf t =
   (* info renders its own circuit line-up; every other body leads with
      the FT summary, exactly as the pre-redesign subcommands did *)
   (match t.body with
-  | Info _ | Gen _ | Sweep_fabric _ | Design _ | Version _ | Diff _ -> ()
+  | Info _ | Gen _ | Sweep_fabric _ | Design _ | Version _ | Diff _
+  | Calibrate _ ->
+    ()
   | _ -> pp_ft ppf t.ft);
   match t.body with
   | Estimate e -> human_estimate ppf e
@@ -645,6 +759,7 @@ let to_human ppf t =
   | Version v -> human_version ppf v
   | Diff d -> human_diff ppf d
   | Delta d -> human_delta ppf d
+  | Calibrate c -> human_calibrate ppf c
 
 let print format t =
   match format with

@@ -135,6 +135,37 @@ type delta_body = {
     pattern) — assembled by the CLI session driver from the rpc v2
     response envelope. *)
 
+type calib_regime_row = {
+  cal_regime : string;  (** stable bucket tag, e.g. ["crowded-small"] *)
+  cal_v : string;
+  cal_t_move : string;
+  cal_lg_mult : string;
+  cal_cong_slope : string;
+      (** fitted parameters as canonical [%.17g] strings — the same
+          bytes the generated {!Leqa_core.Calib_tables} data carries, so
+          the report round-trips bitwise *)
+  cal_mean_err : float;
+  cal_worst_err : float;
+  cal_evals : int;
+  cal_cases : int;
+}
+
+type calib_body = {
+  cal_version : string;  (** ["leqa/calib/v1"] *)
+  cal_seed : int;
+  cal_random_count : int;
+  cal_rounds : int;
+  cal_scale : string;
+  cal_corpus_cases : int;
+  cal_mean_err : float;  (** corpus-wide residual under the fit *)
+  cal_worst_err : float;
+  cal_evals : int;
+  cal_regimes : calib_regime_row list;
+  cal_wrote : string list;  (** artifact paths written, possibly empty *)
+}
+(** One calibration run — plain data (the [version_body] pattern), so
+    this library stays independent of [leqa_calib]. *)
+
 type body =
   | Estimate of estimate_body
   | Simulate of simulate_body
@@ -147,6 +178,7 @@ type body =
   | Version of version_body
   | Diff of diff_body
   | Delta of delta_body
+  | Calibrate of calib_body
 
 type t
 

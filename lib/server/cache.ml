@@ -48,6 +48,8 @@ let params_fragment (p : Params.t) =
       string_of_int p.Params.width;
       string_of_int p.Params.height;
       f ~field:"t_move" p.Params.t_move;
+      f ~field:"lg_mult" p.Params.lg_mult;
+      f ~field:"cong_slope" p.Params.cong_slope;
       (match p.Params.topology with
       | Params.Grid -> "grid"
       | Params.Torus -> "torus");

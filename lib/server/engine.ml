@@ -92,8 +92,24 @@ let store t = t.store
 let ok x = match x with Ok v -> v | Error e -> E.raise_error e
 
 let params_of ~width ~height ~v =
+  let v = Option.value ~default:Params.calibrated.Params.v v in
   let p = { Params.calibrated with Params.width; height; v } in
   ok (Result.map (fun () -> p) (Params.validate p))
+
+(* an explicit v pins every free parameter as-given (the CLI's [--v]);
+   otherwise the estimator resolves them through the named conventions *)
+let conventions_for ~v ~conventions =
+  match v with Some _ -> None | None -> Some conventions
+
+(* the resolution mode is part of every estimation cache key: the same
+   fabric resolves to different parameters under different conventions,
+   and a pinned v bypasses resolution entirely (the pinned value is
+   already digested via [params]) *)
+let conventions_option ~v ~conventions =
+  ( "conventions",
+    match v with
+    | Some _ -> "pinned"
+    | None -> Leqa_core.Calib_tables.conventions_to_string conventions )
 
 let deadline_of t = function
   | Some seconds -> Pool.Deadline.after ~seconds
@@ -152,7 +168,12 @@ let estimate_response t ~version ~id (p : Protocol.estimate_params) =
   let key =
     Cache.result_key ~method_:"estimate" ~circuit_key:(Cache.circuit_key circuit)
       ~params
-      ~options:[ ("terms", string_of_int p.Protocol.terms) ]
+      ~options:
+        [
+          ("terms", string_of_int p.Protocol.terms);
+          conventions_option ~v:p.Protocol.v
+            ~conventions:p.Protocol.conventions;
+        ]
   in
   match cached_result t key with
   | Some (cache, doc) -> Protocol.response_report ~version ~id ~cache doc
@@ -162,16 +183,20 @@ let estimate_response t ~version ~id (p : Protocol.estimate_params) =
     let config = { Leqa_core.Config.truncation_terms = p.Protocol.terms } in
     let est, dt =
       Timing.time (fun () ->
-          Estimator.estimate_prepared ~config ~deadline ~params
-            entry.Cache.prepared)
+          Estimator.estimate_prepared ~config ~deadline
+            ?conventions:
+              (conventions_for ~v:p.Protocol.v
+                 ~conventions:p.Protocol.conventions)
+            ~params entry.Cache.prepared)
     in
+    let params_used = est.Estimator.params_used in
     let report =
       Report.make ~command:"estimate" ~ft:entry.Cache.ft
         (Report.Estimate
            {
-             Report.params;
+             Report.params = params_used;
              breakdown = est;
-             contributions = Estimator.contributions ~params est;
+             contributions = Estimator.contributions ~params:params_used est;
              estimator_runtime_s = dt;
            })
     in
@@ -197,6 +222,8 @@ let compare_response t ~version ~id (p : Protocol.compare_params) =
             | None -> "none"
             | Some s -> Leqa_util.Fingerprint.float_repr ~field:"deadline_s" s
           );
+          conventions_option ~v:p.Protocol.cmp_v
+            ~conventions:p.Protocol.cmp_conventions;
         ]
   in
   match cached_result t key with
@@ -220,7 +247,11 @@ let compare_response t ~version ~id (p : Protocol.compare_params) =
     in
     let est, leqa_t =
       Timing.time (fun () ->
-          Estimator.estimate_prepared ~params entry.Cache.prepared)
+          Estimator.estimate_prepared
+            ?conventions:
+              (conventions_for ~v:p.Protocol.cmp_v
+                 ~conventions:p.Protocol.cmp_conventions)
+            ~params entry.Cache.prepared)
     in
     let report =
       Report.make ~command:"compare" ~ft:entry.Cache.ft
@@ -277,7 +308,9 @@ let sweep_response t ~version ~id (p : Protocol.sweep_params) =
       Report.make ~command:"sweep-fabric"
         (Report.Sweep_fabric
            {
-             Report.v = p.Protocol.sw_v;
+             Report.v =
+               Option.value ~default:Params.calibrated.Params.v
+                 p.Protocol.sw_v;
              rows =
                List.map
                  (fun (side, est) -> { Report.side; breakdown = est })
@@ -367,6 +400,63 @@ let diff_response t ~version ~id (p : Protocol.diff_params) =
     if summary.Leqa_diff.Harness.degraded = 0 then store_result t key doc;
     Protocol.response_report ~version ~id ~cache:`Miss doc
 
+(* ---- calibrate ------------------------------------------------------ *)
+
+module Calib_fit = Leqa_calib.Fit
+module Calib_space = Leqa_calib.Space
+module Calib_tables = Leqa_core.Calib_tables
+
+(* never cached: a deadline can silently drop timed-out cases from the
+   training corpus, so two runs with the same options are only
+   comparable under the same budget — recompute instead of guessing *)
+let calibrate_response t ~version ~id (p : Protocol.calibrate_params) =
+  let deadline_s =
+    match p.Protocol.ca_deadline_s with
+    | Some _ as s -> s
+    | None -> t.cfg.default_deadline_s
+  in
+  let fit, _corpus =
+    Calib_fit.fit ?seed:p.Protocol.ca_seed
+      ?random_count:p.Protocol.ca_random_count ?rounds:p.Protocol.ca_rounds
+      ?scale:p.Protocol.ca_scale ?benches:p.Protocol.ca_benches ?deadline_s
+      ~pool:t.pool ()
+  in
+  let fr ~field x = Leqa_util.Fingerprint.float_repr ~field x in
+  let regime_row (rf : Calib_fit.regime_fit) =
+    let pt = rf.Calib_fit.rf_point in
+    {
+      Report.cal_regime = Calib_tables.regime_key rf.Calib_fit.rf_regime;
+      cal_v = fr ~field:"v" pt.Calib_space.v;
+      cal_t_move = fr ~field:"t_move" pt.Calib_space.t_move;
+      cal_lg_mult = fr ~field:"lg_mult" pt.Calib_space.lg_mult;
+      cal_cong_slope = fr ~field:"cong_slope" pt.Calib_space.cong_slope;
+      cal_mean_err = rf.Calib_fit.rf_mean_err;
+      cal_worst_err = rf.Calib_fit.rf_worst_err;
+      cal_evals = rf.Calib_fit.rf_evals;
+      cal_cases = rf.Calib_fit.rf_cases;
+    }
+  in
+  let report =
+    Report.make ~command:"calibrate"
+      (Report.Calibrate
+         {
+           Report.cal_version = Calib_tables.version;
+           cal_seed = fit.Calib_fit.f_seed;
+           cal_random_count = fit.Calib_fit.f_random_count;
+           cal_rounds = fit.Calib_fit.f_rounds;
+           cal_scale = fr ~field:"scale" fit.Calib_fit.f_scale;
+           cal_corpus_cases = fit.Calib_fit.f_corpus_cases;
+           cal_mean_err = fit.Calib_fit.f_mean_err;
+           cal_worst_err = fit.Calib_fit.f_worst_err;
+           cal_evals = fit.Calib_fit.f_evals;
+           cal_regimes = List.map regime_row fit.Calib_fit.f_regimes;
+           (* the server never writes artifacts on behalf of a remote
+              client — same rule as diff reproducers *)
+           cal_wrote = [];
+         })
+  in
+  Protocol.response_report ~version ~id (Report.to_json report)
+
 let version_response t ~version ~id =
   let report =
     Report.make ~command:"version"
@@ -436,19 +526,25 @@ let estimate_delta_response t ~version ~id (p : Protocol.delta_params) =
   let deadline = deadline_of t p.Protocol.dl_deadline_s in
   let config = { Leqa_core.Config.truncation_terms = p.Protocol.dl_terms } in
   let (est, dstats), dt =
-    Timing.time (fun () -> Delta.estimate ~config ~deadline ~params delta)
+    Timing.time (fun () ->
+        Delta.estimate ~config ~deadline
+          ?conventions:
+            (conventions_for ~v:p.Protocol.dl_v
+               ~conventions:p.Protocol.dl_conventions)
+          ~params delta)
   in
   Telemetry.ambient_count "session.estimate_delta";
   (* the report is the exact "estimate" document a cold estimate of the
      edited circuit would produce (the @delta-smoke byte-parity gate);
      the incremental-work breakdown rides the envelope, not the report *)
+  let params_used = est.Estimator.params_used in
   let report =
     Report.make ~command:"estimate" ~circuit_stats:(Delta.stats delta)
       (Report.Estimate
          {
-           Report.params;
+           Report.params = params_used;
            breakdown = est;
-           contributions = Estimator.contributions ~params est;
+           contributions = Estimator.contributions ~params:params_used est;
            estimator_runtime_s = dt;
          })
   in
@@ -538,6 +634,7 @@ let handle t (req : Protocol.request) =
         | Protocol.Compare p -> compare_response t ~version ~id p
         | Protocol.Sweep_fabric p -> sweep_response t ~version ~id p
         | Protocol.Diff p -> diff_response t ~version ~id p
+        | Protocol.Calibrate p -> calibrate_response t ~version ~id p
         | Protocol.Version -> version_response t ~version ~id
         | Protocol.Ping ->
           Protocol.response_ok ~version ~id [ ("pong", Json.Bool true) ]

@@ -1,6 +1,7 @@
 module Json = Leqa_util.Json
 module E = Leqa_util.Error
 module Params = Leqa_fabric.Params
+module Calib_tables = Leqa_core.Calib_tables
 
 let rpc_schema_version = "leqa/rpc/v1"
 let rpc_schema_version_v2 = "leqa/rpc/v2"
@@ -11,6 +12,7 @@ let schemas =
     ("trace", Leqa_util.Telemetry.trace_schema_version);
     ("rpc", rpc_schema_version);
     ("rpc_v2", rpc_schema_version_v2);
+    ("calib", Calib_tables.version);
   ]
 
 (* Version negotiation happens per request line: the request's
@@ -28,7 +30,8 @@ type estimate_params = {
   source : Source.t;
   width : int;
   height : int;
-  v : float;
+  v : float option;
+  conventions : Calib_tables.conventions;
   terms : int;
   deadline_s : float option;
 }
@@ -37,13 +40,14 @@ type compare_params = {
   cmp_source : Source.t;
   cmp_width : int;
   cmp_height : int;
-  cmp_v : float;
+  cmp_v : float option;
+  cmp_conventions : Calib_tables.conventions;
   cmp_deadline_s : float option;
 }
 
 type sweep_params = {
   sw_source : Source.t;
-  sw_v : float;
+  sw_v : float option;
   sw_sizes : int list;
   sw_deadline_s : float option;
 }
@@ -62,9 +66,19 @@ type delta_params = {
   dl_edits : Leqa_core.Delta.edit list;
   dl_width : int;
   dl_height : int;
-  dl_v : float;
+  dl_v : float option;
+  dl_conventions : Calib_tables.conventions;
   dl_terms : int;
   dl_deadline_s : float option;
+}
+
+type calibrate_params = {
+  ca_seed : int option;
+  ca_random_count : int option;
+  ca_rounds : int option;
+  ca_scale : float option;
+  ca_benches : string list option;  (* None: the full benchmark suite *)
+  ca_deadline_s : float option;
 }
 
 type request_body =
@@ -72,6 +86,7 @@ type request_body =
   | Compare of compare_params
   | Sweep_fabric of sweep_params
   | Diff of diff_params
+  | Calibrate of calibrate_params
   | Version
   | Ping
   | Stats
@@ -84,7 +99,7 @@ type request = { id : Json.t; version : rpc_version; body : request_body }
 
 let session_handle = function
   | Open_circuit _ | Estimate _ | Compare _ | Sweep_fabric _ | Diff _
-  | Version | Ping | Stats ->
+  | Calibrate _ | Version | Ping | Stats ->
     None
   | Estimate_delta { dl_handle; _ } -> Some dl_handle
   | Close_circuit { cl_handle } -> Some cl_handle
@@ -93,8 +108,8 @@ let session_handle = function
 let stateful = function
   | Open_circuit _ | Estimate_delta _ | Close_circuit _ | Export_circuit _ ->
     true
-  | Estimate _ | Compare _ | Sweep_fabric _ | Diff _ | Version | Ping | Stats
-    ->
+  | Estimate _ | Compare _ | Sweep_fabric _ | Diff _ | Calibrate _ | Version
+  | Ping | Stats ->
     false
 
 let usage fmt = Printf.ksprintf (fun m -> E.Usage_error m) fmt
@@ -290,11 +305,30 @@ let get_fabric params =
     Option.value ~default:Params.default.Params.height
       (get_int ~what:"height" (mem "height" params))
   in
-  let v =
-    Option.value ~default:Params.calibrated.Params.v
-      (get_float ~what:"v" (mem "v" params))
-  in
+  (* absent v means "resolve through the conventions" — an explicit v
+     pins every free parameter, exactly like the CLI's [--v] *)
+  let v = get_float ~what:"v" (mem "v" params) in
   (width, height, v)
+
+let get_conventions params =
+  match get_string ~what:"conventions" (mem "conventions" params) with
+  | None -> Calib_tables.Fitted
+  | Some s -> begin
+    match Calib_tables.conventions_of_string s with
+    | Ok c -> c
+    | Error e -> raise (Bad e)
+  end
+
+let get_string_list ~what = function
+  | Some (Json.List items) ->
+    Some
+      (List.map
+         (function
+           | Json.String s -> s
+           | _ -> badf "%s must be a list of strings" what)
+         items)
+  | Some _ -> badf "%s must be a list of strings" what
+  | None -> None
 
 let body_of ~version ~method_ ~params =
   match method_ with
@@ -312,27 +346,41 @@ let body_of ~version ~method_ ~params =
       | Some _ -> badf "edits must be a list of edit objects"
     in
     let dl_width, dl_height, dl_v = get_fabric params in
+    let dl_conventions = get_conventions params in
     let dl_terms =
       Option.value ~default:20 (get_int ~what:"terms" (mem "terms" params))
     in
     let dl_deadline_s = get_deadline params in
     Estimate_delta
-      { dl_handle; dl_edits; dl_width; dl_height; dl_v; dl_terms; dl_deadline_s }
+      {
+        dl_handle;
+        dl_edits;
+        dl_width;
+        dl_height;
+        dl_v;
+        dl_conventions;
+        dl_terms;
+        dl_deadline_s;
+      }
   | "close-circuit" -> Close_circuit { cl_handle = get_handle params }
   | "export-circuit" -> Export_circuit { ex_handle = get_handle params }
   | "estimate" ->
     let source = get_source params in
     let width, height, v = get_fabric params in
+    let conventions = get_conventions params in
     let terms =
       Option.value ~default:20 (get_int ~what:"terms" (mem "terms" params))
     in
     let deadline_s = get_deadline params in
-    Estimate { source; width; height; v; terms; deadline_s }
+    Estimate { source; width; height; v; conventions; terms; deadline_s }
   | "compare" ->
     let cmp_source = get_source params in
     let cmp_width, cmp_height, cmp_v = get_fabric params in
+    let cmp_conventions = get_conventions params in
     let cmp_deadline_s = get_deadline params in
-    Compare { cmp_source; cmp_width; cmp_height; cmp_v; cmp_deadline_s }
+    Compare
+      { cmp_source; cmp_width; cmp_height; cmp_v; cmp_conventions;
+        cmp_deadline_s }
   | "sweep-fabric" ->
     let sw_source = get_source params in
     let _, _, sw_v = get_fabric params in
@@ -372,6 +420,32 @@ let body_of ~version ~method_ ~params =
     in
     let df_deadline_s = get_deadline params in
     Diff { df_source; df_scale; df_budget; df_deadline_s }
+  | "calibrate" ->
+    let nonneg ~what n =
+      match n with
+      | Some n when n < 0 -> badf "%s must be non-negative (got %d)" what n
+      | _ -> n
+    in
+    let ca_seed = get_int ~what:"seed" (mem "seed" params) in
+    let ca_random_count =
+      nonneg ~what:"random_count"
+        (get_int ~what:"random_count" (mem "random_count" params))
+    in
+    let ca_rounds =
+      nonneg ~what:"rounds" (get_int ~what:"rounds" (mem "rounds" params))
+    in
+    let ca_scale =
+      match get_float ~what:"scale" (mem "scale" params) with
+      | None -> None
+      | Some s ->
+        if Float.is_finite s && s > 0.0 then Some s
+        else badf "scale must be a positive number (got %g)" s
+    in
+    let ca_benches = get_string_list ~what:"benches" (mem "benches" params) in
+    let ca_deadline_s = get_deadline params in
+    Calibrate
+      { ca_seed; ca_random_count; ca_rounds; ca_scale; ca_benches;
+        ca_deadline_s }
   | "version" -> Version
   | "ping" -> Ping
   | "stats" -> Stats
@@ -379,13 +453,13 @@ let body_of ~version ~method_ ~params =
     if version = V1 then
       badf
         "unknown method %S (expected estimate, compare, sweep-fabric, diff, \
-         version, ping or stats)"
+         calibrate, version, ping or stats)"
         other
     else
       badf
         "unknown method %S (expected estimate, compare, sweep-fabric, diff, \
-         version, ping, stats, open-circuit, estimate-delta, close-circuit \
-         or export-circuit)"
+         calibrate, version, ping, stats, open-circuit, estimate-delta, \
+         close-circuit or export-circuit)"
         other
 
 let request_of_json json =
@@ -458,36 +532,42 @@ let deadline_fields = function
   | None -> []
   | Some s -> [ ("deadline_s", Json.Float s) ]
 
+(* both default-valued: an absent v resolves through the conventions,
+   absent conventions means Fitted — omitting the defaults keeps the
+   wire bytes of a default request identical across versions *)
+let v_fields = function None -> [] | Some v -> [ ("v", Json.Float v) ]
+
+let conventions_fields = function
+  | Calib_tables.Fitted -> []
+  | c ->
+    [ ("conventions", Json.String (Calib_tables.conventions_to_string c)) ]
+
 let request_to_json { id; version; body } =
   let method_, params =
     match body with
-    | Estimate { source; width; height; v; terms; deadline_s } ->
+    | Estimate { source; width; height; v; conventions; terms; deadline_s }
+      ->
       ( "estimate",
         source_fields source
-        @ [
-            ("width", Json.Int width);
-            ("height", Json.Int height);
-            ("v", Json.Float v);
-            ("terms", Json.Int terms);
-          ]
+        @ [ ("width", Json.Int width); ("height", Json.Int height) ]
+        @ v_fields v
+        @ conventions_fields conventions
+        @ [ ("terms", Json.Int terms) ]
         @ deadline_fields deadline_s )
-    | Compare { cmp_source; cmp_width; cmp_height; cmp_v; cmp_deadline_s }
-      ->
+    | Compare
+        { cmp_source; cmp_width; cmp_height; cmp_v; cmp_conventions;
+          cmp_deadline_s } ->
       ( "compare",
         source_fields cmp_source
-        @ [
-            ("width", Json.Int cmp_width);
-            ("height", Json.Int cmp_height);
-            ("v", Json.Float cmp_v);
-          ]
+        @ [ ("width", Json.Int cmp_width); ("height", Json.Int cmp_height) ]
+        @ v_fields cmp_v
+        @ conventions_fields cmp_conventions
         @ deadline_fields cmp_deadline_s )
     | Sweep_fabric { sw_source; sw_v; sw_sizes; sw_deadline_s } ->
       ( "sweep-fabric",
         source_fields sw_source
-        @ [
-            ("v", Json.Float sw_v);
-            ("sizes", Json.List (List.map (fun n -> Json.Int n) sw_sizes));
-          ]
+        @ v_fields sw_v
+        @ [ ("sizes", Json.List (List.map (fun n -> Json.Int n) sw_sizes)) ]
         @ deadline_fields sw_deadline_s )
     | Diff { df_source; df_scale; df_budget; df_deadline_s } ->
       ( "diff",
@@ -500,22 +580,45 @@ let request_to_json { id; version; body } =
           | None -> []
           | Some b -> [ ("budget", Json.Float b) ])
         @ deadline_fields df_deadline_s )
+    | Calibrate
+        { ca_seed; ca_random_count; ca_rounds; ca_scale; ca_benches;
+          ca_deadline_s } ->
+      let opt_int name = function
+        | None -> []
+        | Some n -> [ (name, Json.Int n) ]
+      in
+      ( "calibrate",
+        opt_int "seed" ca_seed
+        @ opt_int "random_count" ca_random_count
+        @ opt_int "rounds" ca_rounds
+        @ (match ca_scale with
+          | None -> []
+          | Some s -> [ ("scale", Json.Float s) ])
+        @ (match ca_benches with
+          | None -> []
+          | Some bs ->
+            [
+              ( "benches",
+                Json.List (List.map (fun b -> Json.String b) bs) );
+            ])
+        @ deadline_fields ca_deadline_s )
     | Version -> ("version", [])
     | Ping -> ("ping", [])
     | Stats -> ("stats", [])
     | Open_circuit { oc_source } -> ("open-circuit", source_fields oc_source)
     | Estimate_delta
-        { dl_handle; dl_edits; dl_width; dl_height; dl_v; dl_terms;
-          dl_deadline_s } ->
+        { dl_handle; dl_edits; dl_width; dl_height; dl_v; dl_conventions;
+          dl_terms; dl_deadline_s } ->
       ( "estimate-delta",
         [
           ("handle", Json.String dl_handle);
           ("edits", Json.List (List.map edit_to_json dl_edits));
           ("width", Json.Int dl_width);
           ("height", Json.Int dl_height);
-          ("v", Json.Float dl_v);
-          ("terms", Json.Int dl_terms);
         ]
+        @ v_fields dl_v
+        @ conventions_fields dl_conventions
+        @ [ ("terms", Json.Int dl_terms) ]
         @ deadline_fields dl_deadline_s )
     | Close_circuit { cl_handle } ->
       ("close-circuit", [ ("handle", Json.String cl_handle) ])

@@ -51,7 +51,11 @@ type estimate_params = {
   source : Source.t;
   width : int;
   height : int;
-  v : float;
+  v : float option;
+      (** [None] resolves the free parameters through [conventions]; an
+          explicit [v] pins them as-given (the CLI's [--v] semantics) *)
+  conventions : Leqa_core.Calib_tables.conventions;
+      (** absent on the wire means [Fitted] — the CLI default *)
   terms : int;
   deadline_s : float option;  (** per-request budget, validated > 0 *)
 }
@@ -60,13 +64,17 @@ type compare_params = {
   cmp_source : Source.t;
   cmp_width : int;
   cmp_height : int;
-  cmp_v : float;
+  cmp_v : float option;
+  cmp_conventions : Leqa_core.Calib_tables.conventions;
   cmp_deadline_s : float option;
 }
 
 type sweep_params = {
   sw_source : Source.t;
-  sw_v : float;
+  sw_v : float option;
+      (** sweeps pin an explicit v across every fabric size; [None]
+          means the calibrated default (regimes change per size, so a
+          fitted sweep would vary more than the fabric) *)
   sw_sizes : int list;
   sw_deadline_s : float option;
 }
@@ -88,9 +96,22 @@ type delta_params = {
   dl_edits : Leqa_core.Delta.edit list;
   dl_width : int;
   dl_height : int;
-  dl_v : float;
+  dl_v : float option;
+  dl_conventions : Leqa_core.Calib_tables.conventions;
   dl_terms : int;
   dl_deadline_s : float option;
+}
+
+type calibrate_params = {
+  ca_seed : int option;
+  ca_random_count : int option;
+  ca_rounds : int option;
+  ca_scale : float option;
+  ca_benches : string list option;
+      (** restrict the training suite to these benchmarks; [None] is
+          the full suite.  Every field defaults server-side to the
+          checked-in derivation ({!Leqa_core.Calib_tables}). *)
+  ca_deadline_s : float option;
 }
 
 type request_body =
@@ -98,6 +119,9 @@ type request_body =
   | Compare of compare_params
   | Sweep_fabric of sweep_params
   | Diff of diff_params
+  | Calibrate of calibrate_params
+      (** re-fit the tables in memory and report them — never writes
+          artifacts (that is the CLI's job) *)
   | Version
   | Ping
   | Stats

@@ -176,7 +176,7 @@ let shard_of t (req : Protocol.request) =
   | Protocol.Diff { df_source = Some source; _ } -> of_source source
   | Protocol.Open_circuit { oc_source = source } -> of_source source
   | Protocol.Diff { df_source = None; _ }
-  | Protocol.Version | Protocol.Ping | Protocol.Stats
+  | Protocol.Calibrate _ | Protocol.Version | Protocol.Ping | Protocol.Stats
   (* session-bound methods are routed by the pin table, not the shard;
      the shard only names a home for the error report if it all fails *)
   | Protocol.Estimate_delta _ | Protocol.Close_circuit _
@@ -193,7 +193,8 @@ let session_kind_of (req : Protocol.request) =
   | Protocol.Close_circuit { cl_handle } ->
     Bound { handle = cl_handle; closes = true }
   | Protocol.Estimate _ | Protocol.Compare _ | Protocol.Sweep_fabric _
-  | Protocol.Diff _ | Protocol.Version | Protocol.Ping | Protocol.Stats ->
+  | Protocol.Diff _ | Protocol.Calibrate _ | Protocol.Version | Protocol.Ping
+  | Protocol.Stats ->
     Stateless
 
 (* ---- dispatch -------------------------------------------------------- *)

@@ -101,6 +101,8 @@ let to_params ?native ?rounds ~width ~height ~nc ~v () =
     width;
     height;
     t_move = d.t_move;
+    lg_mult = 1.0;
+    cong_slope = 1.0;
     topology = Leqa_fabric.Params.Grid;
   }
 

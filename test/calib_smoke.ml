@@ -1,0 +1,301 @@
+(* End-to-end gate for the calibration subsystem (@calib-smoke,
+   DESIGN.md §13): drives the real leqa binary and asserts the
+   `leqa calibrate` contract:
+
+   A. fit    — a two-benchmark small fit converges (residual well under
+               the 5% budget floor), reports a leqa/calib/v1 body with
+               all four regimes, and the same seed reproduces the body
+               byte-for-byte;
+   B. drift  — --write-data/--write-accuracy/--write-budget followed by
+               --check from the same root round-trips byte-stable
+               (exit 0); a single tampered byte flips the gate to the
+               accuracy-error exit (70) naming the drifted artifact;
+   C. wiring — `--conventions fitted` resolves different estimator
+               parameters than `--conventions default` (the estimates
+               differ), while an explicit --v pins every free parameter
+               so conventions no longer matter (byte parity);
+   D. codes  — malformed flags answer the typed usage-error exit (64);
+   E. trace  — --fit-trace writes parseable NDJSON covering the corpus
+               build, objective evaluations, accepted moves and the
+               final summary.
+
+   Failing checks are appended as NDJSON to $CALIB_SMOKE_ARTIFACT
+   (default ./calib_smoke_failures.ndjson) along with the fit trace so
+   CI can upload the reproducers.
+
+   Usage: calib_smoke <path-to-leqa-cli> *)
+
+module Json = Leqa_util.Json
+
+let cli = ref ""
+let failures = ref 0
+let checks = ref 0
+
+let out_file = Filename.temp_file "leqa_calib_smoke" ".out"
+let err_file = Filename.temp_file "leqa_calib_smoke" ".err"
+
+let slurp path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let run_cli ?cwd args =
+  let cmd =
+    Printf.sprintf "%s%s %s >%s 2>%s"
+      (match cwd with
+      | None -> ""
+      | Some dir -> Printf.sprintf "cd %s && " (Filename.quote dir))
+      (Filename.quote !cli)
+      (String.concat " " (List.map Filename.quote args))
+      (Filename.quote out_file) (Filename.quote err_file)
+  in
+  let code = Sys.command cmd in
+  (code, slurp out_file, slurp err_file)
+
+(* ---- failure artifact ------------------------------------------------ *)
+
+let artifact_path =
+  Option.value
+    (Sys.getenv_opt "CALIB_SMOKE_ARTIFACT")
+    ~default:"calib_smoke_failures.ndjson"
+
+let artifact_lines = ref []
+
+let check name ok detail =
+  incr checks;
+  if ok then Printf.printf "ok   %s\n%!" name
+  else begin
+    incr failures;
+    artifact_lines :=
+      Json.to_string
+        (Json.Obj
+           [ ("check", Json.String name); ("detail", Json.String detail) ])
+      :: !artifact_lines;
+    Printf.printf "FAIL %s\n     %s\n%!" name detail
+  end
+
+let flush_artifact () =
+  match !artifact_lines with
+  | [] -> ()
+  | lines ->
+    let oc = open_out artifact_path in
+    List.iter
+      (fun l ->
+        output_string oc l;
+        output_char oc '\n')
+      (List.rev lines);
+    close_out oc;
+    Printf.printf "artifact: %d failing checks written to %s\n%!"
+      (List.length lines) artifact_path
+
+let contains hay needle =
+  let n = String.length needle in
+  let rec go i =
+    i + n <= String.length hay && (String.sub hay i n = needle || go (i + 1))
+  in
+  go 0
+
+let parse_report out =
+  match Json.of_string (String.trim out) with
+  | Ok j -> j
+  | Error msg -> failwith ("report does not parse: " ^ msg)
+
+let member path j =
+  List.fold_left
+    (fun acc key -> match acc with None -> None | Some j -> Json.member key j)
+    (Some j) path
+
+(* wall-clock fields (and the span/counter timings under "telemetry")
+   are the only nondeterminism a report may carry *)
+let rec zero_runtime = function
+  | Json.Obj fields ->
+    Json.Obj
+      (List.filter_map
+         (fun (k, v) ->
+           if k = "telemetry" then None
+           else if Filename.check_suffix k "runtime_s" then
+             Some (k, Json.Float 0.0)
+           else Some (k, zero_runtime v))
+         fields)
+  | Json.List items -> Json.List (List.map zero_runtime items)
+  | scalar -> scalar
+
+let with_temp_dir f =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "leqa-calib-smoke-%d" (Unix.getpid ()))
+  in
+  let rec cleanup path =
+    if Sys.is_directory path then begin
+      Array.iter (fun n -> cleanup (Filename.concat path n)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+  in
+  if Sys.file_exists dir then ();
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists dir then cleanup dir)
+    (fun () -> f dir)
+
+let mkdir_p dir =
+  let rec go d =
+    if not (Sys.file_exists d) then begin
+      go (Filename.dirname d);
+      Unix.mkdir d 0o755
+    end
+  in
+  go dir
+
+(* the small-fit flags every phase below shares: two suite benchmarks,
+   two random circuits, two descent rounds — seconds, not minutes *)
+let small_fit =
+  [
+    "calibrate"; "--benches"; "8bitadder,gf2^16mult"; "--random-count"; "2";
+    "--rounds"; "2";
+  ]
+
+let () =
+  (match Sys.argv with
+  | [| _; c |] ->
+    (* phase B runs the binary from a scratch cwd *)
+    cli := (if Filename.is_relative c then Filename.concat (Sys.getcwd ()) c
+            else c)
+  | _ ->
+    prerr_endline "usage: calib_smoke <leqa-cli>";
+    exit 2);
+
+  (* ---- A. the small fit converges, deterministically ---------------- *)
+  let code, out, err = run_cli (small_fit @ [ "--format"; "json" ]) in
+  check "small fit -> exit 0" (code = 0)
+    (Printf.sprintf "exit %d (stderr: %s)" code (String.trim err));
+  let report = parse_report out in
+  check "report carries the envelope"
+    (member [ "schema_version" ] report = Some (Json.String "leqa/report/v1")
+    && member [ "command" ] report = Some (Json.String "calibrate"))
+    (String.trim out);
+  check "body is leqa/calib/v1"
+    (member [ "calibrate"; "version" ] report
+    = Some (Json.String "leqa/calib/v1"))
+    (String.trim out);
+  (match member [ "calibrate"; "regimes" ] report with
+  | Some (Json.List regimes) ->
+    check "all four regimes reported" (List.length regimes = 4)
+      (Printf.sprintf "%d regimes" (List.length regimes))
+  | _ -> check "all four regimes reported" false "no regimes member");
+  (match member [ "calibrate"; "worst_err" ] report with
+  | Some (Json.Float w) ->
+    check "fit converges (worst residual < 5%)" (w < 0.05)
+      (Printf.sprintf "worst_err %.4f" w)
+  | _ -> check "fit converges (worst residual < 5%)" false "no worst_err");
+  (match member [ "calibrate"; "evals" ] report with
+  | Some (Json.Int n) ->
+    check "objective evaluations spent" (n > 0) (string_of_int n)
+  | _ -> check "objective evaluations spent" false "no evals member");
+
+  let _, out2, _ = run_cli (small_fit @ [ "--format"; "json" ]) in
+  check "same seed -> byte-identical body"
+    (Json.to_string
+       (zero_runtime (Option.get (member [ "calibrate" ] report)))
+    = Json.to_string
+        (zero_runtime
+           (Option.get (member [ "calibrate" ] (parse_report out2)))))
+    "two runs with identical flags produced different calibrate bodies";
+
+  (* ---- B. artifact round-trip and the drift gate --------------------- *)
+  with_temp_dir (fun root ->
+      mkdir_p (Filename.concat root "lib/core");
+      mkdir_p (Filename.concat root "lib/diff");
+      let code, _, err =
+        run_cli ~cwd:root
+          (small_fit
+          @ [
+              "--write-data"; "lib/core/calib_data.ml"; "--write-accuracy";
+              "ACCURACY.md"; "--write-budget"; "lib/diff/budget.ml";
+            ])
+      in
+      check "artifacts written" (code = 0)
+        (Printf.sprintf "exit %d (stderr: %s)" code (String.trim err));
+      let code, _, err = run_cli ~cwd:root (small_fit @ [ "--check" ]) in
+      check "check passes on freshly written artifacts (byte round-trip)"
+        (code = 0)
+        (Printf.sprintf "exit %d (stderr: %s)" code (String.trim err));
+      (* one flipped byte anywhere must trip the gate *)
+      let acc = Filename.concat root "ACCURACY.md" in
+      let oc = open_out_gen [ Open_append ] 0o644 acc in
+      output_char oc ' ';
+      close_out oc;
+      let code, _, err = run_cli ~cwd:root (small_fit @ [ "--check" ]) in
+      check "tampered artifact -> accuracy error (exit 70)" (code = 70)
+        (Printf.sprintf "exit %d (stderr: %s)" code (String.trim err));
+      check "drift message names the artifact"
+        (contains err "drift" && contains err "ACCURACY.md")
+        (String.trim err));
+
+  (* ---- C. conventions actually steer the estimator ------------------- *)
+  let estimate flags =
+    let code, out, err =
+      run_cli ([ "estimate"; "-b"; "qft:6"; "--format"; "json" ] @ flags)
+    in
+    if code <> 0 then
+      failwith (Printf.sprintf "estimate exit %d: %s" code (String.trim err));
+    Json.to_string (zero_runtime (parse_report out))
+  in
+  check "--conventions fitted and default disagree"
+    (estimate [ "--conventions"; "fitted" ]
+    <> estimate [ "--conventions"; "default" ])
+    "fitted tables resolved the same parameters as the paper defaults";
+  check "explicit --v pins regardless of conventions"
+    (estimate [ "-v"; "0.005"; "--conventions"; "fitted" ]
+    = estimate [ "-v"; "0.005"; "--conventions"; "default" ])
+    "an explicit --v should make conventions irrelevant";
+
+  (* ---- D. typed exit codes ------------------------------------------- *)
+  let code, _, err = run_cli [ "calibrate"; "--rounds=-1" ] in
+  check "negative rounds -> usage error (exit 64)" (code = 64)
+    (Printf.sprintf "exit %d (stderr: %s)" code (String.trim err));
+  let code, _, err = run_cli [ "calibrate"; "--scale"; "0" ] in
+  check "zero scale -> usage error (exit 64)" (code = 64)
+    (Printf.sprintf "exit %d (stderr: %s)" code (String.trim err));
+
+  (* ---- E. the fit trace is well-formed NDJSON ------------------------ *)
+  with_temp_dir (fun root ->
+      mkdir_p root;
+      let trace = Filename.concat root "fit-trace.ndjson" in
+      let code, _, err =
+        run_cli (small_fit @ [ "--fit-trace"; trace ]) in
+      check "fit-trace run -> exit 0" (code = 0)
+        (Printf.sprintf "exit %d (stderr: %s)" code (String.trim err));
+      let lines =
+        String.split_on_char '\n' (slurp trace)
+        |> List.filter (fun l -> String.trim l <> "")
+      in
+      let events =
+        List.filter_map
+          (fun line ->
+            match Json.of_string line with
+            | Ok j -> (
+              match Json.member "event" j with
+              | Some (Json.String e) -> Some e
+              | _ -> None)
+            | Error _ -> None)
+          lines
+      in
+      check "every trace line parses with an event tag"
+        (List.length events = List.length lines && lines <> [])
+        (Printf.sprintf "%d lines, %d tagged events" (List.length lines)
+           (List.length events));
+      List.iter
+        (fun want ->
+          check
+            (Printf.sprintf "trace covers %S" want)
+            (List.mem want events)
+            (String.concat "," (List.sort_uniq compare events)))
+        [ "corpus"; "eval"; "move"; "done" ]);
+
+  Sys.remove out_file;
+  Sys.remove err_file;
+  flush_artifact ();
+  Printf.printf "\n%d checks, %d failures\n%!" !checks !failures;
+  if !failures > 0 then exit 1

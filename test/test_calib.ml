@@ -1,0 +1,205 @@
+(* The calibration subsystem's deterministic core: regime bucketing,
+   the typed parameter space, the checked-in tables, the budget rule,
+   and the %.17g float canon the generated artifacts depend on. *)
+
+module Calib_tables = Leqa_core.Calib_tables
+module Space = Leqa_calib.Space
+module Fit = Leqa_calib.Fit
+module Render = Leqa_calib.Render
+module Fingerprint = Leqa_util.Fingerprint
+module Params = Leqa_fabric.Params
+module Rng = Leqa_util.Rng
+module E = Leqa_util.Error
+
+(* ---- regime bucketing ------------------------------------------------ *)
+
+let test_regime_cuts () =
+  let key ~qubits_ft ~side =
+    Calib_tables.regime_key
+      (Calib_tables.regime_of ~qubits_ft ~width:side ~height:side)
+  in
+  (* utilization 2*50/100 = 1.0 >= 0.5, side 10 <= 16 *)
+  Alcotest.(check string) "crowded-small" "crowded-small"
+    (key ~qubits_ft:50 ~side:10);
+  (* utilization 2*10/100 = 0.2 < 0.5 *)
+  Alcotest.(check string) "spacious-small" "spacious-small"
+    (key ~qubits_ft:10 ~side:10);
+  (* side 17 > 16 *)
+  Alcotest.(check string) "crowded-large" "crowded-large"
+    (key ~qubits_ft:145 ~side:17);
+  Alcotest.(check string) "spacious-large" "spacious-large"
+    (key ~qubits_ft:10 ~side:17);
+  (* the boundary itself is crowded: 2*25/100 = 0.5 *)
+  Alcotest.(check string) "utilization boundary" "crowded-small"
+    (key ~qubits_ft:25 ~side:10);
+  (* side 16 is still small *)
+  Alcotest.(check string) "side boundary" "spacious-small"
+    (key ~qubits_ft:10 ~side:16)
+
+let test_all_regimes_order () =
+  Alcotest.(check (list string))
+    "table order"
+    [ "crowded-small"; "crowded-large"; "spacious-small"; "spacious-large" ]
+    (List.map Calib_tables.regime_key Calib_tables.all_regimes)
+
+(* ---- conventions ----------------------------------------------------- *)
+
+let test_conventions_strings () =
+  List.iter
+    (fun c ->
+      match
+        Calib_tables.conventions_of_string (Calib_tables.conventions_to_string c)
+      with
+      | Ok c' -> Alcotest.(check bool) "round trip" true (c = c')
+      | Error e -> Alcotest.fail (E.to_string e))
+    [ Calib_tables.Default; Calib_tables.Calibrated; Calib_tables.Fitted ];
+  match Calib_tables.conventions_of_string "bogus" with
+  | Ok _ -> Alcotest.fail "bogus conventions accepted"
+  | Error e -> Alcotest.(check int) "usage error" 64 (E.exit_code e)
+
+let test_resolve () =
+  let p = Params.with_fabric Params.default ~width:10 ~height:10 in
+  let d = Calib_tables.resolve ~conventions:Calib_tables.Default ~qubits_ft:10 p in
+  Alcotest.(check (float 0.0)) "default keeps paper v"
+    Params.default.Params.v d.Params.v;
+  let c =
+    Calib_tables.resolve ~conventions:Calib_tables.Calibrated ~qubits_ft:10 p
+  in
+  Alcotest.(check (float 0.0)) "calibrated v"
+    Params.calibrated.Params.v c.Params.v;
+  let f = Calib_tables.resolve ~conventions:Calib_tables.Fitted ~qubits_ft:10 p in
+  let entry =
+    Calib_tables.lookup (Calib_tables.regime_of ~qubits_ft:10 ~width:10 ~height:10)
+  in
+  Alcotest.(check (float 0.0)) "fitted v from table" entry.Calib_tables.e_v
+    f.Params.v;
+  Alcotest.(check (float 0.0)) "fitted t_move from table"
+    entry.Calib_tables.e_t_move f.Params.t_move;
+  (* fabric geometry is never touched by resolution *)
+  Alcotest.(check int) "width kept" 10 f.Params.width;
+  Alcotest.(check int) "height kept" 10 f.Params.height
+
+let test_lookup_total () =
+  (* every regime answers, and the entries came through the %.17g canon *)
+  List.iter
+    (fun r ->
+      let e = Calib_tables.lookup r in
+      let finite x = Float.is_finite x && x > 0.0 in
+      Alcotest.(check bool)
+        (Calib_tables.regime_key r ^ " finite")
+        true
+        (finite e.Calib_tables.e_v
+        && finite e.Calib_tables.e_t_move
+        && finite e.Calib_tables.e_lg_mult
+        && finite e.Calib_tables.e_cong_slope))
+    Calib_tables.all_regimes
+
+(* ---- the parameter space --------------------------------------------- *)
+
+let test_space_bounds () =
+  List.iter
+    (fun axis ->
+      let lo, hi = Space.bounds axis in
+      Alcotest.(check bool)
+        (Space.axis_name axis ^ " bounds ordered")
+        true
+        (0.0 < lo && lo < hi);
+      Alcotest.(check (float 0.0))
+        (Space.axis_name axis ^ " clamp low")
+        lo
+        (Space.clamp axis (lo /. 10.0));
+      Alcotest.(check (float 0.0))
+        (Space.axis_name axis ^ " clamp high")
+        hi
+        (Space.clamp axis (hi *. 10.0));
+      (* both priors sit inside the search box *)
+      List.iter
+        (fun p ->
+          let x = Space.get p axis in
+          Alcotest.(check bool)
+            (Space.axis_name axis ^ " prior in bounds")
+            true
+            (lo <= x && x <= hi))
+        [ Space.prior; Space.paper_default ])
+    Space.axes
+
+let test_space_sample_deterministic () =
+  let draw () = Space.sample (Rng.create ~seed:77) in
+  Alcotest.(check bool) "same seed, same point" true
+    (Space.equal (draw ()) (draw ()));
+  let p = draw () in
+  List.iter
+    (fun axis ->
+      let lo, hi = Space.bounds axis in
+      let x = Space.get p axis in
+      Alcotest.(check bool)
+        (Space.axis_name axis ^ " sample in bounds")
+        true
+        (lo <= x && x <= hi))
+    Space.axes
+
+let test_space_place_round_trip () =
+  let point = Space.sample (Rng.create ~seed:3) in
+  let placed = Space.place point Params.default in
+  Alcotest.(check bool) "of_params inverts place" true
+    (Space.equal point (Space.of_params placed));
+  Alcotest.(check int) "place keeps width" Params.default.Params.width
+    placed.Params.width
+
+(* ---- loss and budget rule -------------------------------------------- *)
+
+let test_loss () =
+  let stats =
+    { Leqa_diff.Harness.obj_mean = 0.04; obj_worst = 0.10; obj_cases = 7 }
+  in
+  Alcotest.(check (float 1e-12)) "mean + worst/2" 0.09 (Fit.loss stats)
+
+let test_budget_pct () =
+  Alcotest.(check int) "floor" 5 (Render.budget_pct 0.001);
+  Alcotest.(check int) "2x worst, rounded up" 13 (Render.budget_pct 0.0601);
+  Alcotest.(check int) "cap" 15 (Render.budget_pct 0.40)
+
+(* ---- %.17g canon: property test -------------------------------------- *)
+
+let float_repr_round_trip =
+  QCheck.Test.make ~count:500 ~name:"float_repr round-trips bitwise"
+    QCheck.float (fun f ->
+      QCheck.assume (Float.is_finite f);
+      let s = Fingerprint.float_repr ~field:"qcheck" f in
+      let back = float_of_string s in
+      (* bitwise equality, except -0.0 canonicalizes to 0 by design *)
+      let same =
+        if f = 0.0 then back = 0.0
+        else Int64.equal (Int64.bits_of_float back) (Int64.bits_of_float f)
+      in
+      (* and the printed form is a fixed point: repr (parse (repr f)) *)
+      same && String.equal s (Fingerprint.float_repr ~field:"qcheck" back))
+
+let test_float_repr_edges () =
+  Alcotest.(check string) "-0.0 collapses" "0"
+    (Fingerprint.float_repr ~field:"edge" (-0.0));
+  (match Fingerprint.float_repr ~field:"edge" Float.nan with
+  | _ -> Alcotest.fail "nan accepted"
+  | exception E.Error e ->
+    Alcotest.(check int) "nan is a usage error" 64 (E.exit_code e));
+  match Fingerprint.float_repr ~field:"edge" Float.infinity with
+  | _ -> Alcotest.fail "inf accepted"
+  | exception E.Error _ -> ()
+
+let suite =
+  [
+    Alcotest.test_case "regime cuts" `Quick test_regime_cuts;
+    Alcotest.test_case "all_regimes order" `Quick test_all_regimes_order;
+    Alcotest.test_case "conventions strings" `Quick test_conventions_strings;
+    Alcotest.test_case "resolve per conventions" `Quick test_resolve;
+    Alcotest.test_case "lookup total over regimes" `Quick test_lookup_total;
+    Alcotest.test_case "space bounds and clamp" `Quick test_space_bounds;
+    Alcotest.test_case "space sample deterministic" `Quick
+      test_space_sample_deterministic;
+    Alcotest.test_case "space place round-trip" `Quick
+      test_space_place_round_trip;
+    Alcotest.test_case "loss = mean + worst/2" `Quick test_loss;
+    Alcotest.test_case "budget rule clamps" `Quick test_budget_pct;
+    QCheck_alcotest.to_alcotest float_repr_round_trip;
+    Alcotest.test_case "float_repr edge cases" `Quick test_float_repr_edges;
+  ]

@@ -233,7 +233,9 @@ let test_eq12_no_cnots () =
   feq 1e-9 "zero" 0.0 (Routing_latency.d_uncongested ~v:0.001 iig)
 
 let test_eq8_delays_array () =
-  let delays = Routing_latency.congested_delays ~d_uncong:500.0 ~nc:5 ~qmax:10 in
+  let delays =
+    Routing_latency.congested_delays ~d_uncong:500.0 ~nc:5 ~qmax:10 ()
+  in
   Alcotest.(check int) "10 entries" 10 (Array.length delays);
   for q = 1 to 5 do
     feq 1e-9 (Printf.sprintf "q=%d uncongested" q) 500.0 delays.(q - 1)

@@ -134,6 +134,50 @@ let test_domain_cache_hammer () =
         Alcotest.failf "only %d misses for %d fresh keys"
           (c "binomial.table.miss") k)
 
+(* ---- calibration: corpus and objective are pool-width invariant ------ *)
+
+(* one small suite bench plus two seeded random circuits keeps the QSPR
+   half of the corpus build well under a second *)
+let small_corpus ~pool =
+  Leqa_diff.Harness.training_corpus ~benches:[ "8bitadder" ] ~random_count:2
+    ~seed:11 ~pool ()
+
+let corpus_key (c : Leqa_diff.Harness.training_case) =
+  Printf.sprintf "%s %dx%d q%d w%d sim:%Lx" c.Leqa_diff.Harness.t_case.Leqa_diff.Diff.label
+    c.Leqa_diff.Harness.t_case.Leqa_diff.Diff.width
+    c.Leqa_diff.Harness.t_case.Leqa_diff.Diff.height
+    c.Leqa_diff.Harness.t_qubits_ft c.Leqa_diff.Harness.t_weight
+    (Int64.bits_of_float c.Leqa_diff.Harness.t_simulated_us)
+
+let test_calib_corpus_width_identical () =
+  let at jobs = with_pool ~jobs (fun pool -> small_corpus ~pool) in
+  let c1 = at 1 and c4 = at 4 in
+  Alcotest.(check (list string))
+    "corpus identical at jobs 1 and jobs 4"
+    (List.map corpus_key c1) (List.map corpus_key c4);
+  Alcotest.(check bool) "corpus nonempty" true (c1 <> [])
+
+let test_calib_objective_width_identical () =
+  let corpus = with_pool ~jobs:1 (fun pool -> small_corpus ~pool) in
+  let candidate = Leqa_calib.Space.sample (Leqa_util.Rng.create ~seed:5) in
+  let eval ~pool =
+    Leqa_diff.Harness.objective ~pool
+      ~params_for:(fun (c : Leqa_diff.Harness.training_case) ->
+        let p =
+          Params.with_fabric Params.default
+            ~width:c.Leqa_diff.Harness.t_case.Leqa_diff.Diff.width
+            ~height:c.Leqa_diff.Harness.t_case.Leqa_diff.Diff.height
+        in
+        Leqa_calib.Space.place candidate p)
+      corpus
+  in
+  let s1 = with_pool ~jobs:1 (fun pool -> eval ~pool) in
+  let s4 = with_pool ~jobs:4 (fun pool -> eval ~pool) in
+  if s1 <> s4 then
+    Alcotest.fail "calibration objective differs between jobs 1 and 4";
+  Alcotest.(check int) "every case scored"
+    (List.length corpus) s1.Leqa_diff.Harness.obj_cases
+
 let suite =
   [
     Alcotest.test_case "estimate report bytes: jobs 1 = jobs 4" `Quick
@@ -144,4 +188,8 @@ let suite =
       test_monte_carlo_width_identical;
     Alcotest.test_case "domain cache counters balance under 4 domains" `Quick
       test_domain_cache_hammer;
+    Alcotest.test_case "calibration corpus: jobs 1 = jobs 4" `Quick
+      test_calib_corpus_width_identical;
+    Alcotest.test_case "calibration objective: jobs 1 = jobs 4" `Quick
+      test_calib_objective_width_identical;
   ]

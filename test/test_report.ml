@@ -40,6 +40,7 @@ let breakdown =
     qubits = 4;
     operations = 10;
     degraded = false;
+    params_used = params;
   }
 
 let estimate_report =
@@ -63,7 +64,8 @@ let estimate_report =
 let estimate_golden =
   "{\"schema_version\":\"leqa/report/v1\",\"command\":\"estimate\",\
    \"estimate\":{\"params\":{\"width\":10,\"height\":10,\"v\":0.25,\
-   \"nc\":5,\"topology\":\"grid\",\"t_move_us\":100},\"breakdown\":{\
+   \"nc\":5,\"topology\":\"grid\",\"t_move_us\":100,\"lg_mult\":1,\
+   \"cong_slope\":1},\"breakdown\":{\
    \"latency_s\":0.5,\"latency_us\":500000,\"avg_zone_area\":9,\
    \"zone_clamped\":false,\"d_uncong_us\":100,\"l_cnot_avg_us\":120.5,\
    \"l_single_avg_us\":200,\"qubits\":4,\"operations\":10,\

@@ -44,8 +44,9 @@ let test_parse_defaults_match_cli () =
       p.Protocol.width;
     Alcotest.(check int) "height default" d.Leqa_fabric.Params.height
       p.Protocol.height;
-    Alcotest.(check (float 0.0)) "v default (calibrated)"
-      Leqa_fabric.Params.calibrated.Leqa_fabric.Params.v p.Protocol.v;
+    Alcotest.(check bool) "v defaults to unpinned" true (p.Protocol.v = None);
+    Alcotest.(check bool) "conventions default to fitted" true
+      (p.Protocol.conventions = Leqa_core.Calib_tables.Fitted);
     Alcotest.(check int) "terms default" 20 p.Protocol.terms;
     Alcotest.(check bool) "no deadline" true (p.Protocol.deadline_s = None)
   | _ -> Alcotest.fail "expected an estimate body"
@@ -142,7 +143,8 @@ let test_request_round_trip () =
               Protocol.source = Source.Bench { name = "qft:8"; scale = 1.0 };
               width = 40;
               height = 30;
-              v = 0.004;
+              v = Some 0.004;
+              conventions = Leqa_core.Calib_tables.Fitted;
               terms = 12;
               deadline_s = Some 1.5;
             };
@@ -154,7 +156,7 @@ let test_request_round_trip () =
           Protocol.Sweep_fabric
             {
               Protocol.sw_source = Source.Inline ".v a\n.i a\nt1 a\n";
-              sw_v = 0.003;
+              sw_v = Some 0.003;
               sw_sizes = [ 10; 20 ];
               sw_deadline_s = None;
             };
@@ -281,7 +283,8 @@ let estimate_req i =
           Protocol.source = Source.Bench { name = "qft:5"; scale = 1.0 };
           width = Leqa_fabric.Params.default.Leqa_fabric.Params.width;
           height = Leqa_fabric.Params.default.Leqa_fabric.Params.height;
-          v = Leqa_fabric.Params.calibrated.Leqa_fabric.Params.v;
+          v = Some Leqa_fabric.Params.calibrated.Leqa_fabric.Params.v;
+          conventions = Leqa_core.Calib_tables.Fitted;
           terms = 20;
           deadline_s = None;
         };
@@ -314,7 +317,8 @@ let test_engine_error_responses () =
             Protocol.source = Source.Bench { name = "no-such"; scale = 1.0 };
             width = 10;
             height = 10;
-            v = 0.005;
+            v = Some 0.005;
+            conventions = Leqa_core.Calib_tables.Fitted;
             terms = 20;
             deadline_s = None;
           };

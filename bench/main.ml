@@ -2069,9 +2069,15 @@ let chaos_bench ~scale ~out () =
    once incrementally on the live Delta session and once from scratch
    (fresh IIG build + full critical-path fold + coverage integral over
    the same FT gates).  The two breakdowns must agree bit-for-bit;
-   aggregate speedup must be >= 5x.  Writes BENCH_PR8.json with a
-   `serve` section from the multi-connection open-loop load client
-   (saturation req/s and p99 under overload).  *)
+   aggregate speedup must be >= 5x for single-qubit frontier batches
+   and >= 4x for CNOT-bearing ones (whose delay-signature change used
+   to discard every checkpoint; the fold must now re-base instead of
+   refolding from gate 0).  Writes BENCH_PR10.json with a `serve`
+   section from the multi-connection open-loop load client (saturation
+   req/s and p99 under overload) and, when a BENCH_PR6.json sits next
+   to it (the CI delta job runs `bench perf` first), the PR 6 speedup
+   gate's verdict — the first record of that gate actually firing on a
+   multi-core runner.  *)
 let delta_bench ~scale ~out () =
   let module Delta = Leqa_core.Delta in
   let module Ft_gate = Leqa_circuit.Ft_gate in
@@ -2113,10 +2119,8 @@ let delta_bench ~scale ~out () =
              IIG — and so the routing-latency averages and the fold's
              delay signature — untouched, which is exactly what lets
              the critical-path fold resume from a checkpoint instead of
-             replaying all n gates.  A batch that adds or removes a
-             CNOT perturbs the signature and refolds from scratch;
-             correctness of that path is delta_smoke's job, and its
-             cost is the full path's by construction. *)
+             replaying all n gates.  Batches that touch the CNOT delay
+             get their own measured section (and >= 4x gate) below. *)
           let rnd k = Random.State.int rng k in
           let w = Delta.num_wires live in
           for _ = 1 to edits_per_round - 2 do
@@ -2188,6 +2192,138 @@ let delta_bench ~scale ~out () =
   let speedup_ok = speedup >= 5.0 in
   Printf.printf "aggregate estimate-delta speedup: %.1fx   within >= 5x target: %b\n"
     speedup speedup_ok;
+  (* CNOT-bearing frontier batches: the regression this bench now pins.
+     Two of the eight edits splice CNOTs in near the frontier, so the
+     CNOT delay — and with it the fold's delay signature — changes
+     every round.  Before re-basable checkpoints that discarded every
+     checkpoint and refolded from gate 0; now the fold re-bases the
+     stored per-kind counts in O(kinds) and resumes, so the batch must
+     still beat a cold re-estimate by >= 4x. *)
+  let cnot_incr_total = ref 0.0 in
+  let cnot_full_total = ref 0.0 in
+  let rebased_rounds = ref 0 in
+  let cnot_total_rounds = ref 0 in
+  let cnot_rows =
+    List.map
+      (fun name ->
+        let circuit =
+          match Source.load (Source.Bench { name; scale = 1.0 }) with
+          | Ok c -> c
+          | Error e ->
+            prerr_endline ("delta: " ^ Leqa_util.Error.to_string e);
+            exit 2
+        in
+        let live = Delta.of_ft_circuit (Decompose.to_ft circuit) in
+        ignore (Delta.estimate ~config ~params live);
+        let bench_incr = ref 0.0 and bench_full = ref 0.0 in
+        for _round = 1 to rounds do
+          let rnd k = Random.State.int rng k in
+          let w = Delta.num_wires live in
+          for _ = 1 to edits_per_round - 2 do
+            let kind = [| Ft_gate.T; Ft_gate.H; Ft_gate.S; Ft_gate.Tdg |].(rnd 4) in
+            Delta.apply live
+              (Delta.Add_gate
+                 { at = None; gate = Ft_gate.Single (kind, rnd w) })
+          done;
+          (* the two edits that used to invalidate every checkpoint *)
+          for _ = 1 to 2 do
+            let control = rnd w in
+            let target = (control + 1 + rnd (w - 1)) mod w in
+            let n = Delta.gate_count live in
+            Delta.apply live
+              (Delta.Add_gate
+                 {
+                   at = Some (n - rnd (min 8 n));
+                   gate = Ft_gate.Cnot { control; target };
+                 })
+          done;
+          let ft_now = Decompose.to_ft (Delta.to_circuit live) in
+          ignore (Delta.estimate ~config ~params (Delta.of_ft_circuit ft_now));
+          let (est_incr, stats), dt_incr =
+            Timing.time (fun () -> Delta.estimate ~config ~params live)
+          in
+          incr cnot_total_rounds;
+          if stats.Delta.ds_fold_rebased then incr rebased_rounds;
+          bench_incr := !bench_incr +. dt_incr;
+          let est_full, dt_full =
+            Timing.time (fun () ->
+                let cold = Delta.of_ft_circuit ft_now in
+                fst (Delta.estimate ~config ~params cold))
+          in
+          bench_full := !bench_full +. dt_full;
+          if est_incr <> est_full then begin
+            Printf.eprintf
+              "FAIL: delta/full breakdown mismatch on %s (CNOT batch)\n" name;
+            exit 1
+          end
+        done;
+        cnot_incr_total := !cnot_incr_total +. !bench_incr;
+        cnot_full_total := !cnot_full_total +. !bench_full;
+        let speedup = !bench_full /. Float.max 1e-9 !bench_incr in
+        Printf.printf
+          "%-12s  %5d gates  %2d rounds  incr %7.3f ms/round  full %7.3f \
+           ms/round  %5.1fx  [cnot]\n"
+          name (Delta.gate_count live) rounds
+          (1e3 *. !bench_incr /. float_of_int rounds)
+          (1e3 *. !bench_full /. float_of_int rounds)
+          speedup;
+        Json.Obj
+          [
+            ("bench", Json.String name);
+            ("gates", Json.Int (Delta.gate_count live));
+            ("rounds", Json.Int rounds);
+            ("incr_ms_per_round", Json.Float (1e3 *. !bench_incr /. float_of_int rounds));
+            ("full_ms_per_round", Json.Float (1e3 *. !bench_full /. float_of_int rounds));
+            ("speedup", Json.Float speedup);
+          ])
+      benches
+  in
+  let cnot_speedup = !cnot_full_total /. Float.max 1e-9 !cnot_incr_total in
+  (* the gate is only meaningful if the re-based path actually carried
+     the rounds: a zero count would mean we timed the old refold *)
+  let cnot_ok = cnot_speedup >= 4.0 && !rebased_rounds > 0 in
+  Printf.printf
+    "aggregate CNOT-batch speedup: %.1fx  (%d/%d rounds re-based)   within >= \
+     4x target: %b\n"
+    cnot_speedup !rebased_rounds !cnot_total_rounds cnot_ok;
+  (* the PR 6 speedup gate's verdict, if the perf bench ran first in
+     this directory: every local BENCH_PR6.json ever written said
+     "skipped (single core)", so CI copies the first real multi-core
+     verdict here where the delta job's artifact upload preserves it *)
+  let pr6_gate =
+    let path =
+      Option.value (Sys.getenv_opt "LEQA_PR6_JSON") ~default:"BENCH_PR6.json"
+    in
+    if not (Sys.file_exists path) then
+      Json.Obj
+        [
+          ("status", Json.String "not measured (no BENCH_PR6.json)");
+          ("source", Json.String path);
+        ]
+    else
+      let ic = open_in path in
+      let text = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      match Json.of_string (String.trim text) with
+      | Ok j -> (
+        match Json.member "speedup_gate" j with
+        | Some gate ->
+          Printf.printf "pr6 speedup gate (from %s): %s\n" path
+            (Json.to_string gate);
+          Json.Obj [ ("source", Json.String path); ("verdict", gate) ]
+        | None ->
+          Json.Obj
+            [
+              ("status", Json.String "unreadable (no speedup_gate member)");
+              ("source", Json.String path);
+            ])
+      | Error e ->
+        Json.Obj
+          [
+            ("status", Json.String ("unreadable: " ^ e));
+            ("source", Json.String path);
+          ]
+  in
   (* the serve section: saturation throughput and p99-under-overload of
      a live server, measured by the open-loop multi-connection client *)
   let serve_section =
@@ -2283,7 +2419,7 @@ let delta_bench ~scale ~out () =
   let json =
     Json.Obj
       [
-        ("pr", Json.Int 8);
+        ("pr", Json.Int 10);
         ("label", Json.String "incremental re-estimation");
         ("smoke", Json.Bool smoke);
         ("edits_per_round", Json.Int edits_per_round);
@@ -2297,6 +2433,19 @@ let delta_bench ~scale ~out () =
               ("speedup", Json.Float speedup);
               ("within_target", Json.Bool speedup_ok);
             ] );
+        ( "cnot",
+          Json.Obj
+            [
+              ("edit_profile", Json.String "frontier-singles+2cnot");
+              ("rows", Json.List cnot_rows);
+              ("incr_total_s", Json.Float !cnot_incr_total);
+              ("full_total_s", Json.Float !cnot_full_total);
+              ("speedup", Json.Float cnot_speedup);
+              ("rebased_rounds", Json.Int !rebased_rounds);
+              ("rounds_total", Json.Int !cnot_total_rounds);
+              ("within_target", Json.Bool cnot_ok);
+            ] );
+        ("pr6_perf_gate", pr6_gate);
         ("serve", serve_section);
       ]
   in
@@ -2304,6 +2453,11 @@ let delta_bench ~scale ~out () =
   Printf.printf "[wrote %s]\n" out;
   if not speedup_ok then begin
     prerr_endline "FAIL: estimate-delta speedup below the 5x target";
+    exit 1
+  end;
+  if not cnot_ok then begin
+    prerr_endline
+      "FAIL: CNOT-batch speedup below the 4x target (or no round re-based)";
     exit 1
   end
 
@@ -2510,7 +2664,7 @@ let () =
   let perf_out = Option.value out ~default:"BENCH_PR6.json" in
   let serve_out = Option.value out ~default:"BENCH_PR4.json" in
   let chaos_out = Option.value out ~default:"BENCH_PR7.json" in
-  let delta_out = Option.value out ~default:"BENCH_PR8.json" in
+  let delta_out = Option.value out ~default:"BENCH_PR10.json" in
   let calib_out = Option.value out ~default:"BENCH_PR9.json" in
   let maybe_dump rows =
     match !json_path with

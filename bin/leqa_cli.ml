@@ -405,9 +405,20 @@ let compare_cmd =
     handle fmt @@ fun () ->
     apply_jobs jobs;
     emit ~command:"compare" ~trace fmt @@ fun telemetry ->
-    let _, ft, qodg = prepare_traced telemetry fmt ~file ~bench ~scale in
     let params = or_fail fmt (params_of ~width ~height ~v) in
     let conventions = resolve_conventions ~v ~conventions in
+    (* the estimator side streams (bounded O(wires) frontier, breakdown
+       bit-identical to the materialized path) and retires before the
+       reference mapper materializes the QODG below — peak residency is
+       the mapper's alone, never both at once (gf2^256mult's ~983k FT
+       ops used to be resident twice over) *)
+    let est, leqa_t =
+      Leqa_util.Timing.time (fun () ->
+          (Estimator.estimate_stream ~telemetry ?conventions ~params
+             (gate_stream_of fmt ~file ~bench ~scale))
+            .Estimator.stream_breakdown)
+    in
+    let _, ft, qodg = prepare_traced telemetry fmt ~file ~bench ~scale in
     let qspr_config =
       { Qspr.default_config with Qspr.params = { params with Params.v = Params.default.Params.v } }
     in
@@ -419,10 +430,6 @@ let compare_cmd =
           Qspr.run_validated ~config:qspr_config ~telemetry
             ?deadline:(Option.map (fun seconds -> Pool.Deadline.after ~seconds) timeout)
             qodg)
-    in
-    let est, leqa_t =
-      Leqa_util.Timing.time (fun () ->
-          Estimator.estimate ?conventions ~params qodg)
     in
     Report.make ~command:"compare" ~ft ~telemetry
       (Report.Compare
@@ -1146,6 +1153,12 @@ let serve_cmd =
           reject_overflow;
           session_cap;
           session_ttl_s = session_ttl;
+          (* pid-spaced handle sequences: a restarted server (or a
+             sibling worker sharing the journal dir) never re-mints a
+             dead process's handle, so an old handle can only resolve
+             via its journal — the replay path, never a fresh session
+             that happens to collide *)
+          session_nonce = Unix.getpid ();
         }
       in
       let store =
@@ -1865,6 +1878,7 @@ let session_cmd =
                    delta_coverage_reused = ds.Leqa_core.Delta.ds_coverage_reused;
                    delta_fold_restart = ds.Leqa_core.Delta.ds_fold_restart;
                    delta_fold_gates = ds.Leqa_core.Delta.ds_fold_gates;
+                   delta_fold_rebased = ds.Leqa_core.Delta.ds_fold_rebased;
                    delta_gates_total = ds.Leqa_core.Delta.ds_gates_total;
                  })
           in

@@ -39,7 +39,6 @@ type t = {
   mutable dirty_from : int;  (* min edited position since last fold *)
   dirty_qubits : (int, unit) Hashtbl.t;  (* IIG rows touched by edits *)
   mutable checkpoints : Stream.checkpoint list;  (* descending position *)
-  mutable delay_sig : float array;  (* per-kind delays of the last fold *)
   mutable coverage_key : (Params.topology * float * int * int * int * int) option;
   mutable edits_applied : int;
 }
@@ -66,7 +65,6 @@ let of_ft_circuit ft =
     dirty_from = 0;  (* nothing folded yet *)
     dirty_qubits = Hashtbl.create 16;
     checkpoints = [];
-    delay_sig = [||];
     coverage_key = None;
     edits_applied = 0;
   }
@@ -209,56 +207,50 @@ let apply t edit =
 
 (* ---- the incremental fold ---------------------------------------- *)
 
-(* The routing-augmented [delay] is a pure function of the gate *kind*
-   (fabric delays plus l_cnot_avg / l_single_avg), so nine samples pin
-   it down exactly; checkpoints from a previous fold are reusable iff
-   the signature matches bitwise. *)
-let signature ~delay =
-  Array.of_list
-    (delay (Ft_gate.Cnot { control = 0; target = 1 })
-    :: List.map (fun k -> delay (Ft_gate.Single (k, 0))) Ft_gate.all_single_kinds)
-
-let sig_equal a b =
-  Array.length a = Array.length b
-  &&
-  let ok = ref true in
-  Array.iteri
-    (fun i x ->
-      if not (Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float b.(i)))
-      then ok := false)
-    a;
-  !ok
-
 let checkpoint_stride t = max 256 (t.n / 16)
 let max_checkpoints = 32
 
 type fold_stats = {
   fold_restart : int;  (* position the fold restarted from *)
   fold_gates : int;  (* gates re-fed through the frontier *)
+  fold_rebased : bool;  (* restart frontier was re-based to a moved CNOT delay *)
 }
 
+(* Restart the routing-augmented critical-path fold from the nearest
+   checkpoint at or before the first edited position.  Each checkpoint
+   carries the per-kind delay vector it was folded under
+   (Stream.resume): a bitwise match restores it as-is; a change confined
+   to the CNOT coordinate — the common case, since any CNOT edit moves
+   avg_zone_area and hence l_cnot_avg — re-bases the frontier in
+   O(kinds·wires); anything else refolds from gate 0 with a fresh
+   envelope-tracking frontier.  Checkpoints from several delay epochs
+   therefore coexist in the list and stay useful. *)
 let fold t ~delay =
-  let sg = signature ~delay in
-  let valid = sig_equal sg t.delay_sig in
-  if not valid then t.checkpoints <- [];
-  let restart, ck =
+  let restart, resumed =
     let rec pick = function
       | [] -> (0, None)
-      | c :: rest ->
-        if Stream.checkpoint_gates c <= t.dirty_from then
-          (Stream.checkpoint_gates c, Some c)
-        else pick rest
+      | c :: rest -> (
+        if Stream.checkpoint_gates c > t.dirty_from then pick rest
+        else
+          match Stream.resume ~delay c with
+          | `Resumed st -> (Stream.checkpoint_gates c, Some (st, false))
+          | `Rebased st -> (Stream.checkpoint_gates c, Some (st, true))
+          | `Refold -> pick rest)
     in
     pick t.checkpoints
+  in
+  let st, rebased =
+    match resumed with
+    | Some (st, rebased) -> (st, rebased)
+    | None ->
+      (* no usable checkpoint under the new delays: the stale list
+         would only be retried (and re-refused) on every future fold *)
+      t.checkpoints <- [];
+      (Stream.create ~track:true ~delay (), false)
   in
   (* checkpoints past the restart position describe the stale suffix *)
   t.checkpoints <-
     List.filter (fun c -> Stream.checkpoint_gates c <= restart) t.checkpoints;
-  let st =
-    match ck with
-    | Some c -> Stream.of_checkpoint ~delay c
-    | None -> Stream.create ~delay
-  in
   let stride = checkpoint_stride t in
   let next = ref (restart + stride) in
   for i = restart to t.n - 1 do
@@ -272,8 +264,7 @@ let fold t ~delay =
      position and later checkpoints are the useful ones, so truncate *)
   if List.length t.checkpoints > max_checkpoints then
     t.checkpoints <- List.filteri (fun i _ -> i < max_checkpoints) t.checkpoints;
-  t.delay_sig <- sg;
-  ({ fold_restart = restart; fold_gates = t.n - restart },
+  ({ fold_restart = restart; fold_gates = t.n - restart; fold_rebased = rebased },
    Stream.result st ~num_qubits:t.wires)
 
 let rebuild_iig t =
@@ -294,6 +285,7 @@ type delta_stats = {
   ds_coverage_reused : bool;  (* E[S_q] memo key unchanged *)
   ds_fold_restart : int;
   ds_fold_gates : int;
+  ds_fold_rebased : bool;  (* checkpoint re-based to a moved CNOT delay *)
   ds_gates_total : int;
 }
 
@@ -314,7 +306,9 @@ let estimate ?config ?deadline ?telemetry ?conventions
     t.checkpoints <- []
   end;
   let avg_zone_area = Presence_zone.average_area t.iig in
-  let fold_stats = ref { fold_restart = 0; fold_gates = t.n } in
+  let fold_stats =
+    ref { fold_restart = 0; fold_gates = t.n; fold_rebased = false }
+  in
   let breakdown =
     Estimator.estimate_core ?config ?deadline ?telemetry ?conventions ~params
       ~iig:t.iig ~qubits:t.wires ~avg_zone_area ~operations:t.n
@@ -341,6 +335,13 @@ let estimate ?config ?deadline ?telemetry ?conventions
   t.dirty_from <- clean;
   Hashtbl.reset t.dirty_qubits;
   t.edits_applied <- 0;
+  if !fold_stats.fold_rebased then begin
+    let tele =
+      match telemetry with Some tl -> tl | None -> Leqa_util.Telemetry.noop
+    in
+    Leqa_util.Telemetry.count tele "delta.fold_rebased";
+    Leqa_util.Telemetry.ambient_count "delta.fold_rebased"
+  end;
   ( breakdown,
     {
       ds_edits = edits;
@@ -349,5 +350,6 @@ let estimate ?config ?deadline ?telemetry ?conventions
       ds_coverage_reused = coverage_reused;
       ds_fold_restart = !fold_stats.fold_restart;
       ds_fold_gates = !fold_stats.fold_gates;
+      ds_fold_rebased = !fold_stats.fold_rebased;
       ds_gates_total = t.n;
     } )

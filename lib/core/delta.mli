@@ -10,8 +10,12 @@
     every float aggregate is recomputed by the cold path's own code in
     the cold path's own order, and only the O(gates) critical-path fold
     is restarted from the nearest checkpoint at or before the first
-    edited position (full refold when the routing-augmented delays
-    changed, e.g. after a fabric or IIG change).  When an edit batch
+    edited position.  Checkpoints survive delay changes confined to the
+    CNOT coordinate — the signature a CNOT edit moves through
+    [avg_zone_area] — by {e re-basing} the frontier from per-kind gate
+    counts ({!Leqa_qodg.Stream.resume}); a full refold happens only when
+    a single-kind delay moves (fabric or regime change) or exact float
+    agreement cannot be reconstructed.  When an edit batch
     dirties more than [fallback_dirty_fraction] of the wires, the IIG is
     transparently rebuilt from the gate list instead (the dirty-set
     fall-back rule). *)
@@ -39,8 +43,9 @@ val apply : t -> edit -> unit
     place and widening the dirty window.
     @raise Leqa_util.Error.Error with [Usage_error] on out-of-range
     positions, negative indices, self-loop CNOTs, or a remap that would
-    collapse a CNOT into a self-loop — the state is unchanged on
-    rejection except that a partially-validated remap never is. *)
+    collapse a CNOT into a self-loop — rejection is atomic: every edit,
+    including a remap, validates completely before mutating anything, so
+    a rejected edit leaves the state byte-for-byte untouched. *)
 
 val gate_count : t -> int
 val num_wires : t -> int
@@ -69,6 +74,10 @@ type delta_stats = {
       (** gate position the critical-path fold restarted from (0 = full
           refold) *)
   ds_fold_gates : int;  (** gates re-fed through the frontier *)
+  ds_fold_rebased : bool;
+      (** the restart checkpoint's frontier was re-based to a moved CNOT
+          delay rather than restored bitwise (counted as
+          [delta.fold_rebased] in telemetry) *)
   ds_gates_total : int;
 }
 
@@ -88,6 +97,6 @@ val estimate :
 (** Estimate the current circuit, reusing everything the edits since
     the last call did not invalidate.  Clears the dirty window.
     [conventions] resolves the free parameters exactly as a cold
-    {!Estimator.estimate} would (the delay-signature check invalidates
-    checkpoints if an edit moves the circuit across a regime
-    boundary). *)
+    {!Estimator.estimate} would (a regime crossing that moves a
+    single-kind delay still invalidates checkpoints; a CNOT-delay-only
+    move re-bases them). *)

@@ -168,13 +168,23 @@ let estimate_core ?(config = Config.default)
         params_used = params;
       })
 
+(* The materialized critical path also runs through the streaming fold:
+   feeding the QODG's program order keeps the float accumulation
+   (grouped per-kind dot products) identical across the materialized,
+   streamed and incremental estimator paths, so all three stay
+   bit-for-bit interchangeable. *)
+let critical_of_qodg qodg ~delay =
+  let frontier = Leqa_qodg.Stream.create ~delay () in
+  Qodg.iter_ops (fun _ g -> Leqa_qodg.Stream.feed frontier g) qodg;
+  Leqa_qodg.Stream.result frontier ~num_qubits:(Qodg.num_qubits qodg)
+
 let estimate_prepared ?config ?deadline ?telemetry ?conventions ~params prep =
   let qodg = prep.prep_qodg in
   estimate_core ?config ?deadline ?telemetry ?conventions ~params
     ~iig:prep.iig ~qubits:prep.prep_qubits
     ~avg_zone_area:prep.prep_avg_zone_area
     ~operations:(Qodg.num_nodes qodg - 2)
-    ~critical_of_delay:(fun ~delay -> Critical_path.compute qodg ~delay)
+    ~critical_of_delay:(critical_of_qodg qodg)
     ()
 
 let estimate ?config ?deadline ?(telemetry = Telemetry.noop) ?conventions
@@ -299,7 +309,7 @@ let estimate_stream ?config ?deadline ?(telemetry = Telemetry.noop)
         estimate_core ?config ?deadline ~telemetry ?conventions ~params ~iig
           ~qubits ~avg_zone_area ~operations:!gates
           ~critical_of_delay:(fun ~delay ->
-            let frontier = Leqa_qodg.Stream.create ~delay in
+            let frontier = Leqa_qodg.Stream.create ~delay () in
             ignore (stream (Leqa_qodg.Stream.feed frontier));
             peak := Leqa_qodg.Stream.peak_live frontier;
             Leqa_qodg.Stream.result frontier ~num_qubits:qubits)

@@ -51,16 +51,25 @@ let crash_kind = function
 let run_case ?deadline_s ?(telemetry = Leqa_util.Telemetry.noop)
     ?(conventions = Leqa_core.Calib_tables.Fitted) case =
   Leqa_util.Telemetry.span telemetry "diff.case" @@ fun () ->
-  let ft = Leqa_circuit.Decompose.to_ft case.circuit in
-  let qodg = Leqa_qodg.Qodg.of_ft_circuit ft in
   let params =
     Params.with_fabric Params.calibrated ~width:case.width ~height:case.height
   in
+  (* the estimator side streams (bounded O(wires) frontier, breakdown
+     bit-identical to the materialized path); only the reference mapper
+     — which needs the whole dependence DAG — materializes, and it does
+     so after the streamed estimate has already retired its frontier,
+     so the harness's peak residency is the mapper's, never both *)
   let estimate =
-    match Estimator.estimate ~conventions ~params qodg with
-    | b -> Ok b
+    match
+      Estimator.estimate_stream ~telemetry ~conventions ~params
+        (Estimator.stream_of_circuit case.circuit)
+    with
+    | s -> Ok s.Estimator.stream_breakdown
     | exception E.Error err -> Error (Estimator_error (E.kind err))
     | exception exn -> Error (Estimator_error (crash_kind exn))
+  in
+  let qodg =
+    Leqa_qodg.Qodg.of_ft_circuit (Leqa_circuit.Decompose.to_ft case.circuit)
   in
   (* same convention as [leqa compare]: the estimator runs with the
      fitted regime tables by default, the reference mapper always with

@@ -4,12 +4,20 @@ module Ft_gate = Leqa_circuit.Ft_gate
    in program order, without materializing the circuit, the DAG or the
    per-node dist/parent arrays.
 
-   The materialized path (Qodg.of_ft_circuit + Critical_path.compute)
-   resolves ties by scanning each node's predecessors in descending
-   node-id order with a strict > test, so among equal-dist predecessors
-   the highest node id wins.  The per-wire frontier below replicates
-   that exactly — max dist first, then max node id — which is what makes
-   the streamed result bit-for-bit identical to the materialized one.
+   The fold resolves ties exactly as the materialized sweep does — max
+   dist first, then max node id — so every estimator path (materialized,
+   streamed, incremental) runs this one fold and produces bit-identical
+   results.
+
+   Distances are *grouped*: the routing-augmented delay is a pure
+   function of the gate kind, so a chain's distance is the dot product
+   of its per-kind operation counts with the per-kind delay vector,
+   evaluated in one canonical order (single kinds by index, CNOTs last).
+   That makes a chain a line  s + c·t  in the CNOT delay t (s = the
+   singles part, c = the CNOT count), which is what lets a checkpoint be
+   *re-based* in O(kinds) when an edit moves only the CNOT delay
+   (DESIGN.md §12): the same dot product evaluated under the new delay
+   reconstructs the exact distance a cold fold would compute.
 
    Memory: one [entry] per *live* frontier record.  A record dies as
    soon as every wire that pointed at it has been overwritten by later
@@ -18,26 +26,76 @@ module Ft_gate = Leqa_circuit.Ft_gate
    count; [peak_live] reports the high-water mark for the
    qodg.stream.peak_gates gauge. *)
 
+let n_single_kinds = List.length Ft_gate.all_single_kinds
+
+(* A candidate chain ending at an entry's node, summarized as the line
+   s + c·t: [c_s] is the singles dot product under the fold's single
+   delays, [c_cnots] the slope.  Lines are deduplicated; [c_mixed]
+   records that more than one distinct per-kind composition landed on
+   the same line (possible when two single kinds share a delay), in
+   which case the composition is only trustworthy if it is the winner
+   track's own. *)
+type cand = {
+  c_cnots : int;
+  c_singles : int array;
+  c_s : float;
+  c_mixed : bool;
+}
+
 type entry = {
   dist : float;  (* longest-path distance through this gate, node weight included *)
   node : int;  (* QODG node id: gate i (0-based) is node i + 1 *)
   cnots : int;  (* critical-path tallies accumulated along the best chain *)
   singles : int array;
   mutable rc : int;  (* wire slots currently pointing here *)
+  cands : cand list;  (* upper envelope of every chain to [node]; [] untracked *)
+  complete : bool;  (* [cands] covers every chain (no cap overflow upstream) *)
 }
 
 type t = {
-  delay : Ft_gate.t -> float;
+  cnot_delay : float;
+  single_delays : float array;  (* by Ft_gate.single_kind_index *)
+  track : bool;
   mutable frontier : entry option array;  (* None = the start node *)
   mutable gates : int;
   mutable live : int;
   mutable peak : int;
 }
 
-let n_single_kinds = List.length Ft_gate.all_single_kinds
+(* more candidate lines than this on one wire and the envelope stops
+   claiming completeness: a later re-base refuses and refolds instead *)
+let max_cands = 48
 
-let create ~delay =
-  { delay; frontier = Array.make 16 None; gates = 0; live = 0; peak = 0 }
+let probe_delays ~delay =
+  ( delay (Ft_gate.Cnot { control = 0; target = 1 }),
+    Array.of_list
+      (List.map (fun k -> delay (Ft_gate.Single (k, 0))) Ft_gate.all_single_kinds)
+  )
+
+let create ?(track = false) ~delay () =
+  let cnot_delay, single_delays = probe_delays ~delay in
+  {
+    cnot_delay;
+    single_delays;
+    track;
+    frontier = Array.make 16 None;
+    gates = 0;
+    live = 0;
+    peak = 0;
+  }
+
+(* the one canonical accumulation order every path shares: single kinds
+   by index, then the CNOT term.  Exact reproducibility of this
+   expression under a changed [cnot_delay] is what re-basing rests on. *)
+let singles_dot sd singles =
+  let acc = ref 0.0 in
+  for i = 0 to n_single_kinds - 1 do
+    acc := !acc +. (float_of_int singles.(i) *. sd.(i))
+  done;
+  !acc
+
+let dist_of_counts ~cnot_delay ~single_delays ~cnots ~singles =
+  singles_dot single_delays singles +. (float_of_int cnots *. cnot_delay)
 
 let ensure t w =
   let n = Array.length t.frontier in
@@ -63,6 +121,149 @@ let base_counts = function
   | None -> (0, Array.make n_single_kinds 0)
   | Some e -> (e.cnots, Array.copy e.singles)
 
+(* ---- candidate envelopes ------------------------------------------ *)
+
+let zero_cand sd =
+  let singles = Array.make n_single_kinds 0 in
+  { c_cnots = 0; c_singles = singles; c_s = singles_dot sd singles; c_mixed = false }
+
+let extend_cand sd g c =
+  match g with
+  | Ft_gate.Cnot _ -> { c with c_cnots = c.c_cnots + 1 }
+  | Ft_gate.Single (k, _) ->
+    let singles = Array.copy c.c_singles in
+    let i = Ft_gate.single_kind_index k in
+    singles.(i) <- singles.(i) + 1;
+    { c_cnots = c.c_cnots; c_singles = singles; c_s = singles_dot sd singles;
+      c_mixed = c.c_mixed }
+
+let same_float a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+(* Relative separation below which two chains count as "possibly tied":
+   the fold compares chains by 10-term grouped dot products, so two
+   chains whose real values sit within a few ULPs of each other can
+   round either way; every prune keeps, and every re-base refuses, any
+   pair closer than this — six orders of magnitude above rounding
+   noise. *)
+let near_margin v = (1e-6 *. Float.abs v) +. 1e-300
+let rebase_margin v = (1e-9 *. Float.abs v) +. 1e-300
+
+(* Merge candidates that became the same line; drop lines that lose at
+   every t > 0 by more than the float tie band.  Dropping is safe only
+   when the survivor's lead exceeds what rounding can overturn, so every
+   drop demands either a full CNOT-delay of real separation or a
+   [near_margin] intercept gap. *)
+let prune_cands cands =
+  let sorted =
+    List.sort
+      (fun a b ->
+        if a.c_cnots <> b.c_cnots then compare b.c_cnots a.c_cnots
+        else compare b.c_s a.c_s)
+      cands
+  in
+  (* descending slope; within a slope descending s: bitwise-equal lines
+     merge (remembering composition mixing), clearly-below parallels
+     drop, near-tied parallels are kept for the re-base tie check *)
+  let rec dedup = function
+    | a :: b :: rest when a.c_cnots = b.c_cnots ->
+      if same_float a.c_s b.c_s then
+        let mixed = a.c_mixed || b.c_mixed || a.c_singles <> b.c_singles in
+        dedup ({ a with c_mixed = mixed } :: rest)
+      else if b.c_s < a.c_s -. near_margin a.c_s then dedup (a :: rest)
+      else a :: dedup (b :: rest)
+    | a :: rest -> a :: dedup rest
+    | [] -> []
+  in
+  let deduped = dedup sorted in
+  (* a line loses everywhere to any strictly steeper line whose
+     intercept is at least its own: the gap at t is >= t, a full CNOT
+     delay, far beyond the tie band *)
+  let pareto lst =
+    let rec go best_steeper cur_slope cur_max acc = function
+      | [] -> List.rev acc
+      | c :: rest ->
+        let best_steeper, cur_slope, cur_max =
+          if c.c_cnots = cur_slope then (best_steeper, cur_slope, cur_max)
+          else (Float.max best_steeper cur_max, c.c_cnots, neg_infinity)
+        in
+        let cur_max = Float.max cur_max c.c_s in
+        if c.c_s > best_steeper then
+          go best_steeper cur_slope cur_max (c :: acc) rest
+        else go best_steeper cur_slope cur_max acc rest
+    in
+    go neg_infinity min_int neg_infinity [] lst
+  in
+  let front = pareto deduped in
+  (* hull pass, ascending slope: drop a line below the upper envelope of
+     its neighbours by more than [near_margin] at the neighbours'
+     crossing — the point of the line's smallest shortfall, so the drop
+     holds at every positive delay.  Kept on any doubt: pruning too
+     little costs list size, pruning too much would cost exactness. *)
+  let clearly_below a b c =
+    a.c_cnots <> c.c_cnots
+    &&
+    let t_star =
+      (a.c_s -. c.c_s) /. (float_of_int c.c_cnots -. float_of_int a.c_cnots)
+    in
+    Float.is_finite t_star && t_star > 0.0
+    &&
+    let env = a.c_s +. (float_of_int a.c_cnots *. t_star) in
+    let v_b = b.c_s +. (float_of_int b.c_cnots *. t_star) in
+    v_b < env -. near_margin env
+  in
+  let ascending = List.rev front in
+  let hull =
+    List.fold_left
+      (fun stack c ->
+        let rec settle = function
+          | b :: a :: rest when clearly_below a b c -> settle (a :: rest)
+          | stack -> c :: stack
+        in
+        settle stack)
+      [] ascending
+  in
+  (* [hull] ended up descending by slope again *)
+  hull
+
+let envelope_of_preds t g preds =
+  if not t.track then ([], false)
+  else begin
+    (* distinct predecessor records only: a CNOT whose both wires point
+       at the same entry contributes that entry's chains once *)
+    let distinct =
+      List.fold_left
+        (fun acc p ->
+          match p with
+          | None -> if List.exists (( == ) None) acc then acc else p :: acc
+          | Some e ->
+            if
+              List.exists
+                (function Some e' -> e' == e | None -> false)
+                acc
+            then acc
+            else p :: acc)
+        [] preds
+    in
+    let complete = ref true in
+    let extended =
+      List.concat_map
+        (fun p ->
+          let cands, ok =
+            match p with
+            | None -> ([ zero_cand t.single_delays ], true)
+            | Some e -> (e.cands, e.complete)
+          in
+          if not ok then complete := false;
+          List.map (extend_cand t.single_delays g) cands)
+        distinct
+    in
+    let pruned = prune_cands extended in
+    if List.length pruned > max_cands then ([], false)
+    else (pruned, !complete)
+  end
+
+(* ---- the fold ------------------------------------------------------ *)
+
 let feed t g =
   let wires = Ft_gate.qubits g in
   List.iter (ensure t) wires;
@@ -79,13 +280,20 @@ let feed t g =
       singles.(i) <- singles.(i) + 1;
       cnots
   in
+  let cands, complete =
+    envelope_of_preds t g (List.map (fun w -> t.frontier.(w)) wires)
+  in
   let entry =
     {
-      dist = !best_d +. t.delay g;
+      dist =
+        dist_of_counts ~cnot_delay:t.cnot_delay
+          ~single_delays:t.single_delays ~cnots ~singles;
       node = t.gates;
       cnots;
       singles;
       rc = List.length wires;
+      cands;
+      complete;
     }
   in
   List.iter
@@ -107,28 +315,133 @@ let peak_live t = t.peak
 
 (* A checkpoint is the frontier after the first [ck_gates] gates: an
    O(wires) copy of the slot array sharing the (immutable-where-it-
-   matters) entries.  Restoring and re-feeding the identical gate
-   sequence reproduces the exact dist/node/counts values the original
-   fold would have computed — [feed] never mutates an existing entry's
-   [dist], [node], [cnots] or [singles], only allocates fresh ones — so
-   a fold restarted from a checkpoint is bit-identical to a fold from
-   gate 0.  The [rc]/live/peak accounting is NOT restored (replays
-   decrement shared [rc] fields again), so [peak_live] of a restored
-   fold is meaningless; delta consumers read [result] only. *)
+   matters) entries, tagged with the per-kind delay vector it was folded
+   under.  Restoring under the identical delays and re-feeding the same
+   gate sequence reproduces the exact dist/node/counts values the
+   original fold would have computed — [feed] never mutates an existing
+   entry's [dist], [node], [cnots] or [singles], only allocates fresh
+   ones.  Restoring under delays that differ only in the CNOT
+   coordinate *re-bases* each frontier record instead (see [resume]).
+   The [rc]/live/peak accounting is NOT restored (replays decrement
+   shared [rc] fields again), so [peak_live] of a restored fold is
+   meaningless; delta consumers read [result] only. *)
 
-type checkpoint = { ck_frontier : entry option array; ck_gates : int }
+type checkpoint = {
+  ck_frontier : entry option array;
+  ck_gates : int;
+  ck_cnot_delay : float;
+  ck_single_delays : float array;
+  ck_track : bool;
+}
 
-let checkpoint t = { ck_frontier = Array.copy t.frontier; ck_gates = t.gates }
+let checkpoint t =
+  {
+    ck_frontier = Array.copy t.frontier;
+    ck_gates = t.gates;
+    ck_cnot_delay = t.cnot_delay;
+    ck_single_delays = Array.copy t.single_delays;
+    ck_track = t.track;
+  }
+
 let checkpoint_gates c = c.ck_gates
 
-let of_checkpoint ~delay c =
-  {
-    delay;
-    frontier = Array.copy c.ck_frontier;
-    gates = c.ck_gates;
-    live = 0;
-    peak = 0;
-  }
+let singles_sig_equal a b =
+  Array.length a = Array.length b
+  &&
+  let ok = ref true in
+  Array.iteri (fun i x -> if not (same_float x b.(i)) then ok := false) a;
+  !ok
+
+exception Refold
+
+(* Re-base one frontier record to a new CNOT delay: the new winner is
+   the candidate line with the maximum value at the new delay, evaluated
+   by the same grouped dot product the fold computes distances with — so
+   the re-based record is bitwise the one a cold fold at the new delay
+   would hold.  Refuses (raises [Refold]) whenever the cold fold's
+   choice cannot be reconstructed exactly:
+   - the envelope is incomplete (cap overflow somewhere upstream);
+   - the winning line's lead over any other line at the new delay is
+     inside the float tie band (the cold fold would resolve such
+     near-ties by node ids the summary no longer has);
+   - the winning line carries merged compositions and is not the stored
+     winner's own (same reason). *)
+let rebase_entry ~cd' ~sd e =
+  if not e.complete then raise Refold;
+  let best = ref neg_infinity in
+  let best_c = ref None in
+  let second = ref neg_infinity in
+  List.iter
+    (fun c ->
+      let v = c.c_s +. (float_of_int c.c_cnots *. cd') in
+      if v > !best then begin
+        second := !best;
+        best := v;
+        best_c := Some c
+      end
+      else if v > !second then second := v)
+    e.cands;
+  match !best_c with
+  | None -> raise Refold
+  | Some c ->
+    if !second > !best -. rebase_margin !best then raise Refold;
+    let cnots, singles =
+      if not c.c_mixed then (c.c_cnots, Array.copy c.c_singles)
+      else if
+        c.c_cnots = e.cnots && same_float c.c_s (singles_dot sd e.singles)
+      then
+        (* merged compositions on the winner track's own line: the cold
+           fold resolves such everywhere-equal chains by node ids, which
+           do not depend on the delay — its choice at the new delay is
+           the choice it made at the old one, i.e. the stored winner *)
+        (e.cnots, Array.copy e.singles)
+      else raise Refold
+    in
+    {
+      dist = !best;
+      node = e.node;
+      cnots;
+      singles;
+      rc = 1;
+      cands = e.cands;
+      complete = e.complete;
+    }
+
+let rebase_frontier ~cd' ~sd frontier =
+  let memo : (entry * entry) list ref = ref [] in
+  Array.map
+    (function
+      | None -> None
+      | Some e -> (
+        match List.find_opt (fun (old, _) -> old == e) !memo with
+        | Some (_, fresh) -> Some fresh
+        | None ->
+          let fresh = rebase_entry ~cd' ~sd e in
+          memo := (e, fresh) :: !memo;
+          Some fresh))
+    frontier
+
+let resume ~delay c =
+  let cd', sd' = probe_delays ~delay in
+  let of_frontier frontier =
+    {
+      cnot_delay = cd';
+      single_delays = sd';
+      track = c.ck_track;
+      frontier;
+      gates = c.ck_gates;
+      live = 0;
+      peak = 0;
+    }
+  in
+  if not (singles_sig_equal sd' c.ck_single_delays) then `Refold
+  else if same_float cd' c.ck_cnot_delay then
+    `Resumed (of_frontier (Array.copy c.ck_frontier))
+  else if not (cd' > 0.0) then `Refold
+  else
+    match rebase_frontier ~cd' ~sd:sd' c.ck_frontier with
+    | frontier -> `Rebased (of_frontier frontier)
+    | exception Refold -> `Refold
 
 let result t ~num_qubits =
   let best_d = ref neg_infinity and best_n = ref (-1) in

@@ -3,18 +3,30 @@
     Folds the routing-augmented longest path of Eq (1) — the quantity
     {!Critical_path.compute} extracts from a materialized QODG — over
     gates as they arrive, in bounded memory: the state is a per-wire
-    frontier of live records, never the circuit or the DAG.  Feeding the
-    gates of a circuit in program order yields a result whose [length]
-    and [counts] are bit-for-bit identical to the materialized path
-    (same float accumulation order, same descending-node-id
-    tie-breaking); the [path] node list, which a frontier cannot
-    reconstruct, is left empty. *)
+    frontier of live records, never the circuit or the DAG.
+
+    Distances are {e grouped}: the routing-augmented delay is a pure
+    function of the gate kind, so a chain's distance is the dot product
+    of its per-kind operation counts with the per-kind delay vector,
+    evaluated in one canonical order (single kinds by index, CNOT term
+    last).  Every estimator path — cold materialized, streamed,
+    incremental — folds through this module, so all of them share that
+    accumulation order and produce bit-identical lengths and counts;
+    the [path] node list, which a frontier cannot reconstruct, is left
+    empty.  The grouped form also makes each chain a line [s + c·t] in
+    the CNOT delay [t], which is what lets a checkpoint be {e re-based}
+    when an edit moves only the CNOT delay (see {!resume} and
+    DESIGN.md §12). *)
 
 type t
 
-val create : delay:(Leqa_circuit.Ft_gate.t -> float) -> t
+val create : ?track:bool -> delay:(Leqa_circuit.Ft_gate.t -> float) -> unit -> t
 (** Fresh frontier; [delay] is the routing-augmented node weight, as
-    passed to {!Critical_path.compute}. *)
+    passed to {!Critical_path.compute}.  It must be a pure function of
+    the gate {e kind} (qubit operands ignored): the fold probes it once
+    per kind at creation.  [track] (default [false]) additionally
+    maintains per-record candidate-line envelopes so later checkpoints
+    support re-basing; leave it off on one-shot folds. *)
 
 val feed : t -> Leqa_circuit.Ft_gate.t -> unit
 (** Fold one gate, in program order. *)
@@ -36,14 +48,12 @@ val result : t -> num_qubits:int -> Critical_path.result
 (** {2 Checkpoints}
 
     An O(wires) snapshot of the frontier after a prefix of the gate
-    sequence.  The incremental estimator folds a circuit once, keeping
-    periodic checkpoints; after an edit it restores the nearest
-    checkpoint at or before the first changed gate and re-feeds only the
-    suffix.  Because [feed] never mutates an existing record's distance
-    or tallies, the restarted fold is bit-for-bit identical to a fold
-    from gate 0 — provided the [delay] function is bitwise-identical to
-    the one the prefix was folded under (checkpoints store distances
-    with delays baked in). *)
+    sequence, tagged with the per-kind delay vector it was folded under.
+    The incremental estimator folds a circuit once, keeping periodic
+    checkpoints; after an edit it restores the nearest checkpoint at or
+    before the first changed gate and re-feeds only the suffix.  Because
+    [feed] never mutates an existing record's distance or tallies, the
+    restarted fold is bit-for-bit identical to a fold from gate 0. *)
 
 type checkpoint
 
@@ -53,10 +63,27 @@ val checkpoint : t -> checkpoint
 val checkpoint_gates : checkpoint -> int
 (** Number of gates the snapshot covers (the restart position). *)
 
-val of_checkpoint : delay:(Leqa_circuit.Ft_gate.t -> float) -> checkpoint -> t
+val resume :
+  delay:(Leqa_circuit.Ft_gate.t -> float) ->
+  checkpoint ->
+  [ `Resumed of t | `Rebased of t | `Refold ]
 (** A fold positioned after the checkpoint's prefix; feeding the
-    remaining gates completes it.  [delay] must agree bitwise with the
-    fold that produced the checkpoint on every gate kind, or the
-    restored distances are stale.  The {!peak_live} accounting of a
-    restored fold is meaningless (live-record refcounts are shared with
-    the snapshot); read {!result} only. *)
+    remaining gates completes it.
+
+    - [`Resumed]: the new delay vector agrees bitwise with the one the
+      checkpoint was folded under on every kind — the frontier is
+      restored as-is.
+    - [`Rebased]: only the CNOT coordinate moved (every single-kind
+      delay bitwise equal, new CNOT delay positive) {e and} every
+      frontier record's candidate-line envelope reconstructs, exactly,
+      the winner a cold fold at the new delays would pick — each record
+      is re-evaluated in O(kinds) from its per-kind counts.  Requires
+      the checkpoint to come from a fold created with [~track:true].
+    - [`Refold]: exact agreement with a cold fold cannot be guaranteed
+      (a single-kind delay moved, an envelope overflowed or carries an
+      ambiguous tie at the new delay); the caller must fold from
+      gate 0.
+
+    The {!peak_live} accounting of a restored fold is meaningless
+    (live-record refcounts are shared with the snapshot); read
+    {!result} only. *)

@@ -92,6 +92,7 @@ type delta_body = {
   delta_coverage_reused : bool;
   delta_fold_restart : int;
   delta_fold_gates : int;
+  delta_fold_rebased : bool;
   delta_gates_total : int;
 }
 
@@ -435,6 +436,7 @@ let body_json = function
                 ("coverage_reused", Json.Bool d.delta_coverage_reused);
                 ("fold_restart", Json.Int d.delta_fold_restart);
                 ("fold_gates_refed", Json.Int d.delta_fold_gates);
+                ("fold_rebased", Json.Bool d.delta_fold_rebased);
                 ("gates_total", Json.Int d.delta_gates_total);
               ] );
           ("estimate", estimate_json d.delta_estimate);
@@ -732,9 +734,10 @@ let human_delta ppf (d : delta_body) =
       "incremental: dirty set past threshold — full recompute@."
   else
     Format.fprintf ppf
-      "incremental: IIG in place, coverage %s, fold resumed at gate %d/%d \
+      "incremental: IIG in place, coverage %s, fold %s at gate %d/%d \
        (%d gate%s refed)@."
       (if d.delta_coverage_reused then "reused" else "recomputed")
+      (if d.delta_fold_rebased then "re-based, resumed" else "resumed")
       d.delta_fold_restart d.delta_gates_total d.delta_fold_gates
       (if d.delta_fold_gates = 1 then "" else "s");
   human_estimate ppf d.delta_estimate

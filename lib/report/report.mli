@@ -128,6 +128,9 @@ type delta_body = {
   delta_coverage_reused : bool;  (** coverage memo hit (same B) *)
   delta_fold_restart : int;  (** gate index the latency fold resumed at *)
   delta_fold_gates : int;  (** gates re-folded from there *)
+  delta_fold_rebased : bool;
+      (** the resumed checkpoint was re-based onto the new delay vector
+          (delay-only edit: per-kind counts re-priced, no refold) *)
   delta_gates_total : int;  (** circuit size after the edits *)
 }
 (** One incremental re-estimation round: the estimate plus the

@@ -23,6 +23,11 @@ type config = {
   binary_version : string;
   session_cap : int;
   session_ttl_s : float;
+  session_nonce : int;
+      (* spaces handle sequence numbers apart per worker so handles are
+         globally unique across a fleet sharing a journal directory; the
+         serve paths pass the worker pid, 0 (the default) reproduces the
+         single-process handle sequence exactly *)
 }
 
 let default_config ~binary_version =
@@ -37,6 +42,7 @@ let default_config ~binary_version =
     binary_version;
     session_cap = Session.default_cap;
     session_ttl_s = Session.default_ttl_s;
+    session_nonce = 0;
   }
 
 type t = {
@@ -72,7 +78,8 @@ let create ?pool ?store cfg =
         ~prep_entries:cfg.prep_cache_entries;
     store;
     sessions =
-      Session.create ~cap:cfg.session_cap ~ttl_s:cfg.session_ttl_s ();
+      Session.create ~cap:cfg.session_cap ~ttl_s:cfg.session_ttl_s
+        ~nonce:cfg.session_nonce ();
     queue = Queue.create ();
     mutex = Mutex.create ();
     work = Condition.create ();
@@ -487,8 +494,56 @@ let delta_stats_json (s : Delta.delta_stats) =
       ("coverage_reused", Json.Bool s.Delta.ds_coverage_reused);
       ("fold_restart", Json.Int s.Delta.ds_fold_restart);
       ("fold_gates_refed", Json.Int s.Delta.ds_fold_gates);
+      ("fold_rebased", Json.Bool s.Delta.ds_fold_rebased);
       ("gates_total", Json.Int s.Delta.ds_gates_total);
     ]
+
+(* ---- session journals (crash transparency, DESIGN.md §12) -----------
+
+   With a [--store], every session's history is durable: [open-circuit]
+   writes a header line (canonical netlist + fingerprint) to
+   <store>/sessions/<handle>.ndjson, and every [estimate-delta] that
+   reached the session appends its exact request line with the exact
+   response it answered — journaled {e after} the response is computed
+   and {e before} it is sent, so a record exists iff the client may
+   have seen (or will see) its answer.  A worker that inherits a handle
+   it has never seen — its pinned sibling died, or its own table
+   LRU/TTL-evicted the session — rebuilds it by re-opening the base
+   netlist and re-driving every journaled request through the ordinary
+   machinery (results discarded), which reproduces the Delta state
+   (checkpoints, dirty window, coverage memo, stats envelope) exactly;
+   the client never observes the death.  [session-expired] remains the
+   typed answer when the journal is absent (no [--store], or a closed
+   session) or corrupt beyond its final line. *)
+
+let journal_version = "leqa/session/v1"
+
+let request_line ~version ~id body =
+  Json.to_string
+    (Protocol.request_to_json { Protocol.id; version; body })
+
+let journal_header ~handle ~fingerprint ~netlist =
+  Json.Obj
+    [
+      ("journal", Json.String journal_version);
+      ("handle", Json.String handle);
+      ("fingerprint", Json.String fingerprint);
+      ("netlist", Json.String netlist);
+    ]
+
+let journal_record ~request ~response =
+  Json.Obj
+    [
+      ("request", Json.String request);
+      ("response", Json.String (Json.to_string response));
+    ]
+
+let str_member name = function
+  | Json.Obj fields -> (
+    match List.assoc_opt name fields with
+    | Some (Json.String s) -> Some s
+    | _ -> None)
+  | _ -> None
 
 let open_circuit_response t ~version ~id (p : Protocol.open_params) =
   let circuit = ok (Source.load p.Protocol.oc_source) in
@@ -496,6 +551,16 @@ let open_circuit_response t ~version ~id (p : Protocol.open_params) =
   let delta = Delta.of_ft_circuit (Decompose.to_ft circuit) in
   let entry = Session.open_ t.sessions ~fingerprint delta in
   Telemetry.ambient_count "session.open";
+  (match t.store with
+  | None -> ()
+  | Some store ->
+    let handle = entry.Session.handle in
+    (* handles are fleet-unique (the pid nonce), so an existing file can
+       only be a leftover from a previous incarnation of this pid *)
+    Store.journal_remove store ~handle;
+    Store.journal_append store ~handle
+      (journal_header ~handle ~fingerprint
+         ~netlist:(Leqa_circuit.Parser.to_string (Delta.to_circuit delta))));
   Protocol.response_ok ~version ~id
     [
       ("handle", Json.String entry.Session.handle);
@@ -507,63 +572,177 @@ let find_session t handle =
   | Ok entry -> entry
   | Error e -> E.raise_error e
 
-let estimate_delta_response t ~version ~id (p : Protocol.delta_params) =
+(* the core estimate-delta transition, on a session known to be live.
+   [journal] is off while replaying (the records being re-driven are
+   already durable).  Failed batches journal too: a mid-batch validation
+   error leaves the prefix before it applied, so replay must reproduce
+   the failure to reproduce the state. *)
+let estimate_delta_core t ~journal ~version ~id (p : Protocol.delta_params) =
   let entry = find_session t p.Protocol.dl_handle in
   let delta = entry.Session.delta in
-  (* an edit that fails validation leaves the prefix before it applied —
-     the session stays consistent; the error names the offending index
-     so the client can resync (or export-circuit to inspect) *)
-  List.iteri
-    (fun i edit ->
-      try Delta.apply delta edit
-      with E.Error (E.Usage_error msg) ->
-        E.raise_error (E.Usage_error (Printf.sprintf "edit %d: %s" i msg)))
-    p.Protocol.dl_edits;
-  let params =
-    params_of ~width:p.Protocol.dl_width ~height:p.Protocol.dl_height
-      ~v:p.Protocol.dl_v
+  let outcome =
+    E.protect (fun () ->
+        (* an edit that fails validation leaves the prefix before it
+           applied — the session stays consistent; the error names the
+           offending index so the client can resync (or export-circuit
+           to inspect) *)
+        List.iteri
+          (fun i edit ->
+            try Delta.apply delta edit
+            with E.Error (E.Usage_error msg) ->
+              E.raise_error
+                (E.Usage_error (Printf.sprintf "edit %d: %s" i msg)))
+          p.Protocol.dl_edits;
+        let params =
+          params_of ~width:p.Protocol.dl_width ~height:p.Protocol.dl_height
+            ~v:p.Protocol.dl_v
+        in
+        let deadline = deadline_of t p.Protocol.dl_deadline_s in
+        let config =
+          { Leqa_core.Config.truncation_terms = p.Protocol.dl_terms }
+        in
+        let (est, dstats), dt =
+          Timing.time (fun () ->
+              Delta.estimate ~config ~deadline
+                ?conventions:
+                  (conventions_for ~v:p.Protocol.dl_v
+                     ~conventions:p.Protocol.dl_conventions)
+                ~params delta)
+        in
+        Telemetry.ambient_count "session.estimate_delta";
+        (* the report is the exact "estimate" document a cold estimate
+           of the edited circuit would produce (the @delta-smoke
+           byte-parity gate); the incremental-work breakdown rides the
+           envelope, not the report *)
+        let params_used = est.Estimator.params_used in
+        let report =
+          Report.make ~command:"estimate" ~circuit_stats:(Delta.stats delta)
+            (Report.Estimate
+               {
+                 Report.params = params_used;
+                 breakdown = est;
+                 contributions =
+                   Estimator.contributions ~params:params_used est;
+                 estimator_runtime_s = dt;
+               })
+        in
+        Protocol.response_ok ~version ~id
+          [
+            ("handle", Json.String entry.Session.handle);
+            ("report", Report.to_json report);
+            ("delta", delta_stats_json dstats);
+          ])
   in
-  let deadline = deadline_of t p.Protocol.dl_deadline_s in
-  let config = { Leqa_core.Config.truncation_terms = p.Protocol.dl_terms } in
-  let (est, dstats), dt =
-    Timing.time (fun () ->
-        Delta.estimate ~config ~deadline
-          ?conventions:
-            (conventions_for ~v:p.Protocol.dl_v
-               ~conventions:p.Protocol.dl_conventions)
-          ~params delta)
-  in
-  Telemetry.ambient_count "session.estimate_delta";
-  (* the report is the exact "estimate" document a cold estimate of the
-     edited circuit would produce (the @delta-smoke byte-parity gate);
-     the incremental-work breakdown rides the envelope, not the report *)
-  let params_used = est.Estimator.params_used in
-  let report =
-    Report.make ~command:"estimate" ~circuit_stats:(Delta.stats delta)
-      (Report.Estimate
-         {
-           Report.params = params_used;
-           breakdown = est;
-           contributions = Estimator.contributions ~params:params_used est;
-           estimator_runtime_s = dt;
-         })
-  in
-  Protocol.response_ok ~version ~id
-    [
-      ("handle", Json.String entry.Session.handle);
-      ("report", Report.to_json report);
-      ("delta", delta_stats_json dstats);
-    ]
+  (match (journal, t.store) with
+  | true, Some store ->
+    let response =
+      match outcome with
+      | Ok doc -> doc
+      | Error e -> Protocol.response_error ~version ~id e
+    in
+    Store.journal_append store ~handle:p.Protocol.dl_handle
+      (journal_record
+         ~request:(request_line ~version ~id (Protocol.Estimate_delta p))
+         ~response)
+  | _ -> ());
+  match outcome with Ok doc -> doc | Error e -> E.raise_error e
+
+(* Rebuild an expired or orphaned session from its journal.  Returns the
+   last journaled (request line, response) after re-driving every record
+   — the caller tail-matches it against the incoming request to answer a
+   retry of an already-processed request with the recorded bytes. *)
+let resurrect t store ~handle =
+  match Store.journal_load store ~handle with
+  | Error (`Absent | `Corrupt) -> None
+  | Ok (header, records) -> (
+    match
+      ( str_member "journal" header,
+        str_member "fingerprint" header,
+        str_member "netlist" header )
+    with
+    | Some jv, Some fingerprint, Some netlist when jv = journal_version -> (
+      match Leqa_circuit.Parser.parse_string netlist with
+      | Error _ -> None
+      | Ok circuit ->
+        let delta = Delta.of_ft_circuit (Decompose.to_ft circuit) in
+        ignore (Session.open_ ~handle t.sessions ~fingerprint delta);
+        let last = ref None in
+        List.iter
+          (fun record ->
+            match (str_member "request" record, str_member "response" record)
+            with
+            | Some req_line, Some resp -> (
+              last := Some (req_line, resp);
+              match Protocol.request_of_line req_line with
+              | Ok
+                  {
+                    Protocol.id = rid;
+                    version = rv;
+                    body = Protocol.Estimate_delta rp;
+                  } ->
+                (* deadlines budgeted the original run, not the replay *)
+                let rp = { rp with Protocol.dl_deadline_s = None } in
+                ignore
+                  (E.protect (fun () ->
+                       estimate_delta_core t ~journal:false ~version:rv
+                         ~id:rid rp))
+              | Ok _ | Error _ -> ())
+            | _ -> ())
+          records;
+        Telemetry.ambient_count "session.replayed";
+        Some !last)
+    | _ -> None)
+
+(* session lookup for the v2 methods: a live entry wins; otherwise the
+   journal (when a store is attached) resurrects LRU/TTL-evicted
+   sessions and sessions orphaned by a worker death alike.  Only when
+   both fail does the typed error surface. *)
+let find_or_resurrect t handle =
+  match Session.find t.sessions handle with
+  | Ok entry -> `Live entry
+  | Error (E.Session_expired _ as e) -> (
+    match t.store with
+    | None -> E.raise_error e
+    | Some store -> (
+      match resurrect t store ~handle with
+      | None -> E.raise_error e
+      | Some last -> `Replayed (find_session t handle, last)))
+  | Error e -> E.raise_error e
+
+let estimate_delta_response t ~version ~id (p : Protocol.delta_params) =
+  match find_or_resurrect t p.Protocol.dl_handle with
+  | `Live _ -> estimate_delta_core t ~journal:true ~version ~id p
+  | `Replayed (_, last) -> (
+    let incoming = request_line ~version ~id (Protocol.Estimate_delta p) in
+    match last with
+    | Some (req_line, resp) when String.equal req_line incoming -> (
+      (* the pinned worker died after journaling but before (or while)
+         replying: the state already includes this batch — answer the
+         recorded bytes instead of applying it twice *)
+      Telemetry.ambient_count "session.replay_tail_hit";
+      match Json.of_string resp with
+      | Ok doc -> doc
+      | Error _ -> estimate_delta_core t ~journal:true ~version ~id p)
+    | _ -> estimate_delta_core t ~journal:true ~version ~id p)
 
 let close_circuit_response t ~version ~id ~handle =
-  let entry = find_session t handle in
+  let entry =
+    match find_or_resurrect t handle with
+    | `Live e | `Replayed (e, _) -> e
+  in
   ignore (Session.close t.sessions entry.Session.handle);
+  (match t.store with
+  | None -> ()
+  | Some store -> Store.journal_remove store ~handle);
   Telemetry.ambient_count "session.close";
   Protocol.response_ok ~version ~id
     [ ("handle", Json.String handle); ("closed", Json.Bool true) ]
 
 let export_circuit_response t ~version ~id ~handle =
-  let entry = find_session t handle in
+  let entry =
+    match find_or_resurrect t handle with
+    | `Live e | `Replayed (e, _) -> e
+  in
   let text =
     Leqa_circuit.Parser.to_string (Delta.to_circuit entry.Session.delta)
   in

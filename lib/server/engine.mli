@@ -42,6 +42,11 @@ type config = {
           default {!Session.default_cap} *)
   session_ttl_s : float;
       (** idle session lifetime; default {!Session.default_ttl_s} *)
+  session_nonce : int;
+      (** spaces handle sequence numbers apart per worker so handles
+          are fleet-unique when several processes share a journal
+          directory; serve paths pass the worker pid, 0 (the default)
+          reproduces the single-process handle sequence exactly *)
 }
 
 val default_config : binary_version:string -> config

@@ -24,16 +24,20 @@ let default_cap = 64
 let default_ttl_s = 900.0
 
 let create ?(cap = default_cap) ?(ttl_s = default_ttl_s)
-    ?(clock = Unix.gettimeofday) () =
+    ?(clock = Unix.gettimeofday) ?(nonce = 0) () =
   if cap < 1 then invalid_arg "Session.create: cap must be >= 1";
   if not (Float.is_finite ttl_s && ttl_s > 0.0) then
     invalid_arg "Session.create: ttl_s must be a positive finite number";
+  if nonce < 0 then invalid_arg "Session.create: nonce must be >= 0";
   {
     cap;
     ttl_s;
     clock;
     tbl = Hashtbl.create 16;
-    seq = 0;
+    (* the nonce spaces each worker's sequence numbers apart so two
+       workers opening the same circuit never mint the same handle —
+       handles name shared journal files under [--store] *)
+    seq = nonce * 1_000_000;
     opened = 0;
     evicted_lru = 0;
     evicted_ttl = 0;
@@ -88,18 +92,23 @@ let evict_lru t =
     t.evicted_lru <- t.evicted_lru + 1;
     Telemetry.ambient_count "session.evict.lru"
 
-let open_ t ~fingerprint delta =
+let open_ ?handle t ~fingerprint delta =
   sweep t;
   while Hashtbl.length t.tbl >= t.cap do
     evict_lru t
   done;
-  t.seq <- t.seq + 1;
   t.opened <- t.opened + 1;
-  let prefix =
-    let hex = String.lowercase_ascii fingerprint in
-    if String.length hex >= 12 then String.sub hex 0 12 else hex
+  let handle =
+    match handle with
+    | Some h -> h  (* journal replay re-registers under the original *)
+    | None ->
+      t.seq <- t.seq + 1;
+      let prefix =
+        let hex = String.lowercase_ascii fingerprint in
+        if String.length hex >= 12 then String.sub hex 0 12 else hex
+      in
+      Printf.sprintf "h%s-%d" prefix t.seq
   in
-  let handle = Printf.sprintf "h%s-%d" prefix t.seq in
   let now = t.clock () in
   let entry = { handle; delta; last_used = now; opened_at = now } in
   Hashtbl.replace t.tbl handle entry;

@@ -35,15 +35,21 @@ val default_cap : int
 val default_ttl_s : float
 (** 900 s idle lifetime. *)
 
-val create : ?cap:int -> ?ttl_s:float -> ?clock:(unit -> float) -> unit -> t
+val create :
+  ?cap:int -> ?ttl_s:float -> ?clock:(unit -> float) -> ?nonce:int -> unit -> t
 (** [clock] (default [Unix.gettimeofday]) is injectable so eviction
-    tests don't sleep. *)
+    tests don't sleep.  [nonce] (default 0) spaces this table's handle
+    sequence numbers apart from other workers' — pass the worker pid
+    when several processes share a journal directory, so a handle is
+    globally unique across the fleet. *)
 
-val open_ : t -> fingerprint:string -> Leqa_core.Delta.t -> entry
+val open_ : ?handle:string -> t -> fingerprint:string -> Leqa_core.Delta.t -> entry
 (** Register a session.  Runs the TTL sweep, then evicts
     least-recently-used entries until under capacity.  [fingerprint] is
     the circuit's content fingerprint (hex); only its first 12
-    characters enter the handle. *)
+    characters enter the handle.  [handle] overrides handle minting —
+    journal replay re-registers a rebuilt session under its original
+    handle. *)
 
 val find : t -> string -> (entry, Leqa_util.Error.t) result
 (** Resolve a handle and refresh its recency.  [Error Handle_invalid]

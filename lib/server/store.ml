@@ -335,6 +335,131 @@ let find t key =
           None
       end
 
+(* ---- session journals ------------------------------------------------ *)
+
+(* One append-only NDJSON file per live session handle under
+   <dir>/sessions/: line 1 is the header (base circuit netlist +
+   fingerprint), each further line one journaled request/response
+   record.  Journals are durability state, not cache — they live in a
+   subdirectory precisely so the entry scan, the byte ledger and the
+   [max_bytes] cap (all of which consider only regular files directly
+   under the root) never touch them; a journal disappears when its
+   session closes, not under cap pressure.
+
+   Append durability mirrors [put]: bytes are fsynced before the caller
+   proceeds (the worker replies to the client only after the record is
+   durable), and a writer killed mid-append leaves at most one torn
+   final line, which [journal_load] drops — the client never saw a
+   reply for it, so dropping it is exactly the crash semantics of never
+   having processed the request.  Any earlier unparsable line means
+   real corruption and the whole journal is refused. *)
+
+let sessions_dir t = Filename.concat t.dir "sessions"
+
+(* handles are "h<hex>-<digits>" (Session.is_well_formed); refuse
+   anything else so a handle can never escape the sessions directory *)
+let valid_handle h =
+  String.length h >= 3
+  && h.[0] = 'h'
+  &&
+  match String.index_opt h '-' with
+  | None -> false
+  | Some dash ->
+    dash > 1
+    && dash < String.length h - 1
+    && String.for_all
+         (function 'a' .. 'f' | '0' .. '9' -> true | _ -> false)
+         (String.sub h 1 (dash - 1))
+    && String.for_all
+         (function '0' .. '9' -> true | _ -> false)
+         (String.sub h (dash + 1) (String.length h - dash - 1))
+
+let journal_path t handle =
+  Filename.concat (sessions_dir t) (handle ^ ".ndjson")
+
+let journal_append t ~handle doc =
+  if valid_handle handle then begin
+    let line = Json.to_string doc ^ "\n" in
+    match
+      mkdir_p (sessions_dir t);
+      let fd =
+        Unix.openfile (journal_path t handle)
+          [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ]
+          0o644
+      in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let n = Unix.write_substring fd line 0 (String.length line) in
+          if n <> String.length line then failwith "short write";
+          Unix.fsync fd)
+    with
+    | () -> Telemetry.ambient_count "store.journal_append"
+    | exception (Unix.Unix_error _ | Sys_error _ | Failure _ | E.Error _) ->
+      (* a full disk degrades crash transparency (the journal is now
+         truncated, replay will answer session-expired), never the
+         in-flight request *)
+      Telemetry.ambient_count "store.journal_append_failed"
+  end
+
+let journal_load t ~handle =
+  if not (valid_handle handle) then Error `Absent
+  else
+    let path = journal_path t handle in
+    if not (Sys.file_exists path) then Error `Absent
+    else
+      match
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () ->
+            let rec lines acc =
+              match input_line ic with
+              | line -> lines (line :: acc)
+              | exception End_of_file -> List.rev acc
+            in
+            lines [])
+      with
+      | exception Sys_error _ -> Error `Absent
+      | [] -> Error `Corrupt
+      | raw_header :: raw_records -> (
+        match Json.of_string raw_header with
+        | Error _ -> Error `Corrupt
+        | Ok header -> (
+          let rec parse acc = function
+            | [] -> Ok (List.rev acc)
+            | [ last ] -> (
+              match Json.of_string last with
+              | Ok doc -> Ok (List.rev (doc :: acc))
+              | Error _ ->
+                (* torn tail from a writer killed mid-append: the reply
+                   for it was never sent, so it never happened *)
+                Telemetry.ambient_count "store.journal_torn_tail";
+                Ok (List.rev acc))
+            | line :: rest -> (
+              match Json.of_string line with
+              | Ok doc -> parse (doc :: acc) rest
+              | Error _ -> Error `Corrupt)
+          in
+          match parse [] raw_records with
+          | Error _ as e ->
+            Telemetry.ambient_count "store.journal_corrupt";
+            e
+          | Ok records ->
+            Telemetry.ambient_count "store.journal_load";
+            Ok (header, records)))
+
+let journal_remove t ~handle =
+  if valid_handle handle then begin
+    (try Sys.remove (journal_path t handle) with Sys_error _ -> ());
+    Telemetry.ambient_count "store.journal_remove"
+  end
+
+let journal_count t =
+  match Sys.readdir (sessions_dir t) with
+  | names -> Array.length names
+  | exception Sys_error _ -> 0
+
 (* ---- introspection --------------------------------------------------- *)
 
 let entries t =
@@ -375,6 +500,7 @@ let stats_json t =
        ("dir", Json.String t.dir);
        ("entries", Json.Int (entries t));
        ("bytes", Json.Int (bytes t));
+       ("journals", Json.Int (journal_count t));
      ]
     @ (match t.max_bytes with
       | None -> []

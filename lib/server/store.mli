@@ -58,6 +58,41 @@ val compact : t -> unit
     re-true-up the byte ledger from disk, then re-apply the cap.
     Counts [store.compact].  Runs automatically at {!open_}. *)
 
+(** {2 Session journals}
+
+    Append-only per-handle NDJSON files under [<dir>/sessions/], the
+    durability layer beneath [leqa/rpc/v2] sessions: line 1 holds the
+    base circuit (netlist + fingerprint), each further line one
+    journaled request/response record.  A worker that inherits a handle
+    after its pinned worker died replays base + journal instead of
+    answering [session-expired] (DESIGN.md §12).  Journals live outside
+    the cache cap and entry scan; they are removed on [close-circuit],
+    never evicted. *)
+
+val journal_append : t -> handle:string -> Leqa_util.Json.t -> unit
+(** Append one record (a line) to [handle]'s journal, creating it if
+    absent, fsyncing before returning — callers reply to the client
+    only after the record is durable.  I/O failure is swallowed with a
+    [store.journal_append_failed] counter (the journal is then
+    truncated: replay degrades to the typed [session-expired], the
+    in-flight request still answers).  Handles not matching the session
+    grammar ([h<hex>-<digits>]) are ignored (path-escape defense). *)
+
+val journal_load :
+  t ->
+  handle:string ->
+  (Leqa_util.Json.t * Leqa_util.Json.t list, [ `Absent | `Corrupt ]) result
+(** Read back [handle]'s journal as [(header, records)].  A final line
+    torn by a writer killed mid-append is dropped silently — its reply
+    was never sent, so the request never happened; an unparsable line
+    anywhere else refuses the whole journal as [`Corrupt]. *)
+
+val journal_remove : t -> handle:string -> unit
+(** Delete [handle]'s journal (on [close-circuit]). *)
+
+val journal_count : t -> int
+(** Journals currently on disk ([journals] in {!stats_json}). *)
+
 type stats = {
   st_hits : int;
   st_misses : int;

@@ -52,15 +52,18 @@ type job = {
   reply : string -> unit;
 }
 
-(* Session state lives in exactly one worker process, so session-bound
-   requests cannot fail over: [Opens] jobs record a handle→worker pin
-   from the response, [Bound] jobs are routed by that pin and answered
-   with a typed Session_expired — never retried on a sibling that has
-   no such session — when the pinned worker is gone. *)
+(* Live session state lives in exactly one worker process: [Opens] jobs
+   record a handle→worker pin from the response, [Bound] jobs are routed
+   by that pin.  When the pinned worker is gone the job is re-homed on a
+   sibling chosen by handle hash ([rehomed] marks it so the response can
+   re-pin): with a shared [--store] the sibling rebuilds the session
+   from its journal and answers as if nothing happened; without one it
+   answers the typed [Session_expired] itself — either way the worker
+   that owns (or fails to own) the state decides, never the master. *)
 and session_kind =
   | Stateless
   | Opens  (* open-circuit: pin the returned handle to the worker *)
-  | Bound of { handle : string; closes : bool }
+  | Bound of { handle : string; closes : bool; mutable rehomed : bool }
 
 (* The per-worker FIFO: the engine answers in request order within a
    connection, so response line [k] out of a worker always belongs to
@@ -109,7 +112,7 @@ type t = {
   wedge_kills : int Atomic.t;
   master_errors : int Atomic.t;
   shed : int Atomic.t;  (* requests refused at the in-flight cap *)
-  sessions_expired : int Atomic.t;
+  sessions_rehomed : int Atomic.t;
   mutable readers : unit Domain.t list;
 }
 
@@ -144,7 +147,7 @@ let create cfg =
     wedge_kills = Atomic.make 0;
     master_errors = Atomic.make 0;
     shed = Atomic.make 0;
-    sessions_expired = Atomic.make 0;
+    sessions_rehomed = Atomic.make 0;
     readers = [];
   }
 
@@ -187,11 +190,11 @@ let session_kind_of (req : Protocol.request) =
   match req.Protocol.body with
   | Protocol.Open_circuit _ -> Opens
   | Protocol.Estimate_delta { dl_handle; _ } ->
-    Bound { handle = dl_handle; closes = false }
+    Bound { handle = dl_handle; closes = false; rehomed = false }
   | Protocol.Export_circuit { ex_handle } ->
-    Bound { handle = ex_handle; closes = false }
+    Bound { handle = ex_handle; closes = false; rehomed = false }
   | Protocol.Close_circuit { cl_handle } ->
-    Bound { handle = cl_handle; closes = true }
+    Bound { handle = cl_handle; closes = true; rehomed = false }
   | Protocol.Estimate _ | Protocol.Compare _ | Protocol.Sweep_fabric _
   | Protocol.Diff _ | Protocol.Calibrate _ | Protocol.Version | Protocol.Ping
   | Protocol.Stats ->
@@ -203,11 +206,6 @@ let worker_lost_line job =
   Json.to_string
     (Protocol.response_error ~version:job.version ~id:job.id
        (E.Worker_lost { shard = job.shard; attempts = job.attempts }))
-
-let session_expired_line job ~handle =
-  Json.to_string
-    (Protocol.response_error ~version:job.version ~id:job.id
-       (E.Session_expired { handle }))
 
 (* Push-then-write under the write mutex, so the pending order IS the
    stdin order (two dispatchers can't interleave push A, push B, write
@@ -236,31 +234,69 @@ let try_send proc job =
     true
   end
 
-let expire_session t job ~handle =
-  Atomic.incr t.sessions_expired;
-  Telemetry.ambient_count "supervisor.session_expired";
-  job.reply (session_expired_line job ~handle)
-
-(* A session-bound job goes to the pinned worker or nowhere: a sibling
-   has no such session, and blind re-execution of an edit script is
-   exactly the double-apply bug the typed error exists to prevent. *)
+(* A session-bound job prefers its pinned worker — the one holding the
+   live Delta state.  When the pin is gone (the worker died, or the pin
+   was dropped) the job is re-homed: the handle hashes to a home slot
+   and the first live worker from there gets it.  A re-homed request is
+   NOT a blind re-execution risk: the receiving worker either rebuilds
+   the session from its journal (shared [--store]; an already-applied
+   tail batch answers from the recorded bytes, engine tail-match) or
+   answers the typed [Session_expired] itself when no journal exists —
+   the double-apply bug the old fail-fast prevented is prevented by the
+   journal instead, and crash transparency is gained. *)
 let dispatch_bound t job ~handle =
-  let proc =
-    locked_slots t (fun () ->
-        match Hashtbl.find_opt t.pins handle with
-        | None -> None
-        | Some (slot, gen) -> (
-          match t.slots.(slot).sproc with
-          | Some proc when proc.gen = gen -> Some proc
-          | Some _ | None ->
-            Hashtbl.remove t.pins handle;
-            None))
-  in
-  match proc with
-  | Some proc when try_send proc job -> ()
-  | Some _ | None ->
-    locked_slots t (fun () -> Hashtbl.remove t.pins handle);
-    expire_session t job ~handle
+  if job.attempts > t.cfg.max_attempts then begin
+    Atomic.incr t.lost;
+    Telemetry.ambient_count "supervisor.lost";
+    job.reply (worker_lost_line { job with attempts = job.attempts - 1 })
+  end
+  else begin
+    let pinned =
+      locked_slots t (fun () ->
+          match Hashtbl.find_opt t.pins handle with
+          | None -> None
+          | Some (slot, gen) -> (
+            match t.slots.(slot).sproc with
+            | Some proc when proc.gen = gen -> Some proc
+            | Some _ | None ->
+              Hashtbl.remove t.pins handle;
+              None))
+    in
+    match pinned with
+    | Some proc when try_send proc job -> ()
+    | Some _ | None ->
+      locked_slots t (fun () -> Hashtbl.remove t.pins handle);
+      (match job.session with
+      | Bound b -> b.rehomed <- true
+      | Stateless | Opens -> ());
+      Atomic.incr t.sessions_rehomed;
+      Telemetry.ambient_count "supervisor.session_rehomed";
+      (* deterministic home so every retry of this handle converges on
+         the same replacement (its replayed session) *)
+      let n = t.cfg.workers in
+      let home =
+        let hex = String.sub (Fingerprint.of_string handle) 0 8 in
+        int_of_string ("0x" ^ hex) mod n
+      in
+      let rec try_from k =
+        if k >= n then false
+        else begin
+          let proc = locked_slots t (fun () -> t.slots.((home + k) mod n).sproc) in
+          match proc with
+          | Some proc when try_send proc job -> true
+          | Some _ | None -> try_from (k + 1)
+        end
+      in
+      if not (try_from 0) then
+        if Atomic.get t.stopping then begin
+          Atomic.incr t.lost;
+          job.reply (worker_lost_line job)
+        end
+        else begin
+          Telemetry.ambient_count "supervisor.orphaned";
+          locked_slots t (fun () -> Queue.push job t.orphans)
+        end
+  end
 
 let rec dispatch t job =
   match job.session with
@@ -322,9 +358,21 @@ let now () = Unix.gettimeofday ()
    barrier, finds the pin); a close drops it. *)
 let note_session_response t proc job line =
   match job.session with
-  | Stateless | Bound { closes = false; _ } -> ()
-  | Bound { handle; closes = true } ->
+  | Stateless | Bound { closes = false; rehomed = false; _ } -> ()
+  | Bound { handle; closes = true; _ } ->
     locked_slots t (fun () -> Hashtbl.remove t.pins handle)
+  | Bound { handle; closes = false; rehomed = true } -> (
+    (* a re-homed request its new worker answered ok means the worker
+       adopted the session (journal replay): pin it so later requests
+       go straight there instead of re-homing every time *)
+    match Json.of_string line with
+    | Error _ -> ()
+    | Ok resp -> (
+      match Json.member "ok" resp with
+      | Some (Json.Bool true) ->
+        locked_slots t (fun () ->
+            Hashtbl.replace t.pins handle (proc.slot, proc.gen))
+      | _ -> ()))
   | Opens -> (
     match Json.of_string line with
     | Error _ -> ()
@@ -385,9 +433,9 @@ and worker_died t proc =
   in
   let stopping = Atomic.get t.stopping in
   locked_slots t (fun () ->
-      (* its sessions died with it: every handle pinned to this worker
-         must now resolve to Session_expired, not to a fresh worker
-         that never heard of it *)
+      (* its pins die with it: the next request on such a handle takes
+         the re-home path in [dispatch_bound] (journal replay on the
+         replacement, or a typed Session_expired from it) *)
       let dead =
         Hashtbl.fold
           (fun h (slot, gen) acc ->
@@ -435,21 +483,20 @@ and worker_died t proc =
         "leqa serve: worker %d (slot %d) killed by %s; restarting\n%!"
         proc.pid proc.slot (signal_name sg))
   end;
-  (* re-home the in-flight stateless requests on a sibling, FIFO order
-     preserved; the client never learns its worker died unless the
-     retry cap hits.  Session-bound requests are NOT re-homed: the
-     state they address died with the worker (and re-running an edit
-     script elsewhere would silently double-apply it) — they fail fast
-     with the typed Session_expired.  An in-flight open is stateless
+  (* re-home everything in flight on a sibling, FIFO order preserved;
+     the client never learns its worker died unless the retry cap hits.
+     Session-bound requests go back through [dispatch_bound], whose pin
+     is now gone, so they take the re-home path: with a journal the
+     replacement replays the session — and a batch the dead worker had
+     already journaled answers from the recorded bytes (tail-match),
+     so re-dispatch cannot double-apply it — without one the sibling
+     answers the typed Session_expired.  An in-flight open is stateless
      from the client's view (no handle issued yet), so it retries. *)
   List.iter
     (fun j ->
-      match j.session with
-      | Bound { handle; _ } -> expire_session t j ~handle
-      | Stateless | Opens ->
-        Atomic.incr t.retried;
-        Telemetry.ambient_count "supervisor.retried";
-        dispatch t { j with attempts = j.attempts + 1 })
+      Atomic.incr t.retried;
+      Telemetry.ambient_count "supervisor.retried";
+      dispatch t { j with attempts = j.attempts + 1 })
     jobs
 
 let spawn_worker t slot =
@@ -650,7 +697,7 @@ let stats_json t =
       ("wedge_kills", Json.Int (Atomic.get t.wedge_kills));
       ("master_errors", Json.Int (Atomic.get t.master_errors));
       ("shed", Json.Int (Atomic.get t.shed));
-      ("sessions_expired", Json.Int (Atomic.get t.sessions_expired));
+      ("sessions_rehomed", Json.Int (Atomic.get t.sessions_rehomed));
       ("pinned_sessions", Json.Int pins);
       ("max_inflight", Json.Int t.cfg.max_inflight);
       ("orphans", Json.Int orphans);

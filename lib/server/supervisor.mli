@@ -44,9 +44,15 @@
     connection (all earlier requests answered first) so a pipelined
     follow-up always finds its pin.  When the pinned worker dies, its
     pins are dropped and session-bound requests — in-flight and future
-    — fail fast with a typed [Session_expired] instead of being
-    retried on a sibling (re-running an edit script elsewhere would
-    silently double-apply it); the client re-opens and replays. *)
+    — are {e re-homed} on the sibling their handle hashes to.  With a
+    shared [--store], the sibling rebuilds the session from its journal
+    (DESIGN.md §12: base netlist + every journaled request replayed;
+    an already-journaled tail batch answers from its recorded bytes,
+    so re-dispatch cannot double-apply an edit script) and an [ok]
+    response re-pins the handle there — the worker's death is invisible
+    to the client.  Without a store (or with a truncated journal) the
+    sibling itself answers the typed [Session_expired]; the master
+    never manufactures that error. *)
 
 type config = {
   workers : int;  (** >= 2; [--workers 1] stays in-process *)

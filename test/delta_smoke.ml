@@ -1,12 +1,14 @@
 (* End-to-end gate for the rpc-v2 session layer (@delta-smoke):
 
-   A. parity — 1000 random edit scripts driven through the engine: every
-               estimate-delta report must be byte-identical to a cold
-               estimate of the exported circuit (modulo the wall-clock
-               runtime field), with a fresh session opened every 25
-               scripts.  Both incremental paths (in-place IIG update and
-               the dirty-set fallback), the coverage memo and a partial
-               fold restart must all be observed at least once.
+   A. parity — 1000 random edit scripts (≥30% CNOT edits, so the
+               re-based checkpoint path is load-bearing) driven through
+               the engine: every estimate-delta report must be
+               byte-identical to a cold estimate of the exported circuit
+               (modulo the wall-clock runtime field), with a fresh
+               session opened every 25 scripts.  Both incremental paths
+               (in-place IIG update and the dirty-set fallback), the
+               coverage memo, a partial fold restart AND a re-based
+               checkpoint resume must all be observed at least once.
    B. churn  — a 4-session table under 40 opens: capacity held, LRU
                evictions counted, evicted handles answer the typed
                session-expired error while fresh ones keep serving.
@@ -15,10 +17,17 @@
                every further line is shed immediately with the typed
                server-overload error — the reorder buffer is bounded by
                a stalled worker, not grown by it.
-   D. loss   — a real `leqa serve --workers 2` fleet: SIGKILLing the
-               workers invalidates open handles with a typed
-               session-expired (never a silent re-apply on a sibling),
-               and a re-opened session works once the fleet restarts.
+   D. loss   — a real `leqa serve --workers 2` fleet WITHOUT a store:
+               SIGKILLing the workers re-homes open handles onto the
+               restarted fleet, which — having no journal to replay —
+               answers the typed session-expired (never a silent
+               re-apply), and a re-opened session works once the fleet
+               restarts.
+   E. replay — the same fleet WITH `--store`: SIGKILLing every worker
+               mid-session is client-invisible — a retried in-flight
+               request answers the recorded bytes, the next batch's
+               report is byte-identical to an unkilled run's, and only
+               a corrupted journal degrades to session-expired.
 
    Rounds that fail part A are appended as NDJSON to
    $DELTA_SMOKE_ARTIFACT (default ./delta_smoke_failures.ndjson) so CI
@@ -181,6 +190,8 @@ let part_a () =
   in
   (* each generated edit mutates the tracked gate/wire counts so the
      next edit in the same script stays within the validated ranges *)
+  let cnot_edits = ref 0 in
+  let total_edits = ref 0 in
   let gen_at () =
     if Random.bool () then ""
     else Printf.sprintf ",\"at\":%d" (Random.int (!gates + 1))
@@ -190,6 +201,7 @@ let part_a () =
     let q = Random.int (max 1 !wires) in
     let at = gen_at () in
     incr gates;
+    incr total_edits;
     Printf.sprintf "{\"op\":\"add-gate\",\"gate\":%S,\"qubit\":%d%s}" g q at
   in
   let gen_cnot () =
@@ -204,6 +216,8 @@ let part_a () =
     in
     let at = gen_at () in
     incr gates;
+    incr total_edits;
+    incr cnot_edits;
     Printf.sprintf
       "{\"op\":\"add-gate\",\"gate\":\"cnot\",\"control\":%d,\"target\":%d%s}"
       control target at
@@ -211,6 +225,7 @@ let part_a () =
   let gen_remove () =
     let at = Random.int !gates in
     decr gates;
+    incr total_edits;
     Printf.sprintf "{\"op\":\"remove-gate\",\"at\":%d}" at
   in
   let gen_remap () =
@@ -218,13 +233,17 @@ let part_a () =
     let from_q = Random.int (max 1 !wires) in
     let to_q = !wires in
     incr wires;
+    incr total_edits;
     Printf.sprintf "{\"op\":\"remap-qubit\",\"from\":%d,\"to\":%d}" from_q to_q
   in
+  (* CNOTs get a 3/10 weight (plus the all-CNOT burst scripts below) so
+     at least 30% of the corpus changes the CNOT delay — the edits that
+     historically invalidated every checkpoint and must now re-base *)
   let gen_edit () =
     match Random.int 10 with
     | 0 | 1 when !gates > 8 -> gen_remove ()
-    | 2 | 3 when !wires >= 2 -> gen_cnot ()
-    | 4 -> gen_remap ()
+    | 2 | 3 | 4 when !wires >= 2 -> gen_cnot ()
+    | 5 -> gen_remap ()
     | _ -> gen_single ()
   in
   (* ~1 script in 20 is CNOT-heavy enough to touch more than half the
@@ -241,6 +260,7 @@ let part_a () =
   let rebuilds = ref 0 in
   let cov_reused = ref 0 in
   let fold_resumed = ref 0 in
+  let rebased = ref 0 in
   open_next ();
   for round = 1 to rounds do
     if round mod reopen_every = 0 then open_next ();
@@ -269,6 +289,9 @@ let part_a () =
         | _ -> ());
         (match int_member "fold_restart" d with
         | Some n when n > 0 -> incr fold_resumed
+        | _ -> ());
+        (match Json.member "fold_rebased" d with
+        | Some (Json.Bool true) -> incr rebased
         | _ -> ())
       | None -> ()
     end;
@@ -327,7 +350,12 @@ let part_a () =
   check "part A: coverage memo reused" (!cov_reused > 0)
     "no round reused the coverage integral";
   check "part A: fold resumed from a checkpoint" (!fold_resumed > 0)
-    "every fold restarted from gate 0"
+    "every fold restarted from gate 0";
+  check "part A: re-based checkpoint path exercised" (!rebased > 0)
+    "no CNOT edit resumed through a re-based checkpoint";
+  check "part A: CNOT edits are >=30% of the corpus"
+    (float_of_int !cnot_edits >= 0.3 *. float_of_int !total_edits)
+    (Printf.sprintf "%d CNOTs of %d edits" !cnot_edits !total_edits)
 
 (* ---- part B: session-table eviction under churn ---------------------- *)
 
@@ -444,7 +472,7 @@ let part_c () =
     (List.sort compare ids = List.init shed (fun i -> max_inflight + 1 + i))
     (String.concat "," (List.map string_of_int (List.sort compare ids)))
 
-(* ---- part D: worker loss invalidates pinned handles ------------------ *)
+(* ---- part D: worker loss without a journal expires pinned handles ---- *)
 
 let part_d () =
   let sock = Filename.concat (scratch_dir ()) "loss.sock" in
@@ -500,9 +528,10 @@ let part_d () =
   check "part D: stats list the worker pids" (List.length pids = 2)
     (Json.to_string stats);
   List.iter (fun p -> try Unix.kill p Sys.sigkill with _ -> ()) pids;
-  (* the master notices EOF on the dead workers and drops their pins:
-     the session must fail fast with the typed error, never replay the
-     edit script on a sibling *)
+  (* the master notices EOF on the dead workers and re-homes the handle
+     onto the restarted fleet; with no --store there is no journal to
+     replay, so the sibling answers the typed error — never a silent
+     re-apply of the edit script *)
   let lost = call (v2_line ~id:4 ~method_:"estimate-delta" ~params:delta_params) in
   check "part D: dead worker invalidates the handle"
     (error_kind lost = Some "session-expired")
@@ -535,6 +564,161 @@ let part_d () =
   | _, (Unix.WSIGNALED s | Unix.WSTOPPED s) ->
     check "part D: clean server exit" false (Printf.sprintf "signal %d" s)
 
+(* ---- part E: SIGKILL mid-session is invisible behind a journal ------- *)
+
+let part_e () =
+  (* the unkilled reference: the same session script on an in-process
+     engine (reports are byte-identical across process layouts, so the
+     replayed fleet must land on these exact bytes) *)
+  let b1 = "[{\"op\":\"add-gate\",\"gate\":\"t\",\"qubit\":0}]" in
+  let b2 =
+    "[{\"op\":\"add-gate\",\"gate\":\"cnot\",\"control\":0,\"target\":4,\"at\":10}]"
+  in
+  let b3 = "[{\"op\":\"remove-gate\",\"at\":3}]" in
+  let control_report =
+    let t = Engine.create (Engine.default_config ~binary_version:"delta-smoke") in
+    let call line = Engine.handle_line t line in
+    let opened =
+      call (v2_line ~id:1 ~method_:"open-circuit" ~params:"{\"bench\":\"qft:5\"}")
+    in
+    let h =
+      match Json.member "handle" opened with
+      | Some (Json.String h) -> h
+      | _ ->
+        check "part E: control open ok" false (Json.to_string opened);
+        ""
+    in
+    let batch id edits =
+      call
+        (v2_line ~id ~method_:"estimate-delta"
+           ~params:(Printf.sprintf "{\"handle\":%S,\"edits\":%s}" h edits))
+    in
+    ignore (batch 2 b1);
+    ignore (batch 3 b2);
+    match Json.member "report" (batch 4 b3) with
+    | Some r -> Json.to_string (zero_runtime r)
+    | None ->
+      check "part E: control run reports" false "no report member";
+      ""
+  in
+  (* CI pins the scratch root so a failing run's session journals ride
+     up as an artifact; locally an anonymous temp dir is fine *)
+  let dir =
+    match Sys.getenv_opt "LEQA_DELTA_SMOKE_DIR" with
+    | Some d ->
+      (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+      d
+    | None -> scratch_dir ()
+  in
+  let store_dir = Filename.concat dir "store" in
+  let sock = Filename.concat dir "replay.sock" in
+  let null_in = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
+  let null_out = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  let pid =
+    Unix.create_process !cli
+      [| "leqa"; "serve"; "--socket"; sock; "--workers"; "2"; "--store";
+         store_dir |]
+      null_in null_out null_out
+  in
+  Unix.close null_in;
+  Unix.close null_out;
+  wait_socket sock;
+  let fd, ic, oc = connect sock in
+  let call line =
+    output_string oc line;
+    output_char oc '\n';
+    flush oc;
+    match Json.of_string (input_line ic) with
+    | Ok resp -> resp
+    | Error e ->
+      check "part E: response parses" false e;
+      Json.Null
+  in
+  let opened =
+    call (v2_line ~id:1 ~method_:"open-circuit" ~params:"{\"bench\":\"qft:5\"}")
+  in
+  let handle =
+    match Json.member "handle" opened with
+    | Some (Json.String h) -> h
+    | _ ->
+      check "part E: open-circuit ok" false (Json.to_string opened);
+      ""
+  in
+  let batch_line id edits =
+    v2_line ~id ~method_:"estimate-delta"
+      ~params:(Printf.sprintf "{\"handle\":%S,\"edits\":%s}" handle edits)
+  in
+  ignore (call (batch_line 2 b1));
+  let b2_line = batch_line 3 b2 in
+  let r2 = call b2_line in
+  check "part E: pre-kill batches ok" (is_ok r2) (Json.to_string r2);
+  let worker_pids () =
+    let stats = call (v1_line ~id:100 ~method_:"stats" ~params:"{}") in
+    match Json.member "stats" stats with
+    | Some s -> (
+      match Json.member "worker_pids" s with
+      | Some (Json.List ps) ->
+        List.filter_map
+          (function Json.Int p when p > 1 -> Some p | _ -> None)
+          ps
+      | _ -> [])
+    | None -> []
+  in
+  let kill_workers () =
+    List.iter (fun p -> try Unix.kill p Sys.sigkill with _ -> ()) (worker_pids ())
+  in
+  kill_workers ();
+  (* a retried in-flight line tail-matches the journal: the replacement
+     worker answers the recorded bytes instead of re-applying the edits *)
+  let r2_again = call b2_line in
+  check "part E: SIGKILL mid-session is client-invisible"
+    (Json.to_string r2_again = Json.to_string r2)
+    (Json.to_string r2_again);
+  let r3 = call (batch_line 4 b3) in
+  check "part E: replayed session keeps serving" (is_ok r3) (Json.to_string r3);
+  (match Json.member "report" r3 with
+  | Some r ->
+    check "part E: post-replay report byte-identical to an unkilled run"
+      (Json.to_string (zero_runtime r) = control_report)
+      (Json.to_string (zero_runtime r))
+  | None ->
+    check "part E: post-replay report present" false (Json.to_string r3));
+  (let stats = call (v1_line ~id:101 ~method_:"stats" ~params:"{}") in
+   let rehomed =
+     match Json.member "stats" stats with
+     | Some s -> Option.value (int_member "sessions_rehomed" s) ~default:0
+     | None -> 0
+   in
+   check "part E: master counted the re-homed session" (rehomed >= 1)
+     (Json.to_string stats));
+  (* a corrupt journal (garbage mid-file, not a torn tail) must degrade
+     to the typed error, never a partial replay *)
+  let journal =
+    Filename.concat (Filename.concat store_dir "sessions") (handle ^ ".ndjson")
+  in
+  let jc = open_out_gen [ Open_wronly; Open_append ] 0o644 journal in
+  output_string jc "{not json\n";
+  close_out jc;
+  (* one more valid batch journals after the garbage, so the damage is
+     provably mid-file rather than a silently-dropped torn tail *)
+  let r5 = call (batch_line 5 b1) in
+  check "part E: live session shrugs off the corrupt journal" (is_ok r5)
+    (Json.to_string r5);
+  kill_workers ();
+  let corrupt = call (batch_line 6 b1) in
+  check "part E: corrupt journal answers session-expired"
+    (error_kind corrupt = Some "session-expired")
+    (Json.to_string corrupt);
+  (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+  close_out_noerr oc;
+  Unix.kill pid Sys.sigterm;
+  match Unix.waitpid [] pid with
+  | _, Unix.WEXITED 0 -> check "part E: clean server exit" true ""
+  | _, Unix.WEXITED c ->
+    check "part E: clean server exit" false (Printf.sprintf "exit %d" c)
+  | _, (Unix.WSIGNALED s | Unix.WSTOPPED s) ->
+    check "part E: clean server exit" false (Printf.sprintf "signal %d" s)
+
 let () =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   (match Sys.argv with
@@ -545,6 +729,7 @@ let () =
   part_a ();
   part_b ();
   part_d ();
+  part_e ();
   part_c ();
   flush_artifact ();
   Printf.printf "\n%d checks, %d failures\n%!" !checks !failures;

@@ -258,10 +258,107 @@ let test_invalid_edits_rejected () =
   | None -> Alcotest.fail "no CNOT in qft:4?");
   ignore (check_round ~label:"after rejections" ~params:Params.calibrated delta r)
 
+(* tentpole: a CNOT edit moves the routing-augmented CNOT delay, which
+   used to invalidate every checkpoint (full refold, ~2x); re-basing
+   must keep the fold incremental and the report byte-identical *)
+let test_cnot_edit_rebases () =
+  let circ = Leqa_benchmarks.Gf2_mult.circuit ~n:6 () in
+  let ft = Decompose.to_ft circ in
+  let delta = Delta.of_ft_circuit ft in
+  let r = ref_of_ft ft in
+  let params = Params.calibrated in
+  ignore (check_round ~label:"seed fold" ~params delta r);
+  let n = Delta.gate_count delta in
+  let wires = Delta.num_wires delta in
+  (* a CNOT between a previously non-interacting pair guarantees the
+     IIG — hence the routing-augmented CNOT delay — actually moves *)
+  let interacts = Hashtbl.create 64 in
+  Ft_circuit.iter
+    (fun g ->
+      match g with
+      | Ft_gate.Cnot { control; target } ->
+        Hashtbl.replace interacts (min control target, max control target) ()
+      | _ -> ())
+    ft;
+  let pair = ref None in
+  (try
+     for a = 0 to wires - 1 do
+       for b = a + 1 to wires - 1 do
+         if !pair = None && not (Hashtbl.mem interacts (a, b)) then begin
+           pair := Some (a, b);
+           raise Exit
+         end
+       done
+     done
+   with Exit -> ());
+  let a, b =
+    match !pair with
+    | Some p -> p
+    | None -> Alcotest.fail "every wire pair already interacts?"
+  in
+  let e =
+    Delta.Add_gate
+      { at = Some (n - 1); gate = Ft_gate.Cnot { control = a; target = b } }
+  in
+  Delta.apply delta e;
+  ref_apply r e;
+  let stats = check_round ~label:"cnot edit" ~params delta r in
+  if stats.Delta.ds_full_rebuild then
+    Alcotest.fail "CNOT edit fell back to the full rebuild";
+  if not stats.Delta.ds_fold_rebased then
+    Alcotest.fail "CNOT edit did not take the re-based checkpoint path";
+  if stats.Delta.ds_fold_restart = 0 then
+    Alcotest.fail "re-based fold still restarted from gate 0";
+  if stats.Delta.ds_fold_gates >= n then
+    Alcotest.failf "re-based fold re-fed %d of %d gates"
+      stats.Delta.ds_fold_gates n
+
+(* satellite: a rejected remap is atomic.  The docstring used to carve
+   out "a partially-validated remap never is"; validation now completes
+   before any mutation, so a rejected remap leaves the session — gates,
+   IIG, fold checkpoints — byte-for-byte untouched *)
+let test_rejected_remap_atomic () =
+  let circ = Leqa_benchmarks.Qft.circuit ~n:5 () in
+  let ft = Decompose.to_ft circ in
+  let delta = Delta.of_ft_circuit ft in
+  let r = ref_of_ft ft in
+  let params = Params.calibrated in
+  ignore (check_round ~label:"seed" ~params delta r);
+  (* an interacting pair to collapse, with singles planted on [from_q]
+     at the front of the circuit: a gate-by-gate rewriting remap would
+     have rewritten those before discovering the collapsing CNOT
+     further in — exactly the partial mutation the contract forbids *)
+  let pair = ref None in
+  Ft_circuit.iter
+    (fun g ->
+      match (g, !pair) with
+      | Ft_gate.Cnot { control; target }, None -> pair := Some (control, target)
+      | _ -> ())
+    ft;
+  let a, b =
+    match !pair with Some p -> p | None -> Alcotest.fail "no CNOT in qft:5?"
+  in
+  for _ = 1 to 3 do
+    let e =
+      Delta.Add_gate { at = Some 0; gate = Ft_gate.Single (Ft_gate.T, a) }
+    in
+    Delta.apply delta e;
+    ref_apply r e
+  done;
+  ignore (check_round ~label:"planted singles" ~params delta r);
+  (match Delta.apply delta (Delta.Remap_qubit { from_q = a; to_q = b }) with
+  | () -> Alcotest.fail "collapsing remap accepted"
+  | exception Leqa_util.Error.Error (Leqa_util.Error.Usage_error _) -> ());
+  ignore (check_round ~label:"after rejected remap" ~params delta r)
+
 let suite =
   [
     Alcotest.test_case "random edit scripts byte-identical" `Quick
       test_random_scripts;
+    Alcotest.test_case "CNOT edit re-bases checkpoints, byte-identical" `Quick
+      test_cnot_edit_rebases;
+    Alcotest.test_case "rejected remap is atomic" `Quick
+      test_rejected_remap_atomic;
     Alcotest.test_case "fabric change on one handle" `Quick
       test_fabric_change_on_handle;
     Alcotest.test_case "checkpoints reused for single-qubit edits" `Quick

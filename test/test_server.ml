@@ -571,6 +571,142 @@ let test_v2_session_lifecycle_and_parity () =
   Alcotest.(check string) "malformed handle typed" "handle-invalid"
     (error_kind garbage)
 
+(* ---- journaled sessions: crash transparency across restarts --------- *)
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "leqa_journal" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let rec rm path =
+    if Sys.is_directory path then begin
+      Array.iter (fun n -> rm (Filename.concat path n)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+  in
+  Fun.protect ~finally:(fun () -> try rm dir with Sys_error _ | Unix.Unix_error _ -> ()) (fun () -> f dir)
+
+(* one engine per "worker": distinct nonces, one shared store directory *)
+let engine_on ~dir nonce =
+  Engine.create
+    ~store:(Leqa_server.Store.open_ ~dir ())
+    {
+      (Engine.default_config ~binary_version:"test") with
+      Engine.session_nonce = nonce;
+    }
+
+let open_session t =
+  let opened =
+    Engine.handle_line t
+      (v2_line ~method_:"open-circuit" ~params:"{\"bench\":\"qft:5\"}" ())
+  in
+  Alcotest.(check bool) "open ok" true (ok_field opened);
+  match Json.member "handle" opened with
+  | Some (Json.String h) -> h
+  | _ -> Alcotest.fail "open-circuit without a handle"
+
+let delta_line ~id ~handle edits =
+  v2_line ~id ~method_:"estimate-delta"
+    ~params:(Printf.sprintf "{\"handle\":%S,\"edits\":%s}" handle edits)
+    ()
+
+let test_v2_journal_replay () =
+  with_temp_dir @@ fun dir ->
+  let t1 = engine_on ~dir 1 in
+  let handle = open_session t1 in
+  let batch1 =
+    delta_line ~id:"2" ~handle "[{\"op\":\"add-gate\",\"gate\":\"t\",\"qubit\":0}]"
+  in
+  let batch2 =
+    delta_line ~id:"3" ~handle
+      "[{\"op\":\"add-gate\",\"gate\":\"cnot\",\"control\":0,\"target\":4,\"at\":10}]"
+  in
+  Alcotest.(check bool) "batch1 ok" true (ok_field (Engine.handle_line t1 batch1));
+  let r2 = Engine.handle_line t1 batch2 in
+  Alcotest.(check bool) "batch2 ok" true (ok_field r2);
+  (* a replacement engine on the same store — a worker that inherited
+     the handle after its pinned sibling died.  A retry of the last
+     journaled request must answer the recorded bytes (the dead worker
+     had already applied it), not re-apply the edit batch. *)
+  let t2 = engine_on ~dir 2 in
+  let replayed = Engine.handle_line t2 batch2 in
+  Alcotest.(check string) "replayed retry is byte-identical"
+    (Json.to_string r2) (Json.to_string replayed);
+  (* a fresh batch continues the resurrected session with the ordinary
+     live-session guarantee: parity against a cold estimate *)
+  let r3 =
+    Engine.handle_line t2
+      (delta_line ~id:"4" ~handle "[{\"op\":\"remove-gate\",\"at\":3}]")
+  in
+  Alcotest.(check bool) "batch3 ok" true (ok_field r3);
+  let exported =
+    Engine.handle_line t2
+      (v2_line ~id:"5" ~method_:"export-circuit"
+         ~params:(Printf.sprintf "{\"handle\":%S}" handle)
+         ())
+  in
+  let netlist =
+    match Json.member "circuit" exported with
+    | Some (Json.String s) -> s
+    | _ -> Alcotest.fail "export-circuit without netlist text"
+  in
+  let cold =
+    Engine.handle_line t2
+      (Printf.sprintf
+         "{\"schema_version\":\"leqa/rpc/v1\",\"id\":6,\"method\":\"estimate\",\"params\":{\"circuit\":%s}}"
+         (Json.to_string (Json.String netlist)))
+  in
+  let report r =
+    match Json.member "report" r with
+    | Some rep -> Json.to_string (zero_runtime rep)
+    | None -> Alcotest.fail "response without report"
+  in
+  Alcotest.(check string) "post-replay delta report == cold" (report cold)
+    (report r3);
+  (* close removes the journal: yet another engine sees the typed expiry *)
+  let closed =
+    Engine.handle_line t2
+      (v2_line ~id:"7" ~method_:"close-circuit"
+         ~params:(Printf.sprintf "{\"handle\":%S}" handle)
+         ())
+  in
+  Alcotest.(check bool) "closed" true
+    (Json.member "closed" closed = Some (Json.Bool true));
+  let after =
+    Engine.handle_line (engine_on ~dir 3)
+      (delta_line ~id:"8" ~handle "[]")
+  in
+  Alcotest.(check string) "closed handle expired everywhere"
+    "session-expired" (error_kind after)
+
+let test_v2_journal_corruption_expires () =
+  with_temp_dir @@ fun dir ->
+  let t1 = engine_on ~dir 1 in
+  let handle = open_session t1 in
+  Alcotest.(check bool) "batch1 ok" true
+    (ok_field
+       (Engine.handle_line t1
+          (delta_line ~id:"2" ~handle
+             "[{\"op\":\"add-gate\",\"gate\":\"t\",\"qubit\":0}]")));
+  (* plant garbage, then journal one more batch after it: the garbage
+     is now mid-file (not a droppable torn tail), so the whole journal
+     is refused and the typed expiry survives *)
+  let jpath =
+    Filename.concat (Filename.concat dir "sessions") (handle ^ ".ndjson")
+  in
+  let oc = open_out_gen [ Open_append ] 0o644 jpath in
+  output_string oc "{not json\n";
+  close_out oc;
+  Alcotest.(check bool) "batch2 ok" true
+    (ok_field
+       (Engine.handle_line t1
+          (delta_line ~id:"3" ~handle "[{\"op\":\"remove-gate\",\"at\":0}]")));
+  let after =
+    Engine.handle_line (engine_on ~dir 2) (delta_line ~id:"4" ~handle "[]")
+  in
+  Alcotest.(check string) "corrupt journal answers session-expired"
+    "session-expired" (error_kind after)
+
 let suite =
   [
     Alcotest.test_case "parse minimal" `Quick test_parse_minimal;
@@ -606,4 +742,8 @@ let suite =
       test_v2_version_negotiation;
     Alcotest.test_case "v2: session lifecycle and report parity" `Quick
       test_v2_session_lifecycle_and_parity;
+    Alcotest.test_case "v2: journal replay across restarts" `Quick
+      test_v2_journal_replay;
+    Alcotest.test_case "v2: corrupt journal answers session-expired" `Quick
+      test_v2_journal_corruption_expires;
   ]

@@ -135,9 +135,30 @@ let test_stats () =
   Alcotest.(check bool) "ttl evictions counted" true (get "evicted_ttl" >= 1);
   Alcotest.(check int) "live" (Session.count t) (get "open")
 
+(* the pid nonce spaces each worker's sequence numbers apart (handles
+   name shared journal files, so they must be fleet-unique), and journal
+   replay re-registers a rebuilt session under its original handle *)
+let test_nonce_and_handle_override () =
+  let t = Session.create ~nonce:7 () in
+  let e = Session.open_ t ~fingerprint:fp (fresh_delta ()) in
+  Alcotest.(check string) "nonce-spaced sequence" "h0123456789ab-7000001"
+    e.Session.handle;
+  let e2 =
+    Session.open_ ~handle:"hdeadbeef-42" t ~fingerprint:fp (fresh_delta ())
+  in
+  Alcotest.(check string) "replay keeps the original handle"
+    "hdeadbeef-42" e2.Session.handle;
+  match Session.find t "hdeadbeef-42" with
+  | Ok found ->
+    Alcotest.(check string) "overridden handle resolves" "hdeadbeef-42"
+      found.Session.handle
+  | Error e -> Alcotest.failf "overridden handle lost: %s" (E.to_string e)
+
 let suite =
   [
     Alcotest.test_case "handle grammar" `Quick test_handle_grammar;
+    Alcotest.test_case "nonce spacing and handle override" `Quick
+      test_nonce_and_handle_override;
     Alcotest.test_case "invalid vs expired" `Quick test_error_split;
     Alcotest.test_case "lru capacity" `Quick test_lru_cap;
     Alcotest.test_case "ttl sweep" `Quick test_ttl;

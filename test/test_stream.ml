@@ -112,6 +112,49 @@ let test_report_bytes_identical () =
     (report ~circuit_stats:streamed.Estimator.stream_stats
        streamed.Estimator.stream_breakdown)
 
+(* the diff harness's estimator side streams: the peak-gates gauge must
+   be recorded, bounded by the wire count, and the classification must
+   agree with a hand-run materialized estimate against the same QSPR
+   reference (the streamed breakdown being bit-identical) *)
+let test_diff_harness_streams () =
+  let circ = Leqa_benchmarks.Gf2_mult.circuit ~n:8 () in
+  let case =
+    {
+      Leqa_diff.Diff.label = "gf2^8mult";
+      circuit = circ;
+      width = Params.calibrated.Params.width;
+      height = Params.calibrated.Params.height;
+      budget = 1.0;
+    }
+  in
+  let telemetry = Telemetry.create () in
+  let outcome = Leqa_diff.Diff.run_case ~telemetry case in
+  let wires =
+    (Ft_circuit.stats (Decompose.to_ft circ)).Ft_circuit.num_qubits
+  in
+  (match Telemetry.gauge_value telemetry "qodg.stream.peak_gates" with
+  | None ->
+    Alcotest.fail
+      "diff harness did not stream: qodg.stream.peak_gates gauge missing"
+  | Some peak ->
+    if peak > float_of_int wires then
+      Alcotest.failf "harness peak resident gates %.0f exceeds the %d wires"
+        peak wires);
+  match (outcome.Leqa_diff.Diff.estimated_us, outcome.Leqa_diff.Diff.rel_error)
+  with
+  | Some est, Some _ ->
+    let mat =
+      Estimator.estimate ~conventions:Leqa_core.Calib_tables.Fitted
+        ~params:
+          (Params.with_fabric Params.calibrated
+             ~width:case.Leqa_diff.Diff.width
+             ~height:case.Leqa_diff.Diff.height)
+        (Leqa_qodg.Qodg.of_ft_circuit (Decompose.to_ft circ))
+    in
+    Alcotest.(check (float 0.0))
+      "streamed harness estimate = materialized" mat.Estimator.latency_us est
+  | _ -> Alcotest.fail "harness case did not produce a comparable estimate"
+
 (* ---- the strict streaming parser ---------------------------------- *)
 
 let with_temp_file content f =
@@ -185,6 +228,8 @@ let suite =
     Alcotest.test_case "peak gauge recorded" `Quick test_peak_gauge_recorded;
     Alcotest.test_case "report bytes identical" `Quick
       test_report_bytes_identical;
+    Alcotest.test_case "diff harness estimator side streams" `Quick
+      test_diff_harness_streams;
     Alcotest.test_case "iter_file round-trips through the feeder" `Quick
       test_iter_file_roundtrip;
     Alcotest.test_case "iter_file rejects undeclared wires" `Quick
